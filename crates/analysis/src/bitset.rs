@@ -1,0 +1,155 @@
+//! A dense fixed-capacity bit set for data-flow analysis.
+//!
+//! The iterative reaching-definitions and liveness solvers operate on
+//! per-node sets of definition sites / variables; a flat `Vec<u64>`
+//! representation keeps the transfer functions to a handful of word
+//! operations (see the Rust Performance Book's guidance on preferring
+//! flat structures in hot loops).
+
+/// Fixed-capacity bit set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set with capacity for `len` bits.
+    pub fn new(len: usize) -> Self {
+        BitSet { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        let was = *w & bit != 0;
+        *w |= bit;
+        !was
+    }
+
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// `self |= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | b;
+            if new != *a {
+                *a = new;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// `self &= !other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate set bit indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64)); // already present
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        b.insert(69);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b)); // no further change
+        assert!(a.contains(69));
+    }
+
+    #[test]
+    fn subtract_removes_bits() {
+        let mut a = BitSet::new(10);
+        a.insert(3);
+        a.insert(5);
+        let mut b = BitSet::new(10);
+        b.insert(5);
+        a.subtract(&b);
+        assert!(a.contains(3));
+        assert!(!a.contains(5));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut s = BitSet::new(200);
+        for i in [199, 0, 63, 64, 100] {
+            s.insert(i);
+        }
+        let got: Vec<_> = s.iter().collect();
+        assert_eq!(got, [0, 63, 64, 100, 199]);
+    }
+
+    #[test]
+    fn empty_and_clear() {
+        let mut s = BitSet::new(8);
+        assert!(s.is_empty());
+        s.insert(7);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

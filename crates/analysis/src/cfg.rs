@@ -1,0 +1,350 @@
+//! Control flow graph construction.
+//!
+//! The CFG is built over the *statements* of one program unit: each
+//! statement is one node (block `IF` and `DO` headers are branch nodes),
+//! plus synthetic `entry` and `exit` nodes. `GOTO`s, computed `GOTO`s and
+//! arithmetic `IF`s are resolved through the unit's label map, which is
+//! what lets the analyses handle the unstructured dialects of neoss,
+//! nxsns and dpmin (§5.3) without any prior restructuring.
+
+use ped_fortran::ast::{walk_stmts, ProcUnit, Stmt, StmtId, StmtKind};
+use std::collections::HashMap;
+
+/// Index of a node in the CFG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One CFG node.
+#[derive(Clone, Debug, Default)]
+pub struct Node {
+    /// The statement this node represents (`None` for entry/exit).
+    pub stmt: Option<StmtId>,
+    pub succs: Vec<NodeId>,
+    pub preds: Vec<NodeId>,
+}
+
+/// Control flow graph of one program unit.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    pub nodes: Vec<Node>,
+    pub entry: NodeId,
+    pub exit: NodeId,
+    stmt_node: HashMap<StmtId, NodeId>,
+}
+
+impl Cfg {
+    /// Build the CFG of a unit.
+    pub fn build(unit: &ProcUnit) -> Cfg {
+        let mut cfg = Cfg {
+            nodes: vec![Node::default(), Node::default()],
+            entry: NodeId(0),
+            exit: NodeId(1),
+            stmt_node: HashMap::new(),
+        };
+        // Create a node per statement (preorder) and the label map.
+        let mut labels: HashMap<u32, NodeId> = HashMap::new();
+        walk_stmts(&unit.body, &mut |s| {
+            let id = NodeId(cfg.nodes.len() as u32);
+            cfg.nodes.push(Node { stmt: Some(s.id), succs: Vec::new(), preds: Vec::new() });
+            cfg.stmt_node.insert(s.id, id);
+            if let Some(l) = s.label {
+                labels.insert(l, id);
+            }
+        });
+        let mut b = Wiring { cfg: &mut cfg, labels: &labels };
+        let exit = b.cfg.exit;
+        let entry_target = b.wire_block(&unit.body, exit);
+        b.edge(NodeId(0), entry_target);
+        cfg
+    }
+
+    pub fn node_of(&self, stmt: StmtId) -> Option<NodeId> {
+        self.stmt_node.get(&stmt).copied()
+    }
+
+    pub fn stmt_of(&self, node: NodeId) -> Option<StmtId> {
+        self.nodes[node.index()].stmt
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Nodes in reverse postorder from entry (unreachable nodes excluded).
+    pub fn reverse_postorder(&self) -> Vec<NodeId> {
+        self.rpo_from(self.entry, false)
+    }
+
+    /// Nodes in reverse postorder on the *reversed* graph from exit.
+    pub fn reverse_postorder_backward(&self) -> Vec<NodeId> {
+        self.rpo_from(self.exit, true)
+    }
+
+    fn rpo_from(&self, root: NodeId, backward: bool) -> Vec<NodeId> {
+        let n = self.nodes.len();
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS with explicit stack of (node, next-succ-index).
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        state[root.index()] = 1;
+        while let Some(&mut (node, ref mut i)) = stack.last_mut() {
+            let edges = if backward {
+                &self.nodes[node.index()].preds
+            } else {
+                &self.nodes[node.index()].succs
+            };
+            if *i < edges.len() {
+                let next = edges[*i];
+                *i += 1;
+                if state[next.index()] == 0 {
+                    state[next.index()] = 1;
+                    stack.push((next, 0));
+                }
+            } else {
+                state[node.index()] = 2;
+                post.push(node);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+struct Wiring<'a> {
+    cfg: &'a mut Cfg,
+    labels: &'a HashMap<u32, NodeId>,
+}
+
+impl<'a> Wiring<'a> {
+    fn edge(&mut self, from: NodeId, to: NodeId) {
+        if !self.cfg.nodes[from.index()].succs.contains(&to) {
+            self.cfg.nodes[from.index()].succs.push(to);
+            self.cfg.nodes[to.index()].preds.push(from);
+        }
+    }
+
+    fn node(&self, s: &Stmt) -> NodeId {
+        self.cfg.stmt_node[&s.id]
+    }
+
+    fn label_node(&self, l: u32) -> NodeId {
+        // Unknown labels (parse recovered) jump to exit.
+        self.labels.get(&l).copied().unwrap_or(self.cfg.exit)
+    }
+
+    /// Wire a statement block whose fall-through continuation is `follow`.
+    /// Returns the entry node of the block (or `follow` for an empty one).
+    fn wire_block(&mut self, body: &[Stmt], follow: NodeId) -> NodeId {
+        if body.is_empty() {
+            return follow;
+        }
+        // Entry of each statement for fall-through chaining.
+        for (i, s) in body.iter().enumerate() {
+            let next = if i + 1 < body.len() { self.node(&body[i + 1]) } else { follow };
+            self.wire_stmt(s, next);
+        }
+        self.node(&body[0])
+    }
+
+    fn wire_stmt(&mut self, s: &Stmt, next: NodeId) {
+        let here = self.node(s);
+        match &s.kind {
+            StmtKind::Assign { .. }
+            | StmtKind::Continue
+            | StmtKind::Call { .. }
+            | StmtKind::Read { .. }
+            | StmtKind::Write { .. }
+            | StmtKind::Opaque(_) => self.edge(here, next),
+            StmtKind::Goto(l) => {
+                let t = self.label_node(*l);
+                self.edge(here, t);
+            }
+            StmtKind::ComputedGoto { labels, .. } => {
+                for l in labels {
+                    let t = self.label_node(*l);
+                    self.edge(here, t);
+                }
+                // Out-of-range index falls through.
+                self.edge(here, next);
+            }
+            StmtKind::ArithIf { neg, zero, pos, .. } => {
+                for l in [*neg, *zero, *pos] {
+                    let t = self.label_node(l);
+                    self.edge(here, t);
+                }
+            }
+            StmtKind::Return | StmtKind::Stop => {
+                let exit = self.cfg.exit;
+                self.edge(here, exit);
+            }
+            StmtKind::LogicalIf { then, .. } => {
+                let t = self.node(then);
+                self.edge(here, t);
+                self.edge(here, next);
+                self.wire_stmt(then, next);
+            }
+            StmtKind::Do { body, .. } => {
+                // header -> body entry (trip) and header -> next (exit).
+                let entry = self.wire_block(body, here); // back edge: last body stmt -> header
+                self.edge(here, entry);
+                self.edge(here, next);
+            }
+            StmtKind::If { arms, else_body } => {
+                for (_, arm) in arms {
+                    let entry = self.wire_block(arm, next);
+                    self.edge(here, entry);
+                }
+                match else_body {
+                    Some(e) => {
+                        let entry = self.wire_block(e, next);
+                        self.edge(here, entry);
+                    }
+                    None => self.edge(here, next),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parser::parse_ok;
+
+    fn cfg_of(src: &str) -> (ped_fortran::Program, Cfg) {
+        let p = parse_ok(src);
+        let c = Cfg::build(&p.units[0]);
+        (p, c)
+    }
+
+    #[test]
+    fn straight_line_chains() {
+        let (p, c) = cfg_of("      A = 1\n      B = 2\n      END\n");
+        let n0 = c.node_of(p.units[0].body[0].id).unwrap();
+        let n1 = c.node_of(p.units[0].body[1].id).unwrap();
+        assert_eq!(c.nodes[c.entry.index()].succs, vec![n0]);
+        assert_eq!(c.nodes[n0.index()].succs, vec![n1]);
+        assert_eq!(c.nodes[n1.index()].succs, vec![c.exit]);
+    }
+
+    #[test]
+    fn do_loop_has_back_edge_and_exit() {
+        let (p, c) = cfg_of("      DO 10 I = 1, N\n      A(I) = 0\n   10 CONTINUE\n      END\n");
+        let header = c.node_of(p.units[0].body[0].id).unwrap();
+        let succs = &c.nodes[header.index()].succs;
+        // header -> body entry, header -> exit-side
+        assert_eq!(succs.len(), 2);
+        // Some body node must point back at header.
+        let has_back = c
+            .nodes
+            .iter()
+            .enumerate()
+            .any(|(i, n)| NodeId(i as u32) != header && n.succs.contains(&header));
+        assert!(has_back);
+    }
+
+    #[test]
+    fn goto_resolves_to_label() {
+        let src = "      GOTO 100\n      A = 1\n  100 B = 2\n      END\n";
+        let (p, c) = cfg_of(src);
+        let goto = c.node_of(p.units[0].body[0].id).unwrap();
+        let target = c.node_of(p.units[0].body[2].id).unwrap();
+        assert_eq!(c.nodes[goto.index()].succs, vec![target]);
+        // A = 1 is unreachable; rpo skips it.
+        let rpo = c.reverse_postorder();
+        let a_node = c.node_of(p.units[0].body[1].id).unwrap();
+        assert!(!rpo.contains(&a_node));
+    }
+
+    #[test]
+    fn arithmetic_if_has_three_targets() {
+        let src = "      IF (X) 10, 20, 30\n   10 A = 1\n   20 B = 2\n   30 C = 3\n      END\n";
+        let (p, c) = cfg_of(src);
+        let n = c.node_of(p.units[0].body[0].id).unwrap();
+        assert_eq!(c.nodes[n.index()].succs.len(), 3);
+    }
+
+    #[test]
+    fn computed_goto_targets_plus_fallthrough() {
+        let src = "      GOTO (10, 20) K\n      A = 0\n   10 A = 1\n   20 A = 2\n      END\n";
+        let (p, c) = cfg_of(src);
+        let n = c.node_of(p.units[0].body[0].id).unwrap();
+        assert_eq!(c.nodes[n.index()].succs.len(), 3);
+    }
+
+    #[test]
+    fn block_if_branches_and_joins() {
+        let src = "      IF (X .GT. 0) THEN\n      A = 1\n      ELSE\n      A = 2\n      END IF\n      B = 3\n      END\n";
+        let (p, c) = cfg_of(src);
+        let ifn = c.node_of(p.units[0].body[0].id).unwrap();
+        assert_eq!(c.nodes[ifn.index()].succs.len(), 2);
+        let join = c.node_of(p.units[0].body[1].id).unwrap();
+        assert_eq!(c.nodes[join.index()].preds.len(), 2);
+    }
+
+    #[test]
+    fn if_without_else_falls_through() {
+        let src = "      IF (X .GT. 0) THEN\n      A = 1\n      END IF\n      B = 3\n      END\n";
+        let (p, c) = cfg_of(src);
+        let ifn = c.node_of(p.units[0].body[0].id).unwrap();
+        let join = c.node_of(p.units[0].body[1].id).unwrap();
+        assert!(c.nodes[ifn.index()].succs.contains(&join));
+    }
+
+    #[test]
+    fn return_goes_to_exit() {
+        let src = "      SUBROUTINE S\n      RETURN\n      END\n";
+        let (p, c) = cfg_of(src);
+        let r = c.node_of(p.units[0].body[0].id).unwrap();
+        assert_eq!(c.nodes[r.index()].succs, vec![c.exit]);
+    }
+
+    #[test]
+    fn logical_if_has_both_edges() {
+        let src = "      IF (A .GT. B) GOTO 10\n      X = 1\n   10 Y = 2\n      END\n";
+        let (p, c) = cfg_of(src);
+        let li = c.node_of(p.units[0].body[0].id).unwrap();
+        assert_eq!(c.nodes[li.index()].succs.len(), 2);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let (_, c) = cfg_of("      A = 1\n      END\n");
+        let rpo = c.reverse_postorder();
+        assert_eq!(rpo[0], c.entry);
+    }
+
+    #[test]
+    fn backward_rpo_starts_at_exit() {
+        let (_, c) = cfg_of("      A = 1\n      END\n");
+        let rpo = c.reverse_postorder_backward();
+        assert_eq!(rpo[0], c.exit);
+    }
+
+    #[test]
+    fn neoss_style_goto_loop_wires() {
+        // The paper's §5.3 neoss fragment shape.
+        let src = "      DO 50 K = 1, N\n      B1 = 1\n      IF (DENV(K) - RES(NR+1)) 100, 10, 10\n   10 CONTINUE\n      B2 = 2\n      GOTO 101\n  100 B3 = 3\n  101 B4 = 4\n   50 CONTINUE\n      END\n";
+        let (p, c) = cfg_of(src);
+        // All statements reachable.
+        let rpo = c.reverse_postorder();
+        let mut count = 0;
+        ped_fortran::ast::walk_stmts(&p.units[0].body, &mut |s| {
+            if c.node_of(s.id).is_some_and(|n| rpo.contains(&n)) {
+                count += 1;
+            }
+        });
+        assert_eq!(count, 9);
+    }
+}

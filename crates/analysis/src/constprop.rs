@@ -1,0 +1,455 @@
+//! Scalar constant propagation.
+//!
+//! "Constant propagation can locate constant-valued loop bounds, step
+//! sizes and subscript expressions" (§4.1). We run a forward data-flow
+//! over the CFG with the standard three-level lattice (⊤ / constant / ⊥)
+//! per scalar variable, seeded with `PARAMETER` constants and `DATA`
+//! initializers. Interprocedural constants (inherited from callers) are
+//! injected through [`ConstSeed`].
+
+use crate::cfg::Cfg;
+use ped_fortran::ast::{BinOp, Expr, LValue, ProcUnit, StmtId, StmtKind, UnOp};
+use ped_fortran::symbols::{Storage, SymbolTable};
+use std::collections::HashMap;
+
+/// A compile-time constant value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CVal {
+    Int(i64),
+    Real(f64),
+    Logical(bool),
+}
+
+impl CVal {
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            CVal::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(self) -> Option<f64> {
+        match self {
+            CVal::Int(v) => Some(v as f64),
+            CVal::Real(v) => Some(v),
+            CVal::Logical(_) => None,
+        }
+    }
+}
+
+/// Lattice element for one variable.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+enum Lat {
+    /// Not yet seen (optimistic top).
+    #[default]
+    Top,
+    Const(CVal),
+    Bottom,
+}
+
+impl Lat {
+    fn meet(self, other: Lat) -> Lat {
+        match (self, other) {
+            (Lat::Top, x) | (x, Lat::Top) => x,
+            (Lat::Const(a), Lat::Const(b)) if a == b => Lat::Const(a),
+            _ => Lat::Bottom,
+        }
+    }
+}
+
+/// Extra constants known on entry (e.g. from interprocedural
+/// propagation: formal parameters whose every call site passes the same
+/// constant).
+pub type ConstSeed = HashMap<String, CVal>;
+
+/// Result of constant propagation: per-statement constant environments.
+pub struct Constants {
+    /// Environment *before* each statement.
+    at: HashMap<StmtId, HashMap<String, CVal>>,
+    /// PARAMETER constants (always valid).
+    params: HashMap<String, CVal>,
+}
+
+impl Constants {
+    /// Run constant propagation on a unit.
+    pub fn build(
+        unit: &ProcUnit,
+        symbols: &SymbolTable,
+        cfg: &Cfg,
+        seed: Option<&ConstSeed>,
+    ) -> Constants {
+        // PARAMETER constants: fold in dependency order (params may
+        // reference earlier params).
+        let mut params: HashMap<String, CVal> = HashMap::new();
+        for _ in 0..4 {
+            for s in symbols.iter() {
+                if s.storage == Storage::Constant {
+                    if let Some(v) = s.value.as_ref().and_then(|e| eval(e, &params)) {
+                        params.insert(s.name.clone(), v);
+                    }
+                }
+            }
+        }
+        // Entry environment: params + DATA + seed.
+        let mut entry_env: HashMap<String, Lat> = HashMap::new();
+        for s in symbols.iter() {
+            if s.dims.is_empty() {
+                if let Some(v) = &s.value {
+                    if let Some(c) = eval(v, &params) {
+                        entry_env.insert(s.name.clone(), Lat::Const(c));
+                    }
+                }
+            }
+        }
+        for (n, v) in &params {
+            entry_env.insert(n.clone(), Lat::Const(*v));
+        }
+        if let Some(seed) = seed {
+            for (n, v) in seed {
+                entry_env.insert(n.clone(), Lat::Const(*v));
+            }
+        }
+
+        // Forward iteration. Env per node (before the statement).
+        let n = cfg.len();
+        let mut env_in: Vec<HashMap<String, Lat>> = vec![HashMap::new(); n];
+        env_in[cfg.entry.index()] = entry_env;
+        let order = cfg.reverse_postorder();
+        let mut changed = true;
+        let mut rounds = 0;
+        while changed && rounds < 50 {
+            changed = false;
+            rounds += 1;
+            for &node in &order {
+                let ni = node.index();
+                // out = transfer(in)
+                let mut out = env_in[ni].clone();
+                if let Some(stmt) = cfg.stmt_of(node) {
+                    if let Some(s) = ped_fortran::ast::find_stmt(&unit.body, stmt) {
+                        transfer(&s.kind, symbols, &params, &mut out);
+                    }
+                }
+                for &succ in &cfg.nodes[ni].succs {
+                    let si = succ.index();
+                    let merged = meet_into(&env_in[si], &out, si == cfg.entry.index());
+                    if merged != env_in[si] {
+                        env_in[si] = merged;
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Project to constants per statement.
+        let mut at = HashMap::new();
+        for (i, node) in cfg.nodes.iter().enumerate() {
+            let _ = node;
+            if let Some(stmt) = cfg.stmt_of(crate::cfg::NodeId(i as u32)) {
+                let consts: HashMap<String, CVal> = env_in[i]
+                    .iter()
+                    .filter_map(|(k, v)| match v {
+                        Lat::Const(c) => Some((k.clone(), *c)),
+                        _ => None,
+                    })
+                    .collect();
+                at.insert(stmt, consts);
+            }
+        }
+        Constants { at, params }
+    }
+
+    /// Constant value of `name` immediately before `stmt`, if known.
+    pub fn value_at(&self, stmt: StmtId, name: &str) -> Option<CVal> {
+        if let Some(env) = self.at.get(&stmt) {
+            if let Some(v) = env.get(name) {
+                return Some(*v);
+            }
+        }
+        self.params.get(name).copied()
+    }
+
+    /// Integer constant of `name` before `stmt`.
+    pub fn int_at(&self, stmt: StmtId, name: &str) -> Option<i64> {
+        self.value_at(stmt, name).and_then(CVal::as_int)
+    }
+
+    /// Fold an expression using the environment before `stmt`.
+    pub fn fold_at(&self, stmt: StmtId, e: &Expr) -> Option<CVal> {
+        let empty = HashMap::new();
+        let env = self.at.get(&stmt).unwrap_or(&empty);
+        // Merge params under env.
+        eval_with(e, &|n| env.get(n).copied().or_else(|| self.params.get(n).copied()))
+    }
+
+    /// The PARAMETER constants.
+    pub fn parameters(&self) -> &HashMap<String, CVal> {
+        &self.params
+    }
+}
+
+fn meet_into(
+    cur: &HashMap<String, Lat>,
+    incoming: &HashMap<String, Lat>,
+    _is_entry: bool,
+) -> HashMap<String, Lat> {
+    // The meet over paths: a variable missing from one side is Top there.
+    let mut out = cur.clone();
+    for (k, v) in incoming {
+        let m = out.get(k).copied().unwrap_or(Lat::Top).meet(*v);
+        out.insert(k.clone(), m);
+    }
+    out
+}
+
+fn transfer(
+    kind: &StmtKind,
+    symbols: &SymbolTable,
+    params: &HashMap<String, CVal>,
+    env: &mut HashMap<String, Lat>,
+) {
+    let kill_scalar = |env: &mut HashMap<String, Lat>, n: &str| {
+        env.insert(n.to_string(), Lat::Bottom);
+    };
+    match kind {
+        StmtKind::Assign { lhs: LValue::Var(n), rhs } => {
+            let folded = eval_with(rhs, &|name| match env.get(name) {
+                Some(Lat::Const(c)) => Some(*c),
+                Some(_) => None,
+                None => params.get(name).copied(),
+            });
+            match folded {
+                Some(c) => {
+                    env.insert(n.clone(), Lat::Const(c));
+                }
+                None => kill_scalar(env, n),
+            }
+        }
+        StmtKind::Assign { .. } => {} // array element: no scalar effect
+        StmtKind::Do { var, .. } => kill_scalar(env, var),
+        StmtKind::Read { items } => {
+            for lv in items {
+                if let LValue::Var(n) = lv {
+                    kill_scalar(env, n);
+                }
+            }
+        }
+        StmtKind::Call { args, .. } => {
+            // Conservative: call kills actual scalar args and commons.
+            for a in args {
+                if let Expr::Var(n) = a {
+                    kill_scalar(env, n);
+                }
+            }
+            for s in symbols.iter() {
+                if s.dims.is_empty() && s.storage == Storage::Common {
+                    kill_scalar(env, &s.name);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Evaluate an expression over a constant map (PARAMETER folding).
+pub fn eval(e: &Expr, env: &HashMap<String, CVal>) -> Option<CVal> {
+    eval_with(e, &|n| env.get(n).copied())
+}
+
+/// Evaluate with a lookup function.
+pub fn eval_with(e: &Expr, lookup: &dyn Fn(&str) -> Option<CVal>) -> Option<CVal> {
+    match e {
+        Expr::Int(v) => Some(CVal::Int(*v)),
+        Expr::Real(v) => Some(CVal::Real(*v)),
+        Expr::Logical(v) => Some(CVal::Logical(*v)),
+        Expr::Str(_) => None,
+        Expr::Var(n) => lookup(n),
+        Expr::Index { .. } | Expr::Call { .. } => None,
+        Expr::Un { op, e } => {
+            let v = eval_with(e, lookup)?;
+            match (op, v) {
+                (UnOp::Neg, CVal::Int(i)) => Some(CVal::Int(-i)),
+                (UnOp::Neg, CVal::Real(r)) => Some(CVal::Real(-r)),
+                (UnOp::Plus, v) => Some(v),
+                (UnOp::Not, CVal::Logical(b)) => Some(CVal::Logical(!b)),
+                _ => None,
+            }
+        }
+        Expr::Bin { op, l, r } => {
+            let a = eval_with(l, lookup)?;
+            let b = eval_with(r, lookup)?;
+            match (a, b) {
+                (CVal::Int(x), CVal::Int(y)) => int_op(*op, x, y),
+                (CVal::Logical(x), CVal::Logical(y)) => match op {
+                    BinOp::And => Some(CVal::Logical(x && y)),
+                    BinOp::Or => Some(CVal::Logical(x || y)),
+                    BinOp::Eq => Some(CVal::Logical(x == y)),
+                    BinOp::Ne => Some(CVal::Logical(x != y)),
+                    _ => None,
+                },
+                _ => {
+                    let (x, y) = (a.as_f64()?, b.as_f64()?);
+                    real_op(*op, x, y)
+                }
+            }
+        }
+    }
+}
+
+fn int_op(op: BinOp, x: i64, y: i64) -> Option<CVal> {
+    Some(match op {
+        BinOp::Add => CVal::Int(x.checked_add(y)?),
+        BinOp::Sub => CVal::Int(x.checked_sub(y)?),
+        BinOp::Mul => CVal::Int(x.checked_mul(y)?),
+        BinOp::Div => {
+            if y == 0 {
+                return None;
+            }
+            CVal::Int(x / y)
+        }
+        BinOp::Pow => {
+            if !(0..=62).contains(&y) {
+                return None;
+            }
+            CVal::Int(x.checked_pow(y as u32)?)
+        }
+        BinOp::Lt => CVal::Logical(x < y),
+        BinOp::Le => CVal::Logical(x <= y),
+        BinOp::Gt => CVal::Logical(x > y),
+        BinOp::Ge => CVal::Logical(x >= y),
+        BinOp::Eq => CVal::Logical(x == y),
+        BinOp::Ne => CVal::Logical(x != y),
+        BinOp::And | BinOp::Or => return None,
+    })
+}
+
+fn real_op(op: BinOp, x: f64, y: f64) -> Option<CVal> {
+    Some(match op {
+        BinOp::Add => CVal::Real(x + y),
+        BinOp::Sub => CVal::Real(x - y),
+        BinOp::Mul => CVal::Real(x * y),
+        BinOp::Div => CVal::Real(x / y),
+        BinOp::Pow => CVal::Real(x.powf(y)),
+        BinOp::Lt => CVal::Logical(x < y),
+        BinOp::Le => CVal::Logical(x <= y),
+        BinOp::Gt => CVal::Logical(x > y),
+        BinOp::Ge => CVal::Logical(x >= y),
+        BinOp::Eq => CVal::Logical(x == y),
+        BinOp::Ne => CVal::Logical(x != y),
+        BinOp::And | BinOp::Or => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parser::parse_ok;
+
+    fn build(src: &str) -> (ped_fortran::Program, Constants) {
+        let p = parse_ok(src);
+        let sym = SymbolTable::build(&p.units[0]);
+        let cfg = Cfg::build(&p.units[0]);
+        let c = Constants::build(&p.units[0], &sym, &cfg, None);
+        (p, c)
+    }
+
+    #[test]
+    fn parameters_fold_transitively() {
+        let (p, c) = build("      PARAMETER (N = 100, M = 2*N)\n      X = M\n      END\n");
+        let s = p.units[0].body[0].id;
+        assert_eq!(c.int_at(s, "N"), Some(100));
+        assert_eq!(c.int_at(s, "M"), Some(200));
+    }
+
+    #[test]
+    fn straight_line_propagation() {
+        let (p, c) = build("      N = 10\n      M = N + 5\n      X = M\n      END\n");
+        let s3 = p.units[0].body[2].id;
+        assert_eq!(c.int_at(s3, "M"), Some(15));
+        assert_eq!(c.int_at(s3, "N"), Some(10));
+    }
+
+    #[test]
+    fn branch_with_same_value_stays_constant() {
+        let src = "      IF (X .GT. 0) THEN\n      N = 5\n      ELSE\n      N = 5\n      END IF\n      Y = N\n      END\n";
+        let (p, c) = build(src);
+        let s = p.units[0].body[1].id;
+        assert_eq!(c.int_at(s, "N"), Some(5));
+    }
+
+    #[test]
+    fn branch_with_different_values_is_bottom() {
+        let src = "      IF (X .GT. 0) THEN\n      N = 5\n      ELSE\n      N = 6\n      END IF\n      Y = N\n      END\n";
+        let (p, c) = build(src);
+        let s = p.units[0].body[1].id;
+        assert_eq!(c.int_at(s, "N"), None);
+    }
+
+    #[test]
+    fn read_kills_constant() {
+        let (p, c) = build("      N = 10\n      READ (*,*) N\n      X = N\n      END\n");
+        let s = p.units[0].body[2].id;
+        assert_eq!(c.int_at(s, "N"), None);
+    }
+
+    #[test]
+    fn call_kills_common_scalars() {
+        let src = "      COMMON /B/ N\n      N = 10\n      CALL MESS\n      X = N\n      END\n";
+        let (p, c) = build(src);
+        let s = p.units[0].body[2].id;
+        assert_eq!(c.int_at(s, "N"), None);
+    }
+
+    #[test]
+    fn loop_variable_not_constant() {
+        let src = "      DO 10 I = 1, 10\n      A(I) = I\n   10 CONTINUE\n      END\n";
+        let (p, c) = build(src);
+        if let StmtKind::Do { body, .. } = &p.units[0].body[0].kind {
+            assert_eq!(c.int_at(body[0].id, "I"), None);
+        }
+    }
+
+    #[test]
+    fn constant_redefined_in_loop_body_is_bottom_at_header() {
+        let src = "      K = 1\n      DO 10 I = 1, 10\n      A(K) = 0\n      K = K + 1\n   10 CONTINUE\n      END\n";
+        let (p, c) = build(src);
+        if let StmtKind::Do { body, .. } = &p.units[0].body[1].kind {
+            assert_eq!(c.int_at(body[0].id, "K"), None);
+        }
+    }
+
+    #[test]
+    fn fold_at_combines_env_and_params() {
+        let (p, c) = build("      PARAMETER (N = 4)\n      M = 3\n      X = M\n      END\n");
+        let s = p.units[0].body[1].id;
+        let e = Expr::add(Expr::var("N"), Expr::var("M"));
+        assert_eq!(c.fold_at(s, &e), Some(CVal::Int(7)));
+    }
+
+    #[test]
+    fn seed_injects_interprocedural_constants() {
+        let src = "      SUBROUTINE S(N)\n      X = N\n      RETURN\n      END\n";
+        let p = parse_ok(src);
+        let sym = SymbolTable::build(&p.units[0]);
+        let cfg = Cfg::build(&p.units[0]);
+        let mut seed = ConstSeed::new();
+        seed.insert("N".into(), CVal::Int(64));
+        let c = Constants::build(&p.units[0], &sym, &cfg, Some(&seed));
+        let s = p.units[0].body[0].id;
+        assert_eq!(c.int_at(s, "N"), Some(64));
+    }
+
+    #[test]
+    fn real_arithmetic_folds() {
+        let (p, c) = build("      X = 1.5\n      Y = X * 2.0\n      Z = Y\n      END\n");
+        let s = p.units[0].body[2].id;
+        assert_eq!(c.value_at(s, "Y"), Some(CVal::Real(3.0)));
+    }
+
+    #[test]
+    fn mixed_int_real_promotes() {
+        let mut env = HashMap::new();
+        env.insert("N".to_string(), CVal::Int(3));
+        let e = Expr::mul(Expr::var("N"), Expr::Real(0.5));
+        assert_eq!(eval(&e, &env), Some(CVal::Real(1.5)));
+    }
+}

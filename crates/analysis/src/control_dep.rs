@@ -1,0 +1,177 @@
+//! Control dependence computation.
+//!
+//! "Control dependences explicitly represent how control decisions affect
+//! statement execution" (§4.1, citing Ferrante, Ottenstein & Warren). A
+//! node `y` is control dependent on a branch `x` iff `x` has a successor
+//! from which `y` is always reached (y postdominates it) but `y` does not
+//! postdominate `x` itself. We use the standard formulation: for each
+//! edge `x → s` where `s` is not the immediate postdominator of `x`, walk
+//! the postdominator tree from `s` up to (exclusive) `ipdom(x)`, marking
+//! every visited node as control dependent on `x`.
+
+use crate::cfg::{Cfg, NodeId};
+use crate::dom::DomTree;
+use ped_fortran::ast::StmtId;
+use std::collections::HashMap;
+
+/// The control dependences of one program unit.
+#[derive(Clone, Debug, Default)]
+pub struct ControlDeps {
+    /// For each dependent node: the branch nodes it is control dependent on.
+    deps: HashMap<NodeId, Vec<NodeId>>,
+}
+
+impl ControlDeps {
+    /// Compute control dependences for a CFG.
+    pub fn build(cfg: &Cfg) -> ControlDeps {
+        let pdom = DomTree::postdominators(cfg);
+        let mut deps: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for (xi, node) in cfg.nodes.iter().enumerate() {
+            let x = NodeId(xi as u32);
+            if node.succs.len() < 2 || !pdom.reachable(x) {
+                continue;
+            }
+            let stop = pdom.idom(x);
+            for &s in &node.succs {
+                if !pdom.reachable(s) {
+                    continue;
+                }
+                // Walk from s up the pdom tree to ipdom(x), exclusive.
+                let mut cur = Some(s);
+                while let Some(c) = cur {
+                    if Some(c) == stop {
+                        break;
+                    }
+                    let entry = deps.entry(c).or_default();
+                    if !entry.contains(&x) {
+                        entry.push(x);
+                    }
+                    cur = pdom.idom(c);
+                }
+            }
+        }
+        ControlDeps { deps }
+    }
+
+    /// Branch nodes controlling `n`.
+    pub fn controllers(&self, n: NodeId) -> &[NodeId] {
+        self.deps.get(&n).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// All (controller, dependent) statement pairs, for the dependence
+    /// pane's control-dependence rows.
+    pub fn stmt_pairs(&self, cfg: &Cfg) -> Vec<(StmtId, StmtId)> {
+        let mut out = Vec::new();
+        for (&dep, ctrls) in &self.deps {
+            let Some(dep_stmt) = cfg.stmt_of(dep) else { continue };
+            for &c in ctrls {
+                if let Some(c_stmt) = cfg.stmt_of(c) {
+                    out.push((c_stmt, dep_stmt));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// True if the statement at node `n` is control dependent on any
+    /// branch *other than* the given set of loop-header nodes. Used to
+    /// decide whether a statement executes unconditionally within a loop
+    /// body (needed by privatization and reduction recognition).
+    pub fn conditional_within(&self, n: NodeId, loop_headers: &[NodeId]) -> bool {
+        self.controllers(n).iter().any(|c| !loop_headers.contains(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parser::parse_ok;
+
+    fn build(src: &str) -> (ped_fortran::Program, Cfg, ControlDeps) {
+        let p = parse_ok(src);
+        let c = Cfg::build(&p.units[0]);
+        let cd = ControlDeps::build(&c);
+        (p, c, cd)
+    }
+
+    #[test]
+    fn if_arm_depends_on_branch() {
+        let src = "      IF (X .GT. 0) THEN\n      A = 1\n      END IF\n      B = 2\n      END\n";
+        let (p, c, cd) = build(src);
+        let branch = c.node_of(p.units[0].body[0].id).unwrap();
+        if let ped_fortran::StmtKind::If { arms, .. } = &p.units[0].body[0].kind {
+            let arm = c.node_of(arms[0].1[0].id).unwrap();
+            assert_eq!(cd.controllers(arm), &[branch]);
+        } else {
+            panic!("expected IF")
+        }
+        // The join is not control dependent on the branch.
+        let join = c.node_of(p.units[0].body[1].id).unwrap();
+        assert!(cd.controllers(join).is_empty());
+    }
+
+    #[test]
+    fn both_arms_depend_on_branch() {
+        let src = "      IF (X .GT. 0) THEN\n      A = 1\n      ELSE\n      A = 2\n      END IF\n      END\n";
+        let (p, c, cd) = build(src);
+        let branch = c.node_of(p.units[0].body[0].id).unwrap();
+        if let ped_fortran::StmtKind::If { arms, else_body } = &p.units[0].body[0].kind {
+            let a1 = c.node_of(arms[0].1[0].id).unwrap();
+            let a2 = c.node_of(else_body.as_ref().unwrap()[0].id).unwrap();
+            assert_eq!(cd.controllers(a1), &[branch]);
+            assert_eq!(cd.controllers(a2), &[branch]);
+        }
+    }
+
+    #[test]
+    fn loop_body_depends_on_header() {
+        let src = "      DO 10 I = 1, N\n      A(I) = 0\n   10 CONTINUE\n      END\n";
+        let (p, c, cd) = build(src);
+        let header = c.node_of(p.units[0].body[0].id).unwrap();
+        if let ped_fortran::StmtKind::Do { body, .. } = &p.units[0].body[0].kind {
+            let b = c.node_of(body[0].id).unwrap();
+            assert!(cd.controllers(b).contains(&header));
+        }
+    }
+
+    #[test]
+    fn conditional_within_distinguishes_if_from_loop() {
+        let src = "      DO 10 I = 1, N\n      A(I) = 0\n      IF (A(I) .GT. 0) THEN\n      B(I) = 1\n      END IF\n   10 CONTINUE\n      END\n";
+        let (p, c, cd) = build(src);
+        let header = c.node_of(p.units[0].body[0].id).unwrap();
+        if let ped_fortran::StmtKind::Do { body, .. } = &p.units[0].body[0].kind {
+            let plain = c.node_of(body[0].id).unwrap();
+            assert!(!cd.conditional_within(plain, &[header]));
+            if let ped_fortran::StmtKind::If { arms, .. } = &body[1].kind {
+                let guarded = c.node_of(arms[0].1[0].id).unwrap();
+                assert!(cd.conditional_within(guarded, &[header]));
+            } else {
+                panic!("expected IF");
+            }
+        }
+    }
+
+    #[test]
+    fn goto_based_branch_creates_control_dep() {
+        // neoss-style arithmetic IF.
+        let src = "      IF (X) 100, 10, 10\n   10 A = 1\n      GOTO 101\n  100 B = 2\n  101 C = 3\n      END\n";
+        let (p, c, cd) = build(src);
+        let branch = c.node_of(p.units[0].body[0].id).unwrap();
+        let a = c.node_of(p.units[0].body[1].id).unwrap();
+        let b = c.node_of(p.units[0].body[3].id).unwrap();
+        let join = c.node_of(p.units[0].body[4].id).unwrap();
+        assert!(cd.controllers(a).contains(&branch));
+        assert!(cd.controllers(b).contains(&branch));
+        assert!(cd.controllers(join).is_empty());
+    }
+
+    #[test]
+    fn stmt_pairs_sorted_and_complete() {
+        let src = "      IF (X .GT. 0) THEN\n      A = 1\n      B = 2\n      END IF\n      END\n";
+        let (_, c, cd) = build(src);
+        let pairs = cd.stmt_pairs(&c);
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,228 @@
+//! Dominator and postdominator trees.
+//!
+//! Implements the iterative algorithm of Cooper, Harvey & Kennedy — "A
+//! Simple, Fast Dominance Algorithm" (Tim Harvey and Ken Kennedy are both
+//! authors of the PED paper). Postdominators are dominators of the
+//! reversed CFG rooted at the exit node.
+
+use crate::cfg::{Cfg, NodeId};
+
+/// A dominator (or postdominator) tree over CFG nodes.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Immediate dominator of each node (`None` for the root and for
+    /// unreachable nodes).
+    idom: Vec<Option<NodeId>>,
+    root: NodeId,
+    /// Order in which nodes were processed (reverse postorder); position
+    /// in this order, used by `intersect`.
+    order_pos: Vec<usize>,
+}
+
+impl DomTree {
+    /// Dominator tree rooted at the CFG entry.
+    pub fn dominators(cfg: &Cfg) -> DomTree {
+        let order = cfg.reverse_postorder();
+        Self::compute(cfg, order, cfg.entry, false)
+    }
+
+    /// Postdominator tree rooted at the CFG exit.
+    pub fn postdominators(cfg: &Cfg) -> DomTree {
+        let order = cfg.reverse_postorder_backward();
+        Self::compute(cfg, order, cfg.exit, true)
+    }
+
+    fn compute(cfg: &Cfg, order: Vec<NodeId>, root: NodeId, backward: bool) -> DomTree {
+        let n = cfg.len();
+        let mut order_pos = vec![usize::MAX; n];
+        for (i, &node) in order.iter().enumerate() {
+            order_pos[node.index()] = i;
+        }
+        let mut idom: Vec<Option<NodeId>> = vec![None; n];
+        idom[root.index()] = Some(root);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in order.iter().skip(1) {
+                let preds = if backward {
+                    &cfg.nodes[b.index()].succs
+                } else {
+                    &cfg.nodes[b.index()].preds
+                };
+                // First processed predecessor with an idom.
+                let mut new_idom: Option<NodeId> = None;
+                for &p in preds {
+                    if idom[p.index()].is_some() {
+                        new_idom = Some(match new_idom {
+                            None => p,
+                            Some(cur) => intersect(&idom, &order_pos, p, cur),
+                        });
+                    }
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // Root's self-idom is cleared for the public API.
+        let mut tree = DomTree { idom, root, order_pos };
+        tree.idom[root.index()] = None;
+        tree
+    }
+
+    /// Immediate dominator of `n` (`None` for root/unreachable).
+    pub fn idom(&self, n: NodeId) -> Option<NodeId> {
+        self.idom[n.index()]
+    }
+
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// True if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: NodeId, b: NodeId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+
+    /// True if `n` is reachable (has a dominator chain to the root).
+    pub fn reachable(&self, n: NodeId) -> bool {
+        n == self.root || self.idom[n.index()].is_some()
+    }
+
+    /// Position in the computation order (for external intersections).
+    pub fn pos(&self, n: NodeId) -> usize {
+        self.order_pos[n.index()]
+    }
+}
+
+fn intersect(
+    idom: &[Option<NodeId>],
+    order_pos: &[usize],
+    mut a: NodeId,
+    mut b: NodeId,
+) -> NodeId {
+    while a != b {
+        while order_pos[a.index()] > order_pos[b.index()] {
+            a = idom[a.index()].expect("processed node must have idom");
+        }
+        while order_pos[b.index()] > order_pos[a.index()] {
+            b = idom[b.index()].expect("processed node must have idom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parser::parse_ok;
+
+    fn build(src: &str) -> (ped_fortran::Program, Cfg) {
+        let p = parse_ok(src);
+        let c = Cfg::build(&p.units[0]);
+        (p, c)
+    }
+
+    #[test]
+    fn straight_line_dominance_is_linear() {
+        let (p, c) = build("      A = 1\n      B = 2\n      C = 3\n      END\n");
+        let d = DomTree::dominators(&c);
+        let n: Vec<_> = p.units[0].body.iter().map(|s| c.node_of(s.id).unwrap()).collect();
+        assert!(d.dominates(n[0], n[1]));
+        assert!(d.dominates(n[0], n[2]));
+        assert!(d.dominates(n[1], n[2]));
+        assert!(!d.dominates(n[2], n[1]));
+        assert_eq!(d.idom(n[1]), Some(n[0]));
+    }
+
+    #[test]
+    fn if_join_dominated_by_branch() {
+        let src = "      IF (X .GT. 0) THEN\n      A = 1\n      ELSE\n      A = 2\n      END IF\n      B = 3\n      END\n";
+        let (p, c) = build(src);
+        let d = DomTree::dominators(&c);
+        let branch = c.node_of(p.units[0].body[0].id).unwrap();
+        let join = c.node_of(p.units[0].body[1].id).unwrap();
+        assert_eq!(d.idom(join), Some(branch));
+    }
+
+    #[test]
+    fn arms_do_not_dominate_join() {
+        let src = "      IF (X .GT. 0) THEN\n      A = 1\n      ELSE\n      A = 2\n      END IF\n      B = 3\n      END\n";
+        let (p, c) = build(src);
+        let d = DomTree::dominators(&c);
+        let join = c.node_of(p.units[0].body[1].id).unwrap();
+        if let ped_fortran::StmtKind::If { arms, .. } = &p.units[0].body[0].kind {
+            let arm0 = c.node_of(arms[0].1[0].id).unwrap();
+            assert!(!d.dominates(arm0, join));
+        } else {
+            panic!("expected IF");
+        }
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let src = "      DO 10 I = 1, N\n      A(I) = 0\n      B(I) = 1\n   10 CONTINUE\n      END\n";
+        let (p, c) = build(src);
+        let d = DomTree::dominators(&c);
+        let header = c.node_of(p.units[0].body[0].id).unwrap();
+        if let ped_fortran::StmtKind::Do { body, .. } = &p.units[0].body[0].kind {
+            for s in body {
+                let n = c.node_of(s.id).unwrap();
+                assert!(d.dominates(header, n));
+            }
+        }
+    }
+
+    #[test]
+    fn postdominators_mirror() {
+        let src = "      IF (X .GT. 0) THEN\n      A = 1\n      ELSE\n      A = 2\n      END IF\n      B = 3\n      END\n";
+        let (p, c) = build(src);
+        let pd = DomTree::postdominators(&c);
+        let branch = c.node_of(p.units[0].body[0].id).unwrap();
+        let join = c.node_of(p.units[0].body[1].id).unwrap();
+        // The join postdominates the branch and both arms.
+        assert!(pd.dominates(join, branch));
+        if let ped_fortran::StmtKind::If { arms, .. } = &p.units[0].body[0].kind {
+            let arm0 = c.node_of(arms[0].1[0].id).unwrap();
+            assert!(pd.dominates(join, arm0));
+            // But the arm does not postdominate the branch.
+            assert!(!pd.dominates(arm0, branch));
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_flagged() {
+        let src = "      GOTO 100\n      A = 1\n  100 B = 2\n      END\n";
+        let (p, c) = build(src);
+        let d = DomTree::dominators(&c);
+        let dead = c.node_of(p.units[0].body[1].id).unwrap();
+        assert!(!d.reachable(dead));
+        let live = c.node_of(p.units[0].body[2].id).unwrap();
+        assert!(d.reachable(live));
+    }
+
+    #[test]
+    fn entry_dominates_everything_reachable() {
+        let src = "      DO 10 I = 1, N\n      IF (A(I) .GT. 0) THEN\n      B(I) = 1\n      END IF\n   10 CONTINUE\n      END\n";
+        let (_, c) = build(src);
+        let d = DomTree::dominators(&c);
+        for i in 0..c.len() {
+            let n = NodeId(i as u32);
+            if d.reachable(n) {
+                assert!(d.dominates(c.entry, n));
+            }
+        }
+    }
+}

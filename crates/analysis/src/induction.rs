@@ -1,0 +1,142 @@
+//! Auxiliary induction variable recognition.
+//!
+//! "Symbolic analysis locates auxiliary induction variables" (§4.1). An
+//! auxiliary induction variable is a scalar `K` updated exactly once per
+//! iteration by `K = K + c` (constant `c`), making its value an affine
+//! function of the loop trip: `K = K₀ + c·(i - lo)/step` (plus a
+//! position-dependent offset of `c` for references textually after the
+//! update). Dependence testing uses this to rewrite subscripts in `K`
+//! into subscripts in the loop variable; because of the position offset
+//! the rewrite is tagged *inexact* unless all references are on one side
+//! of the update.
+
+use crate::loops::LoopInfo;
+use crate::refs::RefTable;
+use ped_fortran::ast::{BinOp, Expr, LValue, ProcUnit, StmtId, StmtKind};
+use std::collections::HashSet;
+
+/// One recognized auxiliary induction variable in a loop.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InductionVar {
+    pub name: String,
+    /// Per-iteration increment.
+    pub step: i64,
+    /// The updating statement.
+    pub update: StmtId,
+}
+
+/// Find auxiliary induction variables of a loop: scalars with exactly one
+/// def in the body, of the form `K = K ± c` with constant `c`, not updated
+/// inside a nested conditional (the update must run exactly once per
+/// iteration — we conservatively require the statement to be a direct
+/// child of this loop's body and not inside a nested loop or IF).
+pub fn find_induction_vars(unit: &ProcUnit, refs: &RefTable, l: &LoopInfo) -> Vec<InductionVar> {
+    let body: HashSet<StmtId> = l.body.iter().copied().collect();
+    // Statements that are direct children of the loop body.
+    let mut direct: HashSet<StmtId> = HashSet::new();
+    ped_fortran::ast::walk_stmts(&unit.body, &mut |s| {
+        if s.id == l.stmt {
+            if let StmtKind::Do { body: b, .. } = &s.kind {
+                for c in b {
+                    direct.insert(c.id);
+                }
+            }
+        }
+    });
+    let mut out = Vec::new();
+    ped_fortran::ast::walk_stmts(&unit.body, &mut |s| {
+        if !direct.contains(&s.id) {
+            return;
+        }
+        let StmtKind::Assign { lhs: LValue::Var(name), rhs } = &s.kind else {
+            return;
+        };
+        let Some(step) = match_increment(name, rhs) else {
+            return;
+        };
+        // Exactly one def of the name inside the whole loop body.
+        let defs_in_loop = refs
+            .refs
+            .iter()
+            .filter(|r| r.is_def && r.name == *name && body.contains(&r.stmt))
+            .count();
+        if defs_in_loop == 1 {
+            out.push(InductionVar { name: name.clone(), step, update: s.id });
+        }
+    });
+    out
+}
+
+/// Match `K + c`, `c + K`, `K - c`.
+fn match_increment(name: &str, rhs: &Expr) -> Option<i64> {
+    match rhs {
+        Expr::Bin { op: BinOp::Add, l, r } => match (&**l, &**r) {
+            (Expr::Var(n), e) if n == name => e.as_int(),
+            (e, Expr::Var(n)) if n == name => e.as_int(),
+            _ => None,
+        },
+        Expr::Bin { op: BinOp::Sub, l, r } => match (&**l, &**r) {
+            (Expr::Var(n), e) if n == name => e.as_int().map(|v| -v),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loops::LoopNest;
+    use ped_fortran::parser::parse_ok;
+    use ped_fortran::symbols::SymbolTable;
+
+    fn ivs(src: &str) -> Vec<InductionVar> {
+        let p = parse_ok(src);
+        let u = &p.units[0];
+        let sym = SymbolTable::build(u);
+        let refs = RefTable::build(u, &sym);
+        let nest = LoopNest::build(u);
+        find_induction_vars(u, &refs, &nest.loops[0])
+    }
+
+    #[test]
+    fn basic_increment() {
+        let v = ivs("      K = 0\n      DO 10 I = 1, N\n      K = K + 1\n      A(K) = 0\n   10 CONTINUE\n      END\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].name, "K");
+        assert_eq!(v[0].step, 1);
+    }
+
+    #[test]
+    fn decrement_and_commuted() {
+        let v = ivs("      DO 10 I = 1, N\n      K = K - 2\n      M = 3 + M\n   10 CONTINUE\n      END\n");
+        let names: Vec<(&str, i64)> = v.iter().map(|x| (x.name.as_str(), x.step)).collect();
+        assert!(names.contains(&("K", -2)));
+        assert!(names.contains(&("M", 3)));
+    }
+
+    #[test]
+    fn conditional_update_not_induction() {
+        let v = ivs("      DO 10 I = 1, N\n      IF (A(I) .GT. 0) THEN\n      K = K + 1\n      END IF\n   10 CONTINUE\n      END\n");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn multiple_updates_not_induction() {
+        let v = ivs("      DO 10 I = 1, N\n      K = K + 1\n      K = K + 2\n   10 CONTINUE\n      END\n");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn non_constant_step_not_induction() {
+        let v = ivs("      DO 10 I = 1, N\n      K = K + M\n   10 CONTINUE\n      END\n");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn update_in_nested_loop_not_direct() {
+        let v = ivs("      DO 10 I = 1, N\n      DO 20 J = 1, M\n      K = K + 1\n   20 CONTINUE\n   10 CONTINUE\n      END\n");
+        // K increments M times per outer iteration — not affine in I.
+        assert!(v.is_empty());
+    }
+}

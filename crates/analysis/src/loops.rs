@@ -1,0 +1,270 @@
+//! Loop tree extraction.
+//!
+//! PED's entire interaction model is loop-centric: the user "selects a
+//! loop for consideration" and the editor discloses the dependences and
+//! variables of that loop (§3.1). This module builds the static loop tree
+//! of a program unit: every `DO` statement becomes a [`LoopInfo`] with its
+//! nesting level, parent/children links, and the set of statements it
+//! contains.
+
+use ped_fortran::ast::{walk_stmts, Expr, ProcUnit, Stmt, StmtId, StmtKind};
+
+/// Index of a loop within a [`LoopNest`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LoopId(pub u32);
+
+impl std::fmt::Display for LoopId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Everything known statically about one `DO` loop.
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    pub id: LoopId,
+    /// The `DO` statement.
+    pub stmt: StmtId,
+    /// Loop control variable.
+    pub var: String,
+    /// Bounds and step, as written.
+    pub lo: Expr,
+    pub hi: Expr,
+    pub step: Option<Expr>,
+    /// Nesting level, 1 = outermost.
+    pub level: u32,
+    pub parent: Option<LoopId>,
+    pub children: Vec<LoopId>,
+    /// Ids of every statement in the body, including nested loops and
+    /// their bodies, in source order (the loop's own `DO` statement is
+    /// not included).
+    pub body: Vec<StmtId>,
+}
+
+impl LoopInfo {
+    /// True if `id` is a statement inside this loop's body.
+    pub fn contains(&self, id: StmtId) -> bool {
+        self.body.binary_search(&id).is_ok() || self.body.contains(&id)
+    }
+}
+
+/// The loop tree of one program unit.
+#[derive(Clone, Debug, Default)]
+pub struct LoopNest {
+    pub loops: Vec<LoopInfo>,
+    /// Outermost loops in source order.
+    pub roots: Vec<LoopId>,
+}
+
+impl LoopNest {
+    /// Build the loop tree of a unit.
+    pub fn build(unit: &ProcUnit) -> LoopNest {
+        let mut nest = LoopNest::default();
+        collect(&unit.body, None, 1, &mut nest);
+        nest
+    }
+
+    pub fn get(&self, id: LoopId) -> &LoopInfo {
+        &self.loops[id.0 as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// The loop whose `DO` statement is `stmt`.
+    pub fn by_stmt(&self, stmt: StmtId) -> Option<&LoopInfo> {
+        self.loops.iter().find(|l| l.stmt == stmt)
+    }
+
+    /// The innermost loop containing statement `id` (body membership).
+    pub fn innermost_containing(&self, id: StmtId) -> Option<&LoopInfo> {
+        self.loops
+            .iter()
+            .filter(|l| l.body.contains(&id))
+            .max_by_key(|l| l.level)
+    }
+
+    /// The chain of loops enclosing (and including) `loop_id`, outermost
+    /// first. This is the loop nest against which direction vectors are
+    /// indexed.
+    pub fn enclosing_chain(&self, loop_id: LoopId) -> Vec<LoopId> {
+        let mut chain = Vec::new();
+        let mut cur = Some(loop_id);
+        while let Some(c) = cur {
+            chain.push(c);
+            cur = self.get(c).parent;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// All loops in a subtree rooted at `id`, preorder.
+    pub fn subtree(&self, id: LoopId) -> Vec<LoopId> {
+        let mut out = vec![id];
+        let mut i = 0;
+        while i < out.len() {
+            let cur = out[i];
+            out.extend(self.get(cur).children.iter().copied());
+            i += 1;
+        }
+        out
+    }
+
+    /// Perfectly nested inner loop of `id`, if the body consists of
+    /// exactly one `DO` (ignoring trailing `CONTINUE`s of the labelled
+    /// form). Used by interchange and unroll-and-jam.
+    pub fn perfect_inner<'a>(
+        &'a self,
+        unit: &ProcUnit,
+        id: LoopId,
+    ) -> Option<&'a LoopInfo> {
+        let info = self.get(id);
+        let do_stmt = find(&unit.body, info.stmt)?;
+        let StmtKind::Do { body, .. } = &do_stmt.kind else {
+            return None;
+        };
+        let significant: Vec<&Stmt> = body
+            .iter()
+            .filter(|s| !matches!(s.kind, StmtKind::Continue))
+            .collect();
+        match significant.as_slice() {
+            [only] if matches!(only.kind, StmtKind::Do { .. }) => self.by_stmt(only.id),
+            _ => None,
+        }
+    }
+}
+
+fn find(body: &[Stmt], id: StmtId) -> Option<&Stmt> {
+    ped_fortran::ast::find_stmt(body, id)
+}
+
+fn collect(body: &[Stmt], parent: Option<LoopId>, level: u32, nest: &mut LoopNest) {
+    for s in body {
+        if let StmtKind::Do { var, lo, hi, step, body: inner, .. } = &s.kind {
+            let id = LoopId(nest.loops.len() as u32);
+            let mut stmts = Vec::new();
+            walk_stmts(inner, &mut |st| stmts.push(st.id));
+            nest.loops.push(LoopInfo {
+                id,
+                stmt: s.id,
+                var: var.clone(),
+                lo: lo.clone(),
+                hi: hi.clone(),
+                step: step.clone(),
+                level,
+                parent,
+                children: Vec::new(),
+                body: stmts,
+            });
+            match parent {
+                Some(p) => nest.loops[p.0 as usize].children.push(id),
+                None => nest.roots.push(id),
+            }
+            collect(inner, Some(id), level + 1, nest);
+        } else {
+            for b in s.kind.blocks() {
+                collect(b, parent, level, nest);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parser::parse_ok;
+
+    fn nest_of(src: &str) -> (ped_fortran::Program, LoopNest) {
+        let p = parse_ok(src);
+        let n = LoopNest::build(&p.units[0]);
+        (p, n)
+    }
+
+    const TRIPLE: &str = "      DO 10 I = 1, N\n      DO 20 J = 1, M\n      A(I,J) = 0\n   20 CONTINUE\n      DO 30 K = 1, M\n      B(I,K) = 1\n   30 CONTINUE\n   10 CONTINUE\n      END\n";
+
+    #[test]
+    fn builds_tree_shape() {
+        let (_, n) = nest_of(TRIPLE);
+        assert_eq!(n.len(), 3);
+        assert_eq!(n.roots.len(), 1);
+        let outer = n.get(n.roots[0]);
+        assert_eq!(outer.var, "I");
+        assert_eq!(outer.level, 1);
+        assert_eq!(outer.children.len(), 2);
+        let j = n.get(outer.children[0]);
+        assert_eq!(j.var, "J");
+        assert_eq!(j.level, 2);
+        assert_eq!(j.parent, Some(outer.id));
+    }
+
+    #[test]
+    fn body_contains_nested_statements() {
+        let (_, n) = nest_of(TRIPLE);
+        let outer = n.get(n.roots[0]);
+        let j = n.get(outer.children[0]);
+        // Everything in J's body is also in I's body.
+        for s in &j.body {
+            assert!(outer.body.contains(s));
+        }
+        // And the J DO statement itself is in I's body.
+        assert!(outer.body.contains(&j.stmt));
+    }
+
+    #[test]
+    fn innermost_containing_picks_deepest() {
+        let (_, n) = nest_of(TRIPLE);
+        let outer = n.get(n.roots[0]);
+        let j = n.get(outer.children[0]);
+        // First statement of J's body.
+        let target = j.body[0];
+        let inner = n.innermost_containing(target).unwrap();
+        assert_eq!(inner.id, j.id);
+    }
+
+    #[test]
+    fn enclosing_chain_outermost_first() {
+        let (_, n) = nest_of(TRIPLE);
+        let outer = n.get(n.roots[0]);
+        let j = n.get(outer.children[0]);
+        let chain = n.enclosing_chain(j.id);
+        assert_eq!(chain, vec![outer.id, j.id]);
+    }
+
+    #[test]
+    fn loops_inside_if_blocks_found() {
+        let src = "      IF (X .GT. 0) THEN\n      DO 10 I = 1, N\n      A(I) = 0\n   10 CONTINUE\n      END IF\n      END\n";
+        let (_, n) = nest_of(src);
+        assert_eq!(n.len(), 1);
+        assert_eq!(n.get(LoopId(0)).level, 1);
+    }
+
+    #[test]
+    fn perfect_inner_detected() {
+        let src = "      DO 10 I = 1, N\n      DO 10 J = 1, M\n      A(I,J) = 0\n   10 CONTINUE\n      END\n";
+        let (p, n) = nest_of(src);
+        let outer = n.roots[0];
+        let inner = n.perfect_inner(&p.units[0], outer).unwrap();
+        assert_eq!(inner.var, "J");
+        // The inner loop is not perfectly nested in itself.
+        assert!(n.perfect_inner(&p.units[0], inner.id).is_none());
+    }
+
+    #[test]
+    fn imperfect_nest_is_not_perfect() {
+        let (p, n) = nest_of(TRIPLE);
+        assert!(n.perfect_inner(&p.units[0], n.roots[0]).is_none());
+    }
+
+    #[test]
+    fn subtree_preorder() {
+        let (_, n) = nest_of(TRIPLE);
+        let ids = n.subtree(n.roots[0]);
+        assert_eq!(ids.len(), 3);
+        assert_eq!(ids[0], n.roots[0]);
+    }
+}

@@ -1,0 +1,326 @@
+//! Scalar privatization (scalar "kill" analysis).
+//!
+//! "A critical contribution of scalar data-flow analysis is recognizing
+//! scalars that are killed, or redefined, on every iteration of a loop
+//! and may be made private, thus eliminating dependences" (§4.1). Table 3
+//! shows `scalar kills` were used in seven of the eight programs.
+//!
+//! A scalar `S` may be made private to loop `L` when
+//!
+//! 1. `S` is assigned inside `L`'s body, and
+//! 2. no use of `S` inside the body can see a value from a previous
+//!    iteration or from before the loop — i.e. `S` has no *upward-exposed*
+//!    use at iteration start, and
+//! 3. `S` is not live after the loop (otherwise the privatized copy would
+//!    need a "last value" copy-out; we report that case separately).
+
+use crate::cfg::{Cfg, NodeId};
+use crate::defuse::DefUse;
+use crate::loops::{LoopInfo, LoopNest};
+use crate::refs::{RefCause, RefTable};
+use ped_fortran::ast::{ProcUnit, StmtId};
+use ped_fortran::symbols::SymbolTable;
+use std::collections::{HashMap, HashSet};
+
+/// Classification of one scalar with respect to one loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PrivStatus {
+    /// Safely privatizable: killed every iteration, dead after the loop.
+    Private,
+    /// Killed every iteration but live after the loop: privatizable only
+    /// with last-value copy-out.
+    PrivateNeedsLastValue,
+    /// Has an upward-exposed use (carries a value across iterations or
+    /// into the loop) — must stay shared.
+    Shared,
+}
+
+/// Result of privatization analysis for one loop.
+#[derive(Clone, Debug, Default)]
+pub struct LoopPrivatization {
+    /// Status per scalar assigned in the loop body.
+    pub scalars: HashMap<String, PrivStatus>,
+}
+
+impl LoopPrivatization {
+    /// Names that may be made private without copy-out.
+    pub fn private_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .scalars
+            .iter()
+            .filter(|(_, s)| **s == PrivStatus::Private)
+            .map(|(n, _)| n.as_str())
+            .collect();
+        v.sort();
+        v
+    }
+
+    pub fn status(&self, name: &str) -> Option<&PrivStatus> {
+        self.scalars.get(name)
+    }
+}
+
+/// Run privatization analysis for every loop of a unit.
+pub fn analyze_unit(
+    unit: &ProcUnit,
+    symbols: &SymbolTable,
+    cfg: &Cfg,
+    refs: &RefTable,
+    defuse: &DefUse,
+    nest: &LoopNest,
+) -> HashMap<crate::loops::LoopId, LoopPrivatization> {
+    let _ = unit;
+    nest.loops
+        .iter()
+        .map(|l| (l.id, analyze_loop(symbols, cfg, refs, defuse, l)))
+        .collect()
+}
+
+/// Privatization analysis for a single loop.
+pub fn analyze_loop(
+    symbols: &SymbolTable,
+    cfg: &Cfg,
+    refs: &RefTable,
+    defuse: &DefUse,
+    l: &LoopInfo,
+) -> LoopPrivatization {
+    let body: HashSet<StmtId> = l.body.iter().copied().collect();
+    // Candidate scalars: assigned in the body by an unambiguous def.
+    let mut candidates: HashSet<&str> = HashSet::new();
+    for r in &refs.refs {
+        if r.is_def
+            && !r.is_array_elem()
+            && body.contains(&r.stmt)
+            && r.cause != RefCause::CallArg
+            && symbols.get(&r.name).map(|s| s.dims.is_empty()).unwrap_or(true)
+        {
+            candidates.insert(&r.name);
+        }
+    }
+    // The loop control variables of this loop and nested loops are
+    // handled by the runtime; exclude them (always private).
+    let mut result = LoopPrivatization::default();
+    for name in candidates {
+        let exposed = has_upward_exposed_use(cfg, refs, l, &body, name);
+        let status = if exposed {
+            PrivStatus::Shared
+        } else {
+            // Live after the loop?
+            let header = cfg.node_of(l.stmt).expect("loop header in cfg");
+            let live = exit_live(cfg, defuse, l, header, name);
+            if live {
+                PrivStatus::PrivateNeedsLastValue
+            } else {
+                PrivStatus::Private
+            }
+        };
+        result.scalars.insert(name.to_string(), status);
+    }
+    result
+}
+
+/// Forward must-defined analysis over the loop body subgraph: is there a
+/// path from iteration start to a use of `name` with no prior def this
+/// iteration?
+fn has_upward_exposed_use(
+    cfg: &Cfg,
+    refs: &RefTable,
+    l: &LoopInfo,
+    body: &HashSet<StmtId>,
+    name: &str,
+) -> bool {
+    let header = cfg.node_of(l.stmt).expect("header node");
+    let in_sub = |n: NodeId| -> bool {
+        n == header || cfg.stmt_of(n).map(|s| body.contains(&s)).unwrap_or(false)
+    };
+    // defined_in[n] = S surely defined before n executes (this iteration).
+    // Optimistic init (true); iteration start (header) = false; meet = AND.
+    let mut defined_in: HashMap<NodeId, bool> = HashMap::new();
+    for ni in 0..cfg.len() {
+        let n = NodeId(ni as u32);
+        if in_sub(n) {
+            defined_in.insert(n, n != header);
+        }
+    }
+    let node_out = |inval: bool, n: NodeId| -> bool {
+        match cfg.stmt_of(n) {
+            Some(stmt) => {
+                let defs_here = refs.of_stmt(stmt).iter().any(|&r| {
+                    let vr = refs.get(r);
+                    vr.is_def
+                        && vr.name == name
+                        && !vr.is_array_elem()
+                        && vr.cause != RefCause::CallArg
+                });
+                inval || defs_here
+            }
+            None => inval,
+        }
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for ni in 0..cfg.len() {
+            let n = NodeId(ni as u32);
+            if !in_sub(n) || n == header {
+                continue;
+            }
+            let mut acc = true;
+            let mut any = false;
+            for &p in &cfg.nodes[ni].preds {
+                if in_sub(p) {
+                    any = true;
+                    acc &= node_out(defined_in[&p], p);
+                }
+            }
+            // Nodes with no in-subgraph predecessor can only be reached
+            // from outside (e.g. via GOTO into the loop): not defined.
+            let entry = any && acc;
+            if defined_in[&n] != entry {
+                defined_in.insert(n, entry);
+                changed = true;
+            }
+        }
+    }
+    // Any use at a node where S is not surely defined is upward exposed.
+    for (&n, &def_at_entry) in &defined_in {
+        if n == header || def_at_entry {
+            continue;
+        }
+        if let Some(stmt) = cfg.stmt_of(n) {
+            if body.contains(&stmt) {
+                let has_use = refs.of_stmt(stmt).iter().any(|&r| {
+                    let vr = refs.get(r);
+                    !vr.is_def && vr.name == name
+                });
+                if has_use {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Is `name` live on the loop's exit edge?
+fn exit_live(cfg: &Cfg, defuse: &DefUse, l: &LoopInfo, header: NodeId, name: &str) -> bool {
+    // The header's successors include the body entry and the exit target;
+    // liveness after the header covers both, which over-approximates.
+    // Instead: check liveness at the non-body successor.
+    let body: HashSet<StmtId> = l.body.iter().copied().collect();
+    for &s in &cfg.nodes[header.index()].succs {
+        let is_body = cfg.stmt_of(s).map(|st| body.contains(&st)).unwrap_or(false);
+        if !is_body {
+            // live_after(header) along this edge ≈ live_in(s); we expose
+            // only live_after, so query liveness before the exit node by
+            // checking live_after of its predecessors is not available —
+            // use live_after(header) minus in-body uses approximation:
+            // the DefUse liveness already merged; conservative answer:
+            return defuse.live_after(header, name) && used_after_loop(defuse, s, name);
+        }
+    }
+    defuse.live_after(header, name)
+}
+
+fn used_after_loop(_defuse: &DefUse, _exit_node: NodeId, _name: &str) -> bool {
+    // `live_after(header)` already includes uses inside the body; a
+    // same-iteration-killed scalar with in-body uses would be wrongly
+    // called live. Refinement: the scalar is killed at iteration start
+    // (no upward-exposed use), so in-body liveness cannot flow back
+    // through the header; `live_after(header)` flows only through the
+    // exit edge for such scalars after the first body def. We accept the
+    // remaining imprecision (conservative: more NeedsLastValue).
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parser::parse_ok;
+
+    fn analyze(src: &str) -> (ped_fortran::Program, LoopNest, Vec<LoopPrivatization>) {
+        let p = parse_ok(src);
+        let u = &p.units[0];
+        let sym = SymbolTable::build(u);
+        let cfg = Cfg::build(u);
+        let refs = RefTable::build(u, &sym);
+        let du = DefUse::build(u, &sym, &cfg, &refs, None);
+        let nest = LoopNest::build(u);
+        let privs = nest
+            .loops
+            .iter()
+            .map(|l| analyze_loop(&sym, &cfg, &refs, &du, l))
+            .collect();
+        (p, nest, privs)
+    }
+
+    #[test]
+    fn killed_temporary_is_private() {
+        let src = "      DO 10 I = 1, N\n      T = A(I) * 2.0\n      B(I) = T + 1.0\n   10 CONTINUE\n      END\n";
+        let (_, _, privs) = analyze(src);
+        assert_eq!(privs[0].status("T"), Some(&PrivStatus::Private));
+    }
+
+    #[test]
+    fn carried_scalar_is_shared() {
+        // T used before redefinition: carries across iterations.
+        let src = "      T = 0.0\n      DO 10 I = 1, N\n      B(I) = T\n      T = A(I)\n   10 CONTINUE\n      END\n";
+        let (_, _, privs) = analyze(src);
+        assert_eq!(privs[0].status("T"), Some(&PrivStatus::Shared));
+    }
+
+    #[test]
+    fn conditionally_defined_scalar_is_shared() {
+        // On the path where the IF is false, T's use sees the previous
+        // iteration's value.
+        let src = "      DO 10 I = 1, N\n      IF (A(I) .GT. 0) THEN\n      T = A(I)\n      END IF\n      B(I) = T\n   10 CONTINUE\n      END\n";
+        let (_, _, privs) = analyze(src);
+        assert_eq!(privs[0].status("T"), Some(&PrivStatus::Shared));
+    }
+
+    #[test]
+    fn defined_on_both_arms_is_private() {
+        let src = "      DO 10 I = 1, N\n      IF (A(I) .GT. 0) THEN\n      T = A(I)\n      ELSE\n      T = 0.0\n      END IF\n      B(I) = T\n   10 CONTINUE\n      END\n";
+        let (_, _, privs) = analyze(src);
+        assert_eq!(privs[0].status("T"), Some(&PrivStatus::Private));
+    }
+
+    #[test]
+    fn live_after_loop_needs_last_value() {
+        let src = "      DO 10 I = 1, N\n      T = A(I)\n      B(I) = T\n   10 CONTINUE\n      C = T\n      END\n";
+        let (_, _, privs) = analyze(src);
+        assert_eq!(privs[0].status("T"), Some(&PrivStatus::PrivateNeedsLastValue));
+    }
+
+    #[test]
+    fn nested_loop_inner_temp_private_in_both() {
+        let src = "      DO 10 I = 1, N\n      DO 20 J = 1, M\n      T = A(I,J)\n      B(I,J) = T * T\n   20 CONTINUE\n   10 CONTINUE\n      END\n";
+        let (_, nest, privs) = analyze(src);
+        assert_eq!(nest.len(), 2);
+        assert_eq!(privs[0].status("T"), Some(&PrivStatus::Private));
+        assert_eq!(privs[1].status("T"), Some(&PrivStatus::Private));
+    }
+
+    #[test]
+    fn use_in_subscript_counts_as_use() {
+        // K used as subscript before being defined.
+        let src = "      K = 1\n      DO 10 I = 1, N\n      B(K) = A(I)\n      K = I\n   10 CONTINUE\n      END\n";
+        let (_, _, privs) = analyze(src);
+        assert_eq!(privs[0].status("K"), Some(&PrivStatus::Shared));
+    }
+
+    #[test]
+    fn private_names_sorted() {
+        let src = "      DO 10 I = 1, N\n      U = A(I)\n      T = U + 1.0\n      B(I) = T\n   10 CONTINUE\n      END\n";
+        let (_, _, privs) = analyze(src);
+        assert_eq!(privs[0].private_names(), ["T", "U"]);
+    }
+
+    #[test]
+    fn goto_path_skipping_def_is_shared() {
+        // neoss-style: a GOTO can bypass the definition of T.
+        let src = "      DO 50 K = 1, N\n      IF (A(K)) 100, 10, 10\n   10 T = A(K)\n  100 B(K) = T\n   50 CONTINUE\n      END\n";
+        let (_, _, privs) = analyze(src);
+        assert_eq!(privs[0].status("T"), Some(&PrivStatus::Shared));
+    }
+}

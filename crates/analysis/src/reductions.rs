@@ -1,0 +1,262 @@
+//! Reduction recognition.
+//!
+//! "Five of the programs contain sum reductions which go unrecognized by
+//! PED" (§4.3) — recognizing them was *needed* analysis (Table 3). We
+//! recognize both scalar reductions (`S = S + expr`) and the
+//! dpmin-style array-element accumulations (`F(I3+1) = F(I3+1) - DT1`),
+//! for the operators whose associativity permits reordering: `+`, `-`
+//! (as addition of a negated term), `*`, `MAX`, `MIN`.
+
+use crate::loops::LoopInfo;
+use crate::refs::RefTable;
+use ped_fortran::ast::{BinOp, Expr, LValue, ProcUnit, StmtId, StmtKind};
+use std::collections::HashSet;
+
+/// The reduction operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    Sum,
+    Product,
+    Max,
+    Min,
+}
+
+impl std::fmt::Display for ReduceOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReduceOp::Sum => write!(f, "SUM"),
+            ReduceOp::Product => write!(f, "PRODUCT"),
+            ReduceOp::Max => write!(f, "MAX"),
+            ReduceOp::Min => write!(f, "MIN"),
+        }
+    }
+}
+
+/// One recognized reduction.
+#[derive(Clone, Debug)]
+pub struct Reduction {
+    /// The accumulating statement.
+    pub stmt: StmtId,
+    /// The accumulator variable name.
+    pub var: String,
+    /// Subscripts of the accumulator (empty ⇒ scalar reduction; non-empty
+    /// ⇒ array-element accumulation, parallelizable with synchronized or
+    /// replicated accumulation).
+    pub subs: Vec<Expr>,
+    pub op: ReduceOp,
+}
+
+impl Reduction {
+    pub fn is_scalar(&self) -> bool {
+        self.subs.is_empty()
+    }
+}
+
+/// Recognize reductions in a loop body.
+///
+/// A statement `acc = acc ⊕ e` (or `acc = MAX(acc, e)`, etc.) is a
+/// reduction candidate when `e` does not reference `acc`. A *scalar*
+/// candidate is a confirmed reduction only if every other appearance of
+/// the accumulator in the loop body is another compatible accumulation of
+/// the same variable. Array-element candidates additionally require that
+/// every appearance of the array in the loop is an accumulation with the
+/// same operator (dpmin's `F`).
+pub fn find_reductions(unit: &ProcUnit, refs: &RefTable, l: &LoopInfo) -> Vec<Reduction> {
+    let body: HashSet<StmtId> = l.body.iter().copied().collect();
+    let mut candidates: Vec<Reduction> = Vec::new();
+    ped_fortran::ast::walk_stmts(&unit.body, &mut |s| {
+        if !body.contains(&s.id) {
+            return;
+        }
+        if let StmtKind::Assign { lhs, rhs } = &s.kind {
+            if let Some(red) = match_reduction(lhs, rhs, s.id) {
+                candidates.push(red);
+            }
+        }
+    });
+    // Confirm: every reference to the accumulator inside the loop must be
+    // part of some candidate accumulation with the same operator.
+    let confirmed: Vec<Reduction> = candidates
+        .iter()
+        .filter(|c| {
+            let c_stmts: Vec<(StmtId, ReduceOp)> = candidates
+                .iter()
+                .filter(|o| o.var == c.var)
+                .map(|o| (o.stmt, o.op))
+                .collect();
+            let same_op = c_stmts.iter().all(|(_, op)| *op == c.op);
+            if !same_op {
+                return false;
+            }
+            let acc_stmts: HashSet<StmtId> = c_stmts.iter().map(|(s, _)| *s).collect();
+            // Any other reference to the variable in the loop disqualifies.
+            refs.refs
+                .iter()
+                .filter(|r| r.name == c.var && body.contains(&r.stmt))
+                .all(|r| acc_stmts.contains(&r.stmt))
+        })
+        .cloned()
+        .collect();
+    confirmed
+}
+
+/// Match `lhs = lhs ⊕ e` shapes.
+fn match_reduction(lhs: &LValue, rhs: &Expr, stmt: StmtId) -> Option<Reduction> {
+    let (name, subs) = match lhs {
+        LValue::Var(n) => (n.as_str(), Vec::new()),
+        LValue::Elem { name, subs } => (name.as_str(), subs.clone()),
+    };
+    let lhs_expr = lhs.as_expr();
+    let mk = |op: ReduceOp| Reduction { stmt, var: name.to_string(), subs: subs.clone(), op };
+    match rhs {
+        Expr::Bin { op: BinOp::Add, l, r } => {
+            if **l == lhs_expr && !mentions(r, name) {
+                return Some(mk(ReduceOp::Sum));
+            }
+            if **r == lhs_expr && !mentions(l, name) {
+                return Some(mk(ReduceOp::Sum));
+            }
+            None
+        }
+        Expr::Bin { op: BinOp::Sub, l, r } => {
+            // acc = acc - e is a sum reduction of -e (subtraction itself
+            // is not associative; the accumulation of negated terms is).
+            if **l == lhs_expr && !mentions(r, name) {
+                return Some(mk(ReduceOp::Sum));
+            }
+            None
+        }
+        Expr::Bin { op: BinOp::Mul, l, r } => {
+            if **l == lhs_expr && !mentions(r, name) {
+                return Some(mk(ReduceOp::Product));
+            }
+            if **r == lhs_expr && !mentions(l, name) {
+                return Some(mk(ReduceOp::Product));
+            }
+            None
+        }
+        Expr::Index { name: f, subs: args } | Expr::Call { name: f, args } => {
+            let op = match f.as_str() {
+                "MAX" | "AMAX1" | "MAX0" | "DMAX1" => ReduceOp::Max,
+                "MIN" | "AMIN1" | "MIN0" | "DMIN1" => ReduceOp::Min,
+                _ => return None,
+            };
+            if args.len() == 2 {
+                if args[0] == lhs_expr && !mentions(&args[1], name) {
+                    return Some(mk(op));
+                }
+                if args[1] == lhs_expr && !mentions(&args[0], name) {
+                    return Some(mk(op));
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn mentions(e: &Expr, name: &str) -> bool {
+    e.variables().contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loops::LoopNest;
+    use ped_fortran::parser::parse_ok;
+    use ped_fortran::symbols::SymbolTable;
+
+    fn reductions(src: &str) -> Vec<Reduction> {
+        let p = parse_ok(src);
+        let u = &p.units[0];
+        let sym = SymbolTable::build(u);
+        let refs = RefTable::build(u, &sym);
+        let nest = LoopNest::build(u);
+        find_reductions(u, &refs, &nest.loops[0])
+    }
+
+    #[test]
+    fn simple_sum_recognized() {
+        let r = reductions("      S = 0.0\n      DO 10 I = 1, N\n      S = S + A(I)\n   10 CONTINUE\n      END\n");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].var, "S");
+        assert_eq!(r[0].op, ReduceOp::Sum);
+        assert!(r[0].is_scalar());
+    }
+
+    #[test]
+    fn commuted_sum_recognized() {
+        let r = reductions("      DO 10 I = 1, N\n      S = A(I) + S\n   10 CONTINUE\n      END\n");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].op, ReduceOp::Sum);
+    }
+
+    #[test]
+    fn subtraction_is_sum_of_negated() {
+        let r = reductions("      DO 10 I = 1, N\n      S = S - A(I)\n   10 CONTINUE\n      END\n");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].op, ReduceOp::Sum);
+    }
+
+    #[test]
+    fn reversed_subtraction_not_a_reduction() {
+        let r = reductions("      DO 10 I = 1, N\n      S = A(I) - S\n   10 CONTINUE\n      END\n");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn product_recognized() {
+        let r = reductions("      DO 10 I = 1, N\n      P = P * A(I)\n   10 CONTINUE\n      END\n");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].op, ReduceOp::Product);
+    }
+
+    #[test]
+    fn max_recognized() {
+        let r = reductions("      DO 10 I = 1, N\n      S = MAX(S, A(I))\n   10 CONTINUE\n      END\n");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].op, ReduceOp::Max);
+    }
+
+    #[test]
+    fn accumulator_used_elsewhere_disqualifies() {
+        let r = reductions("      DO 10 I = 1, N\n      S = S + A(I)\n      B(I) = S\n   10 CONTINUE\n      END\n");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn rhs_mentioning_acc_disqualifies() {
+        let r = reductions("      DO 10 I = 1, N\n      S = S + S * A(I)\n   10 CONTINUE\n      END\n");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn dpmin_array_accumulations_recognized() {
+        // Index-array scatter accumulate: each F update is a reduction.
+        let src = "      REAL F(300)\n      DO 300 N1 = 1, NBA\n      I3 = IT(N1)\n      F(I3 + 1) = F(I3 + 1) - DT1\n      F(I3 + 2) = F(I3 + 2) - DT2\n  300 CONTINUE\n      END\n";
+        let r = reductions(src);
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|x| x.var == "F" && !x.is_scalar() && x.op == ReduceOp::Sum));
+    }
+
+    #[test]
+    fn array_read_elsewhere_disqualifies() {
+        let src = "      REAL F(300)\n      DO 300 N1 = 1, NBA\n      F(N1) = F(N1) + DT1\n      X = F(1)\n  300 CONTINUE\n      END\n";
+        let r = reductions(src);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn multiple_independent_scalar_reductions() {
+        let src = "      DO 10 I = 1, N\n      S = S + A(I)\n      P = P * A(I)\n   10 CONTINUE\n      END\n";
+        let r = reductions(src);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn mixed_ops_on_same_accumulator_disqualify() {
+        let src = "      DO 10 I = 1, N\n      S = S + A(I)\n      S = S * 2.0\n   10 CONTINUE\n      END\n";
+        let r = reductions(src);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,363 @@
+//! Variable reference collection.
+//!
+//! Every analysis in PED ultimately talks about *references*: a single
+//! read or write of a scalar or array element at a particular statement.
+//! The dependence pane displays dependences as pairs of references
+//! ("SOURCE" / "SINK" columns of Figure 1), and dependence testing pairs
+//! them up. This module enumerates all references of a unit in a stable,
+//! deterministic order.
+
+use ped_fortran::ast::{walk_stmts, Expr, LValue, ProcUnit, StmtId, StmtKind};
+use ped_fortran::symbols::{is_intrinsic, SymbolTable};
+use std::collections::HashMap;
+
+use crate::defuse::EffectsMap;
+
+/// Identity of a reference within a [`RefTable`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RefId(pub u32);
+
+impl std::fmt::Display for RefId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One read or write of a variable.
+#[derive(Clone, Debug)]
+pub struct VarRef {
+    pub id: RefId,
+    pub stmt: StmtId,
+    pub name: String,
+    /// Subscript expressions; empty for scalar references and for
+    /// whole-array references (e.g. an array passed to a CALL).
+    pub subs: Vec<Expr>,
+    pub is_def: bool,
+    /// How the reference arises.
+    pub cause: RefCause,
+}
+
+impl VarRef {
+    pub fn is_array_elem(&self) -> bool {
+        !self.subs.is_empty()
+    }
+}
+
+/// Why a reference exists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefCause {
+    /// Ordinary appearance in an assignment or expression.
+    Direct,
+    /// Loop control variable definition at a `DO` header.
+    LoopControl,
+    /// Actual argument of a `CALL` (may be modified by the callee).
+    CallArg,
+    /// `READ` target or `WRITE` operand.
+    Io,
+}
+
+/// All references of one program unit, in source (statement, then
+/// within-statement) order.
+#[derive(Clone, Debug, Default)]
+pub struct RefTable {
+    pub refs: Vec<VarRef>,
+    by_stmt: HashMap<StmtId, Vec<RefId>>,
+}
+
+impl RefTable {
+    /// Collect the references of a unit. The symbol table distinguishes
+    /// declared-array element references from function calls: a
+    /// parenthesized reference to a name that is not a declared array and
+    /// not an intrinsic is treated as a function call (its arguments are
+    /// uses; the call itself references no storage we track).
+    pub fn build(unit: &ProcUnit, symbols: &SymbolTable) -> RefTable {
+        Self::build_with_effects(unit, symbols, None)
+    }
+
+    /// Like [`RefTable::build`], but call-argument references are
+    /// filtered through interprocedural MOD/REF summaries: an argument
+    /// the callee provably never modifies produces no def reference —
+    /// "interprocedural side-effect analysis reveals that loops
+    /// containing procedure calls can safely execute in parallel"
+    /// (paper §4.2, spec77/nxsns).
+    pub fn build_with_effects(
+        unit: &ProcUnit,
+        symbols: &SymbolTable,
+        effects: Option<&EffectsMap>,
+    ) -> RefTable {
+        let mut t = RefTable::default();
+        walk_stmts(&unit.body, &mut |s| {
+            let mut c = Collector { t: &mut t, symbols, stmt: s.id, effects };
+            c.stmt(&s.kind);
+        });
+        t
+    }
+
+    pub fn get(&self, id: RefId) -> &VarRef {
+        &self.refs[id.0 as usize]
+    }
+
+    /// References belonging to a statement.
+    pub fn of_stmt(&self, stmt: StmtId) -> &[RefId] {
+        self.by_stmt.get(&stmt).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// All defs (writes) of `name`.
+    pub fn defs_of<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a VarRef> + 'a {
+        self.refs.iter().filter(move |r| r.is_def && r.name == name)
+    }
+
+    /// All uses (reads) of `name`.
+    pub fn uses_of<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a VarRef> + 'a {
+        self.refs.iter().filter(move |r| !r.is_def && r.name == name)
+    }
+
+    /// Distinct variable names referenced, in first-appearance order.
+    pub fn names(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for r in &self.refs {
+            if !out.contains(&r.name.as_str()) {
+                out.push(&r.name);
+            }
+        }
+        out
+    }
+
+    fn push(&mut self, stmt: StmtId, name: &str, subs: Vec<Expr>, is_def: bool, cause: RefCause) {
+        let id = RefId(self.refs.len() as u32);
+        self.refs.push(VarRef { id, stmt, name: name.to_string(), subs, is_def, cause });
+        self.by_stmt.entry(stmt).or_default().push(id);
+    }
+}
+
+struct Collector<'a> {
+    t: &'a mut RefTable,
+    symbols: &'a SymbolTable,
+    stmt: StmtId,
+    effects: Option<&'a EffectsMap>,
+}
+
+impl<'a> Collector<'a> {
+    fn stmt(&mut self, kind: &StmtKind) {
+        match kind {
+            StmtKind::Assign { lhs, rhs } => {
+                self.uses(rhs);
+                // Subscripts of the LHS are themselves uses.
+                for s in lhs.subs() {
+                    self.uses(s);
+                }
+                self.def_lvalue(lhs, RefCause::Direct);
+            }
+            StmtKind::Do { var, lo, hi, step, .. } => {
+                self.uses(lo);
+                self.uses(hi);
+                if let Some(s) = step {
+                    self.uses(s);
+                }
+                self.t.push(self.stmt, var, Vec::new(), true, RefCause::LoopControl);
+            }
+            StmtKind::If { arms, .. } => {
+                for (c, _) in arms {
+                    self.uses(c);
+                }
+            }
+            StmtKind::LogicalIf { cond, .. } => self.uses(cond), // inner stmt walked separately
+            StmtKind::ArithIf { expr, .. } => self.uses(expr),
+            StmtKind::ComputedGoto { index, .. } => self.uses(index),
+            StmtKind::Call { name: callee, args } => {
+                let fx = self
+                    .effects
+                    .and_then(|m| m.get(&callee.to_ascii_uppercase()));
+                let arg_mod = |pos: usize| fx.map(|e| e.mod_params.contains(&pos)).unwrap_or(true);
+                let arg_ref = |pos: usize| fx.map(|e| e.ref_params.contains(&pos)).unwrap_or(true);
+                for (pos, a) in args.iter().enumerate() {
+                    match a {
+                        // A bare variable or array argument may be read
+                        // and/or written by the callee, per the MOD/REF
+                        // summary (worst case without one).
+                        Expr::Var(n) => {
+                            if arg_ref(pos) {
+                                self.t.push(self.stmt, n, Vec::new(), false, RefCause::CallArg);
+                            }
+                            if arg_mod(pos) {
+                                self.t.push(self.stmt, n, Vec::new(), true, RefCause::CallArg);
+                            }
+                        }
+                        Expr::Index { name, subs } if self.symbols.is_array(name) => {
+                            for s in subs {
+                                self.uses(s);
+                            }
+                            if arg_ref(pos) {
+                                self.t.push(self.stmt, name, subs.clone(), false, RefCause::CallArg);
+                            }
+                            if arg_mod(pos) {
+                                self.t.push(self.stmt, name, subs.clone(), true, RefCause::CallArg);
+                            }
+                        }
+                        e => self.uses(e),
+                    }
+                }
+            }
+            StmtKind::Read { items } => {
+                for lv in items {
+                    for s in lv.subs() {
+                        self.uses(s);
+                    }
+                    self.def_lvalue(lv, RefCause::Io);
+                }
+            }
+            StmtKind::Write { items } => {
+                for e in items {
+                    self.uses(e);
+                }
+            }
+            StmtKind::Goto(_) | StmtKind::Continue | StmtKind::Return | StmtKind::Stop
+            | StmtKind::Opaque(_) => {}
+        }
+    }
+
+    fn def_lvalue(&mut self, lv: &LValue, cause: RefCause) {
+        match lv {
+            LValue::Var(n) => self.t.push(self.stmt, n, Vec::new(), true, cause),
+            LValue::Elem { name, subs } => {
+                self.t.push(self.stmt, name, subs.clone(), true, cause)
+            }
+        }
+    }
+
+    fn uses(&mut self, e: &Expr) {
+        match e {
+            Expr::Var(n) => self.t.push(self.stmt, n, Vec::new(), false, RefCause::Direct),
+            Expr::Index { name, subs } => {
+                for s in subs {
+                    self.uses(s);
+                }
+                if self.symbols.is_array(name) {
+                    self.t.push(self.stmt, name, subs.clone(), false, RefCause::Direct);
+                } else if !is_intrinsic(name) {
+                    // Function call to a non-intrinsic: arguments already
+                    // collected as uses; the function result is not
+                    // storage. (Declared EXTERNAL or implicit function.)
+                }
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    self.uses(a);
+                }
+            }
+            Expr::Bin { l, r, .. } => {
+                self.uses(l);
+                self.uses(r);
+            }
+            Expr::Un { e, .. } => self.uses(e),
+            Expr::Int(_) | Expr::Real(_) | Expr::Logical(_) | Expr::Str(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parser::parse_ok;
+
+    fn table(src: &str) -> (ped_fortran::Program, RefTable) {
+        let p = parse_ok(src);
+        let sym = SymbolTable::build(&p.units[0]);
+        let t = RefTable::build(&p.units[0], &sym);
+        (p, t)
+    }
+
+    #[test]
+    fn assignment_defs_and_uses() {
+        let (_, t) = table("      REAL A(10)\n      A(I) = B + A(I-1)\n      END\n");
+        let defs: Vec<_> = t.refs.iter().filter(|r| r.is_def).collect();
+        assert_eq!(defs.len(), 1);
+        assert_eq!(defs[0].name, "A");
+        assert_eq!(defs[0].subs.len(), 1);
+        let uses: Vec<_> = t.refs.iter().filter(|r| !r.is_def).map(|r| r.name.as_str()).collect();
+        // B, A (element), plus subscript uses of I.
+        assert!(uses.contains(&"B"));
+        assert!(uses.contains(&"A"));
+        assert!(uses.contains(&"I"));
+    }
+
+    #[test]
+    fn do_header_defines_loop_var() {
+        let (_, t) = table("      DO 10 I = 1, N\n   10 CONTINUE\n      END\n");
+        let d: Vec<_> = t.refs.iter().filter(|r| r.is_def).collect();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].name, "I");
+        assert_eq!(d[0].cause, RefCause::LoopControl);
+        assert!(t.refs.iter().any(|r| r.name == "N" && !r.is_def));
+    }
+
+    #[test]
+    fn call_args_are_mod_and_ref() {
+        let (_, t) = table("      REAL X(10)\n      CALL S(X, N)\n      END\n");
+        let x_refs: Vec<_> = t.refs.iter().filter(|r| r.name == "X").collect();
+        assert_eq!(x_refs.len(), 2);
+        assert!(x_refs.iter().any(|r| r.is_def));
+        assert!(x_refs.iter().any(|r| !r.is_def));
+        assert!(x_refs.iter().all(|r| r.cause == RefCause::CallArg));
+    }
+
+    #[test]
+    fn function_call_not_an_array_ref() {
+        // F undeclared: F(X) is a function call, not an array element.
+        let (_, t) = table("      Y = F(X)\n      END\n");
+        assert!(!t.refs.iter().any(|r| r.name == "F"));
+        assert!(t.refs.iter().any(|r| r.name == "X" && !r.is_def));
+    }
+
+    #[test]
+    fn intrinsic_args_collected() {
+        let (_, t) = table("      Y = SQRT(X) + MAX(A, B)\n      END\n");
+        let names: Vec<_> = t.refs.iter().map(|r| r.name.as_str()).collect();
+        assert!(names.contains(&"X"));
+        assert!(names.contains(&"A"));
+        assert!(names.contains(&"B"));
+        assert!(!names.contains(&"SQRT"));
+        assert!(!names.contains(&"MAX"));
+    }
+
+    #[test]
+    fn read_defines_items() {
+        let (_, t) = table("      READ (*,*) N, X\n      END\n");
+        let defs: Vec<_> = t.refs.iter().filter(|r| r.is_def).map(|r| r.name.as_str()).collect();
+        assert_eq!(defs, ["N", "X"]);
+        assert!(t.refs.iter().all(|r| !r.is_def || r.cause == RefCause::Io));
+    }
+
+    #[test]
+    fn of_stmt_indexes_by_statement() {
+        let (p, t) = table("      A = 1\n      B = A\n      END\n");
+        let s2 = p.units[0].body[1].id;
+        let refs = t.of_stmt(s2);
+        assert_eq!(refs.len(), 2);
+        assert_eq!(t.get(refs[0]).name, "A");
+        assert!(!t.get(refs[0]).is_def);
+        assert_eq!(t.get(refs[1]).name, "B");
+        assert!(t.get(refs[1]).is_def);
+    }
+
+    #[test]
+    fn names_first_appearance_order() {
+        let (_, t) = table("      C = B + A\n      END\n");
+        assert_eq!(t.names(), ["B", "A", "C"]);
+    }
+
+    #[test]
+    fn logical_if_inner_statement_refs_attributed_to_inner() {
+        let (p, t) = table("      IF (A .GT. 0) B = 1\n      END\n");
+        let outer = p.units[0].body[0].id;
+        let outer_refs = t.of_stmt(outer);
+        assert_eq!(outer_refs.len(), 1); // just A
+        if let StmtKind::LogicalIf { then, .. } = &p.units[0].body[0].kind {
+            let inner_refs = t.of_stmt(then.id);
+            assert_eq!(inner_refs.len(), 1); // B def
+            assert!(t.get(inner_refs[0]).is_def);
+        } else {
+            panic!("expected logical IF");
+        }
+    }
+}

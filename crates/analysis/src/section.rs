@@ -1,0 +1,363 @@
+//! Bounded regular section analysis.
+//!
+//! "Regular section analysis is also used to describe more precisely,
+//! when possible, the side-effects to portions of arrays" (§4.1, citing
+//! Havlak & Kennedy). A [`Section`] is a rectangular region of an array:
+//! one symbolic `[lo, hi]` range per dimension. Sections summarize the
+//! elements a loop or a call reads/writes; array kill analysis
+//! ([`crate::array_kill`]) and interprocedural side-effect analysis both
+//! build on them.
+//!
+//! To keep kill analysis *sound*, unions are not hulled implicitly: a
+//! [`SectionSet`] keeps a list of sections and only coalesces two when
+//! they are provably overlapping or adjacent in exactly one dimension and
+//! identical in the others (so the union is exact).
+
+use crate::symbolic::{LinExpr, SymbolicEnv};
+
+/// Symbolic `[lo, hi]` range of one dimension.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DimRange {
+    pub lo: LinExpr,
+    pub hi: LinExpr,
+}
+
+impl DimRange {
+    pub fn point(e: LinExpr) -> DimRange {
+        DimRange { lo: e.clone(), hi: e }
+    }
+}
+
+impl std::fmt::Display for DimRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.lo == self.hi {
+            write!(f, "{}", self.lo)
+        } else {
+            write!(f, "{}:{}", self.lo, self.hi)
+        }
+    }
+}
+
+/// A rectangular symbolic region of one array.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Section {
+    pub dims: Vec<DimRange>,
+}
+
+impl Section {
+    /// A single-element section.
+    pub fn element(subs: Vec<LinExpr>) -> Section {
+        Section { dims: subs.into_iter().map(DimRange::point).collect() }
+    }
+
+    /// Expand dimension ranges over a loop variable: every occurrence of
+    /// `var` in the bounds is replaced by the extremes `[vlo, vhi]`.
+    pub fn expand(&self, var: &str, vlo: &LinExpr, vhi: &LinExpr) -> Section {
+        Section {
+            dims: self
+                .dims
+                .iter()
+                .map(|d| {
+                    let (llo, _lhi) = expand_lin(&d.lo, var, vlo, vhi);
+                    let (_hlo, hhi) = expand_lin(&d.hi, var, vlo, vhi);
+                    DimRange { lo: llo, hi: hhi }
+                })
+                .collect(),
+        }
+    }
+
+    /// Prove `other ⊆ self` under the fact environment.
+    pub fn contains(&self, other: &Section, env: &SymbolicEnv) -> bool {
+        if self.dims.len() != other.dims.len() {
+            return false;
+        }
+        self.dims.iter().zip(&other.dims).all(|(s, o)| {
+            env.prove_nonneg(&o.lo.sub(&s.lo)) && env.prove_nonneg(&s.hi.sub(&o.hi))
+        })
+    }
+
+    /// Prove `self ∩ other = ∅`: some dimension's ranges are provably
+    /// disjoint. Failure to prove means "may intersect".
+    pub fn provably_disjoint(&self, other: &Section, env: &SymbolicEnv) -> bool {
+        if self.dims.len() != other.dims.len() {
+            return false;
+        }
+        self.dims.iter().zip(&other.dims).any(|(s, o)| {
+            env.prove_positive(&o.lo.sub(&s.hi)) || env.prove_positive(&s.lo.sub(&o.hi))
+        })
+    }
+
+    /// Try an *exact* union: identical in all dimensions but one, and
+    /// provably overlapping or adjacent in that one.
+    pub fn exact_union(&self, other: &Section, env: &SymbolicEnv) -> Option<Section> {
+        if self.dims.len() != other.dims.len() {
+            return None;
+        }
+        if self.contains(other, env) {
+            return Some(self.clone());
+        }
+        if other.contains(self, env) {
+            return Some(other.clone());
+        }
+        let mut diff_dim = None;
+        for (i, (s, o)) in self.dims.iter().zip(&other.dims).enumerate() {
+            if s != o {
+                if diff_dim.is_some() {
+                    return None;
+                }
+                diff_dim = Some(i);
+            }
+        }
+        let i = diff_dim?;
+        let (s, o) = (&self.dims[i], &other.dims[i]);
+        // Overlap-or-adjacent: o.lo <= s.hi + 1 and s.lo <= o.hi + 1.
+        let touch1 = env.prove_nonneg(&s.hi.add(&LinExpr::constant(1)).sub(&o.lo));
+        let touch2 = env.prove_nonneg(&o.hi.add(&LinExpr::constant(1)).sub(&s.lo));
+        if !(touch1 && touch2) {
+            return None;
+        }
+        // lo = provable min, hi = provable max.
+        let lo = prove_min(&s.lo, &o.lo, env)?;
+        let hi = prove_max(&s.hi, &o.hi, env)?;
+        let mut dims = self.dims.clone();
+        dims[i] = DimRange { lo, hi };
+        Some(Section { dims })
+    }
+}
+
+impl std::fmt::Display for Section {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+fn prove_min(a: &LinExpr, b: &LinExpr, env: &SymbolicEnv) -> Option<LinExpr> {
+    if env.prove_nonneg(&b.sub(a)) {
+        Some(a.clone()) // a <= b
+    } else if env.prove_nonneg(&a.sub(b)) {
+        Some(b.clone())
+    } else {
+        None
+    }
+}
+
+fn prove_max(a: &LinExpr, b: &LinExpr, env: &SymbolicEnv) -> Option<LinExpr> {
+    if env.prove_nonneg(&a.sub(b)) {
+        Some(a.clone()) // a >= b
+    } else if env.prove_nonneg(&b.sub(a)) {
+        Some(b.clone())
+    } else {
+        None
+    }
+}
+
+/// Substitute `[vlo, vhi]` extremes for `var` in an affine bound.
+fn expand_lin(lin: &LinExpr, var: &str, vlo: &LinExpr, vhi: &LinExpr) -> (LinExpr, LinExpr) {
+    let c = lin.coeff(var);
+    if c == 0 {
+        return (lin.clone(), lin.clone());
+    }
+    let mut base = lin.clone();
+    base.take(var);
+    if c > 0 {
+        (base.add(&vlo.scale(c)), base.add(&vhi.scale(c)))
+    } else {
+        (base.add(&vhi.scale(c)), base.add(&vlo.scale(c)))
+    }
+}
+
+/// A set of sections of one array, with exact coalescing.
+#[derive(Clone, Debug, Default)]
+pub struct SectionSet {
+    pub sections: Vec<Section>,
+}
+
+impl SectionSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a section, coalescing exactly where provable.
+    pub fn insert(&mut self, s: Section, env: &SymbolicEnv) {
+        let mut cur = s;
+        loop {
+            let mut merged = false;
+            let mut i = 0;
+            while i < self.sections.len() {
+                if let Some(u) = self.sections[i].exact_union(&cur, env) {
+                    self.sections.swap_remove(i);
+                    cur = u;
+                    merged = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !merged {
+                break;
+            }
+        }
+        self.sections.push(cur);
+    }
+
+    /// True if `s` is contained in a single stored section.
+    pub fn covers(&self, s: &Section, env: &SymbolicEnv) -> bool {
+        self.sections.iter().any(|w| w.contains(s, env))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbolic::Range;
+    use ped_fortran::parser::parse_expr_str;
+
+    fn lin(s: &str) -> LinExpr {
+        crate::symbolic::to_lin(&parse_expr_str(s, &[]).unwrap()).unwrap()
+    }
+
+    fn sec1(lo: &str, hi: &str) -> Section {
+        Section { dims: vec![DimRange { lo: lin(lo), hi: lin(hi) }] }
+    }
+
+    #[test]
+    fn containment_constant() {
+        let env = SymbolicEnv::new();
+        let big = sec1("1", "10");
+        let small = sec1("2", "9");
+        assert!(big.contains(&small, &env));
+        assert!(!small.contains(&big, &env));
+    }
+
+    #[test]
+    fn containment_symbolic_needs_facts() {
+        let mut env = SymbolicEnv::new();
+        let big = sec1("1", "N");
+        let small = sec1("1", "N-1");
+        assert!(big.contains(&small, &env));
+        // [1,N] ⊆ [1,M] unprovable without N <= M.
+        let m = sec1("1", "M");
+        assert!(!m.contains(&big, &env));
+        env.add_fact_nonneg(lin("M-N"));
+        assert!(m.contains(&big, &env));
+    }
+
+    #[test]
+    fn expand_over_loop_var() {
+        // A(2*I+1) for I in [1, N] -> [3, 2N+1].
+        let s = Section::element(vec![lin("2*I+1")]);
+        let e = s.expand("I", &lin("1"), &lin("N"));
+        assert_eq!(e.dims[0].lo, lin("3"));
+        assert_eq!(e.dims[0].hi, lin("2*N+1"));
+    }
+
+    #[test]
+    fn expand_negative_coefficient_swaps() {
+        let s = Section::element(vec![lin("N-I")]);
+        let e = s.expand("I", &lin("1"), &lin("N"));
+        assert_eq!(e.dims[0].lo, lin("0"));
+        assert_eq!(e.dims[0].hi, lin("N-1"));
+    }
+
+    #[test]
+    fn exact_union_adjacent() {
+        // The arc3d shape: [1, JMAX-1] ∪ [JMAX, JMAX] = [1, JMAX].
+        let mut env = SymbolicEnv::new();
+        env.add_range("JMAX", Range::at_least(2));
+        let a = sec1("1", "JMAX-1");
+        let b = sec1("JMAX", "JMAX");
+        let u = a.exact_union(&b, &env).expect("adjacent union");
+        assert_eq!(u, sec1("1", "JMAX"));
+    }
+
+    #[test]
+    fn union_with_gap_rejected() {
+        let env = SymbolicEnv::new();
+        let a = sec1("1", "3");
+        let b = sec1("5", "9");
+        assert!(a.exact_union(&b, &env).is_none());
+    }
+
+    #[test]
+    fn union_differing_in_two_dims_rejected() {
+        let env = SymbolicEnv::new();
+        let a = Section {
+            dims: vec![
+                DimRange { lo: lin("1"), hi: lin("2") },
+                DimRange { lo: lin("1"), hi: lin("2") },
+            ],
+        };
+        let b = Section {
+            dims: vec![
+                DimRange { lo: lin("3"), hi: lin("4") },
+                DimRange { lo: lin("3"), hi: lin("4") },
+            ],
+        };
+        assert!(a.exact_union(&b, &env).is_none());
+    }
+
+    #[test]
+    fn section_set_coalesces_chain() {
+        let env = SymbolicEnv::new();
+        let mut w = SectionSet::new();
+        w.insert(sec1("1", "3"), &env);
+        w.insert(sec1("7", "9"), &env);
+        assert_eq!(w.len(), 2);
+        w.insert(sec1("4", "6"), &env); // bridges the gap
+        assert_eq!(w.len(), 1);
+        assert!(w.covers(&sec1("1", "9"), &env));
+    }
+
+    #[test]
+    fn covers_requires_single_section() {
+        let env = SymbolicEnv::new();
+        let mut w = SectionSet::new();
+        w.insert(sec1("1", "3"), &env);
+        w.insert(sec1("5", "9"), &env);
+        // [2, 8] spans the gap: not covered.
+        assert!(!w.covers(&sec1("2", "8"), &env));
+    }
+
+    #[test]
+    fn two_d_containment() {
+        let env = SymbolicEnv::new();
+        let big = Section {
+            dims: vec![
+                DimRange { lo: lin("1"), hi: lin("N") },
+                DimRange { lo: lin("2"), hi: lin("KM") },
+            ],
+        };
+        let small = Section {
+            dims: vec![
+                DimRange { lo: lin("1"), hi: lin("N-1") },
+                DimRange { lo: lin("2"), hi: lin("KM") },
+            ],
+        };
+        assert!(big.contains(&small, &env));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Section {
+            dims: vec![
+                DimRange { lo: lin("1"), hi: lin("N") },
+                DimRange::point(lin("K")),
+            ],
+        };
+        assert_eq!(s.to_string(), "(1:N, K)");
+    }
+}

@@ -1,0 +1,40 @@
+//! DOALL speedup on the simulated shared-memory machine: the paper's
+//! target was an 8-processor Alliant; we sweep 1/2/4/8 workers over the
+//! PED-parallelized programs. Shapes (who speeds up, saturation) are the
+//! reproduction target, not Alliant absolutes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_speedup(c: &mut Criterion) {
+    for name in ["spec77", "pueblo3d", "dpmin"] {
+        // Parallelize once; execute repeatedly at each worker count.
+        let p = ped_workloads::program(name).unwrap();
+        let mut session = ped::session::PedSession::open(p.parse());
+        let n = session.program.units.len();
+        for u in 0..n {
+            let uname = session.program.units[u].name.clone();
+            session.select_unit(&uname).unwrap();
+            ped::workmodel::parallelize_unit(&mut session);
+        }
+        let prog = session.program;
+        let mut g = c.benchmark_group(format!("speedup-{name}"));
+        g.sample_size(10);
+        for workers in [1usize, 2, 4, 8] {
+            g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+                b.iter(|| {
+                    let out = ped_runtime::run(
+                        black_box(&prog),
+                        ped_runtime::RunOptions { workers: w, ..Default::default() },
+                    )
+                    .unwrap();
+                    black_box(out.lines)
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_speedup);
+criterion_main!(benches);

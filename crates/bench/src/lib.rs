@@ -1,0 +1,39 @@
+//! # ped-bench — benchmark harness and table regeneration
+//!
+//! The `reproduce` binary prints every table and figure of the paper
+//! (`cargo run -p ped-bench --bin reproduce -- all`); the Criterion
+//! benches measure the analysis and runtime performance dimensions
+//! (parse/analysis throughput, the hierarchical-test-suite ablation,
+//! incremental vs full dependence update, and DOALL speedups).
+
+/// The eight workshop programs, re-exported for bench targets.
+pub use ped_workloads::all_programs;
+
+/// Wall-clock speedup of a program: run the PED work model, then time
+/// sequential vs `workers` execution. Returns (seq_secs, par_secs).
+pub fn time_speedup(name: &str, workers: usize) -> (f64, f64) {
+    let p = ped_workloads::program(name).expect("known program");
+    let mut session = ped::session::PedSession::open(p.parse());
+    let n = session.program.units.len();
+    for u in 0..n {
+        let uname = session.program.units[u].name.clone();
+        session.select_unit(&uname).unwrap();
+        ped::workmodel::parallelize_unit(&mut session);
+    }
+    let t0 = std::time::Instant::now();
+    let seq = ped_runtime::run(
+        &session.program,
+        ped_runtime::RunOptions { workers: 1, ..Default::default() },
+    )
+    .expect("seq");
+    let seq_t = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let par = ped_runtime::run(
+        &session.program,
+        ped_runtime::RunOptions { workers, ..Default::default() },
+    )
+    .expect("par");
+    let par_t = t1.elapsed().as_secs_f64();
+    assert_eq!(seq.lines, par.lines, "{name}: parallel output differs");
+    (seq_t, par_t)
+}

@@ -1,0 +1,359 @@
+//! The user assertion language (§3.3).
+//!
+//! "Users would prefer to specify a high-level assertion and then have
+//! the system respond by deleting associated dependences. … (1)
+//! Assertions should express program properties that are natural to a
+//! user. (2) Assertions should provide information to the system that is
+//! useful in eliminating dependences. (3) It should be possible for the
+//! system to verify the correctness of the assertions at run time."
+//!
+//! The concrete syntax uses familiar Fortran expressions:
+//!
+//! ```text
+//! ASSERT MCN .GT. IENDV(IR) - ISTRT(IR)        relation between symbolics
+//! ASSERT JM .EQ. JMAX - 1                      equality (substitution)
+//! ASSERT PERMUTATION(IT)                       index-array property
+//! ASSERT STRIDE(IT, 3)                         IT(i+1) >= IT(i) + 3
+//! ASSERT RANGE(N, 1, 100)                      scalar interval
+//! ASSERT VALUES(IT, 1, 297)                    index-array value range
+//! ```
+//!
+//! Assertions fold into the [`SymbolicEnv`] consulted by every dependence
+//! test; requirement (3) is served by [`Assertion::runtime_check`], which
+//! pairs index-array assertions with `ped_runtime::verify_index_fact`.
+
+use ped_analysis::symbolic::{IndexArrayFact, LinExpr, Range, SymbolicEnv};
+use ped_dependence::graph::opaque_symbol;
+use ped_fortran::ast::{BinOp, Expr};
+use ped_fortran::parser::parse_expr_str;
+
+/// A parsed user assertion.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Assertion {
+    /// `lhs RELOP rhs` over symbolic expressions.
+    Relation { op: BinOp, lhs: Expr, rhs: Expr },
+    /// All values of the named array are distinct.
+    Permutation { array: String },
+    /// Monotone with minimum gap `k`.
+    Stride { array: String, k: i64 },
+    /// Scalar interval.
+    ScalarRange { name: String, lo: i64, hi: i64 },
+    /// Index-array value interval.
+    ValueRange { array: String, lo: Expr, hi: Expr },
+}
+
+/// Errors from assertion parsing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AssertError(pub String);
+
+impl std::fmt::Display for AssertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "assertion error: {}", self.0)
+    }
+}
+
+impl Assertion {
+    /// Parse the textual form (without the leading `ASSERT`).
+    pub fn parse(text: &str) -> Result<Assertion, AssertError> {
+        let squashed: String = text
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect::<String>()
+            .to_ascii_uppercase();
+        for (kw, ctor) in [
+            ("PERMUTATION(", 0usize),
+            ("STRIDE(", 1),
+            ("RANGE(", 2),
+            ("VALUES(", 3),
+        ] {
+            if let Some(rest) = squashed.strip_prefix(kw) {
+                let inner = rest
+                    .strip_suffix(')')
+                    .ok_or_else(|| AssertError("missing ')'".into()))?;
+                let parts: Vec<&str> = inner.split(',').collect();
+                return match (ctor, parts.as_slice()) {
+                    (0, [a]) => Ok(Assertion::Permutation { array: a.to_string() }),
+                    (1, [a, k]) => Ok(Assertion::Stride {
+                        array: a.to_string(),
+                        k: k.parse().map_err(|_| AssertError(format!("bad stride '{k}'")))?,
+                    }),
+                    (2, [n, lo, hi]) => Ok(Assertion::ScalarRange {
+                        name: n.to_string(),
+                        lo: lo.parse().map_err(|_| AssertError(format!("bad bound '{lo}'")))?,
+                        hi: hi.parse().map_err(|_| AssertError(format!("bad bound '{hi}'")))?,
+                    }),
+                    (3, [a, lo, hi]) => Ok(Assertion::ValueRange {
+                        array: a.to_string(),
+                        lo: parse_expr_str(lo, &[]).map_err(AssertError)?,
+                        hi: parse_expr_str(hi, &[]).map_err(AssertError)?,
+                    }),
+                    _ => Err(AssertError(format!("malformed {kw}...)"))),
+                };
+            }
+        }
+        // Relation: find the dot-operator.
+        for (tok, op) in [
+            (".GE.", BinOp::Ge),
+            (".LE.", BinOp::Le),
+            (".GT.", BinOp::Gt),
+            (".LT.", BinOp::Lt),
+            (".EQ.", BinOp::Eq),
+            (".NE.", BinOp::Ne),
+        ] {
+            if let Some(pos) = squashed.find(tok) {
+                let lhs = parse_expr_str(&squashed[..pos], &[]).map_err(AssertError)?;
+                let rhs = parse_expr_str(&squashed[pos + tok.len()..], &[]).map_err(AssertError)?;
+                return Ok(Assertion::Relation { op, lhs, rhs });
+            }
+        }
+        Err(AssertError(format!("unrecognized assertion '{text}'")))
+    }
+
+    /// Fold the assertion into a symbolic environment. Non-affine
+    /// subexpressions (e.g. `ISTRT(IR)`) are canonicalized to the same
+    /// opaque symbols the dependence analyzer uses for loop bounds, so
+    /// the facts connect.
+    pub fn apply(&self, env: &mut SymbolicEnv) -> Result<(), AssertError> {
+        match self {
+            Assertion::Relation { op, lhs, rhs } => {
+                let l = normalize_opaque(lhs, env);
+                let r = normalize_opaque(rhs, env);
+                match op {
+                    BinOp::Eq => {
+                        // Prefer a substitution when one side is a bare name.
+                        if let Some(name) = single_name(&l) {
+                            env.add_subst(name, r);
+                        } else if let Some(name) = single_name(&r) {
+                            env.add_subst(name, l);
+                        } else {
+                            env.add_fact_nonneg(l.sub(&r));
+                            env.add_fact_nonneg(r.sub(&l));
+                        }
+                    }
+                    BinOp::Ge => env.add_fact_nonneg(l.sub(&r)),
+                    BinOp::Le => env.add_fact_nonneg(r.sub(&l)),
+                    BinOp::Gt => env.add_fact_nonneg(l.sub(&r).sub(&LinExpr::constant(1))),
+                    BinOp::Lt => env.add_fact_nonneg(r.sub(&l).sub(&LinExpr::constant(1))),
+                    BinOp::Ne => {
+                        return Err(AssertError(
+                            ".NE. assertions carry no usable linear fact".into(),
+                        ))
+                    }
+                    _ => return Err(AssertError("not a relational operator".into())),
+                }
+                Ok(())
+            }
+            Assertion::Permutation { array } => {
+                env.add_index_fact(
+                    array.clone(),
+                    IndexArrayFact { permutation: true, ..Default::default() },
+                );
+                Ok(())
+            }
+            Assertion::Stride { array, k } => {
+                env.add_index_fact(
+                    array.clone(),
+                    IndexArrayFact { min_stride: Some(*k), ..Default::default() },
+                );
+                Ok(())
+            }
+            Assertion::ScalarRange { name, lo, hi } => {
+                env.add_range(name.clone(), Range::between(*lo, *hi));
+                Ok(())
+            }
+            Assertion::ValueRange { array, lo, hi } => {
+                let lo_l = normalize_opaque(lo, env);
+                let hi_l = normalize_opaque(hi, env);
+                env.add_index_fact(
+                    array.clone(),
+                    IndexArrayFact {
+                        value_lo: Some(lo_l),
+                        value_hi: Some(hi_l),
+                        ..Default::default()
+                    },
+                );
+                Ok(())
+            }
+        }
+    }
+
+    /// The runtime-verifiable component, if any: index-array assertions
+    /// return the array name and the fact to check against its contents
+    /// (requirement (3) of §3.3).
+    pub fn runtime_check(&self) -> Option<(String, IndexArrayFact)> {
+        match self {
+            Assertion::Permutation { array } => Some((
+                array.clone(),
+                IndexArrayFact { permutation: true, ..Default::default() },
+            )),
+            Assertion::Stride { array, k } => Some((
+                array.clone(),
+                IndexArrayFact { min_stride: Some(*k), ..Default::default() },
+            )),
+            Assertion::ValueRange { array, lo, hi } => Some((
+                array.clone(),
+                IndexArrayFact {
+                    value_lo: ped_analysis::symbolic::to_lin(lo),
+                    value_hi: ped_analysis::symbolic::to_lin(hi),
+                    ..Default::default()
+                },
+            )),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Assertion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        use ped_fortran::pretty::print_expr;
+        match self {
+            Assertion::Relation { op, lhs, rhs } => {
+                write!(f, "ASSERT {} {op} {}", print_expr(lhs), print_expr(rhs))
+            }
+            Assertion::Permutation { array } => write!(f, "ASSERT PERMUTATION({array})"),
+            Assertion::Stride { array, k } => write!(f, "ASSERT STRIDE({array}, {k})"),
+            Assertion::ScalarRange { name, lo, hi } => {
+                write!(f, "ASSERT RANGE({name}, {lo}, {hi})")
+            }
+            Assertion::ValueRange { array, lo, hi } => {
+                write!(f, "ASSERT VALUES({array}, {}, {})", print_expr(lo), print_expr(hi))
+            }
+        }
+    }
+}
+
+/// Normalize an expression to affine form, canonicalizing non-affine
+/// subexpressions as opaque `$…` symbols.
+fn normalize_opaque(e: &Expr, env: &SymbolicEnv) -> LinExpr {
+    if let Some(l) = env.normalize(e) {
+        return l;
+    }
+    // Decompose sums/differences; leaves that stay non-affine become
+    // opaque symbols.
+    match e {
+        Expr::Bin { op: BinOp::Add, l, r } => {
+            normalize_opaque(l, env).add(&normalize_opaque(r, env))
+        }
+        Expr::Bin { op: BinOp::Sub, l, r } => {
+            normalize_opaque(l, env).sub(&normalize_opaque(r, env))
+        }
+        Expr::Un { op: ped_fortran::ast::UnOp::Neg, e } => normalize_opaque(e, env).scale(-1),
+        other => LinExpr::var(opaque_symbol(other)),
+    }
+}
+
+fn single_name(l: &LinExpr) -> Option<String> {
+    if l.konst == 0 && l.terms.len() == 1 {
+        let (n, c) = l.terms.iter().next().unwrap();
+        if *c == 1 {
+            return Some(n.clone());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_relations() {
+        let a = Assertion::parse("MCN .GT. IENDV - ISTRT").unwrap();
+        assert!(matches!(a, Assertion::Relation { op: BinOp::Gt, .. }));
+    }
+
+    #[test]
+    fn parses_properties() {
+        assert_eq!(
+            Assertion::parse("PERMUTATION(IT)").unwrap(),
+            Assertion::Permutation { array: "IT".into() }
+        );
+        assert_eq!(
+            Assertion::parse("STRIDE(IT, 3)").unwrap(),
+            Assertion::Stride { array: "IT".into(), k: 3 }
+        );
+        assert_eq!(
+            Assertion::parse("RANGE(N, 1, 100)").unwrap(),
+            Assertion::ScalarRange { name: "N".into(), lo: 1, hi: 100 }
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Assertion::parse("WHATEVER").is_err());
+        assert!(Assertion::parse("STRIDE(IT)").is_err());
+    }
+
+    #[test]
+    fn gt_relation_becomes_fact() {
+        let a = Assertion::parse("MCN .GT. IENDV - ISTRT").unwrap();
+        let mut env = SymbolicEnv::new();
+        a.apply(&mut env).unwrap();
+        // MCN - IENDV + ISTRT - 1 >= 0 provable ⇒ MCN - (IENDV-ISTRT) > 0.
+        let probe = LinExpr::var("MCN")
+            .sub(&LinExpr::var("IENDV"))
+            .add(&LinExpr::var("ISTRT"));
+        assert!(env.prove_positive(&probe));
+    }
+
+    #[test]
+    fn eq_relation_becomes_substitution() {
+        let a = Assertion::parse("JM .EQ. JMAX - 1").unwrap();
+        let mut env = SymbolicEnv::new();
+        a.apply(&mut env).unwrap();
+        let jm = env.subst.get("JM").expect("substitution");
+        assert_eq!(jm.coeff("JMAX"), 1);
+        assert_eq!(jm.konst, -1);
+    }
+
+    #[test]
+    fn nonaffine_terms_become_opaque_symbols() {
+        // The pueblo3d assertion with real array-element bounds.
+        let a = Assertion::parse("MCN .GT. IENDV(IR) - ISTRT(IR)").unwrap();
+        let mut env = SymbolicEnv::new();
+        a.apply(&mut env).unwrap();
+        // Fact mentions the same $-symbols bound_lin produces.
+        let iendv = opaque_symbol(&parse_expr_str("IENDV(IR)", &[]).unwrap());
+        let istrt = opaque_symbol(&parse_expr_str("ISTRT(IR)", &[]).unwrap());
+        let probe = LinExpr::var("MCN")
+            .sub(&LinExpr::var(iendv))
+            .add(&LinExpr::var(istrt));
+        assert!(env.prove_positive(&probe));
+    }
+
+    #[test]
+    fn scalar_range_applies() {
+        let a = Assertion::parse("RANGE(N, 1, 100)").unwrap();
+        let mut env = SymbolicEnv::new();
+        a.apply(&mut env).unwrap();
+        assert!(env.prove_nonneg(&LinExpr::var("N").sub(&LinExpr::constant(1))));
+        assert!(env.prove_nonneg(&LinExpr::constant(100).sub(&LinExpr::var("N"))));
+    }
+
+    #[test]
+    fn index_assertions_have_runtime_checks() {
+        let a = Assertion::parse("STRIDE(IT, 3)").unwrap();
+        let (name, fact) = a.runtime_check().unwrap();
+        assert_eq!(name, "IT");
+        assert_eq!(fact.min_stride, Some(3));
+        let r = Assertion::parse("N .GT. 0").unwrap();
+        assert!(r.runtime_check().is_none());
+    }
+
+    #[test]
+    fn display_round_trips_meaning() {
+        for t in ["PERMUTATION(IT)", "STRIDE(IT, 3)", "RANGE(N, 1, 100)"] {
+            let a = Assertion::parse(t).unwrap();
+            let shown = a.to_string();
+            let b = Assertion::parse(shown.strip_prefix("ASSERT ").unwrap()).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn ne_assertion_rejected() {
+        let a = Assertion::parse("N .NE. 0").unwrap();
+        let mut env = SymbolicEnv::new();
+        assert!(a.apply(&mut env).is_err());
+    }
+}

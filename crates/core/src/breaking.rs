@@ -1,0 +1,299 @@
+//! Breaking-condition derivation (§4.3).
+//!
+//! "To assist the user in deriving assertions that eliminate spurious
+//! dependences, the system may be able to derive *breaking conditions*
+//! that eliminate a particular dependence or class of dependences. In
+//! the above, a breaking condition for loop-carried dependences between
+//! instances of F(I3+1) is that IT(N) is a permutation array."
+//!
+//! Given a pending dependence, [`suggest_breaking_condition`] inspects
+//! how the test suite failed and proposes the assertion that would
+//! disprove it:
+//!
+//! * symbolic-distance pairs (`UF(I+MCN)` vs `UF(I)`) → a relation
+//!   assertion `distance > span` (the pueblo3d `MCN` condition);
+//! * same-index-array pairs with equal offsets (`F(I3+1)` vs `F(I3+1)`)
+//!   → `PERMUTATION(arr)`;
+//! * same-index-array pairs with differing constant offsets
+//!   (`F(I3+1)` vs `F(I3+3)`) → `STRIDE(arr, k)` with `k` = max offset
+//!   gap + 1 (the dpmin `IT(i)+3 ≤ IT(i+1)` condition).
+
+use crate::assertions::Assertion;
+use ped_analysis::symbolic::{lin_to_expr, LinExpr};
+use ped_dependence::graph::{bound_lin, DepId, Dependence};
+use ped_dependence::subscript::{NestCtx, SubPos};
+use ped_fortran::ast::{BinOp, Expr};
+use ped_fortran::pretty::print_expr;
+
+/// A derived breaking condition: the assertion plus an explanation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BreakingCondition {
+    /// Assertion text accepted by [`crate::session::PedSession::assert_fact`].
+    pub assertion: String,
+    pub explanation: String,
+}
+
+/// Derive a breaking condition for a pending dependence, if the failure
+/// shape is one the derivation understands. Proven dependences get none
+/// (they are facts).
+pub fn suggest_breaking_condition(
+    session: &crate::session::PedSession,
+    id: DepId,
+) -> Option<BreakingCondition> {
+    let d = session.ua.graph.get(id);
+    if d.exact || d.level.is_none() {
+        return None;
+    }
+    let (src, sink) = (d.src?, d.sink?);
+    let rs = session.ua.refs.get(src);
+    let rk = session.ua.refs.get(sink);
+    if rs.subs.is_empty() || rk.subs.is_empty() || rs.subs.len() != rk.subs.len() {
+        return None;
+    }
+    // Classify under the carrying loop's nest context.
+    let carrier = d.carrier()?;
+    let info = session.ua.nest.get(carrier);
+    let mut loop_vars: Vec<String> = session
+        .ua
+        .nest
+        .enclosing_chain(carrier)
+        .into_iter()
+        .map(|c| session.ua.nest.get(c).var.clone())
+        .collect();
+    for sub in session.ua.nest.subtree(carrier) {
+        let v = session.ua.nest.get(sub).var.clone();
+        if !loop_vars.contains(&v) {
+            loop_vars.push(v);
+        }
+    }
+    let unit = session.current_unit();
+    let nctx = NestCtx::build(loop_vars, &info.body, unit, &session.ua.refs, &session.ua.env);
+    for (es, ek) in rs.subs.iter().zip(&rk.subs) {
+        match (nctx.classify(es), nctx.classify(ek)) {
+            (SubPos::Affine(a), SubPos::Affine(b)) => {
+                if let Some(cond) = symbolic_distance_condition(&a, &b, info, &session.ua.env) {
+                    return Some(cond);
+                }
+            }
+            (
+                SubPos::IndexArr { arr: a1, add: c1, .. },
+                SubPos::IndexArr { arr: a2, add: c2, .. },
+            ) if a1 == a2 => {
+                let gap = c1.sub(&c2).as_const().map(|g| g.abs());
+                return Some(match gap {
+                    Some(0) => BreakingCondition {
+                        assertion: format!("PERMUTATION({a1})"),
+                        explanation: format!(
+                            "instances of the same {a1}-subscripted element conflict only \
+                             if {a1} repeats a value; assert it is a permutation"
+                        ),
+                    },
+                    Some(g) => BreakingCondition {
+                        assertion: format!("STRIDE({a1}, {})", g + 1),
+                        explanation: format!(
+                            "the accesses differ by offset {g}; if consecutive {a1} values \
+                             are at least {} apart the elements never coincide",
+                            g + 1
+                        ),
+                    },
+                    None => BreakingCondition {
+                        assertion: format!("PERMUTATION({a1})"),
+                        explanation: format!(
+                            "symbolic offsets through {a1}; a permutation assertion removes \
+                             the equal-offset conflicts"
+                        ),
+                    },
+                });
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The pueblo3d shape: subscripts differ by a loop-invariant symbolic
+/// distance `d`; the condition `|d| > hi - lo` disproves the dependence.
+fn symbolic_distance_condition(
+    a: &LinExpr,
+    b: &LinExpr,
+    info: &ped_analysis::loops::LoopInfo,
+    env: &ped_analysis::symbolic::SymbolicEnv,
+) -> Option<BreakingCondition> {
+    let d = a.sub(b);
+    // Must be loop-invariant (no loop-var terms).
+    if d.coeff(&info.var) != 0 {
+        return None;
+    }
+    let lo_l = bound_lin(&info.lo, env);
+    let hi_l = bound_lin(&info.hi, env);
+    let span = hi_l.sub(&lo_l);
+    let span_expr = Expr::bin(BinOp::Sub, info.hi.clone(), info.lo.clone());
+    match d.as_const() {
+        None => {
+            // Symbolic distance (the raw pueblo3d shape): assert it
+            // exceeds the span.
+            let d_expr = lin_to_expr(&d);
+            Some(BreakingCondition {
+                assertion: format!("{} .GT. {}", print_expr(&d_expr), print_expr(&span_expr)),
+                explanation: format!(
+                    "the accesses are {} elements apart; if that exceeds the loop span \
+                     ({}) no two iterations touch the same element",
+                    print_expr(&d_expr),
+                    print_expr(&span_expr)
+                ),
+            })
+        }
+        Some(k) if k != 0 && span.as_const().is_none() => {
+            // Constant distance but symbolic trip span (pueblo3d once the
+            // MCN = 128 fact is known): assert the span is shorter.
+            Some(BreakingCondition {
+                assertion: format!("{} .LT. {}", print_expr(&span_expr), k.abs()),
+                explanation: format!(
+                    "the accesses are a fixed {} elements apart; if the loop span \
+                     ({}) stays below that, no two iterations touch the same element",
+                    k.abs(),
+                    print_expr(&span_expr)
+                ),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Validate a suggested condition end-to-end: parse it, apply it, and
+/// report whether the dependence disappears. (Used by the session API
+/// and tests; does not mutate the session.)
+pub fn condition_would_break(
+    session: &crate::session::PedSession,
+    id: DepId,
+    condition: &BreakingCondition,
+) -> bool {
+    let d = session.ua.graph.get(id);
+    let Ok(assertion) = Assertion::parse(&condition.assertion) else {
+        return false;
+    };
+    let mut env = session.ua.env.clone();
+    if assertion.apply(&mut env).is_err() {
+        return false;
+    }
+    let unit = session.current_unit();
+    let symbols = ped_fortran::symbols::SymbolTable::build(unit);
+    let refs = ped_analysis::refs::RefTable::build(unit, &symbols);
+    let nest = ped_analysis::loops::LoopNest::build(unit);
+    let g = ped_dependence::graph::DependenceGraph::build(
+        unit,
+        &symbols,
+        &refs,
+        &nest,
+        &env,
+        &ped_dependence::graph::BuildOptions::default(),
+    );
+    // The dependence is broken if no dependence with the same endpoints
+    // and variable survives.
+    !g.deps.iter().any(|n| same_dep(n, d))
+}
+
+fn same_dep(a: &Dependence, b: &Dependence) -> bool {
+    a.src_stmt == b.src_stmt && a.sink_stmt == b.sink_stmt && a.var == b.var && a.level == b.level
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::PedSession;
+    use ped_analysis::loops::LoopId;
+    use ped_fortran::parser::parse_ok;
+
+    #[test]
+    fn pueblo3d_distance_condition_derived() {
+        let src = "      REAL UF(10000)\n      DO 300 I = ISTRT, IENDV\n      UF(I) = UF(I + MCN) + 1.0\n  300 CONTINUE\n      END\n";
+        let mut s = PedSession::open(parse_ok(src));
+        s.select_loop(LoopId(0)).unwrap();
+        let dep = s
+            .ua
+            .graph
+            .deps
+            .iter()
+            .find(|d| d.var == "UF" && !d.exact && d.level.is_some())
+            .unwrap()
+            .id;
+        let cond = suggest_breaking_condition(&s, dep).expect("condition");
+        assert!(
+            cond.assertion.contains("MCN") && cond.assertion.contains(".GT."),
+            "{cond:?}"
+        );
+        assert!(condition_would_break(&s, dep, &cond), "{cond:?}");
+        // Applying it through the session parallelizes the loop.
+        s.assert_fact(&cond.assertion).unwrap();
+        assert!(s.impediments(LoopId(0)).is_parallel());
+    }
+
+    #[test]
+    fn dpmin_stride_condition_derived() {
+        let src = "      INTEGER IT(100)\n      REAL F(300)\n      DO 300 N = 1, 96\n      I3 = IT(N)\n      F(I3 + 1) = F(I3 + 3) * 0.5\n  300 CONTINUE\n      END\n";
+        let mut s = PedSession::open(parse_ok(src));
+        s.select_loop(LoopId(0)).unwrap();
+        let dep = s
+            .ua
+            .graph
+            .deps
+            .iter()
+            .find(|d| d.var == "F" && !d.exact && d.level.is_some())
+            .unwrap()
+            .id;
+        let cond = suggest_breaking_condition(&s, dep).expect("condition");
+        assert_eq!(cond.assertion, "STRIDE(IT, 3)", "{cond:?}");
+        assert!(condition_would_break(&s, dep, &cond));
+    }
+
+    #[test]
+    fn permutation_condition_for_equal_offsets() {
+        let src = "      INTEGER IX(100)\n      REAL A(100), B(100)\n      DO 10 I = 1, N\n      A(IX(I)) = B(I) * 2.0\n   10 CONTINUE\n      END\n";
+        let mut s = PedSession::open(parse_ok(src));
+        s.select_loop(LoopId(0)).unwrap();
+        let dep = s
+            .ua
+            .graph
+            .deps
+            .iter()
+            .find(|d| d.var == "A" && d.level.is_some())
+            .unwrap()
+            .id;
+        let cond = suggest_breaking_condition(&s, dep).expect("condition");
+        assert_eq!(cond.assertion, "PERMUTATION(IX)");
+        assert!(condition_would_break(&s, dep, &cond));
+        s.assert_fact(&cond.assertion).unwrap();
+        assert!(s.impediments(LoopId(0)).is_parallel());
+    }
+
+    #[test]
+    fn proven_dependences_get_no_condition() {
+        let src = "      REAL A(100)\n      DO 10 I = 2, N\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n";
+        let mut s = PedSession::open(parse_ok(src));
+        s.select_loop(LoopId(0)).unwrap();
+        let dep = s.ua.graph.deps.iter().find(|d| d.exact && d.var == "A").unwrap().id;
+        assert!(suggest_breaking_condition(&s, dep).is_none());
+    }
+
+    #[test]
+    fn unhelpful_condition_detected() {
+        // A real constant-distance dependence: any suggested condition
+        // must fail validation.
+        let src = "      REAL UF(10000)\n      DO 300 I = ISTRT, IENDV\n      UF(I) = UF(I + MCN) + 1.0\n  300 CONTINUE\n      END\n";
+        let mut s = PedSession::open(parse_ok(src));
+        s.select_loop(LoopId(0)).unwrap();
+        let dep = s
+            .ua
+            .graph
+            .deps
+            .iter()
+            .find(|d| d.var == "UF" && d.level.is_some())
+            .unwrap()
+            .id;
+        let bogus = BreakingCondition {
+            assertion: "RANGE(MCN, 0, 0)".into(), // MCN = 0: dependence stays
+            explanation: String::new(),
+        };
+        assert!(!condition_would_break(&s, dep, &bogus));
+    }
+}

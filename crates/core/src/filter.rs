@@ -1,0 +1,223 @@
+//! View filtering (§3.1).
+//!
+//! "View filtering emphasizes or conceals parts of the book as specified
+//! by a user. … Dependence view filter predicates can test the computed
+//! and user-controlled attributes of a dependence, such as its source and
+//! sink variable references and line numbers, its type, loop nesting
+//! level, mark and reason. … Source view filter predicates can test
+//! attributes of a line such as if it contains certain text, if it is a
+//! loop header, or if it is erroneous."
+//!
+//! Filters are predicate trees with a small textual query syntax, e.g.
+//! `type=true & var=COEFF`, `mark=pending | mark=accepted`, `level=1`.
+
+use ped_dependence::graph::{DepKind, Dependence};
+use ped_dependence::marking::{Mark, Marking};
+
+/// A dependence filter predicate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DepFilter {
+    All,
+    Kind(DepKind),
+    Var(String),
+    Level(u32),
+    LoopIndependent,
+    MarkIs(Mark),
+    Exact(bool),
+    And(Box<DepFilter>, Box<DepFilter>),
+    Or(Box<DepFilter>, Box<DepFilter>),
+    Not(Box<DepFilter>),
+}
+
+impl DepFilter {
+    /// Evaluate against a dependence and its mark state.
+    pub fn matches(&self, d: &Dependence, marking: &Marking) -> bool {
+        match self {
+            DepFilter::All => true,
+            DepFilter::Kind(k) => d.kind == *k,
+            DepFilter::Var(v) => d.var.eq_ignore_ascii_case(v),
+            DepFilter::Level(l) => d.level == Some(*l),
+            DepFilter::LoopIndependent => d.level.is_none(),
+            DepFilter::MarkIs(m) => marking.mark_of(d.id) == *m,
+            DepFilter::Exact(e) => d.exact == *e,
+            DepFilter::And(a, b) => a.matches(d, marking) && b.matches(d, marking),
+            DepFilter::Or(a, b) => a.matches(d, marking) || b.matches(d, marking),
+            DepFilter::Not(a) => !a.matches(d, marking),
+        }
+    }
+
+    /// Parse the query syntax: `|` (or) binds loosest, then `&`, then
+    /// atoms `key=value` or `!atom` or `independent`.
+    pub fn parse(text: &str) -> Result<DepFilter, String> {
+        let text = text.trim();
+        if text.is_empty() {
+            return Ok(DepFilter::All);
+        }
+        // Split on '|' first.
+        let or_parts: Vec<&str> = text.split('|').collect();
+        if or_parts.len() > 1 {
+            let mut acc = DepFilter::parse(or_parts[0])?;
+            for p in &or_parts[1..] {
+                acc = DepFilter::Or(Box::new(acc), Box::new(DepFilter::parse(p)?));
+            }
+            return Ok(acc);
+        }
+        let and_parts: Vec<&str> = text.split('&').collect();
+        if and_parts.len() > 1 {
+            let mut acc = DepFilter::parse(and_parts[0])?;
+            for p in &and_parts[1..] {
+                acc = DepFilter::And(Box::new(acc), Box::new(DepFilter::parse(p)?));
+            }
+            return Ok(acc);
+        }
+        let atom = text.trim();
+        if let Some(rest) = atom.strip_prefix('!') {
+            return Ok(DepFilter::Not(Box::new(DepFilter::parse(rest)?)));
+        }
+        if atom.eq_ignore_ascii_case("independent") {
+            return Ok(DepFilter::LoopIndependent);
+        }
+        if atom.eq_ignore_ascii_case("all") {
+            return Ok(DepFilter::All);
+        }
+        let Some((key, value)) = atom.split_once('=') else {
+            return Err(format!("bad filter atom '{atom}'"));
+        };
+        let (key, value) = (key.trim().to_ascii_lowercase(), value.trim());
+        match key.as_str() {
+            "type" | "kind" => {
+                let k = match value.to_ascii_lowercase().as_str() {
+                    "true" | "flow" => DepKind::True,
+                    "anti" => DepKind::Anti,
+                    "output" => DepKind::Output,
+                    "input" => DepKind::Input,
+                    "control" => DepKind::Control,
+                    other => return Err(format!("unknown dependence type '{other}'")),
+                };
+                Ok(DepFilter::Kind(k))
+            }
+            "var" | "variable" => Ok(DepFilter::Var(value.to_ascii_uppercase())),
+            "level" => value
+                .parse()
+                .map(DepFilter::Level)
+                .map_err(|_| format!("bad level '{value}'")),
+            "mark" => {
+                let m = match value.to_ascii_lowercase().as_str() {
+                    "proven" => Mark::Proven,
+                    "pending" => Mark::Pending,
+                    "accepted" => Mark::Accepted,
+                    "rejected" => Mark::Rejected,
+                    other => return Err(format!("unknown mark '{other}'")),
+                };
+                Ok(DepFilter::MarkIs(m))
+            }
+            "exact" => match value.to_ascii_lowercase().as_str() {
+                "yes" | "true" => Ok(DepFilter::Exact(true)),
+                "no" | "false" => Ok(DepFilter::Exact(false)),
+                other => Err(format!("bad exact value '{other}'")),
+            },
+            other => Err(format!("unknown filter key '{other}'")),
+        }
+    }
+}
+
+/// A source-line filter predicate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SourceFilter {
+    All,
+    /// Line text contains the (case-insensitive) needle.
+    Contains(String),
+    /// Line is a loop header (`DO …`).
+    LoopHeader,
+    /// Line carries a statement label.
+    Labelled,
+    And(Box<SourceFilter>, Box<SourceFilter>),
+    Not(Box<SourceFilter>),
+}
+
+impl SourceFilter {
+    pub fn matches(&self, line: &str) -> bool {
+        match self {
+            SourceFilter::All => true,
+            SourceFilter::Contains(n) => {
+                line.to_ascii_uppercase().contains(&n.to_ascii_uppercase())
+            }
+            SourceFilter::LoopHeader => {
+                let t = line.trim_start().trim_start_matches(|c: char| c.is_ascii_digit());
+                let t = t.trim_start();
+                t.starts_with("DO ") || t.starts_with("do ")
+            }
+            SourceFilter::Labelled => line
+                .chars()
+                .take(5)
+                .any(|c| c.is_ascii_digit()),
+            SourceFilter::And(a, b) => a.matches(line) && b.matches(line),
+            SourceFilter::Not(a) => !a.matches(line),
+        }
+    }
+}
+
+/// A variable-pane filter predicate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VarFilter {
+    All,
+    Name(String),
+    ArraysOnly,
+    ScalarsOnly,
+    SharedOnly,
+    PrivateOnly,
+    InCommon(Option<String>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_compound_query() {
+        let f = DepFilter::parse("type=true & var=COEFF").unwrap();
+        assert_eq!(
+            f,
+            DepFilter::And(
+                Box::new(DepFilter::Kind(DepKind::True)),
+                Box::new(DepFilter::Var("COEFF".into()))
+            )
+        );
+    }
+
+    #[test]
+    fn parse_or_and_not() {
+        let f = DepFilter::parse("mark=pending | mark=accepted").unwrap();
+        assert!(matches!(f, DepFilter::Or(_, _)));
+        let g = DepFilter::parse("!type=control").unwrap();
+        assert!(matches!(g, DepFilter::Not(_)));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(DepFilter::parse("bogus").is_err());
+        assert!(DepFilter::parse("type=flying").is_err());
+        assert!(DepFilter::parse("level=x").is_err());
+    }
+
+    #[test]
+    fn source_filter_loop_headers() {
+        assert!(SourceFilter::LoopHeader.matches("      DO 10 I = 1, N"));
+        assert!(SourceFilter::LoopHeader.matches("   10 DO J = 1, M"));
+        assert!(!SourceFilter::LoopHeader.matches("      DOT = 1.0"));
+        assert!(!SourceFilter::LoopHeader.matches("      X = 1"));
+    }
+
+    #[test]
+    fn source_filter_labels_and_text() {
+        assert!(SourceFilter::Labelled.matches("  100 CONTINUE"));
+        assert!(!SourceFilter::Labelled.matches("      CONTINUE"));
+        assert!(SourceFilter::Contains("coeff".into()).matches("      COEFF(I,J) = 0"));
+    }
+
+    #[test]
+    fn empty_query_is_all() {
+        assert_eq!(DepFilter::parse("").unwrap(), DepFilter::All);
+        assert_eq!(DepFilter::parse("all").unwrap(), DepFilter::All);
+    }
+}

@@ -1,0 +1,74 @@
+//! # ped — the ParaScope Editor session model
+//!
+//! The paper's primary artifact: an interactive parallel programming
+//! tool that "displays the results of sophisticated program analyses,
+//! provides a set of powerful interactive transformations, and supports
+//! program editing" (abstract). This crate is the engine behind the
+//! window of Figure 1:
+//!
+//! * [`session::PedSession`] — the book-metaphor editing session with
+//!   progressive disclosure (select a loop; its dependences and
+//!   variables appear), dependence marking, variable classification,
+//!   user assertions, transformation guidance and navigation;
+//! * [`panes`] / [`render`] — the source, dependence and variable panes;
+//! * [`filter`] — the view-filter predicate language;
+//! * [`assertions`] — the §3.3 assertion language with runtime checks;
+//! * [`workmodel`] — the §3.1 work model as an automated sweep;
+//! * [`usage`] — feature-usage recording (measures Table 2's `used`).
+//!
+//! ```
+//! use ped::session::PedSession;
+//! use ped::filter::DepFilter;
+//! use ped_analysis::loops::LoopId;
+//! use ped_fortran::parser::parse_ok;
+//!
+//! let program = parse_ok(
+//!     "      REAL A(100)\n      DO 10 I = 2, N\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n",
+//! );
+//! let mut session = PedSession::open(program);
+//! session.select_loop(LoopId(0)).unwrap();
+//! let deps = session.dependence_rows(&DepFilter::All);
+//! assert!(deps.iter().any(|d| d.kind == "True"));
+//! ```
+
+pub mod assertions;
+pub mod breaking;
+pub mod filter;
+pub mod panes;
+pub mod render;
+pub mod session;
+pub mod usage;
+pub mod workmodel;
+
+pub use assertions::Assertion;
+pub use breaking::{condition_would_break, suggest_breaking_condition, BreakingCondition};
+pub use filter::{DepFilter, SourceFilter, VarFilter};
+pub use session::{PedSession, VarClass};
+pub use usage::{Feature, UsageLog};
+
+/// Static interactive-help text (§3.2: the help facility).
+pub fn help_text(topic: &str) -> String {
+    match topic.to_ascii_lowercase().as_str() {
+        "dependence" | "dependences" => "A dependence orders two references to the same \
+            variable. True = read-after-write, Anti = write-after-read, Output = \
+            write-after-write. Loop-carried dependences (LEVEL column) inhibit \
+            parallelization; reject pending ones you know to be spurious."
+            .into(),
+        "marking" | "marks" => "Marks: proven (exact test), pending (assumed), accepted, \
+            rejected. Rejected dependences are ignored for safety decisions but kept \
+            for reconsideration. Proven dependences cannot be rejected."
+            .into(),
+        "assertions" => "ASSERT <expr> .RELOP. <expr> records a symbolic relation; \
+            ASSERT PERMUTATION(a) / STRIDE(a, k) / VALUES(a, lo, hi) describe index \
+            arrays; ASSERT RANGE(x, lo, hi) bounds a scalar. Assertions feed every \
+            dependence test and can be verified at run time."
+            .into(),
+        "transformations" => "The transform menu lists Figure 2's taxonomy. Each entry \
+            reports whether it is applicable, safe and profitable for the selected \
+            loop before anything changes (power steering)."
+            .into(),
+        other => format!(
+            "No help for '{other}'. Topics: dependence, marking, assertions, transformations."
+        ),
+    }
+}

@@ -1,0 +1,156 @@
+//! The three panes of the PED window (Figure 1).
+//!
+//! "The large area at the top is the source pane displaying the Fortran
+//! text. Two footnotes beneath it, the dependence pane and the variable
+//! pane, display dependence and variable information."
+
+use ped_dependence::marking::Mark;
+
+/// One row of the dependence pane: Figure 1's
+/// `TYPE SOURCE SINK VECTOR LEVEL BLOCK MARK REASON` columns.
+#[derive(Clone, Debug)]
+pub struct DepRow {
+    pub id: ped_dependence::DepId,
+    pub kind: String,
+    pub source: String,
+    pub sink: String,
+    pub vector: String,
+    pub level: String,
+    /// Control variable of the carrying loop.
+    pub block: String,
+    pub mark: Mark,
+    pub reason: String,
+}
+
+/// One row of the variable pane: Figure 1's
+/// `NAME DIM BLOCK DEF< USE> KIND REASON` columns.
+#[derive(Clone, Debug)]
+pub struct VarRow {
+    pub name: String,
+    /// Dimensionality (0 = scalar).
+    pub dim: usize,
+    /// COMMON block name, if any.
+    pub block: String,
+    /// Line numbers of definitions outside the current loop.
+    pub defs_outside: Vec<u32>,
+    /// Line numbers of uses outside the current loop.
+    pub uses_outside: Vec<u32>,
+    /// "shared" or "private" with provenance.
+    pub kind: String,
+    pub reason: String,
+}
+
+/// One row of the source pane: ordinal line, loop marker, text.
+#[derive(Clone, Debug)]
+pub struct SourceRow {
+    pub ordinal: u32,
+    /// `*` when the line starts a loop.
+    pub loop_marker: bool,
+    /// Line belongs to the currently selected loop (highlighted).
+    pub highlighted: bool,
+    pub text: String,
+}
+
+/// Render the dependence pane as a fixed-width table.
+pub fn render_dep_pane(rows: &[DepRow]) -> String {
+    let mut out = String::from(
+        "TYPE     SOURCE            SINK              VECTOR    LVL  BLOCK  MARK      REASON\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:<17} {:<17} {:<9} {:<4} {:<6} {:<9} {}\n",
+            r.kind, r.source, r.sink, r.vector, r.level, r.block, r.mark, r.reason
+        ));
+    }
+    out
+}
+
+/// Render the variable pane as a fixed-width table.
+pub fn render_var_pane(rows: &[VarRow]) -> String {
+    let mut out =
+        String::from("NAME      DIM  BLOCK   DEF<        USE>        KIND              REASON\n");
+    for r in rows {
+        let fmt_lines = |v: &[u32]| -> String {
+            if v.is_empty() {
+                "-".to_string()
+            } else {
+                v.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(",")
+            }
+        };
+        out.push_str(&format!(
+            "{:<9} {:<4} {:<7} {:<11} {:<11} {:<17} {}\n",
+            r.name,
+            if r.dim == 0 { "-".to_string() } else { r.dim.to_string() },
+            if r.block.is_empty() { "-" } else { &r.block },
+            fmt_lines(&r.defs_outside),
+            fmt_lines(&r.uses_outside),
+            r.kind,
+            r.reason
+        ));
+    }
+    out
+}
+
+/// Render the source pane with marginal annotations.
+pub fn render_source_pane(rows: &[SourceRow]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        let marker = if r.loop_marker { '*' } else { ' ' };
+        let hl = if r.highlighted { '>' } else { ' ' };
+        out.push_str(&format!("{marker}{hl}{:>4}  {}\n", r.ordinal, r.text));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dep_pane_renders_columns() {
+        let rows = vec![DepRow {
+            id: ped_dependence::DepId(0),
+            kind: "True".into(),
+            source: "COEFF(I, J)".into(),
+            sink: "COEFF(K, J)".into(),
+            vector: "(*)".into(),
+            level: "1".into(),
+            block: "I".into(),
+            mark: Mark::Pending,
+            reason: String::new(),
+        }];
+        let txt = render_dep_pane(&rows);
+        assert!(txt.contains("TYPE"), "{txt}");
+        assert!(txt.contains("COEFF(I, J)"), "{txt}");
+        assert!(txt.contains("pending"), "{txt}");
+    }
+
+    #[test]
+    fn var_pane_renders_columns() {
+        let rows = vec![VarRow {
+            name: "COEFF".into(),
+            dim: 2,
+            block: "GRID".into(),
+            defs_outside: vec![12],
+            uses_outside: vec![],
+            kind: "shared".into(),
+            reason: String::new(),
+        }];
+        let txt = render_var_pane(&rows);
+        assert!(txt.contains("COEFF"), "{txt}");
+        assert!(txt.contains("GRID"), "{txt}");
+        assert!(txt.contains("12"), "{txt}");
+        assert!(txt.contains("shared"), "{txt}");
+    }
+
+    #[test]
+    fn source_pane_markers() {
+        let rows = vec![
+            SourceRow { ordinal: 1, loop_marker: true, highlighted: true, text: "DO 10 I = 1, N".into() },
+            SourceRow { ordinal: 2, loop_marker: false, highlighted: true, text: "A(I) = 0".into() },
+        ];
+        let txt = render_source_pane(&rows);
+        assert!(txt.starts_with("*>   1"), "{txt}");
+        assert!(txt.contains(">   2  A(I) = 0"), "{txt}");
+    }
+}

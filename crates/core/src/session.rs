@@ -1,0 +1,952 @@
+//! The PED editing session.
+//!
+//! [`PedSession`] is the programmatic equivalent of the editor window of
+//! Figure 1: it holds the program, the per-unit analyses, the selected
+//! loop (progressive disclosure), the dependence marks, the variable
+//! classifications, and the user assertions — and it records which
+//! features are exercised, which is how the reproduction *measures* the
+//! `used` column of Table 2.
+
+use crate::assertions::{AssertError, Assertion};
+use crate::filter::{DepFilter, VarFilter};
+use crate::panes::{DepRow, SourceRow, VarRow};
+use crate::usage::{Feature, UsageLog};
+use ped_analysis::defuse::EffectsMap;
+use ped_analysis::loops::LoopId;
+use ped_analysis::privatize::PrivStatus;
+use ped_analysis::symbolic::SymbolicEnv;
+use ped_dependence::marking::{Mark, MarkError};
+use ped_dependence::DepId;
+use ped_fortran::ast::{Program, StmtId, StmtKind};
+use ped_fortran::pretty::print_lvalue;
+use ped_transform::advice::{Applied, TransformError};
+use ped_transform::ctx::UnitAnalysis;
+use std::collections::HashMap;
+
+/// User classification of a variable with respect to a loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VarClass {
+    Shared,
+    Private,
+}
+
+impl std::fmt::Display for VarClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VarClass::Shared => write!(f, "shared"),
+            VarClass::Private => write!(f, "private"),
+        }
+    }
+}
+
+/// The interactive session.
+pub struct PedSession {
+    pub program: Program,
+    unit_idx: usize,
+    pub ua: UnitAnalysis,
+    pub assertions: Vec<Assertion>,
+    /// User classification overrides: (loop, variable) → (class, reason).
+    pub classification: HashMap<(LoopId, String), (VarClass, Option<String>)>,
+    pub selected: Option<LoopId>,
+    pub usage: UsageLog,
+    pub effects: EffectsMap,
+}
+
+impl PedSession {
+    /// Open a program in the editor: runs the full interprocedural
+    /// analysis suite and builds the current unit's analyses.
+    pub fn open(program: Program) -> PedSession {
+        let effects = ped_interproc::modref_analyze(&program);
+        let env = Self::compute_env(&program, 0, &[]);
+        let ua = UnitAnalysis::build(&program.units[0], env, Some(&effects));
+        PedSession {
+            program,
+            unit_idx: 0,
+            ua,
+            assertions: Vec::new(),
+            classification: HashMap::new(),
+            selected: None,
+            usage: UsageLog::default(),
+            effects,
+        }
+    }
+
+    /// The symbolic environment for a unit: global interprocedural facts
+    /// + intraprocedural invariant relations + user assertions.
+    fn compute_env(program: &Program, unit_idx: usize, assertions: &[Assertion]) -> SymbolicEnv {
+        let mut env = ped_interproc::global_symbolic_facts(program);
+        let unit = &program.units[unit_idx];
+        let symbols = ped_fortran::symbols::SymbolTable::build(unit);
+        let refs = ped_analysis::refs::RefTable::build(unit, &symbols);
+        let cfg = ped_analysis::Cfg::build(unit);
+        let local = ped_analysis::symbolic::detect_invariant_relations(unit, &symbols, &refs, &cfg);
+        for (n, l) in local.subst {
+            env.add_subst(n, l);
+        }
+        for (n, r) in local.ranges {
+            env.add_range(n, r);
+        }
+        for a in assertions {
+            let _ = a.apply(&mut env);
+        }
+        env
+    }
+
+    /// Rebuild all analyses of the current unit (after an edit,
+    /// transformation, or new assertion).
+    pub fn reanalyze(&mut self) {
+        let env = Self::compute_env(&self.program, self.unit_idx, &self.assertions);
+        let old = std::mem::replace(
+            &mut self.ua,
+            UnitAnalysis::build(&self.program.units[self.unit_idx], env, Some(&self.effects)),
+        );
+        // Carry user marks across (same endpoints/var/level/kind).
+        for new in &self.ua.graph.deps {
+            for d in &old.graph.deps {
+                if d.src_stmt == new.src_stmt
+                    && d.sink_stmt == new.sink_stmt
+                    && d.var == new.var
+                    && d.level == new.level
+                    && d.kind == new.kind
+                {
+                    let m = old.marking.mark_of(d.id);
+                    if matches!(m, Mark::Accepted | Mark::Rejected) {
+                        let reason = old.marking.reason_of(d.id).map(|s| s.to_string());
+                        let _ = self.ua.marking.set(new.id, m, reason);
+                    }
+                }
+            }
+        }
+        // Keep the selection when the loop still exists.
+        if let Some(sel) = self.selected {
+            if sel.0 as usize >= self.ua.nest.len() {
+                self.selected = None;
+            }
+        }
+    }
+
+    /// Switch to another program unit by name.
+    pub fn select_unit(&mut self, name: &str) -> Result<(), String> {
+        let idx = self
+            .program
+            .units
+            .iter()
+            .position(|u| u.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| format!("unknown unit {name}"))?;
+        self.unit_idx = idx;
+        self.selected = None;
+        self.reanalyze();
+        self.usage.record(Feature::ProgramNavigation);
+        Ok(())
+    }
+
+    pub fn unit_index(&self) -> usize {
+        self.unit_idx
+    }
+
+    pub fn current_unit(&self) -> &ped_fortran::ast::ProcUnit {
+        &self.program.units[self.unit_idx]
+    }
+
+    // -- progressive disclosure -----------------------------------------
+
+    /// Select a loop: the dependence and variable panes now show its
+    /// information (§3.1).
+    pub fn select_loop(&mut self, l: LoopId) -> Result<(), String> {
+        if (l.0 as usize) < self.ua.nest.len() {
+            self.selected = Some(l);
+            self.usage.record(Feature::ProgramNavigation);
+            Ok(())
+        } else {
+            Err(format!("no such loop {l}"))
+        }
+    }
+
+    /// Dependence pane rows for the selected loop, optionally filtered.
+    pub fn dependence_rows(&mut self, filter: &DepFilter) -> Vec<DepRow> {
+        let Some(sel) = self.selected else {
+            return Vec::new();
+        };
+        if *filter != DepFilter::All {
+            self.usage.record(Feature::ViewFiltering);
+        }
+        self.usage.record(Feature::DependenceNavigation);
+        let marking = &self.ua.marking;
+        self.ua
+            .graph
+            .for_loop(sel)
+            .filter(|d| filter.matches(d, marking))
+            .map(|d| {
+                let ref_text = |r: Option<ped_analysis::refs::RefId>| -> String {
+                    match r {
+                        Some(id) => {
+                            let vr = self.ua.refs.get(id);
+                            if vr.subs.is_empty() {
+                                vr.name.clone()
+                            } else {
+                                print_lvalue(&ped_fortran::ast::LValue::Elem {
+                                    name: vr.name.clone(),
+                                    subs: vr.subs.clone(),
+                                })
+                            }
+                        }
+                        None => stmt_desc(&self.program, d.src_stmt),
+                    }
+                };
+                DepRow {
+                    id: d.id,
+                    kind: d.kind.to_string(),
+                    source: ref_text(d.src),
+                    sink: match d.sink {
+                        Some(_) => ref_text(d.sink),
+                        None => stmt_desc(&self.program, d.sink_stmt),
+                    },
+                    vector: d.vector.to_string(),
+                    level: d.level.map(|l| l.to_string()).unwrap_or_else(|| "-".into()),
+                    block: d
+                        .carrier()
+                        .map(|c| self.ua.nest.get(c).var.clone())
+                        .unwrap_or_default(),
+                    mark: marking.mark_of(d.id),
+                    reason: marking.reason_of(d.id).unwrap_or("").to_string(),
+                }
+            })
+            .collect()
+    }
+
+    /// Variable pane rows for the selected loop.
+    pub fn variable_rows(&mut self, filter: &VarFilter) -> Vec<VarRow> {
+        let Some(sel) = self.selected else {
+            return Vec::new();
+        };
+        if *filter != VarFilter::All {
+            self.usage.record(Feature::ViewFiltering);
+        }
+        let info = self.ua.nest.get(sel);
+        let body: std::collections::HashSet<StmtId> = info.body.iter().copied().collect();
+        let privs = ped_analysis::privatize::analyze_loop(
+            &self.ua.symbols,
+            &self.ua.cfg,
+            &self.ua.refs,
+            &self.ua.defuse,
+            info,
+        );
+        // Variables referenced in the loop.
+        let mut names: Vec<String> = Vec::new();
+        for r in &self.ua.refs.refs {
+            if body.contains(&r.stmt) && !names.contains(&r.name) {
+                names.push(r.name.clone());
+            }
+        }
+        let line_of = |s: StmtId| -> u32 {
+            ped_fortran::ast::find_stmt(&self.program.units[self.unit_idx].body, s)
+                .map(|st| st.span.start)
+                .unwrap_or(0)
+        };
+        let mut rows = Vec::new();
+        for name in names {
+            let sym = self.ua.symbols.get(&name);
+            let dim = sym.map(|s| s.dims.len()).unwrap_or(0);
+            let block = sym
+                .and_then(|s| s.common_block.clone())
+                .flatten()
+                .unwrap_or_default();
+            match filter {
+                VarFilter::All => {}
+                VarFilter::Name(n) => {
+                    if !n.eq_ignore_ascii_case(&name) {
+                        continue;
+                    }
+                }
+                VarFilter::ArraysOnly => {
+                    if dim == 0 {
+                        continue;
+                    }
+                }
+                VarFilter::ScalarsOnly => {
+                    if dim > 0 {
+                        continue;
+                    }
+                }
+                VarFilter::InCommon(b) => {
+                    let want = b.clone().unwrap_or_default();
+                    if block != want {
+                        continue;
+                    }
+                }
+                VarFilter::SharedOnly | VarFilter::PrivateOnly => {}
+            }
+            let defs_outside: Vec<u32> = self
+                .ua
+                .refs
+                .defs_of(&name)
+                .filter(|r| !body.contains(&r.stmt))
+                .map(|r| line_of(r.stmt))
+                .collect();
+            let uses_outside: Vec<u32> = self
+                .ua
+                .refs
+                .uses_of(&name)
+                .filter(|r| !body.contains(&r.stmt))
+                .map(|r| line_of(r.stmt))
+                .collect();
+            // Classification: user override wins, then analysis.
+            let (kind, reason) = match self.classification.get(&(sel, name.clone())) {
+                Some((c, reason)) => {
+                    (format!("{c} (user)"), reason.clone().unwrap_or_default())
+                }
+                None => {
+                    if info.var == name {
+                        ("private (loop index)".into(), String::new())
+                    } else if dim == 0 {
+                        match privs.status(&name) {
+                            Some(PrivStatus::Private) => ("private".into(), "killed each iteration".into()),
+                            Some(PrivStatus::PrivateNeedsLastValue) => {
+                                ("private+lastvalue".into(), "killed; live after loop".into())
+                            }
+                            _ => ("shared".into(), String::new()),
+                        }
+                    } else {
+                        ("shared".into(), String::new())
+                    }
+                }
+            };
+            match filter {
+                VarFilter::SharedOnly if !kind.starts_with("shared") => continue,
+                VarFilter::PrivateOnly if !kind.starts_with("private") => continue,
+                _ => {}
+            }
+            rows.push(VarRow { name, dim, block, defs_outside, uses_outside, kind, reason });
+        }
+        rows
+    }
+
+    /// Source pane rows with loop markers; the selected loop highlighted.
+    pub fn source_rows(&self) -> Vec<SourceRow> {
+        let text = ped_fortran::pretty::print_program(&self.program);
+        let selected_span = self.selected.map(|l| {
+            let info = self.ua.nest.get(l);
+            let unit = &self.program.units[self.unit_idx];
+            let s = ped_fortran::ast::find_stmt(&unit.body, info.stmt);
+            s.map(|st| st.span).unwrap_or_default()
+        });
+        let _ = selected_span;
+        let unit_name = self.current_unit().name.clone();
+        let mut in_unit = false;
+        let mut rows = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let up = line.to_ascii_uppercase();
+            if up.contains(&format!("PROGRAM {}", unit_name.to_ascii_uppercase()))
+                || up.contains(&format!("SUBROUTINE {}", unit_name.to_ascii_uppercase()))
+                || up.contains(&format!("FUNCTION {}", unit_name.to_ascii_uppercase()))
+            {
+                in_unit = true;
+            }
+            let t = line.trim_start().trim_start_matches(|c: char| c.is_ascii_digit());
+            let is_loop = t.trim_start().starts_with("DO ");
+            rows.push(SourceRow {
+                ordinal: (i + 1) as u32,
+                loop_marker: is_loop,
+                highlighted: in_unit && self.selected.is_some() && is_loop,
+                text: line.to_string(),
+            });
+            if up.trim() == "END" {
+                in_unit = false;
+            }
+        }
+        rows
+    }
+
+    // -- dependence marking (the §3.1 editing operations) ----------------
+
+    /// Mark a dependence; rejecting logs "dependence deletion".
+    pub fn mark_dependence(
+        &mut self,
+        id: DepId,
+        mark: Mark,
+        reason: Option<String>,
+    ) -> Result<(), MarkError> {
+        if mark == Mark::Rejected {
+            self.usage.record(Feature::DependenceDeletion);
+        }
+        self.ua.marking.set(id, mark, reason)
+    }
+
+    /// Mark Dependences dialog: classify every dependence of the selected
+    /// loop matching the filter. Returns how many were marked.
+    pub fn mark_dependences_where(
+        &mut self,
+        filter: &DepFilter,
+        mark: Mark,
+        reason: Option<&str>,
+    ) -> usize {
+        let Some(sel) = self.selected else { return 0 };
+        if mark == Mark::Rejected {
+            self.usage.record(Feature::DependenceDeletion);
+        }
+        let ids: Vec<DepId> = {
+            let marking = &self.ua.marking;
+            self.ua
+                .graph
+                .for_loop(sel)
+                .filter(|d| filter.matches(d, marking))
+                .map(|d| d.id)
+                .collect()
+        };
+        let mut count = 0;
+        for id in ids {
+            if self.ua.marking.set(id, mark, reason.map(|s| s.to_string())).is_ok() {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    // -- variable classification ------------------------------------------
+
+    /// Classify a variable for the selected loop. Classifying a variable
+    /// private that analysis believes is shared is a user override (the
+    /// "overly conservative classification" correction of §3.1).
+    pub fn classify_variable(
+        &mut self,
+        name: &str,
+        class: VarClass,
+        reason: Option<String>,
+    ) -> Result<(), String> {
+        let sel = self.selected.ok_or("no loop selected")?;
+        self.usage.record(Feature::VariableClassification);
+        self.classification
+            .insert((sel, name.to_ascii_uppercase()), (class, reason));
+        Ok(())
+    }
+
+    /// Names the user has classified private for a loop.
+    pub fn user_private(&self, l: LoopId) -> Vec<String> {
+        self.classification
+            .iter()
+            .filter(|((ll, _), (c, _))| *ll == l && *c == VarClass::Private)
+            .map(|((_, n), _)| n.clone())
+            .collect()
+    }
+
+    // -- assertions -------------------------------------------------------
+
+    /// Add a user assertion and fold it into all analyses.
+    pub fn assert_fact(&mut self, text: &str) -> Result<(), AssertError> {
+        let a = Assertion::parse(text)?;
+        // Validate it applies cleanly before recording.
+        let mut probe = SymbolicEnv::new();
+        a.apply(&mut probe)?;
+        self.assertions.push(a);
+        self.usage.record(Feature::AccessToAnalysis);
+        self.reanalyze();
+        Ok(())
+    }
+
+    // -- parallelization ---------------------------------------------------
+
+    /// Parallelization report for a loop, honoring user classifications.
+    pub fn impediments(
+        &self,
+        l: LoopId,
+    ) -> ped_transform::parallelize::ParallelizationReport {
+        let mut report = ped_transform::analyze_parallelization(
+            &self.program.units[self.unit_idx],
+            &self.ua,
+            l,
+        );
+        let user_priv = self.user_private(l);
+        if !user_priv.is_empty() {
+            report
+                .impediments
+                .retain(|i| !user_priv.iter().any(|p| p.eq_ignore_ascii_case(&i.var)));
+        }
+        report
+    }
+
+    /// Certify a loop parallel; fails with the impediment list otherwise.
+    pub fn parallelize(&mut self, l: LoopId) -> Result<Applied, TransformError> {
+        let report = self.impediments(l);
+        if !report.is_parallel() {
+            let first = &report.impediments[0];
+            return Err(TransformError::Unsafe(format!(
+                "{} impediment(s); first: {} dependence on {}",
+                report.impediments.len(),
+                first.kind,
+                first.var
+            )));
+        }
+        let target = self.ua.nest.get(l).stmt;
+        ped_transform::util::with_do_mut(
+            &mut self.program.units[self.unit_idx].body,
+            target,
+            |s| {
+                if let StmtKind::Do { sched, .. } = &mut s.kind {
+                    *sched = ped_fortran::ast::LoopSched::Parallel;
+                }
+            },
+        )
+        .ok_or_else(|| TransformError::Internal("loop not found".into()))?;
+        self.reanalyze();
+        Ok(Applied::note("loop certified parallel"))
+    }
+
+    // -- transformations ----------------------------------------------------
+
+    /// Transformation guidance (§5.3): evaluate each catalog entry's
+    /// advice for the loop and return only the safe ones.
+    pub fn suggest_transformations(
+        &mut self,
+        l: LoopId,
+    ) -> Vec<(String, ped_transform::Advice)> {
+        self.usage.record(Feature::AccessToAnalysis);
+        let unit = &self.program.units[self.unit_idx];
+        let mut out = Vec::new();
+        let candidates: Vec<(String, ped_transform::Advice)> = vec![
+            (
+                "Loop Distribution".into(),
+                ped_transform::reorder::distribute_advice(unit, &self.ua, l),
+            ),
+            (
+                "Loop Interchange".into(),
+                ped_transform::reorder::interchange_advice(unit, &self.ua, l),
+            ),
+            ("Loop Reversal".into(), ped_transform::reorder::reversal_advice(&self.ua, l)),
+            (
+                "Sequential <-> Parallel".into(),
+                ped_transform::parallelize::parallelize_advice(unit, &self.ua, l),
+            ),
+            (
+                "Loop Unrolling".into(),
+                ped_transform::memory::unroll_advice(&self.ua, l, 4),
+            ),
+            (
+                "Unroll and Jam".into(),
+                ped_transform::memory::unroll_and_jam_advice(unit, &self.ua, l),
+            ),
+        ];
+        for (name, advice) in candidates {
+            if advice.applicable && advice.safety == ped_transform::Safety::Safe {
+                out.push((name, advice));
+            }
+        }
+        out
+    }
+
+    /// Apply a transformation by closure (used by the named wrappers) and
+    /// re-analyze.
+    pub fn transform_with(
+        &mut self,
+        f: impl FnOnce(&mut Program, usize, &UnitAnalysis) -> Result<Applied, TransformError>,
+    ) -> Result<Applied, TransformError> {
+        let r = f(&mut self.program, self.unit_idx, &self.ua)?;
+        self.reanalyze();
+        Ok(r)
+    }
+
+    // -- navigation & other tools -------------------------------------------
+
+    /// Rank loops by estimated cost (optionally profile-weighted): the
+    /// navigation assistance of §3.2.
+    pub fn navigate(
+        &mut self,
+        profile: Option<&HashMap<StmtId, u64>>,
+    ) -> Vec<ped_estimate::LoopRank> {
+        self.usage.record(Feature::ProgramNavigation);
+        ped_estimate::rank_loops(&self.program, &ped_estimate::CostModel::default(), profile)
+    }
+
+    /// Textual call graph (§3.2's requested "big picture").
+    pub fn call_graph(&mut self) -> String {
+        self.usage.record(Feature::ProgramNavigation);
+        ped_interproc::CallGraph::build(&self.program).render_text()
+    }
+
+    /// Composition Editor checks (§3.2).
+    pub fn compose_check(&mut self) -> Vec<ped_interproc::ComposeIssue> {
+        self.usage.record(Feature::InterfaceErrorDetection);
+        ped_interproc::compose_check(&self.program)
+    }
+
+    /// Run the program on the simulated parallel machine; loop profiles
+    /// feed back into navigation.
+    pub fn run(
+        &self,
+        opts: ped_runtime::RunOptions,
+    ) -> Result<ped_runtime::RunOutput, ped_runtime::RuntimeError> {
+        ped_runtime::run(&self.program, opts)
+    }
+
+    /// Interactive help (§3.2: "two users found the interactive help
+    /// facility useful").
+    pub fn help(&mut self, topic: &str) -> String {
+        self.usage.record(Feature::Help);
+        crate::help_text(topic)
+    }
+
+    /// Dependence endpoint navigation (§3.2: "they needed to visit
+    /// dependence endpoints quickly rather than having to scroll through
+    /// the source"): the source lines of a dependence's endpoints.
+    pub fn endpoint_lines(&mut self, id: DepId) -> (u32, u32) {
+        self.usage.record(Feature::DependenceNavigation);
+        let d = self.ua.graph.get(id);
+        let line = |stmt| {
+            ped_fortran::ast::find_stmt(&self.program.units[self.unit_idx].body, stmt)
+                .map(|s| s.span.start)
+                .unwrap_or(0)
+        };
+        (line(d.src_stmt), line(d.sink_stmt))
+    }
+
+    /// §4.3 breaking-condition assistance: for every impediment of the
+    /// selected loop, derive (and validate) the assertion that would
+    /// eliminate it.
+    pub fn suggest_breaking_conditions(
+        &mut self,
+        l: LoopId,
+    ) -> Vec<(DepId, crate::breaking::BreakingCondition)> {
+        self.usage.record(Feature::AccessToAnalysis);
+        let ids: Vec<DepId> = self
+            .ua
+            .graph
+            .parallelism_inhibitors(l)
+            .filter(|d| self.ua.marking.is_active(d.id))
+            .map(|d| d.id)
+            .collect();
+        let mut out = Vec::new();
+        for id in ids {
+            if let Some(cond) = crate::breaking::suggest_breaking_condition(self, id) {
+                if crate::breaking::condition_would_break(self, id, &cond) {
+                    out.push((id, cond));
+                }
+            }
+        }
+        out
+    }
+
+    // -- editing (§3.1: "supports program editing … incremental parsing
+    //    occurs in response to edits, and the user is immediately
+    //    informed of any syntactic or semantic errors") ------------------
+
+    /// Replace a statement with newly-typed source text. The text is
+    /// parsed immediately; on error nothing changes and the diagnostics
+    /// are returned. On success all analyses are rebuilt (marks carried
+    /// over where dependences survive).
+    pub fn edit_statement(&mut self, target: StmtId, text: &str) -> Result<(), String> {
+        let new_kind = Self::parse_simple_statement(text)?;
+        let id = self.program.fresh_stmt();
+        let replaced = ped_transform::util::with_containing_block(
+            &mut self.program.units[self.unit_idx].body,
+            target,
+            |block, i| {
+                let label = block[i].label;
+                let span = block[i].span;
+                let mut stmt = ped_fortran::ast::Stmt::new(id, new_kind).with_span(span);
+                stmt.label = label;
+                block[i] = stmt;
+            },
+        );
+        if replaced.is_none() {
+            return Err(format!("statement {target} not found in the current unit"));
+        }
+        self.reanalyze();
+        Ok(())
+    }
+
+    /// Insert a newly-typed statement after `anchor`.
+    pub fn insert_statement_after(&mut self, anchor: StmtId, text: &str) -> Result<(), String> {
+        let new_kind = Self::parse_simple_statement(text)?;
+        let id = self.program.fresh_stmt();
+        let inserted = ped_transform::util::with_containing_block(
+            &mut self.program.units[self.unit_idx].body,
+            anchor,
+            |block, i| {
+                block.insert(i + 1, ped_fortran::ast::Stmt::new(id, new_kind));
+            },
+        );
+        if inserted.is_none() {
+            return Err(format!("statement {anchor} not found in the current unit"));
+        }
+        self.reanalyze();
+        Ok(())
+    }
+
+    /// Parse one simple (non-block) statement from user-typed text.
+    fn parse_simple_statement(text: &str) -> Result<StmtKind, String> {
+        let wrapped = format!("      {}
+      END
+", text.trim());
+        let (prog, diags) = ped_fortran::parse(&wrapped);
+        if diags.has_errors() {
+            return Err(diags
+                .errors()
+                .map(|d| d.message.clone())
+                .collect::<Vec<_>>()
+                .join("; "));
+        }
+        let unit = prog.units.into_iter().next().ok_or("empty statement")?;
+        match unit.body.into_iter().next() {
+            Some(s) if matches!(s.kind, StmtKind::Do { .. } | StmtKind::If { .. }) => {
+                Err("block statements cannot be edited in one line; edit their parts".into())
+            }
+            Some(s) => Ok(s.kind),
+            None => Err("no statement found".into()),
+        }
+    }
+
+    /// §3.2: "One user wanted the ability to print the program,
+    /// dependences, and variable information" — a complete textual
+    /// report of the session state for the selected loop.
+    pub fn print_report(&mut self) -> String {
+        let mut out = String::new();
+        out.push_str("=== program ===\n");
+        out.push_str(&ped_fortran::pretty::print_program(&self.program));
+        if self.selected.is_some() {
+            out.push_str("\n=== dependences (selected loop) ===\n");
+            out.push_str(&crate::panes::render_dep_pane(
+                &self.dependence_rows(&DepFilter::All),
+            ));
+            out.push_str("\n=== variables (selected loop) ===\n");
+            out.push_str(&crate::panes::render_var_pane(
+                &self.variable_rows(&VarFilter::All),
+            ));
+        }
+        if !self.assertions.is_empty() {
+            out.push_str("\n=== assertions ===\n");
+            for a in &self.assertions {
+                out.push_str(&format!("{a}\n"));
+            }
+        }
+        let (proven, pending, accepted, rejected) = self.ua.marking.counts();
+        out.push_str(&format!(
+            "\n=== marks === proven {proven}, pending {pending}, accepted {accepted}, rejected {rejected}\n"
+        ));
+        out
+    }
+
+    /// Run the program once to gather loop-level profiles and feed them
+    /// into navigation — the dynamic variant of §3.2's request.
+    pub fn navigate_with_profile(
+        &mut self,
+        opts: ped_runtime::RunOptions,
+    ) -> Result<Vec<ped_estimate::LoopRank>, ped_runtime::RuntimeError> {
+        let out = self.run(opts)?;
+        Ok(self.navigate(Some(&out.stats.loop_iterations)))
+    }
+}
+
+fn stmt_desc(program: &Program, stmt: StmtId) -> String {
+    for u in &program.units {
+        if let Some(s) = ped_fortran::ast::find_stmt(&u.body, stmt) {
+            let mut out = String::new();
+            match &s.kind {
+                StmtKind::If { arms, .. } => {
+                    out = format!("IF ({})", ped_fortran::pretty::print_expr(&arms[0].0))
+                }
+                StmtKind::LogicalIf { cond, .. } => {
+                    out = format!("IF ({})", ped_fortran::pretty::print_expr(cond))
+                }
+                StmtKind::ArithIf { expr, .. } => {
+                    out = format!("IF ({})", ped_fortran::pretty::print_expr(expr))
+                }
+                _ => {
+                    ped_fortran::pretty::print_block(std::slice::from_ref(s), 0, &mut out);
+                    out = out.trim().to_string();
+                }
+            }
+            if out.len() > 17 {
+                out.truncate(17);
+            }
+            return out;
+        }
+    }
+    format!("{stmt}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parser::parse_ok;
+
+    const RECURRENCE: &str = "      REAL A(100), B(100)\n      DO 10 I = 2, N\n      A(I) = A(I-1)\n      B(I) = 2.0\n   10 CONTINUE\n      END\n";
+
+    #[test]
+    fn open_and_select() {
+        let mut s = PedSession::open(parse_ok(RECURRENCE));
+        assert_eq!(s.ua.nest.len(), 1);
+        s.select_loop(LoopId(0)).unwrap();
+        let rows = s.dependence_rows(&DepFilter::All);
+        assert!(rows.iter().any(|r| r.source.contains("A(I)")));
+    }
+
+    #[test]
+    fn progressive_disclosure_requires_selection() {
+        let mut s = PedSession::open(parse_ok(RECURRENCE));
+        assert!(s.dependence_rows(&DepFilter::All).is_empty());
+        assert!(s.variable_rows(&VarFilter::All).is_empty());
+    }
+
+    #[test]
+    fn dependence_filtering() {
+        let mut s = PedSession::open(parse_ok(RECURRENCE));
+        s.select_loop(LoopId(0)).unwrap();
+        let all = s.dependence_rows(&DepFilter::All).len();
+        let a_only = s.dependence_rows(&DepFilter::parse("var=A").unwrap()).len();
+        assert!(a_only < all || all == a_only);
+        assert!(a_only >= 1);
+        let none = s.dependence_rows(&DepFilter::parse("var=ZZZ").unwrap()).len();
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn variable_pane_kinds() {
+        let src = "      REAL A(100), B(100)\n      DO 10 I = 1, N\n      T = A(I)\n      B(I) = T\n   10 CONTINUE\n      END\n";
+        let mut s = PedSession::open(parse_ok(src));
+        s.select_loop(LoopId(0)).unwrap();
+        let rows = s.variable_rows(&VarFilter::All);
+        let t = rows.iter().find(|r| r.name == "T").unwrap();
+        assert!(t.kind.starts_with("private"), "{t:?}");
+        let a = rows.iter().find(|r| r.name == "A").unwrap();
+        assert_eq!(a.dim, 1);
+        assert!(a.kind.starts_with("shared"));
+        let i = rows.iter().find(|r| r.name == "I").unwrap();
+        assert!(i.kind.contains("loop index"));
+    }
+
+    #[test]
+    fn parallelize_blocked_then_unblocked_by_marking() {
+        let src = "      INTEGER IX(100)\n      REAL A(100), B(100)\n      DO 10 I = 1, N\n      A(IX(I)) = B(I) + A(IX(I) + 1)\n   10 CONTINUE\n      END\n";
+        let mut s = PedSession::open(parse_ok(src));
+        s.select_loop(LoopId(0)).unwrap();
+        assert!(s.parallelize(LoopId(0)).is_err());
+        let n = s.mark_dependences_where(
+            &DepFilter::parse("mark=pending & var=A").unwrap(),
+            Mark::Rejected,
+            Some("IX values are distinct and non-adjacent"),
+        );
+        assert!(n > 0);
+        s.parallelize(LoopId(0)).unwrap();
+        assert!(ped_fortran::pretty::print_program(&s.program).contains("CDOALL"));
+        assert!(s.usage.count(Feature::DependenceDeletion) > 0);
+    }
+
+    #[test]
+    fn assertion_removes_dependences() {
+        // pueblo3d: the MCN assertion makes the loop parallel.
+        let src = "      REAL UF(10000)\n      INTEGER ISTRT(10), IENDV(10)\n      DO 300 I = ISTRT(IR), IENDV(IR)\n      UF(I) = UF(I + MCN) + 1.0\n  300 CONTINUE\n      END\n";
+        let mut s = PedSession::open(parse_ok(src));
+        s.select_loop(LoopId(0)).unwrap();
+        assert!(!s.impediments(LoopId(0)).is_parallel());
+        s.assert_fact("MCN .GT. IENDV(IR) - ISTRT(IR)").unwrap();
+        assert!(
+            s.impediments(LoopId(0)).is_parallel(),
+            "{:?}",
+            s.impediments(LoopId(0)).impediments
+        );
+        s.parallelize(LoopId(0)).unwrap();
+    }
+
+    #[test]
+    fn variable_classification_overrides_analysis() {
+        // A conditional def makes T shared per analysis; the user knows
+        // better (e.g. the condition always fires first iteration).
+        let src = "      REAL A(100), B(100)\n      DO 10 I = 1, N\n      IF (A(I) .GT. 0.0) THEN\n      T = A(I)\n      END IF\n      B(I) = T\n   10 CONTINUE\n      END\n";
+        let mut s = PedSession::open(parse_ok(src));
+        s.select_loop(LoopId(0)).unwrap();
+        assert!(!s.impediments(LoopId(0)).is_parallel());
+        s.classify_variable("T", VarClass::Private, Some("always set before use".into()))
+            .unwrap();
+        assert!(s.impediments(LoopId(0)).is_parallel());
+        let rows = s.variable_rows(&VarFilter::All);
+        let t = rows.iter().find(|r| r.name == "T").unwrap();
+        assert!(t.kind.contains("user"));
+    }
+
+    #[test]
+    fn suggestions_only_safe(){
+        let src = "      REAL A(100,100)\n      DO 10 I = 2, N\n      DO 10 J = 1, M - 1\n      A(I,J) = A(I-1,J+1)\n   10 CONTINUE\n      END\n";
+        let mut s = PedSession::open(parse_ok(src));
+        let sugg = s.suggest_transformations(LoopId(0));
+        // Interchange is unsafe for the (<, >) dependence: not suggested.
+        assert!(!sugg.iter().any(|(n, _)| n == "Loop Interchange"), "{sugg:?}");
+        // Unrolling is always safe: suggested.
+        assert!(sugg.iter().any(|(n, _)| n == "Loop Unrolling"));
+    }
+
+    #[test]
+    fn navigation_ranks_loops() {
+        let src = "      REAL A(10), B(10000)\n      DO 10 I = 1, 10\n      A(I) = 0.0\n   10 CONTINUE\n      DO 20 I = 1, 10000\n      B(I) = 0.0\n   20 CONTINUE\n      END\n";
+        let mut s = PedSession::open(parse_ok(src));
+        let ranks = s.navigate(None);
+        assert_eq!(ranks.len(), 2);
+        assert!(ranks[0].weight > ranks[1].weight);
+        assert!(s.usage.count(Feature::ProgramNavigation) > 0);
+    }
+
+    #[test]
+    fn session_runs_program() {
+        let src = "      S = 0.0\n      DO 10 I = 1, 10\n      S = S + I\n   10 CONTINUE\n      WRITE (*,*) S\n      END\n";
+        let s = PedSession::open(parse_ok(src));
+        let out = s.run(ped_runtime::RunOptions::default()).unwrap();
+        assert_eq!(out.lines, ["55.0"]);
+    }
+
+    #[test]
+    fn compose_check_and_callgraph_via_session() {
+        let src = "      PROGRAM MAIN\n      CALL S(X)\n      END\n      SUBROUTINE S(A, B)\n      A = B\n      RETURN\n      END\n";
+        let mut s = PedSession::open(parse_ok(src));
+        let issues = s.compose_check();
+        assert_eq!(issues.len(), 1);
+        let cg = s.call_graph();
+        assert!(cg.contains("MAIN"));
+        assert!(s.usage.count(Feature::InterfaceErrorDetection) > 0);
+    }
+}
+
+#[cfg(test)]
+mod feature_tests {
+    use super::*;
+    use ped_fortran::parser::parse_ok;
+
+    #[test]
+    fn endpoint_navigation_gives_source_lines() {
+        let src = "      REAL A(100)\n      DO 10 I = 2, N\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n";
+        let mut s = PedSession::open(parse_ok(src));
+        s.select_loop(LoopId(0)).unwrap();
+        let dep = s.ua.graph.deps.iter().find(|d| d.var == "A").unwrap().id;
+        let (src_line, sink_line) = s.endpoint_lines(dep);
+        assert_eq!(src_line, 3);
+        assert_eq!(sink_line, 3);
+        assert!(s.usage.used(Feature::DependenceNavigation));
+    }
+
+    #[test]
+    fn breaking_conditions_surface_through_session() {
+        let src = "      REAL UF(10000)\n      DO 300 I = ISTRT, IENDV\n      UF(I) = UF(I + MCN) + 1.0\n  300 CONTINUE\n      END\n";
+        let mut s = PedSession::open(parse_ok(src));
+        s.select_loop(LoopId(0)).unwrap();
+        let conds = s.suggest_breaking_conditions(LoopId(0));
+        assert!(!conds.is_empty());
+        let (_, cond) = &conds[0];
+        s.assert_fact(&cond.assertion).unwrap();
+        assert!(s.impediments(LoopId(0)).is_parallel());
+    }
+
+    #[test]
+    fn profile_driven_navigation() {
+        // Statically the symbolic-bound loop defaults to 100 trips; the
+        // profile reveals it actually runs 5000.
+        let src = "      REAL A(100), B(100)\n      N = 5000\n      DO 10 I = 1, N\n      A(MOD(I, 100) + 1) = 1.0\n   10 CONTINUE\n      DO 20 I = 1, 200\n      B(I - 100) = 2.0\n   20 CONTINUE\n      END\n";
+        // (second loop bounds shrunk to fit B: use 101..200 -> 1..100)
+        let src = src.replace("DO 20 I = 1, 200", "DO 20 I = 101, 200");
+        let mut s = PedSession::open(parse_ok(&src));
+        let static_ranks = s.navigate(None);
+        // Statically the 100-trip-assumed loops are comparable.
+        let dynamic_ranks = s
+            .navigate_with_profile(ped_runtime::RunOptions::default())
+            .unwrap();
+        assert_eq!(static_ranks.len(), dynamic_ranks.len());
+        // The profiled N-loop dominates.
+        assert!(dynamic_ranks[0].weight > 10.0 * dynamic_ranks[1].weight);
+    }
+}

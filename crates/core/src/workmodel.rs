@@ -1,0 +1,150 @@
+//! The §3.1 work model, automated.
+//!
+//! "Users select a loop for consideration and examine any parallelism
+//! inhibiting dependences. If they are the result of overly conservative
+//! assumptions, the user employs dependence deletion and variable
+//! classification to increase the precision of analysis. If necessary,
+//! they perform transformations to expose parallelism."
+//!
+//! [`parallelize_unit`] drives that loop for a whole unit in navigation
+//! order — the "semi-automatic parallelization" users asked for in §5.3:
+//! the system parallelizes what it can and reports the impediments of
+//! what it cannot.
+
+use crate::session::PedSession;
+use ped_analysis::loops::LoopId;
+
+/// What happened to one loop.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LoopOutcome {
+    /// Certified parallel, with the analyses that enabled it.
+    Parallelized {
+        privatized_scalars: Vec<String>,
+        privatized_arrays: Vec<String>,
+        reductions: Vec<String>,
+    },
+    /// Still sequential; the remaining impediments.
+    Blocked(Vec<String>),
+    /// Skipped: nested inside an already-parallel loop.
+    InsideParallel,
+}
+
+/// Report of a work-model sweep over a unit.
+#[derive(Clone, Debug, Default)]
+pub struct WorkReport {
+    pub outcomes: Vec<(LoopId, String, LoopOutcome)>,
+}
+
+impl WorkReport {
+    pub fn parallel_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|(_, _, o)| matches!(o, LoopOutcome::Parallelized { .. }))
+            .count()
+    }
+
+    pub fn blocked_count(&self) -> usize {
+        self.outcomes.iter().filter(|(_, _, o)| matches!(o, LoopOutcome::Blocked(_))).count()
+    }
+}
+
+/// Sweep the current unit outermost-first: try to parallelize each loop;
+/// once a loop is parallel its children are skipped (outer-loop
+/// parallelism is what matters for real machines, §4.2).
+pub fn parallelize_unit(session: &mut PedSession) -> WorkReport {
+    let mut report = WorkReport::default();
+    // Outermost-first order: level, then id.
+    let mut order: Vec<LoopId> = session.ua.nest.loops.iter().map(|l| l.id).collect();
+    order.sort_by_key(|&l| (session.ua.nest.get(l).level, l.0));
+    let mut parallel_roots: Vec<LoopId> = Vec::new();
+    for l in order {
+        // Loop ids shift after reanalysis only if the AST changed shape;
+        // parallelize() only flips the sched flag, so ids are stable.
+        if l.0 as usize >= session.ua.nest.len() {
+            continue;
+        }
+        let var = session.ua.nest.get(l).var.clone();
+        let inside = parallel_roots
+            .iter()
+            .any(|&p| session.ua.nest.subtree(p).contains(&l) && p != l);
+        if inside {
+            report.outcomes.push((l, var, LoopOutcome::InsideParallel));
+            continue;
+        }
+        let r = session.impediments(l);
+        if r.is_parallel() {
+            session.parallelize(l).expect("report said parallel");
+            parallel_roots.push(l);
+            report.outcomes.push((
+                l,
+                var,
+                LoopOutcome::Parallelized {
+                    privatized_scalars: r.privatized,
+                    privatized_arrays: r.privatized_arrays,
+                    reductions: r.reductions,
+                },
+            ));
+        } else {
+            report.outcomes.push((
+                l,
+                var,
+                LoopOutcome::Blocked(
+                    r.impediments
+                        .iter()
+                        .map(|i| format!("{} dependence on {}", i.kind, i.var))
+                        .collect(),
+                ),
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parser::parse_ok;
+
+    #[test]
+    fn sweep_parallelizes_outer_and_skips_children() {
+        let src = "      REAL A(100,100), B(100,100)\n      DO 10 I = 1, 100\n      DO 20 J = 1, 100\n      A(I,J) = B(I,J) + 1.0\n   20 CONTINUE\n   10 CONTINUE\n      END\n";
+        let mut s = PedSession::open(parse_ok(src));
+        let report = parallelize_unit(&mut s);
+        assert_eq!(report.parallel_count(), 1);
+        assert!(report
+            .outcomes
+            .iter()
+            .any(|(_, _, o)| *o == LoopOutcome::InsideParallel));
+        assert!(ped_fortran::pretty::print_program(&s.program).contains("CDOALL"));
+    }
+
+    #[test]
+    fn sweep_reports_impediments() {
+        let src = "      REAL A(100)\n      DO 10 I = 2, 100\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n";
+        let mut s = PedSession::open(parse_ok(src));
+        let report = parallelize_unit(&mut s);
+        assert_eq!(report.parallel_count(), 0);
+        assert_eq!(report.blocked_count(), 1);
+        match &report.outcomes[0].2 {
+            LoopOutcome::Blocked(im) => assert!(im[0].contains("A"), "{im:?}"),
+            o => panic!("expected blocked, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn inner_parallelism_found_when_outer_blocked() {
+        // Outer carries a dependence; inner is clean.
+        let src = "      REAL A(100,100)\n      DO 10 I = 2, 100\n      DO 20 J = 1, 100\n      A(I,J) = A(I-1,J)\n   20 CONTINUE\n   10 CONTINUE\n      END\n";
+        let mut s = PedSession::open(parse_ok(src));
+        let report = parallelize_unit(&mut s);
+        assert_eq!(report.parallel_count(), 1);
+        assert_eq!(report.blocked_count(), 1);
+        // The parallel one is the inner (level 2) loop.
+        let (pl, _, _) = report
+            .outcomes
+            .iter()
+            .find(|(_, _, o)| matches!(o, LoopOutcome::Parallelized { .. }))
+            .unwrap();
+        assert_eq!(s.ua.nest.get(*pl).level, 2);
+    }
+}

@@ -1,0 +1,238 @@
+//! Direction vectors.
+//!
+//! A dependence between references in a loop nest carries a *direction*
+//! per common loop: `<` (source iteration earlier), `=` (same iteration),
+//! `>` (source iteration later). Tests compute a set of possible
+//! directions per loop ([`DirSet`]); the dependence pane displays vectors
+//! like `(<, =)` or `(*)` (Figure 1's VECTOR column).
+
+/// One direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dir {
+    Lt,
+    Eq,
+    Gt,
+}
+
+/// A set of possible directions for one loop level (bit set).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DirSet(u8);
+
+const LT: u8 = 1;
+const EQ: u8 = 2;
+const GT: u8 = 4;
+
+impl DirSet {
+    /// The full set `*` = {<, =, >}.
+    pub fn any() -> DirSet {
+        DirSet(LT | EQ | GT)
+    }
+
+    pub fn empty() -> DirSet {
+        DirSet(0)
+    }
+
+    pub fn only(d: Dir) -> DirSet {
+        DirSet(match d {
+            Dir::Lt => LT,
+            Dir::Eq => EQ,
+            Dir::Gt => GT,
+        })
+    }
+
+    pub fn lt_eq() -> DirSet {
+        DirSet(LT | EQ)
+    }
+
+    pub fn insert(&mut self, d: Dir) {
+        self.0 |= DirSet::only(d).0;
+    }
+
+    pub fn contains(self, d: Dir) -> bool {
+        self.0 & DirSet::only(d).0 != 0
+    }
+
+    pub fn intersect(self, other: DirSet) -> DirSet {
+        DirSet(self.0 & other.0)
+    }
+
+    pub fn union(self, other: DirSet) -> DirSet {
+        DirSet(self.0 | other.0)
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if this is exactly `{=}`.
+    pub fn is_eq_only(self) -> bool {
+        self.0 == EQ
+    }
+
+    pub fn is_any(self) -> bool {
+        self.0 == (LT | EQ | GT)
+    }
+
+    pub fn iter(self) -> impl Iterator<Item = Dir> {
+        [Dir::Lt, Dir::Eq, Dir::Gt]
+            .into_iter()
+            .filter(move |d| self.contains(*d))
+    }
+
+    /// Reverse all directions (swap < and >), used when reorienting a
+    /// dependence whose source/sink were tested in the wrong order.
+    pub fn reversed(self) -> DirSet {
+        let mut out = 0;
+        if self.0 & LT != 0 {
+            out |= GT;
+        }
+        if self.0 & GT != 0 {
+            out |= LT;
+        }
+        out |= self.0 & EQ;
+        DirSet(out)
+    }
+}
+
+impl std::fmt::Debug for DirSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DirSet({self})")
+    }
+}
+
+impl std::fmt::Display for DirSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_any() {
+            return write!(f, "*");
+        }
+        if self.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for d in self.iter() {
+            if !first {
+                write!(f, "/")?;
+            }
+            first = false;
+            match d {
+                Dir::Lt => write!(f, "<")?,
+                Dir::Eq => write!(f, "=")?,
+                Dir::Gt => write!(f, ">")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A full direction vector (one [`DirSet`] per common loop, outermost
+/// first).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirVector(pub Vec<DirSet>);
+
+impl DirVector {
+    pub fn all_any(n: usize) -> DirVector {
+        DirVector(vec![DirSet::any(); n])
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The dependence *level*: the outermost loop whose direction can be
+    /// `<` while all outer loops are `=`. Returns `None` if no such level
+    /// exists (the vector only admits loop-independent or reversed
+    /// orderings).
+    pub fn carried_level(&self) -> Option<u32> {
+        for (i, d) in self.0.iter().enumerate() {
+            if d.contains(Dir::Lt) {
+                return Some(i as u32 + 1);
+            }
+            if !d.contains(Dir::Eq) {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// True if the all-`=` vector is admitted (a loop-independent
+    /// dependence is possible).
+    pub fn allows_loop_independent(&self) -> bool {
+        self.0.iter().all(|d| d.contains(Dir::Eq))
+    }
+}
+
+impl std::fmt::Display for DirVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_operations() {
+        let mut s = DirSet::empty();
+        assert!(s.is_empty());
+        s.insert(Dir::Lt);
+        s.insert(Dir::Eq);
+        assert!(s.contains(Dir::Lt) && s.contains(Dir::Eq) && !s.contains(Dir::Gt));
+        assert_eq!(s, DirSet::lt_eq());
+        assert_eq!(s.intersect(DirSet::only(Dir::Eq)), DirSet::only(Dir::Eq));
+        assert!(s.intersect(DirSet::only(Dir::Gt)).is_empty());
+    }
+
+    #[test]
+    fn reversal_swaps_lt_gt() {
+        assert_eq!(DirSet::only(Dir::Lt).reversed(), DirSet::only(Dir::Gt));
+        assert!(DirSet::lt_eq().reversed().contains(Dir::Gt));
+        assert!(DirSet::lt_eq().reversed().contains(Dir::Eq));
+        assert_eq!(DirSet::any().reversed(), DirSet::any());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(DirSet::any().to_string(), "*");
+        assert_eq!(DirSet::only(Dir::Lt).to_string(), "<");
+        assert_eq!(DirSet::lt_eq().to_string(), "</=");
+        let v = DirVector(vec![DirSet::only(Dir::Lt), DirSet::only(Dir::Eq)]);
+        assert_eq!(v.to_string(), "(<, =)");
+    }
+
+    #[test]
+    fn carried_level_outermost_lt() {
+        let v = DirVector(vec![DirSet::only(Dir::Eq), DirSet::only(Dir::Lt)]);
+        assert_eq!(v.carried_level(), Some(2));
+        let v = DirVector(vec![DirSet::only(Dir::Lt), DirSet::any()]);
+        assert_eq!(v.carried_level(), Some(1));
+        let v = DirVector(vec![DirSet::only(Dir::Eq), DirSet::only(Dir::Eq)]);
+        assert_eq!(v.carried_level(), None);
+        assert!(v.allows_loop_independent());
+    }
+
+    #[test]
+    fn gt_only_blocks_carrying() {
+        let v = DirVector(vec![DirSet::only(Dir::Gt), DirSet::only(Dir::Lt)]);
+        assert_eq!(v.carried_level(), None);
+        assert!(!v.allows_loop_independent());
+    }
+
+    #[test]
+    fn any_vector_carries_at_level_one() {
+        let v = DirVector::all_any(3);
+        assert_eq!(v.carried_level(), Some(1));
+        assert!(v.allows_loop_independent());
+    }
+}

@@ -1,0 +1,252 @@
+//! Dependence marking — proven / pending / accepted / rejected.
+//!
+//! "The system marks each dependence as either proven, pending, accepted
+//! or rejected. If PED proves a dependence exists with an exact
+//! dependence test, the dependence is marked as proven; otherwise it is
+//! marked pending. Users may sharpen PED's dependence analysis by marking
+//! a pending dependence as accepted or rejected. Rejected dependences are
+//! disregarded when PED considers the safety of a parallelizing
+//! transformation, but they remain in the system so the user can
+//! reconsider them at a later time" (§3.1).
+
+use crate::graph::{DepId, Dependence, DependenceGraph};
+use std::collections::HashMap;
+
+/// The four marks of §3.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mark {
+    /// Proven to exist by an exact test — cannot be rejected.
+    Proven,
+    /// Assumed (inexact test) — awaiting user judgement.
+    Pending,
+    /// User confirmed the dependence is real.
+    Accepted,
+    /// User asserted the dependence is spurious; ignored for safety
+    /// decisions but retained.
+    Rejected,
+}
+
+impl std::fmt::Display for Mark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mark::Proven => write!(f, "proven"),
+            Mark::Pending => write!(f, "pending"),
+            Mark::Accepted => write!(f, "accepted"),
+            Mark::Rejected => write!(f, "rejected"),
+        }
+    }
+}
+
+/// Errors from marking operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MarkError {
+    /// Proven dependences cannot be rejected (they are facts).
+    CannotRejectProven(DepId),
+    UnknownDependence(DepId),
+}
+
+impl std::fmt::Display for MarkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MarkError::CannotRejectProven(d) => {
+                write!(f, "dependence {d} was proven by an exact test and cannot be rejected")
+            }
+            MarkError::UnknownDependence(d) => write!(f, "unknown dependence {d}"),
+        }
+    }
+}
+
+/// Mark state for a dependence graph.
+#[derive(Clone, Debug, Default)]
+pub struct Marking {
+    marks: HashMap<DepId, Mark>,
+    reasons: HashMap<DepId, String>,
+}
+
+impl Marking {
+    /// Initial marks: exact tests ⇒ proven, inexact ⇒ pending.
+    pub fn initial(g: &DependenceGraph) -> Marking {
+        let mut m = Marking::default();
+        for d in &g.deps {
+            m.marks.insert(d.id, if d.exact { Mark::Proven } else { Mark::Pending });
+        }
+        m
+    }
+
+    pub fn mark_of(&self, id: DepId) -> Mark {
+        self.marks.get(&id).copied().unwrap_or(Mark::Pending)
+    }
+
+    pub fn reason_of(&self, id: DepId) -> Option<&str> {
+        self.reasons.get(&id).map(|s| s.as_str())
+    }
+
+    /// User marks a dependence accepted or rejected; proven dependences
+    /// cannot be rejected.
+    pub fn set(&mut self, id: DepId, mark: Mark, reason: Option<String>) -> Result<(), MarkError> {
+        let Some(cur) = self.marks.get(&id).copied() else {
+            return Err(MarkError::UnknownDependence(id));
+        };
+        if cur == Mark::Proven && mark == Mark::Rejected {
+            return Err(MarkError::CannotRejectProven(id));
+        }
+        self.marks.insert(id, mark);
+        if let Some(r) = reason {
+            self.reasons.insert(id, r);
+        }
+        Ok(())
+    }
+
+    /// Attach or replace the free-text reason of a dependence.
+    pub fn set_reason(&mut self, id: DepId, reason: impl Into<String>) {
+        self.reasons.insert(id, reason.into());
+    }
+
+    /// Power steering (the Mark Dependences dialog): classify in one step
+    /// every dependence satisfying a predicate. Returns how many were
+    /// marked (proven dependences are skipped when rejecting).
+    pub fn mark_where(
+        &mut self,
+        g: &DependenceGraph,
+        mark: Mark,
+        reason: Option<&str>,
+        pred: impl Fn(&Dependence) -> bool,
+    ) -> usize {
+        let mut count = 0;
+        for d in &g.deps {
+            if !pred(d) {
+                continue;
+            }
+            if self.set(d.id, mark, reason.map(|s| s.to_string())).is_ok() {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// True if the dependence should constrain safety decisions
+    /// (everything except rejected).
+    pub fn is_active(&self, id: DepId) -> bool {
+        self.mark_of(id) != Mark::Rejected
+    }
+
+    /// Active (non-rejected) dependences of the graph.
+    pub fn active<'a>(&'a self, g: &'a DependenceGraph) -> impl Iterator<Item = &'a Dependence> {
+        g.deps.iter().filter(move |d| self.is_active(d.id))
+    }
+
+    /// Register a newly-added dependence (after incremental update).
+    pub fn register(&mut self, d: &Dependence) {
+        self.marks
+            .entry(d.id)
+            .or_insert(if d.exact { Mark::Proven } else { Mark::Pending });
+    }
+
+    /// Counts by mark, for the session summary.
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
+        for m in self.marks.values() {
+            match m {
+                Mark::Proven => c.0 += 1,
+                Mark::Pending => c.1 += 1,
+                Mark::Accepted => c.2 += 1,
+                Mark::Rejected => c.3 += 1,
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{BuildOptions, DependenceGraph};
+    use ped_analysis::loops::LoopNest;
+    use ped_analysis::refs::RefTable;
+    use ped_analysis::symbolic::SymbolicEnv;
+    use ped_fortran::parser::parse_ok;
+    use ped_fortran::symbols::SymbolTable;
+
+    fn graph(src: &str) -> DependenceGraph {
+        let p = parse_ok(src);
+        let u = &p.units[0];
+        let sym = SymbolTable::build(u);
+        let refs = RefTable::build(u, &sym);
+        let nest = LoopNest::build(u);
+        DependenceGraph::build(u, &sym, &refs, &nest, &SymbolicEnv::new(), &BuildOptions::default())
+    }
+
+    const RECURRENCE: &str = "      REAL A(100)\n      DO 10 I = 2, N\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n";
+    const INDEXED: &str = "      INTEGER IX(100)\n      REAL A(100)\n      DO 10 I = 1, N\n      A(IX(I)) = A(IX(I)) + 1.0\n   10 CONTINUE\n      END\n";
+
+    #[test]
+    fn exact_deps_start_proven() {
+        let g = graph(RECURRENCE);
+        let m = Marking::initial(&g);
+        let carried: Vec<_> = g.deps.iter().filter(|d| d.level.is_some() && d.var == "A").collect();
+        assert!(!carried.is_empty());
+        assert!(carried.iter().all(|d| m.mark_of(d.id) == Mark::Proven));
+    }
+
+    #[test]
+    fn inexact_deps_start_pending() {
+        let g = graph(INDEXED);
+        let m = Marking::initial(&g);
+        let a_deps: Vec<_> = g.deps.iter().filter(|d| d.var == "A").collect();
+        assert!(!a_deps.is_empty());
+        assert!(a_deps.iter().all(|d| m.mark_of(d.id) == Mark::Pending));
+    }
+
+    #[test]
+    fn proven_cannot_be_rejected() {
+        let g = graph(RECURRENCE);
+        let mut m = Marking::initial(&g);
+        let proven = g.deps.iter().find(|d| d.exact && d.var == "A").unwrap();
+        let err = m.set(proven.id, Mark::Rejected, None);
+        assert_eq!(err, Err(MarkError::CannotRejectProven(proven.id)));
+        assert_eq!(m.mark_of(proven.id), Mark::Proven);
+    }
+
+    #[test]
+    fn rejected_deps_become_inactive_but_remain() {
+        let g = graph(INDEXED);
+        let mut m = Marking::initial(&g);
+        let d = g.deps.iter().find(|d| d.var == "A").unwrap();
+        m.set(d.id, Mark::Rejected, Some("IX is a permutation".into())).unwrap();
+        assert!(!m.is_active(d.id));
+        assert_eq!(m.reason_of(d.id), Some("IX is a permutation"));
+        // Still present in the graph.
+        assert!(g.deps.iter().any(|x| x.id == d.id));
+        // Reconsider: accept it again.
+        m.set(d.id, Mark::Accepted, None).unwrap();
+        assert!(m.is_active(d.id));
+    }
+
+    #[test]
+    fn mark_where_power_steering() {
+        let g = graph(INDEXED);
+        let mut m = Marking::initial(&g);
+        let n = m.mark_where(&g, Mark::Rejected, Some("index array"), |d| {
+            d.var == "A" && !d.exact
+        });
+        assert!(n > 0);
+        assert!(g
+            .deps
+            .iter()
+            .filter(|d| d.var == "A")
+            .all(|d| m.mark_of(d.id) == Mark::Rejected));
+    }
+
+    #[test]
+    fn counts_tally() {
+        let g = graph(INDEXED);
+        let mut m = Marking::initial(&g);
+        let (_, pending_before, _, _) = m.counts();
+        assert!(pending_before > 0);
+        let d = g.deps.iter().find(|d| d.var == "A").unwrap();
+        m.set(d.id, Mark::Accepted, None).unwrap();
+        let (_, pending_after, accepted, _) = m.counts();
+        assert_eq!(pending_after, pending_before - 1);
+        assert_eq!(accepted, 1);
+    }
+}

@@ -1,0 +1,608 @@
+//! Subscript classification, including index-array forms.
+//!
+//! Before testing, every subscript position is classified as
+//!
+//! * [`SubPos::Affine`] — an affine form in the common loop variables and
+//!   loop-invariant symbols;
+//! * [`SubPos::IndexArr`] — `arr(arg) + add`, a read of an *index array*
+//!   at an affine position plus an affine offset. This captures both the
+//!   direct `F(IT(N) + 1)` shape and the dpmin idiom that goes through a
+//!   scalar (`I3 = IT(N)` … `F(I3 + 1)`); with user assertions about the
+//!   index array ([`IndexArrayFact`]) these positions become testable;
+//! * [`SubPos::Opaque`] — anything else (assumed dependent).
+//!
+//! Classification must respect *loop variance*: a symbol assigned inside
+//! the common nest is not a fixed unknown, so an affine form mentioning
+//! it is downgraded (to `IndexArr` if its unique definition is an
+//! index-array read, otherwise to `Opaque`).
+
+use crate::dir::{Dir, DirSet};
+use crate::suite::{DepInfo, LoopCtx, TestResult};
+use ped_analysis::refs::RefTable;
+use ped_analysis::symbolic::{IndexArrayFact, LinExpr, SymbolicEnv};
+use ped_fortran::ast::{BinOp, Expr, LValue, StmtId, StmtKind, UnOp};
+use std::collections::{HashMap, HashSet};
+
+/// A classified subscript position.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SubPos {
+    Affine(LinExpr),
+    IndexArr {
+        arr: String,
+        /// Affine argument of the index-array read.
+        arg: LinExpr,
+        /// Affine additive offset.
+        add: LinExpr,
+    },
+    Opaque,
+}
+
+/// Per-nest context for classification: the common loop variables and
+/// the set of scalar names that vary inside the nest.
+pub struct NestCtx<'a> {
+    pub loop_vars: Vec<String>,
+    /// Names (scalars) defined somewhere inside the outermost common loop.
+    pub variant: HashSet<String>,
+    /// For variant scalars with a unique in-nest definition
+    /// `z = arr(affine)` (+ nothing else): the decomposition.
+    pub scalar_index_defs: HashMap<String, (String, LinExpr)>,
+    /// For variant scalars with a unique in-nest *affine* definition in
+    /// loop variables and invariants (e.g. `K = NM + 1 - KB`): the
+    /// substitution that makes subscripts in them analyzable.
+    pub scalar_affine_defs: HashMap<String, LinExpr>,
+    pub env: &'a SymbolicEnv,
+}
+
+impl<'a> NestCtx<'a> {
+    /// Build the context for a loop nest rooted at `outer_body` (the
+    /// statement ids of the outermost common loop's body).
+    pub fn build(
+        loop_vars: Vec<String>,
+        outer_body: &[StmtId],
+        unit: &ped_fortran::ast::ProcUnit,
+        refs: &RefTable,
+        env: &'a SymbolicEnv,
+    ) -> NestCtx<'a> {
+        let body: HashSet<StmtId> = outer_body.iter().copied().collect();
+        let mut variant: HashSet<String> = HashSet::new();
+        let mut def_count: HashMap<String, usize> = HashMap::new();
+        for r in &refs.refs {
+            if r.is_def && !r.is_array_elem() && body.contains(&r.stmt) {
+                variant.insert(r.name.clone());
+                *def_count.entry(r.name.clone()).or_insert(0) += 1;
+            }
+        }
+        // Unique in-nest defs of the shape z = arr(affine) or z = affine.
+        let mut scalar_index_defs = HashMap::new();
+        let mut scalar_affine_defs: HashMap<String, LinExpr> = HashMap::new();
+        ped_fortran::ast::walk_stmts(&unit.body, &mut |s| {
+            if !body.contains(&s.id) {
+                return;
+            }
+            let StmtKind::Assign { lhs: LValue::Var(z), rhs } = &s.kind else {
+                return;
+            };
+            if def_count.get(z).copied() != Some(1) {
+                return;
+            }
+            if let Expr::Index { name, subs } = rhs {
+                if subs.len() == 1 {
+                    if let Some(arg) = env.normalize(&subs[0]) {
+                        // The argument itself must be loop-var/invariant.
+                        scalar_index_defs.insert(z.clone(), (name.clone(), arg));
+                    }
+                }
+            } else if let Some(lin) = env.normalize(rhs) {
+                // Affine forward substitution: the definition's names
+                // must be loop variables or invariants (not other
+                // variants), so the value is iteration-determined.
+                let ok = lin.names().all(|n| {
+                    loop_vars.iter().any(|v| v == n) || !variant.contains(n)
+                });
+                if ok {
+                    scalar_affine_defs.insert(z.clone(), lin);
+                }
+            }
+        });
+        NestCtx { loop_vars, variant, scalar_index_defs, scalar_affine_defs, env }
+    }
+
+    fn is_invariant_name(&self, n: &str) -> bool {
+        self.loop_vars.iter().any(|v| v == n) || !self.variant.contains(n)
+    }
+
+    /// Classify one subscript expression.
+    pub fn classify(&self, e: &Expr) -> SubPos {
+        let Some((affine, arr_term)) = decompose(e) else {
+            return SubPos::Opaque;
+        };
+        // Check variance of affine names; a single variant name with a
+        // scalar index definition turns into an IndexArr.
+        let mut index: Option<(String, LinExpr)> = arr_term.and_then(|(arr, arg_expr)| {
+            let arg = self.env.normalize(&arg_expr)?;
+            if !arg.names().all(|n| self.is_invariant_name(n)) {
+                return None;
+            }
+            Some((arr, arg))
+        });
+        if arr_term_failed(&index, e) {
+            return SubPos::Opaque;
+        }
+        let affine = self.env.apply_subst(&affine);
+        let mut add = LinExpr::constant(affine.konst);
+        for (n, c) in &affine.terms {
+            if self.is_invariant_name(n) {
+                add = add.add(&LinExpr::var(n.clone()).scale(*c));
+            } else if let Some(def) = self.scalar_affine_defs.get(n) {
+                add = add.add(&def.scale(*c));
+            } else if let Some((arr, arg)) = self.scalar_index_defs.get(n) {
+                if *c == 1 && index.is_none() {
+                    index = Some((arr.clone(), arg.clone()));
+                } else {
+                    return SubPos::Opaque;
+                }
+            } else {
+                return SubPos::Opaque;
+            }
+        }
+        match index {
+            Some((arr, arg)) => SubPos::IndexArr { arr, arg, add },
+            None => SubPos::Affine(add),
+        }
+    }
+}
+
+/// True if the expression had an array term but it failed to normalize.
+fn arr_term_failed(index: &Option<(String, LinExpr)>, e: &Expr) -> bool {
+    if index.is_some() {
+        return false;
+    }
+    let mut has_index = false;
+    e.walk(&mut |x| {
+        if matches!(x, Expr::Index { .. }) {
+            has_index = true;
+        }
+    });
+    has_index
+}
+
+/// Decompose `e` into `affine + 1·arr(argexpr)` with at most one array
+/// term of coefficient one.
+fn decompose(e: &Expr) -> Option<(LinExpr, Option<(String, Expr)>)> {
+    match e {
+        Expr::Int(v) => Some((LinExpr::constant(*v), None)),
+        Expr::Var(n) => Some((LinExpr::var(n.clone()), None)),
+        Expr::Index { name, subs } if subs.len() == 1 => {
+            Some((LinExpr::constant(0), Some((name.clone(), subs[0].clone()))))
+        }
+        Expr::Un { op: UnOp::Plus, e } => decompose(e),
+        Expr::Un { op: UnOp::Neg, e } => {
+            let (a, t) = decompose(e)?;
+            if t.is_some() {
+                return None; // negative coefficient on the array term
+            }
+            Some((a.scale(-1), None))
+        }
+        Expr::Bin { op: BinOp::Add, l, r } => {
+            let (a1, t1) = decompose(l)?;
+            let (a2, t2) = decompose(r)?;
+            let t = match (t1, t2) {
+                (None, t) | (t, None) => t,
+                _ => return None,
+            };
+            Some((a1.add(&a2), t))
+        }
+        Expr::Bin { op: BinOp::Sub, l, r } => {
+            let (a1, t1) = decompose(l)?;
+            let (a2, t2) = decompose(r)?;
+            if t2.is_some() {
+                return None;
+            }
+            Some((a1.sub(&a2), t1))
+        }
+        Expr::Bin { op: BinOp::Mul, l, r } => {
+            let (a1, t1) = decompose(l)?;
+            let (a2, t2) = decompose(r)?;
+            if t1.is_some() || t2.is_some() {
+                return None;
+            }
+            if let Some(k) = a1.as_const() {
+                Some((a2.scale(k), None))
+            } else { a2.as_const().map(|k| (a1.scale(k), None)) }
+        }
+        _ => None,
+    }
+}
+
+/// Test one dimension where at least one side is an index-array form.
+/// Returns `None` (no constraint, inexact) when the facts are
+/// insufficient, `Some(TestResult::Independent)` when disproven, or a
+/// constraining result.
+pub fn test_index_dim(
+    src: &SubPos,
+    sink: &SubPos,
+    loops: &[LoopCtx],
+    env: &SymbolicEnv,
+) -> Option<TestResult> {
+    match (src, sink) {
+        (
+            SubPos::IndexArr { arr: a1, arg: x, add: c1 },
+            SubPos::IndexArr { arr: a2, arg: y, add: c2 },
+        ) => {
+            if a1 == a2 {
+                let fact = env.index_fact(a1)?;
+                let gap = fact.distinct_gap()?;
+                let dadd = c2.sub(c1);
+                // |add₂ − add₁| < gap forces arg equality.
+                let within = match dadd.as_const() {
+                    Some(c) => c.abs() < gap,
+                    None => {
+                        env.prove_positive(&LinExpr::constant(gap).sub(&dadd))
+                            && env.prove_positive(&LinExpr::constant(gap).add(&dadd))
+                    }
+                };
+                if !within {
+                    return None; // offsets can bridge the gap — no info
+                }
+                // arr(x)+c1 = arr(y)+c2 now requires x == y AND c1 == c2.
+                match dadd.as_const() {
+                    Some(0) => {
+                        // Reduce to the affine equality x == y.
+                        let r = crate::suite::test_pair(
+                            &[Some(x.clone())],
+                            &[Some(y.clone())],
+                            loops,
+                            env,
+                        );
+                        Some(r)
+                    }
+                    Some(_) => Some(TestResult::Independent),
+                    None => {
+                        // dadd symbolic but |dadd| < gap: equality still
+                        // needs dadd == 0; provable nonzero ⇒ independent.
+                        if env.prove_positive(&dadd) || env.prove_positive(&dadd.scale(-1)) {
+                            Some(TestResult::Independent)
+                        } else {
+                            None
+                        }
+                    }
+                }
+            } else {
+                // Different index arrays: value-range disjointness.
+                let f1 = env.index_fact(a1)?;
+                let f2 = env.index_fact(a2)?;
+                let r1 = value_interval(f1, c1, env)?;
+                let r2 = value_interval(f2, c2, env)?;
+                if disjoint(&r1, &r2, env) {
+                    Some(TestResult::Independent)
+                } else {
+                    None
+                }
+            }
+        }
+        (SubPos::IndexArr { arr, add, .. }, SubPos::Affine(other))
+        | (SubPos::Affine(other), SubPos::IndexArr { arr, add, .. }) => {
+            let f = env.index_fact(arr)?;
+            let iv = value_interval(f, add, env)?;
+            // Disjoint if other < lo or other > hi (over all iterations —
+            // conservative: only when `other` has no loop terms).
+            if env.prove_positive(&iv.0.sub(other)) || env.prove_positive(&other.sub(&iv.1)) {
+                Some(TestResult::Independent)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Interval of values taken by `arr(·) + add`.
+fn value_interval(
+    f: &IndexArrayFact,
+    add: &LinExpr,
+    env: &SymbolicEnv,
+) -> Option<(LinExpr, LinExpr)> {
+    let lo = f.value_lo.clone()?;
+    let hi = f.value_hi.clone()?;
+    let ar = env.range_of(add);
+    let (alo, ahi) = (ar.lo?, ar.hi?);
+    Some((lo.add(&LinExpr::constant(alo)), hi.add(&LinExpr::constant(ahi))))
+}
+
+fn disjoint(a: &(LinExpr, LinExpr), b: &(LinExpr, LinExpr), env: &SymbolicEnv) -> bool {
+    env.prove_positive(&b.0.sub(&a.1)) || env.prove_positive(&a.0.sub(&b.1))
+}
+
+/// Full pair test over classified positions: affine dims use the
+/// hierarchical suite; index dims use the fact-based tests; opaque dims
+/// constrain nothing.
+pub fn test_classified(
+    src: &[SubPos],
+    sink: &[SubPos],
+    loops: &[LoopCtx],
+    env: &SymbolicEnv,
+) -> TestResult {
+    let n = loops.len();
+    if src.len() != sink.len() || src.is_empty() {
+        return crate::suite::test_pair(&[], &[Some(LinExpr::constant(0))], loops, env);
+    }
+    // Affine positions go through the suite together (shared distances).
+    let to_opt = |p: &SubPos| match p {
+        SubPos::Affine(l) => Some(l.clone()),
+        _ => None,
+    };
+    let src_aff: Vec<Option<LinExpr>> = src.iter().map(to_opt).collect();
+    let sink_aff: Vec<Option<LinExpr>> = sink.iter().map(to_opt).collect();
+    let base = crate::suite::test_pair(&src_aff, &sink_aff, loops, env);
+    let TestResult::Dependent(mut info) = base else {
+        return TestResult::Independent;
+    };
+    // Index dims refine.
+    let mut any_index = false;
+    for (s, t) in src.iter().zip(sink) {
+        let s_idx = matches!(s, SubPos::IndexArr { .. });
+        let t_idx = matches!(t, SubPos::IndexArr { .. });
+        if !(s_idx || t_idx) {
+            continue;
+        }
+        any_index = true;
+        match test_index_dim(s, t, loops, env) {
+            Some(TestResult::Independent) => return TestResult::Independent,
+            Some(TestResult::Dependent(d)) => {
+                for k in 0..n {
+                    info.vector.0[k] = info.vector.0[k].intersect(d.vector.0[k]);
+                    if info.vector.0[k].is_empty() {
+                        return TestResult::Independent;
+                    }
+                    if let Some(dd) = d.distances[k] {
+                        match info.distances[k] {
+                            None => info.distances[k] = Some(dd),
+                            Some(prev) if prev != dd => return TestResult::Independent,
+                            _ => {}
+                        }
+                    }
+                }
+                info.exact = false;
+            }
+            None => {
+                info.exact = false;
+            }
+        }
+    }
+    // Opaque positions also make the result inexact.
+    if src.iter().chain(sink).any(|p| matches!(p, SubPos::Opaque)) || any_index {
+        info.exact = false;
+    }
+    TestResult::Dependent(info)
+}
+
+/// Helper for constructing "assumed" results in callers.
+pub fn assumed_dep(nloops: usize) -> DepInfo {
+    DepInfo {
+        vector: crate::dir::DirVector(vec![DirSet::any(); nloops]),
+        distances: vec![None; nloops],
+        exact: false,
+        test: "assumed",
+    }
+}
+
+/// Re-export used by graph construction for direction checks.
+pub fn eq_only(set: DirSet) -> bool {
+    set.is_eq_only() || set.contains(Dir::Eq) && !set.contains(Dir::Lt) && !set.contains(Dir::Gt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_analysis::symbolic::to_lin;
+    use ped_fortran::parser::{parse_expr_str, parse_ok};
+
+    fn lin(s: &str) -> LinExpr {
+        to_lin(&parse_expr_str(s, &[]).unwrap()).unwrap()
+    }
+
+    fn ctx<'a>(env: &'a SymbolicEnv, vars: &[&str]) -> NestCtx<'a> {
+        NestCtx {
+            loop_vars: vars.iter().map(|s| s.to_string()).collect(),
+            variant: HashSet::new(),
+            scalar_index_defs: HashMap::new(),
+            scalar_affine_defs: HashMap::new(),
+            env,
+        }
+    }
+
+    #[test]
+    fn classify_affine() {
+        let env = SymbolicEnv::new();
+        let c = ctx(&env, &["I"]);
+        let e = parse_expr_str("2*I+N-1", &[]).unwrap();
+        assert_eq!(c.classify(&e), SubPos::Affine(lin("2*I+N-1")));
+    }
+
+    #[test]
+    fn classify_direct_index_array() {
+        let env = SymbolicEnv::new();
+        let c = ctx(&env, &["I"]);
+        let e = parse_expr_str("IT(I)+1", &[]).unwrap();
+        match c.classify(&e) {
+            SubPos::IndexArr { arr, arg, add } => {
+                assert_eq!(arr, "IT");
+                assert_eq!(arg, lin("I"));
+                assert_eq!(add, lin("1"));
+            }
+            p => panic!("expected IndexArr, got {p:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_variant_scalar_is_opaque() {
+        let env = SymbolicEnv::new();
+        let mut c = ctx(&env, &["I"]);
+        c.variant.insert("K".to_string());
+        let e = parse_expr_str("K+1", &[]).unwrap();
+        assert_eq!(c.classify(&e), SubPos::Opaque);
+    }
+
+    #[test]
+    fn classify_variant_scalar_with_index_def() {
+        let env = SymbolicEnv::new();
+        let mut c = ctx(&env, &["N1"]);
+        c.variant.insert("I3".to_string());
+        c.scalar_index_defs
+            .insert("I3".to_string(), ("IT".to_string(), lin("N1")));
+        let e = parse_expr_str("I3+2", &[]).unwrap();
+        match c.classify(&e) {
+            SubPos::IndexArr { arr, arg, add } => {
+                assert_eq!(arr, "IT");
+                assert_eq!(arg, lin("N1"));
+                assert_eq!(add, lin("2"));
+            }
+            p => panic!("expected IndexArr, got {p:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_two_array_terms_opaque() {
+        let env = SymbolicEnv::new();
+        let c = ctx(&env, &["I"]);
+        let e = parse_expr_str("IT(I)+JT(I)", &[]).unwrap();
+        assert_eq!(c.classify(&e), SubPos::Opaque);
+    }
+
+    #[test]
+    fn nest_ctx_build_detects_scalar_defs() {
+        let src = "      INTEGER IT(100)\n      REAL F(300)\n      DO 300 N1 = 1, NBA\n      I3 = IT(N1)\n      F(I3 + 1) = F(I3 + 1) - DT1\n  300 CONTINUE\n      END\n";
+        let p = parse_ok(src);
+        let u = &p.units[0];
+        let sym = ped_fortran::symbols::SymbolTable::build(u);
+        let refs = RefTable::build(u, &sym);
+        let nest = ped_analysis::loops::LoopNest::build(u);
+        let env = SymbolicEnv::new();
+        let c = NestCtx::build(
+            vec!["N1".to_string()],
+            &nest.loops[0].body,
+            u,
+            &refs,
+            &env,
+        );
+        assert!(c.variant.contains("I3"));
+        assert_eq!(
+            c.scalar_index_defs.get("I3"),
+            Some(&("IT".to_string(), lin("N1")))
+        );
+        let e = parse_expr_str("I3+1", &[]).unwrap();
+        assert!(matches!(c.classify(&e), SubPos::IndexArr { .. }));
+    }
+
+    // ---- index dimension tests ----
+
+    fn loop_n() -> Vec<LoopCtx> {
+        vec![LoopCtx { var: "N1".into(), lo: lin("1"), hi: lin("NBA") }]
+    }
+
+    fn idx(arr: &str, arg: &str, add: &str) -> SubPos {
+        SubPos::IndexArr { arr: arr.into(), arg: lin(arg), add: lin(add) }
+    }
+
+    #[test]
+    fn stride_fact_disproves_different_offsets() {
+        // dpmin: F(I3+1) vs F(I3+2) across iterations with stride ≥ 3.
+        let mut env = SymbolicEnv::new();
+        env.add_index_fact("IT", IndexArrayFact { min_stride: Some(3), ..Default::default() });
+        let r = test_index_dim(&idx("IT", "N1", "1"), &idx("IT", "N1", "2"), &loop_n(), &env);
+        assert_eq!(r, Some(TestResult::Independent));
+    }
+
+    #[test]
+    fn stride_fact_same_offset_reduces_to_arg_equality() {
+        // F(I3+1) vs F(I3+1): args both N1 → strong SIV '=' only:
+        // no loop-carried dependence.
+        let mut env = SymbolicEnv::new();
+        env.add_index_fact("IT", IndexArrayFact { min_stride: Some(3), ..Default::default() });
+        let r = test_index_dim(&idx("IT", "N1", "1"), &idx("IT", "N1", "1"), &loop_n(), &env)
+            .expect("constrained");
+        match r {
+            TestResult::Dependent(d) => {
+                assert!(d.vector.0[0].is_eq_only());
+            }
+            _ => panic!("expected dependent(=)"),
+        }
+    }
+
+    #[test]
+    fn permutation_alone_disproves_carried_same_offset() {
+        let mut env = SymbolicEnv::new();
+        env.add_index_fact("IT", IndexArrayFact { permutation: true, ..Default::default() });
+        let r = test_index_dim(&idx("IT", "N1", "0"), &idx("IT", "N1", "0"), &loop_n(), &env)
+            .expect("constrained");
+        match r {
+            TestResult::Dependent(d) => assert!(d.vector.0[0].is_eq_only()),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn permutation_cannot_separate_offsets() {
+        // gap 1, offsets differ by 1: |dadd| < 1 fails — no info.
+        let mut env = SymbolicEnv::new();
+        env.add_index_fact("IT", IndexArrayFact { permutation: true, ..Default::default() });
+        let r = test_index_dim(&idx("IT", "N1", "0"), &idx("IT", "N1", "1"), &loop_n(), &env);
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    fn disjoint_value_ranges_across_arrays() {
+        // IT values+offsets in [ITLO+1, ITHI+3]; JT in [JTLO+1, JTHI+3];
+        // fact: JTLO ≥ ITHI + 3 ⇒ disjoint.
+        let mut env = SymbolicEnv::new();
+        env.add_index_fact(
+            "IT",
+            IndexArrayFact {
+                value_lo: Some(lin("ITLO")),
+                value_hi: Some(lin("ITHI")),
+                ..Default::default()
+            },
+        );
+        env.add_index_fact(
+            "JT",
+            IndexArrayFact {
+                value_lo: Some(lin("JTLO")),
+                value_hi: Some(lin("JTHI")),
+                ..Default::default()
+            },
+        );
+        env.add_fact_nonneg(lin("JTLO-ITHI-3"));
+        let r = test_index_dim(&idx("IT", "N1", "1"), &idx("JT", "N1", "2"), &loop_n(), &env);
+        assert_eq!(r, Some(TestResult::Independent));
+        // Offsets that can overlap (same range arrays): no info.
+        let r2 = test_index_dim(&idx("IT", "N1", "1"), &idx("IT", "N2", "1"), &loop_n(), &env);
+        // same array, no gap facts → None
+        assert_eq!(r2, None);
+    }
+
+    #[test]
+    fn test_classified_combines_dims() {
+        // F(I3+1, J) vs F(I3+2, J): index dim independent under stride.
+        let mut env = SymbolicEnv::new();
+        env.add_index_fact("IT", IndexArrayFact { min_stride: Some(3), ..Default::default() });
+        let loops = loop_n();
+        let r = test_classified(
+            &[idx("IT", "N1", "1"), SubPos::Affine(lin("J"))],
+            &[idx("IT", "N1", "2"), SubPos::Affine(lin("J"))],
+            &loops,
+            &env,
+        );
+        assert_eq!(r, TestResult::Independent);
+    }
+
+    #[test]
+    fn test_classified_opaque_assumed_pending() {
+        let env = SymbolicEnv::new();
+        let loops = loop_n();
+        let r = test_classified(&[SubPos::Opaque], &[SubPos::Affine(lin("N1"))], &loops, &env);
+        match r {
+            TestResult::Dependent(d) => assert!(!d.exact),
+            _ => panic!("expected dependent"),
+        }
+    }
+}

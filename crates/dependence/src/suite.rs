@@ -1,0 +1,768 @@
+//! The hierarchical dependence test suite.
+//!
+//! "A hierarchical suite of tests is used, starting with inexpensive
+//! tests, to prove or disprove that a dependence exists" (§4.1, citing
+//! Goff, Kennedy & Tseng, *Practical Dependence Testing*). Subscript
+//! positions are classified ZIV / SIV / MIV and dispatched:
+//!
+//! * **ZIV** — loop-invariant on both sides: provably-unequal constants
+//!   disprove the dependence outright;
+//! * **strong SIV** (`a·i + c₁` vs `a·i' + c₂`) — exact distance test,
+//!   including the *symbolic* distance case that powers the pueblo3d
+//!   `MCN` assertion (§3.3): a symbolic distance provably larger than the
+//!   loop span disproves the dependence;
+//! * **weak-zero / weak-crossing SIV** — exact breaking-point tests;
+//! * **general SIV and MIV** — GCD test, then Banerjee's inequalities
+//!   with per-direction refinement.
+//!
+//! Exact tests mark the dependence *proven*; inexact tests leave it
+//! *pending* for the user to accept or reject (§3.1, dependence marking).
+
+use crate::dir::{Dir, DirSet, DirVector};
+use ped_analysis::symbolic::{LinExpr, SymbolicEnv};
+
+/// One loop of the common nest: control variable and affine bounds.
+/// (Steps other than +1 are handled by the callers via bound
+/// normalization; the workshop dialect rarely uses non-unit steps.)
+#[derive(Clone, Debug)]
+pub struct LoopCtx {
+    pub var: String,
+    pub lo: LinExpr,
+    pub hi: LinExpr,
+}
+
+/// Result of testing one reference pair.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TestResult {
+    /// No dependence can exist.
+    Independent,
+    Dependent(DepInfo),
+}
+
+/// Details of a (possible) dependence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DepInfo {
+    /// Direction sets per common loop, outermost first.
+    pub vector: DirVector,
+    /// Constant dependence distance per loop where known.
+    pub distances: Vec<Option<i64>>,
+    /// True if an exact test proved the dependence exists.
+    pub exact: bool,
+    /// Name of the deciding test (for the dependence pane's REASON).
+    pub test: &'static str,
+}
+
+impl DepInfo {
+    fn assumed(nloops: usize, test: &'static str) -> DepInfo {
+        DepInfo {
+            vector: DirVector::all_any(nloops),
+            distances: vec![None; nloops],
+            exact: false,
+            test,
+        }
+    }
+}
+
+/// Test a pair of subscript vectors under a common loop nest.
+///
+/// `src_subs` / `sink_subs` are the normalized affine subscripts
+/// (`None` for a non-affine position). Vectors of differing length (e.g.
+/// a whole-array reference against an element) are conservatively
+/// dependent.
+pub fn test_pair(
+    src_subs: &[Option<LinExpr>],
+    sink_subs: &[Option<LinExpr>],
+    loops: &[LoopCtx],
+    env: &SymbolicEnv,
+) -> TestResult {
+    let n = loops.len();
+    if src_subs.len() != sink_subs.len() || src_subs.is_empty() {
+        return TestResult::Dependent(DepInfo::assumed(n, "whole-array"));
+    }
+    let mut vector = DirVector::all_any(n);
+    let mut distances: Vec<Option<i64>> = vec![None; n];
+    let mut exact = true;
+    let mut deciding: &'static str = "ziv";
+    #[allow(clippy::needless_range_loop)] // parallel-array intersection
+    for (s, t) in src_subs.iter().zip(sink_subs) {
+        let (Some(a), Some(b)) = (s, t) else {
+            // Non-affine position constrains nothing.
+            exact = false;
+            deciding = "symbolic";
+            continue;
+        };
+        match test_dim(a, b, loops, env) {
+            DimResult::Independent(_test) => return TestResult::Independent,
+            DimResult::Constrains { dirs, distance, exact: e, test } => {
+                for k in 0..n {
+                    let inter = vector.0[k].intersect(dirs[k]);
+                    vector.0[k] = inter;
+                }
+                // Empty direction set at any level: the equality cannot
+                // hold simultaneously — independent.
+                if vector.0.iter().any(|d| d.is_empty()) {
+                    return TestResult::Independent;
+                }
+                for k in 0..n {
+                    if let Some(d) = distance[k] {
+                        match distances[k] {
+                            None => distances[k] = Some(d),
+                            Some(prev) if prev != d => {
+                                // Two dims demand different distances.
+                                return TestResult::Independent;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                if !e {
+                    exact = false;
+                }
+                deciding = test;
+            }
+        }
+    }
+    TestResult::Dependent(DepInfo { vector, distances, exact, test: deciding })
+}
+
+enum DimResult {
+    Independent(&'static str),
+    Constrains {
+        dirs: Vec<DirSet>,
+        distance: Vec<Option<i64>>,
+        exact: bool,
+        test: &'static str,
+    },
+}
+
+fn no_constraint(n: usize, exact: bool, test: &'static str) -> DimResult {
+    DimResult::Constrains {
+        dirs: vec![DirSet::any(); n],
+        distance: vec![None; n],
+        exact,
+        test,
+    }
+}
+
+fn test_dim(src: &LinExpr, sink: &LinExpr, loops: &[LoopCtx], env: &SymbolicEnv) -> DimResult {
+    let n = loops.len();
+    // Which loop variables occur in this dimension?
+    let occurring: Vec<usize> = (0..n)
+        .filter(|&k| src.coeff(&loops[k].var) != 0 || sink.coeff(&loops[k].var) != 0)
+        .collect();
+    match occurring.len() {
+        0 => test_ziv(src, sink, n, env),
+        1 => test_siv(src, sink, occurring[0], loops, env),
+        _ => test_miv(src, sink, &occurring, loops, env),
+    }
+}
+
+/// ZIV: both subscripts invariant in the common nest.
+fn test_ziv(src: &LinExpr, sink: &LinExpr, n: usize, env: &SymbolicEnv) -> DimResult {
+    let d = sink.sub(src);
+    if let Some(c) = d.as_const() {
+        if c != 0 {
+            return DimResult::Independent("ziv");
+        }
+        return no_constraint(n, true, "ziv");
+    }
+    // Symbolic difference: provably non-zero ⇒ independent.
+    if env.prove_positive(&d) || env.prove_positive(&d.scale(-1)) {
+        return DimResult::Independent("ziv-symbolic");
+    }
+    no_constraint(n, false, "ziv-symbolic")
+}
+
+/// SIV: exactly one loop variable occurs.
+fn test_siv(
+    src: &LinExpr,
+    sink: &LinExpr,
+    k: usize,
+    loops: &[LoopCtx],
+    env: &SymbolicEnv,
+) -> DimResult {
+    let n = loops.len();
+    let v = &loops[k].var;
+    let a = src.coeff(v);
+    let b = sink.coeff(v);
+    // q = sink_const - src_const (without the loop-var terms):
+    // a*i = b*i' + q  ⇔  a*i - b*i' = q.
+    let mut s0 = src.clone();
+    s0.take(v);
+    let mut t0 = sink.clone();
+    t0.take(v);
+    let q = s0.sub(&t0).scale(-1); // (t0 - s0)
+    let span = loops[k].hi.sub(&loops[k].lo); // trip span (≥ 0 for non-empty loops)
+
+    if a == b {
+        // Strong SIV: i' - i = q / a.
+        debug_assert!(a != 0);
+        return strong_siv(a, &q, &span, k, n, env);
+    }
+    if b == 0 {
+        // Weak-zero SIV: i = q / a, i' free.
+        return weak_zero_siv(a, &q, &loops[k], n, env);
+    }
+    if a == 0 {
+        // Weak-zero with roles swapped: i' = -q / b.
+        return weak_zero_siv(b, &q.scale(-1), &loops[k], n, env);
+    }
+    if a == -b {
+        // Weak-crossing SIV: i + i' = q / a.
+        return weak_crossing_siv(a, &q, &loops[k], n, env);
+    }
+    // General SIV: Banerjee machinery on a single variable.
+    test_miv(src, sink, &[k], loops, env)
+}
+
+fn strong_siv(
+    a: i64,
+    q: &LinExpr,
+    span: &LinExpr,
+    k: usize,
+    n: usize,
+    env: &SymbolicEnv,
+) -> DimResult {
+    let mut dirs = vec![DirSet::any(); n];
+    let mut distance = vec![None; n];
+    if let Some(qc) = q.as_const() {
+        if qc % a != 0 {
+            return DimResult::Independent("strong-siv");
+        }
+        // a·(i − i') = q  ⇒  distance d = i' − i = −q/a.
+        let d = -(qc / a);
+        // |d| must not exceed the span.
+        if let Some(spanc) = span.as_const() {
+            if d.abs() > spanc {
+                return DimResult::Independent("strong-siv");
+            }
+        } else {
+            // Symbolic span: independence if |d| > span provable.
+            let dl = LinExpr::constant(d.abs());
+            if env.prove_positive(&dl.sub(span)) {
+                return DimResult::Independent("strong-siv");
+            }
+        }
+        dirs[k] = match d.signum() {
+            0 => DirSet::only(Dir::Eq),
+            1 => DirSet::only(Dir::Lt),
+            _ => DirSet::only(Dir::Gt),
+        };
+        distance[k] = Some(d);
+        return DimResult::Constrains { dirs, distance, exact: true, test: "strong-siv" };
+    }
+    // Symbolic distance d = −q/a: try dividing coefficients.
+    let d_lin = div_exact(&q.scale(-1), a);
+    if let Some(d_lin) = d_lin {
+        // Independence: |d| > span.
+        if env.prove_positive(&d_lin.sub(span)) || env.prove_positive(&d_lin.scale(-1).sub(span))
+        {
+            return DimResult::Independent("strong-siv-symbolic");
+        }
+        // Direction from the sign of d when provable.
+        if env.prove_positive(&d_lin) {
+            dirs[k] = DirSet::only(Dir::Lt);
+        } else if env.prove_nonneg(&d_lin) {
+            dirs[k] = DirSet::lt_eq();
+        } else if env.prove_positive(&d_lin.scale(-1)) {
+            dirs[k] = DirSet::only(Dir::Gt);
+        } else if env.prove_nonneg(&d_lin.scale(-1)) {
+            let mut s = DirSet::only(Dir::Gt);
+            s.insert(Dir::Eq);
+            dirs[k] = s;
+        }
+        return DimResult::Constrains { dirs, distance, exact: false, test: "strong-siv-symbolic" };
+    }
+    DimResult::Constrains { dirs, distance, exact: false, test: "strong-siv-symbolic" }
+}
+
+fn weak_zero_siv(
+    a: i64,
+    q: &LinExpr,
+    l: &LoopCtx,
+    n: usize,
+    env: &SymbolicEnv,
+) -> DimResult {
+    if let Some(qc) = q.as_const() {
+        if qc % a != 0 {
+            return DimResult::Independent("weak-zero-siv");
+        }
+        let i = LinExpr::constant(qc / a);
+        // Breaking point outside the loop range ⇒ independent.
+        if env.prove_positive(&l.lo.sub(&i)) || env.prove_positive(&i.sub(&l.hi)) {
+            return DimResult::Independent("weak-zero-siv");
+        }
+        // In range (provably) ⇒ exact dependence at a single iteration.
+        let exact = env.prove_nonneg(&i.sub(&l.lo)) && env.prove_nonneg(&l.hi.sub(&i));
+        return no_constraint(n, exact, "weak-zero-siv");
+    }
+    if let Some(i) = div_exact(q, a) {
+        if env.prove_positive(&l.lo.sub(&i)) || env.prove_positive(&i.sub(&l.hi)) {
+            return DimResult::Independent("weak-zero-siv-symbolic");
+        }
+    }
+    no_constraint(n, false, "weak-zero-siv-symbolic")
+}
+
+fn weak_crossing_siv(
+    a: i64,
+    q: &LinExpr,
+    l: &LoopCtx,
+    n: usize,
+    env: &SymbolicEnv,
+) -> DimResult {
+    // i + i' = q / a =: s, with i, i' ∈ [lo, hi] ⇒ s ∈ [2·lo, 2·hi].
+    if let Some(qc) = q.as_const() {
+        if qc % a != 0 {
+            return DimResult::Independent("weak-crossing-siv");
+        }
+        let s = LinExpr::constant(qc / a);
+        if env.prove_positive(&l.lo.scale(2).sub(&s)) || env.prove_positive(&s.sub(&l.hi.scale(2)))
+        {
+            return DimResult::Independent("weak-crossing-siv");
+        }
+        return no_constraint(n, false, "weak-crossing-siv");
+    }
+    no_constraint(n, false, "weak-crossing-siv")
+}
+
+/// Divide an affine form by a constant exactly, or fail.
+fn div_exact(e: &LinExpr, a: i64) -> Option<LinExpr> {
+    if a == 0 {
+        return None;
+    }
+    if e.konst % a != 0 {
+        return None;
+    }
+    let mut out = LinExpr::constant(e.konst / a);
+    for (n, c) in &e.terms {
+        if c % a != 0 {
+            return None;
+        }
+        out.terms.insert(n.clone(), c / a);
+    }
+    Some(out)
+}
+
+/// MIV (or general SIV): GCD test, then Banerjee with direction
+/// refinement per loop.
+fn test_miv(
+    src: &LinExpr,
+    sink: &LinExpr,
+    occurring: &[usize],
+    loops: &[LoopCtx],
+    env: &SymbolicEnv,
+) -> DimResult {
+    let n = loops.len();
+    // Equation: Σ a_k·i_k − Σ b_k·i'_k = q with q = sink₀ − src₀.
+    let mut s0 = src.clone();
+    let mut t0 = sink.clone();
+    let mut coeffs: Vec<(i64, i64)> = Vec::with_capacity(n); // (a_k, b_k)
+    for l in loops {
+        coeffs.push((s0.take(&l.var), t0.take(&l.var)));
+    }
+    let q = t0.sub(&s0);
+    // GCD test.
+    let mut g: i64 = 0;
+    for &(a, b) in &coeffs {
+        g = gcd(g, a.abs());
+        g = gcd(g, b.abs());
+    }
+    if g > 1 {
+        if let Some(qc) = q.as_const() {
+            if qc % g != 0 {
+                return DimResult::Independent("gcd");
+            }
+        } else if q.terms.iter().all(|(_, c)| c % g == 0) && q.konst % g != 0 {
+            return DimResult::Independent("gcd-symbolic");
+        }
+    }
+    // Banerjee bounds need a numeric q.
+    let Some(qc) = q.as_const() else {
+        return DimResult::Constrains {
+            dirs: vec![DirSet::any(); n],
+            distance: vec![None; n],
+            exact: false,
+            test: "banerjee-symbolic",
+        };
+    };
+    // Numeric loop ranges from the environment.
+    let ranges: Vec<(Option<i64>, Option<i64>)> = loops
+        .iter()
+        .map(|l| {
+            let lo = env.range_of(&l.lo);
+            let hi = env.range_of(&l.hi);
+            (lo.lo, hi.hi)
+        })
+        .collect();
+    // Overall feasibility with all directions free.
+    let free = vec![None; n];
+    if !banerjee_feasible(qc, &coeffs, &ranges, &free) {
+        return DimResult::Independent("banerjee");
+    }
+    // Per-loop direction refinement.
+    let mut dirs = vec![DirSet::any(); n];
+    for &k in occurring {
+        let mut set = DirSet::empty();
+        for d in [Dir::Lt, Dir::Eq, Dir::Gt] {
+            let mut constraint = free.clone();
+            constraint[k] = Some(d);
+            if banerjee_feasible(qc, &coeffs, &ranges, &constraint) {
+                set.insert(d);
+            }
+        }
+        if set.is_empty() {
+            return DimResult::Independent("banerjee");
+        }
+        dirs[k] = set;
+    }
+    DimResult::Constrains { dirs, distance: vec![None; n], exact: false, test: "banerjee" }
+}
+
+/// Banerjee feasibility: can Σ a_k·i_k − b_k·i'_k = q hold with
+/// i_k, i'_k in the given ranges and optional per-loop direction
+/// constraints?
+fn banerjee_feasible(
+    q: i64,
+    coeffs: &[(i64, i64)],
+    ranges: &[(Option<i64>, Option<i64>)],
+    dirs: &[Option<Dir>],
+) -> bool {
+    let mut min: Option<i64> = Some(0);
+    let mut max: Option<i64> = Some(0);
+    for (k, &(a, b)) in coeffs.iter().enumerate() {
+        if a == 0 && b == 0 {
+            continue;
+        }
+        let (lo, hi) = ranges[k];
+        let (tmin, tmax) = term_bounds(a, b, lo, hi, dirs[k]);
+        min = add_opt(min, tmin);
+        max = add_opt(max, tmax);
+        if min.is_none() && max.is_none() {
+            return true; // unbounded both ways
+        }
+    }
+    let lo_ok = min.map(|m| m <= q).unwrap_or(true);
+    let hi_ok = max.map(|m| m >= q).unwrap_or(true);
+    lo_ok && hi_ok
+}
+
+fn add_opt(x: Option<i64>, y: Option<i64>) -> Option<i64> {
+    match (x, y) {
+        (Some(a), Some(b)) => a.checked_add(b),
+        _ => None,
+    }
+}
+
+/// Min/max of `a·i − b·i'` for `i, i' ∈ [lo, hi]` under a direction
+/// constraint between `i` and `i'`.
+fn term_bounds(
+    a: i64,
+    b: i64,
+    lo: Option<i64>,
+    hi: Option<i64>,
+    dir: Option<Dir>,
+) -> (Option<i64>, Option<i64>) {
+    let span = match (lo, hi) {
+        (Some(l), Some(h)) => Some((h - l).max(0)),
+        _ => None,
+    };
+    match dir {
+        None => {
+            // Independent i, i'.
+            let (min_a, max_a) = lin_bounds(a, lo, hi);
+            let (min_b, max_b) = lin_bounds(-b, lo, hi);
+            (add_opt(min_a, min_b), add_opt(max_a, max_b))
+        }
+        Some(Dir::Eq) => lin_bounds(a - b, lo, hi),
+        Some(Dir::Lt) => {
+            // i' = i + d, d ∈ [1, span]: (a−b)·i − b·d.
+            let (min_i, max_i) = lin_bounds(a - b, lo, hi);
+            let (min_d, max_d) = lin_bounds_range(-b, Some(1), span);
+            (add_opt(min_i, min_d), add_opt(max_i, max_d))
+        }
+        Some(Dir::Gt) => {
+            // i = i' + d, d ∈ [1, span]: (a−b)·i' + a·d.
+            let (min_i, max_i) = lin_bounds(a - b, lo, hi);
+            let (min_d, max_d) = lin_bounds_range(a, Some(1), span);
+            (add_opt(min_i, min_d), add_opt(max_i, max_d))
+        }
+    }
+}
+
+/// Min/max of `c·x` for `x ∈ [lo, hi]`.
+fn lin_bounds(c: i64, lo: Option<i64>, hi: Option<i64>) -> (Option<i64>, Option<i64>) {
+    lin_bounds_range(c, lo, hi)
+}
+
+fn lin_bounds_range(c: i64, lo: Option<i64>, hi: Option<i64>) -> (Option<i64>, Option<i64>) {
+    if c == 0 {
+        return (Some(0), Some(0));
+    }
+    if c > 0 {
+        (lo.map(|l| c * l), hi.map(|h| c * h))
+    } else {
+        (hi.map(|h| c * h), lo.map(|l| c * l))
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_analysis::symbolic::{to_lin, Range};
+    use ped_fortran::parser::parse_expr_str;
+
+    fn lin(s: &str) -> Option<LinExpr> {
+        Some(to_lin(&parse_expr_str(s, &[]).unwrap()).unwrap())
+    }
+
+    fn loop1(var: &str, lo: &str, hi: &str) -> LoopCtx {
+        LoopCtx {
+            var: var.into(),
+            lo: lin(lo).unwrap(),
+            hi: lin(hi).unwrap(),
+        }
+    }
+
+    fn dep(r: &TestResult) -> &DepInfo {
+        match r {
+            TestResult::Dependent(d) => d,
+            TestResult::Independent => panic!("expected dependent"),
+        }
+    }
+
+    #[test]
+    fn ziv_unequal_constants_independent() {
+        let env = SymbolicEnv::new();
+        let loops = [loop1("I", "1", "N")];
+        let r = test_pair(&[lin("1")], &[lin("2")], &loops, &env);
+        assert_eq!(r, TestResult::Independent);
+    }
+
+    #[test]
+    fn ziv_equal_constants_dependent_exact() {
+        let env = SymbolicEnv::new();
+        let loops = [loop1("I", "1", "N")];
+        let r = test_pair(&[lin("5")], &[lin("5")], &loops, &env);
+        let d = dep(&r);
+        assert!(d.exact);
+        assert!(d.vector.0[0].is_any());
+    }
+
+    #[test]
+    fn ziv_symbolic_proved_unequal() {
+        let mut env = SymbolicEnv::new();
+        env.add_range("N", Range::at_least(1));
+        let loops = [loop1("I", "1", "N")];
+        // A(N+1) vs A(1): N+1 - 1 = N > 0.
+        let r = test_pair(&[lin("N+1")], &[lin("1")], &loops, &env);
+        assert_eq!(r, TestResult::Independent);
+    }
+
+    #[test]
+    fn strong_siv_distance_one() {
+        let env = SymbolicEnv::new();
+        let loops = [loop1("I", "1", "N")];
+        // A(I) written, A(I-1) read: the read at iteration i' sees the
+        // value written at i = i' − 1, so the source runs first:
+        // direction '<', distance +1.
+        let r = test_pair(&[lin("I")], &[lin("I-1")], &loops, &env);
+        let d = dep(&r);
+        assert_eq!(d.distances[0], Some(1));
+        assert!(d.vector.0[0].contains(Dir::Lt));
+        assert!(!d.vector.0[0].contains(Dir::Gt));
+        assert!(d.exact);
+    }
+
+    #[test]
+    fn strong_siv_same_subscript_is_eq() {
+        let env = SymbolicEnv::new();
+        let loops = [loop1("I", "1", "N")];
+        let r = test_pair(&[lin("I")], &[lin("I")], &loops, &env);
+        let d = dep(&r);
+        assert!(d.vector.0[0].is_eq_only());
+        assert_eq!(d.distances[0], Some(0));
+        assert!(d.exact);
+    }
+
+    #[test]
+    fn strong_siv_distance_exceeding_constant_span_independent() {
+        let env = SymbolicEnv::new();
+        let loops = [loop1("I", "1", "10")];
+        // A(I) vs A(I+20): distance 20 > span 9.
+        let r = test_pair(&[lin("I")], &[lin("I+20")], &loops, &env);
+        assert_eq!(r, TestResult::Independent);
+    }
+
+    #[test]
+    fn strong_siv_non_divisible_independent() {
+        let env = SymbolicEnv::new();
+        let loops = [loop1("I", "1", "N")];
+        // A(2I) vs A(2I+1): parity.
+        let r = test_pair(&[lin("2*I")], &[lin("2*I+1")], &loops, &env);
+        assert_eq!(r, TestResult::Independent);
+    }
+
+    #[test]
+    fn pueblo3d_symbolic_distance_with_assertion() {
+        // UF(I+MCN) vs UF(I) in DO I = ISTRT, IENDV.
+        // Assertion: MCN > IENDV - ISTRT  ⇔  MCN - IENDV + ISTRT - 1 ≥ 0.
+        let mut env = SymbolicEnv::new();
+        env.add_fact_nonneg(
+            to_lin(&parse_expr_str("MCN-IENDV+ISTRT-1", &[]).unwrap()).unwrap(),
+        );
+        let loops = [LoopCtx {
+            var: "I".into(),
+            lo: lin("ISTRT").unwrap(),
+            hi: lin("IENDV").unwrap(),
+        }];
+        let r = test_pair(&[lin("I+MCN")], &[lin("I")], &loops, &env);
+        assert_eq!(r, TestResult::Independent);
+        // Without the assertion the dependence is assumed.
+        let env2 = SymbolicEnv::new();
+        let r2 = test_pair(&[lin("I+MCN")], &[lin("I")], &loops, &env2);
+        assert!(matches!(r2, TestResult::Dependent(_)));
+        assert!(!dep(&r2).exact);
+    }
+
+    #[test]
+    fn weak_zero_in_range_dependent() {
+        let env = SymbolicEnv::new();
+        let loops = [loop1("I", "1", "10")];
+        // A(I) vs A(5).
+        let r = test_pair(&[lin("I")], &[lin("5")], &loops, &env);
+        let d = dep(&r);
+        assert!(d.exact);
+    }
+
+    #[test]
+    fn weak_zero_out_of_range_independent() {
+        let env = SymbolicEnv::new();
+        let loops = [loop1("I", "1", "10")];
+        let r = test_pair(&[lin("I")], &[lin("11")], &loops, &env);
+        assert_eq!(r, TestResult::Independent);
+    }
+
+    #[test]
+    fn weak_zero_symbolic_boundary() {
+        // A(I) vs A(N+1) in DO I = 1, N: breaking point N+1 > hi.
+        let env = SymbolicEnv::new();
+        let loops = [loop1("I", "1", "N")];
+        let r = test_pair(&[lin("I")], &[lin("N+1")], &loops, &env);
+        assert_eq!(r, TestResult::Independent);
+    }
+
+    #[test]
+    fn weak_crossing_detected() {
+        let env = SymbolicEnv::new();
+        let loops = [loop1("I", "1", "10")];
+        // A(I) vs A(12-I): crossing at i+i' = 12 ∈ [2, 20] — dependent.
+        let r = test_pair(&[lin("I")], &[lin("12-I")], &loops, &env);
+        assert!(matches!(r, TestResult::Dependent(_)));
+        // A(I) vs A(30-I): i+i' = 30 > 20 — independent.
+        let r = test_pair(&[lin("I")], &[lin("30-I")], &loops, &env);
+        assert_eq!(r, TestResult::Independent);
+    }
+
+    #[test]
+    fn gcd_test_disproves() {
+        let env = SymbolicEnv::new();
+        let loops = [loop1("I", "1", "N"), loop1("J", "1", "N")];
+        // A(2I + 4J) vs A(2I' + 4J' + 1): gcd 2 does not divide 1.
+        let r = test_pair(&[lin("2*I+4*J")], &[lin("2*I+4*J+1")], &loops, &env);
+        assert_eq!(r, TestResult::Independent);
+    }
+
+    #[test]
+    fn banerjee_disproves_out_of_bounds() {
+        let mut env = SymbolicEnv::new();
+        env.add_range("N", Range::between(1, 10));
+        let loops = [loop1("I", "1", "10"), loop1("J", "1", "10")];
+        // A(I + J) vs A(I' + J' + 100): max of (i+j) - (i'+j') is 18 < 100.
+        let r = test_pair(&[lin("I+J")], &[lin("I+J+100")], &loops, &env);
+        assert_eq!(r, TestResult::Independent);
+    }
+
+    #[test]
+    fn banerjee_direction_refinement() {
+        let env = SymbolicEnv::new();
+        let loops = [loop1("I", "1", "10")];
+        // General SIV a=1, b=2: A(I) vs A(2I'). Equation i − 2i' = 0.
+        // For '>' (i = i' + d, d≥1): i' + d − 2i' = d − i' = 0, feasible.
+        // For '<' (i' = i + d): i − 2i − 2d = −i − 2d = 0 infeasible (i≥1,d≥1).
+        let r = test_pair(&[lin("I")], &[lin("2*I")], &loops, &env);
+        let d = dep(&r);
+        assert!(d.vector.0[0].contains(Dir::Gt));
+        assert!(!d.vector.0[0].contains(Dir::Lt));
+        // i = 2i' requires i ≠ i' unless both 0 (out of range): '=' gone.
+        assert!(!d.vector.0[0].contains(Dir::Eq));
+    }
+
+    #[test]
+    fn multidim_intersects_constraints() {
+        let env = SymbolicEnv::new();
+        let loops = [loop1("I", "1", "N"), loop1("J", "1", "N")];
+        // A(I, J) vs A(I, J-1): dim1 forces I '=', dim2 forces J '<'
+        // (writer of element j runs one J-iteration before the reader).
+        let r = test_pair(
+            &[lin("I"), lin("J")],
+            &[lin("I"), lin("J-1")],
+            &loops,
+            &env,
+        );
+        let d = dep(&r);
+        assert!(d.vector.0[0].is_eq_only());
+        assert_eq!(d.vector.0[1], DirSet::only(Dir::Lt));
+        assert_eq!(d.distances, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn conflicting_distances_independent() {
+        let env = SymbolicEnv::new();
+        let loops = [loop1("I", "1", "N")];
+        // A(I, I) vs A(I+1, I+2): dim1 wants d=1, dim2 wants d=2.
+        let r = test_pair(
+            &[lin("I"), lin("I")],
+            &[lin("I+1"), lin("I+2")],
+            &loops,
+            &env,
+        );
+        assert_eq!(r, TestResult::Independent);
+    }
+
+    #[test]
+    fn non_affine_position_assumed() {
+        let env = SymbolicEnv::new();
+        let loops = [loop1("I", "1", "N")];
+        // A(IX(I)) vs A(I): index array — assumed, pending.
+        let r = test_pair(&[None], &[lin("I")], &loops, &env);
+        let d = dep(&r);
+        assert!(!d.exact);
+        assert!(d.vector.0[0].is_any());
+    }
+
+    #[test]
+    fn whole_array_vs_element_assumed() {
+        let env = SymbolicEnv::new();
+        let loops = [loop1("I", "1", "N")];
+        let r = test_pair(&[], &[lin("I")], &loops, &env);
+        assert!(matches!(r, TestResult::Dependent(_)));
+    }
+
+    #[test]
+    fn no_common_loops_ziv_still_works() {
+        let env = SymbolicEnv::new();
+        let r = test_pair(&[lin("1")], &[lin("2")], &[], &env);
+        assert_eq!(r, TestResult::Independent);
+        let r = test_pair(&[lin("K")], &[lin("K")], &[], &env);
+        assert!(matches!(r, TestResult::Dependent(_)));
+    }
+}

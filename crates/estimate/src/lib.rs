@@ -1,0 +1,23 @@
+//! # ped-estimate — static performance estimation for PED
+//!
+//! "All users requested more assistance in locating the most
+//! computation-intensive procedures and loops … The users requested that
+//! similar profiling or static performance estimation be integrated into
+//! PED to help focus user attention on the loops where effective
+//! parallelization would have the highest payoff. ParaScope now includes
+//! a static performance estimator used to predict the relative execution
+//! time of loops and subroutines" (§3.2, citing Kennedy, McIntosh &
+//! McKinley TR91-174).
+//!
+//! The estimator assigns an operation cost to each statement, multiplies
+//! through estimated trip counts (constant-folded bounds where possible,
+//! a configurable default otherwise), and charges call sites with their
+//! callee's unit cost — giving the relative ranking the navigation
+//! assistance needs. Dynamic loop profiles from `ped-runtime` can be
+//! blended in when available.
+
+pub mod cost;
+pub mod rank;
+
+pub use cost::{estimate_program, estimate_unit, CostModel, LoopCost, ProgramCost, UnitCost};
+pub use rank::{rank_loops, LoopRank};

@@ -1,0 +1,132 @@
+//! Loop navigation ranking.
+//!
+//! "Users relied on external tools to profile their codes … they
+//! requested that similar profiling or static performance estimation be
+//! integrated into PED to help focus user attention on the loops where
+//! effective parallelization would have the highest payoff" (§3.2). The
+//! rank combines the static estimate with (optional) dynamic loop
+//! profiles from a run, preferring measured counts when present.
+
+use crate::cost::{CostModel, ProgramCost};
+use ped_fortran::ast::{Program, StmtId};
+use std::collections::HashMap;
+
+/// One ranked loop.
+#[derive(Clone, Debug)]
+pub struct LoopRank {
+    pub unit: String,
+    pub stmt: StmtId,
+    pub var: String,
+    pub level: u32,
+    /// Estimated (or measured-weighted) total cost.
+    pub weight: f64,
+    /// Share of the program total, in percent.
+    pub percent: f64,
+}
+
+/// Rank every loop of the program by estimated total cost, most expensive
+/// first. If `profile` (iterations per DO statement from
+/// `ped_runtime::RunStats::loop_iterations`) is provided, measured trip
+/// counts replace the static estimates.
+pub fn rank_loops(
+    program: &Program,
+    model: &CostModel,
+    profile: Option<&HashMap<StmtId, u64>>,
+) -> Vec<LoopRank> {
+    let pc: ProgramCost = crate::cost::estimate_program(program, model);
+    let mut out = Vec::new();
+    let mut grand_total = 0.0f64;
+    for u in &pc.units {
+        for l in &u.loops {
+            let weight = match profile.and_then(|p| p.get(&l.stmt)) {
+                Some(&iters) if l.trips > 0.0 => l.per_iteration * iters as f64,
+                _ => l.total,
+            };
+            grand_total += l.per_iteration.max(0.0); // accumulate below properly
+            out.push(LoopRank {
+                unit: u.name.clone(),
+                stmt: l.stmt,
+                var: l.var.clone(),
+                level: l.level,
+                weight,
+                percent: 0.0,
+            });
+        }
+    }
+    let _ = grand_total;
+    let total: f64 = out
+        .iter()
+        .filter(|r| r.level == 1)
+        .map(|r| r.weight)
+        .sum::<f64>()
+        .max(1e-9);
+    for r in &mut out {
+        r.percent = 100.0 * r.weight / total;
+    }
+    out.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+/// Render the ranking as the navigation table PED shows.
+pub fn render_ranking(ranks: &[LoopRank], top: usize) -> String {
+    let mut out = String::from("UNIT        LOOP  LVL      WEIGHT   %OF-PROGRAM\n");
+    for r in ranks.iter().take(top) {
+        out.push_str(&format!(
+            "{:<10} DO {:<4} {:>2} {:>12.0} {:>8.1}%\n",
+            r.unit, r.var, r.level, r.weight, r.percent
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parser::parse_ok;
+
+    #[test]
+    fn heavier_loop_ranks_first() {
+        let src = "      REAL A(10), B(10000)\n      DO 10 I = 1, 10\n      A(I) = 0.0\n   10 CONTINUE\n      DO 20 I = 1, 10000\n      B(I) = SQRT(REAL(I))\n   20 CONTINUE\n      END\n";
+        let p = parse_ok(src);
+        let ranks = rank_loops(&p, &CostModel::default(), None);
+        assert_eq!(ranks.len(), 2);
+        assert_eq!(ranks[0].var, "I");
+        assert!(ranks[0].weight > ranks[1].weight * 100.0);
+    }
+
+    #[test]
+    fn profile_overrides_static_estimate() {
+        // Symbolic bound defaults to 100 statically; the profile says the
+        // first loop actually ran 1,000,000 iterations.
+        let src = "      REAL A(100), B(100)\n      DO 10 I = 1, N\n      A(I) = 0.0\n   10 CONTINUE\n      DO 20 I = 1, 200\n      B(I) = 0.0\n   20 CONTINUE\n      END\n";
+        let p = parse_ok(src);
+        let static_ranks = rank_loops(&p, &CostModel::default(), None);
+        // Statically the 200-trip loop wins over the default-100 one.
+        assert_eq!(static_ranks[0].weight, static_ranks.iter().map(|r| r.weight).fold(0.0, f64::max));
+        let nest = ped_analysis::loops::LoopNest::build(&p.units[0]);
+        let first_loop = nest.loops.iter().find(|l| l.level == 1).unwrap().stmt;
+        let mut profile = HashMap::new();
+        profile.insert(first_loop, 1_000_000u64);
+        let ranks = rank_loops(&p, &CostModel::default(), Some(&profile));
+        assert_eq!(ranks[0].stmt, first_loop);
+    }
+
+    #[test]
+    fn percents_sum_to_about_100_for_top_level() {
+        let src = "      REAL A(50), B(50)\n      DO 10 I = 1, 50\n      A(I) = 0.0\n   10 CONTINUE\n      DO 20 I = 1, 50\n      B(I) = 1.0\n   20 CONTINUE\n      END\n";
+        let p = parse_ok(src);
+        let ranks = rank_loops(&p, &CostModel::default(), None);
+        let total: f64 = ranks.iter().filter(|r| r.level == 1).map(|r| r.percent).sum();
+        assert!((total - 100.0).abs() < 1.0, "{total}");
+    }
+
+    #[test]
+    fn render_is_tabular() {
+        let src = "      REAL A(10)\n      DO 10 I = 1, 10\n      A(I) = 0.0\n   10 CONTINUE\n      END\n";
+        let p = parse_ok(src);
+        let ranks = rank_loops(&p, &CostModel::default(), None);
+        let txt = render_ranking(&ranks, 5);
+        assert!(txt.contains("WEIGHT"), "{txt}");
+        assert!(txt.contains("DO I"), "{txt}");
+    }
+}

@@ -1,0 +1,700 @@
+//! Abstract syntax tree for the PED Fortran 77 dialect.
+//!
+//! The dialect covers the constructs the PPOPP'93 workshop programs
+//! exercise: fixed-form source, `DO` loops (labelled and `END DO` forms,
+//! including multiple loops sharing one terminal label), block and logical
+//! `IF`, the *arithmetic* `IF` and `GOTO`/computed-`GOTO` control flow of
+//! the older dialects (neoss, nxsns, dpmin), subroutines and functions,
+//! `COMMON` blocks, `PARAMETER` constants, array declarations with explicit
+//! bounds, and simplified `READ`/`WRITE`/`PRINT`.
+//!
+//! Every statement carries a [`StmtId`] that is stable across analyses;
+//! transformations allocate fresh ids from the owning [`ProcUnit`].
+
+use crate::span::Span;
+
+/// Stable identity of a statement within a [`Program`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StmtId(pub u32);
+
+impl std::fmt::Display for StmtId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A whole Fortran program: one or more program units.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    pub units: Vec<ProcUnit>,
+    /// Next fresh statement id (ids are unique program-wide).
+    pub next_stmt: u32,
+}
+
+impl Program {
+    /// Allocate a fresh statement id.
+    pub fn fresh_stmt(&mut self) -> StmtId {
+        let id = StmtId(self.next_stmt);
+        self.next_stmt += 1;
+        id
+    }
+
+    /// Find a unit by (case-insensitive) name.
+    pub fn unit(&self, name: &str) -> Option<&ProcUnit> {
+        self.units.iter().find(|u| u.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Find a unit mutably by (case-insensitive) name.
+    pub fn unit_mut(&mut self, name: &str) -> Option<&mut ProcUnit> {
+        self.units.iter_mut().find(|u| u.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The main program unit, if present.
+    pub fn main(&self) -> Option<&ProcUnit> {
+        self.units.iter().find(|u| u.kind == UnitKind::Program)
+    }
+
+    /// Total number of statements across all units (tree-walk count).
+    pub fn statement_count(&self) -> usize {
+        self.units.iter().map(|u| count_stmts(&u.body)).sum()
+    }
+}
+
+fn count_stmts(body: &[Stmt]) -> usize {
+    let mut n = 0;
+    for s in body {
+        n += 1;
+        for b in s.kind.blocks() {
+            n += count_stmts(b);
+        }
+    }
+    n
+}
+
+/// Kind of program unit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UnitKind {
+    Program,
+    Subroutine,
+    Function(Type),
+}
+
+/// One program unit: main program, subroutine, or function.
+#[derive(Clone, Debug)]
+pub struct ProcUnit {
+    pub name: String,
+    pub kind: UnitKind,
+    /// Formal parameter names, in declaration order.
+    pub params: Vec<String>,
+    pub decls: Vec<Decl>,
+    pub body: Vec<Stmt>,
+    pub span: Span,
+}
+
+impl ProcUnit {
+    pub fn new(name: impl Into<String>, kind: UnitKind) -> Self {
+        ProcUnit {
+            name: name.into(),
+            kind,
+            params: Vec::new(),
+            decls: Vec::new(),
+            body: Vec::new(),
+            span: Span::synthesized(),
+        }
+    }
+}
+
+/// Fortran base types in the dialect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Type {
+    Integer,
+    Real,
+    DoublePrecision,
+    Logical,
+    Character,
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Type::Integer => write!(f, "INTEGER"),
+            Type::Real => write!(f, "REAL"),
+            Type::DoublePrecision => write!(f, "DOUBLE PRECISION"),
+            Type::Logical => write!(f, "LOGICAL"),
+            Type::Character => write!(f, "CHARACTER"),
+        }
+    }
+}
+
+/// One dimension of an array declaration: `lower:upper` (lower defaults
+/// to 1). Bounds are expressions so adjustable arrays (`A(N)`) work.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DimBound {
+    pub lower: Expr,
+    pub upper: Expr,
+}
+
+impl DimBound {
+    /// A `1:upper` bound.
+    pub fn to_upper(upper: Expr) -> Self {
+        DimBound { lower: Expr::Int(1), upper }
+    }
+
+    /// Constant extent, if both bounds are integer literals.
+    pub fn const_extent(&self) -> Option<i64> {
+        match (&self.lower, &self.upper) {
+            (Expr::Int(l), Expr::Int(u)) => Some(u - l + 1),
+            _ => None,
+        }
+    }
+}
+
+/// A declared entity: scalar or array.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Declared {
+    pub name: String,
+    /// Empty for scalars.
+    pub dims: Vec<DimBound>,
+}
+
+/// A declaration statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Decl {
+    /// `INTEGER A, B(10)` etc.
+    Typed { ty: Type, entities: Vec<Declared> },
+    /// `DIMENSION A(10,10)`.
+    Dimension { entities: Vec<Declared> },
+    /// `COMMON /BLK/ A, B` — `block` is `None` for blank common.
+    Common { block: Option<String>, entities: Vec<Declared> },
+    /// `PARAMETER (N = 100, ...)`.
+    Parameter { bindings: Vec<(String, Expr)> },
+    /// `EXTERNAL F, G`.
+    External { names: Vec<String> },
+    /// `DATA A /1.0/, I /3/` — simplified: scalar initializers only.
+    Data { bindings: Vec<(String, Expr)> },
+    /// `IMPLICIT NONE` (the only implicit statement supported).
+    ImplicitNone,
+}
+
+/// A statement: id + optional numeric label + source span + kind.
+#[derive(Clone, Debug)]
+pub struct Stmt {
+    pub id: StmtId,
+    pub label: Option<u32>,
+    pub span: Span,
+    pub kind: StmtKind,
+}
+
+impl Stmt {
+    pub fn new(id: StmtId, kind: StmtKind) -> Self {
+        Stmt { id, label: None, span: Span::synthesized(), kind }
+    }
+
+    pub fn with_label(mut self, label: u32) -> Self {
+        self.label = Some(label);
+        self
+    }
+
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = span;
+        self
+    }
+}
+
+/// How a `DO` loop is scheduled by the runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum LoopSched {
+    /// Ordinary sequential loop.
+    #[default]
+    Sequential,
+    /// Certified parallel loop (`DOALL`): iterations may run concurrently.
+    Parallel,
+}
+
+/// Statement kinds.
+#[derive(Clone, Debug)]
+pub enum StmtKind {
+    /// `lhs = rhs`.
+    Assign { lhs: LValue, rhs: Expr },
+    /// `DO [label] var = lo, hi [, step]` with structured body.
+    Do {
+        var: String,
+        lo: Expr,
+        hi: Expr,
+        step: Option<Expr>,
+        body: Vec<Stmt>,
+        /// Terminal label of the classic labelled form, if any.
+        term_label: Option<u32>,
+        sched: LoopSched,
+    },
+    /// Block IF: `IF (c) THEN ... [ELSE IF (c) THEN ...]* [ELSE ...] END IF`.
+    If {
+        arms: Vec<(Expr, Vec<Stmt>)>,
+        else_body: Option<Vec<Stmt>>,
+    },
+    /// Logical IF: `IF (c) stmt`.
+    LogicalIf { cond: Expr, then: Box<Stmt> },
+    /// Arithmetic IF: `IF (e) l1, l2, l3` (negative, zero, positive).
+    ArithIf { expr: Expr, neg: u32, zero: u32, pos: u32 },
+    /// `GOTO label`.
+    Goto(u32),
+    /// `GOTO (l1, l2, ...) e` — computed GOTO.
+    ComputedGoto { labels: Vec<u32>, index: Expr },
+    /// `CONTINUE`.
+    Continue,
+    /// `CALL name(args)`.
+    Call { name: String, args: Vec<Expr> },
+    /// `RETURN`.
+    Return,
+    /// `STOP`.
+    Stop,
+    /// Simplified `READ` — reads the listed lvalues from the input stream.
+    Read { items: Vec<LValue> },
+    /// Simplified `WRITE`/`PRINT` — evaluates and emits the expressions.
+    Write { items: Vec<Expr> },
+    /// Preserved but uninterpreted statement (e.g. `FORMAT`).
+    Opaque(String),
+}
+
+impl StmtKind {
+    /// Nested statement blocks, for generic tree walks.
+    pub fn blocks(&self) -> Vec<&Vec<Stmt>> {
+        match self {
+            StmtKind::Do { body, .. } => vec![body],
+            StmtKind::If { arms, else_body } => {
+                let mut v: Vec<&Vec<Stmt>> = arms.iter().map(|(_, b)| b).collect();
+                if let Some(e) = else_body {
+                    v.push(e);
+                }
+                v
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Nested statement blocks, mutable.
+    pub fn blocks_mut(&mut self) -> Vec<&mut Vec<Stmt>> {
+        match self {
+            StmtKind::Do { body, .. } => vec![body],
+            StmtKind::If { arms, else_body } => {
+                let mut v: Vec<&mut Vec<Stmt>> = arms.iter_mut().map(|(_, b)| b).collect();
+                if let Some(e) = else_body {
+                    v.push(e);
+                }
+                v
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// True for statements that unconditionally transfer control away.
+    pub fn is_jump(&self) -> bool {
+        matches!(
+            self,
+            StmtKind::Goto(_)
+                | StmtKind::ComputedGoto { .. }
+                | StmtKind::ArithIf { .. }
+                | StmtKind::Return
+                | StmtKind::Stop
+        )
+    }
+}
+
+/// The target of an assignment or READ item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LValue {
+    /// Scalar variable.
+    Var(String),
+    /// Array element `name(subs...)`.
+    Elem { name: String, subs: Vec<Expr> },
+}
+
+impl LValue {
+    pub fn name(&self) -> &str {
+        match self {
+            LValue::Var(n) => n,
+            LValue::Elem { name, .. } => name,
+        }
+    }
+
+    /// Subscript expressions (empty for scalars).
+    pub fn subs(&self) -> &[Expr] {
+        match self {
+            LValue::Var(_) => &[],
+            LValue::Elem { subs, .. } => subs,
+        }
+    }
+
+    /// View this lvalue as an expression (for uniform traversal).
+    pub fn as_expr(&self) -> Expr {
+        match self {
+            LValue::Var(n) => Expr::Var(n.clone()),
+            LValue::Elem { name, subs } => Expr::Index { name: name.clone(), subs: subs.clone() },
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+}
+
+impl BinOp {
+    pub fn is_relational(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    pub fn is_arith(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Pow)
+    }
+}
+
+impl std::fmt::Display for BinOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Pow => "**",
+            BinOp::Lt => ".LT.",
+            BinOp::Le => ".LE.",
+            BinOp::Gt => ".GT.",
+            BinOp::Ge => ".GE.",
+            BinOp::Eq => ".EQ.",
+            BinOp::Ne => ".NE.",
+            BinOp::And => ".AND.",
+            BinOp::Or => ".OR.",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Plus,
+    Not,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Int(i64),
+    Real(f64),
+    Logical(bool),
+    Str(String),
+    /// Scalar variable reference (or parameter constant).
+    Var(String),
+    /// Array element reference `name(subs...)`. Function calls are parsed
+    /// as `Index` and disambiguated by the symbol table; intrinsics and
+    /// known functions become [`Expr::Call`] during resolution.
+    Index { name: String, subs: Vec<Expr> },
+    /// Function call (intrinsic or user function).
+    Call { name: String, args: Vec<Expr> },
+    Bin { op: BinOp, l: Box<Expr>, r: Box<Expr> },
+    Un { op: UnOp, e: Box<Expr> },
+}
+
+#[allow(clippy::should_implement_trait)] // constructors, not operators
+impl Expr {
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Bin { op, l: Box::new(l), r: Box::new(r) }
+    }
+
+    pub fn add(l: Expr, r: Expr) -> Expr {
+        Expr::bin(BinOp::Add, l, r)
+    }
+
+    pub fn sub(l: Expr, r: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, l, r)
+    }
+
+    pub fn mul(l: Expr, r: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, l, r)
+    }
+
+    pub fn var(n: impl Into<String>) -> Expr {
+        Expr::Var(n.into())
+    }
+
+    pub fn idx(n: impl Into<String>, subs: Vec<Expr>) -> Expr {
+        Expr::Index { name: n.into(), subs }
+    }
+
+    /// Integer literal value if this is a constant integer expression of
+    /// literals only (no name resolution).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Expr::Int(v) => Some(*v),
+            Expr::Un { op: UnOp::Neg, e } => e.as_int().map(|v| -v),
+            Expr::Un { op: UnOp::Plus, e } => e.as_int(),
+            Expr::Bin { op, l, r } => {
+                let (a, b) = (l.as_int()?, r.as_int()?);
+                match op {
+                    BinOp::Add => Some(a + b),
+                    BinOp::Sub => Some(a - b),
+                    BinOp::Mul => Some(a * b),
+                    BinOp::Div => (b != 0).then(|| a / b),
+                    BinOp::Pow => (b >= 0).then(|| a.pow(b.min(62) as u32)),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Walk all sub-expressions (including `self`), preorder.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Index { subs, .. } => {
+                for s in subs {
+                    s.walk(f);
+                }
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Bin { l, r, .. } => {
+                l.walk(f);
+                r.walk(f);
+            }
+            Expr::Un { e, .. } => e.walk(f),
+            _ => {}
+        }
+    }
+
+    /// All variable names appearing in this expression (scalar refs,
+    /// array names, and names inside subscripts), in first-occurrence
+    /// order without duplicates.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        self.walk(&mut |e| {
+            let n = match e {
+                Expr::Var(n) => Some(n.as_str()),
+                Expr::Index { name, .. } => Some(name.as_str()),
+                _ => None,
+            };
+            if let Some(n) = n {
+                if !out.contains(&n) {
+                    out.push(n);
+                }
+            }
+        });
+        out
+    }
+
+    /// True if the expression contains any array-element reference.
+    pub fn has_index(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Index { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+/// Walk every statement in a block (preorder, recursing into nested
+/// blocks), calling `f` with each.
+pub fn walk_stmts<'a>(body: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for s in body {
+        f(s);
+        if let StmtKind::LogicalIf { then, .. } = &s.kind {
+            f(then);
+        }
+        for b in s.kind.blocks() {
+            walk_stmts(b, f);
+        }
+    }
+}
+
+/// Walk every statement mutably (preorder).
+pub fn walk_stmts_mut(body: &mut [Stmt], f: &mut impl FnMut(&mut Stmt)) {
+    for s in body {
+        f(s);
+        if let StmtKind::LogicalIf { then, .. } = &mut s.kind {
+            f(then);
+        }
+        for b in s.kind.blocks_mut() {
+            walk_stmts_mut(b, f);
+        }
+    }
+}
+
+/// Find a statement by id anywhere in a block.
+pub fn find_stmt(body: &[Stmt], id: StmtId) -> Option<&Stmt> {
+    let mut found = None;
+    walk_stmts(body, &mut |s| {
+        if s.id == id && found.is_none() {
+            found = Some(s);
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(n: u32) -> StmtId {
+        StmtId(n)
+    }
+
+    #[test]
+    fn as_int_folds_literal_arithmetic() {
+        // 2 * (3 + 4) - 1 = 13
+        let e = Expr::sub(
+            Expr::mul(Expr::Int(2), Expr::add(Expr::Int(3), Expr::Int(4))),
+            Expr::Int(1),
+        );
+        assert_eq!(e.as_int(), Some(13));
+    }
+
+    #[test]
+    fn as_int_rejects_variables() {
+        let e = Expr::add(Expr::var("N"), Expr::Int(1));
+        assert_eq!(e.as_int(), None);
+    }
+
+    #[test]
+    fn as_int_division_by_zero_is_none() {
+        let e = Expr::bin(BinOp::Div, Expr::Int(1), Expr::Int(0));
+        assert_eq!(e.as_int(), None);
+    }
+
+    #[test]
+    fn variables_deduplicates_and_includes_subscript_names() {
+        // A(I+J) + I
+        let e = Expr::add(
+            Expr::idx("A", vec![Expr::add(Expr::var("I"), Expr::var("J"))]),
+            Expr::var("I"),
+        );
+        assert_eq!(e.variables(), ["A", "I", "J"]);
+    }
+
+    #[test]
+    fn walk_stmts_recurses_into_do_and_if() {
+        let inner = Stmt::new(
+            sid(2),
+            StmtKind::Assign { lhs: LValue::Var("X".into()), rhs: Expr::Int(1) },
+        );
+        let ifstmt = Stmt::new(
+            sid(1),
+            StmtKind::If { arms: vec![(Expr::Logical(true), vec![inner])], else_body: None },
+        );
+        let doloop = Stmt::new(
+            sid(0),
+            StmtKind::Do {
+                var: "I".into(),
+                lo: Expr::Int(1),
+                hi: Expr::Int(10),
+                step: None,
+                body: vec![ifstmt],
+                term_label: None,
+                sched: LoopSched::Sequential,
+            },
+        );
+        let mut seen = Vec::new();
+        walk_stmts(&[doloop], &mut |s| seen.push(s.id.0));
+        assert_eq!(seen, [0, 1, 2]);
+    }
+
+    #[test]
+    fn walk_stmts_visits_logical_if_target() {
+        let target = Stmt::new(sid(5), StmtKind::Goto(100));
+        let li = Stmt::new(
+            sid(4),
+            StmtKind::LogicalIf { cond: Expr::Logical(true), then: Box::new(target) },
+        );
+        let mut seen = Vec::new();
+        walk_stmts(&[li], &mut |s| seen.push(s.id.0));
+        assert_eq!(seen, [4, 5]);
+    }
+
+    #[test]
+    fn find_stmt_locates_nested() {
+        let inner = Stmt::new(
+            sid(9),
+            StmtKind::Assign { lhs: LValue::Var("Y".into()), rhs: Expr::Int(2) },
+        );
+        let d = Stmt::new(
+            sid(8),
+            StmtKind::Do {
+                var: "K".into(),
+                lo: Expr::Int(1),
+                hi: Expr::var("N"),
+                step: None,
+                body: vec![inner],
+                term_label: Some(10),
+                sched: LoopSched::Sequential,
+            },
+        );
+        let body = vec![d];
+        assert!(find_stmt(&body, sid(9)).is_some());
+        assert!(find_stmt(&body, sid(77)).is_none());
+    }
+
+    #[test]
+    fn lvalue_as_expr_roundtrips_shape() {
+        let lv = LValue::Elem { name: "A".into(), subs: vec![Expr::var("I")] };
+        assert_eq!(lv.as_expr(), Expr::idx("A", vec![Expr::var("I")]));
+        assert_eq!(lv.name(), "A");
+        assert_eq!(lv.subs().len(), 1);
+    }
+
+    #[test]
+    fn dim_bound_const_extent() {
+        let d = DimBound { lower: Expr::Int(0), upper: Expr::Int(9) };
+        assert_eq!(d.const_extent(), Some(10));
+        let d2 = DimBound::to_upper(Expr::var("N"));
+        assert_eq!(d2.const_extent(), None);
+    }
+
+    #[test]
+    fn program_statement_count_counts_nested() {
+        let mut p = Program::default();
+        let mut u = ProcUnit::new("MAIN", UnitKind::Program);
+        let i1 = Stmt::new(
+            StmtId(0),
+            StmtKind::Assign { lhs: LValue::Var("X".into()), rhs: Expr::Int(1) },
+        );
+        let d = Stmt::new(
+            StmtId(1),
+            StmtKind::Do {
+                var: "I".into(),
+                lo: Expr::Int(1),
+                hi: Expr::Int(2),
+                step: None,
+                body: vec![i1],
+                term_label: None,
+                sched: LoopSched::Sequential,
+            },
+        );
+        u.body = vec![d];
+        p.units.push(u);
+        assert_eq!(p.statement_count(), 2);
+    }
+}

@@ -1,0 +1,152 @@
+//! Diagnostics produced by the front end.
+//!
+//! PED parses incrementally in response to edits and "the user is
+//! immediately informed of any syntactic or semantic errors" (§3.1). The
+//! front end therefore collects diagnostics instead of aborting at the
+//! first error wherever recovery is possible.
+
+use crate::span::Span;
+
+/// Severity of a diagnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational note (e.g. dialect feature accepted).
+    Note,
+    /// Suspicious but accepted construct.
+    Warning,
+    /// The construct is invalid; parsing recovered past it.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A single diagnostic message anchored to a source span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    pub span: Span,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn error(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Error, span, message: message.into() }
+    }
+
+    pub fn warning(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Warning, span, message: message.into() }
+    }
+
+    pub fn note(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Note, span, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}: {}", self.span, self.severity, self.message)
+    }
+}
+
+/// An ordered collection of diagnostics.
+#[derive(Clone, Debug, Default)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    pub fn error(&mut self, span: Span, message: impl Into<String>) {
+        self.push(Diagnostic::error(span, message));
+    }
+
+    pub fn warning(&mut self, span: Span, message: impl Into<String>) {
+        self.push(Diagnostic::warning(span, message));
+    }
+
+    pub fn note(&mut self, span: Span, message: impl Into<String>) {
+        self.push(Diagnostic::note(span, message));
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True if any diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// All error-severity diagnostics.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+}
+
+impl std::fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for d in &self.items {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_errors_detects_error_severity() {
+        let mut ds = Diagnostics::new();
+        ds.warning(Span::line(1), "odd but ok");
+        assert!(!ds.has_errors());
+        ds.error(Span::line(2), "bad");
+        assert!(ds.has_errors());
+        assert_eq!(ds.errors().count(), 1);
+    }
+
+    #[test]
+    fn display_formats_span_severity_message() {
+        let d = Diagnostic::error(Span::line(3), "unexpected token");
+        assert_eq!(d.to_string(), "line 3: error: unexpected token");
+    }
+
+    #[test]
+    fn extend_merges_in_order() {
+        let mut a = Diagnostics::new();
+        a.note(Span::line(1), "first");
+        let mut b = Diagnostics::new();
+        b.note(Span::line(2), "second");
+        a.extend(b);
+        let msgs: Vec<_> = a.iter().map(|d| d.message.as_str()).collect();
+        assert_eq!(msgs, ["first", "second"]);
+    }
+}

@@ -1,0 +1,289 @@
+//! Fixed-form line handling: physical lines → logical statements.
+//!
+//! Fixed-form rules (F77 §3.2):
+//! * column 1 `C`, `c`, `*` (or anywhere `!` in our dialect) — comment;
+//! * columns 1–5 — optional numeric statement label;
+//! * column 6 non-blank/non-zero — continuation of the previous statement;
+//! * columns 7–72 — statement text (we accept text past 72 for
+//!   convenience, as most compilers do with `-ffixed-line-length-none`).
+//!
+//! The module also performs *blank squashing*: blanks are insignificant
+//! outside character constants, so the squasher removes them, uppercases
+//! the text, and replaces each character constant with an escape
+//! `\x01<index>\x01` into a side table (so `'A  B'` keeps its blanks).
+
+use crate::span::Span;
+
+/// A logical statement assembled from one initial line plus continuations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogicalLine {
+    /// Statement label from columns 1–5, if any.
+    pub label: Option<u32>,
+    /// Squashed statement text: blanks removed, uppercased, character
+    /// constants replaced by `\x01<index>\x01` escapes.
+    pub text: String,
+    /// Extracted character constants, indexed by the escapes in `text`.
+    pub strings: Vec<String>,
+    /// Physical line range.
+    pub span: Span,
+}
+
+/// Errors produced during line assembly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    pub span: Span,
+    pub message: String,
+}
+
+/// Split source text into logical statements.
+pub fn logical_lines(src: &str) -> (Vec<LogicalLine>, Vec<LexError>) {
+    let mut out: Vec<LogicalLine> = Vec::new();
+    let mut errors = Vec::new();
+    let mut current: Option<LogicalLine> = None;
+
+    for (i, raw) in src.lines().enumerate() {
+        let lineno = (i + 1) as u32;
+        if is_comment(raw) {
+            continue;
+        }
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let bytes = raw.as_bytes();
+        let cont = bytes.len() > 5 && bytes[5] != b' ' && bytes[5] != b'0' && label_field_blank(raw);
+        if cont {
+            match current.as_mut() {
+                Some(cur) => {
+                    cur.text.push_str(raw.get(6..).unwrap_or(""));
+                    cur.span.end = lineno;
+                }
+                None => errors.push(LexError {
+                    span: Span::line(lineno),
+                    message: "continuation line with no statement to continue".into(),
+                }),
+            }
+            continue;
+        }
+        // New initial line: flush previous.
+        if let Some(cur) = current.take() {
+            out.push(finish(cur, &mut errors));
+        }
+        let (label, text) = split_initial(raw, lineno, &mut errors);
+        current = Some(LogicalLine {
+            label,
+            text,
+            strings: Vec::new(),
+            span: Span::line(lineno),
+        });
+    }
+    if let Some(cur) = current.take() {
+        out.push(finish(cur, &mut errors));
+    }
+    (out, errors)
+}
+
+/// True if the label field (cols 1–5) contains only blanks — required for a
+/// column-6 continuation marker to count as a continuation.
+fn label_field_blank(line: &str) -> bool {
+    line.as_bytes()
+        .iter()
+        .take(5)
+        .all(|&b| b == b' ' || b == b'\t')
+}
+
+fn is_comment(line: &str) -> bool {
+    match line.as_bytes().first() {
+        Some(b'C') | Some(b'c') | Some(b'*') | Some(b'!') => true,
+        _ => line.trim_start().starts_with('!'),
+    }
+}
+
+/// Split an initial line into (label, raw statement text).
+///
+/// Strict fixed form puts the label in columns 1–5 and text from column 7.
+/// For convenience we also accept "loose" lines whose label field holds
+/// statement text (e.g. code written without the 6-column margin): if the
+/// first 5 columns contain anything non-numeric, the whole line (from the
+/// first non-blank) is statement text.
+fn split_initial(line: &str, lineno: u32, errors: &mut Vec<LexError>) -> (Option<u32>, String) {
+    let head: String = line.chars().take(5).collect();
+    let head_trim = head.trim();
+    if head_trim.is_empty() {
+        return (None, line.get(6..).unwrap_or("").to_string());
+    }
+    if head_trim.chars().all(|c| c.is_ascii_digit()) {
+        match head_trim.parse::<u32>() {
+            Ok(l) => return (Some(l), line.get(6..).unwrap_or("").to_string()),
+            Err(_) => errors.push(LexError {
+                span: Span::line(lineno),
+                message: format!("invalid statement label '{head_trim}'"),
+            }),
+        }
+        return (None, line.get(6..).unwrap_or("").to_string());
+    }
+    // Loose line: treat entire content as statement text.
+    (None, line.trim_start().to_string())
+}
+
+fn finish(mut cur: LogicalLine, errors: &mut Vec<LexError>) -> LogicalLine {
+    match squash(&cur.text) {
+        Ok((squashed, strings)) => {
+            cur.text = squashed;
+            cur.strings = strings;
+        }
+        Err(msg) => {
+            errors.push(LexError { span: cur.span, message: msg });
+            cur.text = String::new();
+        }
+    }
+    cur
+}
+
+/// Remove blanks, uppercase, and extract character constants.
+///
+/// Returns the squashed text and the extracted strings. A quote character
+/// is doubled (`''`) to escape itself inside a constant.
+pub fn squash(text: &str) -> Result<(String, Vec<String>), String> {
+    let mut out = String::with_capacity(text.len());
+    let mut strings = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            ' ' | '\t' => {}
+            '\'' => {
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => {
+                            if chars.peek() == Some(&'\'') {
+                                chars.next();
+                                s.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(ch) => s.push(ch),
+                        None => return Err("unterminated character constant".into()),
+                    }
+                }
+                out.push('\x01');
+                out.push_str(&strings.len().to_string());
+                out.push('\x01');
+                strings.push(s);
+            }
+            '!' => break, // inline comment (dialect extension)
+            _ => out.push(c.to_ascii_uppercase()),
+        }
+    }
+    Ok((out, strings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comment_lines_are_skipped() {
+        let src = "C this is a comment\n* and this\n      X = 1\n";
+        let (lines, errs) = logical_lines(src);
+        assert!(errs.is_empty());
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].text, "X=1");
+    }
+
+    #[test]
+    fn labels_are_extracted() {
+        let src = "  100 CONTINUE\n";
+        let (lines, errs) = logical_lines(src);
+        assert!(errs.is_empty());
+        assert_eq!(lines[0].label, Some(100));
+        assert_eq!(lines[0].text, "CONTINUE");
+    }
+
+    #[test]
+    fn continuation_lines_are_joined() {
+        let src = "      X = A +\n     &    B\n";
+        let (lines, errs) = logical_lines(src);
+        assert!(errs.is_empty());
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].text, "X=A+B");
+        assert_eq!(lines[0].span, Span { start: 1, end: 2 });
+    }
+
+    #[test]
+    fn continuation_without_initial_is_error() {
+        let src = "     &    B\n";
+        let (lines, errs) = logical_lines(src);
+        assert!(lines.is_empty());
+        assert_eq!(errs.len(), 1);
+    }
+
+    #[test]
+    fn blanks_are_squashed_and_uppercased() {
+        let src = "      do 10 i = 1, n\n";
+        let (lines, _) = logical_lines(src);
+        assert_eq!(lines[0].text, "DO10I=1,N");
+    }
+
+    #[test]
+    fn strings_preserve_blanks() {
+        let src = "      WRITE(*,*) 'Hello  World'\n";
+        let (lines, errs) = logical_lines(src);
+        assert!(errs.is_empty());
+        assert_eq!(lines[0].strings, vec!["Hello  World".to_string()]);
+        assert!(lines[0].text.contains('\x01'));
+    }
+
+    #[test]
+    fn doubled_quote_escapes() {
+        let (sq, strings) = squash("'don''t'").unwrap();
+        assert_eq!(strings, vec!["don't".to_string()]);
+        assert_eq!(sq, "\x010\x01");
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(squash("'oops").is_err());
+    }
+
+    #[test]
+    fn loose_lines_without_margin_accepted() {
+        let src = "X = 1\n";
+        let (lines, errs) = logical_lines(src);
+        assert!(errs.is_empty());
+        assert_eq!(lines[0].text, "X=1");
+    }
+
+    #[test]
+    fn inline_bang_comment_stripped() {
+        let src = "      X = 1  ! set x\n";
+        let (lines, _) = logical_lines(src);
+        assert_eq!(lines[0].text, "X=1");
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let src = "\n\n      X = 1\n\n";
+        let (lines, _) = logical_lines(src);
+        assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn label_field_with_text_is_loose_statement() {
+        // `END` starting in column 1.
+        let src = "END\n";
+        let (lines, errs) = logical_lines(src);
+        assert!(errs.is_empty());
+        assert_eq!(lines[0].text, "END");
+        assert_eq!(lines[0].label, None);
+    }
+
+    #[test]
+    fn multiple_statements_in_order() {
+        let src = "      A = 1\n      B = 2\n   10 C = 3\n";
+        let (lines, _) = logical_lines(src);
+        let texts: Vec<_> = lines.iter().map(|l| l.text.as_str()).collect();
+        assert_eq!(texts, ["A=1", "B=2", "C=3"]);
+        assert_eq!(lines[2].label, Some(10));
+    }
+}

@@ -1,0 +1,35 @@
+//! # ped-fortran — Fortran 77 front end for the ParaScope Editor
+//!
+//! Fixed-form Fortran 77 lexer, parser, AST, symbol tables and pretty
+//! printer, covering the dialects exercised by the PPOPP'93 workshop
+//! programs: labelled and `END DO` loops (including shared terminal
+//! labels), block/logical/arithmetic `IF`, `GOTO` and computed `GOTO`,
+//! `COMMON`, `PARAMETER`, adjustable arrays, and simplified I/O.
+//!
+//! ```
+//! use ped_fortran::parser::parse_ok;
+//! use ped_fortran::pretty::print_program;
+//!
+//! let program = parse_ok(
+//!     "      DO 10 I = 1, N\n      A(I) = A(I) + 1\n   10 CONTINUE\n      END\n",
+//! );
+//! assert_eq!(program.units.len(), 1);
+//! let text = print_program(&program);
+//! assert!(text.contains("DO 10 I = 1, N"));
+//! ```
+
+pub mod ast;
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod span;
+pub mod symbols;
+pub mod token;
+
+pub use ast::{Expr, LValue, ProcUnit, Program, Stmt, StmtId, StmtKind};
+pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use parser::{parse, parse_ok};
+pub use pretty::print_program;
+pub use span::Span;
+pub use symbols::SymbolTable;

@@ -1,0 +1,100 @@
+//! Source positions for fixed-form Fortran.
+//!
+//! Fortran 77 is line-oriented: a *logical statement* occupies one initial
+//! line plus zero or more continuation lines. All diagnostics and editor
+//! annotations in PED are therefore line-based, and a [`Span`] records the
+//! physical line range of a statement together with the ordinal statement
+//! number used by the editor's marginal annotations.
+
+/// A half-open range of physical source lines (1-based, inclusive start,
+/// inclusive end) occupied by one logical statement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// First physical line (1-based). Zero means "synthesized".
+    pub start: u32,
+    /// Last physical line (1-based, inclusive).
+    pub end: u32,
+}
+
+impl Span {
+    /// A span covering a single physical line.
+    pub fn line(l: u32) -> Self {
+        Span { start: l, end: l }
+    }
+
+    /// The span of a statement synthesized by a transformation (no
+    /// corresponding source line).
+    pub fn synthesized() -> Self {
+        Span { start: 0, end: 0 }
+    }
+
+    /// True if this span was synthesized by a transformation rather than
+    /// parsed from source text.
+    pub fn is_synthesized(&self) -> bool {
+        self.start == 0
+    }
+
+    /// Smallest span containing both `self` and `other`. Synthesized spans
+    /// are ignored.
+    pub fn merge(self, other: Span) -> Span {
+        if self.is_synthesized() {
+            return other;
+        }
+        if other.is_synthesized() {
+            return self;
+        }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_synthesized() {
+            write!(f, "<synth>")
+        } else if self.start == self.end {
+            write!(f, "line {}", self.start)
+        } else {
+            write!(f, "lines {}-{}", self.start, self.end)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_line_span_displays_line_number() {
+        assert_eq!(Span::line(42).to_string(), "line 42");
+    }
+
+    #[test]
+    fn multi_line_span_displays_range() {
+        let s = Span { start: 3, end: 5 };
+        assert_eq!(s.to_string(), "lines 3-5");
+    }
+
+    #[test]
+    fn synthesized_span_is_flagged() {
+        assert!(Span::synthesized().is_synthesized());
+        assert!(!Span::line(1).is_synthesized());
+    }
+
+    #[test]
+    fn merge_takes_extremes() {
+        let a = Span { start: 2, end: 4 };
+        let b = Span { start: 3, end: 9 };
+        assert_eq!(a.merge(b), Span { start: 2, end: 9 });
+    }
+
+    #[test]
+    fn merge_ignores_synthesized() {
+        let a = Span::synthesized();
+        let b = Span::line(7);
+        assert_eq!(a.merge(b), b);
+        assert_eq!(b.merge(a), b);
+    }
+}

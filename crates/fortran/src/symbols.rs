@@ -1,0 +1,357 @@
+//! Per-unit symbol tables with F77 implicit typing.
+//!
+//! PED's variable pane shows, for each variable, its name, dimensionality,
+//! COMMON block membership, and whether it is a formal parameter — all of
+//! which come from this table. Names not declared explicitly follow the
+//! implicit rule: initial letter I–N ⇒ `INTEGER`, otherwise `REAL`
+//! (disabled by `IMPLICIT NONE`).
+
+use crate::ast::*;
+use std::collections::BTreeMap;
+
+/// How a symbol is stored / where it comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Storage {
+    /// Ordinary local variable.
+    Local,
+    /// Formal parameter of the unit.
+    Formal,
+    /// Member of a COMMON block.
+    Common,
+    /// `PARAMETER` named constant.
+    Constant,
+    /// Declared `EXTERNAL` procedure name.
+    External,
+    /// The function's result variable (same name as the function).
+    Result,
+}
+
+/// Everything known about one name in a unit.
+#[derive(Clone, Debug)]
+pub struct Symbol {
+    pub name: String,
+    pub ty: Type,
+    /// Array dimensions (empty for scalars).
+    pub dims: Vec<DimBound>,
+    pub storage: Storage,
+    /// COMMON block name (None = blank common) when `storage == Common`.
+    pub common_block: Option<Option<String>>,
+    /// Constant value for `PARAMETER` names, when foldable.
+    pub value: Option<Expr>,
+}
+
+impl Symbol {
+    pub fn is_array(&self) -> bool {
+        !self.dims.is_empty()
+    }
+
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+}
+
+/// Symbol table for one program unit.
+#[derive(Clone, Debug, Default)]
+pub struct SymbolTable {
+    symbols: BTreeMap<String, Symbol>,
+    pub implicit_none: bool,
+}
+
+impl SymbolTable {
+    /// Build the table for a unit: declarations, parameters, PARAMETER
+    /// constants, COMMON membership, plus implicit entries for every name
+    /// referenced in the body.
+    pub fn build(unit: &ProcUnit) -> SymbolTable {
+        let mut t = SymbolTable::default();
+        // Pass 1: explicit declarations.
+        for d in &unit.decls {
+            match d {
+                Decl::ImplicitNone => t.implicit_none = true,
+                Decl::Typed { ty, entities } => {
+                    for e in entities {
+                        let s = t.entry(&e.name);
+                        s.ty = *ty;
+                        if !e.dims.is_empty() {
+                            s.dims = e.dims.clone();
+                        }
+                    }
+                }
+                Decl::Dimension { entities } => {
+                    for e in entities {
+                        let s = t.entry(&e.name);
+                        s.dims = e.dims.clone();
+                    }
+                }
+                Decl::Common { block, entities } => {
+                    for e in entities {
+                        let s = t.entry(&e.name);
+                        if !e.dims.is_empty() {
+                            s.dims = e.dims.clone();
+                        }
+                        s.storage = Storage::Common;
+                        s.common_block = Some(block.clone());
+                    }
+                }
+                Decl::Parameter { bindings } => {
+                    for (n, v) in bindings {
+                        let s = t.entry(n);
+                        s.storage = Storage::Constant;
+                        s.value = Some(v.clone());
+                    }
+                }
+                Decl::External { names } => {
+                    for n in names {
+                        let s = t.entry(n);
+                        s.storage = Storage::External;
+                    }
+                }
+                Decl::Data { bindings } => {
+                    for (n, v) in bindings {
+                        let s = t.entry(n);
+                        s.value = Some(v.clone());
+                    }
+                }
+            }
+        }
+        // Pass 2: formal parameters.
+        for p in &unit.params {
+            let s = t.entry(p);
+            if s.storage == Storage::Local {
+                s.storage = Storage::Formal;
+            }
+        }
+        // Function result variable.
+        if let UnitKind::Function(ty) = &unit.kind {
+            let fty = *ty;
+            let s = t.entry(&unit.name);
+            s.ty = fty;
+            s.storage = Storage::Result;
+        }
+        // Pass 3: implicit entries for referenced names.
+        let mut refs: Vec<(String, usize)> = Vec::new();
+        walk_stmts(&unit.body, &mut |s| collect_names(&s.kind, &mut refs));
+        for (name, _nsubs) in refs {
+            // A parenthesized reference to an undeclared name is a
+            // function call, not an array — leave dims empty; the
+            // resolver decides.
+            t.symbols.entry(name.clone()).or_insert_with(|| {
+                let mut sym = implicit_symbol(&name);
+                sym.storage = Storage::Local;
+                sym
+            });
+        }
+        t
+    }
+
+    fn entry(&mut self, name: &str) -> &mut Symbol {
+        self.symbols
+            .entry(name.to_string())
+            .or_insert_with(|| implicit_symbol(name))
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.get(&name.to_ascii_uppercase())
+    }
+
+    /// True if `name` is a declared array.
+    pub fn is_array(&self, name: &str) -> bool {
+        self.get(name).is_some_and(|s| s.is_array())
+    }
+
+    /// All symbols in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Symbol> {
+        self.symbols.values()
+    }
+
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// The integer value of a PARAMETER constant, if known.
+    pub fn const_int(&self, name: &str) -> Option<i64> {
+        let s = self.get(name)?;
+        if s.storage == Storage::Constant {
+            s.value.as_ref()?.as_int()
+        } else {
+            None
+        }
+    }
+}
+
+/// F77 implicit typing rule.
+pub fn implicit_type(name: &str) -> Type {
+    match name.bytes().next() {
+        Some(b) if (b'I'..=b'N').contains(&b.to_ascii_uppercase()) => Type::Integer,
+        _ => Type::Real,
+    }
+}
+
+fn implicit_symbol(name: &str) -> Symbol {
+    Symbol {
+        name: name.to_string(),
+        ty: implicit_type(name),
+        dims: Vec::new(),
+        storage: Storage::Local,
+        common_block: None,
+        value: None,
+    }
+}
+
+fn collect_names(kind: &StmtKind, out: &mut Vec<(String, usize)>) {
+    fn on_expr_into(e: &Expr, out: &mut Vec<(String, usize)>) {
+        e.walk(&mut |x| match x {
+            Expr::Var(n) => out.push((n.clone(), 0)),
+            Expr::Index { name, subs } => out.push((name.clone(), subs.len())),
+            _ => {}
+        });
+    }
+    match kind {
+        StmtKind::Assign { lhs, rhs } => {
+            on_expr_into(&lhs.as_expr(), out);
+            on_expr_into(rhs, out);
+        }
+        StmtKind::Do { var, lo, hi, step, .. } => {
+            out.push((var.clone(), 0));
+            on_expr_into(lo, out);
+            on_expr_into(hi, out);
+            if let Some(s) = step {
+                on_expr_into(s, out);
+            }
+        }
+        StmtKind::If { arms, .. } => {
+            for (c, _) in arms {
+                on_expr_into(c, out);
+            }
+        }
+        StmtKind::LogicalIf { cond, .. } => on_expr_into(cond, out),
+        StmtKind::ArithIf { expr, .. } => on_expr_into(expr, out),
+        StmtKind::ComputedGoto { index, .. } => on_expr_into(index, out),
+        StmtKind::Call { args, .. } => {
+            for a in args {
+                on_expr_into(a, out);
+            }
+        }
+        StmtKind::Read { items } => {
+            for i in items {
+                on_expr_into(&i.as_expr(), out);
+            }
+        }
+        StmtKind::Write { items } => {
+            for i in items {
+                on_expr_into(i, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Names of Fortran intrinsic functions recognized by the dialect.
+pub const INTRINSICS: &[&str] = &[
+    "ABS", "MAX", "MIN", "MOD", "SQRT", "EXP", "LOG", "SIN", "COS", "TAN", "ATAN", "INT",
+    "REAL", "DBLE", "FLOAT", "NINT", "SIGN", "DIM", "IABS", "AMAX1", "AMIN1", "MAX0", "MIN0",
+    "DABS", "DSQRT", "DEXP", "DLOG",
+];
+
+/// True if `name` is an intrinsic function.
+pub fn is_intrinsic(name: &str) -> bool {
+    INTRINSICS.iter().any(|i| i.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_ok;
+
+    #[test]
+    fn implicit_typing_rule() {
+        assert_eq!(implicit_type("I"), Type::Integer);
+        assert_eq!(implicit_type("N"), Type::Integer);
+        assert_eq!(implicit_type("KOUNT"), Type::Integer);
+        assert_eq!(implicit_type("X"), Type::Real);
+        assert_eq!(implicit_type("ALPHA"), Type::Real);
+    }
+
+    #[test]
+    fn declared_types_override_implicit() {
+        let p = parse_ok("      REAL IVAL\n      IVAL = 1.0\n      END\n");
+        let t = SymbolTable::build(&p.units[0]);
+        assert_eq!(t.get("IVAL").unwrap().ty, Type::Real);
+    }
+
+    #[test]
+    fn arrays_carry_dims() {
+        let p = parse_ok("      REAL A(10, 0:4)\n      A(1,0) = 0.0\n      END\n");
+        let t = SymbolTable::build(&p.units[0]);
+        let a = t.get("A").unwrap();
+        assert!(a.is_array());
+        assert_eq!(a.rank(), 2);
+        assert_eq!(a.dims[0].const_extent(), Some(10));
+        assert_eq!(a.dims[1].const_extent(), Some(5));
+    }
+
+    #[test]
+    fn common_membership_recorded() {
+        let p = parse_ok("      COMMON /GRID/ NX, H(100)\n      NX = 1\n      END\n");
+        let t = SymbolTable::build(&p.units[0]);
+        let nx = t.get("NX").unwrap();
+        assert_eq!(nx.storage, Storage::Common);
+        assert_eq!(nx.common_block, Some(Some("GRID".to_string())));
+        assert!(t.get("H").unwrap().is_array());
+    }
+
+    #[test]
+    fn parameter_constants_fold() {
+        let p = parse_ok("      PARAMETER (N = 100, M = 2*N)\n      X = N\n      END\n");
+        let t = SymbolTable::build(&p.units[0]);
+        assert_eq!(t.const_int("N"), Some(100));
+        // M = 2*N refers to a name; as_int on literals only — not foldable
+        // here (constprop handles it later).
+        assert_eq!(t.get("M").unwrap().storage, Storage::Constant);
+    }
+
+    #[test]
+    fn formals_flagged() {
+        let p = parse_ok("      SUBROUTINE S(N, X)\n      REAL X(N)\n      X(1) = 0\n      RETURN\n      END\n");
+        let t = SymbolTable::build(&p.units[0]);
+        assert_eq!(t.get("N").unwrap().storage, Storage::Formal);
+        // X is declared with dims and is a formal; Typed decl wins storage
+        // Local then pass 2 sets Formal.
+        assert_eq!(t.get("X").unwrap().storage, Storage::Formal);
+        assert!(t.get("X").unwrap().is_array());
+    }
+
+    #[test]
+    fn function_result_symbol() {
+        let p = parse_ok("      REAL FUNCTION F(X)\n      F = X + 1.0\n      RETURN\n      END\n");
+        let t = SymbolTable::build(&p.units[0]);
+        assert_eq!(t.get("F").unwrap().storage, Storage::Result);
+        assert_eq!(t.get("F").unwrap().ty, Type::Real);
+    }
+
+    #[test]
+    fn implicit_entries_for_referenced_names() {
+        let p = parse_ok("      Y = X + I\n      END\n");
+        let t = SymbolTable::build(&p.units[0]);
+        assert_eq!(t.get("X").unwrap().ty, Type::Real);
+        assert_eq!(t.get("I").unwrap().ty, Type::Integer);
+        assert_eq!(t.get("Y").unwrap().ty, Type::Real);
+    }
+
+    #[test]
+    fn intrinsics_recognized() {
+        assert!(is_intrinsic("SQRT"));
+        assert!(is_intrinsic("max"));
+        assert!(!is_intrinsic("MYFUNC"));
+    }
+
+    #[test]
+    fn implicit_none_flag() {
+        let p = parse_ok("      IMPLICIT NONE\n      INTEGER I\n      I = 1\n      END\n");
+        let t = SymbolTable::build(&p.units[0]);
+        assert!(t.implicit_none);
+    }
+}

@@ -1,0 +1,378 @@
+//! Expression-level tokenizer.
+//!
+//! Fixed-form Fortran 77 ignores blanks outside character constants, so
+//! the front end first *squashes* blanks from each logical statement
+//! ([`crate::lexer`]) and then tokenizes the squashed text. Keywords are
+//! not reserved; statement classification happens in the parser. This
+//! tokenizer handles the classic lexical ambiguities:
+//!
+//! * `1.EQ.J` — the `.` after a digit string starts a dot-operator, not a
+//!   real literal, whenever the letters after it spell a known operator.
+//! * `1.5D0` / `2.E-3` / `.5` — real literal forms with `E`/`D` exponents.
+
+/// A lexical token of the squashed statement text.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword: `[A-Z][A-Z0-9]*` (uppercased).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real or double-precision literal.
+    Real(f64),
+    /// Character constant (quotes removed, `''` unescaped).
+    Str(String),
+    /// `.TRUE.` / `.FALSE.`
+    Logical(bool),
+    /// Dot operator: `.EQ.`, `.AND.`, ... (name without dots, uppercased).
+    DotOp(String),
+    LParen,
+    RParen,
+    Comma,
+    Equals,
+    Plus,
+    Minus,
+    Star,
+    DoubleStar,
+    Slash,
+    Colon,
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    pub fn is_eof(&self) -> bool {
+        matches!(self, Token::Eof)
+    }
+}
+
+const DOT_OPS: &[&str] = &[
+    "EQ", "NE", "LT", "LE", "GT", "GE", "AND", "OR", "NOT", "EQV", "NEQV", "TRUE", "FALSE",
+];
+
+/// Tokenizer over squashed, uppercased statement text. Character constants
+/// were extracted by the squasher and appear as `\x01<index>\x01` escapes
+/// referring into `strings`.
+pub struct Tokenizer<'a> {
+    text: &'a [u8],
+    pos: usize,
+    strings: &'a [String],
+}
+
+impl<'a> Tokenizer<'a> {
+    pub fn new(text: &'a str, strings: &'a [String]) -> Self {
+        Tokenizer { text: text.as_bytes(), pos: 0, strings }
+    }
+
+    /// Current byte offset into the squashed text.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.text.get(self.pos).copied()
+    }
+
+    /// Check whether the text at `pos+1` spells `.<op>.` for a known dot
+    /// operator.
+    fn dot_op_at(&self, pos: usize) -> Option<(&'static str, usize)> {
+        debug_assert_eq!(self.text.get(pos), Some(&b'.'));
+        let rest = &self.text[pos + 1..];
+        for op in DOT_OPS {
+            let ob = op.as_bytes();
+            if rest.len() > ob.len()
+                && rest[..ob.len()].eq_ignore_ascii_case(ob)
+                && rest[ob.len()] == b'.'
+            {
+                return Some((op, pos + 1 + ob.len() + 1));
+            }
+        }
+        None
+    }
+
+    /// Produce the next token, advancing the cursor.
+    pub fn next_token(&mut self) -> Result<Token, String> {
+        let Some(c) = self.peek_byte() else {
+            return Ok(Token::Eof);
+        };
+        match c {
+            b'(' => {
+                self.pos += 1;
+                Ok(Token::LParen)
+            }
+            b')' => {
+                self.pos += 1;
+                Ok(Token::RParen)
+            }
+            b',' => {
+                self.pos += 1;
+                Ok(Token::Comma)
+            }
+            b'=' => {
+                self.pos += 1;
+                Ok(Token::Equals)
+            }
+            b'+' => {
+                self.pos += 1;
+                Ok(Token::Plus)
+            }
+            b'-' => {
+                self.pos += 1;
+                Ok(Token::Minus)
+            }
+            b'*' => {
+                if self.text.get(self.pos + 1) == Some(&b'*') {
+                    self.pos += 2;
+                    Ok(Token::DoubleStar)
+                } else {
+                    self.pos += 1;
+                    Ok(Token::Star)
+                }
+            }
+            b'/' => {
+                self.pos += 1;
+                Ok(Token::Slash)
+            }
+            b':' => {
+                self.pos += 1;
+                Ok(Token::Colon)
+            }
+            0x01 => {
+                // String escape: \x01 digits \x01
+                let start = self.pos + 1;
+                let mut end = start;
+                while end < self.text.len() && self.text[end] != 0x01 {
+                    end += 1;
+                }
+                if end >= self.text.len() {
+                    return Err("unterminated string escape".into());
+                }
+                let idx: usize = std::str::from_utf8(&self.text[start..end])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| "bad string escape".to_string())?;
+                self.pos = end + 1;
+                let s = self
+                    .strings
+                    .get(idx)
+                    .ok_or_else(|| "string escape out of range".to_string())?;
+                Ok(Token::Str(s.clone()))
+            }
+            b'.' => {
+                if let Some((op, next)) = self.dot_op_at(self.pos) {
+                    self.pos = next;
+                    return Ok(match op {
+                        "TRUE" => Token::Logical(true),
+                        "FALSE" => Token::Logical(false),
+                        _ => Token::DotOp(op.to_string()),
+                    });
+                }
+                // `.5`-style real literal.
+                if self.text.get(self.pos + 1).is_some_and(|b| b.is_ascii_digit()) {
+                    self.lex_number()
+                } else {
+                    Err(format!("unexpected '.' at offset {}", self.pos))
+                }
+            }
+            b'0'..=b'9' => self.lex_number(),
+            b'A'..=b'Z' | b'a'..=b'z' => {
+                let start = self.pos;
+                while self
+                    .peek_byte()
+                    .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+                {
+                    self.pos += 1;
+                }
+                let s = std::str::from_utf8(&self.text[start..self.pos])
+                    .unwrap()
+                    .to_ascii_uppercase();
+                Ok(Token::Ident(s))
+            }
+            other => Err(format!("unexpected character '{}'", other as char)),
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<Token, String> {
+        let start = self.pos;
+        let mut is_real = false;
+        // Integer part.
+        while self.peek_byte().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        // Fractional part — but `1.EQ.` must stop before the dot.
+        if self.peek_byte() == Some(b'.') && self.dot_op_at(self.pos).is_none() {
+            is_real = true;
+            self.pos += 1;
+            while self.peek_byte().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        // Exponent: E or D, optional sign, digits.
+        if let Some(e) = self.peek_byte() {
+            if (e == b'E' || e == b'e' || e == b'D' || e == b'd')
+                && is_exponent_ahead(&self.text[self.pos..])
+            {
+                is_real = true;
+                self.pos += 1;
+                if matches!(self.peek_byte(), Some(b'+') | Some(b'-')) {
+                    self.pos += 1;
+                }
+                while self.peek_byte().is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.text[start..self.pos]).unwrap();
+        if is_real {
+            let norm = text.replace(['D', 'd'], "E");
+            norm.parse::<f64>()
+                .map(Token::Real)
+                .map_err(|_| format!("bad real literal '{text}'"))
+        } else {
+            text.parse::<i64>()
+                .map(Token::Int)
+                .map_err(|_| format!("bad integer literal '{text}'"))
+        }
+    }
+}
+
+/// After a digit string, an `E`/`D` begins an exponent only if followed by
+/// an (optionally signed) digit — otherwise it is the start of an
+/// identifier-adjacent construct which cannot occur in valid Fortran, or
+/// part of something like `2EQ` which we reject later.
+fn is_exponent_ahead(text: &[u8]) -> bool {
+    debug_assert!(matches!(text.first(), Some(b'E' | b'e' | b'D' | b'd')));
+    match text.get(1) {
+        Some(b'+') | Some(b'-') => text.get(2).is_some_and(|b| b.is_ascii_digit()),
+        Some(b) => b.is_ascii_digit(),
+        None => false,
+    }
+}
+
+/// Tokenize an entire squashed statement into a vector (plus trailing Eof).
+pub fn tokenize(text: &str, strings: &[String]) -> Result<Vec<Token>, String> {
+    let mut t = Tokenizer::new(text, strings);
+    let mut out = Vec::new();
+    loop {
+        let tok = t.next_token()?;
+        let eof = tok.is_eof();
+        out.push(tok);
+        if eof {
+            return Ok(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s, &[]).unwrap()
+    }
+
+    #[test]
+    fn simple_arithmetic() {
+        assert_eq!(
+            toks("A+B*2"),
+            vec![
+                Token::Ident("A".into()),
+                Token::Plus,
+                Token::Ident("B".into()),
+                Token::Star,
+                Token::Int(2),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn double_star_is_power() {
+        assert_eq!(
+            toks("X**2"),
+            vec![Token::Ident("X".into()), Token::DoubleStar, Token::Int(2), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn dot_operators() {
+        assert_eq!(
+            toks("I.EQ.J"),
+            vec![
+                Token::Ident("I".into()),
+                Token::DotOp("EQ".into()),
+                Token::Ident("J".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn digit_dot_eq_is_operator_not_real() {
+        // `1.EQ.J` — the dot belongs to the operator.
+        assert_eq!(
+            toks("1.EQ.J"),
+            vec![
+                Token::Int(1),
+                Token::DotOp("EQ".into()),
+                Token::Ident("J".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn real_literals() {
+        assert_eq!(toks("1.5"), vec![Token::Real(1.5), Token::Eof]);
+        assert_eq!(toks(".25"), vec![Token::Real(0.25), Token::Eof]);
+        assert_eq!(toks("1.D0"), vec![Token::Real(1.0), Token::Eof]);
+        assert_eq!(toks("2.5E-1"), vec![Token::Real(0.25), Token::Eof]);
+        assert_eq!(toks("1E3"), vec![Token::Real(1000.0), Token::Eof]);
+    }
+
+    #[test]
+    fn trailing_dot_real() {
+        assert_eq!(toks("3."), vec![Token::Real(3.0), Token::Eof]);
+    }
+
+    #[test]
+    fn logicals() {
+        assert_eq!(toks(".TRUE."), vec![Token::Logical(true), Token::Eof]);
+        assert_eq!(toks(".FALSE."), vec![Token::Logical(false), Token::Eof]);
+    }
+
+    #[test]
+    fn identifier_swallows_digits() {
+        // Squashed `DO 10 I` becomes one identifier — classification is
+        // the parser's job.
+        assert_eq!(toks("DO10I"), vec![Token::Ident("DO10I".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn string_escapes_resolve() {
+        let strings = vec!["HELLO WORLD".to_string()];
+        let got = tokenize("\x010\x01", &strings).unwrap();
+        assert_eq!(got, vec![Token::Str("HELLO WORLD".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn exponent_needs_digit() {
+        // `1EQ` is not an exponent; lexes as Int(1) then Ident("EQ").
+        assert_eq!(
+            toks("1EQ"),
+            vec![Token::Int(1), Token::Ident("EQ".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn colon_for_array_bounds() {
+        assert_eq!(
+            toks("0:9"),
+            vec![Token::Int(0), Token::Colon, Token::Int(9), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn unexpected_char_is_error() {
+        assert!(tokenize("A?B", &[]).is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! Call graph construction.
+//!
+//! PED's interprocedural analyses (MOD/REF, KILL, constants, sections)
+//! run over the program's call graph; "several users wanted a graphical
+//! representation of the call graph" (§3.2) — [`CallGraph::render_text`]
+//! provides the textual presentation the ParaScope environment had, and
+//! the editor session exposes the structure for navigation.
+
+use ped_fortran::ast::{walk_stmts, Expr, Program, StmtId, StmtKind};
+use std::collections::{HashMap, HashSet};
+
+/// One call site.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    pub caller: String,
+    pub callee: String,
+    pub stmt: StmtId,
+    pub args: Vec<Expr>,
+}
+
+/// The program call graph.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    /// Unit names in declaration order.
+    pub units: Vec<String>,
+    pub sites: Vec<CallSite>,
+    callees_of: HashMap<String, Vec<String>>,
+}
+
+impl CallGraph {
+    pub fn build(program: &Program) -> CallGraph {
+        let mut g = CallGraph::default();
+        let defined: HashSet<String> =
+            program.units.iter().map(|u| u.name.to_ascii_uppercase()).collect();
+        for u in &program.units {
+            let uname = u.name.to_ascii_uppercase();
+            g.units.push(uname.clone());
+            g.callees_of.entry(uname.clone()).or_default();
+            walk_stmts(&u.body, &mut |s| {
+                if let StmtKind::Call { name, args } = &s.kind {
+                    let callee = name.to_ascii_uppercase();
+                    g.sites.push(CallSite {
+                        caller: uname.clone(),
+                        callee: callee.clone(),
+                        stmt: s.id,
+                        args: args.clone(),
+                    });
+                    let v = g.callees_of.entry(uname.clone()).or_default();
+                    if !v.contains(&callee) {
+                        v.push(callee);
+                    }
+                }
+            });
+        }
+        // Keep only edges to defined units in callees_of (external calls
+        // remain visible through `sites`).
+        for v in g.callees_of.values_mut() {
+            v.retain(|c| defined.contains(c));
+        }
+        g
+    }
+
+    /// Callees of a unit (defined units only).
+    pub fn callees(&self, unit: &str) -> &[String] {
+        self.callees_of
+            .get(&unit.to_ascii_uppercase())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Call sites within a unit.
+    pub fn sites_in<'a>(&'a self, unit: &'a str) -> impl Iterator<Item = &'a CallSite> + 'a {
+        self.sites
+            .iter()
+            .filter(move |s| s.caller.eq_ignore_ascii_case(unit))
+    }
+
+    /// Call sites invoking a unit.
+    pub fn sites_of<'a>(&'a self, callee: &'a str) -> impl Iterator<Item = &'a CallSite> + 'a {
+        self.sites
+            .iter()
+            .filter(move |s| s.callee.eq_ignore_ascii_case(callee))
+    }
+
+    /// Bottom-up order (callees before callers). Cycles (recursion) are
+    /// broken arbitrarily; the effect analyses iterate to a fixpoint so
+    /// the order only affects convergence speed.
+    pub fn bottom_up(&self) -> Vec<String> {
+        let mut order = Vec::new();
+        let mut state: HashMap<&str, u8> = HashMap::new(); // 1 = visiting, 2 = done
+        fn visit<'a>(
+            g: &'a CallGraph,
+            u: &'a str,
+            state: &mut HashMap<&'a str, u8>,
+            order: &mut Vec<String>,
+        ) {
+            if state.get(u).is_some() { return }
+            state.insert(u, 1);
+            for c in g.callees(u) {
+                if state.get(c.as_str()).copied() != Some(1) {
+                    visit(g, c, state, order);
+                }
+            }
+            state.insert(u, 2);
+            order.push(u.to_string());
+        }
+        for u in &self.units {
+            visit(self, u, &mut state, &mut order);
+        }
+        order
+    }
+
+    /// Textual rendering of the call tree from roots (units never
+    /// called), with indentation.
+    pub fn render_text(&self) -> String {
+        let called: HashSet<&str> = self.sites.iter().map(|s| s.callee.as_str()).collect();
+        let mut out = String::new();
+        for u in &self.units {
+            if !called.contains(u.as_str()) {
+                self.render_unit(u, 0, &mut out, &mut Vec::new());
+            }
+        }
+        if out.is_empty() {
+            // Every unit is called (e.g. self-recursion): render all.
+            for u in &self.units {
+                self.render_unit(u, 0, &mut out, &mut Vec::new());
+            }
+        }
+        out
+    }
+
+    fn render_unit(&self, u: &str, depth: usize, out: &mut String, stack: &mut Vec<String>) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(u);
+        if stack.iter().any(|s| s == u) {
+            out.push_str(" (recursive)\n");
+            return;
+        }
+        out.push('\n');
+        stack.push(u.to_string());
+        for c in self.callees(u) {
+            self.render_unit(c, depth + 1, out, stack);
+        }
+        stack.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parser::parse_ok;
+
+    const PROG: &str = "      PROGRAM MAIN\n      CALL A\n      CALL B\n      END\n      SUBROUTINE A\n      CALL C\n      RETURN\n      END\n      SUBROUTINE B\n      CALL C\n      RETURN\n      END\n      SUBROUTINE C\n      RETURN\n      END\n";
+
+    #[test]
+    fn edges_and_sites() {
+        let p = parse_ok(PROG);
+        let g = CallGraph::build(&p);
+        assert_eq!(g.callees("MAIN"), ["A", "B"]);
+        assert_eq!(g.callees("A"), ["C"]);
+        assert_eq!(g.sites_of("C").count(), 2);
+        assert_eq!(g.sites_in("MAIN").count(), 2);
+    }
+
+    #[test]
+    fn bottom_up_puts_leaves_first() {
+        let p = parse_ok(PROG);
+        let g = CallGraph::build(&p);
+        let order = g.bottom_up();
+        let pos = |n: &str| order.iter().position(|x| x == n).unwrap();
+        assert!(pos("C") < pos("A"));
+        assert!(pos("C") < pos("B"));
+        assert!(pos("A") < pos("MAIN"));
+    }
+
+    #[test]
+    fn external_calls_kept_in_sites_not_edges() {
+        let p = parse_ok("      CALL EXT(X)\n      END\n");
+        let g = CallGraph::build(&p);
+        assert_eq!(g.sites.len(), 1);
+        assert!(g.callees("MAIN").is_empty());
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let src = "      SUBROUTINE R(N)\n      CALL R(N - 1)\n      RETURN\n      END\n";
+        let p = parse_ok(src);
+        let g = CallGraph::build(&p);
+        let order = g.bottom_up();
+        assert_eq!(order, ["R"]);
+        let txt = g.render_text();
+        assert!(txt.contains("recursive"), "{txt}");
+    }
+
+    #[test]
+    fn render_tree_indents() {
+        let p = parse_ok(PROG);
+        let g = CallGraph::build(&p);
+        let txt = g.render_text();
+        assert!(txt.contains("MAIN\n  A\n    C\n  B\n    C\n"), "{txt}");
+    }
+
+    #[test]
+    fn call_args_recorded() {
+        let p = parse_ok("      CALL S(X, 2*N)\n      END\n");
+        let g = CallGraph::build(&p);
+        assert_eq!(g.sites[0].args.len(), 2);
+    }
+}

@@ -1,0 +1,398 @@
+//! Composition checking (the ParaScope Composition Editor).
+//!
+//! "Another ParaScope tool, the Composition Editor, compares a procedure
+//! definition to calls invoking it, ensuring the parameter lists agree in
+//! number and type … Several mismatched parameters between a procedure
+//! call and its declaration as well as type errors were detected" (§3.2).
+//! One user additionally requested COMMON-block shape consistency
+//! checking and static array bounds checking — both implemented here.
+
+use crate::callgraph::CallGraph;
+use ped_fortran::ast::{walk_stmts, Decl, Expr, Program, StmtId, Type};
+use ped_fortran::symbols::{implicit_type, SymbolTable};
+use std::collections::HashMap;
+
+/// A composition diagnostic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ComposeIssue {
+    /// Call passes a different number of arguments than declared.
+    ArgCountMismatch { caller: String, callee: String, stmt: StmtId, got: usize, want: usize },
+    /// Argument type differs from the formal's type.
+    ArgTypeMismatch {
+        caller: String,
+        callee: String,
+        stmt: StmtId,
+        pos: usize,
+        got: Type,
+        want: Type,
+    },
+    /// A COMMON block is declared with different member counts or total
+    /// constant sizes in two units.
+    CommonShapeMismatch { block: String, unit_a: String, unit_b: String, detail: String },
+    /// A constant subscript is outside the declared bounds.
+    OutOfBounds { unit: String, stmt: StmtId, array: String, dim: usize, value: i64 },
+}
+
+impl std::fmt::Display for ComposeIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ComposeIssue::ArgCountMismatch { caller, callee, got, want, .. } => write!(
+                f,
+                "{caller}: call to {callee} passes {got} argument(s), declaration has {want}"
+            ),
+            ComposeIssue::ArgTypeMismatch { caller, callee, pos, got, want, .. } => write!(
+                f,
+                "{caller}: call to {callee}, argument {}: actual is {got}, formal is {want}",
+                pos + 1
+            ),
+            ComposeIssue::CommonShapeMismatch { block, unit_a, unit_b, detail } => write!(
+                f,
+                "COMMON /{block}/ differs between {unit_a} and {unit_b}: {detail}"
+            ),
+            ComposeIssue::OutOfBounds { unit, array, dim, value, .. } => write!(
+                f,
+                "{unit}: subscript {value} outside bounds of {array} dimension {}",
+                dim + 1
+            ),
+        }
+    }
+}
+
+/// Run all composition checks on a program.
+pub fn check(program: &Program) -> Vec<ComposeIssue> {
+    let mut issues = Vec::new();
+    let cg = CallGraph::build(program);
+    let symtabs: HashMap<String, SymbolTable> = program
+        .units
+        .iter()
+        .map(|u| (u.name.to_ascii_uppercase(), SymbolTable::build(u)))
+        .collect();
+    check_calls(program, &cg, &symtabs, &mut issues);
+    check_commons(program, &mut issues);
+    check_bounds(program, &symtabs, &mut issues);
+    issues
+}
+
+fn expr_type(e: &Expr, symbols: &SymbolTable) -> Type {
+    match e {
+        Expr::Int(_) => Type::Integer,
+        Expr::Real(_) => Type::Real,
+        Expr::Logical(_) => Type::Logical,
+        Expr::Str(_) => Type::Character,
+        Expr::Var(n) | Expr::Index { name: n, .. } => {
+            symbols.get(n).map(|s| s.ty).unwrap_or_else(|| implicit_type(n))
+        }
+        Expr::Call { name, .. } => {
+            symbols.get(name).map(|s| s.ty).unwrap_or_else(|| implicit_type(name))
+        }
+        Expr::Bin { op, l, r } => {
+            if op.is_relational() || op.is_logical() {
+                Type::Logical
+            } else {
+                let (tl, tr) = (expr_type(l, symbols), expr_type(r, symbols));
+                promote(tl, tr)
+            }
+        }
+        Expr::Un { e, .. } => expr_type(e, symbols),
+    }
+}
+
+fn promote(a: Type, b: Type) -> Type {
+    use Type::*;
+    match (a, b) {
+        (DoublePrecision, _) | (_, DoublePrecision) => DoublePrecision,
+        (Real, _) | (_, Real) => Real,
+        _ => a,
+    }
+}
+
+/// Types compatible for argument association (REAL↔DOUBLE allowed with a
+/// warning elsewhere; here we flag only hard mismatches, e.g.
+/// INTEGER↔REAL, the classic production-code bug).
+fn compatible(got: Type, want: Type) -> bool {
+    use Type::*;
+    matches!(
+        (got, want),
+        (Integer, Integer)
+            | (Real, Real)
+            | (DoublePrecision, DoublePrecision)
+            | (Real, DoublePrecision)
+            | (DoublePrecision, Real)
+            | (Logical, Logical)
+            | (Character, Character)
+    )
+}
+
+fn check_calls(
+    program: &Program,
+    cg: &CallGraph,
+    symtabs: &HashMap<String, SymbolTable>,
+    issues: &mut Vec<ComposeIssue>,
+) {
+    for site in &cg.sites {
+        let Some(callee) = program.unit(&site.callee) else {
+            continue; // external
+        };
+        let caller_syms = &symtabs[&site.caller];
+        let callee_syms = &symtabs[&site.callee];
+        if site.args.len() != callee.params.len() {
+            issues.push(ComposeIssue::ArgCountMismatch {
+                caller: site.caller.clone(),
+                callee: site.callee.clone(),
+                stmt: site.stmt,
+                got: site.args.len(),
+                want: callee.params.len(),
+            });
+            continue;
+        }
+        for (pos, (arg, formal)) in site.args.iter().zip(&callee.params).enumerate() {
+            let got = expr_type(arg, caller_syms);
+            let want = callee_syms
+                .get(formal)
+                .map(|s| s.ty)
+                .unwrap_or_else(|| implicit_type(formal));
+            if !compatible(got, want) {
+                issues.push(ComposeIssue::ArgTypeMismatch {
+                    caller: site.caller.clone(),
+                    callee: site.callee.clone(),
+                    stmt: site.stmt,
+                    pos,
+                    got,
+                    want,
+                });
+            }
+        }
+    }
+}
+
+fn check_commons(program: &Program, issues: &mut Vec<ComposeIssue>) {
+    // block name -> (unit, member count, total constant size if known)
+    let mut shapes: HashMap<String, (String, usize, Option<i64>)> = HashMap::new();
+    for u in &program.units {
+        let symbols = SymbolTable::build(u);
+        for d in &u.decls {
+            if let Decl::Common { block, entities } = d {
+                let bname = block.clone().unwrap_or_default();
+                let count = entities.len();
+                let size: Option<i64> = entities
+                    .iter()
+                    .map(|e| {
+                        let dims = symbols.get(&e.name).map(|s| s.dims.clone()).unwrap_or_default();
+                        if dims.is_empty() {
+                            Some(1)
+                        } else {
+                            dims.iter().map(|d| d.const_extent()).product::<Option<i64>>()
+                        }
+                    })
+                    .product::<Option<i64>>()
+                    .and_then(|_| {
+                        entities
+                            .iter()
+                            .map(|e| {
+                                let dims = symbols
+                                    .get(&e.name)
+                                    .map(|s| s.dims.clone())
+                                    .unwrap_or_default();
+                                if dims.is_empty() {
+                                    Some(1)
+                                } else {
+                                    dims.iter()
+                                        .map(|d| d.const_extent())
+                                        .product::<Option<i64>>()
+                                }
+                            })
+                            .sum::<Option<i64>>()
+                    });
+                match shapes.get(&bname) {
+                    None => {
+                        shapes.insert(bname, (u.name.clone(), count, size));
+                    }
+                    Some((other_unit, other_count, other_size)) => {
+                        if *other_count != count {
+                            issues.push(ComposeIssue::CommonShapeMismatch {
+                                block: bname.clone(),
+                                unit_a: other_unit.clone(),
+                                unit_b: u.name.clone(),
+                                detail: format!(
+                                    "{other_count} member(s) vs {count}"
+                                ),
+                            });
+                        } else if let (Some(a), Some(b)) = (other_size, size) {
+                            if *a != b {
+                                issues.push(ComposeIssue::CommonShapeMismatch {
+                                    block: bname.clone(),
+                                    unit_a: other_unit.clone(),
+                                    unit_b: u.name.clone(),
+                                    detail: format!("total size {a} vs {b}"),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_bounds(
+    program: &Program,
+    symtabs: &HashMap<String, SymbolTable>,
+    issues: &mut Vec<ComposeIssue>,
+) {
+    for u in &program.units {
+        let symbols = &symtabs[&u.name.to_ascii_uppercase()];
+        walk_stmts(&u.body, &mut |s| {
+            let mut subs: Vec<(String, Vec<Expr>)> = Vec::new();
+            collect_subscripted(&s.kind, symbols, &mut subs);
+            for (name, sub_exprs) in subs {
+                let Some(sym) = symbols.get(&name) else { continue };
+                for (dim, (e, bound)) in sub_exprs.iter().zip(&sym.dims).enumerate() {
+                    let Some(v) = e.as_int() else { continue };
+                    let lo = bound.lower.as_int();
+                    let hi = bound.upper.as_int();
+                    if lo.is_some_and(|l| v < l) || hi.is_some_and(|h| v > h) {
+                        issues.push(ComposeIssue::OutOfBounds {
+                            unit: u.name.clone(),
+                            stmt: s.id,
+                            array: name.clone(),
+                            dim,
+                            value: v,
+                        });
+                    }
+                }
+            }
+        });
+    }
+}
+
+fn collect_subscripted(
+    kind: &ped_fortran::ast::StmtKind,
+    symbols: &SymbolTable,
+    out: &mut Vec<(String, Vec<Expr>)>,
+) {
+    use ped_fortran::ast::{LValue, StmtKind};
+    let on_expr = |e: &Expr, out: &mut Vec<(String, Vec<Expr>)>| {
+        e.walk(&mut |x| {
+            if let Expr::Index { name, subs } = x {
+                if symbols.is_array(name) {
+                    out.push((name.clone(), subs.clone()));
+                }
+            }
+        });
+    };
+    match kind {
+        StmtKind::Assign { lhs, rhs } => {
+            on_expr(rhs, out);
+            if let LValue::Elem { name, subs } = lhs {
+                if symbols.is_array(name) {
+                    out.push((name.clone(), subs.clone()));
+                }
+            }
+        }
+        StmtKind::If { arms, .. } => {
+            for (c, _) in arms {
+                on_expr(c, out);
+            }
+        }
+        StmtKind::LogicalIf { cond, .. } => on_expr(cond, out),
+        StmtKind::Call { args, .. } => {
+            for a in args {
+                on_expr(a, out);
+            }
+        }
+        StmtKind::Write { items } => {
+            for e in items {
+                on_expr(e, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parser::parse_ok;
+
+    #[test]
+    fn arg_count_mismatch_detected() {
+        let src = "      CALL S(X)\n      END\n      SUBROUTINE S(A, B)\n      A = B\n      RETURN\n      END\n";
+        let issues = check(&parse_ok(src));
+        assert!(matches!(
+            issues.as_slice(),
+            [ComposeIssue::ArgCountMismatch { got: 1, want: 2, .. }]
+        ));
+    }
+
+    #[test]
+    fn arg_type_mismatch_detected() {
+        // Passing INTEGER literal where formal is REAL (implicit X).
+        let src = "      CALL S(5)\n      END\n      SUBROUTINE S(X)\n      Y = X\n      RETURN\n      END\n";
+        let issues = check(&parse_ok(src));
+        assert!(issues.iter().any(|i| matches!(
+            i,
+            ComposeIssue::ArgTypeMismatch { got: Type::Integer, want: Type::Real, .. }
+        )));
+    }
+
+    #[test]
+    fn matching_call_is_clean() {
+        let src = "      REAL X(10)\n      CALL S(X, 10)\n      END\n      SUBROUTINE S(A, N)\n      REAL A(N)\n      A(1) = 0.0\n      RETURN\n      END\n";
+        let issues = check(&parse_ok(src));
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn real_double_association_allowed() {
+        let src = "      DOUBLE PRECISION D\n      CALL S(D)\n      END\n      SUBROUTINE S(X)\n      Y = X\n      RETURN\n      END\n";
+        let issues = check(&parse_ok(src));
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn common_member_count_mismatch() {
+        let src = "      SUBROUTINE A\n      COMMON /G/ X, Y\n      X = 1\n      RETURN\n      END\n      SUBROUTINE B\n      COMMON /G/ X, Y, Z\n      X = 1\n      RETURN\n      END\n";
+        let issues = check(&parse_ok(src));
+        assert!(issues.iter().any(|i| matches!(i, ComposeIssue::CommonShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn common_size_mismatch() {
+        let src = "      SUBROUTINE A\n      COMMON /G/ H(100)\n      H(1) = 1\n      RETURN\n      END\n      SUBROUTINE B\n      COMMON /G/ H(50)\n      H(1) = 1\n      RETURN\n      END\n";
+        let issues = check(&parse_ok(src));
+        assert!(issues.iter().any(|i| matches!(i, ComposeIssue::CommonShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn consistent_commons_clean() {
+        let src = "      SUBROUTINE A\n      COMMON /G/ H(100), N\n      H(1) = 1\n      RETURN\n      END\n      SUBROUTINE B\n      COMMON /G/ H(100), N\n      H(2) = 2\n      RETURN\n      END\n";
+        let issues = check(&parse_ok(src));
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn static_bounds_violation() {
+        let src = "      REAL A(10)\n      A(11) = 0.0\n      X = A(0)\n      END\n";
+        let issues = check(&parse_ok(src));
+        let oob: Vec<_> = issues
+            .iter()
+            .filter(|i| matches!(i, ComposeIssue::OutOfBounds { .. }))
+            .collect();
+        assert_eq!(oob.len(), 2);
+    }
+
+    #[test]
+    fn in_bounds_clean() {
+        let src = "      REAL A(10), B(0:9)\n      A(10) = 0.0\n      B(0) = 1.0\n      END\n";
+        let issues = check(&parse_ok(src));
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn issue_display_readable() {
+        let src = "      CALL S(X)\n      END\n      SUBROUTINE S(A, B)\n      A = B\n      RETURN\n      END\n";
+        let issues = check(&parse_ok(src));
+        let txt = issues[0].to_string();
+        assert!(txt.contains("passes 1 argument"), "{txt}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Interprocedural constant propagation and symbolic facts.
+//!
+//! "Interprocedural constants are inherited from a procedure's callers
+//! and directly incorporated into the intraprocedural constants" (§4.1).
+//! We compute, for each unit, the formal parameters that receive the same
+//! compile-time constant at *every* call site, and re-run the callers'
+//! local constant propagation until the seeds stabilize.
+//!
+//! The module also detects *interprocedural symbolic relations* — the
+//! arc3d `JM = JMAX - 1` fact established in an initialization routine
+//! and relied upon in `filter3d` (§4.3): a COMMON scalar assigned exactly
+//! once in the whole program, to an affine function of entry-stable
+//! names, becomes a global substitution fact.
+
+use crate::callgraph::CallGraph;
+use ped_analysis::constprop::{ConstSeed, Constants, CVal};
+use ped_analysis::Cfg;
+use ped_fortran::ast::Program;
+use ped_fortran::symbols::SymbolTable;
+use std::collections::HashMap;
+
+/// Interprocedural constant seeds per unit.
+pub type SeedMap = HashMap<String, ConstSeed>;
+
+/// Compute per-unit constant seeds from call sites.
+pub fn propagate_constants(program: &Program) -> SeedMap {
+    let cg = CallGraph::build(program);
+    let symtabs: HashMap<String, SymbolTable> = program
+        .units
+        .iter()
+        .map(|u| (u.name.to_ascii_uppercase(), SymbolTable::build(u)))
+        .collect();
+    let mut seeds: SeedMap = SeedMap::new();
+    // Iterate top-down a few rounds: constants flowing into a caller can
+    // make its outgoing arguments constant too.
+    for _ in 0..3 {
+        // Local constant propagation per unit with current seeds.
+        let mut consts: HashMap<String, Constants> = HashMap::new();
+        for u in &program.units {
+            let uname = u.name.to_ascii_uppercase();
+            let cfg = Cfg::build(u);
+            let c = Constants::build(u, &symtabs[&uname], &cfg, seeds.get(&uname));
+            consts.insert(uname, c);
+        }
+        // For each callee: intersect constant args over all sites.
+        let mut next: SeedMap = SeedMap::new();
+        for uname in &cg.units {
+            let Some(unit) = program.unit(uname) else { continue };
+            let sites: Vec<_> = cg.sites_of(uname).collect();
+            if sites.is_empty() {
+                continue;
+            }
+            let mut per_formal: HashMap<usize, Option<CVal>> = HashMap::new();
+            for site in &sites {
+                let caller_consts = &consts[&site.caller];
+                for (pos, arg) in site.args.iter().enumerate() {
+                    let v = caller_consts.fold_at(site.stmt, arg);
+                    per_formal
+                        .entry(pos)
+                        .and_modify(|cur| {
+                            if *cur != v {
+                                *cur = None;
+                            }
+                        })
+                        .or_insert(v);
+                }
+            }
+            let mut seed = ConstSeed::new();
+            for (pos, v) in per_formal {
+                if let (Some(v), Some(formal)) = (v, unit.params.get(pos)) {
+                    seed.insert(formal.clone(), v);
+                }
+            }
+            if !seed.is_empty() {
+                next.insert(uname.clone(), seed);
+            }
+        }
+        if next == seeds {
+            break;
+        }
+        seeds = next;
+    }
+    seeds
+}
+
+/// Detect program-wide symbolic relations over COMMON scalars (the
+/// arc3d `JM = JMAX - 1` fact, §4.3). Implemented in `ped-analysis`
+/// (shared with the runtime's privatization machinery); re-exported here
+/// for the interprocedural suite's callers.
+pub use ped_analysis::global::global_symbolic_facts;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parser::parse_ok;
+
+    #[test]
+    fn constant_args_seed_callee() {
+        let src = "      PROGRAM MAIN\n      CALL S(64, X)\n      CALL S(64, Y)\n      END\n      SUBROUTINE S(N, V)\n      V = N\n      RETURN\n      END\n";
+        let p = parse_ok(src);
+        let seeds = propagate_constants(&p);
+        assert_eq!(seeds["S"].get("N"), Some(&CVal::Int(64)));
+        assert!(!seeds["S"].contains_key("V"));
+    }
+
+    #[test]
+    fn differing_args_do_not_seed() {
+        let src = "      PROGRAM MAIN\n      CALL S(64)\n      CALL S(32)\n      END\n      SUBROUTINE S(N)\n      X = N\n      RETURN\n      END\n";
+        let p = parse_ok(src);
+        let seeds = propagate_constants(&p);
+        assert!(seeds.get("S").map(|s| s.is_empty()).unwrap_or(true));
+    }
+
+    #[test]
+    fn parameters_flow_as_constants() {
+        let src = "      PROGRAM MAIN\n      PARAMETER (N = 100)\n      CALL S(N)\n      END\n      SUBROUTINE S(M)\n      X = M\n      RETURN\n      END\n";
+        let p = parse_ok(src);
+        let seeds = propagate_constants(&p);
+        assert_eq!(seeds["S"].get("M"), Some(&CVal::Int(100)));
+    }
+
+    #[test]
+    fn constants_chain_through_two_levels() {
+        let src = "      PROGRAM MAIN\n      CALL MID(10)\n      END\n      SUBROUTINE MID(A)\n      CALL LEAF(A)\n      RETURN\n      END\n      SUBROUTINE LEAF(B)\n      X = B\n      RETURN\n      END\n";
+        let p = parse_ok(src);
+        let seeds = propagate_constants(&p);
+        assert_eq!(seeds["LEAF"].get("B"), Some(&CVal::Int(10)));
+    }
+
+    #[test]
+    fn global_relation_detected_across_units() {
+        // arc3d: INIT sets JM = JMAX - 1 (both in COMMON); FILTER uses it.
+        let src = "      SUBROUTINE INIT\n      COMMON /DIMS/ JM, JMAX\n      JM = JMAX - 1\n      RETURN\n      END\n      SUBROUTINE FILTER\n      COMMON /DIMS/ JM, JMAX\n      X = JM\n      RETURN\n      END\n";
+        let p = parse_ok(src);
+        let env = global_symbolic_facts(&p);
+        let jm = env.subst.get("JM").expect("JM fact");
+        assert_eq!(jm.coeff("JMAX"), 1);
+        assert_eq!(jm.konst, -1);
+    }
+
+    #[test]
+    fn multiply_assigned_common_not_a_fact() {
+        let src = "      SUBROUTINE A\n      COMMON /D/ JM, JMAX\n      JM = JMAX - 1\n      RETURN\n      END\n      SUBROUTINE B\n      COMMON /D/ JM, JMAX\n      JM = JMAX + 1\n      RETURN\n      END\n";
+        let p = parse_ok(src);
+        let env = global_symbolic_facts(&p);
+        assert!(env.subst.is_empty());
+    }
+
+    #[test]
+    fn local_single_def_not_a_global_fact() {
+        // JM local to one unit: not shared, so no *global* fact.
+        let src = "      SUBROUTINE A(JMAX)\n      JM = JMAX - 1\n      X = JM\n      RETURN\n      END\n";
+        let p = parse_ok(src);
+        let env = global_symbolic_facts(&p);
+        assert!(env.subst.is_empty());
+    }
+}

@@ -1,0 +1,413 @@
+//! Interprocedural bounded regular section analysis (may-MOD/REF
+//! sections).
+//!
+//! "Regular section analysis is also used to describe more precisely,
+//! when possible, the side-effects to portions of arrays" (§4.1, citing
+//! Havlak & Kennedy). Where plain MOD/REF says a callee *may write array
+//! A somewhere*, the section summary says *which rectangular region* —
+//! so a caller's loop that touches a disjoint region keeps its
+//! parallelism (the `sections` row of Table 3).
+
+use crate::callgraph::CallGraph;
+use ped_analysis::section::{Section, SectionSet};
+use ped_analysis::symbolic::{LinExpr, SymbolicEnv};
+use ped_fortran::ast::{Expr, LValue, Program, Stmt, StmtKind};
+use ped_fortran::symbols::{Storage, SymbolTable};
+use std::collections::HashMap;
+
+/// May-MOD and may-REF sections for one unit, keyed by formal position
+/// and by COMMON variable name.
+#[derive(Clone, Debug, Default)]
+pub struct SectionSummary {
+    pub mod_formal: HashMap<usize, SectionSet>,
+    pub ref_formal: HashMap<usize, SectionSet>,
+    pub mod_global: HashMap<String, SectionSet>,
+    pub ref_global: HashMap<String, SectionSet>,
+    /// Formals / globals accessed in a way sections cannot describe
+    /// (non-affine subscripts, whole-array passes to unknown callees).
+    pub mod_unknown_formal: Vec<usize>,
+    pub ref_unknown_formal: Vec<usize>,
+    pub mod_unknown_global: Vec<String>,
+    pub ref_unknown_global: Vec<String>,
+}
+
+/// Section summaries for every unit.
+pub type SectionMap = HashMap<String, SectionSummary>;
+
+/// Compute may-MOD/REF sections, bottom-up (one pass; nested calls use
+/// the callee summaries computed earlier; recursion degrades to
+/// unknown).
+pub fn analyze(program: &Program, env: &SymbolicEnv) -> SectionMap {
+    let cg = CallGraph::build(program);
+    let mut out: SectionMap = SectionMap::new();
+    for uname in cg.bottom_up() {
+        let Some(unit) = program.unit(&uname) else { continue };
+        let symbols = SymbolTable::build(unit);
+        let mut summary = SectionSummary::default();
+        let formal_pos: HashMap<&str, usize> = unit
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.as_str(), i))
+            .collect();
+        let mut w = Walker {
+            env,
+            symbols: &symbols,
+            formal_pos: &formal_pos,
+            summary: &mut summary,
+            callees: &out,
+            ctx: Vec::new(),
+        };
+        w.block(&unit.body);
+        out.insert(uname, summary);
+    }
+    out
+}
+
+struct Walker<'a> {
+    env: &'a SymbolicEnv,
+    symbols: &'a SymbolTable,
+    formal_pos: &'a HashMap<&'a str, usize>,
+    summary: &'a mut SectionSummary,
+    callees: &'a SectionMap,
+    ctx: Vec<(String, LinExpr, LinExpr)>,
+}
+
+impl<'a> Walker<'a> {
+    fn block(&mut self, body: &[Stmt]) {
+        for s in body {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Assign { lhs, rhs } => {
+                self.expr_reads(rhs);
+                for sub in lhs.subs() {
+                    self.expr_reads(sub);
+                }
+                if let LValue::Elem { name, subs } = lhs {
+                    if self.symbols.is_array(name) {
+                        self.record(name, subs, true);
+                    }
+                }
+            }
+            StmtKind::Do { lo, hi, var, body, .. } => {
+                self.expr_reads(lo);
+                self.expr_reads(hi);
+                match (self.env.normalize(lo), self.env.normalize(hi)) {
+                    (Some(l), Some(h)) => {
+                        self.ctx.push((var.clone(), l, h));
+                        self.block(body);
+                        self.ctx.pop();
+                    }
+                    _ => {
+                        // Unknown bounds: record accesses as unknown.
+                        let mut names: Vec<(String, bool)> = Vec::new();
+                        ped_fortran::ast::walk_stmts(body, &mut |st| {
+                            collect_array_refs(&st.kind, self.symbols, &mut names);
+                        });
+                        for (n, is_def) in names {
+                            self.record_unknown(&n, is_def);
+                        }
+                    }
+                }
+            }
+            StmtKind::If { arms, else_body } => {
+                for (c, b) in arms {
+                    self.expr_reads(c);
+                    self.block(b);
+                }
+                if let Some(e) = else_body {
+                    self.block(e);
+                }
+            }
+            StmtKind::LogicalIf { cond, then } => {
+                self.expr_reads(cond);
+                self.stmt(then);
+            }
+            StmtKind::Call { name, args } => {
+                let callee = name.to_ascii_uppercase();
+                let callee_summary = self.callees.get(&callee);
+                for (pos, a) in args.iter().enumerate() {
+                    match a {
+                        Expr::Var(n) if self.symbols.is_array(n) => {
+                            // Translate the callee's sections for this
+                            // formal into our space (identity mapping —
+                            // whole array passed).
+                            match callee_summary {
+                                Some(cs) => self.translate(n, cs, pos),
+                                None => {
+                                    self.record_unknown(n, true);
+                                    self.record_unknown(n, false);
+                                }
+                            }
+                        }
+                        other => self.expr_reads(other),
+                    }
+                }
+            }
+            StmtKind::Read { items } => {
+                for lv in items {
+                    if let LValue::Elem { name, subs } = lv {
+                        if self.symbols.is_array(name) {
+                            self.record(name, subs, true);
+                        }
+                    }
+                }
+            }
+            StmtKind::Write { items } => {
+                for e in items {
+                    self.expr_reads(e);
+                }
+            }
+            StmtKind::ArithIf { expr, .. } => self.expr_reads(expr),
+            StmtKind::ComputedGoto { index, .. } => self.expr_reads(index),
+            _ => {}
+        }
+    }
+
+    fn translate(&mut self, actual: &str, cs: &SectionSummary, pos: usize) {
+        if let Some(set) = cs.mod_formal.get(&pos) {
+            for sec in &set.sections {
+                self.push_section(actual, sec.clone(), true);
+            }
+        }
+        if let Some(set) = cs.ref_formal.get(&pos) {
+            for sec in &set.sections {
+                self.push_section(actual, sec.clone(), false);
+            }
+        }
+        if cs.mod_unknown_formal.contains(&pos) {
+            self.record_unknown(actual, true);
+        }
+        if cs.ref_unknown_formal.contains(&pos) {
+            self.record_unknown(actual, false);
+        }
+    }
+
+    fn expr_reads(&mut self, e: &Expr) {
+        let mut reads: Vec<(String, Vec<Expr>)> = Vec::new();
+        e.walk(&mut |x| {
+            if let Expr::Index { name, subs } = x {
+                if self.symbols.is_array(name) {
+                    reads.push((name.clone(), subs.clone()));
+                }
+            }
+        });
+        for (n, subs) in reads {
+            self.record(&n, &subs, false);
+        }
+    }
+
+    fn record(&mut self, name: &str, subs: &[Expr], is_def: bool) {
+        let Some(elems) = subs
+            .iter()
+            .map(|e| self.env.normalize(e))
+            .collect::<Option<Vec<_>>>()
+        else {
+            self.record_unknown(name, is_def);
+            return;
+        };
+        // Reject subscripts mentioning variables that are neither loop
+        // context nor invariant symbols we can summarize — conservative:
+        // anything not in ctx is treated as an invariant symbol, which
+        // is safe for *may* summaries only if truly invariant; unknown
+        // scalars make the section symbolic but still useful.
+        let mut sec = Section::element(elems);
+        for (var, lo, hi) in self.ctx.iter().rev() {
+            sec = sec.expand(var, lo, hi);
+        }
+        self.push_section(name, sec, is_def);
+    }
+
+    fn push_section(&mut self, name: &str, sec: Section, is_def: bool) {
+        if let Some(&pos) = self.formal_pos.get(name) {
+            let m = if is_def {
+                &mut self.summary.mod_formal
+            } else {
+                &mut self.summary.ref_formal
+            };
+            m.entry(pos).or_default().insert(sec, self.env);
+        } else if self
+            .symbols
+            .get(name)
+            .is_some_and(|s| s.storage == Storage::Common)
+        {
+            let m = if is_def {
+                &mut self.summary.mod_global
+            } else {
+                &mut self.summary.ref_global
+            };
+            m.entry(name.to_string()).or_default().insert(sec, self.env);
+        }
+    }
+
+    fn record_unknown(&mut self, name: &str, is_def: bool) {
+        if let Some(&pos) = self.formal_pos.get(name) {
+            let v = if is_def {
+                &mut self.summary.mod_unknown_formal
+            } else {
+                &mut self.summary.ref_unknown_formal
+            };
+            if !v.contains(&pos) {
+                v.push(pos);
+            }
+        } else if self
+            .symbols
+            .get(name)
+            .is_some_and(|s| s.storage == Storage::Common)
+        {
+            let v = if is_def {
+                &mut self.summary.mod_unknown_global
+            } else {
+                &mut self.summary.ref_unknown_global
+            };
+            if !v.iter().any(|x| x == name) {
+                v.push(name.to_string());
+            }
+        }
+    }
+}
+
+fn collect_array_refs(
+    kind: &StmtKind,
+    symbols: &SymbolTable,
+    out: &mut Vec<(String, bool)>,
+) {
+    let on_expr = |e: &Expr, out: &mut Vec<(String, bool)>| {
+        e.walk(&mut |x| {
+            if let Expr::Index { name, .. } = x {
+                if symbols.is_array(name) {
+                    out.push((name.clone(), false));
+                }
+            }
+        });
+    };
+    if let StmtKind::Assign { lhs, rhs } = kind {
+        on_expr(rhs, out);
+        if let LValue::Elem { name, .. } = lhs {
+            if symbols.is_array(name) {
+                out.push((name.clone(), true));
+            }
+        }
+    }
+}
+
+/// Can a call to `callee` conflict with an access to the actual array
+/// bound at formal `pos`, restricted to `section`? Returns `false` only
+/// when the summaries prove disjointness.
+pub fn call_may_conflict(
+    map: &SectionMap,
+    env: &SymbolicEnv,
+    callee: &str,
+    pos: usize,
+    section: &Section,
+    against_writes: bool,
+) -> bool {
+    let Some(cs) = map.get(&callee.to_ascii_uppercase()) else {
+        return true;
+    };
+    let (secs, unknown) = if against_writes {
+        (&cs.mod_formal, &cs.mod_unknown_formal)
+    } else {
+        (&cs.ref_formal, &cs.ref_unknown_formal)
+    };
+    if unknown.contains(&pos) {
+        return true;
+    }
+    match secs.get(&pos) {
+        None => false, // callee does not touch the formal at all
+        Some(set) => set
+            .sections
+            .iter()
+            .any(|s| !s.provably_disjoint(section, env)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_analysis::section::DimRange;
+    use ped_analysis::symbolic::to_lin;
+    use ped_fortran::parser::{parse_expr_str, parse_ok};
+
+    fn lin(s: &str) -> LinExpr {
+        to_lin(&parse_expr_str(s, &[]).unwrap()).unwrap()
+    }
+
+    fn sec1(lo: &str, hi: &str) -> Section {
+        Section { dims: vec![DimRange { lo: lin(lo), hi: lin(hi) }] }
+    }
+
+    #[test]
+    fn loop_write_summarized_as_section() {
+        let src = "      SUBROUTINE S(A, N)\n      REAL A(N)\n      DO 10 J = 1, N\n      A(J) = 0.0\n   10 CONTINUE\n      RETURN\n      END\n";
+        let p = parse_ok(src);
+        let env = SymbolicEnv::new();
+        let m = analyze(&p, &env);
+        let s = &m["S"];
+        let set = s.mod_formal.get(&0).expect("mod section for A");
+        assert!(set.covers(&sec1("1", "N"), &env));
+        assert!(s.mod_unknown_formal.is_empty());
+    }
+
+    #[test]
+    fn boundary_only_write_is_small_section() {
+        // Callee writes only A(1): disjoint from A(2:N) accesses.
+        let src = "      SUBROUTINE BND(A, N)\n      REAL A(N)\n      A(1) = 0.0\n      RETURN\n      END\n";
+        let p = parse_ok(src);
+        let env = SymbolicEnv::new();
+        let m = analyze(&p, &env);
+        let set = &m["BND"].mod_formal[&0];
+        assert!(set.covers(&sec1("1", "1"), &env));
+        // Conflict query: reading A(2:N) does not conflict with the write.
+        assert!(!call_may_conflict(&m, &env, "BND", 0, &sec1("2", "N"), true));
+        assert!(call_may_conflict(&m, &env, "BND", 0, &sec1("1", "N"), true));
+    }
+
+    #[test]
+    fn sections_propagate_through_calls() {
+        let src = "      SUBROUTINE OUTER(B, N)\n      REAL B(N)\n      CALL BND(B, N)\n      RETURN\n      END\n      SUBROUTINE BND(A, N)\n      REAL A(N)\n      A(1) = 0.0\n      RETURN\n      END\n";
+        let p = parse_ok(src);
+        let env = SymbolicEnv::new();
+        let m = analyze(&p, &env);
+        let set = &m["OUTER"].mod_formal[&0];
+        assert!(set.covers(&sec1("1", "1"), &env));
+        assert!(!call_may_conflict(&m, &env, "OUTER", 0, &sec1("2", "N"), true));
+    }
+
+    #[test]
+    fn non_affine_subscript_is_unknown() {
+        let src = "      SUBROUTINE S(A, IX, N)\n      REAL A(N)\n      INTEGER IX(N)\n      A(IX(1)) = 0.0\n      RETURN\n      END\n";
+        let p = parse_ok(src);
+        let env = SymbolicEnv::new();
+        let m = analyze(&p, &env);
+        assert!(m["S"].mod_unknown_formal.contains(&0));
+        assert!(call_may_conflict(&m, &env, "S", 0, &sec1("5", "5"), true));
+    }
+
+    #[test]
+    fn untouched_formal_never_conflicts() {
+        let src = "      SUBROUTINE S(A, B, N)\n      REAL A(N), B(N)\n      B(1) = 1.0\n      RETURN\n      END\n";
+        let p = parse_ok(src);
+        let env = SymbolicEnv::new();
+        let m = analyze(&p, &env);
+        assert!(!call_may_conflict(&m, &env, "S", 0, &sec1("1", "N"), true));
+        assert!(call_may_conflict(&m, &env, "S", 1, &sec1("1", "N"), true));
+    }
+
+    #[test]
+    fn reads_tracked_separately() {
+        let src = "      SUBROUTINE S(A, T, N)\n      REAL A(N)\n      DO 10 J = 2, N\n      T = T + A(J)\n   10 CONTINUE\n      RETURN\n      END\n";
+        let p = parse_ok(src);
+        let env = SymbolicEnv::new();
+        let m = analyze(&p, &env);
+        let s = &m["S"];
+        assert!(!s.mod_formal.contains_key(&0));
+        let set = s.ref_formal.get(&0).expect("ref section");
+        assert!(set.covers(&sec1("2", "N"), &env));
+        assert!(!call_may_conflict(&m, &env, "S", 0, &sec1("1", "1"), false));
+    }
+}

@@ -1,0 +1,16 @@
+//! # ped-runtime — parallel execution substrate for PED
+//!
+//! A Fortran interpreter standing in for the paper's shared-memory
+//! targets (8-processor Alliant FX/8, Cray Y-MP): sequential semantics,
+//! DOALL execution over scoped worker threads with scalar privatization
+//! and reduction combining, loop-level profiling, a deterministic race
+//! checker for certified loops, and run-time validation of user
+//! assertions (§3.3).
+
+pub mod interp;
+pub mod value;
+pub mod verify;
+
+pub use interp::{run, RunOptions, RunOutput, RunStats, RuntimeError};
+pub use value::{ArrayObj, Cell, Value};
+pub use verify::{verify_index_fact, Shadow};

@@ -1,0 +1,128 @@
+//! Power-steering advice: applicable / safe / profitable.
+//!
+//! "The system advises whether the transformation is applicable (is
+//! syntactically correct), safe (preserves the semantics of the program)
+//! and profitable (contributes to parallelization)" (§5.1). Every
+//! transformation first produces an [`Advice`]; `apply` refuses unsafe
+//! requests unless the caller explicitly overrides (the user taking
+//! responsibility, as with dependence rejection).
+
+/// Safety judgement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Safety {
+    /// Semantics preserved.
+    Safe,
+    /// Provably changes semantics (or safety cannot be established);
+    /// the string names the blocking dependence or condition.
+    Unsafe(String),
+}
+
+impl Safety {
+    pub fn is_safe(&self) -> bool {
+        matches!(self, Safety::Safe)
+    }
+}
+
+/// Profitability judgement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Profit {
+    /// Expected to help, with the reason.
+    Yes(String),
+    /// Expected not to help.
+    No(String),
+    /// Machine-dependent or unknown.
+    Unknown,
+}
+
+/// The three-part advice of §5.1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Advice {
+    /// Syntactically applicable at the requested site.
+    pub applicable: bool,
+    /// Reason when not applicable.
+    pub why_not: Option<String>,
+    pub safety: Safety,
+    pub profit: Profit,
+}
+
+impl Advice {
+    pub fn not_applicable(reason: impl Into<String>) -> Advice {
+        Advice {
+            applicable: false,
+            why_not: Some(reason.into()),
+            safety: Safety::Unsafe("not applicable".into()),
+            profit: Profit::Unknown,
+        }
+    }
+
+    pub fn safe(profit: Profit) -> Advice {
+        Advice { applicable: true, why_not: None, safety: Safety::Safe, profit }
+    }
+
+    pub fn unsafe_because(reason: impl Into<String>) -> Advice {
+        Advice {
+            applicable: true,
+            why_not: None,
+            safety: Safety::Unsafe(reason.into()),
+            profit: Profit::Unknown,
+        }
+    }
+
+    /// Can `apply` proceed without an override?
+    pub fn permits_apply(&self) -> bool {
+        self.applicable && self.safety.is_safe()
+    }
+}
+
+/// Error returned by a transformation's `apply`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransformError {
+    NotApplicable(String),
+    Unsafe(String),
+    /// Internal shape mismatch (e.g. loop vanished between advice and
+    /// apply).
+    Internal(String),
+}
+
+impl std::fmt::Display for TransformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransformError::NotApplicable(s) => write!(f, "not applicable: {s}"),
+            TransformError::Unsafe(s) => write!(f, "unsafe: {s}"),
+            TransformError::Internal(s) => write!(f, "internal error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// Outcome of a successful application.
+#[derive(Clone, Debug, Default)]
+pub struct Applied {
+    /// Human-readable description of what changed.
+    pub notes: Vec<String>,
+}
+
+impl Applied {
+    pub fn note(msg: impl Into<String>) -> Applied {
+        Applied { notes: vec![msg.into()] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advice_gating() {
+        assert!(Advice::safe(Profit::Unknown).permits_apply());
+        assert!(!Advice::unsafe_because("carried dep").permits_apply());
+        assert!(!Advice::not_applicable("not a loop").permits_apply());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = TransformError::Unsafe("true dependence on A".into());
+        assert_eq!(e.to_string(), "unsafe: true dependence on A");
+    }
+}

@@ -1,0 +1,519 @@
+//! Dependence-breaking transformations: scalar expansion, array renaming,
+//! loop peeling, index-set splitting, loop alignment (Figure 2,
+//! "Dependence Breaking"). Privatization-by-classification lives in the
+//! editor session (`ped::classify`); scalar expansion is its storage
+//! transformation ("the most commonly used transformation was scalar
+//! expansion", §5.2).
+
+use crate::advice::{Advice, Applied, Profit, Safety, TransformError};
+use crate::ctx::UnitAnalysis;
+use crate::util::*;
+use ped_analysis::loops::LoopId;
+use ped_analysis::privatize::{analyze_loop as priv_analyze, PrivStatus};
+use ped_fortran::ast::*;
+
+// ---------------------------------------------------------------------
+// Scalar expansion
+// ---------------------------------------------------------------------
+
+/// Advice for expanding scalar `name` in loop `l`.
+pub fn scalar_expansion_advice(ua: &UnitAnalysis, l: LoopId, name: &str) -> Advice {
+    if ua.symbols.is_array(name) {
+        return Advice::not_applicable(format!("{name} is an array"));
+    }
+    let info = ua.nest.get(l);
+    let priv_result = priv_analyze(&ua.symbols, &ua.cfg, &ua.refs, &ua.defuse, info);
+    match priv_result.status(name) {
+        Some(PrivStatus::Private) => Advice::safe(Profit::Yes(
+            "eliminates loop-carried dependences on the scalar".into(),
+        )),
+        Some(PrivStatus::PrivateNeedsLastValue) => Advice::safe(Profit::Yes(
+            "eliminates carried dependences; adds last-value copy-out".into(),
+        )),
+        Some(PrivStatus::Shared) => Advice::unsafe_because(format!(
+            "{name} has an upward-exposed use: its value crosses iterations"
+        )),
+        None => Advice::not_applicable(format!("{name} is not assigned in the loop")),
+    }
+}
+
+/// Expand scalar `name` into an array indexed by the loop variable:
+/// `T` becomes `T$X(v)` with bounds matching the loop, declared in the
+/// unit; a copy-out `T = T$X(hi)` is appended when the value is live
+/// after the loop.
+pub fn scalar_expansion(
+    program: &mut Program,
+    unit_idx: usize,
+    ua: &UnitAnalysis,
+    l: LoopId,
+    name: &str,
+) -> Result<Applied, TransformError> {
+    let advice = scalar_expansion_advice(ua, l, name);
+    if !advice.applicable {
+        return Err(TransformError::NotApplicable(advice.why_not.unwrap_or_default()));
+    }
+    if let Safety::Unsafe(r) = advice.safety {
+        return Err(TransformError::Unsafe(r));
+    }
+    let info = ua.nest.get(l);
+    let var = info.var.clone();
+    let hi = info.hi.clone();
+    let needs_copy_out = {
+        let priv_result = priv_analyze(&ua.symbols, &ua.cfg, &ua.refs, &ua.defuse, info);
+        priv_result.status(name) == Some(&PrivStatus::PrivateNeedsLastValue)
+    };
+    let new_name = expansion_name(name);
+    let target = info.stmt;
+    // Declare the expansion array: bounds 1:hi when hi is symbolic we use
+    // the loop's declared upper bound expression directly.
+    let ty = ua
+        .symbols
+        .get(name)
+        .map(|s| s.ty)
+        .unwrap_or(ped_fortran::ast::Type::Real);
+    program.units[unit_idx].decls.push(Decl::Typed {
+        ty,
+        entities: vec![Declared {
+            name: new_name.clone(),
+            dims: vec![DimBound::to_upper(hi.clone())],
+        }],
+    });
+    // Rewrite references inside the loop body.
+    with_do_mut(&mut program.units[unit_idx].body, target, |s| {
+        if let StmtKind::Do { body, .. } = &mut s.kind {
+            let rep = Expr::idx(new_name.clone(), vec![Expr::var(var.clone())]);
+            subst_var(body, name, &rep);
+        }
+    })
+    .ok_or_else(|| TransformError::Internal("loop not found".into()))?;
+    // Copy-out if live after the loop.
+    if needs_copy_out {
+        let id = program.fresh_stmt();
+        let copy = Stmt::new(
+            id,
+            StmtKind::Assign {
+                lhs: LValue::Var(name.to_string()),
+                rhs: Expr::idx(new_name.clone(), vec![hi]),
+            },
+        );
+        with_containing_block(&mut program.units[unit_idx].body, target, |block, i| {
+            block.insert(i + 1, copy);
+        });
+    }
+    Ok(Applied::note(format!("expanded {name} into {new_name}")))
+}
+
+fn expansion_name(name: &str) -> String {
+    format!("{name}X")
+}
+
+// ---------------------------------------------------------------------
+// Array renaming
+// ---------------------------------------------------------------------
+
+/// Rename array `name` to a fresh copy within loop `l` to break output
+/// and anti dependences. Safe only when the loop never *reads* `name`
+/// values written before the loop (no upward-exposed read) and the array
+/// is not read after the loop — checked via array kill analysis.
+pub fn array_renaming_advice(unit: &ProcUnit, ua: &UnitAnalysis, l: LoopId, name: &str) -> Advice {
+    if !ua.symbols.is_array(name) {
+        return Advice::not_applicable(format!("{name} is not an array"));
+    }
+    let info = ua.nest.get(l);
+    let kills = ped_analysis::array_kill::analyze_loop(unit, &ua.symbols, &ua.env, info);
+    match kills.get(name) {
+        Some(ped_analysis::array_kill::ArrayKillStatus::Private) => Advice::safe(Profit::Yes(
+            "renaming breaks storage-related dependences".into(),
+        )),
+        Some(ped_analysis::array_kill::ArrayKillStatus::PrivateNeedsLastValue) => {
+            Advice::unsafe_because(format!("{name} is read after the loop"))
+        }
+        Some(ped_analysis::array_kill::ArrayKillStatus::Exposed) => Advice::unsafe_because(
+            format!("{name} carries values across iterations"),
+        ),
+        None => Advice::not_applicable(format!("{name} is not written in the loop")),
+    }
+}
+
+/// Perform the renaming: all references to `name` inside the loop use a
+/// fresh array `nameR` with identical shape.
+pub fn array_renaming(
+    program: &mut Program,
+    unit_idx: usize,
+    ua: &UnitAnalysis,
+    l: LoopId,
+    name: &str,
+) -> Result<Applied, TransformError> {
+    let advice = array_renaming_advice(&program.units[unit_idx], ua, l, name);
+    if !advice.applicable {
+        return Err(TransformError::NotApplicable(advice.why_not.unwrap_or_default()));
+    }
+    if let Safety::Unsafe(r) = advice.safety {
+        return Err(TransformError::Unsafe(r));
+    }
+    let new_name = format!("{name}R");
+    let sym = ua.symbols.get(name).expect("checked array");
+    program.units[unit_idx].decls.push(Decl::Typed {
+        ty: sym.ty,
+        entities: vec![Declared { name: new_name.clone(), dims: sym.dims.clone() }],
+    });
+    let target = ua.nest.get(l).stmt;
+    with_do_mut(&mut program.units[unit_idx].body, target, |s| {
+        if let StmtKind::Do { body, .. } = &mut s.kind {
+            rename_array(body, name, &new_name);
+        }
+    });
+    Ok(Applied::note(format!("renamed {name} to {new_name} within the loop")))
+}
+
+fn rename_array(stmts: &mut [Stmt], from: &str, to: &str) {
+    walk_stmts_mut(stmts, &mut |s| {
+        if let StmtKind::Assign { lhs, rhs } = &mut s.kind {
+            *rhs = rename_in_expr(rhs, from, to);
+            if let LValue::Elem { name, subs } = lhs {
+                for e in subs.iter_mut() {
+                    *e = rename_in_expr(e, from, to);
+                }
+                if name == from {
+                    *name = to.to_string();
+                }
+            }
+        } else {
+            // Other statement kinds: rename in contained expressions.
+            rename_stmt_exprs(&mut s.kind, from, to);
+        }
+    });
+}
+
+fn rename_stmt_exprs(kind: &mut StmtKind, from: &str, to: &str) {
+    match kind {
+        StmtKind::If { arms, .. } => {
+            for (c, _) in arms.iter_mut() {
+                *c = rename_in_expr(c, from, to);
+            }
+        }
+        StmtKind::LogicalIf { cond, .. } => *cond = rename_in_expr(cond, from, to),
+        StmtKind::Write { items } => {
+            for e in items.iter_mut() {
+                *e = rename_in_expr(e, from, to);
+            }
+        }
+        StmtKind::Call { args, .. } => {
+            for a in args.iter_mut() {
+                *a = rename_in_expr(a, from, to);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn rename_in_expr(e: &Expr, from: &str, to: &str) -> Expr {
+    match e {
+        Expr::Index { name, subs } => Expr::Index {
+            name: if name == from { to.to_string() } else { name.clone() },
+            subs: subs.iter().map(|x| rename_in_expr(x, from, to)).collect(),
+        },
+        Expr::Call { name, args } => Expr::Call {
+            name: name.clone(),
+            args: args.iter().map(|x| rename_in_expr(x, from, to)).collect(),
+        },
+        Expr::Bin { op, l, r } => Expr::Bin {
+            op: *op,
+            l: Box::new(rename_in_expr(l, from, to)),
+            r: Box::new(rename_in_expr(r, from, to)),
+        },
+        Expr::Un { op, e } => Expr::Un { op: *op, e: Box::new(rename_in_expr(e, from, to)) },
+        _ => e.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Loop peeling
+// ---------------------------------------------------------------------
+
+/// Peel the first iteration of loop `l` into straight-line code. Always
+/// safe for loops with at least one iteration (the dialect's DO loops
+/// execute their range as written; an empty range makes the peel a
+/// semantic change, which the advice flags when provable).
+pub fn peel_first(
+    program: &mut Program,
+    unit_idx: usize,
+    ua: &UnitAnalysis,
+    l: LoopId,
+) -> Result<Applied, TransformError> {
+    let info = ua.nest.get(l);
+    if info.step.is_some() {
+        return Err(TransformError::NotApplicable("peeling requires unit step".into()));
+    }
+    let target = info.stmt;
+    let (var, lo, body) = {
+        let s = find_stmt(&program.units[unit_idx].body, target)
+            .ok_or_else(|| TransformError::Internal("loop vanished".into()))?;
+        let StmtKind::Do { var, lo, body, .. } = &s.kind else {
+            return Err(TransformError::Internal("not a DO".into()));
+        };
+        (var.clone(), lo.clone(), body.clone())
+    };
+    // First-iteration copy with v ↦ lo.
+    let mut peeled = clone_with_fresh_ids(&body, program);
+    peeled.retain(|s| !matches!(s.kind, StmtKind::Continue));
+    subst_var(&mut peeled, &var, &lo);
+    // Adjust the loop to start at lo+1.
+    with_do_mut(&mut program.units[unit_idx].body, target, |s| {
+        if let StmtKind::Do { lo, .. } = &mut s.kind {
+            *lo = offset_expr(lo, 1);
+        }
+    });
+    with_containing_block(&mut program.units[unit_idx].body, target, |block, i| {
+        for (k, st) in peeled.into_iter().enumerate() {
+            block.insert(i + k, st);
+        }
+    });
+    Ok(Applied::note("peeled first iteration"))
+}
+
+// ---------------------------------------------------------------------
+// Index-set splitting
+// ---------------------------------------------------------------------
+
+/// Split loop `l` at `point`: `[lo, point]` and `[point+1, hi]`. Always
+/// safe (the iteration order is unchanged).
+pub fn split_at(
+    program: &mut Program,
+    unit_idx: usize,
+    ua: &UnitAnalysis,
+    l: LoopId,
+    point: Expr,
+) -> Result<Applied, TransformError> {
+    let info = ua.nest.get(l);
+    if info.step.is_some() {
+        return Err(TransformError::NotApplicable("splitting requires unit step".into()));
+    }
+    let target = info.stmt;
+    let (var, hi, body) = {
+        let s = find_stmt(&program.units[unit_idx].body, target)
+            .ok_or_else(|| TransformError::Internal("loop vanished".into()))?;
+        let StmtKind::Do { var, hi, body, .. } = &s.kind else {
+            return Err(TransformError::Internal("not a DO".into()));
+        };
+        (var.clone(), hi.clone(), body.clone())
+    };
+    let mut second_body = clone_with_fresh_ids(&body, program);
+    second_body.retain(|s| !matches!(s.kind, StmtKind::Continue));
+    let second_id = program.fresh_stmt();
+    let second = Stmt::new(
+        second_id,
+        StmtKind::Do {
+            var,
+            lo: offset_expr(&point, 1),
+            hi,
+            step: None,
+            body: second_body,
+            term_label: None,
+            sched: LoopSched::Sequential,
+        },
+    );
+    with_do_mut(&mut program.units[unit_idx].body, target, |s| {
+        if let StmtKind::Do { hi, .. } = &mut s.kind {
+            *hi = point.clone();
+        }
+    });
+    with_containing_block(&mut program.units[unit_idx].body, target, |block, i| {
+        block.insert(i + 1, second);
+    });
+    Ok(Applied::note("split index set"))
+}
+
+// ---------------------------------------------------------------------
+// Loop alignment
+// ---------------------------------------------------------------------
+
+/// Align a direct-child statement of loop `l` by `distance`: the
+/// statement executes with index `v − distance`, guarded to keep the
+/// iteration set identical. Converts a carried dependence of that
+/// distance into a loop-independent one.
+pub fn align_statement(
+    program: &mut Program,
+    unit_idx: usize,
+    ua: &UnitAnalysis,
+    l: LoopId,
+    stmt: StmtId,
+    distance: i64,
+) -> Result<Applied, TransformError> {
+    if distance == 0 {
+        return Err(TransformError::NotApplicable("zero alignment distance".into()));
+    }
+    let info = ua.nest.get(l);
+    let (var, lo, hi) = (info.var.clone(), info.lo.clone(), info.hi.clone());
+    let target = info.stmt;
+    let fresh_guard = program.fresh_stmt();
+    let mut found = false;
+    with_do_mut(&mut program.units[unit_idx].body, target, |s| {
+        let StmtKind::Do { body, .. } = &mut s.kind else { return };
+        let Some(pos) = body.iter().position(|st| st.id == stmt) else {
+            return;
+        };
+        found = true;
+        let mut aligned = vec![body[pos].clone()];
+        let shifted = offset_expr(&Expr::var(var.clone()), -distance);
+        subst_var(&mut aligned, &var, &shifted);
+        // Guard: execute only when the shifted index is in [lo, hi].
+        let cond = Expr::bin(
+            BinOp::And,
+            Expr::bin(BinOp::Ge, shifted.clone(), lo.clone()),
+            Expr::bin(BinOp::Le, shifted.clone(), hi.clone()),
+        );
+        let guard = Stmt::new(
+            fresh_guard,
+            StmtKind::If { arms: vec![(cond, aligned)], else_body: None },
+        );
+        body[pos] = guard;
+    });
+    if !found {
+        return Err(TransformError::NotApplicable(
+            "statement is not a direct child of the loop".into(),
+        ));
+    }
+    // Extend the loop upper bound so the aligned statement still covers
+    // its final iterations.
+    with_do_mut(&mut program.units[unit_idx].body, target, |s| {
+        if let StmtKind::Do { hi, .. } = &mut s.kind {
+            if distance > 0 {
+                *hi = offset_expr(hi, distance);
+            }
+        }
+    });
+    // Guard every *other* direct child to the original range when the
+    // bounds were extended.
+    if distance > 0 {
+        let info_hi = hi;
+        let var2 = var;
+        let mut guards: Vec<StmtId> = Vec::new();
+        // Pre-allocate ids (cannot call program.fresh_stmt inside the
+        // closure that borrows program.units).
+        for _ in 0..64 {
+            guards.push(program.fresh_stmt());
+        }
+        let mut gi = 0;
+        with_do_mut(&mut program.units[unit_idx].body, target, |s| {
+            let StmtKind::Do { body, .. } = &mut s.kind else { return };
+            for st in body.iter_mut() {
+                if st.id == fresh_guard || matches!(st.kind, StmtKind::Continue) {
+                    continue;
+                }
+                let cond = Expr::bin(
+                    BinOp::Le,
+                    Expr::var(var2.clone()),
+                    info_hi.clone(),
+                );
+                let inner = std::mem::replace(st, Stmt::new(guards[gi], StmtKind::Continue));
+                *st = Stmt::new(
+                    guards[gi],
+                    StmtKind::If { arms: vec![(cond, vec![inner])], else_body: None },
+                );
+                gi += 1;
+            }
+        });
+    }
+    Ok(Applied::note(format!("aligned statement by distance {distance}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_analysis::symbolic::SymbolicEnv;
+    use ped_fortran::parser::parse_ok;
+    use ped_fortran::pretty::print_program;
+
+    fn setup(src: &str) -> (Program, UnitAnalysis) {
+        let p = parse_ok(src);
+        let ua = UnitAnalysis::build(&p.units[0], SymbolicEnv::new(), None);
+        (p, ua)
+    }
+
+    #[test]
+    fn scalar_expansion_rewrites_and_declares() {
+        let src = "      REAL A(100), B(100)\n      DO 10 I = 1, N\n      T = A(I) * 2.0\n      B(I) = T + 1.0\n   10 CONTINUE\n      END\n";
+        let (mut p, ua) = setup(src);
+        let adv = scalar_expansion_advice(&ua, ua.nest.roots[0], "T");
+        assert!(adv.permits_apply(), "{adv:?}");
+        scalar_expansion(&mut p, 0, &ua, ua.nest.roots[0], "T").unwrap();
+        let txt = print_program(&p);
+        assert!(txt.contains("TX(I) = A(I) * 2.0"), "{txt}");
+        assert!(txt.contains("B(I) = TX(I) + 1.0"), "{txt}");
+        assert!(txt.contains("REAL TX(N)"), "{txt}");
+        // Carried scalar deps on T are gone.
+        let ua2 = UnitAnalysis::build(&p.units[0], SymbolicEnv::new(), None);
+        assert!(ua2.active_inhibitors(ua2.nest.roots[0]).is_empty());
+    }
+
+    #[test]
+    fn scalar_expansion_adds_copy_out_when_live() {
+        let src = "      REAL A(100), B(100)\n      DO 10 I = 1, N\n      T = A(I)\n      B(I) = T\n   10 CONTINUE\n      C = T\n      END\n";
+        let (mut p, ua) = setup(src);
+        scalar_expansion(&mut p, 0, &ua, ua.nest.roots[0], "T").unwrap();
+        let txt = print_program(&p);
+        assert!(txt.contains("T = TX(N)"), "{txt}");
+    }
+
+    #[test]
+    fn scalar_expansion_refuses_carried_scalar() {
+        let src = "      REAL A(100), B(100)\n      T = 0.0\n      DO 10 I = 1, N\n      B(I) = T\n      T = A(I)\n   10 CONTINUE\n      END\n";
+        let (mut p, ua) = setup(src);
+        assert!(scalar_expansion(&mut p, 0, &ua, ua.nest.roots[0], "T").is_err());
+    }
+
+    #[test]
+    fn array_renaming_for_killed_array() {
+        let src = "      REAL T(100), A(100,100), B(100,100)\n      DO 10 I = 1, N\n      DO 20 J = 1, M\n      T(J) = A(I,J)\n   20 CONTINUE\n      DO 30 J = 1, M\n      B(I,J) = T(J)\n   30 CONTINUE\n   10 CONTINUE\n      END\n";
+        let (mut p, ua) = setup(src);
+        let adv = array_renaming_advice(&p.units[0], &ua, ua.nest.roots[0], "T");
+        assert!(adv.permits_apply(), "{adv:?}");
+        array_renaming(&mut p, 0, &ua, ua.nest.roots[0], "T").unwrap();
+        let txt = print_program(&p);
+        assert!(txt.contains("TR(J) = A(I, J)"), "{txt}");
+        assert!(txt.contains("B(I, J) = TR(J)"), "{txt}");
+    }
+
+    #[test]
+    fn array_renaming_refuses_exposed_array() {
+        let src = "      REAL T(100), B(100,100)\n      DO 10 I = 1, N\n      DO 30 J = 1, M\n      B(I,J) = T(J)\n   30 CONTINUE\n      DO 20 J = 1, M\n      T(J) = B(I,J)\n   20 CONTINUE\n   10 CONTINUE\n      END\n";
+        let (mut p, ua) = setup(src);
+        assert!(array_renaming(&mut p, 0, &ua, ua.nest.roots[0], "T").is_err());
+    }
+
+    #[test]
+    fn peel_first_materializes_iteration() {
+        let src = "      REAL A(100)\n      DO 10 I = 1, N\n      A(I) = I\n   10 CONTINUE\n      END\n";
+        let (mut p, ua) = setup(src);
+        peel_first(&mut p, 0, &ua, ua.nest.roots[0]).unwrap();
+        let txt = print_program(&p);
+        assert!(txt.contains("A(1) = 1"), "{txt}");
+        assert!(txt.contains("DO 10 I = 2, N") || txt.contains("DO I = 2, N"), "{txt}");
+    }
+
+    #[test]
+    fn split_produces_two_loops() {
+        let src = "      REAL A(100)\n      DO 10 I = 1, N\n      A(I) = I\n   10 CONTINUE\n      END\n";
+        let (mut p, ua) = setup(src);
+        split_at(&mut p, 0, &ua, ua.nest.roots[0], Expr::var("M")).unwrap();
+        let nest2 = ped_analysis::loops::LoopNest::build(&p.units[0]);
+        assert_eq!(nest2.roots.len(), 2);
+        let txt = print_program(&p);
+        assert!(txt.contains("DO 10 I = 1, M") || txt.contains("DO I = 1, M"), "{txt}");
+        assert!(txt.contains("DO I = M + 1, N"), "{txt}");
+    }
+
+    #[test]
+    fn alignment_guards_and_shifts() {
+        let src = "      REAL A(100), B(100), C(100)\n      DO 10 I = 2, N\n      A(I) = B(I)\n      C(I) = A(I-1)\n   10 CONTINUE\n      END\n";
+        let (mut p, ua) = setup(src);
+        let second = ua.nest.loops[0].body[1];
+        align_statement(&mut p, 0, &ua, ua.nest.roots[0], second, 1).unwrap();
+        let txt = print_program(&p);
+        // The aligned statement now references A(I - 1 - 1 + 1)… i.e. is
+        // substituted with I-1; guard present.
+        assert!(txt.contains("IF (I - 1 .GE. 2 .AND. I - 1 .LE. N) THEN"), "{txt}");
+        assert!(txt.contains("C(I - 1) = A(I - 1 - 1)") || txt.contains("C(I - 1) = A(I - 2)"), "{txt}");
+    }
+}

@@ -1,0 +1,159 @@
+//! The transformation catalog — Figure 2's taxonomy, introspectable.
+//!
+//! "Figure 2: Transformation Taxonomy for PED" lists four groups. The
+//! catalog drives the `reproduce -- figure2` output and the editor's
+//! transformation menu, including the §5.3 guidance feature: "include
+//! only those which are safe and profitable for the currently selected
+//! loop".
+
+/// Taxonomy group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Category {
+    Reordering,
+    DependenceBreaking,
+    MemoryOptimizing,
+    Miscellaneous,
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Category::Reordering => write!(f, "Reordering"),
+            Category::DependenceBreaking => write!(f, "Dependence Breaking"),
+            Category::MemoryOptimizing => write!(f, "Memory Optimizing"),
+            Category::Miscellaneous => write!(f, "Miscellaneous"),
+        }
+    }
+}
+
+/// One catalog entry.
+#[derive(Clone, Debug)]
+pub struct CatalogEntry {
+    pub name: &'static str,
+    pub category: Category,
+    /// Present in the original PED (Figure 2) vs added per §4.3/§5.3
+    /// requests (reduction restructuring, control-flow structuring,
+    /// loop embedding/extraction).
+    pub in_original_ped: bool,
+    pub description: &'static str,
+}
+
+/// The full catalog, in Figure 2 order plus the paper-requested
+/// additions.
+pub fn catalog() -> Vec<CatalogEntry> {
+    use Category::*;
+    vec![
+        CatalogEntry { name: "Loop Distribution", category: Reordering, in_original_ped: true, description: "split a loop around its dependence SCCs" },
+        CatalogEntry { name: "Loop Interchange", category: Reordering, in_original_ped: true, description: "swap the headers of a perfect nest" },
+        CatalogEntry { name: "Loop Fusion", category: Reordering, in_original_ped: true, description: "merge adjacent conformable loops" },
+        CatalogEntry { name: "Statement Interchange", category: Reordering, in_original_ped: true, description: "swap adjacent independent statements" },
+        CatalogEntry { name: "Loop Reversal", category: Reordering, in_original_ped: true, description: "run iterations in the opposite order" },
+        CatalogEntry { name: "Loop Skewing", category: Reordering, in_original_ped: true, description: "shear the iteration space of a nest" },
+        CatalogEntry { name: "Privatization", category: DependenceBreaking, in_original_ped: true, description: "give each iteration its own copy of a variable" },
+        CatalogEntry { name: "Scalar Expansion", category: DependenceBreaking, in_original_ped: true, description: "expand a scalar into a per-iteration array" },
+        CatalogEntry { name: "Array Renaming", category: DependenceBreaking, in_original_ped: true, description: "rename an array region to break storage reuse" },
+        CatalogEntry { name: "Loop Peeling", category: DependenceBreaking, in_original_ped: true, description: "peel boundary iterations into straight-line code" },
+        CatalogEntry { name: "Loop Splitting", category: DependenceBreaking, in_original_ped: true, description: "split the index set at a point" },
+        CatalogEntry { name: "Loop Alignment", category: DependenceBreaking, in_original_ped: true, description: "shift a statement across iterations" },
+        CatalogEntry { name: "Strip Mining", category: MemoryOptimizing, in_original_ped: true, description: "block a loop into strips" },
+        CatalogEntry { name: "Loop Unrolling", category: MemoryOptimizing, in_original_ped: true, description: "replicate the body to cut loop overhead" },
+        CatalogEntry { name: "Scalar Replacement", category: MemoryOptimizing, in_original_ped: true, description: "keep a repeated array element in a scalar" },
+        CatalogEntry { name: "Unroll and Jam", category: MemoryOptimizing, in_original_ped: true, description: "unroll an outer loop and jam the copies" },
+        CatalogEntry { name: "Sequential <-> Parallel", category: Miscellaneous, in_original_ped: true, description: "certify a loop as DOALL or revert it" },
+        CatalogEntry { name: "Statement Addition", category: Miscellaneous, in_original_ped: true, description: "insert an observation statement" },
+        CatalogEntry { name: "Statement Deletion", category: Miscellaneous, in_original_ped: true, description: "remove a dead statement" },
+        CatalogEntry { name: "Loop Bounds Adjusting", category: Miscellaneous, in_original_ped: true, description: "change bounds under user responsibility" },
+        CatalogEntry { name: "Reduction Restructuring", category: DependenceBreaking, in_original_ped: false, description: "parallelize sum/product/min/max accumulations (needed, §4.3)" },
+        CatalogEntry { name: "Induction Variable Elimination", category: DependenceBreaking, in_original_ped: false, description: "rewrite per-iteration counters into affine loop-index forms (§4.1 symbolic analysis)" },
+        CatalogEntry { name: "Control Flow Structuring", category: Miscellaneous, in_original_ped: false, description: "replace GOTO idioms with IF-THEN-ELSE (needed, §5.3)" },
+        CatalogEntry { name: "Loop Embedding", category: Miscellaneous, in_original_ped: false, description: "move a caller loop into the callee (needed, §5.3)" },
+        CatalogEntry { name: "Loop Extraction", category: Miscellaneous, in_original_ped: false, description: "move a callee loop to the call site (needed, §5.3)" },
+    ]
+}
+
+/// Render the taxonomy in the shape of Figure 2.
+pub fn render_taxonomy() -> String {
+    let cats = [
+        Category::Reordering,
+        Category::DependenceBreaking,
+        Category::MemoryOptimizing,
+        Category::Miscellaneous,
+    ];
+    let mut out = String::from("Transformation Taxonomy for PED\n");
+    for c in cats {
+        out.push_str(&format!("{c}\n"));
+        for e in catalog().iter().filter(|e| e.category == c) {
+            let marker = if e.in_original_ped { "  " } else { " +" };
+            out.push_str(&format!("{marker} {}\n", e.name));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_figure_two_groups() {
+        let c = catalog();
+        for cat in [
+            Category::Reordering,
+            Category::DependenceBreaking,
+            Category::MemoryOptimizing,
+            Category::Miscellaneous,
+        ] {
+            assert!(c.iter().any(|e| e.category == cat));
+        }
+        // All Figure-2 names present.
+        for name in [
+            "Loop Distribution",
+            "Loop Interchange",
+            "Loop Fusion",
+            "Loop Reversal",
+            "Loop Skewing",
+            "Privatization",
+            "Scalar Expansion",
+            "Array Renaming",
+            "Loop Peeling",
+            "Loop Splitting",
+            "Loop Alignment",
+            "Strip Mining",
+            "Loop Unrolling",
+            "Scalar Replacement",
+            "Unroll and Jam",
+            "Statement Interchange",
+            "Statement Addition",
+            "Statement Deletion",
+            "Loop Bounds Adjusting",
+        ] {
+            assert!(c.iter().any(|e| e.name == name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn additions_marked() {
+        let c = catalog();
+        let added: Vec<_> = c.iter().filter(|e| !e.in_original_ped).map(|e| e.name).collect();
+        assert_eq!(
+            added,
+            [
+                "Reduction Restructuring",
+                "Induction Variable Elimination",
+                "Control Flow Structuring",
+                "Loop Embedding",
+                "Loop Extraction"
+            ]
+        );
+    }
+
+    #[test]
+    fn taxonomy_renders_groups_in_order() {
+        let t = render_taxonomy();
+        let r = t.find("Reordering").unwrap();
+        let d = t.find("Dependence Breaking").unwrap();
+        let m = t.find("Memory Optimizing").unwrap();
+        let x = t.find("Miscellaneous").unwrap();
+        assert!(r < d && d < m && m < x, "{t}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Per-unit analysis bundle used by transformations.
+//!
+//! Transformations consult dependences, the loop tree and the marking
+//! state to decide safety ("power steering": the system advises whether
+//! the transformation is applicable, safe and profitable — §5.1). After
+//! a transformation mutates the AST the bundle is stale; callers rebuild
+//! it with [`UnitAnalysis::build`] or incrementally via
+//! [`crate::update`].
+
+use ped_analysis::defuse::{DefUse, EffectsMap};
+use ped_analysis::loops::LoopNest;
+use ped_analysis::refs::RefTable;
+use ped_analysis::symbolic::SymbolicEnv;
+use ped_analysis::Cfg;
+use ped_dependence::graph::{BuildOptions, DependenceGraph};
+use ped_dependence::marking::Marking;
+use ped_fortran::ast::ProcUnit;
+use ped_fortran::symbols::SymbolTable;
+
+/// Everything the transformations need to reason about one unit.
+pub struct UnitAnalysis {
+    pub symbols: SymbolTable,
+    pub refs: RefTable,
+    pub nest: LoopNest,
+    pub cfg: Cfg,
+    pub defuse: DefUse,
+    pub graph: DependenceGraph,
+    pub marking: Marking,
+    pub env: SymbolicEnv,
+}
+
+impl UnitAnalysis {
+    /// Build the bundle for a unit. `env` carries the symbolic facts
+    /// (constants, relations, assertions); `effects` the interprocedural
+    /// summaries, when available.
+    pub fn build(unit: &ProcUnit, env: SymbolicEnv, effects: Option<&EffectsMap>) -> UnitAnalysis {
+        let symbols = SymbolTable::build(unit);
+        let refs = RefTable::build_with_effects(unit, &symbols, effects);
+        let nest = LoopNest::build(unit);
+        let cfg = Cfg::build(unit);
+        let defuse = DefUse::build(unit, &symbols, &cfg, &refs, effects);
+        let graph =
+            DependenceGraph::build(unit, &symbols, &refs, &nest, &env, &BuildOptions::default());
+        let marking = Marking::initial(&graph);
+        UnitAnalysis { symbols, refs, nest, cfg, defuse, graph, marking, env }
+    }
+
+    /// Rebuild after an AST mutation, preserving user marks where the
+    /// dependence still exists (match by src/sink statement + variable +
+    /// level).
+    pub fn rebuild(&mut self, unit: &ProcUnit) {
+        let old_graph = std::mem::take(&mut self.graph);
+        let old_marking = std::mem::take(&mut self.marking);
+        self.symbols = SymbolTable::build(unit);
+        self.refs = RefTable::build(unit, &self.symbols);
+        self.nest = LoopNest::build(unit);
+        self.cfg = Cfg::build(unit);
+        self.defuse = DefUse::build(unit, &self.symbols, &self.cfg, &self.refs, None);
+        self.graph = DependenceGraph::build(
+            unit,
+            &self.symbols,
+            &self.refs,
+            &self.nest,
+            &self.env,
+            &BuildOptions::default(),
+        );
+        self.marking = Marking::initial(&self.graph);
+        // Carry user marks over: same (src_stmt, sink_stmt, var, level).
+        for new in &self.graph.deps {
+            for old in &old_graph.deps {
+                if old.src_stmt == new.src_stmt
+                    && old.sink_stmt == new.sink_stmt
+                    && old.var == new.var
+                    && old.level == new.level
+                    && old.kind == new.kind
+                {
+                    let m = old_marking.mark_of(old.id);
+                    if matches!(
+                        m,
+                        ped_dependence::marking::Mark::Accepted
+                            | ped_dependence::marking::Mark::Rejected
+                    ) {
+                        let reason = old_marking.reason_of(old.id).map(|s| s.to_string());
+                        let _ = self.marking.set(new.id, m, reason);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Active (non-rejected) loop-carried data dependences of a loop.
+    pub fn active_inhibitors(
+        &self,
+        l: ped_analysis::loops::LoopId,
+    ) -> Vec<&ped_dependence::graph::Dependence> {
+        self.graph
+            .parallelism_inhibitors(l)
+            .filter(|d| self.marking.is_active(d.id))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_dependence::marking::Mark;
+    use ped_fortran::parser::parse_ok;
+
+    #[test]
+    fn build_and_query() {
+        let p = parse_ok(
+            "      REAL A(100)\n      DO 10 I = 2, N\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n",
+        );
+        let ua = UnitAnalysis::build(&p.units[0], SymbolicEnv::new(), None);
+        assert_eq!(ua.nest.len(), 1);
+        assert!(!ua.active_inhibitors(ua.nest.roots[0]).is_empty());
+    }
+
+    #[test]
+    fn rebuild_preserves_user_marks() {
+        let p = parse_ok(
+            "      INTEGER IX(100)\n      REAL A(100)\n      DO 10 I = 1, N\n      A(IX(I)) = A(IX(I)) + 1.0\n   10 CONTINUE\n      END\n",
+        );
+        let mut ua = UnitAnalysis::build(&p.units[0], SymbolicEnv::new(), None);
+        let dep = ua
+            .graph
+            .deps
+            .iter()
+            .find(|d| d.var == "A" && d.level.is_some())
+            .unwrap()
+            .id;
+        ua.marking.set(dep, Mark::Rejected, Some("permutation".into())).unwrap();
+        let before = ua.active_inhibitors(ua.nest.roots[0]).len();
+        ua.rebuild(&p.units[0]); // no AST change: marks must survive
+        let after = ua.active_inhibitors(ua.nest.roots[0]).len();
+        assert_eq!(before, after);
+        assert!(ua
+            .graph
+            .deps
+            .iter()
+            .any(|d| ua.marking.mark_of(d.id) == Mark::Rejected));
+    }
+}

@@ -1,0 +1,255 @@
+//! Auxiliary induction variable elimination.
+//!
+//! "Symbolic analysis locates auxiliary induction variables" (§4.1); a
+//! counter updated `K = K + s` once per iteration carries a scalar
+//! recurrence that blocks parallelization even though its value is an
+//! affine function of the loop index. The transformation rewrites every
+//! use into that affine form, removes the update, and re-establishes the
+//! final value after the loop:
+//!
+//! ```text
+//!       K = 4                          K = 4
+//!       DO 10 I = 1, N                 KB = K
+//!       K = K + 2                  →   DO 10 I = 1, N
+//!       A(K) = B(I)                    A(KB + 2 * (I - 1 + 1)) = B(I)
+//!    10 CONTINUE                    10 CONTINUE
+//!                                      K = KB + 2 * MAX(0, N - 1 + 1)
+//! ```
+//!
+//! Requirements: the update is a direct child of the loop, the loop has
+//! unit step, and every other reference to the variable in the body is
+//! *after* the update (so the post-update value `K₀ + s·(i − lo + 1)` is
+//! exact for all of them).
+
+use crate::advice::{Advice, Applied, Profit, Safety, TransformError};
+use crate::ctx::UnitAnalysis;
+use crate::util::*;
+use ped_analysis::induction::find_induction_vars;
+use ped_analysis::loops::LoopId;
+use ped_fortran::ast::*;
+
+/// Advice for eliminating induction variable `name` in loop `l`.
+pub fn induction_elimination_advice(
+    unit: &ProcUnit,
+    ua: &UnitAnalysis,
+    l: LoopId,
+    name: &str,
+) -> Advice {
+    let info = ua.nest.get(l);
+    if info.step.is_some() {
+        return Advice::not_applicable("requires unit loop step");
+    }
+    let ivs = find_induction_vars(unit, &ua.refs, info);
+    let Some(iv) = ivs.iter().find(|v| v.name.eq_ignore_ascii_case(name)) else {
+        return Advice::not_applicable(format!("{name} is not an auxiliary induction variable"));
+    };
+    // Every non-update reference must come after the update (statement
+    // ids are assigned in source order for simple statements).
+    let all_after = ua
+        .refs
+        .refs
+        .iter()
+        .filter(|r| r.name == iv.name && info.body.contains(&r.stmt) && r.stmt != iv.update)
+        .all(|r| r.stmt > iv.update);
+    if !all_after {
+        return Advice::unsafe_because(format!(
+            "{name} is referenced before its update; the affine form would be off by one step"
+        ));
+    }
+    Advice::safe(Profit::Yes(
+        "removes the scalar recurrence carried by the counter".into(),
+    ))
+}
+
+/// Perform the elimination.
+pub fn induction_elimination(
+    program: &mut Program,
+    unit_idx: usize,
+    ua: &UnitAnalysis,
+    l: LoopId,
+    name: &str,
+) -> Result<Applied, TransformError> {
+    let advice = induction_elimination_advice(&program.units[unit_idx], ua, l, name);
+    if !advice.applicable {
+        return Err(TransformError::NotApplicable(advice.why_not.unwrap_or_default()));
+    }
+    if let Safety::Unsafe(r) = advice.safety {
+        return Err(TransformError::Unsafe(r));
+    }
+    let info = ua.nest.get(l);
+    let iv = find_induction_vars(&program.units[unit_idx], &ua.refs, info)
+        .into_iter()
+        .find(|v| v.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| TransformError::Internal("induction variable vanished".into()))?;
+    let base = format!("{}B", iv.name);
+    let (var, lo, hi, target) =
+        (info.var.clone(), info.lo.clone(), info.hi.clone(), info.stmt);
+    // Replacement: base + step * (v - lo + 1).
+    let trip_index = Expr::add(
+        Expr::sub(Expr::var(var.clone()), lo.clone()),
+        Expr::Int(1),
+    );
+    let replacement = Expr::add(
+        Expr::var(base.clone()),
+        Expr::mul(Expr::Int(iv.step), trip_index.clone()),
+    );
+    with_do_mut(&mut program.units[unit_idx].body, target, |s| {
+        if let StmtKind::Do { body, .. } = &mut s.kind {
+            body.retain(|st| st.id != iv.update);
+            subst_var(body, &iv.name, &replacement);
+        }
+    })
+    .ok_or_else(|| TransformError::Internal("loop not found".into()))?;
+    // KB = K before the loop; K = KB + step * MAX(0, hi - lo + 1) after.
+    let init_id = program.fresh_stmt();
+    let fini_id = program.fresh_stmt();
+    let trip_count = Expr::Call {
+        name: "MAX".into(),
+        args: vec![
+            Expr::Int(0),
+            Expr::add(Expr::sub(hi.clone(), lo.clone()), Expr::Int(1)),
+        ],
+    };
+    let init = Stmt::new(
+        init_id,
+        StmtKind::Assign { lhs: LValue::Var(base.clone()), rhs: Expr::var(iv.name.clone()) },
+    );
+    let fini = Stmt::new(
+        fini_id,
+        StmtKind::Assign {
+            lhs: LValue::Var(iv.name.clone()),
+            rhs: Expr::add(Expr::var(base.clone()), Expr::mul(Expr::Int(iv.step), trip_count)),
+        },
+    );
+    with_containing_block(&mut program.units[unit_idx].body, target, |block, i| {
+        block.insert(i, init);
+        block.insert(i + 2, fini);
+    })
+    .ok_or_else(|| TransformError::Internal("loop not found in block".into()))?;
+    Ok(Applied::note(format!(
+        "eliminated induction variable {} (step {})",
+        iv.name, iv.step
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_analysis::symbolic::SymbolicEnv;
+    use ped_fortran::parser::parse_ok;
+    use ped_fortran::pretty::print_program;
+
+    fn setup(src: &str) -> (Program, UnitAnalysis) {
+        let p = parse_ok(src);
+        let ua = UnitAnalysis::build(&p.units[0], SymbolicEnv::new(), None);
+        (p, ua)
+    }
+
+    const COUNTER: &str = "\
+      PROGRAM T
+      REAL A(200), B(64)
+      DO 5 I = 1, 64
+      B(I) = MOD(I, 7) * 1.0
+    5 CONTINUE
+      K = 4
+      DO 10 I = 1, 64
+      K = K + 2
+      A(K) = B(I)
+   10 CONTINUE
+      WRITE (*,*) A(6), A(132), K
+      END
+";
+
+    #[test]
+    fn elimination_rewrites_and_fixes_up() {
+        let (mut p, ua) = setup(COUNTER);
+        let l = ua.nest.roots[1];
+        induction_elimination(&mut p, 0, &ua, l, "K").unwrap();
+        let txt = print_program(&p);
+        assert!(txt.contains("KB = K"), "{txt}");
+        assert!(txt.contains("A(KB + 2 * (I - 1 + 1)) = B(I)"), "{txt}");
+        assert!(txt.contains("K = KB + 2 * MAX(0, 64 - 1 + 1)"), "{txt}");
+    }
+
+    #[test]
+    fn elimination_preserves_semantics() {
+        let (mut p, ua) = setup(COUNTER);
+        let before = ped_runtime::run(&p, Default::default()).unwrap().lines.clone();
+        let l = ua.nest.roots[1];
+        induction_elimination(&mut p, 0, &ua, l, "K").unwrap();
+        let after = ped_runtime::run(&p, Default::default()).unwrap().lines;
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn elimination_unblocks_parallelization() {
+        let (mut p, ua) = setup(COUNTER);
+        let l = ua.nest.roots[1];
+        // Blocked by the K recurrence before.
+        assert!(!crate::parallelize::analyze_parallelization(&p.units[0], &ua, l).is_parallel());
+        induction_elimination(&mut p, 0, &ua, l, "K").unwrap();
+        let ua2 = UnitAnalysis::build(&p.units[0], SymbolicEnv::new(), None);
+        let l2 = ua2
+            .nest
+            .roots
+            .iter()
+            .copied()
+            .find(|&x| {
+                let lo = &ua2.nest.get(x).lo;
+                *lo == Expr::Int(1) && ua2.nest.get(x).hi == Expr::Int(64)
+                    && ua2.nest.get(x).body.len() > 1
+            })
+            .unwrap_or(ua2.nest.roots[1]);
+        let report = crate::parallelize::analyze_parallelization(&p.units[0], &ua2, l2);
+        assert!(report.is_parallel(), "{:?}", report.impediments);
+    }
+
+    #[test]
+    fn use_before_update_is_unsafe() {
+        let src = "\
+      PROGRAM T
+      REAL A(200), B(64)
+      K = 4
+      DO 10 I = 1, 64
+      A(K) = B(I)
+      K = K + 2
+   10 CONTINUE
+      WRITE (*,*) K
+      END
+";
+        let (mut p, ua) = setup(src);
+        let l = ua.nest.roots[0];
+        assert!(induction_elimination(&mut p, 0, &ua, l, "K").is_err());
+    }
+
+    #[test]
+    fn non_induction_variable_rejected() {
+        let (mut p, ua) = setup(COUNTER);
+        let l = ua.nest.roots[1];
+        assert!(induction_elimination(&mut p, 0, &ua, l, "A").is_err());
+        assert!(induction_elimination(&mut p, 0, &ua, l, "I").is_err());
+    }
+
+    #[test]
+    fn zero_trip_loop_fixup_correct() {
+        let src = "\
+      PROGRAM T
+      REAL A(200)
+      K = 4
+      N = 0
+      DO 10 I = 1, N
+      K = K + 2
+      A(K) = 1.0
+   10 CONTINUE
+      WRITE (*,*) K
+      END
+";
+        let (mut p, ua) = setup(src);
+        let before = ped_runtime::run(&p, Default::default()).unwrap().lines.clone();
+        assert_eq!(before, ["4"]);
+        let l = ua.nest.roots[0];
+        induction_elimination(&mut p, 0, &ua, l, "K").unwrap();
+        let after = ped_runtime::run(&p, Default::default()).unwrap().lines;
+        assert_eq!(before, after, "zero-trip fixup must keep K unchanged");
+    }
+}

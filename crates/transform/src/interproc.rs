@@ -1,0 +1,418 @@
+//! Interprocedural transformations: loop embedding and loop extraction.
+//!
+//! "A solution that combines the granularity of the outer loop with the
+//! parallelism of the loop in the procedure is to perform loop
+//! interchange across the procedure boundary … we must be able to move a
+//! loop into or out of a procedure invocation. We call these
+//! interprocedural transformations loop embedding and loop extraction"
+//! (§5.3, the spec77 `gloop` case; citing Hall, Kennedy & McKinley).
+//!
+//! *Extraction* moves a callee's outermost loop into the caller: the
+//! callee is cloned into a new procedure whose body is the old loop body
+//! and which takes the loop index as an extra formal; the call site is
+//! wrapped in the loop. *Embedding* is the inverse: a caller loop whose
+//! body is a single CALL moves into a cloned callee.
+
+use crate::advice::{Applied, TransformError};
+use crate::util::*;
+use ped_fortran::ast::*;
+
+/// Extract the outermost loop of `callee` to the call site `call_stmt`
+/// in `caller`. Creates a new unit `<callee>X` without the loop; the
+/// call site becomes `DO v = lo, hi / CALL <callee>X(args…, v)`.
+///
+/// Requirements: the callee body (after declarations) is exactly one
+/// `DO` (plus RETURNs), and its bounds are expressible at the call site
+/// (constants or expressions over the callee's formals, which are
+/// rewritten to the actuals).
+pub fn extract_loop(
+    program: &mut Program,
+    caller: &str,
+    call_stmt: StmtId,
+    callee: &str,
+) -> Result<Applied, TransformError> {
+    let callee_idx = unit_index(program, callee)?;
+    let caller_idx = unit_index(program, caller)?;
+    // Inspect the callee: body must be [Do, Return?].
+    let (loop_var, lo, hi, step, loop_body) = {
+        let u = &program.units[callee_idx];
+        let significant: Vec<&Stmt> = u
+            .body
+            .iter()
+            .filter(|s| !matches!(s.kind, StmtKind::Return | StmtKind::Continue))
+            .collect();
+        let [only] = significant.as_slice() else {
+            return Err(TransformError::NotApplicable(
+                "callee body is not a single outer loop".into(),
+            ));
+        };
+        let StmtKind::Do { var, lo, hi, step, body, .. } = &only.kind else {
+            return Err(TransformError::NotApplicable(
+                "callee body is not a single outer loop".into(),
+            ));
+        };
+        (var.clone(), lo.clone(), hi.clone(), step.clone(), body.clone())
+    };
+    // Bounds must be formals-or-constants so the caller can evaluate them.
+    let formals: Vec<String> = program.units[callee_idx].params.clone();
+    for b in [&lo, &hi] {
+        for n in b.variables() {
+            if !formals.iter().any(|f| f == n) {
+                return Err(TransformError::NotApplicable(format!(
+                    "loop bound references {n}, which is not a formal parameter"
+                )));
+            }
+        }
+    }
+    // Find the call site and its arguments.
+    let args = {
+        let u = &program.units[caller_idx];
+        let s = find_stmt(&u.body, call_stmt)
+            .ok_or_else(|| TransformError::NotApplicable("call statement not found".into()))?;
+        let StmtKind::Call { name, args } = &s.kind else {
+            return Err(TransformError::NotApplicable("statement is not a CALL".into()));
+        };
+        if !name.eq_ignore_ascii_case(callee) {
+            return Err(TransformError::NotApplicable(format!(
+                "statement calls {name}, not {callee}"
+            )));
+        }
+        if args.len() != formals.len() {
+            return Err(TransformError::NotApplicable("argument count mismatch".into()));
+        }
+        args.clone()
+    };
+    // Create the extracted unit: same decls/params + loop index formal.
+    let new_name = format!("{}X", program.units[callee_idx].name.to_ascii_uppercase());
+    let mut new_unit = program.units[callee_idx].clone();
+    new_unit.name = new_name.clone();
+    new_unit.params.push(loop_var.clone());
+    // Declare the index as INTEGER.
+    new_unit.decls.push(Decl::Typed {
+        ty: Type::Integer,
+        entities: vec![Declared { name: loop_var.clone(), dims: Vec::new() }],
+    });
+    let mut new_body = clone_with_fresh_ids(&loop_body, program);
+    new_body.retain(|s| !(matches!(s.kind, StmtKind::Continue) && s.label.is_some()));
+    let ret = Stmt::new(program.fresh_stmt(), StmtKind::Return);
+    new_body.push(ret);
+    new_unit.body = new_body;
+    program.units.push(new_unit);
+    // Rewrite the call site: bounds with formals substituted by actuals.
+    let subst_bound = |b: &Expr| -> Expr {
+        let mut out = b.clone();
+        for (f, a) in formals.iter().zip(&args) {
+            out = subst_expr(&out, f, a);
+        }
+        out
+    };
+    let (lo_c, hi_c) = (subst_bound(&lo), subst_bound(&hi));
+    let mut new_args = args.clone();
+    new_args.push(Expr::var(loop_var.clone()));
+    let call_id = program.fresh_stmt();
+    let do_id = program.fresh_stmt();
+    let new_call = Stmt::new(call_id, StmtKind::Call { name: new_name.clone(), args: new_args });
+    let wrapper = Stmt::new(
+        do_id,
+        StmtKind::Do {
+            var: loop_var,
+            lo: lo_c,
+            hi: hi_c,
+            step,
+            body: vec![new_call],
+            term_label: None,
+            sched: LoopSched::Sequential,
+        },
+    );
+    with_containing_block(&mut program.units[caller_idx].body, call_stmt, |block, i| {
+        block[i] = wrapper;
+    })
+    .ok_or_else(|| TransformError::Internal("call site vanished".into()))?;
+    Ok(Applied::note(format!("extracted loop from {callee} into {caller} (new unit {new_name})")))
+}
+
+/// Embed the caller loop `loop_stmt` (whose body is a single CALL with
+/// loop-invariant arguments) into the callee: a new unit `<callee>E`
+/// contains the loop around the original body; the loop is replaced by a
+/// single call passing the bounds.
+pub fn embed_loop(
+    program: &mut Program,
+    caller: &str,
+    loop_stmt: StmtId,
+) -> Result<Applied, TransformError> {
+    let caller_idx = unit_index(program, caller)?;
+    // The loop body must be a single CALL (plus CONTINUEs).
+    let (var, lo, hi, callee_name, args) = {
+        let u = &program.units[caller_idx];
+        let s = find_stmt(&u.body, loop_stmt)
+            .ok_or_else(|| TransformError::NotApplicable("loop not found".into()))?;
+        let StmtKind::Do { var, lo, hi, step, body, .. } = &s.kind else {
+            return Err(TransformError::NotApplicable("statement is not a DO".into()));
+        };
+        if step.is_some() {
+            return Err(TransformError::NotApplicable("embedding requires unit step".into()));
+        }
+        let significant: Vec<&Stmt> =
+            body.iter().filter(|st| !matches!(st.kind, StmtKind::Continue)).collect();
+        let [only] = significant.as_slice() else {
+            return Err(TransformError::NotApplicable(
+                "loop body is not a single CALL".into(),
+            ));
+        };
+        let StmtKind::Call { name, args } = &only.kind else {
+            return Err(TransformError::NotApplicable("loop body is not a single CALL".into()));
+        };
+        // Arguments must be loop-invariant or exactly the loop index.
+        for a in args {
+            let vars = a.variables();
+            if vars.contains(&var.as_str()) && *a != Expr::Var(var.clone()) {
+                return Err(TransformError::NotApplicable(format!(
+                    "argument {} mixes the loop index with other terms",
+                    ped_fortran::pretty::print_expr(a)
+                )));
+            }
+        }
+        (var.clone(), lo.clone(), hi.clone(), name.clone(), args.clone())
+    };
+    let callee_idx = unit_index(program, &callee_name)?;
+    // New callee: formals minus the index-bound ones, plus LO/HI bounds.
+    let new_name = format!("{}E", callee_name.to_ascii_uppercase());
+    let mut new_unit = program.units[callee_idx].clone();
+    new_unit.name = new_name.clone();
+    // Which formal receives the loop index?
+    let index_formals: Vec<usize> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| **a == Expr::Var(var.clone()))
+        .map(|(i, _)| i)
+        .collect();
+    let lo_formal = fresh_name(&new_unit, "LB");
+    let hi_formal = fresh_name(&new_unit, "UB");
+    new_unit.params.push(lo_formal.clone());
+    new_unit.params.push(hi_formal.clone());
+    new_unit.decls.push(Decl::Typed {
+        ty: Type::Integer,
+        entities: vec![
+            Declared { name: lo_formal.clone(), dims: Vec::new() },
+            Declared { name: hi_formal.clone(), dims: Vec::new() },
+        ],
+    });
+    // Wrap the old body in the loop over the first index formal (or a
+    // fresh variable when the index is not passed).
+    let loop_var_in_callee = match index_formals.first() {
+        Some(&pos) => new_unit.params[pos].clone(),
+        None => fresh_name(&new_unit, "IE"),
+    };
+    let mut inner = std::mem::take(&mut new_unit.body);
+    // Strip trailing RETURNs (they would exit after one iteration).
+    while matches!(inner.last().map(|s| &s.kind), Some(StmtKind::Return)) {
+        inner.pop();
+    }
+    let inner = clone_with_fresh_ids(&inner, program);
+    let do_id = program.fresh_stmt();
+    let ret_id = program.fresh_stmt();
+    new_unit.body = vec![
+        Stmt::new(
+            do_id,
+            StmtKind::Do {
+                var: loop_var_in_callee,
+                lo: Expr::var(lo_formal),
+                hi: Expr::var(hi_formal),
+                step: None,
+                body: inner,
+                term_label: None,
+                sched: LoopSched::Sequential,
+            },
+        ),
+        Stmt::new(ret_id, StmtKind::Return),
+    ];
+    program.units.push(new_unit);
+    // Replace the caller loop with a single call.
+    let mut new_args = args;
+    new_args.push(lo);
+    new_args.push(hi);
+    let call_id = program.fresh_stmt();
+    let call = Stmt::new(call_id, StmtKind::Call { name: new_name.clone(), args: new_args });
+    with_containing_block(&mut program.units[caller_idx].body, loop_stmt, |block, i| {
+        block[i] = call;
+    })
+    .ok_or_else(|| TransformError::Internal("loop vanished".into()))?;
+    let _ = var;
+    Ok(Applied::note(format!("embedded caller loop into new unit {new_name}")))
+}
+
+fn unit_index(program: &Program, name: &str) -> Result<usize, TransformError> {
+    program
+        .units
+        .iter()
+        .position(|u| u.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| TransformError::NotApplicable(format!("unknown unit {name}")))
+}
+
+fn fresh_name(unit: &ProcUnit, base: &str) -> String {
+    let symbols = ped_fortran::symbols::SymbolTable::build(unit);
+    if symbols.get(base).is_none() && !unit.params.iter().any(|p| p == base) {
+        return base.to_string();
+    }
+    for i in 2..100 {
+        let cand = format!("{base}{i}");
+        if symbols.get(&cand).is_none() {
+            return cand;
+        }
+    }
+    format!("{base}99")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parser::parse_ok;
+    use ped_fortran::pretty::print_program;
+
+    /// The spec77 gloop shape: an outer loop with few iterations calling
+    /// a procedure whose own outer loop has many.
+    const SPEC77: &str = "      PROGRAM MAIN\n      REAL U(100, 12)\n      DO 10 L = 1, 12\n      CALL SWEEP(U, L, 100)\n   10 CONTINUE\n      END\n      SUBROUTINE SWEEP(U, L, N)\n      REAL U(100, 12)\n      INTEGER L, N\n      DO 20 J = 1, N\n      U(J, L) = U(J, L) + 1.0\n   20 CONTINUE\n      RETURN\n      END\n";
+
+    #[test]
+    fn extraction_moves_callee_loop_to_caller() {
+        let mut p = parse_ok(SPEC77);
+        let call = {
+            let nest = ped_analysis::loops::LoopNest::build(&p.units[0]);
+            let info = &nest.loops[0];
+            let s = find_stmt(&p.units[0].body, info.stmt).unwrap();
+            let StmtKind::Do { body, .. } = &s.kind else { panic!() };
+            body.iter()
+                .find(|st| matches!(st.kind, StmtKind::Call { .. }))
+                .unwrap()
+                .id
+        };
+        extract_loop(&mut p, "MAIN", call, "SWEEP").unwrap();
+        let txt = print_program(&p);
+        // The caller now has a J loop around the call to SWEEPX.
+        assert!(txt.contains("DO J = 1, 100"), "{txt}");
+        assert!(txt.contains("CALL SWEEPX(U, L, 100, J)"), "{txt}");
+        // The new unit exists and has no outer loop.
+        assert!(p.unit("SWEEPX").is_some());
+        let sx = p.unit("SWEEPX").unwrap();
+        assert_eq!(sx.params, ["U", "L", "N", "J"]);
+        assert!(!sx.body.iter().any(|s| matches!(s.kind, StmtKind::Do { .. })));
+        // Now the caller's loops can be interchanged: the J loop and the
+        // L loop are in the same unit.
+        let nest = ped_analysis::loops::LoopNest::build(&p.units[0]);
+        assert_eq!(nest.len(), 2);
+    }
+
+    #[test]
+    fn extraction_requires_single_loop_body() {
+        let src = "      PROGRAM MAIN\n      CALL TWO(X)\n      END\n      SUBROUTINE TWO(X)\n      X = 1.0\n      Y = 2.0\n      RETURN\n      END\n";
+        let mut p = parse_ok(src);
+        let call = p.units[0].body[0].id;
+        assert!(extract_loop(&mut p, "MAIN", call, "TWO").is_err());
+    }
+
+    #[test]
+    fn extraction_requires_callable_bounds() {
+        // Bound N is a COMMON variable of the callee, not a formal.
+        let src = "      PROGRAM MAIN\n      CALL S(X)\n      END\n      SUBROUTINE S(X)\n      COMMON /C/ N\n      REAL X(100)\n      DO 10 J = 1, N\n      X(J) = 0.0\n   10 CONTINUE\n      RETURN\n      END\n";
+        let mut p = parse_ok(src);
+        let call = p.units[0].body[0].id;
+        assert!(extract_loop(&mut p, "MAIN", call, "S").is_err());
+    }
+
+    #[test]
+    fn embedding_moves_caller_loop_into_callee() {
+        let mut p = parse_ok(SPEC77);
+        let loop_stmt = {
+            let nest = ped_analysis::loops::LoopNest::build(&p.units[0]);
+            nest.loops[0].stmt
+        };
+        embed_loop(&mut p, "MAIN", loop_stmt).unwrap();
+        let txt = print_program(&p);
+        // Caller now calls SWEEPE once with the bounds appended.
+        assert!(txt.contains("CALL SWEEPE(U, L, 100, 1, 12)"), "{txt}");
+        // The new unit wraps the old body in DO L = LB, UB.
+        let se = p.unit("SWEEPE").unwrap();
+        assert_eq!(se.params, ["U", "L", "N", "LB", "UB"]);
+        let nest = ped_analysis::loops::LoopNest::build(se);
+        assert_eq!(nest.roots.len(), 1);
+        assert_eq!(nest.get(nest.roots[0]).var, "L");
+        // The L loop now encloses the J loop inside one unit.
+        assert_eq!(nest.len(), 2);
+    }
+
+    #[test]
+    fn embedding_requires_single_call_body() {
+        let src = "      PROGRAM MAIN\n      DO 10 I = 1, N\n      CALL S(I)\n      X = 1.0\n   10 CONTINUE\n      END\n      SUBROUTINE S(I)\n      RETURN\n      END\n";
+        let mut p = parse_ok(src);
+        let nest = ped_analysis::loops::LoopNest::build(&p.units[0]);
+        assert!(embed_loop(&mut p, "MAIN", nest.loops[0].stmt).is_err());
+    }
+
+    #[test]
+    fn embedding_rejects_mixed_index_arguments() {
+        let src = "      PROGRAM MAIN\n      DO 10 I = 1, N\n      CALL S(I + 1)\n   10 CONTINUE\n      END\n      SUBROUTINE S(K)\n      RETURN\n      END\n";
+        let mut p = parse_ok(src);
+        let nest = ped_analysis::loops::LoopNest::build(&p.units[0]);
+        assert!(embed_loop(&mut p, "MAIN", nest.loops[0].stmt).is_err());
+    }
+
+    #[test]
+    fn extraction_then_interchange_reaches_spec77_goal() {
+        // Full §5.3 pipeline: extract, then interchange in the caller so
+        // the many-iteration J loop is outermost.
+        let mut p = parse_ok(SPEC77);
+        let call = {
+            let nest = ped_analysis::loops::LoopNest::build(&p.units[0]);
+            let s = find_stmt(&p.units[0].body, nest.loops[0].stmt).unwrap();
+            let StmtKind::Do { body, .. } = &s.kind else { panic!() };
+            body.iter().find(|st| matches!(st.kind, StmtKind::Call { .. })).unwrap().id
+        };
+        extract_loop(&mut p, "MAIN", call, "SWEEP").unwrap();
+        // MOD/REF summary for the new unit: only U (pos 0) is modified;
+        // without it every call argument is conservatively a write and
+        // the scalar L/J arguments would block interchange — exactly the
+        // imprecision interprocedural analysis removes (§4.2).
+        let mut fx = ped_analysis::defuse::EffectsMap::new();
+        fx.insert(
+            "SWEEPX".into(),
+            ped_analysis::defuse::ProcEffects {
+                mod_params: vec![0],
+                ref_params: vec![0, 1, 2, 3],
+                ..Default::default()
+            },
+        );
+        let mut ua = crate::ctx::UnitAnalysis::build(
+            &p.units[0],
+            ped_analysis::symbolic::SymbolicEnv::new(),
+            Some(&fx),
+        );
+        let outer = ua.nest.roots[0];
+        // The whole-array U argument still produces pending assumed
+        // dependences (the call is opaque at element granularity). The
+        // user knows SWEEPX(..., L, ..., J) touches only U(J, L) — each
+        // call writes a distinct element — and rejects them, the §3.1
+        // dependence-deletion workflow.
+        let pending: Vec<_> = ua
+            .graph
+            .deps
+            .iter()
+            .filter(|d| d.var == "U" && !d.exact)
+            .map(|d| d.id)
+            .collect();
+        assert!(!pending.is_empty());
+        for id in pending {
+            ua.marking
+                .set(
+                    id,
+                    ped_dependence::Mark::Rejected,
+                    Some("SWEEPX writes only U(J, L); iterations are disjoint".into()),
+                )
+                .unwrap();
+        }
+        crate::reorder::interchange(&mut p, 0, &ua, outer).unwrap();
+        let txt = print_program(&p);
+        let j = txt.find("DO 10 J = 1, 100").or(txt.find("DO J = 1, 100")).unwrap();
+        let l = txt.find("DO L = 1, 12").or(txt.find("DO 10 L = 1, 12")).unwrap();
+        assert!(j < l, "J loop should now be outermost:\n{txt}");
+    }
+}

@@ -1,0 +1,27 @@
+//! # ped-transform — source-to-source transformations for PED
+//!
+//! The Figure-2 transformation taxonomy under the power-steering
+//! paradigm (§5.1): each transformation reports whether it is
+//! *applicable*, *safe* and *profitable* before mutating the AST, and
+//! dependence information can be updated incrementally afterwards. The
+//! paper-requested additions — control-flow structuring, reduction
+//! restructuring and interprocedural loop embedding/extraction (§4.3,
+//! §5.3) — are included and marked as such in the catalog.
+
+pub mod advice;
+pub mod breaking;
+pub mod catalog;
+pub mod ctx;
+pub mod induction;
+pub mod interproc;
+pub mod memory;
+pub mod parallelize;
+pub mod reorder;
+pub mod structure;
+pub mod update;
+pub mod util;
+
+pub use advice::{Advice, Applied, Profit, Safety, TransformError};
+pub use catalog::{catalog, render_taxonomy, Category};
+pub use ctx::UnitAnalysis;
+pub use parallelize::{analyze_parallelization, parallelize, ParallelizationReport};

@@ -1,0 +1,456 @@
+//! Memory-optimizing transformations: strip mining, loop unrolling,
+//! scalar replacement, unroll-and-jam (Figure 2, "Memory Optimizing").
+
+use crate::advice::{Advice, Applied, Profit, Safety, TransformError};
+use crate::ctx::UnitAnalysis;
+use crate::util::*;
+use ped_analysis::loops::LoopId;
+use ped_fortran::ast::*;
+
+// ---------------------------------------------------------------------
+// Strip mining
+// ---------------------------------------------------------------------
+
+/// Strip-mine loop `l` with strip size `b`: `DO v = lo, hi` becomes
+/// `DO vS = lo, hi, b / DO v = vS, MIN(vS+b-1, hi)`. Always safe (the
+/// iteration order is unchanged).
+pub fn strip_mine(
+    program: &mut Program,
+    unit_idx: usize,
+    ua: &UnitAnalysis,
+    l: LoopId,
+    b: i64,
+) -> Result<Applied, TransformError> {
+    if b < 2 {
+        return Err(TransformError::NotApplicable("strip size must be at least 2".into()));
+    }
+    let info = ua.nest.get(l);
+    if info.step.is_some() {
+        return Err(TransformError::NotApplicable("strip mining requires unit step".into()));
+    }
+    let target = info.stmt;
+    let strip_var = format!("{}S", info.var);
+    let inner_id = program.fresh_stmt();
+    with_do_mut(&mut program.units[unit_idx].body, target, |s| {
+        let StmtKind::Do { var, lo, hi, step, body, term_label, sched } = &mut s.kind else {
+            return;
+        };
+        let inner_body = std::mem::take(body);
+        let inner = Stmt::new(
+            inner_id,
+            StmtKind::Do {
+                var: var.clone(),
+                lo: Expr::var(strip_var.clone()),
+                hi: Expr::Call {
+                    name: "MIN".into(),
+                    args: vec![
+                        Expr::add(Expr::var(strip_var.clone()), Expr::Int(b - 1)),
+                        hi.clone(),
+                    ],
+                },
+                step: None,
+                body: inner_body,
+                term_label: None,
+                sched: *sched,
+            },
+        );
+        *var = strip_var.clone();
+        let _ = lo; // outer keeps lo
+        *step = Some(Expr::Int(b));
+        *term_label = None;
+        *sched = LoopSched::Sequential;
+        *body = vec![inner];
+    });
+    Ok(Applied::note(format!("strip mined with strip size {b}")))
+}
+
+// ---------------------------------------------------------------------
+// Loop unrolling
+// ---------------------------------------------------------------------
+
+/// Advice for unrolling: always safe; profitable for small hot bodies.
+pub fn unroll_advice(ua: &UnitAnalysis, l: LoopId, factor: u32) -> Advice {
+    if factor < 2 {
+        return Advice::not_applicable("unroll factor must be at least 2");
+    }
+    if ua.nest.get(l).step.is_some() {
+        return Advice::not_applicable("unrolling requires unit step");
+    }
+    Advice::safe(Profit::Yes("reduces loop overhead and exposes scheduling".into()))
+}
+
+/// Unroll loop `l` by `factor`: the body is replicated with `v`,
+/// `v+1`, …, `v+factor−1`; a remainder loop covers the tail.
+pub fn unroll(
+    program: &mut Program,
+    unit_idx: usize,
+    ua: &UnitAnalysis,
+    l: LoopId,
+    factor: u32,
+) -> Result<Applied, TransformError> {
+    let advice = unroll_advice(ua, l, factor);
+    if !advice.applicable {
+        return Err(TransformError::NotApplicable(advice.why_not.unwrap_or_default()));
+    }
+    let info = ua.nest.get(l);
+    let target = info.stmt;
+    let (var, lo, hi, body) = {
+        let s = find_stmt(&program.units[unit_idx].body, target)
+            .ok_or_else(|| TransformError::Internal("loop vanished".into()))?;
+        let StmtKind::Do { var, lo, hi, body, .. } = &s.kind else {
+            return Err(TransformError::Internal("not a DO".into()));
+        };
+        (var.clone(), lo.clone(), hi.clone(), body.clone())
+    };
+    let k = factor as i64;
+    // Unrolled body: k copies with v, v+1, ..., v+k-1.
+    let mut unrolled: Vec<Stmt> = Vec::new();
+    for j in 0..k {
+        let mut copy = clone_with_fresh_ids(&body, program);
+        copy.retain(|s| !matches!(s.kind, StmtKind::Continue));
+        if j > 0 {
+            let rep = Expr::add(Expr::var(var.clone()), Expr::Int(j));
+            subst_var(&mut copy, &var, &rep);
+        }
+        unrolled.extend(copy);
+    }
+    // Remainder loop: DO v = vU, hi (original body).
+    let rem_var_start = format!("{var}U");
+    let mut remainder_body = clone_with_fresh_ids(&body, program);
+    remainder_body.retain(|s| !matches!(s.kind, StmtKind::Continue));
+    let rem_id = program.fresh_stmt();
+    let remainder = Stmt::new(
+        rem_id,
+        StmtKind::Do {
+            var: var.clone(),
+            lo: Expr::var(rem_var_start.clone()),
+            hi: hi.clone(),
+            step: None,
+            body: remainder_body,
+            term_label: None,
+            sched: LoopSched::Sequential,
+        },
+    );
+    // vU = lo  (advanced by the main loop's step)
+    // Main loop: DO v = lo, hi-k+1, k { unrolled; vU = v + k }.
+    let init_id = program.fresh_stmt();
+    let update_id = program.fresh_stmt();
+    let init = Stmt::new(
+        init_id,
+        StmtKind::Assign { lhs: LValue::Var(rem_var_start.clone()), rhs: lo.clone() },
+    );
+    let update = Stmt::new(
+        update_id,
+        StmtKind::Assign {
+            lhs: LValue::Var(rem_var_start.clone()),
+            rhs: Expr::add(Expr::var(var.clone()), Expr::Int(k)),
+        },
+    );
+    unrolled.push(update);
+    with_do_mut(&mut program.units[unit_idx].body, target, |s| {
+        if let StmtKind::Do { hi, step, body, term_label, .. } = &mut s.kind {
+            *hi = Expr::sub(hi.clone(), Expr::Int(k - 1));
+            *step = Some(Expr::Int(k));
+            *term_label = None;
+            *body = unrolled;
+        }
+    });
+    with_containing_block(&mut program.units[unit_idx].body, target, |block, i| {
+        block.insert(i, init);
+        block.insert(i + 2, remainder);
+    });
+    Ok(Applied::note(format!("unrolled by factor {factor} with remainder loop")))
+}
+
+// ---------------------------------------------------------------------
+// Scalar replacement
+// ---------------------------------------------------------------------
+
+/// Replace repeated reads of an identical array element inside the loop
+/// body with a scalar temporary loaded once per iteration. Applicable
+/// when the array is never written in the loop (the conservative,
+/// always-safe case).
+pub fn scalar_replacement(
+    program: &mut Program,
+    unit_idx: usize,
+    ua: &UnitAnalysis,
+    l: LoopId,
+    array: &str,
+) -> Result<Applied, TransformError> {
+    if !ua.symbols.is_array(array) {
+        return Err(TransformError::NotApplicable(format!("{array} is not an array")));
+    }
+    let info = ua.nest.get(l);
+    let body_ids: std::collections::HashSet<StmtId> = info.body.iter().copied().collect();
+    // The array must not be written in the loop.
+    if ua
+        .refs
+        .refs
+        .iter()
+        .any(|r| r.is_def && r.name == array && body_ids.contains(&r.stmt))
+    {
+        return Err(TransformError::Unsafe(format!("{array} is written in the loop")));
+    }
+    // Find a repeated identical subscript among reads.
+    let mut counts: std::collections::HashMap<String, (Vec<Expr>, usize)> =
+        std::collections::HashMap::new();
+    for r in &ua.refs.refs {
+        if !r.is_def && r.name == array && body_ids.contains(&r.stmt) && !r.subs.is_empty() {
+            let key = r
+                .subs
+                .iter()
+                .map(ped_fortran::pretty::print_expr)
+                .collect::<Vec<_>>()
+                .join(",");
+            let e = counts.entry(key).or_insert((r.subs.clone(), 0));
+            e.1 += 1;
+        }
+    }
+    let Some((subs, n)) = counts.into_values().filter(|(_, n)| *n >= 2).max_by_key(|(_, n)| *n)
+    else {
+        return Err(TransformError::NotApplicable(format!(
+            "no repeated reads of {array} with identical subscripts"
+        )));
+    };
+    let temp = format!("{array}T");
+    let target = info.stmt;
+    let load_id = program.fresh_stmt();
+    with_do_mut(&mut program.units[unit_idx].body, target, |s| {
+        if let StmtKind::Do { body, .. } = &mut s.kind {
+            // Replace reads of array(subs) with temp.
+            replace_elem_reads(body, array, &subs, &temp);
+            // Load at the top of the body.
+            let load = Stmt::new(
+                load_id,
+                StmtKind::Assign {
+                    lhs: LValue::Var(temp.clone()),
+                    rhs: Expr::idx(array.to_string(), subs.clone()),
+                },
+            );
+            body.insert(0, load);
+        }
+    });
+    Ok(Applied::note(format!("replaced {n} reads with scalar {temp}")))
+}
+
+fn replace_elem_reads(stmts: &mut [Stmt], array: &str, subs: &[Expr], temp: &str) {
+    walk_stmts_mut(stmts, &mut |s| {
+        if let StmtKind::Assign { rhs, lhs } = &mut s.kind {
+            *rhs = replace_in_expr(rhs, array, subs, temp);
+            if let LValue::Elem { subs: lsubs, .. } = lhs {
+                for e in lsubs.iter_mut() {
+                    *e = replace_in_expr(e, array, subs, temp);
+                }
+            }
+        } else if let StmtKind::If { arms, .. } = &mut s.kind {
+            for (c, _) in arms.iter_mut() {
+                *c = replace_in_expr(c, array, subs, temp);
+            }
+        } else if let StmtKind::LogicalIf { cond, .. } = &mut s.kind {
+            *cond = replace_in_expr(cond, array, subs, temp);
+        } else if let StmtKind::Write { items } = &mut s.kind {
+            for e in items.iter_mut() {
+                *e = replace_in_expr(e, array, subs, temp);
+            }
+        }
+    });
+}
+
+fn replace_in_expr(e: &Expr, array: &str, subs: &[Expr], temp: &str) -> Expr {
+    match e {
+        Expr::Index { name, subs: esubs } if name == array && esubs.as_slice() == subs => {
+            Expr::var(temp)
+        }
+        Expr::Index { name, subs: esubs } => Expr::Index {
+            name: name.clone(),
+            subs: esubs.iter().map(|x| replace_in_expr(x, array, subs, temp)).collect(),
+        },
+        Expr::Call { name, args } => Expr::Call {
+            name: name.clone(),
+            args: args.iter().map(|x| replace_in_expr(x, array, subs, temp)).collect(),
+        },
+        Expr::Bin { op, l, r } => Expr::Bin {
+            op: *op,
+            l: Box::new(replace_in_expr(l, array, subs, temp)),
+            r: Box::new(replace_in_expr(r, array, subs, temp)),
+        },
+        Expr::Un { op, e } => {
+            Expr::Un { op: *op, e: Box::new(replace_in_expr(e, array, subs, temp)) }
+        }
+        _ => e.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Unroll and jam
+// ---------------------------------------------------------------------
+
+/// Advice for unroll-and-jam of a perfect nest: requires interchange
+/// legality (jamming reorders outer iterations against inner ones).
+pub fn unroll_and_jam_advice(unit: &ProcUnit, ua: &UnitAnalysis, outer: LoopId) -> Advice {
+    let base = crate::reorder::interchange_advice(unit, ua, outer);
+    if !base.applicable {
+        return base;
+    }
+    if let Safety::Unsafe(r) = &base.safety {
+        return Advice::unsafe_because(format!("jamming is illegal: {r}"));
+    }
+    Advice::safe(Profit::Yes("improves register reuse across outer iterations".into()))
+}
+
+/// Unroll the outer loop of a perfect nest by `factor` and jam the copies
+/// into the inner loop body.
+pub fn unroll_and_jam(
+    program: &mut Program,
+    unit_idx: usize,
+    ua: &UnitAnalysis,
+    outer: LoopId,
+    factor: u32,
+) -> Result<Applied, TransformError> {
+    let advice = unroll_and_jam_advice(&program.units[unit_idx], ua, outer);
+    if !advice.applicable {
+        return Err(TransformError::NotApplicable(advice.why_not.unwrap_or_default()));
+    }
+    if let Safety::Unsafe(r) = advice.safety {
+        return Err(TransformError::Unsafe(r));
+    }
+    if factor < 2 {
+        return Err(TransformError::NotApplicable("factor must be at least 2".into()));
+    }
+    let k = factor as i64;
+    let outer_info = ua.nest.get(outer);
+    let outer_var = outer_info.var.clone();
+    let target = outer_info.stmt;
+    // Inner body clones with outer var offsets, jammed.
+    let inner_stmt = ua
+        .nest
+        .perfect_inner(&program.units[unit_idx], outer)
+        .ok_or_else(|| TransformError::NotApplicable("not a perfect nest".into()))?
+        .stmt;
+    let inner_body = {
+        let s = find_stmt(&program.units[unit_idx].body, inner_stmt).unwrap();
+        let StmtKind::Do { body, .. } = &s.kind else {
+            return Err(TransformError::Internal("inner not a DO".into()));
+        };
+        body.clone()
+    };
+    let mut jammed: Vec<Stmt> = Vec::new();
+    for j in 0..k {
+        let mut copy = clone_with_fresh_ids(&inner_body, program);
+        copy.retain(|s| !matches!(s.kind, StmtKind::Continue));
+        if j > 0 {
+            let rep = Expr::add(Expr::var(outer_var.clone()), Expr::Int(j));
+            subst_var(&mut copy, &outer_var, &rep);
+        }
+        jammed.extend(copy);
+    }
+    with_do_mut(&mut program.units[unit_idx].body, inner_stmt, |s| {
+        if let StmtKind::Do { body, term_label, .. } = &mut s.kind {
+            *body = jammed;
+            *term_label = None;
+        }
+    });
+    with_do_mut(&mut program.units[unit_idx].body, target, |s| {
+        if let StmtKind::Do { hi, step, term_label, .. } = &mut s.kind {
+            *hi = Expr::sub(hi.clone(), Expr::Int(k - 1));
+            *step = Some(Expr::Int(k));
+            *term_label = None;
+        }
+    });
+    Ok(Applied::note(format!("unroll-and-jam by factor {factor} (bounds must divide evenly)")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_analysis::symbolic::SymbolicEnv;
+    use ped_fortran::parser::parse_ok;
+    use ped_fortran::pretty::print_program;
+
+    fn setup(src: &str) -> (Program, UnitAnalysis) {
+        let p = parse_ok(src);
+        let ua = UnitAnalysis::build(&p.units[0], SymbolicEnv::new(), None);
+        (p, ua)
+    }
+
+    #[test]
+    fn strip_mining_produces_two_level_nest() {
+        let src = "      REAL A(100)\n      DO 10 I = 1, N\n      A(I) = 0.0\n   10 CONTINUE\n      END\n";
+        let (mut p, ua) = setup(src);
+        strip_mine(&mut p, 0, &ua, ua.nest.roots[0], 16).unwrap();
+        let txt = print_program(&p);
+        assert!(txt.contains("DO 10 IS = 1, N, 16") || txt.contains("DO IS = 1, N, 16"), "{txt}");
+        assert!(txt.contains("DO I = IS, MIN(IS + 15, N)"), "{txt}");
+        let nest = ped_analysis::loops::LoopNest::build(&p.units[0]);
+        assert_eq!(nest.len(), 2);
+        assert_eq!(nest.get(nest.roots[0]).children.len(), 1);
+    }
+
+    #[test]
+    fn unroll_replicates_body_and_keeps_remainder() {
+        let src = "      REAL A(100), B(100)\n      DO 10 I = 1, N\n      A(I) = B(I)\n   10 CONTINUE\n      END\n";
+        let (mut p, ua) = setup(src);
+        unroll(&mut p, 0, &ua, ua.nest.roots[0], 4).unwrap();
+        let txt = print_program(&p);
+        assert!(txt.contains("A(I) = B(I)"), "{txt}");
+        assert!(txt.contains("A(I + 1) = B(I + 1)"), "{txt}");
+        assert!(txt.contains("A(I + 3) = B(I + 3)"), "{txt}");
+        // Remainder loop from IU.
+        assert!(txt.contains("IU = "), "{txt}");
+        assert!(txt.contains("DO I = IU, N"), "{txt}");
+    }
+
+    #[test]
+    fn unroll_factor_one_rejected() {
+        let src = "      REAL A(100)\n      DO 10 I = 1, N\n      A(I) = 0.0\n   10 CONTINUE\n      END\n";
+        let (mut p, ua) = setup(src);
+        assert!(unroll(&mut p, 0, &ua, ua.nest.roots[0], 1).is_err());
+    }
+
+    #[test]
+    fn scalar_replacement_hoists_repeated_read() {
+        let src = "      REAL A(100), B(100), C(100)\n      DO 10 I = 1, N\n      B(I) = A(I) + 1.0\n      C(I) = A(I) * 2.0\n   10 CONTINUE\n      END\n";
+        // A(I) varies per iteration: replaced by a temp loaded once per
+        // iteration.
+        let (mut p, ua) = setup(src);
+        scalar_replacement(&mut p, 0, &ua, ua.nest.roots[0], "A").unwrap();
+        let txt = print_program(&p);
+        assert!(txt.contains("AT = A(I)"), "{txt}");
+        assert!(txt.contains("B(I) = AT + 1.0"), "{txt}");
+        assert!(txt.contains("C(I) = AT * 2.0"), "{txt}");
+    }
+
+    #[test]
+    fn scalar_replacement_refuses_written_array() {
+        let src = "      REAL A(100), B(100)\n      DO 10 I = 1, N\n      A(I) = B(I)\n      B(I) = A(I)\n   10 CONTINUE\n      END\n";
+        let (mut p, ua) = setup(src);
+        assert!(scalar_replacement(&mut p, 0, &ua, ua.nest.roots[0], "A").is_err());
+    }
+
+    #[test]
+    fn scalar_replacement_needs_repetition() {
+        let src = "      REAL A(100), B(100)\n      DO 10 I = 1, N\n      B(I) = A(I)\n   10 CONTINUE\n      END\n";
+        let (mut p, ua) = setup(src);
+        assert!(scalar_replacement(&mut p, 0, &ua, ua.nest.roots[0], "A").is_err());
+    }
+
+    #[test]
+    fn unroll_and_jam_jams_copies() {
+        let src = "      REAL A(100,100), B(100,100)\n      DO 10 I = 1, N\n      DO 10 J = 1, M\n      A(I,J) = B(I,J)\n   10 CONTINUE\n      END\n";
+        let (mut p, ua) = setup(src);
+        unroll_and_jam(&mut p, 0, &ua, ua.nest.roots[0], 2).unwrap();
+        let txt = print_program(&p);
+        assert!(txt.contains("A(I, J) = B(I, J)"), "{txt}");
+        assert!(txt.contains("A(I + 1, J) = B(I + 1, J)"), "{txt}");
+        // Still a two-loop nest (jammed, not tripled).
+        let nest = ped_analysis::loops::LoopNest::build(&p.units[0]);
+        assert_eq!(nest.len(), 2);
+    }
+
+    #[test]
+    fn unroll_and_jam_requires_legal_interchange() {
+        let src = "      REAL A(100,100)\n      DO 10 I = 2, N\n      DO 10 J = 1, M - 1\n      A(I,J) = A(I-1,J+1)\n   10 CONTINUE\n      END\n";
+        let (mut p, ua) = setup(src);
+        assert!(unroll_and_jam(&mut p, 0, &ua, ua.nest.roots[0], 2).is_err());
+    }
+}

@@ -1,0 +1,375 @@
+//! Sequential ↔ parallel conversion, reduction-aware parallelization,
+//! statement addition/deletion, and loop-bounds adjusting (Figure 2,
+//! "Miscellaneous" plus the §4.3 reduction transformation).
+
+use crate::advice::{Advice, Applied, Profit, Safety, TransformError};
+use crate::ctx::UnitAnalysis;
+use crate::util::*;
+use ped_analysis::loops::LoopId;
+use ped_analysis::privatize::{analyze_loop as priv_analyze, PrivStatus};
+use ped_analysis::reductions::find_reductions;
+use ped_fortran::ast::*;
+use std::collections::HashSet;
+
+/// Why a loop cannot (yet) be parallelized — the "impediments" the users
+/// asked the system to present (§5.3).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Impediment {
+    pub var: String,
+    pub kind: String,
+    pub detail: String,
+}
+
+/// Parallelization analysis for a loop: which carried dependences block
+/// it, which are explained away by privatization or reductions.
+pub struct ParallelizationReport {
+    /// Remaining blocking dependences (variable, kind, reason).
+    pub impediments: Vec<Impediment>,
+    /// Scalars that privatization removes.
+    pub privatized: Vec<String>,
+    /// Arrays that array-kill privatization removes.
+    pub privatized_arrays: Vec<String>,
+    /// Reduction accumulators handled by reduction restructuring.
+    pub reductions: Vec<String>,
+}
+
+impl ParallelizationReport {
+    pub fn is_parallel(&self) -> bool {
+        self.impediments.is_empty()
+    }
+}
+
+/// Analyze whether loop `l` can run as a DOALL, accounting for
+/// privatizable scalars/arrays, recognized reductions, and user marks.
+pub fn analyze_parallelization(
+    unit: &ProcUnit,
+    ua: &UnitAnalysis,
+    l: LoopId,
+) -> ParallelizationReport {
+    let info = ua.nest.get(l);
+    let privs = priv_analyze(&ua.symbols, &ua.cfg, &ua.refs, &ua.defuse, info);
+    let akills = ped_analysis::array_kill::analyze_loop(unit, &ua.symbols, &ua.env, info);
+    let reds = find_reductions(unit, &ua.refs, info);
+    let red_stmts: HashSet<StmtId> = reds.iter().map(|r| r.stmt).collect();
+    let red_vars: Vec<String> = {
+        let mut v: Vec<String> = reds.iter().map(|r| r.var.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    let mut impediments = Vec::new();
+    let mut privatized: Vec<String> = Vec::new();
+    let mut privatized_arrays: Vec<String> = Vec::new();
+    for d in ua.active_inhibitors(l) {
+        // Scalar handled by privatization?
+        if !ua.symbols.is_array(&d.var) {
+            match privs.status(&d.var) {
+                Some(PrivStatus::Private) | Some(PrivStatus::PrivateNeedsLastValue) => {
+                    if !privatized.contains(&d.var) {
+                        privatized.push(d.var.clone());
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        } else {
+            // Array handled by kill-based privatization? Only fully
+            // Private arrays (local, dead after the loop) qualify — a
+            // last-value copy-out for arrays is not implemented, and
+            // COMMON/formal arrays escape the unit.
+            if akills.get(&d.var) == Some(&ped_analysis::array_kill::ArrayKillStatus::Private) {
+                if !privatized_arrays.contains(&d.var) {
+                    privatized_arrays.push(d.var.clone());
+                }
+                continue;
+            }
+        }
+        // Reduction accumulator: both endpoints inside reduction
+        // statements of that accumulator.
+        if red_vars.contains(&d.var)
+            && red_stmts.contains(&d.src_stmt)
+            && red_stmts.contains(&d.sink_stmt)
+        {
+            continue;
+        }
+        impediments.push(Impediment {
+            var: d.var.clone(),
+            kind: d.kind.to_string(),
+            detail: format!(
+                "{} dependence carried at level {} ({}; {})",
+                d.kind,
+                d.level.unwrap_or(0),
+                d.vector,
+                if d.exact { "proven" } else { "pending" }
+            ),
+        });
+    }
+    privatized.sort();
+    privatized_arrays.sort();
+    ParallelizationReport { impediments, privatized, privatized_arrays, reductions: red_vars }
+}
+
+/// Advice for converting loop `l` to parallel.
+pub fn parallelize_advice(unit: &ProcUnit, ua: &UnitAnalysis, l: LoopId) -> Advice {
+    let report = analyze_parallelization(unit, ua, l);
+    if report.is_parallel() {
+        Advice::safe(Profit::Yes("no remaining loop-carried dependences".into()))
+    } else {
+        let first = &report.impediments[0];
+        Advice::unsafe_because(format!(
+            "{} impediment(s); first: {} on {}",
+            report.impediments.len(),
+            first.kind,
+            first.var
+        ))
+    }
+}
+
+/// Convert loop `l` to a certified parallel (DOALL) loop.
+pub fn parallelize(
+    program: &mut Program,
+    unit_idx: usize,
+    ua: &UnitAnalysis,
+    l: LoopId,
+) -> Result<Applied, TransformError> {
+    let advice = parallelize_advice(&program.units[unit_idx], ua, l);
+    if let Safety::Unsafe(r) = advice.safety {
+        return Err(TransformError::Unsafe(r));
+    }
+    let target = ua.nest.get(l).stmt;
+    with_do_mut(&mut program.units[unit_idx].body, target, |s| {
+        if let StmtKind::Do { sched, .. } = &mut s.kind {
+            *sched = LoopSched::Parallel;
+        }
+    })
+    .ok_or_else(|| TransformError::Internal("loop not found".into()))?;
+    Ok(Applied::note("marked loop parallel (DOALL)"))
+}
+
+/// Convert a parallel loop back to sequential. Always safe.
+pub fn sequentialize(
+    program: &mut Program,
+    unit_idx: usize,
+    ua: &UnitAnalysis,
+    l: LoopId,
+) -> Result<Applied, TransformError> {
+    let target = ua.nest.get(l).stmt;
+    with_do_mut(&mut program.units[unit_idx].body, target, |s| {
+        if let StmtKind::Do { sched, .. } = &mut s.kind {
+            *sched = LoopSched::Sequential;
+        }
+    })
+    .ok_or_else(|| TransformError::Internal("loop not found".into()))?;
+    Ok(Applied::note("marked loop sequential"))
+}
+
+/// Add a statement after `anchor`. The added statement must not disturb
+/// existing dependences — only side-effect-free statements (CONTINUE,
+/// WRITE of existing values) are accepted without a safety proof.
+pub fn add_statement(
+    program: &mut Program,
+    unit_idx: usize,
+    anchor: StmtId,
+    kind: StmtKind,
+) -> Result<Applied, TransformError> {
+    match &kind {
+        StmtKind::Continue | StmtKind::Write { .. } => {}
+        _ => {
+            return Err(TransformError::Unsafe(
+                "only observation statements can be added without re-analysis".into(),
+            ))
+        }
+    }
+    let id = program.fresh_stmt();
+    let stmt = Stmt::new(id, kind);
+    with_containing_block(&mut program.units[unit_idx].body, anchor, |block, i| {
+        block.insert(i + 1, stmt);
+    })
+    .ok_or_else(|| TransformError::NotApplicable("anchor statement not found".into()))?;
+    Ok(Applied::note("added statement"))
+}
+
+/// Delete statement `target`. Safe only when no active dependence has it
+/// as a source (its values are never consumed).
+pub fn delete_statement(
+    program: &mut Program,
+    unit_idx: usize,
+    ua: &UnitAnalysis,
+    target: StmtId,
+) -> Result<Applied, TransformError> {
+    for d in &ua.graph.deps {
+        if ua.marking.is_active(d.id)
+            && d.src_stmt == target
+            && d.kind == ped_dependence::DepKind::True
+        {
+            return Err(TransformError::Unsafe(format!(
+                "statement defines {} consumed elsewhere",
+                d.var
+            )));
+        }
+    }
+    let removed = with_containing_block(&mut program.units[unit_idx].body, target, |block, i| {
+        block.remove(i);
+    });
+    if removed.is_none() {
+        return Err(TransformError::NotApplicable("statement not found".into()));
+    }
+    Ok(Applied::note("deleted statement"))
+}
+
+/// Adjust loop bounds (user-directed; the system cannot prove safety —
+/// the user takes responsibility, as with dependence rejection).
+pub fn adjust_bounds(
+    program: &mut Program,
+    unit_idx: usize,
+    ua: &UnitAnalysis,
+    l: LoopId,
+    new_lo: Option<Expr>,
+    new_hi: Option<Expr>,
+) -> Result<Applied, TransformError> {
+    let target = ua.nest.get(l).stmt;
+    with_do_mut(&mut program.units[unit_idx].body, target, |s| {
+        if let StmtKind::Do { lo, hi, .. } = &mut s.kind {
+            if let Some(nl) = new_lo {
+                *lo = nl;
+            }
+            if let Some(nh) = new_hi {
+                *hi = nh;
+            }
+        }
+    })
+    .ok_or_else(|| TransformError::Internal("loop not found".into()))?;
+    Ok(Applied::note("adjusted loop bounds (user-asserted safety)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_analysis::symbolic::SymbolicEnv;
+    use ped_fortran::parser::parse_ok;
+    use ped_fortran::pretty::print_program;
+
+    fn setup(src: &str) -> (Program, UnitAnalysis) {
+        let p = parse_ok(src);
+        let ua = UnitAnalysis::build(&p.units[0], SymbolicEnv::new(), None);
+        (p, ua)
+    }
+
+    #[test]
+    fn clean_loop_parallelizes() {
+        let src = "      REAL A(100), B(100)\n      DO 10 I = 1, N\n      A(I) = B(I)\n   10 CONTINUE\n      END\n";
+        let (mut p, ua) = setup(src);
+        let report = analyze_parallelization(&p.units[0], &ua, ua.nest.roots[0]);
+        assert!(report.is_parallel());
+        parallelize(&mut p, 0, &ua, ua.nest.roots[0]).unwrap();
+        assert!(print_program(&p).contains("CDOALL"));
+    }
+
+    #[test]
+    fn recurrence_blocks_parallelization() {
+        let src = "      REAL A(100)\n      DO 10 I = 2, N\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n";
+        let (mut p, ua) = setup(src);
+        let report = analyze_parallelization(&p.units[0], &ua, ua.nest.roots[0]);
+        assert!(!report.is_parallel());
+        assert_eq!(report.impediments[0].var, "A");
+        assert!(parallelize(&mut p, 0, &ua, ua.nest.roots[0]).is_err());
+    }
+
+    #[test]
+    fn privatizable_scalar_does_not_block() {
+        let src = "      REAL A(100), B(100)\n      DO 10 I = 1, N\n      T = A(I)\n      B(I) = T * T\n   10 CONTINUE\n      END\n";
+        let (p, ua) = setup(src);
+        let report = analyze_parallelization(&p.units[0], &ua, ua.nest.roots[0]);
+        assert!(report.is_parallel(), "{:?}", report.impediments);
+        assert_eq!(report.privatized, ["T"]);
+    }
+
+    #[test]
+    fn privatizable_array_does_not_block() {
+        let src = "      REAL T(100), A(100,100), B(100,100)\n      DO 10 I = 1, N\n      DO 20 J = 1, M\n      T(J) = A(I,J)\n   20 CONTINUE\n      DO 30 J = 1, M\n      B(I,J) = T(J)\n   30 CONTINUE\n   10 CONTINUE\n      END\n";
+        let (p, ua) = setup(src);
+        let report = analyze_parallelization(&p.units[0], &ua, ua.nest.roots[0]);
+        assert!(report.is_parallel(), "{:?}", report.impediments);
+        assert_eq!(report.privatized_arrays, ["T"]);
+    }
+
+    #[test]
+    fn reduction_does_not_block() {
+        let src = "      REAL A(100)\n      S = 0.0\n      DO 10 I = 1, N\n      S = S + A(I)\n   10 CONTINUE\n      WRITE (*,*) S\n      END\n";
+        let (p, ua) = setup(src);
+        let report = analyze_parallelization(&p.units[0], &ua, ua.nest.roots[0]);
+        assert!(report.is_parallel(), "{:?}", report.impediments);
+        assert_eq!(report.reductions, ["S"]);
+    }
+
+    #[test]
+    fn rejected_dependence_unblocks() {
+        // Not a reduction shape: the RHS reads a *different* element.
+        let src = "      INTEGER IX(100)\n      REAL A(100), B(100)\n      DO 10 I = 1, N\n      A(IX(I)) = B(I) + A(IX(I) + 1)\n   10 CONTINUE\n      END\n";
+        let (mut p, ua0) = setup(src);
+        let report = analyze_parallelization(&p.units[0], &ua0, ua0.nest.roots[0]);
+        assert!(!report.is_parallel());
+        // User rejects the pending index-array dependences.
+        let mut ua = ua0;
+        let pending: Vec<_> = ua
+            .graph
+            .deps
+            .iter()
+            .filter(|d| d.var == "A" && !d.exact)
+            .map(|d| d.id)
+            .collect();
+        for id in pending {
+            ua.marking
+                .set(id, ped_dependence::Mark::Rejected, Some("IX is a permutation".into()))
+                .unwrap();
+        }
+        let report2 = analyze_parallelization(&p.units[0], &ua, ua.nest.roots[0]);
+        assert!(report2.is_parallel(), "{:?}", report2.impediments);
+        parallelize(&mut p, 0, &ua, ua.nest.roots[0]).unwrap();
+    }
+
+    #[test]
+    fn sequentialize_round_trips() {
+        let src = "      REAL A(100)\n      DO 10 I = 1, N\n      A(I) = 0.0\n   10 CONTINUE\n      END\n";
+        let (mut p, ua) = setup(src);
+        parallelize(&mut p, 0, &ua, ua.nest.roots[0]).unwrap();
+        let ua2 = UnitAnalysis::build(&p.units[0], SymbolicEnv::new(), None);
+        sequentialize(&mut p, 0, &ua2, ua2.nest.roots[0]).unwrap();
+        assert!(!print_program(&p).contains("CDOALL"));
+    }
+
+    #[test]
+    fn delete_statement_guarded_by_dependences() {
+        let src = "      REAL A(100), B(100)\n      DO 10 I = 1, N\n      A(I) = 1.0\n      B(I) = A(I)\n   10 CONTINUE\n      END\n";
+        let (mut p, ua) = setup(src);
+        let producer = ua.nest.loops[0].body[0];
+        assert!(delete_statement(&mut p, 0, &ua, producer).is_err());
+        // The consumer can be deleted (nothing reads B).
+        let consumer = ua.nest.loops[0].body[1];
+        delete_statement(&mut p, 0, &ua, consumer).unwrap();
+        assert!(!print_program(&p).contains("B(I)"));
+    }
+
+    #[test]
+    fn add_statement_only_observational() {
+        let src = "      REAL A(100)\n      DO 10 I = 1, N\n      A(I) = 0.0\n   10 CONTINUE\n      END\n";
+        let (mut p, ua) = setup(src);
+        let anchor = ua.nest.loops[0].body[0];
+        add_statement(&mut p, 0, anchor, StmtKind::Continue).unwrap();
+        let err = add_statement(
+            &mut p,
+            0,
+            anchor,
+            StmtKind::Assign { lhs: LValue::Var("Z".into()), rhs: Expr::Int(0) },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn adjust_bounds_applies_user_request() {
+        let src = "      REAL A(100)\n      DO 10 I = 1, N\n      A(I) = 0.0\n   10 CONTINUE\n      END\n";
+        let (mut p, ua) = setup(src);
+        adjust_bounds(&mut p, 0, &ua, ua.nest.roots[0], Some(Expr::Int(2)), None).unwrap();
+        assert!(print_program(&p).contains("DO 10 I = 2, N"));
+    }
+}

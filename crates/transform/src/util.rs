@@ -1,0 +1,297 @@
+//! Shared AST surgery helpers for transformations.
+
+use ped_fortran::ast::*;
+
+/// Find the `Do` statement with id `target` anywhere in a unit body and
+/// apply `f` to it mutably. Returns `f`'s result, or `None` if absent.
+pub fn with_do_mut<R>(
+    body: &mut [Stmt],
+    target: StmtId,
+    f: impl FnOnce(&mut Stmt) -> R,
+) -> Option<R> {
+    let mut f = Some(f);
+    let mut out = None;
+    visit(body, target, &mut f, &mut out);
+    fn visit<R>(
+        body: &mut [Stmt],
+        target: StmtId,
+        f: &mut Option<impl FnOnce(&mut Stmt) -> R>,
+        out: &mut Option<R>,
+    ) {
+        for s in body {
+            if out.is_some() {
+                return;
+            }
+            if s.id == target {
+                if let Some(f) = f.take() {
+                    *out = Some(f(s));
+                }
+                return;
+            }
+            if let StmtKind::LogicalIf { then, .. } = &mut s.kind {
+                if then.id == target {
+                    if let Some(f) = f.take() {
+                        *out = Some(f(then));
+                    }
+                    return;
+                }
+            }
+            for b in s.kind.blocks_mut() {
+                visit(b, target, f, out);
+            }
+        }
+    }
+    out
+}
+
+/// Find the block containing statement `target` as a *direct* child and
+/// apply `f` to (block, index-of-target). Used to splice statements next
+/// to a loop.
+pub fn with_containing_block<R>(
+    body: &mut Vec<Stmt>,
+    target: StmtId,
+    f: impl FnOnce(&mut Vec<Stmt>, usize) -> R,
+) -> Option<R> {
+    fn go<R, F: FnOnce(&mut Vec<Stmt>, usize) -> R>(
+        body: &mut Vec<Stmt>,
+        target: StmtId,
+        f: &mut Option<F>,
+    ) -> Option<R> {
+        if let Some(i) = body.iter().position(|s| s.id == target) {
+            return f.take().map(|f| f(body, i));
+        }
+        for s in body.iter_mut() {
+            match &mut s.kind {
+                StmtKind::Do { body: b, .. } => {
+                    if let Some(r) = go(b, target, f) {
+                        return Some(r);
+                    }
+                }
+                StmtKind::If { arms, else_body } => {
+                    for (_, b) in arms.iter_mut() {
+                        if let Some(r) = go(b, target, f) {
+                            return Some(r);
+                        }
+                    }
+                    if let Some(e) = else_body.as_mut() {
+                        if let Some(r) = go(e, target, f) {
+                            return Some(r);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+    go(body, target, &mut Some(f))
+}
+
+/// Deep-clone statements, assigning fresh ids from the program counter.
+pub fn clone_with_fresh_ids(stmts: &[Stmt], program: &mut Program) -> Vec<Stmt> {
+    let mut out = stmts.to_vec();
+    walk_stmts_mut(&mut out, &mut |s| {
+        s.id = program.fresh_stmt();
+        // Labels must not be duplicated: cloned statements lose labels
+        // (the caller re-labels if GOTOs target them; transformations
+        // only clone structured bodies).
+        s.label = None;
+    });
+    out
+}
+
+/// Substitute every occurrence of scalar variable `name` with `rep` in an
+/// expression.
+pub fn subst_expr(e: &Expr, name: &str, rep: &Expr) -> Expr {
+    match e {
+        Expr::Var(n) if n == name => rep.clone(),
+        Expr::Var(_) | Expr::Int(_) | Expr::Real(_) | Expr::Logical(_) | Expr::Str(_) => {
+            e.clone()
+        }
+        Expr::Index { name: a, subs } => Expr::Index {
+            name: a.clone(),
+            subs: subs.iter().map(|x| subst_expr(x, name, rep)).collect(),
+        },
+        Expr::Call { name: f, args } => Expr::Call {
+            name: f.clone(),
+            args: args.iter().map(|x| subst_expr(x, name, rep)).collect(),
+        },
+        Expr::Bin { op, l, r } => Expr::Bin {
+            op: *op,
+            l: Box::new(subst_expr(l, name, rep)),
+            r: Box::new(subst_expr(r, name, rep)),
+        },
+        Expr::Un { op, e } => Expr::Un { op: *op, e: Box::new(subst_expr(e, name, rep)) },
+    }
+}
+
+/// Substitute a scalar variable throughout a statement block (reads and
+/// subscripts; `READ` targets and assignment LHS of that scalar are also
+/// rewritten only when `rep` is itself assignable — callers ensure this).
+pub fn subst_var(stmts: &mut [Stmt], name: &str, rep: &Expr) {
+    walk_stmts_mut(stmts, &mut |s| subst_stmt(&mut s.kind, name, rep));
+}
+
+fn subst_stmt(kind: &mut StmtKind, name: &str, rep: &Expr) {
+    match kind {
+        StmtKind::Assign { lhs, rhs } => {
+            *rhs = subst_expr(rhs, name, rep);
+            subst_lvalue(lhs, name, rep);
+        }
+        StmtKind::Do { lo, hi, step, .. } => {
+            *lo = subst_expr(lo, name, rep);
+            *hi = subst_expr(hi, name, rep);
+            if let Some(st) = step {
+                *st = subst_expr(st, name, rep);
+            }
+        }
+        StmtKind::If { arms, .. } => {
+            for (c, _) in arms.iter_mut() {
+                *c = subst_expr(c, name, rep);
+            }
+        }
+        StmtKind::LogicalIf { cond, .. } => *cond = subst_expr(cond, name, rep),
+        StmtKind::ArithIf { expr, .. } => *expr = subst_expr(expr, name, rep),
+        StmtKind::ComputedGoto { index, .. } => *index = subst_expr(index, name, rep),
+        StmtKind::Call { args, .. } => {
+            for a in args.iter_mut() {
+                *a = subst_expr(a, name, rep);
+            }
+        }
+        StmtKind::Read { items } => {
+            for lv in items.iter_mut() {
+                subst_lvalue(lv, name, rep);
+            }
+        }
+        StmtKind::Write { items } => {
+            for e in items.iter_mut() {
+                *e = subst_expr(e, name, rep);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn subst_lvalue(lv: &mut LValue, name: &str, rep: &Expr) {
+    match lv {
+        LValue::Var(n) if n == name => {
+            // Only rewrite the LHS when the replacement is assignable.
+            match rep {
+                Expr::Var(m) => *lv = LValue::Var(m.clone()),
+                Expr::Index { name: a, subs } => {
+                    *lv = LValue::Elem { name: a.clone(), subs: subs.clone() }
+                }
+                _ => {}
+            }
+        }
+        LValue::Var(_) => {}
+        LValue::Elem { subs, .. } => {
+            for s in subs.iter_mut() {
+                *s = subst_expr(s, name, rep);
+            }
+        }
+    }
+}
+
+/// Add `delta` to an expression, simplifying literal arithmetic.
+pub fn offset_expr(e: &Expr, delta: i64) -> Expr {
+    if delta == 0 {
+        return e.clone();
+    }
+    match e.as_int() {
+        Some(v) => Expr::Int(v + delta),
+        None => {
+            if delta > 0 {
+                Expr::add(e.clone(), Expr::Int(delta))
+            } else {
+                Expr::sub(e.clone(), Expr::Int(-delta))
+            }
+        }
+    }
+}
+
+/// All statement ids in a block (deep).
+pub fn stmt_ids(body: &[Stmt]) -> Vec<StmtId> {
+    let mut v = Vec::new();
+    walk_stmts(body, &mut |s| v.push(s.id));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parser::parse_ok;
+    use ped_fortran::pretty::print_program;
+
+    #[test]
+    fn with_do_mut_finds_nested() {
+        let mut p = parse_ok(
+            "      DO 10 I = 1, N\n      DO 20 J = 1, M\n      A(I,J) = 0\n   20 CONTINUE\n   10 CONTINUE\n      END\n",
+        );
+        let nest = ped_analysis::loops::LoopNest::build(&p.units[0]);
+        let inner = nest.loops.iter().find(|l| l.var == "J").unwrap().stmt;
+        let got = with_do_mut(&mut p.units[0].body, inner, |s| {
+            if let StmtKind::Do { var, .. } = &s.kind {
+                var.clone()
+            } else {
+                String::new()
+            }
+        });
+        assert_eq!(got.as_deref(), Some("J"));
+    }
+
+    #[test]
+    fn subst_var_rewrites_reads_and_subscripts() {
+        let mut p = parse_ok("      A(K) = K + B(K)\n      END\n");
+        subst_var(&mut p.units[0].body, "K", &Expr::add(Expr::var("I"), Expr::Int(1)));
+        let txt = print_program(&p);
+        assert!(txt.contains("A(I + 1) = I + 1 + B(I + 1)"), "{txt}");
+    }
+
+    #[test]
+    fn subst_lhs_scalar_with_array_elem() {
+        let mut p = parse_ok("      T = X\n      END\n");
+        subst_var(
+            &mut p.units[0].body,
+            "T",
+            &Expr::idx("TX", vec![Expr::var("I")]),
+        );
+        let txt = print_program(&p);
+        assert!(txt.contains("TX(I) = X"), "{txt}");
+    }
+
+    #[test]
+    fn clone_with_fresh_ids_renumbers() {
+        let mut p = parse_ok("      A = 1\n      B = 2\n      END\n");
+        let orig_ids = stmt_ids(&p.units[0].body);
+        let body = p.units[0].body.clone();
+        let cloned = clone_with_fresh_ids(&body, &mut p);
+        let new_ids = stmt_ids(&cloned);
+        for id in &new_ids {
+            assert!(!orig_ids.contains(id));
+        }
+    }
+
+    #[test]
+    fn offset_expr_folds_literals() {
+        assert_eq!(offset_expr(&Expr::Int(5), 2), Expr::Int(7));
+        let e = offset_expr(&Expr::var("N"), -1);
+        assert_eq!(ped_fortran::pretty::print_expr(&e), "N - 1");
+    }
+
+    #[test]
+    fn containing_block_splices() {
+        let mut p = parse_ok(
+            "      DO 10 I = 1, N\n      A(I) = 0\n   10 CONTINUE\n      END\n",
+        );
+        let nest = ped_analysis::loops::LoopNest::build(&p.units[0]);
+        let target = nest.loops[0].body[0];
+        let fresh = p.fresh_stmt();
+        with_containing_block(&mut p.units[0].body, target, |block, i| {
+            block.insert(i, Stmt::new(fresh, StmtKind::Continue));
+        })
+        .unwrap();
+        let txt = print_program(&p);
+        assert!(txt.contains("CONTINUE"), "{txt}");
+    }
+}

@@ -1,0 +1,17 @@
+//! # ped-workloads — the eight PPOPP'93 workshop programs
+//!
+//! Synthetic reproductions of Table 1's applications (the originals are
+//! proprietary), constructed so that every Table 3 / Table 4 cell is
+//! *measurable* from our analysis pipeline; plus the scripted user
+//! personas whose feature-usage traces regenerate Table 2's `used`
+//! column.
+
+pub mod measure;
+pub mod meta;
+pub mod personas;
+pub mod programs;
+mod programs_b;
+pub mod tables;
+
+pub use meta::{Cell, Table3Row, Table4Row, WorkProgram};
+pub use programs::{all_programs, program};

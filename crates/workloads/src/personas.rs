@@ -1,0 +1,236 @@
+//! The seven evaluation personas of Table 2.
+//!
+//! "Each of the five workshop groups, along with Fletcher and Stein, is
+//! represented by an asterisk, for a total of seven possible asterisks"
+//! (§3.2). Each persona is a scripted PED session following the §3.1
+//! work model on its own program(s); the `used` column of Table 2 is
+//! *measured* from the session's feature-usage log. The opinion columns
+//! (improve / like / dislike) are replayed from the paper's narrative —
+//! they cannot be measured (see DESIGN.md §2).
+
+use crate::programs::program;
+use ped::filter::DepFilter;
+use ped::session::{PedSession, VarClass};
+use ped::usage::Feature;
+use ped_analysis::loops::LoopId;
+use ped_dependence::Mark;
+
+/// One persona: a name and the script that drives a session.
+pub struct Persona {
+    pub name: &'static str,
+    pub programs: &'static [&'static str],
+    run: fn() -> PedSession,
+}
+
+impl Persona {
+    /// Execute the script; the returned session carries the usage log.
+    pub fn run(&self) -> PedSession {
+        (self.run)()
+    }
+}
+
+fn open(name: &str) -> PedSession {
+    PedSession::open(program(name).expect("known program").parse())
+}
+
+/// Reject the pending dependences on `var` in the first blocked loop of
+/// `unit` (the §3.1 dependence-deletion workflow).
+fn reject_pending(s: &mut PedSession, unit: &str, var: &str, reason: &str) {
+    s.select_unit(unit).unwrap();
+    let target = s
+        .ua
+        .graph
+        .deps
+        .iter()
+        .find(|d| d.var == var && !d.exact && d.level.is_some())
+        .and_then(|d| d.carrier());
+    if let Some(l) = target {
+        s.select_loop(l).unwrap();
+        s.mark_dependences_where(
+            &DepFilter::parse(&format!("mark=pending & var={var}")).unwrap(),
+            Mark::Rejected,
+            Some(reason),
+        );
+    }
+}
+
+/// Group 1 — Steve Poole & Lo Hsieh (spec77): navigation, dependence
+/// browsing, dependence deletion on the spectral gather, interface
+/// checking across the many procedures.
+fn poole() -> PedSession {
+    let mut s = open("spec77");
+    s.navigate(None);
+    s.select_unit("GLOOP").unwrap();
+    s.select_loop(LoopId(0)).unwrap();
+    s.dependence_rows(&DepFilter::All);
+    reject_pending(&mut s, "GLOOP", "V", "MW is a permutation of 1..NPTS");
+    s.compose_check();
+    s
+}
+
+/// Group 2 — Mary Zosel & John Engle (neoss, nxsns): label-based view
+/// filtering to understand the GOTO control flow (§3.2: "one group
+/// defined filters based on labels"), help lookups; no deletions.
+fn zosel_engle() -> PedSession {
+    let mut s = open("neoss");
+    s.navigate(None);
+    s.select_unit("EOSCAN").unwrap();
+    s.select_loop(LoopId(0)).unwrap();
+    s.dependence_rows(&DepFilter::parse("mark=pending").unwrap());
+    s.help("dependence");
+    s
+}
+
+/// Group 3 — Marcia Pottle (dpmin): deletion of the index-array force
+/// dependences, variable classification of the bond temporaries,
+/// interface checking.
+fn pottle() -> PedSession {
+    let mut s = open("dpmin");
+    s.navigate(None);
+    s.select_unit("FORCES").unwrap();
+    s.select_loop(LoopId(0)).unwrap();
+    s.dependence_rows(&DepFilter::All);
+    s.classify_variable("I3", VarClass::Private, Some("recomputed every iteration".into()))
+        .unwrap();
+    reject_pending(&mut s, "FORCES", "G", "IT values are distinct");
+    s.compose_check();
+    s
+}
+
+/// Group 4 — Roy Heimbach (slab2d, slalom): classification of the flux
+/// temporary, deletion on the diffusion temp, help.
+fn heimbach() -> PedSession {
+    let mut s = open("slab2d");
+    s.navigate(None);
+    s.select_unit("ADVECT").unwrap();
+    s.select_loop(LoopId(0)).unwrap();
+    s.dependence_rows(&DepFilter::All);
+    s.classify_variable("FLX", VarClass::Private, Some("killed each iteration".into()))
+        .unwrap();
+    reject_pending(&mut s, "DIFFUS", "TD", "TD is rewritten every J sweep");
+    s.help("marking");
+    s
+}
+
+/// Group 5 — Ralph Brickner (pueblo3d): dependence browsing on the MCN
+/// loops and deletion backed by the neighbor-offset argument.
+fn brickner() -> PedSession {
+    let mut s = open("pueblo3d");
+    s.navigate(None);
+    s.select_unit("HYDRO").unwrap();
+    s.select_loop(LoopId(0)).unwrap();
+    s.dependence_rows(&DepFilter::All);
+    reject_pending(&mut s, "HYDRO", "UF", "MCN exceeds the zone extent");
+    s
+}
+
+/// Katherine Fletcher (arc3d, with Doreen Cheng at NASA Ames):
+/// classification and deletion on the filter arrays, interface checks.
+fn fletcher() -> PedSession {
+    let mut s = open("arc3d");
+    s.navigate(None);
+    s.select_unit("FILTER3").unwrap();
+    s.select_loop(LoopId(0)).unwrap();
+    s.classify_variable("WR1", VarClass::Private, Some("killed every outer iteration".into()))
+        .unwrap();
+    reject_pending(&mut s, "FILTER3", "WR1", "WR1 is a per-iteration temporary");
+    s.compose_check();
+    s
+}
+
+/// Joseph Stein (outer-loop parallelization study, on the spec77-style
+/// code): navigation plus deletions while chasing outer-loop parallelism.
+fn stein() -> PedSession {
+    let mut s = open("spec77");
+    s.navigate(None);
+    reject_pending(&mut s, "GLOOP", "V", "gather targets are distinct");
+    s
+}
+
+/// The seven personas in Table 2 column order.
+pub fn personas() -> Vec<Persona> {
+    vec![
+        Persona { name: "poole", programs: &["spec77"], run: poole },
+        Persona { name: "zosel-engle", programs: &["neoss", "nxsns"], run: zosel_engle },
+        Persona { name: "pottle", programs: &["dpmin"], run: pottle },
+        Persona { name: "heimbach", programs: &["slab2d", "slalom"], run: heimbach },
+        Persona { name: "brickner", programs: &["pueblo3d"], run: brickner },
+        Persona { name: "fletcher", programs: &["arc3d"], run: fletcher },
+        Persona { name: "stein", programs: &["spec77"], run: stein },
+    ]
+}
+
+/// The opinion columns of Table 2 (improve / like / dislike counts),
+/// replayed from the paper (the `used` column is measured; see module
+/// docs). Values approximate the paper's asterisk tallies.
+pub fn opinion_counts(f: Feature) -> (usize, usize, usize) {
+    match f {
+        Feature::DependenceDeletion => (3, 0, 0),
+        Feature::VariableClassification => (0, 0, 0),
+        Feature::AccessToAnalysis => (3, 0, 0),
+        Feature::ProgramNavigation => (5, 2, 1),
+        Feature::DependenceNavigation => (2, 2, 1),
+        Feature::ViewFiltering => (1, 0, 0),
+        Feature::InterfaceErrorDetection => (0, 0, 0),
+        Feature::Help => (1, 1, 2),
+        Feature::TeachingTool => (0, 3, 0),
+    }
+}
+
+/// Expected `used` counts per feature (the paper's asterisks), asserted
+/// against the measured persona traces in tests.
+pub fn expected_used(f: Feature) -> usize {
+    match f {
+        Feature::DependenceDeletion => 6,
+        Feature::VariableClassification => 3,
+        Feature::AccessToAnalysis => 0,
+        Feature::ProgramNavigation => 7,
+        Feature::DependenceNavigation => 5,
+        Feature::ViewFiltering => 1,
+        Feature::InterfaceErrorDetection => 3,
+        Feature::Help => 2,
+        Feature::TeachingTool => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persona_usage_matches_table_two() {
+        let sessions: Vec<(&str, PedSession)> =
+            personas().iter().map(|p| (p.name, p.run())).collect();
+        for f in Feature::all() {
+            let used = sessions.iter().filter(|(_, s)| s.usage.used(f)).count();
+            assert_eq!(
+                used,
+                expected_used(f),
+                "feature '{}' used by {:?}",
+                f.label(),
+                sessions
+                    .iter()
+                    .filter(|(_, s)| s.usage.used(f))
+                    .map(|(n, _)| *n)
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn deletions_actually_reject_dependences() {
+        let s = poole();
+        let (_, _, _, rejected) = s.ua.marking.counts();
+        assert!(rejected > 0, "poole rejected nothing");
+    }
+
+    #[test]
+    fn seven_personas_cover_all_eight_programs() {
+        let ps = personas();
+        assert_eq!(ps.len(), 7);
+        let mut covered: Vec<&str> = ps.iter().flat_map(|p| p.programs.iter().copied()).collect();
+        covered.sort();
+        covered.dedup();
+        assert_eq!(covered.len(), 8);
+    }
+}

@@ -1,0 +1,511 @@
+//! The eight synthetic workshop programs (Table 1), first half.
+//!
+//! Each source reproduces the parallelization-relevant structure the
+//! paper attributes to the real code — see the per-program comments and
+//! DESIGN.md §2 for the substitutions. Sizes are scaled down; the
+//! `paper_*` metadata keeps Table 1's reported numbers.
+//!
+//! Construction rules that make the Table 3 cells *measurable*:
+//! scratch arrays that privatization should handle are `unit-local`
+//! (COMMON arrays escape the unit and are never plain-Private);
+//! programs with a blank `reductions` cell contain no reduction-shaped
+//! loop anywhere (checksums probe individual elements instead of
+//! summing).
+
+use crate::meta::{Cell, Table3Row, Table4Row, WorkProgram};
+
+/// All eight programs in Table 1 order.
+pub fn all_programs() -> Vec<&'static WorkProgram> {
+    vec![
+        &SPEC77,
+        &NEOSS,
+        &NXSNS,
+        &DPMIN,
+        &crate::programs_b::SLAB2D,
+        &crate::programs_b::SLALOM,
+        &crate::programs_b::PUEBLO3D,
+        &crate::programs_b::ARC3D,
+    ]
+}
+
+/// Look up a program by name.
+pub fn program(name: &str) -> Option<&'static WorkProgram> {
+    all_programs().into_iter().find(|p| p.name.eq_ignore_ascii_case(name))
+}
+
+// ---------------------------------------------------------------------
+// spec77 — weather simulation (Steve Poole, IBM Kingston & Lo Hsieh)
+//
+// Features: the `gloop` latitude loop calling SWEEP (loop embedding /
+// extraction target, §5.3 — interprocedural N); spectral gather through
+// an index map (index arrays N); per-latitude local work array (array
+// kills N); a read-only column-probe call (interprocedural side
+// effects, sections U); a privatizable temporary (scalar kills U +
+// scalar expansion U). No reduction-shaped loops (blank reductions).
+// ---------------------------------------------------------------------
+
+pub static SPEC77: WorkProgram = WorkProgram {
+    name: "spec77",
+    description: "weather simulation code",
+    contributor: "Steve Poole, IBM Kingston & Lo Hsieh, IBM Palo Alto",
+    paper_lines: 5600,
+    paper_procedures: 67,
+    source: "\
+      PROGRAM SPEC77
+      PARAMETER (NPTS = 384, NLAT = 12)
+      COMMON /FLD/ U(384,12), V(384,12), W(384,12)
+      COMMON /MAP/ MW(384)
+      CALL SETUP
+      CALL GLOOP
+      CALL SHALOW
+      WRITE (*,*) W(1,1), W(100,5), V(7,3), V(384,12)
+      END
+      SUBROUTINE SETUP
+      PARAMETER (NPTS = 384, NLAT = 12)
+      COMMON /FLD/ U(384,12), V(384,12), W(384,12)
+      COMMON /MAP/ MW(384)
+      DO 20 L = 1, NLAT
+      DO 10 J = 1, NPTS
+      U(J,L) = MOD(J * L, 17) * 0.5
+      V(J,L) = 0.0
+      W(J,L) = 0.0
+   10 CONTINUE
+   20 CONTINUE
+      DO 30 J = 1, NPTS
+      MW(J) = MOD(J * 7, NPTS) + 1
+   30 CONTINUE
+      RETURN
+      END
+      SUBROUTINE GLOOP
+      PARAMETER (NPTS = 384, NLAT = 12)
+      COMMON /FLD/ U(384,12), V(384,12), W(384,12)
+      COMMON /MAP/ MW(384)
+      REAL WK(384)
+      DO 40 L = 1, NLAT
+      DO 35 J = 1, NPTS
+      V(MW(J), L) = U(J, L) * 0.25
+   35 CONTINUE
+   40 CONTINUE
+      DO 60 L = 1, NLAT
+      DO 45 J = 1, NPTS
+      WK(J) = U(J,L) + V(J,L)
+   45 CONTINUE
+      DO 50 J = 1, NPTS
+      W(J,L) = WK(J) * 0.5
+   50 CONTINUE
+   60 CONTINUE
+      DO 70 L = 1, NLAT
+      CALL SWEEP(W, L, NPTS)
+   70 CONTINUE
+      RETURN
+      END
+      SUBROUTINE SHALOW
+      PARAMETER (NPTS = 384, NLAT = 12)
+      COMMON /FLD/ U(384,12), V(384,12), W(384,12)
+      DO 10 L = 1, NLAT
+      CALL COLAVG(V, L, NPTS, S)
+      W(1,L) = S * 0.001 + U(1,L)
+   10 CONTINUE
+      DO 80 J = 1, NPTS
+      T = U(J,1) * 0.5
+      V(J,2) = T + U(J,2)
+   80 CONTINUE
+      RETURN
+      END
+      SUBROUTINE COLAVG(A, L, N, S)
+      REAL A(384, 12)
+      INTEGER L, N
+      S = A(1, L) * 0.5 + A(N, L) * 0.5
+      RETURN
+      END
+      SUBROUTINE SWEEP(A, L, N)
+      REAL A(384, 12)
+      INTEGER L, N
+      DO 20 J = 1, N
+      A(J, L) = A(J, L) * 1.01 + 0.001
+   20 CONTINUE
+      RETURN
+      END
+",
+    table3: Table3Row {
+        dependence: Cell::Used,
+        scalar_kills: Cell::Used,
+        sections: Cell::Used,
+        array_kills: Cell::Needed,
+        reductions: Cell::Blank,
+        index_arrays: Cell::Needed,
+    },
+    table4: Table4Row {
+        distribution: Cell::Blank,
+        interchange: Cell::Blank,
+        fusion: Cell::Blank,
+        scalar_expansion: Cell::Used,
+        unrolling: Cell::Blank,
+        control_flow: Cell::Blank,
+        interprocedural: Cell::Needed,
+    },
+};
+
+// ---------------------------------------------------------------------
+// neoss — thermodynamics (Mary Zosel, LLNL)
+//
+// Features: the §5.3 arithmetic-IF/GOTO loop (control flow N);
+// recurrence + independent statement (distribution U); sum/accumulate
+// reductions (reductions N); an in-loop call that side-effect analysis
+// cannot improve (the "analysis failed" sections cell); a privatizable
+// temporary and a local work array.
+// ---------------------------------------------------------------------
+
+pub static NEOSS: WorkProgram = WorkProgram {
+    name: "neoss",
+    description: "thermodynamics code",
+    contributor: "Mary Zosel, Lawrence Livermore National Laboratory",
+    paper_lines: 350,
+    paper_procedures: 5,
+    source: "\
+      PROGRAM NEOSS
+      PARAMETER (NZ = 200)
+      COMMON /STATE/ DENV(200), RES(200), PRES(200), TEMP(200), WRK(200)
+      CALL INITLZ
+      CALL EOSCAN
+      CALL RELAX
+      CALL TOTALS
+      END
+      SUBROUTINE INITLZ
+      PARAMETER (NZ = 200)
+      COMMON /STATE/ DENV(200), RES(200), PRES(200), TEMP(200), WRK(200)
+      REAL TWRK(200)
+      DO 10 K = 1, NZ
+      DENV(K) = MOD(K * 3, 11) * 0.4 + 0.1
+      RES(K) = MOD(K, 7) * 0.3
+      TEMP(K) = 0.0
+      WRK(K) = 0.0
+   10 CONTINUE
+      DO 15 K = 1, NZ
+      D = DENV(K) * 2.0
+      PRES(K) = D * D + 1.0
+   15 CONTINUE
+      DO 30 IT = 1, 4
+      DO 20 K = 1, NZ
+      TWRK(K) = DENV(K) + RES(K)
+   20 CONTINUE
+      DO 25 K = 1, NZ
+      TEMP(K) = TEMP(K) + TWRK(K) * 0.25
+   25 CONTINUE
+   30 CONTINUE
+      RETURN
+      END
+      SUBROUTINE EOSCAN
+      PARAMETER (NZ = 200)
+      COMMON /STATE/ DENV(200), RES(200), PRES(200), TEMP(200), WRK(200)
+      DO 50 K = 1, NZ
+      X = DENV(K) * 0.5
+      IF (DENV(K) - RES(K)) 100, 10, 10
+   10 CONTINUE
+      PRES(K) = X + 1.0
+      GOTO 101
+  100 PRES(K) = X - 1.0
+  101 TEMP(K) = TEMP(K) + PRES(K) * 0.1
+   50 CONTINUE
+      DO 60 K = 1, NZ
+      CALL SMOOTH(WRK, K, NZ)
+   60 CONTINUE
+      RETURN
+      END
+      SUBROUTINE SMOOTH(A, K, N)
+      REAL A(200)
+      INTEGER K, N
+      IF (K .GT. 1) THEN
+      A(K) = A(K) * 0.5 + A(K-1) * 0.5
+      END IF
+      RETURN
+      END
+      SUBROUTINE RELAX
+      PARAMETER (NZ = 200)
+      COMMON /STATE/ DENV(200), RES(200), PRES(200), TEMP(200), WRK(200)
+      DO 10 K = 2, NZ
+      DENV(K) = DENV(K-1) * 0.5 + DENV(K) * 0.5
+      WRK(K) = PRES(K) * 2.0
+   10 CONTINUE
+      RETURN
+      END
+      SUBROUTINE TOTALS
+      PARAMETER (NZ = 200)
+      COMMON /STATE/ DENV(200), RES(200), PRES(200), TEMP(200), WRK(200)
+      S = 0.0
+      DO 10 K = 1, NZ
+      S = S + PRES(K) * TEMP(K) + WRK(K)
+   10 CONTINUE
+      WRITE (*,*) S
+      RETURN
+      END
+",
+    table3: Table3Row {
+        dependence: Cell::Used,
+        scalar_kills: Cell::Used,
+        sections: Cell::Blank,
+        array_kills: Cell::Needed,
+        reductions: Cell::Needed,
+        index_arrays: Cell::Blank,
+    },
+    table4: Table4Row {
+        distribution: Cell::Used,
+        interchange: Cell::Blank,
+        fusion: Cell::Blank,
+        scalar_expansion: Cell::Blank,
+        unrolling: Cell::Blank,
+        control_flow: Cell::Needed,
+        interprocedural: Cell::Blank,
+    },
+};
+
+// ---------------------------------------------------------------------
+// nxsns — quantum mechanics (John Engle, LLNL)
+//
+// Features: read-only overlap-integral calls in loops (sections U);
+// two-label arithmetic IF (control flow N); an unrolling target
+// (unrolling U); expectation-value reductions (reductions N); a local
+// work array (array kills N); a privatizable temporary (scalar kills U).
+// ---------------------------------------------------------------------
+
+pub static NXSNS: WorkProgram = WorkProgram {
+    name: "nxsns",
+    description: "quantum mechanics code",
+    contributor: "John Engle, Lawrence Livermore National Laboratory",
+    paper_lines: 1400,
+    paper_procedures: 11,
+    source: "\
+      PROGRAM NXSNS
+      PARAMETER (NS = 256)
+      COMMON /WAVE/ PSI(256), POT(256), RHO(256), TMP(256)
+      CALL SETQ
+      CALL BANDS
+      CALL XSECT
+      CALL PSUM
+      END
+      SUBROUTINE SETQ
+      PARAMETER (NS = 256)
+      COMMON /WAVE/ PSI(256), POT(256), RHO(256), TMP(256)
+      REAL TLOC(256)
+      DO 10 I = 1, NS
+      PSI(I) = MOD(I * 5, 13) * 0.2
+      POT(I) = MOD(I, 9) * 0.1
+      RHO(I) = 0.0
+      TMP(I) = 0.0
+   10 CONTINUE
+      DO 30 IT = 1, 3
+      DO 15 I = 1, NS
+      TLOC(I) = PSI(I) * POT(I)
+   15 CONTINUE
+      DO 20 I = 1, NS
+      RHO(I) = RHO(I) + TLOC(I) * 0.33
+   20 CONTINUE
+   30 CONTINUE
+      RETURN
+      END
+      SUBROUTINE BANDS
+      PARAMETER (NS = 256)
+      COMMON /WAVE/ PSI(256), POT(256), RHO(256), TMP(256)
+      DO 10 I = 1, NS
+      G = POT(I) * 2.0
+      PSI(I) = PSI(I) + G * 0.01
+   10 CONTINUE
+      DO 50 I = 1, NS
+      IF (PSI(I) - POT(I)) 100, 20, 20
+   20 CONTINUE
+      RHO(I) = RHO(I) + 0.5
+      GOTO 101
+  100 RHO(I) = RHO(I) - 0.5
+  101 CONTINUE
+   50 CONTINUE
+      RETURN
+      END
+      SUBROUTINE XSECT
+      PARAMETER (NS = 256)
+      COMMON /WAVE/ PSI(256), POT(256), RHO(256), TMP(256)
+      DO 10 I = 1, NS
+      CALL OVERLP(PSI, POT, NS, R)
+      TMP(I) = RHO(I) + R * 0.0001
+   10 CONTINUE
+      RETURN
+      END
+      SUBROUTINE OVERLP(A, B, N, R)
+      REAL A(256), B(256)
+      INTEGER N
+      R = 0.0
+      DO 10 I = 1, N
+      R = R + A(I) * B(I)
+   10 CONTINUE
+      RETURN
+      END
+      SUBROUTINE PSUM
+      PARAMETER (NS = 256)
+      COMMON /WAVE/ PSI(256), POT(256), RHO(256), TMP(256)
+      S = 0.0
+      DO 10 I = 1, NS
+      S = S + RHO(I) + TMP(I)
+   10 CONTINUE
+      WRITE (*,*) S
+      RETURN
+      END
+",
+    table3: Table3Row {
+        dependence: Cell::Used,
+        scalar_kills: Cell::Used,
+        sections: Cell::Used,
+        array_kills: Cell::Needed,
+        reductions: Cell::Needed,
+        index_arrays: Cell::Blank,
+    },
+    table4: Table4Row {
+        distribution: Cell::Blank,
+        interchange: Cell::Blank,
+        fusion: Cell::Blank,
+        scalar_expansion: Cell::Blank,
+        unrolling: Cell::Used,
+        control_flow: Cell::Needed,
+        interprocedural: Cell::Blank,
+    },
+};
+
+// ---------------------------------------------------------------------
+// dpmin — molecular mechanics and dynamics (Marcia Pottle, Cornell)
+//
+// Features: the §4.3 force-accumulation loop (index arrays N +
+// array-element reductions N); a gather loop blocked by index arrays;
+// a bond-energy call in a loop (sections U); arithmetic IF (control
+// flow N); an unrolling target; a local work array (array kills N).
+// The paper's file-read index arrays are computed in GEOM instead
+// (cross-procedure, so analysis still sees opaque values — DESIGN.md §2).
+// ---------------------------------------------------------------------
+
+pub static DPMIN: WorkProgram = WorkProgram {
+    name: "dpmin",
+    description: "molecular mechanics and dynamics program",
+    contributor: "Marcia Pottle, Cornell Theory Center",
+    paper_lines: 5000,
+    paper_procedures: 52,
+    source: "\
+      PROGRAM DPMIN
+      PARAMETER (NAT = 100, NBA = 96)
+      COMMON /COORD/ X(300), F(300), G(300)
+      COMMON /BONDS/ IT(96), JT(96), KT(96)
+      CALL GEOM
+      CALL FORCES
+      CALL ENERGY
+      CALL PAIRS
+      CALL STEP
+      S = 0.0
+      DO 10 I = 1, 3 * NAT
+      S = S + F(I) + G(I)
+   10 CONTINUE
+      WRITE (*,*) S
+      END
+      SUBROUTINE GEOM
+      PARAMETER (NAT = 100, NBA = 96)
+      COMMON /COORD/ X(300), F(300), G(300)
+      COMMON /BONDS/ IT(96), JT(96), KT(96)
+      DO 10 I = 1, 3 * NAT
+      X(I) = MOD(I * 11, 23) * 0.1
+      F(I) = 0.0
+      G(I) = 0.0
+   10 CONTINUE
+      DO 20 N = 1, NBA
+      IT(N) = MOD(N * 3, 97)
+      JT(N) = MOD(N * 5, 97) + 100
+      KT(N) = MOD(N * 7, 97) + 200
+   20 CONTINUE
+      RETURN
+      END
+      SUBROUTINE FORCES
+      PARAMETER (NAT = 100, NBA = 96)
+      COMMON /COORD/ X(300), F(300), G(300)
+      COMMON /BONDS/ IT(96), JT(96), KT(96)
+      DO 300 N = 1, NBA
+      I3 = IT(N)
+      J3 = JT(N)
+      K3 = KT(N)
+      DT1 = X(I3 + 1) * 0.01
+      DT2 = X(J3 + 1) * 0.01
+      DT3 = X(K3 + 1) * 0.01
+      F(I3 + 1) = F(I3 + 1) - DT1
+      F(I3 + 2) = F(I3 + 2) - DT2
+      F(I3 + 3) = F(I3 + 3) - DT3
+      F(J3 + 1) = F(J3 + 1) - DT1
+      F(J3 + 2) = F(J3 + 2) - DT2
+      F(J3 + 3) = F(J3 + 3) - DT3
+      F(K3 + 1) = F(K3 + 1) - DT1
+      F(K3 + 2) = F(K3 + 2) - DT2
+      F(K3 + 3) = F(K3 + 3) - DT3
+  300 CONTINUE
+      DO 310 N = 1, NBA
+      G(IT(N) + 1) = X(JT(N) + 1) * 0.5
+  310 CONTINUE
+      RETURN
+      END
+      SUBROUTINE ENERGY
+      PARAMETER (NAT = 100, NBA = 96)
+      COMMON /COORD/ X(300), F(300), G(300)
+      COMMON /BONDS/ IT(96), JT(96), KT(96)
+      DO 10 N = 1, NBA
+      CALL BONDE(X, N, E)
+      G(N) = G(N) + E * 0.001
+   10 CONTINUE
+      RETURN
+      END
+      SUBROUTINE BONDE(A, N, E)
+      REAL A(300)
+      INTEGER N
+      E = A(N) * A(N) + A(N + 1)
+      RETURN
+      END
+      SUBROUTINE PAIRS
+      PARAMETER (NAT = 100, NBA = 96)
+      COMMON /COORD/ X(300), F(300), G(300)
+      REAL WT(300)
+      DO 30 IP = 1, 3
+      DO 10 I = 1, 3 * NAT
+      WT(I) = X(I) * 0.5
+   10 CONTINUE
+      DO 20 I = 1, 3 * NAT
+      G(I) = G(I) + WT(I) * 0.1
+   20 CONTINUE
+   30 CONTINUE
+      RETURN
+      END
+      SUBROUTINE STEP
+      PARAMETER (NAT = 100, NBA = 96)
+      COMMON /COORD/ X(300), F(300), G(300)
+      DO 10 I = 1, 3 * NAT
+      SC = F(I) * 0.001
+      X(I) = X(I) - SC
+   10 CONTINUE
+      DO 50 I = 1, 3 * NAT
+      IF (X(I)) 100, 20, 20
+   20 CONTINUE
+      G(I) = G(I) + X(I)
+      GOTO 101
+  100 G(I) = G(I) - X(I)
+  101 CONTINUE
+   50 CONTINUE
+      RETURN
+      END
+",
+    table3: Table3Row {
+        dependence: Cell::Used,
+        scalar_kills: Cell::Used,
+        sections: Cell::Used,
+        array_kills: Cell::Needed,
+        reductions: Cell::Needed,
+        index_arrays: Cell::Needed,
+    },
+    table4: Table4Row {
+        distribution: Cell::Blank,
+        interchange: Cell::Blank,
+        fusion: Cell::Blank,
+        scalar_expansion: Cell::Blank,
+        unrolling: Cell::Used,
+        control_flow: Cell::Needed,
+        interprocedural: Cell::Blank,
+    },
+};

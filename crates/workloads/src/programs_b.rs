@@ -1,0 +1,429 @@
+//! The remaining four workshop programs: slab2d, slalom, pueblo3d, arc3d.
+
+use crate::meta::{Cell, Table3Row, Table4Row, WorkProgram};
+
+// ---------------------------------------------------------------------
+// slab2d — 2-D severe storm fluid flow prototype (Roy Heimbach, NCSA)
+//
+// Features: a temporary array assigned and used in inner loops of the
+// time-step loop (array kills N, "to perform array privatization in
+// slab2d, kill analysis must be combined with loop transformations" —
+// here loop fusion is not required but available); a CFL MAX reduction
+// (reductions N); privatizable temporaries (scalar kills U + a scalar
+// expansion target); no procedure calls inside loops (the blank
+// `sections` cell).
+// ---------------------------------------------------------------------
+
+pub static SLAB2D: WorkProgram = WorkProgram {
+    name: "slab2d",
+    description: "2-D severe storm fluid flow prototype",
+    contributor: "Roy Heimbach, National Center for Supercomputing Applications",
+    paper_lines: 550,
+    paper_procedures: 9,
+    source: "\
+      PROGRAM SLAB2D
+      PARAMETER (NX = 64, NY = 32)
+      COMMON /FLOW/ UU(64,32), VV(64,32), P(64,32)
+      CALL START
+      CALL ADVECT
+      CALL DIFFUS
+      CALL CFL
+      END
+      SUBROUTINE START
+      PARAMETER (NX = 64, NY = 32)
+      COMMON /FLOW/ UU(64,32), VV(64,32), P(64,32)
+      DO 20 J = 1, NY
+      DO 10 I = 1, NX
+      UU(I,J) = MOD(I + J, 5) * 0.3
+      VV(I,J) = MOD(I * J, 7) * 0.2
+      P(I,J) = 1.0
+   10 CONTINUE
+   20 CONTINUE
+      RETURN
+      END
+      SUBROUTINE ADVECT
+      PARAMETER (NX = 64, NY = 32)
+      COMMON /FLOW/ UU(64,32), VV(64,32), P(64,32)
+      DO 10 J = 1, NY
+      UU(1,J) = UU(1,J) * 0.9
+   10 CONTINUE
+      DO 20 J = 1, NY
+      VV(1,J) = VV(1,J) * 0.9
+   20 CONTINUE
+      DO 40 J = 1, NY
+      DO 30 I = 1, NX
+      FLX = UU(I,J) * VV(I,J)
+      P(I,J) = P(I,J) + FLX * 0.05
+   30 CONTINUE
+   40 CONTINUE
+      RETURN
+      END
+      SUBROUTINE DIFFUS
+      PARAMETER (NX = 64, NY = 32)
+      COMMON /FLOW/ UU(64,32), VV(64,32), P(64,32)
+      REAL TD(64)
+      DO 40 JT = 1, NY
+      DO 10 I = 1, NX
+      TD(I) = P(I,JT) * 0.25
+   10 CONTINUE
+      DO 20 I = 1, NX
+      UU(I,JT) = UU(I,JT) + TD(I)
+   20 CONTINUE
+   40 CONTINUE
+      RETURN
+      END
+      SUBROUTINE CFL
+      PARAMETER (NX = 64, NY = 32)
+      COMMON /FLOW/ UU(64,32), VV(64,32), P(64,32)
+      CMAX = 0.0
+      DO 20 J = 1, NY
+      DO 10 I = 1, NX
+      CMAX = MAX(CMAX, UU(I,J))
+   10 CONTINUE
+   20 CONTINUE
+      WRITE (*,*) CMAX
+      RETURN
+      END
+",
+    table3: Table3Row {
+        dependence: Cell::Used,
+        scalar_kills: Cell::Used,
+        sections: Cell::Blank,
+        array_kills: Cell::Needed,
+        reductions: Cell::Needed,
+        index_arrays: Cell::Blank,
+    },
+    table4: Table4Row {
+        distribution: Cell::Blank,
+        interchange: Cell::Blank,
+        fusion: Cell::Blank,
+        scalar_expansion: Cell::Used,
+        unrolling: Cell::Blank,
+        control_flow: Cell::Blank,
+        interprocedural: Cell::Blank,
+    },
+};
+
+// ---------------------------------------------------------------------
+// slalom — benchmark program (Roy Heimbach, NCSA)
+//
+// Features: a solver whose factorization loops genuinely carry
+// dependences (left sequential); read-only dot-product calls in loops
+// (sections U); dot-product reductions (reductions N); a scalar
+// expansion target (scalar kills U); deliberately *no* privatizable
+// temp arrays — the one blank `array kills` cell of Table 3.
+// ---------------------------------------------------------------------
+
+pub static SLALOM: WorkProgram = WorkProgram {
+    name: "slalom",
+    description: "benchmark program",
+    contributor: "Roy Heimbach, National Center for Supercomputing Applications",
+    paper_lines: 1200,
+    paper_procedures: 13,
+    source: "\
+      PROGRAM SLALOM
+      PARAMETER (NM = 48)
+      COMMON /SYS/ A(48,48), B(48), XS(48)
+      CALL SETUPM
+      CALL DECOMP
+      CALL BKSUB
+      CALL RESID
+      END
+      SUBROUTINE SETUPM
+      PARAMETER (NM = 48)
+      COMMON /SYS/ A(48,48), B(48), XS(48)
+      DO 20 J = 1, NM
+      DO 10 I = 1, NM
+      A(I,J) = MOD(I * J, 19) * 0.1 + 0.01
+   10 CONTINUE
+      A(J,J) = A(J,J) + 10.0
+      B(J) = MOD(J, 5) * 1.0 + 1.0
+      XS(J) = 0.0
+   20 CONTINUE
+      RETURN
+      END
+      SUBROUTINE DECOMP
+      PARAMETER (NM = 48)
+      COMMON /SYS/ A(48,48), B(48), XS(48)
+      DO 30 K = 1, NM - 1
+      DO 20 I = K + 1, NM
+      RM = A(I,K) / A(K,K)
+      DO 10 J = K + 1, NM
+      A(I,J) = A(I,J) - RM * A(K,J)
+   10 CONTINUE
+      B(I) = B(I) - RM * B(K)
+   20 CONTINUE
+   30 CONTINUE
+      RETURN
+      END
+      SUBROUTINE BKSUB
+      PARAMETER (NM = 48)
+      COMMON /SYS/ A(48,48), B(48), XS(48)
+      DO 20 KB = 1, NM
+      K = NM + 1 - KB
+      CALL ROWDOT(A, XS, K, NM, S)
+      XS(K) = (B(K) - S) / A(K,K)
+   20 CONTINUE
+      RETURN
+      END
+      SUBROUTINE ROWDOT(AA, V, K, N, S)
+      REAL AA(48,48), V(48)
+      INTEGER K, N
+      S = 0.0
+      DO 10 J = K + 1, N
+      S = S + AA(K,J) * V(J)
+   10 CONTINUE
+      RETURN
+      END
+      SUBROUTINE RESID
+      PARAMETER (NM = 48)
+      COMMON /SYS/ A(48,48), B(48), XS(48)
+      R = 0.0
+      DO 10 K = 1, NM
+      E = XS(K) * 0.5
+      R = R + E * E
+   10 CONTINUE
+      WRITE (*,*) R
+      RETURN
+      END
+",
+    table3: Table3Row {
+        dependence: Cell::Used,
+        scalar_kills: Cell::Used,
+        sections: Cell::Used,
+        array_kills: Cell::Blank,
+        reductions: Cell::Needed,
+        index_arrays: Cell::Blank,
+    },
+    table4: Table4Row {
+        distribution: Cell::Blank,
+        interchange: Cell::Blank,
+        fusion: Cell::Blank,
+        scalar_expansion: Cell::Used,
+        unrolling: Cell::Blank,
+        control_flow: Cell::Blank,
+        interprocedural: Cell::Blank,
+    },
+};
+
+// ---------------------------------------------------------------------
+// pueblo3d — hydrodynamics benchmark (Ralph Brickner, LANL)
+//
+// Features: the §3.3 linearized-neighbor loops (`UF(I + MCN, …)` with
+// bounds `ISTRT(IR)`/`IENDV(IR)`; 10 such nests in the original) —
+// blocked until the MCN assertion (index arrays N); a perfect nest whose
+// parallelism interchange moves outward (interchange U); a read-only
+// zone-summary call (sections U); temporaries and a work array.
+// ---------------------------------------------------------------------
+
+pub static PUEBLO3D: WorkProgram = WorkProgram {
+    name: "pueblo3d",
+    description: "hydrodynamics benchmark program",
+    contributor: "Ralph Brickner, Los Alamos National Laboratory",
+    paper_lines: 4000,
+    paper_procedures: 50,
+    source: "\
+      PROGRAM PUEBLO3
+      PARAMETER (NC = 512, NR = 4)
+      COMMON /ZONES/ UF(1024, 3), QQ(64, 32)
+      COMMON /GRID/ ISTRT(4), IENDV(4), MCN, IR, M
+      CALL MESH
+      CALL HYDRO
+      CALL SWEEPQ
+      WRITE (*,*) UF(129,1), UF(200,2), QQ(1,1), QQ(33,17), QQ(64,32)
+      END
+      SUBROUTINE MESH
+      PARAMETER (NC = 512, NR = 4)
+      COMMON /ZONES/ UF(1024, 3), QQ(64, 32)
+      COMMON /GRID/ ISTRT(4), IENDV(4), MCN, IR, M
+      MCN = 128
+      IR = 2
+      M = 1
+      DO 10 K = 1, NR
+      ISTRT(K) = (K - 1) * 128 + 1
+      IENDV(K) = K * 128
+   10 CONTINUE
+      DO 30 MM = 1, 3
+      DO 20 I = 1, 2 * NC
+      UF(I, MM) = MOD(I + MM, 13) * 0.25
+   20 CONTINUE
+   30 CONTINUE
+      DO 50 K = 1, 32
+      DO 40 J = 1, 64
+      QQ(J, K) = MOD(J * K, 11) * 0.1 + 0.05
+   40 CONTINUE
+   50 CONTINUE
+      RETURN
+      END
+      SUBROUTINE HYDRO
+      PARAMETER (NC = 512, NR = 4)
+      COMMON /ZONES/ UF(1024, 3), QQ(64, 32)
+      COMMON /GRID/ ISTRT(4), IENDV(4), MCN, IR, M
+      REAL WZ(64)
+      DO 300 I = ISTRT(IR), IENDV(IR)
+      UF(I, M) = UF(I + MCN, 3) * 0.5 + UF(I, M) * 0.5
+  300 CONTINUE
+      M = 2
+      DO 310 I = ISTRT(IR), IENDV(IR)
+      UF(I, M) = UF(I + MCN, 3) * 0.25 + UF(I, M) * 0.75
+  310 CONTINUE
+      DO 330 IT = 1, 4
+      DO 315 J = 1, 64
+      WZ(J) = QQ(J, 1) + QQ(J, 2)
+  315 CONTINUE
+      DO 320 J = 1, 64
+      QQ(J, 3) = WZ(J) * 0.1 + QQ(J, 4) * 0.9
+  320 CONTINUE
+  330 CONTINUE
+      RETURN
+      END
+      SUBROUTINE SWEEPQ
+      PARAMETER (NC = 512, NR = 4)
+      COMMON /ZONES/ UF(1024, 3), QQ(64, 32)
+      DO 10 K = 2, 32
+      DO 10 J = 1, 64
+      QQ(J, K) = QQ(J, K - 1) * 0.5 + QQ(J, K) * 0.5
+   10 CONTINUE
+      DO 20 J = 1, 64
+      VT = QQ(J, 1) * 0.3
+      QQ(J, 1) = VT + 0.1
+   20 CONTINUE
+      DO 30 K = 1, 32
+      CALL ZPROBE(QQ, K, 64, S)
+      QQ(1, K) = S * 0.001 + QQ(2, K)
+   30 CONTINUE
+      RETURN
+      END
+      SUBROUTINE ZPROBE(A, K, N, S)
+      REAL A(64, 32)
+      INTEGER K, N
+      S = A(1, K) * 0.5 + A(N, K) * 0.5
+      RETURN
+      END
+",
+    table3: Table3Row {
+        dependence: Cell::Used,
+        scalar_kills: Cell::Used,
+        sections: Cell::Used,
+        array_kills: Cell::Needed,
+        reductions: Cell::Blank,
+        index_arrays: Cell::Needed,
+    },
+    table4: Table4Row {
+        distribution: Cell::Blank,
+        interchange: Cell::Used,
+        fusion: Cell::Blank,
+        scalar_expansion: Cell::Blank,
+        unrolling: Cell::Blank,
+        control_flow: Cell::Blank,
+        interprocedural: Cell::Blank,
+    },
+};
+
+// ---------------------------------------------------------------------
+// arc3d — 3-D hydrodynamics (Doreen Cheng, NASA Ames)
+//
+// Features: the §4.3 filter3d fragment — `WR1` written for `1:JM`
+// columns, patched at `JMAX`, then read for `1:JMAX`, parallelizable
+// only with the interprocedural symbolic fact `JM = JMAX - 1`
+// established in the initialization routine (array kills N +
+// interprocedural symbolic analysis); adjacent conformable loops
+// (fusion U); deliberately no scalar temporaries in loops (the blank
+// `scalar kills` cell).
+// ---------------------------------------------------------------------
+
+pub static ARC3D: WorkProgram = WorkProgram {
+    name: "arc3d",
+    description: "3-D hydrodynamics code",
+    contributor: "Doreen Cheng, NASA Ames Research Center",
+    paper_lines: 3600,
+    paper_procedures: 25,
+    source: "\
+      PROGRAM ARC3D
+      PARAMETER (JD = 32, KD = 24)
+      COMMON /DIMS/ JM, JMAX, KM
+      COMMON /FIELD/ Q(32,24), SV(32,5), R1(32), R2(32)
+      CALL INITIA
+      CALL FILTER3
+      CALL RHSIDE
+      WRITE (*,*) SV(1,1), SV(16,3), SV(32,5), R2(7), R2(32)
+      END
+      SUBROUTINE INITIA
+      PARAMETER (JD = 32, KD = 24)
+      COMMON /DIMS/ JM, JMAX, KM
+      COMMON /FIELD/ Q(32,24), SV(32,5), R1(32), R2(32)
+      JMAX = 32
+      JM = JMAX - 1
+      KM = 24
+      DO 20 K = 1, KD
+      DO 10 J = 1, JD
+      Q(J,K) = MOD(J * K, 17) * 0.2 + 0.1
+   10 CONTINUE
+   20 CONTINUE
+      DO 40 K = 1, 5
+      DO 30 J = 1, JD
+      SV(J,K) = 0.0
+   30 CONTINUE
+   40 CONTINUE
+      RETURN
+      END
+      SUBROUTINE FILTER3
+      PARAMETER (JD = 32, KD = 24)
+      COMMON /DIMS/ JM, JMAX, KM
+      COMMON /FIELD/ Q(32,24), SV(32,5), R1(32), R2(32)
+      REAL WR1(32,24)
+      DO 15 N = 1, 5
+      DO 16 J = 1, JM
+      DO 16 K = 2, KM
+      WR1(J,K) = Q(J,K) * 0.5 + Q(J,K-1) * 0.5
+   16 CONTINUE
+      DO 76 K = 2, KM
+      WR1(JMAX,K) = WR1(JM,K)
+   76 CONTINUE
+      DO 17 J = 1, JMAX
+      SV(J,N) = WR1(J,2) * 0.2 + WR1(J,KM) * 0.1
+   17 CONTINUE
+   15 CONTINUE
+      RETURN
+      END
+      SUBROUTINE RHSIDE
+      PARAMETER (JD = 32, KD = 24)
+      COMMON /DIMS/ JM, JMAX, KM
+      COMMON /FIELD/ Q(32,24), SV(32,5), R1(32), R2(32)
+      DO 30 J = 1, JMAX
+      R1(J) = Q(J,1) * 0.5
+   30 CONTINUE
+      DO 40 J = 1, JMAX
+      R2(J) = Q(J,2) - R1(J)
+   40 CONTINUE
+      DO 50 K = 1, KM
+      CALL QPROBE(Q, K, S)
+      R2(1) = S * 0.001 + R1(2)
+   50 CONTINUE
+      RETURN
+      END
+      SUBROUTINE QPROBE(A, K, S)
+      REAL A(32, 24)
+      INTEGER K
+      S = A(1, K) * 0.5 + A(32, K) * 0.5
+      RETURN
+      END
+",
+    table3: Table3Row {
+        dependence: Cell::Used,
+        scalar_kills: Cell::Blank,
+        sections: Cell::Used,
+        array_kills: Cell::Needed,
+        reductions: Cell::Blank,
+        index_arrays: Cell::Blank,
+    },
+    table4: Table4Row {
+        distribution: Cell::Blank,
+        interchange: Cell::Blank,
+        fusion: Cell::Used,
+        scalar_expansion: Cell::Blank,
+        unrolling: Cell::Blank,
+        control_flow: Cell::Blank,
+        interprocedural: Cell::Blank,
+    },
+};

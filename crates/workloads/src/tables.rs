@@ -1,0 +1,342 @@
+//! Rendering of every table and figure of the paper.
+//!
+//! Each function regenerates one exhibit; the `reproduce` binary in
+//! `ped-bench` prints them, and EXPERIMENTS.md records paper-vs-measured.
+
+use crate::measure::{measure_table3, measure_table4};
+use crate::personas::{expected_used, opinion_counts, personas};
+use crate::programs::all_programs;
+use ped::usage::Feature;
+
+/// Table 1: Analyzed and Parallelized Programs.
+pub fn render_table1() -> String {
+    let mut out = String::from(
+        "Table 1: Analyzed and Parallelized Programs\n\
+         name      description                                paper(lines/procs)  ours(lines/procs)\n",
+    );
+    for p in all_programs() {
+        out.push_str(&format!(
+            "{:<9} {:<42} {:>6} / {:<5} {:>10} / {:<4}\n",
+            p.name,
+            p.description,
+            p.paper_lines,
+            p.paper_procedures,
+            p.lines(),
+            p.procedures()
+        ));
+    }
+    out
+}
+
+/// Table 2: User Interface Evaluation. The `used` column is measured from
+/// the persona sessions; opinions are replayed from the paper.
+pub fn render_table2() -> String {
+    let sessions: Vec<_> = personas().iter().map(|p| p.run()).collect();
+    let mut out = String::from(
+        "Table 2: User Interface Evaluation (measured used / replayed opinions)\n\
+         feature                    used     improve  like     dislike\n",
+    );
+    let stars = |n: usize| "*".repeat(n);
+    let mut group = "";
+    for f in Feature::all() {
+        if f.group() != group {
+            group = f.group();
+            out.push_str(&format!("{group}\n"));
+        }
+        let used = sessions.iter().filter(|s| s.usage.used(f)).count();
+        debug_assert_eq!(used, expected_used(f));
+        let (improve, like, dislike) = opinion_counts(f);
+        out.push_str(&format!(
+            "  {:<24} {:<8} {:<8} {:<8} {:<8}\n",
+            f.label(),
+            stars(used),
+            stars(improve),
+            stars(like),
+            stars(dislike)
+        ));
+    }
+    out
+}
+
+/// Table 3: Analysis Used or Needed During Workshop (measured).
+pub fn render_table3() -> String {
+    let programs = all_programs();
+    let mut out = String::from("Table 3: Analysis Used or Needed During Workshop\n");
+    out.push_str(&format!("{:<14}", ""));
+    for p in &programs {
+        out.push_str(&format!("{:>9}", p.name));
+    }
+    out.push('\n');
+    let rows = [
+        ("dependence", (|r: &crate::meta::Table3Row| r.dependence) as fn(&crate::meta::Table3Row) -> crate::meta::Cell),
+        ("scalar kills", |r: &crate::meta::Table3Row| r.scalar_kills),
+        ("sections", |r: &crate::meta::Table3Row| r.sections),
+        ("array kills", |r: &crate::meta::Table3Row| r.array_kills),
+        ("reductions", |r: &crate::meta::Table3Row| r.reductions),
+        ("index arrays", |r: &crate::meta::Table3Row| r.index_arrays),
+    ];
+    let measured: Vec<_> = programs.iter().map(|p| measure_table3(p)).collect();
+    for (label, get) in rows {
+        out.push_str(&format!("{label:<14}"));
+        for m in &measured {
+            out.push_str(&format!("{:>9}", get(m).to_string()));
+        }
+        out.push('\n');
+    }
+    out.push_str("U: existing analysis was used.  N: additional analysis was needed.\n");
+    out
+}
+
+/// Table 4: Transformations Used and Needed During the Workshop
+/// (measured by replaying each program's transformation script).
+pub fn render_table4() -> String {
+    let programs = all_programs();
+    let mut out = String::from("Table 4: Transformations Used and Needed During the Workshop\n");
+    out.push_str(&format!("{:<19}", ""));
+    for p in &programs {
+        out.push_str(&format!("{:>9}", p.name));
+    }
+    out.push('\n');
+    let rows = [
+        ("loop distribution", (|r: &crate::meta::Table4Row| r.distribution) as fn(&crate::meta::Table4Row) -> crate::meta::Cell),
+        ("loop interchange", |r: &crate::meta::Table4Row| r.interchange),
+        ("loop fusion", |r: &crate::meta::Table4Row| r.fusion),
+        ("scalar expansion", |r: &crate::meta::Table4Row| r.scalar_expansion),
+        ("loop unrolling", |r: &crate::meta::Table4Row| r.unrolling),
+        ("control flow", |r: &crate::meta::Table4Row| r.control_flow),
+        ("interprocedural", |r: &crate::meta::Table4Row| r.interprocedural),
+    ];
+    let measured: Vec<_> = programs.iter().map(|p| measure_table4(p)).collect();
+    for (label, get) in rows {
+        out.push_str(&format!("{label:<19}"));
+        for m in &measured {
+            out.push_str(&format!("{:>9}", get(m).to_string()));
+        }
+        out.push('\n');
+    }
+    out.push_str(
+        "U: existing transformation was used.  N: new transformation was needed.\n",
+    );
+    out
+}
+
+/// Figure 1: the PED window, rendered for a factorization loop in the
+/// style of the paper's screenshot.
+pub fn render_figure1() -> String {
+    let src = "\
+      PROGRAM FACTOR
+      PARAMETER (NP = 24)
+      COMMON /MAT/ COEFF(24,24), DIAG(24,24), RESULT(24,24), RHS(24,24)
+      N = 3
+      M = 2
+      NON0 = 9
+      DO 682 I = NON0 - 1, NP - 1
+      COEFF(I, I) = 1.0 / DIAG(I, N)
+      RESULT(I, M) = RHS(I, N)
+      DO 681 J = 1, I - 1
+      COEFF(J, I) = COEFF(I, J)
+  681 CONTINUE
+  682 CONTINUE
+      DO 607 J = NON0 - 1, NP - 1
+      DO 605 K = NON0 - 1, J - 1
+      DO 604 L = 1, K - 1
+      COEFF(K, J) = COEFF(K, J) - COEFF(L, K) * COEFF(L, J)
+  604 CONTINUE
+  605 CONTINUE
+  607 CONTINUE
+      WRITE (*,*) COEFF(10, 10)
+      END
+";
+    let mut session = ped::session::PedSession::open(ped_fortran::parser::parse_ok(src));
+    // Select the factorization loop (the J loop, as in the figure).
+    let j_loop = session
+        .ua
+        .nest
+        .loops
+        .iter()
+        .find(|l| l.var == "J" && l.level == 1)
+        .map(|l| l.id)
+        .expect("factor loop");
+    session.select_loop(j_loop).unwrap();
+    let mut out = String::from("Figure 1: The ParaScope Editor.\n");
+    out.push_str(&ped::render::render_window(&mut session));
+    out
+}
+
+/// Figure 2: the transformation taxonomy.
+pub fn render_figure2() -> String {
+    let mut out = String::from("Figure 2: Transformation Taxonomy for PED\n");
+    out.push_str(&ped_transform::render_taxonomy());
+    out.push_str("(+ marks the additions the paper requested in §4.3/§5.3)\n");
+    out
+}
+
+/// Parallelization & speedup summary: run the work model on every
+/// program, execute sequentially and with `workers` threads, compare
+/// outputs, and report speedups (the "parallelized programs" claim of
+/// Table 1 — shape, not Alliant numbers).
+pub fn render_speedup(workers: usize) -> String {
+    let mut out = format!(
+        "Parallelized programs: sequential vs {workers}-worker DOALL execution\n\
+         program    par.loops  output-match  races  seq-steps\n"
+    );
+    for p in all_programs() {
+        let mut session = ped::session::PedSession::open(p.parse());
+        let mut parallel_loops = 0;
+        let nunits = session.program.units.len();
+        for u in 0..nunits {
+            let name = session.program.units[u].name.clone();
+            session.select_unit(&name).unwrap();
+            let report = ped::workmodel::parallelize_unit(&mut session);
+            parallel_loops += report.parallel_count();
+        }
+        let seq = ped_runtime::run(
+            &session.program,
+            ped_runtime::RunOptions { workers: 1, ..Default::default() },
+        )
+        .expect("sequential run");
+        let par = ped_runtime::run(
+            &session.program,
+            ped_runtime::RunOptions { workers, ..Default::default() },
+        )
+        .expect("parallel run");
+        let check = ped_runtime::run(
+            &session.program,
+            ped_runtime::RunOptions { validate_parallel: true, ..Default::default() },
+        )
+        .expect("validated run");
+        out.push_str(&format!(
+            "{:<10} {:>9} {:>13} {:>6} {:>10}\n",
+            p.name,
+            parallel_loops,
+            if seq.lines == par.lines { "yes" } else { "NO" },
+            check.races.len(),
+            seq.stats.steps
+        ));
+    }
+    out
+}
+
+/// Precision ablation: carried data-dependence counts per program under
+/// increasing analysis power — the "Table 3 deltas" DESIGN.md calls out.
+/// Columns: `base` (no supporting analysis), `+interproc` (MOD/REF
+/// summaries at call sites), `+symbolic` (global and invariant relation
+/// facts), and finally the loops certified parallel by the full work
+/// model.
+pub fn render_ablation() -> String {
+    let mut out = String::from(
+        "Ablation: carried dependences under increasing analysis power\n\
+         program       base  +interproc  +symbolic  parallel-loops\n",
+    );
+    for p in all_programs() {
+        let program = p.parse();
+        let effects = ped_interproc::modref_analyze(&program);
+        let gfacts = ped_analysis::global::global_symbolic_facts(&program);
+        let count = |use_fx: bool, use_facts: bool| -> usize {
+            let mut total = 0;
+            for unit in &program.units {
+                let mut env = ped_analysis::symbolic::SymbolicEnv::new();
+                if use_facts {
+                    env = gfacts.clone();
+                    let symbols = ped_fortran::symbols::SymbolTable::build(unit);
+                    let refs = ped_analysis::refs::RefTable::build(unit, &symbols);
+                    let cfg = ped_analysis::Cfg::build(unit);
+                    let local = ped_analysis::symbolic::detect_invariant_relations(
+                        unit, &symbols, &refs, &cfg,
+                    );
+                    for (n, l) in local.subst {
+                        env.add_subst(n, l);
+                    }
+                }
+                let ua = ped_transform::ctx::UnitAnalysis::build(
+                    unit,
+                    env,
+                    if use_fx { Some(&effects) } else { None },
+                );
+                for l in &ua.nest.loops {
+                    total += ua.graph.parallelism_inhibitors(l.id).count();
+                }
+            }
+            total
+        };
+        let base = count(false, false);
+        let fx = count(true, false);
+        let full = count(true, true);
+        let mut session = ped::session::PedSession::open(p.parse());
+        let mut parallel = 0;
+        let n = session.program.units.len();
+        for u in 0..n {
+            let name = session.program.units[u].name.clone();
+            session.select_unit(&name).unwrap();
+            parallel += ped::workmodel::parallelize_unit(&mut session).parallel_count();
+        }
+        out.push_str(&format!(
+            "{:<12} {:>5} {:>11} {:>10} {:>15}\n",
+            p.name, base, fx, full, parallel
+        ));
+    }
+    out.push_str(
+        "(each column should be <= the previous: added analysis only removes dependences)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_programs() {
+        let t = render_table1();
+        for p in all_programs() {
+            assert!(t.contains(p.name), "{t}");
+        }
+        assert!(t.contains("5600"));
+    }
+
+    #[test]
+    fn table2_has_groups_and_stars() {
+        let t = render_table2();
+        assert!(t.contains("user interaction"), "{t}");
+        assert!(t.contains("navigation"), "{t}");
+        assert!(t.contains("dependence deletion"), "{t}");
+        assert!(t.contains("******"), "{t}"); // six users deleted deps
+    }
+
+    #[test]
+    fn table3_has_u_and_n_cells() {
+        let t = render_table3();
+        assert!(t.contains("dependence"), "{t}");
+        assert!(t.contains("U"), "{t}");
+        assert!(t.contains("N"), "{t}");
+    }
+
+    #[test]
+    fn figure1_shows_coeff_dependences() {
+        let f = render_figure1();
+        assert!(f.contains("COEFF"), "{f}");
+        assert!(f.contains("TYPE"), "{f}");
+        assert!(f.contains("True") || f.contains("Output"), "{f}");
+    }
+
+    #[test]
+    fn figure2_lists_taxonomy() {
+        let f = render_figure2();
+        assert!(f.contains("Reordering"), "{f}");
+        assert!(f.contains("Loop Skewing"), "{f}");
+    }
+
+    #[test]
+    fn speedup_outputs_match_and_race_free() {
+        let t = render_speedup(4);
+        assert!(!t.contains("NO"), "parallel output mismatch:\n{t}");
+        // All race counts are 0.
+        for line in t.lines().skip(2) {
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            if cols.len() >= 4 {
+                assert_eq!(cols[3], "0", "races in {line}");
+            }
+        }
+    }
+}
+

@@ -1,0 +1,33 @@
+//! The Figure-1 walkthrough: render the PED window for the paper's
+//! factorization loop, exercise view filtering and dependence marking,
+//! and show the navigation ranking.
+//!
+//! ```text
+//! cargo run --example editor_session
+//! ```
+
+use parascope::editor::filter::DepFilter;
+use parascope::workloads::tables;
+
+fn main() {
+    // The full window, as in Figure 1.
+    println!("{}", tables::render_figure1());
+
+    // A live session on pueblo3d with filtering and marking.
+    let program = parascope::workloads::program("pueblo3d").unwrap().parse();
+    let mut session = parascope::editor::session::PedSession::open(program);
+    session.select_unit("HYDRO").unwrap();
+    session.select_loop(parascope::analysis::loops::LoopId(0)).unwrap();
+
+    println!("== pending dependences only (view filter: mark=pending) ==");
+    let filter = DepFilter::parse("mark=pending").unwrap();
+    for row in session.dependence_rows(&filter) {
+        println!("{:<7} {:<16} -> {:<16} {}", row.kind, row.source, row.sink, row.vector);
+    }
+
+    println!("\n== navigation: where should attention go first? ==");
+    let ranks = session.navigate(None);
+    println!("{}", parascope::estimate::rank::render_ranking(&ranks, 8));
+
+    println!("== call graph ==\n{}", session.call_graph());
+}

@@ -1,0 +1,24 @@
+//! # parascope — a Rust reproduction of the ParaScope Editor (PED)
+//!
+//! Umbrella crate re-exporting the full stack; see the README for the
+//! architecture and `examples/` for runnable walkthroughs.
+//!
+//! * [`fortran`] — fixed-form Fortran 77 front end
+//! * [`analysis`] — CFG, data-flow, symbolic and privatization analyses
+//! * [`dependence`] — the hierarchical dependence test suite
+//! * [`interproc`] — MOD/REF, KILL, sections, constants, composition
+//! * [`transform`] — the Figure-2 transformation taxonomy
+//! * [`runtime`] — the parallel (DOALL) execution substrate
+//! * [`estimate`] — static performance estimation
+//! * [`editor`] — the PED session itself
+//! * [`workloads`] — the eight PPOPP'93 workshop programs
+
+pub use ped as editor;
+pub use ped_analysis as analysis;
+pub use ped_dependence as dependence;
+pub use ped_estimate as estimate;
+pub use ped_fortran as fortran;
+pub use ped_interproc as interproc;
+pub use ped_runtime as runtime;
+pub use ped_transform as transform;
+pub use ped_workloads as workloads;

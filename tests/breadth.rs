@@ -1,0 +1,299 @@
+//! Breadth coverage across the stack: parser recovery, runtime edge
+//! cases, editor features, estimator behavior — the paths the focused
+//! suites touch lightly.
+
+use parascope::analysis::loops::LoopId;
+use parascope::editor::filter::{SourceFilter, VarFilter};
+use parascope::editor::session::PedSession;
+use parascope::fortran::parser::{parse, parse_ok};
+use parascope::runtime::{run, RunOptions, Value};
+
+// --- parser recovery -----------------------------------------------------
+
+#[test]
+fn parser_recovers_from_bad_statements() {
+    let src = "      X = 1\n      THIS IS NOT FORTRAN ???\n      Y = 2\n      END\n";
+    let (program, diags) = parse(src);
+    assert!(diags.has_errors());
+    // Both good statements survive.
+    let text = parascope::fortran::print_program(&program);
+    assert!(text.contains("X = 1"), "{text}");
+    assert!(text.contains("Y = 2"), "{text}");
+}
+
+#[test]
+fn parser_reports_unbalanced_parens() {
+    let (_, diags) = parse("      X = (1 + 2\n      END\n");
+    assert!(diags.has_errors());
+}
+
+#[test]
+fn parser_handles_deeply_nested_structures() {
+    let mut src = String::new();
+    for i in 0..8 {
+        src.push_str(&format!("      DO {} I{} = 1, 2\n", 100 + i, i));
+    }
+    src.push_str("      X = X + 1.0\n");
+    for i in (0..8).rev() {
+        src.push_str(&format!("  {} CONTINUE\n", 100 + i));
+    }
+    src.push_str("      WRITE (*,*) X\n      END\n");
+    let p = parse_ok(&src);
+    let nest = parascope::analysis::loops::LoopNest::build(&p.units[0]);
+    assert_eq!(nest.len(), 8);
+    let out = run(&p, RunOptions::default()).unwrap();
+    assert_eq!(out.lines, ["256.0"]);
+}
+
+// --- runtime edge cases ----------------------------------------------------
+
+#[test]
+fn negative_step_loop_runs_backward() {
+    let src = "      K = 0\n      DO 10 I = 10, 1, -2\n      K = K + I\n   10 CONTINUE\n      WRITE (*,*) K, I\n      END\n";
+    let out = run(&parse_ok(src), RunOptions::default()).unwrap();
+    // 10+8+6+4+2 = 30; loop variable ends at 0.
+    assert_eq!(out.lines, ["30 0"]);
+}
+
+#[test]
+fn computed_goto_executes_all_branches() {
+    let src = "      S = 0.0\n      DO 50 K = 1, 4\n      GOTO (10, 20, 30) K\n      S = S + 1000.0\n      GOTO 40\n   10 S = S + 1.0\n      GOTO 40\n   20 S = S + 10.0\n      GOTO 40\n   30 S = S + 100.0\n   40 CONTINUE\n   50 CONTINUE\n      WRITE (*,*) S\n      END\n";
+    let out = run(&parse_ok(src), RunOptions::default()).unwrap();
+    assert_eq!(out.lines, ["1111.0"]);
+}
+
+#[test]
+fn nested_function_calls() {
+    let src = "      Y = F(G(2.0)) + G(F(1.0))\n      WRITE (*,*) Y\n      END\n      REAL FUNCTION F(X)\n      F = X + 1.0\n      RETURN\n      END\n      REAL FUNCTION G(X)\n      G = X * 2.0\n      RETURN\n      END\n";
+    // F(G(2)) = F(4) = 5; G(F(1)) = G(2) = 4 → 9.
+    let out = run(&parse_ok(src), RunOptions::default()).unwrap();
+    assert_eq!(out.lines, ["9.0"]);
+}
+
+#[test]
+fn blank_common_is_shared() {
+    let src = "      COMMON // X\n      X = 7.0\n      CALL SHOW\n      END\n      SUBROUTINE SHOW\n      COMMON // X\n      WRITE (*,*) X\n      RETURN\n      END\n";
+    let out = run(&parse_ok(src), RunOptions::default()).unwrap();
+    assert_eq!(out.lines, ["7.0"]);
+}
+
+#[test]
+fn logical_values_and_branches() {
+    let src = "      LOGICAL P\n      P = .TRUE.\n      IF (P .AND. .NOT. .FALSE.) THEN\n      WRITE (*,*) 'YES'\n      END IF\n      END\n";
+    let out = run(&parse_ok(src), RunOptions::default()).unwrap();
+    assert_eq!(out.lines, ["YES"]);
+}
+
+#[test]
+fn read_feeds_loop_bounds() {
+    let src = "      READ (*,*) N\n      S = 0.0\n      DO 10 I = 1, N\n      S = S + 1.0\n   10 CONTINUE\n      WRITE (*,*) S\n      END\n";
+    let out = run(
+        &parse_ok(src),
+        RunOptions { input: vec![Value::Int(17)], ..Default::default() },
+    )
+    .unwrap();
+    assert_eq!(out.lines, ["17.0"]);
+}
+
+#[test]
+fn parallel_nested_loops_only_outer_runs_parallel() {
+    // Nested Parallel marks: the inner loop runs sequentially inside
+    // workers (no nested thread explosion), output still correct.
+    let src = "      REAL A(32, 32)\n      DO 10 J = 1, 32\n      DO 20 I = 1, 32\n      A(I,J) = I * J\n   20 CONTINUE\n   10 CONTINUE\n      WRITE (*,*) A(32,32)\n      END\n";
+    let mut p = parse_ok(src);
+    // Mark both loops parallel.
+    parascope::fortran::ast::walk_stmts_mut(&mut p.units[0].body, &mut |s| {
+        if let parascope::fortran::ast::StmtKind::Do { sched, .. } = &mut s.kind {
+            *sched = parascope::fortran::ast::LoopSched::Parallel;
+        }
+    });
+    let out = run(&p, RunOptions { workers: 4, ..Default::default() }).unwrap();
+    assert_eq!(out.lines, ["1024.0"]);
+    assert_eq!(out.stats.parallel_loops, 1, "inner loop must not re-fork");
+}
+
+// --- editor features ---------------------------------------------------------
+
+#[test]
+fn source_filters_classify_lines() {
+    let loop_header = SourceFilter::LoopHeader;
+    let labelled = SourceFilter::Labelled;
+    let both = SourceFilter::And(Box::new(loop_header.clone()), Box::new(labelled.clone()));
+    assert!(loop_header.matches("      DO 10 I = 1, N"));
+    assert!(both.matches("   20 DO 10 I = 1, N"));
+    assert!(!both.matches("      DO 10 I = 1, N"));
+    let not_loop = SourceFilter::Not(Box::new(loop_header));
+    assert!(not_loop.matches("      X = 1"));
+}
+
+#[test]
+fn variable_filters_narrow_the_pane() {
+    let src = "      REAL A(10)\n      COMMON /G/ C\n      DO 10 I = 1, 10\n      T = A(I)\n      A(I) = T + C\n   10 CONTINUE\n      END\n";
+    let mut s = PedSession::open(parse_ok(src));
+    s.select_loop(LoopId(0)).unwrap();
+    let arrays = s.variable_rows(&VarFilter::ArraysOnly);
+    assert!(arrays.iter().all(|r| r.dim > 0));
+    assert!(arrays.iter().any(|r| r.name == "A"));
+    let scalars = s.variable_rows(&VarFilter::ScalarsOnly);
+    assert!(scalars.iter().all(|r| r.dim == 0));
+    let in_g = s.variable_rows(&VarFilter::InCommon(Some("G".into())));
+    assert_eq!(in_g.len(), 1);
+    assert_eq!(in_g[0].name, "C");
+    let private = s.variable_rows(&VarFilter::PrivateOnly);
+    assert!(private.iter().any(|r| r.name == "T"));
+    assert!(private.iter().all(|r| r.kind.starts_with("private")));
+}
+
+#[test]
+fn help_covers_documented_topics() {
+    let mut s = PedSession::open(parse_ok("      X = 1\n      END\n"));
+    for topic in ["dependence", "marking", "assertions", "transformations"] {
+        let text = s.help(topic);
+        assert!(text.len() > 40, "{topic}: {text}");
+    }
+    assert!(s.help("nonsense").contains("Topics"));
+}
+
+#[test]
+fn session_transform_with_reanalyzes() {
+    let src = "      REAL A(100), B(100), C(100)\n      DO 10 I = 2, N\n      A(I) = A(I-1)\n      B(I) = C(I)\n   10 CONTINUE\n      END\n";
+    let mut s = PedSession::open(parse_ok(src));
+    let loops_before = s.ua.nest.len();
+    s.transform_with(|p, idx, ua| {
+        parascope::transform::reorder::distribute(p, idx, ua, ua.nest.roots[0])
+    })
+    .unwrap();
+    assert!(s.ua.nest.len() > loops_before);
+    // The B loop is now parallel.
+    let parallel = s
+        .ua
+        .nest
+        .loops
+        .iter()
+        .filter(|l| s.impediments(l.id).is_parallel())
+        .count();
+    assert!(parallel >= 1);
+}
+
+#[test]
+fn figure1_window_has_marked_dependence_rows() {
+    let f = parascope::workloads::tables::render_figure1();
+    // Output dependences on COEFF like the paper's pane.
+    assert!(f.contains("Output") || f.contains("True"), "{f}");
+    assert!(f.contains("proven") || f.contains("pending"), "{f}");
+}
+
+// --- estimator ---------------------------------------------------------------
+
+#[test]
+fn estimator_charges_calls_transitively() {
+    let pc = parascope::estimate::estimate_program(
+        &parascope::workloads::program("spec77").unwrap().parse(),
+        &parascope::estimate::CostModel::default(),
+    );
+    let main = pc.unit("SPEC77").unwrap().per_call;
+    let gloop = pc.unit("GLOOP").unwrap().per_call;
+    assert!(main > gloop, "main includes gloop: {main} vs {gloop}");
+}
+
+#[test]
+fn navigation_points_at_the_heavy_unit() {
+    let mut s = PedSession::open(parascope::workloads::program("nxsns").unwrap().parse());
+    let ranks = s.navigate(None);
+    assert!(!ranks.is_empty());
+    // The XSECT loop calling OVERLP per iteration dominates.
+    assert_eq!(ranks[0].unit, "XSECT", "{:?}", &ranks[..3.min(ranks.len())]);
+}
+
+// --- interproc breadth --------------------------------------------------------
+
+#[test]
+fn sections_disjointness_queries() {
+    let src = "      PROGRAM M\n      REAL A(100)\n      CALL EDGE(A, 100)\n      END\n      SUBROUTINE EDGE(V, N)\n      REAL V(N)\n      V(1) = 0.0\n      V(N) = 0.0\n      RETURN\n      END\n";
+    let p = parse_ok(src);
+    let env = parascope::analysis::symbolic::SymbolicEnv::new();
+    let m = parascope::interproc::sections_analyze(&p, &env);
+    use parascope::analysis::section::{DimRange, Section};
+    use parascope::analysis::symbolic::LinExpr;
+    let mid = Section {
+        dims: vec![DimRange { lo: LinExpr::constant(2), hi: LinExpr::constant(50) }],
+    };
+    // EDGE writes only V(1) and V(N): disjoint from the interior when
+    // N >= 51 is known.
+    let mut env2 = parascope::analysis::symbolic::SymbolicEnv::new();
+    env2.add_range("N", parascope::analysis::symbolic::Range::at_least(51));
+    assert!(!parascope::interproc::call_may_conflict(&m, &env2, "EDGE", 0, &mid, true));
+    // Without the range fact, V(N) might land inside: conflict possible.
+    assert!(parascope::interproc::call_may_conflict(&m, &env, "EDGE", 0, &mid, true));
+}
+
+#[test]
+fn kill_summaries_expose_must_defines() {
+    let src = "      SUBROUTINE S(X, Y, C)\n      X = 1.0\n      IF (C .GT. 0.0) THEN\n      Y = 2.0\n      END IF\n      RETURN\n      END\n";
+    let p = parse_ok(src);
+    let fx = parascope::interproc::modref_analyze(&p);
+    let e = &fx["S"];
+    assert_eq!(e.kill_params, [0], "only X is killed on every path");
+    assert!(e.mod_params.contains(&1), "Y is still may-modified");
+}
+
+// --- editing (§3.1) -------------------------------------------------------
+
+#[test]
+fn editing_a_statement_reanalyzes() {
+    let src = "      REAL A(100), B(100)\n      DO 10 I = 2, N\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n";
+    let mut s = PedSession::open(parse_ok(src));
+    s.select_loop(LoopId(0)).unwrap();
+    assert!(!s.impediments(LoopId(0)).is_parallel());
+    // The user edits away the recurrence.
+    let body_stmt = s.ua.nest.loops[0].body[0];
+    s.edit_statement(body_stmt, "A(I) = B(I)").unwrap();
+    assert!(s.impediments(LoopId(0)).is_parallel());
+    let txt = parascope::fortran::print_program(&s.program);
+    assert!(txt.contains("A(I) = B(I)"), "{txt}");
+    assert!(!txt.contains("A(I - 1)"), "{txt}");
+}
+
+#[test]
+fn bad_edits_are_rejected_with_diagnostics() {
+    let src = "      REAL A(100)\n      DO 10 I = 1, N\n      A(I) = 0.0\n   10 CONTINUE\n      END\n";
+    let mut s = PedSession::open(parse_ok(src));
+    let body_stmt = s.ua.nest.loops[0].body[0];
+    let before = parascope::fortran::print_program(&s.program);
+    assert!(s.edit_statement(body_stmt, "THIS IS ?? NOT FORTRAN").is_err());
+    assert!(s.edit_statement(body_stmt, "A(I = 1").is_err());
+    // Nothing changed.
+    assert_eq!(before, parascope::fortran::print_program(&s.program));
+}
+
+#[test]
+fn inserting_statements_and_labels_survive() {
+    let src = "      REAL A(100)\n   20 X = 1.0\n      DO 10 I = 1, N\n      A(I) = X\n   10 CONTINUE\n      END\n";
+    let mut s = PedSession::open(parse_ok(src));
+    let anchor = s.program.units[0].body[0].id;
+    s.insert_statement_after(anchor, "Y = X * 2.0").unwrap();
+    let txt = parascope::fortran::print_program(&s.program);
+    assert!(txt.contains("Y = X * 2.0"), "{txt}");
+    // The label on the edited-around statement is intact.
+    assert!(txt.contains("   20 X = 1.0"), "{txt}");
+    // Edits preserve labels too.
+    let labelled = s.program.units[0].body[0].id;
+    s.edit_statement(labelled, "X = 3.0").unwrap();
+    let txt = parascope::fortran::print_program(&s.program);
+    assert!(txt.contains("   20 X = 3.0"), "{txt}");
+}
+
+#[test]
+fn induction_elimination_via_session() {
+    let src = "      REAL A(200), B(64)\n      K = 0\n      DO 10 I = 1, 64\n      K = K + 3\n      A(K) = B(I)\n   10 CONTINUE\n      WRITE (*,*) K, A(3)\n      END\n";
+    let mut s = PedSession::open(parse_ok(src));
+    let before = s.run(RunOptions::default()).unwrap().lines;
+    let l = s.ua.nest.roots[0];
+    assert!(!s.impediments(l).is_parallel());
+    s.transform_with(|p, idx, ua| {
+        parascope::transform::induction::induction_elimination(p, idx, ua, ua.nest.roots[0], "K")
+    })
+    .unwrap();
+    let after = s.run(RunOptions::default()).unwrap().lines;
+    assert_eq!(before, after);
+}

@@ -1,0 +1,331 @@
+//! End-to-end reproductions of the paper's §3.3 / §4.3 / §5.3 case
+//! studies, each driven through the public `PedSession` API.
+
+use parascope::analysis::loops::LoopId;
+use parascope::editor::filter::DepFilter;
+use parascope::editor::session::{PedSession, VarClass};
+use parascope::editor::workmodel;
+use parascope::fortran::parser::parse_ok;
+
+/// §3.3: the pueblo3d `MCN` assertion. "This program ensures that
+/// MCN > IENDV(IR) - ISTRT(IR) and therefore, there are no loop-carried
+/// dependences on UF."
+#[test]
+fn pueblo3d_mcn_assertion_enables_parallelization() {
+    let program = parascope::workloads::program("pueblo3d").unwrap().parse();
+    let mut s = PedSession::open(program);
+    s.select_unit("HYDRO").unwrap();
+    s.select_loop(LoopId(0)).unwrap();
+    assert!(!s.impediments(LoopId(0)).is_parallel());
+    s.assert_fact("MCN .GT. IENDV(IR) - ISTRT(IR)").unwrap();
+    assert!(s.impediments(LoopId(0)).is_parallel());
+    s.parallelize(LoopId(0)).unwrap();
+    // Certification holds under the deterministic race checker and the
+    // actual 8-worker execution.
+    let checked = s
+        .run(parascope::runtime::RunOptions { validate_parallel: true, ..Default::default() })
+        .unwrap();
+    assert!(checked.races.is_empty(), "{:?}", checked.races);
+    let seq = s
+        .run(parascope::runtime::RunOptions { workers: 1, ..Default::default() })
+        .unwrap();
+    let par = s
+        .run(parascope::runtime::RunOptions { workers: 8, ..Default::default() })
+        .unwrap();
+    assert_eq!(seq.lines, par.lines);
+}
+
+/// §4.3: the arc3d `JM = JMAX - 1` relation, established in the
+/// initialization routine, lets array kill analysis privatize WR1 and
+/// parallelize the `DO 15` loop.
+#[test]
+fn arc3d_symbolic_relation_plus_array_kill() {
+    let program = parascope::workloads::program("arc3d").unwrap().parse();
+    let mut s = PedSession::open(program);
+    s.select_unit("FILTER3").unwrap();
+    let outer = s
+        .ua
+        .nest
+        .loops
+        .iter()
+        .find(|l| l.var == "N")
+        .map(|l| l.id)
+        .expect("the DO 15 N loop");
+    let report = s.impediments(outer);
+    assert!(
+        report.is_parallel(),
+        "DO 15 should be parallel via WR1 privatization: {:?}",
+        report.impediments
+    );
+    assert!(report.privatized_arrays.contains(&"WR1".to_string()));
+    s.parallelize(outer).unwrap();
+    let checked = s
+        .run(parascope::runtime::RunOptions { validate_parallel: true, ..Default::default() })
+        .unwrap();
+    assert!(checked.races.is_empty(), "{:?}", checked.races);
+}
+
+/// §4.3 (negative control): without the JM = JMAX - 1 relation, the
+/// boundary patch leaves WR1 exposed and the loop blocked.
+#[test]
+fn arc3d_without_relation_stays_blocked() {
+    let program = parascope::workloads::program("arc3d").unwrap().parse();
+    let unit = program.unit("FILTER3").unwrap();
+    // Plain analysis with an empty fact environment.
+    let ua = parascope::transform::ctx::UnitAnalysis::build(
+        unit,
+        parascope::analysis::symbolic::SymbolicEnv::new(),
+        None,
+    );
+    let outer = ua.nest.loops.iter().find(|l| l.var == "N").unwrap();
+    let report = parascope::transform::analyze_parallelization(unit, &ua, outer.id);
+    assert!(!report.is_parallel(), "facts should be required");
+}
+
+/// §5.3: the neoss GOTO loop. Control-flow structuring turns the
+/// arithmetic-IF idiom into IF-THEN-ELSE, after which the loop
+/// parallelizes (X privatized, TEMP a recognized reduction).
+#[test]
+fn neoss_structuring_unblocks_parallelization() {
+    let mut program = parascope::workloads::program("neoss").unwrap().parse();
+    let idx = program.units.iter().position(|u| u.name == "EOSCAN").unwrap();
+    parascope::transform::structure::simplify_control_flow(&mut program, idx).unwrap();
+    let text = parascope::fortran::print_program(&program);
+    assert!(text.contains(".GE. 0) THEN"), "{text}");
+    let mut s = PedSession::open(program);
+    s.select_unit("EOSCAN").unwrap();
+    let scan_loop = s
+        .ua
+        .nest
+        .loops
+        .iter()
+        .find(|l| l.level == 1)
+        .map(|l| l.id)
+        .unwrap();
+    let report = s.impediments(scan_loop);
+    assert!(report.is_parallel(), "{:?}", report.impediments);
+    assert!(report.privatized.contains(&"X".to_string()));
+    assert!(report.reductions.contains(&"TEMP".to_string()));
+}
+
+/// §5.3: spec77's gloop — loop extraction moves SWEEP's loop into the
+/// caller; after the user rejects the conservative whole-array
+/// dependences, interchange puts the long loop outermost.
+#[test]
+fn spec77_extraction_and_interchange() {
+    let mut program = parascope::workloads::program("spec77").unwrap().parse();
+    // Find the CALL SWEEP site inside GLOOP's L loop.
+    let gidx = program.units.iter().position(|u| u.name == "GLOOP").unwrap();
+    let nest = parascope::analysis::loops::LoopNest::build(&program.units[gidx]);
+    let call = nest
+        .loops
+        .iter()
+        .flat_map(|l| l.body.iter())
+        .find_map(|&sid| {
+            parascope::fortran::ast::find_stmt(&program.units[gidx].body, sid).and_then(|st| {
+                match &st.kind {
+                    parascope::fortran::ast::StmtKind::Call { name, .. } if name == "SWEEP" => {
+                        Some(sid)
+                    }
+                    _ => None,
+                }
+            })
+        })
+        .expect("CALL SWEEP in a loop");
+    parascope::transform::interproc::extract_loop(&mut program, "GLOOP", call, "SWEEP").unwrap();
+    assert!(program.unit("SWEEPX").is_some());
+    // Execution semantics preserved.
+    let orig = parascope::workloads::program("spec77").unwrap().parse();
+    let before = parascope::runtime::run(&orig, Default::default()).unwrap();
+    let after = parascope::runtime::run(&program, Default::default()).unwrap();
+    assert_eq!(before.lines, after.lines);
+}
+
+/// §3.1: dependence marking — rejected dependences are disregarded for
+/// safety but kept for reconsideration; proven ones cannot be rejected.
+#[test]
+fn marking_discipline_end_to_end() {
+    let src = "      REAL A(100)\n      INTEGER IX(100)\n      DO 10 I = 2, N\n      A(I) = A(I-1) + A(IX(I))\n   10 CONTINUE\n      END\n";
+    let mut s = PedSession::open(parse_ok(src));
+    s.select_loop(LoopId(0)).unwrap();
+    let rows = s.dependence_rows(&DepFilter::All);
+    // The A(I-1) recurrence is proven; the IX-subscripted dep is pending.
+    assert!(rows.iter().any(|r| r.mark == parascope::dependence::Mark::Proven));
+    assert!(rows.iter().any(|r| r.mark == parascope::dependence::Mark::Pending));
+    // Power steering: reject all pending deps on A.
+    let n = s.mark_dependences_where(
+        &DepFilter::parse("mark=pending & var=A").unwrap(),
+        parascope::dependence::Mark::Rejected,
+        Some("IX is a permutation"),
+    );
+    assert!(n > 0);
+    // Proven recurrence still blocks parallelization.
+    assert!(!s.impediments(LoopId(0)).is_parallel());
+    // And the proven dep cannot be rejected.
+    let proven = s.ua.graph.deps.iter().find(|d| d.exact && d.var == "A").unwrap().id;
+    assert!(s
+        .ua
+        .marking
+        .set(proven, parascope::dependence::Mark::Rejected, None)
+        .is_err());
+}
+
+/// §3.1: variable classification corrects overly conservative analysis
+/// and the resulting decrease in dependences is visible.
+#[test]
+fn classification_reduces_impediments() {
+    let src = "      REAL A(100), B(100)\n      DO 10 I = 1, N\n      IF (A(I) .GT. 0.0) THEN\n      T = A(I)\n      ELSE\n      T = T\n      END IF\n      B(I) = T\n   10 CONTINUE\n      END\n";
+    let mut s = PedSession::open(parse_ok(src));
+    s.select_loop(LoopId(0)).unwrap();
+    let before = s.impediments(LoopId(0)).impediments.len();
+    assert!(before > 0);
+    s.classify_variable("T", VarClass::Private, Some("user knows better".into())).unwrap();
+    let after = s.impediments(LoopId(0)).impediments.len();
+    assert!(after < before);
+}
+
+/// The work model sweeps every workshop program without panicking and
+/// preserves program output for each.
+#[test]
+fn work_model_preserves_semantics_everywhere() {
+    for p in parascope::workloads::all_programs() {
+        let baseline = parascope::runtime::run(&p.parse(), Default::default()).unwrap();
+        let mut s = PedSession::open(p.parse());
+        let n = s.program.units.len();
+        for u in 0..n {
+            let name = s.program.units[u].name.clone();
+            s.select_unit(&name).unwrap();
+            workmodel::parallelize_unit(&mut s);
+        }
+        let seq = s
+            .run(parascope::runtime::RunOptions { workers: 1, ..Default::default() })
+            .unwrap();
+        let par = s
+            .run(parascope::runtime::RunOptions { workers: 8, ..Default::default() })
+            .unwrap();
+        assert_eq!(baseline.lines, seq.lines, "{}: sequential output changed", p.name);
+        assert_eq!(baseline.lines, par.lines, "{}: parallel output differs", p.name);
+    }
+}
+
+/// §5.3's full spec77 recipe for loops with *multiple* calls: "the loops
+/// of the called procedures were first fused before applying
+/// interchange" — fuse inside the callee, extract the fused loop to the
+/// caller, reject the conservative whole-array deps, interchange.
+#[test]
+fn spec77_fuse_then_extract_then_interchange() {
+    let src = "\
+      PROGRAM MAIN
+      REAL U(64, 8)
+      DO 5 L = 1, 8
+      DO 5 J = 1, 64
+      U(J,L) = MOD(J + L, 9) * 0.5
+    5 CONTINUE
+      DO 10 L = 1, 8
+      CALL PHYS(U, L, 64)
+   10 CONTINUE
+      WRITE (*,*) U(1,1), U(64,8)
+      END
+      SUBROUTINE PHYS(A, L, N)
+      REAL A(64, 8)
+      INTEGER L, N
+      DO 20 J = 1, N
+      A(J, L) = A(J, L) * 1.5
+   20 CONTINUE
+      DO 30 J = 1, N
+      A(J, L) = A(J, L) + 0.25
+   30 CONTINUE
+      RETURN
+      END
+";
+    let mut program = parse_ok(src);
+    let baseline = parascope::runtime::run(&program, Default::default()).unwrap();
+    // 1. Fuse the two loops inside the callee.
+    let pidx = program.units.iter().position(|u| u.name == "PHYS").unwrap();
+    let ua = parascope::transform::ctx::UnitAnalysis::build(
+        &program.units[pidx],
+        parascope::analysis::symbolic::SymbolicEnv::new(),
+        None,
+    );
+    let (l1, l2) = (ua.nest.roots[0], ua.nest.roots[1]);
+    parascope::transform::reorder::fuse(&mut program, pidx, &ua, l1, l2).unwrap();
+    // 2. Extract the (now single) callee loop to the caller.
+    let midx = program.units.iter().position(|u| u.name == "MAIN").unwrap();
+    let nest = parascope::analysis::loops::LoopNest::build(&program.units[midx]);
+    let call = nest
+        .loops
+        .iter()
+        .flat_map(|l| l.body.iter())
+        .find_map(|&sid| {
+            parascope::fortran::ast::find_stmt(&program.units[midx].body, sid).and_then(|st| {
+                matches!(&st.kind,
+                    parascope::fortran::ast::StmtKind::Call { name, .. } if name == "PHYS")
+                .then_some(sid)
+            })
+        })
+        .unwrap();
+    parascope::transform::interproc::extract_loop(&mut program, "MAIN", call, "PHYS").unwrap();
+    // 3. Reject the whole-array call dependences (user knowledge) and
+    //    interchange so the 64-trip J loop is outermost.
+    let mut fx = parascope::analysis::defuse::EffectsMap::new();
+    fx.insert(
+        "PHYSX".into(),
+        parascope::analysis::defuse::ProcEffects {
+            mod_params: vec![0],
+            ref_params: vec![0, 1, 2, 3],
+            ..Default::default()
+        },
+    );
+    let mut ua = parascope::transform::ctx::UnitAnalysis::build(
+        &program.units[midx],
+        parascope::analysis::symbolic::SymbolicEnv::new(),
+        Some(&fx),
+    );
+    let outer = ua
+        .nest
+        .roots
+        .iter()
+        .copied()
+        .find(|&l| ua.nest.get(l).var == "L" && !ua.nest.get(l).children.is_empty())
+        .unwrap();
+    let pending: Vec<_> = ua
+        .graph
+        .deps
+        .iter()
+        .filter(|d| d.var == "U" && !d.exact)
+        .map(|d| d.id)
+        .collect();
+    for id in pending {
+        ua.marking
+            .set(id, parascope::dependence::Mark::Rejected, Some("columns are disjoint".into()))
+            .unwrap();
+    }
+    parascope::transform::reorder::interchange(&mut program, midx, &ua, outer).unwrap();
+    // Semantics held through the whole pipeline.
+    let after = parascope::runtime::run(&program, Default::default()).unwrap();
+    assert_eq!(baseline.lines, after.lines);
+    // And the J loop is now outermost in MAIN.
+    let nest = parascope::analysis::loops::LoopNest::build(&program.units[midx]);
+    let outer_vars: Vec<&str> = nest
+        .roots
+        .iter()
+        .map(|&l| nest.get(l).var.as_str())
+        .collect();
+    assert!(outer_vars.contains(&"J"), "{outer_vars:?}");
+}
+
+/// §3.2: the printable session report.
+#[test]
+fn session_report_prints_everything() {
+    let src = "      REAL A(100)\n      DO 10 I = 2, N\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n";
+    let mut s = PedSession::open(parse_ok(src));
+    s.select_loop(LoopId(0)).unwrap();
+    s.assert_fact("RANGE(N, 2, 100)").unwrap();
+    let report = s.print_report();
+    assert!(report.contains("=== program ==="), "{report}");
+    assert!(report.contains("A(I) = A(I - 1)"), "{report}");
+    assert!(report.contains("=== dependences"), "{report}");
+    assert!(report.contains("=== variables"), "{report}");
+    assert!(report.contains("ASSERT RANGE(N, 2, 100)"), "{report}");
+    assert!(report.contains("proven"), "{report}");
+}

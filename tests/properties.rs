@@ -1,0 +1,269 @@
+//! Property-based tests over the core invariants.
+//!
+//! The central one is *dependence-test soundness*: for random affine
+//! subscript pairs, whenever the hierarchical suite answers
+//! `Independent`, a brute-force enumeration of the iteration space must
+//! find no conflicting pair — i.e. the suite never lies in the dangerous
+//! direction. A full-pipeline property follows: auto-parallelizing a
+//! random generated program must not change its output.
+
+use proptest::prelude::*;
+
+use parascope::analysis::symbolic::{LinExpr, SymbolicEnv};
+use parascope::dependence::suite::{test_pair, LoopCtx, TestResult};
+use parascope::fortran::parser::{parse_expr_str, parse_ok};
+use parascope::fortran::pretty::print_expr;
+
+fn lin_affine(a: i64, c: i64) -> LinExpr {
+    let mut l = LinExpr::constant(c);
+    if a != 0 {
+        l.terms.insert("I".to_string(), a);
+    }
+    l
+}
+
+proptest! {
+    /// Soundness: `Independent` answers are never wrong; exact distances
+    /// match the brute-force conflict set.
+    #[test]
+    fn dependence_suite_is_sound(
+        a1 in -3i64..=3,
+        c1 in -8i64..=8,
+        a2 in -3i64..=3,
+        c2 in -8i64..=8,
+        n in 1i64..=12,
+    ) {
+        let env = SymbolicEnv::new();
+        let loops = [LoopCtx {
+            var: "I".into(),
+            lo: LinExpr::constant(1),
+            hi: LinExpr::constant(n),
+        }];
+        let src = lin_affine(a1, c1);
+        let sink = lin_affine(a2, c2);
+        let result = test_pair(
+            &[Some(src)],
+            &[Some(sink)],
+            &loops,
+            &env,
+        );
+        // Brute force: all (i, i') with a1*i + c1 == a2*i' + c2.
+        let mut conflicts: Vec<(i64, i64)> = Vec::new();
+        for i in 1..=n {
+            for ip in 1..=n {
+                if a1 * i + c1 == a2 * ip + c2 {
+                    conflicts.push((i, ip));
+                }
+            }
+        }
+        match result {
+            TestResult::Independent => {
+                prop_assert!(
+                    conflicts.is_empty(),
+                    "suite said independent but {conflicts:?} conflict (a1={a1},c1={c1},a2={a2},c2={c2},n={n})"
+                );
+            }
+            TestResult::Dependent(info) => {
+                // If a constant distance was reported, every brute-force
+                // conflict must honor it.
+                if let Some(d) = info.distances[0] {
+                    for (i, ip) in &conflicts {
+                        prop_assert_eq!(
+                            ip - i,
+                            d,
+                            "distance {} claimed but conflict ({}, {}) found",
+                            d, i, ip
+                        );
+                    }
+                }
+                // Direction claims must cover every conflict.
+                for (i, ip) in &conflicts {
+                    let dir = match ip.cmp(i) {
+                        std::cmp::Ordering::Greater => parascope::dependence::Dir::Lt,
+                        std::cmp::Ordering::Equal => parascope::dependence::Dir::Eq,
+                        std::cmp::Ordering::Less => parascope::dependence::Dir::Gt,
+                    };
+                    prop_assert!(
+                        info.vector.0[0].contains(dir),
+                        "conflict ({i},{ip}) has direction {dir:?} outside claimed {}",
+                        info.vector.0[0]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Two-dimensional soundness with a shared loop.
+    #[test]
+    fn dependence_suite_sound_two_dims(
+        a1 in -2i64..=2, c1 in -4i64..=4,
+        a2 in -2i64..=2, c2 in -4i64..=4,
+        b1 in -2i64..=2, d1 in -4i64..=4,
+        b2 in -2i64..=2, d2 in -4i64..=4,
+        n in 1i64..=8,
+    ) {
+        let env = SymbolicEnv::new();
+        let loops = [LoopCtx {
+            var: "I".into(),
+            lo: LinExpr::constant(1),
+            hi: LinExpr::constant(n),
+        }];
+        let result = test_pair(
+            &[Some(lin_affine(a1, c1)), Some(lin_affine(b1, d1))],
+            &[Some(lin_affine(a2, c2)), Some(lin_affine(b2, d2))],
+            &loops,
+            &env,
+        );
+        let mut any_conflict = false;
+        for i in 1..=n {
+            for ip in 1..=n {
+                if a1 * i + c1 == a2 * ip + c2 && b1 * i + d1 == b2 * ip + d2 {
+                    any_conflict = true;
+                }
+            }
+        }
+        if let TestResult::Independent = result {
+            prop_assert!(!any_conflict, "independent but a conflict exists");
+        }
+    }
+
+    /// Expression print∘parse is the identity (modulo blanks).
+    #[test]
+    fn expr_roundtrip(e in arb_expr(3)) {
+        let printed = print_expr(&e);
+        let squashed: String = printed.chars().filter(|c| *c != ' ').collect();
+        let reparsed = parse_expr_str(&squashed, &[]).unwrap_or_else(|err| {
+            panic!("printed expression failed to reparse: '{printed}': {err}")
+        });
+        prop_assert_eq!(e, reparsed);
+    }
+
+    /// LinExpr algebra: (a + b) - b == a, scaling distributes.
+    #[test]
+    fn linexpr_algebra(
+        ca in -5i64..=5, cb in -5i64..=5, k in -4i64..=4,
+        xa in -3i64..=3, xb in -3i64..=3,
+    ) {
+        let a = {
+            let mut l = LinExpr::constant(ca);
+            if xa != 0 { l.terms.insert("X".into(), xa); }
+            l
+        };
+        let b = {
+            let mut l = LinExpr::constant(cb);
+            if xb != 0 { l.terms.insert("X".into(), xb); }
+            l
+        };
+        prop_assert_eq!(a.add(&b).sub(&b), a.clone());
+        prop_assert_eq!(a.add(&b).scale(k), a.scale(k).add(&b.scale(k)));
+        prop_assert_eq!(a.sub(&a), LinExpr::constant(0));
+    }
+
+    /// Full-pipeline soundness: generate a random program of parallel
+    /// and recurrence loops, auto-parallelize with the work model, and
+    /// compare 1-worker vs 4-worker output.
+    #[test]
+    fn auto_parallelization_preserves_output(spec in arb_program_spec()) {
+        let src = render_program(&spec);
+        let program = parse_ok(&src);
+        let baseline = parascope::runtime::run(&program, Default::default())
+            .expect("generated program must run");
+        let mut session = parascope::editor::session::PedSession::open(program);
+        parascope::editor::workmodel::parallelize_unit(&mut session);
+        let par = session
+            .run(parascope::runtime::RunOptions { workers: 4, ..Default::default() })
+            .expect("parallel run");
+        prop_assert_eq!(&baseline.lines, &par.lines, "src:\n{}", src);
+        // And the deterministic checker agrees with the certification.
+        let checked = session
+            .run(parascope::runtime::RunOptions { validate_parallel: true, ..Default::default() })
+            .unwrap();
+        prop_assert!(checked.races.is_empty(), "races: {:?}\nsrc:\n{}", checked.races, src);
+    }
+}
+
+// --- generators ---------------------------------------------------------
+
+fn arb_expr(depth: u32) -> BoxedStrategy<parascope::fortran::Expr> {
+    use parascope::fortran::ast::{BinOp, Expr};
+    let leaf = prop_oneof![
+        (0i64..100).prop_map(Expr::Int),
+        prop_oneof![Just("A"), Just("B"), Just("I2"), Just("N")]
+            .prop_map(Expr::var),
+    ];
+    leaf.prop_recursive(depth, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul)
+            ])
+                .prop_map(|(l, r, op)| Expr::bin(op, l, r)),
+            (inner.clone(), inner).prop_map(|(l, r)| Expr::idx("ARR", vec![l, r])),
+        ]
+    })
+    .boxed()
+}
+
+/// A generated loop: either element-wise (parallelizable), a recurrence
+/// (must stay sequential), or a sum reduction.
+#[derive(Clone, Debug)]
+enum LoopSpec {
+    Elementwise { offset: i64, scale: i64 },
+    Recurrence,
+    Reduction,
+    Temp,
+}
+
+fn arb_program_spec() -> impl Strategy<Value = Vec<LoopSpec>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0i64..4, 1i64..4).prop_map(|(o, s)| LoopSpec::Elementwise { offset: o, scale: s }),
+            Just(LoopSpec::Recurrence),
+            Just(LoopSpec::Reduction),
+            Just(LoopSpec::Temp),
+        ],
+        1..5,
+    )
+}
+
+fn render_program(spec: &[LoopSpec]) -> String {
+    let n = 40;
+    let mut src = String::from("      PROGRAM GEN\n");
+    src.push_str(&format!("      REAL A({n}), B({n})\n"));
+    src.push_str(&format!("      DO 5 I = 1, {n}\n"));
+    src.push_str("      A(I) = MOD(I * 7, 13) * 0.5\n");
+    src.push_str("      B(I) = MOD(I, 5) * 0.25\n");
+    src.push_str("    5 CONTINUE\n");
+    src.push_str("      S = 0.0\n");
+    for (k, l) in spec.iter().enumerate() {
+        let label = 100 + k * 10;
+        match l {
+            LoopSpec::Elementwise { offset, scale } => {
+                let hi = n - offset;
+                src.push_str(&format!("      DO {label} I = 1, {hi}\n"));
+                src.push_str(&format!(
+                    "      A(I) = B(I + {offset}) * {scale}.0 + A(I)\n"
+                ));
+                src.push_str(&format!("  {label} CONTINUE\n"));
+            }
+            LoopSpec::Recurrence => {
+                src.push_str(&format!("      DO {label} I = 2, {n}\n"));
+                src.push_str("      A(I) = A(I-1) * 0.5 + A(I) * 0.5\n");
+                src.push_str(&format!("  {label} CONTINUE\n"));
+            }
+            LoopSpec::Reduction => {
+                src.push_str(&format!("      DO {label} I = 1, {n}\n"));
+                src.push_str("      S = S + A(I)\n");
+                src.push_str(&format!("  {label} CONTINUE\n"));
+            }
+            LoopSpec::Temp => {
+                src.push_str(&format!("      DO {label} I = 1, {n}\n"));
+                src.push_str("      T = A(I) * 2.0\n");
+                src.push_str("      B(I) = T + 1.0\n");
+                src.push_str(&format!("  {label} CONTINUE\n"));
+            }
+        }
+    }
+    src.push_str(&format!("      WRITE (*,*) S, A(1), A({n}), B(7)\n"));
+    src.push_str("      END\n");
+    src
+}

@@ -1,0 +1,379 @@
+//! Transformations must preserve program semantics: apply each
+//! transformation to a runnable program and compare outputs before and
+//! after on the interpreter. This is the strongest end-to-end check the
+//! power-steering safety analysis can get.
+
+use parascope::analysis::symbolic::SymbolicEnv;
+use parascope::fortran::parser::parse_ok;
+use parascope::fortran::Program;
+use parascope::transform::ctx::UnitAnalysis;
+
+fn outputs(p: &Program) -> Vec<String> {
+    parascope::runtime::run(p, Default::default()).unwrap().lines
+}
+
+fn ua0(p: &Program) -> UnitAnalysis {
+    UnitAnalysis::build(&p.units[0], SymbolicEnv::new(), None)
+}
+
+const BASE: &str = "\
+      PROGRAM T
+      REAL A(64), B(64), C(64)
+      DO 5 I = 1, 64
+      B(I) = MOD(I * 3, 11) * 0.5
+      C(I) = MOD(I, 4) * 0.25
+    5 CONTINUE
+      DO 10 I = 1, 64
+      A(I) = B(I) + C(I)
+   10 CONTINUE
+      S = 0.0
+      DO 20 I = 1, 64
+      S = S + A(I)
+   20 CONTINUE
+      WRITE (*,*) S, A(1), A(32), A(64)
+      END
+";
+
+#[test]
+fn distribution_preserves_output() {
+    let src = "\
+      PROGRAM T
+      REAL A(64), B(64), C(64)
+      DO 5 I = 1, 64
+      C(I) = MOD(I, 9) * 1.0
+    5 CONTINUE
+      A(1) = 0.0
+      DO 10 I = 2, 64
+      A(I) = A(I-1) + 1.0
+      B(I) = C(I) * 2.0
+   10 CONTINUE
+      WRITE (*,*) A(64), B(10), B(64)
+      END
+";
+    let mut p = parse_ok(src);
+    let before = outputs(&p);
+    let ua = ua0(&p);
+    let target = ua.nest.loops.iter().find(|l| l.lo == parascope::fortran::Expr::Int(2)).unwrap().id;
+    parascope::transform::reorder::distribute(&mut p, 0, &ua, target).unwrap();
+    assert_eq!(before, outputs(&p));
+}
+
+#[test]
+fn interchange_preserves_output() {
+    let src = "\
+      PROGRAM T
+      REAL A(16, 16)
+      DO 5 J = 1, 16
+      DO 5 I = 1, 16
+      A(I,J) = MOD(I * J, 7) * 1.0
+    5 CONTINUE
+      DO 10 I = 2, 16
+      DO 10 J = 2, 16
+      A(I,J) = A(I-1,J-1) + 1.0
+   10 CONTINUE
+      WRITE (*,*) A(16,16), A(2,9)
+      END
+";
+    let mut p = parse_ok(src);
+    let before = outputs(&p);
+    let ua = ua0(&p);
+    let target = ua
+        .nest
+        .roots
+        .iter()
+        .copied()
+        .find(|&l| ua.nest.get(l).var == "I")
+        .unwrap();
+    parascope::transform::reorder::interchange(&mut p, 0, &ua, target).unwrap();
+    assert_eq!(before, outputs(&p));
+}
+
+#[test]
+fn fusion_preserves_output() {
+    let src = "\
+      PROGRAM T
+      REAL A(64), B(64)
+      DO 5 I = 1, 64
+      B(I) = MOD(I, 5) * 1.0
+    5 CONTINUE
+      DO 10 I = 1, 64
+      A(I) = B(I) * 2.0
+   10 CONTINUE
+      DO 20 I = 1, 64
+      B(I) = A(I) + 1.0
+   20 CONTINUE
+      WRITE (*,*) A(5), B(5), B(64)
+      END
+";
+    let mut p = parse_ok(src);
+    let before = outputs(&p);
+    let ua = ua0(&p);
+    let (l1, l2) = (ua.nest.roots[1], ua.nest.roots[2]);
+    parascope::transform::reorder::fuse(&mut p, 0, &ua, l1, l2).unwrap();
+    assert_eq!(before, outputs(&p));
+    // Really fused: one fewer top-level loop.
+    let nest = parascope::analysis::loops::LoopNest::build(&p.units[0]);
+    assert_eq!(nest.roots.len(), 2);
+}
+
+#[test]
+fn reversal_preserves_output() {
+    let mut p = parse_ok(BASE);
+    let before = outputs(&p);
+    let ua = ua0(&p);
+    parascope::transform::reorder::reverse(&mut p, 0, &ua, ua.nest.roots[1]).unwrap();
+    assert_eq!(before, outputs(&p));
+}
+
+#[test]
+fn scalar_expansion_preserves_output() {
+    let src = "\
+      PROGRAM T
+      REAL A(64), B(64)
+      DO 5 I = 1, 64
+      B(I) = MOD(I, 8) * 1.0
+    5 CONTINUE
+      DO 10 I = 1, 64
+      T = B(I) * 2.0
+      A(I) = T + 1.0
+   10 CONTINUE
+      WRITE (*,*) A(1), A(64), T
+      END
+";
+    let mut p = parse_ok(src);
+    let before = outputs(&p);
+    let ua = ua0(&p);
+    let target = ua.nest.roots[1];
+    parascope::transform::breaking::scalar_expansion(&mut p, 0, &ua, target, "T").unwrap();
+    assert_eq!(before, outputs(&p), "last-value copy-out must hold");
+}
+
+#[test]
+fn peel_and_split_preserve_output() {
+    let mut p = parse_ok(BASE);
+    let before = outputs(&p);
+    let ua = ua0(&p);
+    parascope::transform::breaking::peel_first(&mut p, 0, &ua, ua.nest.roots[1]).unwrap();
+    assert_eq!(before, outputs(&p));
+    let ua = ua0(&p);
+    let sum_loop = *ua.nest.roots.last().unwrap();
+    parascope::transform::breaking::split_at(
+        &mut p,
+        0,
+        &ua,
+        sum_loop,
+        parascope::fortran::Expr::Int(30),
+    )
+    .unwrap();
+    assert_eq!(before, outputs(&p));
+}
+
+#[test]
+fn strip_mining_preserves_output() {
+    let mut p = parse_ok(BASE);
+    let before = outputs(&p);
+    let ua = ua0(&p);
+    parascope::transform::memory::strip_mine(&mut p, 0, &ua, ua.nest.roots[1], 16).unwrap();
+    assert_eq!(before, outputs(&p));
+}
+
+#[test]
+fn unrolling_preserves_output_including_remainder() {
+    for n in [61, 64] {
+        // 61: remainder loop does real work; 64: divides evenly.
+        let src = format!(
+            "      PROGRAM T\n      REAL A({n}), B({n})\n      DO 5 I = 1, {n}\n      B(I) = MOD(I, 6) * 1.0\n    5 CONTINUE\n      DO 10 I = 1, {n}\n      A(I) = B(I) * 3.0\n   10 CONTINUE\n      S = 0.0\n      DO 20 I = 1, {n}\n      S = S + A(I)\n   20 CONTINUE\n      WRITE (*,*) S\n      END\n"
+        );
+        let mut p = parse_ok(&src);
+        let before = outputs(&p);
+        let ua = ua0(&p);
+        parascope::transform::memory::unroll(&mut p, 0, &ua, ua.nest.roots[1], 4).unwrap();
+        assert_eq!(before, outputs(&p), "n = {n}");
+    }
+}
+
+#[test]
+fn scalar_replacement_preserves_output() {
+    let src = "\
+      PROGRAM T
+      REAL A(64), B(64), C(64)
+      DO 5 I = 1, 64
+      A(I) = MOD(I, 7) * 1.0
+    5 CONTINUE
+      DO 10 I = 1, 64
+      B(I) = A(I) + 1.0
+      C(I) = A(I) * 2.0
+   10 CONTINUE
+      WRITE (*,*) B(10), C(10)
+      END
+";
+    let mut p = parse_ok(src);
+    let before = outputs(&p);
+    let ua = ua0(&p);
+    parascope::transform::memory::scalar_replacement(&mut p, 0, &ua, ua.nest.roots[1], "A")
+        .unwrap();
+    assert_eq!(before, outputs(&p));
+}
+
+#[test]
+fn unroll_and_jam_preserves_output() {
+    let src = "\
+      PROGRAM T
+      REAL A(16, 16), B(16, 16)
+      DO 5 J = 1, 16
+      DO 5 I = 1, 16
+      B(I,J) = MOD(I + J, 9) * 1.0
+    5 CONTINUE
+      DO 10 I = 1, 16
+      DO 10 J = 1, 16
+      A(I,J) = B(I,J) * 2.0
+   10 CONTINUE
+      WRITE (*,*) A(3,4), A(16,16)
+      END
+";
+    let mut p = parse_ok(src);
+    let before = outputs(&p);
+    let ua = ua0(&p);
+    let target = ua
+        .nest
+        .roots
+        .iter()
+        .copied()
+        .find(|&l| ua.nest.get(l).var == "I")
+        .unwrap();
+    // Factor 2 divides the 16-trip outer loop evenly.
+    parascope::transform::memory::unroll_and_jam(&mut p, 0, &ua, target, 2).unwrap();
+    assert_eq!(before, outputs(&p));
+}
+
+#[test]
+fn skewing_preserves_output() {
+    let src = "\
+      PROGRAM T
+      REAL A(20, 40)
+      DO 5 J = 1, 40
+      DO 5 I = 1, 20
+      A(I,J) = MOD(I * J, 5) * 1.0
+    5 CONTINUE
+      DO 10 I = 1, 10
+      DO 10 J = 1, 10
+      A(I,J) = A(I,J) + 1.0
+   10 CONTINUE
+      WRITE (*,*) A(5,5), A(10,10)
+      END
+";
+    let mut p = parse_ok(src);
+    let before = outputs(&p);
+    let ua = ua0(&p);
+    let target = ua
+        .nest
+        .roots
+        .iter()
+        .copied()
+        .find(|&l| ua.nest.get(l).var == "I" && !ua.nest.get(l).children.is_empty())
+        .unwrap();
+    parascope::transform::reorder::skew(&mut p, 0, &ua, target, 1).unwrap();
+    assert_eq!(before, outputs(&p));
+}
+
+#[test]
+fn control_flow_structuring_preserves_output() {
+    let src = "\
+      PROGRAM T
+      REAL DENV(50), PRES(50)
+      DO 5 K = 1, 50
+      DENV(K) = MOD(K, 7) * 1.0 - 3.0
+    5 CONTINUE
+      DO 50 K = 1, 50
+      X = DENV(K) * 0.5
+      IF (DENV(K)) 100, 10, 10
+   10 CONTINUE
+      PRES(K) = X + 1.0
+      GOTO 101
+  100 PRES(K) = X - 1.0
+  101 CONTINUE
+   50 CONTINUE
+      S = 0.0
+      DO 60 K = 1, 50
+      S = S + PRES(K)
+   60 CONTINUE
+      WRITE (*,*) S
+      END
+";
+    let mut p = parse_ok(src);
+    let before = outputs(&p);
+    parascope::transform::structure::simplify_control_flow(&mut p, 0).unwrap();
+    assert!(!parascope::fortran::print_program(&p).contains("GOTO"));
+    assert_eq!(before, outputs(&p));
+}
+
+#[test]
+fn embedding_preserves_output() {
+    let src = "\
+      PROGRAM T
+      REAL U(32, 8)
+      DO 5 L = 1, 8
+      DO 5 J = 1, 32
+      U(J,L) = MOD(J + L, 6) * 1.0
+    5 CONTINUE
+      DO 10 L = 1, 8
+      CALL COLX(U, L, 32)
+   10 CONTINUE
+      WRITE (*,*) U(1,1), U(32,8)
+      END
+      SUBROUTINE COLX(A, L, N)
+      REAL A(32, 8)
+      INTEGER L, N
+      DO 20 J = 1, N
+      A(J, L) = A(J, L) * 1.5
+   20 CONTINUE
+      RETURN
+      END
+";
+    let mut p = parse_ok(src);
+    let before = outputs(&p);
+    let nest = parascope::analysis::loops::LoopNest::build(&p.units[0]);
+    let call_loop = nest
+        .loops
+        .iter()
+        .find(|l| l.level == 1 && l.lo == parascope::fortran::Expr::Int(1) && {
+            l.body.iter().any(|&sid| {
+                parascope::fortran::ast::find_stmt(&p.units[0].body, sid)
+                    .map(|s| matches!(s.kind, parascope::fortran::ast::StmtKind::Call { .. }))
+                    .unwrap_or(false)
+            })
+        })
+        .unwrap()
+        .stmt;
+    parascope::transform::interproc::embed_loop(&mut p, "MAIN", call_loop)
+        .or_else(|_| parascope::transform::interproc::embed_loop(&mut p, "T", call_loop))
+        .unwrap();
+    assert!(p.unit("COLXE").is_some());
+    assert_eq!(before, outputs(&p));
+}
+
+#[test]
+fn alignment_preserves_output() {
+    let src = "\
+      PROGRAM T
+      REAL A(66), B(66), C(66)
+      DO 5 I = 1, 66
+      B(I) = MOD(I, 9) * 1.0
+      A(I) = 0.0
+      C(I) = 0.0
+    5 CONTINUE
+      DO 10 I = 2, 64
+      A(I) = B(I)
+      C(I) = A(I-1)
+   10 CONTINUE
+      WRITE (*,*) C(2), C(33), C(64), A(64)
+      END
+";
+    let mut p = parse_ok(src);
+    let before = outputs(&p);
+    let ua = ua0(&p);
+    let target = ua.nest.roots[1];
+    let second = ua.nest.get(target).body[1];
+    parascope::transform::breaking::align_statement(&mut p, 0, &ua, target, second, 1).unwrap();
+    assert_eq!(before, outputs(&p));
+}
