@@ -207,6 +207,66 @@ impl SymbolicEnv {
         Self::default()
     }
 
+    /// Content fingerprint of every fact the dependence tests can
+    /// observe. The analysis cache compares this across `reanalyze()`
+    /// calls: equal fingerprints mean any cached test result derived
+    /// under the old environment is still valid. Hash-map iteration
+    /// order is neutralized by sorting keys.
+    pub fn fingerprint(&self) -> u64 {
+        use ped_fortran::fingerprint::Fnv;
+        fn lin(mut h: Fnv, l: &LinExpr) -> Fnv {
+            for (n, c) in &l.terms {
+                h = h.str(n).u64(*c as u64);
+            }
+            h.u64(l.konst as u64)
+        }
+        let mut h = Fnv::new();
+        let mut names: Vec<&String> = self.subst.keys().collect();
+        names.sort();
+        for n in names {
+            h = lin(h.str("S").str(n), &self.subst[n]);
+        }
+        let mut names: Vec<&String> = self.ranges.keys().collect();
+        names.sort();
+        for n in names {
+            let r = &self.ranges[n];
+            h = h
+                .str("R")
+                .str(n)
+                .u64(r.lo.unwrap_or(i64::MIN) as u64)
+                .u64(r.hi.unwrap_or(i64::MAX) as u64);
+        }
+        // `facts` order is append order — deterministic per assertion
+        // sequence; sort canonically anyway so re-derived environments
+        // with permuted facts compare equal.
+        let mut fact_fps: Vec<u64> = self
+            .facts
+            .iter()
+            .map(|f| lin(Fnv::new(), f).done())
+            .collect();
+        fact_fps.sort_unstable();
+        for f in fact_fps {
+            h = h.str("F").u64(f);
+        }
+        let mut names: Vec<&String> = self.index_facts.keys().collect();
+        names.sort();
+        for n in names {
+            let f = &self.index_facts[n];
+            h = h
+                .str("I")
+                .str(n)
+                .u64(f.permutation as u64)
+                .u64(f.min_stride.unwrap_or(i64::MIN) as u64);
+            for side in [&f.value_lo, &f.value_hi] {
+                h = match side {
+                    Some(l) => lin(h.u64(1), l),
+                    None => h.u64(0),
+                };
+            }
+        }
+        h.done()
+    }
+
     /// Record an equality fact `name = e` (e.g. `JM = JMAX-1`).
     pub fn add_subst(&mut self, name: impl Into<String>, e: LinExpr) {
         let name = name.into();

@@ -3,11 +3,10 @@
 //! cheap exact tests (ZIV, strong SIV) are orders of magnitude cheaper
 //! than the Banerjee/MIV machinery, justifying the hierarchy.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ped_analysis::symbolic::{to_lin, SymbolicEnv};
+use ped_bench::harness::{bench, black_box};
 use ped_dependence::suite::{test_pair, LoopCtx};
 use ped_fortran::parser::parse_expr_str;
-use std::hint::black_box;
 
 type SubPair = (Option<ped_analysis::LinExpr>, Option<ped_analysis::LinExpr>);
 
@@ -15,7 +14,7 @@ fn lin(s: &str) -> Option<ped_analysis::LinExpr> {
     Some(to_lin(&parse_expr_str(s, &[]).unwrap()).unwrap())
 }
 
-fn bench_suite(c: &mut Criterion) {
+fn main() {
     let env = SymbolicEnv::new();
     let loops = vec![
         LoopCtx { var: "I".into(), lo: lin("1").unwrap(), hi: lin("100").unwrap() },
@@ -27,23 +26,17 @@ fn bench_suite(c: &mut Criterion) {
         ("weak-zero-siv", (0..64).map(|k| (lin("I"), lin(&format!("{k}")))).collect()),
         ("miv-banerjee", (0..64).map(|k| (lin(&format!("I+{k}*J")), lin("2*I+J"))).collect()),
     ];
-    let mut g = c.benchmark_group("dependence-tests");
+    println!("== dependence-tests ==");
     for (name, pairs) in corpora {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                for (a, s) in &pairs {
-                    black_box(test_pair(
-                        std::slice::from_ref(black_box(a)),
-                        std::slice::from_ref(black_box(s)),
-                        &loops,
-                        &env,
-                    ));
-                }
-            })
+        bench(&format!("dependence-tests/{name}"), || {
+            for (a, s) in &pairs {
+                black_box(test_pair(
+                    std::slice::from_ref(black_box(a)),
+                    std::slice::from_ref(black_box(s)),
+                    &loops,
+                    &env,
+                ));
+            }
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_suite);
-criterion_main!(benches);

@@ -2,42 +2,32 @@
 //! reference collection, CFG/data-flow, dependence graph construction,
 //! and the interprocedural suite.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ped_analysis::symbolic::SymbolicEnv;
-use std::hint::black_box;
+use ped_bench::harness::{bench, black_box};
 
-fn bench_analysis(c: &mut Criterion) {
-    let mut g = c.benchmark_group("unit-analysis");
+fn main() {
+    println!("== unit-analysis ==");
     for p in ped_workloads::all_programs() {
         let prog = p.parse();
-        g.bench_function(p.name, |b| {
-            b.iter(|| {
-                for unit in &prog.units {
-                    let ua = ped_transform::ctx::UnitAnalysis::build(
-                        black_box(unit),
-                        SymbolicEnv::new(),
-                        None,
-                    );
-                    black_box(ua.graph.len());
-                }
-            })
+        bench(&format!("unit-analysis/{}", p.name), || {
+            for unit in &prog.units {
+                let ua = ped_transform::ctx::UnitAnalysis::build(
+                    black_box(unit),
+                    SymbolicEnv::new(),
+                    None,
+                );
+                black_box(ua.graph.len());
+            }
         });
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("interprocedural");
+    println!("== interprocedural ==");
     for p in ped_workloads::all_programs() {
         let prog = p.parse();
-        g.bench_function(p.name, |b| {
-            b.iter(|| {
-                let fx = ped_interproc::modref_analyze(black_box(&prog));
-                let facts = ped_analysis::global::global_symbolic_facts(black_box(&prog));
-                black_box((fx.len(), facts.subst.len()))
-            })
+        bench(&format!("interprocedural/{}", p.name), || {
+            let fx = ped_interproc::modref_analyze(black_box(&prog));
+            let facts = ped_analysis::global::global_symbolic_facts(black_box(&prog));
+            black_box((fx.len(), facts.subst.len()));
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_analysis);
-criterion_main!(benches);

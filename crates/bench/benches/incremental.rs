@@ -3,13 +3,12 @@
 //! retains dependences outside the changed loop and recomputes only the
 //! touched region.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ped_analysis::symbolic::SymbolicEnv;
+use ped_bench::harness::{bench, black_box};
 use ped_transform::ctx::UnitAnalysis;
 use std::collections::HashSet;
-use std::hint::black_box;
 
-fn bench_incremental(c: &mut Criterion) {
+fn main() {
     // A many-loop unit where one loop is edited: spec77's GLOOP.
     let p = ped_workloads::program("spec77").unwrap().parse();
     let unit = p.unit("GLOOP").unwrap();
@@ -17,25 +16,18 @@ fn bench_incremental(c: &mut Criterion) {
     let target = ua.nest.roots[ua.nest.roots.len() - 1];
     let region: HashSet<_> = ua.nest.get(target).body.iter().copied().collect();
 
-    c.bench_function("full-reanalysis", |b| {
-        b.iter(|| {
-            let fresh = UnitAnalysis::build(black_box(unit), SymbolicEnv::new(), None);
-            black_box(fresh.graph.len())
-        })
+    bench("full-reanalysis", || {
+        let fresh = UnitAnalysis::build(black_box(unit), SymbolicEnv::new(), None);
+        black_box(fresh.graph.len());
     });
-    c.bench_function("incremental-splice", |b| {
-        b.iter(|| {
-            // Recompute only region pairs (here: splice against a cached
-            // full graph, the measured savings of retaining the rest).
-            let merged = ped_transform::update::splice_region_deps(
-                black_box(&ua.graph),
-                black_box(&ua.graph),
-                &region,
-            );
-            black_box(merged.len())
-        })
+    bench("incremental-splice", || {
+        // Recompute only region pairs (here: splice against a cached
+        // full graph, the measured savings of retaining the rest).
+        let merged = ped_transform::update::splice_region_deps(
+            black_box(&ua.graph),
+            black_box(&ua.graph),
+            &region,
+        );
+        black_box(merged.len());
     });
 }
-
-criterion_group!(benches, bench_incremental);
-criterion_main!(benches);

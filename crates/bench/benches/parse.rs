@@ -1,31 +1,23 @@
 //! Front-end throughput over the eight workshop programs (Table 1
 //! support: parsing is the editor's incremental-response path).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use ped_bench::harness::{bench, black_box};
 
-fn bench_parse(c: &mut Criterion) {
-    let mut g = c.benchmark_group("parse");
+fn main() {
+    println!("== parse ==");
     for p in ped_workloads::all_programs() {
-        g.bench_function(p.name, |b| {
-            b.iter(|| {
-                let (prog, diags) = ped_fortran::parse(black_box(p.source));
-                assert!(!diags.has_errors());
-                black_box(prog)
-            })
+        bench(&format!("parse/{}", p.name), || {
+            let (prog, diags) = ped_fortran::parse(black_box(p.source));
+            assert!(!diags.has_errors());
+            black_box(prog);
         });
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("pretty");
+    println!("== pretty ==");
     for p in ped_workloads::all_programs() {
         let prog = p.parse();
-        g.bench_function(p.name, |b| {
-            b.iter(|| black_box(ped_fortran::print_program(black_box(&prog))))
+        bench(&format!("pretty/{}", p.name), || {
+            black_box(ped_fortran::print_program(black_box(&prog)));
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_parse);
-criterion_main!(benches);

@@ -3,10 +3,9 @@
 //! PED-parallelized programs. Shapes (who speeds up, saturation) are the
 //! reproduction target, not Alliant absolutes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use ped_bench::harness::{bench_with, black_box};
 
-fn bench_speedup(c: &mut Criterion) {
+fn main() {
     for name in ["spec77", "pueblo3d", "dpmin"] {
         // Parallelize once; execute repeatedly at each worker count.
         let p = ped_workloads::program(name).unwrap();
@@ -18,23 +17,16 @@ fn bench_speedup(c: &mut Criterion) {
             ped::workmodel::parallelize_unit(&mut session);
         }
         let prog = session.program;
-        let mut g = c.benchmark_group(format!("speedup-{name}"));
-        g.sample_size(10);
+        println!("== speedup-{name} ==");
         for workers in [1usize, 2, 4, 8] {
-            g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
-                b.iter(|| {
-                    let out = ped_runtime::run(
-                        black_box(&prog),
-                        ped_runtime::RunOptions { workers: w, ..Default::default() },
-                    )
-                    .unwrap();
-                    black_box(out.lines)
-                })
+            bench_with(&format!("speedup-{name}/{workers}"), 200, 10, &mut || {
+                let out = ped_runtime::run(
+                    black_box(&prog),
+                    ped_runtime::RunOptions { workers, ..Default::default() },
+                )
+                .unwrap();
+                black_box(out.lines);
             });
         }
-        g.finish();
     }
 }
-
-criterion_group!(benches, bench_speedup);
-criterion_main!(benches);

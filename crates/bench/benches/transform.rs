@@ -1,27 +1,20 @@
 //! Transformation application cost (Table 4 support): each measured on a
 //! fresh copy of its workshop program.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use ped_bench::harness::{bench, black_box};
 
-fn bench_transform(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table4-scripts");
+fn main() {
+    println!("== table4-scripts ==");
     for p in ped_workloads::all_programs() {
-        g.bench_function(p.name, |b| {
-            b.iter(|| black_box(ped_workloads::measure::measure_table4(black_box(p))))
+        bench(&format!("table4-scripts/{}", p.name), || {
+            black_box(ped_workloads::measure::measure_table4(black_box(p)));
         });
     }
-    g.finish();
 
-    c.bench_function("control-flow-structuring-neoss", |b| {
-        let p = ped_workloads::program("neoss").unwrap();
-        b.iter(|| {
-            let mut prog = p.parse();
-            let idx = prog.units.iter().position(|u| u.name == "EOSCAN").unwrap();
-            black_box(ped_transform::structure::simplify_control_flow(&mut prog, idx).unwrap())
-        })
+    let p = ped_workloads::program("neoss").unwrap();
+    bench("control-flow-structuring-neoss", || {
+        let mut prog = p.parse();
+        let idx = prog.units.iter().position(|u| u.name == "EOSCAN").unwrap();
+        black_box(ped_transform::structure::simplify_control_flow(&mut prog, idx).unwrap());
     });
 }
-
-criterion_group!(benches, bench_transform);
-criterion_main!(benches);

@@ -1,0 +1,205 @@
+//! `ped-bench` — end-to-end timings of the interactive hot paths over
+//! the eight workshop programs, written as `BENCH_1.json`.
+//!
+//! Phases per program:
+//! * `open`                — `PedSession::open` (parse is excluded;
+//!                           interprocedural analysis + first build);
+//! * `reanalyze-hot`       — `reanalyze()` with nothing changed: the
+//!                           whole-analysis fingerprint hits;
+//! * `reanalyze-warmpairs` — forced rebuild with the pair-test memo
+//!                           hot (the post-edit steady state);
+//! * `reanalyze-coldcache` — forced rebuild with an empty pair cache
+//!                           (what every `reanalyze()` cost before the
+//!                           incremental engine);
+//! * `build-serial` / `build-parallel` — raw dependence-graph
+//!                           construction over every unit at one worker
+//!                           vs. auto workers.
+//!
+//! Usage: `ped-bench [OUTPUT.json]` (default `BENCH_1.json`).
+
+use ped::session::PedSession;
+use ped_analysis::loops::LoopNest;
+use ped_analysis::refs::RefTable;
+use ped_analysis::symbolic::SymbolicEnv;
+use ped_bench::harness::{bench_with, black_box, Stats};
+use ped_dependence::cache::PairCache;
+use ped_dependence::graph::{BuildOptions, DependenceGraph};
+use ped_fortran::parser::parse_ok;
+use ped_fortran::symbols::SymbolTable;
+
+fn build_all_units(prog: &ped_fortran::Program, threads: usize) -> usize {
+    let mut total = 0;
+    for unit in &prog.units {
+        let sym = SymbolTable::build(unit);
+        let refs = RefTable::build(unit, &sym);
+        let nest = LoopNest::build(unit);
+        let opts = BuildOptions { threads, ..Default::default() };
+        total += DependenceGraph::build(unit, &sym, &refs, &nest, &SymbolicEnv::new(), &opts)
+            .len();
+    }
+    total
+}
+
+/// A unit an order of magnitude past the workshop programs: `nloops`
+/// top-level recurrence loops over distinct arrays. At this scale the
+/// pair-test suite dominates reanalysis, which is what the pair-cache
+/// and parallel-build phases are meant to expose (the workshop programs
+/// are small enough that structural analysis dominates instead).
+fn synthetic_source(nloops: usize) -> String {
+    let mut src = String::new();
+    src.push_str("      PROGRAM SYNTH\n");
+    src.push_str("      COMMON /IDX/ IX(100)\n");
+    for j in 0..nloops {
+        src.push_str(&format!("      REAL A{j}(100), B{j}(100), D{j}(100)\n"));
+    }
+    for j in 0..nloops {
+        let label = 100 + j;
+        src.push_str(&format!("      DO {label} I = 2, N\n"));
+        src.push_str(&format!("      A{j}(I) = A{j}(I-1) + B{j}(I)\n"));
+        src.push_str(&format!("      B{j}(I) = A{j}(I) * 2.0\n"));
+        src.push_str(&format!("      D{j}(IX(I)) = B{j}(I-1) + D{j}(I+1)\n"));
+        src.push_str(&format!("  {label} CONTINUE\n"));
+    }
+    src.push_str("      END\n");
+    src
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_1.json".into());
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("ped-bench: {cores} core(s) available\n");
+
+    let mut phases: Vec<Stats> = Vec::new();
+    let mut largest: Option<(&str, usize)> = None;
+    // Per-program means needed for the summary ratios.
+    let mut hot_means = std::collections::HashMap::new();
+    let mut cold_means = std::collections::HashMap::new();
+    let mut warm_means = std::collections::HashMap::new();
+    let mut serial_means = std::collections::HashMap::new();
+    let mut parallel_means = std::collections::HashMap::new();
+
+    for p in ped_workloads::all_programs() {
+        if largest.map(|(_, n)| p.source.len() > n).unwrap_or(true) {
+            largest = Some((p.name, p.source.len()));
+        }
+        let prog = parse_ok(p.source);
+
+        let s = bench_with(&format!("open:{}", p.name), 150, 64, &mut || {
+            black_box(PedSession::open(prog.clone()));
+        });
+        phases.push(s);
+
+        let mut session = PedSession::open(prog.clone());
+        let s = bench_with(&format!("reanalyze-hot:{}", p.name), 150, 512, &mut || {
+            session.reanalyze();
+        });
+        hot_means.insert(p.name, s.mean_us);
+        phases.push(s);
+
+        let s = bench_with(&format!("reanalyze-warmpairs:{}", p.name), 150, 256, &mut || {
+            session.cache.invalidate();
+            session.reanalyze();
+        });
+        warm_means.insert(p.name, s.mean_us);
+        phases.push(s);
+
+        let s = bench_with(&format!("reanalyze-coldcache:{}", p.name), 150, 256, &mut || {
+            session.cache.invalidate();
+            session.cache.pairs = PairCache::new();
+            session.reanalyze();
+        });
+        cold_means.insert(p.name, s.mean_us);
+        phases.push(s);
+
+        let s = bench_with(&format!("build-serial:{}", p.name), 150, 256, &mut || {
+            black_box(build_all_units(&prog, 1));
+        });
+        serial_means.insert(p.name, s.mean_us);
+        phases.push(s);
+
+        let s = bench_with(&format!("build-parallel:{}", p.name), 150, 256, &mut || {
+            black_box(build_all_units(&prog, 0));
+        });
+        parallel_means.insert(p.name, s.mean_us);
+        phases.push(s);
+        println!();
+    }
+
+    // Synthetic large-unit phases (excluded from `largest_workload`,
+    // which names a workshop program).
+    let synth = parse_ok(&synthetic_source(60));
+    let mut session = PedSession::open(synth.clone());
+    let s = bench_with("reanalyze-warmpairs:synth60", 400, 64, &mut || {
+        session.cache.invalidate();
+        session.reanalyze();
+    });
+    let synth_warm = s.mean_us;
+    phases.push(s);
+    let s = bench_with("reanalyze-coldcache:synth60", 400, 64, &mut || {
+        session.cache.invalidate();
+        session.cache.pairs = PairCache::new();
+        session.reanalyze();
+    });
+    let synth_cold = s.mean_us;
+    phases.push(s);
+    let s = bench_with("build-serial:synth60", 400, 64, &mut || {
+        black_box(build_all_units(&synth, 1));
+    });
+    let synth_serial = s.mean_us;
+    phases.push(s);
+    let s = bench_with("build-parallel:synth60", 400, 64, &mut || {
+        black_box(build_all_units(&synth, 0));
+    });
+    let synth_parallel = s.mean_us;
+    phases.push(s);
+    println!();
+
+    let (big, _) = largest.expect("no workloads");
+    let reanalyze_speedup = cold_means[big] / hot_means[big].max(1e-9);
+    let pair_cache_speedup = cold_means[big] / warm_means[big].max(1e-9);
+    let synth_pair_speedup = synth_cold / synth_warm.max(1e-9);
+    let synth_parallel_speedup = synth_serial / synth_parallel.max(1e-9);
+    // Parallel-build win over *all* programs (single units are small;
+    // the aggregate is the realistic figure).
+    let serial_total: f64 = serial_means.values().sum();
+    let parallel_total: f64 = parallel_means.values().sum();
+    let parallel_speedup = serial_total / parallel_total.max(1e-9);
+
+    println!("largest workload             : {big}");
+    println!("reanalyze cached vs cold     : {reanalyze_speedup:.1}x");
+    println!("rebuild warm vs cold pairs   : {pair_cache_speedup:.2}x");
+    println!("  ... on the synthetic unit  : {synth_pair_speedup:.2}x");
+    println!("parallel vs serial build     : {parallel_speedup:.2}x ({cores} core(s))");
+    println!("  ... on the synthetic unit  : {synth_parallel_speedup:.2}x");
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"generated_by\": \"ped-bench\",\n");
+    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str(&format!("  \"largest_workload\": \"{big}\",\n"));
+    json.push_str("  \"summary\": {\n");
+    json.push_str(&format!(
+        "    \"reanalyze_speedup_cached_vs_cold\": {reanalyze_speedup:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"rebuild_speedup_warm_vs_cold_pairs\": {pair_cache_speedup:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"rebuild_speedup_warm_vs_cold_pairs_synth\": {synth_pair_speedup:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"parallel_build_speedup\": {parallel_speedup:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"parallel_build_speedup_synth\": {synth_parallel_speedup:.2}\n"
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"phases\": [\n");
+    for (i, s) in phases.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(&s.to_json());
+        json.push_str(if i + 1 < phases.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_1.json");
+    println!("\nwrote {out_path}");
+}

@@ -1,0 +1,87 @@
+//! Minimal std-only wall-clock benchmark harness.
+//!
+//! The sandbox builds offline, so Criterion is unavailable; this module
+//! provides the small slice of it the benches need: auto-calibrated
+//! iteration counts, per-iteration samples, mean/p95 summaries, and a
+//! stable one-line report format that `scripts/bench.sh` and the
+//! `bench` binary parse into `BENCH_1.json`.
+
+use std::time::Instant;
+
+/// Summary statistics of one measured function.
+#[derive(Clone, Debug)]
+pub struct Stats {
+    pub label: String,
+    pub iters: usize,
+    pub mean_us: f64,
+    pub p95_us: f64,
+    pub min_us: f64,
+}
+
+impl Stats {
+    /// One JSON object (hand-rolled; the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"label\": \"{}\", \"iters\": {}, \"mean_us\": {:.3}, \"p95_us\": {:.3}, \"min_us\": {:.3}}}",
+            self.label.replace('"', "'"),
+            self.iters,
+            self.mean_us,
+            self.p95_us,
+            self.min_us
+        )
+    }
+}
+
+/// Time `f`, choosing an iteration count so the measurement takes
+/// roughly `budget_ms` (clamped to `[3, max_iters]` iterations), and
+/// print a one-line summary.
+pub fn bench(label: &str, mut f: impl FnMut()) -> Stats {
+    bench_with(label, 200, 512, &mut f)
+}
+
+/// As [`bench`] with an explicit time budget and iteration cap.
+pub fn bench_with(
+    label: &str,
+    budget_ms: u64,
+    max_iters: usize,
+    f: &mut dyn FnMut(),
+) -> Stats {
+    // Warm-up + calibration run.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let budget = budget_ms as f64 / 1e3;
+    let iters = ((budget / once) as usize).clamp(3, max_iters);
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let stats = summarize(label, &mut samples);
+    println!(
+        "{:<40} mean {:>10.1} µs   p95 {:>10.1} µs   ({} iters)",
+        stats.label, stats.mean_us, stats.p95_us, stats.iters
+    );
+    stats
+}
+
+/// Summarize raw microsecond samples (sorts them in place).
+pub fn summarize(label: &str, samples: &mut [f64]) -> Stats {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let p95 = samples[((n as f64 * 0.95) as usize).min(n - 1)];
+    Stats {
+        label: label.to_string(),
+        iters: n,
+        mean_us: mean,
+        p95_us: p95,
+        min_us: samples[0],
+    }
+}
+
+/// Opaque sink preventing the optimizer from deleting the measured work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}

@@ -1,10 +1,15 @@
 //! # ped-bench — benchmark harness and table regeneration
 //!
 //! The `reproduce` binary prints every table and figure of the paper
-//! (`cargo run -p ped-bench --bin reproduce -- all`); the Criterion
-//! benches measure the analysis and runtime performance dimensions
+//! (`cargo run -p ped-bench --bin reproduce -- all`); the `bench` binary
+//! times the interactive hot path (open/reanalyze/dependence build) over
+//! the workshop programs and writes `BENCH_1.json`. The bench targets
+//! measure the analysis and runtime performance dimensions
 //! (parse/analysis throughput, the hierarchical-test-suite ablation,
-//! incremental vs full dependence update, and DOALL speedups).
+//! incremental vs full dependence update, and DOALL speedups) on a
+//! std-only `Instant` harness — the build is hermetic, no Criterion.
+
+pub mod harness;
 
 /// The eight workshop programs, re-exported for bench targets.
 pub use ped_workloads::all_programs;

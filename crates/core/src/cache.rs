@@ -1,0 +1,104 @@
+//! Session-level analysis cache.
+//!
+//! `reanalyze()` runs after every edit, assertion, and transformation,
+//! so it is the editor's hottest path. [`AnalysisCache`] makes it
+//! incremental at two granularities:
+//!
+//! * **Whole-analysis reuse.** The session's analysis state is a pure
+//!   function of (unit index, unit content, assertion set). The cache
+//!   remembers a fingerprint of that triple; when `reanalyze()` is
+//!   called and the fingerprint is unchanged (a no-op edit, a redundant
+//!   call from a composed operation), the existing `UnitAnalysis` —
+//!   CFG, dominators, def-use, symbolic environment, dependence graph,
+//!   and all user marks — is kept as-is and nothing is recomputed.
+//! * **Pair-test reuse.** When the unit *did* change, the embedded
+//!   [`PairCache`] is threaded into dependence-graph construction, so
+//!   only the reference pairs whose statements or enclosing loops
+//!   changed are re-tested (see `ped_dependence::cache`).
+//!
+//! Hit/miss counters at both levels are mirrored into the session's
+//! `UsageLog` and surfaced by `PedSession::cache_stats`.
+
+use ped_dependence::cache::PairCache;
+
+/// Cache state carried by a `PedSession` across `reanalyze()` calls.
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    /// Fingerprint of (unit index, unit content, assertions) the current
+    /// `UnitAnalysis` was built from; `None` until the first build.
+    key: Option<u64>,
+    /// Pair-test memo table threaded into graph construction.
+    pub pairs: PairCache,
+    /// `reanalyze()` calls answered without recomputing anything.
+    pub analysis_hits: u64,
+    /// `reanalyze()` calls that rebuilt the analyses.
+    pub analysis_misses: u64,
+}
+
+impl AnalysisCache {
+    pub fn new() -> AnalysisCache {
+        AnalysisCache::default()
+    }
+
+    /// Record the key of a freshly built analysis without counting a
+    /// hit or miss (used by `open`, which always builds).
+    pub fn prime(&mut self, key: u64) {
+        self.key = Some(key);
+    }
+
+    /// True if the current analysis state is still valid for `key`.
+    /// On mismatch the key is updated (the caller is about to rebuild).
+    pub fn check(&mut self, key: u64) -> bool {
+        if self.key == Some(key) {
+            self.analysis_hits += 1;
+            true
+        } else {
+            self.key = Some(key);
+            self.analysis_misses += 1;
+            false
+        }
+    }
+
+    /// Force the next `check` to miss (e.g. after mutating analysis
+    /// state through a side channel the fingerprint cannot see).
+    pub fn invalidate(&mut self) {
+        self.key = None;
+    }
+
+    /// (analysis hits, analysis misses, pair-test hits, pair-test
+    /// misses) — lifetime counters.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (self.analysis_hits, self.analysis_misses, self.pairs.hits, self.pairs.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prime_then_check_hits() {
+        let mut c = AnalysisCache::new();
+        c.prime(42);
+        assert!(c.check(42));
+        assert_eq!(c.stats().0, 1);
+    }
+
+    #[test]
+    fn mismatch_misses_and_updates() {
+        let mut c = AnalysisCache::new();
+        assert!(!c.check(1));
+        assert!(c.check(1));
+        assert!(!c.check(2));
+        assert!(!c.check(1), "key must track the latest build");
+        assert_eq!(c.stats(), (1, 3, 0, 0));
+    }
+
+    #[test]
+    fn invalidate_forces_miss() {
+        let mut c = AnalysisCache::new();
+        c.prime(7);
+        c.invalidate();
+        assert!(!c.check(7));
+    }
+}

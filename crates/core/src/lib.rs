@@ -33,6 +33,7 @@
 
 pub mod assertions;
 pub mod breaking;
+pub mod cache;
 pub mod filter;
 pub mod panes;
 pub mod render;
@@ -42,6 +43,7 @@ pub mod workmodel;
 
 pub use assertions::Assertion;
 pub use breaking::{condition_would_break, suggest_breaking_condition, BreakingCondition};
+pub use cache::AnalysisCache;
 pub use filter::{DepFilter, SourceFilter, VarFilter};
 pub use session::{PedSession, VarClass};
 pub use usage::{Feature, UsageLog};

@@ -8,6 +8,7 @@
 //! `used` column of Table 2.
 
 use crate::assertions::{AssertError, Assertion};
+use crate::cache::AnalysisCache;
 use crate::filter::{DepFilter, VarFilter};
 use crate::panes::{DepRow, SourceRow, VarRow};
 use crate::usage::{Feature, UsageLog};
@@ -50,6 +51,9 @@ pub struct PedSession {
     pub selected: Option<LoopId>,
     pub usage: UsageLog,
     pub effects: EffectsMap,
+    /// Incremental-reanalysis state (whole-analysis key + pair-test
+    /// memo); see [`crate::cache`].
+    pub cache: AnalysisCache,
 }
 
 impl PedSession {
@@ -58,7 +62,14 @@ impl PedSession {
     pub fn open(program: Program) -> PedSession {
         let effects = ped_interproc::modref_analyze(&program);
         let env = Self::compute_env(&program, 0, &[]);
-        let ua = UnitAnalysis::build(&program.units[0], env, Some(&effects));
+        let mut cache = AnalysisCache::new();
+        let ua = UnitAnalysis::build_with(
+            &program.units[0],
+            env,
+            Some(&effects),
+            Some(&mut cache.pairs),
+        );
+        cache.prime(Self::analysis_key(&program, 0, &[]));
         PedSession {
             program,
             unit_idx: 0,
@@ -68,7 +79,22 @@ impl PedSession {
             selected: None,
             usage: UsageLog::default(),
             effects,
+            cache,
         }
+    }
+
+    /// Fingerprint of everything the unit's analyses are a function of:
+    /// the unit's content (declarations + every statement), its index,
+    /// and the assertion set. Interprocedural effects are computed once
+    /// at `open` and constant for the session, so they are not keyed.
+    fn analysis_key(program: &Program, unit_idx: usize, assertions: &[Assertion]) -> u64 {
+        let mut h = ped_fortran::fingerprint::Fnv::new()
+            .u64(unit_idx as u64)
+            .u64(ped_fortran::fingerprint::unit_fingerprint(&program.units[unit_idx]));
+        for a in assertions {
+            h = h.str(&a.to_string());
+        }
+        h.done()
     }
 
     /// The symbolic environment for a unit: global interprocedural facts
@@ -92,37 +118,50 @@ impl PedSession {
         env
     }
 
-    /// Rebuild all analyses of the current unit (after an edit,
-    /// transformation, or new assertion).
+    /// Rebuild the current unit's analyses (after an edit,
+    /// transformation, or new assertion) — incrementally. If nothing the
+    /// analyses depend on changed (the unit's content, its index, the
+    /// assertion set), the existing state is kept untouched: marks,
+    /// selection and all. Otherwise the unit is rebuilt with the
+    /// pair-test memo attached, so only the reference pairs whose
+    /// statements or enclosing loops changed are re-tested.
     pub fn reanalyze(&mut self) {
+        let key = Self::analysis_key(&self.program, self.unit_idx, &self.assertions);
+        if self.cache.check(key) {
+            self.usage.record(Feature::AnalysisCacheHit);
+            return;
+        }
+        self.usage.record(Feature::AnalysisCacheMiss);
         let env = Self::compute_env(&self.program, self.unit_idx, &self.assertions);
         let old = std::mem::replace(
             &mut self.ua,
-            UnitAnalysis::build(&self.program.units[self.unit_idx], env, Some(&self.effects)),
+            UnitAnalysis::build_with(
+                &self.program.units[self.unit_idx],
+                env,
+                Some(&self.effects),
+                Some(&mut self.cache.pairs),
+            ),
         );
         // Carry user marks across (same endpoints/var/level/kind).
-        for new in &self.ua.graph.deps {
-            for d in &old.graph.deps {
-                if d.src_stmt == new.src_stmt
-                    && d.sink_stmt == new.sink_stmt
-                    && d.var == new.var
-                    && d.level == new.level
-                    && d.kind == new.kind
-                {
-                    let m = old.marking.mark_of(d.id);
-                    if matches!(m, Mark::Accepted | Mark::Rejected) {
-                        let reason = old.marking.reason_of(d.id).map(|s| s.to_string());
-                        let _ = self.ua.marking.set(new.id, m, reason);
-                    }
-                }
-            }
-        }
+        ped_transform::ctx::carry_user_marks(
+            &old.graph,
+            &old.marking,
+            &self.ua.graph,
+            &mut self.ua.marking,
+            None,
+        );
         // Keep the selection when the loop still exists.
         if let Some(sel) = self.selected {
             if sel.0 as usize >= self.ua.nest.len() {
                 self.selected = None;
             }
         }
+    }
+
+    /// Lifetime cache counters: (whole-analysis hits, whole-analysis
+    /// misses, pair-test hits, pair-test misses).
+    pub fn cache_stats(&self) -> (u64, u64, u64, u64) {
+        self.cache.stats()
     }
 
     /// Switch to another program unit by name.

@@ -22,6 +22,11 @@ pub enum Feature {
     InterfaceErrorDetection,
     Help,
     TeachingTool,
+    // incremental-analysis engine telemetry. Not Table 2 rows — `all()`
+    // deliberately excludes them — but recorded through the same log so
+    // session traces show how often reanalysis was answered from cache.
+    AnalysisCacheHit,
+    AnalysisCacheMiss,
 }
 
 impl Feature {
@@ -51,6 +56,8 @@ impl Feature {
             Feature::InterfaceErrorDetection => "detect interface error",
             Feature::Help => "help",
             Feature::TeachingTool => "teaching tool",
+            Feature::AnalysisCacheHit => "analysis cache hit",
+            Feature::AnalysisCacheMiss => "analysis cache miss",
         }
     }
 

@@ -1,0 +1,116 @@
+//! Memoization of reference-pair dependence tests across rebuilds.
+//!
+//! The editor's hot loop is edit → reanalyze → display, and the
+//! expensive part of reanalysis is re-running the hierarchical test
+//! suite over every reference pair. Most edits are localized: the pairs
+//! whose endpoints' statements and enclosing loops are textually
+//! unchanged must produce the same test result, so [`PairCache`]
+//! remembers them keyed by content fingerprints instead of by
+//! identity-fragile `StmtId`/`RefId`s.
+//!
+//! What is cached is deliberately narrow: the *subscript test result*
+//! ([`DepInfo`] or independence), which depends only on the classified
+//! subscripts, the loop contexts, and the symbolic environment. The
+//! orientation/emission logic downstream of the test (levels, reversed
+//! vectors, loop-independent ordering) is cheap and always re-run, so
+//! self-pair vs cross-pair asymmetries never enter the cache.
+//!
+//! Invalidation is two-level:
+//! * wholesale — the environment or declaration fingerprint changed
+//!   (a new assertion, an edited COMMON/DIMENSION): every entry is
+//!   dropped, because any test may consult any fact;
+//! * per-key — the key embeds the endpoint statements' fingerprints and
+//!   a scope fingerprint covering the enclosing loop headers plus the
+//!   outermost common loop's whole body (subscript classification reads
+//!   sibling statements for index-array and forward-substitution
+//!   patterns, so a body edit conservatively invalidates the nest).
+
+use crate::suite::DepInfo;
+use std::collections::HashMap;
+
+/// Content identity of one tested reference pair.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PairKey {
+    /// Variable name both references touch.
+    pub var: String,
+    /// Fingerprint of the source reference's statement.
+    pub src_fp: u64,
+    /// Fingerprint of the sink reference's statement.
+    pub sink_fp: u64,
+    /// Ordinal of the source reference within its statement (two
+    /// references to the same variable in one statement get 0, 1, …).
+    pub src_slot: u32,
+    pub sink_slot: u32,
+    /// Enclosing-loop fingerprint: common + renamed-extra loop headers
+    /// and the outermost common loop's body content.
+    pub scope_fp: u64,
+}
+
+/// Result of one cached test: `None` = proven independent.
+pub type CachedTest = Option<DepInfo>;
+
+/// The cross-rebuild pair-test memo table. Owned by the session (one
+/// per program unit) and threaded into [`crate::graph::DependenceGraph`]
+/// construction.
+#[derive(Clone, Debug, Default)]
+pub struct PairCache {
+    map: HashMap<PairKey, CachedTest>,
+    /// Fingerprint of the symbolic environment the entries were
+    /// computed under.
+    env_fp: Option<u64>,
+    /// Fingerprint of the unit declarations the entries were computed
+    /// under.
+    decls_fp: Option<u64>,
+    /// Lifetime hit/miss counters (monotonic; the session mirrors them
+    /// into its `UsageLog`).
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl PairCache {
+    pub fn new() -> PairCache {
+        PairCache::default()
+    }
+
+    /// Drop every entry if the environment or declarations changed;
+    /// record the fingerprints the next entries will be valid under.
+    pub fn revalidate(&mut self, env_fp: u64, decls_fp: u64) {
+        if self.env_fp != Some(env_fp) || self.decls_fp != Some(decls_fp) {
+            self.map.clear();
+            self.env_fp = Some(env_fp);
+            self.decls_fp = Some(decls_fp);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Read-only view for worker threads during a parallel build.
+    pub(crate) fn read(&self) -> &HashMap<PairKey, CachedTest> {
+        &self.map
+    }
+
+    /// Merge one worker's freshly computed results and counters.
+    pub(crate) fn absorb(&mut self, shard: CacheShard) {
+        self.hits += shard.hits;
+        self.misses += shard.misses;
+        for (k, v) in shard.fresh {
+            self.map.insert(k, v);
+        }
+    }
+}
+
+/// Per-worker accumulation during one graph build: new results are
+/// staged here (worker threads share the cache read-only) and merged
+/// by the coordinating thread afterwards.
+#[derive(Debug, Default)]
+pub(crate) struct CacheShard {
+    pub fresh: Vec<(PairKey, CachedTest)>,
+    pub hits: u64,
+    pub misses: u64,
+}

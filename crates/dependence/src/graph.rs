@@ -18,18 +18,44 @@
 //! their control variables to fresh symbols bounded by the loop ranges —
 //! so a write in one inner loop tests precisely against a read in a
 //! sibling loop (the arc3d `WR1` shape).
+//!
+//! ## Performance architecture
+//!
+//! Pair testing is the editor's dominant cost, so construction is built
+//! for the interactive loop:
+//!
+//! * **Canonical order.** Reference pairs are grouped per variable and
+//!   the groups sorted by name, so `DepId` assignment — and therefore
+//!   the whole graph — is deterministic run to run and identical
+//!   between the serial and parallel builders.
+//! * **Parallel sharding.** Groups are independent (a dependence only
+//!   ever relates two references to the same variable), so they are
+//!   distributed over a `std::thread::scope` worker pool via an atomic
+//!   work index; each worker emits into a per-group buffer and the
+//!   coordinator concatenates buffers in group order, assigning ids.
+//! * **Pair-test memoization.** With a [`PairCache`], each pair's test
+//!   result is keyed by content fingerprints of its endpoints and
+//!   enclosing loops; unchanged pairs skip classification and the test
+//!   suite entirely on rebuild (see [`crate::cache`]).
+//! * **Per-loop index.** `for_loop` / `parallelism_inhibitors` read a
+//!   `LoopId → [DepId]` index built once at construction instead of
+//!   scanning every dependence per query.
 
+use crate::cache::{CacheShard, CachedTest, PairCache, PairKey};
 use crate::dir::{Dir, DirSet, DirVector};
 use crate::subscript::{NestCtx, SubPos};
-use crate::suite::{LoopCtx, TestResult};
+use crate::suite::{DepInfo, LoopCtx, TestResult};
 use ped_analysis::loops::{LoopId, LoopNest};
-use ped_analysis::refs::{RefCause, RefId, RefTable};
+use ped_analysis::refs::{RefCause, RefId, RefTable, VarRef};
 use ped_analysis::symbolic::{LinExpr, SymbolicEnv};
 use ped_analysis::{Cfg, ControlDeps};
 use ped_fortran::ast::{Expr, ProcUnit, StmtId};
+use ped_fortran::fingerprint::{stmt_fingerprints, Fnv};
 use ped_fortran::pretty::print_expr;
 use ped_fortran::symbols::SymbolTable;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Identity of a dependence in a [`DependenceGraph`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -69,7 +95,7 @@ impl std::fmt::Display for DepKind {
 }
 
 /// One dependence edge.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Dependence {
     pub id: DepId,
     pub kind: DepKind,
@@ -120,22 +146,33 @@ pub struct BuildOptions {
     pub control_deps: bool,
     /// Include scalar-variable dependences.
     pub scalar_deps: bool,
+    /// Worker threads for pair testing: 0 = auto (available parallelism,
+    /// capped, and only when there is enough work), 1 = serial.
+    pub threads: usize,
 }
 
 impl Default for BuildOptions {
     fn default() -> Self {
-        BuildOptions { input_deps: false, control_deps: true, scalar_deps: true }
+        BuildOptions { input_deps: false, control_deps: true, scalar_deps: true, threads: 0 }
     }
 }
 
 /// The dependence graph of one program unit.
 #[derive(Clone, Debug, Default)]
 pub struct DependenceGraph {
+    /// All dependences, in canonical id order. Mutating this directly
+    /// stales the loop index; call [`DependenceGraph::reindex`] after.
     pub deps: Vec<Dependence>,
+    /// Loop → relevant dependence ids (carried by it, or
+    /// loop-independent with the loop in the common nest), id order.
+    by_loop: HashMap<LoopId, Vec<u32>>,
+    /// Loop → ids of dependences it carries, id order.
+    carried_by: HashMap<LoopId, Vec<u32>>,
 }
 
 impl DependenceGraph {
-    /// Build the dependence graph of a unit.
+    /// Build the dependence graph of a unit (no memoization; thread
+    /// count from `opts.threads`).
     pub fn build(
         unit: &ProcUnit,
         symbols: &SymbolTable,
@@ -144,24 +181,78 @@ impl DependenceGraph {
         env: &SymbolicEnv,
         opts: &BuildOptions,
     ) -> DependenceGraph {
+        Self::build_with(unit, symbols, refs, nest, env, opts, None)
+    }
+
+    /// Build, memoizing pair-test results in `cache` (hit = the pair's
+    /// endpoints and enclosing loops are fingerprint-identical to a
+    /// previously tested pair under the same environment/declarations).
+    /// The serial and parallel builders produce bit-identical graphs.
+    pub fn build_with(
+        unit: &ProcUnit,
+        symbols: &SymbolTable,
+        refs: &RefTable,
+        nest: &LoopNest,
+        env: &SymbolicEnv,
+        opts: &BuildOptions,
+        mut cache: Option<&mut PairCache>,
+    ) -> DependenceGraph {
+        let keys = cache.as_ref().map(|_| CacheKeys::build(unit, refs, nest));
+        if let Some(c) = cache.as_deref_mut() {
+            c.revalidate(
+                env.fingerprint(),
+                ped_fortran::fingerprint::decls_fingerprint(unit),
+            );
+        }
         let mut g = DependenceGraph::default();
-        let builder = Builder { unit, symbols, refs, nest, env, opts };
-        builder.run(&mut g);
+        let builder = Builder { unit, symbols, refs, nest, env, opts, keys };
+        builder.run(&mut g, cache);
+        g.reindex();
         g
     }
 
+    /// Rebuild the per-loop index from `deps` (needed only after direct
+    /// mutation of the dependence list).
+    pub fn reindex(&mut self) {
+        self.by_loop.clear();
+        self.carried_by.clear();
+        for d in &self.deps {
+            match d.carrier() {
+                Some(c) => {
+                    self.carried_by.entry(c).or_default().push(d.id.0);
+                    self.by_loop.entry(c).or_default().push(d.id.0);
+                }
+                None => {
+                    for &l in &d.common {
+                        self.by_loop.entry(l).or_default().push(d.id.0);
+                    }
+                }
+            }
+        }
+    }
+
     /// Dependences relevant to a loop (carried by it or loop-independent
-    /// within it), in id order.
+    /// within it), in id order. Indexed: O(answer), not O(graph).
     pub fn for_loop(&self, l: LoopId) -> impl Iterator<Item = &Dependence> {
-        self.deps.iter().filter(move |d| d.relevant_to(l))
+        self.by_loop
+            .get(&l)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(move |&i| &self.deps[i as usize])
     }
 
     /// Loop-carried data dependences of a loop, excluding `Input` and
     /// `Control` kinds — the ones that inhibit parallelization.
+    /// Indexed: O(carried-by-l), not O(graph).
     pub fn parallelism_inhibitors(&self, l: LoopId) -> impl Iterator<Item = &Dependence> {
-        self.deps.iter().filter(move |d| {
-            d.carrier() == Some(l) && !matches!(d.kind, DepKind::Input | DepKind::Control)
-        })
+        self.carried_by
+            .get(&l)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .map(move |&i| &self.deps[i as usize])
+            .filter(|d| !matches!(d.kind, DepKind::Input | DepKind::Control))
     }
 
     pub fn get(&self, id: DepId) -> &Dependence {
@@ -177,6 +268,79 @@ impl DependenceGraph {
     }
 }
 
+/// Content fingerprints used to form [`PairKey`]s, precomputed once per
+/// build (only when a cache is attached).
+struct CacheKeys {
+    stmt_fp: HashMap<StmtId, u64>,
+    /// Loop header fingerprint (control variable, bounds, step, sched —
+    /// the `DO` statement's own fingerprint).
+    loop_hdr: HashMap<LoopId, u64>,
+    /// Header plus every body statement's fingerprint, in order: the
+    /// loop's whole subtree content.
+    loop_scope: HashMap<LoopId, u64>,
+    /// Ordinal of each reference within its statement.
+    slot: HashMap<RefId, u32>,
+}
+
+impl CacheKeys {
+    fn build(unit: &ProcUnit, refs: &RefTable, nest: &LoopNest) -> CacheKeys {
+        let stmt_fp = stmt_fingerprints(unit);
+        let mut loop_hdr = HashMap::new();
+        let mut loop_scope = HashMap::new();
+        for l in &nest.loops {
+            let hdr = stmt_fp.get(&l.stmt).copied().unwrap_or(0);
+            loop_hdr.insert(l.id, hdr);
+            let mut h = Fnv::new().u64(hdr);
+            for s in &l.body {
+                h = h.u64(stmt_fp.get(s).copied().unwrap_or(0));
+            }
+            loop_scope.insert(l.id, h.done());
+        }
+        let mut slot = HashMap::new();
+        let mut per_stmt: HashMap<StmtId, u32> = HashMap::new();
+        for r in &refs.refs {
+            let c = per_stmt.entry(r.stmt).or_insert(0);
+            slot.insert(r.id, *c);
+            *c += 1;
+        }
+        CacheKeys { stmt_fp, loop_hdr, loop_scope, slot }
+    }
+
+    fn pair_key(
+        &self,
+        ra: &VarRef,
+        rb: &VarRef,
+        common: &[LoopId],
+        extra_a: &[LoopId],
+        extra_b: &[LoopId],
+    ) -> PairKey {
+        let mut h = Fnv::new();
+        for &l in common {
+            h = h.u64(self.loop_hdr[&l]);
+        }
+        h = h.str("|a");
+        for &l in extra_a {
+            h = h.u64(self.loop_hdr[&l]);
+        }
+        h = h.str("|b");
+        for &l in extra_b {
+            h = h.u64(self.loop_hdr[&l]);
+        }
+        // Subscript classification reads sibling statements of the
+        // outermost common loop (index-array and forward-substitution
+        // recognition), so its whole subtree content is part of the key.
+        h = h.u64(self.loop_scope[&common[0]]);
+        PairKey {
+            var: ra.name.clone(),
+            src_fp: self.stmt_fp[&ra.stmt],
+            sink_fp: self.stmt_fp[&rb.stmt],
+            src_slot: self.slot[&ra.id],
+            sink_slot: self.slot[&rb.id],
+            scope_fp: h.done(),
+        }
+    }
+}
+
 struct Builder<'a> {
     unit: &'a ProcUnit,
     symbols: &'a SymbolTable,
@@ -184,10 +348,14 @@ struct Builder<'a> {
     nest: &'a LoopNest,
     env: &'a SymbolicEnv,
     opts: &'a BuildOptions,
+    keys: Option<CacheKeys>,
 }
 
+/// Sentinel id for dependences awaiting canonical numbering.
+const UNNUMBERED: DepId = DepId(u32::MAX);
+
 impl<'a> Builder<'a> {
-    fn run(&self, g: &mut DependenceGraph) {
+    fn run(&self, g: &mut DependenceGraph, mut cache: Option<&mut PairCache>) {
         // Map statement -> enclosing loop chain (outermost first).
         let mut stmt_loops: HashMap<StmtId, Vec<LoopId>> = HashMap::new();
         for l in &self.nest.loops {
@@ -199,7 +367,9 @@ impl<'a> Builder<'a> {
             v.sort_by_key(|l| self.nest.get(*l).level);
         }
 
-        // Group references by variable name.
+        // Group references by variable name; sort groups by name so
+        // DepId assignment is canonical (HashMap iteration order must
+        // never leak into the graph).
         let mut by_name: HashMap<&str, Vec<RefId>> = HashMap::new();
         for r in &self.refs.refs {
             if r.cause == RefCause::LoopControl {
@@ -213,40 +383,142 @@ impl<'a> Builder<'a> {
             }
             by_name.entry(r.name.as_str()).or_default().push(r.id);
         }
+        let mut groups: Vec<(&str, Vec<RefId>)> = by_name.into_iter().collect();
+        groups.sort_by_key(|(name, _)| *name);
 
-        let empty: Vec<LoopId> = Vec::new();
-        for (_name, ids) in by_name {
-            for (ai, &a) in ids.iter().enumerate() {
-                for &b in ids.iter().skip(ai) {
-                    let ra = self.refs.get(a);
-                    let rb = self.refs.get(b);
-                    // A self-pair is meaningful for array writes: a store
-                    // like V(MW(J), L) may conflict with *itself* in
-                    // another iteration (carried output dependence)
-                    // unless the subscripts are proven distinct across
-                    // iterations. (A scalar's self output dependence is
-                    // subsumed by privatization and is not emitted.)
-                    if a == b && !(ra.is_def && ra.is_array_elem()) {
-                        continue;
-                    }
-                    if !ra.is_def && !rb.is_def && !self.opts.input_deps {
-                        continue;
-                    }
-                    let la = stmt_loops.get(&ra.stmt).unwrap_or(&empty);
-                    let lb = stmt_loops.get(&rb.stmt).unwrap_or(&empty);
-                    let ncommon = la.iter().zip(lb.iter()).take_while(|(x, y)| x == y).count();
-                    if ncommon == 0 {
-                        continue;
-                    }
-                    let common: Vec<LoopId> = la[..ncommon].to_vec();
-                    self.test_and_emit(g, a, b, &common, &la[ncommon..], &lb[ncommon..]);
+        let pairs: usize = groups.iter().map(|(_, ids)| ids.len() * (ids.len() + 1) / 2).sum();
+        let threads = self.effective_threads(groups.len(), pairs);
+
+        let buffers: Vec<Vec<Dependence>> = if threads <= 1 {
+            let mut shard = CacheShard::default();
+            let read = cache.as_deref().map(|c| c.read());
+            let out = groups
+                .iter()
+                .map(|(_, ids)| self.test_group(ids, &stmt_loops, read, &mut shard))
+                .collect();
+            if let Some(c) = cache.as_deref_mut() {
+                c.absorb(shard);
+            }
+            out
+        } else {
+            let slots: Vec<Mutex<Vec<Dependence>>> =
+                groups.iter().map(|_| Mutex::new(Vec::new())).collect();
+            let next = AtomicUsize::new(0);
+            let read = cache.as_deref().map(|c| c.read());
+            let shards: Vec<CacheShard> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut shard = CacheShard::default();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= groups.len() {
+                                    break;
+                                }
+                                let out = self.test_group(
+                                    &groups[i].1,
+                                    &stmt_loops,
+                                    read,
+                                    &mut shard,
+                                );
+                                *slots[i].lock().unwrap() = out;
+                            }
+                            shard
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("dependence worker panicked"))
+                    .collect()
+            });
+            if let Some(c) = cache.as_deref_mut() {
+                for shard in shards {
+                    c.absorb(shard);
                 }
+            }
+            slots.into_iter().map(|m| m.into_inner().unwrap()).collect()
+        };
+
+        // Deterministic merge: group order is name order, in-group order
+        // is pair order — identical to the serial traversal.
+        for buf in buffers {
+            for mut d in buf {
+                debug_assert_eq!(d.id, UNNUMBERED);
+                d.id = DepId(g.deps.len() as u32);
+                g.deps.push(d);
             }
         }
 
         if self.opts.control_deps {
             self.add_control_deps(g, &stmt_loops);
         }
+    }
+
+    /// Worker count: explicit from options, else sized to the machine —
+    /// and never more workers than groups, nor any pool at all for
+    /// trivially small units (pool setup would dominate).
+    fn effective_threads(&self, groups: usize, pairs: usize) -> usize {
+        let requested = match self.opts.threads {
+            0 => {
+                if pairs < 256 {
+                    1
+                } else {
+                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+                }
+            }
+            n => n,
+        };
+        requested.min(groups.max(1))
+    }
+
+    /// Test every pair of one variable's reference group, emitting into
+    /// a fresh buffer with unnumbered ids.
+    fn test_group(
+        &self,
+        ids: &[RefId],
+        stmt_loops: &HashMap<StmtId, Vec<LoopId>>,
+        cache: Option<&HashMap<PairKey, CachedTest>>,
+        shard: &mut CacheShard,
+    ) -> Vec<Dependence> {
+        let mut out = Vec::new();
+        let empty: Vec<LoopId> = Vec::new();
+        for (ai, &a) in ids.iter().enumerate() {
+            for &b in ids.iter().skip(ai) {
+                let ra = self.refs.get(a);
+                let rb = self.refs.get(b);
+                // A self-pair is meaningful for array writes: a store
+                // like V(MW(J), L) may conflict with *itself* in
+                // another iteration (carried output dependence)
+                // unless the subscripts are proven distinct across
+                // iterations. (A scalar's self output dependence is
+                // subsumed by privatization and is not emitted.)
+                if a == b && !(ra.is_def && ra.is_array_elem()) {
+                    continue;
+                }
+                if !ra.is_def && !rb.is_def && !self.opts.input_deps {
+                    continue;
+                }
+                let la = stmt_loops.get(&ra.stmt).unwrap_or(&empty);
+                let lb = stmt_loops.get(&rb.stmt).unwrap_or(&empty);
+                let ncommon = la.iter().zip(lb.iter()).take_while(|(x, y)| x == y).count();
+                if ncommon == 0 {
+                    continue;
+                }
+                let common: Vec<LoopId> = la[..ncommon].to_vec();
+                self.test_and_emit(
+                    &mut out,
+                    a,
+                    b,
+                    &common,
+                    &la[ncommon..],
+                    &lb[ncommon..],
+                    cache,
+                    shard,
+                );
+            }
+        }
+        out
     }
 
     fn loop_ctx(&self, l: LoopId, rename: Option<&str>) -> LoopCtx {
@@ -263,18 +535,39 @@ impl<'a> Builder<'a> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn test_and_emit(
         &self,
-        g: &mut DependenceGraph,
+        out: &mut Vec<Dependence>,
         a: RefId,
         b: RefId,
         common: &[LoopId],
         extra_a: &[LoopId],
         extra_b: &[LoopId],
+        cache: Option<&HashMap<PairKey, CachedTest>>,
+        shard: &mut CacheShard,
     ) {
         let ra = self.refs.get(a);
         let rb = self.refs.get(b);
         let n = common.len();
+        // Memo lookup: endpoints + enclosing loops content-identical to
+        // an already-tested pair ⇒ reuse its test result outright.
+        let key = self
+            .keys
+            .as_ref()
+            .map(|k| k.pair_key(ra, rb, common, extra_a, extra_b));
+        if let (Some(key), Some(read)) = (&key, cache) {
+            if let Some(cached) = read.get(key) {
+                shard.hits += 1;
+                if let Some(info) = cached {
+                    let vector = DirVector(info.vector.0[..n].to_vec());
+                    let distances: Vec<Option<i64>> = info.distances[..n].to_vec();
+                    self.emit_oriented(out, a, b, common, vector, distances, info.exact, info.test);
+                }
+                return;
+            }
+            shard.misses += 1;
+        }
         // Loop contexts: common + renamed extras.
         let mut loops: Vec<LoopCtx> = common.iter().map(|&l| self.loop_ctx(l, None)).collect();
         let mut ren_a: HashMap<String, String> = HashMap::new();
@@ -310,28 +603,30 @@ impl<'a> Builder<'a> {
         let subs_b = classify(&rb.subs, &ren_b);
         // Scalars or whole-array refs: assumed (the suite handles empty).
         let result = if ra.subs.is_empty() || rb.subs.is_empty() {
-            if ra.subs.is_empty() && rb.subs.is_empty() && !self.symbols.is_array(&ra.name) {
-                // Scalar pair: always a (pending) dependence.
-                TestResult::Dependent(crate::subscript::assumed_dep(loops.len()))
-            } else {
-                TestResult::Dependent(crate::subscript::assumed_dep(loops.len()))
-            }
+            TestResult::Dependent(crate::subscript::assumed_dep(loops.len()))
         } else {
             crate::subscript::test_classified(&subs_a, &subs_b, &loops, self.env)
         };
+        if let Some(key) = key {
+            let memo: CachedTest = match &result {
+                TestResult::Independent => None,
+                TestResult::Dependent(info) => Some(info.clone()),
+            };
+            shard.fresh.push((key, memo));
+        }
         let TestResult::Dependent(info) = result else {
             return;
         };
         // Truncate to the common prefix.
         let vector = DirVector(info.vector.0[..n].to_vec());
         let distances: Vec<Option<i64>> = info.distances[..n].to_vec();
-        self.emit_oriented(g, a, b, common, vector, distances, info.exact, info.test);
+        self.emit_oriented(out, a, b, common, vector, distances, info.exact, info.test);
     }
 
     #[allow(clippy::too_many_arguments)]
     fn emit_oriented(
         &self,
-        g: &mut DependenceGraph,
+        out: &mut Vec<Dependence>,
         a: RefId,
         b: RefId,
         common: &[LoopId],
@@ -341,8 +636,6 @@ impl<'a> Builder<'a> {
         test: &'static str,
     ) {
         let n = common.len();
-        let ra = self.refs.get(a);
-        let rb = self.refs.get(b);
         let self_pair = a == b;
         // Carried levels, forward orientation (a → b).
         for k in 0..n {
@@ -353,7 +646,7 @@ impl<'a> Builder<'a> {
                 let mut v = vec![DirSet::only(Dir::Eq); k];
                 v.push(DirSet::only(Dir::Lt));
                 v.extend_from_slice(&vector.0[k + 1..]);
-                self.push_dep(g, a, b, common, Some(k as u32 + 1), DirVector(v), distances.clone(), exact, test);
+                self.push_dep(out, a, b, common, Some(k as u32 + 1), DirVector(v), distances.clone(), exact, test);
             }
         }
         // Carried levels, reversed orientation (b → a). A self-pair is
@@ -367,7 +660,7 @@ impl<'a> Builder<'a> {
                 v.push(DirSet::only(Dir::Lt));
                 v.extend(vector.0[k + 1..].iter().map(|d| d.reversed()));
                 let rdist: Vec<Option<i64>> = distances.iter().map(|d| d.map(|x| -x)).collect();
-                self.push_dep(g, b, a, common, Some(k as u32 + 1), DirVector(v), rdist, exact, test);
+                self.push_dep(out, b, a, common, Some(k as u32 + 1), DirVector(v), rdist, exact, test);
             }
         }
         // Loop-independent: all '=' feasible and textual order decides.
@@ -378,19 +671,14 @@ impl<'a> Builder<'a> {
             let zdist = vec![Some(0); n];
             // Textual order: RefIds are allocated in source order.
             let (src, sink) = if a < b { (a, b) } else { (b, a) };
-            let (rs, rk) = (self.refs.get(src), self.refs.get(sink));
-            // Same-statement same-position pairs of (use, def) are real
-            // (RHS executes first); other same-statement orders too.
-            let _ = (rs, rk);
-            self.push_dep(g, src, sink, common, None, v, zdist, exact, test);
+            self.push_dep(out, src, sink, common, None, v, zdist, exact, test);
         }
-        let _ = (ra, rb);
     }
 
     #[allow(clippy::too_many_arguments)]
     fn push_dep(
         &self,
-        g: &mut DependenceGraph,
+        out: &mut Vec<Dependence>,
         src: RefId,
         sink: RefId,
         common: &[LoopId],
@@ -411,9 +699,8 @@ impl<'a> Builder<'a> {
         if kind == DepKind::Input && !self.opts.input_deps {
             return;
         }
-        let id = DepId(g.deps.len() as u32);
-        g.deps.push(Dependence {
-            id,
+        out.push(Dependence {
+            id: UNNUMBERED,
             kind,
             src: Some(src),
             sink: Some(sink),
@@ -491,6 +778,11 @@ fn rename_lin(l: &LinExpr, ren: &HashMap<String, String>) -> LinExpr {
     }
     out
 }
+
+// Silence the unused import lint when DepInfo only appears in the cache
+// signatures above.
+#[allow(unused)]
+fn _dep_info_is_cached(_: &DepInfo) {}
 
 #[cfg(test)]
 mod tests {
@@ -709,5 +1001,146 @@ mod tests {
         // from dim-1 distances are gone: remaining UF deps (if any) must
         // not come from the strong-siv test.
         assert!(uf.iter().all(|d| d.test != "strong-siv-symbolic"));
+    }
+
+    // -- performance-architecture tests ----------------------------------
+
+    const MULTI: &str = "      REAL A(100,100), B(100), T(100)\n      INTEGER IX(100)\n      DO 10 I = 2, N\n      DO 20 J = 2, M\n      A(I,J) = A(I-1,J) + A(I,J-1)\n   20 CONTINUE\n      B(I) = B(I-1) * 0.5\n      T(I) = A(I,1)\n      A(IX(I),1) = T(I)\n   10 CONTINUE\n      DO 30 I = 1, N\n      B(I) = B(I) + 1.0\n   30 CONTINUE\n      END\n";
+
+    #[test]
+    fn serial_and_parallel_builds_identical() {
+        let p = parse_ok(MULTI);
+        let u = &p.units[0];
+        let sym = SymbolTable::build(u);
+        let refs = RefTable::build(u, &sym);
+        let nest = LoopNest::build(u);
+        let env = SymbolicEnv::new();
+        let serial = DependenceGraph::build(
+            u, &sym, &refs, &nest, &env,
+            &BuildOptions { threads: 1, ..Default::default() },
+        );
+        for threads in [2, 3, 8] {
+            let par = DependenceGraph::build(
+                u, &sym, &refs, &nest, &env,
+                &BuildOptions { threads, ..Default::default() },
+            );
+            assert_eq!(serial.deps, par.deps, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn graph_ordering_is_canonical_across_builds() {
+        let (_, _, _, g1) = build(MULTI);
+        let (_, _, _, g2) = build(MULTI);
+        assert_eq!(g1.deps, g2.deps);
+        // Data deps arrive in variable-name order.
+        let names: Vec<&str> = g1
+            .deps
+            .iter()
+            .filter(|d| d.kind != DepKind::Control)
+            .map(|d| d.var.as_str())
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "groups must be emitted in name order");
+    }
+
+    #[test]
+    fn loop_index_matches_linear_scan() {
+        let (_, nest, _, g) = build(MULTI);
+        for l in &nest.loops {
+            let indexed: Vec<DepId> = g.for_loop(l.id).map(|d| d.id).collect();
+            let scanned: Vec<DepId> = g
+                .deps
+                .iter()
+                .filter(|d| d.relevant_to(l.id))
+                .map(|d| d.id)
+                .collect();
+            assert_eq!(indexed, scanned, "for_loop index wrong for {}", l.id);
+            let indexed: Vec<DepId> = g.parallelism_inhibitors(l.id).map(|d| d.id).collect();
+            let scanned: Vec<DepId> = g
+                .deps
+                .iter()
+                .filter(|d| {
+                    d.carrier() == Some(l.id)
+                        && !matches!(d.kind, DepKind::Input | DepKind::Control)
+                })
+                .map(|d| d.id)
+                .collect();
+            assert_eq!(indexed, scanned, "inhibitor index wrong for {}", l.id);
+        }
+    }
+
+    #[test]
+    fn pair_cache_hits_on_identical_rebuild() {
+        let p = parse_ok(MULTI);
+        let u = &p.units[0];
+        let sym = SymbolTable::build(u);
+        let refs = RefTable::build(u, &sym);
+        let nest = LoopNest::build(u);
+        let env = SymbolicEnv::new();
+        let opts = BuildOptions::default();
+        let mut cache = PairCache::new();
+        let g1 =
+            DependenceGraph::build_with(u, &sym, &refs, &nest, &env, &opts, Some(&mut cache));
+        assert_eq!(cache.hits, 0);
+        let cold_misses = cache.misses;
+        assert!(cold_misses > 0);
+        let g2 =
+            DependenceGraph::build_with(u, &sym, &refs, &nest, &env, &opts, Some(&mut cache));
+        assert_eq!(g1.deps, g2.deps, "cached rebuild must be identical");
+        assert_eq!(cache.misses, cold_misses, "warm rebuild must not re-test");
+        assert_eq!(cache.hits, cold_misses, "every pair must hit");
+    }
+
+    #[test]
+    fn pair_cache_invalidated_by_env_change() {
+        let p = parse_ok(MULTI);
+        let u = &p.units[0];
+        let sym = SymbolTable::build(u);
+        let refs = RefTable::build(u, &sym);
+        let nest = LoopNest::build(u);
+        let opts = BuildOptions::default();
+        let mut cache = PairCache::new();
+        let env = SymbolicEnv::new();
+        DependenceGraph::build_with(u, &sym, &refs, &nest, &env, &opts, Some(&mut cache));
+        let cold = cache.misses;
+        // New fact ⇒ environment fingerprint changes ⇒ full re-test.
+        let mut env2 = SymbolicEnv::new();
+        env2.add_index_fact(
+            "IX",
+            ped_analysis::symbolic::IndexArrayFact { permutation: true, ..Default::default() },
+        );
+        DependenceGraph::build_with(u, &sym, &refs, &nest, &env2, &opts, Some(&mut cache));
+        assert_eq!(cache.hits, 0, "env change must not produce stale hits");
+        assert!(cache.misses >= 2 * cold - 1);
+    }
+
+    #[test]
+    fn pair_cache_localized_edit_retests_only_touched_nest() {
+        // Two disjoint top-level loops; edit the second, the first's
+        // pairs must all hit.
+        let src = "      REAL A(100), B(100)\n      DO 10 I = 2, N\n      A(I) = A(I-1)\n   10 CONTINUE\n      DO 20 I = 2, N\n      B(I) = B(I-1)\n   20 CONTINUE\n      END\n";
+        let edited = src.replace("B(I) = B(I-1)", "B(I) = B(I-2)");
+        let p1 = parse_ok(src);
+        let p2 = parse_ok(&edited);
+        let mut cache = PairCache::new();
+        let opts = BuildOptions::default();
+        let env = SymbolicEnv::new();
+        for (i, p) in [&p1, &p2].into_iter().enumerate() {
+            let u = &p.units[0];
+            let sym = SymbolTable::build(u);
+            let refs = RefTable::build(u, &sym);
+            let nest = LoopNest::build(u);
+            let g = DependenceGraph::build_with(
+                u, &sym, &refs, &nest, &env, &opts, Some(&mut cache),
+            );
+            if i == 1 {
+                // The A recurrence is untouched: its pair must hit.
+                assert!(cache.hits >= 1, "A-loop pair should be cache-hot");
+                // The edited B pair re-tests and still carries a dep.
+                assert!(g.deps.iter().any(|d| d.var == "B" && d.distances[0] == Some(2)));
+            }
+        }
     }
 }

@@ -25,12 +25,14 @@
 //! assert!(g.parallelism_inhibitors(nest.roots[0]).any(|d| d.exact));
 //! ```
 
+pub mod cache;
 pub mod dir;
 pub mod graph;
 pub mod marking;
 pub mod subscript;
 pub mod suite;
 
+pub use cache::{PairCache, PairKey};
 pub use dir::{Dir, DirSet, DirVector};
 pub use graph::{BuildOptions, DepId, DepKind, Dependence, DependenceGraph};
 pub use marking::{Mark, MarkError, Marking};

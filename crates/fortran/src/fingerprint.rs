@@ -1,0 +1,270 @@
+//! Cheap structural fingerprints of programs and statements.
+//!
+//! The incremental analysis engine decides what to recompute after an
+//! edit by comparing fingerprints, not trees: each statement hashes its
+//! *own* content (a `DO` hashes its control header, not its body), so a
+//! localized edit perturbs exactly the fingerprints of the statements it
+//! touched, and every enclosing construct's aggregate can be recomputed
+//! from the per-statement map in one pass. FNV-1a over the printed
+//! expression forms keeps this allocation-light and stable across runs
+//! (no `RandomState`), which the analysis cache requires: fingerprints
+//! are compared across `reanalyze()` calls within one session.
+
+use crate::ast::{Decl, Expr, LValue, ProcUnit, Stmt, StmtId, StmtKind};
+use crate::pretty::{print_expr, print_lvalue};
+use std::collections::HashMap;
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// Incremental FNV-1a hasher (deterministic, unlike `DefaultHasher`
+/// across processes — these fingerprints may be persisted in logs).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv(pub u64);
+
+impl Fnv {
+    pub fn new() -> Fnv {
+        Fnv(FNV_OFFSET)
+    }
+
+    pub fn bytes(mut self, b: &[u8]) -> Fnv {
+        for &x in b {
+            self.0 ^= x as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    pub fn str(self, s: &str) -> Fnv {
+        self.bytes(s.as_bytes()).bytes(&[0xff])
+    }
+
+    pub fn u64(self, v: u64) -> Fnv {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    pub fn done(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+fn hash_expr(h: Fnv, e: &Expr) -> Fnv {
+    h.str(&print_expr(e))
+}
+
+fn hash_opt_expr(h: Fnv, e: &Option<Expr>) -> Fnv {
+    match e {
+        Some(e) => hash_expr(h.u64(1), e),
+        None => h.u64(0),
+    }
+}
+
+fn hash_lvalue(h: Fnv, lv: &LValue) -> Fnv {
+    h.str(&print_lvalue(lv))
+}
+
+fn hash_declared(h: Fnv, e: &crate::ast::Declared) -> Fnv {
+    let mut h = h.str(&e.name);
+    for dim in &e.dims {
+        h = hash_expr(hash_expr(h, &dim.lower), &dim.upper);
+    }
+    h
+}
+
+/// Fingerprint of one statement's own content. Block statements (`DO`,
+/// `IF`) hash only their headers — nested statements carry their own
+/// fingerprints — so the map is statement-level, not subtree-level.
+pub fn stmt_fingerprint(s: &Stmt) -> u64 {
+    let h = Fnv::new().u64(s.label.unwrap_or(0) as u64);
+    let h = match &s.kind {
+        StmtKind::Assign { lhs, rhs } => hash_expr(hash_lvalue(h.str("="), lhs), rhs),
+        StmtKind::Do { var, lo, hi, step, term_label, sched, .. } => {
+            let h = h.str("DO").str(var);
+            let h = hash_expr(h, lo);
+            let h = hash_expr(h, hi);
+            let h = hash_opt_expr(h, step);
+            h.u64(term_label.unwrap_or(0) as u64).str(&format!("{sched:?}"))
+        }
+        StmtKind::If { arms, else_body } => {
+            let mut h = h.str("IF").u64(arms.len() as u64);
+            for (cond, _) in arms {
+                h = hash_expr(h, cond);
+            }
+            h.u64(else_body.is_some() as u64)
+        }
+        StmtKind::LogicalIf { cond, .. } => hash_expr(h.str("LIF"), cond),
+        StmtKind::ArithIf { expr, neg, zero, pos } => hash_expr(h.str("AIF"), expr)
+            .u64(*neg as u64)
+            .u64(*zero as u64)
+            .u64(*pos as u64),
+        StmtKind::Goto(l) => h.str("GOTO").u64(*l as u64),
+        StmtKind::ComputedGoto { labels, index } => {
+            let mut h = h.str("CGOTO");
+            for l in labels {
+                h = h.u64(*l as u64);
+            }
+            hash_expr(h, index)
+        }
+        StmtKind::Continue => h.str("CONT"),
+        StmtKind::Call { name, args } => {
+            let mut h = h.str("CALL").str(name);
+            for a in args {
+                h = hash_expr(h, a);
+            }
+            h
+        }
+        StmtKind::Return => h.str("RET"),
+        StmtKind::Stop => h.str("STOP"),
+        StmtKind::Read { items } => {
+            let mut h = h.str("READ");
+            for it in items {
+                h = hash_lvalue(h, it);
+            }
+            h
+        }
+        StmtKind::Write { items } => {
+            let mut h = h.str("WRITE");
+            for it in items {
+                h = hash_expr(h, it);
+            }
+            h
+        }
+        StmtKind::Opaque(text) => h.str("OPQ").str(text),
+    };
+    h.done()
+}
+
+/// Per-statement fingerprints of every statement in a unit (preorder).
+pub fn stmt_fingerprints(unit: &ProcUnit) -> HashMap<StmtId, u64> {
+    let mut map = HashMap::new();
+    crate::ast::walk_stmts(&unit.body, &mut |s| {
+        map.insert(s.id, stmt_fingerprint(s));
+    });
+    map
+}
+
+/// Fingerprint of a unit's declarations and signature. Any change here
+/// (array dimensions, COMMON membership, PARAMETER constants) can shift
+/// classification of every reference, so the analysis cache treats it as
+/// a whole-unit invalidation.
+pub fn decls_fingerprint(unit: &ProcUnit) -> u64 {
+    let mut h = Fnv::new().str(&unit.name).str(&format!("{:?}", unit.kind));
+    for p in &unit.params {
+        h = h.str(p);
+    }
+    for d in &unit.decls {
+        h = match d {
+            Decl::Typed { ty, entities } => {
+                let mut h = h.str("TY").str(&format!("{ty:?}"));
+                for e in entities {
+                    h = hash_declared(h, e);
+                }
+                h
+            }
+            Decl::Dimension { entities } => {
+                let mut h = h.str("DIM");
+                for e in entities {
+                    h = hash_declared(h, e);
+                }
+                h
+            }
+            Decl::Common { block, entities } => {
+                let mut h = h.str("COM").str(block.as_deref().unwrap_or(""));
+                for e in entities {
+                    h = hash_declared(h, e);
+                }
+                h
+            }
+            Decl::Parameter { bindings } | Decl::Data { bindings } => {
+                let mut h = h.str("BIND");
+                for (n, e) in bindings {
+                    h = hash_expr(h.str(n), e);
+                }
+                h
+            }
+            Decl::External { names } => {
+                let mut h = h.str("EXT");
+                for n in names {
+                    h = h.str(n);
+                }
+                h
+            }
+            Decl::ImplicitNone => h.str("IMPN"),
+        };
+    }
+    h.done()
+}
+
+/// Whole-unit fingerprint: declarations plus every statement in order.
+/// Two units with equal fingerprints analyze identically (labels, loop
+/// headers, expression text — everything the analyses consume is
+/// hashed; `StmtId`s and spans deliberately are not, so re-parsing the
+/// same source fingerprints the same).
+pub fn unit_fingerprint(unit: &ProcUnit) -> u64 {
+    let h = Fnv::new().u64(decls_fingerprint(unit));
+    // Hash structure via bracketing, not just the preorder stream, so
+    // moving a statement into a sibling loop body changes the result.
+    fn walk(h: Fnv, body: &[Stmt]) -> Fnv {
+        let mut h = h.u64(0x5b);
+        for s in body {
+            h = h.u64(stmt_fingerprint(s));
+            if let StmtKind::LogicalIf { then, .. } = &s.kind {
+                h = h.u64(stmt_fingerprint(then));
+            }
+            for b in s.kind.blocks() {
+                h = walk(h, b);
+            }
+        }
+        h.u64(0x5d)
+    }
+    walk(h, &unit.body).done()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_ok;
+
+    const SRC: &str = "      REAL A(100)\n      DO 10 I = 2, N\n      A(I) = A(I-1) + 1.0\n   10 CONTINUE\n      END\n";
+
+    #[test]
+    fn reparse_same_source_same_fingerprint() {
+        let a = parse_ok(SRC);
+        let b = parse_ok(SRC);
+        assert_eq!(unit_fingerprint(&a.units[0]), unit_fingerprint(&b.units[0]));
+    }
+
+    #[test]
+    fn edit_changes_only_touched_statement() {
+        let a = parse_ok(SRC);
+        let b = parse_ok(&SRC.replace("+ 1.0", "+ 2.0"));
+        assert_ne!(unit_fingerprint(&a.units[0]), unit_fingerprint(&b.units[0]));
+        let fa = stmt_fingerprints(&a.units[0]);
+        let fb = stmt_fingerprints(&b.units[0]);
+        // Same parse order → same StmtIds; exactly one statement differs.
+        let changed = fa.iter().filter(|(id, h)| fb.get(id) != Some(h)).count();
+        assert_eq!(changed, 1);
+    }
+
+    #[test]
+    fn do_header_excludes_body() {
+        let a = parse_ok(SRC);
+        let b = parse_ok(&SRC.replace("+ 1.0", "+ 2.0"));
+        let do_a = &a.units[0].body[0];
+        let do_b = &b.units[0].body[0];
+        assert_eq!(stmt_fingerprint(do_a), stmt_fingerprint(do_b));
+    }
+
+    #[test]
+    fn decl_changes_are_visible() {
+        let a = parse_ok(SRC);
+        let b = parse_ok(&SRC.replace("A(100)", "A(200)"));
+        assert_ne!(decls_fingerprint(&a.units[0]), decls_fingerprint(&b.units[0]));
+    }
+}

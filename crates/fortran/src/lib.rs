@@ -20,6 +20,7 @@
 
 pub mod ast;
 pub mod diag;
+pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;

@@ -11,7 +11,7 @@
 
 use crate::value::{ArrayObj, Cell, Value};
 use crate::verify::Shadow;
-use parking_lot::{Mutex, RwLock};
+use std::sync::{Mutex, RwLock};
 use ped_fortran::ast::*;
 use ped_fortran::symbols::{is_intrinsic, Storage, SymbolTable};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -103,10 +103,10 @@ pub fn run(program: &Program, opts: RunOptions) -> RunResult<RunOutput> {
         steps: machine.steps.load(Ordering::Relaxed),
         parallel_loops: machine.parallel_loops.load(Ordering::Relaxed),
         parallel_iterations: machine.parallel_iters.load(Ordering::Relaxed),
-        loop_iterations: machine.loop_iters.lock().clone(),
+        loop_iterations: machine.loop_iters.lock().unwrap().clone(),
     };
-    let races = machine.race_log.into_inner();
-    Ok(RunOutput { lines: machine.output.into_inner(), stats, races })
+    let races = machine.race_log.into_inner().unwrap();
+    Ok(RunOutput { lines: machine.output.into_inner().unwrap(), stats, races })
 }
 
 enum CommonSlot {
@@ -393,7 +393,7 @@ impl<'p> Machine<'p> {
         match &s.kind {
             StmtKind::Assign { lhs, rhs } => {
                 let serialize = in_parallel && self.array_reduce_stmts.contains(&s.id);
-                let _guard = serialize.then(|| self.reduce_lock.lock());
+                let _guard = serialize.then(|| self.reduce_lock.lock().unwrap());
                 // Serialized accumulations are commutative and ordered by
                 // the lock: exclude them from shadow conflict tracking.
                 let saved = serialize.then(|| {
@@ -458,14 +458,14 @@ impl<'p> Machine<'p> {
                 for e in items {
                     parts.push(self.eval(e, frame)?.to_string());
                 }
-                self.output.lock().push(parts.join(" "));
+                self.output.lock().unwrap().push(parts.join(" "));
                 Ok(Flow::Normal)
             }
             StmtKind::Read { items } => {
                 for lv in items {
                     let v = self
                         .input
-                        .lock()
+                        .lock().unwrap()
                         .pop_front()
                         .ok_or_else(|| RuntimeError("READ past end of input".into()))?;
                     self.store(frame, lv, v)?;
@@ -509,7 +509,7 @@ impl<'p> Machine<'p> {
         if self.opts.one_trip_do && trips == 0 {
             trips = 1;
         }
-        *self.loop_iters.lock().entry(s.id).or_insert(0) += trips as u64;
+        *self.loop_iters.lock().unwrap().entry(s.id).or_insert(0) += trips as u64;
 
         if *sched == LoopSched::Parallel && self.opts.validate_parallel && !in_parallel {
             return self.exec_do_validated(frame, s, lo_v, step_v, trips);
@@ -549,7 +549,7 @@ impl<'p> Machine<'p> {
         };
         self.parallel_loops.fetch_add(1, Ordering::Relaxed);
         self.parallel_iters.fetch_add(trips.max(0) as u64, Ordering::Relaxed);
-        *self.shadow.lock() = Shadow::new();
+        *self.shadow.lock().unwrap() = Shadow::new();
         // Privatized arrays get per-worker copies in real parallel
         // execution: cross-iteration accesses to them are not races.
         let exempt: std::collections::HashSet<usize> = self
@@ -562,7 +562,7 @@ impl<'p> Machine<'p> {
                     .collect()
             })
             .unwrap_or_default();
-        *self.shadow_exempt.lock() = exempt;
+        *self.shadow_exempt.lock().unwrap() = exempt;
         let mut iv = lo_v;
         for k in 0..trips {
             self.shadow_iter.store(k, Ordering::Relaxed);
@@ -578,9 +578,9 @@ impl<'p> Machine<'p> {
         }
         self.shadow_iter.store(i64::MIN, Ordering::Relaxed);
         frame.scalars.insert(var.clone(), Value::Int(iv));
-        let shadow = std::mem::take(&mut *self.shadow.lock());
+        let shadow = std::mem::take(&mut *self.shadow.lock().unwrap());
         if !shadow.races.is_empty() {
-            self.race_log.lock().extend(shadow.races);
+            self.race_log.lock().unwrap().extend(shadow.races);
         }
         Ok(Flow::Normal)
     }
@@ -592,10 +592,10 @@ impl<'p> Machine<'p> {
         }
         if let Ok(flat) = arr.flat_index(subs) {
             let id = Arc::as_ptr(arr) as usize;
-            if self.shadow_exempt.lock().contains(&id) {
+            if self.shadow_exempt.lock().unwrap().contains(&id) {
                 return;
             }
-            self.shadow.lock().record(id, name, flat, iter, write);
+            self.shadow.lock().unwrap().record(id, name, flat, iter, write);
         }
     }
 
@@ -764,7 +764,7 @@ impl<'p> Machine<'p> {
         }
         if let Some((block, idx)) = frame.common_scalars.get(name) {
             if let CommonSlot::Scalar(s) = &self.commons[block][*idx].1 {
-                return Ok(s.read().clone());
+                return Ok(s.read().unwrap().clone());
             }
         }
         // Uninitialized: Fortran leaves this undefined; default to a
@@ -782,7 +782,7 @@ impl<'p> Machine<'p> {
             LValue::Var(n) => {
                 if let Some((block, idx)) = frame.common_scalars.get(n) {
                     if let CommonSlot::Scalar(s) = &self.commons[block][*idx].1 {
-                        *s.write() = v;
+                        *s.write().unwrap() = v;
                         return Ok(());
                     }
                 }

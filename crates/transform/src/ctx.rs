@@ -12,10 +12,12 @@ use ped_analysis::loops::LoopNest;
 use ped_analysis::refs::RefTable;
 use ped_analysis::symbolic::SymbolicEnv;
 use ped_analysis::Cfg;
-use ped_dependence::graph::{BuildOptions, DependenceGraph};
-use ped_dependence::marking::Marking;
-use ped_fortran::ast::ProcUnit;
+use ped_dependence::cache::PairCache;
+use ped_dependence::graph::{BuildOptions, DepKind, DependenceGraph};
+use ped_dependence::marking::{Mark, Marking};
+use ped_fortran::ast::{ProcUnit, StmtId};
 use ped_fortran::symbols::SymbolTable;
+use std::collections::{HashMap, HashSet};
 
 /// Everything the transformations need to reason about one unit.
 pub struct UnitAnalysis {
@@ -34,13 +36,32 @@ impl UnitAnalysis {
     /// (constants, relations, assertions); `effects` the interprocedural
     /// summaries, when available.
     pub fn build(unit: &ProcUnit, env: SymbolicEnv, effects: Option<&EffectsMap>) -> UnitAnalysis {
+        Self::build_with(unit, env, effects, None)
+    }
+
+    /// Build, memoizing reference-pair dependence tests in `cache` so a
+    /// rebuild after a localized edit only re-tests the pairs whose
+    /// statements or enclosing loops changed.
+    pub fn build_with(
+        unit: &ProcUnit,
+        env: SymbolicEnv,
+        effects: Option<&EffectsMap>,
+        cache: Option<&mut PairCache>,
+    ) -> UnitAnalysis {
         let symbols = SymbolTable::build(unit);
         let refs = RefTable::build_with_effects(unit, &symbols, effects);
         let nest = LoopNest::build(unit);
         let cfg = Cfg::build(unit);
         let defuse = DefUse::build(unit, &symbols, &cfg, &refs, effects);
-        let graph =
-            DependenceGraph::build(unit, &symbols, &refs, &nest, &env, &BuildOptions::default());
+        let graph = DependenceGraph::build_with(
+            unit,
+            &symbols,
+            &refs,
+            &nest,
+            &env,
+            &BuildOptions::default(),
+            cache,
+        );
         let marking = Marking::initial(&graph);
         UnitAnalysis { symbols, refs, nest, cfg, defuse, graph, marking, env }
     }
@@ -65,27 +86,7 @@ impl UnitAnalysis {
             &BuildOptions::default(),
         );
         self.marking = Marking::initial(&self.graph);
-        // Carry user marks over: same (src_stmt, sink_stmt, var, level).
-        for new in &self.graph.deps {
-            for old in &old_graph.deps {
-                if old.src_stmt == new.src_stmt
-                    && old.sink_stmt == new.sink_stmt
-                    && old.var == new.var
-                    && old.level == new.level
-                    && old.kind == new.kind
-                {
-                    let m = old_marking.mark_of(old.id);
-                    if matches!(
-                        m,
-                        ped_dependence::marking::Mark::Accepted
-                            | ped_dependence::marking::Mark::Rejected
-                    ) {
-                        let reason = old_marking.reason_of(old.id).map(|s| s.to_string());
-                        let _ = self.marking.set(new.id, m, reason);
-                    }
-                }
-            }
-        }
+        carry_user_marks(&old_graph, &old_marking, &self.graph, &mut self.marking, None);
     }
 
     /// Active (non-rejected) loop-carried data dependences of a loop.
@@ -97,6 +98,46 @@ impl UnitAnalysis {
             .parallelism_inhibitors(l)
             .filter(|d| self.marking.is_active(d.id))
             .collect()
+    }
+}
+
+/// Carry user `Accepted`/`Rejected` marks from an old graph onto a newly
+/// built one, matching dependences by (src stmt, sink stmt, variable,
+/// level, kind). One hash map over the old deps, one lookup per new dep —
+/// O(old + new), not O(old × new). New dependences with an endpoint in
+/// `skip` never inherit (used by the incremental updater for the edited
+/// region, whose dependences may have genuinely changed meaning).
+pub fn carry_user_marks(
+    old_graph: &DependenceGraph,
+    old_marking: &Marking,
+    new_graph: &DependenceGraph,
+    new_marking: &mut Marking,
+    skip: Option<&HashSet<StmtId>>,
+) {
+    type Key<'a> = (StmtId, StmtId, &'a str, Option<u32>, DepKind);
+    let mut marks: HashMap<Key, (Mark, Option<String>)> = HashMap::new();
+    for old in &old_graph.deps {
+        let m = old_marking.mark_of(old.id);
+        if matches!(m, Mark::Accepted | Mark::Rejected) {
+            marks.insert(
+                (old.src_stmt, old.sink_stmt, old.var.as_str(), old.level, old.kind),
+                (m, old_marking.reason_of(old.id).map(|s| s.to_string())),
+            );
+        }
+    }
+    if marks.is_empty() {
+        return;
+    }
+    for new in &new_graph.deps {
+        if let Some(skip) = skip {
+            if skip.contains(&new.src_stmt) || skip.contains(&new.sink_stmt) {
+                continue;
+            }
+        }
+        let key = (new.src_stmt, new.sink_stmt, new.var.as_str(), new.level, new.kind);
+        if let Some((m, reason)) = marks.get(&key) {
+            let _ = new_marking.set(new.id, *m, reason.clone());
+        }
     }
 }
 

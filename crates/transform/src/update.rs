@@ -25,15 +25,6 @@ use std::collections::HashSet;
 /// by building the new graph and splicing.
 pub fn incremental_update(ua: &mut UnitAnalysis, unit: &ProcUnit, changed_region: &[StmtId]) {
     let region: HashSet<StmtId> = changed_region.iter().copied().collect();
-    // Survivors: deps with no endpoint in the changed region that still
-    // refer to existing statements.
-    let still_exists: HashSet<StmtId> = {
-        let mut s = HashSet::new();
-        ped_fortran::ast::walk_stmts(&unit.body, &mut |st| {
-            s.insert(st.id);
-        });
-        s
-    };
     let old_graph = std::mem::take(&mut ua.graph);
     let old_marking = std::mem::take(&mut ua.marking);
     // Fresh structural analyses (cheap relative to dependence testing).
@@ -55,31 +46,16 @@ pub fn incremental_update(ua: &mut UnitAnalysis, unit: &ProcUnit, changed_region
         &BuildOptions::default(),
     );
     ua.marking = Marking::initial(&ua.graph);
-    // Carry marks for surviving dependences.
-    for new in &ua.graph.deps {
-        if region.contains(&new.src_stmt) || region.contains(&new.sink_stmt) {
-            continue;
-        }
-        for old in &old_graph.deps {
-            if old.src_stmt == new.src_stmt
-                && old.sink_stmt == new.sink_stmt
-                && still_exists.contains(&old.src_stmt)
-                && old.var == new.var
-                && old.level == new.level
-                && old.kind == new.kind
-            {
-                let m = old_marking.mark_of(old.id);
-                if matches!(
-                    m,
-                    ped_dependence::marking::Mark::Accepted
-                        | ped_dependence::marking::Mark::Rejected
-                ) {
-                    let reason = old_marking.reason_of(old.id).map(|s| s.to_string());
-                    let _ = ua.marking.set(new.id, m, reason);
-                }
-            }
-        }
-    }
+    // Carry marks for surviving dependences: a dependence whose key
+    // matches necessarily has both endpoints alive in the new unit, so
+    // the match doubles as the existence check.
+    crate::ctx::carry_user_marks(
+        &old_graph,
+        &old_marking,
+        &ua.graph,
+        &mut ua.marking,
+        Some(&region),
+    );
 }
 
 /// The measured core of incrementality: recompute only the dependences

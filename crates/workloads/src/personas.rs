@@ -174,6 +174,8 @@ pub fn opinion_counts(f: Feature) -> (usize, usize, usize) {
         Feature::InterfaceErrorDetection => (0, 0, 0),
         Feature::Help => (1, 1, 2),
         Feature::TeachingTool => (0, 3, 0),
+        // Engine telemetry, not a Table 2 behavior.
+        Feature::AnalysisCacheHit | Feature::AnalysisCacheMiss => (0, 0, 0),
     }
 }
 
@@ -190,6 +192,7 @@ pub fn expected_used(f: Feature) -> usize {
         Feature::InterfaceErrorDetection => 3,
         Feature::Help => 2,
         Feature::TeachingTool => 0,
+        Feature::AnalysisCacheHit | Feature::AnalysisCacheMiss => 0,
     }
 }
 

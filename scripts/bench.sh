@@ -1,0 +1,8 @@
+#!/bin/sh
+# Build and run the ped-bench timing harness over the eight workshop
+# programs, writing BENCH_1.json at the repo root (or $1 if given).
+set -e
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_1.json}"
+cargo build --release --offline -p ped-bench --bin ped-bench
+./target/release/ped-bench "$OUT"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_tests-28659dd0a0a61fe8.d: crates/bench/benches/ablation_tests.rs
+
+/root/repo/target/debug/deps/libablation_tests-28659dd0a0a61fe8.rmeta: crates/bench/benches/ablation_tests.rs
+
+crates/bench/benches/ablation_tests.rs:

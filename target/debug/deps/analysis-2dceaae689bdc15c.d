@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis-2dceaae689bdc15c.d: crates/bench/benches/analysis.rs
+
+/root/repo/target/debug/deps/libanalysis-2dceaae689bdc15c.rmeta: crates/bench/benches/analysis.rs
+
+crates/bench/benches/analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/breadth-23f84fda795abb9f.d: tests/breadth.rs
+
+/root/repo/target/debug/deps/libbreadth-23f84fda795abb9f.rmeta: tests/breadth.rs
+
+tests/breadth.rs:

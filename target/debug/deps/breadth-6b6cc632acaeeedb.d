@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/breadth-6b6cc632acaeeedb.d: tests/breadth.rs
+
+/root/repo/target/debug/deps/breadth-6b6cc632acaeeedb: tests/breadth.rs
+
+tests/breadth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/case_studies-59f0a3105e45a071.d: tests/case_studies.rs
+
+/root/repo/target/debug/deps/case_studies-59f0a3105e45a071: tests/case_studies.rs
+
+tests/case_studies.rs:

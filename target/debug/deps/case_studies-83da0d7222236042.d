@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/case_studies-83da0d7222236042.d: tests/case_studies.rs
+
+/root/repo/target/debug/deps/libcase_studies-83da0d7222236042.rmeta: tests/case_studies.rs
+
+tests/case_studies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-0e3d6abaf5a0d8f5.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/libdeterminism-0e3d6abaf5a0d8f5.rmeta: tests/determinism.rs
+
+tests/determinism.rs:

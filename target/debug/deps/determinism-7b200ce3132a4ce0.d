@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-7b200ce3132a4ce0.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-7b200ce3132a4ce0: tests/determinism.rs
+
+tests/determinism.rs:

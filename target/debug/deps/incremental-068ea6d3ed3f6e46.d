@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/incremental-068ea6d3ed3f6e46.d: crates/bench/benches/incremental.rs
+
+/root/repo/target/debug/deps/libincremental-068ea6d3ed3f6e46.rmeta: crates/bench/benches/incremental.rs
+
+crates/bench/benches/incremental.rs:

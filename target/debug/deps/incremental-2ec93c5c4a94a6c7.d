@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/incremental-2ec93c5c4a94a6c7.d: tests/incremental.rs
+
+/root/repo/target/debug/deps/libincremental-2ec93c5c4a94a6c7.rmeta: tests/incremental.rs
+
+tests/incremental.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/incremental-9a331fc23cd6e0cb.d: tests/incremental.rs
+
+/root/repo/target/debug/deps/incremental-9a331fc23cd6e0cb: tests/incremental.rs
+
+tests/incremental.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parascope-520835e22291251e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libparascope-520835e22291251e.rmeta: src/lib.rs
+
+src/lib.rs:

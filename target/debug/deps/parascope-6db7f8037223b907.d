@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parascope-6db7f8037223b907.d: src/lib.rs
+
+/root/repo/target/debug/deps/libparascope-6db7f8037223b907.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libparascope-6db7f8037223b907.rmeta: src/lib.rs
+
+src/lib.rs:

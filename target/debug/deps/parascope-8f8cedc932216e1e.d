@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parascope-8f8cedc932216e1e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libparascope-8f8cedc932216e1e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parascope-a41de33730da4fa5.d: src/lib.rs
+
+/root/repo/target/debug/deps/parascope-a41de33730da4fa5: src/lib.rs
+
+src/lib.rs:

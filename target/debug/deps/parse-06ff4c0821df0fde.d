@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parse-06ff4c0821df0fde.d: crates/bench/benches/parse.rs
+
+/root/repo/target/debug/deps/libparse-06ff4c0821df0fde.rmeta: crates/bench/benches/parse.rs
+
+crates/bench/benches/parse.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ped-2f2bb527ce56eb26.d: crates/core/src/lib.rs crates/core/src/assertions.rs crates/core/src/breaking.rs crates/core/src/cache.rs crates/core/src/filter.rs crates/core/src/panes.rs crates/core/src/render.rs crates/core/src/session.rs crates/core/src/usage.rs crates/core/src/workmodel.rs
+
+/root/repo/target/debug/deps/libped-2f2bb527ce56eb26.rmeta: crates/core/src/lib.rs crates/core/src/assertions.rs crates/core/src/breaking.rs crates/core/src/cache.rs crates/core/src/filter.rs crates/core/src/panes.rs crates/core/src/render.rs crates/core/src/session.rs crates/core/src/usage.rs crates/core/src/workmodel.rs
+
+crates/core/src/lib.rs:
+crates/core/src/assertions.rs:
+crates/core/src/breaking.rs:
+crates/core/src/cache.rs:
+crates/core/src/filter.rs:
+crates/core/src/panes.rs:
+crates/core/src/render.rs:
+crates/core/src/session.rs:
+crates/core/src/usage.rs:
+crates/core/src/workmodel.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ped-415d300df1a9d2e3.d: crates/core/src/lib.rs crates/core/src/assertions.rs crates/core/src/breaking.rs crates/core/src/cache.rs crates/core/src/filter.rs crates/core/src/panes.rs crates/core/src/render.rs crates/core/src/session.rs crates/core/src/usage.rs crates/core/src/workmodel.rs
+
+/root/repo/target/debug/deps/libped-415d300df1a9d2e3.rlib: crates/core/src/lib.rs crates/core/src/assertions.rs crates/core/src/breaking.rs crates/core/src/cache.rs crates/core/src/filter.rs crates/core/src/panes.rs crates/core/src/render.rs crates/core/src/session.rs crates/core/src/usage.rs crates/core/src/workmodel.rs
+
+/root/repo/target/debug/deps/libped-415d300df1a9d2e3.rmeta: crates/core/src/lib.rs crates/core/src/assertions.rs crates/core/src/breaking.rs crates/core/src/cache.rs crates/core/src/filter.rs crates/core/src/panes.rs crates/core/src/render.rs crates/core/src/session.rs crates/core/src/usage.rs crates/core/src/workmodel.rs
+
+crates/core/src/lib.rs:
+crates/core/src/assertions.rs:
+crates/core/src/breaking.rs:
+crates/core/src/cache.rs:
+crates/core/src/filter.rs:
+crates/core/src/panes.rs:
+crates/core/src/render.rs:
+crates/core/src/session.rs:
+crates/core/src/usage.rs:
+crates/core/src/workmodel.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ped-d980d01f0ca0e215.d: crates/core/src/lib.rs crates/core/src/assertions.rs crates/core/src/breaking.rs crates/core/src/cache.rs crates/core/src/filter.rs crates/core/src/panes.rs crates/core/src/render.rs crates/core/src/session.rs crates/core/src/usage.rs crates/core/src/workmodel.rs
+
+/root/repo/target/debug/deps/libped-d980d01f0ca0e215.rmeta: crates/core/src/lib.rs crates/core/src/assertions.rs crates/core/src/breaking.rs crates/core/src/cache.rs crates/core/src/filter.rs crates/core/src/panes.rs crates/core/src/render.rs crates/core/src/session.rs crates/core/src/usage.rs crates/core/src/workmodel.rs
+
+crates/core/src/lib.rs:
+crates/core/src/assertions.rs:
+crates/core/src/breaking.rs:
+crates/core/src/cache.rs:
+crates/core/src/filter.rs:
+crates/core/src/panes.rs:
+crates/core/src/render.rs:
+crates/core/src/session.rs:
+crates/core/src/usage.rs:
+crates/core/src/workmodel.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/ped_analysis-3466c3f77d99bd1f.d: crates/analysis/src/lib.rs crates/analysis/src/array_kill.rs crates/analysis/src/bitset.rs crates/analysis/src/cfg.rs crates/analysis/src/constprop.rs crates/analysis/src/control_dep.rs crates/analysis/src/defuse.rs crates/analysis/src/dom.rs crates/analysis/src/global.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/privatize.rs crates/analysis/src/reductions.rs crates/analysis/src/refs.rs crates/analysis/src/section.rs crates/analysis/src/symbolic.rs
+
+/root/repo/target/debug/deps/libped_analysis-3466c3f77d99bd1f.rmeta: crates/analysis/src/lib.rs crates/analysis/src/array_kill.rs crates/analysis/src/bitset.rs crates/analysis/src/cfg.rs crates/analysis/src/constprop.rs crates/analysis/src/control_dep.rs crates/analysis/src/defuse.rs crates/analysis/src/dom.rs crates/analysis/src/global.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/privatize.rs crates/analysis/src/reductions.rs crates/analysis/src/refs.rs crates/analysis/src/section.rs crates/analysis/src/symbolic.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/array_kill.rs:
+crates/analysis/src/bitset.rs:
+crates/analysis/src/cfg.rs:
+crates/analysis/src/constprop.rs:
+crates/analysis/src/control_dep.rs:
+crates/analysis/src/defuse.rs:
+crates/analysis/src/dom.rs:
+crates/analysis/src/global.rs:
+crates/analysis/src/induction.rs:
+crates/analysis/src/loops.rs:
+crates/analysis/src/privatize.rs:
+crates/analysis/src/reductions.rs:
+crates/analysis/src/refs.rs:
+crates/analysis/src/section.rs:
+crates/analysis/src/symbolic.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/ped_analysis-a5c83d250f0b544b.d: crates/analysis/src/lib.rs crates/analysis/src/array_kill.rs crates/analysis/src/bitset.rs crates/analysis/src/cfg.rs crates/analysis/src/constprop.rs crates/analysis/src/control_dep.rs crates/analysis/src/defuse.rs crates/analysis/src/dom.rs crates/analysis/src/global.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/privatize.rs crates/analysis/src/reductions.rs crates/analysis/src/refs.rs crates/analysis/src/section.rs crates/analysis/src/symbolic.rs
+
+/root/repo/target/debug/deps/ped_analysis-a5c83d250f0b544b: crates/analysis/src/lib.rs crates/analysis/src/array_kill.rs crates/analysis/src/bitset.rs crates/analysis/src/cfg.rs crates/analysis/src/constprop.rs crates/analysis/src/control_dep.rs crates/analysis/src/defuse.rs crates/analysis/src/dom.rs crates/analysis/src/global.rs crates/analysis/src/induction.rs crates/analysis/src/loops.rs crates/analysis/src/privatize.rs crates/analysis/src/reductions.rs crates/analysis/src/refs.rs crates/analysis/src/section.rs crates/analysis/src/symbolic.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/array_kill.rs:
+crates/analysis/src/bitset.rs:
+crates/analysis/src/cfg.rs:
+crates/analysis/src/constprop.rs:
+crates/analysis/src/control_dep.rs:
+crates/analysis/src/defuse.rs:
+crates/analysis/src/dom.rs:
+crates/analysis/src/global.rs:
+crates/analysis/src/induction.rs:
+crates/analysis/src/loops.rs:
+crates/analysis/src/privatize.rs:
+crates/analysis/src/reductions.rs:
+crates/analysis/src/refs.rs:
+crates/analysis/src/section.rs:
+crates/analysis/src/symbolic.rs:

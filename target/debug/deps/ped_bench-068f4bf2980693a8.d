@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ped_bench-068f4bf2980693a8.d: crates/bench/src/bin/ped-bench.rs
+
+/root/repo/target/debug/deps/libped_bench-068f4bf2980693a8.rmeta: crates/bench/src/bin/ped-bench.rs
+
+crates/bench/src/bin/ped-bench.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ped_bench-4ab574ce66e89df0.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/ped_bench-4ab574ce66e89df0: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ped_bench-4dd89197f08ba31d.d: crates/bench/src/bin/ped-bench.rs
+
+/root/repo/target/debug/deps/ped_bench-4dd89197f08ba31d: crates/bench/src/bin/ped-bench.rs
+
+crates/bench/src/bin/ped-bench.rs:

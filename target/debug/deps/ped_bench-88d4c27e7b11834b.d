@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ped_bench-88d4c27e7b11834b.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libped_bench-88d4c27e7b11834b.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ped_bench-89cb4d04c9819131.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libped_bench-89cb4d04c9819131.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

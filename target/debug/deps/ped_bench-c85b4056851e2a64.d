@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ped_bench-c85b4056851e2a64.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libped_bench-c85b4056851e2a64.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libped_bench-c85b4056851e2a64.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ped_bench-e70d92384dc98e65.d: crates/bench/src/bin/ped-bench.rs
+
+/root/repo/target/debug/deps/libped_bench-e70d92384dc98e65.rmeta: crates/bench/src/bin/ped-bench.rs
+
+crates/bench/src/bin/ped-bench.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ped_dependence-8c9c79dc0af19692.d: crates/dependence/src/lib.rs crates/dependence/src/cache.rs crates/dependence/src/dir.rs crates/dependence/src/graph.rs crates/dependence/src/marking.rs crates/dependence/src/subscript.rs crates/dependence/src/suite.rs
+
+/root/repo/target/debug/deps/libped_dependence-8c9c79dc0af19692.rmeta: crates/dependence/src/lib.rs crates/dependence/src/cache.rs crates/dependence/src/dir.rs crates/dependence/src/graph.rs crates/dependence/src/marking.rs crates/dependence/src/subscript.rs crates/dependence/src/suite.rs
+
+crates/dependence/src/lib.rs:
+crates/dependence/src/cache.rs:
+crates/dependence/src/dir.rs:
+crates/dependence/src/graph.rs:
+crates/dependence/src/marking.rs:
+crates/dependence/src/subscript.rs:
+crates/dependence/src/suite.rs:

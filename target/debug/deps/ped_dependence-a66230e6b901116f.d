@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ped_dependence-a66230e6b901116f.d: crates/dependence/src/lib.rs crates/dependence/src/cache.rs crates/dependence/src/dir.rs crates/dependence/src/graph.rs crates/dependence/src/marking.rs crates/dependence/src/subscript.rs crates/dependence/src/suite.rs
+
+/root/repo/target/debug/deps/libped_dependence-a66230e6b901116f.rlib: crates/dependence/src/lib.rs crates/dependence/src/cache.rs crates/dependence/src/dir.rs crates/dependence/src/graph.rs crates/dependence/src/marking.rs crates/dependence/src/subscript.rs crates/dependence/src/suite.rs
+
+/root/repo/target/debug/deps/libped_dependence-a66230e6b901116f.rmeta: crates/dependence/src/lib.rs crates/dependence/src/cache.rs crates/dependence/src/dir.rs crates/dependence/src/graph.rs crates/dependence/src/marking.rs crates/dependence/src/subscript.rs crates/dependence/src/suite.rs
+
+crates/dependence/src/lib.rs:
+crates/dependence/src/cache.rs:
+crates/dependence/src/dir.rs:
+crates/dependence/src/graph.rs:
+crates/dependence/src/marking.rs:
+crates/dependence/src/subscript.rs:
+crates/dependence/src/suite.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ped_dependence-bd6e8ca4007a3644.d: crates/dependence/src/lib.rs crates/dependence/src/cache.rs crates/dependence/src/dir.rs crates/dependence/src/graph.rs crates/dependence/src/marking.rs crates/dependence/src/subscript.rs crates/dependence/src/suite.rs
+
+/root/repo/target/debug/deps/ped_dependence-bd6e8ca4007a3644: crates/dependence/src/lib.rs crates/dependence/src/cache.rs crates/dependence/src/dir.rs crates/dependence/src/graph.rs crates/dependence/src/marking.rs crates/dependence/src/subscript.rs crates/dependence/src/suite.rs
+
+crates/dependence/src/lib.rs:
+crates/dependence/src/cache.rs:
+crates/dependence/src/dir.rs:
+crates/dependence/src/graph.rs:
+crates/dependence/src/marking.rs:
+crates/dependence/src/subscript.rs:
+crates/dependence/src/suite.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ped_estimate-132ff93c38a3f15e.d: crates/estimate/src/lib.rs crates/estimate/src/cost.rs crates/estimate/src/rank.rs
+
+/root/repo/target/debug/deps/libped_estimate-132ff93c38a3f15e.rmeta: crates/estimate/src/lib.rs crates/estimate/src/cost.rs crates/estimate/src/rank.rs
+
+crates/estimate/src/lib.rs:
+crates/estimate/src/cost.rs:
+crates/estimate/src/rank.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ped_estimate-77005cee86128557.d: crates/estimate/src/lib.rs crates/estimate/src/cost.rs crates/estimate/src/rank.rs
+
+/root/repo/target/debug/deps/ped_estimate-77005cee86128557: crates/estimate/src/lib.rs crates/estimate/src/cost.rs crates/estimate/src/rank.rs
+
+crates/estimate/src/lib.rs:
+crates/estimate/src/cost.rs:
+crates/estimate/src/rank.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ped_estimate-b1050982fafc304c.d: crates/estimate/src/lib.rs crates/estimate/src/cost.rs crates/estimate/src/rank.rs
+
+/root/repo/target/debug/deps/libped_estimate-b1050982fafc304c.rlib: crates/estimate/src/lib.rs crates/estimate/src/cost.rs crates/estimate/src/rank.rs
+
+/root/repo/target/debug/deps/libped_estimate-b1050982fafc304c.rmeta: crates/estimate/src/lib.rs crates/estimate/src/cost.rs crates/estimate/src/rank.rs
+
+crates/estimate/src/lib.rs:
+crates/estimate/src/cost.rs:
+crates/estimate/src/rank.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ped_fortran-341c4be400dacf74.d: crates/fortran/src/lib.rs crates/fortran/src/ast.rs crates/fortran/src/diag.rs crates/fortran/src/fingerprint.rs crates/fortran/src/lexer.rs crates/fortran/src/parser.rs crates/fortran/src/pretty.rs crates/fortran/src/span.rs crates/fortran/src/symbols.rs crates/fortran/src/token.rs
+
+/root/repo/target/debug/deps/libped_fortran-341c4be400dacf74.rmeta: crates/fortran/src/lib.rs crates/fortran/src/ast.rs crates/fortran/src/diag.rs crates/fortran/src/fingerprint.rs crates/fortran/src/lexer.rs crates/fortran/src/parser.rs crates/fortran/src/pretty.rs crates/fortran/src/span.rs crates/fortran/src/symbols.rs crates/fortran/src/token.rs
+
+crates/fortran/src/lib.rs:
+crates/fortran/src/ast.rs:
+crates/fortran/src/diag.rs:
+crates/fortran/src/fingerprint.rs:
+crates/fortran/src/lexer.rs:
+crates/fortran/src/parser.rs:
+crates/fortran/src/pretty.rs:
+crates/fortran/src/span.rs:
+crates/fortran/src/symbols.rs:
+crates/fortran/src/token.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ped_fortran-bf7e4a3e59b41473.d: crates/fortran/src/lib.rs crates/fortran/src/ast.rs crates/fortran/src/diag.rs crates/fortran/src/fingerprint.rs crates/fortran/src/lexer.rs crates/fortran/src/parser.rs crates/fortran/src/pretty.rs crates/fortran/src/span.rs crates/fortran/src/symbols.rs crates/fortran/src/token.rs
+
+/root/repo/target/debug/deps/ped_fortran-bf7e4a3e59b41473: crates/fortran/src/lib.rs crates/fortran/src/ast.rs crates/fortran/src/diag.rs crates/fortran/src/fingerprint.rs crates/fortran/src/lexer.rs crates/fortran/src/parser.rs crates/fortran/src/pretty.rs crates/fortran/src/span.rs crates/fortran/src/symbols.rs crates/fortran/src/token.rs
+
+crates/fortran/src/lib.rs:
+crates/fortran/src/ast.rs:
+crates/fortran/src/diag.rs:
+crates/fortran/src/fingerprint.rs:
+crates/fortran/src/lexer.rs:
+crates/fortran/src/parser.rs:
+crates/fortran/src/pretty.rs:
+crates/fortran/src/span.rs:
+crates/fortran/src/symbols.rs:
+crates/fortran/src/token.rs:

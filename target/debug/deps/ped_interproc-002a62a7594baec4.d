@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ped_interproc-002a62a7594baec4.d: crates/interproc/src/lib.rs crates/interproc/src/callgraph.rs crates/interproc/src/compose.rs crates/interproc/src/constants.rs crates/interproc/src/kill.rs crates/interproc/src/modref.rs crates/interproc/src/sections.rs
+
+/root/repo/target/debug/deps/ped_interproc-002a62a7594baec4: crates/interproc/src/lib.rs crates/interproc/src/callgraph.rs crates/interproc/src/compose.rs crates/interproc/src/constants.rs crates/interproc/src/kill.rs crates/interproc/src/modref.rs crates/interproc/src/sections.rs
+
+crates/interproc/src/lib.rs:
+crates/interproc/src/callgraph.rs:
+crates/interproc/src/compose.rs:
+crates/interproc/src/constants.rs:
+crates/interproc/src/kill.rs:
+crates/interproc/src/modref.rs:
+crates/interproc/src/sections.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ped_interproc-3b996ba47ef51b44.d: crates/interproc/src/lib.rs crates/interproc/src/callgraph.rs crates/interproc/src/compose.rs crates/interproc/src/constants.rs crates/interproc/src/kill.rs crates/interproc/src/modref.rs crates/interproc/src/sections.rs
+
+/root/repo/target/debug/deps/libped_interproc-3b996ba47ef51b44.rlib: crates/interproc/src/lib.rs crates/interproc/src/callgraph.rs crates/interproc/src/compose.rs crates/interproc/src/constants.rs crates/interproc/src/kill.rs crates/interproc/src/modref.rs crates/interproc/src/sections.rs
+
+/root/repo/target/debug/deps/libped_interproc-3b996ba47ef51b44.rmeta: crates/interproc/src/lib.rs crates/interproc/src/callgraph.rs crates/interproc/src/compose.rs crates/interproc/src/constants.rs crates/interproc/src/kill.rs crates/interproc/src/modref.rs crates/interproc/src/sections.rs
+
+crates/interproc/src/lib.rs:
+crates/interproc/src/callgraph.rs:
+crates/interproc/src/compose.rs:
+crates/interproc/src/constants.rs:
+crates/interproc/src/kill.rs:
+crates/interproc/src/modref.rs:
+crates/interproc/src/sections.rs:

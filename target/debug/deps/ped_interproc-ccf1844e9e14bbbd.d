@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ped_interproc-ccf1844e9e14bbbd.d: crates/interproc/src/lib.rs crates/interproc/src/callgraph.rs crates/interproc/src/compose.rs crates/interproc/src/constants.rs crates/interproc/src/kill.rs crates/interproc/src/modref.rs crates/interproc/src/sections.rs
+
+/root/repo/target/debug/deps/libped_interproc-ccf1844e9e14bbbd.rmeta: crates/interproc/src/lib.rs crates/interproc/src/callgraph.rs crates/interproc/src/compose.rs crates/interproc/src/constants.rs crates/interproc/src/kill.rs crates/interproc/src/modref.rs crates/interproc/src/sections.rs
+
+crates/interproc/src/lib.rs:
+crates/interproc/src/callgraph.rs:
+crates/interproc/src/compose.rs:
+crates/interproc/src/constants.rs:
+crates/interproc/src/kill.rs:
+crates/interproc/src/modref.rs:
+crates/interproc/src/sections.rs:

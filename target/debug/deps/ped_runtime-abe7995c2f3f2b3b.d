@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ped_runtime-abe7995c2f3f2b3b.d: crates/runtime/src/lib.rs crates/runtime/src/interp.rs crates/runtime/src/value.rs crates/runtime/src/verify.rs
+
+/root/repo/target/debug/deps/libped_runtime-abe7995c2f3f2b3b.rlib: crates/runtime/src/lib.rs crates/runtime/src/interp.rs crates/runtime/src/value.rs crates/runtime/src/verify.rs
+
+/root/repo/target/debug/deps/libped_runtime-abe7995c2f3f2b3b.rmeta: crates/runtime/src/lib.rs crates/runtime/src/interp.rs crates/runtime/src/value.rs crates/runtime/src/verify.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/interp.rs:
+crates/runtime/src/value.rs:
+crates/runtime/src/verify.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ped_runtime-bf3be3a1e947f3e2.d: crates/runtime/src/lib.rs crates/runtime/src/interp.rs crates/runtime/src/value.rs crates/runtime/src/verify.rs
+
+/root/repo/target/debug/deps/libped_runtime-bf3be3a1e947f3e2.rmeta: crates/runtime/src/lib.rs crates/runtime/src/interp.rs crates/runtime/src/value.rs crates/runtime/src/verify.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/interp.rs:
+crates/runtime/src/value.rs:
+crates/runtime/src/verify.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ped_runtime-c7c702b6e2ac0f40.d: crates/runtime/src/lib.rs crates/runtime/src/interp.rs crates/runtime/src/value.rs crates/runtime/src/verify.rs
+
+/root/repo/target/debug/deps/libped_runtime-c7c702b6e2ac0f40.rmeta: crates/runtime/src/lib.rs crates/runtime/src/interp.rs crates/runtime/src/value.rs crates/runtime/src/verify.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/interp.rs:
+crates/runtime/src/value.rs:
+crates/runtime/src/verify.rs:

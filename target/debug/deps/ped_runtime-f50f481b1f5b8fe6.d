@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ped_runtime-f50f481b1f5b8fe6.d: crates/runtime/src/lib.rs crates/runtime/src/interp.rs crates/runtime/src/value.rs crates/runtime/src/verify.rs
+
+/root/repo/target/debug/deps/ped_runtime-f50f481b1f5b8fe6: crates/runtime/src/lib.rs crates/runtime/src/interp.rs crates/runtime/src/value.rs crates/runtime/src/verify.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/interp.rs:
+crates/runtime/src/value.rs:
+crates/runtime/src/verify.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ped_transform-3ce3f898d4eae548.d: crates/transform/src/lib.rs crates/transform/src/advice.rs crates/transform/src/breaking.rs crates/transform/src/catalog.rs crates/transform/src/ctx.rs crates/transform/src/induction.rs crates/transform/src/interproc.rs crates/transform/src/memory.rs crates/transform/src/parallelize.rs crates/transform/src/reorder.rs crates/transform/src/structure.rs crates/transform/src/update.rs crates/transform/src/util.rs
+
+/root/repo/target/debug/deps/libped_transform-3ce3f898d4eae548.rlib: crates/transform/src/lib.rs crates/transform/src/advice.rs crates/transform/src/breaking.rs crates/transform/src/catalog.rs crates/transform/src/ctx.rs crates/transform/src/induction.rs crates/transform/src/interproc.rs crates/transform/src/memory.rs crates/transform/src/parallelize.rs crates/transform/src/reorder.rs crates/transform/src/structure.rs crates/transform/src/update.rs crates/transform/src/util.rs
+
+/root/repo/target/debug/deps/libped_transform-3ce3f898d4eae548.rmeta: crates/transform/src/lib.rs crates/transform/src/advice.rs crates/transform/src/breaking.rs crates/transform/src/catalog.rs crates/transform/src/ctx.rs crates/transform/src/induction.rs crates/transform/src/interproc.rs crates/transform/src/memory.rs crates/transform/src/parallelize.rs crates/transform/src/reorder.rs crates/transform/src/structure.rs crates/transform/src/update.rs crates/transform/src/util.rs
+
+crates/transform/src/lib.rs:
+crates/transform/src/advice.rs:
+crates/transform/src/breaking.rs:
+crates/transform/src/catalog.rs:
+crates/transform/src/ctx.rs:
+crates/transform/src/induction.rs:
+crates/transform/src/interproc.rs:
+crates/transform/src/memory.rs:
+crates/transform/src/parallelize.rs:
+crates/transform/src/reorder.rs:
+crates/transform/src/structure.rs:
+crates/transform/src/update.rs:
+crates/transform/src/util.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ped_workloads-86f7a4e635272018.d: crates/workloads/src/lib.rs crates/workloads/src/measure.rs crates/workloads/src/meta.rs crates/workloads/src/personas.rs crates/workloads/src/programs.rs crates/workloads/src/programs_b.rs crates/workloads/src/tables.rs
+
+/root/repo/target/debug/deps/libped_workloads-86f7a4e635272018.rlib: crates/workloads/src/lib.rs crates/workloads/src/measure.rs crates/workloads/src/meta.rs crates/workloads/src/personas.rs crates/workloads/src/programs.rs crates/workloads/src/programs_b.rs crates/workloads/src/tables.rs
+
+/root/repo/target/debug/deps/libped_workloads-86f7a4e635272018.rmeta: crates/workloads/src/lib.rs crates/workloads/src/measure.rs crates/workloads/src/meta.rs crates/workloads/src/personas.rs crates/workloads/src/programs.rs crates/workloads/src/programs_b.rs crates/workloads/src/tables.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/measure.rs:
+crates/workloads/src/meta.rs:
+crates/workloads/src/personas.rs:
+crates/workloads/src/programs.rs:
+crates/workloads/src/programs_b.rs:
+crates/workloads/src/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2f30ed873bc808fd.d: tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-2f30ed873bc808fd.rmeta: tests/properties.rs
+
+tests/properties.rs:

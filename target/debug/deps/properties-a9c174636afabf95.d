@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a9c174636afabf95.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a9c174636afabf95: tests/properties.rs
+
+tests/properties.rs:

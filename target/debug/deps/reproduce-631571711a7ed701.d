@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-631571711a7ed701.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-631571711a7ed701: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

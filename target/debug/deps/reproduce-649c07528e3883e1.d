@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-649c07528e3883e1.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/libreproduce-649c07528e3883e1.rmeta: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-a856c97ceb16197e.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/libreproduce-a856c97ceb16197e.rmeta: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

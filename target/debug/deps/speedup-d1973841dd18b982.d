@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speedup-d1973841dd18b982.d: crates/bench/benches/speedup.rs
+
+/root/repo/target/debug/deps/libspeedup-d1973841dd18b982.rmeta: crates/bench/benches/speedup.rs
+
+crates/bench/benches/speedup.rs:

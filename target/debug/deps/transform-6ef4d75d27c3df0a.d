@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transform-6ef4d75d27c3df0a.d: crates/bench/benches/transform.rs
+
+/root/repo/target/debug/deps/libtransform-6ef4d75d27c3df0a.rmeta: crates/bench/benches/transform.rs
+
+crates/bench/benches/transform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transform_semantics-1952c23de916b011.d: tests/transform_semantics.rs
+
+/root/repo/target/debug/deps/libtransform_semantics-1952c23de916b011.rmeta: tests/transform_semantics.rs
+
+tests/transform_semantics.rs:

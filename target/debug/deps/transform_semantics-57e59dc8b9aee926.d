@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transform_semantics-57e59dc8b9aee926.d: tests/transform_semantics.rs
+
+/root/repo/target/debug/deps/transform_semantics-57e59dc8b9aee926: tests/transform_semantics.rs
+
+tests/transform_semantics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/assertions-0a61be1f8de0ab97.d: examples/assertions.rs
+
+/root/repo/target/debug/examples/assertions-0a61be1f8de0ab97: examples/assertions.rs
+
+examples/assertions.rs:

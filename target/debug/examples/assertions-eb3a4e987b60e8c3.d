@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/assertions-eb3a4e987b60e8c3.d: examples/assertions.rs
+
+/root/repo/target/debug/examples/libassertions-eb3a4e987b60e8c3.rmeta: examples/assertions.rs
+
+examples/assertions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/editor_session-ce12dc48239f63b2.d: examples/editor_session.rs
+
+/root/repo/target/debug/examples/editor_session-ce12dc48239f63b2: examples/editor_session.rs
+
+examples/editor_session.rs:

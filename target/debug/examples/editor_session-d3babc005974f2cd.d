@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/editor_session-d3babc005974f2cd.d: examples/editor_session.rs
+
+/root/repo/target/debug/examples/libeditor_session-d3babc005974f2cd.rmeta: examples/editor_session.rs
+
+examples/editor_session.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallelize_all-01ebe2e51ead1e10.d: examples/parallelize_all.rs
+
+/root/repo/target/debug/examples/libparallelize_all-01ebe2e51ead1e10.rmeta: examples/parallelize_all.rs
+
+examples/parallelize_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallelize_all-b360a4d5e6198361.d: examples/parallelize_all.rs
+
+/root/repo/target/debug/examples/parallelize_all-b360a4d5e6198361: examples/parallelize_all.rs
+
+examples/parallelize_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9e1a1cbf298d92d9.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9e1a1cbf298d92d9: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fa85b569579b334c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-fa85b569579b334c.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parascope-539b3d717412b3af.d: src/lib.rs
+
+/root/repo/target/release/deps/libparascope-539b3d717412b3af.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libparascope-539b3d717412b3af.rmeta: src/lib.rs
+
+src/lib.rs:

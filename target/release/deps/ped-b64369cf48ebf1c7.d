@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ped-b64369cf48ebf1c7.d: crates/core/src/lib.rs crates/core/src/assertions.rs crates/core/src/breaking.rs crates/core/src/cache.rs crates/core/src/filter.rs crates/core/src/panes.rs crates/core/src/render.rs crates/core/src/session.rs crates/core/src/usage.rs crates/core/src/workmodel.rs
+
+/root/repo/target/release/deps/libped-b64369cf48ebf1c7.rlib: crates/core/src/lib.rs crates/core/src/assertions.rs crates/core/src/breaking.rs crates/core/src/cache.rs crates/core/src/filter.rs crates/core/src/panes.rs crates/core/src/render.rs crates/core/src/session.rs crates/core/src/usage.rs crates/core/src/workmodel.rs
+
+/root/repo/target/release/deps/libped-b64369cf48ebf1c7.rmeta: crates/core/src/lib.rs crates/core/src/assertions.rs crates/core/src/breaking.rs crates/core/src/cache.rs crates/core/src/filter.rs crates/core/src/panes.rs crates/core/src/render.rs crates/core/src/session.rs crates/core/src/usage.rs crates/core/src/workmodel.rs
+
+crates/core/src/lib.rs:
+crates/core/src/assertions.rs:
+crates/core/src/breaking.rs:
+crates/core/src/cache.rs:
+crates/core/src/filter.rs:
+crates/core/src/panes.rs:
+crates/core/src/render.rs:
+crates/core/src/session.rs:
+crates/core/src/usage.rs:
+crates/core/src/workmodel.rs:

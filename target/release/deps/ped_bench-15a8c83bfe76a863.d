@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ped_bench-15a8c83bfe76a863.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libped_bench-15a8c83bfe76a863.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libped_bench-15a8c83bfe76a863.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

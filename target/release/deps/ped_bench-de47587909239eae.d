@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ped_bench-de47587909239eae.d: crates/bench/src/bin/ped-bench.rs
+
+/root/repo/target/release/deps/ped_bench-de47587909239eae: crates/bench/src/bin/ped-bench.rs
+
+crates/bench/src/bin/ped-bench.rs:

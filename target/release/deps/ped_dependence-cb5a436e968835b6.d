@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ped_dependence-cb5a436e968835b6.d: crates/dependence/src/lib.rs crates/dependence/src/cache.rs crates/dependence/src/dir.rs crates/dependence/src/graph.rs crates/dependence/src/marking.rs crates/dependence/src/subscript.rs crates/dependence/src/suite.rs
+
+/root/repo/target/release/deps/libped_dependence-cb5a436e968835b6.rlib: crates/dependence/src/lib.rs crates/dependence/src/cache.rs crates/dependence/src/dir.rs crates/dependence/src/graph.rs crates/dependence/src/marking.rs crates/dependence/src/subscript.rs crates/dependence/src/suite.rs
+
+/root/repo/target/release/deps/libped_dependence-cb5a436e968835b6.rmeta: crates/dependence/src/lib.rs crates/dependence/src/cache.rs crates/dependence/src/dir.rs crates/dependence/src/graph.rs crates/dependence/src/marking.rs crates/dependence/src/subscript.rs crates/dependence/src/suite.rs
+
+crates/dependence/src/lib.rs:
+crates/dependence/src/cache.rs:
+crates/dependence/src/dir.rs:
+crates/dependence/src/graph.rs:
+crates/dependence/src/marking.rs:
+crates/dependence/src/subscript.rs:
+crates/dependence/src/suite.rs:

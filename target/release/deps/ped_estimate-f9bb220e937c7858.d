@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ped_estimate-f9bb220e937c7858.d: crates/estimate/src/lib.rs crates/estimate/src/cost.rs crates/estimate/src/rank.rs
+
+/root/repo/target/release/deps/libped_estimate-f9bb220e937c7858.rlib: crates/estimate/src/lib.rs crates/estimate/src/cost.rs crates/estimate/src/rank.rs
+
+/root/repo/target/release/deps/libped_estimate-f9bb220e937c7858.rmeta: crates/estimate/src/lib.rs crates/estimate/src/cost.rs crates/estimate/src/rank.rs
+
+crates/estimate/src/lib.rs:
+crates/estimate/src/cost.rs:
+crates/estimate/src/rank.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ped_fortran-4df459ef03137a59.d: crates/fortran/src/lib.rs crates/fortran/src/ast.rs crates/fortran/src/diag.rs crates/fortran/src/fingerprint.rs crates/fortran/src/lexer.rs crates/fortran/src/parser.rs crates/fortran/src/pretty.rs crates/fortran/src/span.rs crates/fortran/src/symbols.rs crates/fortran/src/token.rs
+
+/root/repo/target/release/deps/libped_fortran-4df459ef03137a59.rlib: crates/fortran/src/lib.rs crates/fortran/src/ast.rs crates/fortran/src/diag.rs crates/fortran/src/fingerprint.rs crates/fortran/src/lexer.rs crates/fortran/src/parser.rs crates/fortran/src/pretty.rs crates/fortran/src/span.rs crates/fortran/src/symbols.rs crates/fortran/src/token.rs
+
+/root/repo/target/release/deps/libped_fortran-4df459ef03137a59.rmeta: crates/fortran/src/lib.rs crates/fortran/src/ast.rs crates/fortran/src/diag.rs crates/fortran/src/fingerprint.rs crates/fortran/src/lexer.rs crates/fortran/src/parser.rs crates/fortran/src/pretty.rs crates/fortran/src/span.rs crates/fortran/src/symbols.rs crates/fortran/src/token.rs
+
+crates/fortran/src/lib.rs:
+crates/fortran/src/ast.rs:
+crates/fortran/src/diag.rs:
+crates/fortran/src/fingerprint.rs:
+crates/fortran/src/lexer.rs:
+crates/fortran/src/parser.rs:
+crates/fortran/src/pretty.rs:
+crates/fortran/src/span.rs:
+crates/fortran/src/symbols.rs:
+crates/fortran/src/token.rs:

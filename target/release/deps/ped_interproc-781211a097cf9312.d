@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ped_interproc-781211a097cf9312.d: crates/interproc/src/lib.rs crates/interproc/src/callgraph.rs crates/interproc/src/compose.rs crates/interproc/src/constants.rs crates/interproc/src/kill.rs crates/interproc/src/modref.rs crates/interproc/src/sections.rs
+
+/root/repo/target/release/deps/libped_interproc-781211a097cf9312.rlib: crates/interproc/src/lib.rs crates/interproc/src/callgraph.rs crates/interproc/src/compose.rs crates/interproc/src/constants.rs crates/interproc/src/kill.rs crates/interproc/src/modref.rs crates/interproc/src/sections.rs
+
+/root/repo/target/release/deps/libped_interproc-781211a097cf9312.rmeta: crates/interproc/src/lib.rs crates/interproc/src/callgraph.rs crates/interproc/src/compose.rs crates/interproc/src/constants.rs crates/interproc/src/kill.rs crates/interproc/src/modref.rs crates/interproc/src/sections.rs
+
+crates/interproc/src/lib.rs:
+crates/interproc/src/callgraph.rs:
+crates/interproc/src/compose.rs:
+crates/interproc/src/constants.rs:
+crates/interproc/src/kill.rs:
+crates/interproc/src/modref.rs:
+crates/interproc/src/sections.rs:

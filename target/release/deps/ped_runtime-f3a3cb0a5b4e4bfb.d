@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ped_runtime-f3a3cb0a5b4e4bfb.d: crates/runtime/src/lib.rs crates/runtime/src/interp.rs crates/runtime/src/value.rs crates/runtime/src/verify.rs
+
+/root/repo/target/release/deps/libped_runtime-f3a3cb0a5b4e4bfb.rlib: crates/runtime/src/lib.rs crates/runtime/src/interp.rs crates/runtime/src/value.rs crates/runtime/src/verify.rs
+
+/root/repo/target/release/deps/libped_runtime-f3a3cb0a5b4e4bfb.rmeta: crates/runtime/src/lib.rs crates/runtime/src/interp.rs crates/runtime/src/value.rs crates/runtime/src/verify.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/interp.rs:
+crates/runtime/src/value.rs:
+crates/runtime/src/verify.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/ped_transform-5bc66ab18107033b.d: crates/transform/src/lib.rs crates/transform/src/advice.rs crates/transform/src/breaking.rs crates/transform/src/catalog.rs crates/transform/src/ctx.rs crates/transform/src/induction.rs crates/transform/src/interproc.rs crates/transform/src/memory.rs crates/transform/src/parallelize.rs crates/transform/src/reorder.rs crates/transform/src/structure.rs crates/transform/src/update.rs crates/transform/src/util.rs
+
+/root/repo/target/release/deps/libped_transform-5bc66ab18107033b.rlib: crates/transform/src/lib.rs crates/transform/src/advice.rs crates/transform/src/breaking.rs crates/transform/src/catalog.rs crates/transform/src/ctx.rs crates/transform/src/induction.rs crates/transform/src/interproc.rs crates/transform/src/memory.rs crates/transform/src/parallelize.rs crates/transform/src/reorder.rs crates/transform/src/structure.rs crates/transform/src/update.rs crates/transform/src/util.rs
+
+/root/repo/target/release/deps/libped_transform-5bc66ab18107033b.rmeta: crates/transform/src/lib.rs crates/transform/src/advice.rs crates/transform/src/breaking.rs crates/transform/src/catalog.rs crates/transform/src/ctx.rs crates/transform/src/induction.rs crates/transform/src/interproc.rs crates/transform/src/memory.rs crates/transform/src/parallelize.rs crates/transform/src/reorder.rs crates/transform/src/structure.rs crates/transform/src/update.rs crates/transform/src/util.rs
+
+crates/transform/src/lib.rs:
+crates/transform/src/advice.rs:
+crates/transform/src/breaking.rs:
+crates/transform/src/catalog.rs:
+crates/transform/src/ctx.rs:
+crates/transform/src/induction.rs:
+crates/transform/src/interproc.rs:
+crates/transform/src/memory.rs:
+crates/transform/src/parallelize.rs:
+crates/transform/src/reorder.rs:
+crates/transform/src/structure.rs:
+crates/transform/src/update.rs:
+crates/transform/src/util.rs:

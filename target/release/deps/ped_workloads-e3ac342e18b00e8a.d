@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ped_workloads-e3ac342e18b00e8a.d: crates/workloads/src/lib.rs crates/workloads/src/measure.rs crates/workloads/src/meta.rs crates/workloads/src/personas.rs crates/workloads/src/programs.rs crates/workloads/src/programs_b.rs crates/workloads/src/tables.rs
+
+/root/repo/target/release/deps/libped_workloads-e3ac342e18b00e8a.rlib: crates/workloads/src/lib.rs crates/workloads/src/measure.rs crates/workloads/src/meta.rs crates/workloads/src/personas.rs crates/workloads/src/programs.rs crates/workloads/src/programs_b.rs crates/workloads/src/tables.rs
+
+/root/repo/target/release/deps/libped_workloads-e3ac342e18b00e8a.rmeta: crates/workloads/src/lib.rs crates/workloads/src/measure.rs crates/workloads/src/meta.rs crates/workloads/src/personas.rs crates/workloads/src/programs.rs crates/workloads/src/programs_b.rs crates/workloads/src/tables.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/measure.rs:
+crates/workloads/src/meta.rs:
+crates/workloads/src/personas.rs:
+crates/workloads/src/programs.rs:
+crates/workloads/src/programs_b.rs:
+crates/workloads/src/tables.rs:

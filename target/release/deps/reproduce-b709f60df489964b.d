@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-b709f60df489964b.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-b709f60df489964b: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

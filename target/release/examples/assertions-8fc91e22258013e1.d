@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/assertions-8fc91e22258013e1.d: examples/assertions.rs
+
+/root/repo/target/release/examples/assertions-8fc91e22258013e1: examples/assertions.rs
+
+examples/assertions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/editor_session-c989be91bc7a1b6d.d: examples/editor_session.rs
+
+/root/repo/target/release/examples/editor_session-c989be91bc7a1b6d: examples/editor_session.rs
+
+examples/editor_session.rs:

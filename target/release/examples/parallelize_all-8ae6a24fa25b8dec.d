@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/parallelize_all-8ae6a24fa25b8dec.d: examples/parallelize_all.rs
+
+/root/repo/target/release/examples/parallelize_all-8ae6a24fa25b8dec: examples/parallelize_all.rs
+
+examples/parallelize_all.rs:

@@ -1,0 +1,71 @@
+//! The dependence graph must be a pure function of the program — never
+//! of thread scheduling or hash-map iteration order. The parallel
+//! builder shards per-variable reference groups across workers, so this
+//! asserts bit-identical output between the serial builder and parallel
+//! builds at several widths, for every unit of every workshop program.
+
+use ped_analysis::loops::LoopNest;
+use ped_analysis::refs::RefTable;
+use ped_analysis::symbolic::SymbolicEnv;
+use ped_dependence::graph::{BuildOptions, DependenceGraph};
+use ped_fortran::parser::parse_ok;
+use ped_fortran::symbols::SymbolTable;
+
+fn build(unit: &ped_fortran::ProcUnit, threads: usize) -> DependenceGraph {
+    let sym = SymbolTable::build(unit);
+    let refs = RefTable::build(unit, &sym);
+    let nest = LoopNest::build(unit);
+    let opts = BuildOptions { threads, ..Default::default() };
+    DependenceGraph::build(unit, &sym, &refs, &nest, &SymbolicEnv::new(), &opts)
+}
+
+#[test]
+fn serial_and_parallel_builds_identical_on_all_workloads() {
+    let mut units = 0;
+    let mut nonempty = 0;
+    for p in ped_workloads::all_programs() {
+        let prog = parse_ok(p.source);
+        for unit in &prog.units {
+            units += 1;
+            let serial = build(unit, 1);
+            if !serial.is_empty() {
+                nonempty += 1;
+            }
+            for threads in [2, 4, 8] {
+                let parallel = build(unit, threads);
+                assert_eq!(
+                    serial.deps, parallel.deps,
+                    "{}::{} diverged at {threads} threads",
+                    p.name, unit.name
+                );
+            }
+            // Auto thread selection must agree too.
+            let auto = build(unit, 0);
+            assert_eq!(serial.deps, auto.deps, "{}::{} diverged on auto", p.name, unit.name);
+        }
+    }
+    assert!(units >= 8, "expected the eight workshop programs' units, saw {units}");
+    assert!(nonempty > 0, "no unit produced any dependences — vacuous test");
+}
+
+#[test]
+fn repeated_builds_are_bit_identical() {
+    // Same input, ten builds: byte-for-byte equal debug renderings —
+    // catches nondeterministic ordering even in fields PartialEq might
+    // miss if derives drift.
+    for p in ped_workloads::all_programs() {
+        let prog = parse_ok(p.source);
+        for unit in &prog.units {
+            let first = format!("{:?}", build(unit, 0).deps);
+            for _ in 0..9 {
+                assert_eq!(
+                    first,
+                    format!("{:?}", build(unit, 0).deps),
+                    "{}::{} unstable across rebuilds",
+                    p.name,
+                    unit.name
+                );
+            }
+        }
+    }
+}

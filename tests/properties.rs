@@ -1,18 +1,46 @@
-//! Property-based tests over the core invariants.
+//! Property-based tests over the core invariants, driven by a tiny
+//! std-only deterministic PRNG (no external crates — the build must be
+//! hermetic).
 //!
-//! The central one is *dependence-test soundness*: for random affine
-//! subscript pairs, whenever the hierarchical suite answers
+//! The central invariant is *dependence-test soundness*: for random
+//! affine subscript pairs, whenever the hierarchical suite answers
 //! `Independent`, a brute-force enumeration of the iteration space must
 //! find no conflicting pair — i.e. the suite never lies in the dangerous
 //! direction. A full-pipeline property follows: auto-parallelizing a
 //! random generated program must not change its output.
 
-use proptest::prelude::*;
-
 use parascope::analysis::symbolic::{LinExpr, SymbolicEnv};
 use parascope::dependence::suite::{test_pair, LoopCtx, TestResult};
 use parascope::fortran::parser::{parse_expr_str, parse_ok};
 use parascope::fortran::pretty::print_expr;
+
+/// xorshift64* — deterministic, seedable, good enough for case sampling.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in `lo..=hi`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        let span = (hi - lo + 1) as u64;
+        lo + (self.next() % span) as i64
+    }
+
+    fn usize(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
 
 fn lin_affine(a: i64, c: i64) -> LinExpr {
     let mut l = LinExpr::constant(c);
@@ -22,17 +50,15 @@ fn lin_affine(a: i64, c: i64) -> LinExpr {
     l
 }
 
-proptest! {
-    /// Soundness: `Independent` answers are never wrong; exact distances
-    /// match the brute-force conflict set.
-    #[test]
-    fn dependence_suite_is_sound(
-        a1 in -3i64..=3,
-        c1 in -8i64..=8,
-        a2 in -3i64..=3,
-        c2 in -8i64..=8,
-        n in 1i64..=12,
-    ) {
+/// Soundness: `Independent` answers are never wrong; exact distances
+/// match the brute-force conflict set.
+#[test]
+fn dependence_suite_is_sound() {
+    let mut rng = Rng::new(0x5EED_0001);
+    for _ in 0..4000 {
+        let (a1, c1) = (rng.range(-3, 3), rng.range(-8, 8));
+        let (a2, c2) = (rng.range(-3, 3), rng.range(-8, 8));
+        let n = rng.range(1, 12);
         let env = SymbolicEnv::new();
         let loops = [LoopCtx {
             var: "I".into(),
@@ -41,12 +67,7 @@ proptest! {
         }];
         let src = lin_affine(a1, c1);
         let sink = lin_affine(a2, c2);
-        let result = test_pair(
-            &[Some(src)],
-            &[Some(sink)],
-            &loops,
-            &env,
-        );
+        let result = test_pair(&[Some(src)], &[Some(sink)], &loops, &env);
         // Brute force: all (i, i') with a1*i + c1 == a2*i' + c2.
         let mut conflicts: Vec<(i64, i64)> = Vec::new();
         for i in 1..=n {
@@ -58,7 +79,7 @@ proptest! {
         }
         match result {
             TestResult::Independent => {
-                prop_assert!(
+                assert!(
                     conflicts.is_empty(),
                     "suite said independent but {conflicts:?} conflict (a1={a1},c1={c1},a2={a2},c2={c2},n={n})"
                 );
@@ -68,11 +89,10 @@ proptest! {
                 // conflict must honor it.
                 if let Some(d) = info.distances[0] {
                     for (i, ip) in &conflicts {
-                        prop_assert_eq!(
+                        assert_eq!(
                             ip - i,
                             d,
-                            "distance {} claimed but conflict ({}, {}) found",
-                            d, i, ip
+                            "distance {d} claimed but conflict ({i}, {ip}) found"
                         );
                     }
                 }
@@ -83,7 +103,7 @@ proptest! {
                         std::cmp::Ordering::Equal => parascope::dependence::Dir::Eq,
                         std::cmp::Ordering::Less => parascope::dependence::Dir::Gt,
                     };
-                    prop_assert!(
+                    assert!(
                         info.vector.0[0].contains(dir),
                         "conflict ({i},{ip}) has direction {dir:?} outside claimed {}",
                         info.vector.0[0]
@@ -92,16 +112,18 @@ proptest! {
             }
         }
     }
+}
 
-    /// Two-dimensional soundness with a shared loop.
-    #[test]
-    fn dependence_suite_sound_two_dims(
-        a1 in -2i64..=2, c1 in -4i64..=4,
-        a2 in -2i64..=2, c2 in -4i64..=4,
-        b1 in -2i64..=2, d1 in -4i64..=4,
-        b2 in -2i64..=2, d2 in -4i64..=4,
-        n in 1i64..=8,
-    ) {
+/// Two-dimensional soundness with a shared loop.
+#[test]
+fn dependence_suite_sound_two_dims() {
+    let mut rng = Rng::new(0x5EED_0002);
+    for _ in 0..4000 {
+        let (a1, c1) = (rng.range(-2, 2), rng.range(-4, 4));
+        let (a2, c2) = (rng.range(-2, 2), rng.range(-4, 4));
+        let (b1, d1) = (rng.range(-2, 2), rng.range(-4, 4));
+        let (b2, d2) = (rng.range(-2, 2), rng.range(-4, 4));
+        let n = rng.range(1, 8);
         let env = SymbolicEnv::new();
         let loops = [LoopCtx {
             var: "I".into(),
@@ -123,47 +145,64 @@ proptest! {
             }
         }
         if let TestResult::Independent = result {
-            prop_assert!(!any_conflict, "independent but a conflict exists");
+            assert!(
+                !any_conflict,
+                "independent but a conflict exists (a1={a1},c1={c1},b1={b1},d1={d1},a2={a2},c2={c2},b2={b2},d2={d2},n={n})"
+            );
         }
     }
+}
 
-    /// Expression print∘parse is the identity (modulo blanks).
-    #[test]
-    fn expr_roundtrip(e in arb_expr(3)) {
+/// Expression print∘parse is the identity (modulo blanks).
+#[test]
+fn expr_roundtrip() {
+    let mut rng = Rng::new(0x5EED_0003);
+    for _ in 0..2000 {
+        let e = arb_expr(&mut rng, 3);
         let printed = print_expr(&e);
         let squashed: String = printed.chars().filter(|c| *c != ' ').collect();
         let reparsed = parse_expr_str(&squashed, &[]).unwrap_or_else(|err| {
             panic!("printed expression failed to reparse: '{printed}': {err}")
         });
-        prop_assert_eq!(e, reparsed);
+        assert_eq!(e, reparsed, "roundtrip mismatch for '{printed}'");
     }
+}
 
-    /// LinExpr algebra: (a + b) - b == a, scaling distributes.
-    #[test]
-    fn linexpr_algebra(
-        ca in -5i64..=5, cb in -5i64..=5, k in -4i64..=4,
-        xa in -3i64..=3, xb in -3i64..=3,
-    ) {
+/// LinExpr algebra: (a + b) - b == a, scaling distributes.
+#[test]
+fn linexpr_algebra() {
+    let mut rng = Rng::new(0x5EED_0004);
+    for _ in 0..2000 {
+        let (ca, cb, k) = (rng.range(-5, 5), rng.range(-5, 5), rng.range(-4, 4));
+        let (xa, xb) = (rng.range(-3, 3), rng.range(-3, 3));
         let a = {
             let mut l = LinExpr::constant(ca);
-            if xa != 0 { l.terms.insert("X".into(), xa); }
+            if xa != 0 {
+                l.terms.insert("X".into(), xa);
+            }
             l
         };
         let b = {
             let mut l = LinExpr::constant(cb);
-            if xb != 0 { l.terms.insert("X".into(), xb); }
+            if xb != 0 {
+                l.terms.insert("X".into(), xb);
+            }
             l
         };
-        prop_assert_eq!(a.add(&b).sub(&b), a.clone());
-        prop_assert_eq!(a.add(&b).scale(k), a.scale(k).add(&b.scale(k)));
-        prop_assert_eq!(a.sub(&a), LinExpr::constant(0));
+        assert_eq!(a.add(&b).sub(&b), a.clone());
+        assert_eq!(a.add(&b).scale(k), a.scale(k).add(&b.scale(k)));
+        assert_eq!(a.sub(&a), LinExpr::constant(0));
     }
+}
 
-    /// Full-pipeline soundness: generate a random program of parallel
-    /// and recurrence loops, auto-parallelize with the work model, and
-    /// compare 1-worker vs 4-worker output.
-    #[test]
-    fn auto_parallelization_preserves_output(spec in arb_program_spec()) {
+/// Full-pipeline soundness: generate a random program of parallel
+/// and recurrence loops, auto-parallelize with the work model, and
+/// compare 1-worker vs 4-worker output.
+#[test]
+fn auto_parallelization_preserves_output() {
+    let mut rng = Rng::new(0x5EED_0005);
+    for _ in 0..48 {
+        let spec = arb_program_spec(&mut rng);
         let src = render_program(&spec);
         let program = parse_ok(&src);
         let baseline = parascope::runtime::run(&program, Default::default())
@@ -173,38 +212,45 @@ proptest! {
         let par = session
             .run(parascope::runtime::RunOptions { workers: 4, ..Default::default() })
             .expect("parallel run");
-        prop_assert_eq!(&baseline.lines, &par.lines, "src:\n{}", src);
+        assert_eq!(&baseline.lines, &par.lines, "src:\n{src}");
         // And the deterministic checker agrees with the certification.
         let checked = session
-            .run(parascope::runtime::RunOptions { validate_parallel: true, ..Default::default() })
+            .run(parascope::runtime::RunOptions {
+                validate_parallel: true,
+                ..Default::default()
+            })
             .unwrap();
-        prop_assert!(checked.races.is_empty(), "races: {:?}\nsrc:\n{}", checked.races, src);
+        assert!(checked.races.is_empty(), "races: {:?}\nsrc:\n{src}", checked.races);
     }
 }
 
 // --- generators ---------------------------------------------------------
 
-fn arb_expr(depth: u32) -> BoxedStrategy<parascope::fortran::Expr> {
+fn arb_expr(rng: &mut Rng, depth: u32) -> parascope::fortran::Expr {
     use parascope::fortran::ast::{BinOp, Expr};
-    let leaf = prop_oneof![
-        (0i64..100).prop_map(Expr::Int),
-        prop_oneof![Just("A"), Just("B"), Just("I2"), Just("N")]
-            .prop_map(Expr::var),
-    ];
-    leaf.prop_recursive(depth, 16, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul)
-            ])
-                .prop_map(|(l, r, op)| Expr::bin(op, l, r)),
-            (inner.clone(), inner).prop_map(|(l, r)| Expr::idx("ARR", vec![l, r])),
-        ]
-    })
-    .boxed()
+    if depth == 0 || rng.usize(3) == 0 {
+        return match rng.usize(2) {
+            0 => Expr::Int(rng.range(0, 99)),
+            _ => Expr::var(["A", "B", "I2", "N"][rng.usize(4)]),
+        };
+    }
+    match rng.usize(4) {
+        0..=2 => {
+            let op = [BinOp::Add, BinOp::Sub, BinOp::Mul][rng.usize(3)];
+            let l = arb_expr(rng, depth - 1);
+            let r = arb_expr(rng, depth - 1);
+            Expr::bin(op, l, r)
+        }
+        _ => {
+            let l = arb_expr(rng, depth - 1);
+            let r = arb_expr(rng, depth - 1);
+            Expr::idx("ARR", vec![l, r])
+        }
+    }
 }
 
 /// A generated loop: either element-wise (parallelizable), a recurrence
-/// (must stay sequential), or a sum reduction.
+/// (must stay sequential), a sum reduction, or a privatizable temporary.
 #[derive(Clone, Debug)]
 enum LoopSpec {
     Elementwise { offset: i64, scale: i64 },
@@ -213,16 +259,16 @@ enum LoopSpec {
     Temp,
 }
 
-fn arb_program_spec() -> impl Strategy<Value = Vec<LoopSpec>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0i64..4, 1i64..4).prop_map(|(o, s)| LoopSpec::Elementwise { offset: o, scale: s }),
-            Just(LoopSpec::Recurrence),
-            Just(LoopSpec::Reduction),
-            Just(LoopSpec::Temp),
-        ],
-        1..5,
-    )
+fn arb_program_spec(rng: &mut Rng) -> Vec<LoopSpec> {
+    let n = 1 + rng.usize(4);
+    (0..n)
+        .map(|_| match rng.usize(4) {
+            0 => LoopSpec::Elementwise { offset: rng.range(0, 3), scale: rng.range(1, 3) },
+            1 => LoopSpec::Recurrence,
+            2 => LoopSpec::Reduction,
+            _ => LoopSpec::Temp,
+        })
+        .collect()
 }
 
 fn render_program(spec: &[LoopSpec]) -> String {
