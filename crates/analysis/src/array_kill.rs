@@ -52,7 +52,12 @@ pub fn analyze_loop(
     let Some(do_stmt) = ped_fortran::ast::find_stmt(&unit.body, l.stmt) else {
         return HashMap::new();
     };
-    let StmtKind::Do { body, var: loop_var, .. } = &do_stmt.kind else {
+    let StmtKind::Do {
+        body,
+        var: loop_var,
+        ..
+    } = &do_stmt.kind
+    else {
         return HashMap::new();
     };
     // Collect written arrays.
@@ -162,7 +167,9 @@ impl<'a> Walk<'a> {
                     }
                 }
             }
-            StmtKind::Do { var, lo, hi, body, .. } => {
+            StmtKind::Do {
+                var, lo, hi, body, ..
+            } => {
                 let (Some(lo_l), Some(hi_l)) = (self.env.normalize(lo), self.env.normalize(hi))
                 else {
                     // Unanalyzable inner loop: treat all its reads as
@@ -176,10 +183,16 @@ impl<'a> Walk<'a> {
                 // the inner loop are only element-valid within it, and
                 // completed sections referencing `var` must be expanded
                 // when the loop closes.
-                let snapshot: HashMap<String, usize> =
-                    self.pending.iter().map(|(k, v)| (k.clone(), v.len())).collect();
-                let csnapshot: HashMap<String, usize> =
-                    self.completed.iter().map(|(k, v)| (k.clone(), v.sections.len())).collect();
+                let snapshot: HashMap<String, usize> = self
+                    .pending
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.len()))
+                    .collect();
+                let csnapshot: HashMap<String, usize> = self
+                    .completed
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.sections.len()))
+                    .collect();
                 self.block(body, &inner_ctx);
                 // Expand the inner loop's new pending writes over `var`
                 // into completed sections; drop the element forms that
@@ -190,9 +203,11 @@ impl<'a> Walk<'a> {
                     let v = self.pending.get_mut(&name).unwrap();
                     let new: Vec<Vec<LinExpr>> = v.split_off(keep);
                     for elem in new {
-                        let sec = Section::element(elem.clone())
-                            .expand(var, &lo_l, &hi_l);
-                        self.completed.entry(name.clone()).or_default().insert(sec, self.env);
+                        let sec = Section::element(elem.clone()).expand(var, &lo_l, &hi_l);
+                        self.completed
+                            .entry(name.clone())
+                            .or_default()
+                            .insert(sec, self.env);
                         // Element writes not involving var stay pending.
                         if elem.iter().all(|e| e.coeff(var) == 0) {
                             self.pending.get_mut(&name).unwrap().push(elem);
@@ -207,7 +222,9 @@ impl<'a> Walk<'a> {
                     let keep = csnapshot.get(&name).copied().unwrap_or(0);
                     let set = self.completed.get_mut(&name).unwrap();
                     let added: Vec<Section> = set.sections.split_off(keep.min(set.sections.len()));
-                    let mut rebuilt = SectionSet { sections: std::mem::take(&mut set.sections) };
+                    let mut rebuilt = SectionSet {
+                        sections: std::mem::take(&mut set.sections),
+                    };
                     for sec in added {
                         rebuilt.insert(sec.expand(var, &lo_l, &hi_l), self.env);
                     }
@@ -258,7 +275,10 @@ impl<'a> Walk<'a> {
             }
             StmtKind::ArithIf { expr, .. } => self.check_reads_expr(expr, ctx),
             StmtKind::ComputedGoto { index, .. } => self.check_reads_expr(index, ctx),
-            StmtKind::Goto(_) | StmtKind::Continue | StmtKind::Return | StmtKind::Stop
+            StmtKind::Goto(_)
+            | StmtKind::Continue
+            | StmtKind::Return
+            | StmtKind::Stop
             | StmtKind::Opaque(_) => {}
         }
     }
@@ -282,7 +302,9 @@ impl<'a> Walk<'a> {
     fn poison_block(&mut self, body: &[Stmt]) {
         ped_fortran::ast::walk_stmts(body, &mut |s| {
             let mut names: Vec<(String, bool)> = Vec::new();
-            each_array_ref(&s.kind, &mut |n, is_def| names.push((n.to_string(), is_def)));
+            each_array_ref(&s.kind, &mut |n, is_def| {
+                names.push((n.to_string(), is_def))
+            });
             for (n, is_def) in names {
                 if self.symbols.is_array(&n) {
                     if is_def && !self.written.contains(&n) {
@@ -313,7 +335,10 @@ impl<'a> Walk<'a> {
             return;
         };
         let _ = ctx;
-        self.pending.entry(name.to_string()).or_default().push(elems);
+        self.pending
+            .entry(name.to_string())
+            .or_default()
+            .push(elems);
     }
 
     fn check_reads_expr(&mut self, e: &Expr, ctx: &Ctx) {
@@ -470,8 +495,11 @@ mod tests {
         // read. Needs JM = JMAX-1 to prove the union covers 1..JMAX.
         let src = "      REAL WR1(100,100), Q(100,100), S(100,100)\n      DO 15 N1 = 1, 5\n      DO 16 J = 1, JM\n      DO 16 K = 2, KM\n      WR1(J,K) = Q(J,K)\n   16 CONTINUE\n      DO 76 K = 2, KM\n      WR1(JMAX,K) = WR1(JM,K)\n   76 CONTINUE\n      DO 17 J = 1, JMAX\n      DO 17 K = 2, KM\n      S(J,K) = WR1(J,K)\n   17 CONTINUE\n   15 CONTINUE\n      END\n";
         let mut env = SymbolicEnv::new();
-        env.add_subst("JM", crate::symbolic::to_lin(
-            &ped_fortran::parser::parse_expr_str("JMAX-1", &[]).unwrap()).unwrap());
+        env.add_subst(
+            "JM",
+            crate::symbolic::to_lin(&ped_fortran::parser::parse_expr_str("JMAX-1", &[]).unwrap())
+                .unwrap(),
+        );
         env.add_range("JMAX", crate::symbolic::Range::at_least(2));
         let r = analyze_with_env(src, env);
         assert_eq!(r.get("WR1"), Some(&ArrayKillStatus::Private));

@@ -16,7 +16,10 @@ pub struct BitSet {
 impl BitSet {
     /// An empty set with capacity for `len` bits.
     pub fn new(len: usize) -> Self {
-        BitSet { words: vec![0; len.div_ceil(64)], len }
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     pub fn capacity(&self) -> usize {

@@ -51,13 +51,20 @@ impl Cfg {
         let mut labels: HashMap<u32, NodeId> = HashMap::new();
         walk_stmts(&unit.body, &mut |s| {
             let id = NodeId(cfg.nodes.len() as u32);
-            cfg.nodes.push(Node { stmt: Some(s.id), succs: Vec::new(), preds: Vec::new() });
+            cfg.nodes.push(Node {
+                stmt: Some(s.id),
+                succs: Vec::new(),
+                preds: Vec::new(),
+            });
             cfg.stmt_node.insert(s.id, id);
             if let Some(l) = s.label {
                 labels.insert(l, id);
             }
         });
-        let mut b = Wiring { cfg: &mut cfg, labels: &labels };
+        let mut b = Wiring {
+            cfg: &mut cfg,
+            labels: &labels,
+        };
         let exit = b.cfg.exit;
         let entry_target = b.wire_block(&unit.body, exit);
         b.edge(NodeId(0), entry_target);
@@ -151,7 +158,11 @@ impl<'a> Wiring<'a> {
         }
         // Entry of each statement for fall-through chaining.
         for (i, s) in body.iter().enumerate() {
-            let next = if i + 1 < body.len() { self.node(&body[i + 1]) } else { follow };
+            let next = if i + 1 < body.len() {
+                self.node(&body[i + 1])
+            } else {
+                follow
+            };
             self.wire_stmt(s, next);
         }
         self.node(&body[0])

@@ -178,7 +178,9 @@ impl Constants {
         let empty = HashMap::new();
         let env = self.at.get(&stmt).unwrap_or(&empty);
         // Merge params under env.
-        eval_with(e, &|n| env.get(n).copied().or_else(|| self.params.get(n).copied()))
+        eval_with(e, &|n| {
+            env.get(n).copied().or_else(|| self.params.get(n).copied())
+        })
     }
 
     /// The PARAMETER constants.
@@ -211,7 +213,10 @@ fn transfer(
         env.insert(n.to_string(), Lat::Bottom);
     };
     match kind {
-        StmtKind::Assign { lhs: LValue::Var(n), rhs } => {
+        StmtKind::Assign {
+            lhs: LValue::Var(n),
+            rhs,
+        } => {
             let folded = eval_with(rhs, &|name| match env.get(name) {
                 Some(Lat::Const(c)) => Some(*c),
                 Some(_) => None,

@@ -63,7 +63,9 @@ impl ControlDeps {
     pub fn stmt_pairs(&self, cfg: &Cfg) -> Vec<(StmtId, StmtId)> {
         let mut out = Vec::new();
         for (&dep, ctrls) in &self.deps {
-            let Some(dep_stmt) = cfg.stmt_of(dep) else { continue };
+            let Some(dep_stmt) = cfg.stmt_of(dep) else {
+                continue;
+            };
             for &c in ctrls {
                 if let Some(c_stmt) = cfg.stmt_of(c) {
                     out.push((c_stmt, dep_stmt));
@@ -79,7 +81,9 @@ impl ControlDeps {
     /// decide whether a statement executes unconditionally within a loop
     /// body (needed by privatization and reduction recognition).
     pub fn conditional_within(&self, n: NodeId, loop_headers: &[NodeId]) -> bool {
-        self.controllers(n).iter().any(|c| !loop_headers.contains(c))
+        self.controllers(n)
+            .iter()
+            .any(|c| !loop_headers.contains(c))
     }
 }
 

@@ -81,7 +81,10 @@ impl DefUse {
         for r in &refs.refs {
             if r.is_def && !r.is_array_elem() && is_scalar(symbols, &r.name) {
                 site_of_ref.insert(r.id, sites.len());
-                sites.push(DefSite { r: r.id, stmt: r.stmt });
+                sites.push(DefSite {
+                    r: r.id,
+                    stmt: r.stmt,
+                });
             }
         }
         // Synthetic call-side defs of COMMON scalars: represent as extra
@@ -96,7 +99,10 @@ impl DefUse {
         let call_site_base = sites.len();
         for (i, (stmt, _name, idx)) in call_defs.iter_mut().enumerate() {
             *idx = call_site_base + i;
-            sites.push(DefSite { r: RefId(u32::MAX), stmt: *stmt });
+            sites.push(DefSite {
+                r: RefId(u32::MAX),
+                stmt: *stmt,
+            });
         }
         // Entry defs, one per scalar name.
         let mut names: Vec<String> = Vec::new();
@@ -109,7 +115,10 @@ impl DefUse {
         }
         let entry_base = sites.len();
         for _ in &names {
-            sites.push(DefSite { r: RefId(u32::MAX), stmt: StmtId(u32::MAX) });
+            sites.push(DefSite {
+                r: RefId(u32::MAX),
+                stmt: StmtId(u32::MAX),
+            });
         }
         let nsites = sites.len();
 
@@ -139,7 +148,9 @@ impl DefUse {
         let mut gen: Vec<BitSet> = (0..nnodes).map(|_| BitSet::new(nsites)).collect();
         let mut kill: Vec<BitSet> = (0..nnodes).map(|_| BitSet::new(nsites)).collect();
         for (i, site) in sites.iter().enumerate().take(entry_base) {
-            let Some(node) = cfg.node_of(site.stmt) else { continue };
+            let Some(node) = cfg.node_of(site.stmt) else {
+                continue;
+            };
             gen[node.index()].insert(i);
             // An unambiguous scalar def kills all other defs of the name.
             // Synthetic call defs are *may*-defs: they do not kill,
@@ -196,8 +207,12 @@ impl DefUse {
             if r.is_def || r.is_array_elem() || !is_scalar(symbols, &r.name) {
                 continue;
             }
-            let Some(node) = cfg.node_of(r.stmt) else { continue };
-            let Some(&nid) = name_ids.get(&r.name) else { continue };
+            let Some(node) = cfg.node_of(r.stmt) else {
+                continue;
+            };
+            let Some(&nid) = name_ids.get(&r.name) else {
+                continue;
+            };
             let mut v = Vec::new();
             for &s in &sites_by_name[nid] {
                 if reach_in[node.index()].contains(s) {
@@ -215,8 +230,12 @@ impl DefUse {
             if r.is_array_elem() || !is_scalar(symbols, &r.name) {
                 continue;
             }
-            let Some(node) = cfg.node_of(r.stmt) else { continue };
-            let Some(&nid) = name_ids.get(&r.name) else { continue };
+            let Some(node) = cfg.node_of(r.stmt) else {
+                continue;
+            };
+            let Some(&nid) = name_ids.get(&r.name) else {
+                continue;
+            };
             if r.is_def {
                 if !use_b[node.index()].contains(nid) {
                     def_b[node.index()].insert(nid);
@@ -229,7 +248,10 @@ impl DefUse {
         // callers), so it is live-out of the unit.
         for s in symbols.iter() {
             if s.dims.is_empty()
-                && matches!(s.storage, Storage::Common | Storage::Formal | Storage::Result)
+                && matches!(
+                    s.storage,
+                    Storage::Common | Storage::Formal | Storage::Result
+                )
             {
                 if let Some(&nid) = name_ids.get(&s.name) {
                     use_b[cfg.exit.index()].insert(nid);
@@ -259,12 +281,22 @@ impl DefUse {
             }
         }
 
-        DefUse { sites, chains, live_out, name_ids, names, reach_in }
+        DefUse {
+            sites,
+            chains,
+            live_out,
+            name_ids,
+            names,
+            reach_in,
+        }
     }
 
     /// Definition sites reaching a given scalar use reference.
     pub fn reaching_defs(&self, use_ref: RefId) -> &[usize] {
-        self.chains.get(&use_ref).map(|v| v.as_slice()).unwrap_or(&[])
+        self.chains
+            .get(&use_ref)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// True if the use may see the value on entry to the unit
@@ -286,7 +318,9 @@ impl DefUse {
     /// True if any definition of `name` from outside the given statement
     /// set reaches the entry of node `n`.
     pub fn def_from_outside_reaches(&self, n: NodeId, name: &str, inside: &[StmtId]) -> bool {
-        let Some(&nid) = self.name_ids.get(name) else { return false };
+        let Some(&nid) = self.name_ids.get(name) else {
+            return false;
+        };
         for s in self.reach_in[n.index()].iter() {
             let site = &self.sites[s];
             let site_name = self.site_name(s);
@@ -400,7 +434,11 @@ mod tests {
     #[test]
     fn redefinition_kills() {
         let (p, _, refs, du) = build("      A = 1\n      A = 2\n      B = A\n      END\n");
-        let use_a = refs.refs.iter().find(|r| r.name == "A" && !r.is_def).unwrap();
+        let use_a = refs
+            .refs
+            .iter()
+            .find(|r| r.name == "A" && !r.is_def)
+            .unwrap();
         let defs = du.reaching_defs(use_a.id);
         assert_eq!(defs.len(), 1);
         assert_eq!(du.sites[defs[0]].stmt, p.units[0].body[1].id);
@@ -410,23 +448,36 @@ mod tests {
     fn branch_merges_defs() {
         let src = "      IF (X .GT. 0) THEN\n      A = 1\n      ELSE\n      A = 2\n      END IF\n      B = A\n      END\n";
         let (_, _, refs, du) = build(src);
-        let use_a = refs.refs.iter().find(|r| r.name == "A" && !r.is_def).unwrap();
+        let use_a = refs
+            .refs
+            .iter()
+            .find(|r| r.name == "A" && !r.is_def)
+            .unwrap();
         assert_eq!(du.reaching_defs(use_a.id).len(), 2);
     }
 
     #[test]
     fn uninitialized_use_sees_entry() {
         let (_, _, refs, du) = build("      B = A\n      END\n");
-        let use_a = refs.refs.iter().find(|r| r.name == "A" && !r.is_def).unwrap();
+        let use_a = refs
+            .refs
+            .iter()
+            .find(|r| r.name == "A" && !r.is_def)
+            .unwrap();
         assert!(du.may_see_entry(use_a.id));
     }
 
     #[test]
     fn loop_carried_scalar_reaches_use() {
         // T's use in iteration i+1 can see the def from iteration i.
-        let src = "      DO 10 I = 1, N\n      B(I) = T\n      T = A(I)\n   10 CONTINUE\n      END\n";
+        let src =
+            "      DO 10 I = 1, N\n      B(I) = T\n      T = A(I)\n   10 CONTINUE\n      END\n";
         let (_, _, refs, du) = build(src);
-        let use_t = refs.refs.iter().find(|r| r.name == "T" && !r.is_def).unwrap();
+        let use_t = refs
+            .refs
+            .iter()
+            .find(|r| r.name == "T" && !r.is_def)
+            .unwrap();
         let defs = du.reaching_defs(use_t.id);
         // Entry def + the in-loop def both reach.
         assert!(defs.len() >= 2);
@@ -436,9 +487,14 @@ mod tests {
     #[test]
     fn killed_scalar_in_loop_not_upward_exposed() {
         // T defined before use on the only path: use sees only that def.
-        let src = "      DO 10 I = 1, N\n      T = A(I)\n      B(I) = T\n   10 CONTINUE\n      END\n";
+        let src =
+            "      DO 10 I = 1, N\n      T = A(I)\n      B(I) = T\n   10 CONTINUE\n      END\n";
         let (p, _, refs, du) = build(src);
-        let use_t = refs.refs.iter().find(|r| r.name == "T" && !r.is_def).unwrap();
+        let use_t = refs
+            .refs
+            .iter()
+            .find(|r| r.name == "T" && !r.is_def)
+            .unwrap();
         let defs = du.reaching_defs(use_t.id);
         assert_eq!(defs.len(), 1);
         if let StmtKind::Do { body, .. } = &p.units[0].body[0].kind {
@@ -476,7 +532,11 @@ mod tests {
     fn call_conservatively_defines_commons() {
         let src = "      COMMON /B/ T\n      T = 1\n      CALL MESS\n      X = T\n      END\n";
         let (_, _, refs, du) = build(src);
-        let use_t = refs.refs.iter().find(|r| r.name == "T" && !r.is_def).unwrap();
+        let use_t = refs
+            .refs
+            .iter()
+            .find(|r| r.name == "T" && !r.is_def)
+            .unwrap();
         // Both the explicit def and the call's synthetic def reach.
         assert!(du.reaching_defs(use_t.id).len() >= 2);
     }
@@ -491,7 +551,11 @@ mod tests {
         let mut fx = EffectsMap::new();
         fx.insert("MESS".into(), ProcEffects::default()); // touches nothing
         let du = DefUse::build(&p.units[0], &sym, &cfg, &refs, Some(&fx));
-        let use_t = refs.refs.iter().find(|r| r.name == "T" && !r.is_def).unwrap();
+        let use_t = refs
+            .refs
+            .iter()
+            .find(|r| r.name == "T" && !r.is_def)
+            .unwrap();
         assert_eq!(du.reaching_defs(use_t.id).len(), 1);
     }
 }

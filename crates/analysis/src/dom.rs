@@ -68,7 +68,11 @@ impl DomTree {
             }
         }
         // Root's self-idom is cleared for the public API.
-        let mut tree = DomTree { idom, root, order_pos };
+        let mut tree = DomTree {
+            idom,
+            root,
+            order_pos,
+        };
         tree.idom[root.index()] = None;
         tree
     }
@@ -107,12 +111,7 @@ impl DomTree {
     }
 }
 
-fn intersect(
-    idom: &[Option<NodeId>],
-    order_pos: &[usize],
-    mut a: NodeId,
-    mut b: NodeId,
-) -> NodeId {
+fn intersect(idom: &[Option<NodeId>], order_pos: &[usize], mut a: NodeId, mut b: NodeId) -> NodeId {
     while a != b {
         while order_pos[a.index()] > order_pos[b.index()] {
             a = idom[a.index()].expect("processed node must have idom");
@@ -139,7 +138,11 @@ mod tests {
     fn straight_line_dominance_is_linear() {
         let (p, c) = build("      A = 1\n      B = 2\n      C = 3\n      END\n");
         let d = DomTree::dominators(&c);
-        let n: Vec<_> = p.units[0].body.iter().map(|s| c.node_of(s.id).unwrap()).collect();
+        let n: Vec<_> = p.units[0]
+            .body
+            .iter()
+            .map(|s| c.node_of(s.id).unwrap())
+            .collect();
         assert!(d.dominates(n[0], n[1]));
         assert!(d.dominates(n[0], n[2]));
         assert!(d.dominates(n[1], n[2]));
@@ -173,7 +176,8 @@ mod tests {
 
     #[test]
     fn loop_header_dominates_body() {
-        let src = "      DO 10 I = 1, N\n      A(I) = 0\n      B(I) = 1\n   10 CONTINUE\n      END\n";
+        let src =
+            "      DO 10 I = 1, N\n      A(I) = 0\n      B(I) = 1\n   10 CONTINUE\n      END\n";
         let (p, c) = build(src);
         let d = DomTree::dominators(&c);
         let header = c.node_of(p.units[0].body[0].id).unwrap();

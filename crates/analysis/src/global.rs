@@ -32,7 +32,11 @@ pub fn global_symbolic_facts(program: &Program) -> SymbolicEnv {
             }
         }
         ped_fortran::ast::walk_stmts(&u.body, &mut |s| {
-            if let StmtKind::Assign { lhs: LValue::Var(n), rhs } = &s.kind {
+            if let StmtKind::Assign {
+                lhs: LValue::Var(n),
+                rhs,
+            } = &s.kind
+            {
                 single_defs.push((n.clone(), rhs.clone()));
             }
         });
@@ -50,9 +54,9 @@ pub fn global_symbolic_facts(program: &Program) -> SymbolicEnv {
                 continue;
             }
             let Some(lin) = to_lin(rhs) else { continue };
-            let stable = lin.names().all(|n| {
-                def_count.get(n).copied().unwrap_or(0) == 0 || env.subst.contains_key(n)
-            });
+            let stable = lin
+                .names()
+                .all(|n| def_count.get(n).copied().unwrap_or(0) == 0 || env.subst.contains_key(n));
             if !stable {
                 continue;
             }

@@ -48,7 +48,11 @@ pub fn find_induction_vars(unit: &ProcUnit, refs: &RefTable, l: &LoopInfo) -> Ve
         if !direct.contains(&s.id) {
             return;
         }
-        let StmtKind::Assign { lhs: LValue::Var(name), rhs } = &s.kind else {
+        let StmtKind::Assign {
+            lhs: LValue::Var(name),
+            rhs,
+        } = &s.kind
+        else {
             return;
         };
         let Some(step) = match_increment(name, rhs) else {
@@ -61,7 +65,11 @@ pub fn find_induction_vars(unit: &ProcUnit, refs: &RefTable, l: &LoopInfo) -> Ve
             .filter(|r| r.is_def && r.name == *name && body.contains(&r.stmt))
             .count();
         if defs_in_loop == 1 {
-            out.push(InductionVar { name: name.clone(), step, update: s.id });
+            out.push(InductionVar {
+                name: name.clone(),
+                step,
+                update: s.id,
+            });
         }
     });
     out
@@ -70,12 +78,20 @@ pub fn find_induction_vars(unit: &ProcUnit, refs: &RefTable, l: &LoopInfo) -> Ve
 /// Match `K + c`, `c + K`, `K - c`.
 fn match_increment(name: &str, rhs: &Expr) -> Option<i64> {
     match rhs {
-        Expr::Bin { op: BinOp::Add, l, r } => match (&**l, &**r) {
+        Expr::Bin {
+            op: BinOp::Add,
+            l,
+            r,
+        } => match (&**l, &**r) {
             (Expr::Var(n), e) if n == name => e.as_int(),
             (e, Expr::Var(n)) if n == name => e.as_int(),
             _ => None,
         },
-        Expr::Bin { op: BinOp::Sub, l, r } => match (&**l, &**r) {
+        Expr::Bin {
+            op: BinOp::Sub,
+            l,
+            r,
+        } => match (&**l, &**r) {
             (Expr::Var(n), e) if n == name => e.as_int().map(|v| -v),
             _ => None,
         },
@@ -109,7 +125,9 @@ mod tests {
 
     #[test]
     fn decrement_and_commuted() {
-        let v = ivs("      DO 10 I = 1, N\n      K = K - 2\n      M = 3 + M\n   10 CONTINUE\n      END\n");
+        let v = ivs(
+            "      DO 10 I = 1, N\n      K = K - 2\n      M = 3 + M\n   10 CONTINUE\n      END\n",
+        );
         let names: Vec<(&str, i64)> = v.iter().map(|x| (x.name.as_str(), x.step)).collect();
         assert!(names.contains(&("K", -2)));
         assert!(names.contains(&("M", 3)));
@@ -123,7 +141,9 @@ mod tests {
 
     #[test]
     fn multiple_updates_not_induction() {
-        let v = ivs("      DO 10 I = 1, N\n      K = K + 1\n      K = K + 2\n   10 CONTINUE\n      END\n");
+        let v = ivs(
+            "      DO 10 I = 1, N\n      K = K + 1\n      K = K + 2\n   10 CONTINUE\n      END\n",
+        );
         assert!(v.is_empty());
     }
 

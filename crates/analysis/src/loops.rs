@@ -118,11 +118,7 @@ impl LoopNest {
     /// Perfectly nested inner loop of `id`, if the body consists of
     /// exactly one `DO` (ignoring trailing `CONTINUE`s of the labelled
     /// form). Used by interchange and unroll-and-jam.
-    pub fn perfect_inner<'a>(
-        &'a self,
-        unit: &ProcUnit,
-        id: LoopId,
-    ) -> Option<&'a LoopInfo> {
+    pub fn perfect_inner<'a>(&'a self, unit: &ProcUnit, id: LoopId) -> Option<&'a LoopInfo> {
         let info = self.get(id);
         let do_stmt = find(&unit.body, info.stmt)?;
         let StmtKind::Do { body, .. } = &do_stmt.kind else {
@@ -145,7 +141,15 @@ fn find(body: &[Stmt], id: StmtId) -> Option<&Stmt> {
 
 fn collect(body: &[Stmt], parent: Option<LoopId>, level: u32, nest: &mut LoopNest) {
     for s in body {
-        if let StmtKind::Do { var, lo, hi, step, body: inner, .. } = &s.kind {
+        if let StmtKind::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body: inner,
+            ..
+        } = &s.kind
+        {
             let id = LoopId(nest.loops.len() as u32);
             let mut stmts = Vec::new();
             walk_stmts(inner, &mut |st| stmts.push(st.id));

@@ -92,7 +92,10 @@ pub fn analyze_loop(
             && !r.is_array_elem()
             && body.contains(&r.stmt)
             && r.cause != RefCause::CallArg
-            && symbols.get(&r.name).map(|s| s.dims.is_empty()).unwrap_or(true)
+            && symbols
+                .get(&r.name)
+                .map(|s| s.dims.is_empty())
+                .unwrap_or(true)
         {
             candidates.insert(&r.name);
         }
@@ -289,7 +292,10 @@ mod tests {
     fn live_after_loop_needs_last_value() {
         let src = "      DO 10 I = 1, N\n      T = A(I)\n      B(I) = T\n   10 CONTINUE\n      C = T\n      END\n";
         let (_, _, privs) = analyze(src);
-        assert_eq!(privs[0].status("T"), Some(&PrivStatus::PrivateNeedsLastValue));
+        assert_eq!(
+            privs[0].status("T"),
+            Some(&PrivStatus::PrivateNeedsLastValue)
+        );
     }
 
     #[test]

@@ -107,9 +107,18 @@ fn match_reduction(lhs: &LValue, rhs: &Expr, stmt: StmtId) -> Option<Reduction> 
         LValue::Elem { name, subs } => (name.as_str(), subs.clone()),
     };
     let lhs_expr = lhs.as_expr();
-    let mk = |op: ReduceOp| Reduction { stmt, var: name.to_string(), subs: subs.clone(), op };
+    let mk = |op: ReduceOp| Reduction {
+        stmt,
+        var: name.to_string(),
+        subs: subs.clone(),
+        op,
+    };
     match rhs {
-        Expr::Bin { op: BinOp::Add, l, r } => {
+        Expr::Bin {
+            op: BinOp::Add,
+            l,
+            r,
+        } => {
             if **l == lhs_expr && !mentions(r, name) {
                 return Some(mk(ReduceOp::Sum));
             }
@@ -118,7 +127,11 @@ fn match_reduction(lhs: &LValue, rhs: &Expr, stmt: StmtId) -> Option<Reduction> 
             }
             None
         }
-        Expr::Bin { op: BinOp::Sub, l, r } => {
+        Expr::Bin {
+            op: BinOp::Sub,
+            l,
+            r,
+        } => {
             // acc = acc - e is a sum reduction of -e (subtraction itself
             // is not associative; the accumulation of negated terms is).
             if **l == lhs_expr && !mentions(r, name) {
@@ -126,7 +139,11 @@ fn match_reduction(lhs: &LValue, rhs: &Expr, stmt: StmtId) -> Option<Reduction> 
             }
             None
         }
-        Expr::Bin { op: BinOp::Mul, l, r } => {
+        Expr::Bin {
+            op: BinOp::Mul,
+            l,
+            r,
+        } => {
             if **l == lhs_expr && !mentions(r, name) {
                 return Some(mk(ReduceOp::Product));
             }
@@ -135,7 +152,11 @@ fn match_reduction(lhs: &LValue, rhs: &Expr, stmt: StmtId) -> Option<Reduction> 
             }
             None
         }
-        Expr::Index { name: f, subs: args } | Expr::Call { name: f, args } => {
+        Expr::Index {
+            name: f,
+            subs: args,
+        }
+        | Expr::Call { name: f, args } => {
             let op = match f.as_str() {
                 "MAX" | "AMAX1" | "MAX0" | "DMAX1" => ReduceOp::Max,
                 "MIN" | "AMIN1" | "MIN0" | "DMIN1" => ReduceOp::Min,
@@ -177,7 +198,9 @@ mod tests {
 
     #[test]
     fn simple_sum_recognized() {
-        let r = reductions("      S = 0.0\n      DO 10 I = 1, N\n      S = S + A(I)\n   10 CONTINUE\n      END\n");
+        let r = reductions(
+            "      S = 0.0\n      DO 10 I = 1, N\n      S = S + A(I)\n   10 CONTINUE\n      END\n",
+        );
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].var, "S");
         assert_eq!(r[0].op, ReduceOp::Sum);
@@ -213,20 +236,24 @@ mod tests {
 
     #[test]
     fn max_recognized() {
-        let r = reductions("      DO 10 I = 1, N\n      S = MAX(S, A(I))\n   10 CONTINUE\n      END\n");
+        let r =
+            reductions("      DO 10 I = 1, N\n      S = MAX(S, A(I))\n   10 CONTINUE\n      END\n");
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].op, ReduceOp::Max);
     }
 
     #[test]
     fn accumulator_used_elsewhere_disqualifies() {
-        let r = reductions("      DO 10 I = 1, N\n      S = S + A(I)\n      B(I) = S\n   10 CONTINUE\n      END\n");
+        let r = reductions(
+            "      DO 10 I = 1, N\n      S = S + A(I)\n      B(I) = S\n   10 CONTINUE\n      END\n",
+        );
         assert!(r.is_empty());
     }
 
     #[test]
     fn rhs_mentioning_acc_disqualifies() {
-        let r = reductions("      DO 10 I = 1, N\n      S = S + S * A(I)\n   10 CONTINUE\n      END\n");
+        let r =
+            reductions("      DO 10 I = 1, N\n      S = S + S * A(I)\n   10 CONTINUE\n      END\n");
         assert!(r.is_empty());
     }
 
@@ -236,7 +263,9 @@ mod tests {
         let src = "      REAL F(300)\n      DO 300 N1 = 1, NBA\n      I3 = IT(N1)\n      F(I3 + 1) = F(I3 + 1) - DT1\n      F(I3 + 2) = F(I3 + 2) - DT2\n  300 CONTINUE\n      END\n";
         let r = reductions(src);
         assert_eq!(r.len(), 2);
-        assert!(r.iter().all(|x| x.var == "F" && !x.is_scalar() && x.op == ReduceOp::Sum));
+        assert!(r
+            .iter()
+            .all(|x| x.var == "F" && !x.is_scalar() && x.op == ReduceOp::Sum));
     }
 
     #[test]

@@ -87,7 +87,12 @@ impl RefTable {
     ) -> RefTable {
         let mut t = RefTable::default();
         walk_stmts(&unit.body, &mut |s| {
-            let mut c = Collector { t: &mut t, symbols, stmt: s.id, effects };
+            let mut c = Collector {
+                t: &mut t,
+                symbols,
+                stmt: s.id,
+                effects,
+            };
             c.stmt(&s.kind);
         });
         t
@@ -109,7 +114,9 @@ impl RefTable {
 
     /// All uses (reads) of `name`.
     pub fn uses_of<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a VarRef> + 'a {
-        self.refs.iter().filter(move |r| !r.is_def && r.name == name)
+        self.refs
+            .iter()
+            .filter(move |r| !r.is_def && r.name == name)
     }
 
     /// Distinct variable names referenced, in first-appearance order.
@@ -125,7 +132,14 @@ impl RefTable {
 
     fn push(&mut self, stmt: StmtId, name: &str, subs: Vec<Expr>, is_def: bool, cause: RefCause) {
         let id = RefId(self.refs.len() as u32);
-        self.refs.push(VarRef { id, stmt, name: name.to_string(), subs, is_def, cause });
+        self.refs.push(VarRef {
+            id,
+            stmt,
+            name: name.to_string(),
+            subs,
+            is_def,
+            cause,
+        });
         self.by_stmt.entry(stmt).or_default().push(id);
     }
 }
@@ -148,13 +162,16 @@ impl<'a> Collector<'a> {
                 }
                 self.def_lvalue(lhs, RefCause::Direct);
             }
-            StmtKind::Do { var, lo, hi, step, .. } => {
+            StmtKind::Do {
+                var, lo, hi, step, ..
+            } => {
                 self.uses(lo);
                 self.uses(hi);
                 if let Some(s) = step {
                     self.uses(s);
                 }
-                self.t.push(self.stmt, var, Vec::new(), true, RefCause::LoopControl);
+                self.t
+                    .push(self.stmt, var, Vec::new(), true, RefCause::LoopControl);
             }
             StmtKind::If { arms, .. } => {
                 for (c, _) in arms {
@@ -177,10 +194,12 @@ impl<'a> Collector<'a> {
                         // summary (worst case without one).
                         Expr::Var(n) => {
                             if arg_ref(pos) {
-                                self.t.push(self.stmt, n, Vec::new(), false, RefCause::CallArg);
+                                self.t
+                                    .push(self.stmt, n, Vec::new(), false, RefCause::CallArg);
                             }
                             if arg_mod(pos) {
-                                self.t.push(self.stmt, n, Vec::new(), true, RefCause::CallArg);
+                                self.t
+                                    .push(self.stmt, n, Vec::new(), true, RefCause::CallArg);
                             }
                         }
                         Expr::Index { name, subs } if self.symbols.is_array(name) => {
@@ -188,10 +207,17 @@ impl<'a> Collector<'a> {
                                 self.uses(s);
                             }
                             if arg_ref(pos) {
-                                self.t.push(self.stmt, name, subs.clone(), false, RefCause::CallArg);
+                                self.t.push(
+                                    self.stmt,
+                                    name,
+                                    subs.clone(),
+                                    false,
+                                    RefCause::CallArg,
+                                );
                             }
                             if arg_mod(pos) {
-                                self.t.push(self.stmt, name, subs.clone(), true, RefCause::CallArg);
+                                self.t
+                                    .push(self.stmt, name, subs.clone(), true, RefCause::CallArg);
                             }
                         }
                         e => self.uses(e),
@@ -211,7 +237,10 @@ impl<'a> Collector<'a> {
                     self.uses(e);
                 }
             }
-            StmtKind::Goto(_) | StmtKind::Continue | StmtKind::Return | StmtKind::Stop
+            StmtKind::Goto(_)
+            | StmtKind::Continue
+            | StmtKind::Return
+            | StmtKind::Stop
             | StmtKind::Opaque(_) => {}
         }
     }
@@ -219,21 +248,22 @@ impl<'a> Collector<'a> {
     fn def_lvalue(&mut self, lv: &LValue, cause: RefCause) {
         match lv {
             LValue::Var(n) => self.t.push(self.stmt, n, Vec::new(), true, cause),
-            LValue::Elem { name, subs } => {
-                self.t.push(self.stmt, name, subs.clone(), true, cause)
-            }
+            LValue::Elem { name, subs } => self.t.push(self.stmt, name, subs.clone(), true, cause),
         }
     }
 
     fn uses(&mut self, e: &Expr) {
         match e {
-            Expr::Var(n) => self.t.push(self.stmt, n, Vec::new(), false, RefCause::Direct),
+            Expr::Var(n) => self
+                .t
+                .push(self.stmt, n, Vec::new(), false, RefCause::Direct),
             Expr::Index { name, subs } => {
                 for s in subs {
                     self.uses(s);
                 }
                 if self.symbols.is_array(name) {
-                    self.t.push(self.stmt, name, subs.clone(), false, RefCause::Direct);
+                    self.t
+                        .push(self.stmt, name, subs.clone(), false, RefCause::Direct);
                 } else if !is_intrinsic(name) {
                     // Function call to a non-intrinsic: arguments already
                     // collected as uses; the function result is not
@@ -274,7 +304,12 @@ mod tests {
         assert_eq!(defs.len(), 1);
         assert_eq!(defs[0].name, "A");
         assert_eq!(defs[0].subs.len(), 1);
-        let uses: Vec<_> = t.refs.iter().filter(|r| !r.is_def).map(|r| r.name.as_str()).collect();
+        let uses: Vec<_> = t
+            .refs
+            .iter()
+            .filter(|r| !r.is_def)
+            .map(|r| r.name.as_str())
+            .collect();
         // B, A (element), plus subscript uses of I.
         assert!(uses.contains(&"B"));
         assert!(uses.contains(&"A"));
@@ -323,7 +358,12 @@ mod tests {
     #[test]
     fn read_defines_items() {
         let (_, t) = table("      READ (*,*) N, X\n      END\n");
-        let defs: Vec<_> = t.refs.iter().filter(|r| r.is_def).map(|r| r.name.as_str()).collect();
+        let defs: Vec<_> = t
+            .refs
+            .iter()
+            .filter(|r| r.is_def)
+            .map(|r| r.name.as_str())
+            .collect();
         assert_eq!(defs, ["N", "X"]);
         assert!(t.refs.iter().all(|r| !r.is_def || r.cause == RefCause::Io));
     }

@@ -24,7 +24,10 @@ pub struct DimRange {
 
 impl DimRange {
     pub fn point(e: LinExpr) -> DimRange {
-        DimRange { lo: e.clone(), hi: e }
+        DimRange {
+            lo: e.clone(),
+            hi: e,
+        }
     }
 }
 
@@ -47,7 +50,9 @@ pub struct Section {
 impl Section {
     /// A single-element section.
     pub fn element(subs: Vec<LinExpr>) -> Section {
-        Section { dims: subs.into_iter().map(DimRange::point).collect() }
+        Section {
+            dims: subs.into_iter().map(DimRange::point).collect(),
+        }
     }
 
     /// Expand dimension ranges over a loop variable: every occurrence of
@@ -71,9 +76,10 @@ impl Section {
         if self.dims.len() != other.dims.len() {
             return false;
         }
-        self.dims.iter().zip(&other.dims).all(|(s, o)| {
-            env.prove_nonneg(&o.lo.sub(&s.lo)) && env.prove_nonneg(&s.hi.sub(&o.hi))
-        })
+        self.dims
+            .iter()
+            .zip(&other.dims)
+            .all(|(s, o)| env.prove_nonneg(&o.lo.sub(&s.lo)) && env.prove_nonneg(&s.hi.sub(&o.hi)))
     }
 
     /// Prove `self ∩ other = ∅`: some dimension's ranges are provably
@@ -231,7 +237,12 @@ mod tests {
     }
 
     fn sec1(lo: &str, hi: &str) -> Section {
-        Section { dims: vec![DimRange { lo: lin(lo), hi: lin(hi) }] }
+        Section {
+            dims: vec![DimRange {
+                lo: lin(lo),
+                hi: lin(hi),
+            }],
+        }
     }
 
     #[test]
@@ -297,14 +308,26 @@ mod tests {
         let env = SymbolicEnv::new();
         let a = Section {
             dims: vec![
-                DimRange { lo: lin("1"), hi: lin("2") },
-                DimRange { lo: lin("1"), hi: lin("2") },
+                DimRange {
+                    lo: lin("1"),
+                    hi: lin("2"),
+                },
+                DimRange {
+                    lo: lin("1"),
+                    hi: lin("2"),
+                },
             ],
         };
         let b = Section {
             dims: vec![
-                DimRange { lo: lin("3"), hi: lin("4") },
-                DimRange { lo: lin("3"), hi: lin("4") },
+                DimRange {
+                    lo: lin("3"),
+                    hi: lin("4"),
+                },
+                DimRange {
+                    lo: lin("3"),
+                    hi: lin("4"),
+                },
             ],
         };
         assert!(a.exact_union(&b, &env).is_none());
@@ -337,14 +360,26 @@ mod tests {
         let env = SymbolicEnv::new();
         let big = Section {
             dims: vec![
-                DimRange { lo: lin("1"), hi: lin("N") },
-                DimRange { lo: lin("2"), hi: lin("KM") },
+                DimRange {
+                    lo: lin("1"),
+                    hi: lin("N"),
+                },
+                DimRange {
+                    lo: lin("2"),
+                    hi: lin("KM"),
+                },
             ],
         };
         let small = Section {
             dims: vec![
-                DimRange { lo: lin("1"), hi: lin("N-1") },
-                DimRange { lo: lin("2"), hi: lin("KM") },
+                DimRange {
+                    lo: lin("1"),
+                    hi: lin("N-1"),
+                },
+                DimRange {
+                    lo: lin("2"),
+                    hi: lin("KM"),
+                },
             ],
         };
         assert!(big.contains(&small, &env));
@@ -354,7 +389,10 @@ mod tests {
     fn display_is_readable() {
         let s = Section {
             dims: vec![
-                DimRange { lo: lin("1"), hi: lin("N") },
+                DimRange {
+                    lo: lin("1"),
+                    hi: lin("N"),
+                },
                 DimRange::point(lin("K")),
             ],
         };

@@ -29,7 +29,10 @@ pub struct LinExpr {
 
 impl LinExpr {
     pub fn constant(k: i64) -> LinExpr {
-        LinExpr { terms: BTreeMap::new(), konst: k }
+        LinExpr {
+            terms: BTreeMap::new(),
+            konst: k,
+        }
     }
 
     pub fn var(name: impl Into<String>) -> LinExpr {
@@ -132,19 +135,31 @@ pub struct Range {
 
 impl Range {
     pub fn exact(v: i64) -> Range {
-        Range { lo: Some(v), hi: Some(v) }
+        Range {
+            lo: Some(v),
+            hi: Some(v),
+        }
     }
 
     pub fn at_least(v: i64) -> Range {
-        Range { lo: Some(v), hi: None }
+        Range {
+            lo: Some(v),
+            hi: None,
+        }
     }
 
     pub fn at_most(v: i64) -> Range {
-        Range { lo: None, hi: Some(v) }
+        Range {
+            lo: None,
+            hi: Some(v),
+        }
     }
 
     pub fn between(lo: i64, hi: i64) -> Range {
-        Range { lo: Some(lo), hi: Some(hi) }
+        Range {
+            lo: Some(lo),
+            hi: Some(hi),
+        }
     }
 
     fn intersect(self, other: Range) -> Range {
@@ -430,7 +445,9 @@ pub fn to_lin(e: &Expr) -> Option<LinExpr> {
                 let b = to_lin(r)?;
                 if let Some(k) = a.as_const() {
                     Some(b.scale(k))
-                } else { b.as_const().map(|k| a.scale(k)) }
+                } else {
+                    b.as_const().map(|k| a.scale(k))
+                }
             }
             BinOp::Div => {
                 let a = to_lin(l)?;
@@ -455,7 +472,10 @@ pub fn lin_to_expr(lin: &LinExpr) -> Expr {
     for (n, &c) in &lin.terms {
         let term = match c {
             1 => Expr::var(n.clone()),
-            -1 => Expr::Un { op: UnOp::Neg, e: Box::new(Expr::var(n.clone())) },
+            -1 => Expr::Un {
+                op: UnOp::Neg,
+                e: Box::new(Expr::var(n.clone())),
+            },
             c => Expr::mul(Expr::Int(c), Expr::var(n.clone())),
         };
         acc = Some(match acc {
@@ -534,7 +554,9 @@ pub fn detect_invariant_relations(
                 return;
             }
             // The definition must dominate every use of the name.
-            let Some(def_node) = cfg.node_of(s.id) else { return };
+            let Some(def_node) = cfg.node_of(s.id) else {
+                return;
+            };
             let all_dominated = refs.uses_of(name).all(|u| {
                 cfg.node_of(u.stmt)
                     .map(|un| un == def_node || dom.dominates(def_node, un))

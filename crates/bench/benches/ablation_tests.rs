@@ -17,14 +17,40 @@ fn lin(s: &str) -> Option<ped_analysis::LinExpr> {
 fn main() {
     let env = SymbolicEnv::new();
     let loops = vec![
-        LoopCtx { var: "I".into(), lo: lin("1").unwrap(), hi: lin("100").unwrap() },
-        LoopCtx { var: "J".into(), lo: lin("1").unwrap(), hi: lin("100").unwrap() },
+        LoopCtx {
+            var: "I".into(),
+            lo: lin("1").unwrap(),
+            hi: lin("100").unwrap(),
+        },
+        LoopCtx {
+            var: "J".into(),
+            lo: lin("1").unwrap(),
+            hi: lin("100").unwrap(),
+        },
     ];
     let corpora: Vec<(&str, Vec<SubPair>)> = vec![
-        ("ziv", (0..64).map(|k| (lin(&format!("{k}")), lin(&format!("{}", k + 1)))).collect()),
-        ("strong-siv", (0..64).map(|k| (lin("I"), lin(&format!("I+{k}")))).collect()),
-        ("weak-zero-siv", (0..64).map(|k| (lin("I"), lin(&format!("{k}")))).collect()),
-        ("miv-banerjee", (0..64).map(|k| (lin(&format!("I+{k}*J")), lin("2*I+J"))).collect()),
+        (
+            "ziv",
+            (0..64)
+                .map(|k| (lin(&format!("{k}")), lin(&format!("{}", k + 1))))
+                .collect(),
+        ),
+        (
+            "strong-siv",
+            (0..64)
+                .map(|k| (lin("I"), lin(&format!("I+{k}"))))
+                .collect(),
+        ),
+        (
+            "weak-zero-siv",
+            (0..64).map(|k| (lin("I"), lin(&format!("{k}")))).collect(),
+        ),
+        (
+            "miv-banerjee",
+            (0..64)
+                .map(|k| (lin(&format!("I+{k}*J")), lin("2*I+J")))
+                .collect(),
+        ),
     ];
     println!("== dependence-tests ==");
     for (name, pairs) in corpora {

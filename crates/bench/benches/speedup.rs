@@ -22,7 +22,10 @@ fn main() {
             bench_with(&format!("speedup-{name}/{workers}"), 200, 10, &mut || {
                 let out = ped_runtime::run(
                     black_box(&prog),
-                    ped_runtime::RunOptions { workers, ..Default::default() },
+                    ped_runtime::RunOptions {
+                        workers,
+                        ..Default::default()
+                    },
                 )
                 .unwrap();
                 black_box(out.lines);

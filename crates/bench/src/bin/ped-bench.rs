@@ -33,9 +33,11 @@ fn build_all_units(prog: &ped_fortran::Program, threads: usize) -> usize {
         let sym = SymbolTable::build(unit);
         let refs = RefTable::build(unit, &sym);
         let nest = LoopNest::build(unit);
-        let opts = BuildOptions { threads, ..Default::default() };
-        total += DependenceGraph::build(unit, &sym, &refs, &nest, &SymbolicEnv::new(), &opts)
-            .len();
+        let opts = BuildOptions {
+            threads,
+            ..Default::default()
+        };
+        total += DependenceGraph::build(unit, &sym, &refs, &nest, &SymbolicEnv::new(), &opts).len();
     }
     total
 }
@@ -65,8 +67,12 @@ fn synthetic_source(nloops: usize) -> String {
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_1.json".into());
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_1.json".into());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("ped-bench: {cores} core(s) available\n");
 
     let mut phases: Vec<Stats> = Vec::new();
@@ -96,18 +102,28 @@ fn main() {
         hot_means.insert(p.name, s.mean_us);
         phases.push(s);
 
-        let s = bench_with(&format!("reanalyze-warmpairs:{}", p.name), 150, 256, &mut || {
-            session.cache.invalidate();
-            session.reanalyze();
-        });
+        let s = bench_with(
+            &format!("reanalyze-warmpairs:{}", p.name),
+            150,
+            256,
+            &mut || {
+                session.cache.invalidate();
+                session.reanalyze();
+            },
+        );
         warm_means.insert(p.name, s.mean_us);
         phases.push(s);
 
-        let s = bench_with(&format!("reanalyze-coldcache:{}", p.name), 150, 256, &mut || {
-            session.cache.invalidate();
-            session.cache.pairs = PairCache::new();
-            session.reanalyze();
-        });
+        let s = bench_with(
+            &format!("reanalyze-coldcache:{}", p.name),
+            150,
+            256,
+            &mut || {
+                session.cache.invalidate();
+                session.cache.pairs = PairCache::new();
+                session.reanalyze();
+            },
+        );
         cold_means.insert(p.name, s.mean_us);
         phases.push(s);
 

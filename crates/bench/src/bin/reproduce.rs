@@ -20,10 +20,14 @@ fn main() {
         "figure2" => print!("{}", tables::render_figure2()),
         "speedup" => print!("{}", tables::render_speedup(8)),
         "ablation" => print!("{}", tables::render_ablation()),
-        other => eprintln!("unknown target '{other}' (table1..4, figure1, figure2, speedup, ablation, all)"),
+        other => eprintln!(
+            "unknown target '{other}' (table1..4, figure1, figure2, speedup, ablation, all)"
+        ),
     };
     if target == "all" {
-        for t in ["table1", "table2", "table3", "table4", "figure1", "figure2", "speedup", "ablation"] {
+        for t in [
+            "table1", "table2", "table3", "table4", "figure1", "figure2", "speedup", "ablation",
+        ] {
             run(t);
             println!();
         }

@@ -40,12 +40,7 @@ pub fn bench(label: &str, mut f: impl FnMut()) -> Stats {
 }
 
 /// As [`bench`] with an explicit time budget and iteration cap.
-pub fn bench_with(
-    label: &str,
-    budget_ms: u64,
-    max_iters: usize,
-    f: &mut dyn FnMut(),
-) -> Stats {
+pub fn bench_with(label: &str, budget_ms: u64, max_iters: usize, f: &mut dyn FnMut()) -> Stats {
     // Warm-up + calibration run.
     let t0 = Instant::now();
     f();

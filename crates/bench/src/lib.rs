@@ -28,14 +28,20 @@ pub fn time_speedup(name: &str, workers: usize) -> (f64, f64) {
     let t0 = std::time::Instant::now();
     let seq = ped_runtime::run(
         &session.program,
-        ped_runtime::RunOptions { workers: 1, ..Default::default() },
+        ped_runtime::RunOptions {
+            workers: 1,
+            ..Default::default()
+        },
     )
     .expect("seq");
     let seq_t = t0.elapsed().as_secs_f64();
     let t1 = std::time::Instant::now();
     let par = ped_runtime::run(
         &session.program,
-        ped_runtime::RunOptions { workers, ..Default::default() },
+        ped_runtime::RunOptions {
+            workers,
+            ..Default::default()
+        },
     )
     .expect("par");
     let par_t = t1.elapsed().as_secs_f64();

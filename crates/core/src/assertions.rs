@@ -72,15 +72,22 @@ impl Assertion {
                     .ok_or_else(|| AssertError("missing ')'".into()))?;
                 let parts: Vec<&str> = inner.split(',').collect();
                 return match (ctor, parts.as_slice()) {
-                    (0, [a]) => Ok(Assertion::Permutation { array: a.to_string() }),
+                    (0, [a]) => Ok(Assertion::Permutation {
+                        array: a.to_string(),
+                    }),
                     (1, [a, k]) => Ok(Assertion::Stride {
                         array: a.to_string(),
-                        k: k.parse().map_err(|_| AssertError(format!("bad stride '{k}'")))?,
+                        k: k.parse()
+                            .map_err(|_| AssertError(format!("bad stride '{k}'")))?,
                     }),
                     (2, [n, lo, hi]) => Ok(Assertion::ScalarRange {
                         name: n.to_string(),
-                        lo: lo.parse().map_err(|_| AssertError(format!("bad bound '{lo}'")))?,
-                        hi: hi.parse().map_err(|_| AssertError(format!("bad bound '{hi}'")))?,
+                        lo: lo
+                            .parse()
+                            .map_err(|_| AssertError(format!("bad bound '{lo}'")))?,
+                        hi: hi
+                            .parse()
+                            .map_err(|_| AssertError(format!("bad bound '{hi}'")))?,
                     }),
                     (3, [a, lo, hi]) => Ok(Assertion::ValueRange {
                         array: a.to_string(),
@@ -146,14 +153,20 @@ impl Assertion {
             Assertion::Permutation { array } => {
                 env.add_index_fact(
                     array.clone(),
-                    IndexArrayFact { permutation: true, ..Default::default() },
+                    IndexArrayFact {
+                        permutation: true,
+                        ..Default::default()
+                    },
                 );
                 Ok(())
             }
             Assertion::Stride { array, k } => {
                 env.add_index_fact(
                     array.clone(),
-                    IndexArrayFact { min_stride: Some(*k), ..Default::default() },
+                    IndexArrayFact {
+                        min_stride: Some(*k),
+                        ..Default::default()
+                    },
                 );
                 Ok(())
             }
@@ -184,11 +197,17 @@ impl Assertion {
         match self {
             Assertion::Permutation { array } => Some((
                 array.clone(),
-                IndexArrayFact { permutation: true, ..Default::default() },
+                IndexArrayFact {
+                    permutation: true,
+                    ..Default::default()
+                },
             )),
             Assertion::Stride { array, k } => Some((
                 array.clone(),
-                IndexArrayFact { min_stride: Some(*k), ..Default::default() },
+                IndexArrayFact {
+                    min_stride: Some(*k),
+                    ..Default::default()
+                },
             )),
             Assertion::ValueRange { array, lo, hi } => Some((
                 array.clone(),
@@ -216,7 +235,12 @@ impl std::fmt::Display for Assertion {
                 write!(f, "ASSERT RANGE({name}, {lo}, {hi})")
             }
             Assertion::ValueRange { array, lo, hi } => {
-                write!(f, "ASSERT VALUES({array}, {}, {})", print_expr(lo), print_expr(hi))
+                write!(
+                    f,
+                    "ASSERT VALUES({array}, {}, {})",
+                    print_expr(lo),
+                    print_expr(hi)
+                )
             }
         }
     }
@@ -231,13 +255,20 @@ fn normalize_opaque(e: &Expr, env: &SymbolicEnv) -> LinExpr {
     // Decompose sums/differences; leaves that stay non-affine become
     // opaque symbols.
     match e {
-        Expr::Bin { op: BinOp::Add, l, r } => {
-            normalize_opaque(l, env).add(&normalize_opaque(r, env))
-        }
-        Expr::Bin { op: BinOp::Sub, l, r } => {
-            normalize_opaque(l, env).sub(&normalize_opaque(r, env))
-        }
-        Expr::Un { op: ped_fortran::ast::UnOp::Neg, e } => normalize_opaque(e, env).scale(-1),
+        Expr::Bin {
+            op: BinOp::Add,
+            l,
+            r,
+        } => normalize_opaque(l, env).add(&normalize_opaque(r, env)),
+        Expr::Bin {
+            op: BinOp::Sub,
+            l,
+            r,
+        } => normalize_opaque(l, env).sub(&normalize_opaque(r, env)),
+        Expr::Un {
+            op: ped_fortran::ast::UnOp::Neg,
+            e,
+        } => normalize_opaque(e, env).scale(-1),
         other => LinExpr::var(opaque_symbol(other)),
     }
 }
@@ -270,11 +301,18 @@ mod tests {
         );
         assert_eq!(
             Assertion::parse("STRIDE(IT, 3)").unwrap(),
-            Assertion::Stride { array: "IT".into(), k: 3 }
+            Assertion::Stride {
+                array: "IT".into(),
+                k: 3
+            }
         );
         assert_eq!(
             Assertion::parse("RANGE(N, 1, 100)").unwrap(),
-            Assertion::ScalarRange { name: "N".into(), lo: 1, hi: 100 }
+            Assertion::ScalarRange {
+                name: "N".into(),
+                lo: 1,
+                hi: 100
+            }
         );
     }
 

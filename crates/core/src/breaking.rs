@@ -67,7 +67,13 @@ pub fn suggest_breaking_condition(
         }
     }
     let unit = session.current_unit();
-    let nctx = NestCtx::build(loop_vars, &info.body, unit, &session.ua.refs, &session.ua.env);
+    let nctx = NestCtx::build(
+        loop_vars,
+        &info.body,
+        unit,
+        &session.ua.refs,
+        &session.ua.env,
+    );
     for (es, ek) in rs.subs.iter().zip(&rk.subs) {
         match (nctx.classify(es), nctx.classify(ek)) {
             (SubPos::Affine(a), SubPos::Affine(b)) => {
@@ -76,8 +82,12 @@ pub fn suggest_breaking_condition(
                 }
             }
             (
-                SubPos::IndexArr { arr: a1, add: c1, .. },
-                SubPos::IndexArr { arr: a2, add: c2, .. },
+                SubPos::IndexArr {
+                    arr: a1, add: c1, ..
+                },
+                SubPos::IndexArr {
+                    arr: a2, add: c2, ..
+                },
             ) if a1 == a2 => {
                 let gap = c1.sub(&c2).as_const().map(|g| g.abs());
                 return Some(match gap {
@@ -209,14 +219,13 @@ mod tests {
         let src = "      REAL UF(10000)\n      DO 300 I = ISTRT, IENDV\n      UF(I) = UF(I + MCN) + 1.0\n  300 CONTINUE\n      END\n";
         let mut s = PedSession::open(parse_ok(src));
         s.select_loop(LoopId(0)).unwrap();
-        let dep = s
-            .ua
-            .graph
-            .deps
-            .iter()
-            .find(|d| d.var == "UF" && !d.exact && d.level.is_some())
-            .unwrap()
-            .id;
+        let dep =
+            s.ua.graph
+                .deps
+                .iter()
+                .find(|d| d.var == "UF" && !d.exact && d.level.is_some())
+                .unwrap()
+                .id;
         let cond = suggest_breaking_condition(&s, dep).expect("condition");
         assert!(
             cond.assertion.contains("MCN") && cond.assertion.contains(".GT."),
@@ -233,14 +242,13 @@ mod tests {
         let src = "      INTEGER IT(100)\n      REAL F(300)\n      DO 300 N = 1, 96\n      I3 = IT(N)\n      F(I3 + 1) = F(I3 + 3) * 0.5\n  300 CONTINUE\n      END\n";
         let mut s = PedSession::open(parse_ok(src));
         s.select_loop(LoopId(0)).unwrap();
-        let dep = s
-            .ua
-            .graph
-            .deps
-            .iter()
-            .find(|d| d.var == "F" && !d.exact && d.level.is_some())
-            .unwrap()
-            .id;
+        let dep =
+            s.ua.graph
+                .deps
+                .iter()
+                .find(|d| d.var == "F" && !d.exact && d.level.is_some())
+                .unwrap()
+                .id;
         let cond = suggest_breaking_condition(&s, dep).expect("condition");
         assert_eq!(cond.assertion, "STRIDE(IT, 3)", "{cond:?}");
         assert!(condition_would_break(&s, dep, &cond));
@@ -251,14 +259,13 @@ mod tests {
         let src = "      INTEGER IX(100)\n      REAL A(100), B(100)\n      DO 10 I = 1, N\n      A(IX(I)) = B(I) * 2.0\n   10 CONTINUE\n      END\n";
         let mut s = PedSession::open(parse_ok(src));
         s.select_loop(LoopId(0)).unwrap();
-        let dep = s
-            .ua
-            .graph
-            .deps
-            .iter()
-            .find(|d| d.var == "A" && d.level.is_some())
-            .unwrap()
-            .id;
+        let dep =
+            s.ua.graph
+                .deps
+                .iter()
+                .find(|d| d.var == "A" && d.level.is_some())
+                .unwrap()
+                .id;
         let cond = suggest_breaking_condition(&s, dep).expect("condition");
         assert_eq!(cond.assertion, "PERMUTATION(IX)");
         assert!(condition_would_break(&s, dep, &cond));
@@ -271,7 +278,13 @@ mod tests {
         let src = "      REAL A(100)\n      DO 10 I = 2, N\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n";
         let mut s = PedSession::open(parse_ok(src));
         s.select_loop(LoopId(0)).unwrap();
-        let dep = s.ua.graph.deps.iter().find(|d| d.exact && d.var == "A").unwrap().id;
+        let dep =
+            s.ua.graph
+                .deps
+                .iter()
+                .find(|d| d.exact && d.var == "A")
+                .unwrap()
+                .id;
         assert!(suggest_breaking_condition(&s, dep).is_none());
     }
 
@@ -282,14 +295,13 @@ mod tests {
         let src = "      REAL UF(10000)\n      DO 300 I = ISTRT, IENDV\n      UF(I) = UF(I + MCN) + 1.0\n  300 CONTINUE\n      END\n";
         let mut s = PedSession::open(parse_ok(src));
         s.select_loop(LoopId(0)).unwrap();
-        let dep = s
-            .ua
-            .graph
-            .deps
-            .iter()
-            .find(|d| d.var == "UF" && d.level.is_some())
-            .unwrap()
-            .id;
+        let dep =
+            s.ua.graph
+                .deps
+                .iter()
+                .find(|d| d.var == "UF" && d.level.is_some())
+                .unwrap()
+                .id;
         let bogus = BreakingCondition {
             assertion: "RANGE(MCN, 0, 0)".into(), // MCN = 0: dependence stays
             explanation: String::new(),

@@ -68,7 +68,12 @@ impl AnalysisCache {
     /// (analysis hits, analysis misses, pair-test hits, pair-test
     /// misses) — lifetime counters.
     pub fn stats(&self) -> (u64, u64, u64, u64) {
-        (self.analysis_hits, self.analysis_misses, self.pairs.hits, self.pairs.misses)
+        (
+            self.analysis_hits,
+            self.analysis_misses,
+            self.pairs.hits,
+            self.pairs.misses,
+        )
     }
 }
 

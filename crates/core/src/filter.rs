@@ -143,14 +143,13 @@ impl SourceFilter {
                 line.to_ascii_uppercase().contains(&n.to_ascii_uppercase())
             }
             SourceFilter::LoopHeader => {
-                let t = line.trim_start().trim_start_matches(|c: char| c.is_ascii_digit());
+                let t = line
+                    .trim_start()
+                    .trim_start_matches(|c: char| c.is_ascii_digit());
                 let t = t.trim_start();
                 t.starts_with("DO ") || t.starts_with("do ")
             }
-            SourceFilter::Labelled => line
-                .chars()
-                .take(5)
-                .any(|c| c.is_ascii_digit()),
+            SourceFilter::Labelled => line.chars().take(5).any(|c| c.is_ascii_digit()),
             SourceFilter::And(a, b) => a.matches(line) && b.matches(line),
             SourceFilter::Not(a) => !a.matches(line),
         }

@@ -74,13 +74,20 @@ pub fn render_var_pane(rows: &[VarRow]) -> String {
             if v.is_empty() {
                 "-".to_string()
             } else {
-                v.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(",")
+                v.iter()
+                    .map(|l| l.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
             }
         };
         out.push_str(&format!(
             "{:<9} {:<4} {:<7} {:<11} {:<11} {:<17} {}\n",
             r.name,
-            if r.dim == 0 { "-".to_string() } else { r.dim.to_string() },
+            if r.dim == 0 {
+                "-".to_string()
+            } else {
+                r.dim.to_string()
+            },
             if r.block.is_empty() { "-" } else { &r.block },
             fmt_lines(&r.defs_outside),
             fmt_lines(&r.uses_outside),
@@ -146,8 +153,18 @@ mod tests {
     #[test]
     fn source_pane_markers() {
         let rows = vec![
-            SourceRow { ordinal: 1, loop_marker: true, highlighted: true, text: "DO 10 I = 1, N".into() },
-            SourceRow { ordinal: 2, loop_marker: false, highlighted: true, text: "A(I) = 0".into() },
+            SourceRow {
+                ordinal: 1,
+                loop_marker: true,
+                highlighted: true,
+                text: "DO 10 I = 1, N".into(),
+            },
+            SourceRow {
+                ordinal: 2,
+                loop_marker: false,
+                highlighted: true,
+                text: "A(I) = 0".into(),
+            },
         ];
         let txt = render_source_pane(&rows);
         assert!(txt.starts_with("*>   1"), "{txt}");

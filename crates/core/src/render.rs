@@ -11,30 +11,18 @@ use crate::session::PedSession;
 /// Render the whole window for the current selection.
 pub fn render_window(session: &mut PedSession) -> String {
     let mut out = String::new();
-    out.push_str(
-        "+----------------------------------------------------------------------+\n",
-    );
-    out.push_str(
-        "| file  edit  view  search  dependence  variable  transform            |\n",
-    );
-    out.push_str(
-        "+----------------------------------------------------------------------+\n",
-    );
+    out.push_str("+----------------------------------------------------------------------+\n");
+    out.push_str("| file  edit  view  search  dependence  variable  transform            |\n");
+    out.push_str("+----------------------------------------------------------------------+\n");
     let src = panes::render_source_pane(&session.source_rows());
     out.push_str(&src);
-    out.push_str(
-        "+--------------------------- dependences ------------------------------+\n",
-    );
+    out.push_str("+--------------------------- dependences ------------------------------+\n");
     let deps = session.dependence_rows(&DepFilter::All);
     out.push_str(&panes::render_dep_pane(&deps));
-    out.push_str(
-        "+---------------------------- variables -------------------------------+\n",
-    );
+    out.push_str("+---------------------------- variables -------------------------------+\n");
     let vars = session.variable_rows(&VarFilter::All);
     out.push_str(&panes::render_var_pane(&vars));
-    out.push_str(
-        "+----------------------------------------------------------------------+\n",
-    );
+    out.push_str("+----------------------------------------------------------------------+\n");
     out
 }
 

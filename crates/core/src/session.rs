@@ -90,7 +90,9 @@ impl PedSession {
     fn analysis_key(program: &Program, unit_idx: usize, assertions: &[Assertion]) -> u64 {
         let mut h = ped_fortran::fingerprint::Fnv::new()
             .u64(unit_idx as u64)
-            .u64(ped_fortran::fingerprint::unit_fingerprint(&program.units[unit_idx]));
+            .u64(ped_fortran::fingerprint::unit_fingerprint(
+                &program.units[unit_idx],
+            ));
         for a in assertions {
             h = h.str(&a.to_string());
         }
@@ -331,15 +333,15 @@ impl PedSession {
                 .collect();
             // Classification: user override wins, then analysis.
             let (kind, reason) = match self.classification.get(&(sel, name.clone())) {
-                Some((c, reason)) => {
-                    (format!("{c} (user)"), reason.clone().unwrap_or_default())
-                }
+                Some((c, reason)) => (format!("{c} (user)"), reason.clone().unwrap_or_default()),
                 None => {
                     if info.var == name {
                         ("private (loop index)".into(), String::new())
                     } else if dim == 0 {
                         match privs.status(&name) {
-                            Some(PrivStatus::Private) => ("private".into(), "killed each iteration".into()),
+                            Some(PrivStatus::Private) => {
+                                ("private".into(), "killed each iteration".into())
+                            }
                             Some(PrivStatus::PrivateNeedsLastValue) => {
                                 ("private+lastvalue".into(), "killed; live after loop".into())
                             }
@@ -355,7 +357,15 @@ impl PedSession {
                 VarFilter::PrivateOnly if !kind.starts_with("private") => continue,
                 _ => {}
             }
-            rows.push(VarRow { name, dim, block, defs_outside, uses_outside, kind, reason });
+            rows.push(VarRow {
+                name,
+                dim,
+                block,
+                defs_outside,
+                uses_outside,
+                kind,
+                reason,
+            });
         }
         rows
     }
@@ -381,7 +391,9 @@ impl PedSession {
             {
                 in_unit = true;
             }
-            let t = line.trim_start().trim_start_matches(|c: char| c.is_ascii_digit());
+            let t = line
+                .trim_start()
+                .trim_start_matches(|c: char| c.is_ascii_digit());
             let is_loop = t.trim_start().starts_with("DO ");
             rows.push(SourceRow {
                 ordinal: (i + 1) as u32,
@@ -434,7 +446,12 @@ impl PedSession {
         };
         let mut count = 0;
         for id in ids {
-            if self.ua.marking.set(id, mark, reason.map(|s| s.to_string())).is_ok() {
+            if self
+                .ua
+                .marking
+                .set(id, mark, reason.map(|s| s.to_string()))
+                .is_ok()
+            {
                 count += 1;
             }
         }
@@ -485,15 +502,9 @@ impl PedSession {
     // -- parallelization ---------------------------------------------------
 
     /// Parallelization report for a loop, honoring user classifications.
-    pub fn impediments(
-        &self,
-        l: LoopId,
-    ) -> ped_transform::parallelize::ParallelizationReport {
-        let mut report = ped_transform::analyze_parallelization(
-            &self.program.units[self.unit_idx],
-            &self.ua,
-            l,
-        );
+    pub fn impediments(&self, l: LoopId) -> ped_transform::parallelize::ParallelizationReport {
+        let mut report =
+            ped_transform::analyze_parallelization(&self.program.units[self.unit_idx], &self.ua, l);
         let user_priv = self.user_private(l);
         if !user_priv.is_empty() {
             report
@@ -534,10 +545,7 @@ impl PedSession {
 
     /// Transformation guidance (§5.3): evaluate each catalog entry's
     /// advice for the loop and return only the safe ones.
-    pub fn suggest_transformations(
-        &mut self,
-        l: LoopId,
-    ) -> Vec<(String, ped_transform::Advice)> {
+    pub fn suggest_transformations(&mut self, l: LoopId) -> Vec<(String, ped_transform::Advice)> {
         self.usage.record(Feature::AccessToAnalysis);
         let unit = &self.program.units[self.unit_idx];
         let mut out = Vec::new();
@@ -550,7 +558,10 @@ impl PedSession {
                 "Loop Interchange".into(),
                 ped_transform::reorder::interchange_advice(unit, &self.ua, l),
             ),
-            ("Loop Reversal".into(), ped_transform::reorder::reversal_advice(&self.ua, l)),
+            (
+                "Loop Reversal".into(),
+                ped_transform::reorder::reversal_advice(&self.ua, l),
+            ),
             (
                 "Sequential <-> Parallel".into(),
                 ped_transform::parallelize::parallelize_advice(unit, &self.ua, l),
@@ -712,9 +723,12 @@ impl PedSession {
 
     /// Parse one simple (non-block) statement from user-typed text.
     fn parse_simple_statement(text: &str) -> Result<StmtKind, String> {
-        let wrapped = format!("      {}
+        let wrapped = format!(
+            "      {}
       END
-", text.trim());
+",
+            text.trim()
+        );
         let (prog, diags) = ped_fortran::parse(&wrapped);
         if diags.has_errors() {
             return Err(diags
@@ -833,7 +847,9 @@ mod tests {
         let a_only = s.dependence_rows(&DepFilter::parse("var=A").unwrap()).len();
         assert!(a_only < all || all == a_only);
         assert!(a_only >= 1);
-        let none = s.dependence_rows(&DepFilter::parse("var=ZZZ").unwrap()).len();
+        let none = s
+            .dependence_rows(&DepFilter::parse("var=ZZZ").unwrap())
+            .len();
         assert_eq!(none, 0);
     }
 
@@ -902,12 +918,15 @@ mod tests {
     }
 
     #[test]
-    fn suggestions_only_safe(){
+    fn suggestions_only_safe() {
         let src = "      REAL A(100,100)\n      DO 10 I = 2, N\n      DO 10 J = 1, M - 1\n      A(I,J) = A(I-1,J+1)\n   10 CONTINUE\n      END\n";
         let mut s = PedSession::open(parse_ok(src));
         let sugg = s.suggest_transformations(LoopId(0));
         // Interchange is unsafe for the (<, >) dependence: not suggested.
-        assert!(!sugg.iter().any(|(n, _)| n == "Loop Interchange"), "{sugg:?}");
+        assert!(
+            !sugg.iter().any(|(n, _)| n == "Loop Interchange"),
+            "{sugg:?}"
+        );
         // Unrolling is always safe: suggested.
         assert!(sugg.iter().any(|(n, _)| n == "Loop Unrolling"));
     }

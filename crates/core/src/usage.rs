@@ -67,9 +67,9 @@ impl Feature {
             Feature::DependenceDeletion
             | Feature::VariableClassification
             | Feature::AccessToAnalysis => "user interaction",
-            Feature::ProgramNavigation
-            | Feature::DependenceNavigation
-            | Feature::ViewFiltering => "navigation",
+            Feature::ProgramNavigation | Feature::DependenceNavigation | Feature::ViewFiltering => {
+                "navigation"
+            }
             _ => "other",
         }
     }

@@ -44,7 +44,10 @@ impl WorkReport {
     }
 
     pub fn blocked_count(&self) -> usize {
-        self.outcomes.iter().filter(|(_, _, o)| matches!(o, LoopOutcome::Blocked(_))).count()
+        self.outcomes
+            .iter()
+            .filter(|(_, _, o)| matches!(o, LoopOutcome::Blocked(_)))
+            .count()
     }
 }
 

@@ -153,7 +153,12 @@ pub struct BuildOptions {
 
 impl Default for BuildOptions {
     fn default() -> Self {
-        BuildOptions { input_deps: false, control_deps: true, scalar_deps: true, threads: 0 }
+        BuildOptions {
+            input_deps: false,
+            control_deps: true,
+            scalar_deps: true,
+            threads: 0,
+        }
     }
 }
 
@@ -205,7 +210,15 @@ impl DependenceGraph {
             );
         }
         let mut g = DependenceGraph::default();
-        let builder = Builder { unit, symbols, refs, nest, env, opts, keys };
+        let builder = Builder {
+            unit,
+            symbols,
+            refs,
+            nest,
+            env,
+            opts,
+            keys,
+        };
         builder.run(&mut g, cache);
         g.reindex();
         g
@@ -303,7 +316,12 @@ impl CacheKeys {
             slot.insert(r.id, *c);
             *c += 1;
         }
-        CacheKeys { stmt_fp, loop_hdr, loop_scope, slot }
+        CacheKeys {
+            stmt_fp,
+            loop_hdr,
+            loop_scope,
+            slot,
+        }
     }
 
     fn pair_key(
@@ -386,7 +404,10 @@ impl<'a> Builder<'a> {
         let mut groups: Vec<(&str, Vec<RefId>)> = by_name.into_iter().collect();
         groups.sort_by_key(|(name, _)| *name);
 
-        let pairs: usize = groups.iter().map(|(_, ids)| ids.len() * (ids.len() + 1) / 2).sum();
+        let pairs: usize = groups
+            .iter()
+            .map(|(_, ids)| ids.len() * (ids.len() + 1) / 2)
+            .sum();
         let threads = self.effective_threads(groups.len(), pairs);
 
         let buffers: Vec<Vec<Dependence>> = if threads <= 1 {
@@ -415,12 +436,8 @@ impl<'a> Builder<'a> {
                                 if i >= groups.len() {
                                     break;
                                 }
-                                let out = self.test_group(
-                                    &groups[i].1,
-                                    &stmt_loops,
-                                    read,
-                                    &mut shard,
-                                );
+                                let out =
+                                    self.test_group(&groups[i].1, &stmt_loops, read, &mut shard);
                                 *slots[i].lock().unwrap() = out;
                             }
                             shard
@@ -464,7 +481,10 @@ impl<'a> Builder<'a> {
                 if pairs < 256 {
                     1
                 } else {
-                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                        .min(8)
                 }
             }
             n => n,
@@ -646,7 +666,17 @@ impl<'a> Builder<'a> {
                 let mut v = vec![DirSet::only(Dir::Eq); k];
                 v.push(DirSet::only(Dir::Lt));
                 v.extend_from_slice(&vector.0[k + 1..]);
-                self.push_dep(out, a, b, common, Some(k as u32 + 1), DirVector(v), distances.clone(), exact, test);
+                self.push_dep(
+                    out,
+                    a,
+                    b,
+                    common,
+                    Some(k as u32 + 1),
+                    DirVector(v),
+                    distances.clone(),
+                    exact,
+                    test,
+                );
             }
         }
         // Carried levels, reversed orientation (b → a). A self-pair is
@@ -660,7 +690,17 @@ impl<'a> Builder<'a> {
                 v.push(DirSet::only(Dir::Lt));
                 v.extend(vector.0[k + 1..].iter().map(|d| d.reversed()));
                 let rdist: Vec<Option<i64>> = distances.iter().map(|d| d.map(|x| -x)).collect();
-                self.push_dep(out, b, a, common, Some(k as u32 + 1), DirVector(v), rdist, exact, test);
+                self.push_dep(
+                    out,
+                    b,
+                    a,
+                    common,
+                    Some(k as u32 + 1),
+                    DirVector(v),
+                    rdist,
+                    exact,
+                    test,
+                );
             }
         }
         // Loop-independent: all '=' feasible and textual order decides.
@@ -809,7 +849,10 @@ mod tests {
     }
 
     fn data_deps(g: &DependenceGraph) -> Vec<&Dependence> {
-        g.deps.iter().filter(|d| d.kind != DepKind::Control).collect()
+        g.deps
+            .iter()
+            .filter(|d| d.kind != DepKind::Control)
+            .collect()
     }
 
     #[test]
@@ -864,7 +907,8 @@ mod tests {
 
     #[test]
     fn scalar_deps_assumed_pending() {
-        let src = "      DO 10 I = 1, N\n      T = A(I)\n      B(I) = T\n   10 CONTINUE\n      END\n";
+        let src =
+            "      DO 10 I = 1, N\n      T = A(I)\n      B(I) = T\n   10 CONTINUE\n      END\n";
         let (_, nest, _, g) = build(src);
         // T generates carried scalar deps (pending) until privatized.
         let t_deps: Vec<_> = g
@@ -940,7 +984,10 @@ mod tests {
             .filter(|d| d.var == "F")
             .collect();
         assert!(!f_deps.is_empty());
-        assert!(f_deps.iter().all(|d| !d.exact), "index-array deps must be pending");
+        assert!(
+            f_deps.iter().all(|d| !d.exact),
+            "index-array deps must be pending"
+        );
     }
 
     #[test]
@@ -970,7 +1017,10 @@ mod tests {
         let src = "      REAL A(100), B(100), C(100)\n      DO 10 I = 1, N\n      B(I) = A(I)\n      C(I) = A(I)\n   10 CONTINUE\n      END\n";
         let (_, _, _, g) = build(src);
         assert!(data_deps(&g).iter().all(|d| d.kind != DepKind::Input));
-        let opts = BuildOptions { input_deps: true, ..Default::default() };
+        let opts = BuildOptions {
+            input_deps: true,
+            ..Default::default()
+        };
         let (_, _, _, g2) = build_opts(src, opts, SymbolicEnv::new());
         assert!(g2.deps.iter().any(|d| d.kind == DepKind::Input));
     }
@@ -981,7 +1031,9 @@ mod tests {
         let src = "      REAL UF(10000, 3)\n      INTEGER ISTRT(10), IENDV(10)\n      DO 300 I = ISTRT(IR), IENDV(IR)\n      X = UF(I + MCN, 3)\n      UF(I, M) = X + 1.0\n  300 CONTINUE\n      END\n";
         // Without the assertion: carried deps on UF assumed.
         let (_, nest, _, g) = build(src);
-        assert!(g.parallelism_inhibitors(nest.roots[0]).any(|d| d.var == "UF"));
+        assert!(g
+            .parallelism_inhibitors(nest.roots[0])
+            .any(|d| d.var == "UF"));
         // With MCN > $IENDV(IR) - $ISTRT(IR):
         let mut env = SymbolicEnv::new();
         let istrt = opaque_symbol(&ped_fortran::parser::parse_expr_str("ISTRT(IR)", &[]).unwrap());
@@ -1016,13 +1068,27 @@ mod tests {
         let nest = LoopNest::build(u);
         let env = SymbolicEnv::new();
         let serial = DependenceGraph::build(
-            u, &sym, &refs, &nest, &env,
-            &BuildOptions { threads: 1, ..Default::default() },
+            u,
+            &sym,
+            &refs,
+            &nest,
+            &env,
+            &BuildOptions {
+                threads: 1,
+                ..Default::default()
+            },
         );
         for threads in [2, 3, 8] {
             let par = DependenceGraph::build(
-                u, &sym, &refs, &nest, &env,
-                &BuildOptions { threads, ..Default::default() },
+                u,
+                &sym,
+                &refs,
+                &nest,
+                &env,
+                &BuildOptions {
+                    threads,
+                    ..Default::default()
+                },
             );
             assert_eq!(serial.deps, par.deps, "threads={threads} diverged");
         }
@@ -1081,13 +1147,11 @@ mod tests {
         let env = SymbolicEnv::new();
         let opts = BuildOptions::default();
         let mut cache = PairCache::new();
-        let g1 =
-            DependenceGraph::build_with(u, &sym, &refs, &nest, &env, &opts, Some(&mut cache));
+        let g1 = DependenceGraph::build_with(u, &sym, &refs, &nest, &env, &opts, Some(&mut cache));
         assert_eq!(cache.hits, 0);
         let cold_misses = cache.misses;
         assert!(cold_misses > 0);
-        let g2 =
-            DependenceGraph::build_with(u, &sym, &refs, &nest, &env, &opts, Some(&mut cache));
+        let g2 = DependenceGraph::build_with(u, &sym, &refs, &nest, &env, &opts, Some(&mut cache));
         assert_eq!(g1.deps, g2.deps, "cached rebuild must be identical");
         assert_eq!(cache.misses, cold_misses, "warm rebuild must not re-test");
         assert_eq!(cache.hits, cold_misses, "every pair must hit");
@@ -1109,7 +1173,10 @@ mod tests {
         let mut env2 = SymbolicEnv::new();
         env2.add_index_fact(
             "IX",
-            ped_analysis::symbolic::IndexArrayFact { permutation: true, ..Default::default() },
+            ped_analysis::symbolic::IndexArrayFact {
+                permutation: true,
+                ..Default::default()
+            },
         );
         DependenceGraph::build_with(u, &sym, &refs, &nest, &env2, &opts, Some(&mut cache));
         assert_eq!(cache.hits, 0, "env change must not produce stale hits");
@@ -1132,14 +1199,16 @@ mod tests {
             let sym = SymbolTable::build(u);
             let refs = RefTable::build(u, &sym);
             let nest = LoopNest::build(u);
-            let g = DependenceGraph::build_with(
-                u, &sym, &refs, &nest, &env, &opts, Some(&mut cache),
-            );
+            let g =
+                DependenceGraph::build_with(u, &sym, &refs, &nest, &env, &opts, Some(&mut cache));
             if i == 1 {
                 // The A recurrence is untouched: its pair must hit.
                 assert!(cache.hits >= 1, "A-loop pair should be cache-hot");
                 // The edited B pair re-tests and still carries a dep.
-                assert!(g.deps.iter().any(|d| d.var == "B" && d.distances[0] == Some(2)));
+                assert!(g
+                    .deps
+                    .iter()
+                    .any(|d| d.var == "B" && d.distances[0] == Some(2)));
             }
         }
     }

@@ -49,7 +49,10 @@ impl std::fmt::Display for MarkError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MarkError::CannotRejectProven(d) => {
-                write!(f, "dependence {d} was proven by an exact test and cannot be rejected")
+                write!(
+                    f,
+                    "dependence {d} was proven by an exact test and cannot be rejected"
+                )
             }
             MarkError::UnknownDependence(d) => write!(f, "unknown dependence {d}"),
         }
@@ -68,7 +71,8 @@ impl Marking {
     pub fn initial(g: &DependenceGraph) -> Marking {
         let mut m = Marking::default();
         for d in &g.deps {
-            m.marks.insert(d.id, if d.exact { Mark::Proven } else { Mark::Pending });
+            m.marks
+                .insert(d.id, if d.exact { Mark::Proven } else { Mark::Pending });
         }
         m
     }
@@ -173,17 +177,29 @@ mod tests {
         let sym = SymbolTable::build(u);
         let refs = RefTable::build(u, &sym);
         let nest = LoopNest::build(u);
-        DependenceGraph::build(u, &sym, &refs, &nest, &SymbolicEnv::new(), &BuildOptions::default())
+        DependenceGraph::build(
+            u,
+            &sym,
+            &refs,
+            &nest,
+            &SymbolicEnv::new(),
+            &BuildOptions::default(),
+        )
     }
 
-    const RECURRENCE: &str = "      REAL A(100)\n      DO 10 I = 2, N\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n";
+    const RECURRENCE: &str =
+        "      REAL A(100)\n      DO 10 I = 2, N\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n";
     const INDEXED: &str = "      INTEGER IX(100)\n      REAL A(100)\n      DO 10 I = 1, N\n      A(IX(I)) = A(IX(I)) + 1.0\n   10 CONTINUE\n      END\n";
 
     #[test]
     fn exact_deps_start_proven() {
         let g = graph(RECURRENCE);
         let m = Marking::initial(&g);
-        let carried: Vec<_> = g.deps.iter().filter(|d| d.level.is_some() && d.var == "A").collect();
+        let carried: Vec<_> = g
+            .deps
+            .iter()
+            .filter(|d| d.level.is_some() && d.var == "A")
+            .collect();
         assert!(!carried.is_empty());
         assert!(carried.iter().all(|d| m.mark_of(d.id) == Mark::Proven));
     }
@@ -212,7 +228,8 @@ mod tests {
         let g = graph(INDEXED);
         let mut m = Marking::initial(&g);
         let d = g.deps.iter().find(|d| d.var == "A").unwrap();
-        m.set(d.id, Mark::Rejected, Some("IX is a permutation".into())).unwrap();
+        m.set(d.id, Mark::Rejected, Some("IX is a permutation".into()))
+            .unwrap();
         assert!(!m.is_active(d.id));
         assert_eq!(m.reason_of(d.id), Some("IX is a permutation"));
         // Still present in the graph.

@@ -79,7 +79,11 @@ impl<'a> NestCtx<'a> {
             if !body.contains(&s.id) {
                 return;
             }
-            let StmtKind::Assign { lhs: LValue::Var(z), rhs } = &s.kind else {
+            let StmtKind::Assign {
+                lhs: LValue::Var(z),
+                rhs,
+            } = &s.kind
+            else {
                 return;
             };
             if def_count.get(z).copied() != Some(1) {
@@ -96,15 +100,21 @@ impl<'a> NestCtx<'a> {
                 // Affine forward substitution: the definition's names
                 // must be loop variables or invariants (not other
                 // variants), so the value is iteration-determined.
-                let ok = lin.names().all(|n| {
-                    loop_vars.iter().any(|v| v == n) || !variant.contains(n)
-                });
+                let ok = lin
+                    .names()
+                    .all(|n| loop_vars.iter().any(|v| v == n) || !variant.contains(n));
                 if ok {
                     scalar_affine_defs.insert(z.clone(), lin);
                 }
             }
         });
-        NestCtx { loop_vars, variant, scalar_index_defs, scalar_affine_defs, env }
+        NestCtx {
+            loop_vars,
+            variant,
+            scalar_index_defs,
+            scalar_affine_defs,
+            env,
+        }
     }
 
     fn is_invariant_name(&self, n: &str) -> bool {
@@ -183,7 +193,11 @@ fn decompose(e: &Expr) -> Option<(LinExpr, Option<(String, Expr)>)> {
             }
             Some((a.scale(-1), None))
         }
-        Expr::Bin { op: BinOp::Add, l, r } => {
+        Expr::Bin {
+            op: BinOp::Add,
+            l,
+            r,
+        } => {
             let (a1, t1) = decompose(l)?;
             let (a2, t2) = decompose(r)?;
             let t = match (t1, t2) {
@@ -192,7 +206,11 @@ fn decompose(e: &Expr) -> Option<(LinExpr, Option<(String, Expr)>)> {
             };
             Some((a1.add(&a2), t))
         }
-        Expr::Bin { op: BinOp::Sub, l, r } => {
+        Expr::Bin {
+            op: BinOp::Sub,
+            l,
+            r,
+        } => {
             let (a1, t1) = decompose(l)?;
             let (a2, t2) = decompose(r)?;
             if t2.is_some() {
@@ -200,7 +218,11 @@ fn decompose(e: &Expr) -> Option<(LinExpr, Option<(String, Expr)>)> {
             }
             Some((a1.sub(&a2), t1))
         }
-        Expr::Bin { op: BinOp::Mul, l, r } => {
+        Expr::Bin {
+            op: BinOp::Mul,
+            l,
+            r,
+        } => {
             let (a1, t1) = decompose(l)?;
             let (a2, t2) = decompose(r)?;
             if t1.is_some() || t2.is_some() {
@@ -208,7 +230,9 @@ fn decompose(e: &Expr) -> Option<(LinExpr, Option<(String, Expr)>)> {
             }
             if let Some(k) = a1.as_const() {
                 Some((a2.scale(k), None))
-            } else { a2.as_const().map(|k| (a1.scale(k), None)) }
+            } else {
+                a2.as_const().map(|k| (a1.scale(k), None))
+            }
         }
         _ => None,
     }
@@ -226,8 +250,16 @@ pub fn test_index_dim(
 ) -> Option<TestResult> {
     match (src, sink) {
         (
-            SubPos::IndexArr { arr: a1, arg: x, add: c1 },
-            SubPos::IndexArr { arr: a2, arg: y, add: c2 },
+            SubPos::IndexArr {
+                arr: a1,
+                arg: x,
+                add: c1,
+            },
+            SubPos::IndexArr {
+                arr: a2,
+                arg: y,
+                add: c2,
+            },
         ) => {
             if a1 == a2 {
                 let fact = env.index_fact(a1)?;
@@ -306,7 +338,10 @@ fn value_interval(
     let hi = f.value_hi.clone()?;
     let ar = env.range_of(add);
     let (alo, ahi) = (ar.lo?, ar.hi?);
-    Some((lo.add(&LinExpr::constant(alo)), hi.add(&LinExpr::constant(ahi))))
+    Some((
+        lo.add(&LinExpr::constant(alo)),
+        hi.add(&LinExpr::constant(ahi)),
+    ))
 }
 
 fn disjoint(a: &(LinExpr, LinExpr), b: &(LinExpr, LinExpr), env: &SymbolicEnv) -> bool {
@@ -478,13 +513,7 @@ mod tests {
         let refs = RefTable::build(u, &sym);
         let nest = ped_analysis::loops::LoopNest::build(u);
         let env = SymbolicEnv::new();
-        let c = NestCtx::build(
-            vec!["N1".to_string()],
-            &nest.loops[0].body,
-            u,
-            &refs,
-            &env,
-        );
+        let c = NestCtx::build(vec!["N1".to_string()], &nest.loops[0].body, u, &refs, &env);
         assert!(c.variant.contains("I3"));
         assert_eq!(
             c.scalar_index_defs.get("I3"),
@@ -497,19 +526,38 @@ mod tests {
     // ---- index dimension tests ----
 
     fn loop_n() -> Vec<LoopCtx> {
-        vec![LoopCtx { var: "N1".into(), lo: lin("1"), hi: lin("NBA") }]
+        vec![LoopCtx {
+            var: "N1".into(),
+            lo: lin("1"),
+            hi: lin("NBA"),
+        }]
     }
 
     fn idx(arr: &str, arg: &str, add: &str) -> SubPos {
-        SubPos::IndexArr { arr: arr.into(), arg: lin(arg), add: lin(add) }
+        SubPos::IndexArr {
+            arr: arr.into(),
+            arg: lin(arg),
+            add: lin(add),
+        }
     }
 
     #[test]
     fn stride_fact_disproves_different_offsets() {
         // dpmin: F(I3+1) vs F(I3+2) across iterations with stride ≥ 3.
         let mut env = SymbolicEnv::new();
-        env.add_index_fact("IT", IndexArrayFact { min_stride: Some(3), ..Default::default() });
-        let r = test_index_dim(&idx("IT", "N1", "1"), &idx("IT", "N1", "2"), &loop_n(), &env);
+        env.add_index_fact(
+            "IT",
+            IndexArrayFact {
+                min_stride: Some(3),
+                ..Default::default()
+            },
+        );
+        let r = test_index_dim(
+            &idx("IT", "N1", "1"),
+            &idx("IT", "N1", "2"),
+            &loop_n(),
+            &env,
+        );
         assert_eq!(r, Some(TestResult::Independent));
     }
 
@@ -518,9 +566,20 @@ mod tests {
         // F(I3+1) vs F(I3+1): args both N1 → strong SIV '=' only:
         // no loop-carried dependence.
         let mut env = SymbolicEnv::new();
-        env.add_index_fact("IT", IndexArrayFact { min_stride: Some(3), ..Default::default() });
-        let r = test_index_dim(&idx("IT", "N1", "1"), &idx("IT", "N1", "1"), &loop_n(), &env)
-            .expect("constrained");
+        env.add_index_fact(
+            "IT",
+            IndexArrayFact {
+                min_stride: Some(3),
+                ..Default::default()
+            },
+        );
+        let r = test_index_dim(
+            &idx("IT", "N1", "1"),
+            &idx("IT", "N1", "1"),
+            &loop_n(),
+            &env,
+        )
+        .expect("constrained");
         match r {
             TestResult::Dependent(d) => {
                 assert!(d.vector.0[0].is_eq_only());
@@ -532,9 +591,20 @@ mod tests {
     #[test]
     fn permutation_alone_disproves_carried_same_offset() {
         let mut env = SymbolicEnv::new();
-        env.add_index_fact("IT", IndexArrayFact { permutation: true, ..Default::default() });
-        let r = test_index_dim(&idx("IT", "N1", "0"), &idx("IT", "N1", "0"), &loop_n(), &env)
-            .expect("constrained");
+        env.add_index_fact(
+            "IT",
+            IndexArrayFact {
+                permutation: true,
+                ..Default::default()
+            },
+        );
+        let r = test_index_dim(
+            &idx("IT", "N1", "0"),
+            &idx("IT", "N1", "0"),
+            &loop_n(),
+            &env,
+        )
+        .expect("constrained");
         match r {
             TestResult::Dependent(d) => assert!(d.vector.0[0].is_eq_only()),
             _ => panic!(),
@@ -545,8 +615,19 @@ mod tests {
     fn permutation_cannot_separate_offsets() {
         // gap 1, offsets differ by 1: |dadd| < 1 fails — no info.
         let mut env = SymbolicEnv::new();
-        env.add_index_fact("IT", IndexArrayFact { permutation: true, ..Default::default() });
-        let r = test_index_dim(&idx("IT", "N1", "0"), &idx("IT", "N1", "1"), &loop_n(), &env);
+        env.add_index_fact(
+            "IT",
+            IndexArrayFact {
+                permutation: true,
+                ..Default::default()
+            },
+        );
+        let r = test_index_dim(
+            &idx("IT", "N1", "0"),
+            &idx("IT", "N1", "1"),
+            &loop_n(),
+            &env,
+        );
         assert_eq!(r, None);
     }
 
@@ -572,10 +653,20 @@ mod tests {
             },
         );
         env.add_fact_nonneg(lin("JTLO-ITHI-3"));
-        let r = test_index_dim(&idx("IT", "N1", "1"), &idx("JT", "N1", "2"), &loop_n(), &env);
+        let r = test_index_dim(
+            &idx("IT", "N1", "1"),
+            &idx("JT", "N1", "2"),
+            &loop_n(),
+            &env,
+        );
         assert_eq!(r, Some(TestResult::Independent));
         // Offsets that can overlap (same range arrays): no info.
-        let r2 = test_index_dim(&idx("IT", "N1", "1"), &idx("IT", "N2", "1"), &loop_n(), &env);
+        let r2 = test_index_dim(
+            &idx("IT", "N1", "1"),
+            &idx("IT", "N2", "1"),
+            &loop_n(),
+            &env,
+        );
         // same array, no gap facts → None
         assert_eq!(r2, None);
     }
@@ -584,7 +675,13 @@ mod tests {
     fn test_classified_combines_dims() {
         // F(I3+1, J) vs F(I3+2, J): index dim independent under stride.
         let mut env = SymbolicEnv::new();
-        env.add_index_fact("IT", IndexArrayFact { min_stride: Some(3), ..Default::default() });
+        env.add_index_fact(
+            "IT",
+            IndexArrayFact {
+                min_stride: Some(3),
+                ..Default::default()
+            },
+        );
         let loops = loop_n();
         let r = test_classified(
             &[idx("IT", "N1", "1"), SubPos::Affine(lin("J"))],
@@ -599,7 +696,12 @@ mod tests {
     fn test_classified_opaque_assumed_pending() {
         let env = SymbolicEnv::new();
         let loops = loop_n();
-        let r = test_classified(&[SubPos::Opaque], &[SubPos::Affine(lin("N1"))], &loops, &env);
+        let r = test_classified(
+            &[SubPos::Opaque],
+            &[SubPos::Affine(lin("N1"))],
+            &loops,
+            &env,
+        );
         match r {
             TestResult::Dependent(d) => assert!(!d.exact),
             _ => panic!("expected dependent"),

@@ -93,7 +93,12 @@ pub fn test_pair(
         };
         match test_dim(a, b, loops, env) {
             DimResult::Independent(_test) => return TestResult::Independent,
-            DimResult::Constrains { dirs, distance, exact: e, test } => {
+            DimResult::Constrains {
+                dirs,
+                distance,
+                exact: e,
+                test,
+            } => {
                 for k in 0..n {
                     let inter = vector.0[k].intersect(dirs[k]);
                     vector.0[k] = inter;
@@ -122,7 +127,12 @@ pub fn test_pair(
             }
         }
     }
-    TestResult::Dependent(DepInfo { vector, distances, exact, test: deciding })
+    TestResult::Dependent(DepInfo {
+        vector,
+        distances,
+        exact,
+        test: deciding,
+    })
 }
 
 enum DimResult {
@@ -249,14 +259,18 @@ fn strong_siv(
             _ => DirSet::only(Dir::Gt),
         };
         distance[k] = Some(d);
-        return DimResult::Constrains { dirs, distance, exact: true, test: "strong-siv" };
+        return DimResult::Constrains {
+            dirs,
+            distance,
+            exact: true,
+            test: "strong-siv",
+        };
     }
     // Symbolic distance d = −q/a: try dividing coefficients.
     let d_lin = div_exact(&q.scale(-1), a);
     if let Some(d_lin) = d_lin {
         // Independence: |d| > span.
-        if env.prove_positive(&d_lin.sub(span)) || env.prove_positive(&d_lin.scale(-1).sub(span))
-        {
+        if env.prove_positive(&d_lin.sub(span)) || env.prove_positive(&d_lin.scale(-1).sub(span)) {
             return DimResult::Independent("strong-siv-symbolic");
         }
         // Direction from the sign of d when provable.
@@ -271,18 +285,22 @@ fn strong_siv(
             s.insert(Dir::Eq);
             dirs[k] = s;
         }
-        return DimResult::Constrains { dirs, distance, exact: false, test: "strong-siv-symbolic" };
+        return DimResult::Constrains {
+            dirs,
+            distance,
+            exact: false,
+            test: "strong-siv-symbolic",
+        };
     }
-    DimResult::Constrains { dirs, distance, exact: false, test: "strong-siv-symbolic" }
+    DimResult::Constrains {
+        dirs,
+        distance,
+        exact: false,
+        test: "strong-siv-symbolic",
+    }
 }
 
-fn weak_zero_siv(
-    a: i64,
-    q: &LinExpr,
-    l: &LoopCtx,
-    n: usize,
-    env: &SymbolicEnv,
-) -> DimResult {
+fn weak_zero_siv(a: i64, q: &LinExpr, l: &LoopCtx, n: usize, env: &SymbolicEnv) -> DimResult {
     if let Some(qc) = q.as_const() {
         if qc % a != 0 {
             return DimResult::Independent("weak-zero-siv");
@@ -304,13 +322,7 @@ fn weak_zero_siv(
     no_constraint(n, false, "weak-zero-siv-symbolic")
 }
 
-fn weak_crossing_siv(
-    a: i64,
-    q: &LinExpr,
-    l: &LoopCtx,
-    n: usize,
-    env: &SymbolicEnv,
-) -> DimResult {
+fn weak_crossing_siv(a: i64, q: &LinExpr, l: &LoopCtx, n: usize, env: &SymbolicEnv) -> DimResult {
     // i + i' = q / a =: s, with i, i' ∈ [lo, hi] ⇒ s ∈ [2·lo, 2·hi].
     if let Some(qc) = q.as_const() {
         if qc % a != 0 {
@@ -416,7 +428,12 @@ fn test_miv(
         }
         dirs[k] = set;
     }
-    DimResult::Constrains { dirs, distance: vec![None; n], exact: false, test: "banerjee" }
+    DimResult::Constrains {
+        dirs,
+        distance: vec![None; n],
+        exact: false,
+        test: "banerjee",
+    }
 }
 
 /// Banerjee feasibility: can Σ a_k·i_k − b_k·i'_k = q hold with
@@ -616,9 +633,7 @@ mod tests {
         // UF(I+MCN) vs UF(I) in DO I = ISTRT, IENDV.
         // Assertion: MCN > IENDV - ISTRT  ⇔  MCN - IENDV + ISTRT - 1 ≥ 0.
         let mut env = SymbolicEnv::new();
-        env.add_fact_nonneg(
-            to_lin(&parse_expr_str("MCN-IENDV+ISTRT-1", &[]).unwrap()).unwrap(),
-        );
+        env.add_fact_nonneg(to_lin(&parse_expr_str("MCN-IENDV+ISTRT-1", &[]).unwrap()).unwrap());
         let loops = [LoopCtx {
             var: "I".into(),
             lo: lin("ISTRT").unwrap(),
@@ -712,12 +727,7 @@ mod tests {
         let loops = [loop1("I", "1", "N"), loop1("J", "1", "N")];
         // A(I, J) vs A(I, J-1): dim1 forces I '=', dim2 forces J '<'
         // (writer of element j runs one J-iteration before the reader).
-        let r = test_pair(
-            &[lin("I"), lin("J")],
-            &[lin("I"), lin("J-1")],
-            &loops,
-            &env,
-        );
+        let r = test_pair(&[lin("I"), lin("J")], &[lin("I"), lin("J-1")], &loops, &env);
         let d = dep(&r);
         assert!(d.vector.0[0].is_eq_only());
         assert_eq!(d.vector.0[1], DirSet::only(Dir::Lt));

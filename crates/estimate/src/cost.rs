@@ -67,7 +67,9 @@ pub struct ProgramCost {
 
 impl ProgramCost {
     pub fn unit(&self, name: &str) -> Option<&UnitCost> {
-        self.units.iter().find(|u| u.name.eq_ignore_ascii_case(name))
+        self.units
+            .iter()
+            .find(|u| u.name.eq_ignore_ascii_case(name))
     }
 }
 
@@ -90,7 +92,10 @@ pub fn estimate_program(program: &Program, model: &CostModel) -> ProgramCost {
         .and_then(|m| unit_costs.get(&m.name.to_ascii_uppercase()))
         .copied()
         .unwrap_or(0.0);
-    ProgramCost { units: result, main_total }
+    ProgramCost {
+        units: result,
+        main_total,
+    }
 }
 
 /// Estimate one unit given the (possibly partial) costs of callees.
@@ -114,7 +119,11 @@ pub fn estimate_unit(
         1.0,
         &mut loops,
     );
-    UnitCost { name: unit.name.to_ascii_uppercase(), per_call, loops }
+    UnitCost {
+        name: unit.name.to_ascii_uppercase(),
+        per_call,
+        loops,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -130,7 +139,16 @@ fn block_cost(
 ) -> f64 {
     let mut total = 0.0;
     for s in body {
-        total += stmt_cost(s, model, symbols, consts, callees, nest, outer_factor, loops);
+        total += stmt_cost(
+            s,
+            model,
+            symbols,
+            consts,
+            callees,
+            nest,
+            outer_factor,
+            loops,
+        );
     }
     total
 }
@@ -154,7 +172,9 @@ fn stmt_cost(
             }
             c + model.memory
         }
-        StmtKind::Do { lo, hi, step, body, .. } => {
+        StmtKind::Do {
+            lo, hi, step, body, ..
+        } => {
             let trips = trip_estimate(s.id, lo, hi, step.as_ref(), consts, model);
             let per_iter = block_cost(
                 body,
@@ -186,11 +206,29 @@ fn stmt_cost(
             let mut n = 0.0;
             for (cond, b) in arms {
                 c += expr_cost(cond, model, symbols, callees) + model.branch;
-                c += block_cost(b, model, symbols, consts, callees, nest, outer_factor, loops);
+                c += block_cost(
+                    b,
+                    model,
+                    symbols,
+                    consts,
+                    callees,
+                    nest,
+                    outer_factor,
+                    loops,
+                );
                 n += 1.0;
             }
             if let Some(b) = else_body {
-                c += block_cost(b, model, symbols, consts, callees, nest, outer_factor, loops);
+                c += block_cost(
+                    b,
+                    model,
+                    symbols,
+                    consts,
+                    callees,
+                    nest,
+                    outer_factor,
+                    loops,
+                );
                 n += 1.0;
             }
             if n > 1.0 {
@@ -202,18 +240,29 @@ fn stmt_cost(
         StmtKind::LogicalIf { cond, then } => {
             expr_cost(cond, model, symbols, callees)
                 + model.branch
-                + 0.5 * stmt_cost(then, model, symbols, consts, callees, nest, outer_factor, loops)
+                + 0.5
+                    * stmt_cost(
+                        then,
+                        model,
+                        symbols,
+                        consts,
+                        callees,
+                        nest,
+                        outer_factor,
+                        loops,
+                    )
         }
-        StmtKind::ArithIf { expr, .. } => {
-            expr_cost(expr, model, symbols, callees) + model.branch
-        }
+        StmtKind::ArithIf { expr, .. } => expr_cost(expr, model, symbols, callees) + model.branch,
         StmtKind::Goto(_) | StmtKind::ComputedGoto { .. } => model.branch,
         StmtKind::Call { name, args } => {
             let mut c = model.call_overhead;
             for a in args {
                 c += expr_cost(a, model, symbols, callees);
             }
-            c + callees.get(&name.to_ascii_uppercase()).copied().unwrap_or(model.call_overhead)
+            c + callees
+                .get(&name.to_ascii_uppercase())
+                .copied()
+                .unwrap_or(model.call_overhead)
         }
         StmtKind::Read { items } => model.memory * items.len() as f64,
         StmtKind::Write { items } => model.memory * items.len() as f64,
@@ -231,7 +280,10 @@ fn expr_cost(
         Expr::Int(_) | Expr::Real(_) | Expr::Logical(_) | Expr::Str(_) => 0.0,
         Expr::Var(_) => model.memory * 0.5,
         Expr::Index { name, subs } => {
-            let inner: f64 = subs.iter().map(|x| expr_cost(x, model, symbols, callees)).sum();
+            let inner: f64 = subs
+                .iter()
+                .map(|x| expr_cost(x, model, symbols, callees))
+                .sum();
             if symbols.is_array(name) {
                 inner + model.memory
             } else if ped_fortran::symbols::is_intrinsic(name) {
@@ -239,17 +291,26 @@ fn expr_cost(
             } else {
                 inner
                     + model.call_overhead
-                    + callees.get(&name.to_ascii_uppercase()).copied().unwrap_or(0.0)
+                    + callees
+                        .get(&name.to_ascii_uppercase())
+                        .copied()
+                        .unwrap_or(0.0)
             }
         }
         Expr::Call { name, args } => {
-            let inner: f64 = args.iter().map(|x| expr_cost(x, model, symbols, callees)).sum();
+            let inner: f64 = args
+                .iter()
+                .map(|x| expr_cost(x, model, symbols, callees))
+                .sum();
             if ped_fortran::symbols::is_intrinsic(name) {
                 inner + model.intrinsic
             } else {
                 inner
                     + model.call_overhead
-                    + callees.get(&name.to_ascii_uppercase()).copied().unwrap_or(0.0)
+                    + callees
+                        .get(&name.to_ascii_uppercase())
+                        .copied()
+                        .unwrap_or(0.0)
             }
         }
         Expr::Bin { op, l, r } => {
@@ -313,7 +374,10 @@ mod tests {
     fn symbolic_bounds_use_default() {
         let src = "      REAL A(100)\n      DO 10 I = 1, N\n      A(I) = 0.0\n   10 CONTINUE\n      END\n";
         let pc = estimate(src);
-        assert_eq!(pc.units[0].loops[0].trips, CostModel::default().default_trip);
+        assert_eq!(
+            pc.units[0].loops[0].trips,
+            CostModel::default().default_trip
+        );
     }
 
     #[test]

@@ -63,7 +63,11 @@ pub fn rank_loops(
     for r in &mut out {
         r.percent = 100.0 * r.weight / total;
     }
-    out.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| {
+        b.weight
+            .partial_cmp(&a.weight)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     out
 }
 
@@ -102,7 +106,10 @@ mod tests {
         let p = parse_ok(src);
         let static_ranks = rank_loops(&p, &CostModel::default(), None);
         // Statically the 200-trip loop wins over the default-100 one.
-        assert_eq!(static_ranks[0].weight, static_ranks.iter().map(|r| r.weight).fold(0.0, f64::max));
+        assert_eq!(
+            static_ranks[0].weight,
+            static_ranks.iter().map(|r| r.weight).fold(0.0, f64::max)
+        );
         let nest = ped_analysis::loops::LoopNest::build(&p.units[0]);
         let first_loop = nest.loops.iter().find(|l| l.level == 1).unwrap().stmt;
         let mut profile = HashMap::new();
@@ -116,7 +123,11 @@ mod tests {
         let src = "      REAL A(50), B(50)\n      DO 10 I = 1, 50\n      A(I) = 0.0\n   10 CONTINUE\n      DO 20 I = 1, 50\n      B(I) = 1.0\n   20 CONTINUE\n      END\n";
         let p = parse_ok(src);
         let ranks = rank_loops(&p, &CostModel::default(), None);
-        let total: f64 = ranks.iter().filter(|r| r.level == 1).map(|r| r.percent).sum();
+        let total: f64 = ranks
+            .iter()
+            .filter(|r| r.level == 1)
+            .map(|r| r.percent)
+            .sum();
         assert!((total - 100.0).abs() < 1.0, "{total}");
     }
 

@@ -41,12 +41,16 @@ impl Program {
 
     /// Find a unit by (case-insensitive) name.
     pub fn unit(&self, name: &str) -> Option<&ProcUnit> {
-        self.units.iter().find(|u| u.name.eq_ignore_ascii_case(name))
+        self.units
+            .iter()
+            .find(|u| u.name.eq_ignore_ascii_case(name))
     }
 
     /// Find a unit mutably by (case-insensitive) name.
     pub fn unit_mut(&mut self, name: &str) -> Option<&mut ProcUnit> {
-        self.units.iter_mut().find(|u| u.name.eq_ignore_ascii_case(name))
+        self.units
+            .iter_mut()
+            .find(|u| u.name.eq_ignore_ascii_case(name))
     }
 
     /// The main program unit, if present.
@@ -137,7 +141,10 @@ pub struct DimBound {
 impl DimBound {
     /// A `1:upper` bound.
     pub fn to_upper(upper: Expr) -> Self {
-        DimBound { lower: Expr::Int(1), upper }
+        DimBound {
+            lower: Expr::Int(1),
+            upper,
+        }
     }
 
     /// Constant extent, if both bounds are integer literals.
@@ -165,7 +172,10 @@ pub enum Decl {
     /// `DIMENSION A(10,10)`.
     Dimension { entities: Vec<Declared> },
     /// `COMMON /BLK/ A, B` — `block` is `None` for blank common.
-    Common { block: Option<String>, entities: Vec<Declared> },
+    Common {
+        block: Option<String>,
+        entities: Vec<Declared>,
+    },
     /// `PARAMETER (N = 100, ...)`.
     Parameter { bindings: Vec<(String, Expr)> },
     /// `EXTERNAL F, G`.
@@ -187,7 +197,12 @@ pub struct Stmt {
 
 impl Stmt {
     pub fn new(id: StmtId, kind: StmtKind) -> Self {
-        Stmt { id, label: None, span: Span::synthesized(), kind }
+        Stmt {
+            id,
+            label: None,
+            span: Span::synthesized(),
+            kind,
+        }
     }
 
     pub fn with_label(mut self, label: u32) -> Self {
@@ -235,7 +250,12 @@ pub enum StmtKind {
     /// Logical IF: `IF (c) stmt`.
     LogicalIf { cond: Expr, then: Box<Stmt> },
     /// Arithmetic IF: `IF (e) l1, l2, l3` (negative, zero, positive).
-    ArithIf { expr: Expr, neg: u32, zero: u32, pos: u32 },
+    ArithIf {
+        expr: Expr,
+        neg: u32,
+        zero: u32,
+        pos: u32,
+    },
     /// `GOTO label`.
     Goto(u32),
     /// `GOTO (l1, l2, ...) e` — computed GOTO.
@@ -329,7 +349,10 @@ impl LValue {
     pub fn as_expr(&self) -> Expr {
         match self {
             LValue::Var(n) => Expr::Var(n.clone()),
-            LValue::Elem { name, subs } => Expr::Index { name: name.clone(), subs: subs.clone() },
+            LValue::Elem { name, subs } => Expr::Index {
+                name: name.clone(),
+                subs: subs.clone(),
+            },
         }
     }
 }
@@ -354,7 +377,10 @@ pub enum BinOp {
 
 impl BinOp {
     pub fn is_relational(self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
 
     pub fn is_logical(self) -> bool {
@@ -362,7 +388,10 @@ impl BinOp {
     }
 
     pub fn is_arith(self) -> bool {
-        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Pow)
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Pow
+        )
     }
 }
 
@@ -407,17 +436,34 @@ pub enum Expr {
     /// Array element reference `name(subs...)`. Function calls are parsed
     /// as `Index` and disambiguated by the symbol table; intrinsics and
     /// known functions become [`Expr::Call`] during resolution.
-    Index { name: String, subs: Vec<Expr> },
+    Index {
+        name: String,
+        subs: Vec<Expr>,
+    },
     /// Function call (intrinsic or user function).
-    Call { name: String, args: Vec<Expr> },
-    Bin { op: BinOp, l: Box<Expr>, r: Box<Expr> },
-    Un { op: UnOp, e: Box<Expr> },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+    },
+    Bin {
+        op: BinOp,
+        l: Box<Expr>,
+        r: Box<Expr>,
+    },
+    Un {
+        op: UnOp,
+        e: Box<Expr>,
+    },
 }
 
 #[allow(clippy::should_implement_trait)] // constructors, not operators
 impl Expr {
     pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
-        Expr::Bin { op, l: Box::new(l), r: Box::new(r) }
+        Expr::Bin {
+            op,
+            l: Box::new(l),
+            r: Box::new(r),
+        }
     }
 
     pub fn add(l: Expr, r: Expr) -> Expr {
@@ -437,7 +483,10 @@ impl Expr {
     }
 
     pub fn idx(n: impl Into<String>, subs: Vec<Expr>) -> Expr {
-        Expr::Index { name: n.into(), subs }
+        Expr::Index {
+            name: n.into(),
+            subs,
+        }
     }
 
     /// Integer literal value if this is a constant integer expression of
@@ -599,11 +648,17 @@ mod tests {
     fn walk_stmts_recurses_into_do_and_if() {
         let inner = Stmt::new(
             sid(2),
-            StmtKind::Assign { lhs: LValue::Var("X".into()), rhs: Expr::Int(1) },
+            StmtKind::Assign {
+                lhs: LValue::Var("X".into()),
+                rhs: Expr::Int(1),
+            },
         );
         let ifstmt = Stmt::new(
             sid(1),
-            StmtKind::If { arms: vec![(Expr::Logical(true), vec![inner])], else_body: None },
+            StmtKind::If {
+                arms: vec![(Expr::Logical(true), vec![inner])],
+                else_body: None,
+            },
         );
         let doloop = Stmt::new(
             sid(0),
@@ -627,7 +682,10 @@ mod tests {
         let target = Stmt::new(sid(5), StmtKind::Goto(100));
         let li = Stmt::new(
             sid(4),
-            StmtKind::LogicalIf { cond: Expr::Logical(true), then: Box::new(target) },
+            StmtKind::LogicalIf {
+                cond: Expr::Logical(true),
+                then: Box::new(target),
+            },
         );
         let mut seen = Vec::new();
         walk_stmts(&[li], &mut |s| seen.push(s.id.0));
@@ -638,7 +696,10 @@ mod tests {
     fn find_stmt_locates_nested() {
         let inner = Stmt::new(
             sid(9),
-            StmtKind::Assign { lhs: LValue::Var("Y".into()), rhs: Expr::Int(2) },
+            StmtKind::Assign {
+                lhs: LValue::Var("Y".into()),
+                rhs: Expr::Int(2),
+            },
         );
         let d = Stmt::new(
             sid(8),
@@ -659,7 +720,10 @@ mod tests {
 
     #[test]
     fn lvalue_as_expr_roundtrips_shape() {
-        let lv = LValue::Elem { name: "A".into(), subs: vec![Expr::var("I")] };
+        let lv = LValue::Elem {
+            name: "A".into(),
+            subs: vec![Expr::var("I")],
+        };
         assert_eq!(lv.as_expr(), Expr::idx("A", vec![Expr::var("I")]));
         assert_eq!(lv.name(), "A");
         assert_eq!(lv.subs().len(), 1);
@@ -667,7 +731,10 @@ mod tests {
 
     #[test]
     fn dim_bound_const_extent() {
-        let d = DimBound { lower: Expr::Int(0), upper: Expr::Int(9) };
+        let d = DimBound {
+            lower: Expr::Int(0),
+            upper: Expr::Int(9),
+        };
         assert_eq!(d.const_extent(), Some(10));
         let d2 = DimBound::to_upper(Expr::var("N"));
         assert_eq!(d2.const_extent(), None);
@@ -679,7 +746,10 @@ mod tests {
         let mut u = ProcUnit::new("MAIN", UnitKind::Program);
         let i1 = Stmt::new(
             StmtId(0),
-            StmtKind::Assign { lhs: LValue::Var("X".into()), rhs: Expr::Int(1) },
+            StmtKind::Assign {
+                lhs: LValue::Var("X".into()),
+                rhs: Expr::Int(1),
+            },
         );
         let d = Stmt::new(
             StmtId(1),

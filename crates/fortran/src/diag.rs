@@ -38,15 +38,27 @@ pub struct Diagnostic {
 
 impl Diagnostic {
     pub fn error(span: Span, message: impl Into<String>) -> Self {
-        Diagnostic { severity: Severity::Error, span, message: message.into() }
+        Diagnostic {
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+        }
     }
 
     pub fn warning(span: Span, message: impl Into<String>) -> Self {
-        Diagnostic { severity: Severity::Warning, span, message: message.into() }
+        Diagnostic {
+            severity: Severity::Warning,
+            span,
+            message: message.into(),
+        }
     }
 
     pub fn note(span: Span, message: impl Into<String>) -> Self {
-        Diagnostic { severity: Severity::Note, span, message: message.into() }
+        Diagnostic {
+            severity: Severity::Note,
+            span,
+            message: message.into(),
+        }
     }
 }
 

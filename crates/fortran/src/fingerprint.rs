@@ -84,12 +84,21 @@ pub fn stmt_fingerprint(s: &Stmt) -> u64 {
     let h = Fnv::new().u64(s.label.unwrap_or(0) as u64);
     let h = match &s.kind {
         StmtKind::Assign { lhs, rhs } => hash_expr(hash_lvalue(h.str("="), lhs), rhs),
-        StmtKind::Do { var, lo, hi, step, term_label, sched, .. } => {
+        StmtKind::Do {
+            var,
+            lo,
+            hi,
+            step,
+            term_label,
+            sched,
+            ..
+        } => {
             let h = h.str("DO").str(var);
             let h = hash_expr(h, lo);
             let h = hash_expr(h, hi);
             let h = hash_opt_expr(h, step);
-            h.u64(term_label.unwrap_or(0) as u64).str(&format!("{sched:?}"))
+            h.u64(term_label.unwrap_or(0) as u64)
+                .str(&format!("{sched:?}"))
         }
         StmtKind::If { arms, else_body } => {
             let mut h = h.str("IF").u64(arms.len() as u64);
@@ -99,7 +108,12 @@ pub fn stmt_fingerprint(s: &Stmt) -> u64 {
             h.u64(else_body.is_some() as u64)
         }
         StmtKind::LogicalIf { cond, .. } => hash_expr(h.str("LIF"), cond),
-        StmtKind::ArithIf { expr, neg, zero, pos } => hash_expr(h.str("AIF"), expr)
+        StmtKind::ArithIf {
+            expr,
+            neg,
+            zero,
+            pos,
+        } => hash_expr(h.str("AIF"), expr)
             .u64(*neg as u64)
             .u64(*zero as u64)
             .u64(*pos as u64),
@@ -265,6 +279,9 @@ mod tests {
     fn decl_changes_are_visible() {
         let a = parse_ok(SRC);
         let b = parse_ok(&SRC.replace("A(100)", "A(200)"));
-        assert_ne!(decls_fingerprint(&a.units[0]), decls_fingerprint(&b.units[0]));
+        assert_ne!(
+            decls_fingerprint(&a.units[0]),
+            decls_fingerprint(&b.units[0])
+        );
     }
 }

@@ -50,7 +50,8 @@ pub fn logical_lines(src: &str) -> (Vec<LogicalLine>, Vec<LexError>) {
             continue;
         }
         let bytes = raw.as_bytes();
-        let cont = bytes.len() > 5 && bytes[5] != b' ' && bytes[5] != b'0' && label_field_blank(raw);
+        let cont =
+            bytes.len() > 5 && bytes[5] != b' ' && bytes[5] != b'0' && label_field_blank(raw);
         if cont {
             match current.as_mut() {
                 Some(cur) => {
@@ -132,7 +133,10 @@ fn finish(mut cur: LogicalLine, errors: &mut Vec<LexError>) -> LogicalLine {
             cur.strings = strings;
         }
         Err(msg) => {
-            errors.push(LexError { span: cur.span, message: msg });
+            errors.push(LexError {
+                span: cur.span,
+                message: msg,
+            });
             cur.text = String::new();
         }
     }

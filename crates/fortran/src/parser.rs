@@ -32,11 +32,21 @@ pub fn parse(src: &str) -> (Program, Diagnostics) {
             Ok(f) => flats.push((line.label, line.span, f)),
             Err(msg) => {
                 diags.error(line.span, msg);
-                flats.push((line.label, line.span, Flat::Stmt(StmtKind::Opaque(line.text.clone()))));
+                flats.push((
+                    line.label,
+                    line.span,
+                    Flat::Stmt(StmtKind::Opaque(line.text.clone())),
+                ));
             }
         }
     }
-    let mut b = Builder { flats, pos: 0, diags, program: Program::default(), last_closed_label: None };
+    let mut b = Builder {
+        flats,
+        pos: 0,
+        diags,
+        program: Program::default(),
+        last_closed_label: None,
+    };
     b.build_program();
     (b.program, b.diags)
 }
@@ -54,14 +64,24 @@ pub fn parse_ok(src: &str) -> Program {
 
 #[derive(Clone, Debug)]
 enum Flat {
-    Head { name: String, kind: UnitKind, params: Vec<String> },
+    Head {
+        name: String,
+        kind: UnitKind,
+        params: Vec<String>,
+    },
     End,
     EndDo,
     EndIf,
     Else,
     ElseIf(Expr),
     IfThen(Expr),
-    Do { term: Option<u32>, var: String, lo: Expr, hi: Expr, step: Option<Expr> },
+    Do {
+        term: Option<u32>,
+        var: String,
+        lo: Expr,
+        hi: Expr,
+        step: Option<Expr>,
+    },
     Decls(Vec<Decl>),
     Stmt(StmtKind),
 }
@@ -157,7 +177,11 @@ fn classify_text(text: &str, strings: &[String]) -> Result<Flat, String> {
     }
     // Unit heads.
     if let Some(rest) = text.strip_prefix("PROGRAM") {
-        return Ok(Flat::Head { name: rest.to_string(), kind: UnitKind::Program, params: Vec::new() });
+        return Ok(Flat::Head {
+            name: rest.to_string(),
+            kind: UnitKind::Program,
+            params: Vec::new(),
+        });
     }
     if let Some(rest) = text.strip_prefix("SUBROUTINE") {
         if let Some(h) = parse_head(rest, UnitKind::Subroutine, strings)? {
@@ -180,7 +204,9 @@ fn classify_text(text: &str, strings: &[String]) -> Result<Flat, String> {
             let index = parse_expr_str(idx_text, strings)?;
             return Ok(Flat::Stmt(StmtKind::ComputedGoto { labels, index }));
         }
-        let l: u32 = rest.parse().map_err(|_| format!("bad GOTO target '{rest}'"))?;
+        let l: u32 = rest
+            .parse()
+            .map_err(|_| format!("bad GOTO target '{rest}'"))?;
         return Ok(Flat::Stmt(StmtKind::Goto(l)));
     }
     if let Some(rest) = text.strip_prefix("CALL") {
@@ -193,7 +219,11 @@ fn classify_text(text: &str, strings: &[String]) -> Result<Flat, String> {
     }
     if let Some(rest) = text.strip_prefix("WRITE") {
         let rest = skip_io_control(rest)?;
-        let items = if rest.is_empty() { Vec::new() } else { parse_expr_list(rest, strings)? };
+        let items = if rest.is_empty() {
+            Vec::new()
+        } else {
+            parse_expr_list(rest, strings)?
+        };
         return Ok(Flat::Stmt(StmtKind::Write { items }));
     }
     if let Some(rest) = text.strip_prefix("PRINT") {
@@ -201,7 +231,11 @@ fn classify_text(text: &str, strings: &[String]) -> Result<Flat, String> {
             Some(c) => &rest[c + 1..],
             None => "",
         };
-        let items = if rest.is_empty() { Vec::new() } else { parse_expr_list(rest, strings)? };
+        let items = if rest.is_empty() {
+            Vec::new()
+        } else {
+            parse_expr_list(rest, strings)?
+        };
         return Ok(Flat::Stmt(StmtKind::Write { items }));
     }
     if text.starts_with("FORMAT(") {
@@ -228,9 +262,17 @@ fn classify_if(rest: &str, strings: &[String]) -> Result<Flat, String> {
             let expr = parse_expr_str(cond_text, strings)?;
             let l: Vec<u32> = parts
                 .iter()
-                .map(|p| p.parse().map_err(|_| format!("bad arithmetic IF label '{p}'")))
+                .map(|p| {
+                    p.parse()
+                        .map_err(|_| format!("bad arithmetic IF label '{p}'"))
+                })
                 .collect::<Result<_, _>>()?;
-            return Ok(Flat::Stmt(StmtKind::ArithIf { expr, neg: l[0], zero: l[1], pos: l[2] }));
+            return Ok(Flat::Stmt(StmtKind::ArithIf {
+                expr,
+                neg: l[0],
+                zero: l[1],
+                pos: l[2],
+            }));
         }
     }
     // Logical IF: tail is a simple statement.
@@ -308,8 +350,18 @@ fn try_parse_do(rest: &str, strings: &[String]) -> Result<Option<Flat>, String> 
     }
     let lo = parse_expr_str(parts[0], strings)?;
     let hi = parse_expr_str(parts[1], strings)?;
-    let step = if parts.len() == 3 { Some(parse_expr_str(parts[2], strings)?) } else { None };
-    Ok(Some(Flat::Do { term, var: var.to_string(), lo, hi, step }))
+    let step = if parts.len() == 3 {
+        Some(parse_expr_str(parts[2], strings)?)
+    } else {
+        None
+    };
+    Ok(Some(Flat::Do {
+        term,
+        var: var.to_string(),
+        lo,
+        hi,
+        step,
+    }))
 }
 
 fn parse_call(rest: &str, strings: &[String]) -> Result<StmtKind, String> {
@@ -325,7 +377,10 @@ fn parse_call(rest: &str, strings: &[String]) -> Result<StmtKind, String> {
             };
             Ok(StmtKind::Call { name, args })
         }
-        None => Ok(StmtKind::Call { name: rest.to_string(), args: Vec::new() }),
+        None => Ok(StmtKind::Call {
+            name: rest.to_string(),
+            args: Vec::new(),
+        }),
     }
 }
 
@@ -385,7 +440,10 @@ fn parse_entity_list(text: &str, strings: &[String]) -> Result<Vec<Declared>, St
                 }
                 out.push(Declared { name, dims });
             }
-            None => out.push(Declared { name: part.to_string(), dims: Vec::new() }),
+            None => out.push(Declared {
+                name: part.to_string(),
+                dims: Vec::new(),
+            }),
         }
     }
     Ok(out)
@@ -397,7 +455,10 @@ fn parse_common(rest: &str, strings: &[String]) -> Result<Vec<Decl>, String> {
     let mut s = rest;
     if !s.starts_with('/') {
         let entities = parse_entity_list(s, strings)?;
-        return Ok(vec![Decl::Common { block: None, entities }]);
+        return Ok(vec![Decl::Common {
+            block: None,
+            entities,
+        }]);
     }
     while let Some(r) = s.strip_prefix('/') {
         let end = r.find('/').ok_or("unterminated COMMON block name")?;
@@ -529,8 +590,12 @@ fn top_level_eq_no_comma(text: &str) -> Option<usize> {
     let ok_lhs = match lhs.find('(') {
         None => lhs.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_'),
         Some(p) => {
-            lhs[..p].bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
-                && matching_paren(&lhs[p + 1..]).map(|c| p + 1 + c + 1 == lhs.len()).unwrap_or(false)
+            lhs[..p]
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'_')
+                && matching_paren(&lhs[p + 1..])
+                    .map(|c| p + 1 + c + 1 == lhs.len())
+                    .unwrap_or(false)
         }
     };
     if !ok_lhs {
@@ -651,15 +716,24 @@ impl ExprParser {
             Token::Str(s) => Ok(Expr::Str(s)),
             Token::Minus => {
                 let e = self.expr(7)?;
-                Ok(Expr::Un { op: UnOp::Neg, e: Box::new(e) })
+                Ok(Expr::Un {
+                    op: UnOp::Neg,
+                    e: Box::new(e),
+                })
             }
             Token::Plus => {
                 let e = self.expr(7)?;
-                Ok(Expr::Un { op: UnOp::Plus, e: Box::new(e) })
+                Ok(Expr::Un {
+                    op: UnOp::Plus,
+                    e: Box::new(e),
+                })
             }
             Token::DotOp(op) if op == "NOT" => {
                 let e = self.expr(3)?;
-                Ok(Expr::Un { op: UnOp::Not, e: Box::new(e) })
+                Ok(Expr::Un {
+                    op: UnOp::Not,
+                    e: Box::new(e),
+                })
             }
             Token::LParen => {
                 let e = self.expr(0)?;
@@ -763,7 +837,10 @@ impl Builder {
         let kind = match kind {
             StmtKind::LogicalIf { cond, then } => {
                 let inner = self.materialize(None, span, then.kind);
-                StmtKind::LogicalIf { cond, then: Box::new(inner) }
+                StmtKind::LogicalIf {
+                    cond,
+                    then: Box::new(inner),
+                }
             }
             k => k,
         };
@@ -779,7 +856,8 @@ impl Builder {
             let Some((label, span, flat)) = self.peek() else {
                 if close != Close::UnitEnd {
                     let span = self.flats.last().map(|f| f.1).unwrap_or_default();
-                    self.diags.error(span, format!("unexpected end of input (open {close:?})"));
+                    self.diags
+                        .error(span, format!("unexpected end of input (open {close:?})"));
                 }
                 return out;
             };
@@ -788,13 +866,15 @@ impl Builder {
                 Flat::End => {
                     self.pos += 1;
                     if close != Close::UnitEnd {
-                        self.diags.error(span, format!("END terminates unit but {close:?} is open"));
+                        self.diags
+                            .error(span, format!("END terminates unit but {close:?} is open"));
                     }
                     return out;
                 }
                 Flat::Head { .. } => {
                     if close != Close::UnitEnd {
-                        self.diags.error(span, "program unit header inside a block".to_string());
+                        self.diags
+                            .error(span, "program unit header inside a block".to_string());
                     }
                     // Missing END: close the unit without consuming.
                     return out;
@@ -804,21 +884,29 @@ impl Builder {
                     if close == Close::EndDo {
                         return out;
                     }
-                    self.diags.error(span, "END DO without matching DO".to_string());
+                    self.diags
+                        .error(span, "END DO without matching DO".to_string());
                 }
                 Flat::EndIf | Flat::Else | Flat::ElseIf(_) => {
                     if close == Close::IfArm {
                         return out;
                     }
                     self.pos += 1;
-                    self.diags.error(span, "ELSE/END IF without matching IF".to_string());
+                    self.diags
+                        .error(span, "ELSE/END IF without matching IF".to_string());
                 }
                 Flat::IfThen(cond) => {
                     self.pos += 1;
                     let stmt = self.build_if(cond, label, span);
                     out.push(stmt);
                 }
-                Flat::Do { term, var, lo, hi, step } => {
+                Flat::Do {
+                    term,
+                    var,
+                    lo,
+                    hi,
+                    step,
+                } => {
                     self.pos += 1;
                     let inner_close = match term {
                         Some(l) => Close::Label(l),
@@ -829,7 +917,15 @@ impl Builder {
                     let id = self.program.fresh_stmt();
                     let mut stmt = Stmt::new(
                         id,
-                        StmtKind::Do { var, lo, hi, step, body, term_label: term, sched: LoopSched::Sequential },
+                        StmtKind::Do {
+                            var,
+                            lo,
+                            hi,
+                            step,
+                            body,
+                            term_label: term,
+                            sched: LoopSched::Sequential,
+                        },
                     )
                     .with_span(span);
                     stmt.label = label;
@@ -844,7 +940,8 @@ impl Builder {
                 }
                 Flat::Decls(_) => {
                     self.pos += 1;
-                    self.diags.error(span, "declaration after executable statements".to_string());
+                    self.diags
+                        .error(span, "declaration after executable statements".to_string());
                 }
                 Flat::Stmt(kind) => {
                     self.pos += 1;
@@ -921,7 +1018,12 @@ mod tests {
     fn do10i_with_comma_is_do_loop() {
         let u = one_unit("      DO 10 I = 1, 10\n   10 CONTINUE\n      END\n");
         match &u.body[0].kind {
-            StmtKind::Do { var, term_label, body, .. } => {
+            StmtKind::Do {
+                var,
+                term_label,
+                body,
+                ..
+            } => {
                 assert_eq!(var, "I");
                 assert_eq!(*term_label, Some(10));
                 assert_eq!(body.len(), 1); // the terminal CONTINUE
@@ -943,7 +1045,12 @@ mod tests {
     fn enddo_form() {
         let u = one_unit("      DO I = 1, N\n         A(I) = 0\n      END DO\n      END\n");
         match &u.body[0].kind {
-            StmtKind::Do { var, term_label, body, .. } => {
+            StmtKind::Do {
+                var,
+                term_label,
+                body,
+                ..
+            } => {
                 assert_eq!(var, "I");
                 assert_eq!(*term_label, None);
                 assert_eq!(body.len(), 1);
@@ -1046,7 +1153,10 @@ mod tests {
         assert_eq!(u.params, ["N", "A", "X", "Y"]);
         assert_eq!(u.decls.len(), 2);
         match &u.decls[1] {
-            Decl::Typed { ty: Type::Real, entities } => {
+            Decl::Typed {
+                ty: Type::Real,
+                entities,
+            } => {
                 assert_eq!(entities.len(), 3);
                 assert_eq!(entities[1].name, "X");
                 assert_eq!(entities[1].dims.len(), 1);
@@ -1108,7 +1218,10 @@ mod tests {
     fn double_precision_decl_not_do() {
         let u = one_unit("      DOUBLE PRECISION COEFF(10,10)\n      X = 1\n      END\n");
         match &u.decls[0] {
-            Decl::Typed { ty: Type::DoublePrecision, entities } => {
+            Decl::Typed {
+                ty: Type::DoublePrecision,
+                entities,
+            } => {
                 assert_eq!(entities[0].name, "COEFF");
                 assert_eq!(entities[0].dims.len(), 2);
             }
@@ -1124,7 +1237,13 @@ mod tests {
                 let dims = &entities[0].dims;
                 assert_eq!(dims[0].lower, Expr::Int(0));
                 assert_eq!(dims[0].upper, Expr::Int(9));
-                assert_eq!(dims[1].lower, Expr::Un { op: UnOp::Neg, e: Box::new(Expr::Int(1)) });
+                assert_eq!(
+                    dims[1].lower,
+                    Expr::Un {
+                        op: UnOp::Neg,
+                        e: Box::new(Expr::Int(1))
+                    }
+                );
             }
             d => panic!("{d:?}"),
         }
@@ -1132,7 +1251,8 @@ mod tests {
 
     #[test]
     fn read_write_statements() {
-        let src = "      READ (5,*) N, A(1)\n      WRITE (6,*) N + 1\n      PRINT *, N\n      END\n";
+        let src =
+            "      READ (5,*) N, A(1)\n      WRITE (6,*) N + 1\n      PRINT *, N\n      END\n";
         let u = one_unit(src);
         assert!(matches!(&u.body[0].kind, StmtKind::Read { items } if items.len() == 2));
         assert!(matches!(&u.body[1].kind, StmtKind::Write { items } if items.len() == 1));
@@ -1143,8 +1263,12 @@ mod tests {
     fn call_with_and_without_args() {
         let src = "      CALL INIT\n      CALL SAXPY(N, 2.0, X, Y)\n      END\n";
         let u = one_unit(src);
-        assert!(matches!(&u.body[0].kind, StmtKind::Call { name, args } if name == "INIT" && args.is_empty()));
-        assert!(matches!(&u.body[1].kind, StmtKind::Call { name, args } if name == "SAXPY" && args.len() == 4));
+        assert!(
+            matches!(&u.body[0].kind, StmtKind::Call { name, args } if name == "INIT" && args.is_empty())
+        );
+        assert!(
+            matches!(&u.body[1].kind, StmtKind::Call { name, args } if name == "SAXPY" && args.len() == 4)
+        );
     }
 
     #[test]
@@ -1158,8 +1282,12 @@ mod tests {
     fn precedence_and_or_not() {
         let e = parse_expr_str("A.OR.B.AND..NOT.C", &[]).unwrap();
         match e {
-            Expr::Bin { op: BinOp::Or, r, .. } => match *r {
-                Expr::Bin { op: BinOp::And, r, .. } => {
+            Expr::Bin {
+                op: BinOp::Or, r, ..
+            } => match *r {
+                Expr::Bin {
+                    op: BinOp::And, r, ..
+                } => {
                     assert!(matches!(*r, Expr::Un { op: UnOp::Not, .. }));
                 }
                 other => panic!("expected AND on rhs, got {other:?}"),

@@ -50,27 +50,39 @@ fn print_decl(d: &Decl, out: &mut String) {
         Decl::Typed { ty, entities } => {
             push_line(out, None, 0, &format!("{} {}", ty, entity_list(entities)))
         }
-        Decl::Dimension { entities } => {
-            push_line(out, None, 0, &format!("DIMENSION {}", entity_list(entities)))
-        }
+        Decl::Dimension { entities } => push_line(
+            out,
+            None,
+            0,
+            &format!("DIMENSION {}", entity_list(entities)),
+        ),
         Decl::Common { block, entities } => {
             let b = match block {
                 Some(n) => format!("/{n}/ "),
                 None => "// ".to_string(),
             };
-            push_line(out, None, 0, &format!("COMMON {}{}", b, entity_list(entities)));
+            push_line(
+                out,
+                None,
+                0,
+                &format!("COMMON {}{}", b, entity_list(entities)),
+            );
         }
         Decl::Parameter { bindings } => {
-            let bs: Vec<String> =
-                bindings.iter().map(|(n, v)| format!("{n} = {}", print_expr(v))).collect();
+            let bs: Vec<String> = bindings
+                .iter()
+                .map(|(n, v)| format!("{n} = {}", print_expr(v)))
+                .collect();
             push_line(out, None, 0, &format!("PARAMETER ({})", bs.join(", ")));
         }
         Decl::External { names } => {
             push_line(out, None, 0, &format!("EXTERNAL {}", names.join(", ")))
         }
         Decl::Data { bindings } => {
-            let bs: Vec<String> =
-                bindings.iter().map(|(n, v)| format!("{n} /{}/", print_expr(v))).collect();
+            let bs: Vec<String> = bindings
+                .iter()
+                .map(|(n, v)| format!("{n} /{}/", print_expr(v)))
+                .collect();
             push_line(out, None, 0, &format!("DATA {}", bs.join(", ")));
         }
     }
@@ -114,7 +126,15 @@ fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
             depth,
             &format!("{} = {}", print_lvalue(lhs), print_expr(rhs)),
         ),
-        StmtKind::Do { var, lo, hi, step, body, term_label, sched } => {
+        StmtKind::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            term_label,
+            sched,
+        } => {
             if *sched == LoopSched::Parallel {
                 push_line(out, None, depth, "CDOALL -- certified parallel loop");
             }
@@ -157,9 +177,19 @@ fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
             print_stmt(then, 0, &mut inner);
             // Strip margin from the printed inner statement.
             let inner = inner.trim_start_matches(' ').trim_end();
-            push_line(out, s.label, depth, &format!("IF ({}) {}", print_expr(cond), inner));
+            push_line(
+                out,
+                s.label,
+                depth,
+                &format!("IF ({}) {}", print_expr(cond), inner),
+            );
         }
-        StmtKind::ArithIf { expr, neg, zero, pos } => push_line(
+        StmtKind::ArithIf {
+            expr,
+            neg,
+            zero,
+            pos,
+        } => push_line(
             out,
             s.label,
             depth,
@@ -181,7 +211,12 @@ fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
                 push_line(out, s.label, depth, &format!("CALL {name}"));
             } else {
                 let a: Vec<String> = args.iter().map(print_expr).collect();
-                push_line(out, s.label, depth, &format!("CALL {name}({})", a.join(", ")));
+                push_line(
+                    out,
+                    s.label,
+                    depth,
+                    &format!("CALL {name}({})", a.join(", ")),
+                );
             }
         }
         StmtKind::Return => push_line(out, s.label, depth, "RETURN"),
@@ -192,7 +227,12 @@ fn print_stmt(s: &Stmt, depth: usize, out: &mut String) {
         }
         StmtKind::Write { items } => {
             let a: Vec<String> = items.iter().map(print_expr).collect();
-            push_line(out, s.label, depth, &format!("WRITE (*,*) {}", a.join(", ")));
+            push_line(
+                out,
+                s.label,
+                depth,
+                &format!("WRITE (*,*) {}", a.join(", ")),
+            );
         }
         StmtKind::Opaque(text) => push_line(out, s.label, depth, text),
     }
@@ -271,7 +311,7 @@ fn print_prec(e: &Expr, min: u8) -> String {
         Expr::Bin { op, l, r } => {
             let p = prec_of(*op);
             let (lp, rp) = match op {
-                BinOp::Pow => (p + 1, p),     // right associative
+                BinOp::Pow => (p + 1, p), // right associative
                 BinOp::Sub | BinOp::Div => (p, p + 1),
                 _ => (p, p + 1),
             };

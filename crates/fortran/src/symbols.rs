@@ -214,7 +214,9 @@ fn collect_names(kind: &StmtKind, out: &mut Vec<(String, usize)>) {
             on_expr_into(&lhs.as_expr(), out);
             on_expr_into(rhs, out);
         }
-        StmtKind::Do { var, lo, hi, step, .. } => {
+        StmtKind::Do {
+            var, lo, hi, step, ..
+        } => {
             out.push((var.clone(), 0));
             on_expr_into(lo, out);
             on_expr_into(hi, out);
@@ -251,9 +253,9 @@ fn collect_names(kind: &StmtKind, out: &mut Vec<(String, usize)>) {
 
 /// Names of Fortran intrinsic functions recognized by the dialect.
 pub const INTRINSICS: &[&str] = &[
-    "ABS", "MAX", "MIN", "MOD", "SQRT", "EXP", "LOG", "SIN", "COS", "TAN", "ATAN", "INT",
-    "REAL", "DBLE", "FLOAT", "NINT", "SIGN", "DIM", "IABS", "AMAX1", "AMIN1", "MAX0", "MIN0",
-    "DABS", "DSQRT", "DEXP", "DLOG",
+    "ABS", "MAX", "MIN", "MOD", "SQRT", "EXP", "LOG", "SIN", "COS", "TAN", "ATAN", "INT", "REAL",
+    "DBLE", "FLOAT", "NINT", "SIGN", "DIM", "IABS", "AMAX1", "AMIN1", "MAX0", "MIN0", "DABS",
+    "DSQRT", "DEXP", "DLOG",
 ];
 
 /// True if `name` is an intrinsic function.
@@ -315,7 +317,9 @@ mod tests {
 
     #[test]
     fn formals_flagged() {
-        let p = parse_ok("      SUBROUTINE S(N, X)\n      REAL X(N)\n      X(1) = 0\n      RETURN\n      END\n");
+        let p = parse_ok(
+            "      SUBROUTINE S(N, X)\n      REAL X(N)\n      X(1) = 0\n      RETURN\n      END\n",
+        );
         let t = SymbolTable::build(&p.units[0]);
         assert_eq!(t.get("N").unwrap().storage, Storage::Formal);
         // X is declared with dims and is a formal; Typed decl wins storage

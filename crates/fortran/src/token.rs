@@ -60,7 +60,11 @@ pub struct Tokenizer<'a> {
 
 impl<'a> Tokenizer<'a> {
     pub fn new(text: &'a str, strings: &'a [String]) -> Self {
-        Tokenizer { text: text.as_bytes(), pos: 0, strings }
+        Tokenizer {
+            text: text.as_bytes(),
+            pos: 0,
+            strings,
+        }
     }
 
     /// Current byte offset into the squashed text.
@@ -167,7 +171,11 @@ impl<'a> Tokenizer<'a> {
                     });
                 }
                 // `.5`-style real literal.
-                if self.text.get(self.pos + 1).is_some_and(|b| b.is_ascii_digit()) {
+                if self
+                    .text
+                    .get(self.pos + 1)
+                    .is_some_and(|b| b.is_ascii_digit())
+                {
                     self.lex_number()
                 } else {
                     Err(format!("unexpected '.' at offset {}", self.pos))
@@ -289,7 +297,12 @@ mod tests {
     fn double_star_is_power() {
         assert_eq!(
             toks("X**2"),
-            vec![Token::Ident("X".into()), Token::DoubleStar, Token::Int(2), Token::Eof]
+            vec![
+                Token::Ident("X".into()),
+                Token::DoubleStar,
+                Token::Int(2),
+                Token::Eof
+            ]
         );
     }
 
@@ -344,7 +357,10 @@ mod tests {
     fn identifier_swallows_digits() {
         // Squashed `DO 10 I` becomes one identifier — classification is
         // the parser's job.
-        assert_eq!(toks("DO10I"), vec![Token::Ident("DO10I".into()), Token::Eof]);
+        assert_eq!(
+            toks("DO10I"),
+            vec![Token::Ident("DO10I".into()), Token::Eof]
+        );
     }
 
     #[test]

@@ -30,8 +30,11 @@ pub struct CallGraph {
 impl CallGraph {
     pub fn build(program: &Program) -> CallGraph {
         let mut g = CallGraph::default();
-        let defined: HashSet<String> =
-            program.units.iter().map(|u| u.name.to_ascii_uppercase()).collect();
+        let defined: HashSet<String> = program
+            .units
+            .iter()
+            .map(|u| u.name.to_ascii_uppercase())
+            .collect();
         for u in &program.units {
             let uname = u.name.to_ascii_uppercase();
             g.units.push(uname.clone());
@@ -94,7 +97,9 @@ impl CallGraph {
             state: &mut HashMap<&'a str, u8>,
             order: &mut Vec<String>,
         ) {
-            if state.get(u).is_some() { return }
+            if state.get(u).is_some() {
+                return;
+            }
             state.insert(u, 1);
             for c in g.callees(u) {
                 if state.get(c.as_str()).copied() != Some(1) {

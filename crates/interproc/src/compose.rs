@@ -16,7 +16,13 @@ use std::collections::HashMap;
 #[derive(Clone, Debug, PartialEq)]
 pub enum ComposeIssue {
     /// Call passes a different number of arguments than declared.
-    ArgCountMismatch { caller: String, callee: String, stmt: StmtId, got: usize, want: usize },
+    ArgCountMismatch {
+        caller: String,
+        callee: String,
+        stmt: StmtId,
+        got: usize,
+        want: usize,
+    },
     /// Argument type differs from the formal's type.
     ArgTypeMismatch {
         caller: String,
@@ -28,28 +34,63 @@ pub enum ComposeIssue {
     },
     /// A COMMON block is declared with different member counts or total
     /// constant sizes in two units.
-    CommonShapeMismatch { block: String, unit_a: String, unit_b: String, detail: String },
+    CommonShapeMismatch {
+        block: String,
+        unit_a: String,
+        unit_b: String,
+        detail: String,
+    },
     /// A constant subscript is outside the declared bounds.
-    OutOfBounds { unit: String, stmt: StmtId, array: String, dim: usize, value: i64 },
+    OutOfBounds {
+        unit: String,
+        stmt: StmtId,
+        array: String,
+        dim: usize,
+        value: i64,
+    },
 }
 
 impl std::fmt::Display for ComposeIssue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ComposeIssue::ArgCountMismatch { caller, callee, got, want, .. } => write!(
+            ComposeIssue::ArgCountMismatch {
+                caller,
+                callee,
+                got,
+                want,
+                ..
+            } => write!(
                 f,
                 "{caller}: call to {callee} passes {got} argument(s), declaration has {want}"
             ),
-            ComposeIssue::ArgTypeMismatch { caller, callee, pos, got, want, .. } => write!(
+            ComposeIssue::ArgTypeMismatch {
+                caller,
+                callee,
+                pos,
+                got,
+                want,
+                ..
+            } => write!(
                 f,
                 "{caller}: call to {callee}, argument {}: actual is {got}, formal is {want}",
                 pos + 1
             ),
-            ComposeIssue::CommonShapeMismatch { block, unit_a, unit_b, detail } => write!(
+            ComposeIssue::CommonShapeMismatch {
+                block,
+                unit_a,
+                unit_b,
+                detail,
+            } => write!(
                 f,
                 "COMMON /{block}/ differs between {unit_a} and {unit_b}: {detail}"
             ),
-            ComposeIssue::OutOfBounds { unit, array, dim, value, .. } => write!(
+            ComposeIssue::OutOfBounds {
+                unit,
+                array,
+                dim,
+                value,
+                ..
+            } => write!(
                 f,
                 "{unit}: subscript {value} outside bounds of {array} dimension {}",
                 dim + 1
@@ -79,12 +120,14 @@ fn expr_type(e: &Expr, symbols: &SymbolTable) -> Type {
         Expr::Real(_) => Type::Real,
         Expr::Logical(_) => Type::Logical,
         Expr::Str(_) => Type::Character,
-        Expr::Var(n) | Expr::Index { name: n, .. } => {
-            symbols.get(n).map(|s| s.ty).unwrap_or_else(|| implicit_type(n))
-        }
-        Expr::Call { name, .. } => {
-            symbols.get(name).map(|s| s.ty).unwrap_or_else(|| implicit_type(name))
-        }
+        Expr::Var(n) | Expr::Index { name: n, .. } => symbols
+            .get(n)
+            .map(|s| s.ty)
+            .unwrap_or_else(|| implicit_type(n)),
+        Expr::Call { name, .. } => symbols
+            .get(name)
+            .map(|s| s.ty)
+            .unwrap_or_else(|| implicit_type(name)),
         Expr::Bin { op, l, r } => {
             if op.is_relational() || op.is_logical() {
                 Type::Logical
@@ -177,11 +220,16 @@ fn check_commons(program: &Program, issues: &mut Vec<ComposeIssue>) {
                 let size: Option<i64> = entities
                     .iter()
                     .map(|e| {
-                        let dims = symbols.get(&e.name).map(|s| s.dims.clone()).unwrap_or_default();
+                        let dims = symbols
+                            .get(&e.name)
+                            .map(|s| s.dims.clone())
+                            .unwrap_or_default();
                         if dims.is_empty() {
                             Some(1)
                         } else {
-                            dims.iter().map(|d| d.const_extent()).product::<Option<i64>>()
+                            dims.iter()
+                                .map(|d| d.const_extent())
+                                .product::<Option<i64>>()
                         }
                     })
                     .product::<Option<i64>>()
@@ -213,9 +261,7 @@ fn check_commons(program: &Program, issues: &mut Vec<ComposeIssue>) {
                                 block: bname.clone(),
                                 unit_a: other_unit.clone(),
                                 unit_b: u.name.clone(),
-                                detail: format!(
-                                    "{other_count} member(s) vs {count}"
-                                ),
+                                detail: format!("{other_count} member(s) vs {count}"),
                             });
                         } else if let (Some(a), Some(b)) = (other_size, size) {
                             if *a != b {
@@ -245,7 +291,9 @@ fn check_bounds(
             let mut subs: Vec<(String, Vec<Expr>)> = Vec::new();
             collect_subscripted(&s.kind, symbols, &mut subs);
             for (name, sub_exprs) in subs {
-                let Some(sym) = symbols.get(&name) else { continue };
+                let Some(sym) = symbols.get(&name) else {
+                    continue;
+                };
                 for (dim, (e, bound)) in sub_exprs.iter().zip(&sym.dims).enumerate() {
                     let Some(v) = e.as_int() else { continue };
                     let lo = bound.lower.as_int();
@@ -320,7 +368,11 @@ mod tests {
         let issues = check(&parse_ok(src));
         assert!(matches!(
             issues.as_slice(),
-            [ComposeIssue::ArgCountMismatch { got: 1, want: 2, .. }]
+            [ComposeIssue::ArgCountMismatch {
+                got: 1,
+                want: 2,
+                ..
+            }]
         ));
     }
 
@@ -331,7 +383,11 @@ mod tests {
         let issues = check(&parse_ok(src));
         assert!(issues.iter().any(|i| matches!(
             i,
-            ComposeIssue::ArgTypeMismatch { got: Type::Integer, want: Type::Real, .. }
+            ComposeIssue::ArgTypeMismatch {
+                got: Type::Integer,
+                want: Type::Real,
+                ..
+            }
         )));
     }
 
@@ -353,14 +409,18 @@ mod tests {
     fn common_member_count_mismatch() {
         let src = "      SUBROUTINE A\n      COMMON /G/ X, Y\n      X = 1\n      RETURN\n      END\n      SUBROUTINE B\n      COMMON /G/ X, Y, Z\n      X = 1\n      RETURN\n      END\n";
         let issues = check(&parse_ok(src));
-        assert!(issues.iter().any(|i| matches!(i, ComposeIssue::CommonShapeMismatch { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ComposeIssue::CommonShapeMismatch { .. })));
     }
 
     #[test]
     fn common_size_mismatch() {
         let src = "      SUBROUTINE A\n      COMMON /G/ H(100)\n      H(1) = 1\n      RETURN\n      END\n      SUBROUTINE B\n      COMMON /G/ H(50)\n      H(1) = 1\n      RETURN\n      END\n";
         let issues = check(&parse_ok(src));
-        assert!(issues.iter().any(|i| matches!(i, ComposeIssue::CommonShapeMismatch { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ComposeIssue::CommonShapeMismatch { .. })));
     }
 
     #[test]

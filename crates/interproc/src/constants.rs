@@ -13,7 +13,7 @@
 //! names, becomes a global substitution fact.
 
 use crate::callgraph::CallGraph;
-use ped_analysis::constprop::{ConstSeed, Constants, CVal};
+use ped_analysis::constprop::{CVal, ConstSeed, Constants};
 use ped_analysis::Cfg;
 use ped_fortran::ast::Program;
 use ped_fortran::symbols::SymbolTable;
@@ -45,7 +45,9 @@ pub fn propagate_constants(program: &Program) -> SeedMap {
         // For each callee: intersect constant args over all sites.
         let mut next: SeedMap = SeedMap::new();
         for uname in &cg.units {
-            let Some(unit) = program.unit(uname) else { continue };
+            let Some(unit) = program.unit(uname) else {
+                continue;
+            };
             let sites: Vec<_> = cg.sites_of(uname).collect();
             if sites.is_empty() {
                 continue;

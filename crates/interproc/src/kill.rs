@@ -37,9 +37,7 @@ pub fn augment_with_kills(program: &Program, fx: &mut EffectsMap) {
         entry.kill_params.clear();
         entry.kill_globals.clear();
         for (pos, p) in unit.params.iter().enumerate() {
-            if symbols.get(p).is_some_and(|s| s.dims.is_empty())
-                && scalar_killed(&cfg, &refs, p)
-            {
+            if symbols.get(p).is_some_and(|s| s.dims.is_empty()) && scalar_killed(&cfg, &refs, p) {
                 entry.kill_params.push(pos);
             }
         }
@@ -141,7 +139,11 @@ pub fn array_kills(program: &Program, env: &SymbolicEnv) -> HashMap<String, Arra
     out
 }
 
-type LoopCtxStack = Vec<(String, ped_analysis::symbolic::LinExpr, ped_analysis::symbolic::LinExpr)>;
+type LoopCtxStack = Vec<(
+    String,
+    ped_analysis::symbolic::LinExpr,
+    ped_analysis::symbolic::LinExpr,
+)>;
 
 fn collect_killed(
     body: &[Stmt],
@@ -152,9 +154,10 @@ fn collect_killed(
 ) {
     for s in body {
         match &s.kind {
-            StmtKind::Assign { lhs: LValue::Elem { name, subs }, .. }
-                if symbols.is_array(name) =>
-            {
+            StmtKind::Assign {
+                lhs: LValue::Elem { name, subs },
+                ..
+            } if symbols.is_array(name) => {
                 let Some(elems) = subs
                     .iter()
                     .map(|e| env.normalize(e))
@@ -168,7 +171,9 @@ fn collect_killed(
                 }
                 sets.entry(name.clone()).or_default().insert(sec, env);
             }
-            StmtKind::Do { var, lo, hi, body, .. } => {
+            StmtKind::Do {
+                var, lo, hi, body, ..
+            } => {
                 let (Some(lo_l), Some(hi_l)) = (env.normalize(lo), env.normalize(hi)) else {
                     continue;
                 };
@@ -185,10 +190,7 @@ fn collect_killed(
 /// Map from callee name → formal positions whose *entire declared range*
 /// is killed. Used by interprocedural array privatization: a call that
 /// fully kills an array argument acts as an unconditional full write.
-pub fn full_kill_map(
-    program: &Program,
-    env: &SymbolicEnv,
-) -> HashMap<(String, usize), SectionSet> {
+pub fn full_kill_map(program: &Program, env: &SymbolicEnv) -> HashMap<(String, usize), SectionSet> {
     let kills = array_kills(program, env);
     let mut out = HashMap::new();
     for (uname, k) in kills {
@@ -242,7 +244,8 @@ mod tests {
 
     #[test]
     fn common_scalar_kill() {
-        let src = "      SUBROUTINE S\n      COMMON /B/ T\n      T = 0.0\n      RETURN\n      END\n";
+        let src =
+            "      SUBROUTINE S\n      COMMON /B/ T\n      T = 0.0\n      RETURN\n      END\n";
         let p = parse_ok(src);
         let mut fx = EffectsMap::new();
         augment_with_kills(&p, &mut fx);

@@ -29,7 +29,9 @@ pub fn analyze(program: &Program) -> EffectsMap {
     for _round in 0..program.units.len().max(1) {
         let mut changed = false;
         for uname in &order {
-            let Some(unit) = program.unit(uname) else { continue };
+            let Some(unit) = program.unit(uname) else {
+                continue;
+            };
             let symbols = &symtabs[uname];
             let next = summarize_unit(unit, symbols, &cg, &fx, &symtabs);
             let entry = fx.entry(uname.clone()).or_default();
@@ -70,12 +72,23 @@ fn summarize_unit(
         .collect();
     let record = |name: &str, is_def: bool, e: &mut ProcEffects| {
         if let Some(&pos) = formal_pos.get(name) {
-            let v = if is_def { &mut e.mod_params } else { &mut e.ref_params };
+            let v = if is_def {
+                &mut e.mod_params
+            } else {
+                &mut e.ref_params
+            };
             if !v.contains(&pos) {
                 v.push(pos);
             }
-        } else if symbols.get(name).is_some_and(|s| s.storage == Storage::Common) {
-            let v = if is_def { &mut e.mod_globals } else { &mut e.ref_globals };
+        } else if symbols
+            .get(name)
+            .is_some_and(|s| s.storage == Storage::Common)
+        {
+            let v = if is_def {
+                &mut e.mod_globals
+            } else {
+                &mut e.ref_globals
+            };
             if !v.iter().any(|g| g == name) {
                 v.push(name.to_string());
             }
@@ -112,9 +125,7 @@ fn summarize_unit(
                 continue;
             };
             let (modded, reffed) = match (callee_known, callee_fx) {
-                (true, Some(cfx)) => {
-                    (cfx.mod_params.contains(&pos), cfx.ref_params.contains(&pos))
-                }
+                (true, Some(cfx)) => (cfx.mod_params.contains(&pos), cfx.ref_params.contains(&pos)),
                 (true, None) => (false, false), // summary not yet computed this round
                 (false, _) => (true, true),     // external: worst case
             };

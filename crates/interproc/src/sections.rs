@@ -41,7 +41,9 @@ pub fn analyze(program: &Program, env: &SymbolicEnv) -> SectionMap {
     let cg = CallGraph::build(program);
     let mut out: SectionMap = SectionMap::new();
     for uname in cg.bottom_up() {
-        let Some(unit) = program.unit(&uname) else { continue };
+        let Some(unit) = program.unit(&uname) else {
+            continue;
+        };
         let symbols = SymbolTable::build(unit);
         let mut summary = SectionSummary::default();
         let formal_pos: HashMap<&str, usize> = unit
@@ -93,7 +95,9 @@ impl<'a> Walker<'a> {
                     }
                 }
             }
-            StmtKind::Do { lo, hi, var, body, .. } => {
+            StmtKind::Do {
+                lo, hi, var, body, ..
+            } => {
                 self.expr_reads(lo);
                 self.expr_reads(hi);
                 match (self.env.normalize(lo), self.env.normalize(hi)) {
@@ -271,11 +275,7 @@ impl<'a> Walker<'a> {
     }
 }
 
-fn collect_array_refs(
-    kind: &StmtKind,
-    symbols: &SymbolTable,
-    out: &mut Vec<(String, bool)>,
-) {
+fn collect_array_refs(kind: &StmtKind, symbols: &SymbolTable, out: &mut Vec<(String, bool)>) {
     let on_expr = |e: &Expr, out: &mut Vec<(String, bool)>| {
         e.walk(&mut |x| {
             if let Expr::Index { name, .. } = x {
@@ -338,7 +338,12 @@ mod tests {
     }
 
     fn sec1(lo: &str, hi: &str) -> Section {
-        Section { dims: vec![DimRange { lo: lin(lo), hi: lin(hi) }] }
+        Section {
+            dims: vec![DimRange {
+                lo: lin(lo),
+                hi: lin(hi),
+            }],
+        }
     }
 
     #[test]
@@ -363,7 +368,14 @@ mod tests {
         let set = &m["BND"].mod_formal[&0];
         assert!(set.covers(&sec1("1", "1"), &env));
         // Conflict query: reading A(2:N) does not conflict with the write.
-        assert!(!call_may_conflict(&m, &env, "BND", 0, &sec1("2", "N"), true));
+        assert!(!call_may_conflict(
+            &m,
+            &env,
+            "BND",
+            0,
+            &sec1("2", "N"),
+            true
+        ));
         assert!(call_may_conflict(&m, &env, "BND", 0, &sec1("1", "N"), true));
     }
 
@@ -375,7 +387,14 @@ mod tests {
         let m = analyze(&p, &env);
         let set = &m["OUTER"].mod_formal[&0];
         assert!(set.covers(&sec1("1", "1"), &env));
-        assert!(!call_may_conflict(&m, &env, "OUTER", 0, &sec1("2", "N"), true));
+        assert!(!call_may_conflict(
+            &m,
+            &env,
+            "OUTER",
+            0,
+            &sec1("2", "N"),
+            true
+        ));
     }
 
     #[test]

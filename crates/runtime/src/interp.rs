@@ -11,12 +11,12 @@
 
 use crate::value::{ArrayObj, Cell, Value};
 use crate::verify::Shadow;
-use std::sync::{Mutex, RwLock};
 use ped_fortran::ast::*;
 use ped_fortran::symbols::{is_intrinsic, Storage, SymbolTable};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::{Mutex, RwLock};
 
 /// Execution options.
 #[derive(Clone, Debug)]
@@ -106,7 +106,11 @@ pub fn run(program: &Program, opts: RunOptions) -> RunResult<RunOutput> {
         loop_iterations: machine.loop_iters.lock().unwrap().clone(),
     };
     let races = machine.race_log.into_inner().unwrap();
-    Ok(RunOutput { lines: machine.output.into_inner().unwrap(), stats, races })
+    Ok(RunOutput {
+        lines: machine.output.into_inner().unwrap(),
+        stats,
+        races,
+    })
 }
 
 enum CommonSlot {
@@ -199,10 +203,7 @@ impl<'p> Machine<'p> {
                             let bounds = eval_dims(&dims, st)?;
                             slots.push((
                                 e.name.clone(),
-                                CommonSlot::Array(Arc::new(ArrayObj::new(
-                                    bounds,
-                                    proto_of(ty),
-                                ))),
+                                CommonSlot::Array(Arc::new(ArrayObj::new(bounds, proto_of(ty)))),
                             ));
                         }
                     }
@@ -305,7 +306,9 @@ impl<'p> Machine<'p> {
                 for (i, e) in entities.iter().enumerate() {
                     match &slots[i].1 {
                         CommonSlot::Scalar(_) => {
-                            frame.common_scalars.insert(e.name.clone(), (bname.clone(), i));
+                            frame
+                                .common_scalars
+                                .insert(e.name.clone(), (bname.clone(), i));
                         }
                         CommonSlot::Array(a) => {
                             frame.arrays.insert(e.name.clone(), Arc::clone(a));
@@ -351,9 +354,10 @@ impl<'p> Machine<'p> {
                         .ok_or_else(|| RuntimeError(format!("bad upper bound for {}", s.name)))?;
                     bounds.push((lo, hi));
                 }
-                frame
-                    .arrays
-                    .insert(s.name.clone(), Arc::new(ArrayObj::new(bounds, proto_of(s.ty))));
+                frame.arrays.insert(
+                    s.name.clone(),
+                    Arc::new(ArrayObj::new(bounds, proto_of(s.ty))),
+                );
             }
         }
         Ok(frame)
@@ -396,9 +400,7 @@ impl<'p> Machine<'p> {
                 let _guard = serialize.then(|| self.reduce_lock.lock().unwrap());
                 // Serialized accumulations are commutative and ordered by
                 // the lock: exclude them from shadow conflict tracking.
-                let saved = serialize.then(|| {
-                    self.shadow_iter.swap(i64::MIN, Ordering::Relaxed)
-                });
+                let saved = serialize.then(|| self.shadow_iter.swap(i64::MIN, Ordering::Relaxed));
                 let v = self.eval(rhs, frame)?;
                 let r = self.store(frame, lhs, v);
                 if let Some(prev) = saved {
@@ -420,7 +422,12 @@ impl<'p> Machine<'p> {
                     Ok(Flow::Normal)
                 }
             }
-            StmtKind::ArithIf { expr, neg, zero, pos } => {
+            StmtKind::ArithIf {
+                expr,
+                neg,
+                zero,
+                pos,
+            } => {
                 let v = self
                     .eval(expr, frame)?
                     .as_f64()
@@ -465,7 +472,8 @@ impl<'p> Machine<'p> {
                 for lv in items {
                     let v = self
                         .input
-                        .lock().unwrap()
+                        .lock()
+                        .unwrap()
                         .pop_front()
                         .ok_or_else(|| RuntimeError("READ past end of input".into()))?;
                     self.store(frame, lv, v)?;
@@ -481,7 +489,16 @@ impl<'p> Machine<'p> {
     }
 
     fn exec_do(&self, frame: &mut Frame, s: &Stmt, in_parallel: bool) -> RunResult<Flow> {
-        let StmtKind::Do { var, lo, hi, step, body, sched, .. } = &s.kind else {
+        let StmtKind::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            sched,
+            ..
+        } = &s.kind
+        else {
             return err("exec_do on non-DO");
         };
         let lo_v = self
@@ -548,7 +565,8 @@ impl<'p> Machine<'p> {
             return err("not a DO");
         };
         self.parallel_loops.fetch_add(1, Ordering::Relaxed);
-        self.parallel_iters.fetch_add(trips.max(0) as u64, Ordering::Relaxed);
+        self.parallel_iters
+            .fetch_add(trips.max(0) as u64, Ordering::Relaxed);
         *self.shadow.lock().unwrap() = Shadow::new();
         // Privatized arrays get per-worker copies in real parallel
         // execution: cross-iteration accesses to them are not races.
@@ -595,7 +613,10 @@ impl<'p> Machine<'p> {
             if self.shadow_exempt.lock().unwrap().contains(&id) {
                 return;
             }
-            self.shadow.lock().unwrap().record(id, name, flat, iter, write);
+            self.shadow
+                .lock()
+                .unwrap()
+                .record(id, name, flat, iter, write);
         }
     }
 
@@ -611,7 +632,8 @@ impl<'p> Machine<'p> {
             return err("not a DO");
         };
         self.parallel_loops.fetch_add(1, Ordering::Relaxed);
-        self.parallel_iters.fetch_add(trips as u64, Ordering::Relaxed);
+        self.parallel_iters
+            .fetch_add(trips as u64, Ordering::Relaxed);
         let reds = self.reductions.get(&s.id).cloned().unwrap_or_default();
         let scalar_reds: Vec<&ped_analysis::reductions::Reduction> =
             reds.iter().filter(|r| r.is_scalar()).collect();
@@ -633,10 +655,8 @@ impl<'p> Machine<'p> {
                 // own copy (contents are dead after the loop).
                 for name in &priv_arrays {
                     if let Some(orig) = wframe.arrays.get(name) {
-                        let fresh = Arc::new(ArrayObj::new(
-                            orig.dims.clone(),
-                            crate::value::Cell::R(0.0),
-                        ));
+                        let fresh =
+                            Arc::new(ArrayObj::new(orig.dims.clone(), crate::value::Cell::R(0.0)));
                         fresh.restore(orig.snapshot());
                         wframe.arrays.insert(name.clone(), fresh);
                     }
@@ -750,7 +770,13 @@ impl<'p> Machine<'p> {
                 // Array element passed by reference: copy-in/copy-out of
                 // the single element (array-section aliasing unsupported).
                 let v = self.eval(a, frame)?;
-                Ok(Actual::ScalarRef(v, LValue::Elem { name: name.clone(), subs: subs.clone() }))
+                Ok(Actual::ScalarRef(
+                    v,
+                    LValue::Elem {
+                        name: name.clone(),
+                        subs: subs.clone(),
+                    },
+                ))
             }
             other => Ok(Actual::Scalar(self.eval(other, frame)?)),
         }
@@ -827,16 +853,20 @@ impl<'p> Machine<'p> {
                     return arr.get(&idx).map(Cell::to_value).map_err(RuntimeError);
                 }
                 if is_intrinsic(name) {
-                    let args: Vec<Value> =
-                        subs.iter().map(|a| self.eval(a, frame)).collect::<Result<_, _>>()?;
+                    let args: Vec<Value> = subs
+                        .iter()
+                        .map(|a| self.eval(a, frame))
+                        .collect::<Result<_, _>>()?;
                     return eval_intrinsic(name, &args);
                 }
                 self.call_function(frame, name, subs)
             }
             Expr::Call { name, args } => {
                 if is_intrinsic(name) {
-                    let vals: Vec<Value> =
-                        args.iter().map(|a| self.eval(a, frame)).collect::<Result<_, _>>()?;
+                    let vals: Vec<Value> = args
+                        .iter()
+                        .map(|a| self.eval(a, frame))
+                        .collect::<Result<_, _>>()?;
                     return eval_intrinsic(name, &vals);
                 }
                 self.call_function(frame, name, args)
@@ -928,11 +958,7 @@ fn identity_of(op: ped_analysis::reductions::ReduceOp, current: Option<&Value>) 
     }
 }
 
-fn combine(
-    op: ped_analysis::reductions::ReduceOp,
-    a: &Value,
-    b: &Value,
-) -> RunResult<Value> {
+fn combine(op: ped_analysis::reductions::ReduceOp, a: &Value, b: &Value) -> RunResult<Value> {
     use ped_analysis::reductions::ReduceOp::*;
     match op {
         Sum => eval_binop(BinOp::Add, a.clone(), b.clone()),
@@ -1072,13 +1098,17 @@ fn eval_intrinsic(name: &str, args: &[Value]) -> RunResult<Value> {
             },
             _ => err("MOD: missing arguments"),
         },
-        "SIGN" => match (args.first().and_then(|v| v.as_f64()), args.get(1).and_then(|v| v.as_f64()))
-        {
+        "SIGN" => match (
+            args.first().and_then(|v| v.as_f64()),
+            args.get(1).and_then(|v| v.as_f64()),
+        ) {
             (Some(a), Some(b)) => Ok(Value::Real(a.abs() * if b < 0.0 { -1.0 } else { 1.0 })),
             _ => err("SIGN: bad arguments"),
         },
-        "DIM" => match (args.first().and_then(|v| v.as_f64()), args.get(1).and_then(|v| v.as_f64()))
-        {
+        "DIM" => match (
+            args.first().and_then(|v| v.as_f64()),
+            args.get(1).and_then(|v| v.as_f64()),
+        ) {
             (Some(a), Some(b)) => Ok(Value::Real((a - b).max(0.0))),
             _ => err("DIM: bad arguments"),
         },
@@ -1093,11 +1123,17 @@ fn fold_minmax(args: &[Value], max: bool) -> RunResult<Value> {
     let all_int = args.iter().all(|v| matches!(v, Value::Int(_)));
     if all_int {
         let it = args.iter().filter_map(|v| v.as_int());
-        Ok(Value::Int(if max { it.max().unwrap() } else { it.min().unwrap() }))
+        Ok(Value::Int(if max {
+            it.max().unwrap()
+        } else {
+            it.min().unwrap()
+        }))
     } else {
         let mut acc: Option<f64> = None;
         for v in args {
-            let x = v.as_f64().ok_or_else(|| RuntimeError("MAX/MIN: bad argument".into()))?;
+            let x = v
+                .as_f64()
+                .ok_or_else(|| RuntimeError("MAX/MIN: bad argument".into()))?;
             acc = Some(match acc {
                 None => x,
                 Some(a) => {
@@ -1151,7 +1187,8 @@ mod tests {
 
     #[test]
     fn arithmetic_and_write() {
-        let out = run_src("      X = 2.0\n      Y = X ** 2 + 1.0\n      WRITE (*,*) Y\n      END\n");
+        let out =
+            run_src("      X = 2.0\n      Y = X ** 2 + 1.0\n      WRITE (*,*) Y\n      END\n");
         assert_eq!(out.lines, ["5.0"]);
     }
 
@@ -1170,7 +1207,14 @@ mod tests {
     #[test]
     fn one_trip_dialect_option() {
         let p = parse_ok("      K = 0\n      DO 10 I = 5, 1\n      K = K + 1\n   10 CONTINUE\n      WRITE (*,*) K\n      END\n");
-        let out = run(&p, RunOptions { one_trip_do: true, ..Default::default() }).unwrap();
+        let out = run(
+            &p,
+            RunOptions {
+                one_trip_do: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(out.lines, ["1"]);
     }
 
@@ -1244,7 +1288,14 @@ mod tests {
         // Mark the middle loop parallel.
         let mut p = parse_ok(src);
         mark_parallel(&mut p, 1);
-        let par = run(&p, RunOptions { workers: 4, ..Default::default() }).unwrap();
+        let par = run(
+            &p,
+            RunOptions {
+                workers: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(seq.lines, par.lines);
         assert_eq!(par.stats.parallel_loops, 1);
         assert_eq!(par.stats.parallel_iterations, 1000);
@@ -1255,7 +1306,14 @@ mod tests {
         let src = "      REAL A(100)\n      DO 5 I = 1, 100\n      A(I) = I\n    5 CONTINUE\n      S = 0.0\n      DO 10 I = 1, 100\n      S = S + A(I)\n   10 CONTINUE\n      WRITE (*,*) S\n      END\n";
         let mut p = parse_ok(src);
         mark_parallel(&mut p, 1);
-        let out = run(&p, RunOptions { workers: 4, ..Default::default() }).unwrap();
+        let out = run(
+            &p,
+            RunOptions {
+                workers: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(out.lines, ["5050.0"]);
     }
 
@@ -1265,7 +1323,14 @@ mod tests {
         let src = "      REAL F(10)\n      INTEGER IX(100)\n      DO 5 I = 1, 100\n      IX(I) = MOD(I, 10) + 1\n    5 CONTINUE\n      DO 10 I = 1, 100\n      F(IX(I)) = F(IX(I)) + 1.0\n   10 CONTINUE\n      S = 0.0\n      DO 20 I = 1, 10\n      S = S + F(I)\n   20 CONTINUE\n      WRITE (*,*) S\n      END\n";
         let mut p = parse_ok(src);
         mark_parallel(&mut p, 1);
-        let out = run(&p, RunOptions { workers: 4, ..Default::default() }).unwrap();
+        let out = run(
+            &p,
+            RunOptions {
+                workers: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(out.lines, ["100.0"]);
     }
 
@@ -1275,7 +1340,14 @@ mod tests {
         let seq = run_src(src);
         let mut p = parse_ok(src);
         mark_parallel(&mut p, 0);
-        let par = run(&p, RunOptions { workers: 4, ..Default::default() }).unwrap();
+        let par = run(
+            &p,
+            RunOptions {
+                workers: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(seq.lines, par.lines);
     }
 
@@ -1285,7 +1357,14 @@ mod tests {
         let seq = run_src(src);
         let mut p = parse_ok(src);
         mark_parallel(&mut p, 1);
-        let par = run(&p, RunOptions { workers: 8, ..Default::default() }).unwrap();
+        let par = run(
+            &p,
+            RunOptions {
+                workers: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(seq.lines, par.lines);
     }
 
@@ -1296,7 +1375,10 @@ mod tests {
         mark_parallel(&mut p, 0);
         let out = run(
             &p,
-            RunOptions { validate_parallel: true, ..Default::default() },
+            RunOptions {
+                validate_parallel: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(out.races.is_empty(), "{:?}", out.races);
@@ -1310,7 +1392,10 @@ mod tests {
         mark_parallel(&mut p, 0);
         let out = run(
             &p,
-            RunOptions { validate_parallel: true, ..Default::default() },
+            RunOptions {
+                validate_parallel: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(!out.races.is_empty());
@@ -1324,7 +1409,10 @@ mod tests {
         mark_parallel(&mut p, 1);
         let out = run(
             &p,
-            RunOptions { validate_parallel: true, ..Default::default() },
+            RunOptions {
+                validate_parallel: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(out.races.is_empty(), "{:?}", out.races);
@@ -1334,7 +1422,13 @@ mod tests {
     fn step_limit_guards_runaway() {
         let src = "   10 CONTINUE\n      GOTO 10\n      END\n";
         let p = parse_ok(src);
-        let r = run(&p, RunOptions { max_steps: 1000, ..Default::default() });
+        let r = run(
+            &p,
+            RunOptions {
+                max_steps: 1000,
+                ..Default::default()
+            },
+        );
         assert!(r.is_err());
     }
 

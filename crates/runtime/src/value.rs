@@ -119,8 +119,15 @@ unsafe impl Sync for ArrayObj {}
 impl ArrayObj {
     /// Allocate with the given bounds, zero-initialized with `proto`.
     pub fn new(dims: Vec<(i64, i64)>, proto: Cell) -> ArrayObj {
-        let len = dims.iter().map(|(l, u)| ((u - l + 1).max(0)) as usize).product();
-        ArrayObj { dims, proto, data: UnsafeCell::new(vec![proto; len]) }
+        let len = dims
+            .iter()
+            .map(|(l, u)| ((u - l + 1).max(0)) as usize)
+            .product();
+        ArrayObj {
+            dims,
+            proto,
+            data: UnsafeCell::new(vec![proto; len]),
+        }
     }
 
     /// Coerce a cell to this array's element type.
@@ -188,7 +195,6 @@ impl ArrayObj {
     pub fn snapshot(&self) -> Vec<Cell> {
         unsafe { (*self.data.get()).clone() }
     }
-
 
     /// Overwrite the full storage (single-threaded contexts only).
     pub fn restore(&self, data: Vec<Cell>) {

@@ -114,12 +114,16 @@ pub fn verify_index_fact(values: &[i64], fact: &IndexArrayFact) -> Result<(), St
     // possible only for constant bounds.
     if let Some(lo) = fact.value_lo.as_ref().and_then(|l| l.as_const()) {
         if let Some(bad) = values.iter().find(|v| **v < lo) {
-            return Err(format!("RANGE violated: value {bad} below lower bound {lo}"));
+            return Err(format!(
+                "RANGE violated: value {bad} below lower bound {lo}"
+            ));
         }
     }
     if let Some(hi) = fact.value_hi.as_ref().and_then(|l| l.as_const()) {
         if let Some(bad) = values.iter().find(|v| **v > hi) {
-            return Err(format!("RANGE violated: value {bad} above upper bound {hi}"));
+            return Err(format!(
+                "RANGE violated: value {bad} above upper bound {hi}"
+            ));
         }
     }
     Ok(())
@@ -146,7 +150,11 @@ mod tests {
         s.record(1, "A", 3, 0, true);
         s.record(1, "A", 3, 1, true);
         assert_eq!(s.races.len(), 1);
-        assert!(s.races[0].contains("write in iteration 0"), "{}", s.races[0]);
+        assert!(
+            s.races[0].contains("write in iteration 0"),
+            "{}",
+            s.races[0]
+        );
     }
 
     #[test]
@@ -175,14 +183,20 @@ mod tests {
 
     #[test]
     fn permutation_check() {
-        let fact = IndexArrayFact { permutation: true, ..Default::default() };
+        let fact = IndexArrayFact {
+            permutation: true,
+            ..Default::default()
+        };
         assert!(verify_index_fact(&[3, 1, 2], &fact).is_ok());
         assert!(verify_index_fact(&[3, 1, 3], &fact).is_err());
     }
 
     #[test]
     fn stride_check() {
-        let fact = IndexArrayFact { min_stride: Some(3), ..Default::default() };
+        let fact = IndexArrayFact {
+            min_stride: Some(3),
+            ..Default::default()
+        };
         assert!(verify_index_fact(&[1, 4, 8], &fact).is_ok());
         assert!(verify_index_fact(&[1, 3, 8], &fact).is_err());
     }

@@ -56,7 +56,12 @@ impl Advice {
     }
 
     pub fn safe(profit: Profit) -> Advice {
-        Advice { applicable: true, why_not: None, safety: Safety::Safe, profit }
+        Advice {
+            applicable: true,
+            why_not: None,
+            safety: Safety::Safe,
+            profit,
+        }
     }
 
     pub fn unsafe_because(reason: impl Into<String>) -> Advice {
@@ -105,7 +110,9 @@ pub struct Applied {
 
 impl Applied {
     pub fn note(msg: impl Into<String>) -> Applied {
-        Applied { notes: vec![msg.into()] }
+        Applied {
+            notes: vec![msg.into()],
+        }
     }
 }
 

@@ -50,7 +50,9 @@ pub fn scalar_expansion(
 ) -> Result<Applied, TransformError> {
     let advice = scalar_expansion_advice(ua, l, name);
     if !advice.applicable {
-        return Err(TransformError::NotApplicable(advice.why_not.unwrap_or_default()));
+        return Err(TransformError::NotApplicable(
+            advice.why_not.unwrap_or_default(),
+        ));
     }
     if let Safety::Unsafe(r) = advice.safety {
         return Err(TransformError::Unsafe(r));
@@ -128,9 +130,9 @@ pub fn array_renaming_advice(unit: &ProcUnit, ua: &UnitAnalysis, l: LoopId, name
         Some(ped_analysis::array_kill::ArrayKillStatus::PrivateNeedsLastValue) => {
             Advice::unsafe_because(format!("{name} is read after the loop"))
         }
-        Some(ped_analysis::array_kill::ArrayKillStatus::Exposed) => Advice::unsafe_because(
-            format!("{name} carries values across iterations"),
-        ),
+        Some(ped_analysis::array_kill::ArrayKillStatus::Exposed) => {
+            Advice::unsafe_because(format!("{name} carries values across iterations"))
+        }
         None => Advice::not_applicable(format!("{name} is not written in the loop")),
     }
 }
@@ -146,7 +148,9 @@ pub fn array_renaming(
 ) -> Result<Applied, TransformError> {
     let advice = array_renaming_advice(&program.units[unit_idx], ua, l, name);
     if !advice.applicable {
-        return Err(TransformError::NotApplicable(advice.why_not.unwrap_or_default()));
+        return Err(TransformError::NotApplicable(
+            advice.why_not.unwrap_or_default(),
+        ));
     }
     if let Safety::Unsafe(r) = advice.safety {
         return Err(TransformError::Unsafe(r));
@@ -155,7 +159,10 @@ pub fn array_renaming(
     let sym = ua.symbols.get(name).expect("checked array");
     program.units[unit_idx].decls.push(Decl::Typed {
         ty: sym.ty,
-        entities: vec![Declared { name: new_name.clone(), dims: sym.dims.clone() }],
+        entities: vec![Declared {
+            name: new_name.clone(),
+            dims: sym.dims.clone(),
+        }],
     });
     let target = ua.nest.get(l).stmt;
     with_do_mut(&mut program.units[unit_idx].body, target, |s| {
@@ -163,7 +170,9 @@ pub fn array_renaming(
             rename_array(body, name, &new_name);
         }
     });
-    Ok(Applied::note(format!("renamed {name} to {new_name} within the loop")))
+    Ok(Applied::note(format!(
+        "renamed {name} to {new_name} within the loop"
+    )))
 }
 
 fn rename_array(stmts: &mut [Stmt], from: &str, to: &str) {
@@ -210,7 +219,11 @@ fn rename_stmt_exprs(kind: &mut StmtKind, from: &str, to: &str) {
 fn rename_in_expr(e: &Expr, from: &str, to: &str) -> Expr {
     match e {
         Expr::Index { name, subs } => Expr::Index {
-            name: if name == from { to.to_string() } else { name.clone() },
+            name: if name == from {
+                to.to_string()
+            } else {
+                name.clone()
+            },
             subs: subs.iter().map(|x| rename_in_expr(x, from, to)).collect(),
         },
         Expr::Call { name, args } => Expr::Call {
@@ -222,7 +235,10 @@ fn rename_in_expr(e: &Expr, from: &str, to: &str) -> Expr {
             l: Box::new(rename_in_expr(l, from, to)),
             r: Box::new(rename_in_expr(r, from, to)),
         },
-        Expr::Un { op, e } => Expr::Un { op: *op, e: Box::new(rename_in_expr(e, from, to)) },
+        Expr::Un { op, e } => Expr::Un {
+            op: *op,
+            e: Box::new(rename_in_expr(e, from, to)),
+        },
         _ => e.clone(),
     }
 }
@@ -243,7 +259,9 @@ pub fn peel_first(
 ) -> Result<Applied, TransformError> {
     let info = ua.nest.get(l);
     if info.step.is_some() {
-        return Err(TransformError::NotApplicable("peeling requires unit step".into()));
+        return Err(TransformError::NotApplicable(
+            "peeling requires unit step".into(),
+        ));
     }
     let target = info.stmt;
     let (var, lo, body) = {
@@ -287,7 +305,9 @@ pub fn split_at(
 ) -> Result<Applied, TransformError> {
     let info = ua.nest.get(l);
     if info.step.is_some() {
-        return Err(TransformError::NotApplicable("splitting requires unit step".into()));
+        return Err(TransformError::NotApplicable(
+            "splitting requires unit step".into(),
+        ));
     }
     let target = info.stmt;
     let (var, hi, body) = {
@@ -341,7 +361,9 @@ pub fn align_statement(
     distance: i64,
 ) -> Result<Applied, TransformError> {
     if distance == 0 {
-        return Err(TransformError::NotApplicable("zero alignment distance".into()));
+        return Err(TransformError::NotApplicable(
+            "zero alignment distance".into(),
+        ));
     }
     let info = ua.nest.get(l);
     let (var, lo, hi) = (info.var.clone(), info.lo.clone(), info.hi.clone());
@@ -349,7 +371,9 @@ pub fn align_statement(
     let fresh_guard = program.fresh_stmt();
     let mut found = false;
     with_do_mut(&mut program.units[unit_idx].body, target, |s| {
-        let StmtKind::Do { body, .. } = &mut s.kind else { return };
+        let StmtKind::Do { body, .. } = &mut s.kind else {
+            return;
+        };
         let Some(pos) = body.iter().position(|st| st.id == stmt) else {
             return;
         };
@@ -365,7 +389,10 @@ pub fn align_statement(
         );
         let guard = Stmt::new(
             fresh_guard,
-            StmtKind::If { arms: vec![(cond, aligned)], else_body: None },
+            StmtKind::If {
+                arms: vec![(cond, aligned)],
+                else_body: None,
+            },
         );
         body[pos] = guard;
     });
@@ -396,26 +423,29 @@ pub fn align_statement(
         }
         let mut gi = 0;
         with_do_mut(&mut program.units[unit_idx].body, target, |s| {
-            let StmtKind::Do { body, .. } = &mut s.kind else { return };
+            let StmtKind::Do { body, .. } = &mut s.kind else {
+                return;
+            };
             for st in body.iter_mut() {
                 if st.id == fresh_guard || matches!(st.kind, StmtKind::Continue) {
                     continue;
                 }
-                let cond = Expr::bin(
-                    BinOp::Le,
-                    Expr::var(var2.clone()),
-                    info_hi.clone(),
-                );
+                let cond = Expr::bin(BinOp::Le, Expr::var(var2.clone()), info_hi.clone());
                 let inner = std::mem::replace(st, Stmt::new(guards[gi], StmtKind::Continue));
                 *st = Stmt::new(
                     guards[gi],
-                    StmtKind::If { arms: vec![(cond, vec![inner])], else_body: None },
+                    StmtKind::If {
+                        arms: vec![(cond, vec![inner])],
+                        else_body: None,
+                    },
                 );
                 gi += 1;
             }
         });
     }
-    Ok(Applied::note(format!("aligned statement by distance {distance}")))
+    Ok(Applied::note(format!(
+        "aligned statement by distance {distance}"
+    )))
 }
 
 #[cfg(test)]
@@ -484,23 +514,31 @@ mod tests {
 
     #[test]
     fn peel_first_materializes_iteration() {
-        let src = "      REAL A(100)\n      DO 10 I = 1, N\n      A(I) = I\n   10 CONTINUE\n      END\n";
+        let src =
+            "      REAL A(100)\n      DO 10 I = 1, N\n      A(I) = I\n   10 CONTINUE\n      END\n";
         let (mut p, ua) = setup(src);
         peel_first(&mut p, 0, &ua, ua.nest.roots[0]).unwrap();
         let txt = print_program(&p);
         assert!(txt.contains("A(1) = 1"), "{txt}");
-        assert!(txt.contains("DO 10 I = 2, N") || txt.contains("DO I = 2, N"), "{txt}");
+        assert!(
+            txt.contains("DO 10 I = 2, N") || txt.contains("DO I = 2, N"),
+            "{txt}"
+        );
     }
 
     #[test]
     fn split_produces_two_loops() {
-        let src = "      REAL A(100)\n      DO 10 I = 1, N\n      A(I) = I\n   10 CONTINUE\n      END\n";
+        let src =
+            "      REAL A(100)\n      DO 10 I = 1, N\n      A(I) = I\n   10 CONTINUE\n      END\n";
         let (mut p, ua) = setup(src);
         split_at(&mut p, 0, &ua, ua.nest.roots[0], Expr::var("M")).unwrap();
         let nest2 = ped_analysis::loops::LoopNest::build(&p.units[0]);
         assert_eq!(nest2.roots.len(), 2);
         let txt = print_program(&p);
-        assert!(txt.contains("DO 10 I = 1, M") || txt.contains("DO I = 1, M"), "{txt}");
+        assert!(
+            txt.contains("DO 10 I = 1, M") || txt.contains("DO I = 1, M"),
+            "{txt}"
+        );
         assert!(txt.contains("DO I = M + 1, N"), "{txt}");
     }
 
@@ -513,7 +551,13 @@ mod tests {
         let txt = print_program(&p);
         // The aligned statement now references A(I - 1 - 1 + 1)… i.e. is
         // substituted with I-1; guard present.
-        assert!(txt.contains("IF (I - 1 .GE. 2 .AND. I - 1 .LE. N) THEN"), "{txt}");
-        assert!(txt.contains("C(I - 1) = A(I - 1 - 1)") || txt.contains("C(I - 1) = A(I - 2)"), "{txt}");
+        assert!(
+            txt.contains("IF (I - 1 .GE. 2 .AND. I - 1 .LE. N) THEN"),
+            "{txt}"
+        );
+        assert!(
+            txt.contains("C(I - 1) = A(I - 1 - 1)") || txt.contains("C(I - 1) = A(I - 2)"),
+            "{txt}"
+        );
     }
 }

@@ -134,7 +134,11 @@ mod tests {
     #[test]
     fn additions_marked() {
         let c = catalog();
-        let added: Vec<_> = c.iter().filter(|e| !e.in_original_ped).map(|e| e.name).collect();
+        let added: Vec<_> = c
+            .iter()
+            .filter(|e| !e.in_original_ped)
+            .map(|e| e.name)
+            .collect();
         assert_eq!(
             added,
             [

@@ -63,7 +63,16 @@ impl UnitAnalysis {
             cache,
         );
         let marking = Marking::initial(&graph);
-        UnitAnalysis { symbols, refs, nest, cfg, defuse, graph, marking, env }
+        UnitAnalysis {
+            symbols,
+            refs,
+            nest,
+            cfg,
+            defuse,
+            graph,
+            marking,
+            env,
+        }
     }
 
     /// Rebuild after an AST mutation, preserving user marks where the
@@ -86,7 +95,13 @@ impl UnitAnalysis {
             &BuildOptions::default(),
         );
         self.marking = Marking::initial(&self.graph);
-        carry_user_marks(&old_graph, &old_marking, &self.graph, &mut self.marking, None);
+        carry_user_marks(
+            &old_graph,
+            &old_marking,
+            &self.graph,
+            &mut self.marking,
+            None,
+        );
     }
 
     /// Active (non-rejected) loop-carried data dependences of a loop.
@@ -120,7 +135,13 @@ pub fn carry_user_marks(
         let m = old_marking.mark_of(old.id);
         if matches!(m, Mark::Accepted | Mark::Rejected) {
             marks.insert(
-                (old.src_stmt, old.sink_stmt, old.var.as_str(), old.level, old.kind),
+                (
+                    old.src_stmt,
+                    old.sink_stmt,
+                    old.var.as_str(),
+                    old.level,
+                    old.kind,
+                ),
                 (m, old_marking.reason_of(old.id).map(|s| s.to_string())),
             );
         }
@@ -134,7 +155,13 @@ pub fn carry_user_marks(
                 continue;
             }
         }
-        let key = (new.src_stmt, new.sink_stmt, new.var.as_str(), new.level, new.kind);
+        let key = (
+            new.src_stmt,
+            new.sink_stmt,
+            new.var.as_str(),
+            new.level,
+            new.kind,
+        );
         if let Some((m, reason)) = marks.get(&key) {
             let _ = new_marking.set(new.id, *m, reason.clone());
         }
@@ -170,7 +197,9 @@ mod tests {
             .find(|d| d.var == "A" && d.level.is_some())
             .unwrap()
             .id;
-        ua.marking.set(dep, Mark::Rejected, Some("permutation".into())).unwrap();
+        ua.marking
+            .set(dep, Mark::Rejected, Some("permutation".into()))
+            .unwrap();
         let before = ua.active_inhibitors(ua.nest.roots[0]).len();
         ua.rebuild(&p.units[0]); // no AST change: marks must survive
         let after = ua.active_inhibitors(ua.nest.roots[0]).len();

@@ -71,7 +71,9 @@ pub fn induction_elimination(
 ) -> Result<Applied, TransformError> {
     let advice = induction_elimination_advice(&program.units[unit_idx], ua, l, name);
     if !advice.applicable {
-        return Err(TransformError::NotApplicable(advice.why_not.unwrap_or_default()));
+        return Err(TransformError::NotApplicable(
+            advice.why_not.unwrap_or_default(),
+        ));
     }
     if let Safety::Unsafe(r) = advice.safety {
         return Err(TransformError::Unsafe(r));
@@ -82,13 +84,14 @@ pub fn induction_elimination(
         .find(|v| v.name.eq_ignore_ascii_case(name))
         .ok_or_else(|| TransformError::Internal("induction variable vanished".into()))?;
     let base = format!("{}B", iv.name);
-    let (var, lo, hi, target) =
-        (info.var.clone(), info.lo.clone(), info.hi.clone(), info.stmt);
-    // Replacement: base + step * (v - lo + 1).
-    let trip_index = Expr::add(
-        Expr::sub(Expr::var(var.clone()), lo.clone()),
-        Expr::Int(1),
+    let (var, lo, hi, target) = (
+        info.var.clone(),
+        info.lo.clone(),
+        info.hi.clone(),
+        info.stmt,
     );
+    // Replacement: base + step * (v - lo + 1).
+    let trip_index = Expr::add(Expr::sub(Expr::var(var.clone()), lo.clone()), Expr::Int(1));
     let replacement = Expr::add(
         Expr::var(base.clone()),
         Expr::mul(Expr::Int(iv.step), trip_index.clone()),
@@ -112,13 +115,19 @@ pub fn induction_elimination(
     };
     let init = Stmt::new(
         init_id,
-        StmtKind::Assign { lhs: LValue::Var(base.clone()), rhs: Expr::var(iv.name.clone()) },
+        StmtKind::Assign {
+            lhs: LValue::Var(base.clone()),
+            rhs: Expr::var(iv.name.clone()),
+        },
     );
     let fini = Stmt::new(
         fini_id,
         StmtKind::Assign {
             lhs: LValue::Var(iv.name.clone()),
-            rhs: Expr::add(Expr::var(base.clone()), Expr::mul(Expr::Int(iv.step), trip_count)),
+            rhs: Expr::add(
+                Expr::var(base.clone()),
+                Expr::mul(Expr::Int(iv.step), trip_count),
+            ),
         },
     );
     with_containing_block(&mut program.units[unit_idx].body, target, |block, i| {
@@ -174,7 +183,10 @@ mod tests {
     #[test]
     fn elimination_preserves_semantics() {
         let (mut p, ua) = setup(COUNTER);
-        let before = ped_runtime::run(&p, Default::default()).unwrap().lines.clone();
+        let before = ped_runtime::run(&p, Default::default())
+            .unwrap()
+            .lines
+            .clone();
         let l = ua.nest.roots[1];
         induction_elimination(&mut p, 0, &ua, l, "K").unwrap();
         let after = ped_runtime::run(&p, Default::default()).unwrap().lines;
@@ -196,7 +208,8 @@ mod tests {
             .copied()
             .find(|&x| {
                 let lo = &ua2.nest.get(x).lo;
-                *lo == Expr::Int(1) && ua2.nest.get(x).hi == Expr::Int(64)
+                *lo == Expr::Int(1)
+                    && ua2.nest.get(x).hi == Expr::Int(64)
                     && ua2.nest.get(x).body.len() > 1
             })
             .unwrap_or(ua2.nest.roots[1]);
@@ -245,7 +258,10 @@ mod tests {
       END
 ";
         let (mut p, ua) = setup(src);
-        let before = ped_runtime::run(&p, Default::default()).unwrap().lines.clone();
+        let before = ped_runtime::run(&p, Default::default())
+            .unwrap()
+            .lines
+            .clone();
         assert_eq!(before, ["4"]);
         let l = ua.nest.roots[0];
         induction_elimination(&mut p, 0, &ua, l, "K").unwrap();

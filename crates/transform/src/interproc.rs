@@ -46,12 +46,26 @@ pub fn extract_loop(
                 "callee body is not a single outer loop".into(),
             ));
         };
-        let StmtKind::Do { var, lo, hi, step, body, .. } = &only.kind else {
+        let StmtKind::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            ..
+        } = &only.kind
+        else {
             return Err(TransformError::NotApplicable(
                 "callee body is not a single outer loop".into(),
             ));
         };
-        (var.clone(), lo.clone(), hi.clone(), step.clone(), body.clone())
+        (
+            var.clone(),
+            lo.clone(),
+            hi.clone(),
+            step.clone(),
+            body.clone(),
+        )
     };
     // Bounds must be formals-or-constants so the caller can evaluate them.
     let formals: Vec<String> = program.units[callee_idx].params.clone();
@@ -70,7 +84,9 @@ pub fn extract_loop(
         let s = find_stmt(&u.body, call_stmt)
             .ok_or_else(|| TransformError::NotApplicable("call statement not found".into()))?;
         let StmtKind::Call { name, args } = &s.kind else {
-            return Err(TransformError::NotApplicable("statement is not a CALL".into()));
+            return Err(TransformError::NotApplicable(
+                "statement is not a CALL".into(),
+            ));
         };
         if !name.eq_ignore_ascii_case(callee) {
             return Err(TransformError::NotApplicable(format!(
@@ -78,7 +94,9 @@ pub fn extract_loop(
             )));
         }
         if args.len() != formals.len() {
-            return Err(TransformError::NotApplicable("argument count mismatch".into()));
+            return Err(TransformError::NotApplicable(
+                "argument count mismatch".into(),
+            ));
         }
         args.clone()
     };
@@ -90,7 +108,10 @@ pub fn extract_loop(
     // Declare the index as INTEGER.
     new_unit.decls.push(Decl::Typed {
         ty: Type::Integer,
-        entities: vec![Declared { name: loop_var.clone(), dims: Vec::new() }],
+        entities: vec![Declared {
+            name: loop_var.clone(),
+            dims: Vec::new(),
+        }],
     });
     let mut new_body = clone_with_fresh_ids(&loop_body, program);
     new_body.retain(|s| !(matches!(s.kind, StmtKind::Continue) && s.label.is_some()));
@@ -111,7 +132,13 @@ pub fn extract_loop(
     new_args.push(Expr::var(loop_var.clone()));
     let call_id = program.fresh_stmt();
     let do_id = program.fresh_stmt();
-    let new_call = Stmt::new(call_id, StmtKind::Call { name: new_name.clone(), args: new_args });
+    let new_call = Stmt::new(
+        call_id,
+        StmtKind::Call {
+            name: new_name.clone(),
+            args: new_args,
+        },
+    );
     let wrapper = Stmt::new(
         do_id,
         StmtKind::Do {
@@ -124,11 +151,17 @@ pub fn extract_loop(
             sched: LoopSched::Sequential,
         },
     );
-    with_containing_block(&mut program.units[caller_idx].body, call_stmt, |block, i| {
-        block[i] = wrapper;
-    })
+    with_containing_block(
+        &mut program.units[caller_idx].body,
+        call_stmt,
+        |block, i| {
+            block[i] = wrapper;
+        },
+    )
     .ok_or_else(|| TransformError::Internal("call site vanished".into()))?;
-    Ok(Applied::note(format!("extracted loop from {callee} into {caller} (new unit {new_name})")))
+    Ok(Applied::note(format!(
+        "extracted loop from {callee} into {caller} (new unit {new_name})"
+    )))
 }
 
 /// Embed the caller loop `loop_stmt` (whose body is a single CALL with
@@ -146,21 +179,37 @@ pub fn embed_loop(
         let u = &program.units[caller_idx];
         let s = find_stmt(&u.body, loop_stmt)
             .ok_or_else(|| TransformError::NotApplicable("loop not found".into()))?;
-        let StmtKind::Do { var, lo, hi, step, body, .. } = &s.kind else {
-            return Err(TransformError::NotApplicable("statement is not a DO".into()));
+        let StmtKind::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            ..
+        } = &s.kind
+        else {
+            return Err(TransformError::NotApplicable(
+                "statement is not a DO".into(),
+            ));
         };
         if step.is_some() {
-            return Err(TransformError::NotApplicable("embedding requires unit step".into()));
+            return Err(TransformError::NotApplicable(
+                "embedding requires unit step".into(),
+            ));
         }
-        let significant: Vec<&Stmt> =
-            body.iter().filter(|st| !matches!(st.kind, StmtKind::Continue)).collect();
+        let significant: Vec<&Stmt> = body
+            .iter()
+            .filter(|st| !matches!(st.kind, StmtKind::Continue))
+            .collect();
         let [only] = significant.as_slice() else {
             return Err(TransformError::NotApplicable(
                 "loop body is not a single CALL".into(),
             ));
         };
         let StmtKind::Call { name, args } = &only.kind else {
-            return Err(TransformError::NotApplicable("loop body is not a single CALL".into()));
+            return Err(TransformError::NotApplicable(
+                "loop body is not a single CALL".into(),
+            ));
         };
         // Arguments must be loop-invariant or exactly the loop index.
         for a in args {
@@ -172,7 +221,13 @@ pub fn embed_loop(
                 )));
             }
         }
-        (var.clone(), lo.clone(), hi.clone(), name.clone(), args.clone())
+        (
+            var.clone(),
+            lo.clone(),
+            hi.clone(),
+            name.clone(),
+            args.clone(),
+        )
     };
     let callee_idx = unit_index(program, &callee_name)?;
     // New callee: formals minus the index-bound ones, plus LO/HI bounds.
@@ -193,8 +248,14 @@ pub fn embed_loop(
     new_unit.decls.push(Decl::Typed {
         ty: Type::Integer,
         entities: vec![
-            Declared { name: lo_formal.clone(), dims: Vec::new() },
-            Declared { name: hi_formal.clone(), dims: Vec::new() },
+            Declared {
+                name: lo_formal.clone(),
+                dims: Vec::new(),
+            },
+            Declared {
+                name: hi_formal.clone(),
+                dims: Vec::new(),
+            },
         ],
     });
     // Wrap the old body in the loop over the first index formal (or a
@@ -232,13 +293,25 @@ pub fn embed_loop(
     new_args.push(lo);
     new_args.push(hi);
     let call_id = program.fresh_stmt();
-    let call = Stmt::new(call_id, StmtKind::Call { name: new_name.clone(), args: new_args });
-    with_containing_block(&mut program.units[caller_idx].body, loop_stmt, |block, i| {
-        block[i] = call;
-    })
+    let call = Stmt::new(
+        call_id,
+        StmtKind::Call {
+            name: new_name.clone(),
+            args: new_args,
+        },
+    );
+    with_containing_block(
+        &mut program.units[caller_idx].body,
+        loop_stmt,
+        |block, i| {
+            block[i] = call;
+        },
+    )
     .ok_or_else(|| TransformError::Internal("loop vanished".into()))?;
     let _ = var;
-    Ok(Applied::note(format!("embedded caller loop into new unit {new_name}")))
+    Ok(Applied::note(format!(
+        "embedded caller loop into new unit {new_name}"
+    )))
 }
 
 fn unit_index(program: &Program, name: &str) -> Result<usize, TransformError> {
@@ -280,7 +353,9 @@ mod tests {
             let nest = ped_analysis::loops::LoopNest::build(&p.units[0]);
             let info = &nest.loops[0];
             let s = find_stmt(&p.units[0].body, info.stmt).unwrap();
-            let StmtKind::Do { body, .. } = &s.kind else { panic!() };
+            let StmtKind::Do { body, .. } = &s.kind else {
+                panic!()
+            };
             body.iter()
                 .find(|st| matches!(st.kind, StmtKind::Call { .. }))
                 .unwrap()
@@ -295,7 +370,10 @@ mod tests {
         assert!(p.unit("SWEEPX").is_some());
         let sx = p.unit("SWEEPX").unwrap();
         assert_eq!(sx.params, ["U", "L", "N", "J"]);
-        assert!(!sx.body.iter().any(|s| matches!(s.kind, StmtKind::Do { .. })));
+        assert!(!sx
+            .body
+            .iter()
+            .any(|s| matches!(s.kind, StmtKind::Do { .. })));
         // Now the caller's loops can be interchanged: the J loop and the
         // L loop are in the same unit.
         let nest = ped_analysis::loops::LoopNest::build(&p.units[0]);
@@ -364,8 +442,13 @@ mod tests {
         let call = {
             let nest = ped_analysis::loops::LoopNest::build(&p.units[0]);
             let s = find_stmt(&p.units[0].body, nest.loops[0].stmt).unwrap();
-            let StmtKind::Do { body, .. } = &s.kind else { panic!() };
-            body.iter().find(|st| matches!(st.kind, StmtKind::Call { .. })).unwrap().id
+            let StmtKind::Do { body, .. } = &s.kind else {
+                panic!()
+            };
+            body.iter()
+                .find(|st| matches!(st.kind, StmtKind::Call { .. }))
+                .unwrap()
+                .id
         };
         extract_loop(&mut p, "MAIN", call, "SWEEP").unwrap();
         // MOD/REF summary for the new unit: only U (pos 0) is modified;
@@ -411,8 +494,14 @@ mod tests {
         }
         crate::reorder::interchange(&mut p, 0, &ua, outer).unwrap();
         let txt = print_program(&p);
-        let j = txt.find("DO 10 J = 1, 100").or(txt.find("DO J = 1, 100")).unwrap();
-        let l = txt.find("DO L = 1, 12").or(txt.find("DO 10 L = 1, 12")).unwrap();
+        let j = txt
+            .find("DO 10 J = 1, 100")
+            .or(txt.find("DO J = 1, 100"))
+            .unwrap();
+        let l = txt
+            .find("DO L = 1, 12")
+            .or(txt.find("DO 10 L = 1, 12"))
+            .unwrap();
         assert!(j < l, "J loop should now be outermost:\n{txt}");
     }
 }

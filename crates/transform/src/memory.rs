@@ -22,17 +22,30 @@ pub fn strip_mine(
     b: i64,
 ) -> Result<Applied, TransformError> {
     if b < 2 {
-        return Err(TransformError::NotApplicable("strip size must be at least 2".into()));
+        return Err(TransformError::NotApplicable(
+            "strip size must be at least 2".into(),
+        ));
     }
     let info = ua.nest.get(l);
     if info.step.is_some() {
-        return Err(TransformError::NotApplicable("strip mining requires unit step".into()));
+        return Err(TransformError::NotApplicable(
+            "strip mining requires unit step".into(),
+        ));
     }
     let target = info.stmt;
     let strip_var = format!("{}S", info.var);
     let inner_id = program.fresh_stmt();
     with_do_mut(&mut program.units[unit_idx].body, target, |s| {
-        let StmtKind::Do { var, lo, hi, step, body, term_label, sched } = &mut s.kind else {
+        let StmtKind::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            term_label,
+            sched,
+        } = &mut s.kind
+        else {
             return;
         };
         let inner_body = std::mem::take(body);
@@ -76,7 +89,9 @@ pub fn unroll_advice(ua: &UnitAnalysis, l: LoopId, factor: u32) -> Advice {
     if ua.nest.get(l).step.is_some() {
         return Advice::not_applicable("unrolling requires unit step");
     }
-    Advice::safe(Profit::Yes("reduces loop overhead and exposes scheduling".into()))
+    Advice::safe(Profit::Yes(
+        "reduces loop overhead and exposes scheduling".into(),
+    ))
 }
 
 /// Unroll loop `l` by `factor`: the body is replicated with `v`,
@@ -90,14 +105,19 @@ pub fn unroll(
 ) -> Result<Applied, TransformError> {
     let advice = unroll_advice(ua, l, factor);
     if !advice.applicable {
-        return Err(TransformError::NotApplicable(advice.why_not.unwrap_or_default()));
+        return Err(TransformError::NotApplicable(
+            advice.why_not.unwrap_or_default(),
+        ));
     }
     let info = ua.nest.get(l);
     let target = info.stmt;
     let (var, lo, hi, body) = {
         let s = find_stmt(&program.units[unit_idx].body, target)
             .ok_or_else(|| TransformError::Internal("loop vanished".into()))?;
-        let StmtKind::Do { var, lo, hi, body, .. } = &s.kind else {
+        let StmtKind::Do {
+            var, lo, hi, body, ..
+        } = &s.kind
+        else {
             return Err(TransformError::Internal("not a DO".into()));
         };
         (var.clone(), lo.clone(), hi.clone(), body.clone())
@@ -137,7 +157,10 @@ pub fn unroll(
     let update_id = program.fresh_stmt();
     let init = Stmt::new(
         init_id,
-        StmtKind::Assign { lhs: LValue::Var(rem_var_start.clone()), rhs: lo.clone() },
+        StmtKind::Assign {
+            lhs: LValue::Var(rem_var_start.clone()),
+            rhs: lo.clone(),
+        },
     );
     let update = Stmt::new(
         update_id,
@@ -148,7 +171,14 @@ pub fn unroll(
     );
     unrolled.push(update);
     with_do_mut(&mut program.units[unit_idx].body, target, |s| {
-        if let StmtKind::Do { hi, step, body, term_label, .. } = &mut s.kind {
+        if let StmtKind::Do {
+            hi,
+            step,
+            body,
+            term_label,
+            ..
+        } = &mut s.kind
+        {
             *hi = Expr::sub(hi.clone(), Expr::Int(k - 1));
             *step = Some(Expr::Int(k));
             *term_label = None;
@@ -159,7 +189,9 @@ pub fn unroll(
         block.insert(i, init);
         block.insert(i + 2, remainder);
     });
-    Ok(Applied::note(format!("unrolled by factor {factor} with remainder loop")))
+    Ok(Applied::note(format!(
+        "unrolled by factor {factor} with remainder loop"
+    )))
 }
 
 // ---------------------------------------------------------------------
@@ -178,7 +210,9 @@ pub fn scalar_replacement(
     array: &str,
 ) -> Result<Applied, TransformError> {
     if !ua.symbols.is_array(array) {
-        return Err(TransformError::NotApplicable(format!("{array} is not an array")));
+        return Err(TransformError::NotApplicable(format!(
+            "{array} is not an array"
+        )));
     }
     let info = ua.nest.get(l);
     let body_ids: std::collections::HashSet<StmtId> = info.body.iter().copied().collect();
@@ -189,7 +223,9 @@ pub fn scalar_replacement(
         .iter()
         .any(|r| r.is_def && r.name == array && body_ids.contains(&r.stmt))
     {
-        return Err(TransformError::Unsafe(format!("{array} is written in the loop")));
+        return Err(TransformError::Unsafe(format!(
+            "{array} is written in the loop"
+        )));
     }
     // Find a repeated identical subscript among reads.
     let mut counts: std::collections::HashMap<String, (Vec<Expr>, usize)> =
@@ -206,7 +242,10 @@ pub fn scalar_replacement(
             e.1 += 1;
         }
     }
-    let Some((subs, n)) = counts.into_values().filter(|(_, n)| *n >= 2).max_by_key(|(_, n)| *n)
+    let Some((subs, n)) = counts
+        .into_values()
+        .filter(|(_, n)| *n >= 2)
+        .max_by_key(|(_, n)| *n)
     else {
         return Err(TransformError::NotApplicable(format!(
             "no repeated reads of {array} with identical subscripts"
@@ -230,7 +269,9 @@ pub fn scalar_replacement(
             body.insert(0, load);
         }
     });
-    Ok(Applied::note(format!("replaced {n} reads with scalar {temp}")))
+    Ok(Applied::note(format!(
+        "replaced {n} reads with scalar {temp}"
+    )))
 }
 
 fn replace_elem_reads(stmts: &mut [Stmt], array: &str, subs: &[Expr], temp: &str) {
@@ -263,20 +304,27 @@ fn replace_in_expr(e: &Expr, array: &str, subs: &[Expr], temp: &str) -> Expr {
         }
         Expr::Index { name, subs: esubs } => Expr::Index {
             name: name.clone(),
-            subs: esubs.iter().map(|x| replace_in_expr(x, array, subs, temp)).collect(),
+            subs: esubs
+                .iter()
+                .map(|x| replace_in_expr(x, array, subs, temp))
+                .collect(),
         },
         Expr::Call { name, args } => Expr::Call {
             name: name.clone(),
-            args: args.iter().map(|x| replace_in_expr(x, array, subs, temp)).collect(),
+            args: args
+                .iter()
+                .map(|x| replace_in_expr(x, array, subs, temp))
+                .collect(),
         },
         Expr::Bin { op, l, r } => Expr::Bin {
             op: *op,
             l: Box::new(replace_in_expr(l, array, subs, temp)),
             r: Box::new(replace_in_expr(r, array, subs, temp)),
         },
-        Expr::Un { op, e } => {
-            Expr::Un { op: *op, e: Box::new(replace_in_expr(e, array, subs, temp)) }
-        }
+        Expr::Un { op, e } => Expr::Un {
+            op: *op,
+            e: Box::new(replace_in_expr(e, array, subs, temp)),
+        },
         _ => e.clone(),
     }
 }
@@ -295,7 +343,9 @@ pub fn unroll_and_jam_advice(unit: &ProcUnit, ua: &UnitAnalysis, outer: LoopId) 
     if let Safety::Unsafe(r) = &base.safety {
         return Advice::unsafe_because(format!("jamming is illegal: {r}"));
     }
-    Advice::safe(Profit::Yes("improves register reuse across outer iterations".into()))
+    Advice::safe(Profit::Yes(
+        "improves register reuse across outer iterations".into(),
+    ))
 }
 
 /// Unroll the outer loop of a perfect nest by `factor` and jam the copies
@@ -309,13 +359,17 @@ pub fn unroll_and_jam(
 ) -> Result<Applied, TransformError> {
     let advice = unroll_and_jam_advice(&program.units[unit_idx], ua, outer);
     if !advice.applicable {
-        return Err(TransformError::NotApplicable(advice.why_not.unwrap_or_default()));
+        return Err(TransformError::NotApplicable(
+            advice.why_not.unwrap_or_default(),
+        ));
     }
     if let Safety::Unsafe(r) = advice.safety {
         return Err(TransformError::Unsafe(r));
     }
     if factor < 2 {
-        return Err(TransformError::NotApplicable("factor must be at least 2".into()));
+        return Err(TransformError::NotApplicable(
+            "factor must be at least 2".into(),
+        ));
     }
     let k = factor as i64;
     let outer_info = ua.nest.get(outer);
@@ -345,19 +399,30 @@ pub fn unroll_and_jam(
         jammed.extend(copy);
     }
     with_do_mut(&mut program.units[unit_idx].body, inner_stmt, |s| {
-        if let StmtKind::Do { body, term_label, .. } = &mut s.kind {
+        if let StmtKind::Do {
+            body, term_label, ..
+        } = &mut s.kind
+        {
             *body = jammed;
             *term_label = None;
         }
     });
     with_do_mut(&mut program.units[unit_idx].body, target, |s| {
-        if let StmtKind::Do { hi, step, term_label, .. } = &mut s.kind {
+        if let StmtKind::Do {
+            hi,
+            step,
+            term_label,
+            ..
+        } = &mut s.kind
+        {
             *hi = Expr::sub(hi.clone(), Expr::Int(k - 1));
             *step = Some(Expr::Int(k));
             *term_label = None;
         }
     });
-    Ok(Applied::note(format!("unroll-and-jam by factor {factor} (bounds must divide evenly)")))
+    Ok(Applied::note(format!(
+        "unroll-and-jam by factor {factor} (bounds must divide evenly)"
+    )))
 }
 
 #[cfg(test)]
@@ -379,7 +444,10 @@ mod tests {
         let (mut p, ua) = setup(src);
         strip_mine(&mut p, 0, &ua, ua.nest.roots[0], 16).unwrap();
         let txt = print_program(&p);
-        assert!(txt.contains("DO 10 IS = 1, N, 16") || txt.contains("DO IS = 1, N, 16"), "{txt}");
+        assert!(
+            txt.contains("DO 10 IS = 1, N, 16") || txt.contains("DO IS = 1, N, 16"),
+            "{txt}"
+        );
         assert!(txt.contains("DO I = IS, MIN(IS + 15, N)"), "{txt}");
         let nest = ped_analysis::loops::LoopNest::build(&p.units[0]);
         assert_eq!(nest.len(), 2);

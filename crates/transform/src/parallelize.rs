@@ -106,7 +106,12 @@ pub fn analyze_parallelization(
     }
     privatized.sort();
     privatized_arrays.sort();
-    ParallelizationReport { impediments, privatized, privatized_arrays, reductions: red_vars }
+    ParallelizationReport {
+        impediments,
+        privatized,
+        privatized_arrays,
+        reductions: red_vars,
+    }
 }
 
 /// Advice for converting loop `l` to parallel.
@@ -320,7 +325,11 @@ mod tests {
             .collect();
         for id in pending {
             ua.marking
-                .set(id, ped_dependence::Mark::Rejected, Some("IX is a permutation".into()))
+                .set(
+                    id,
+                    ped_dependence::Mark::Rejected,
+                    Some("IX is a permutation".into()),
+                )
                 .unwrap();
         }
         let report2 = analyze_parallelization(&p.units[0], &ua, ua.nest.roots[0]);
@@ -360,7 +369,10 @@ mod tests {
             &mut p,
             0,
             anchor,
-            StmtKind::Assign { lhs: LValue::Var("Z".into()), rhs: Expr::Int(0) },
+            StmtKind::Assign {
+                lhs: LValue::Var("Z".into()),
+                rhs: Expr::Int(0),
+            },
         );
         assert!(err.is_err());
     }

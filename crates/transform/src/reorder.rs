@@ -49,10 +49,24 @@ pub fn distribute(
     let (var, lo, hi, step, body) = {
         let do_stmt = find_stmt(&program.units[unit_idx].body, info.stmt)
             .ok_or_else(|| TransformError::Internal("loop vanished".into()))?;
-        let StmtKind::Do { var, lo, hi, step, body, .. } = &do_stmt.kind else {
+        let StmtKind::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            ..
+        } = &do_stmt.kind
+        else {
             return Err(TransformError::Internal("not a DO".into()));
         };
-        (var.clone(), lo.clone(), hi.clone(), step.clone(), body.clone())
+        (
+            var.clone(),
+            lo.clone(),
+            hi.clone(),
+            step.clone(),
+            body.clone(),
+        )
     };
     // Build one loop per group, preserving group-internal order.
     let mut new_loops: Vec<Stmt> = Vec::with_capacity(groups.len());
@@ -82,9 +96,13 @@ pub fn distribute(
     }
     let count = new_loops.len();
     let target = info.stmt;
-    with_containing_block(&mut program.units[unit_idx].body, target, move |block, i| {
-        block.splice(i..=i, new_loops);
-    })
+    with_containing_block(
+        &mut program.units[unit_idx].body,
+        target,
+        move |block, i| {
+            block.splice(i..=i, new_loops);
+        },
+    )
     .ok_or_else(|| TransformError::Internal("loop not found in block".into()))?;
     Ok(Applied::note(format!("distributed into {count} loops")))
 }
@@ -174,8 +192,11 @@ fn distribution_groups(unit: &ProcUnit, ua: &UnitAnalysis, l: LoopId) -> Option<
     }
     let mut groups: Vec<Vec<usize>> = Vec::with_capacity(ng);
     for g in order {
-        let mut members: Vec<usize> =
-            sccs[g].iter().copied().filter(|m| nodes.contains(m)).collect();
+        let mut members: Vec<usize> = sccs[g]
+            .iter()
+            .copied()
+            .filter(|m| nodes.contains(m))
+            .collect();
         members.sort_unstable();
         if !members.is_empty() {
             groups.push(members);
@@ -289,21 +310,38 @@ pub fn interchange(
 ) -> Result<Applied, TransformError> {
     let advice = interchange_advice(&program.units[unit_idx], ua, outer);
     if !advice.applicable {
-        return Err(TransformError::NotApplicable(advice.why_not.unwrap_or_default()));
+        return Err(TransformError::NotApplicable(
+            advice.why_not.unwrap_or_default(),
+        ));
     }
     if let Safety::Unsafe(r) = advice.safety {
         return Err(TransformError::Unsafe(r));
     }
     let outer_stmt = ua.nest.get(outer).stmt;
     with_do_mut(&mut program.units[unit_idx].body, outer_stmt, |s| {
-        let StmtKind::Do { var, lo, hi, step, body, .. } = &mut s.kind else {
+        let StmtKind::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            ..
+        } = &mut s.kind
+        else {
             return Err(TransformError::Internal("not a DO".into()));
         };
         let inner = body
             .iter_mut()
             .find(|c| matches!(c.kind, StmtKind::Do { .. }))
             .ok_or_else(|| TransformError::Internal("inner loop vanished".into()))?;
-        let StmtKind::Do { var: iv, lo: il, hi: ih, step: is, .. } = &mut inner.kind else {
+        let StmtKind::Do {
+            var: iv,
+            lo: il,
+            hi: ih,
+            step: is,
+            ..
+        } = &mut inner.kind
+        else {
             return Err(TransformError::Internal("inner not a DO".into()));
         };
         std::mem::swap(var, iv);
@@ -340,10 +378,14 @@ fn fusion_check(
     let i1 = ua.nest.get(l1);
     let i2 = ua.nest.get(l2);
     if i1.parent != i2.parent {
-        return Err(TransformError::NotApplicable("loops are not siblings".into()));
+        return Err(TransformError::NotApplicable(
+            "loops are not siblings".into(),
+        ));
     }
     if !adjacent_in_block(unit, i1.stmt, i2.stmt) {
-        return Err(TransformError::NotApplicable("loops are not adjacent".into()));
+        return Err(TransformError::NotApplicable(
+            "loops are not adjacent".into(),
+        ));
     }
     // Bound equality (provable).
     if !ua.env.prove_equal(&i1.lo, &i2.lo) || !ua.env.prove_equal(&i1.hi, &i2.hi) {
@@ -369,7 +411,9 @@ fn fusion_check(
             }
         });
         if has_jump {
-            return Err(TransformError::NotApplicable("unstructured control flow".into()));
+            return Err(TransformError::NotApplicable(
+                "unstructured control flow".into(),
+            ));
         }
     }
     // Fusion-preventing dependences: a pair (a ∈ L1, b ∈ L2) that after
@@ -449,7 +493,10 @@ pub fn fuse(
         second = Some(block.remove(i));
     });
     let second = second.ok_or_else(|| TransformError::Internal("second loop missing".into()))?;
-    let StmtKind::Do { body: mut body2, .. } = second.kind else {
+    let StmtKind::Do {
+        body: mut body2, ..
+    } = second.kind
+    else {
         return Err(TransformError::Internal("second not a DO".into()));
     };
     if var1 != var2 {
@@ -457,7 +504,10 @@ pub fn fuse(
     }
     body2.retain(|s| !(matches!(s.kind, StmtKind::Continue) && s.label.is_some()));
     with_do_mut(&mut program.units[unit_idx].body, i1, |s| {
-        if let StmtKind::Do { body, term_label, .. } = &mut s.kind {
+        if let StmtKind::Do {
+            body, term_label, ..
+        } = &mut s.kind
+        {
             body.retain(|st| !(matches!(st.kind, StmtKind::Continue) && st.label.is_some()));
             *term_label = None;
             body.extend(body2);
@@ -473,7 +523,8 @@ fn adjacent_in_block(unit: &ProcUnit, a: StmtId, b: StmtId) -> bool {
                 return true;
             }
         }
-        body.iter().any(|s| s.kind.blocks().iter().any(|blk| scan(blk, a, b)))
+        body.iter()
+            .any(|s| s.kind.blocks().iter().any(|blk| scan(blk, a, b)))
     }
     scan(&unit.body, a, b)
 }
@@ -508,12 +559,17 @@ pub fn reverse(
     }
     let stmt = ua.nest.get(l).stmt;
     with_do_mut(&mut program.units[unit_idx].body, stmt, |s| {
-        if let StmtKind::Do { var, lo, hi, body, .. } = &mut s.kind {
+        if let StmtKind::Do {
+            var, lo, hi, body, ..
+        } = &mut s.kind
+        {
             let rep = Expr::sub(Expr::add(lo.clone(), hi.clone()), Expr::var(var.clone()));
             subst_var(body, var, &rep);
         }
     });
-    Ok(Applied::note("reversed iteration order via index substitution"))
+    Ok(Applied::note(
+        "reversed iteration order via index substitution",
+    ))
 }
 
 // ---------------------------------------------------------------------
@@ -536,7 +592,10 @@ pub fn skew(
     let inner_stmt = inner.stmt;
     let outer_var = ua.nest.get(outer).var.clone();
     with_do_mut(&mut program.units[unit_idx].body, inner_stmt, |s| {
-        if let StmtKind::Do { var, lo, hi, body, .. } = &mut s.kind {
+        if let StmtKind::Do {
+            var, lo, hi, body, ..
+        } = &mut s.kind
+        {
             let shift = Expr::mul(Expr::Int(factor), Expr::var(outer_var.clone()));
             *lo = Expr::add(lo.clone(), shift.clone());
             *hi = Expr::add(hi.clone(), shift.clone());
@@ -544,7 +603,9 @@ pub fn skew(
             subst_var(body, var, &rep);
         }
     });
-    Ok(Applied::note(format!("skewed inner loop by factor {factor}")))
+    Ok(Applied::note(format!(
+        "skewed inner loop by factor {factor}"
+    )))
 }
 
 // ---------------------------------------------------------------------
@@ -574,7 +635,9 @@ pub fn statement_interchange(
     ua: &UnitAnalysis,
     a: StmtId,
 ) -> Result<Applied, TransformError> {
-    let mut result = Err(TransformError::NotApplicable("no following statement".into()));
+    let mut result = Err(TransformError::NotApplicable(
+        "no following statement".into(),
+    ));
     let mut advice_block = None;
     with_containing_block(&mut program.units[unit_idx].body, a, |block, i| {
         if i + 1 < block.len() {
@@ -623,7 +686,8 @@ mod tests {
         let b_loop = ua2.nest.loops.iter().find(|l| {
             let s = find_stmt(&p.units[0].body, l.stmt).unwrap();
             if let StmtKind::Do { body, .. } = &s.kind {
-                body.iter().any(|st| matches!(&st.kind, StmtKind::Assign { lhs, .. } if lhs.name() == "B"))
+                body.iter()
+                    .any(|st| matches!(&st.kind, StmtKind::Assign { lhs, .. } if lhs.name() == "B"))
             } else {
                 false
             }
@@ -669,7 +733,10 @@ mod tests {
         interchange(&mut p, 0, &ua, ua.nest.roots[0]).unwrap();
         let txt = print_program(&p);
         let j_pos = txt.find("DO 10 J = 1, M").unwrap();
-        let i_pos = txt.find("DO I = 1, N").or(txt.find("DO 10 I = 1, N")).unwrap();
+        let i_pos = txt
+            .find("DO I = 1, N")
+            .or(txt.find("DO 10 I = 1, N"))
+            .unwrap();
         assert!(j_pos < i_pos, "{txt}");
     }
 
@@ -777,7 +844,8 @@ mod tests {
         let first = ua.nest.loops[0].body[0];
         assert!(statement_interchange(&mut p, 0, &ua, first).is_err());
 
-        let src2 = "      DO 10 I = 1, N\n      A(I) = 1.0\n      B(I) = 2.0\n   10 CONTINUE\n      END\n";
+        let src2 =
+            "      DO 10 I = 1, N\n      A(I) = 1.0\n      B(I) = 2.0\n   10 CONTINUE\n      END\n";
         let (mut p2, ua2) = setup(src2);
         let first2 = ua2.nest.loops[0].body[0];
         statement_interchange(&mut p2, 0, &ua2, first2).unwrap();

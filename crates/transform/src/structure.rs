@@ -45,7 +45,12 @@ pub fn simplify_control_flow(
         let mut changed = false;
         // Collect fresh ids up front (the closure borrows program.units).
         let mut fresh: Vec<StmtId> = (0..16).map(|_| program.fresh_stmt()).collect();
-        rewrite_blocks(&mut program.units[unit_idx].body, &refs, &mut fresh, &mut changed);
+        rewrite_blocks(
+            &mut program.units[unit_idx].body,
+            &refs,
+            &mut fresh,
+            &mut changed,
+        );
         if changed {
             total += 1;
             continue;
@@ -60,7 +65,9 @@ pub fn simplify_control_flow(
             "no structurable control flow found".into(),
         ));
     }
-    Ok(Applied::note(format!("{total} structuring pass(es) applied")))
+    Ok(Applied::note(format!(
+        "{total} structuring pass(es) applied"
+    )))
 }
 
 /// Count references to each label (GOTOs, arithmetic IFs, computed GOTOs,
@@ -79,7 +86,10 @@ fn label_refs(unit: &ProcUnit) -> HashMap<u32, usize> {
                 *refs.entry(*l).or_insert(0) += 1;
             }
         }
-        StmtKind::Do { term_label: Some(l), .. } => *refs.entry(*l).or_insert(0) += 1,
+        StmtKind::Do {
+            term_label: Some(l),
+            ..
+        } => *refs.entry(*l).or_insert(0) += 1,
         _ => {}
     });
     refs
@@ -110,7 +120,13 @@ fn rewrite_blocks(
 fn rewrite_one(block: &mut Vec<Stmt>, refs: &HashMap<u32, usize>, fresh: &mut Vec<StmtId>) -> bool {
     // (1) Arithmetic IF → logical IF chain.
     for i in 0..block.len() {
-        if let StmtKind::ArithIf { expr, neg, zero, pos } = &block[i].kind {
+        if let StmtKind::ArithIf {
+            expr,
+            neg,
+            zero,
+            pos,
+        } = &block[i].kind
+        {
             let (expr, neg, zero, pos) = (expr.clone(), *neg, *zero, *pos);
             let label = block[i].label;
             let next_label = block.get(i + 1).and_then(|s| s.label);
@@ -119,7 +135,10 @@ fn rewrite_one(block: &mut Vec<Stmt>, refs: &HashMap<u32, usize>, fresh: &mut Ve
                 let inner = Stmt::new(fresh.pop().expect("fresh ids"), StmtKind::Goto(l));
                 seq.push(Stmt::new(
                     fresh.pop().expect("fresh ids"),
-                    StmtKind::LogicalIf { cond, then: Box::new(inner) },
+                    StmtKind::LogicalIf {
+                        cond,
+                        then: Box::new(inner),
+                    },
                 ));
             };
             let mk = |op: BinOp, e: &Expr| Expr::bin(op, e.clone(), zero_of(e));
@@ -159,10 +178,15 @@ fn rewrite_one(block: &mut Vec<Stmt>, refs: &HashMap<u32, usize>, fresh: &mut Ve
         let StmtKind::LogicalIf { cond, then } = &block[i].kind else {
             continue;
         };
-        let StmtKind::Goto(l1) = then.kind else { continue };
+        let StmtKind::Goto(l1) = then.kind else {
+            continue;
+        };
         let cond = cond.clone();
         // Find the target label in the same block, after i.
-        let Some(j) = block[i + 1..].iter().position(|s| s.label == Some(l1)).map(|p| p + i + 1)
+        let Some(j) = block[i + 1..]
+            .iter()
+            .position(|s| s.label == Some(l1))
+            .map(|p| p + i + 1)
         else {
             continue;
         };
@@ -175,8 +199,10 @@ fn rewrite_one(block: &mut Vec<Stmt>, refs: &HashMap<u32, usize>, fresh: &mut Ve
         if let Some(StmtKind::Goto(l2)) = middle.last().map(|s| &s.kind) {
             let l2 = *l2;
             if refs.get(&l2).copied().unwrap_or(0) == 1 {
-                if let Some(k) =
-                    block[j..].iter().position(|s| s.label == Some(l2)).map(|p| p + j)
+                if let Some(k) = block[j..]
+                    .iter()
+                    .position(|s| s.label == Some(l2))
+                    .map(|p| p + j)
                 {
                     let s1 = &block[i + 1..j - 1];
                     let s2 = &block[j..k];
@@ -219,7 +245,10 @@ fn rewrite_one(block: &mut Vec<Stmt>, refs: &HashMap<u32, usize>, fresh: &mut Ve
             let label = block[i].label;
             let mut ifstmt = Stmt::new(
                 fresh.pop().unwrap(),
-                StmtKind::If { arms: vec![(negate(&cond), then_body)], else_body: None },
+                StmtKind::If {
+                    arms: vec![(negate(&cond), then_body)],
+                    else_body: None,
+                },
             );
             ifstmt.label = label;
             // Keep the labelled target statement (it may be referenced
@@ -255,10 +284,12 @@ fn absorbable_first_labelled(stmts: &[Stmt], allowed: u32, refs: &HashMap<u32, u
     let Some((first, rest)) = stmts.split_first() else {
         return true;
     };
-    if first.label.is_some() && first.label != Some(allowed)
-        && refs.get(&first.label.unwrap()).copied().unwrap_or(0) > 0 {
-            return false;
-        }
+    if first.label.is_some()
+        && first.label != Some(allowed)
+        && refs.get(&first.label.unwrap()).copied().unwrap_or(0) > 0
+    {
+        return false;
+    }
     let mut inner_ok = true;
     for b in first.kind.blocks() {
         if !absorbable(b, refs) {
@@ -287,7 +318,11 @@ pub fn negate(c: &Expr) -> Expr {
                 _ => None,
             };
             match inv {
-                Some(op) => Expr::Bin { op, l: l.clone(), r: r.clone() },
+                Some(op) => Expr::Bin {
+                    op,
+                    l: l.clone(),
+                    r: r.clone(),
+                },
                 None => not(c),
             }
         }
@@ -297,7 +332,10 @@ pub fn negate(c: &Expr) -> Expr {
 }
 
 fn not(c: &Expr) -> Expr {
-    Expr::Un { op: UnOp::Not, e: Box::new(c.clone()) }
+    Expr::Un {
+        op: UnOp::Not,
+        e: Box::new(c.clone()),
+    }
 }
 
 fn drop_dead_labels(body: &mut [Stmt], refs: &HashMap<u32, usize>) {

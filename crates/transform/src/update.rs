@@ -32,8 +32,7 @@ pub fn incremental_update(ua: &mut UnitAnalysis, unit: &ProcUnit, changed_region
     ua.refs = RefTable::build(unit, &ua.symbols);
     ua.nest = LoopNest::build(unit);
     ua.cfg = ped_analysis::Cfg::build(unit);
-    ua.defuse =
-        ped_analysis::DefUse::build(unit, &ua.symbols, &ua.cfg, &ua.refs, None);
+    ua.defuse = ped_analysis::DefUse::build(unit, &ua.symbols, &ua.cfg, &ua.refs, None);
     // New graph: full build (the test suite is the expensive part; the
     // savings come from re-using marks + only *testing* region pairs in
     // `rebuild_region_only` below, used by the benchmark).
@@ -105,7 +104,9 @@ mod tests {
             .collect();
         assert!(!rejected.is_empty());
         for id in &rejected {
-            ua.marking.set(*id, Mark::Rejected, Some("IX perm".into())).unwrap();
+            ua.marking
+                .set(*id, Mark::Rejected, Some("IX perm".into()))
+                .unwrap();
         }
         // Transform loop 2 (unroll) — region = loop 2 subtree.
         let l2 = ua.nest.roots[1];
@@ -120,7 +121,10 @@ mod tests {
             .iter()
             .filter(|d| d.var == "A" && ua.marking.mark_of(d.id) == Mark::Rejected)
             .count();
-        assert!(a_rejected > 0, "rejected marks lost across incremental update");
+        assert!(
+            a_rejected > 0,
+            "rejected marks lost across incremental update"
+        );
     }
 
     #[test]

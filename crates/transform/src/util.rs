@@ -105,9 +105,7 @@ pub fn clone_with_fresh_ids(stmts: &[Stmt], program: &mut Program) -> Vec<Stmt> 
 pub fn subst_expr(e: &Expr, name: &str, rep: &Expr) -> Expr {
     match e {
         Expr::Var(n) if n == name => rep.clone(),
-        Expr::Var(_) | Expr::Int(_) | Expr::Real(_) | Expr::Logical(_) | Expr::Str(_) => {
-            e.clone()
-        }
+        Expr::Var(_) | Expr::Int(_) | Expr::Real(_) | Expr::Logical(_) | Expr::Str(_) => e.clone(),
         Expr::Index { name: a, subs } => Expr::Index {
             name: a.clone(),
             subs: subs.iter().map(|x| subst_expr(x, name, rep)).collect(),
@@ -121,7 +119,10 @@ pub fn subst_expr(e: &Expr, name: &str, rep: &Expr) -> Expr {
             l: Box::new(subst_expr(l, name, rep)),
             r: Box::new(subst_expr(r, name, rep)),
         },
-        Expr::Un { op, e } => Expr::Un { op: *op, e: Box::new(subst_expr(e, name, rep)) },
+        Expr::Un { op, e } => Expr::Un {
+            op: *op,
+            e: Box::new(subst_expr(e, name, rep)),
+        },
     }
 }
 
@@ -179,7 +180,10 @@ fn subst_lvalue(lv: &mut LValue, name: &str, rep: &Expr) {
             match rep {
                 Expr::Var(m) => *lv = LValue::Var(m.clone()),
                 Expr::Index { name: a, subs } => {
-                    *lv = LValue::Elem { name: a.clone(), subs: subs.clone() }
+                    *lv = LValue::Elem {
+                        name: a.clone(),
+                        subs: subs.clone(),
+                    }
                 }
                 _ => {}
             }
@@ -243,7 +247,11 @@ mod tests {
     #[test]
     fn subst_var_rewrites_reads_and_subscripts() {
         let mut p = parse_ok("      A(K) = K + B(K)\n      END\n");
-        subst_var(&mut p.units[0].body, "K", &Expr::add(Expr::var("I"), Expr::Int(1)));
+        subst_var(
+            &mut p.units[0].body,
+            "K",
+            &Expr::add(Expr::var("I"), Expr::Int(1)),
+        );
         let txt = print_program(&p);
         assert!(txt.contains("A(I + 1) = I + 1 + B(I + 1)"), "{txt}");
     }
@@ -281,9 +289,7 @@ mod tests {
 
     #[test]
     fn containing_block_splices() {
-        let mut p = parse_ok(
-            "      DO 10 I = 1, N\n      A(I) = 0\n   10 CONTINUE\n      END\n",
-        );
+        let mut p = parse_ok("      DO 10 I = 1, N\n      A(I) = 0\n   10 CONTINUE\n      END\n");
         let nest = ped_analysis::loops::LoopNest::build(&p.units[0]);
         let target = nest.loops[0].body[0];
         let fresh = p.fresh_stmt();

@@ -96,8 +96,14 @@ fn sections_improve(
     let symbols = ped_fortran::symbols::SymbolTable::build(unit);
     let refs_wo = ped_analysis::refs::RefTable::build(unit, &symbols);
     let nest = ped_analysis::loops::LoopNest::build(unit);
-    let graph_wo =
-        DependenceGraph::build(unit, &symbols, &refs_wo, &nest, env, &BuildOptions::default());
+    let graph_wo = DependenceGraph::build(
+        unit,
+        &symbols,
+        &refs_wo,
+        &nest,
+        env,
+        &BuildOptions::default(),
+    );
     for l in &nest.loops {
         let has_call = l.body.iter().any(|&sid| {
             ped_fortran::ast::find_stmt(&unit.body, sid)
@@ -161,13 +167,8 @@ fn blocked_by_index_arrays(
             loop_vars.push(v);
         }
     }
-    let nctx = ped_dependence::subscript::NestCtx::build(
-        loop_vars,
-        &info.body,
-        unit,
-        &ua.refs,
-        env,
-    );
+    let nctx =
+        ped_dependence::subscript::NestCtx::build(loop_vars, &info.body, unit, &ua.refs, env);
     for d in ua.active_inhibitors(l) {
         for r in [d.src, d.sink].into_iter().flatten() {
             let vr = ua.refs.get(r);
@@ -233,8 +234,7 @@ pub fn measure_table4(p: &WorkProgram) -> Table4Row {
         "nxsns" => {
             let (idx, ua) = analyze(&program, "BANDS");
             let l = loop_assigning(&ua, "G").expect("nxsns: loop with G");
-            ped_transform::memory::unroll(&mut program, idx, &ua, l, 4)
-                .expect("nxsns unrolling");
+            ped_transform::memory::unroll(&mut program, idx, &ua, l, 4).expect("nxsns unrolling");
             row.unrolling = Cell::Used;
             let (idx, _) = analyze(&program, "BANDS");
             ped_transform::structure::simplify_control_flow(&mut program, idx)
@@ -244,8 +244,7 @@ pub fn measure_table4(p: &WorkProgram) -> Table4Row {
         "dpmin" => {
             let (idx, ua) = analyze(&program, "STEP");
             let l = loop_assigning(&ua, "SC").expect("dpmin: loop with SC");
-            ped_transform::memory::unroll(&mut program, idx, &ua, l, 2)
-                .expect("dpmin unrolling");
+            ped_transform::memory::unroll(&mut program, idx, &ua, l, 2).expect("dpmin unrolling");
             row.unrolling = Cell::Used;
             let (idx, _) = analyze(&program, "STEP");
             ped_transform::structure::simplify_control_flow(&mut program, idx)
@@ -282,8 +281,7 @@ pub fn measure_table4(p: &WorkProgram) -> Table4Row {
         "arc3d" => {
             let (idx, ua) = analyze(&program, "RHSIDE");
             let (l1, l2) = (ua.nest.roots[0], ua.nest.roots[1]);
-            ped_transform::reorder::fuse(&mut program, idx, &ua, l1, l2)
-                .expect("arc3d fusion");
+            ped_transform::reorder::fuse(&mut program, idx, &ua, l1, l2).expect("arc3d fusion");
             row.fusion = Cell::Used;
         }
         other => panic!("unknown program {other}"),

@@ -106,7 +106,11 @@ mod tests {
     fn all_sources_parse_clean() {
         for p in all_programs() {
             let prog = p.parse();
-            assert!(prog.units.len() >= 2, "{} should be multi-procedure", p.name);
+            assert!(
+                prog.units.len() >= 2,
+                "{} should be multi-procedure",
+                p.name
+            );
         }
     }
 

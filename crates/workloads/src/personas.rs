@@ -37,13 +37,12 @@ fn open(name: &str) -> PedSession {
 /// `unit` (the §3.1 dependence-deletion workflow).
 fn reject_pending(s: &mut PedSession, unit: &str, var: &str, reason: &str) {
     s.select_unit(unit).unwrap();
-    let target = s
-        .ua
-        .graph
-        .deps
-        .iter()
-        .find(|d| d.var == var && !d.exact && d.level.is_some())
-        .and_then(|d| d.carrier());
+    let target =
+        s.ua.graph
+            .deps
+            .iter()
+            .find(|d| d.var == var && !d.exact && d.level.is_some())
+            .and_then(|d| d.carrier());
     if let Some(l) = target {
         s.select_loop(l).unwrap();
         s.mark_dependences_where(
@@ -90,8 +89,12 @@ fn pottle() -> PedSession {
     s.select_unit("FORCES").unwrap();
     s.select_loop(LoopId(0)).unwrap();
     s.dependence_rows(&DepFilter::All);
-    s.classify_variable("I3", VarClass::Private, Some("recomputed every iteration".into()))
-        .unwrap();
+    s.classify_variable(
+        "I3",
+        VarClass::Private,
+        Some("recomputed every iteration".into()),
+    )
+    .unwrap();
     reject_pending(&mut s, "FORCES", "G", "IT values are distinct");
     s.compose_check();
     s
@@ -105,8 +108,12 @@ fn heimbach() -> PedSession {
     s.select_unit("ADVECT").unwrap();
     s.select_loop(LoopId(0)).unwrap();
     s.dependence_rows(&DepFilter::All);
-    s.classify_variable("FLX", VarClass::Private, Some("killed each iteration".into()))
-        .unwrap();
+    s.classify_variable(
+        "FLX",
+        VarClass::Private,
+        Some("killed each iteration".into()),
+    )
+    .unwrap();
     reject_pending(&mut s, "DIFFUS", "TD", "TD is rewritten every J sweep");
     s.help("marking");
     s
@@ -131,8 +138,12 @@ fn fletcher() -> PedSession {
     s.navigate(None);
     s.select_unit("FILTER3").unwrap();
     s.select_loop(LoopId(0)).unwrap();
-    s.classify_variable("WR1", VarClass::Private, Some("killed every outer iteration".into()))
-        .unwrap();
+    s.classify_variable(
+        "WR1",
+        VarClass::Private,
+        Some("killed every outer iteration".into()),
+    )
+    .unwrap();
     reject_pending(&mut s, "FILTER3", "WR1", "WR1 is a per-iteration temporary");
     s.compose_check();
     s
@@ -150,13 +161,41 @@ fn stein() -> PedSession {
 /// The seven personas in Table 2 column order.
 pub fn personas() -> Vec<Persona> {
     vec![
-        Persona { name: "poole", programs: &["spec77"], run: poole },
-        Persona { name: "zosel-engle", programs: &["neoss", "nxsns"], run: zosel_engle },
-        Persona { name: "pottle", programs: &["dpmin"], run: pottle },
-        Persona { name: "heimbach", programs: &["slab2d", "slalom"], run: heimbach },
-        Persona { name: "brickner", programs: &["pueblo3d"], run: brickner },
-        Persona { name: "fletcher", programs: &["arc3d"], run: fletcher },
-        Persona { name: "stein", programs: &["spec77"], run: stein },
+        Persona {
+            name: "poole",
+            programs: &["spec77"],
+            run: poole,
+        },
+        Persona {
+            name: "zosel-engle",
+            programs: &["neoss", "nxsns"],
+            run: zosel_engle,
+        },
+        Persona {
+            name: "pottle",
+            programs: &["dpmin"],
+            run: pottle,
+        },
+        Persona {
+            name: "heimbach",
+            programs: &["slab2d", "slalom"],
+            run: heimbach,
+        },
+        Persona {
+            name: "brickner",
+            programs: &["pueblo3d"],
+            run: brickner,
+        },
+        Persona {
+            name: "fletcher",
+            programs: &["arc3d"],
+            run: fletcher,
+        },
+        Persona {
+            name: "stein",
+            programs: &["spec77"],
+            run: stein,
+        },
     ]
 }
 

@@ -30,7 +30,9 @@ pub fn all_programs() -> Vec<&'static WorkProgram> {
 
 /// Look up a program by name.
 pub fn program(name: &str) -> Option<&'static WorkProgram> {
-    all_programs().into_iter().find(|p| p.name.eq_ignore_ascii_case(name))
+    all_programs()
+        .into_iter()
+        .find(|p| p.name.eq_ignore_ascii_case(name))
 }
 
 // ---------------------------------------------------------------------

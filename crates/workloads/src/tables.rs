@@ -68,7 +68,11 @@ pub fn render_table3() -> String {
     }
     out.push('\n');
     let rows = [
-        ("dependence", (|r: &crate::meta::Table3Row| r.dependence) as fn(&crate::meta::Table3Row) -> crate::meta::Cell),
+        (
+            "dependence",
+            (|r: &crate::meta::Table3Row| r.dependence)
+                as fn(&crate::meta::Table3Row) -> crate::meta::Cell,
+        ),
         ("scalar kills", |r: &crate::meta::Table3Row| r.scalar_kills),
         ("sections", |r: &crate::meta::Table3Row| r.sections),
         ("array kills", |r: &crate::meta::Table3Row| r.array_kills),
@@ -98,13 +102,23 @@ pub fn render_table4() -> String {
     }
     out.push('\n');
     let rows = [
-        ("loop distribution", (|r: &crate::meta::Table4Row| r.distribution) as fn(&crate::meta::Table4Row) -> crate::meta::Cell),
-        ("loop interchange", |r: &crate::meta::Table4Row| r.interchange),
+        (
+            "loop distribution",
+            (|r: &crate::meta::Table4Row| r.distribution)
+                as fn(&crate::meta::Table4Row) -> crate::meta::Cell,
+        ),
+        ("loop interchange", |r: &crate::meta::Table4Row| {
+            r.interchange
+        }),
         ("loop fusion", |r: &crate::meta::Table4Row| r.fusion),
-        ("scalar expansion", |r: &crate::meta::Table4Row| r.scalar_expansion),
+        ("scalar expansion", |r: &crate::meta::Table4Row| {
+            r.scalar_expansion
+        }),
         ("loop unrolling", |r: &crate::meta::Table4Row| r.unrolling),
         ("control flow", |r: &crate::meta::Table4Row| r.control_flow),
-        ("interprocedural", |r: &crate::meta::Table4Row| r.interprocedural),
+        ("interprocedural", |r: &crate::meta::Table4Row| {
+            r.interprocedural
+        }),
     ];
     let measured: Vec<_> = programs.iter().map(|p| measure_table4(p)).collect();
     for (label, get) in rows {
@@ -114,9 +128,7 @@ pub fn render_table4() -> String {
         }
         out.push('\n');
     }
-    out.push_str(
-        "U: existing transformation was used.  N: new transformation was needed.\n",
-    );
+    out.push_str("U: existing transformation was used.  N: new transformation was needed.\n");
     out
 }
 
@@ -192,17 +204,26 @@ pub fn render_speedup(workers: usize) -> String {
         }
         let seq = ped_runtime::run(
             &session.program,
-            ped_runtime::RunOptions { workers: 1, ..Default::default() },
+            ped_runtime::RunOptions {
+                workers: 1,
+                ..Default::default()
+            },
         )
         .expect("sequential run");
         let par = ped_runtime::run(
             &session.program,
-            ped_runtime::RunOptions { workers, ..Default::default() },
+            ped_runtime::RunOptions {
+                workers,
+                ..Default::default()
+            },
         )
         .expect("parallel run");
         let check = ped_runtime::run(
             &session.program,
-            ped_runtime::RunOptions { validate_parallel: true, ..Default::default() },
+            ped_runtime::RunOptions {
+                validate_parallel: true,
+                ..Default::default()
+            },
         )
         .expect("validated run");
         out.push_str(&format!(
@@ -339,4 +360,3 @@ mod tests {
         }
     }
 }
-

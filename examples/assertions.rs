@@ -17,27 +17,41 @@ fn main() {
     session.select_loop(LoopId(0)).unwrap();
 
     let before = session.impediments(LoopId(0));
-    println!("pueblo3d HYDRO loop before assertion: parallel = {}", before.is_parallel());
+    println!(
+        "pueblo3d HYDRO loop before assertion: parallel = {}",
+        before.is_parallel()
+    );
     for i in &before.impediments {
         println!("  impediment: {} on {}", i.kind, i.var);
     }
 
     // §4.3: the system derives the breaking condition itself.
     for (dep, cond) in session.suggest_breaking_conditions(LoopId(0)) {
-        println!("  derived breaking condition for {dep}: ASSERT {}", cond.assertion);
+        println!(
+            "  derived breaking condition for {dep}: ASSERT {}",
+            cond.assertion
+        );
         println!("    ({})", cond.explanation);
     }
 
-    session.assert_fact("MCN .GT. IENDV(IR) - ISTRT(IR)").unwrap();
+    session
+        .assert_fact("MCN .GT. IENDV(IR) - ISTRT(IR)")
+        .unwrap();
     let after = session.impediments(LoopId(0));
-    println!("after ASSERT MCN .GT. IENDV(IR) - ISTRT(IR): parallel = {}", after.is_parallel());
+    println!(
+        "after ASSERT MCN .GT. IENDV(IR) - ISTRT(IR): parallel = {}",
+        after.is_parallel()
+    );
     session.parallelize(LoopId(0)).unwrap();
 
     // Run-time verification: MCN = 128 really does exceed the zone
     // extent (IENDV - ISTRT = 127), so the DOALL validator finds no
     // conflicts.
     let checked = session
-        .run(parascope::runtime::RunOptions { validate_parallel: true, ..Default::default() })
+        .run(parascope::runtime::RunOptions {
+            validate_parallel: true,
+            ..Default::default()
+        })
         .unwrap();
     println!("validated run: {} race(s)\n", checked.races.len());
     assert!(checked.races.is_empty());

@@ -17,12 +17,17 @@ fn main() {
     let program = parascope::workloads::program("pueblo3d").unwrap().parse();
     let mut session = parascope::editor::session::PedSession::open(program);
     session.select_unit("HYDRO").unwrap();
-    session.select_loop(parascope::analysis::loops::LoopId(0)).unwrap();
+    session
+        .select_loop(parascope::analysis::loops::LoopId(0))
+        .unwrap();
 
     println!("== pending dependences only (view filter: mark=pending) ==");
     let filter = DepFilter::parse("mark=pending").unwrap();
     for row in session.dependence_rows(&filter) {
-        println!("{:<7} {:<16} -> {:<16} {}", row.kind, row.source, row.sink, row.vector);
+        println!(
+            "{:<7} {:<16} -> {:<16} {}",
+            row.kind, row.source, row.sink, row.vector
+        );
     }
 
     println!("\n== navigation: where should attention go first? ==");

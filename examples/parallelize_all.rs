@@ -21,10 +21,16 @@ fn main() {
             blocked += report.blocked_count();
         }
         let seq = session
-            .run(parascope::runtime::RunOptions { workers: 1, ..Default::default() })
+            .run(parascope::runtime::RunOptions {
+                workers: 1,
+                ..Default::default()
+            })
             .unwrap();
         let par = session
-            .run(parascope::runtime::RunOptions { workers: 8, ..Default::default() })
+            .run(parascope::runtime::RunOptions {
+                workers: 8,
+                ..Default::default()
+            })
             .unwrap();
         let check = session
             .run(parascope::runtime::RunOptions {

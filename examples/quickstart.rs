@@ -5,9 +5,9 @@
 //! cargo run --example quickstart
 //! ```
 
+use parascope::analysis::loops::LoopId;
 use parascope::editor::filter::DepFilter;
 use parascope::editor::session::PedSession;
-use parascope::analysis::loops::LoopId;
 
 fn main() {
     let src = "\
@@ -43,17 +43,30 @@ fn main() {
 
     // The scalar T is killed each iteration: privatizable.
     let report = session.impediments(LoopId(1));
-    println!("\nparallel: {} (privatized: {:?})", report.is_parallel(), report.privatized);
+    println!(
+        "\nparallel: {} (privatized: {:?})",
+        report.is_parallel(),
+        report.privatized
+    );
     session.parallelize(LoopId(1)).unwrap();
 
     // Execute sequentially and with 4 workers; outputs must agree.
     let seq = session
-        .run(parascope::runtime::RunOptions { workers: 1, ..Default::default() })
+        .run(parascope::runtime::RunOptions {
+            workers: 1,
+            ..Default::default()
+        })
         .unwrap();
     let par = session
-        .run(parascope::runtime::RunOptions { workers: 4, ..Default::default() })
+        .run(parascope::runtime::RunOptions {
+            workers: 4,
+            ..Default::default()
+        })
         .unwrap();
     println!("\nsequential: {:?}", seq.lines);
-    println!("parallel:   {:?} ({} DOALL loops)", par.lines, par.stats.parallel_loops);
+    println!(
+        "parallel:   {:?} ({} DOALL loops)",
+        par.lines, par.stats.parallel_loops
+    );
     assert_eq!(seq.lines, par.lines);
 }

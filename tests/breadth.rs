@@ -89,7 +89,10 @@ fn read_feeds_loop_bounds() {
     let src = "      READ (*,*) N\n      S = 0.0\n      DO 10 I = 1, N\n      S = S + 1.0\n   10 CONTINUE\n      WRITE (*,*) S\n      END\n";
     let out = run(
         &parse_ok(src),
-        RunOptions { input: vec![Value::Int(17)], ..Default::default() },
+        RunOptions {
+            input: vec![Value::Int(17)],
+            ..Default::default()
+        },
     )
     .unwrap();
     assert_eq!(out.lines, ["17.0"]);
@@ -107,7 +110,14 @@ fn parallel_nested_loops_only_outer_runs_parallel() {
             *sched = parascope::fortran::ast::LoopSched::Parallel;
         }
     });
-    let out = run(&p, RunOptions { workers: 4, ..Default::default() }).unwrap();
+    let out = run(
+        &p,
+        RunOptions {
+            workers: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert_eq!(out.lines, ["1024.0"]);
     assert_eq!(out.stats.parallel_loops, 1, "inner loop must not re-fork");
 }
@@ -165,13 +175,12 @@ fn session_transform_with_reanalyzes() {
     .unwrap();
     assert!(s.ua.nest.len() > loops_before);
     // The B loop is now parallel.
-    let parallel = s
-        .ua
-        .nest
-        .loops
-        .iter()
-        .filter(|l| s.impediments(l.id).is_parallel())
-        .count();
+    let parallel =
+        s.ua.nest
+            .loops
+            .iter()
+            .filter(|l| s.impediments(l.id).is_parallel())
+            .count();
     assert!(parallel >= 1);
 }
 
@@ -216,15 +225,22 @@ fn sections_disjointness_queries() {
     use parascope::analysis::section::{DimRange, Section};
     use parascope::analysis::symbolic::LinExpr;
     let mid = Section {
-        dims: vec![DimRange { lo: LinExpr::constant(2), hi: LinExpr::constant(50) }],
+        dims: vec![DimRange {
+            lo: LinExpr::constant(2),
+            hi: LinExpr::constant(50),
+        }],
     };
     // EDGE writes only V(1) and V(N): disjoint from the interior when
     // N >= 51 is known.
     let mut env2 = parascope::analysis::symbolic::SymbolicEnv::new();
     env2.add_range("N", parascope::analysis::symbolic::Range::at_least(51));
-    assert!(!parascope::interproc::call_may_conflict(&m, &env2, "EDGE", 0, &mid, true));
+    assert!(!parascope::interproc::call_may_conflict(
+        &m, &env2, "EDGE", 0, &mid, true
+    ));
     // Without the range fact, V(N) might land inside: conflict possible.
-    assert!(parascope::interproc::call_may_conflict(&m, &env, "EDGE", 0, &mid, true));
+    assert!(parascope::interproc::call_may_conflict(
+        &m, &env, "EDGE", 0, &mid, true
+    ));
 }
 
 #[test]
@@ -256,11 +272,14 @@ fn editing_a_statement_reanalyzes() {
 
 #[test]
 fn bad_edits_are_rejected_with_diagnostics() {
-    let src = "      REAL A(100)\n      DO 10 I = 1, N\n      A(I) = 0.0\n   10 CONTINUE\n      END\n";
+    let src =
+        "      REAL A(100)\n      DO 10 I = 1, N\n      A(I) = 0.0\n   10 CONTINUE\n      END\n";
     let mut s = PedSession::open(parse_ok(src));
     let body_stmt = s.ua.nest.loops[0].body[0];
     let before = parascope::fortran::print_program(&s.program);
-    assert!(s.edit_statement(body_stmt, "THIS IS ?? NOT FORTRAN").is_err());
+    assert!(s
+        .edit_statement(body_stmt, "THIS IS ?? NOT FORTRAN")
+        .is_err());
     assert!(s.edit_statement(body_stmt, "A(I = 1").is_err());
     // Nothing changed.
     assert_eq!(before, parascope::fortran::print_program(&s.program));

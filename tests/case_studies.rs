@@ -23,14 +23,23 @@ fn pueblo3d_mcn_assertion_enables_parallelization() {
     // Certification holds under the deterministic race checker and the
     // actual 8-worker execution.
     let checked = s
-        .run(parascope::runtime::RunOptions { validate_parallel: true, ..Default::default() })
+        .run(parascope::runtime::RunOptions {
+            validate_parallel: true,
+            ..Default::default()
+        })
         .unwrap();
     assert!(checked.races.is_empty(), "{:?}", checked.races);
     let seq = s
-        .run(parascope::runtime::RunOptions { workers: 1, ..Default::default() })
+        .run(parascope::runtime::RunOptions {
+            workers: 1,
+            ..Default::default()
+        })
         .unwrap();
     let par = s
-        .run(parascope::runtime::RunOptions { workers: 8, ..Default::default() })
+        .run(parascope::runtime::RunOptions {
+            workers: 8,
+            ..Default::default()
+        })
         .unwrap();
     assert_eq!(seq.lines, par.lines);
 }
@@ -43,14 +52,13 @@ fn arc3d_symbolic_relation_plus_array_kill() {
     let program = parascope::workloads::program("arc3d").unwrap().parse();
     let mut s = PedSession::open(program);
     s.select_unit("FILTER3").unwrap();
-    let outer = s
-        .ua
-        .nest
-        .loops
-        .iter()
-        .find(|l| l.var == "N")
-        .map(|l| l.id)
-        .expect("the DO 15 N loop");
+    let outer =
+        s.ua.nest
+            .loops
+            .iter()
+            .find(|l| l.var == "N")
+            .map(|l| l.id)
+            .expect("the DO 15 N loop");
     let report = s.impediments(outer);
     assert!(
         report.is_parallel(),
@@ -60,7 +68,10 @@ fn arc3d_symbolic_relation_plus_array_kill() {
     assert!(report.privatized_arrays.contains(&"WR1".to_string()));
     s.parallelize(outer).unwrap();
     let checked = s
-        .run(parascope::runtime::RunOptions { validate_parallel: true, ..Default::default() })
+        .run(parascope::runtime::RunOptions {
+            validate_parallel: true,
+            ..Default::default()
+        })
         .unwrap();
     assert!(checked.races.is_empty(), "{:?}", checked.races);
 }
@@ -88,20 +99,23 @@ fn arc3d_without_relation_stays_blocked() {
 #[test]
 fn neoss_structuring_unblocks_parallelization() {
     let mut program = parascope::workloads::program("neoss").unwrap().parse();
-    let idx = program.units.iter().position(|u| u.name == "EOSCAN").unwrap();
+    let idx = program
+        .units
+        .iter()
+        .position(|u| u.name == "EOSCAN")
+        .unwrap();
     parascope::transform::structure::simplify_control_flow(&mut program, idx).unwrap();
     let text = parascope::fortran::print_program(&program);
     assert!(text.contains(".GE. 0) THEN"), "{text}");
     let mut s = PedSession::open(program);
     s.select_unit("EOSCAN").unwrap();
-    let scan_loop = s
-        .ua
-        .nest
-        .loops
-        .iter()
-        .find(|l| l.level == 1)
-        .map(|l| l.id)
-        .unwrap();
+    let scan_loop =
+        s.ua.nest
+            .loops
+            .iter()
+            .find(|l| l.level == 1)
+            .map(|l| l.id)
+            .unwrap();
     let report = s.impediments(scan_loop);
     assert!(report.is_parallel(), "{:?}", report.impediments);
     assert!(report.privatized.contains(&"X".to_string()));
@@ -115,7 +129,11 @@ fn neoss_structuring_unblocks_parallelization() {
 fn spec77_extraction_and_interchange() {
     let mut program = parascope::workloads::program("spec77").unwrap().parse();
     // Find the CALL SWEEP site inside GLOOP's L loop.
-    let gidx = program.units.iter().position(|u| u.name == "GLOOP").unwrap();
+    let gidx = program
+        .units
+        .iter()
+        .position(|u| u.name == "GLOOP")
+        .unwrap();
     let nest = parascope::analysis::loops::LoopNest::build(&program.units[gidx]);
     let call = nest
         .loops
@@ -150,8 +168,12 @@ fn marking_discipline_end_to_end() {
     s.select_loop(LoopId(0)).unwrap();
     let rows = s.dependence_rows(&DepFilter::All);
     // The A(I-1) recurrence is proven; the IX-subscripted dep is pending.
-    assert!(rows.iter().any(|r| r.mark == parascope::dependence::Mark::Proven));
-    assert!(rows.iter().any(|r| r.mark == parascope::dependence::Mark::Pending));
+    assert!(rows
+        .iter()
+        .any(|r| r.mark == parascope::dependence::Mark::Proven));
+    assert!(rows
+        .iter()
+        .any(|r| r.mark == parascope::dependence::Mark::Pending));
     // Power steering: reject all pending deps on A.
     let n = s.mark_dependences_where(
         &DepFilter::parse("mark=pending & var=A").unwrap(),
@@ -162,7 +184,13 @@ fn marking_discipline_end_to_end() {
     // Proven recurrence still blocks parallelization.
     assert!(!s.impediments(LoopId(0)).is_parallel());
     // And the proven dep cannot be rejected.
-    let proven = s.ua.graph.deps.iter().find(|d| d.exact && d.var == "A").unwrap().id;
+    let proven =
+        s.ua.graph
+            .deps
+            .iter()
+            .find(|d| d.exact && d.var == "A")
+            .unwrap()
+            .id;
     assert!(s
         .ua
         .marking
@@ -179,7 +207,8 @@ fn classification_reduces_impediments() {
     s.select_loop(LoopId(0)).unwrap();
     let before = s.impediments(LoopId(0)).impediments.len();
     assert!(before > 0);
-    s.classify_variable("T", VarClass::Private, Some("user knows better".into())).unwrap();
+    s.classify_variable("T", VarClass::Private, Some("user knows better".into()))
+        .unwrap();
     let after = s.impediments(LoopId(0)).impediments.len();
     assert!(after < before);
 }
@@ -198,13 +227,27 @@ fn work_model_preserves_semantics_everywhere() {
             workmodel::parallelize_unit(&mut s);
         }
         let seq = s
-            .run(parascope::runtime::RunOptions { workers: 1, ..Default::default() })
+            .run(parascope::runtime::RunOptions {
+                workers: 1,
+                ..Default::default()
+            })
             .unwrap();
         let par = s
-            .run(parascope::runtime::RunOptions { workers: 8, ..Default::default() })
+            .run(parascope::runtime::RunOptions {
+                workers: 8,
+                ..Default::default()
+            })
             .unwrap();
-        assert_eq!(baseline.lines, seq.lines, "{}: sequential output changed", p.name);
-        assert_eq!(baseline.lines, par.lines, "{}: parallel output differs", p.name);
+        assert_eq!(
+            baseline.lines, seq.lines,
+            "{}: sequential output changed",
+            p.name
+        );
+        assert_eq!(
+            baseline.lines, par.lines,
+            "{}: parallel output differs",
+            p.name
+        );
     }
 }
 
@@ -297,7 +340,11 @@ fn spec77_fuse_then_extract_then_interchange() {
         .collect();
     for id in pending {
         ua.marking
-            .set(id, parascope::dependence::Mark::Rejected, Some("columns are disjoint".into()))
+            .set(
+                id,
+                parascope::dependence::Mark::Rejected,
+                Some("columns are disjoint".into()),
+            )
             .unwrap();
     }
     parascope::transform::reorder::interchange(&mut program, midx, &ua, outer).unwrap();
@@ -317,7 +364,8 @@ fn spec77_fuse_then_extract_then_interchange() {
 /// §3.2: the printable session report.
 #[test]
 fn session_report_prints_everything() {
-    let src = "      REAL A(100)\n      DO 10 I = 2, N\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n";
+    let src =
+        "      REAL A(100)\n      DO 10 I = 2, N\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n";
     let mut s = PedSession::open(parse_ok(src));
     s.select_loop(LoopId(0)).unwrap();
     s.assert_fact("RANGE(N, 2, 100)").unwrap();

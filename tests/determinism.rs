@@ -15,7 +15,10 @@ fn build(unit: &ped_fortran::ProcUnit, threads: usize) -> DependenceGraph {
     let sym = SymbolTable::build(unit);
     let refs = RefTable::build(unit, &sym);
     let nest = LoopNest::build(unit);
-    let opts = BuildOptions { threads, ..Default::default() };
+    let opts = BuildOptions {
+        threads,
+        ..Default::default()
+    };
     DependenceGraph::build(unit, &sym, &refs, &nest, &SymbolicEnv::new(), &opts)
 }
 
@@ -41,11 +44,21 @@ fn serial_and_parallel_builds_identical_on_all_workloads() {
             }
             // Auto thread selection must agree too.
             let auto = build(unit, 0);
-            assert_eq!(serial.deps, auto.deps, "{}::{} diverged on auto", p.name, unit.name);
+            assert_eq!(
+                serial.deps, auto.deps,
+                "{}::{} diverged on auto",
+                p.name, unit.name
+            );
         }
     }
-    assert!(units >= 8, "expected the eight workshop programs' units, saw {units}");
-    assert!(nonempty > 0, "no unit produced any dependences — vacuous test");
+    assert!(
+        units >= 8,
+        "expected the eight workshop programs' units, saw {units}"
+    );
+    assert!(
+        nonempty > 0,
+        "no unit produced any dependences — vacuous test"
+    );
 }
 
 #[test]

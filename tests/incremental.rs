@@ -30,8 +30,15 @@ fn noop_reanalyze_hits_and_preserves_everything() {
     let src = "      INTEGER IX(100)\n      REAL A(100)\n      DO 10 I = 1, N\n      A(IX(I)) = A(IX(I)) + 1.0\n   10 CONTINUE\n      END\n";
     let mut s = PedSession::open(parse_ok(src));
     s.select_loop(LoopId(0)).unwrap();
-    let dep = s.ua.graph.deps.iter().find(|d| d.var == "A" && d.level.is_some()).unwrap().id;
-    s.mark_dependence(dep, Mark::Rejected, Some("IX is a permutation".into())).unwrap();
+    let dep =
+        s.ua.graph
+            .deps
+            .iter()
+            .find(|d| d.var == "A" && d.level.is_some())
+            .unwrap()
+            .id;
+    s.mark_dependence(dep, Mark::Rejected, Some("IX is a permutation".into()))
+        .unwrap();
     let before = format!("{:?}", s.ua.graph.deps);
     s.reanalyze();
     s.reanalyze();
@@ -56,14 +63,22 @@ fn reanalyze_after_edit_matches_cold_session() {
     s.edit_statement(target, "B(I) = B(I-2)").unwrap();
     let (_, misses, pair_hits, _) = s.cache_stats();
     assert_eq!(misses, 1, "a real edit must rebuild");
-    assert!(pair_hits >= 1, "the untouched A recurrence must be cache-hot");
+    assert!(
+        pair_hits >= 1,
+        "the untouched A recurrence must be cache-hot"
+    );
     let cold = PedSession::open(s.program.clone());
     assert_eq!(
         cold.ua.graph.deps, s.ua.graph.deps,
         "incremental reanalysis diverged from a cold build"
     );
     // And the edit is really reflected: B now carries distance 2.
-    assert!(s.ua.graph.deps.iter().any(|d| d.var == "B" && d.distances[0] == Some(2)));
+    assert!(s
+        .ua
+        .graph
+        .deps
+        .iter()
+        .any(|d| d.var == "B" && d.distances[0] == Some(2)));
 }
 
 #[test]
@@ -72,7 +87,10 @@ fn assertion_invalidates_pair_cache_and_matches_cold_session() {
     let mut s = PedSession::open(parse_ok(src));
     assert!(!s.impediments(LoopId(0)).is_parallel());
     s.assert_fact("MCN .GT. IENDV(IR) - ISTRT(IR)").unwrap();
-    assert!(s.impediments(LoopId(0)).is_parallel(), "stale cached tests survived the assertion");
+    assert!(
+        s.impediments(LoopId(0)).is_parallel(),
+        "stale cached tests survived the assertion"
+    );
     let mut cold = PedSession::open(parse_ok(src));
     cold.assert_fact("MCN .GT. IENDV(IR) - ISTRT(IR)").unwrap();
     assert_eq!(cold.ua.graph.deps, s.ua.graph.deps);
@@ -92,13 +110,12 @@ fn marks_carry_across_real_rebuilds() {
     // A genuine edit elsewhere forces a rebuild; the rejections survive.
     let target = find_assign(s.current_unit(), "B(I) = 7.0");
     s.edit_statement(target, "B(I) = 8.0").unwrap();
-    let rejected = s
-        .ua
-        .graph
-        .deps
-        .iter()
-        .filter(|d| d.var == "A" && s.ua.marking.mark_of(d.id) == Mark::Rejected)
-        .count();
+    let rejected =
+        s.ua.graph
+            .deps
+            .iter()
+            .filter(|d| d.var == "A" && s.ua.marking.mark_of(d.id) == Mark::Rejected)
+            .count();
     assert_eq!(rejected, n, "user marks lost across incremental rebuild");
 }
 
@@ -118,7 +135,11 @@ fn warm_rebuild_matches_cold_open_on_all_workloads() {
         );
         let (_, _, pair_hits, _) = warm.cache_stats();
         if !warm.ua.graph.is_empty() {
-            assert!(pair_hits > 0, "{}: rebuild of unchanged unit should hit", p.name);
+            assert!(
+                pair_hits > 0,
+                "{}: rebuild of unchanged unit should hit",
+                p.name
+            );
         }
     }
 }

@@ -210,7 +210,10 @@ fn auto_parallelization_preserves_output() {
         let mut session = parascope::editor::session::PedSession::open(program);
         parascope::editor::workmodel::parallelize_unit(&mut session);
         let par = session
-            .run(parascope::runtime::RunOptions { workers: 4, ..Default::default() })
+            .run(parascope::runtime::RunOptions {
+                workers: 4,
+                ..Default::default()
+            })
             .expect("parallel run");
         assert_eq!(&baseline.lines, &par.lines, "src:\n{src}");
         // And the deterministic checker agrees with the certification.
@@ -220,7 +223,11 @@ fn auto_parallelization_preserves_output() {
                 ..Default::default()
             })
             .unwrap();
-        assert!(checked.races.is_empty(), "races: {:?}\nsrc:\n{src}", checked.races);
+        assert!(
+            checked.races.is_empty(),
+            "races: {:?}\nsrc:\n{src}",
+            checked.races
+        );
     }
 }
 
@@ -263,7 +270,10 @@ fn arb_program_spec(rng: &mut Rng) -> Vec<LoopSpec> {
     let n = 1 + rng.usize(4);
     (0..n)
         .map(|_| match rng.usize(4) {
-            0 => LoopSpec::Elementwise { offset: rng.range(0, 3), scale: rng.range(1, 3) },
+            0 => LoopSpec::Elementwise {
+                offset: rng.range(0, 3),
+                scale: rng.range(1, 3),
+            },
             1 => LoopSpec::Recurrence,
             2 => LoopSpec::Reduction,
             _ => LoopSpec::Temp,

@@ -9,7 +9,9 @@ use parascope::fortran::Program;
 use parascope::transform::ctx::UnitAnalysis;
 
 fn outputs(p: &Program) -> Vec<String> {
-    parascope::runtime::run(p, Default::default()).unwrap().lines
+    parascope::runtime::run(p, Default::default())
+        .unwrap()
+        .lines
 }
 
 fn ua0(p: &Program) -> UnitAnalysis {
@@ -53,7 +55,13 @@ fn distribution_preserves_output() {
     let mut p = parse_ok(src);
     let before = outputs(&p);
     let ua = ua0(&p);
-    let target = ua.nest.loops.iter().find(|l| l.lo == parascope::fortran::Expr::Int(2)).unwrap().id;
+    let target = ua
+        .nest
+        .loops
+        .iter()
+        .find(|l| l.lo == parascope::fortran::Expr::Int(2))
+        .unwrap()
+        .id;
     parascope::transform::reorder::distribute(&mut p, 0, &ua, target).unwrap();
     assert_eq!(before, outputs(&p));
 }
@@ -336,12 +344,14 @@ fn embedding_preserves_output() {
     let call_loop = nest
         .loops
         .iter()
-        .find(|l| l.level == 1 && l.lo == parascope::fortran::Expr::Int(1) && {
-            l.body.iter().any(|&sid| {
-                parascope::fortran::ast::find_stmt(&p.units[0].body, sid)
-                    .map(|s| matches!(s.kind, parascope::fortran::ast::StmtKind::Call { .. }))
-                    .unwrap_or(false)
-            })
+        .find(|l| {
+            l.level == 1 && l.lo == parascope::fortran::Expr::Int(1) && {
+                l.body.iter().any(|&sid| {
+                    parascope::fortran::ast::find_stmt(&p.units[0].body, sid)
+                        .map(|s| matches!(s.kind, parascope::fortran::ast::StmtKind::Call { .. }))
+                        .unwrap_or(false)
+                })
+            }
         })
         .unwrap()
         .stmt;
