@@ -1,0 +1,163 @@
+//! `ped-serve-bench` — the server load harness, written as
+//! `BENCH_2.json`.
+//!
+//! Spins up an in-process `ped-serve` on an ephemeral port, then replays
+//! the Table 2 persona wire scripts (`ped_workloads::scripts`) as N
+//! concurrent TCP clients. Every client gets unique session ids, so the
+//! server multiplexes `clients × scripts` live sessions. Per-request
+//! latency is measured from write to full response line; the scenario
+//! reports throughput and p50/p99. Scenarios: 1 client (the interactive
+//! baseline) vs N concurrent clients (the service regime).
+//!
+//! Every response is also checked byte-for-byte against the
+//! single-threaded in-process oracle — a load run that returned wrong
+//! bytes would be worthless.
+//!
+//! Usage: `ped-serve-bench [OUTPUT.json] [--clients N] [--iters N]`
+
+use ped_bench::harness::percentile;
+use ped_server::{ManagerConfig, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// One client's work: replay every persona script `iters` times over a
+/// single connection, with per-request latencies in microseconds.
+fn run_client(
+    addr: SocketAddr,
+    client: usize,
+    iters: usize,
+    check_oracle: bool,
+) -> (Vec<f64>, usize) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut latencies = Vec::new();
+    let mut requests = 0usize;
+    for iter in 0..iters {
+        for ws in ped_workloads::scripts::all_scripts(&format!("c{client}i{iter}")) {
+            let mut responses = Vec::with_capacity(ws.lines.len());
+            for line in &ws.lines {
+                let t = Instant::now();
+                writer.write_all(line.as_bytes()).expect("write");
+                writer.write_all(b"\n").expect("write");
+                let mut resp = String::new();
+                reader.read_line(&mut resp).expect("read");
+                latencies.push(t.elapsed().as_secs_f64() * 1e6);
+                requests += 1;
+                responses.push(resp.trim_end().to_string());
+            }
+            if check_oracle {
+                let expect = ped_server::oracle_replay(&ws.lines);
+                assert_eq!(
+                    responses, expect,
+                    "client {client} iter {iter} {}: server bytes diverged from oracle",
+                    ws.persona
+                );
+            }
+        }
+    }
+    (latencies, requests)
+}
+
+struct Scenario {
+    clients: usize,
+    requests: usize,
+    wall_secs: f64,
+    throughput_rps: f64,
+    mean_us: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn run_scenario(clients: usize, iters: usize, check_oracle: bool) -> Scenario {
+    let cfg = ServerConfig {
+        workers: clients.max(4),
+        manager: ManagerConfig {
+            max_sessions: 4096,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut server = ped_server::spawn(cfg).expect("spawn server");
+    let addr = server.addr;
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| std::thread::spawn(move || run_client(addr, c, iters, check_oracle)))
+        .collect();
+    let mut latencies = Vec::new();
+    let mut requests = 0;
+    for h in handles {
+        let (l, r) = h.join().expect("client thread");
+        latencies.extend(l);
+        requests += r;
+    }
+    let wall_secs = t0.elapsed().as_secs_f64();
+    server.stop();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let mean_us = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+    let s = Scenario {
+        clients,
+        requests,
+        wall_secs,
+        throughput_rps: requests as f64 / wall_secs.max(1e-9),
+        mean_us,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+    };
+    println!(
+        "{:>2} client(s): {:>6} requests in {:>6.2}s  {:>8.1} req/s   p50 {:>9.1} µs   p99 {:>9.1} µs",
+        s.clients, s.requests, s.wall_secs, s.throughput_rps, s.p50_us, s.p99_us
+    );
+    s
+}
+
+fn scenario_json(s: &Scenario) -> String {
+    format!(
+        "{{\"clients\": {}, \"requests\": {}, \"wall_secs\": {:.3}, \"throughput_rps\": {:.1}, \"mean_us\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+        s.clients, s.requests, s.wall_secs, s.throughput_rps, s.mean_us, s.p50_us, s.p99_us
+    )
+}
+
+fn main() {
+    let mut out_path = "BENCH_2.json".to_string();
+    let mut clients = 8usize;
+    let mut iters = 2usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--clients" => clients = args.next().and_then(|v| v.parse().ok()).unwrap_or(8),
+            "--iters" => iters = args.next().and_then(|v| v.parse().ok()).unwrap_or(2),
+            other => out_path = other.to_string(),
+        }
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("ped-serve-bench: {cores} core(s), {clients} clients x {iters} iters\n");
+
+    // Warm-up (and correctness gate): one client, oracle-checked.
+    println!("oracle check:");
+    run_scenario(1, 1, true);
+    std::thread::sleep(Duration::from_millis(50));
+
+    println!("\nmeasured scenarios:");
+    let base = run_scenario(1, iters, false);
+    std::thread::sleep(Duration::from_millis(50));
+    let loaded = run_scenario(clients, iters, false);
+
+    let scaling = loaded.throughput_rps / base.throughput_rps.max(1e-9);
+    println!(
+        "\nthroughput {} -> {} clients: {:.2}x ({} core(s))",
+        base.clients, loaded.clients, scaling, cores
+    );
+
+    let json = format!(
+        "{{\n  \"generated_by\": \"ped-serve-bench\",\n  \"available_parallelism\": {cores},\n  \"summary\": {{\n    \"clients\": {clients},\n    \"throughput_scaling\": {scaling:.2}\n  }},\n  \"scenarios\": [\n    {},\n    {}\n  ]\n}}\n",
+        scenario_json(&base),
+        scenario_json(&loaded)
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_2.json");
+    println!("wrote {out_path}");
+}

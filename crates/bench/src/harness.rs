@@ -80,3 +80,12 @@ pub fn summarize(label: &str, samples: &mut [f64]) -> Stats {
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
+
+/// Nearest-rank percentile of an ascending-sorted sample (`q` in 0..=1).
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}

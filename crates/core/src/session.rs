@@ -40,6 +40,25 @@ impl std::fmt::Display for VarClass {
     }
 }
 
+/// Telemetry snapshot returned by [`PedSession::stats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// `reanalyze()` calls answered from the whole-analysis fingerprint.
+    pub analysis_hits: u64,
+    /// `reanalyze()` calls that rebuilt the unit analyses.
+    pub analysis_misses: u64,
+    /// Subscript pair tests answered from the pair memo.
+    pub pair_hits: u64,
+    /// Subscript pair tests actually run.
+    pub pair_misses: u64,
+    /// `Feature::AnalysisCacheHit` count mirrored in the usage log.
+    pub reanalyze_hits: usize,
+    /// `Feature::AnalysisCacheMiss` count mirrored in the usage log.
+    pub reanalyze_misses: usize,
+    /// Every feature recorded by the session, sorted, with counts.
+    pub features: Vec<(Feature, usize)>,
+}
+
 /// The interactive session.
 pub struct PedSession {
     pub program: Program,
@@ -164,6 +183,25 @@ impl PedSession {
     /// misses, pair-test hits, pair-test misses).
     pub fn cache_stats(&self) -> (u64, u64, u64, u64) {
         self.cache.stats()
+    }
+
+    /// A structured snapshot of the session's telemetry: the incremental
+    /// engine's cache counters (both as lifetime counts and as the
+    /// `UsageLog` mirror) plus every recorded feature count. This is the
+    /// supported way to observe the counters — callers (the server's
+    /// `stats` method, tests) should not poke at `cache`/`usage`
+    /// internals.
+    pub fn stats(&self) -> SessionStats {
+        let (analysis_hits, analysis_misses, pair_hits, pair_misses) = self.cache.stats();
+        SessionStats {
+            analysis_hits,
+            analysis_misses,
+            pair_hits,
+            pair_misses,
+            reanalyze_hits: self.usage.count(Feature::AnalysisCacheHit),
+            reanalyze_misses: self.usage.count(Feature::AnalysisCacheMiss),
+            features: self.usage.snapshot(),
+        }
     }
 
     /// Switch to another program unit by name.
@@ -830,6 +868,22 @@ mod tests {
         s.select_loop(LoopId(0)).unwrap();
         let rows = s.dependence_rows(&DepFilter::All);
         assert!(rows.iter().any(|r| r.source.contains("A(I)")));
+    }
+
+    #[test]
+    fn stats_snapshot_mirrors_counters() {
+        let mut s = PedSession::open(parse_ok(RECURRENCE));
+        s.reanalyze(); // no-op: answered from the whole-analysis cache
+        s.select_loop(LoopId(0)).unwrap();
+        let st = s.stats();
+        assert_eq!(st.analysis_hits, 1);
+        assert_eq!(st.analysis_misses, 0);
+        assert_eq!(st.reanalyze_hits, 1);
+        assert_eq!(st.reanalyze_misses, 0);
+        assert!(st
+            .features
+            .iter()
+            .any(|(f, n)| *f == Feature::ProgramNavigation && *n > 0));
     }
 
     #[test]

@@ -93,6 +93,20 @@ impl UsageLog {
     pub fn used(&self, f: Feature) -> bool {
         self.count(f) > 0
     }
+
+    /// Every recorded feature with its count, sorted by feature — a
+    /// deterministic snapshot for serialization (the server's `stats`
+    /// method) and reporting.
+    pub fn snapshot(&self) -> Vec<(Feature, usize)> {
+        let mut v: Vec<(Feature, usize)> = self
+            .counts
+            .iter()
+            .filter(|(_, n)| **n > 0)
+            .map(|(f, n)| (*f, *n))
+            .collect();
+        v.sort();
+        v
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,71 @@
+//! `ped-serve` — the PED session service.
+//!
+//! ```text
+//! ped-serve [--addr 127.0.0.1:7878] [--workers N] [--max-sessions N]
+//!           [--idle-ttl-secs N] [--max-request-bytes N]
+//! ```
+//!
+//! Speaks the newline-delimited JSON protocol of `ped_server::protocol`
+//! on every connection. Stops gracefully on SIGTERM/SIGINT or on a
+//! `{"method":"shutdown"}` request: the listener closes, in-flight
+//! requests finish, then the process exits.
+
+use ped_server::{ManagerConfig, ServerConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ped-serve [--addr HOST:PORT] [--workers N] [--max-sessions N] \
+         [--idle-ttl-secs N] [--max-request-bytes N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:7878".into(),
+        ..Default::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => cfg.addr = val(),
+            "--workers" => cfg.workers = val().parse().unwrap_or_else(|_| usage()),
+            "--max-sessions" => {
+                cfg.manager.max_sessions = val().parse().unwrap_or_else(|_| usage())
+            }
+            "--idle-ttl-secs" => {
+                cfg.manager.idle_ttl =
+                    Duration::from_secs(val().parse().unwrap_or_else(|_| usage()))
+            }
+            "--max-request-bytes" => {
+                cfg.max_request_bytes = val().parse().unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let _ = ManagerConfig::default(); // (type re-exported for callers)
+
+    ped_server::signal::install_termination_handler();
+    let mut server = match ped_server::spawn(cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ped-serve: cannot bind {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "ped-serve: listening on {} ({} workers, max {} sessions, idle TTL {}s)",
+        server.addr,
+        cfg.workers,
+        cfg.manager.max_sessions,
+        cfg.manager.idle_ttl.as_secs()
+    );
+    server.wait();
+    let (opened, closed, evicted) = server.manager.counters();
+    println!(
+        "ped-serve: shut down cleanly ({opened} sessions opened, {closed} closed, {evicted} evicted)"
+    );
+}

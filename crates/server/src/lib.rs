@@ -1,0 +1,51 @@
+//! # ped-server — `ped-serve`, the concurrent multi-session PED service
+//!
+//! PED was a single-user editor; this crate is the subsystem that turns
+//! the session engine into a long-lived service. `ped-serve` listens on
+//! a `std::net::TcpListener`, speaks a newline-delimited JSON protocol
+//! (hand-rolled in [`json`] — the workspace is hermetic std-only), and
+//! multiplexes many concurrent [`ped::session::PedSession`]s through a
+//! sharded [`manager::SessionManager`] and a fixed-size
+//! [`pool::ThreadPool`].
+//!
+//! Layers:
+//!
+//! * [`json`] — ordered, deterministic JSON values, parser and encoder;
+//! * [`protocol`] — the request/response envelope and the method
+//!   dispatcher ([`protocol::dispatch_line`]), shared by the TCP path
+//!   and in-process callers (which is how tests prove that concurrent
+//!   server output is byte-identical to a single-threaded session);
+//! * [`manager`] — the sharded session registry: per-session
+//!   serialization, cross-session parallelism, admission control and
+//!   idle eviction;
+//! * [`pool`] — the `std::thread` worker pool;
+//! * [`server`] — the accept loop, connection handling, request-size
+//!   limits and graceful shutdown;
+//! * [`signal`] — SIGTERM/SIGINT → shutdown flag, without libc crates.
+//!
+//! See DESIGN.md §5b for the architecture discussion and the README for
+//! a quickstart transcript.
+
+pub mod json;
+pub mod manager;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+pub mod signal;
+
+pub use manager::{ManagerConfig, SessionManager};
+pub use protocol::{dispatch_line, parse_request};
+pub use server::{spawn, ServerConfig, ServerHandle};
+
+/// Replay request lines against a fresh single-threaded registry — the
+/// oracle the concurrency tests and the load harness compare server
+/// bytes against. Returns one response line (no `\n`) per request.
+pub fn oracle_replay(lines: &[String]) -> Vec<String> {
+    use std::sync::atomic::AtomicBool;
+    let mgr = SessionManager::new(ManagerConfig::default());
+    let flag = AtomicBool::new(false);
+    lines
+        .iter()
+        .map(|l| dispatch_line(&mgr, &flag, l))
+        .collect()
+}

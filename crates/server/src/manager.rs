@@ -1,0 +1,286 @@
+//! The sharded session registry.
+//!
+//! `ped-serve` holds many concurrent [`PedSession`]s. Each session is an
+//! exclusive interactive state machine (selection, marks, assertions),
+//! so requests *within* one session serialize on that session's mutex;
+//! requests against *different* sessions proceed in parallel. To keep
+//! registry bookkeeping off the hot path the id → session map is sharded
+//! by a hash of the session id: a lookup locks only its shard, clones
+//! the entry `Arc`, and releases the shard lock before the (possibly
+//! long) analysis work runs under the per-session lock.
+//!
+//! The manager also enforces the service limits: a maximum live-session
+//! count (admission control) and an idle TTL (a janitor sweep evicts
+//! sessions nobody has touched, reclaiming their analysis state).
+
+use ped::session::PedSession;
+use ped_fortran::ast::Program;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Registry limits and shape.
+#[derive(Clone, Debug)]
+pub struct ManagerConfig {
+    /// Number of independent registry shards.
+    pub shards: usize,
+    /// Maximum number of live sessions; `open` beyond this is rejected.
+    pub max_sessions: usize,
+    /// Sessions untouched for this long are evicted by `evict_idle`.
+    pub idle_ttl: Duration,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> ManagerConfig {
+        ManagerConfig {
+            shards: 16,
+            max_sessions: 1024,
+            idle_ttl: Duration::from_secs(15 * 60),
+        }
+    }
+}
+
+struct Entry {
+    session: Mutex<PedSession>,
+    /// Milliseconds since manager start at last touch.
+    last_used: AtomicU64,
+}
+
+/// Sharded, thread-safe registry of live sessions.
+pub struct SessionManager {
+    shards: Vec<Mutex<HashMap<String, Arc<Entry>>>>,
+    cfg: ManagerConfig,
+    live: AtomicUsize,
+    next_anon: AtomicU64,
+    epoch: Instant,
+    /// Lifetime counters: sessions opened / closed / evicted.
+    opened: AtomicU64,
+    closed: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl SessionManager {
+    pub fn new(cfg: ManagerConfig) -> SessionManager {
+        let shards = cfg.shards.max(1);
+        SessionManager {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            cfg,
+            live: AtomicUsize::new(0),
+            next_anon: AtomicU64::new(1),
+            epoch: Instant::now(),
+            opened: AtomicU64::new(0),
+            closed: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn shard_of(&self, id: &str) -> &Mutex<HashMap<String, Arc<Entry>>> {
+        let h = ped_fortran::fingerprint::Fnv::new().str(id).done();
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.live.load(Ordering::SeqCst)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (opened, closed, evicted) lifetime counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.opened.load(Ordering::SeqCst),
+            self.closed.load(Ordering::SeqCst),
+            self.evicted.load(Ordering::SeqCst),
+        )
+    }
+
+    /// Open a session on `program` under `requested` (or an assigned
+    /// `s<n>` id). Fails when the id is taken or the server is full.
+    pub fn create(&self, requested: Option<String>, program: Program) -> Result<String, String> {
+        // Admission control first: don't build state we'd throw away.
+        // (Optimistic increment; undone on failure.)
+        let prev = self.live.fetch_add(1, Ordering::SeqCst);
+        if prev >= self.cfg.max_sessions {
+            self.live.fetch_sub(1, Ordering::SeqCst);
+            return Err(format!(
+                "session limit reached ({} live)",
+                self.cfg.max_sessions
+            ));
+        }
+        let id = requested
+            .unwrap_or_else(|| format!("s{}", self.next_anon.fetch_add(1, Ordering::SeqCst)));
+        let entry = Arc::new(Entry {
+            session: Mutex::new(PedSession::open(program)),
+            last_used: AtomicU64::new(self.now_ms()),
+        });
+        let mut shard = self.shard_of(&id).lock().unwrap();
+        if shard.contains_key(&id) {
+            drop(shard);
+            self.live.fetch_sub(1, Ordering::SeqCst);
+            return Err(format!("session '{id}' already exists"));
+        }
+        shard.insert(id.clone(), entry);
+        drop(shard);
+        self.opened.fetch_add(1, Ordering::SeqCst);
+        Ok(id)
+    }
+
+    /// Run `f` with exclusive access to session `id`. The shard lock is
+    /// held only for the lookup; `f` runs under the session's own lock,
+    /// so other sessions stay fully concurrent.
+    pub fn with_session<R>(
+        &self,
+        id: &str,
+        f: impl FnOnce(&mut PedSession) -> R,
+    ) -> Result<R, String> {
+        let entry = {
+            let shard = self.shard_of(id).lock().unwrap();
+            shard
+                .get(id)
+                .cloned()
+                .ok_or_else(|| format!("unknown session '{id}'"))?
+        };
+        entry.last_used.store(self.now_ms(), Ordering::SeqCst);
+        let mut session = entry.session.lock().unwrap();
+        Ok(f(&mut session))
+    }
+
+    /// Close (remove) session `id`.
+    pub fn close(&self, id: &str) -> Result<(), String> {
+        let removed = self.shard_of(id).lock().unwrap().remove(id);
+        match removed {
+            Some(_) => {
+                self.live.fetch_sub(1, Ordering::SeqCst);
+                self.closed.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+            None => Err(format!("unknown session '{id}'")),
+        }
+    }
+
+    /// Evict every session idle longer than the TTL; returns how many.
+    /// Sessions currently executing a request are never evicted (their
+    /// lock is held), and their `last_used` was refreshed at dispatch.
+    pub fn evict_idle(&self) -> usize {
+        let ttl_ms = self.cfg.idle_ttl.as_millis() as u64;
+        let now = self.now_ms();
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap();
+            shard.retain(|_, e| {
+                let idle = now.saturating_sub(e.last_used.load(Ordering::SeqCst));
+                let busy = e.session.try_lock().is_err();
+                let keep = busy || idle < ttl_ms;
+                if !keep {
+                    evicted += 1;
+                }
+                keep
+            });
+        }
+        if evicted > 0 {
+            self.live.fetch_sub(evicted, Ordering::SeqCst);
+            self.evicted.fetch_add(evicted as u64, Ordering::SeqCst);
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parser::parse_ok;
+
+    const SRC: &str =
+        "      REAL A(100)\n      DO 10 I = 2, N\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n";
+
+    fn cfg(max: usize, ttl_ms: u64) -> ManagerConfig {
+        ManagerConfig {
+            shards: 4,
+            max_sessions: max,
+            idle_ttl: Duration::from_millis(ttl_ms),
+        }
+    }
+
+    #[test]
+    fn create_lookup_close() {
+        let m = SessionManager::new(cfg(8, 60_000));
+        let id = m.create(Some("a".into()), parse_ok(SRC)).unwrap();
+        assert_eq!(id, "a");
+        assert_eq!(m.len(), 1);
+        let nloops = m.with_session("a", |s| s.ua.nest.len()).unwrap();
+        assert_eq!(nloops, 1);
+        assert!(m.with_session("b", |_| ()).is_err());
+        m.close("a").unwrap();
+        assert!(m.is_empty());
+        assert!(m.close("a").is_err());
+    }
+
+    #[test]
+    fn duplicate_and_anonymous_ids() {
+        let m = SessionManager::new(cfg(8, 60_000));
+        m.create(Some("a".into()), parse_ok(SRC)).unwrap();
+        assert!(m.create(Some("a".into()), parse_ok(SRC)).is_err());
+        let anon = m.create(None, parse_ok(SRC)).unwrap();
+        assert!(anon.starts_with('s'));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn max_sessions_enforced() {
+        let m = SessionManager::new(cfg(2, 60_000));
+        m.create(Some("a".into()), parse_ok(SRC)).unwrap();
+        m.create(Some("b".into()), parse_ok(SRC)).unwrap();
+        assert!(m.create(Some("c".into()), parse_ok(SRC)).is_err());
+        m.close("a").unwrap();
+        m.create(Some("c".into()), parse_ok(SRC)).unwrap();
+    }
+
+    #[test]
+    fn idle_eviction() {
+        let m = SessionManager::new(cfg(8, 30));
+        m.create(Some("a".into()), parse_ok(SRC)).unwrap();
+        assert_eq!(m.evict_idle(), 0, "fresh session must survive");
+        std::thread::sleep(Duration::from_millis(60));
+        m.create(Some("b".into()), parse_ok(SRC)).unwrap();
+        assert_eq!(m.evict_idle(), 1, "only the idle session goes");
+        assert_eq!(m.len(), 1);
+        assert!(m.with_session("a", |_| ()).is_err());
+        assert!(m.with_session("b", |_| ()).is_ok());
+        assert_eq!(m.counters(), (2, 0, 1));
+    }
+
+    #[test]
+    fn cross_session_parallelism() {
+        // Two sessions make progress concurrently even while one holds
+        // its session lock for a long critical section.
+        let m = Arc::new(SessionManager::new(cfg(8, 60_000)));
+        m.create(Some("slow".into()), parse_ok(SRC)).unwrap();
+        m.create(Some("fast".into()), parse_ok(SRC)).unwrap();
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let m2 = Arc::clone(&m);
+        let slow = std::thread::spawn(move || {
+            m2.with_session("slow", |_| {
+                // Signal we hold the lock, then stall.
+                tx.send(()).unwrap();
+                std::thread::sleep(Duration::from_millis(150));
+            })
+            .unwrap();
+        });
+        rx.recv().unwrap();
+        let t = Instant::now();
+        m.with_session("fast", |_| ()).unwrap();
+        assert!(
+            t.elapsed() < Duration::from_millis(100),
+            "a busy session must not block other sessions"
+        );
+        slow.join().unwrap();
+    }
+}

@@ -1,0 +1,114 @@
+//! A fixed-size `std::thread` worker pool.
+//!
+//! The workspace is std-only (no tokio), so concurrency comes from a
+//! classic pool: the accept loop pushes connection-handling jobs onto a
+//! channel and `workers` OS threads drain it. Dropping the pool closes
+//! the channel and joins every worker, which is what gives `ped-serve`
+//! its graceful-shutdown property: in-flight connections finish, new
+//! ones are no longer accepted.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn `size` workers (clamped to at least 1).
+    pub fn new(size: usize) -> ThreadPool {
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("ped-serve-worker-{i}"))
+                    .spawn(move || worker_loop(rx))
+                    .expect("spawn worker")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Queue a job; it runs on the first free worker. Jobs submitted
+    /// after the pool started dropping are silently discarded.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        if let Some(tx) = &self.sender {
+            let _ = tx.send(Box::new(job));
+        }
+    }
+
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        // Hold the receiver lock only while fetching; run the job
+        // unlocked so workers execute jobs concurrently.
+        let job = match rx.lock().unwrap().recv() {
+            Ok(job) => job,
+            Err(_) => return, // channel closed: pool is shutting down
+        };
+        job();
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.sender.take()); // close the channel
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn runs_jobs_concurrently() {
+        let pool = ThreadPool::new(4);
+        let done = Arc::new(AtomicUsize::new(0));
+        let t = Instant::now();
+        for _ in 0..4 {
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                std::thread::sleep(Duration::from_millis(100));
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // joins: all jobs complete
+        assert_eq!(done.load(Ordering::SeqCst), 4);
+        assert!(
+            t.elapsed() < Duration::from_millis(350),
+            "4 x 100ms jobs on 4 workers must overlap"
+        );
+    }
+
+    #[test]
+    fn drop_joins_in_flight_jobs() {
+        let pool = ThreadPool::new(1);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..3 {
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 3);
+    }
+}

@@ -1,0 +1,593 @@
+//! The `ped-serve` wire protocol: newline-delimited JSON requests and
+//! responses, and the method dispatcher.
+//!
+//! One request per line:
+//!
+//! ```text
+//! {"id":1,"method":"open","params":{"session":"a","program":"pueblo3d"}}
+//! ```
+//!
+//! One response per line, echoing the request id:
+//!
+//! ```text
+//! {"id":1,"ok":true,"result":{"session":"a","units":["HYDRO",...]}}
+//! {"id":2,"ok":false,"error":"unknown session 'b'"}
+//! ```
+//!
+//! The methods mirror the paper's interactive loop (§3.1): `open`,
+//! `select_unit`, `select_loop`, `deps`, `vars`, `mark`, `classify`,
+//! `assert`, `edit`, `stmts`, `transform`, `stats`, `close` — plus the
+//! service controls `sessions`, `ping` and `shutdown`.
+//!
+//! [`dispatch_line`] is the single implementation used by the TCP
+//! connection handler *and* by in-process callers (the oracle in the
+//! concurrency tests), which is what makes "server output is
+//! byte-identical to a single-threaded session" a checkable property.
+
+use crate::json::{parse, Value};
+use crate::manager::SessionManager;
+use ped::filter::{DepFilter, VarFilter};
+use ped::session::{PedSession, SessionStats, VarClass};
+use ped_analysis::loops::LoopId;
+use ped_dependence::marking::Mark;
+use ped_dependence::DepId;
+use ped_fortran::ast::{walk_stmts, StmtId, StmtKind};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A parsed request envelope.
+pub struct Request {
+    pub id: Value,
+    pub method: String,
+    pub params: Value,
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = parse(line)?;
+    let method = v
+        .get("method")
+        .and_then(Value::as_str)
+        .ok_or("missing 'method'")?
+        .to_string();
+    let id = v.get("id").cloned().unwrap_or(Value::Null);
+    let params = v.get("params").cloned().unwrap_or(Value::Obj(Vec::new()));
+    Ok(Request { id, method, params })
+}
+
+/// Encode a success response line (no trailing newline).
+pub fn ok_response(id: &Value, result: Value) -> String {
+    Value::Obj(vec![
+        ("id".into(), id.clone()),
+        ("ok".into(), Value::Bool(true)),
+        ("result".into(), result),
+    ])
+    .encode()
+}
+
+/// Encode an error response line (no trailing newline).
+pub fn err_response(id: &Value, msg: &str) -> String {
+    Value::Obj(vec![
+        ("id".into(), id.clone()),
+        ("ok".into(), Value::Bool(false)),
+        ("error".into(), Value::str(msg)),
+    ])
+    .encode()
+}
+
+/// Dispatch one request line against the registry; always returns
+/// exactly one response line. `shutdown` is set (never cleared) when the
+/// client asked the server to stop.
+pub fn dispatch_line(mgr: &SessionManager, shutdown: &AtomicBool, line: &str) -> String {
+    let req = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return err_response(&Value::Null, &format!("bad request: {e}")),
+    };
+    match dispatch(mgr, shutdown, &req) {
+        Ok(result) => ok_response(&req.id, result),
+        Err(e) => err_response(&req.id, &e),
+    }
+}
+
+fn param_str<'a>(p: &'a Value, key: &str) -> Result<&'a str, String> {
+    p.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing string param '{key}'"))
+}
+
+fn param_u32(p: &Value, key: &str) -> Result<u32, String> {
+    p.get(key)
+        .and_then(Value::as_i64)
+        .filter(|n| *n >= 0 && *n <= u32::MAX as i64)
+        .map(|n| n as u32)
+        .ok_or_else(|| format!("missing integer param '{key}'"))
+}
+
+fn session_id<'a>(p: &'a Value) -> Result<&'a str, String> {
+    param_str(p, "session")
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Execute a request, returning the `result` value or an error string.
+pub fn dispatch(
+    mgr: &SessionManager,
+    shutdown: &AtomicBool,
+    req: &Request,
+) -> Result<Value, String> {
+    let p = &req.params;
+    match req.method.as_str() {
+        "open" => {
+            let program = if let Some(name) = p.get("program").and_then(Value::as_str) {
+                ped_workloads::program(name)
+                    .ok_or_else(|| format!("unknown workload program '{name}'"))?
+                    .parse()
+            } else if let Some(src) = p.get("source").and_then(Value::as_str) {
+                let (prog, diags) = ped_fortran::parser::parse(src);
+                if diags.has_errors() {
+                    let msgs: Vec<String> = diags.errors().map(|d| d.message.clone()).collect();
+                    return Err(format!("parse error: {}", msgs.join("; ")));
+                }
+                prog
+            } else {
+                return Err("open needs 'program' (workload name) or 'source'".into());
+            };
+            if program.units.is_empty() {
+                return Err("program has no units".into());
+            }
+            let units: Vec<Value> = program
+                .units
+                .iter()
+                .map(|u| Value::str(u.name.clone()))
+                .collect();
+            let requested = p.get("session").and_then(Value::as_str).map(String::from);
+            let id = mgr.create(requested, program)?;
+            Ok(obj(vec![
+                ("session", Value::str(id)),
+                ("units", Value::Arr(units)),
+            ]))
+        }
+        "select_unit" => {
+            let unit = param_str(p, "unit")?.to_string();
+            mgr.with_session(session_id(p)?, |s| {
+                s.select_unit(&unit)?;
+                Ok(obj(vec![
+                    ("unit", Value::str(s.current_unit().name.clone())),
+                    ("loops", Value::int(s.ua.nest.len() as i64)),
+                ]))
+            })?
+        }
+        "select_loop" => {
+            let l = LoopId(param_u32(p, "loop")?);
+            mgr.with_session(session_id(p)?, |s| {
+                s.select_loop(l)?;
+                Ok(obj(vec![
+                    ("loop", Value::int(l.0 as i64)),
+                    ("var", Value::str(s.ua.nest.get(l).var.clone())),
+                ]))
+            })?
+        }
+        "deps" => {
+            let filter = match p.get("filter").and_then(Value::as_str) {
+                Some(f) => DepFilter::parse(f)?,
+                None => DepFilter::All,
+            };
+            mgr.with_session(session_id(p)?, |s| {
+                let rows: Vec<Value> = s
+                    .dependence_rows(&filter)
+                    .into_iter()
+                    .map(|r| {
+                        obj(vec![
+                            ("id", Value::int(r.id.0 as i64)),
+                            ("kind", Value::str(r.kind)),
+                            ("source", Value::str(r.source)),
+                            ("sink", Value::str(r.sink)),
+                            ("vector", Value::str(r.vector)),
+                            ("level", Value::str(r.level)),
+                            ("block", Value::str(r.block)),
+                            ("mark", Value::str(r.mark.to_string())),
+                            ("reason", Value::str(r.reason)),
+                        ])
+                    })
+                    .collect();
+                Ok(obj(vec![("deps", Value::Arr(rows))]))
+            })?
+        }
+        "vars" => {
+            let filter = match p.get("filter").and_then(Value::as_str) {
+                Some(f) => parse_var_filter(f)?,
+                None => VarFilter::All,
+            };
+            mgr.with_session(session_id(p)?, |s| {
+                let rows: Vec<Value> = s
+                    .variable_rows(&filter)
+                    .into_iter()
+                    .map(|r| {
+                        let lines = |v: Vec<u32>| {
+                            Value::Arr(v.into_iter().map(|l| Value::int(l as i64)).collect())
+                        };
+                        obj(vec![
+                            ("name", Value::str(r.name)),
+                            ("dim", Value::int(r.dim as i64)),
+                            ("block", Value::str(r.block)),
+                            ("defs_outside", lines(r.defs_outside)),
+                            ("uses_outside", lines(r.uses_outside)),
+                            ("kind", Value::str(r.kind)),
+                            ("reason", Value::str(r.reason)),
+                        ])
+                    })
+                    .collect();
+                Ok(obj(vec![("vars", Value::Arr(rows))]))
+            })?
+        }
+        "mark" => {
+            let mark = parse_mark(param_str(p, "mark")?)?;
+            let reason = p.get("reason").and_then(Value::as_str).map(String::from);
+            if let Some(dep) = p.get("dep") {
+                let dep = DepId(dep.as_i64().filter(|n| *n >= 0).ok_or("bad 'dep' id")? as u32);
+                mgr.with_session(session_id(p)?, |s| {
+                    s.mark_dependence(dep, mark, reason)
+                        .map_err(|e| e.to_string())?;
+                    Ok(obj(vec![("marked", Value::int(1))]))
+                })?
+            } else {
+                let filter = DepFilter::parse(param_str(p, "filter")?)?;
+                mgr.with_session(session_id(p)?, |s| {
+                    let n = s.mark_dependences_where(&filter, mark, reason.as_deref());
+                    Ok(obj(vec![("marked", Value::int(n as i64))]))
+                })?
+            }
+        }
+        "classify" => {
+            let var = param_str(p, "var")?.to_string();
+            let class = match param_str(p, "class")? {
+                c if c.eq_ignore_ascii_case("shared") => VarClass::Shared,
+                c if c.eq_ignore_ascii_case("private") => VarClass::Private,
+                c => return Err(format!("unknown class '{c}'")),
+            };
+            let reason = p.get("reason").and_then(Value::as_str).map(String::from);
+            mgr.with_session(session_id(p)?, |s| {
+                s.classify_variable(&var, class, reason)?;
+                Ok(obj(vec![(
+                    "classified",
+                    Value::str(var.to_ascii_uppercase()),
+                )]))
+            })?
+        }
+        "assert" => {
+            let fact = param_str(p, "fact")?.to_string();
+            mgr.with_session(session_id(p)?, |s| {
+                s.assert_fact(&fact).map_err(|e| e.to_string())?;
+                Ok(obj(vec![(
+                    "assertions",
+                    Value::int(s.assertions.len() as i64),
+                )]))
+            })?
+        }
+        "edit" => {
+            let text = param_str(p, "text")?.to_string();
+            if let Some(anchor) = p.get("insert_after") {
+                let anchor = StmtId(
+                    anchor
+                        .as_i64()
+                        .filter(|n| *n >= 0)
+                        .ok_or("bad 'insert_after' id")? as u32,
+                );
+                mgr.with_session(session_id(p)?, |s| {
+                    s.insert_statement_after(anchor, &text)?;
+                    Ok(obj(vec![("inserted_after", Value::int(anchor.0 as i64))]))
+                })?
+            } else {
+                let stmt = StmtId(param_u32(p, "stmt")?);
+                mgr.with_session(session_id(p)?, |s| {
+                    s.edit_statement(stmt, &text)?;
+                    Ok(obj(vec![("edited", Value::int(stmt.0 as i64))]))
+                })?
+            }
+        }
+        "stmts" => mgr.with_session(session_id(p)?, |s| {
+            let mut rows = Vec::new();
+            walk_stmts(&s.current_unit().body, &mut |st| {
+                let text = match &st.kind {
+                    StmtKind::Do { .. } => "DO ...".to_string(),
+                    StmtKind::If { .. } => "IF ...".to_string(),
+                    _ => {
+                        let mut t = String::new();
+                        ped_fortran::pretty::print_block(std::slice::from_ref(st), 0, &mut t);
+                        t.trim().to_string()
+                    }
+                };
+                rows.push(obj(vec![
+                    ("id", Value::int(st.id.0 as i64)),
+                    ("text", Value::str(text)),
+                ]));
+            });
+            obj(vec![("stmts", Value::Arr(rows))])
+        }),
+        "transform" => {
+            let op = param_str(p, "op")?.to_string();
+            let l = LoopId(param_u32(p, "loop")?);
+            mgr.with_session(session_id(p)?, |s| match op.as_str() {
+                "suggest" => {
+                    let names: Vec<Value> = s
+                        .suggest_transformations(l)
+                        .into_iter()
+                        .map(|(n, _)| Value::str(n))
+                        .collect();
+                    Ok(obj(vec![("safe", Value::Arr(names))]))
+                }
+                "parallelize" => {
+                    let applied = s.parallelize(l).map_err(|e| e.to_string())?;
+                    let notes: Vec<Value> = applied.notes.into_iter().map(Value::str).collect();
+                    Ok(obj(vec![("applied", Value::Arr(notes))]))
+                }
+                other => Err(format!("unknown transform op '{other}'")),
+            })?
+        }
+        "stats" => mgr.with_session(session_id(p)?, |s| stats_value(&s.stats()))?,
+        "close" => {
+            let id = session_id(p)?;
+            mgr.close(id)?;
+            Ok(obj(vec![("closed", Value::str(id))]))
+        }
+        "sessions" => {
+            let (opened, closed, evicted) = mgr.counters();
+            Ok(obj(vec![
+                ("live", Value::int(mgr.len() as i64)),
+                ("opened", Value::int(opened as i64)),
+                ("closed", Value::int(closed as i64)),
+                ("evicted", Value::int(evicted as i64)),
+            ]))
+        }
+        "ping" => Ok(obj(vec![("pong", Value::Bool(true))])),
+        "shutdown" => {
+            shutdown.store(true, Ordering::SeqCst);
+            Ok(obj(vec![("shutdown", Value::Bool(true))]))
+        }
+        other => Err(format!("unknown method '{other}'")),
+    }
+}
+
+fn stats_value(st: &SessionStats) -> Result<Value, String> {
+    let features: Vec<Value> = st
+        .features
+        .iter()
+        .map(|(f, n)| {
+            obj(vec![
+                ("feature", Value::str(f.label())),
+                ("count", Value::int(*n as i64)),
+            ])
+        })
+        .collect();
+    Ok(obj(vec![
+        ("analysis_hits", Value::int(st.analysis_hits as i64)),
+        ("analysis_misses", Value::int(st.analysis_misses as i64)),
+        ("pair_hits", Value::int(st.pair_hits as i64)),
+        ("pair_misses", Value::int(st.pair_misses as i64)),
+        ("reanalyze_hits", Value::int(st.reanalyze_hits as i64)),
+        ("reanalyze_misses", Value::int(st.reanalyze_misses as i64)),
+        ("features", Value::Arr(features)),
+    ]))
+}
+
+fn parse_mark(text: &str) -> Result<Mark, String> {
+    match text.to_ascii_lowercase().as_str() {
+        "proven" => Ok(Mark::Proven),
+        "pending" => Ok(Mark::Pending),
+        "accepted" => Ok(Mark::Accepted),
+        "rejected" => Ok(Mark::Rejected),
+        other => Err(format!("unknown mark '{other}'")),
+    }
+}
+
+/// Variable-pane filter syntax: `all`, `arrays`, `scalars`, `shared`,
+/// `private`, `name=X`, `common` or `common=BLK`.
+fn parse_var_filter(text: &str) -> Result<VarFilter, String> {
+    let t = text.trim();
+    if t.eq_ignore_ascii_case("all") || t.is_empty() {
+        return Ok(VarFilter::All);
+    }
+    if t.eq_ignore_ascii_case("arrays") {
+        return Ok(VarFilter::ArraysOnly);
+    }
+    if t.eq_ignore_ascii_case("scalars") {
+        return Ok(VarFilter::ScalarsOnly);
+    }
+    if t.eq_ignore_ascii_case("shared") {
+        return Ok(VarFilter::SharedOnly);
+    }
+    if t.eq_ignore_ascii_case("private") {
+        return Ok(VarFilter::PrivateOnly);
+    }
+    if t.eq_ignore_ascii_case("common") {
+        return Ok(VarFilter::InCommon(None));
+    }
+    if let Some((k, v)) = t.split_once('=') {
+        match k.trim().to_ascii_lowercase().as_str() {
+            "name" => return Ok(VarFilter::Name(v.trim().to_string())),
+            "common" => return Ok(VarFilter::InCommon(Some(v.trim().to_ascii_uppercase()))),
+            _ => {}
+        }
+    }
+    Err(format!("bad variable filter '{text}'"))
+}
+
+// PedSession must stay shareable across the worker pool.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<PedSession>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::ManagerConfig;
+
+    fn mgr() -> SessionManager {
+        SessionManager::new(ManagerConfig::default())
+    }
+
+    fn run(m: &SessionManager, line: &str) -> Value {
+        let flag = AtomicBool::new(false);
+        parse(&dispatch_line(m, &flag, line)).unwrap()
+    }
+
+    #[test]
+    fn open_select_deps_roundtrip() {
+        let m = mgr();
+        let r = run(
+            &m,
+            r#"{"id":1,"method":"open","params":{"session":"a","program":"pueblo3d"}}"#,
+        );
+        assert_eq!(r.get("ok"), Some(&Value::Bool(true)));
+        let units = r.get("result").unwrap().get("units").unwrap();
+        assert!(units.as_array().unwrap().len() > 1);
+        let r = run(
+            &m,
+            r#"{"id":2,"method":"select_unit","params":{"session":"a","unit":"HYDRO"}}"#,
+        );
+        assert_eq!(r.get("ok"), Some(&Value::Bool(true)));
+        run(
+            &m,
+            r#"{"id":3,"method":"select_loop","params":{"session":"a","loop":0}}"#,
+        );
+        let r = run(
+            &m,
+            r#"{"id":4,"method":"deps","params":{"session":"a","filter":"mark=pending"}}"#,
+        );
+        let deps = r.get("result").unwrap().get("deps").unwrap();
+        assert!(!deps.as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn open_from_source_and_edit() {
+        let m = mgr();
+        let src = "      REAL A(100)\\n      DO 10 I = 2, N\\n      A(I) = A(I-1)\\n   10 CONTINUE\\n      END\\n";
+        let r = run(
+            &m,
+            &format!(r#"{{"id":1,"method":"open","params":{{"session":"e","source":"{src}"}}}}"#),
+        );
+        assert_eq!(r.get("ok"), Some(&Value::Bool(true)), "{r:?}");
+        let r = run(&m, r#"{"id":2,"method":"stmts","params":{"session":"e"}}"#);
+        let stmts = r.get("result").unwrap().get("stmts").unwrap();
+        let assign = stmts
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|s| s.get("text").unwrap().as_str().unwrap().contains("A(I)"))
+            .unwrap();
+        let id = assign.get("id").unwrap().as_i64().unwrap();
+        let r = run(
+            &m,
+            &format!(
+                r#"{{"id":3,"method":"edit","params":{{"session":"e","stmt":{id},"text":"A(I) = A(I-2)"}}}}"#
+            ),
+        );
+        assert_eq!(r.get("ok"), Some(&Value::Bool(true)), "{r:?}");
+        // The edit is visible in the statement listing, and the loop
+        // still carries the (now distance-2) recurrence.
+        let r = run(&m, r#"{"id":4,"method":"stmts","params":{"session":"e"}}"#);
+        let listing = r.get("result").unwrap().encode();
+        assert!(listing.contains("A(I - 2)"), "{listing}");
+        run(
+            &m,
+            r#"{"id":5,"method":"select_loop","params":{"session":"e","loop":0}}"#,
+        );
+        let r = run(&m, r#"{"id":6,"method":"deps","params":{"session":"e"}}"#);
+        let deps = r.get("result").unwrap().get("deps").unwrap();
+        assert!(!deps.as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let m = mgr();
+        let r = run(&m, "not json");
+        assert_eq!(r.get("ok"), Some(&Value::Bool(false)));
+        let r = run(&m, r#"{"id":9,"method":"nope","params":{}}"#);
+        assert_eq!(r.get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(r.get("id").and_then(Value::as_i64), Some(9));
+        let r = run(
+            &m,
+            r#"{"id":10,"method":"deps","params":{"session":"ghost"}}"#,
+        );
+        assert!(r
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("unknown session"));
+        let r = run(
+            &m,
+            r#"{"id":11,"method":"open","params":{"session":"x","source":"      GARBAGE ]]\n      END\n"}}"#,
+        );
+        assert_eq!(r.get("ok"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn shutdown_sets_flag() {
+        let m = mgr();
+        let flag = AtomicBool::new(false);
+        let resp = dispatch_line(&m, &flag, r#"{"id":1,"method":"shutdown"}"#);
+        assert!(flag.load(Ordering::SeqCst));
+        assert!(resp.contains("\"shutdown\":true"));
+    }
+
+    #[test]
+    fn stats_exposes_cache_counters() {
+        let m = mgr();
+        run(
+            &m,
+            r#"{"id":1,"method":"open","params":{"session":"a","program":"spec77"}}"#,
+        );
+        run(
+            &m,
+            r#"{"id":2,"method":"select_unit","params":{"session":"a","unit":"GLOOP"}}"#,
+        );
+        let r = run(&m, r#"{"id":3,"method":"stats","params":{"session":"a"}}"#);
+        let st = r.get("result").unwrap();
+        assert!(st.get("analysis_misses").unwrap().as_i64().unwrap() >= 1);
+        assert!(st
+            .get("features")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|f| f.get("feature").unwrap().as_str() == Some("program")));
+    }
+
+    #[test]
+    fn classify_and_mark_and_close() {
+        let m = mgr();
+        run(
+            &m,
+            r#"{"id":1,"method":"open","params":{"session":"a","program":"pueblo3d"}}"#,
+        );
+        run(
+            &m,
+            r#"{"id":2,"method":"select_unit","params":{"session":"a","unit":"HYDRO"}}"#,
+        );
+        run(
+            &m,
+            r#"{"id":3,"method":"select_loop","params":{"session":"a","loop":0}}"#,
+        );
+        let r = run(
+            &m,
+            r#"{"id":4,"method":"mark","params":{"session":"a","filter":"mark=pending & var=UF","mark":"rejected","reason":"MCN exceeds the zone extent"}}"#,
+        );
+        assert_eq!(r.get("ok"), Some(&Value::Bool(true)), "{r:?}");
+        let r = run(
+            &m,
+            r#"{"id":5,"method":"classify","params":{"session":"a","var":"T","class":"private"}}"#,
+        );
+        assert_eq!(r.get("ok"), Some(&Value::Bool(true)), "{r:?}");
+        let r = run(&m, r#"{"id":6,"method":"close","params":{"session":"a"}}"#);
+        assert_eq!(r.get("ok"), Some(&Value::Bool(true)));
+        assert!(m.is_empty());
+    }
+}

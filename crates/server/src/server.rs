@@ -1,0 +1,240 @@
+//! The TCP front end: accept loop, connection handling, backpressure.
+//!
+//! Connections are handed to a fixed-size [`ThreadPool`]; a worker owns
+//! one connection at a time and answers its requests in order (pipelined
+//! requests are fine — each line gets exactly one response line, in
+//! request order). Oversized request lines are rejected with an error
+//! response and the connection is closed, bounding per-connection
+//! memory. The accept loop is non-blocking so it can observe the
+//! shutdown flag (set by a `shutdown` request or by SIGTERM) within
+//! `POLL_INTERVAL`; dropping the pool then joins the workers, letting
+//! in-flight requests complete before the process exits.
+
+use crate::json::Value;
+use crate::manager::{ManagerConfig, SessionManager};
+use crate::pool::ThreadPool;
+use crate::protocol::{dispatch_line, err_response};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Server shape and limits.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 = ephemeral).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Longest accepted request line, in bytes.
+    pub max_request_bytes: usize,
+    /// How often the janitor sweeps idle sessions.
+    pub eviction_interval: Duration,
+    /// Registry limits.
+    pub manager: ManagerConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .max(4),
+            max_request_bytes: 1 << 20,
+            eviction_interval: Duration::from_secs(30),
+            manager: ManagerConfig::default(),
+        }
+    }
+}
+
+/// A running server; `stop()` (or drop) shuts it down gracefully.
+pub struct ServerHandle {
+    pub addr: SocketAddr,
+    pub manager: Arc<SessionManager>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Request shutdown and wait for the accept loop and all in-flight
+    /// connections to drain.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// True once the server has begun shutting down.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Block until the shutdown flag is set (by a `shutdown` request or
+    /// SIGTERM), then drain.
+    pub fn wait(&mut self) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            if crate::signal::termination_requested() {
+                self.shutdown.store(true, Ordering::SeqCst);
+                break;
+            }
+            std::thread::sleep(POLL_INTERVAL);
+        }
+        self.stop();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Bind and start serving on background threads; returns immediately.
+pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let manager = Arc::new(SessionManager::new(cfg.manager.clone()));
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let accept_mgr = Arc::clone(&manager);
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept_thread = std::thread::Builder::new()
+        .name("ped-serve-accept".into())
+        .spawn(move || {
+            accept_loop(listener, cfg, accept_mgr, accept_shutdown);
+        })?;
+
+    Ok(ServerHandle {
+        addr,
+        manager,
+        shutdown,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    cfg: ServerConfig,
+    manager: Arc<SessionManager>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let pool = ThreadPool::new(cfg.workers);
+    let mut last_sweep = std::time::Instant::now();
+    while !shutdown.load(Ordering::SeqCst) && !crate::signal::termination_requested() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let mgr = Arc::clone(&manager);
+                let stop = Arc::clone(&shutdown);
+                let max = cfg.max_request_bytes;
+                pool.execute(move || {
+                    let _ = handle_connection(stream, &mgr, &stop, max);
+                });
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+        if last_sweep.elapsed() >= cfg.eviction_interval {
+            manager.evict_idle();
+            last_sweep = std::time::Instant::now();
+        }
+    }
+    // Dropping the pool joins the workers: in-flight connections finish.
+    drop(pool);
+}
+
+/// Reads `\n`-terminated lines with a hard size cap, preserving partial
+/// data across read-timeout wakeups (used to poll the shutdown flag).
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    max: usize,
+}
+
+enum ReadOutcome {
+    Line(String),
+    TooLong,
+    Closed,
+    Shutdown,
+}
+
+impl LineReader {
+    fn next_line(&mut self, shutdown: &AtomicBool) -> std::io::Result<ReadOutcome> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                if pos > self.max {
+                    return Ok(ReadOutcome::TooLong);
+                }
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                let text = String::from_utf8_lossy(&line[..line.len() - 1])
+                    .trim_end_matches('\r')
+                    .to_string();
+                return Ok(ReadOutcome::Line(text));
+            }
+            if self.buf.len() > self.max {
+                return Ok(ReadOutcome::TooLong);
+            }
+            // No complete line buffered: close idle connections on
+            // shutdown (a half-sent request still gets served).
+            if shutdown.load(Ordering::SeqCst) && self.buf.is_empty() {
+                return Ok(ReadOutcome::Shutdown);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(ReadOutcome::Closed),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    continue; // timeout tick: re-check shutdown
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    manager: &SessionManager,
+    shutdown: &AtomicBool,
+    max_request_bytes: usize,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = LineReader {
+        stream,
+        buf: Vec::new(),
+        max: max_request_bytes,
+    };
+    loop {
+        match reader.next_line(shutdown)? {
+            ReadOutcome::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let mut response = dispatch_line(manager, shutdown, &line);
+                response.push('\n');
+                writer.write_all(response.as_bytes())?;
+            }
+            ReadOutcome::TooLong => {
+                let mut response = err_response(
+                    &Value::Null,
+                    &format!("request exceeds {max_request_bytes} bytes"),
+                );
+                response.push('\n');
+                let _ = writer.write_all(response.as_bytes());
+                return Ok(()); // drop the connection: framing is lost
+            }
+            ReadOutcome::Closed | ReadOutcome::Shutdown => return Ok(()),
+        }
+    }
+}

@@ -11,6 +11,7 @@ pub mod meta;
 pub mod personas;
 pub mod programs;
 mod programs_b;
+pub mod scripts;
 pub mod tables;
 
 pub use meta::{Cell, Table3Row, Table4Row, WorkProgram};

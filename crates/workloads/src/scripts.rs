@@ -1,0 +1,280 @@
+//! Persona → wire-protocol request scripts.
+//!
+//! Each Table 2 persona (see [`crate::personas`]) is a scripted
+//! in-process `PedSession`; this module converts those scripts into
+//! `ped-serve` request lines — newline-delimited JSON, sequential ids —
+//! so the same workloads can be replayed by N concurrent TCP clients.
+//! The session id is caller-chosen: the load harness and the
+//! concurrency tests give every client its own id, replay the same
+//! script, and require the responses to be byte-identical to a
+//! single-threaded replay of the identical lines.
+//!
+//! The module deliberately does not depend on `ped-server` (the server
+//! depends on workloads for `open`-by-name); requests are built with a
+//! local JSON-string escaper.
+
+/// A persona's session, as wire requests.
+pub struct WireScript {
+    pub persona: &'static str,
+    pub lines: Vec<String>,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds request lines with sequential ids for one session.
+struct Script {
+    session: String,
+    lines: Vec<String>,
+}
+
+impl Script {
+    fn new(session: &str) -> Script {
+        Script {
+            session: session.to_string(),
+            lines: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, method: &str, params: &[(&str, &str)]) {
+        let id = self.lines.len() + 1;
+        let mut p = format!("\"session\":\"{}\"", esc(&self.session));
+        for (k, v) in params {
+            p.push_str(&format!(",\"{}\":\"{}\"", esc(k), esc(v)));
+        }
+        self.lines.push(format!(
+            "{{\"id\":{id},\"method\":\"{method}\",\"params\":{{{p}}}}}"
+        ));
+    }
+
+    fn push_raw(&mut self, method: &str, raw_params: &str) {
+        let id = self.lines.len() + 1;
+        self.lines.push(format!(
+            "{{\"id\":{id},\"method\":\"{method}\",\"params\":{{\"session\":\"{}\"{}{raw_params}}}}}",
+            esc(&self.session),
+            if raw_params.is_empty() { "" } else { "," },
+        ));
+    }
+
+    fn open(mut self, program: &str) -> Script {
+        self.push("open", &[("program", program)]);
+        self
+    }
+
+    fn unit(mut self, unit: &str) -> Script {
+        self.push("select_unit", &[("unit", unit)]);
+        self
+    }
+
+    fn select(mut self, l: u32) -> Script {
+        self.push_raw("select_loop", &format!("\"loop\":{l}"));
+        self
+    }
+
+    fn deps(mut self, filter: &str) -> Script {
+        if filter.is_empty() {
+            self.push("deps", &[]);
+        } else {
+            self.push("deps", &[("filter", filter)]);
+        }
+        self
+    }
+
+    fn vars(mut self, filter: &str) -> Script {
+        if filter.is_empty() {
+            self.push("vars", &[]);
+        } else {
+            self.push("vars", &[("filter", filter)]);
+        }
+        self
+    }
+
+    fn reject(mut self, var: &str, reason: &str) -> Script {
+        self.push(
+            "mark",
+            &[
+                ("filter", &format!("mark=pending & var={var}")),
+                ("mark", "rejected"),
+                ("reason", reason),
+            ],
+        );
+        self
+    }
+
+    fn classify_private(mut self, var: &str, reason: &str) -> Script {
+        self.push(
+            "classify",
+            &[("var", var), ("class", "private"), ("reason", reason)],
+        );
+        self
+    }
+
+    fn finish(mut self) -> Vec<String> {
+        self.push("stats", &[]);
+        self.push("close", &[]);
+        self.lines
+    }
+}
+
+/// The wire script for one persona, bound to `session`. Unknown names
+/// return `None`. The scripts mirror `personas::personas()`: same
+/// programs, same units, same marks/classifications — expressed as
+/// protocol requests.
+pub fn persona_script(name: &str, session: &str) -> Option<Vec<String>> {
+    let s = Script::new(session);
+    Some(match name {
+        "poole" => s
+            .open("spec77")
+            .unit("GLOOP")
+            .select(0)
+            .deps("")
+            .reject("V", "MW is a permutation of 1..NPTS")
+            .vars("")
+            .finish(),
+        "zosel-engle" => s
+            .open("neoss")
+            .unit("EOSCAN")
+            .select(0)
+            .deps("mark=pending")
+            .vars("scalars")
+            .finish(),
+        "pottle" => s
+            .open("dpmin")
+            .unit("FORCES")
+            .select(0)
+            .deps("")
+            .classify_private("I3", "recomputed every iteration")
+            .reject("G", "IT values are distinct")
+            .finish(),
+        "heimbach" => s
+            .open("slab2d")
+            .unit("ADVECT")
+            .select(0)
+            .deps("")
+            .classify_private("FLX", "killed each iteration")
+            .unit("DIFFUS")
+            .select(0)
+            .reject("TD", "TD is rewritten every J sweep")
+            .finish(),
+        "brickner" => s
+            .open("pueblo3d")
+            .unit("HYDRO")
+            .select(0)
+            .deps("")
+            .reject("UF", "MCN exceeds the zone extent")
+            .finish(),
+        "fletcher" => s
+            .open("arc3d")
+            .unit("FILTER3")
+            .select(0)
+            .classify_private("WR1", "killed every outer iteration")
+            .reject("WR1", "WR1 is a per-iteration temporary")
+            .finish(),
+        "stein" => s
+            .open("spec77")
+            .unit("GLOOP")
+            .select(0)
+            .reject("V", "gather targets are distinct")
+            .finish(),
+        "editor" => editor_script(s),
+        _ => return None,
+    })
+}
+
+/// An eighth, synthetic script covering the protocol surface the Table 2
+/// personas never touch: `open` from source text, `stmts`, `edit`,
+/// `assert` and `transform`.
+fn editor_script(mut s: Script) -> Vec<String> {
+    let src = "      REAL UF(10000)\n      INTEGER ISTRT(10), IENDV(10)\n      DO 300 I = ISTRT(IR), IENDV(IR)\n      UF(I) = UF(I + MCN) + 1.0\n  300 CONTINUE\n      END\n";
+    s.push("open", &[("source", src)]);
+    s.push("stmts", &[]);
+    s.push_raw("select_loop", "\"loop\":0");
+    s.push("deps", &[]);
+    s.push_raw("transform", "\"op\":\"suggest\",\"loop\":0");
+    s.push("assert", &[("fact", "MCN .GT. IENDV(IR) - ISTRT(IR)")]);
+    s.push_raw("select_loop", "\"loop\":0");
+    s.push_raw("transform", "\"op\":\"parallelize\",\"loop\":0");
+    s.push("deps", &[]);
+    s.finish()
+}
+
+/// All persona names with wire scripts, in Table 2 column order plus
+/// the synthetic `editor` script.
+pub fn script_names() -> [&'static str; 8] {
+    [
+        "poole",
+        "zosel-engle",
+        "pottle",
+        "heimbach",
+        "brickner",
+        "fletcher",
+        "stein",
+        "editor",
+    ]
+}
+
+/// Every script, with each session id `{prefix}-{persona}`.
+pub fn all_scripts(prefix: &str) -> Vec<WireScript> {
+    script_names()
+        .iter()
+        .map(|name| WireScript {
+            persona: name,
+            lines: persona_script(name, &format!("{prefix}-{name}")).unwrap(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_exist_for_all_personas() {
+        for p in crate::personas::personas() {
+            assert!(
+                persona_script(p.name, "x").is_some(),
+                "no wire script for persona '{}'",
+                p.name
+            );
+        }
+        assert!(persona_script("nobody", "x").is_none());
+    }
+
+    #[test]
+    fn scripts_are_wellformed_lines() {
+        for ws in all_scripts("t") {
+            assert!(ws.lines.len() >= 5, "{} too short", ws.persona);
+            for (i, line) in ws.lines.iter().enumerate() {
+                assert!(!line.contains('\n'), "{}:{i} embeds a newline", ws.persona);
+                assert!(
+                    line.contains(&format!("\"id\":{}", i + 1)),
+                    "{}:{i} id out of sequence: {line}",
+                    ws.persona
+                );
+                assert!(line.contains("\"session\":\"t-"));
+            }
+            // Every script opens first and closes last.
+            assert!(ws.lines[0].contains("\"method\":\"open\""));
+            assert!(ws.lines.last().unwrap().contains("\"method\":\"close\""));
+        }
+    }
+
+    #[test]
+    fn escaper_handles_specials() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("x\u{1}"), "x\\u0001");
+    }
+}

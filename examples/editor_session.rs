@@ -5,11 +5,27 @@
 //! ```text
 //! cargo run --example editor_session
 //! ```
+//!
+//! With `PED_SERVER_ADDR` set, the same walkthrough runs against a live
+//! `ped-serve` instance instead of an in-process session, doubling as a
+//! smoke test for the wire protocol:
+//!
+//! ```text
+//! cargo run -p ped-server --bin ped-serve -- --addr 127.0.0.1:7878 &
+//! PED_SERVER_ADDR=127.0.0.1:7878 cargo run --example editor_session
+//! ```
 
 use parascope::editor::filter::DepFilter;
 use parascope::workloads::tables;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 
 fn main() {
+    if let Ok(addr) = std::env::var("PED_SERVER_ADDR") {
+        remote_session(&addr);
+        return;
+    }
+
     // The full window, as in Figure 1.
     println!("{}", tables::render_figure1());
 
@@ -35,4 +51,44 @@ fn main() {
     println!("{}", parascope::estimate::rank::render_ranking(&ranks, 8));
 
     println!("== call graph ==\n{}", session.call_graph());
+}
+
+/// The same walkthrough over the wire: one request line per step, one
+/// response line back (the `ped-serve` protocol, see DESIGN.md §5b).
+fn remote_session(addr: &str) {
+    let stream = TcpStream::connect(addr)
+        .unwrap_or_else(|e| panic!("PED_SERVER_ADDR={addr}: cannot connect: {e}"));
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut rpc = |line: &str| -> String {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        let resp = resp.trim_end().to_string();
+        assert!(
+            resp.contains("\"ok\":true"),
+            "request failed\n  -> {line}\n  <- {resp}"
+        );
+        resp
+    };
+
+    println!("== remote PED session against {addr} ==");
+    let steps = [
+        r#"{"id":1,"method":"open","params":{"session":"example","program":"pueblo3d"}}"#,
+        r#"{"id":2,"method":"select_unit","params":{"session":"example","unit":"HYDRO"}}"#,
+        r#"{"id":3,"method":"select_loop","params":{"session":"example","loop":0}}"#,
+        r#"{"id":4,"method":"deps","params":{"session":"example","filter":"mark=pending"}}"#,
+        r#"{"id":5,"method":"mark","params":{"session":"example","filter":"mark=pending & var=UF","mark":"rejected","reason":"MCN exceeds the zone extent"}}"#,
+        r#"{"id":6,"method":"vars","params":{"session":"example"}}"#,
+        r#"{"id":7,"method":"stats","params":{"session":"example"}}"#,
+        r#"{"id":8,"method":"close","params":{"session":"example"}}"#,
+    ];
+    for line in steps {
+        let resp = rpc(line);
+        println!("-> {line}");
+        println!("<- {resp}\n");
+    }
+    println!("remote session complete: 8/8 requests ok");
 }

@@ -1,8 +1,13 @@
 #!/bin/sh
-# Build and run the ped-bench timing harness over the eight workshop
-# programs, writing BENCH_1.json at the repo root (or $1 if given).
+# Build and run the benchmark harnesses:
+#   BENCH_1.json — ped-bench, analysis timings over the eight workshop
+#                  programs (or $1 if given)
+#   BENCH_2.json — ped-serve-bench, server throughput/latency for 1 vs N
+#                  concurrent wire clients (or $2 if given)
 set -e
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_1.json}"
-cargo build --release --offline -p ped-bench --bin ped-bench
-./target/release/ped-bench "$OUT"
+OUT1="${1:-BENCH_1.json}"
+OUT2="${2:-BENCH_2.json}"
+cargo build --release --offline -p ped-bench --bin ped-bench --bin ped-serve-bench
+./target/release/ped-bench "$OUT1"
+./target/release/ped-serve-bench "$OUT2"

@@ -1,0 +1,8 @@
+#!/bin/sh
+# The tier-1 gate: formatting, release build (library, binaries, and
+# examples), and the full test suite.
+set -e
+cd "$(dirname "$0")/.."
+cargo fmt --all -- --check
+cargo build --release --offline --workspace
+cargo test -q --offline

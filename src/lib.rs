@@ -11,6 +11,7 @@
 //! * [`runtime`] — the parallel (DOALL) execution substrate
 //! * [`estimate`] — static performance estimation
 //! * [`editor`] — the PED session itself
+//! * [`server`] — `ped-serve`, the concurrent multi-session service
 //! * [`workloads`] — the eight PPOPP'93 workshop programs
 
 pub use ped as editor;
@@ -20,5 +21,6 @@ pub use ped_estimate as estimate;
 pub use ped_fortran as fortran;
 pub use ped_interproc as interproc;
 pub use ped_runtime as runtime;
+pub use ped_server as server;
 pub use ped_transform as transform;
 pub use ped_workloads as workloads;

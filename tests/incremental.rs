@@ -42,10 +42,17 @@ fn noop_reanalyze_hits_and_preserves_everything() {
     let before = format!("{:?}", s.ua.graph.deps);
     s.reanalyze();
     s.reanalyze();
-    let (hits, misses, _, _) = s.cache_stats();
-    assert_eq!(hits, 2, "no-op reanalyze must be answered from cache");
-    assert_eq!(misses, 0);
-    assert_eq!(s.usage.count(Feature::AnalysisCacheHit), 2);
+    let st = s.stats();
+    assert_eq!(
+        st.analysis_hits, 2,
+        "no-op reanalyze must be answered from cache"
+    );
+    assert_eq!(st.analysis_misses, 0);
+    assert_eq!(st.reanalyze_hits, 2);
+    assert!(st
+        .features
+        .iter()
+        .any(|(f, n)| *f == Feature::AnalysisCacheHit && *n == 2));
     assert_eq!(format!("{:?}", s.ua.graph.deps), before);
     // The mark survives untouched (same DepId — nothing was rebuilt).
     assert_eq!(s.ua.marking.mark_of(dep), Mark::Rejected);

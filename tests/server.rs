@@ -1,0 +1,159 @@
+//! Concurrency correctness of `ped-serve`: N concurrent TCP clients
+//! replaying the persona wire scripts must receive responses
+//! byte-identical to a single-threaded in-process `PedSession` oracle —
+//! the server may interleave sessions any way it likes, but it must
+//! never let them observe each other.
+
+use ped_server::{ManagerConfig, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+fn spawn_server(cfg: ServerConfig) -> ped_server::ServerHandle {
+    ped_server::spawn(cfg).expect("spawn server")
+}
+
+/// Send each line and collect one trimmed response line per request.
+fn replay(addr: SocketAddr, lines: &[String]) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    lines
+        .iter()
+        .map(|line| {
+            writer.write_all(line.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            let mut resp = String::new();
+            reader.read_line(&mut resp).unwrap();
+            assert!(resp.ends_with('\n'), "truncated response for {line}");
+            resp.trim_end().to_string()
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_byte_identical_to_oracle() {
+    const CLIENTS: usize = 8;
+    let mut server = spawn_server(ServerConfig {
+        workers: CLIENTS,
+        manager: ManagerConfig {
+            max_sessions: 256,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let addr = server.addr;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                // Every client replays all eight scripts over one
+                // connection, under its own session-id prefix.
+                for ws in ped_workloads::scripts::all_scripts(&format!("t{c}")) {
+                    let got = replay(addr, &ws.lines);
+                    let want = ped_server::oracle_replay(&ws.lines);
+                    assert_eq!(
+                        got, want,
+                        "client {c} script '{}': server response diverged from the \
+                         single-threaded oracle",
+                        ws.persona
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client panicked");
+    }
+    // Every script closed its sessions; the registry must be empty.
+    assert_eq!(server.manager.len(), 0);
+    let (opened, closed, _) = server.manager.counters();
+    assert_eq!(opened, (CLIENTS * 8) as u64);
+    assert_eq!(closed, opened);
+    server.stop();
+}
+
+#[test]
+fn oversized_requests_are_rejected() {
+    let mut server = spawn_server(ServerConfig {
+        max_request_bytes: 256,
+        ..Default::default()
+    });
+    let stream = TcpStream::connect(server.addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let huge = format!(
+        "{{\"id\":1,\"method\":\"ping\",\"params\":{{\"pad\":\"{}\"}}}}\n",
+        "x".repeat(1024)
+    );
+    writer.write_all(huge.as_bytes()).unwrap();
+    let mut resp = String::new();
+    reader.read_line(&mut resp).unwrap();
+    assert!(resp.contains("\"ok\":false"), "{resp}");
+    assert!(resp.contains("exceeds"), "{resp}");
+    // The connection was closed to recover framing.
+    let mut rest = String::new();
+    assert_eq!(reader.read_line(&mut rest).unwrap(), 0);
+    server.stop();
+}
+
+#[test]
+fn shutdown_request_stops_the_server_gracefully() {
+    let mut server = spawn_server(ServerConfig::default());
+    let addr = server.addr;
+    let resp = replay(addr, &["{\"id\":1,\"method\":\"shutdown\"}".to_string()]);
+    assert!(resp[0].contains("\"shutdown\":true"), "{resp:?}");
+    let t = Instant::now();
+    while !server.is_shutting_down() && t.elapsed() < Duration::from_secs(2) {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(server.is_shutting_down());
+    server.stop(); // joins the accept loop and workers
+                   // New connections are refused (or reset on first use) once down.
+    let refused = match TcpStream::connect(addr) {
+        Err(_) => true,
+        Ok(s) => {
+            let mut w = s.try_clone().unwrap();
+            let gone = w.write_all(b"{\"id\":2,\"method\":\"ping\"}\n").is_err()
+                || BufReader::new(s).read_line(&mut String::new()).unwrap_or(0) == 0;
+            gone
+        }
+    };
+    assert!(refused, "server still serving after shutdown");
+}
+
+#[test]
+fn idle_sessions_are_evicted_over_the_wire() {
+    let mut server = spawn_server(ServerConfig {
+        eviction_interval: Duration::from_millis(50),
+        manager: ManagerConfig {
+            idle_ttl: Duration::from_millis(100),
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let addr = server.addr;
+    let resp = replay(
+        addr,
+        &[
+            "{\"id\":1,\"method\":\"open\",\"params\":{\"session\":\"idle\",\"program\":\"pueblo3d\"}}"
+                .to_string(),
+        ],
+    );
+    assert!(resp[0].contains("\"ok\":true"), "{resp:?}");
+    // Wait out the TTL plus a sweep.
+    let t = Instant::now();
+    while server.manager.len() > 0 && t.elapsed() < Duration::from_secs(5) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(server.manager.len(), 0, "idle session never evicted");
+    let resp = replay(
+        addr,
+        &["{\"id\":2,\"method\":\"deps\",\"params\":{\"session\":\"idle\"}}".to_string()],
+    );
+    assert!(
+        resp[0].contains("unknown session"),
+        "evicted session still answers: {resp:?}"
+    );
+    server.stop();
+}
