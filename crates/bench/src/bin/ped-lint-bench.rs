@@ -1,0 +1,190 @@
+//! `ped-lint-bench` — lint-pass timings, written as `BENCH_3.json`.
+//!
+//! Measures the whole-repo lint (every workshop program) in three
+//! regimes through a `PedSession` per program:
+//!
+//! * **cold** — first `lint()`, every unit runs the engine;
+//! * **cached** — second `lint()`, every unit answered from the
+//!   per-unit fingerprint memo;
+//! * **incremental** — `lint()` after editing one statement of one
+//!   unit, so exactly the dirty units re-lint.
+//!
+//! The cached and incremental reports are asserted identical in shape to
+//! a fresh engine run (the memo must never change the answer), and the
+//! hit/miss counters are included so a regression in cache effectiveness
+//! shows up in the JSON, not just in the timings.
+//!
+//! Usage: `ped-lint-bench [OUTPUT.json] [--iters N]`
+
+use ped::session::PedSession;
+use ped_fortran::ast::{walk_stmts, StmtKind};
+use ped_fortran::parser::parse_ok;
+use std::time::Instant;
+
+struct Regime {
+    name: &'static str,
+    wall_secs: f64,
+    findings: usize,
+    lint_hits: u64,
+    lint_misses: u64,
+}
+
+fn main() {
+    let mut out_path = "BENCH_3.json".to_string();
+    let mut iters = 5usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--iters" => iters = args.next().and_then(|v| v.parse().ok()).unwrap_or(5),
+            other => out_path = other.to_string(),
+        }
+    }
+    let programs: Vec<_> = ped_workloads::all_programs();
+    println!(
+        "ped-lint-bench: {} workshop programs, best of {} iters\n",
+        programs.len(),
+        iters
+    );
+
+    let mut regimes: Vec<Regime> = Vec::new();
+    let mut cold_best = f64::MAX;
+    let mut cached_best = f64::MAX;
+    let mut incr_best = f64::MAX;
+    let mut cold_findings = 0usize;
+    let mut cached_findings = 0usize;
+    let mut incr_findings = 0usize;
+    let mut counters = (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+
+    let totals = |sessions: &[PedSession]| -> (u64, u64) {
+        sessions
+            .iter()
+            .map(|s| {
+                let st = s.stats();
+                (st.lint_hits, st.lint_misses)
+            })
+            .fold((0, 0), |(a, b), (h, m)| (a + h, b + m))
+    };
+
+    for _ in 0..iters {
+        let mut sessions: Vec<PedSession> = programs
+            .iter()
+            .map(|p| PedSession::open(parse_ok(p.source)))
+            .collect();
+
+        let t = Instant::now();
+        let cold: usize = sessions.iter_mut().map(|s| s.lint().len()).sum();
+        let cold_secs = t.elapsed().as_secs_f64();
+        let (h0, m0) = totals(&sessions);
+
+        let t = Instant::now();
+        let cached: usize = sessions.iter_mut().map(|s| s.lint().len()).sum();
+        let cached_secs = t.elapsed().as_secs_f64();
+        let (h1, m1) = totals(&sessions);
+        assert_eq!(cold, cached, "memoized lint changed the report size");
+
+        // One edit in each program's current unit: rewrite the first
+        // assignment's right-hand side to an equivalent expression, so
+        // exactly that unit's content fingerprint goes stale.
+        let mut edited = 0;
+        for s in &mut sessions {
+            // Move to the first unit containing an assignment (main
+            // units are often pure call drivers).
+            let unit_with_assign = s.program.units.iter().find_map(|u| {
+                let mut found = None;
+                walk_stmts(&u.body, &mut |st| {
+                    if found.is_none() && matches!(st.kind, StmtKind::Assign { .. }) {
+                        found = Some(u.name.clone());
+                    }
+                });
+                found
+            });
+            match unit_with_assign {
+                Some(name) => s.select_unit(&name).expect("unit exists"),
+                None => continue,
+            }
+            let mut target = None;
+            walk_stmts(&s.current_unit().body, &mut |st| {
+                if target.is_none() {
+                    if let StmtKind::Assign { .. } = st.kind {
+                        target = Some(st.id);
+                    }
+                }
+            });
+            if let Some(id) = target {
+                let mut text = String::new();
+                if let Some(st) = ped_fortran::ast::find_stmt(&s.current_unit().body, id) {
+                    ped_fortran::pretty::print_block(std::slice::from_ref(st), 0, &mut text);
+                }
+                let text = text.trim().to_string();
+                if !text.is_empty() && s.edit_statement(id, &format!("{text} + 0")).is_ok() {
+                    edited += 1;
+                }
+            }
+        }
+        assert!(
+            edited > 0,
+            "no unit was dirtied; incremental regime is vacuous"
+        );
+        let t = Instant::now();
+        let incr: usize = sessions.iter_mut().map(|s| s.lint().len()).sum();
+        let incr_secs = t.elapsed().as_secs_f64();
+        let (h2, m2) = totals(&sessions);
+
+        cold_best = cold_best.min(cold_secs);
+        cached_best = cached_best.min(cached_secs);
+        incr_best = incr_best.min(incr_secs);
+        cold_findings = cold;
+        cached_findings = cached;
+        incr_findings = incr;
+        counters = (h0, m0, h1 - h0, m1 - m0, h2 - h1, m2 - m1);
+    }
+
+    regimes.push(Regime {
+        name: "cold",
+        wall_secs: cold_best,
+        findings: cold_findings,
+        lint_hits: counters.0,
+        lint_misses: counters.1,
+    });
+    regimes.push(Regime {
+        name: "cached",
+        wall_secs: cached_best,
+        findings: cached_findings,
+        lint_hits: counters.2,
+        lint_misses: counters.3,
+    });
+    regimes.push(Regime {
+        name: "incremental",
+        wall_secs: incr_best,
+        findings: incr_findings,
+        lint_hits: counters.4,
+        lint_misses: counters.5,
+    });
+
+    for r in &regimes {
+        println!(
+            "{:>12}: {:>9.6}s  {:>4} findings  {:>3} hits {:>3} misses",
+            r.name, r.wall_secs, r.findings, r.lint_hits, r.lint_misses
+        );
+    }
+    let speedup = cold_best / cached_best.max(1e-9);
+    println!("\ncached lint speedup over cold: {speedup:.1}x");
+
+    let rows: Vec<String> = regimes
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"regime\": \"{}\", \"wall_secs\": {:.6}, \"findings\": {}, \"lint_hits\": {}, \"lint_misses\": {}}}",
+                r.name, r.wall_secs, r.findings, r.lint_hits, r.lint_misses
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"generated_by\": \"ped-lint-bench\",\n  \"programs\": {},\n  \"summary\": {{\n    \"cached_speedup\": {:.1}\n  }},\n  \"regimes\": [\n{}\n  ]\n}}\n",
+        programs.len(),
+        speedup,
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_3.json");
+    println!("wrote {out_path}");
+}

@@ -20,6 +20,7 @@
 //! `UsageLog` and surfaced by `PedSession::cache_stats`.
 
 use ped_dependence::cache::PairCache;
+use std::collections::HashMap;
 
 /// Cache state carried by a `PedSession` across `reanalyze()` calls.
 #[derive(Debug, Default)]
@@ -33,6 +34,14 @@ pub struct AnalysisCache {
     pub analysis_hits: u64,
     /// `reanalyze()` calls that rebuilt the analyses.
     pub analysis_misses: u64,
+    /// Per-unit lint memo: unit index → (inputs fingerprint, findings).
+    /// An edit dirties only the edited unit's key, so a whole-program
+    /// `lint()` after an incremental change re-lints one unit.
+    lint: HashMap<usize, (u64, Vec<ped_lint::Finding>)>,
+    /// Per-unit lint requests answered from the memo.
+    pub lint_hits: u64,
+    /// Per-unit lint requests that ran the engine.
+    pub lint_misses: u64,
 }
 
 impl AnalysisCache {
@@ -63,6 +72,32 @@ impl AnalysisCache {
     /// state through a side channel the fingerprint cannot see).
     pub fn invalidate(&mut self) {
         self.key = None;
+        self.lint.clear();
+    }
+
+    /// Cached lint findings for a unit, if its inputs still fingerprint
+    /// to `key`. Counts a hit or miss.
+    pub fn lint_check(&mut self, unit_idx: usize, key: u64) -> Option<Vec<ped_lint::Finding>> {
+        match self.lint.get(&unit_idx) {
+            Some((k, findings)) if *k == key => {
+                self.lint_hits += 1;
+                Some(findings.clone())
+            }
+            _ => {
+                self.lint_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a unit's lint findings under its inputs fingerprint.
+    pub fn lint_store(&mut self, unit_idx: usize, key: u64, findings: Vec<ped_lint::Finding>) {
+        self.lint.insert(unit_idx, (key, findings));
+    }
+
+    /// (lint hits, lint misses) — lifetime counters.
+    pub fn lint_stats(&self) -> (u64, u64) {
+        (self.lint_hits, self.lint_misses)
     }
 
     /// (analysis hits, analysis misses, pair-test hits, pair-test
@@ -105,5 +140,18 @@ mod tests {
         c.prime(7);
         c.invalidate();
         assert!(!c.check(7));
+    }
+
+    #[test]
+    fn lint_memo_hits_on_same_key_only() {
+        let mut c = AnalysisCache::new();
+        assert!(c.lint_check(0, 11).is_none());
+        c.lint_store(0, 11, Vec::new());
+        assert!(c.lint_check(0, 11).is_some());
+        assert!(c.lint_check(0, 12).is_none(), "stale key must miss");
+        assert!(c.lint_check(1, 11).is_none(), "other unit must miss");
+        assert_eq!(c.lint_stats(), (1, 3));
+        c.invalidate();
+        assert!(c.lint_check(0, 11).is_none());
     }
 }

@@ -55,6 +55,10 @@ pub struct SessionStats {
     pub reanalyze_hits: usize,
     /// `Feature::AnalysisCacheMiss` count mirrored in the usage log.
     pub reanalyze_misses: usize,
+    /// Per-unit lint requests answered from the lint memo.
+    pub lint_hits: u64,
+    /// Per-unit lint requests that ran the lint engine.
+    pub lint_misses: u64,
     /// Every feature recorded by the session, sorted, with counts.
     pub features: Vec<(Feature, usize)>,
 }
@@ -193,6 +197,7 @@ impl PedSession {
     /// internals.
     pub fn stats(&self) -> SessionStats {
         let (analysis_hits, analysis_misses, pair_hits, pair_misses) = self.cache.stats();
+        let (lint_hits, lint_misses) = self.cache.lint_stats();
         SessionStats {
             analysis_hits,
             analysis_misses,
@@ -200,6 +205,8 @@ impl PedSession {
             pair_misses,
             reanalyze_hits: self.usage.count(Feature::AnalysisCacheHit),
             reanalyze_misses: self.usage.count(Feature::AnalysisCacheMiss),
+            lint_hits,
+            lint_misses,
             features: self.usage.snapshot(),
         }
     }
@@ -577,6 +584,111 @@ impl PedSession {
         .ok_or_else(|| TransformError::Internal("loop not found".into()))?;
         self.reanalyze();
         Ok(Applied::note("loop certified parallel"))
+    }
+
+    // -- lint ---------------------------------------------------------------
+
+    /// Fingerprint of everything one unit's lint report depends on: the
+    /// unit's content, and — for the current unit, where user state
+    /// applies — the assertion set, the classification map, and the set
+    /// of rejected dependences.
+    fn lint_key(&self, idx: usize) -> u64 {
+        let mut h = ped_fortran::fingerprint::Fnv::new().u64(idx as u64).u64(
+            ped_fortran::fingerprint::unit_fingerprint(&self.program.units[idx]),
+        );
+        if idx == self.unit_idx {
+            for a in &self.assertions {
+                h = h.str(&a.to_string());
+            }
+            let mut cls: Vec<String> = self
+                .classification
+                .iter()
+                .map(|((l, n), (c, _))| format!("{}:{}:{}", l.0, n, c))
+                .collect();
+            cls.sort();
+            for c in cls {
+                h = h.str(&c);
+            }
+            let mut rej: Vec<String> = self
+                .ua
+                .graph
+                .deps
+                .iter()
+                .filter(|d| self.ua.marking.mark_of(d.id) == Mark::Rejected)
+                .map(|d| {
+                    format!(
+                        "{}:{}:{}:{}:{:?}",
+                        d.src_stmt, d.sink_stmt, d.var, d.kind, d.level
+                    )
+                })
+                .collect();
+            rej.sort();
+            for r in rej {
+                h = h.str(&r);
+            }
+        }
+        h.done()
+    }
+
+    /// The user's decisions, lowered for the lint engine.
+    fn lint_user_context(&self) -> ped_lint::UserContext {
+        let mut user = ped_lint::UserContext::default();
+        for ((l, n), (c, _)) in &self.classification {
+            user.classified.insert((l.0, n.clone()));
+            if *c == VarClass::Private {
+                user.private.insert((l.0, n.clone()));
+            }
+        }
+        for a in &self.assertions {
+            let mut probe = SymbolicEnv::new();
+            if a.apply(&mut probe).is_ok() {
+                user.asserted.push(ped_lint::AssertedFact {
+                    text: a.to_string(),
+                    nonneg: probe.facts.clone(),
+                    ranges: probe.ranges.into_iter().collect(),
+                });
+            }
+        }
+        user
+    }
+
+    /// Run the static race detector and lint rules over the whole
+    /// program, honoring the session's marks, classifications, and
+    /// assertions for the current unit. Per-unit results are memoized
+    /// under a fingerprint of their inputs, so after an incremental edit
+    /// only the dirty unit is re-linted.
+    pub fn lint(&mut self) -> Vec<ped_lint::Finding> {
+        self.usage.record(Feature::AccessToAnalysis);
+        let seeds = ped_interproc::propagate_constants(&self.program);
+        let mut out: Vec<ped_lint::Finding> = Vec::new();
+        for idx in 0..self.program.units.len() {
+            let key = self.lint_key(idx);
+            if let Some(cached) = self.cache.lint_check(idx, key) {
+                self.usage.record(Feature::LintCacheHit);
+                out.extend(cached);
+                continue;
+            }
+            self.usage.record(Feature::LintCacheMiss);
+            let findings = if idx == self.unit_idx {
+                let user = self.lint_user_context();
+                ped_lint::lint_unit(&self.program, idx, &self.ua, &self.effects, &seeds, &user)
+            } else {
+                let env = Self::compute_env(&self.program, idx, &[]);
+                let ua = UnitAnalysis::build(&self.program.units[idx], env, Some(&self.effects));
+                ped_lint::lint_unit(
+                    &self.program,
+                    idx,
+                    &ua,
+                    &self.effects,
+                    &seeds,
+                    &ped_lint::UserContext::default(),
+                )
+            };
+            self.cache.lint_store(idx, key, findings.clone());
+            out.extend(findings);
+        }
+        ped_lint::sort_findings(&mut out);
+        out
     }
 
     // -- transformations ----------------------------------------------------
@@ -1001,6 +1113,112 @@ mod tests {
         let s = PedSession::open(parse_ok(src));
         let out = s.run(ped_runtime::RunOptions::default()).unwrap();
         assert_eq!(out.lines, ["55.0"]);
+    }
+
+    #[test]
+    fn lint_finds_race_in_marked_parallel_loop() {
+        let src = "      REAL A(100)\nCDOALL\n      DO 10 I = 2, 100\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n";
+        let mut s = PedSession::open(parse_ok(src));
+        let f = s.lint();
+        let race = f
+            .iter()
+            .find(|x| x.rule == ped_lint::RuleCode::ParallelLoopRace)
+            .expect("race finding");
+        let w = race.witness.as_ref().expect("witness");
+        assert_eq!(w.src_iter, [2]);
+        assert_eq!(w.sink_iter, [3]);
+    }
+
+    #[test]
+    fn lint_memoizes_per_unit_and_invalidates_on_edit() {
+        let src = "      REAL A(100)\nCDOALL\n      DO 10 I = 2, 100\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n      SUBROUTINE S2\n      REAL B(50)\n      DO 20 J = 1, 50\n      B(J) = 1.0\n   20 CONTINUE\n      END\n";
+        let mut s = PedSession::open(parse_ok(src));
+        let f1 = s.lint();
+        let f2 = s.lint();
+        assert_eq!(f1, f2);
+        let st = s.stats();
+        assert_eq!(st.lint_misses, 2, "two units linted cold");
+        assert_eq!(st.lint_hits, 2, "second call fully cached");
+        // Edit the current unit: only it re-lints.
+        let target = s.ua.nest.get(LoopId(0)).stmt;
+        let body_stmt = s.ua.nest.get(LoopId(0)).body[0];
+        let _ = target;
+        s.edit_statement(body_stmt, "A(I) = 0.0").unwrap();
+        let f3 = s.lint();
+        assert!(
+            !f3.iter()
+                .any(|x| x.rule == ped_lint::RuleCode::ParallelLoopRace),
+            "{f3:?}"
+        );
+        let st = s.stats();
+        assert_eq!(st.lint_misses, 3, "only the edited unit re-linted");
+        assert_eq!(st.lint_hits, 3);
+        assert_eq!(s.usage.count(Feature::LintCacheHit), 3);
+        assert_eq!(s.usage.count(Feature::LintCacheMiss), 3);
+    }
+
+    #[test]
+    fn lint_honors_user_private_classification() {
+        // T is conditionally defined: analysis says shared, the user
+        // says private; after classification + parallelize, lint must
+        // not report T as a race.
+        let src = "      REAL A(100), B(100)\n      DO 10 I = 1, N\n      IF (A(I) .GT. 0.0) THEN\n      T = A(I)\n      END IF\n      B(I) = T\n   10 CONTINUE\n      END\n";
+        let mut s = PedSession::open(parse_ok(src));
+        s.select_loop(LoopId(0)).unwrap();
+        s.classify_variable("T", VarClass::Private, Some("set before use".into()))
+            .unwrap();
+        s.parallelize(LoopId(0)).unwrap();
+        let f = s.lint();
+        assert!(
+            !f.iter()
+                .any(|x| x.rule == ped_lint::RuleCode::ParallelLoopRace && x.var == "T"),
+            "{f:?}"
+        );
+        // And PED004 is silenced by the classification too.
+        assert!(
+            !f.iter()
+                .any(|x| x.rule == ped_lint::RuleCode::UnclassifiedShared && x.var == "T"),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn lint_flags_faith_rejections() {
+        let src = "      INTEGER IX(100)\n      REAL A(100), B(100)\n      DO 10 I = 1, N\n      A(IX(I)) = B(I) + A(IX(I) + 1)\n   10 CONTINUE\n      END\n";
+        let mut s = PedSession::open(parse_ok(src));
+        s.select_loop(LoopId(0)).unwrap();
+        s.mark_dependences_where(
+            &DepFilter::parse("mark=pending & var=A").unwrap(),
+            Mark::Rejected,
+            Some("IX is a permutation"),
+        );
+        s.parallelize(LoopId(0)).unwrap();
+        let f = s.lint();
+        let faith = f
+            .iter()
+            .find(|x| x.rule == ped_lint::RuleCode::FaithRejection)
+            .expect("PED002");
+        assert!(faith.message.contains("IX is a permutation"));
+        // The rejected deps must NOT also be races: the user took
+        // responsibility for them.
+        assert!(
+            !f.iter()
+                .any(|x| x.rule == ped_lint::RuleCode::ParallelLoopRace),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn lint_flags_contradicted_assertion() {
+        let src = "      REAL A(100)\n      N = 5\n      DO 10 I = 1, N\n      A(I) = 0.0\n   10 CONTINUE\n      END\n";
+        let mut s = PedSession::open(parse_ok(src));
+        s.assert_fact("N .GE. 100").unwrap();
+        let f = s.lint();
+        assert!(
+            f.iter()
+                .any(|x| x.rule == ped_lint::RuleCode::AssertionContradicted),
+            "{f:?}"
+        );
     }
 
     #[test]

@@ -27,6 +27,8 @@ pub enum Feature {
     // session traces show how often reanalysis was answered from cache.
     AnalysisCacheHit,
     AnalysisCacheMiss,
+    LintCacheHit,
+    LintCacheMiss,
 }
 
 impl Feature {
@@ -58,6 +60,8 @@ impl Feature {
             Feature::TeachingTool => "teaching tool",
             Feature::AnalysisCacheHit => "analysis cache hit",
             Feature::AnalysisCacheMiss => "analysis cache miss",
+            Feature::LintCacheHit => "lint cache hit",
+            Feature::LintCacheMiss => "lint cache miss",
         }
     }
 

@@ -93,10 +93,23 @@ fn label_field_blank(line: &str) -> bool {
 }
 
 fn is_comment(line: &str) -> bool {
+    // `CDOALL` is a directive, not a comment, even in column 1 — it
+    // certifies the following DO as parallel and must reach the parser.
+    if is_doall_directive(line) {
+        return false;
+    }
     match line.as_bytes().first() {
         Some(b'C') | Some(b'c') | Some(b'*') | Some(b'!') => true,
         _ => line.trim_start().starts_with('!'),
     }
+}
+
+/// True for a `CDOALL` certification line (any indentation, optional
+/// trailing commentary). The pretty-printer emits these before parallel
+/// loops; recognizing them makes print → parse round-trip the schedule.
+pub fn is_doall_directive(line: &str) -> bool {
+    let t = line.trim_start();
+    t.len() >= 6 && t.is_char_boundary(6) && t[..6].eq_ignore_ascii_case("CDOALL")
 }
 
 /// Split an initial line into (label, raw statement text).

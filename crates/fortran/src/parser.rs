@@ -46,6 +46,7 @@ pub fn parse(src: &str) -> (Program, Diagnostics) {
         diags,
         program: Program::default(),
         last_closed_label: None,
+        pending_parallel: false,
     };
     b.build_program();
     (b.program, b.diags)
@@ -82,6 +83,8 @@ enum Flat {
         hi: Expr,
         step: Option<Expr>,
     },
+    /// `CDOALL` directive: the next DO is certified parallel.
+    Doall,
     Decls(Vec<Decl>),
     Stmt(StmtKind),
 }
@@ -120,6 +123,11 @@ fn classify_text(text: &str, strings: &[String]) -> Result<Flat, String> {
         "STOP" => return Ok(Flat::Stmt(StmtKind::Stop)),
         "IMPLICITNONE" => return Ok(Flat::Decls(vec![Decl::ImplicitNone])),
         _ => {}
+    }
+    // `CDOALL` certification directive: marks the next DO parallel. Any
+    // trailing commentary (e.g. `-- certified parallel loop`) is ignored.
+    if text == "CDOALL" || text.starts_with("CDOALL--") {
+        return Ok(Flat::Doall);
     }
     // Assignment: top-level `=` with no top-level `,` after it.
     if let Some(eq) = top_level_eq_no_comma(text) {
@@ -778,6 +786,8 @@ struct Builder {
     /// Set when a labelled-DO body consumed its terminal statement; an
     /// enclosing DO waiting on the same label closes too.
     last_closed_label: Option<u32>,
+    /// Set by a `CDOALL` directive; consumed by the next DO statement.
+    pending_parallel: bool,
 }
 
 /// What terminates the block currently being built.
@@ -900,6 +910,15 @@ impl Builder {
                     let stmt = self.build_if(cond, label, span);
                     out.push(stmt);
                 }
+                Flat::Doall => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some((_, _, Flat::Do { .. })) => self.pending_parallel = true,
+                        _ => self
+                            .diags
+                            .warning(span, "CDOALL directive not followed by a DO".to_string()),
+                    }
+                }
                 Flat::Do {
                     term,
                     var,
@@ -908,6 +927,11 @@ impl Builder {
                     step,
                 } => {
                     self.pos += 1;
+                    let sched = if std::mem::take(&mut self.pending_parallel) {
+                        LoopSched::Parallel
+                    } else {
+                        LoopSched::Sequential
+                    };
                     let inner_close = match term {
                         Some(l) => Close::Label(l),
                         None => Close::EndDo,
@@ -924,7 +948,7 @@ impl Builder {
                             step,
                             body,
                             term_label: term,
-                            sched: LoopSched::Sequential,
+                            sched,
                         },
                     )
                     .with_span(span);
@@ -1038,6 +1062,54 @@ mod tests {
         match &u.body[0].kind {
             StmtKind::Assign { lhs, .. } => assert_eq!(lhs.name(), "DO10I"),
             k => panic!("expected assignment, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn cdoall_directive_marks_next_do_parallel() {
+        // Column-1 form (looks like a comment, but is a directive).
+        let u = one_unit("CDOALL\n      DO I = 1, N\n         A(I) = 0\n      END DO\n      END\n");
+        match &u.body[0].kind {
+            StmtKind::Do { sched, .. } => assert_eq!(*sched, LoopSched::Parallel),
+            k => panic!("expected DO, got {k:?}"),
+        }
+        // Indented form with trailing commentary, as the pretty-printer emits.
+        let u = one_unit(
+            "      CDOALL -- certified parallel loop\n      DO I = 1, N\n         A(I) = 0\n      END DO\n      END\n",
+        );
+        match &u.body[0].kind {
+            StmtKind::Do { sched, .. } => assert_eq!(*sched, LoopSched::Parallel),
+            k => panic!("expected DO, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn cdoall_applies_only_to_next_do() {
+        let u = one_unit(
+            "CDOALL\n      DO I = 1, N\n         A(I) = 0\n      END DO\n      DO J = 1, N\n         B(J) = 0\n      END DO\n      END\n",
+        );
+        match (&u.body[0].kind, &u.body[1].kind) {
+            (StmtKind::Do { sched: s0, .. }, StmtKind::Do { sched: s1, .. }) => {
+                assert_eq!(*s0, LoopSched::Parallel);
+                assert_eq!(*s1, LoopSched::Sequential);
+            }
+            _ => panic!("expected two DOs"),
+        }
+    }
+
+    #[test]
+    fn parallel_schedule_round_trips_through_print() {
+        let src = "      DO I = 1, N\n         A(I) = 0\n      END DO\n      END\n";
+        let mut p = parse_ok(src);
+        match &mut p.units[0].body[0].kind {
+            StmtKind::Do { sched, .. } => *sched = LoopSched::Parallel,
+            _ => panic!("expected DO"),
+        }
+        let printed = crate::pretty::print_program(&p);
+        let p2 = parse_ok(&printed);
+        match &p2.units[0].body[0].kind {
+            StmtKind::Do { sched, .. } => assert_eq!(*sched, LoopSched::Parallel),
+            k => panic!("expected DO after round-trip, got {k:?}"),
         }
     }
 

@@ -1,0 +1,158 @@
+//! The lint rule registry: stable codes, severities, and one-line
+//! summaries for every check the engine runs.
+//!
+//! Rule codes are append-only: a code, once published, never changes
+//! meaning (diagnostics are machine-consumed by editors and CI). See
+//! `RULES.md` for the paper provenance of each rule.
+
+use ped_fortran::diag::Severity;
+
+/// Stable identifier for a lint rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleCode {
+    /// A loop marked parallel still carries a dependence that
+    /// privatization, reduction recognition, and user classification do
+    /// not explain away — executing it as a DOALL races.
+    ParallelLoopRace,
+    /// A user-rejected dependence the solver still derives: the
+    /// deletion is taken on faith, not proven.
+    FaithRejection,
+    /// A user-rejected dependence whose deletion cannot affect any
+    /// parallelization decision (loop-independent), so the user took
+    /// responsibility for nothing.
+    RedundantRejection,
+    /// A scalar written inside a parallel loop that is neither provably
+    /// private, nor a recognized reduction, nor classified by the user.
+    UnclassifiedShared,
+    /// A CALL inside a parallel loop may modify COMMON storage that the
+    /// loop body also touches — cross-iteration aliasing through COMMON.
+    CommonAliasing,
+    /// A user assertion contradicts facts the analyses already know
+    /// (constant propagation or symbolic ranges).
+    AssertionContradicted,
+    /// A sequential loop with no surviving inhibitors: parallelism the
+    /// user has not claimed yet.
+    MissedParallelism,
+    /// An I/O statement inside a parallel loop: output order becomes
+    /// nondeterministic across iterations.
+    IoInParallel,
+}
+
+impl RuleCode {
+    /// Stable wire code, `PED001`…
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleCode::ParallelLoopRace => "PED001",
+            RuleCode::FaithRejection => "PED002",
+            RuleCode::RedundantRejection => "PED003",
+            RuleCode::UnclassifiedShared => "PED004",
+            RuleCode::CommonAliasing => "PED005",
+            RuleCode::AssertionContradicted => "PED006",
+            RuleCode::MissedParallelism => "PED007",
+            RuleCode::IoInParallel => "PED008",
+        }
+    }
+
+    /// Short kebab-case rule name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleCode::ParallelLoopRace => "parallel-loop-race",
+            RuleCode::FaithRejection => "faith-rejection",
+            RuleCode::RedundantRejection => "redundant-rejection",
+            RuleCode::UnclassifiedShared => "unclassified-shared",
+            RuleCode::CommonAliasing => "common-aliasing",
+            RuleCode::AssertionContradicted => "assertion-contradicted",
+            RuleCode::MissedParallelism => "missed-parallelism",
+            RuleCode::IoInParallel => "io-in-parallel",
+        }
+    }
+
+    /// Severity the rule reports at.
+    pub fn severity(self) -> Severity {
+        match self {
+            RuleCode::ParallelLoopRace => Severity::Error,
+            RuleCode::FaithRejection => Severity::Warning,
+            RuleCode::RedundantRejection => Severity::Note,
+            RuleCode::UnclassifiedShared => Severity::Warning,
+            RuleCode::CommonAliasing => Severity::Warning,
+            RuleCode::AssertionContradicted => Severity::Error,
+            RuleCode::MissedParallelism => Severity::Note,
+            RuleCode::IoInParallel => Severity::Warning,
+        }
+    }
+
+    /// One-line summary of what the rule guards.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleCode::ParallelLoopRace => {
+                "parallel loop carries a dependence not explained by \
+                 privatization, reductions, or user classification"
+            }
+            RuleCode::FaithRejection => {
+                "rejected dependence the solver still derives (deletion taken on faith)"
+            }
+            RuleCode::RedundantRejection => {
+                "rejected dependence is loop-independent; rejection cannot \
+                 enable any parallelization"
+            }
+            RuleCode::UnclassifiedShared => {
+                "scalar written in a parallel loop is neither private, a \
+                 reduction, nor user-classified"
+            }
+            RuleCode::CommonAliasing => {
+                "call in a parallel loop may modify COMMON storage the loop also uses"
+            }
+            RuleCode::AssertionContradicted => {
+                "user assertion contradicts facts known to the analyses"
+            }
+            RuleCode::MissedParallelism => {
+                "sequential loop has no surviving inhibitors (parallelizable)"
+            }
+            RuleCode::IoInParallel => "I/O inside a parallel loop runs in nondeterministic order",
+        }
+    }
+
+    /// All rules in code order.
+    pub fn all() -> [RuleCode; 8] {
+        [
+            RuleCode::ParallelLoopRace,
+            RuleCode::FaithRejection,
+            RuleCode::RedundantRejection,
+            RuleCode::UnclassifiedShared,
+            RuleCode::CommonAliasing,
+            RuleCode::AssertionContradicted,
+            RuleCode::MissedParallelism,
+            RuleCode::IoInParallel,
+        ]
+    }
+}
+
+impl std::fmt::Display for RuleCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let codes: Vec<&str> = RuleCode::all().iter().map(|r| r.code()).collect();
+        assert_eq!(
+            codes,
+            ["PED001", "PED002", "PED003", "PED004", "PED005", "PED006", "PED007", "PED008"]
+        );
+        let mut sorted = codes.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), codes.len());
+    }
+
+    #[test]
+    fn races_and_contradictions_are_errors() {
+        assert_eq!(RuleCode::ParallelLoopRace.severity(), Severity::Error);
+        assert_eq!(RuleCode::AssertionContradicted.severity(), Severity::Error);
+        assert_eq!(RuleCode::MissedParallelism.severity(), Severity::Note);
+    }
+}

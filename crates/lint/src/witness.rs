@@ -1,0 +1,326 @@
+//! Concrete race witnesses: a pair of iteration vectors on which the two
+//! endpoints of a surviving dependence touch the same memory.
+//!
+//! A bare dependence edge says "iterations conflict"; a witness says
+//! *which* iterations, so the runtime interpreter (or the user, by hand)
+//! can replay the conflict. Construction starts from the GCD/Banerjee
+//! solution already attached to the dependence — the distance vector and
+//! direction vector over the common loop nest — and instantiates the
+//! earliest iteration pair that realizes it.
+
+use ped_analysis::loops::LoopNest;
+use ped_analysis::refs::{RefTable, VarRef};
+use ped_analysis::symbolic::{LinExpr, SymbolicEnv};
+use ped_dependence::graph::bound_lin;
+use ped_dependence::{Dependence, Dir};
+use ped_fortran::ast::Expr;
+use ped_fortran::pretty::print_expr;
+
+/// A concrete iteration pair realizing a dependence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Witness {
+    /// Induction variables of the common loops, outermost first.
+    pub loop_vars: Vec<String>,
+    /// Source iteration (executes first).
+    pub src_iter: Vec<i64>,
+    /// Sink iteration (conflicts with the source).
+    pub sink_iter: Vec<i64>,
+    /// Display form of the source reference, e.g. `write A(I)`.
+    pub src_ref: String,
+    /// Display form of the sink reference, e.g. `read A(I-1)`.
+    pub sink_ref: String,
+    /// The array element both iterations touch, when the subscripts
+    /// evaluate to the same constants at the witness pair.
+    pub element: Option<Vec<i64>>,
+    /// True when bounds, distances, and the common element were all
+    /// solved exactly; false means the pair is the solver's best
+    /// instantiation but was not proven in-bounds/coincident.
+    pub exact: bool,
+}
+
+impl std::fmt::Display for Witness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let pair = |it: &[i64]| {
+            self.loop_vars
+                .iter()
+                .zip(it)
+                .map(|(v, i)| format!("{v}={i}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        write!(
+            f,
+            "witness: iteration ({}) {} conflicts with iteration ({}) {}",
+            pair(&self.src_iter),
+            self.src_ref,
+            pair(&self.sink_iter),
+            self.sink_ref
+        )?;
+        if let Some(el) = &self.element {
+            let el: Vec<String> = el.iter().map(|v| v.to_string()).collect();
+            write!(f, " on element ({})", el.join(","))?;
+        }
+        if !self.exact {
+            write!(f, " [approximate]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluate an affine subscript at a fixed iteration: loop variables take
+/// the witness values, other names must have a singleton symbolic range.
+fn eval_sub(e: &Expr, env: &SymbolicEnv, iter: &[(String, i64)]) -> Option<i64> {
+    let lin = bound_lin(e, env);
+    let mut total = lin.konst;
+    for (name, c) in &lin.terms {
+        let v = match iter.iter().find(|(n, _)| n == name) {
+            Some((_, v)) => *v,
+            None => {
+                let r = env.range_of(&LinExpr::var(name.clone()));
+                match (r.lo, r.hi) {
+                    (Some(a), Some(b)) if a == b => a,
+                    _ => return None,
+                }
+            }
+        };
+        total += c * v;
+    }
+    Some(total)
+}
+
+fn ref_display(r: &VarRef) -> String {
+    let verb = if r.is_def { "write" } else { "read" };
+    if r.subs.is_empty() {
+        format!("{verb} {}", r.name)
+    } else {
+        let subs: Vec<String> = r.subs.iter().map(print_expr).collect();
+        format!("{verb} {}({})", r.name, subs.join(","))
+    }
+}
+
+/// Build the witness iteration pair for a dependence over its common
+/// loop nest. Always succeeds; `exact` reports whether every step of the
+/// construction was proven rather than defaulted.
+pub fn witness_for(d: &Dependence, nest: &LoopNest, refs: &RefTable, env: &SymbolicEnv) -> Witness {
+    let n = d.common.len();
+    let mut exact = d.exact;
+    let mut loop_vars = Vec::with_capacity(n);
+    let mut lo_bounds = Vec::with_capacity(n);
+    let mut hi_lower = Vec::with_capacity(n); // proven lower bound on the upper bound
+    for &lid in &d.common {
+        let info = nest.get(lid);
+        loop_vars.push(info.var.clone());
+        let lo_r = env.range_of(&bound_lin(&info.lo, env));
+        let lo = match (lo_r.lo, lo_r.hi) {
+            (Some(a), Some(b)) if a == b => a,
+            _ => {
+                exact = false;
+                lo_r.lo.unwrap_or(1)
+            }
+        };
+        lo_bounds.push(lo);
+        hi_lower.push(env.range_of(&bound_lin(&info.hi, env)).lo);
+        if let Some(step) = &info.step {
+            if step.as_int() != Some(1) {
+                // Non-unit steps would scale the distance; instantiate
+                // as if unit-step and flag the pair approximate.
+                exact = false;
+            }
+        }
+    }
+    // Instantiate the earliest iteration pair compatible with the
+    // distance/direction vectors. `sink = src + distance` at every level
+    // (distances are oriented src → sink).
+    let carried = d.level.map(|k| (k - 1) as usize);
+    let mut src_iter = Vec::with_capacity(n);
+    let mut sink_iter = Vec::with_capacity(n);
+    for j in 0..n {
+        let dist = d.distances.get(j).copied().flatten();
+        let delta = match carried {
+            // Levels outside the carried one are equal for this edge.
+            Some(k) if j < k => 0,
+            // The carried level must advance; an unknown distance
+            // defaults to the minimal stride.
+            Some(k) if j == k => match dist {
+                Some(q) if q > 0 => q,
+                _ => {
+                    exact = false;
+                    1
+                }
+            },
+            // Inner levels follow the solved distance, else the
+            // direction set (preferring `=`).
+            _ => match dist {
+                Some(q) => q,
+                None => match d.vector.0.get(j) {
+                    Some(ds) if ds.contains(Dir::Eq) => 0,
+                    Some(ds) => {
+                        exact = false;
+                        if ds.contains(Dir::Lt) {
+                            1
+                        } else {
+                            -1
+                        }
+                    }
+                    None => {
+                        exact = false;
+                        0
+                    }
+                },
+            },
+        };
+        // Shift the source up when the delta is negative so both
+        // iterations sit at or above the lower bound.
+        let s = lo_bounds[j] + 0i64.max(-delta);
+        src_iter.push(s);
+        sink_iter.push(s + delta);
+        let top = s.max(s + delta);
+        match hi_lower[j] {
+            Some(h) if top <= h => {}
+            _ => exact = false, // not proven in-bounds
+        }
+    }
+    // Resolve the conflicting element from the two subscript vectors.
+    let (src_ref, sink_ref, element) = match (d.src, d.sink) {
+        (Some(a), Some(b)) => {
+            let ra = refs.get(a);
+            let rb = refs.get(b);
+            let at_src: Vec<(String, i64)> = loop_vars
+                .iter()
+                .cloned()
+                .zip(src_iter.iter().copied())
+                .collect();
+            let at_sink: Vec<(String, i64)> = loop_vars
+                .iter()
+                .cloned()
+                .zip(sink_iter.iter().copied())
+                .collect();
+            let ea: Option<Vec<i64>> = ra
+                .subs
+                .iter()
+                .map(|e| eval_sub(e, env, &at_src))
+                .collect::<Option<Vec<_>>>()
+                .filter(|v| !v.is_empty());
+            let eb: Option<Vec<i64>> = rb
+                .subs
+                .iter()
+                .map(|e| eval_sub(e, env, &at_sink))
+                .collect::<Option<Vec<_>>>()
+                .filter(|v| !v.is_empty());
+            let element = match (ea, eb) {
+                (Some(x), Some(y)) if x == y => Some(x),
+                _ => {
+                    exact = false;
+                    None
+                }
+            };
+            (ref_display(ra), ref_display(rb), element)
+        }
+        _ => {
+            exact = false;
+            (
+                format!("access {}", d.var),
+                format!("access {}", d.var),
+                None,
+            )
+        }
+    };
+    Witness {
+        loop_vars,
+        src_iter,
+        sink_iter,
+        src_ref,
+        sink_ref,
+        element,
+        exact,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_dependence::{BuildOptions, DependenceGraph};
+    use ped_fortran::parser::parse_ok;
+    use ped_fortran::symbols::SymbolTable;
+
+    fn graph_for(src: &str) -> (DependenceGraph, LoopNest, RefTable, SymbolicEnv) {
+        let p = parse_ok(src);
+        let unit = &p.units[0];
+        let symbols = SymbolTable::build(unit);
+        let refs = RefTable::build(unit, &symbols);
+        let nest = LoopNest::build(unit);
+        let env = SymbolicEnv::new();
+        let g =
+            DependenceGraph::build(unit, &symbols, &refs, &nest, &env, &BuildOptions::default());
+        (g, nest, refs, env)
+    }
+
+    #[test]
+    fn distance_one_recurrence_witness() {
+        let src = "      REAL A(100)\n      DO 10 I = 2, 50\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n";
+        let (g, nest, refs, env) = graph_for(src);
+        let d = g
+            .deps
+            .iter()
+            .find(|d| d.var == "A" && d.level == Some(1) && d.kind == ped_dependence::DepKind::True)
+            .expect("carried true dependence");
+        let w = witness_for(d, &nest, &refs, &env);
+        assert_eq!(w.loop_vars, ["I"]);
+        assert_eq!(w.src_iter, [2]);
+        assert_eq!(w.sink_iter, [3]);
+        assert_eq!(w.element, Some(vec![2]));
+        assert!(w.exact, "{w}");
+        assert!(w.src_ref.contains("write A(I)"), "{}", w.src_ref);
+        assert!(w.sink_ref.contains("read A(I - 1)"), "{}", w.sink_ref);
+    }
+
+    #[test]
+    fn distance_two_recurrence_witness() {
+        let src = "      REAL A(100)\n      DO 10 I = 3, 60\n      A(I) = A(I-2)\n   10 CONTINUE\n      END\n";
+        let (g, nest, refs, env) = graph_for(src);
+        let d = g
+            .deps
+            .iter()
+            .find(|d| d.var == "A" && d.level == Some(1) && d.kind == ped_dependence::DepKind::True)
+            .expect("carried true dependence");
+        let w = witness_for(d, &nest, &refs, &env);
+        assert_eq!(w.src_iter, [3]);
+        assert_eq!(w.sink_iter, [5]);
+        assert_eq!(w.element, Some(vec![3]));
+        assert!(w.exact, "{w}");
+    }
+
+    #[test]
+    fn outer_carried_2d_witness() {
+        let src = "      REAL A(100,100)\n      DO 10 I = 2, 40\n      DO 20 J = 1, 30\n      A(I,J) = A(I-1,J)\n   20 CONTINUE\n   10 CONTINUE\n      END\n";
+        let (g, nest, refs, env) = graph_for(src);
+        let d = g
+            .deps
+            .iter()
+            .find(|d| d.var == "A" && d.level == Some(1) && d.kind == ped_dependence::DepKind::True)
+            .expect("outer-carried dependence");
+        let w = witness_for(d, &nest, &refs, &env);
+        assert_eq!(w.loop_vars, ["I", "J"]);
+        assert_eq!(w.src_iter, [2, 1]);
+        assert_eq!(w.sink_iter, [3, 1]);
+        assert_eq!(w.element, Some(vec![2, 1]));
+        assert!(w.exact, "{w}");
+    }
+
+    #[test]
+    fn symbolic_bounds_are_approximate() {
+        let src = "      REAL A(100)\n      DO 10 I = 2, N\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n";
+        let (g, nest, refs, env) = graph_for(src);
+        let d = g
+            .deps
+            .iter()
+            .find(|d| d.var == "A" && d.level == Some(1))
+            .unwrap();
+        let w = witness_for(d, &nest, &refs, &env);
+        // Upper bound N is unknown: the pair is still constructed from
+        // the known lower bound, but flagged approximate.
+        assert_eq!(w.src_iter, [2]);
+        assert_eq!(w.sink_iter, [3]);
+        assert!(!w.exact);
+    }
+}

@@ -1,0 +1,175 @@
+//! The soundness gate: every race the runtime's deterministic DOALL
+//! checker observes must already be in the static report, and every
+//! static race witness must replay to a real conflict in the runtime's
+//! race log.
+//!
+//! The runtime shadow tracker logs races as
+//! `NAME[flat IDX]: VERB in iteration P conflicts with VERB in iteration K`
+//! where iterations are 0-based ordinals of the parallel loop. A lint
+//! witness gives iteration *values* of the loop variables, so the replay
+//! maps `value → (value - lo) / step` for the parallel (outermost
+//! common) loop and the witness element to a column-major flat index.
+
+use ped_fortran::parser::parse_ok;
+use ped_lint::{lint_program, Finding, LintOptions, RuleCode, Witness};
+use ped_runtime::{run, RunOptions};
+
+/// One racy example: source, the parallel loop's lower bound and step,
+/// and the column-major dimension strides of the raced array.
+struct RacyCase {
+    name: &'static str,
+    src: &'static str,
+    lo: i64,
+    step: i64,
+    /// Sizes of each dimension except the last (for flat indexing);
+    /// all dimensions are declared with lower bound 1.
+    dims: &'static [i64],
+}
+
+const RACY: &[RacyCase] = &[
+    RacyCase {
+        name: "distance-1 recurrence",
+        src: "      REAL A(100)\n      DO 5 K = 1, 100\n      A(K) = 1.0\n    5 CONTINUE\nCDOALL\n      DO 10 I = 2, 100\n      A(I) = A(I-1) + 1.0\n   10 CONTINUE\n      END\n",
+        lo: 2,
+        step: 1,
+        dims: &[100],
+    },
+    RacyCase {
+        name: "distance-2 recurrence",
+        src: "      REAL A(100)\n      DO 5 K = 1, 100\n      A(K) = 1.0\n    5 CONTINUE\nCDOALL\n      DO 10 I = 3, 60\n      A(I) = A(I-2) * 2.0\n   10 CONTINUE\n      END\n",
+        lo: 3,
+        step: 1,
+        dims: &[100],
+    },
+    RacyCase {
+        name: "outer-carried 2-D recurrence",
+        src: "      REAL A(40,30)\n      DO 5 K = 1, 40\n      DO 6 L = 1, 30\n      A(K,L) = 1.0\n    6 CONTINUE\n    5 CONTINUE\nCDOALL\n      DO 10 I = 2, 40\n      DO 20 J = 1, 30\n      A(I,J) = A(I-1,J) + 1.0\n   20 CONTINUE\n   10 CONTINUE\n      END\n",
+        lo: 2,
+        step: 1,
+        dims: &[40, 30],
+    },
+];
+
+const CLEAN: &[&str] = &[
+    // Independent elementwise update.
+    "      REAL A(100), B(100)\n      DO 5 K = 1, 100\n      B(K) = 2.0\n    5 CONTINUE\nCDOALL\n      DO 10 I = 1, 100\n      A(I) = B(I) + 1.0\n   10 CONTINUE\n      END\n",
+    // Privatizable temporary.
+    "      REAL A(100), B(100)\n      DO 5 K = 1, 100\n      B(K) = 2.0\n    5 CONTINUE\nCDOALL\n      DO 10 I = 1, 100\n      T = B(I) * 2.0\n      A(I) = T\n   10 CONTINUE\n      END\n",
+];
+
+fn static_races(src: &str) -> Vec<Finding> {
+    let p = parse_ok(src);
+    lint_program(&p, &LintOptions::default())
+        .into_iter()
+        .filter(|f| f.rule == RuleCode::ParallelLoopRace)
+        .collect()
+}
+
+fn dynamic_races(src: &str) -> Vec<String> {
+    let p = parse_ok(src);
+    let out = run(
+        &p,
+        RunOptions {
+            validate_parallel: true,
+            ..Default::default()
+        },
+    )
+    .expect("program must execute");
+    out.races
+}
+
+/// Variable name of a runtime race line (`NAME[flat IDX]: ...`).
+fn race_var(race: &str) -> &str {
+    race.split('[').next().unwrap()
+}
+
+/// Column-major flat index of a 1-based element vector.
+fn flat_index(element: &[i64], dims: &[i64]) -> i64 {
+    let mut flat = 0;
+    let mut stride = 1;
+    for (k, e) in element.iter().enumerate() {
+        flat += (e - 1) * stride;
+        stride *= dims[k];
+    }
+    flat
+}
+
+/// The runtime race line a witness predicts: the parallel loop is the
+/// outermost common loop, so only its ordinal enters the shadow log.
+fn predicted_race(w: &Witness, var: &str, lo: i64, step: i64, dims: &[i64]) -> String {
+    let ord = |v: i64| (v - lo) / step;
+    let verb = |r: &str| {
+        if r.starts_with("write") {
+            "write"
+        } else {
+            "read"
+        }
+    };
+    let flat = flat_index(w.element.as_ref().expect("exact witness has element"), dims);
+    format!(
+        "{var}[flat {flat}]: {} in iteration {} conflicts with {} in iteration {}",
+        verb(&w.src_ref),
+        ord(w.src_iter[0]),
+        verb(&w.sink_ref),
+        ord(w.sink_iter[0]),
+    )
+}
+
+#[test]
+fn every_dynamic_race_is_statically_reported() {
+    for case in RACY {
+        let stat = static_races(case.src);
+        let dyn_races = dynamic_races(case.src);
+        assert!(
+            !dyn_races.is_empty(),
+            "{}: expected the runtime checker to observe the race",
+            case.name
+        );
+        for race in &dyn_races {
+            let var = race_var(race);
+            assert!(
+                stat.iter().any(|f| f.var == var),
+                "{}: dynamic race on {var} escaped the static report\n  dynamic: {race}\n  static: {stat:?}",
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn witnesses_replay_to_observed_conflicts() {
+    for case in RACY {
+        let stat = static_races(case.src);
+        assert!(!stat.is_empty(), "{}: no static race", case.name);
+        let dyn_races = dynamic_races(case.src);
+        let mut replayed = 0;
+        for f in &stat {
+            let w = f.witness.as_ref().expect("race findings carry witnesses");
+            if !w.exact {
+                continue;
+            }
+            let expected = predicted_race(w, &f.var, case.lo, case.step, case.dims);
+            assert!(
+                dyn_races.iter().any(|r| r == &expected),
+                "{}: witness did not replay\n  predicted: {expected}\n  observed: {dyn_races:?}",
+                case.name
+            );
+            replayed += 1;
+        }
+        assert!(
+            replayed >= 1,
+            "{}: no exact witness to replay ({stat:?})",
+            case.name
+        );
+    }
+}
+
+#[test]
+fn clean_programs_are_clean_both_ways() {
+    for src in CLEAN {
+        let stat = static_races(src);
+        assert!(stat.is_empty(), "static false race: {stat:?}");
+        let dyn_races = dynamic_races(src);
+        assert!(dyn_races.is_empty(), "runtime race: {dyn_races:?}");
+    }
+}

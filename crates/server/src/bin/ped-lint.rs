@@ -1,0 +1,189 @@
+//! `ped-lint` — the static race detector and whole-program lint pass,
+//! as a batch CLI.
+//!
+//! ```text
+//! ped-lint [--json] [--deny-warnings] [--threads N] FILE...
+//! ```
+//!
+//! Each argument is a fixed-form Fortran file or a directory (searched
+//! recursively for `.f`/`.for`/`.f77` files). Every file is parsed and
+//! linted as one program; findings print one per line as
+//! `file:line: severity: [PED001] message`, or as one deterministic JSON
+//! document with `--json`.
+//!
+//! Exit status: 0 clean; 1 if any error-severity finding was reported
+//! (or any warning, under `--deny-warnings`); 2 on usage or I/O errors.
+
+use ped_lint::{lint_program, sort_findings, tally, Finding, LintOptions};
+use ped_server::json::Value;
+use ped_server::lintio::{finding_text, findings_value};
+use std::path::{Path, PathBuf};
+
+fn usage() -> ! {
+    eprintln!("usage: ped-lint [--json] [--deny-warnings] [--threads N] FILE...");
+    std::process::exit(2);
+}
+
+fn is_fortran(path: &Path) -> bool {
+    matches!(
+        path.extension().and_then(|e| e.to_str()),
+        Some(e) if e.eq_ignore_ascii_case("f")
+            || e.eq_ignore_ascii_case("for")
+            || e.eq_ignore_ascii_case("f77")
+    )
+}
+
+/// Expand an argument into Fortran files, recursing into directories.
+/// Directory listings are sorted so the report order is stable.
+fn collect(path: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let meta = std::fs::metadata(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if meta.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for entry in entries {
+            if entry.is_dir() {
+                collect(&entry, out)?;
+            } else if is_fortran(&entry) {
+                out.push(entry);
+            }
+        }
+        Ok(())
+    } else {
+        out.push(path.to_path_buf());
+        Ok(())
+    }
+}
+
+struct FileReport {
+    file: String,
+    findings: Vec<Finding>,
+    parse_errors: Vec<String>,
+}
+
+fn lint_file(path: &Path, opts: &LintOptions) -> Result<FileReport, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let (program, diags) = ped_fortran::parser::parse(&src);
+    let parse_errors: Vec<String> = diags
+        .errors()
+        .map(|d| format!("{}:{}: error: {}", path.display(), d.span.start, d.message))
+        .collect();
+    let mut findings = if parse_errors.is_empty() {
+        lint_program(&program, opts)
+    } else {
+        Vec::new()
+    };
+    sort_findings(&mut findings);
+    Ok(FileReport {
+        file: path.display().to_string(),
+        findings,
+        parse_errors,
+    })
+}
+
+fn main() {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            f if f.starts_with("--") => usage(),
+            f => paths.push(PathBuf::from(f)),
+        }
+    }
+    if paths.is_empty() {
+        usage();
+    }
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for p in &paths {
+        if let Err(e) = collect(p, &mut files) {
+            eprintln!("ped-lint: {e}");
+            std::process::exit(2);
+        }
+    }
+    if files.is_empty() {
+        eprintln!("ped-lint: no Fortran files found");
+        std::process::exit(2);
+    }
+
+    let opts = LintOptions { threads };
+    let mut reports = Vec::new();
+    for f in &files {
+        match lint_file(f, &opts) {
+            Ok(r) => reports.push(r),
+            Err(e) => {
+                eprintln!("ped-lint: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut notes = 0usize;
+    for r in &reports {
+        errors += r.parse_errors.len();
+        let (e, w, n) = tally(&r.findings);
+        errors += e;
+        warnings += w;
+        notes += n;
+    }
+
+    if json {
+        let file_values: Vec<Value> = reports
+            .iter()
+            .map(|r| {
+                Value::Obj(vec![
+                    ("file".into(), Value::str(r.file.clone())),
+                    (
+                        "parse_errors".into(),
+                        Value::Arr(r.parse_errors.iter().map(Value::str).collect()),
+                    ),
+                    ("report".into(), findings_value(&r.findings)),
+                ])
+            })
+            .collect();
+        let doc = Value::Obj(vec![
+            ("files".into(), Value::Arr(file_values)),
+            ("errors".into(), Value::int(errors as i64)),
+            ("warnings".into(), Value::int(warnings as i64)),
+            ("notes".into(), Value::int(notes as i64)),
+        ]);
+        println!("{}", doc.encode());
+    } else {
+        for r in &reports {
+            for e in &r.parse_errors {
+                println!("{e}");
+            }
+            for f in &r.findings {
+                println!("{}", finding_text(&r.file, f));
+            }
+        }
+        println!(
+            "ped-lint: {} file(s), {} error(s), {} warning(s), {} note(s)",
+            reports.len(),
+            errors,
+            warnings,
+            notes
+        );
+    }
+
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        std::process::exit(1);
+    }
+}

@@ -385,6 +385,65 @@ mod tests {
     }
 
     #[test]
+    fn all_escape_sequences_parse() {
+        let v = parse(r#""\b\f\n\r\t\/\\\"""#).unwrap();
+        assert_eq!(v, Value::str("\u{8}\u{c}\n\r\t/\\\""));
+        // Backspace/formfeed re-encode as \u escapes (control chars).
+        assert_eq!(
+            v.encode(),
+            r#""\b\f\n\r\t/\\\"""#.replace("\\b\\f", "\\u0008\\u000c")
+        );
+        assert_eq!(parse(&v.encode()).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_roundtrips_without_surrogates() {
+        // Multibyte scalars pass through raw; \u escapes below the BMP
+        // decode; unpaired surrogates degrade to U+FFFD, not a panic.
+        let v = Value::str("π ≈ 3.14159 — ≠ ∞");
+        assert_eq!(parse(&v.encode()).unwrap(), v);
+        let v = parse(r#""π≠""#).unwrap();
+        assert_eq!(v, Value::str("π≠"));
+        let v = parse(r#""\ud800x""#).unwrap();
+        assert_eq!(v, Value::str("\u{fffd}x"));
+    }
+
+    #[test]
+    fn deeply_nested_arrays_roundtrip() {
+        let mut src = String::new();
+        for _ in 0..64 {
+            src.push('[');
+        }
+        src.push('1');
+        for _ in 0..64 {
+            src.push(']');
+        }
+        let v = parse(&src).unwrap();
+        assert_eq!(v.encode(), src);
+        let mixed = "[[],[[]],[1,[2,[3,[]]],\"x\"],{\"a\":[null,[true]]}]";
+        assert_eq!(parse(mixed).unwrap().encode(), mixed);
+    }
+
+    #[test]
+    fn oversized_numbers_fall_back_to_float_form() {
+        // Beyond the 9e15 integer-precision guard, as_i64 refuses and
+        // the encoder uses the float rendering.
+        let v = parse("9007199254740993").unwrap();
+        assert_eq!(v.as_i64(), None);
+        assert!(v.as_f64().is_some());
+        assert!(parse(&v.encode()).is_ok(), "{}", v.encode());
+        let v = parse("1e300").unwrap();
+        assert_eq!(v.as_i64(), None);
+        assert_eq!(parse(&v.encode()).unwrap(), v);
+        // Within the guard both directions are exact.
+        let v = Value::int(9_000_000_000_000_000 - 1);
+        assert_eq!(parse(&v.encode()).unwrap().as_i64(), Some(8999999999999999));
+        // Non-finite values must never leak NaN/Inf tokens.
+        assert_eq!(Value::Num(f64::NAN).encode(), "null");
+        assert_eq!(Value::Num(f64::INFINITY).encode(), "null");
+    }
+
+    #[test]
     fn whitespace_tolerated() {
         let v = parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
         assert_eq!(v.encode(), "{\"a\":[1,2]}");

@@ -27,6 +27,7 @@
 //! a quickstart transcript.
 
 pub mod json;
+pub mod lintio;
 pub mod manager;
 pub mod pool;
 pub mod protocol;

@@ -1,0 +1,152 @@
+//! JSON and text rendering of lint findings — shared by the `ped-lint`
+//! CLI and the server's `lint` method.
+//!
+//! Findings arrive already sorted (`ped_lint::sort_findings`) and the
+//! JSON value model encodes deterministically, so the same report always
+//! serializes to the same bytes regardless of how many threads produced
+//! it. That is the property `tests/determinism.rs` checks.
+
+use crate::json::Value;
+use ped_lint::{tally, Finding, Witness};
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn ints(v: &[i64]) -> Value {
+    Value::Arr(v.iter().map(|n| Value::int(*n)).collect())
+}
+
+/// Encode a race witness as a JSON object.
+pub fn witness_value(w: &Witness) -> Value {
+    obj(vec![
+        (
+            "loop_vars",
+            Value::Arr(w.loop_vars.iter().map(Value::str).collect()),
+        ),
+        ("src_iter", ints(&w.src_iter)),
+        ("sink_iter", ints(&w.sink_iter)),
+        ("src_ref", Value::str(w.src_ref.clone())),
+        ("sink_ref", Value::str(w.sink_ref.clone())),
+        (
+            "element",
+            match &w.element {
+                Some(el) => ints(el),
+                None => Value::Null,
+            },
+        ),
+        ("exact", Value::Bool(w.exact)),
+    ])
+}
+
+/// Encode one finding as a JSON object.
+pub fn finding_value(f: &Finding) -> Value {
+    obj(vec![
+        ("code", Value::str(f.rule.code())),
+        ("rule", Value::str(f.rule.name())),
+        ("severity", Value::str(f.severity().to_string())),
+        ("unit", Value::str(f.unit.clone())),
+        ("line", Value::int(f.span.start as i64)),
+        ("var", Value::str(f.var.clone())),
+        ("message", Value::str(f.message.clone())),
+        (
+            "witness",
+            match &f.witness {
+                Some(w) => witness_value(w),
+                None => Value::Null,
+            },
+        ),
+    ])
+}
+
+/// Encode a whole report: the findings plus severity tallies.
+pub fn findings_value(findings: &[Finding]) -> Value {
+    let (errors, warnings, notes) = tally(findings);
+    obj(vec![
+        (
+            "findings",
+            Value::Arr(findings.iter().map(finding_value).collect()),
+        ),
+        ("errors", Value::int(errors as i64)),
+        ("warnings", Value::int(warnings as i64)),
+        ("notes", Value::int(notes as i64)),
+    ])
+}
+
+/// One-line text form: `file:line: severity: [CODE] message`.
+/// `file` may be empty (server mode), in which case it is omitted.
+pub fn finding_text(file: &str, f: &Finding) -> String {
+    let loc = if file.is_empty() {
+        format!("{}:{}", f.unit, f.span.start)
+    } else {
+        format!("{}:{}", file, f.span.start)
+    };
+    format!("{loc}: {}: [{}] {}", f.severity(), f.rule.code(), f.message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ped_fortran::parser::parse_ok;
+    use ped_lint::{lint_program, LintOptions, RuleCode};
+
+    fn racy_findings() -> Vec<Finding> {
+        let p = parse_ok(
+            "      REAL A(100)\nCDOALL\n      DO 10 I = 2, 100\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n",
+        );
+        lint_program(&p, &LintOptions::default())
+    }
+
+    #[test]
+    fn race_finding_serializes_with_witness() {
+        let f = racy_findings();
+        let race = f
+            .iter()
+            .find(|x| x.rule == RuleCode::ParallelLoopRace)
+            .expect("race");
+        let v = finding_value(race);
+        assert_eq!(v.get("code").and_then(Value::as_str), Some("PED001"));
+        assert_eq!(v.get("severity").and_then(Value::as_str), Some("error"));
+        let w = v.get("witness").unwrap();
+        assert_eq!(
+            w.get("src_iter").unwrap().as_array().unwrap()[0].as_i64(),
+            Some(2)
+        );
+        assert_eq!(
+            w.get("sink_iter").unwrap().as_array().unwrap()[0].as_i64(),
+            Some(3)
+        );
+        assert_eq!(w.get("exact").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn report_value_tallies_and_roundtrips() {
+        let f = racy_findings();
+        let v = findings_value(&f);
+        assert!(v.get("errors").unwrap().as_i64().unwrap() >= 1);
+        let encoded = v.encode();
+        let reparsed = crate::json::parse(&encoded).unwrap();
+        assert_eq!(reparsed.encode(), encoded, "canonical encoding is stable");
+    }
+
+    #[test]
+    fn text_form_carries_code_and_location() {
+        let f = racy_findings();
+        let race = f
+            .iter()
+            .find(|x| x.rule == RuleCode::ParallelLoopRace)
+            .unwrap();
+        let t = finding_text("examples/fortran/recurrence.f", race);
+        assert!(
+            t.starts_with("examples/fortran/recurrence.f:4: error: [PED001]"),
+            "{t}"
+        );
+        let t = finding_text("", race);
+        assert!(t.starts_with("MAIN:4: error: [PED001]"), "{t}");
+    }
+}

@@ -16,7 +16,8 @@
 //!
 //! The methods mirror the paper's interactive loop (§3.1): `open`,
 //! `select_unit`, `select_loop`, `deps`, `vars`, `mark`, `classify`,
-//! `assert`, `edit`, `stmts`, `transform`, `stats`, `close` — plus the
+//! `assert`, `edit`, `stmts`, `transform`, `lint`, `stats`, `close` —
+//! plus the
 //! service controls `sessions`, `ping` and `shutdown`.
 //!
 //! [`dispatch_line`] is the single implementation used by the TCP
@@ -330,6 +331,9 @@ pub fn dispatch(
                 other => Err(format!("unknown transform op '{other}'")),
             })?
         }
+        "lint" => mgr.with_session(session_id(p)?, |s| {
+            Ok(crate::lintio::findings_value(&s.lint()))
+        })?,
         "stats" => mgr.with_session(session_id(p)?, |s| stats_value(&s.stats()))?,
         "close" => {
             let id = session_id(p)?;
@@ -372,6 +376,8 @@ fn stats_value(st: &SessionStats) -> Result<Value, String> {
         ("pair_misses", Value::int(st.pair_misses as i64)),
         ("reanalyze_hits", Value::int(st.reanalyze_hits as i64)),
         ("reanalyze_misses", Value::int(st.reanalyze_misses as i64)),
+        ("lint_hits", Value::int(st.lint_hits as i64)),
+        ("lint_misses", Value::int(st.lint_misses as i64)),
         ("features", Value::Arr(features)),
     ]))
 }
@@ -559,6 +565,39 @@ mod tests {
             .unwrap()
             .iter()
             .any(|f| f.get("feature").unwrap().as_str() == Some("program")));
+    }
+
+    #[test]
+    fn lint_method_reports_race_and_counters() {
+        let m = mgr();
+        let src = "      REAL A(100)\\nCDOALL\\n      DO 10 I = 2, 100\\n      A(I) = A(I-1)\\n   10 CONTINUE\\n      END\\n";
+        let r = run(
+            &m,
+            &format!(r#"{{"id":1,"method":"open","params":{{"session":"l","source":"{src}"}}}}"#),
+        );
+        assert_eq!(r.get("ok"), Some(&Value::Bool(true)), "{r:?}");
+        let r = run(&m, r#"{"id":2,"method":"lint","params":{"session":"l"}}"#);
+        assert_eq!(r.get("ok"), Some(&Value::Bool(true)), "{r:?}");
+        let result = r.get("result").unwrap();
+        assert!(result.get("errors").unwrap().as_i64().unwrap() >= 1);
+        let findings = result.get("findings").unwrap().as_array().unwrap();
+        let race = findings
+            .iter()
+            .find(|f| f.get("code").unwrap().as_str() == Some("PED001"))
+            .expect("PED001 finding");
+        let w = race.get("witness").unwrap();
+        assert_eq!(
+            w.get("src_iter").unwrap().as_array().unwrap()[0].as_i64(),
+            Some(2)
+        );
+        // Second lint is answered from the per-unit memo.
+        let first = run(&m, r#"{"id":3,"method":"lint","params":{"session":"l"}}"#).encode();
+        let again = run(&m, r#"{"id":3,"method":"lint","params":{"session":"l"}}"#).encode();
+        assert_eq!(first, again, "cached lint must serialize identically");
+        let r = run(&m, r#"{"id":4,"method":"stats","params":{"session":"l"}}"#);
+        let st = r.get("result").unwrap();
+        assert!(st.get("lint_hits").unwrap().as_i64().unwrap() >= 1);
+        assert!(st.get("lint_misses").unwrap().as_i64().unwrap() >= 1);
     }
 
     #[test]

@@ -214,7 +214,10 @@ pub fn opinion_counts(f: Feature) -> (usize, usize, usize) {
         Feature::Help => (1, 1, 2),
         Feature::TeachingTool => (0, 3, 0),
         // Engine telemetry, not a Table 2 behavior.
-        Feature::AnalysisCacheHit | Feature::AnalysisCacheMiss => (0, 0, 0),
+        Feature::AnalysisCacheHit
+        | Feature::AnalysisCacheMiss
+        | Feature::LintCacheHit
+        | Feature::LintCacheMiss => (0, 0, 0),
     }
 }
 
@@ -231,7 +234,10 @@ pub fn expected_used(f: Feature) -> usize {
         Feature::InterfaceErrorDetection => 3,
         Feature::Help => 2,
         Feature::TeachingTool => 0,
-        Feature::AnalysisCacheHit | Feature::AnalysisCacheMiss => 0,
+        Feature::AnalysisCacheHit
+        | Feature::AnalysisCacheMiss
+        | Feature::LintCacheHit
+        | Feature::LintCacheMiss => 0,
     }
 }
 

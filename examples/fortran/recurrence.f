@@ -1,0 +1,10 @@
+      PROGRAM RECUR
+      REAL A(100)
+      DO 5 I = 1, 100
+      A(I) = 1.0
+    5 CONTINUE
+CDOALL
+      DO 10 I = 2, 100
+      A(I) = A(I-1) + 1.0
+   10 CONTINUE
+      END

@@ -1,0 +1,12 @@
+      PROGRAM REDUCE
+      REAL A(500)
+      REAL S
+      DO 5 I = 1, 500
+      A(I) = 0.5
+    5 CONTINUE
+      S = 0.0
+CDOALL
+      DO 10 I = 1, 500
+      S = S + A(I)
+   10 CONTINUE
+      END

@@ -1,0 +1,14 @@
+      PROGRAM SAXPY
+      REAL X(1000), Y(1000)
+      REAL A
+      N = 1000
+      A = 2.5
+      DO 5 I = 1, N
+      X(I) = 1.0
+      Y(I) = 2.0
+    5 CONTINUE
+CDOALL
+      DO 10 I = 1, N
+      Y(I) = A * X(I) + Y(I)
+   10 CONTINUE
+      END

@@ -4,10 +4,15 @@
 #                  programs (or $1 if given)
 #   BENCH_2.json — ped-serve-bench, server throughput/latency for 1 vs N
 #                  concurrent wire clients (or $2 if given)
+#   BENCH_3.json — ped-lint-bench, cold vs fingerprint-cached vs
+#                  incremental whole-repo lint (or $3 if given)
 set -e
 cd "$(dirname "$0")/.."
 OUT1="${1:-BENCH_1.json}"
 OUT2="${2:-BENCH_2.json}"
-cargo build --release --offline -p ped-bench --bin ped-bench --bin ped-serve-bench
+OUT3="${3:-BENCH_3.json}"
+cargo build --release --offline -p ped-bench \
+    --bin ped-bench --bin ped-serve-bench --bin ped-lint-bench
 ./target/release/ped-bench "$OUT1"
 ./target/release/ped-serve-bench "$OUT2"
+./target/release/ped-lint-bench "$OUT3"

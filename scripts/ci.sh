@@ -6,3 +6,14 @@ cd "$(dirname "$0")/.."
 cargo fmt --all -- --check
 cargo build --release --offline --workspace
 cargo test -q --offline
+
+# ped-lint self-check over the examples/ fixtures: the clean fixtures
+# must pass even with warnings denied, and the seeded racy fixture must
+# be caught (nonzero exit).
+./target/release/ped-lint --deny-warnings \
+    examples/fortran/saxpy.f examples/fortran/reduction.f
+if ./target/release/ped-lint examples/fortran/recurrence.f >/dev/null; then
+    echo "ci: ped-lint failed to flag examples/fortran/recurrence.f" >&2
+    exit 1
+fi
+echo "ci: ped-lint self-check passed"

@@ -62,6 +62,59 @@ fn serial_and_parallel_builds_identical_on_all_workloads() {
 }
 
 #[test]
+fn lint_report_is_thread_count_invariant() {
+    // The whole-program lint fans units out across workers; the merged
+    // report (and hence its JSON encoding) must be byte-identical for
+    // any thread count, on every workshop program.
+    use ped_lint::{lint_program, LintOptions};
+    let mut reports = 0;
+    for p in ped_workloads::all_programs() {
+        let prog = parse_ok(p.source);
+        let serial = lint_program(&prog, &LintOptions { threads: 1 });
+        let serial_bytes = ped_server::lintio::findings_value(&serial).encode();
+        if !serial.is_empty() {
+            reports += 1;
+        }
+        for threads in [2, 4, 8] {
+            let parallel = lint_program(&prog, &LintOptions { threads });
+            assert_eq!(serial, parallel, "{} diverged at {threads} threads", p.name);
+            assert_eq!(
+                serial_bytes,
+                ped_server::lintio::findings_value(&parallel).encode(),
+                "{} encoding diverged at {threads} threads",
+                p.name
+            );
+        }
+    }
+    assert!(reports > 0, "no workload produced findings — vacuous test");
+}
+
+#[test]
+fn server_lint_responses_are_deterministic() {
+    // The same request sequence replayed against fresh registries must
+    // produce identical response bytes, including the lint report.
+    let src = "      REAL A(100)\\nCDOALL\\n      DO 10 I = 2, 100\\n      A(I) = A(I-1)\\n   10 CONTINUE\\n      END\\n";
+    let lines: Vec<String> = vec![
+        format!(r#"{{"id":1,"method":"open","params":{{"session":"d","source":"{src}"}}}}"#),
+        r#"{"id":2,"method":"lint","params":{"session":"d"}}"#.into(),
+        r#"{"id":2,"method":"lint","params":{"session":"d"}}"#.into(),
+    ];
+    let first = ped_server::oracle_replay(&lines);
+    assert!(
+        first[1].contains("PED001"),
+        "lint response missing the race: {}",
+        first[1]
+    );
+    assert_eq!(
+        first[1], first[2],
+        "cached lint must serialize identically to the cold one"
+    );
+    for _ in 0..3 {
+        assert_eq!(first, ped_server::oracle_replay(&lines));
+    }
+}
+
+#[test]
 fn repeated_builds_are_bit_identical() {
     // Same input, ten builds: byte-for-byte equal debug renderings —
     // catches nondeterministic ordering even in fields PartialEq might
