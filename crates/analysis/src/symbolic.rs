@@ -51,19 +51,53 @@ impl LinExpr {
 
     pub fn add(&self, other: &LinExpr) -> LinExpr {
         let mut out = self.clone();
-        for (n, c) in &other.terms {
-            let e = out.terms.entry(n.clone()).or_insert(0);
-            *e += c;
-            if *e == 0 {
-                out.terms.remove(n);
-            }
-        }
-        out.konst += other.konst;
+        out.add_assign(other);
         out
     }
 
     pub fn sub(&self, other: &LinExpr) -> LinExpr {
-        self.add(&other.scale(-1))
+        let mut out = self.clone();
+        out.sub_assign(other);
+        out
+    }
+
+    /// `self += other` without allocating a fresh form.
+    pub fn add_assign(&mut self, other: &LinExpr) {
+        self.add_scaled(other, 1);
+    }
+
+    /// `self -= other` without allocating a fresh form.
+    pub fn sub_assign(&mut self, other: &LinExpr) {
+        self.add_scaled(other, -1);
+    }
+
+    /// `self += k·other` — the workhorse of subscript canonicalization:
+    /// it folds a substituted definition in without materializing the
+    /// intermediate `other.scale(k)`.
+    pub fn add_scaled(&mut self, other: &LinExpr, k: i64) {
+        if k == 0 {
+            return;
+        }
+        for (n, c) in &other.terms {
+            let e = self.terms.entry(n.clone()).or_insert(0);
+            *e += c * k;
+            if *e == 0 {
+                self.terms.remove(n);
+            }
+        }
+        self.konst += other.konst * k;
+    }
+
+    /// `self += k·name`.
+    pub fn add_term(&mut self, name: &str, k: i64) {
+        if k == 0 {
+            return;
+        }
+        let e = self.terms.entry(name.to_string()).or_insert(0);
+        *e += k;
+        if *e == 0 {
+            self.terms.remove(name);
+        }
     }
 
     pub fn scale(&self, k: i64) -> LinExpr {
@@ -342,13 +376,17 @@ impl SymbolicEnv {
 
     /// Apply substitutions to an already-affine form.
     pub fn apply_subst(&self, lin: &LinExpr) -> LinExpr {
+        // Fast path: no term of `lin` has a substitution (the common case
+        // once subscripts are canonicalized per reference) — the form is
+        // returned as-is instead of being rebuilt term by term.
+        if self.subst.is_empty() || !lin.terms.keys().any(|n| self.subst.contains_key(n)) {
+            return lin.clone();
+        }
         let mut out = LinExpr::constant(lin.konst);
         for (n, c) in &lin.terms {
             match self.subst.get(n) {
-                Some(rep) => out = out.add(&rep.scale(*c)),
-                None => {
-                    out = out.add(&LinExpr::var(n.clone()).scale(*c));
-                }
+                Some(rep) => out.add_scaled(rep, *c),
+                None => out.add_term(n, *c),
             }
         }
         out

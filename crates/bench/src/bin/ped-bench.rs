@@ -15,7 +15,16 @@
 //!                           construction over every unit at one worker
 //!                           vs. auto workers.
 //!
-//! Usage: `ped-bench [OUTPUT.json]` (default `BENCH_1.json`).
+//! A second output, `BENCH_4.json`, breaks the dependence-test suite
+//! down by tester kind: raw graph construction with the per-reference
+//! canonicalization engine on (`build-fast-*`) vs. forced per-pair
+//! classification (`build-general-*`, the `--no-fast-path` oracle
+//! mode), cold and warm against the pair memo, with per-kind hit
+//! counts and a per-workload serial-vs-parallel sanity ratio.
+//!
+//! Usage: `ped-bench [OUTPUT.json [OUTPUT4.json]]` (defaults
+//! `BENCH_1.json` / `BENCH_4.json`), or `ped-bench --smoke` to run the
+//! fast-vs-general byte-identity check only (no timing assertions).
 
 use ped::session::PedSession;
 use ped_analysis::loops::LoopNest;
@@ -24,52 +33,132 @@ use ped_analysis::symbolic::SymbolicEnv;
 use ped_bench::harness::{bench_with, black_box, Stats};
 use ped_dependence::cache::PairCache;
 use ped_dependence::graph::{BuildOptions, DependenceGraph};
+use ped_dependence::TestKindCounts;
 use ped_fortran::parser::parse_ok;
 use ped_fortran::symbols::SymbolTable;
+use ped_workloads::synthetic_source;
 
-fn build_all_units(prog: &ped_fortran::Program, threads: usize) -> usize {
+fn build_opts(fast_paths: bool, threads: usize) -> BuildOptions {
+    BuildOptions {
+        fast_paths,
+        threads,
+        ..Default::default()
+    }
+}
+
+fn build_all_units_opts(prog: &ped_fortran::Program, opts: &BuildOptions) -> usize {
     let mut total = 0;
     for unit in &prog.units {
         let sym = SymbolTable::build(unit);
         let refs = RefTable::build(unit, &sym);
         let nest = LoopNest::build(unit);
-        let opts = BuildOptions {
-            threads,
-            ..Default::default()
-        };
-        total += DependenceGraph::build(unit, &sym, &refs, &nest, &SymbolicEnv::new(), &opts).len();
+        total += DependenceGraph::build(unit, &sym, &refs, &nest, &SymbolicEnv::new(), opts).len();
     }
     total
 }
 
-/// A unit an order of magnitude past the workshop programs: `nloops`
-/// top-level recurrence loops over distinct arrays. At this scale the
-/// pair-test suite dominates reanalysis, which is what the pair-cache
-/// and parallel-build phases are meant to expose (the workshop programs
-/// are small enough that structural analysis dominates instead).
-fn synthetic_source(nloops: usize) -> String {
-    let mut src = String::new();
-    src.push_str("      PROGRAM SYNTH\n");
-    src.push_str("      COMMON /IDX/ IX(100)\n");
-    for j in 0..nloops {
-        src.push_str(&format!("      REAL A{j}(100), B{j}(100), D{j}(100)\n"));
+fn build_all_units(prog: &ped_fortran::Program, threads: usize) -> usize {
+    build_all_units_opts(prog, &build_opts(true, threads))
+}
+
+/// Per-kind tester tallies of one cold fast-path pass over every unit.
+fn count_kinds(prog: &ped_fortran::Program) -> TestKindCounts {
+    let mut kinds = TestKindCounts::default();
+    let opts = build_opts(true, 1);
+    for unit in &prog.units {
+        let sym = SymbolTable::build(unit);
+        let refs = RefTable::build(unit, &sym);
+        let nest = LoopNest::build(unit);
+        let g = DependenceGraph::build(unit, &sym, &refs, &nest, &SymbolicEnv::new(), &opts);
+        kinds.add(&g.test_kinds);
     }
-    for j in 0..nloops {
-        let label = 100 + j;
-        src.push_str(&format!("      DO {label} I = 2, N\n"));
-        src.push_str(&format!("      A{j}(I) = A{j}(I-1) + B{j}(I)\n"));
-        src.push_str(&format!("      B{j}(I) = A{j}(I) * 2.0\n"));
-        src.push_str(&format!("      D{j}(IX(I)) = B{j}(I-1) + D{j}(I+1)\n"));
-        src.push_str(&format!("  {label} CONTINUE\n"));
+    kinds
+}
+
+/// Rebuild every unit against per-unit pair memos (the session steady
+/// state); `caches` must have one entry per unit.
+fn build_all_units_cached(prog: &ped_fortran::Program, caches: &mut [PairCache]) -> usize {
+    let mut total = 0;
+    let opts = build_opts(true, 1);
+    for (unit, cache) in prog.units.iter().zip(caches.iter_mut()) {
+        let sym = SymbolTable::build(unit);
+        let refs = RefTable::build(unit, &sym);
+        let nest = LoopNest::build(unit);
+        total += DependenceGraph::build_with(
+            unit,
+            &sym,
+            &refs,
+            &nest,
+            &SymbolicEnv::new(),
+            &opts,
+            Some(cache),
+        )
+        .len();
     }
-    src.push_str("      END\n");
-    src
+    total
+}
+
+/// The BENCH_4 program set: the eight workshop programs + the synthetic
+/// stress unit.
+fn bench4_programs() -> Vec<(String, ped_fortran::Program)> {
+    let mut v: Vec<(String, ped_fortran::Program)> = ped_workloads::all_programs()
+        .into_iter()
+        .map(|p| (p.name.to_string(), parse_ok(p.source)))
+        .collect();
+    v.push(("synth60".into(), parse_ok(&synthetic_source(60))));
+    v
+}
+
+/// `--smoke`: assert the canonicalization engine renders byte-identical
+/// graphs to the general per-pair tester on every program, serial and
+/// parallel. No timings — suitable as a CI gate.
+fn smoke() {
+    let mut units = 0usize;
+    for (name, prog) in bench4_programs() {
+        for unit in &prog.units {
+            let sym = SymbolTable::build(unit);
+            let refs = RefTable::build(unit, &sym);
+            let nest = LoopNest::build(unit);
+            let env = SymbolicEnv::new();
+            let general =
+                DependenceGraph::build(unit, &sym, &refs, &nest, &env, &build_opts(false, 1))
+                    .canonical_text();
+            for threads in [1usize, 8] {
+                let fast = DependenceGraph::build(
+                    unit,
+                    &sym,
+                    &refs,
+                    &nest,
+                    &env,
+                    &build_opts(true, threads),
+                )
+                .canonical_text();
+                assert_eq!(
+                    fast, general,
+                    "{name}/{}: fast-path graph (threads={threads}) diverged",
+                    unit.name
+                );
+            }
+            units += 1;
+        }
+    }
+    println!("ped-bench --smoke: fast path == general tester on {units} units");
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let out_path = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_1.json".into());
+    let out4_path = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_4.json".into());
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -218,4 +307,180 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, json).expect("write BENCH_1.json");
     println!("\nwrote {out_path}");
+
+    bench4(&out4_path, cores);
+}
+
+/// Test-kind breakdown (BENCH_4): per program, cold builds with the
+/// canonicalization engine on vs. off, a warm build against the pair
+/// memo, the per-kind tester tallies, and a serial-vs-parallel floor
+/// assertion (`threads: 0` must never lose to `threads: 1` by more than
+/// measurement noise — compared on per-iteration minima).
+fn bench4(out_path: &str, cores: usize) {
+    println!("\n== test-kind breakdown (BENCH_4) ==\n");
+    struct Row {
+        name: String,
+        fast_cold: Stats,
+        general_cold: Stats,
+        fast_warm: Stats,
+        serial: Stats,
+        parallel: Stats,
+        kinds: TestKindCounts,
+    }
+    let mut phases: Vec<Stats> = Vec::new();
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, prog) in bench4_programs() {
+        let (budget, iters) = if name == "synth60" {
+            (400, 64)
+        } else {
+            (150, 256)
+        };
+        let fast_cold = bench_with(
+            &format!("build-fast-cold:{name}"),
+            budget,
+            iters,
+            &mut || {
+                black_box(build_all_units_opts(&prog, &build_opts(true, 1)));
+            },
+        );
+        let general_cold = bench_with(
+            &format!("build-general-cold:{name}"),
+            budget,
+            iters,
+            &mut || {
+                black_box(build_all_units_opts(&prog, &build_opts(false, 1)));
+            },
+        );
+        let mut caches: Vec<PairCache> = prog.units.iter().map(|_| PairCache::new()).collect();
+        build_all_units_cached(&prog, &mut caches); // cold fill
+        let fast_warm = bench_with(
+            &format!("build-fast-warm:{name}"),
+            budget,
+            iters,
+            &mut || {
+                black_box(build_all_units_cached(&prog, &mut caches));
+            },
+        );
+        let serial = bench_with(&format!("build-serial:{name}"), budget, iters, &mut || {
+            black_box(build_all_units(&prog, 1));
+        });
+        let parallel = bench_with(
+            &format!("build-parallel:{name}"),
+            budget,
+            iters,
+            &mut || {
+                black_box(build_all_units(&prog, 0));
+            },
+        );
+        let kinds = count_kinds(&prog);
+        phases.extend([
+            fast_cold.clone(),
+            general_cold.clone(),
+            fast_warm.clone(),
+            serial.clone(),
+            parallel.clone(),
+        ]);
+        rows.push(Row {
+            name,
+            fast_cold,
+            general_cold,
+            fast_warm,
+            serial,
+            parallel,
+            kinds,
+        });
+        println!();
+    }
+
+    println!(
+        "{:<10} {:>10} {:>10} {:>14}",
+        "workload", "fast-path", "warm", "par/serial(min)"
+    );
+    let mut min_parallel_ratio = f64::INFINITY;
+    for r in &rows {
+        let fast_speedup = r.general_cold.mean_us / r.fast_cold.mean_us.max(1e-9);
+        let warm_speedup = r.general_cold.mean_us / r.fast_warm.mean_us.max(1e-9);
+        // Ratio of per-iteration minima: the adaptive builder must never
+        // *spawn its way slower* — noise-floor comparison, satellite (a).
+        let par_ratio = r.serial.min_us / r.parallel.min_us.max(1e-9);
+        min_parallel_ratio = min_parallel_ratio.min(par_ratio);
+        println!(
+            "{:<10} {:>9.2}x {:>9.2}x {:>13.2}x",
+            r.name, fast_speedup, warm_speedup, par_ratio
+        );
+        assert!(
+            par_ratio >= 0.98,
+            "{}: adaptive parallel build regressed vs serial ({:.3}x on minima)",
+            r.name,
+            par_ratio
+        );
+    }
+
+    let speedup_of = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .map(|r| r.general_cold.mean_us / r.fast_cold.mean_us.max(1e-9))
+            .unwrap_or(0.0)
+    };
+    let synth_speedup = speedup_of("synth60");
+    let dpmin_speedup = speedup_of("dpmin");
+    println!(
+        "\nfast-path cold-build speedup  synth60 {synth_speedup:.2}x   dpmin {dpmin_speedup:.2}x"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"generated_by\": \"ped-bench\",\n");
+    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str("  \"summary\": {\n");
+    json.push_str(&format!(
+        "    \"fast_path_speedup_synth60\": {synth_speedup:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"fast_path_speedup_dpmin\": {dpmin_speedup:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"min_parallel_vs_serial_ratio\": {min_parallel_ratio:.2}\n"
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        json.push_str(&format!(
+            "      \"fast_cold_us\": {:.3},\n      \"general_cold_us\": {:.3},\n      \"fast_warm_us\": {:.3},\n",
+            r.fast_cold.mean_us, r.general_cold.mean_us, r.fast_warm.mean_us
+        ));
+        json.push_str(&format!(
+            "      \"fast_path_speedup\": {:.2},\n",
+            r.general_cold.mean_us / r.fast_cold.mean_us.max(1e-9)
+        ));
+        json.push_str(&format!(
+            "      \"parallel_vs_serial_min_ratio\": {:.2},\n",
+            r.serial.min_us / r.parallel.min_us.max(1e-9)
+        ));
+        json.push_str("      \"test_kinds\": {");
+        let kind_rows = r.kinds.rows();
+        for (j, (label, n)) in kind_rows.iter().enumerate() {
+            json.push_str(&format!("\"{label}\": {n}"));
+            if j + 1 < kind_rows.len() {
+                json.push_str(", ");
+            }
+        }
+        json.push_str("}\n");
+        json.push_str(if i + 1 < rows.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"phases\": [\n");
+    for (i, s) in phases.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(&s.to_json());
+        json.push_str(if i + 1 < phases.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, json).expect("write BENCH_4.json");
+    println!("wrote {out_path}");
 }

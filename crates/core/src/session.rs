@@ -17,7 +17,7 @@ use ped_analysis::loops::LoopId;
 use ped_analysis::privatize::PrivStatus;
 use ped_analysis::symbolic::SymbolicEnv;
 use ped_dependence::marking::{Mark, MarkError};
-use ped_dependence::DepId;
+use ped_dependence::{DepId, TestKindCounts};
 use ped_fortran::ast::{Program, StmtId, StmtKind};
 use ped_fortran::pretty::print_lvalue;
 use ped_transform::advice::{Applied, TransformError};
@@ -59,6 +59,10 @@ pub struct SessionStats {
     pub lint_hits: u64,
     /// Per-unit lint requests that ran the lint engine.
     pub lint_misses: u64,
+    /// Lifetime per-tester-kind tallies of the dependence suite
+    /// (`label → count`), accumulated over every graph build of the
+    /// session's current unit. Zero rows are omitted.
+    pub test_kinds: Vec<(&'static str, u64)>,
     /// Every feature recorded by the session, sorted, with counts.
     pub features: Vec<(Feature, usize)>,
 }
@@ -77,6 +81,9 @@ pub struct PedSession {
     /// Incremental-reanalysis state (whole-analysis key + pair-test
     /// memo); see [`crate::cache`].
     pub cache: AnalysisCache,
+    /// Lifetime tester-kind tallies accumulated over the session's
+    /// graph builds (cache-answered pairs add nothing).
+    test_kinds: TestKindCounts,
 }
 
 impl PedSession {
@@ -93,7 +100,7 @@ impl PedSession {
             Some(&mut cache.pairs),
         );
         cache.prime(Self::analysis_key(&program, 0, &[]));
-        PedSession {
+        let mut s = PedSession {
             program,
             unit_idx: 0,
             ua,
@@ -103,7 +110,27 @@ impl PedSession {
             usage: UsageLog::default(),
             effects,
             cache,
-        }
+            test_kinds: TestKindCounts::default(),
+        };
+        s.absorb_test_kinds();
+        s
+    }
+
+    /// Fold the just-built graph's tester-kind tallies into the
+    /// session's lifetime counters and mirror the exact fast-path hits
+    /// into the usage log.
+    fn absorb_test_kinds(&mut self) {
+        let k = &self.ua.graph.test_kinds;
+        self.test_kinds.add(k);
+        self.usage.record_n(Feature::FastPathZiv, k.ziv as usize);
+        self.usage
+            .record_n(Feature::FastPathStrongSiv, k.strong_siv as usize);
+        self.usage
+            .record_n(Feature::FastPathWeakZeroSiv, k.weak_zero_siv as usize);
+        self.usage.record_n(
+            Feature::FastPathWeakCrossingSiv,
+            k.weak_crossing_siv as usize,
+        );
     }
 
     /// Fingerprint of everything the unit's analyses are a function of:
@@ -167,6 +194,7 @@ impl PedSession {
                 Some(&mut self.cache.pairs),
             ),
         );
+        self.absorb_test_kinds();
         // Carry user marks across (same endpoints/var/level/kind).
         ped_transform::ctx::carry_user_marks(
             &old.graph,
@@ -207,6 +235,13 @@ impl PedSession {
             reanalyze_misses: self.usage.count(Feature::AnalysisCacheMiss),
             lint_hits,
             lint_misses,
+            test_kinds: self
+                .test_kinds
+                .rows()
+                .iter()
+                .filter(|(_, n)| *n > 0)
+                .copied()
+                .collect(),
             features: self.usage.snapshot(),
         }
     }

@@ -29,6 +29,13 @@ pub enum Feature {
     AnalysisCacheMiss,
     LintCacheHit,
     LintCacheMiss,
+    // dependence-test fast-path telemetry: which tester of the
+    // hierarchical suite decided freshly tested subscript dimensions.
+    // Also excluded from `all()`.
+    FastPathZiv,
+    FastPathStrongSiv,
+    FastPathWeakZeroSiv,
+    FastPathWeakCrossingSiv,
 }
 
 impl Feature {
@@ -62,6 +69,10 @@ impl Feature {
             Feature::AnalysisCacheMiss => "analysis cache miss",
             Feature::LintCacheHit => "lint cache hit",
             Feature::LintCacheMiss => "lint cache miss",
+            Feature::FastPathZiv => "fast path ziv",
+            Feature::FastPathStrongSiv => "fast path strong-siv",
+            Feature::FastPathWeakZeroSiv => "fast path weak-zero-siv",
+            Feature::FastPathWeakCrossingSiv => "fast path weak-crossing-siv",
         }
     }
 
@@ -88,6 +99,15 @@ pub struct UsageLog {
 impl UsageLog {
     pub fn record(&mut self, f: Feature) {
         *self.counts.entry(f).or_insert(0) += 1;
+    }
+
+    /// Record `n` occurrences at once (used for bulk tester-kind
+    /// tallies after a graph build). `n == 0` records nothing, so the
+    /// snapshot stays free of zero rows.
+    pub fn record_n(&mut self, f: Feature, n: usize) {
+        if n > 0 {
+            *self.counts.entry(f).or_insert(0) += n;
+        }
     }
 
     pub fn count(&self, f: Feature) -> usize {

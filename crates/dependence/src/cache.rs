@@ -25,7 +25,7 @@
 //!   sibling statements for index-array and forward-substitution
 //!   patterns, so a body edit conservatively invalidates the nest).
 
-use crate::suite::DepInfo;
+use crate::suite::{DepInfo, TestKindCounts};
 use std::collections::HashMap;
 
 /// Content identity of one tested reference pair.
@@ -113,4 +113,8 @@ pub(crate) struct CacheShard {
     pub fresh: Vec<(PairKey, CachedTest)>,
     pub hits: u64,
     pub misses: u64,
+    /// Tester-kind tallies for the freshly tested pairs of this worker
+    /// (cache hits count nothing — no tester ran). Summed into
+    /// `DependenceGraph::test_kinds` by the coordinator.
+    pub kinds: TestKindCounts,
 }

@@ -1,0 +1,131 @@
+//! Per-reference subscript canonicalization.
+//!
+//! Classification (`NestCtx::build` + `NestCtx::classify`) used to run
+//! inside the O(pairs) inner loop of graph construction, re-walking the
+//! whole unit for every pair. But a reference's classified subscripts
+//! are a function of the *reference* and the *common loop prefix* alone,
+//! not of the partner reference:
+//!
+//! * the common prefix of any pair is a prefix of the reference's own
+//!   loop chain, uniquely identified by its innermost common loop
+//!   (paths in the loop tree are unique);
+//! * extra (non-common) loop variables are renamed with `#s`/`#t`
+//!   suffixes at pair time, and `#` cannot occur in a Fortran
+//!   identifier, so renamed names never collide with names in
+//!   subscripts or scalar definitions — classification under
+//!   `common + renamed extras` equals classification under `common`
+//!   alone, with the rename applied afterwards to the index-array
+//!   arguments that can mention extra variables.
+//!
+//! [`CanonStore`] therefore precomputes, once per build:
+//!
+//! * a [`NestSkeleton`] per nest root (the body-derived variance and
+//!   scalar-definition facts),
+//! * a classification context per distinct common prefix (keyed by its
+//!   innermost loop),
+//! * the classified subscript vector per `(reference, innermost common
+//!   loop)`,
+//! * and the affine [`LoopCtx`] bounds per loop.
+//!
+//! Pair testing then only fetches two precomputed forms. The store is
+//! immutable after construction and shared read-only across the worker
+//! threads of a parallel build — reference groups share canonical forms
+//! without cloning them.
+
+use crate::subscript::{NestSkeleton, SubPos};
+use crate::suite::LoopCtx;
+use ped_analysis::loops::{LoopId, LoopNest};
+use ped_analysis::refs::{RefId, RefTable};
+use ped_analysis::symbolic::SymbolicEnv;
+use ped_fortran::ast::{ProcUnit, StmtId};
+use std::collections::HashMap;
+
+/// Precomputed canonical subscript forms for one graph build.
+pub struct CanonStore {
+    /// `(reference, innermost common loop)` → classified subscripts,
+    /// in the unrenamed (common-prefix) namespace.
+    forms: HashMap<(RefId, LoopId), Vec<SubPos>>,
+    /// Affine bounds per loop, control variable unrenamed.
+    loops: HashMap<LoopId, LoopCtx>,
+}
+
+impl CanonStore {
+    /// Classify every subscripted reference in `group_refs` under each
+    /// prefix of its enclosing loop chain. `stmt_loops` maps statements
+    /// to their chain, outermost first (as built by the graph builder).
+    pub fn build(
+        unit: &ProcUnit,
+        refs: &RefTable,
+        nest: &LoopNest,
+        env: &SymbolicEnv,
+        group_refs: impl IntoIterator<Item = RefId>,
+        stmt_loops: &HashMap<StmtId, Vec<LoopId>>,
+    ) -> CanonStore {
+        let stmts = ped_fortran::ast::stmt_index(&unit.body);
+        let mut loops = HashMap::new();
+        for l in &nest.loops {
+            loops.insert(
+                l.id,
+                LoopCtx {
+                    var: l.var.clone(),
+                    lo: crate::graph::bound_lin(&l.lo, env),
+                    hi: crate::graph::bound_lin(&l.hi, env),
+                },
+            );
+        }
+        let mut skeletons: HashMap<LoopId, NestSkeleton> = HashMap::new();
+        let mut ctxs: HashMap<LoopId, crate::subscript::NestCtx> = HashMap::new();
+        let mut forms: HashMap<(RefId, LoopId), Vec<SubPos>> = HashMap::new();
+        for rid in group_refs {
+            let r = refs.get(rid);
+            if r.subs.is_empty() {
+                // Scalars and whole-array references are assumed
+                // dependent without classification.
+                continue;
+            }
+            let Some(chain) = stmt_loops.get(&r.stmt) else {
+                continue;
+            };
+            for k in 1..=chain.len() {
+                let innermost = chain[k - 1];
+                if forms.contains_key(&(rid, innermost)) {
+                    continue;
+                }
+                let ctx = ctxs.entry(innermost).or_insert_with(|| {
+                    let root = chain[0];
+                    let skel = skeletons.entry(root).or_insert_with(|| {
+                        NestSkeleton::build(&nest.get(root).body, &stmts, refs, env)
+                    });
+                    let vars: Vec<String> = chain[..k]
+                        .iter()
+                        .map(|&l| nest.get(l).var.clone())
+                        .collect();
+                    skel.instantiate(vars, env)
+                });
+                let subs: Vec<SubPos> = r.subs.iter().map(|e| ctx.classify(e)).collect();
+                forms.insert((rid, innermost), subs);
+            }
+        }
+        CanonStore { forms, loops }
+    }
+
+    /// The canonical forms of `r` under the common prefix ending at
+    /// `innermost`.
+    pub fn get(&self, r: RefId, innermost: LoopId) -> Option<&[SubPos]> {
+        self.forms.get(&(r, innermost)).map(|v| v.as_slice())
+    }
+
+    /// Precomputed affine bounds of a loop.
+    pub fn loop_ctx(&self, l: LoopId) -> &LoopCtx {
+        &self.loops[&l]
+    }
+
+    /// Number of cached canonical forms (telemetry/tests).
+    pub fn len(&self) -> usize {
+        self.forms.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.forms.is_empty()
+    }
+}

@@ -42,9 +42,10 @@
 //!   scanning every dependence per query.
 
 use crate::cache::{CacheShard, CachedTest, PairCache, PairKey};
+use crate::canon::CanonStore;
 use crate::dir::{Dir, DirSet, DirVector};
 use crate::subscript::{NestCtx, SubPos};
-use crate::suite::{DepInfo, LoopCtx, TestResult};
+use crate::suite::{DepInfo, LoopCtx, TestKindCounts, TestResult};
 use ped_analysis::loops::{LoopId, LoopNest};
 use ped_analysis::refs::{RefCause, RefId, RefTable, VarRef};
 use ped_analysis::symbolic::{LinExpr, SymbolicEnv};
@@ -146,9 +147,16 @@ pub struct BuildOptions {
     pub control_deps: bool,
     /// Include scalar-variable dependences.
     pub scalar_deps: bool,
-    /// Worker threads for pair testing: 0 = auto (available parallelism,
-    /// capped, and only when there is enough work), 1 = serial.
+    /// Worker threads for pair testing: 0 = auto (self-tuning: serial
+    /// below [`PAIR_CUTOFF`] pairs or on a single-core machine,
+    /// otherwise one worker per core, capped), explicit n = exactly n.
     pub threads: usize,
+    /// Use the per-reference canonicalization engine (classify each
+    /// reference once per build, share the forms across pairs and
+    /// worker threads). `false` forces the pre-existing per-pair
+    /// classification path — same results, used as the differential
+    /// oracle and the BENCH_4 baseline.
+    pub fast_paths: bool,
 }
 
 impl Default for BuildOptions {
@@ -158,6 +166,7 @@ impl Default for BuildOptions {
             control_deps: true,
             scalar_deps: true,
             threads: 0,
+            fast_paths: true,
         }
     }
 }
@@ -173,6 +182,9 @@ pub struct DependenceGraph {
     by_loop: HashMap<LoopId, Vec<u32>>,
     /// Loop → ids of dependences it carries, id order.
     carried_by: HashMap<LoopId, Vec<u32>>,
+    /// Which tester decided each freshly tested subscript dimension
+    /// during this build (pairs answered from the cache count nothing).
+    pub test_kinds: TestKindCounts,
 }
 
 impl DependenceGraph {
@@ -270,6 +282,42 @@ impl DependenceGraph {
 
     pub fn get(&self, id: DepId) -> &Dependence {
         &self.deps[id.0 as usize]
+    }
+
+    /// Deterministic one-line-per-dependence rendering of the whole
+    /// graph, for differential testing: two builds are equivalent iff
+    /// their canonical texts are byte-identical.
+    pub fn canonical_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.deps {
+            use std::fmt::Write;
+            let dists: Vec<String> = d
+                .distances
+                .iter()
+                .map(|x| match x {
+                    Some(v) => v.to_string(),
+                    None => "?".into(),
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "{} {} var={} src={}:{:?} sink={}:{:?} common={:?} level={:?} vec=({}) dist=[{}] exact={} test={}",
+                d.id.0,
+                d.kind,
+                d.var,
+                d.src_stmt.0,
+                d.src.map(|r| r.0),
+                d.sink_stmt.0,
+                d.sink.map(|r| r.0),
+                d.common.iter().map(|l| l.0).collect::<Vec<_>>(),
+                d.level,
+                d.vector,
+                dists.join(","),
+                d.exact,
+                d.test,
+            );
+        }
+        out
     }
 
     pub fn len(&self) -> usize {
@@ -372,6 +420,17 @@ struct Builder<'a> {
 /// Sentinel id for dependences awaiting canonical numbering.
 const UNNUMBERED: DepId = DepId(u32::MAX);
 
+/// Below this many reference pairs an auto-threaded build stays serial:
+/// pool setup and per-group buffer merging cost more than the tests.
+pub const PAIR_CUTOFF: usize = 256;
+
+/// Below this many reference pairs the canonicalization store is not
+/// built and pairs are classified in place: precomputing forms for
+/// every loop-chain prefix only amortizes once enough pairs share them.
+/// Both paths produce byte-identical graphs, so this is purely a
+/// self-tuning cutoff.
+pub const CANON_CUTOFF: usize = 64;
+
 impl<'a> Builder<'a> {
     fn run(&self, g: &mut DependenceGraph, mut cache: Option<&mut PairCache>) {
         // Map statement -> enclosing loop chain (outermost first).
@@ -410,13 +469,31 @@ impl<'a> Builder<'a> {
             .sum();
         let threads = self.effective_threads(groups.len(), pairs);
 
+        // Canonicalize every participating reference once, up front;
+        // pair testing below only consumes precomputed forms. The store
+        // is shared read-only across worker threads. Tiny units skip the
+        // store ([`CANON_CUTOFF`]) — identical results either way.
+        let canon = (self.opts.fast_paths && pairs >= CANON_CUTOFF).then(|| {
+            CanonStore::build(
+                self.unit,
+                self.refs,
+                self.nest,
+                self.env,
+                groups.iter().flat_map(|(_, ids)| ids.iter().copied()),
+                &stmt_loops,
+            )
+        });
+        let canon = canon.as_ref();
+
+        let mut kinds = TestKindCounts::default();
         let buffers: Vec<Vec<Dependence>> = if threads <= 1 {
             let mut shard = CacheShard::default();
             let read = cache.as_deref().map(|c| c.read());
             let out = groups
                 .iter()
-                .map(|(_, ids)| self.test_group(ids, &stmt_loops, read, &mut shard))
+                .map(|(_, ids)| self.test_group(ids, &stmt_loops, canon, read, &mut shard))
                 .collect();
+            kinds.add(&shard.kinds);
             if let Some(c) = cache.as_deref_mut() {
                 c.absorb(shard);
             }
@@ -436,8 +513,13 @@ impl<'a> Builder<'a> {
                                 if i >= groups.len() {
                                     break;
                                 }
-                                let out =
-                                    self.test_group(&groups[i].1, &stmt_loops, read, &mut shard);
+                                let out = self.test_group(
+                                    &groups[i].1,
+                                    &stmt_loops,
+                                    canon,
+                                    read,
+                                    &mut shard,
+                                );
                                 *slots[i].lock().unwrap() = out;
                             }
                             shard
@@ -449,13 +531,15 @@ impl<'a> Builder<'a> {
                     .map(|h| h.join().expect("dependence worker panicked"))
                     .collect()
             });
-            if let Some(c) = cache.as_deref_mut() {
-                for shard in shards {
+            for shard in shards {
+                kinds.add(&shard.kinds);
+                if let Some(c) = cache.as_deref_mut() {
                     c.absorb(shard);
                 }
             }
             slots.into_iter().map(|m| m.into_inner().unwrap()).collect()
         };
+        g.test_kinds = kinds;
 
         // Deterministic merge: group order is name order, in-group order
         // is pair order — identical to the serial traversal.
@@ -473,18 +557,25 @@ impl<'a> Builder<'a> {
     }
 
     /// Worker count: explicit from options, else sized to the machine —
-    /// and never more workers than groups, nor any pool at all for
-    /// trivially small units (pool setup would dominate).
+    /// and never more workers than groups, nor any pool at all when
+    /// serial is known to win (few pairs, or a single-core machine:
+    /// pool setup and buffer merging would dominate).
     fn effective_threads(&self, groups: usize, pairs: usize) -> usize {
         let requested = match self.opts.threads {
             0 => {
-                if pairs < 256 {
-                    1
-                } else {
+                // `available_parallelism` is a real syscall (tens of µs
+                // under some sandboxes) and the core count never changes
+                // mid-process: probe once.
+                static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+                let cores = *CORES.get_or_init(|| {
                     std::thread::available_parallelism()
                         .map(|n| n.get())
                         .unwrap_or(1)
-                        .min(8)
+                });
+                if pairs < PAIR_CUTOFF || cores == 1 {
+                    1
+                } else {
+                    cores.min(8)
                 }
             }
             n => n,
@@ -494,10 +585,12 @@ impl<'a> Builder<'a> {
 
     /// Test every pair of one variable's reference group, emitting into
     /// a fresh buffer with unnumbered ids.
+    #[allow(clippy::too_many_arguments)]
     fn test_group(
         &self,
         ids: &[RefId],
         stmt_loops: &HashMap<StmtId, Vec<LoopId>>,
+        canon: Option<&CanonStore>,
         cache: Option<&HashMap<PairKey, CachedTest>>,
         shard: &mut CacheShard,
     ) -> Vec<Dependence> {
@@ -533,6 +626,7 @@ impl<'a> Builder<'a> {
                     &common,
                     &la[ncommon..],
                     &lb[ncommon..],
+                    canon,
                     cache,
                     shard,
                 );
@@ -555,6 +649,25 @@ impl<'a> Builder<'a> {
         }
     }
 
+    /// Like [`loop_ctx`](Self::loop_ctx), but reusing the canonical
+    /// store's pre-normalized bounds when available.
+    fn loop_ctx_in(&self, canon: Option<&CanonStore>, l: LoopId, rename: Option<&str>) -> LoopCtx {
+        match canon {
+            Some(store) => {
+                let base = store.loop_ctx(l);
+                match rename {
+                    Some(suffix) => LoopCtx {
+                        var: format!("{}#{}", base.var, suffix),
+                        lo: base.lo.clone(),
+                        hi: base.hi.clone(),
+                    },
+                    None => base.clone(),
+                }
+            }
+            None => self.loop_ctx(l, rename),
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn test_and_emit(
         &self,
@@ -564,6 +677,7 @@ impl<'a> Builder<'a> {
         common: &[LoopId],
         extra_a: &[LoopId],
         extra_b: &[LoopId],
+        canon: Option<&CanonStore>,
         cache: Option<&HashMap<PairKey, CachedTest>>,
         shard: &mut CacheShard,
     ) {
@@ -588,44 +702,78 @@ impl<'a> Builder<'a> {
             }
             shard.misses += 1;
         }
-        // Loop contexts: common + renamed extras.
-        let mut loops: Vec<LoopCtx> = common.iter().map(|&l| self.loop_ctx(l, None)).collect();
+        // Loop contexts: common + renamed extras (bounds come from the
+        // canonical store when available instead of being re-normalized
+        // per pair).
+        let mut loops: Vec<LoopCtx> = common
+            .iter()
+            .map(|&l| self.loop_ctx_in(canon, l, None))
+            .collect();
         let mut ren_a: HashMap<String, String> = HashMap::new();
         let mut ren_b: HashMap<String, String> = HashMap::new();
         for &l in extra_a {
-            let ctx = self.loop_ctx(l, Some("s"));
+            let ctx = self.loop_ctx_in(canon, l, Some("s"));
             ren_a.insert(self.nest.get(l).var.clone(), ctx.var.clone());
             loops.push(ctx);
         }
         for &l in extra_b {
-            let ctx = self.loop_ctx(l, Some("t"));
+            let ctx = self.loop_ctx_in(canon, l, Some("t"));
             ren_b.insert(self.nest.get(l).var.clone(), ctx.var.clone());
             loops.push(ctx);
         }
-        // Classification context: variables of the outermost common loop.
-        let outer = self.nest.get(common[0]);
-        let loop_vars: Vec<String> = loops.iter().map(|c| c.var.clone()).collect();
-        let nctx = NestCtx::build(loop_vars, &outer.body, self.unit, self.refs, self.env);
-        let classify = |subs: &[Expr], ren: &HashMap<String, String>| -> Vec<SubPos> {
-            subs.iter()
-                .map(|e| match nctx.classify(e) {
-                    SubPos::Affine(l) => SubPos::Affine(rename_lin(&l, ren)),
-                    SubPos::IndexArr { arr, arg, add } => SubPos::IndexArr {
-                        arr,
-                        arg: rename_lin(&arg, ren),
-                        add: rename_lin(&add, ren),
-                    },
-                    SubPos::Opaque => SubPos::Opaque,
-                })
-                .collect()
-        };
-        let subs_a = classify(&ra.subs, &ren_a);
-        let subs_b = classify(&rb.subs, &ren_b);
-        // Scalars or whole-array refs: assumed (the suite handles empty).
         let result = if ra.subs.is_empty() || rb.subs.is_empty() {
+            // Scalars or whole-array refs: assumed dependent.
+            shard.kinds.assumed += 1;
             TestResult::Dependent(crate::subscript::assumed_dep(loops.len()))
+        } else if let Some(store) = canon {
+            // Fast path: both references were canonicalized up front
+            // under this common prefix; only the extra-loop rename (a
+            // per-pair property) remains.
+            let innermost = common[n - 1];
+            let fa = store
+                .get(a, innermost)
+                .expect("canonical form missing for src ref");
+            let fb = store
+                .get(b, innermost)
+                .expect("canonical form missing for sink ref");
+            let subs_a = renamed_subs(fa, &ren_a);
+            let subs_b = renamed_subs(fb, &ren_b);
+            crate::subscript::test_classified_counted(
+                &subs_a,
+                &subs_b,
+                &loops,
+                self.env,
+                &mut shard.kinds,
+            )
         } else {
-            crate::subscript::test_classified(&subs_a, &subs_b, &loops, self.env)
+            // General path (`fast_paths: false`): classify per pair, as
+            // the engine did before canonicalization. Kept as the
+            // differential oracle and benchmark baseline.
+            let outer = self.nest.get(common[0]);
+            let loop_vars: Vec<String> = loops.iter().map(|c| c.var.clone()).collect();
+            let nctx = NestCtx::build(loop_vars, &outer.body, self.unit, self.refs, self.env);
+            let classify = |subs: &[Expr], ren: &HashMap<String, String>| -> Vec<SubPos> {
+                subs.iter()
+                    .map(|e| match nctx.classify(e) {
+                        SubPos::Affine(l) => SubPos::Affine(rename_lin(&l, ren)),
+                        SubPos::IndexArr { arr, arg, add } => SubPos::IndexArr {
+                            arr,
+                            arg: rename_lin(&arg, ren),
+                            add: rename_lin(&add, ren),
+                        },
+                        SubPos::Opaque => SubPos::Opaque,
+                    })
+                    .collect()
+            };
+            let subs_a = classify(&ra.subs, &ren_a);
+            let subs_b = classify(&rb.subs, &ren_b);
+            crate::subscript::test_classified_counted(
+                &subs_a,
+                &subs_b,
+                &loops,
+                self.env,
+                &mut shard.kinds,
+            )
         };
         if let Some(key) = key {
             let memo: CachedTest = match &result {
@@ -814,9 +962,31 @@ fn rename_lin(l: &LinExpr, ren: &HashMap<String, String>) -> LinExpr {
     let mut out = LinExpr::constant(l.konst);
     for (n, c) in &l.terms {
         let name = ren.get(n).cloned().unwrap_or_else(|| n.clone());
-        out = out.add(&LinExpr::var(name).scale(*c));
+        out.add_term(&name, *c);
     }
     out
+}
+
+/// Apply an extra-loop rename to stored canonical forms. Affine forms
+/// never mention extra-loop variables (they are variant in the nest),
+/// but index-array arguments can, so those are rebuilt; with no rename
+/// the stored forms are cloned as-is.
+fn renamed_subs(forms: &[SubPos], ren: &HashMap<String, String>) -> Vec<SubPos> {
+    if ren.is_empty() {
+        return forms.to_vec();
+    }
+    forms
+        .iter()
+        .map(|p| match p {
+            SubPos::Affine(l) => SubPos::Affine(rename_lin(l, ren)),
+            SubPos::IndexArr { arr, arg, add } => SubPos::IndexArr {
+                arr: arr.clone(),
+                arg: rename_lin(arg, ren),
+                add: rename_lin(add, ren),
+            },
+            SubPos::Opaque => SubPos::Opaque,
+        })
+        .collect()
 }
 
 // Silence the unused import lint when DepInfo only appears in the cache

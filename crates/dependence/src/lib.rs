@@ -26,6 +26,7 @@
 //! ```
 
 pub mod cache;
+pub mod canon;
 pub mod dir;
 pub mod graph;
 pub mod marking;
@@ -33,7 +34,8 @@ pub mod subscript;
 pub mod suite;
 
 pub use cache::{PairCache, PairKey};
+pub use canon::CanonStore;
 pub use dir::{Dir, DirSet, DirVector};
 pub use graph::{BuildOptions, DepId, DepKind, Dependence, DependenceGraph};
 pub use marking::{Mark, MarkError, Marking};
-pub use suite::{DepInfo, LoopCtx, TestResult};
+pub use suite::{DepInfo, LoopCtx, TestKindCounts, TestResult};

@@ -17,10 +17,10 @@
 //! index-array read, otherwise to `Opaque`).
 
 use crate::dir::{Dir, DirSet};
-use crate::suite::{DepInfo, LoopCtx, TestResult};
+use crate::suite::{DepInfo, LoopCtx, TestKindCounts, TestResult};
 use ped_analysis::refs::RefTable;
 use ped_analysis::symbolic::{IndexArrayFact, LinExpr, SymbolicEnv};
-use ped_fortran::ast::{BinOp, Expr, LValue, StmtId, StmtKind, UnOp};
+use ped_fortran::ast::{BinOp, Expr, LValue, Stmt, StmtId, StmtKind, UnOp};
 use std::collections::{HashMap, HashSet};
 
 /// A classified subscript position.
@@ -53,16 +53,34 @@ pub struct NestCtx<'a> {
     pub env: &'a SymbolicEnv,
 }
 
-impl<'a> NestCtx<'a> {
-    /// Build the context for a loop nest rooted at `outer_body` (the
-    /// statement ids of the outermost common loop's body).
+/// The loop-variable-independent part of a [`NestCtx`]: everything the
+/// classifier derives from the outermost loop's *body* alone. Variance,
+/// definition counts and the unique scalar definitions do not depend on
+/// which loop variables a particular reference pair has in common, so
+/// the skeleton is computed once per nest root and instantiated per
+/// common prefix (see [`crate::canon`]).
+pub struct NestSkeleton {
+    pub variant: HashSet<String>,
+    pub scalar_index_defs: HashMap<String, (String, LinExpr)>,
+    /// Unique in-nest affine definitions *before* the loop-variable
+    /// filter: whether `K = NM + 1 - KB` is a usable forward
+    /// substitution depends on the common loop variables of the pair
+    /// under test, so that filter runs at instantiation.
+    affine_candidates: HashMap<String, LinExpr>,
+}
+
+impl NestSkeleton {
+    /// Derive the skeleton for the nest rooted at `outer_body` (the
+    /// statement ids of the outermost loop's body). `stmts` is a
+    /// unit-wide id index (see `ped_fortran::ast::stmt_index`), built
+    /// once by the caller so skeleton construction is O(body), not
+    /// O(unit).
     pub fn build(
-        loop_vars: Vec<String>,
         outer_body: &[StmtId],
-        unit: &ped_fortran::ast::ProcUnit,
+        stmts: &HashMap<StmtId, &Stmt>,
         refs: &RefTable,
-        env: &'a SymbolicEnv,
-    ) -> NestCtx<'a> {
+        env: &SymbolicEnv,
+    ) -> NestSkeleton {
         let body: HashSet<StmtId> = outer_body.iter().copied().collect();
         let mut variant: HashSet<String> = HashSet::new();
         let mut def_count: HashMap<String, usize> = HashMap::new();
@@ -74,20 +92,20 @@ impl<'a> NestCtx<'a> {
         }
         // Unique in-nest defs of the shape z = arr(affine) or z = affine.
         let mut scalar_index_defs = HashMap::new();
-        let mut scalar_affine_defs: HashMap<String, LinExpr> = HashMap::new();
-        ped_fortran::ast::walk_stmts(&unit.body, &mut |s| {
-            if !body.contains(&s.id) {
-                return;
-            }
+        let mut affine_candidates: HashMap<String, LinExpr> = HashMap::new();
+        for sid in outer_body {
+            let Some(s) = stmts.get(sid) else {
+                continue;
+            };
             let StmtKind::Assign {
                 lhs: LValue::Var(z),
                 rhs,
             } = &s.kind
             else {
-                return;
+                continue;
             };
             if def_count.get(z).copied() != Some(1) {
-                return;
+                continue;
             }
             if let Expr::Index { name, subs } = rhs {
                 if subs.len() == 1 {
@@ -97,24 +115,53 @@ impl<'a> NestCtx<'a> {
                     }
                 }
             } else if let Some(lin) = env.normalize(rhs) {
-                // Affine forward substitution: the definition's names
-                // must be loop variables or invariants (not other
-                // variants), so the value is iteration-determined.
-                let ok = lin
-                    .names()
-                    .all(|n| loop_vars.iter().any(|v| v == n) || !variant.contains(n));
-                if ok {
-                    scalar_affine_defs.insert(z.clone(), lin);
-                }
+                affine_candidates.insert(z.clone(), lin);
             }
-        });
-        NestCtx {
-            loop_vars,
+        }
+        NestSkeleton {
             variant,
             scalar_index_defs,
+            affine_candidates,
+        }
+    }
+
+    /// Instantiate a classification context for a concrete common
+    /// loop-variable set. An affine forward substitution is admitted
+    /// only when every name it mentions is a common loop variable or a
+    /// nest invariant (not another variant scalar), so the value is
+    /// iteration-determined.
+    pub fn instantiate<'a>(&self, loop_vars: Vec<String>, env: &'a SymbolicEnv) -> NestCtx<'a> {
+        let scalar_affine_defs: HashMap<String, LinExpr> = self
+            .affine_candidates
+            .iter()
+            .filter(|(_, lin)| {
+                lin.names()
+                    .all(|n| loop_vars.iter().any(|v| v == n) || !self.variant.contains(n))
+            })
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        NestCtx {
+            loop_vars,
+            variant: self.variant.clone(),
+            scalar_index_defs: self.scalar_index_defs.clone(),
             scalar_affine_defs,
             env,
         }
+    }
+}
+
+impl<'a> NestCtx<'a> {
+    /// Build the context for a loop nest rooted at `outer_body` (the
+    /// statement ids of the outermost common loop's body).
+    pub fn build(
+        loop_vars: Vec<String>,
+        outer_body: &[StmtId],
+        unit: &ped_fortran::ast::ProcUnit,
+        refs: &RefTable,
+        env: &'a SymbolicEnv,
+    ) -> NestCtx<'a> {
+        let stmts = ped_fortran::ast::stmt_index(&unit.body);
+        NestSkeleton::build(outer_body, &stmts, refs, env).instantiate(loop_vars, env)
     }
 
     fn is_invariant_name(&self, n: &str) -> bool {
@@ -142,9 +189,9 @@ impl<'a> NestCtx<'a> {
         let mut add = LinExpr::constant(affine.konst);
         for (n, c) in &affine.terms {
             if self.is_invariant_name(n) {
-                add = add.add(&LinExpr::var(n.clone()).scale(*c));
+                add.add_term(n, *c);
             } else if let Some(def) = self.scalar_affine_defs.get(n) {
-                add = add.add(&def.scale(*c));
+                add.add_scaled(def, *c);
             } else if let Some((arr, arg)) = self.scalar_index_defs.get(n) {
                 if *c == 1 && index.is_none() {
                     index = Some((arr.clone(), arg.clone()));
@@ -357,9 +404,30 @@ pub fn test_classified(
     loops: &[LoopCtx],
     env: &SymbolicEnv,
 ) -> TestResult {
+    test_classified_counted(src, sink, loops, env, &mut TestKindCounts::default())
+}
+
+/// As [`test_classified`], tallying the deciding tester of each
+/// dimension into `counts`: affine-vs-affine dimensions are counted by
+/// the suite (ZIV/SIV/MIV), index-array dimensions as `index`, and
+/// dimensions opaque on either side as `assumed` — exactly one counter
+/// per dimension that reaches a tester.
+pub fn test_classified_counted(
+    src: &[SubPos],
+    sink: &[SubPos],
+    loops: &[LoopCtx],
+    env: &SymbolicEnv,
+    counts: &mut TestKindCounts,
+) -> TestResult {
     let n = loops.len();
     if src.len() != sink.len() || src.is_empty() {
-        return crate::suite::test_pair(&[], &[Some(LinExpr::constant(0))], loops, env);
+        return crate::suite::test_pair_counted(
+            &[],
+            &[Some(LinExpr::constant(0))],
+            loops,
+            env,
+            counts,
+        );
     }
     // Affine positions go through the suite together (shared distances).
     let to_opt = |p: &SubPos| match p {
@@ -368,7 +436,7 @@ pub fn test_classified(
     };
     let src_aff: Vec<Option<LinExpr>> = src.iter().map(to_opt).collect();
     let sink_aff: Vec<Option<LinExpr>> = sink.iter().map(to_opt).collect();
-    let base = crate::suite::test_pair(&src_aff, &sink_aff, loops, env);
+    let base = crate::suite::test_pair_counted(&src_aff, &sink_aff, loops, env, counts);
     let TestResult::Dependent(mut info) = base else {
         return TestResult::Independent;
     };
@@ -378,9 +446,13 @@ pub fn test_classified(
         let s_idx = matches!(s, SubPos::IndexArr { .. });
         let t_idx = matches!(t, SubPos::IndexArr { .. });
         if !(s_idx || t_idx) {
+            if matches!(s, SubPos::Opaque) || matches!(t, SubPos::Opaque) {
+                counts.assumed += 1;
+            }
             continue;
         }
         any_index = true;
+        counts.index += 1;
         match test_index_dim(s, t, loops, env) {
             Some(TestResult::Independent) => return TestResult::Independent,
             Some(TestResult::Dependent(d)) => {

@@ -21,6 +21,79 @@
 use crate::dir::{Dir, DirSet, DirVector};
 use ped_analysis::symbolic::{LinExpr, SymbolicEnv};
 
+/// Per-kind tallies of which tester decided each subscript dimension.
+///
+/// The hierarchy runs the cheap exact testers (ZIV, the three special
+/// SIV shapes) before the general GCD/Banerjee machinery; these
+/// counters record how often each stage actually fires, so the
+/// interactive profile ("most dimensions are ZIV or strong SIV") is
+/// observable through `DependenceGraph::test_kinds`, session `stats`,
+/// and the `ped-serve` wire protocol. Counters tally *tester
+/// invocations on freshly tested pairs* — pairs answered from the
+/// [`crate::cache::PairCache`] never reach a tester and count nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TestKindCounts {
+    /// Both subscripts loop-invariant: constant/symbolic disequality.
+    pub ziv: u64,
+    /// `a·i + c₁` vs `a·i' + c₂` — exact distance.
+    pub strong_siv: u64,
+    /// One side loop-invariant — exact breaking point.
+    pub weak_zero_siv: u64,
+    /// `a·i + c₁` vs `-a·i' + c₂` — exact crossing point.
+    pub weak_crossing_siv: u64,
+    /// One loop variable, coefficients in no special shape: falls
+    /// through to the general machinery.
+    pub general_siv: u64,
+    /// Two or more loop variables: GCD then Banerjee.
+    pub miv: u64,
+    /// Index-array dimension resolved by asserted facts.
+    pub index: u64,
+    /// Dimension (or whole pair) assumed dependent: opaque subscripts,
+    /// scalars, whole-array references.
+    pub assumed: u64,
+}
+
+impl TestKindCounts {
+    /// Merge another tally into this one.
+    pub fn add(&mut self, o: &TestKindCounts) {
+        self.ziv += o.ziv;
+        self.strong_siv += o.strong_siv;
+        self.weak_zero_siv += o.weak_zero_siv;
+        self.weak_crossing_siv += o.weak_crossing_siv;
+        self.general_siv += o.general_siv;
+        self.miv += o.miv;
+        self.index += o.index;
+        self.assumed += o.assumed;
+    }
+
+    /// Total tester invocations.
+    pub fn total(&self) -> u64 {
+        self.ziv
+            + self.strong_siv
+            + self.weak_zero_siv
+            + self.weak_crossing_siv
+            + self.general_siv
+            + self.miv
+            + self.index
+            + self.assumed
+    }
+
+    /// Stable (label, count) rows for serialization — every kind, in
+    /// hierarchy order, zeros included.
+    pub fn rows(&self) -> [(&'static str, u64); 8] {
+        [
+            ("ziv", self.ziv),
+            ("strong-siv", self.strong_siv),
+            ("weak-zero-siv", self.weak_zero_siv),
+            ("weak-crossing-siv", self.weak_crossing_siv),
+            ("general-siv", self.general_siv),
+            ("miv", self.miv),
+            ("index", self.index),
+            ("assumed", self.assumed),
+        ]
+    }
+}
+
 /// One loop of the common nest: control variable and affine bounds.
 /// (Steps other than +1 are handled by the callers via bound
 /// normalization; the workshop dialect rarely uses non-unit steps.)
@@ -75,8 +148,27 @@ pub fn test_pair(
     loops: &[LoopCtx],
     env: &SymbolicEnv,
 ) -> TestResult {
+    test_pair_counted(
+        src_subs,
+        sink_subs,
+        loops,
+        env,
+        &mut TestKindCounts::default(),
+    )
+}
+
+/// As [`test_pair`], tallying which tester decided each dimension into
+/// `counts` (see [`TestKindCounts`]).
+pub fn test_pair_counted(
+    src_subs: &[Option<LinExpr>],
+    sink_subs: &[Option<LinExpr>],
+    loops: &[LoopCtx],
+    env: &SymbolicEnv,
+    counts: &mut TestKindCounts,
+) -> TestResult {
     let n = loops.len();
     if src_subs.len() != sink_subs.len() || src_subs.is_empty() {
+        counts.assumed += 1;
         return TestResult::Dependent(DepInfo::assumed(n, "whole-array"));
     }
     let mut vector = DirVector::all_any(n);
@@ -91,7 +183,7 @@ pub fn test_pair(
             deciding = "symbolic";
             continue;
         };
-        match test_dim(a, b, loops, env) {
+        match test_dim(a, b, loops, env, counts) {
             DimResult::Independent(_test) => return TestResult::Independent,
             DimResult::Constrains {
                 dirs,
@@ -154,16 +246,32 @@ fn no_constraint(n: usize, exact: bool, test: &'static str) -> DimResult {
     }
 }
 
-fn test_dim(src: &LinExpr, sink: &LinExpr, loops: &[LoopCtx], env: &SymbolicEnv) -> DimResult {
+/// One dimension through the staged hierarchy: ZIV, then the exact SIV
+/// fast paths, then the general GCD/Banerjee machinery. Cheap exact
+/// testers always run first; only shapes they cannot decide fall
+/// through.
+fn test_dim(
+    src: &LinExpr,
+    sink: &LinExpr,
+    loops: &[LoopCtx],
+    env: &SymbolicEnv,
+    counts: &mut TestKindCounts,
+) -> DimResult {
     let n = loops.len();
     // Which loop variables occur in this dimension?
     let occurring: Vec<usize> = (0..n)
         .filter(|&k| src.coeff(&loops[k].var) != 0 || sink.coeff(&loops[k].var) != 0)
         .collect();
     match occurring.len() {
-        0 => test_ziv(src, sink, n, env),
-        1 => test_siv(src, sink, occurring[0], loops, env),
-        _ => test_miv(src, sink, &occurring, loops, env),
+        0 => {
+            counts.ziv += 1;
+            test_ziv(src, sink, n, env)
+        }
+        1 => test_siv(src, sink, occurring[0], loops, env, counts),
+        _ => {
+            counts.miv += 1;
+            test_miv(src, sink, &occurring, loops, env)
+        }
     }
 }
 
@@ -190,6 +298,7 @@ fn test_siv(
     k: usize,
     loops: &[LoopCtx],
     env: &SymbolicEnv,
+    counts: &mut TestKindCounts,
 ) -> DimResult {
     let n = loops.len();
     let v = &loops[k].var;
@@ -201,27 +310,32 @@ fn test_siv(
     s0.take(v);
     let mut t0 = sink.clone();
     t0.take(v);
-    let q = s0.sub(&t0).scale(-1); // (t0 - s0)
+    let q = t0.sub(&s0);
     let span = loops[k].hi.sub(&loops[k].lo); // trip span (≥ 0 for non-empty loops)
 
     if a == b {
         // Strong SIV: i' - i = q / a.
         debug_assert!(a != 0);
+        counts.strong_siv += 1;
         return strong_siv(a, &q, &span, k, n, env);
     }
     if b == 0 {
         // Weak-zero SIV: i = q / a, i' free.
+        counts.weak_zero_siv += 1;
         return weak_zero_siv(a, &q, &loops[k], n, env);
     }
     if a == 0 {
         // Weak-zero with roles swapped: i' = -q / b.
+        counts.weak_zero_siv += 1;
         return weak_zero_siv(b, &q.scale(-1), &loops[k], n, env);
     }
     if a == -b {
         // Weak-crossing SIV: i + i' = q / a.
+        counts.weak_crossing_siv += 1;
         return weak_crossing_siv(a, &q, &loops[k], n, env);
     }
     // General SIV: Banerjee machinery on a single variable.
+    counts.general_siv += 1;
     test_miv(src, sink, &[k], loops, env)
 }
 

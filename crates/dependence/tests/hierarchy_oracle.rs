@@ -1,0 +1,131 @@
+//! Differential oracle for the canonicalization engine: on every
+//! workshop program and the synthetic stress unit, the fast-path build
+//! (`fast_paths: true`, per-reference canonical forms) must render a
+//! byte-identical [`DependenceGraph`] to the general per-pair
+//! classification path (`fast_paths: false`) — under serial and forced
+//! multi-thread pair testing, with and without the pair-test memo.
+
+use ped_analysis::loops::LoopNest;
+use ped_analysis::refs::RefTable;
+use ped_analysis::symbolic::SymbolicEnv;
+use ped_dependence::cache::PairCache;
+use ped_dependence::graph::{BuildOptions, DependenceGraph};
+use ped_fortran::parser::parse_ok;
+use ped_fortran::symbols::SymbolTable;
+
+fn sources() -> Vec<(String, String)> {
+    let mut v: Vec<(String, String)> = ped_workloads::all_programs()
+        .into_iter()
+        .map(|p| (p.name.to_string(), p.source.to_string()))
+        .collect();
+    v.push(("synth60".into(), ped_workloads::synthetic_source(60)));
+    v
+}
+
+fn opts(fast_paths: bool, threads: usize) -> BuildOptions {
+    BuildOptions {
+        input_deps: true,
+        fast_paths,
+        threads,
+        ..Default::default()
+    }
+}
+
+/// Render every unit's graph under the given options, optionally
+/// threading a pair cache across units (it revalidates per unit).
+fn render(source: &str, o: &BuildOptions, mut cache: Option<&mut PairCache>) -> String {
+    let prog = parse_ok(source);
+    let mut out = String::new();
+    for unit in &prog.units {
+        let sym = SymbolTable::build(unit);
+        let refs = RefTable::build(unit, &sym);
+        let nest = LoopNest::build(unit);
+        let env = SymbolicEnv::new();
+        let g =
+            DependenceGraph::build_with(unit, &sym, &refs, &nest, &env, o, cache.as_deref_mut());
+        out.push_str("== ");
+        out.push_str(&unit.name);
+        out.push_str(" ==\n");
+        out.push_str(&g.canonical_text());
+    }
+    out
+}
+
+#[test]
+fn fast_and_general_paths_render_identically() {
+    for (name, source) in sources() {
+        let general = render(&source, &opts(false, 1), None);
+        for threads in [1usize, 8] {
+            let fast = render(&source, &opts(true, threads), None);
+            assert_eq!(
+                fast, general,
+                "{name}: fast-path graph (threads={threads}) diverged from the general tester"
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_path_is_identical_under_the_pair_cache() {
+    // One cache per unit (the memo revalidates against a single unit's
+    // declarations, as in a session). Cold fill, then a warm rebuild
+    // answered from the memo: both must match the general path byte for
+    // byte.
+    for (name, source) in sources() {
+        let prog = parse_ok(&source);
+        let mut hits = 0u64;
+        for unit in &prog.units {
+            let sym = SymbolTable::build(unit);
+            let refs = RefTable::build(unit, &sym);
+            let nest = LoopNest::build(unit);
+            let env = SymbolicEnv::new();
+            let general = DependenceGraph::build(unit, &sym, &refs, &nest, &env, &opts(false, 1))
+                .canonical_text();
+            let mut cache = PairCache::new();
+            let o = opts(true, 1);
+            let cold =
+                DependenceGraph::build_with(unit, &sym, &refs, &nest, &env, &o, Some(&mut cache))
+                    .canonical_text();
+            let warm =
+                DependenceGraph::build_with(unit, &sym, &refs, &nest, &env, &o, Some(&mut cache))
+                    .canonical_text();
+            assert_eq!(
+                cold, general,
+                "{name}/{}: cold cached fast-path diverged",
+                unit.name
+            );
+            assert_eq!(
+                warm, general,
+                "{name}/{}: warm cached fast-path diverged",
+                unit.name
+            );
+            hits += cache.hits;
+        }
+        assert!(hits > 0, "{name}: warm rebuilds never hit the memo");
+    }
+}
+
+#[test]
+fn fast_and_general_paths_count_identically() {
+    // Classification is pair-invariant, so the per-kind tester tallies
+    // must agree between the canonical and per-pair engines.
+    for (name, source) in sources() {
+        let prog = parse_ok(&source);
+        for unit in &prog.units {
+            let sym = SymbolTable::build(unit);
+            let refs = RefTable::build(unit, &sym);
+            let nest = LoopNest::build(unit);
+            let env = SymbolicEnv::new();
+            let fast =
+                DependenceGraph::build(unit, &sym, &refs, &nest, &env, &opts(true, 1)).test_kinds;
+            let general =
+                DependenceGraph::build(unit, &sym, &refs, &nest, &env, &opts(false, 1)).test_kinds;
+            assert_eq!(
+                fast.rows(),
+                general.rows(),
+                "{name}/{}: per-kind counts diverged",
+                unit.name
+            );
+        }
+    }
+}

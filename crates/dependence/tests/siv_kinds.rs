@@ -1,0 +1,317 @@
+//! Per-kind tests of the exact SIV fast paths: each case asserts both
+//! the outcome (proved independent / exact distance / fallback) and
+//! *which* tester of the staged hierarchy decided it, via
+//! [`TestKindCounts`].
+
+use ped_analysis::symbolic::{LinExpr, SymbolicEnv};
+use ped_dependence::suite::{test_pair_counted, LoopCtx, TestKindCounts, TestResult};
+
+fn loop_const(var: &str, lo: i64, hi: i64) -> LoopCtx {
+    LoopCtx {
+        var: var.into(),
+        lo: LinExpr::constant(lo),
+        hi: LinExpr::constant(hi),
+    }
+}
+
+fn loop_sym(var: &str, lo: i64, hi: &str) -> LoopCtx {
+    LoopCtx {
+        var: var.into(),
+        lo: LinExpr::constant(lo),
+        hi: LinExpr::var(hi),
+    }
+}
+
+/// `k*var + c` as a subscript.
+fn aff(var: &str, k: i64, c: i64) -> Option<LinExpr> {
+    let mut l = LinExpr::constant(c);
+    l.add_term(var, k);
+    Some(l)
+}
+
+fn run(
+    src: Option<LinExpr>,
+    sink: Option<LinExpr>,
+    loops: &[LoopCtx],
+    env: &SymbolicEnv,
+) -> (TestResult, TestKindCounts) {
+    let mut counts = TestKindCounts::default();
+    let r = test_pair_counted(&[src], &[sink], loops, env, &mut counts);
+    (r, counts)
+}
+
+// -- ZIV ----------------------------------------------------------------
+
+#[test]
+fn ziv_constant_disequality_is_independent() {
+    let loops = [loop_const("I", 1, 100)];
+    let (r, c) = run(
+        Some(LinExpr::constant(1)),
+        Some(LinExpr::constant(2)),
+        &loops,
+        &SymbolicEnv::new(),
+    );
+    assert_eq!(r, TestResult::Independent);
+    assert_eq!(c.ziv, 1);
+    assert_eq!(c.total(), 1);
+}
+
+#[test]
+fn ziv_equal_constants_depend_exactly() {
+    let loops = [loop_const("I", 1, 100)];
+    let (r, c) = run(
+        Some(LinExpr::constant(5)),
+        Some(LinExpr::constant(5)),
+        &loops,
+        &SymbolicEnv::new(),
+    );
+    match r {
+        TestResult::Dependent(info) => assert!(info.exact),
+        TestResult::Independent => panic!("A(5) vs A(5) must depend"),
+    }
+    assert_eq!(c.ziv, 1);
+}
+
+#[test]
+fn ziv_symbolic_disequality_needs_a_relation_fact() {
+    // A(N) vs A(M): assumed dependent bare, independent once N > M is
+    // asserted.
+    let loops = [loop_const("I", 1, 100)];
+    let (r, c) = run(
+        Some(LinExpr::var("N")),
+        Some(LinExpr::var("M")),
+        &loops,
+        &SymbolicEnv::new(),
+    );
+    assert!(matches!(r, TestResult::Dependent(_)));
+    assert_eq!(c.ziv, 1);
+
+    let mut env = SymbolicEnv::new();
+    // N - M - 1 >= 0, i.e. N > M.
+    let mut gap = LinExpr::constant(-1);
+    gap.add_term("N", 1);
+    gap.add_term("M", -1);
+    env.add_fact_nonneg(gap);
+    let (r, c) = run(
+        Some(LinExpr::var("N")),
+        Some(LinExpr::var("M")),
+        &loops,
+        &env,
+    );
+    assert_eq!(r, TestResult::Independent);
+    assert_eq!(c.ziv, 1);
+}
+
+// -- strong SIV ---------------------------------------------------------
+
+#[test]
+fn strong_siv_exact_distance_one() {
+    // A(I) vs A(I-1): distance 1... carried, exact.
+    let loops = [loop_const("I", 2, 100)];
+    let (r, c) = run(aff("I", 1, 0), aff("I", 1, -1), &loops, &SymbolicEnv::new());
+    match r {
+        TestResult::Dependent(info) => {
+            assert!(info.exact);
+            assert_eq!(info.distances, vec![Some(1)]);
+        }
+        TestResult::Independent => panic!("recurrence must depend"),
+    }
+    assert_eq!(c.strong_siv, 1);
+    assert_eq!(c.total(), 1);
+}
+
+#[test]
+fn strong_siv_gcd_residue_is_independent() {
+    // A(2I) vs A(2I+1): 2 divides no odd offset.
+    let loops = [loop_const("I", 1, 100)];
+    let (r, c) = run(aff("I", 2, 0), aff("I", 2, 1), &loops, &SymbolicEnv::new());
+    assert_eq!(r, TestResult::Independent);
+    assert_eq!(c.strong_siv, 1);
+}
+
+#[test]
+fn strong_siv_distance_beyond_span_is_independent() {
+    // A(I) vs A(I+20) in a 10-trip loop.
+    let loops = [loop_const("I", 1, 10)];
+    let (r, c) = run(aff("I", 1, 0), aff("I", 1, 20), &loops, &SymbolicEnv::new());
+    assert_eq!(r, TestResult::Independent);
+    assert_eq!(c.strong_siv, 1);
+}
+
+#[test]
+fn strong_siv_symbolic_span_with_relation_fact() {
+    // A(I) vs A(I+K) in DO I = 1, N: dependent bare, independent once
+    // K >= N is asserted (|distance| exceeds the trip span).
+    let loops = [loop_sym("I", 1, "N")];
+    let mut sink = LinExpr::var("K");
+    sink.add_term("I", 1);
+    let (r, c) = run(
+        aff("I", 1, 0),
+        Some(sink.clone()),
+        &loops,
+        &SymbolicEnv::new(),
+    );
+    assert!(matches!(r, TestResult::Dependent(_)));
+    assert_eq!(c.strong_siv, 1);
+
+    let mut env = SymbolicEnv::new();
+    let mut gap = LinExpr::var("K");
+    gap.add_term("N", -1);
+    env.add_fact_nonneg(gap); // K - N >= 0
+    let (r, c) = run(aff("I", 1, 0), Some(sink), &loops, &env);
+    assert_eq!(r, TestResult::Independent);
+    assert_eq!(c.strong_siv, 1);
+}
+
+// -- weak-zero SIV ------------------------------------------------------
+
+#[test]
+fn weak_zero_siv_breaking_point_in_range_is_exact() {
+    // A(I) vs A(5), I in [1,100]: single breaking iteration.
+    let loops = [loop_const("I", 1, 100)];
+    let (r, c) = run(
+        aff("I", 1, 0),
+        Some(LinExpr::constant(5)),
+        &loops,
+        &SymbolicEnv::new(),
+    );
+    match r {
+        TestResult::Dependent(info) => assert!(info.exact),
+        TestResult::Independent => panic!("breaking point 5 is in range"),
+    }
+    assert_eq!(c.weak_zero_siv, 1);
+    assert_eq!(c.total(), 1);
+}
+
+#[test]
+fn weak_zero_siv_out_of_range_is_independent() {
+    let loops = [loop_const("I", 1, 100)];
+    let (r, c) = run(
+        aff("I", 1, 0),
+        Some(LinExpr::constant(200)),
+        &loops,
+        &SymbolicEnv::new(),
+    );
+    assert_eq!(r, TestResult::Independent);
+    assert_eq!(c.weak_zero_siv, 1);
+}
+
+#[test]
+fn weak_zero_siv_swapped_roles_counts_once() {
+    // Invariant side first: A(5) vs A(I).
+    let loops = [loop_const("I", 1, 100)];
+    let (r, c) = run(
+        Some(LinExpr::constant(5)),
+        aff("I", 1, 0),
+        &loops,
+        &SymbolicEnv::new(),
+    );
+    assert!(matches!(r, TestResult::Dependent(_)));
+    assert_eq!(c.weak_zero_siv, 1);
+    assert_eq!(c.total(), 1);
+}
+
+#[test]
+fn weak_zero_siv_symbolic_breaking_point_past_bound() {
+    // A(I) vs A(N+1) in DO I = 1, N: breaking point N+1 provably past
+    // the upper bound, no extra fact needed.
+    let loops = [loop_sym("I", 1, "N")];
+    let mut sink = LinExpr::constant(1);
+    sink.add_term("N", 1);
+    let (r, c) = run(aff("I", 1, 0), Some(sink), &loops, &SymbolicEnv::new());
+    assert_eq!(r, TestResult::Independent);
+    assert_eq!(c.weak_zero_siv, 1);
+}
+
+// -- weak-crossing SIV --------------------------------------------------
+
+#[test]
+fn weak_crossing_siv_detects_crossing_in_range() {
+    // A(I) vs A(10-I), I in [1,100]: crossing at i + i' = 10.
+    let loops = [loop_const("I", 1, 100)];
+    let (r, c) = run(
+        aff("I", 1, 0),
+        aff("I", -1, 10),
+        &loops,
+        &SymbolicEnv::new(),
+    );
+    assert!(matches!(r, TestResult::Dependent(_)));
+    assert_eq!(c.weak_crossing_siv, 1);
+    assert_eq!(c.total(), 1);
+}
+
+#[test]
+fn weak_crossing_siv_out_of_range_is_independent() {
+    // A(I) vs A(300-I): i + i' = 300 > 2*hi = 200.
+    let loops = [loop_const("I", 1, 100)];
+    let (r, c) = run(
+        aff("I", 1, 0),
+        aff("I", -1, 300),
+        &loops,
+        &SymbolicEnv::new(),
+    );
+    assert_eq!(r, TestResult::Independent);
+    assert_eq!(c.weak_crossing_siv, 1);
+}
+
+#[test]
+fn weak_crossing_siv_gcd_residue_is_independent() {
+    // A(2I) vs A(5-2I): 2(i + i') = 5 has no integer solution.
+    let loops = [loop_const("I", 1, 100)];
+    let (r, c) = run(aff("I", 2, 0), aff("I", -2, 5), &loops, &SymbolicEnv::new());
+    assert_eq!(r, TestResult::Independent);
+    assert_eq!(c.weak_crossing_siv, 1);
+}
+
+// -- fallbacks ----------------------------------------------------------
+
+#[test]
+fn general_siv_falls_through_to_banerjee() {
+    // A(2I) vs A(3I+1): no exact-SIV shape; the general machinery
+    // decides, counted once as general-siv and never as miv.
+    let loops = [loop_const("I", 1, 100)];
+    let (r, c) = run(aff("I", 2, 0), aff("I", 3, 1), &loops, &SymbolicEnv::new());
+    assert!(matches!(r, TestResult::Dependent(_)));
+    assert_eq!(c.general_siv, 1);
+    assert_eq!(c.miv, 0);
+    assert_eq!(c.total(), 1);
+}
+
+#[test]
+fn general_siv_gcd_disproves() {
+    // A(2I) vs A(4I+1): gcd 2 cannot produce an odd offset.
+    let loops = [loop_const("I", 1, 100)];
+    let (r, c) = run(aff("I", 2, 0), aff("I", 4, 1), &loops, &SymbolicEnv::new());
+    assert_eq!(r, TestResult::Independent);
+    assert_eq!(c.general_siv, 1);
+}
+
+#[test]
+fn two_loop_variables_count_as_miv() {
+    // A(I+J) vs A(I+J+1) under the I,J nest.
+    let loops = [loop_const("I", 1, 100), loop_const("J", 1, 100)];
+    let mut src = LinExpr::constant(0);
+    src.add_term("I", 1);
+    src.add_term("J", 1);
+    let sink = src.add(&LinExpr::constant(1));
+    let (r, c) = run(Some(src), Some(sink), &loops, &SymbolicEnv::new());
+    assert!(matches!(r, TestResult::Dependent(_)));
+    assert_eq!(c.miv, 1);
+    assert_eq!(c.general_siv, 0);
+}
+
+#[test]
+fn mismatched_vectors_are_assumed() {
+    let loops = [loop_const("I", 1, 100)];
+    let mut counts = TestKindCounts::default();
+    let r = test_pair_counted(
+        &[],
+        &[aff("I", 1, 0)],
+        &loops,
+        &SymbolicEnv::new(),
+        &mut counts,
+    );
+    assert!(matches!(r, TestResult::Dependent(_)));
+    assert_eq!(counts.assumed, 1);
+    assert_eq!(counts.total(), 1);
+}

@@ -593,6 +593,18 @@ pub fn walk_stmts_mut(body: &mut [Stmt], f: &mut impl FnMut(&mut Stmt)) {
     }
 }
 
+/// Index every statement in a block by id (preorder, nested blocks
+/// included). Passes that resolve many `StmtId`s against the same unit
+/// (subscript canonicalization walks each loop body once per nest) do
+/// one walk here instead of one `find_stmt` scan per lookup.
+pub fn stmt_index(body: &[Stmt]) -> std::collections::HashMap<StmtId, &Stmt> {
+    let mut map = std::collections::HashMap::new();
+    walk_stmts(body, &mut |s| {
+        map.insert(s.id, s);
+    });
+    map
+}
+
 /// Find a statement by id anywhere in a block.
 pub fn find_stmt(body: &[Stmt], id: StmtId) -> Option<&Stmt> {
     let mut found = None;

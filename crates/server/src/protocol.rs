@@ -369,6 +369,16 @@ fn stats_value(st: &SessionStats) -> Result<Value, String> {
             ])
         })
         .collect();
+    let test_kinds: Vec<Value> = st
+        .test_kinds
+        .iter()
+        .map(|(kind, n)| {
+            obj(vec![
+                ("kind", Value::str(*kind)),
+                ("count", Value::int(*n as i64)),
+            ])
+        })
+        .collect();
     Ok(obj(vec![
         ("analysis_hits", Value::int(st.analysis_hits as i64)),
         ("analysis_misses", Value::int(st.analysis_misses as i64)),
@@ -378,6 +388,7 @@ fn stats_value(st: &SessionStats) -> Result<Value, String> {
         ("reanalyze_misses", Value::int(st.reanalyze_misses as i64)),
         ("lint_hits", Value::int(st.lint_hits as i64)),
         ("lint_misses", Value::int(st.lint_misses as i64)),
+        ("test_kinds", Value::Arr(test_kinds)),
         ("features", Value::Arr(features)),
     ]))
 }
@@ -565,6 +576,14 @@ mod tests {
             .unwrap()
             .iter()
             .any(|f| f.get("feature").unwrap().as_str() == Some("program")));
+        // The hierarchical suite's per-kind tallies ride along: spec77's
+        // recurrences exercise at least the strong-SIV fast path.
+        let kinds = st.get("test_kinds").unwrap().as_array().unwrap();
+        assert!(!kinds.is_empty(), "expected per-kind tester counts");
+        assert!(kinds
+            .iter()
+            .any(|k| k.get("kind").unwrap().as_str() == Some("strong-siv")
+                && k.get("count").unwrap().as_i64().unwrap() >= 1));
     }
 
     #[test]

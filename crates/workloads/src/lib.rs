@@ -12,7 +12,9 @@ pub mod personas;
 pub mod programs;
 mod programs_b;
 pub mod scripts;
+pub mod synth;
 pub mod tables;
 
 pub use meta::{Cell, Table3Row, Table4Row, WorkProgram};
 pub use programs::{all_programs, program};
+pub use synth::synthetic_source;

@@ -217,7 +217,11 @@ pub fn opinion_counts(f: Feature) -> (usize, usize, usize) {
         Feature::AnalysisCacheHit
         | Feature::AnalysisCacheMiss
         | Feature::LintCacheHit
-        | Feature::LintCacheMiss => (0, 0, 0),
+        | Feature::LintCacheMiss
+        | Feature::FastPathZiv
+        | Feature::FastPathStrongSiv
+        | Feature::FastPathWeakZeroSiv
+        | Feature::FastPathWeakCrossingSiv => (0, 0, 0),
     }
 }
 
@@ -237,7 +241,11 @@ pub fn expected_used(f: Feature) -> usize {
         Feature::AnalysisCacheHit
         | Feature::AnalysisCacheMiss
         | Feature::LintCacheHit
-        | Feature::LintCacheMiss => 0,
+        | Feature::LintCacheMiss
+        | Feature::FastPathZiv
+        | Feature::FastPathStrongSiv
+        | Feature::FastPathWeakZeroSiv
+        | Feature::FastPathWeakCrossingSiv => 0,
     }
 }
 

@@ -1,0 +1,28 @@
+//! Synthetic stress units, an order of magnitude past the workshop
+//! programs. Used by `ped-bench` and the dependence-engine differential
+//! tests, where the pair-test suite must dominate so the engine's
+//! caching/parallelism/fast-path effects are visible (the workshop
+//! programs are small enough that structural analysis dominates
+//! instead).
+
+/// A unit of `nloops` top-level recurrence loops over distinct arrays:
+/// each loop carries a flow recurrence (strong SIV), a loop-independent
+/// pair, and an index-array write against a crossing read.
+pub fn synthetic_source(nloops: usize) -> String {
+    let mut src = String::new();
+    src.push_str("      PROGRAM SYNTH\n");
+    src.push_str("      COMMON /IDX/ IX(100)\n");
+    for j in 0..nloops {
+        src.push_str(&format!("      REAL A{j}(100), B{j}(100), D{j}(100)\n"));
+    }
+    for j in 0..nloops {
+        let label = 100 + j;
+        src.push_str(&format!("      DO {label} I = 2, N\n"));
+        src.push_str(&format!("      A{j}(I) = A{j}(I-1) + B{j}(I)\n"));
+        src.push_str(&format!("      B{j}(I) = A{j}(I) * 2.0\n"));
+        src.push_str(&format!("      D{j}(IX(I)) = B{j}(I-1) + D{j}(I+1)\n"));
+        src.push_str(&format!("  {label} CONTINUE\n"));
+    }
+    src.push_str("      END\n");
+    src
+}

@@ -17,3 +17,11 @@ if ./target/release/ped-lint examples/fortran/recurrence.f >/dev/null; then
     exit 1
 fi
 echo "ci: ped-lint self-check passed"
+
+# Dependence-engine gates: the differential oracle (canonicalization
+# engine vs per-pair tester, byte-identical graphs) and the quick
+# fast-vs-general smoke over every workload unit.
+cargo test -q --offline -p ped-dependence --test hierarchy_oracle
+cargo build --release --offline -p ped-bench --bin ped-bench
+./target/release/ped-bench --smoke
+echo "ci: dependence oracle + smoke passed"
