@@ -24,6 +24,7 @@ use crate::loops::LoopInfo;
 use crate::section::{Section, SectionSet};
 use crate::symbolic::{LinExpr, SymbolicEnv};
 use ped_fortran::ast::{Expr, LValue, ProcUnit, Stmt, StmtKind};
+use ped_fortran::intern::NameId;
 use ped_fortran::symbols::{Storage, SymbolTable};
 use std::collections::HashMap;
 
@@ -73,23 +74,21 @@ pub fn analyze_loop(
     };
     state.block(body, &[]);
     let mut out = HashMap::new();
-    for name in state.written {
-        let exposed = state.exposed.get(&name).copied().unwrap_or(false);
+    for id in state.written {
+        let exposed = state.exposed.get(&id).copied().unwrap_or(false);
         // COMMON members and formals escape the unit: their values may be
         // read by other procedures after the loop, so plain privatization
         // (which discards the private copies) is never safe for them.
-        let escapes = symbols
-            .get(&name)
-            .map(|s| matches!(s.storage, Storage::Common | Storage::Formal))
-            .unwrap_or(false);
+        let sym = symbols.get_id(id);
+        let escapes = matches!(sym.storage, Storage::Common | Storage::Formal);
         let status = if exposed {
             ArrayKillStatus::Exposed
-        } else if escapes || read_after_loop(unit, l, &name) {
+        } else if escapes || read_after_loop(unit, l, &sym.name) {
             ArrayKillStatus::PrivateNeedsLastValue
         } else {
             ArrayKillStatus::Private
         };
-        out.insert(name, status);
+        out.insert(sym.name.clone(), status);
     }
     out
 }
@@ -133,12 +132,12 @@ struct Walk<'a> {
     symbols: &'a SymbolTable,
     env: &'a SymbolicEnv,
     outer_var: String,
-    /// Per array: sections completed by finished constructs.
-    completed: HashMap<String, SectionSet>,
-    /// Per array: exact element writes valid in the current context.
-    pending: HashMap<String, Vec<Vec<LinExpr>>>,
-    exposed: HashMap<String, bool>,
-    written: Vec<String>,
+    /// Per array (interned): sections completed by finished constructs.
+    completed: HashMap<NameId, SectionSet>,
+    /// Per array (interned): exact element writes valid in the context.
+    pending: HashMap<NameId, Vec<Vec<LinExpr>>>,
+    exposed: HashMap<NameId, bool>,
+    written: Vec<NameId>,
     /// Non-zero while under a condition: writes are not credited.
     cond_depth: usize,
 }
@@ -147,6 +146,10 @@ struct Walk<'a> {
 type Ctx = [(String, LinExpr, LinExpr)];
 
 impl<'a> Walk<'a> {
+    fn id(&self, name: &str) -> NameId {
+        self.symbols.name_id(name).unwrap_or(NameId::INVALID)
+    }
+
     fn block(&mut self, body: &[Stmt], ctx: &Ctx) {
         for s in body {
             self.stmt(s, ctx);
@@ -183,21 +186,18 @@ impl<'a> Walk<'a> {
                 // the inner loop are only element-valid within it, and
                 // completed sections referencing `var` must be expanded
                 // when the loop closes.
-                let snapshot: HashMap<String, usize> = self
-                    .pending
-                    .iter()
-                    .map(|(k, v)| (k.clone(), v.len()))
-                    .collect();
-                let csnapshot: HashMap<String, usize> = self
+                let snapshot: HashMap<NameId, usize> =
+                    self.pending.iter().map(|(&k, v)| (k, v.len())).collect();
+                let csnapshot: HashMap<NameId, usize> = self
                     .completed
                     .iter()
-                    .map(|(k, v)| (k.clone(), v.sections.len()))
+                    .map(|(&k, v)| (k, v.sections.len()))
                     .collect();
                 self.block(body, &inner_ctx);
                 // Expand the inner loop's new pending writes over `var`
                 // into completed sections; drop the element forms that
                 // mention `var`.
-                let names: Vec<String> = self.pending.keys().cloned().collect();
+                let names: Vec<NameId> = self.pending.keys().copied().collect();
                 for name in names {
                     let keep = snapshot.get(&name).copied().unwrap_or(0);
                     let v = self.pending.get_mut(&name).unwrap();
@@ -205,7 +205,7 @@ impl<'a> Walk<'a> {
                     for elem in new {
                         let sec = Section::element(elem.clone()).expand(var, &lo_l, &hi_l);
                         self.completed
-                            .entry(name.clone())
+                            .entry(name)
                             .or_default()
                             .insert(sec, self.env);
                         // Element writes not involving var stay pending.
@@ -217,7 +217,7 @@ impl<'a> Walk<'a> {
                 // Expand completed sections created inside the loop whose
                 // bounds mention `var` (e.g. a K-loop completing inside a
                 // J-loop leaves sections like (J, 2:KM)).
-                let names: Vec<String> = self.completed.keys().cloned().collect();
+                let names: Vec<NameId> = self.completed.keys().copied().collect();
                 for name in names {
                     let keep = csnapshot.get(&name).copied().unwrap_or(0);
                     let set = self.completed.get_mut(&name).unwrap();
@@ -307,8 +307,9 @@ impl<'a> Walk<'a> {
             });
             for (n, is_def) in names {
                 if self.symbols.is_array(&n) {
-                    if is_def && !self.written.contains(&n) {
-                        self.written.push(n.clone());
+                    let id = self.id(&n);
+                    if is_def && !self.written.contains(&id) {
+                        self.written.push(id);
                     }
                     if !is_def {
                         self.mark_exposed(&n);
@@ -319,8 +320,9 @@ impl<'a> Walk<'a> {
     }
 
     fn record_write(&mut self, name: &str, subs: &[Expr], ctx: &Ctx) {
-        if !self.written.contains(&name.to_string()) {
-            self.written.push(name.to_string());
+        let id = self.id(name);
+        if !self.written.contains(&id) {
+            self.written.push(id);
         }
         if self.cond_depth > 0 {
             // A write under a condition may not execute: covers nothing.
@@ -335,10 +337,7 @@ impl<'a> Walk<'a> {
             return;
         };
         let _ = ctx;
-        self.pending
-            .entry(name.to_string())
-            .or_default()
-            .push(elems);
+        self.pending.entry(id).or_default().push(elems);
     }
 
     fn check_reads_expr(&mut self, e: &Expr, ctx: &Ctx) {
@@ -359,6 +358,7 @@ impl<'a> Walk<'a> {
         // Only writes need covering; reads of arrays never written in
         // the loop are not privatization candidates (recorded lazily:
         // exposure only matters if the array ends up written).
+        let id = self.id(name);
         let Some(elems) = subs
             .iter()
             .map(|e| self.env.normalize(e))
@@ -368,7 +368,7 @@ impl<'a> Walk<'a> {
             return;
         };
         // (a) exact pending element match.
-        if let Some(p) = self.pending.get(name) {
+        if let Some(p) = self.pending.get(&id) {
             if p.iter().any(|w| w == &elems) {
                 return;
             }
@@ -378,7 +378,7 @@ impl<'a> Walk<'a> {
         for (var, lo, hi) in ctx.iter().rev() {
             sec = sec.expand(var, lo, hi);
         }
-        if let Some(w) = self.completed.get(name) {
+        if let Some(w) = self.completed.get(&id) {
             if w.covers(&sec, self.env) {
                 return;
             }
@@ -388,7 +388,8 @@ impl<'a> Walk<'a> {
 
     fn mark_exposed(&mut self, name: &str) {
         let _ = &self.outer_var;
-        self.exposed.insert(name.to_string(), true);
+        let id = self.id(name);
+        self.exposed.insert(id, true);
     }
 }
 

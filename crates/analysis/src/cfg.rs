@@ -38,9 +38,19 @@ pub struct Cfg {
     stmt_node: HashMap<StmtId, NodeId>,
 }
 
+/// Process-wide count of [`Cfg::build`] calls, for the
+/// build-once-per-cache-miss assertion in the core test suite.
+static BUILDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// How many CFGs have been built in this process.
+pub fn build_count() -> u64 {
+    BUILDS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 impl Cfg {
     /// Build the CFG of a unit.
     pub fn build(unit: &ProcUnit) -> Cfg {
+        BUILDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut cfg = Cfg {
             nodes: vec![Node::default(), Node::default()],
             entry: NodeId(0),

@@ -12,6 +12,12 @@ use ped_fortran::ast::{BinOp, Expr, LValue, ProcUnit, StmtId, StmtKind, UnOp};
 use ped_fortran::symbols::{Storage, SymbolTable};
 use std::collections::HashMap;
 
+/// Dense lattice environment: one element per interned symbol id.
+/// Cloning is a memcpy and the meet is an element-wise sweep — the
+/// fixpoint below copies these once per node per round, which made
+/// String-keyed maps the hottest allocation site of the scalar pipeline.
+type Env = Vec<Lat>;
+
 /// A compile-time constant value.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum CVal {
@@ -91,28 +97,33 @@ impl Constants {
             }
         }
         // Entry environment: params + DATA + seed.
-        let mut entry_env: HashMap<String, Lat> = HashMap::new();
+        let nsyms = symbols.len();
+        let mut entry_env: Env = vec![Lat::Top; nsyms];
         for s in symbols.iter() {
             if s.dims.is_empty() {
                 if let Some(v) = &s.value {
                     if let Some(c) = eval(v, &params) {
-                        entry_env.insert(s.name.clone(), Lat::Const(c));
+                        entry_env[s.id.index()] = Lat::Const(c);
                     }
                 }
             }
         }
         for (n, v) in &params {
-            entry_env.insert(n.clone(), Lat::Const(*v));
+            if let Some(id) = symbols.name_id(n) {
+                entry_env[id.index()] = Lat::Const(*v);
+            }
         }
         if let Some(seed) = seed {
             for (n, v) in seed {
-                entry_env.insert(n.clone(), Lat::Const(*v));
+                if let Some(id) = symbols.name_id(n) {
+                    entry_env[id.index()] = Lat::Const(*v);
+                }
             }
         }
 
         // Forward iteration. Env per node (before the statement).
         let n = cfg.len();
-        let mut env_in: Vec<HashMap<String, Lat>> = vec![HashMap::new(); n];
+        let mut env_in: Vec<Env> = vec![vec![Lat::Top; nsyms]; n];
         env_in[cfg.entry.index()] = entry_env;
         let order = cfg.reverse_postorder();
         let mut changed = true;
@@ -123,32 +134,43 @@ impl Constants {
             for &node in &order {
                 let ni = node.index();
                 // out = transfer(in)
-                let mut out = env_in[ni].clone();
-                if let Some(stmt) = cfg.stmt_of(node) {
-                    if let Some(s) = ped_fortran::ast::find_stmt(&unit.body, stmt) {
-                        transfer(&s.kind, symbols, &params, &mut out);
+                let out = match cfg.stmt_of(node) {
+                    Some(stmt) => {
+                        let mut out = env_in[ni].clone();
+                        if let Some(s) = ped_fortran::ast::find_stmt(&unit.body, stmt) {
+                            transfer(&s.kind, symbols, &params, &mut out);
+                        }
+                        std::borrow::Cow::Owned(out)
                     }
-                }
+                    None => std::borrow::Cow::Borrowed(&env_in[ni]),
+                };
+                let out = out.into_owned();
                 for &succ in &cfg.nodes[ni].succs {
                     let si = succ.index();
-                    let merged = meet_into(&env_in[si], &out, si == cfg.entry.index());
-                    if merged != env_in[si] {
-                        env_in[si] = merged;
+                    if meet_into(&mut env_in[si], &out) {
                         changed = true;
                     }
                 }
             }
         }
 
-        // Project to constants per statement.
+        // Project to constants per statement, resolving ids back to
+        // names: this is the rendering/query edge, so the public API and
+        // all output bytes stay string-identical to the old pipeline.
         let mut at = HashMap::new();
         for (i, node) in cfg.nodes.iter().enumerate() {
             let _ = node;
             if let Some(stmt) = cfg.stmt_of(crate::cfg::NodeId(i as u32)) {
                 let consts: HashMap<String, CVal> = env_in[i]
                     .iter()
+                    .enumerate()
                     .filter_map(|(k, v)| match v {
-                        Lat::Const(c) => Some((k.clone(), *c)),
+                        Lat::Const(c) => Some((
+                            symbols
+                                .resolve(ped_fortran::intern::NameId(k as u32))
+                                .to_string(),
+                            *c,
+                        )),
                         _ => None,
                     })
                     .collect();
@@ -189,42 +211,43 @@ impl Constants {
     }
 }
 
-fn meet_into(
-    cur: &HashMap<String, Lat>,
-    incoming: &HashMap<String, Lat>,
-    _is_entry: bool,
-) -> HashMap<String, Lat> {
-    // The meet over paths: a variable missing from one side is Top there.
-    let mut out = cur.clone();
-    for (k, v) in incoming {
-        let m = out.get(k).copied().unwrap_or(Lat::Top).meet(*v);
-        out.insert(k.clone(), m);
+/// Element-wise meet of `incoming` into `cur`; true if `cur` changed.
+fn meet_into(cur: &mut Env, incoming: &Env) -> bool {
+    let mut changed = false;
+    for (c, &v) in cur.iter_mut().zip(incoming) {
+        let m = c.meet(v);
+        if m != *c {
+            *c = m;
+            changed = true;
+        }
     }
-    out
+    changed
 }
 
-fn transfer(
-    kind: &StmtKind,
-    symbols: &SymbolTable,
-    params: &HashMap<String, CVal>,
-    env: &mut HashMap<String, Lat>,
-) {
-    let kill_scalar = |env: &mut HashMap<String, Lat>, n: &str| {
-        env.insert(n.to_string(), Lat::Bottom);
+fn transfer(kind: &StmtKind, symbols: &SymbolTable, params: &HashMap<String, CVal>, env: &mut Env) {
+    let kill_scalar = |env: &mut Env, n: &str| {
+        if let Some(id) = symbols.name_id(n) {
+            env[id.index()] = Lat::Bottom;
+        }
     };
     match kind {
         StmtKind::Assign {
             lhs: LValue::Var(n),
             rhs,
         } => {
-            let folded = eval_with(rhs, &|name| match env.get(name) {
-                Some(Lat::Const(c)) => Some(*c),
-                Some(_) => None,
+            let folded = eval_with(rhs, &|name| match symbols.name_id(name) {
+                Some(id) => match env[id.index()] {
+                    Lat::Const(c) => Some(c),
+                    Lat::Bottom => None,
+                    Lat::Top => params.get(name).copied(),
+                },
                 None => params.get(name).copied(),
             });
             match folded {
                 Some(c) => {
-                    env.insert(n.clone(), Lat::Const(c));
+                    if let Some(id) = symbols.name_id(n) {
+                        env[id.index()] = Lat::Const(c);
+                    }
                 }
                 None => kill_scalar(env, n),
             }
@@ -245,9 +268,9 @@ fn transfer(
                     kill_scalar(env, n);
                 }
             }
-            for s in symbols.iter() {
+            for s in symbols.iter_ids() {
                 if s.dims.is_empty() && s.storage == Storage::Common {
-                    kill_scalar(env, &s.name);
+                    env[s.id.index()] = Lat::Bottom;
                 }
             }
         }

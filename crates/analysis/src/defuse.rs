@@ -16,6 +16,7 @@ use crate::bitset::BitSet;
 use crate::cfg::{Cfg, NodeId};
 use crate::refs::{RefId, RefTable};
 use ped_fortran::ast::{ProcUnit, StmtId, StmtKind};
+use ped_fortran::intern::NameId;
 use ped_fortran::symbols::{Storage, SymbolTable};
 use std::collections::HashMap;
 
@@ -56,8 +57,11 @@ pub struct DefUse {
     chains: HashMap<RefId, Vec<usize>>,
     /// Scalar names live at loop exit / after each node, indexed by name.
     live_out: Vec<BitSet>,
-    name_ids: HashMap<String, usize>,
-    names: Vec<String>,
+    /// Interned name -> dense scalar index (bit position in the
+    /// liveness/kill sets). Hot-path lookups hash a `u32`, not a string.
+    name_idx: HashMap<NameId, usize>,
+    /// Dense scalar index -> interned name.
+    ids: Vec<NameId>,
     /// Definition sites reaching the *entry* of each CFG node.
     reach_in: Vec<BitSet>,
 }
@@ -79,7 +83,7 @@ impl DefUse {
         let mut sites: Vec<DefSite> = Vec::new();
         let mut site_of_ref: HashMap<RefId, usize> = HashMap::new();
         for r in &refs.refs {
-            if r.is_def && !r.is_array_elem() && is_scalar(symbols, &r.name) {
+            if r.is_def && !r.is_array_elem() && is_scalar(symbols, r.name_id) {
                 site_of_ref.insert(r.id, sites.len());
                 sites.push(DefSite {
                     r: r.id,
@@ -89,7 +93,7 @@ impl DefUse {
         }
         // Synthetic call-side defs of COMMON scalars: represent as extra
         // sites keyed by (stmt, name).
-        let mut call_defs: Vec<(StmtId, String, usize)> = Vec::new();
+        let mut call_defs: Vec<(StmtId, NameId, usize)> = Vec::new();
         for_each_call(unit, |stmt, callee| {
             let touched = call_modified_globals(symbols, callee, effects);
             for g in touched {
@@ -105,16 +109,16 @@ impl DefUse {
             });
         }
         // Entry defs, one per scalar name.
-        let mut names: Vec<String> = Vec::new();
-        let mut name_ids: HashMap<String, usize> = HashMap::new();
+        let mut ids: Vec<NameId> = Vec::new();
+        let mut name_idx: HashMap<NameId, usize> = HashMap::new();
         for s in symbols.iter() {
             if s.dims.is_empty() {
-                name_ids.insert(s.name.clone(), names.len());
-                names.push(s.name.clone());
+                name_idx.insert(s.id, ids.len());
+                ids.push(s.id);
             }
         }
         let entry_base = sites.len();
-        for _ in &names {
+        for _ in &ids {
             sites.push(DefSite {
                 r: RefId(u32::MAX),
                 stmt: StmtId(u32::MAX),
@@ -125,18 +129,18 @@ impl DefUse {
         // Per-site name (index into names).
         let mut site_name: Vec<usize> = Vec::with_capacity(nsites);
         for site in sites.iter().take(call_site_base) {
-            let name = &refs.get(site.r).name;
-            site_name.push(*name_ids.get(name).unwrap_or(&usize::MAX));
+            let id = refs.get(site.r).name_id;
+            site_name.push(*name_idx.get(&id).unwrap_or(&usize::MAX));
         }
-        for (_, name, _) in &call_defs {
-            site_name.push(*name_ids.get(name).unwrap_or(&usize::MAX));
+        for (_, id, _) in &call_defs {
+            site_name.push(*name_idx.get(id).unwrap_or(&usize::MAX));
         }
-        for i in 0..names.len() {
+        for i in 0..ids.len() {
             site_name.push(i);
         }
 
         // Sites grouped by name, for kill sets.
-        let mut sites_by_name: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+        let mut sites_by_name: Vec<Vec<usize>> = vec![Vec::new(); ids.len()];
         for (i, &n) in site_name.iter().enumerate() {
             if n != usize::MAX {
                 sites_by_name[n].push(i);
@@ -158,8 +162,8 @@ impl DefUse {
             let must = if i < call_site_base {
                 refs.get(site.r).cause != crate::refs::RefCause::CallArg
             } else {
-                let (_, name, _) = &call_defs[i - call_site_base];
-                call_must_kill(unit, symbols, site.stmt, name, effects)
+                let (_, id, _) = &call_defs[i - call_site_base];
+                call_must_kill(unit, symbols, site.stmt, symbols.resolve(*id), effects)
             };
             if must && site_name[i] != usize::MAX {
                 for &other in &sites_by_name[site_name[i]] {
@@ -204,13 +208,13 @@ impl DefUse {
         // statement granularity).
         let mut chains: HashMap<RefId, Vec<usize>> = HashMap::new();
         for r in &refs.refs {
-            if r.is_def || r.is_array_elem() || !is_scalar(symbols, &r.name) {
+            if r.is_def || r.is_array_elem() || !is_scalar(symbols, r.name_id) {
                 continue;
             }
             let Some(node) = cfg.node_of(r.stmt) else {
                 continue;
             };
-            let Some(&nid) = name_ids.get(&r.name) else {
+            let Some(&nid) = name_idx.get(&r.name_id) else {
                 continue;
             };
             let mut v = Vec::new();
@@ -223,17 +227,17 @@ impl DefUse {
         }
 
         // -- Liveness (backward, over scalar names) ------------------
-        let nnames = names.len();
+        let nnames = ids.len();
         let mut use_b: Vec<BitSet> = (0..nnodes).map(|_| BitSet::new(nnames)).collect();
         let mut def_b: Vec<BitSet> = (0..nnodes).map(|_| BitSet::new(nnames)).collect();
         for r in &refs.refs {
-            if r.is_array_elem() || !is_scalar(symbols, &r.name) {
+            if r.is_array_elem() || !is_scalar(symbols, r.name_id) {
                 continue;
             }
             let Some(node) = cfg.node_of(r.stmt) else {
                 continue;
             };
-            let Some(&nid) = name_ids.get(&r.name) else {
+            let Some(&nid) = name_idx.get(&r.name_id) else {
                 continue;
             };
             if r.is_def {
@@ -253,7 +257,7 @@ impl DefUse {
                     Storage::Common | Storage::Formal | Storage::Result
                 )
             {
-                if let Some(&nid) = name_ids.get(&s.name) {
+                if let Some(&nid) = name_idx.get(&s.id) {
                     use_b[cfg.exit.index()].insert(nid);
                 }
             }
@@ -285,8 +289,8 @@ impl DefUse {
             sites,
             chains,
             live_out,
-            name_ids,
-            names,
+            name_idx,
+            ids,
             reach_in,
         }
     }
@@ -308,8 +312,8 @@ impl DefUse {
     }
 
     /// True if scalar `name` is live after CFG node `n`.
-    pub fn live_after(&self, n: NodeId, name: &str) -> bool {
-        match self.name_ids.get(name) {
+    pub fn live_after(&self, n: NodeId, name: NameId) -> bool {
+        match self.name_idx.get(&name) {
             Some(&i) => self.live_out[n.index()].contains(i),
             None => false,
         }
@@ -317,8 +321,8 @@ impl DefUse {
 
     /// True if any definition of `name` from outside the given statement
     /// set reaches the entry of node `n`.
-    pub fn def_from_outside_reaches(&self, n: NodeId, name: &str, inside: &[StmtId]) -> bool {
-        let Some(&nid) = self.name_ids.get(name) else {
+    pub fn def_from_outside_reaches(&self, n: NodeId, name: NameId, inside: &[StmtId]) -> bool {
+        let Some(&nid) = self.name_idx.get(&name) else {
             return false;
         };
         for s in self.reach_in[n.index()].iter() {
@@ -336,8 +340,8 @@ impl DefUse {
     fn site_name(&self, s: usize) -> Option<usize> {
         let site = &self.sites[s];
         if site.stmt == StmtId(u32::MAX) {
-            // Entry defs are appended in `names` order at the tail.
-            let entry_base = self.sites.len() - self.names.len();
+            // Entry defs are appended in scalar-index order at the tail.
+            let entry_base = self.sites.len() - self.ids.len();
             return Some(s - entry_base);
         }
         // Not needed for precision here: resolve by scanning names.
@@ -345,14 +349,17 @@ impl DefUse {
         None
     }
 
-    /// All scalar names tracked.
-    pub fn scalar_names(&self) -> &[String] {
-        &self.names
+    /// All scalar names tracked, as interned ids.
+    pub fn scalar_ids(&self) -> &[NameId] {
+        &self.ids
     }
 }
 
-fn is_scalar(symbols: &SymbolTable, name: &str) -> bool {
-    symbols.get(name).map(|s| s.dims.is_empty()).unwrap_or(true)
+fn is_scalar(symbols: &SymbolTable, id: NameId) -> bool {
+    if id == NameId::INVALID {
+        return true;
+    }
+    symbols.get_id(id).dims.is_empty()
 }
 
 fn for_each_call(unit: &ProcUnit, mut f: impl FnMut(StmtId, &str)) {
@@ -368,21 +375,20 @@ fn call_modified_globals(
     symbols: &SymbolTable,
     callee: &str,
     effects: Option<&EffectsMap>,
-) -> Vec<String> {
+) -> Vec<NameId> {
     if let Some(map) = effects {
         if let Some(e) = map.get(&callee.to_ascii_uppercase()) {
             return e
                 .mod_globals
                 .iter()
-                .filter(|g| symbols.get(g).is_some_and(|s| s.dims.is_empty()))
-                .cloned()
+                .filter_map(|g| symbols.get(g).filter(|s| s.dims.is_empty()).map(|s| s.id))
                 .collect();
         }
     }
     symbols
         .iter()
         .filter(|s| s.dims.is_empty() && s.storage == Storage::Common)
-        .map(|s| s.name.clone())
+        .map(|s| s.id)
         .collect()
 }
 
@@ -407,6 +413,10 @@ fn call_must_kill(
 mod tests {
     use super::*;
     use ped_fortran::parser::parse_ok;
+
+    fn name_id(refs: &RefTable, name: &str) -> NameId {
+        refs.refs.iter().find(|r| r.name == name).unwrap().name_id
+    }
 
     fn build(src: &str) -> (ped_fortran::Program, Cfg, RefTable, DefUse) {
         let p = parse_ok(src);
@@ -506,26 +516,26 @@ mod tests {
     #[test]
     fn liveness_after_loop() {
         let src = "      DO 10 I = 1, N\n      T = A(I)\n   10 CONTINUE\n      B = T\n      END\n";
-        let (p, cfg, _, du) = build(src);
+        let (p, cfg, refs, du) = build(src);
         // T is live after the loop header node (used at B = T).
         let header = cfg.node_of(p.units[0].body[0].id).unwrap();
-        assert!(du.live_after(header, "T"));
+        assert!(du.live_after(header, name_id(&refs, "T")));
     }
 
     #[test]
     fn dead_after_loop_when_not_used() {
         let src = "      DO 10 I = 1, N\n      T = A(I)\n      B(I) = T\n   10 CONTINUE\n      C = 1\n      END\n";
-        let (p, cfg, _, du) = build(src);
+        let (p, cfg, refs, du) = build(src);
         let header = cfg.node_of(p.units[0].body[0].id).unwrap();
-        assert!(!du.live_after(header, "T"));
+        assert!(!du.live_after(header, name_id(&refs, "T")));
     }
 
     #[test]
     fn common_scalars_live_at_exit() {
         let src = "      SUBROUTINE S\n      COMMON /B/ T\n      T = 1\n      RETURN\n      END\n";
-        let (p, cfg, _, du) = build(src);
+        let (p, cfg, refs, du) = build(src);
         let n = cfg.node_of(p.units[0].body[0].id).unwrap();
-        assert!(du.live_after(n, "T"));
+        assert!(du.live_after(n, name_id(&refs, "T")));
     }
 
     #[test]

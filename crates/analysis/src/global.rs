@@ -13,14 +13,37 @@ use ped_fortran::ast::{LValue, Program, StmtKind};
 use ped_fortran::symbols::{Storage, SymbolTable};
 use std::collections::HashMap;
 
-/// Detect program-wide symbolic relations over COMMON scalars.
+/// Detect program-wide symbolic relations over COMMON scalars,
+/// building each unit's symbol and reference tables from scratch. When
+/// the caller already holds those tables (a session's memoized
+/// [`crate::facts::ScalarFacts`]), use [`global_symbolic_facts_from`].
 pub fn global_symbolic_facts(program: &Program) -> SymbolicEnv {
+    let built: Vec<(SymbolTable, crate::refs::RefTable)> = program
+        .units
+        .iter()
+        .map(|u| {
+            let symbols = SymbolTable::build(u);
+            let refs = crate::refs::RefTable::build(u, &symbols);
+            (symbols, refs)
+        })
+        .collect();
+    let tables: Vec<(&SymbolTable, &crate::refs::RefTable)> =
+        built.iter().map(|(s, r)| (s, r)).collect();
+    global_symbolic_facts_from(program, &tables)
+}
+
+/// [`global_symbolic_facts`] over caller-supplied per-unit tables (one
+/// `(symbols, plain refs)` pair per unit, in unit order) — no table is
+/// rebuilt here.
+pub fn global_symbolic_facts_from(
+    program: &Program,
+    tables: &[(&SymbolTable, &crate::refs::RefTable)],
+) -> SymbolicEnv {
+    assert_eq!(tables.len(), program.units.len());
     let mut def_count: HashMap<String, usize> = HashMap::new();
     let mut is_common: HashMap<String, bool> = HashMap::new();
     let mut single_defs: Vec<(String, ped_fortran::ast::Expr)> = Vec::new();
-    for u in &program.units {
-        let symbols = SymbolTable::build(u);
-        let refs = crate::refs::RefTable::build(u, &symbols);
+    for (u, (symbols, refs)) in program.units.iter().zip(tables) {
         for r in &refs.refs {
             if r.is_def && !r.is_array_elem() {
                 *def_count.entry(r.name.clone()).or_insert(0) += 1;

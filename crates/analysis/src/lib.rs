@@ -17,6 +17,7 @@ pub mod constprop;
 pub mod control_dep;
 pub mod defuse;
 pub mod dom;
+pub mod facts;
 pub mod global;
 pub mod induction;
 pub mod loops;
@@ -30,6 +31,7 @@ pub use cfg::Cfg;
 pub use control_dep::ControlDeps;
 pub use defuse::DefUse;
 pub use dom::DomTree;
+pub use facts::ScalarFacts;
 pub use loops::{LoopId, LoopInfo, LoopNest};
 pub use refs::{RefId, RefTable, VarRef};
 pub use symbolic::{LinExpr, SymbolicEnv};

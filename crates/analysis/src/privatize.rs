@@ -19,8 +19,9 @@ use crate::defuse::DefUse;
 use crate::loops::{LoopInfo, LoopNest};
 use crate::refs::{RefCause, RefTable};
 use ped_fortran::ast::{ProcUnit, StmtId};
+use ped_fortran::intern::NameId;
 use ped_fortran::symbols::SymbolTable;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Classification of one scalar with respect to one loop.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,25 +39,30 @@ pub enum PrivStatus {
 /// Result of privatization analysis for one loop.
 #[derive(Clone, Debug, Default)]
 pub struct LoopPrivatization {
-    /// Status per scalar assigned in the loop body.
-    pub scalars: HashMap<String, PrivStatus>,
+    /// Status per scalar assigned in the loop body, keyed by interned id.
+    pub scalars: HashMap<NameId, PrivStatus>,
+    /// Canonical spelling -> id, the rendering/query edge (sorted so
+    /// [`LoopPrivatization::private_names`] needs no re-sort).
+    named: BTreeMap<String, NameId>,
 }
 
 impl LoopPrivatization {
     /// Names that may be made private without copy-out.
     pub fn private_names(&self) -> Vec<&str> {
-        let mut v: Vec<&str> = self
-            .scalars
+        self.named
             .iter()
-            .filter(|(_, s)| **s == PrivStatus::Private)
+            .filter(|(_, id)| self.scalars.get(id) == Some(&PrivStatus::Private))
             .map(|(n, _)| n.as_str())
-            .collect();
-        v.sort();
-        v
+            .collect()
     }
 
     pub fn status(&self, name: &str) -> Option<&PrivStatus> {
-        self.scalars.get(name)
+        self.scalars.get(self.named.get(name)?)
+    }
+
+    /// Status by interned id (the hot-path query).
+    pub fn status_id(&self, id: NameId) -> Option<&PrivStatus> {
+        self.scalars.get(&id)
     }
 }
 
@@ -86,38 +92,36 @@ pub fn analyze_loop(
 ) -> LoopPrivatization {
     let body: HashSet<StmtId> = l.body.iter().copied().collect();
     // Candidate scalars: assigned in the body by an unambiguous def.
-    let mut candidates: HashSet<&str> = HashSet::new();
+    let mut candidates: HashSet<NameId> = HashSet::new();
     for r in &refs.refs {
         if r.is_def
             && !r.is_array_elem()
             && body.contains(&r.stmt)
             && r.cause != RefCause::CallArg
-            && symbols
-                .get(&r.name)
-                .map(|s| s.dims.is_empty())
-                .unwrap_or(true)
+            && (r.name_id == NameId::INVALID || symbols.get_id(r.name_id).dims.is_empty())
         {
-            candidates.insert(&r.name);
+            candidates.insert(r.name_id);
         }
     }
     // The loop control variables of this loop and nested loops are
     // handled by the runtime; exclude them (always private).
     let mut result = LoopPrivatization::default();
-    for name in candidates {
-        let exposed = has_upward_exposed_use(cfg, refs, l, &body, name);
+    for id in candidates {
+        let exposed = has_upward_exposed_use(cfg, refs, l, &body, id);
         let status = if exposed {
             PrivStatus::Shared
         } else {
             // Live after the loop?
             let header = cfg.node_of(l.stmt).expect("loop header in cfg");
-            let live = exit_live(cfg, defuse, l, header, name);
+            let live = exit_live(cfg, defuse, l, header, id);
             if live {
                 PrivStatus::PrivateNeedsLastValue
             } else {
                 PrivStatus::Private
             }
         };
-        result.scalars.insert(name.to_string(), status);
+        result.scalars.insert(id, status);
+        result.named.insert(symbols.resolve(id).to_string(), id);
     }
     result
 }
@@ -130,7 +134,7 @@ fn has_upward_exposed_use(
     refs: &RefTable,
     l: &LoopInfo,
     body: &HashSet<StmtId>,
-    name: &str,
+    name: NameId,
 ) -> bool {
     let header = cfg.node_of(l.stmt).expect("header node");
     let in_sub = |n: NodeId| -> bool {
@@ -151,7 +155,7 @@ fn has_upward_exposed_use(
                 let defs_here = refs.of_stmt(stmt).iter().any(|&r| {
                     let vr = refs.get(r);
                     vr.is_def
-                        && vr.name == name
+                        && vr.name_id == name
                         && !vr.is_array_elem()
                         && vr.cause != RefCause::CallArg
                 });
@@ -194,7 +198,7 @@ fn has_upward_exposed_use(
             if body.contains(&stmt) {
                 let has_use = refs.of_stmt(stmt).iter().any(|&r| {
                     let vr = refs.get(r);
-                    !vr.is_def && vr.name == name
+                    !vr.is_def && vr.name_id == name
                 });
                 if has_use {
                     return true;
@@ -206,7 +210,7 @@ fn has_upward_exposed_use(
 }
 
 /// Is `name` live on the loop's exit edge?
-fn exit_live(cfg: &Cfg, defuse: &DefUse, l: &LoopInfo, header: NodeId, name: &str) -> bool {
+fn exit_live(cfg: &Cfg, defuse: &DefUse, l: &LoopInfo, header: NodeId, name: NameId) -> bool {
     // The header's successors include the body entry and the exit target;
     // liveness after the header covers both, which over-approximates.
     // Instead: check liveness at the non-body successor.
@@ -225,7 +229,7 @@ fn exit_live(cfg: &Cfg, defuse: &DefUse, l: &LoopInfo, header: NodeId, name: &st
     defuse.live_after(header, name)
 }
 
-fn used_after_loop(_defuse: &DefUse, _exit_node: NodeId, _name: &str) -> bool {
+fn used_after_loop(_defuse: &DefUse, _exit_node: NodeId, _name: NameId) -> bool {
     // `live_after(header)` already includes uses inside the body; a
     // same-iteration-killed scalar with in-body uses would be wrongly
     // called live. Refinement: the scalar is killed at iteration start

@@ -10,6 +10,8 @@
 use crate::loops::LoopInfo;
 use crate::refs::RefTable;
 use ped_fortran::ast::{BinOp, Expr, LValue, ProcUnit, StmtId, StmtKind};
+use ped_fortran::intern::NameId;
+use ped_fortran::symbols::SymbolTable;
 use std::collections::HashSet;
 
 /// The reduction operator.
@@ -39,6 +41,8 @@ pub struct Reduction {
     pub stmt: StmtId,
     /// The accumulator variable name.
     pub var: String,
+    /// Interned id of `var` (confirmation compares ids, not strings).
+    pub var_id: NameId,
     /// Subscripts of the accumulator (empty ⇒ scalar reduction; non-empty
     /// ⇒ array-element accumulation, parallelizable with synchronized or
     /// replicated accumulation).
@@ -61,7 +65,12 @@ impl Reduction {
 /// the same variable. Array-element candidates additionally require that
 /// every appearance of the array in the loop is an accumulation with the
 /// same operator (dpmin's `F`).
-pub fn find_reductions(unit: &ProcUnit, refs: &RefTable, l: &LoopInfo) -> Vec<Reduction> {
+pub fn find_reductions(
+    unit: &ProcUnit,
+    symbols: &SymbolTable,
+    refs: &RefTable,
+    l: &LoopInfo,
+) -> Vec<Reduction> {
     let body: HashSet<StmtId> = l.body.iter().copied().collect();
     let mut candidates: Vec<Reduction> = Vec::new();
     ped_fortran::ast::walk_stmts(&unit.body, &mut |s| {
@@ -69,7 +78,8 @@ pub fn find_reductions(unit: &ProcUnit, refs: &RefTable, l: &LoopInfo) -> Vec<Re
             return;
         }
         if let StmtKind::Assign { lhs, rhs } = &s.kind {
-            if let Some(red) = match_reduction(lhs, rhs, s.id) {
+            if let Some(mut red) = match_reduction(lhs, rhs, s.id) {
+                red.var_id = symbols.name_id(&red.var).unwrap_or(NameId::INVALID);
                 candidates.push(red);
             }
         }
@@ -81,7 +91,7 @@ pub fn find_reductions(unit: &ProcUnit, refs: &RefTable, l: &LoopInfo) -> Vec<Re
         .filter(|c| {
             let c_stmts: Vec<(StmtId, ReduceOp)> = candidates
                 .iter()
-                .filter(|o| o.var == c.var)
+                .filter(|o| o.var_id == c.var_id)
                 .map(|o| (o.stmt, o.op))
                 .collect();
             let same_op = c_stmts.iter().all(|(_, op)| *op == c.op);
@@ -92,7 +102,7 @@ pub fn find_reductions(unit: &ProcUnit, refs: &RefTable, l: &LoopInfo) -> Vec<Re
             // Any other reference to the variable in the loop disqualifies.
             refs.refs
                 .iter()
-                .filter(|r| r.name == c.var && body.contains(&r.stmt))
+                .filter(|r| r.name_id == c.var_id && body.contains(&r.stmt))
                 .all(|r| acc_stmts.contains(&r.stmt))
         })
         .cloned()
@@ -110,6 +120,7 @@ fn match_reduction(lhs: &LValue, rhs: &Expr, stmt: StmtId) -> Option<Reduction> 
     let mk = |op: ReduceOp| Reduction {
         stmt,
         var: name.to_string(),
+        var_id: NameId::INVALID, // resolved by the caller
         subs: subs.clone(),
         op,
     };
@@ -193,7 +204,7 @@ mod tests {
         let sym = SymbolTable::build(u);
         let refs = RefTable::build(u, &sym);
         let nest = LoopNest::build(u);
-        find_reductions(u, &refs, &nest.loops[0])
+        find_reductions(u, &sym, &refs, &nest.loops[0])
     }
 
     #[test]

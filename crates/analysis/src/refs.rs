@@ -8,10 +8,21 @@
 //! deterministic order.
 
 use ped_fortran::ast::{walk_stmts, Expr, LValue, ProcUnit, StmtId, StmtKind};
+use ped_fortran::intern::NameId;
 use ped_fortran::symbols::{is_intrinsic, SymbolTable};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::defuse::EffectsMap;
+
+/// Process-wide count of [`RefTable`] builds, for the
+/// build-once-per-cache-miss assertion in the core test suite.
+static BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// How many reference tables have been built in this process.
+pub fn build_count() -> u64 {
+    BUILDS.load(Ordering::Relaxed)
+}
 
 /// Identity of a reference within a [`RefTable`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -29,6 +40,9 @@ pub struct VarRef {
     pub id: RefId,
     pub stmt: StmtId,
     pub name: String,
+    /// Interned id of `name` in the unit's symbol-table interner — the
+    /// key hot paths compare and hash instead of the string.
+    pub name_id: NameId,
     /// Subscript expressions; empty for scalar references and for
     /// whole-array references (e.g. an array passed to a CALL).
     pub subs: Vec<Expr>,
@@ -85,6 +99,7 @@ impl RefTable {
         symbols: &SymbolTable,
         effects: Option<&EffectsMap>,
     ) -> RefTable {
+        BUILDS.fetch_add(1, Ordering::Relaxed);
         let mut t = RefTable::default();
         walk_stmts(&unit.body, &mut |s| {
             let mut c = Collector {
@@ -119,6 +134,20 @@ impl RefTable {
             .filter(move |r| !r.is_def && r.name == name)
     }
 
+    /// All defs (writes) of an interned name.
+    pub fn defs_of_id(&self, id: NameId) -> impl Iterator<Item = &VarRef> {
+        self.refs
+            .iter()
+            .filter(move |r| r.is_def && r.name_id == id)
+    }
+
+    /// All uses (reads) of an interned name.
+    pub fn uses_of_id(&self, id: NameId) -> impl Iterator<Item = &VarRef> {
+        self.refs
+            .iter()
+            .filter(move |r| !r.is_def && r.name_id == id)
+    }
+
     /// Distinct variable names referenced, in first-appearance order.
     pub fn names(&self) -> Vec<&str> {
         let mut out: Vec<&str> = Vec::new();
@@ -130,12 +159,21 @@ impl RefTable {
         out
     }
 
-    fn push(&mut self, stmt: StmtId, name: &str, subs: Vec<Expr>, is_def: bool, cause: RefCause) {
+    fn push(
+        &mut self,
+        stmt: StmtId,
+        name: &str,
+        name_id: NameId,
+        subs: Vec<Expr>,
+        is_def: bool,
+        cause: RefCause,
+    ) {
         let id = RefId(self.refs.len() as u32);
         self.refs.push(VarRef {
             id,
             stmt,
             name: name.to_string(),
+            name_id,
             subs,
             is_def,
             cause,
@@ -152,6 +190,15 @@ struct Collector<'a> {
 }
 
 impl<'a> Collector<'a> {
+    /// Push one reference, resolving the name's interned id through the
+    /// symbol table (every referenced name has a symbol entry — the
+    /// table's pass 3 interns the same name set this collector walks).
+    fn emit(&mut self, name: &str, subs: Vec<Expr>, is_def: bool, cause: RefCause) {
+        let id = self.symbols.name_id(name).unwrap_or(NameId::INVALID);
+        debug_assert_ne!(id, NameId::INVALID, "no symbol entry for {name}");
+        self.t.push(self.stmt, name, id, subs, is_def, cause);
+    }
+
     fn stmt(&mut self, kind: &StmtKind) {
         match kind {
             StmtKind::Assign { lhs, rhs } => {
@@ -170,8 +217,7 @@ impl<'a> Collector<'a> {
                 if let Some(s) = step {
                     self.uses(s);
                 }
-                self.t
-                    .push(self.stmt, var, Vec::new(), true, RefCause::LoopControl);
+                self.emit(var, Vec::new(), true, RefCause::LoopControl);
             }
             StmtKind::If { arms, .. } => {
                 for (c, _) in arms {
@@ -194,12 +240,10 @@ impl<'a> Collector<'a> {
                         // summary (worst case without one).
                         Expr::Var(n) => {
                             if arg_ref(pos) {
-                                self.t
-                                    .push(self.stmt, n, Vec::new(), false, RefCause::CallArg);
+                                self.emit(n, Vec::new(), false, RefCause::CallArg);
                             }
                             if arg_mod(pos) {
-                                self.t
-                                    .push(self.stmt, n, Vec::new(), true, RefCause::CallArg);
+                                self.emit(n, Vec::new(), true, RefCause::CallArg);
                             }
                         }
                         Expr::Index { name, subs } if self.symbols.is_array(name) => {
@@ -207,17 +251,10 @@ impl<'a> Collector<'a> {
                                 self.uses(s);
                             }
                             if arg_ref(pos) {
-                                self.t.push(
-                                    self.stmt,
-                                    name,
-                                    subs.clone(),
-                                    false,
-                                    RefCause::CallArg,
-                                );
+                                self.emit(name, subs.clone(), false, RefCause::CallArg);
                             }
                             if arg_mod(pos) {
-                                self.t
-                                    .push(self.stmt, name, subs.clone(), true, RefCause::CallArg);
+                                self.emit(name, subs.clone(), true, RefCause::CallArg);
                             }
                         }
                         e => self.uses(e),
@@ -247,23 +284,20 @@ impl<'a> Collector<'a> {
 
     fn def_lvalue(&mut self, lv: &LValue, cause: RefCause) {
         match lv {
-            LValue::Var(n) => self.t.push(self.stmt, n, Vec::new(), true, cause),
-            LValue::Elem { name, subs } => self.t.push(self.stmt, name, subs.clone(), true, cause),
+            LValue::Var(n) => self.emit(n, Vec::new(), true, cause),
+            LValue::Elem { name, subs } => self.emit(name, subs.clone(), true, cause),
         }
     }
 
     fn uses(&mut self, e: &Expr) {
         match e {
-            Expr::Var(n) => self
-                .t
-                .push(self.stmt, n, Vec::new(), false, RefCause::Direct),
+            Expr::Var(n) => self.emit(n, Vec::new(), false, RefCause::Direct),
             Expr::Index { name, subs } => {
                 for s in subs {
                     self.uses(s);
                 }
                 if self.symbols.is_array(name) {
-                    self.t
-                        .push(self.stmt, name, subs.clone(), false, RefCause::Direct);
+                    self.emit(name, subs.clone(), false, RefCause::Direct);
                 } else if !is_intrinsic(name) {
                     // Function call to a non-intrinsic: arguments already
                     // collected as uses; the function result is not

@@ -555,18 +555,37 @@ pub fn detect_invariant_relations(
     refs: &crate::refs::RefTable,
     cfg: &crate::cfg::Cfg,
 ) -> SymbolicEnv {
-    use crate::dom::DomTree;
-    let dom = DomTree::dominators(cfg);
+    let dom = crate::dom::DomTree::dominators(cfg);
+    detect_invariant_relations_with(unit, symbols, refs, cfg, &dom)
+}
+
+/// [`detect_invariant_relations`] with a precomputed dominator tree
+/// (shared with the other consumers in a [`crate::facts::ScalarFacts`]
+/// bundle instead of recomputed here).
+pub fn detect_invariant_relations_with(
+    unit: &ped_fortran::ast::ProcUnit,
+    symbols: &ped_fortran::symbols::SymbolTable,
+    refs: &crate::refs::RefTable,
+    cfg: &crate::cfg::Cfg,
+    dom: &crate::dom::DomTree,
+) -> SymbolicEnv {
+    use ped_fortran::intern::NameId;
     let mut env = SymbolicEnv::new();
     // Names never defined in the unit are "entry-stable".
-    let mut def_count: HashMap<&str, usize> = HashMap::new();
+    let mut def_count: HashMap<NameId, usize> = HashMap::new();
     for r in &refs.refs {
         if r.is_def {
-            *def_count.entry(r.name.as_str()).or_insert(0) += 1;
+            *def_count.entry(r.name_id).or_insert(0) += 1;
         }
     }
+    let defs_of = |n: &str| -> usize {
+        symbols
+            .name_id(n)
+            .and_then(|id| def_count.get(&id).copied())
+            .unwrap_or(0)
+    };
     let entry_stable = |n: &str, established: &HashMap<String, LinExpr>| {
-        def_count.get(n).copied().unwrap_or(0) == 0 || established.contains_key(n)
+        defs_of(n) == 0 || established.contains_key(n)
     };
     // Iterate to closure (a = b+1 where b = c-1, etc.).
     for _ in 0..4 {
@@ -581,10 +600,11 @@ pub fn detect_invariant_relations(
             if env.subst.contains_key(name) {
                 return;
             }
-            if def_count.get(name.as_str()).copied().unwrap_or(0) != 1 {
+            if defs_of(name) != 1 {
                 return;
             }
-            if symbols.get(name).is_some_and(|sym| !sym.dims.is_empty()) {
+            let name_id = symbols.name_id(name);
+            if name_id.is_some_and(|id| !symbols.get_id(id).dims.is_empty()) {
                 return;
             }
             let Some(lin) = to_lin(rhs) else { return };
@@ -595,11 +615,14 @@ pub fn detect_invariant_relations(
             let Some(def_node) = cfg.node_of(s.id) else {
                 return;
             };
-            let all_dominated = refs.uses_of(name).all(|u| {
-                cfg.node_of(u.stmt)
-                    .map(|un| un == def_node || dom.dominates(def_node, un))
-                    .unwrap_or(false)
-            });
+            let uses_dominated = |id: NameId| {
+                refs.uses_of_id(id).all(|u| {
+                    cfg.node_of(u.stmt)
+                        .map(|un| un == def_node || dom.dominates(def_node, un))
+                        .unwrap_or(false)
+                })
+            };
+            let all_dominated = name_id.map(uses_dominated).unwrap_or(true);
             if !all_dominated {
                 return;
             }

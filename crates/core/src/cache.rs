@@ -19,8 +19,10 @@
 //! Hit/miss counters at both levels are mirrored into the session's
 //! `UsageLog` and surfaced by `PedSession::cache_stats`.
 
+use ped_analysis::ScalarFacts;
 use ped_dependence::cache::PairCache;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Cache state carried by a `PedSession` across `reanalyze()` calls.
 #[derive(Debug, Default)]
@@ -42,6 +44,14 @@ pub struct AnalysisCache {
     pub lint_hits: u64,
     /// Per-unit lint requests that ran the engine.
     pub lint_misses: u64,
+    /// Per-unit scalar-facts memo: unit index → `Arc` bundle. Validity
+    /// is the bundle's own content fingerprint, so an edit dirties only
+    /// the edited unit's entry.
+    scalar: HashMap<usize, Arc<ScalarFacts>>,
+    /// Scalar-facts requests answered from the memo.
+    pub scalar_hits: u64,
+    /// Scalar-facts requests that ran the scalar pipeline.
+    pub scalar_misses: u64,
 }
 
 impl AnalysisCache {
@@ -69,10 +79,51 @@ impl AnalysisCache {
     }
 
     /// Force the next `check` to miss (e.g. after mutating analysis
-    /// state through a side channel the fingerprint cannot see).
+    /// state through a side channel the fingerprint cannot see). The
+    /// scalar-facts memo is *kept*: each bundle is validated against its
+    /// unit's content fingerprint on every lookup, so no side channel
+    /// can make it stale.
     pub fn invalidate(&mut self) {
         self.key = None;
         self.lint.clear();
+    }
+
+    /// Discard the scalar-facts memo (benchmarking: forces the next
+    /// rebuild to run the full scalar pipeline for every unit).
+    pub fn drop_scalar(&mut self) {
+        self.scalar.clear();
+    }
+
+    /// Cached scalar facts for a unit, if the memoized bundle was built
+    /// from content fingerprinting to `fp`. Counts a hit or miss.
+    pub fn scalar_check(&mut self, unit_idx: usize, fp: u64) -> Option<Arc<ScalarFacts>> {
+        match self.scalar.get(&unit_idx) {
+            Some(f) if f.fingerprint == fp => {
+                self.scalar_hits += 1;
+                Some(f.clone())
+            }
+            _ => {
+                self.scalar_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a unit's freshly built scalar facts.
+    pub fn scalar_store(&mut self, unit_idx: usize, facts: Arc<ScalarFacts>) {
+        self.scalar.insert(unit_idx, facts);
+    }
+
+    /// Store a prewarmed bundle, counting the build as a miss (`open`
+    /// always builds cold — the counters stay an honest build tally).
+    pub fn scalar_prime(&mut self, unit_idx: usize, facts: Arc<ScalarFacts>) {
+        self.scalar_misses += 1;
+        self.scalar.insert(unit_idx, facts);
+    }
+
+    /// (scalar-facts hits, scalar-facts misses) — lifetime counters.
+    pub fn scalar_stats(&self) -> (u64, u64) {
+        (self.scalar_hits, self.scalar_misses)
     }
 
     /// Cached lint findings for a unit, if its inputs still fingerprint

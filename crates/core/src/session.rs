@@ -16,6 +16,7 @@ use ped_analysis::defuse::EffectsMap;
 use ped_analysis::loops::LoopId;
 use ped_analysis::privatize::PrivStatus;
 use ped_analysis::symbolic::SymbolicEnv;
+use ped_analysis::ScalarFacts;
 use ped_dependence::marking::{Mark, MarkError};
 use ped_dependence::{DepId, TestKindCounts};
 use ped_fortran::ast::{Program, StmtId, StmtKind};
@@ -23,6 +24,7 @@ use ped_fortran::pretty::print_lvalue;
 use ped_transform::advice::{Applied, TransformError};
 use ped_transform::ctx::UnitAnalysis;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// User classification of a variable with respect to a loop.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,6 +61,11 @@ pub struct SessionStats {
     pub lint_hits: u64,
     /// Per-unit lint requests that ran the lint engine.
     pub lint_misses: u64,
+    /// Per-unit scalar-facts requests answered from the scalar memo.
+    pub scalar_hits: u64,
+    /// Per-unit scalar-facts requests that ran the scalar pipeline
+    /// (including the cold builds of `open`'s prewarm).
+    pub scalar_misses: u64,
     /// Lifetime per-tester-kind tallies of the dependence suite
     /// (`label → count`), accumulated over every graph build of the
     /// session's current unit. Zero rows are omitted.
@@ -71,6 +78,9 @@ pub struct SessionStats {
 pub struct PedSession {
     pub program: Program,
     unit_idx: usize,
+    /// Upper-cased unit name → index, built once at `open` so
+    /// `select_unit` is a hash lookup instead of a linear scan.
+    units_by_name: HashMap<String, usize>,
     pub ua: UnitAnalysis,
     pub assertions: Vec<Assertion>,
     /// User classification overrides: (loop, variable) → (class, reason).
@@ -88,26 +98,48 @@ pub struct PedSession {
 
 impl PedSession {
     /// Open a program in the editor: runs the full interprocedural
-    /// analysis suite and builds the current unit's analyses.
+    /// analysis suite, prewarms every unit's scalar facts, and builds
+    /// the current unit's analyses.
     pub fn open(program: Program) -> PedSession {
+        Self::open_with(program, 0)
+    }
+
+    /// [`PedSession::open`] with an explicit scalar-prewarm worker
+    /// count. `0` sizes the pool to the machine (same policy as the
+    /// dependence builder); `1` forces a serial prewarm.
+    pub fn open_with(program: Program, threads: usize) -> PedSession {
         let effects = ped_interproc::modref_analyze(&program);
-        let env = Self::compute_env(&program, 0, &[]);
         let mut cache = AnalysisCache::new();
-        let ua = UnitAnalysis::build_with(
+        let facts = prewarm_scalar_facts(&program, &effects, threads);
+        let mut usage = UsageLog::default();
+        usage.record_n(Feature::ScalarCacheMiss, facts.len());
+        for (idx, f) in facts.iter().enumerate() {
+            cache.scalar_prime(idx, f.clone());
+        }
+        let env = Self::env_from_facts(&program, &facts, 0, &[]);
+        let ua = UnitAnalysis::build_from_facts(
             &program.units[0],
+            &facts[0],
             env,
-            Some(&effects),
             Some(&mut cache.pairs),
         );
         cache.prime(Self::analysis_key(&program, 0, &[]));
+        let mut units_by_name = HashMap::new();
+        for (idx, u) in program.units.iter().enumerate() {
+            // First occurrence wins, matching the old linear scan.
+            units_by_name
+                .entry(u.name.to_ascii_uppercase())
+                .or_insert(idx);
+        }
         let mut s = PedSession {
             program,
             unit_idx: 0,
+            units_by_name,
             ua,
             assertions: Vec::new(),
             classification: HashMap::new(),
             selected: None,
-            usage: UsageLog::default(),
+            usage,
             effects,
             cache,
             test_kinds: TestKindCounts::default(),
@@ -150,24 +182,60 @@ impl PedSession {
     }
 
     /// The symbolic environment for a unit: global interprocedural facts
-    /// + intraprocedural invariant relations + user assertions.
-    fn compute_env(program: &Program, unit_idx: usize, assertions: &[Assertion]) -> SymbolicEnv {
-        let mut env = ped_interproc::global_symbolic_facts(program);
-        let unit = &program.units[unit_idx];
-        let symbols = ped_fortran::symbols::SymbolTable::build(unit);
-        let refs = ped_analysis::refs::RefTable::build(unit, &symbols);
-        let cfg = ped_analysis::Cfg::build(unit);
-        let local = ped_analysis::symbolic::detect_invariant_relations(unit, &symbols, &refs, &cfg);
-        for (n, l) in local.subst {
-            env.add_subst(n, l);
+    /// + the bundle's intraprocedural invariant relations + user
+    /// assertions. The scalar pipeline (symbols, refs, CFG, relation
+    /// detection) is not rerun here — the program-wide scan and the
+    /// unit's relations both read the memoized facts.
+    fn env_from_facts(
+        program: &Program,
+        all_facts: &[Arc<ScalarFacts>],
+        unit_idx: usize,
+        assertions: &[Assertion],
+    ) -> SymbolicEnv {
+        let tables: Vec<(
+            &ped_fortran::symbols::SymbolTable,
+            &ped_analysis::refs::RefTable,
+        )> = all_facts
+            .iter()
+            .map(|f| (&*f.symbols, &*f.plain_refs))
+            .collect();
+        let mut env = ped_analysis::global::global_symbolic_facts_from(program, &tables);
+        let facts = &all_facts[unit_idx];
+        for (n, l) in &facts.relations.subst {
+            env.add_subst(n.clone(), l.clone());
         }
-        for (n, r) in local.ranges {
-            env.add_range(n, r);
+        for (n, r) in &facts.relations.ranges {
+            env.add_range(n.clone(), r.clone());
         }
         for a in assertions {
             let _ = a.apply(&mut env);
         }
         env
+    }
+
+    /// Every unit's memoized scalar facts, in unit order (only edited
+    /// units rebuild).
+    fn all_scalar_facts(&mut self) -> Vec<Arc<ScalarFacts>> {
+        (0..self.program.units.len())
+            .map(|i| self.scalar_facts(i))
+            .collect()
+    }
+
+    /// The unit's memoized scalar facts: a hash lookup when the unit's
+    /// content is unchanged, a full scalar-pipeline run otherwise.
+    fn scalar_facts(&mut self, unit_idx: usize) -> Arc<ScalarFacts> {
+        let fp = ped_fortran::fingerprint::unit_fingerprint(&self.program.units[unit_idx]);
+        if let Some(f) = self.cache.scalar_check(unit_idx, fp) {
+            self.usage.record(Feature::ScalarCacheHit);
+            return f;
+        }
+        self.usage.record(Feature::ScalarCacheMiss);
+        let f = Arc::new(ScalarFacts::build(
+            &self.program.units[unit_idx],
+            Some(&self.effects),
+        ));
+        self.cache.scalar_store(unit_idx, f.clone());
+        f
     }
 
     /// Rebuild the current unit's analyses (after an edit,
@@ -184,13 +252,14 @@ impl PedSession {
             return;
         }
         self.usage.record(Feature::AnalysisCacheMiss);
-        let env = Self::compute_env(&self.program, self.unit_idx, &self.assertions);
+        let all_facts = self.all_scalar_facts();
+        let env = Self::env_from_facts(&self.program, &all_facts, self.unit_idx, &self.assertions);
         let old = std::mem::replace(
             &mut self.ua,
-            UnitAnalysis::build_with(
+            UnitAnalysis::build_from_facts(
                 &self.program.units[self.unit_idx],
+                &all_facts[self.unit_idx],
                 env,
-                Some(&self.effects),
                 Some(&mut self.cache.pairs),
             ),
         );
@@ -226,6 +295,7 @@ impl PedSession {
     pub fn stats(&self) -> SessionStats {
         let (analysis_hits, analysis_misses, pair_hits, pair_misses) = self.cache.stats();
         let (lint_hits, lint_misses) = self.cache.lint_stats();
+        let (scalar_hits, scalar_misses) = self.cache.scalar_stats();
         SessionStats {
             analysis_hits,
             analysis_misses,
@@ -235,6 +305,8 @@ impl PedSession {
             reanalyze_misses: self.usage.count(Feature::AnalysisCacheMiss),
             lint_hits,
             lint_misses,
+            scalar_hits,
+            scalar_misses,
             test_kinds: self
                 .test_kinds
                 .rows()
@@ -246,13 +318,12 @@ impl PedSession {
         }
     }
 
-    /// Switch to another program unit by name.
+    /// Switch to another program unit by name (indexed lookup — no
+    /// linear scan over the unit list).
     pub fn select_unit(&mut self, name: &str) -> Result<(), String> {
-        let idx = self
-            .program
-            .units
-            .iter()
-            .position(|u| u.name.eq_ignore_ascii_case(name))
+        let idx = *self
+            .units_by_name
+            .get(&name.to_ascii_uppercase())
             .ok_or_else(|| format!("unknown unit {name}"))?;
         self.unit_idx = idx;
         self.selected = None;
@@ -708,8 +779,14 @@ impl PedSession {
                 let user = self.lint_user_context();
                 ped_lint::lint_unit(&self.program, idx, &self.ua, &self.effects, &seeds, &user)
             } else {
-                let env = Self::compute_env(&self.program, idx, &[]);
-                let ua = UnitAnalysis::build(&self.program.units[idx], env, Some(&self.effects));
+                let all_facts = self.all_scalar_facts();
+                let env = Self::env_from_facts(&self.program, &all_facts, idx, &[]);
+                let ua = UnitAnalysis::build_from_facts(
+                    &self.program.units[idx],
+                    &all_facts[idx],
+                    env,
+                    None,
+                );
                 ped_lint::lint_unit(
                     &self.program,
                     idx,
@@ -971,6 +1048,67 @@ impl PedSession {
         let out = self.run(opts)?;
         Ok(self.navigate(Some(&out.stats.loop_iterations)))
     }
+}
+
+/// Below this many statements program-wide, `open`'s auto prewarm stays
+/// serial: thread spawns would cost more than the builds they offload
+/// (the analogue of the dependence builder's pair cutoff).
+const PREWARM_CUTOFF: usize = 256;
+
+/// Build every unit's scalar facts for `open`, in parallel when the
+/// program and the machine are big enough. `threads == 0` sizes the
+/// pool to the probed core count (shared probe with the dependence
+/// builder); `1` stays serial. Units are independent (effects are
+/// precomputed), so workers drain an atomic index and fill per-unit
+/// slots — result order is by unit index either way.
+fn prewarm_scalar_facts(
+    program: &Program,
+    effects: &EffectsMap,
+    threads: usize,
+) -> Vec<Arc<ScalarFacts>> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let n = program.units.len();
+    let workers = match threads {
+        0 => {
+            let cores = ped_dependence::probe_cores();
+            let mut stmts = 0usize;
+            for u in &program.units {
+                ped_fortran::ast::walk_stmts(&u.body, &mut |_| stmts += 1);
+            }
+            if n < 2 || cores == 1 || stmts < PREWARM_CUTOFF {
+                1
+            } else {
+                cores.min(8).min(n)
+            }
+        }
+        t => t.min(n.max(1)),
+    };
+    if workers <= 1 {
+        return program
+            .units
+            .iter()
+            .map(|u| Arc::new(ScalarFacts::build(u, Some(effects))))
+            .collect();
+    }
+    let slots: Vec<std::sync::Mutex<Option<Arc<ScalarFacts>>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let f = Arc::new(ScalarFacts::build(&program.units[i], Some(effects)));
+                *slots[i].lock().unwrap() = Some(f);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("prewarm worker panicked"))
+        .collect()
 }
 
 fn stmt_desc(program: &Program, stmt: StmtId) -> String {

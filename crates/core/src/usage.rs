@@ -29,6 +29,8 @@ pub enum Feature {
     AnalysisCacheMiss,
     LintCacheHit,
     LintCacheMiss,
+    ScalarCacheHit,
+    ScalarCacheMiss,
     // dependence-test fast-path telemetry: which tester of the
     // hierarchical suite decided freshly tested subscript dimensions.
     // Also excluded from `all()`.
@@ -69,6 +71,8 @@ impl Feature {
             Feature::AnalysisCacheMiss => "analysis cache miss",
             Feature::LintCacheHit => "lint cache hit",
             Feature::LintCacheMiss => "lint cache miss",
+            Feature::ScalarCacheHit => "scalar cache hit",
+            Feature::ScalarCacheMiss => "scalar cache miss",
             Feature::FastPathZiv => "fast path ziv",
             Feature::FastPathStrongSiv => "fast path strong-siv",
             Feature::FastPathWeakZeroSiv => "fast path weak-zero-siv",

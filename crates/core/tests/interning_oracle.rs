@@ -1,0 +1,148 @@
+//! Differential oracle for the interned-name + ScalarFacts pipeline.
+//!
+//! The refactor's contract is that interning and scalar-fact memoization
+//! are *invisible* in every rendered byte: dependence graphs, the
+//! dependence/variable panes, and lint reports must be identical to the
+//! pre-interning String-keyed pipeline on all eight workshop programs
+//! plus the synthetic stress program — cold or warm, serial or
+//! multi-threaded.
+//!
+//! The `GOLDEN` table below was captured from the String-keyed pipeline
+//! (the commit preceding the interning refactor) by running this same
+//! walk; the test replays the walk and compares fingerprints, so any
+//! behavioral drift introduced by interning is caught byte-for-byte.
+
+use ped::session::PedSession;
+use ped::DepFilter;
+use ped_analysis::loops::LoopId;
+use ped_fortran::fingerprint::Fnv;
+use ped_fortran::parser::parse_ok;
+
+fn sources() -> Vec<(String, String)> {
+    let mut v: Vec<(String, String)> = ped_workloads::all_programs()
+        .into_iter()
+        .map(|p| (p.name.to_string(), p.source.to_string()))
+        .collect();
+    v.push(("synth60".into(), ped_workloads::synthetic_source(60)));
+    v
+}
+
+/// Walk one workload through the session surface and fingerprint every
+/// rendered byte: per-unit canonical dependence graphs, the full report
+/// (source pane + dependence pane + variable pane) for every loop of
+/// every unit, and the whole-program lint report.
+fn render_fingerprint(source: &str) -> u64 {
+    let mut s = PedSession::open(parse_ok(source));
+    let unit_names: Vec<String> = s.program.units.iter().map(|u| u.name.clone()).collect();
+    let mut h = Fnv::new();
+    for name in &unit_names {
+        s.select_unit(name).unwrap();
+        h = h.str(&s.ua.graph.canonical_text());
+        for l in 0..s.ua.nest.len() {
+            s.select_loop(LoopId(l as u32)).unwrap();
+            h = h.str(&s.print_report());
+        }
+    }
+    let findings = s.lint();
+    h = h.str(&format!("{findings:?}"));
+    h.done()
+}
+
+/// Same walk, but exercising the warm paths: a no-op `reanalyze` after
+/// every selection, plus a second full pass over the same session so
+/// every per-unit artifact is served from the scalar-facts memo.
+fn render_fingerprint_warm(source: &str) -> u64 {
+    let mut s = PedSession::open(parse_ok(source));
+    let unit_names: Vec<String> = s.program.units.iter().map(|u| u.name.clone()).collect();
+    let mut h = Fnv::new();
+    for _pass in 0..2 {
+        h = Fnv::new(); // keep only the second (fully warm) pass
+        for name in &unit_names {
+            s.select_unit(name).unwrap();
+            s.reanalyze();
+            h = h.str(&s.ua.graph.canonical_text());
+            for l in 0..s.ua.nest.len() {
+                s.select_loop(LoopId(l as u32)).unwrap();
+                h = h.str(&s.print_report());
+            }
+        }
+        let findings = s.lint();
+        h = h.str(&format!("{findings:?}"));
+    }
+    h.done()
+}
+
+/// Golden fingerprints captured from the pre-interning pipeline.
+const GOLDEN: &[(&str, u64)] = &[
+    ("spec77", 0x73b141c1e3dfb6b0),
+    ("neoss", 0xb5d5128df2aeec2e),
+    ("nxsns", 0xe1a94de759eeb49d),
+    ("dpmin", 0xc427460d20fca069),
+    ("slab2d", 0xdb45be00f449feb8),
+    ("slalom", 0xfc0cff22d93e2d2b),
+    ("pueblo3d", 0x6828dd6fe3670c47),
+    ("arc3d", 0x1ab2eb519a882a34),
+    ("synth60", 0x385782934ef35ffe),
+];
+
+#[test]
+#[ignore]
+fn dump() {
+    for (name, source) in sources() {
+        println!(
+            "    (\"{}\", 0x{:016x}),",
+            name,
+            render_fingerprint(&source)
+        );
+    }
+}
+
+#[test]
+fn rendered_output_matches_pre_interning_golden() {
+    let got: Vec<(String, u64)> = sources()
+        .into_iter()
+        .map(|(n, src)| (n.clone(), render_fingerprint(&src)))
+        .collect();
+    for (name, expect) in GOLDEN {
+        let (_, actual) = got
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("workload {name} missing"));
+        assert_eq!(
+            actual, expect,
+            "{name}: rendered bytes diverged from the pre-interning pipeline"
+        );
+    }
+    assert_eq!(got.len(), GOLDEN.len());
+}
+
+#[test]
+fn warm_paths_render_identically_to_cold() {
+    for (name, source) in sources() {
+        let cold = render_fingerprint(&source);
+        let warm = render_fingerprint_warm(&source);
+        assert_eq!(cold, warm, "{name}: warm scalar-facts pass diverged");
+    }
+}
+
+#[test]
+fn dependence_pane_filtering_is_stable() {
+    // The pane path exercises privatization, classification rendering and
+    // per-loop dependence iteration — all interned internally.
+    for (name, source) in sources() {
+        let mut s = PedSession::open(parse_ok(&source));
+        let unit_names: Vec<String> = s.program.units.iter().map(|u| u.name.clone()).collect();
+        for uname in &unit_names {
+            s.select_unit(uname).unwrap();
+            for l in 0..s.ua.nest.len() {
+                s.select_loop(LoopId(l as u32)).unwrap();
+                let all = s.dependence_rows(&DepFilter::All);
+                let pending = s.dependence_rows(&DepFilter::parse("mark=pending").unwrap());
+                assert!(
+                    pending.len() <= all.len(),
+                    "{name}/{uname}: filter returned more rows than unfiltered"
+                );
+            }
+        }
+    }
+}

@@ -54,6 +54,7 @@ use ped_fortran::ast::{Expr, ProcUnit, StmtId};
 use ped_fortran::fingerprint::{stmt_fingerprints, Fnv};
 use ped_fortran::pretty::print_expr;
 use ped_fortran::symbols::SymbolTable;
+use ped_fortran::NameId;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -212,6 +213,23 @@ impl DependenceGraph {
         nest: &LoopNest,
         env: &SymbolicEnv,
         opts: &BuildOptions,
+        cache: Option<&mut PairCache>,
+    ) -> DependenceGraph {
+        Self::build_full(unit, symbols, refs, nest, None, env, opts, cache)
+    }
+
+    /// [`DependenceGraph::build_with`] with the unit's CFG supplied by
+    /// the caller (a memoized `ScalarFacts` bundle), so control-
+    /// dependence extraction does not rebuild it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_full(
+        unit: &ProcUnit,
+        symbols: &SymbolTable,
+        refs: &RefTable,
+        nest: &LoopNest,
+        cfg: Option<&Cfg>,
+        env: &SymbolicEnv,
+        opts: &BuildOptions,
         mut cache: Option<&mut PairCache>,
     ) -> DependenceGraph {
         let keys = cache.as_ref().map(|_| CacheKeys::build(unit, refs, nest));
@@ -227,6 +245,7 @@ impl DependenceGraph {
             symbols,
             refs,
             nest,
+            cfg,
             env,
             opts,
             keys,
@@ -412,6 +431,9 @@ struct Builder<'a> {
     symbols: &'a SymbolTable,
     refs: &'a RefTable,
     nest: &'a LoopNest,
+    /// Caller-supplied CFG for control-dependence extraction; `None`
+    /// builds one on demand.
+    cfg: Option<&'a Cfg>,
     env: &'a SymbolicEnv,
     opts: &'a BuildOptions,
     keys: Option<CacheKeys>,
@@ -431,6 +453,20 @@ pub const PAIR_CUTOFF: usize = 256;
 /// self-tuning cutoff.
 pub const CANON_CUTOFF: usize = 64;
 
+/// Machine core count, probed once per process.
+/// `available_parallelism` is a real syscall (tens of µs under some
+/// sandboxes) and the core count never changes mid-process, so the
+/// result is cached in a `OnceLock`. Shared by the graph builder's
+/// worker sizing and the session's open-time analysis prewarm.
+pub fn probe_cores() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
 impl<'a> Builder<'a> {
     fn run(&self, g: &mut DependenceGraph, mut cache: Option<&mut PairCache>) {
         // Map statement -> enclosing loop chain (outermost first).
@@ -447,7 +483,7 @@ impl<'a> Builder<'a> {
         // Group references by variable name; sort groups by name so
         // DepId assignment is canonical (HashMap iteration order must
         // never leak into the graph).
-        let mut by_name: HashMap<&str, Vec<RefId>> = HashMap::new();
+        let mut by_name: HashMap<NameId, Vec<RefId>> = HashMap::new();
         for r in &self.refs.refs {
             if r.cause == RefCause::LoopControl {
                 continue; // loop variables handled by the runtime
@@ -458,10 +494,12 @@ impl<'a> Builder<'a> {
                     continue;
                 }
             }
-            by_name.entry(r.name.as_str()).or_default().push(r.id);
+            by_name.entry(r.name_id).or_default().push(r.id);
         }
-        let mut groups: Vec<(&str, Vec<RefId>)> = by_name.into_iter().collect();
-        groups.sort_by_key(|(name, _)| *name);
+        let mut groups: Vec<(NameId, Vec<RefId>)> = by_name.into_iter().collect();
+        // Sort by resolved name, not raw id, so DepId order matches the
+        // historical string-keyed grouping byte for byte.
+        groups.sort_by_key(|(id, _)| self.symbols.resolve(*id));
 
         let pairs: usize = groups
             .iter()
@@ -563,15 +601,7 @@ impl<'a> Builder<'a> {
     fn effective_threads(&self, groups: usize, pairs: usize) -> usize {
         let requested = match self.opts.threads {
             0 => {
-                // `available_parallelism` is a real syscall (tens of µs
-                // under some sandboxes) and the core count never changes
-                // mid-process: probe once.
-                static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-                let cores = *CORES.get_or_init(|| {
-                    std::thread::available_parallelism()
-                        .map(|n| n.get())
-                        .unwrap_or(1)
-                });
+                let cores = probe_cores();
                 if pairs < PAIR_CUTOFF || cores == 1 {
                     1
                 } else {
@@ -905,11 +935,18 @@ impl<'a> Builder<'a> {
     }
 
     fn add_control_deps(&self, g: &mut DependenceGraph, stmt_loops: &HashMap<StmtId, Vec<LoopId>>) {
-        let cfg = Cfg::build(self.unit);
-        let cd = ControlDeps::build(&cfg);
+        let built;
+        let cfg = match self.cfg {
+            Some(c) => c,
+            None => {
+                built = Cfg::build(self.unit);
+                &built
+            }
+        };
+        let cd = ControlDeps::build(cfg);
         // Loop-header StmtIds (loop control itself is not an inhibitor).
         let headers: HashSet<StmtId> = self.nest.loops.iter().map(|l| l.stmt).collect();
-        for (ctrl, dep) in cd.stmt_pairs(&cfg) {
+        for (ctrl, dep) in cd.stmt_pairs(cfg) {
             if headers.contains(&ctrl) {
                 continue;
             }

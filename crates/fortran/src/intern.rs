@@ -1,0 +1,126 @@
+//! Case-folded name interning.
+//!
+//! Fortran 77 names are case-insensitive, and the analysis passes key
+//! dozens of hot-path maps by variable name. Interning folds each name
+//! to its canonical (upper-case) spelling once and hands out a dense
+//! [`NameId`] — map lookups and equality checks downstream become `u32`
+//! operations, and the canonical spelling is recovered with
+//! [`Interner::resolve`] only at rendering edges.
+//!
+//! Ids are assigned in first-seen order, so any two interners fed the
+//! same name sequence agree — construction order is deterministic
+//! (symbol tables feed names in declaration/reference order), which
+//! keeps every id-derived ordering reproducible across runs.
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+/// Dense handle for an interned (case-folded) name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NameId(pub u32);
+
+impl NameId {
+    /// Sentinel for "not a named entity" (never returned by `intern`).
+    pub const INVALID: NameId = NameId(u32::MAX);
+
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Fold a name to its canonical spelling without allocating when it is
+/// already upper-case (the common case: the lexer upper-cases tokens).
+fn fold(name: &str) -> Cow<'_, str> {
+    if name.bytes().any(|b| b.is_ascii_lowercase()) {
+        Cow::Owned(name.to_ascii_uppercase())
+    } else {
+        Cow::Borrowed(name)
+    }
+}
+
+/// Case-folded string interner with deterministic first-seen ids.
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    map: HashMap<String, NameId>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Intern `name` (case-insensitively), returning its id. The first
+    /// occurrence allocates the canonical spelling; later occurrences
+    /// (any casing) return the same id without allocating.
+    pub fn intern(&mut self, name: &str) -> NameId {
+        let folded = fold(name);
+        if let Some(&id) = self.map.get(folded.as_ref()) {
+            return id;
+        }
+        let id = NameId(self.names.len() as u32);
+        let owned = folded.into_owned();
+        self.names.push(owned.clone());
+        self.map.insert(owned, id);
+        id
+    }
+
+    /// The id of `name` if it has been interned (case-insensitive).
+    pub fn lookup(&self, name: &str) -> Option<NameId> {
+        self.map.get(fold(name).as_ref()).copied()
+    }
+
+    /// The canonical (upper-case) spelling of an interned id.
+    pub fn resolve(&self, id: NameId) -> &str {
+        &self.names[id.index()]
+    }
+
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All interned names in id order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_first_seen_order() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("A"), NameId(0));
+        assert_eq!(i.intern("B"), NameId(1));
+        assert_eq!(i.intern("A"), NameId(0));
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn case_folded() {
+        let mut i = Interner::new();
+        let a = i.intern("Alpha");
+        assert_eq!(i.intern("ALPHA"), a);
+        assert_eq!(i.intern("alpha"), a);
+        assert_eq!(i.resolve(a), "ALPHA");
+        assert_eq!(i.lookup("aLpHa"), Some(a));
+        assert_eq!(i.lookup("BETA"), None);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let feed = ["I", "J", "a", "A", "K", "i"];
+        let mut x = Interner::new();
+        let mut y = Interner::new();
+        let xs: Vec<_> = feed.iter().map(|n| x.intern(n)).collect();
+        let ys: Vec<_> = feed.iter().map(|n| y.intern(n)).collect();
+        assert_eq!(xs, ys);
+        assert_eq!(x.names().collect::<Vec<_>>(), y.names().collect::<Vec<_>>());
+    }
+}

@@ -21,6 +21,7 @@
 pub mod ast;
 pub mod diag;
 pub mod fingerprint;
+pub mod intern;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
@@ -30,6 +31,7 @@ pub mod token;
 
 pub use ast::{Expr, LValue, ProcUnit, Program, Stmt, StmtId, StmtKind};
 pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use intern::{Interner, NameId};
 pub use parser::{parse, parse_ok};
 pub use pretty::print_program;
 pub use span::Span;

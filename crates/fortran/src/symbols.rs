@@ -7,7 +7,18 @@
 //! (disabled by `IMPLICIT NONE`).
 
 use crate::ast::*;
+use crate::intern::{Interner, NameId};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of [`SymbolTable::build`] calls, for the
+/// build-once-per-cache-miss assertion in the core test suite.
+static BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// How many symbol tables have been built in this process.
+pub fn build_count() -> u64 {
+    BUILDS.load(Ordering::Relaxed)
+}
 
 /// How a symbol is stored / where it comes from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,6 +40,8 @@ pub enum Storage {
 /// Everything known about one name in a unit.
 #[derive(Clone, Debug)]
 pub struct Symbol {
+    /// The name's interned id in the owning table's interner.
+    pub id: NameId,
     pub name: String,
     pub ty: Type,
     /// Array dimensions (empty for scalars).
@@ -51,9 +64,16 @@ impl Symbol {
 }
 
 /// Symbol table for one program unit.
+///
+/// Symbols live in a dense vector indexed by [`NameId`] (first-seen
+/// order from the embedded [`Interner`]); `order` maps the canonical
+/// spelling to its id for the name-ordered iteration the variable pane
+/// renders.
 #[derive(Clone, Debug, Default)]
 pub struct SymbolTable {
-    symbols: BTreeMap<String, Symbol>,
+    interner: Interner,
+    symbols: Vec<Symbol>,
+    order: BTreeMap<String, NameId>,
     pub implicit_none: bool,
 }
 
@@ -62,6 +82,7 @@ impl SymbolTable {
     /// constants, COMMON membership, plus implicit entries for every name
     /// referenced in the body.
     pub fn build(unit: &ProcUnit) -> SymbolTable {
+        BUILDS.fetch_add(1, Ordering::Relaxed);
         let mut t = SymbolTable::default();
         // Pass 1: explicit declarations.
         for d in &unit.decls {
@@ -134,23 +155,46 @@ impl SymbolTable {
             // A parenthesized reference to an undeclared name is a
             // function call, not an array — leave dims empty; the
             // resolver decides.
-            t.symbols.entry(name.clone()).or_insert_with(|| {
-                let mut sym = implicit_symbol(&name);
-                sym.storage = Storage::Local;
-                sym
-            });
+            t.entry(&name);
         }
         t
     }
 
     fn entry(&mut self, name: &str) -> &mut Symbol {
-        self.symbols
-            .entry(name.to_string())
-            .or_insert_with(|| implicit_symbol(name))
+        let id = self.interner.intern(name);
+        if id.index() == self.symbols.len() {
+            let mut sym = implicit_symbol(self.interner.resolve(id));
+            sym.id = id;
+            self.order.insert(sym.name.clone(), id);
+            self.symbols.push(sym);
+        }
+        &mut self.symbols[id.index()]
     }
 
     pub fn get(&self, name: &str) -> Option<&Symbol> {
-        self.symbols.get(&name.to_ascii_uppercase())
+        self.interner
+            .lookup(name)
+            .map(|id| &self.symbols[id.index()])
+    }
+
+    /// The symbol for an interned id.
+    pub fn get_id(&self, id: NameId) -> &Symbol {
+        &self.symbols[id.index()]
+    }
+
+    /// The interned id of `name`, if it names a symbol (case-insensitive).
+    pub fn name_id(&self, name: &str) -> Option<NameId> {
+        self.interner.lookup(name)
+    }
+
+    /// The canonical spelling of an interned id.
+    pub fn resolve(&self, id: NameId) -> &str {
+        self.interner.resolve(id)
+    }
+
+    /// The table's interner (ids are table-local).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
     }
 
     /// True if `name` is a declared array.
@@ -158,9 +202,19 @@ impl SymbolTable {
         self.get(name).is_some_and(|s| s.is_array())
     }
 
+    /// True if the symbol with this id is a declared array.
+    pub fn is_array_id(&self, id: NameId) -> bool {
+        self.symbols[id.index()].is_array()
+    }
+
     /// All symbols in name order.
     pub fn iter(&self) -> impl Iterator<Item = &Symbol> {
-        self.symbols.values()
+        self.order.values().map(|&id| &self.symbols[id.index()])
+    }
+
+    /// All symbols in id (first-seen) order.
+    pub fn iter_ids(&self) -> impl Iterator<Item = &Symbol> {
+        self.symbols.iter()
     }
 
     pub fn len(&self) -> usize {
@@ -192,6 +246,7 @@ pub fn implicit_type(name: &str) -> Type {
 
 fn implicit_symbol(name: &str) -> Symbol {
     Symbol {
+        id: NameId::INVALID,
         name: name.to_string(),
         ty: implicit_type(name),
         dims: Vec::new(),

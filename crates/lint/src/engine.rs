@@ -161,7 +161,7 @@ pub fn lint_unit(
         if parallel {
             let privs = priv_analyze(&ua.symbols, &ua.cfg, &ua.refs, &ua.defuse, info);
             let akills = ped_analysis::array_kill::analyze_loop(unit, &ua.symbols, &ua.env, info);
-            let reds = find_reductions(unit, &ua.refs, info);
+            let reds = find_reductions(unit, &ua.symbols, &ua.refs, info);
             let red_stmts: HashSet<StmtId> = reds.iter().map(|r| r.stmt).collect();
             let red_vars: HashSet<&str> = reds.iter().map(|r| r.var.as_str()).collect();
             let scalar_private = |name: &str| {

@@ -231,7 +231,7 @@ impl<'p> Machine<'p> {
                 env.add_subst(n, l);
             }
             for l in &nest.loops {
-                let reds = ped_analysis::reductions::find_reductions(u, &refs, l);
+                let reds = ped_analysis::reductions::find_reductions(u, st, &refs, l);
                 for r in &reds {
                     if !r.is_scalar() {
                         array_reduce_stmts.insert(r.stmt);

@@ -388,6 +388,8 @@ fn stats_value(st: &SessionStats) -> Result<Value, String> {
         ("reanalyze_misses", Value::int(st.reanalyze_misses as i64)),
         ("lint_hits", Value::int(st.lint_hits as i64)),
         ("lint_misses", Value::int(st.lint_misses as i64)),
+        ("scalar_hits", Value::int(st.scalar_hits as i64)),
+        ("scalar_misses", Value::int(st.scalar_misses as i64)),
         ("test_kinds", Value::Arr(test_kinds)),
         ("features", Value::Arr(features)),
     ]))
@@ -584,6 +586,10 @@ mod tests {
             .iter()
             .any(|k| k.get("kind").unwrap().as_str() == Some("strong-siv")
                 && k.get("count").unwrap().as_i64().unwrap() >= 1));
+        // Open prewarmed every unit's scalar facts (all misses); the
+        // select_unit reanalyze was answered from the scalar memo.
+        assert!(st.get("scalar_misses").unwrap().as_i64().unwrap() >= 1);
+        assert!(st.get("scalar_hits").unwrap().as_i64().unwrap() >= 1);
     }
 
     #[test]

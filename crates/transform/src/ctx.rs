@@ -11,21 +11,28 @@ use ped_analysis::defuse::{DefUse, EffectsMap};
 use ped_analysis::loops::LoopNest;
 use ped_analysis::refs::RefTable;
 use ped_analysis::symbolic::SymbolicEnv;
-use ped_analysis::Cfg;
+use ped_analysis::{Cfg, ScalarFacts};
 use ped_dependence::cache::PairCache;
 use ped_dependence::graph::{BuildOptions, DepKind, DependenceGraph};
 use ped_dependence::marking::{Mark, Marking};
 use ped_fortran::ast::{ProcUnit, StmtId};
 use ped_fortran::symbols::SymbolTable;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Everything the transformations need to reason about one unit.
+///
+/// The content-derived artifacts are `Arc`-shared so the bundle can be
+/// assembled from a memoized [`ped_analysis::ScalarFacts`] without
+/// copying (deref coercion keeps `&ua.symbols`-style call sites
+/// unchanged); the graph, marking and environment depend on user state
+/// and are owned.
 pub struct UnitAnalysis {
-    pub symbols: SymbolTable,
-    pub refs: RefTable,
-    pub nest: LoopNest,
-    pub cfg: Cfg,
-    pub defuse: DefUse,
+    pub symbols: Arc<SymbolTable>,
+    pub refs: Arc<RefTable>,
+    pub nest: Arc<LoopNest>,
+    pub cfg: Arc<Cfg>,
+    pub defuse: Arc<DefUse>,
     pub graph: DependenceGraph,
     pub marking: Marking,
     pub env: SymbolicEnv,
@@ -48,16 +55,17 @@ impl UnitAnalysis {
         effects: Option<&EffectsMap>,
         cache: Option<&mut PairCache>,
     ) -> UnitAnalysis {
-        let symbols = SymbolTable::build(unit);
-        let refs = RefTable::build_with_effects(unit, &symbols, effects);
-        let nest = LoopNest::build(unit);
-        let cfg = Cfg::build(unit);
-        let defuse = DefUse::build(unit, &symbols, &cfg, &refs, effects);
-        let graph = DependenceGraph::build_with(
+        let symbols = Arc::new(SymbolTable::build(unit));
+        let refs = Arc::new(RefTable::build_with_effects(unit, &symbols, effects));
+        let nest = Arc::new(LoopNest::build(unit));
+        let cfg = Arc::new(Cfg::build(unit));
+        let defuse = Arc::new(DefUse::build(unit, &symbols, &cfg, &refs, effects));
+        let graph = DependenceGraph::build_full(
             unit,
             &symbols,
             &refs,
             &nest,
+            Some(&cfg),
             &env,
             &BuildOptions::default(),
             cache,
@@ -75,17 +83,57 @@ impl UnitAnalysis {
         }
     }
 
+    /// Assemble the bundle from a memoized [`ScalarFacts`], sharing
+    /// every content-derived artifact and building only the user-state
+    /// pieces (dependence graph + marking). This is the warm path: a
+    /// session whose unit content is unchanged pays zero scalar-analysis
+    /// rebuilds here.
+    pub fn build_from_facts(
+        unit: &ProcUnit,
+        facts: &ScalarFacts,
+        env: SymbolicEnv,
+        cache: Option<&mut PairCache>,
+    ) -> UnitAnalysis {
+        let graph = DependenceGraph::build_full(
+            unit,
+            &facts.symbols,
+            &facts.refs,
+            &facts.nest,
+            Some(&facts.cfg),
+            &env,
+            &BuildOptions::default(),
+            cache,
+        );
+        let marking = Marking::initial(&graph);
+        UnitAnalysis {
+            symbols: facts.symbols.clone(),
+            refs: facts.refs.clone(),
+            nest: facts.nest.clone(),
+            cfg: facts.cfg.clone(),
+            defuse: facts.defuse.clone(),
+            graph,
+            marking,
+            env,
+        }
+    }
+
     /// Rebuild after an AST mutation, preserving user marks where the
     /// dependence still exists (match by src/sink statement + variable +
     /// level).
     pub fn rebuild(&mut self, unit: &ProcUnit) {
         let old_graph = std::mem::take(&mut self.graph);
         let old_marking = std::mem::take(&mut self.marking);
-        self.symbols = SymbolTable::build(unit);
-        self.refs = RefTable::build(unit, &self.symbols);
-        self.nest = LoopNest::build(unit);
-        self.cfg = Cfg::build(unit);
-        self.defuse = DefUse::build(unit, &self.symbols, &self.cfg, &self.refs, None);
+        self.symbols = Arc::new(SymbolTable::build(unit));
+        self.refs = Arc::new(RefTable::build(unit, &self.symbols));
+        self.nest = Arc::new(LoopNest::build(unit));
+        self.cfg = Arc::new(Cfg::build(unit));
+        self.defuse = Arc::new(DefUse::build(
+            unit,
+            &self.symbols,
+            &self.cfg,
+            &self.refs,
+            None,
+        ));
         self.graph = DependenceGraph::build(
             unit,
             &self.symbols,

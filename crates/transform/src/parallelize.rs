@@ -49,7 +49,7 @@ pub fn analyze_parallelization(
     let info = ua.nest.get(l);
     let privs = priv_analyze(&ua.symbols, &ua.cfg, &ua.refs, &ua.defuse, info);
     let akills = ped_analysis::array_kill::analyze_loop(unit, &ua.symbols, &ua.env, info);
-    let reds = find_reductions(unit, &ua.refs, info);
+    let reds = find_reductions(unit, &ua.symbols, &ua.refs, info);
     let red_stmts: HashSet<StmtId> = reds.iter().map(|r| r.stmt).collect();
     let red_vars: Vec<String> = {
         let mut v: Vec<String> = reds.iter().map(|r| r.var.clone()).collect();

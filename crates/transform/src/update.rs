@@ -28,11 +28,17 @@ pub fn incremental_update(ua: &mut UnitAnalysis, unit: &ProcUnit, changed_region
     let old_graph = std::mem::take(&mut ua.graph);
     let old_marking = std::mem::take(&mut ua.marking);
     // Fresh structural analyses (cheap relative to dependence testing).
-    ua.symbols = SymbolTable::build(unit);
-    ua.refs = RefTable::build(unit, &ua.symbols);
-    ua.nest = LoopNest::build(unit);
-    ua.cfg = ped_analysis::Cfg::build(unit);
-    ua.defuse = ped_analysis::DefUse::build(unit, &ua.symbols, &ua.cfg, &ua.refs, None);
+    ua.symbols = std::sync::Arc::new(SymbolTable::build(unit));
+    ua.refs = std::sync::Arc::new(RefTable::build(unit, &ua.symbols));
+    ua.nest = std::sync::Arc::new(LoopNest::build(unit));
+    ua.cfg = std::sync::Arc::new(ped_analysis::Cfg::build(unit));
+    ua.defuse = std::sync::Arc::new(ped_analysis::DefUse::build(
+        unit,
+        &ua.symbols,
+        &ua.cfg,
+        &ua.refs,
+        None,
+    ));
     // New graph: full build (the test suite is the expensive part; the
     // savings come from re-using marks + only *testing* region pairs in
     // `rebuild_region_only` below, used by the benchmark).

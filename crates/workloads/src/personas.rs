@@ -218,6 +218,8 @@ pub fn opinion_counts(f: Feature) -> (usize, usize, usize) {
         | Feature::AnalysisCacheMiss
         | Feature::LintCacheHit
         | Feature::LintCacheMiss
+        | Feature::ScalarCacheHit
+        | Feature::ScalarCacheMiss
         | Feature::FastPathZiv
         | Feature::FastPathStrongSiv
         | Feature::FastPathWeakZeroSiv
@@ -242,6 +244,8 @@ pub fn expected_used(f: Feature) -> usize {
         | Feature::AnalysisCacheMiss
         | Feature::LintCacheHit
         | Feature::LintCacheMiss
+        | Feature::ScalarCacheHit
+        | Feature::ScalarCacheMiss
         | Feature::FastPathZiv
         | Feature::FastPathStrongSiv
         | Feature::FastPathWeakZeroSiv

@@ -8,14 +8,18 @@
 #                  incremental whole-repo lint (or $3 if given)
 #   BENCH_4.json — ped-bench test-kind breakdown, canonicalization
 #                  engine on vs off with per-kind hit counts (or $4)
+#   BENCH_5.json — ped-bench scalar-facts store: serial vs auto-prewarm
+#                  open, warm vs cold facts rebuild, single-unit-edit
+#                  hit rates, String-vs-NameId lookup micro (or $5)
 set -e
 cd "$(dirname "$0")/.."
 OUT1="${1:-BENCH_1.json}"
 OUT2="${2:-BENCH_2.json}"
 OUT3="${3:-BENCH_3.json}"
 OUT4="${4:-BENCH_4.json}"
+OUT5="${5:-BENCH_5.json}"
 cargo build --release --offline -p ped-bench \
     --bin ped-bench --bin ped-serve-bench --bin ped-lint-bench
-./target/release/ped-bench "$OUT1" "$OUT4"
+./target/release/ped-bench "$OUT1" "$OUT4" "$OUT5"
 ./target/release/ped-serve-bench "$OUT2"
 ./target/release/ped-lint-bench "$OUT3"

@@ -20,8 +20,17 @@ echo "ci: ped-lint self-check passed"
 
 # Dependence-engine gates: the differential oracle (canonicalization
 # engine vs per-pair tester, byte-identical graphs) and the quick
-# fast-vs-general smoke over every workload unit.
+# fast-vs-general smoke over every workload unit. The smoke also runs
+# the scalar-store gate: a forced no-op reanalyze of every workload must
+# record zero scalar-facts misses (nothing rebuilt).
 cargo test -q --offline -p ped-dependence --test hierarchy_oracle
 cargo build --release --offline -p ped-bench --bin ped-bench
 ./target/release/ped-bench --smoke
 echo "ci: dependence oracle + smoke passed"
+
+# Interning gates: rendered output across every workload must be
+# byte-identical to the pre-interning goldens, and one reanalyze miss
+# must build each scalar artifact exactly once.
+cargo test -q --offline -p ped --test interning_oracle
+cargo test -q --offline -p ped --test build_counts
+echo "ci: interning oracle + single-build gate passed"
