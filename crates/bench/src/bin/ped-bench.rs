@@ -248,7 +248,7 @@ fn main() {
             256,
             &mut || {
                 session.cache.invalidate();
-                session.cache.pairs = PairCache::new();
+                session.cache.reset_pairs();
                 session.reanalyze();
             },
         );
@@ -281,7 +281,7 @@ fn main() {
     phases.push(s);
     let s = bench_with("reanalyze-coldcache:synth60", 400, 64, &mut || {
         session.cache.invalidate();
-        session.cache.pairs = PairCache::new();
+        session.cache.reset_pairs();
         session.reanalyze();
     });
     let synth_cold = s.mean_us;

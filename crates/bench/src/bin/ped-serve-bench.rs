@@ -1,22 +1,35 @@
-//! `ped-serve-bench` — the server load harness, written as
-//! `BENCH_2.json`.
+//! `ped-serve-bench` — the server load harness.
 //!
-//! Spins up an in-process `ped-serve` on an ephemeral port, then replays
-//! the Table 2 persona wire scripts (`ped_workloads::scripts`) as N
-//! concurrent TCP clients. Every client gets unique session ids, so the
-//! server multiplexes `clients × scripts` live sessions. Per-request
-//! latency is measured from write to full response line; the scenario
-//! reports throughput and p50/p99. Scenarios: 1 client (the interactive
-//! baseline) vs N concurrent clients (the service regime).
+//! Default mode replays the Table 2 persona wire scripts
+//! (`ped_workloads::scripts`) as N concurrent TCP clients against an
+//! in-process `ped-serve` and writes `BENCH_2.json` (throughput and
+//! p50/p99 for 1 vs N clients).
 //!
-//! Every response is also checked byte-for-byte against the
-//! single-threaded in-process oracle — a load run that returned wrong
-//! bytes would be worthless.
+//! `--bench6` runs the event-loop/snapshot suite and writes
+//! `BENCH_6.json`:
 //!
-//! Usage: `ped-serve-bench [OUTPUT.json] [--clients N] [--iters N]`
+//! * **paired-median scaling** — 1-client and N-client runs strictly
+//!   alternated, medians compared (the same methodology `ped-bench`
+//!   uses), gated to improve on the thread-pool server's committed
+//!   BENCH_2 scaling;
+//! * **read-heavy persona mix** — N readers hammer `deps`/`vars`/
+//!   `stmts`/`lint`/`stats` on ONE shared session while a writer storm
+//!   edits that same session; per-method p50/p99 histograms, gated:
+//!   storm read p99 ≤ 3× the no-writer baseline (snapshot reads must
+//!   not queue behind the writer lock);
+//! * **many sessions** — ≥1k concurrent live sessions multiplexed over
+//!   32 connections, comfortably inside the default fd budget.
+//!
+//! `--smoke` is the CI gate: 8 concurrent clients, every response
+//! checked byte-for-byte against the single-threaded in-process
+//! oracle.
+//!
+//! Usage: `ped-serve-bench [OUTPUT.json] [--clients N] [--iters N]
+//!                         [--bench6] [--smoke]`
 
 use ped_bench::harness::percentile;
 use ped_server::{ManagerConfig, ServerConfig};
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
@@ -120,21 +133,404 @@ fn scenario_json(s: &Scenario) -> String {
     )
 }
 
+// ---------------------------------------------------------------------
+// BENCH_6: event-loop + snapshot-read suite
+// ---------------------------------------------------------------------
+
+/// The thread-pool server's committed BENCH_2 throughput scaling on the
+/// reference 1-core container; the event loop is gated to beat it.
+const BENCH2_REFERENCE_SCALING: f64 = 1.42;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        (xs[mid - 1] + xs[mid]) / 2.0
+    }
+}
+
+/// A synthetic unit with `arrays` loop-carried recurrences, sized so
+/// `deps` responses are a few KB and every edit forces reanalysis.
+fn recurrence_source(arrays: usize) -> String {
+    let mut src = String::new();
+    for k in 0..arrays {
+        src.push_str(&format!("      REAL A{k}(200)\n"));
+    }
+    src.push_str("      DO 10 I = 2, N\n");
+    for k in 0..arrays {
+        src.push_str(&format!("      A{k}(I) = A{k}(I-1) + A{k}(I+1)\n"));
+    }
+    src.push_str("   10 CONTINUE\n      END\n");
+    src
+}
+
+struct Wire {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Wire {
+    fn connect(addr: SocketAddr) -> Wire {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        Wire {
+            writer: stream.try_clone().expect("clone"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn ask(&mut self, req: &str) -> String {
+        self.writer.write_all(req.as_bytes()).expect("write");
+        self.writer.write_all(b"\n").expect("write");
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).expect("read");
+        assert!(resp.ends_with('\n'), "truncated response for {req}");
+        resp.trim_end().to_string()
+    }
+}
+
+/// Find the id of the statement whose text starts with `needle` in a
+/// `stmts` response (rows look like `{"id":7,"text":"A0(I) = ..."}`).
+fn find_stmt_id(stmts_resp: &str, needle: &str) -> u32 {
+    for part in stmts_resp.split("{\"id\":").skip(1) {
+        if let Some((id, rest)) = part.split_once(",\"text\":\"") {
+            if rest.starts_with(needle) {
+                return id.trim().parse().expect("stmt id");
+            }
+        }
+    }
+    panic!("statement '{needle}' not found in {stmts_resp}");
+}
+
+/// Extract an integer field like `"writer_publishes":42` from a
+/// response line.
+fn find_u64_field(resp: &str, field: &str) -> u64 {
+    let pat = format!("\"{field}\":");
+    let at = resp
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {field} in {resp}"));
+    resp[at + pat.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("integer field")
+}
+
+const READ_METHODS: [&str; 5] = ["deps", "vars", "stmts", "lint", "stats"];
+
+struct MixResult {
+    per_method: BTreeMap<&'static str, Vec<f64>>,
+    read_p99_us: f64,
+    writer_publishes: u64,
+    snapshot_reads: u64,
+    wall_secs: f64,
+}
+
+/// N reader clients cycle the read-only methods against ONE shared
+/// session for `duration`; with `with_writer`, one more client
+/// continuously edits that same session (stmts → edit → repeat, each
+/// edit toggling the recurrence so reanalysis is real work).
+fn run_read_heavy(readers: usize, with_writer: bool, duration: Duration) -> MixResult {
+    let mut server = ped_server::spawn(ServerConfig {
+        manager: ManagerConfig {
+            max_sessions: 4096,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .expect("spawn server");
+    let addr = server.addr;
+
+    let mut setup = Wire::connect(addr);
+    let open = format!(
+        "{{\"id\":1,\"method\":\"open\",\"params\":{{\"session\":\"storm\",\"source\":\"{}\"}}}}",
+        recurrence_source(16).replace('\n', "\\n")
+    );
+    assert!(setup.ask(&open).contains("\"ok\":true"), "open failed");
+    let sel = "{\"id\":2,\"method\":\"select_loop\",\"params\":{\"session\":\"storm\",\"loop\":0}}";
+    assert!(setup.ask(sel).contains("\"ok\":true"), "select failed");
+
+    let deadline = Instant::now() + duration;
+    let t0 = Instant::now();
+    let reader_handles: Vec<_> = (0..readers)
+        .map(|r| {
+            std::thread::spawn(move || {
+                let mut wire = Wire::connect(addr);
+                let mut lat: BTreeMap<&'static str, Vec<f64>> =
+                    READ_METHODS.iter().map(|m| (*m, Vec::new())).collect();
+                let mut id = 1_000_000 * (r as u64 + 1);
+                while Instant::now() < deadline {
+                    for method in READ_METHODS {
+                        id += 1;
+                        let req = format!(
+                            "{{\"id\":{id},\"method\":\"{method}\",\"params\":{{\"session\":\"storm\"}}}}"
+                        );
+                        let t = Instant::now();
+                        let resp = wire.ask(&req);
+                        lat.get_mut(method).unwrap().push(t.elapsed().as_secs_f64() * 1e6);
+                        assert!(resp.contains("\"ok\":true"), "read failed: {resp}");
+                    }
+                }
+                lat
+            })
+        })
+        .collect();
+
+    let writer_handle = with_writer.then(|| {
+        std::thread::spawn(move || {
+            let mut wire = Wire::connect(addr);
+            let texts = ["A0(I) = A0(I-1)", "A0(I) = A0(I-1) + A0(I+1)"];
+            let mut edits = 0u64;
+            while Instant::now() < deadline {
+                let stmts = wire.ask(
+                    "{\"id\":1,\"method\":\"stmts\",\"params\":{\"session\":\"storm\"}}",
+                );
+                // Edits mint fresh statement ids, so re-find the target
+                // each round.
+                let stmt = find_stmt_id(&stmts, "A0(I)");
+                let req = format!(
+                    "{{\"id\":2,\"method\":\"edit\",\"params\":{{\"session\":\"storm\",\"stmt\":{stmt},\"text\":\"{}\"}}}}",
+                    texts[(edits % 2) as usize]
+                );
+                let resp = wire.ask(&req);
+                assert!(resp.contains("\"ok\":true"), "edit failed: {resp}");
+                edits += 1;
+            }
+            edits
+        })
+    });
+
+    let mut per_method: BTreeMap<&'static str, Vec<f64>> =
+        READ_METHODS.iter().map(|m| (*m, Vec::new())).collect();
+    for h in reader_handles {
+        for (m, lat) in h.join().expect("reader thread") {
+            per_method.get_mut(m).unwrap().extend(lat);
+        }
+    }
+    let edits = writer_handle.map(|h| h.join().expect("writer thread"));
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    let stats = setup.ask("{\"id\":3,\"method\":\"stats\",\"params\":{\"session\":\"storm\"}}");
+    let writer_publishes = find_u64_field(&stats, "writer_publishes");
+    let snapshot_reads = find_u64_field(&stats, "snapshot_reads");
+    server.stop();
+
+    let mut all_reads: Vec<f64> = per_method.values().flatten().copied().collect();
+    all_reads.sort_by(|a, b| a.total_cmp(b));
+    let label = if with_writer {
+        "writer storm"
+    } else {
+        "no writer"
+    };
+    println!(
+        "  {label}: {} reads, read p99 {:>8.1} µs, {} publishes{}",
+        all_reads.len(),
+        percentile(&all_reads, 0.99),
+        writer_publishes,
+        edits.map(|e| format!(" ({e} edits)")).unwrap_or_default()
+    );
+    MixResult {
+        read_p99_us: percentile(&all_reads, 0.99),
+        per_method,
+        writer_publishes,
+        snapshot_reads,
+        wall_secs,
+    }
+}
+
+fn per_method_json(per_method: &BTreeMap<&'static str, Vec<f64>>) -> String {
+    let fields: Vec<String> = per_method
+        .iter()
+        .map(|(m, lat)| {
+            let mut sorted = lat.clone();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            format!(
+                "\"{m}\": {{\"count\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+                sorted.len(),
+                percentile(&sorted, 0.50),
+                percentile(&sorted, 0.99)
+            )
+        })
+        .collect();
+    format!("{{{}}}", fields.join(", "))
+}
+
+/// ≥1k live sessions multiplexed over a handful of connections — the
+/// event loop's whole point: a session costs state, not a thread or fd
+/// per client.
+fn run_many_sessions(connections: usize, per_conn: usize) -> (usize, usize) {
+    let mut server = ped_server::spawn(ServerConfig {
+        manager: ManagerConfig {
+            max_sessions: 4096,
+            idle_ttl: Duration::from_secs(600),
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .expect("spawn server");
+    let addr = server.addr;
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(connections + 1));
+    let src = recurrence_source(2).replace('\n', "\\n");
+    let handles: Vec<_> = (0..connections)
+        .map(|c| {
+            let barrier = std::sync::Arc::clone(&barrier);
+            let src = src.clone();
+            std::thread::spawn(move || {
+                let mut wire = Wire::connect(addr);
+                for s in 0..per_conn {
+                    let open = format!(
+                        "{{\"id\":1,\"method\":\"open\",\"params\":{{\"session\":\"m{c}s{s}\",\"source\":\"{src}\"}}}}"
+                    );
+                    assert!(wire.ask(&open).contains("\"ok\":true"), "open failed");
+                }
+                // All sessions live at once across every connection.
+                barrier.wait();
+                barrier.wait();
+                for s in 0..per_conn {
+                    let deps = format!(
+                        "{{\"id\":2,\"method\":\"deps\",\"params\":{{\"session\":\"m{c}s{s}\"}}}}"
+                    );
+                    assert!(wire.ask(&deps).contains("\"ok\":true"), "deps failed");
+                    let close = format!(
+                        "{{\"id\":3,\"method\":\"close\",\"params\":{{\"session\":\"m{c}s{s}\"}}}}"
+                    );
+                    assert!(wire.ask(&close).contains("\"ok\":true"), "close failed");
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let peak = server.manager.len();
+    barrier.wait();
+    for h in handles {
+        h.join().expect("connection thread");
+    }
+    let end = server.manager.len();
+    server.stop();
+    println!(
+        "  {} sessions over {connections} connections (peak live {peak}, after close {end})",
+        connections * per_conn
+    );
+    (peak, end)
+}
+
+fn run_bench6(out_path: &str, clients: usize, pairs: usize) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("oracle check:");
+    run_scenario(clients, 1, true);
+
+    // Paired medians: base and loaded runs strictly alternated so
+    // machine drift hits both sides equally.
+    println!("\npaired scaling ({pairs} pairs):");
+    let mut base_rps = Vec::new();
+    let mut loaded_rps = Vec::new();
+    for _ in 0..pairs {
+        base_rps.push(run_scenario(1, 1, false).throughput_rps);
+        loaded_rps.push(run_scenario(clients, 1, false).throughput_rps);
+    }
+    let base_median = median(base_rps.clone());
+    let loaded_median = median(loaded_rps.clone());
+    let scaling = loaded_median / base_median.max(1e-9);
+    println!(
+        "  medians: {base_median:.1} -> {loaded_median:.1} req/s, scaling {scaling:.2}x \
+         (BENCH_2 thread-pool reference {BENCH2_REFERENCE_SCALING:.2}x, {cores} core(s))"
+    );
+    assert!(
+        scaling > BENCH2_REFERENCE_SCALING,
+        "event-loop scaling {scaling:.2}x does not improve on the thread-pool's \
+         committed {BENCH2_REFERENCE_SCALING:.2}x"
+    );
+
+    println!("\nread-heavy mix (4 readers, shared session):");
+    let mix_secs = Duration::from_millis(2500);
+    let baseline = run_read_heavy(4, false, mix_secs);
+    let storm = run_read_heavy(4, true, mix_secs);
+    let ratio = storm.read_p99_us / baseline.read_p99_us.max(1e-9);
+    println!(
+        "  storm read p99 / baseline read p99 = {ratio:.2} (gate: <= 3.0); \
+         storm saw {} publishes, {} snapshot reads",
+        storm.writer_publishes, storm.snapshot_reads
+    );
+    assert!(
+        storm.writer_publishes > 0,
+        "writer storm never published an edit"
+    );
+    assert!(
+        ratio <= 3.0,
+        "storm read p99 {:.1} µs is more than 3x the no-writer baseline {:.1} µs — \
+         reads are queueing behind the writer",
+        storm.read_p99_us,
+        baseline.read_p99_us
+    );
+
+    println!("\nmany sessions:");
+    let (connections, per_conn) = (32, 32);
+    let (peak, end) = run_many_sessions(connections, per_conn);
+    assert!(
+        peak >= 1000,
+        "only {peak} sessions live concurrently; wanted >= 1000"
+    );
+    assert_eq!(end, 0, "sessions leaked after close");
+
+    let json = format!(
+        "{{\n  \"generated_by\": \"ped-serve-bench --bench6\",\n  \"available_parallelism\": {cores},\n  \"scaling\": {{\n    \"pairs\": {pairs},\n    \"clients\": {clients},\n    \"base_median_rps\": {base_median:.1},\n    \"loaded_median_rps\": {loaded_median:.1},\n    \"throughput_scaling\": {scaling:.2},\n    \"bench2_reference_scaling\": {BENCH2_REFERENCE_SCALING:.2},\n    \"gate_improves_on_bench2\": true\n  }},\n  \"read_heavy\": {{\n    \"readers\": 4,\n    \"seconds_per_phase\": {:.1},\n    \"baseline\": {{\"read_p99_us\": {:.1}, \"per_method\": {}}},\n    \"storm\": {{\"read_p99_us\": {:.1}, \"writer_publishes\": {}, \"snapshot_reads\": {}, \"per_method\": {}}},\n    \"read_p99_ratio\": {ratio:.2},\n    \"gate_read_p99_within_3x\": true\n  }},\n  \"many_sessions\": {{\n    \"connections\": {connections},\n    \"sessions\": {},\n    \"peak_live_sessions\": {peak},\n    \"gate_1k_sessions\": true\n  }}\n}}\n",
+        baseline.wall_secs.max(storm.wall_secs),
+        baseline.read_p99_us,
+        per_method_json(&baseline.per_method),
+        storm.read_p99_us,
+        storm.writer_publishes,
+        storm.snapshot_reads,
+        per_method_json(&storm.per_method),
+        connections * per_conn
+    );
+    std::fs::write(out_path, json).expect("write BENCH_6.json");
+    println!("\nwrote {out_path}");
+}
+
 fn main() {
-    let mut out_path = "BENCH_2.json".to_string();
+    let mut out_path: Option<String> = None;
     let mut clients = 8usize;
     let mut iters = 2usize;
+    let mut bench6 = false;
+    let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--clients" => clients = args.next().and_then(|v| v.parse().ok()).unwrap_or(8),
             "--iters" => iters = args.next().and_then(|v| v.parse().ok()).unwrap_or(2),
-            other => out_path = other.to_string(),
+            "--bench6" => bench6 = true,
+            "--smoke" => smoke = true,
+            other => out_path = Some(other.to_string()),
         }
     }
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+
+    if smoke {
+        // CI gate: concurrent bytes must equal the sequential oracle's.
+        println!("ped-serve-bench --smoke: {clients} oracle-checked clients ({cores} core(s))");
+        run_scenario(clients, 1, true);
+        println!("smoke ok");
+        return;
+    }
+    if bench6 {
+        let out = out_path.unwrap_or_else(|| "BENCH_6.json".to_string());
+        println!("ped-serve-bench --bench6: {cores} core(s), {clients} clients\n");
+        run_bench6(&out, clients, 3);
+        return;
+    }
+
+    let out_path = out_path.unwrap_or_else(|| "BENCH_2.json".to_string());
     println!("ped-serve-bench: {cores} core(s), {clients} clients x {iters} iters\n");
 
     // Warm-up (and correctness gate): one client, oracle-checked.

@@ -16,42 +16,60 @@
 //!   only the reference pairs whose statements or enclosing loops
 //!   changed are re-tested (see `ped_dependence::cache`).
 //!
+//! Like [`crate::usage::UsageLog`], the cache is a shared handle:
+//! cloning yields a second view of the same memo tables and counters.
+//! A published [`crate::snapshot::SessionSnapshot`] therefore shares
+//! its cache with the authoritative session — lint/scalar lookups made
+//! on the lock-free read path count (and memoize) exactly as they would
+//! under the writer lock, which keeps concurrent server replies
+//! byte-identical to a sequential oracle. Every memo entry is validated
+//! by a content fingerprint on lookup, so a straggler snapshot storing
+//! an outdated entry can cost a rebuild but never a wrong answer.
+//!
 //! Hit/miss counters at both levels are mirrored into the session's
 //! `UsageLog` and surfaced by `PedSession::cache_stats`.
 
 use ped_analysis::ScalarFacts;
 use ped_dependence::cache::PairCache;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
-/// Cache state carried by a `PedSession` across `reanalyze()` calls.
 #[derive(Debug, Default)]
-pub struct AnalysisCache {
+struct CacheInner {
     /// Fingerprint of (unit index, unit content, assertions) the current
     /// `UnitAnalysis` was built from; `None` until the first build.
-    key: Option<u64>,
+    key: Mutex<Option<u64>>,
     /// Pair-test memo table threaded into graph construction.
-    pub pairs: PairCache,
+    pairs: Mutex<PairCache>,
     /// `reanalyze()` calls answered without recomputing anything.
-    pub analysis_hits: u64,
+    analysis_hits: AtomicU64,
     /// `reanalyze()` calls that rebuilt the analyses.
-    pub analysis_misses: u64,
+    analysis_misses: AtomicU64,
     /// Per-unit lint memo: unit index → (inputs fingerprint, findings).
     /// An edit dirties only the edited unit's key, so a whole-program
     /// `lint()` after an incremental change re-lints one unit.
-    lint: HashMap<usize, (u64, Vec<ped_lint::Finding>)>,
+    lint: Mutex<HashMap<usize, (u64, Vec<ped_lint::Finding>)>>,
     /// Per-unit lint requests answered from the memo.
-    pub lint_hits: u64,
+    lint_hits: AtomicU64,
     /// Per-unit lint requests that ran the engine.
-    pub lint_misses: u64,
+    lint_misses: AtomicU64,
     /// Per-unit scalar-facts memo: unit index → `Arc` bundle. Validity
     /// is the bundle's own content fingerprint, so an edit dirties only
     /// the edited unit's entry.
-    scalar: HashMap<usize, Arc<ScalarFacts>>,
+    scalar: Mutex<HashMap<usize, Arc<ScalarFacts>>>,
     /// Scalar-facts requests answered from the memo.
-    pub scalar_hits: u64,
+    scalar_hits: AtomicU64,
     /// Scalar-facts requests that ran the scalar pipeline.
-    pub scalar_misses: u64,
+    scalar_misses: AtomicU64,
+}
+
+/// Cache state carried by a `PedSession` across `reanalyze()` calls.
+///
+/// Clone shares: both handles read and update the same tables.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisCache {
+    inner: Arc<CacheInner>,
 }
 
 impl AnalysisCache {
@@ -59,21 +77,34 @@ impl AnalysisCache {
         AnalysisCache::default()
     }
 
+    /// Exclusive access to the pair-test memo, threaded into dependence
+    /// graph construction during `reanalyze()`.
+    pub fn pairs(&self) -> MutexGuard<'_, PairCache> {
+        self.inner.pairs.lock().unwrap()
+    }
+
+    /// Discard the pair-test memo, keeping its lifetime hit/miss
+    /// counters at zero (benchmarking: forces cold pair tests).
+    pub fn reset_pairs(&self) {
+        *self.inner.pairs.lock().unwrap() = PairCache::new();
+    }
+
     /// Record the key of a freshly built analysis without counting a
     /// hit or miss (used by `open`, which always builds).
-    pub fn prime(&mut self, key: u64) {
-        self.key = Some(key);
+    pub fn prime(&self, key: u64) {
+        *self.inner.key.lock().unwrap() = Some(key);
     }
 
     /// True if the current analysis state is still valid for `key`.
     /// On mismatch the key is updated (the caller is about to rebuild).
-    pub fn check(&mut self, key: u64) -> bool {
-        if self.key == Some(key) {
-            self.analysis_hits += 1;
+    pub fn check(&self, key: u64) -> bool {
+        let mut cur = self.inner.key.lock().unwrap();
+        if *cur == Some(key) {
+            self.inner.analysis_hits.fetch_add(1, Ordering::SeqCst);
             true
         } else {
-            self.key = Some(key);
-            self.analysis_misses += 1;
+            *cur = Some(key);
+            self.inner.analysis_misses.fetch_add(1, Ordering::SeqCst);
             false
         }
     }
@@ -83,82 +114,93 @@ impl AnalysisCache {
     /// scalar-facts memo is *kept*: each bundle is validated against its
     /// unit's content fingerprint on every lookup, so no side channel
     /// can make it stale.
-    pub fn invalidate(&mut self) {
-        self.key = None;
-        self.lint.clear();
+    pub fn invalidate(&self) {
+        *self.inner.key.lock().unwrap() = None;
+        self.inner.lint.lock().unwrap().clear();
     }
 
     /// Discard the scalar-facts memo (benchmarking: forces the next
     /// rebuild to run the full scalar pipeline for every unit).
-    pub fn drop_scalar(&mut self) {
-        self.scalar.clear();
+    pub fn drop_scalar(&self) {
+        self.inner.scalar.lock().unwrap().clear();
     }
 
     /// Cached scalar facts for a unit, if the memoized bundle was built
     /// from content fingerprinting to `fp`. Counts a hit or miss.
-    pub fn scalar_check(&mut self, unit_idx: usize, fp: u64) -> Option<Arc<ScalarFacts>> {
-        match self.scalar.get(&unit_idx) {
+    pub fn scalar_check(&self, unit_idx: usize, fp: u64) -> Option<Arc<ScalarFacts>> {
+        match self.inner.scalar.lock().unwrap().get(&unit_idx) {
             Some(f) if f.fingerprint == fp => {
-                self.scalar_hits += 1;
+                self.inner.scalar_hits.fetch_add(1, Ordering::SeqCst);
                 Some(f.clone())
             }
             _ => {
-                self.scalar_misses += 1;
+                self.inner.scalar_misses.fetch_add(1, Ordering::SeqCst);
                 None
             }
         }
     }
 
     /// Store a unit's freshly built scalar facts.
-    pub fn scalar_store(&mut self, unit_idx: usize, facts: Arc<ScalarFacts>) {
-        self.scalar.insert(unit_idx, facts);
+    pub fn scalar_store(&self, unit_idx: usize, facts: Arc<ScalarFacts>) {
+        self.inner.scalar.lock().unwrap().insert(unit_idx, facts);
     }
 
     /// Store a prewarmed bundle, counting the build as a miss (`open`
     /// always builds cold — the counters stay an honest build tally).
-    pub fn scalar_prime(&mut self, unit_idx: usize, facts: Arc<ScalarFacts>) {
-        self.scalar_misses += 1;
-        self.scalar.insert(unit_idx, facts);
+    pub fn scalar_prime(&self, unit_idx: usize, facts: Arc<ScalarFacts>) {
+        self.inner.scalar_misses.fetch_add(1, Ordering::SeqCst);
+        self.inner.scalar.lock().unwrap().insert(unit_idx, facts);
     }
 
     /// (scalar-facts hits, scalar-facts misses) — lifetime counters.
     pub fn scalar_stats(&self) -> (u64, u64) {
-        (self.scalar_hits, self.scalar_misses)
+        (
+            self.inner.scalar_hits.load(Ordering::SeqCst),
+            self.inner.scalar_misses.load(Ordering::SeqCst),
+        )
     }
 
     /// Cached lint findings for a unit, if its inputs still fingerprint
     /// to `key`. Counts a hit or miss.
-    pub fn lint_check(&mut self, unit_idx: usize, key: u64) -> Option<Vec<ped_lint::Finding>> {
-        match self.lint.get(&unit_idx) {
+    pub fn lint_check(&self, unit_idx: usize, key: u64) -> Option<Vec<ped_lint::Finding>> {
+        match self.inner.lint.lock().unwrap().get(&unit_idx) {
             Some((k, findings)) if *k == key => {
-                self.lint_hits += 1;
+                self.inner.lint_hits.fetch_add(1, Ordering::SeqCst);
                 Some(findings.clone())
             }
             _ => {
-                self.lint_misses += 1;
+                self.inner.lint_misses.fetch_add(1, Ordering::SeqCst);
                 None
             }
         }
     }
 
     /// Store a unit's lint findings under its inputs fingerprint.
-    pub fn lint_store(&mut self, unit_idx: usize, key: u64, findings: Vec<ped_lint::Finding>) {
-        self.lint.insert(unit_idx, (key, findings));
+    pub fn lint_store(&self, unit_idx: usize, key: u64, findings: Vec<ped_lint::Finding>) {
+        self.inner
+            .lint
+            .lock()
+            .unwrap()
+            .insert(unit_idx, (key, findings));
     }
 
     /// (lint hits, lint misses) — lifetime counters.
     pub fn lint_stats(&self) -> (u64, u64) {
-        (self.lint_hits, self.lint_misses)
+        (
+            self.inner.lint_hits.load(Ordering::SeqCst),
+            self.inner.lint_misses.load(Ordering::SeqCst),
+        )
     }
 
     /// (analysis hits, analysis misses, pair-test hits, pair-test
     /// misses) — lifetime counters.
     pub fn stats(&self) -> (u64, u64, u64, u64) {
+        let pairs = self.inner.pairs.lock().unwrap();
         (
-            self.analysis_hits,
-            self.analysis_misses,
-            self.pairs.hits,
-            self.pairs.misses,
+            self.inner.analysis_hits.load(Ordering::SeqCst),
+            self.inner.analysis_misses.load(Ordering::SeqCst),
+            pairs.hits,
+            pairs.misses,
         )
     }
 }
@@ -169,7 +211,7 @@ mod tests {
 
     #[test]
     fn prime_then_check_hits() {
-        let mut c = AnalysisCache::new();
+        let c = AnalysisCache::new();
         c.prime(42);
         assert!(c.check(42));
         assert_eq!(c.stats().0, 1);
@@ -177,7 +219,7 @@ mod tests {
 
     #[test]
     fn mismatch_misses_and_updates() {
-        let mut c = AnalysisCache::new();
+        let c = AnalysisCache::new();
         assert!(!c.check(1));
         assert!(c.check(1));
         assert!(!c.check(2));
@@ -187,7 +229,7 @@ mod tests {
 
     #[test]
     fn invalidate_forces_miss() {
-        let mut c = AnalysisCache::new();
+        let c = AnalysisCache::new();
         c.prime(7);
         c.invalidate();
         assert!(!c.check(7));
@@ -195,7 +237,7 @@ mod tests {
 
     #[test]
     fn lint_memo_hits_on_same_key_only() {
-        let mut c = AnalysisCache::new();
+        let c = AnalysisCache::new();
         assert!(c.lint_check(0, 11).is_none());
         c.lint_store(0, 11, Vec::new());
         assert!(c.lint_check(0, 11).is_some());
@@ -204,5 +246,16 @@ mod tests {
         assert_eq!(c.lint_stats(), (1, 3));
         c.invalidate();
         assert!(c.lint_check(0, 11).is_none());
+    }
+
+    #[test]
+    fn clones_share_memo_and_counters() {
+        let a = AnalysisCache::new();
+        let b = a.clone();
+        a.lint_store(0, 5, Vec::new());
+        assert!(b.lint_check(0, 5).is_some());
+        assert_eq!(a.lint_stats(), (1, 0));
+        b.reset_pairs();
+        assert_eq!(a.stats(), (0, 0, 0, 0));
     }
 }

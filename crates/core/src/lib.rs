@@ -38,6 +38,7 @@ pub mod filter;
 pub mod panes;
 pub mod render;
 pub mod session;
+pub mod snapshot;
 pub mod usage;
 pub mod workmodel;
 
@@ -46,6 +47,7 @@ pub use breaking::{condition_would_break, suggest_breaking_condition, BreakingCo
 pub use cache::AnalysisCache;
 pub use filter::{DepFilter, SourceFilter, VarFilter};
 pub use session::{PedSession, VarClass};
+pub use snapshot::SessionSnapshot;
 pub use usage::{Feature, UsageLog};
 
 /// Static interactive-help text (§3.2: the help facility).

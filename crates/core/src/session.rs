@@ -66,6 +66,15 @@ pub struct SessionStats {
     /// Per-unit scalar-facts requests that ran the scalar pipeline
     /// (including the cold builds of `open`'s prewarm).
     pub scalar_misses: u64,
+    /// Version of the server's currently published session snapshot
+    /// (0 when the session was never published — direct library use).
+    pub snapshot_epoch: u64,
+    /// Read-method dispatches the server answered from a published
+    /// snapshot without taking the writer lock.
+    pub snapshot_reads: u64,
+    /// Copy-on-write publications performed by write methods (the
+    /// initial publication at `open` is not counted).
+    pub writer_publishes: u64,
     /// Lifetime per-tester-kind tallies of the dependence suite
     /// (`label → count`), accumulated over every graph build of the
     /// session's current unit. Zero rows are omitted.
@@ -75,19 +84,27 @@ pub struct SessionStats {
 }
 
 /// The interactive session.
+///
+/// The program AST, the unit-name index and the interprocedural effects
+/// are `Arc`-shared so [`PedSession::capture`] can publish an immutable
+/// copy-on-write snapshot in O(user state): write methods mutate the
+/// AST through [`Arc::make_mut`], which clones it only when a snapshot
+/// still holds the previous version. `usage` and `cache` are *shared
+/// handles* — a capture and its source record into the same counters
+/// and memo tables (see [`crate::snapshot`]).
 pub struct PedSession {
-    pub program: Program,
+    pub program: Arc<Program>,
     unit_idx: usize,
     /// Upper-cased unit name → index, built once at `open` so
     /// `select_unit` is a hash lookup instead of a linear scan.
-    units_by_name: HashMap<String, usize>,
+    units_by_name: Arc<HashMap<String, usize>>,
     pub ua: UnitAnalysis,
     pub assertions: Vec<Assertion>,
     /// User classification overrides: (loop, variable) → (class, reason).
     pub classification: HashMap<(LoopId, String), (VarClass, Option<String>)>,
     pub selected: Option<LoopId>,
     pub usage: UsageLog,
-    pub effects: EffectsMap,
+    pub effects: Arc<EffectsMap>,
     /// Incremental-reanalysis state (whole-analysis key + pair-test
     /// memo); see [`crate::cache`].
     pub cache: AnalysisCache,
@@ -109,9 +126,9 @@ impl PedSession {
     /// dependence builder); `1` forces a serial prewarm.
     pub fn open_with(program: Program, threads: usize) -> PedSession {
         let effects = ped_interproc::modref_analyze(&program);
-        let mut cache = AnalysisCache::new();
+        let cache = AnalysisCache::new();
         let facts = prewarm_scalar_facts(&program, &effects, threads);
-        let mut usage = UsageLog::default();
+        let usage = UsageLog::default();
         usage.record_n(Feature::ScalarCacheMiss, facts.len());
         for (idx, f) in facts.iter().enumerate() {
             cache.scalar_prime(idx, f.clone());
@@ -121,7 +138,7 @@ impl PedSession {
             &program.units[0],
             &facts[0],
             env,
-            Some(&mut cache.pairs),
+            Some(&mut cache.pairs()),
         );
         cache.prime(Self::analysis_key(&program, 0, &[]));
         let mut units_by_name = HashMap::new();
@@ -132,20 +149,43 @@ impl PedSession {
                 .or_insert(idx);
         }
         let mut s = PedSession {
-            program,
+            program: Arc::new(program),
             unit_idx: 0,
-            units_by_name,
+            units_by_name: Arc::new(units_by_name),
             ua,
             assertions: Vec::new(),
             classification: HashMap::new(),
             selected: None,
             usage,
-            effects,
+            effects: Arc::new(effects),
             cache,
             test_kinds: TestKindCounts::default(),
         };
         s.absorb_test_kinds();
         s
+    }
+
+    /// Capture the session state for snapshot publication: the
+    /// user-visible state is cloned (the `Arc`-shared AST and analysis
+    /// artifacts by reference-count bump), while the usage log and the
+    /// analysis cache come along as *shared handles* — reads served
+    /// from the capture record telemetry and memoize exactly as they
+    /// would on the source, which is what keeps concurrent server
+    /// replies byte-identical to a sequential oracle.
+    pub fn capture(&self) -> PedSession {
+        PedSession {
+            program: Arc::clone(&self.program),
+            unit_idx: self.unit_idx,
+            units_by_name: Arc::clone(&self.units_by_name),
+            ua: self.ua.clone(),
+            assertions: self.assertions.clone(),
+            classification: self.classification.clone(),
+            selected: self.selected,
+            usage: self.usage.clone(),
+            effects: Arc::clone(&self.effects),
+            cache: self.cache.clone(),
+            test_kinds: self.test_kinds,
+        }
     }
 
     /// Fold the just-built graph's tester-kind tallies into the
@@ -215,7 +255,7 @@ impl PedSession {
 
     /// Every unit's memoized scalar facts, in unit order (only edited
     /// units rebuild).
-    fn all_scalar_facts(&mut self) -> Vec<Arc<ScalarFacts>> {
+    fn all_scalar_facts(&self) -> Vec<Arc<ScalarFacts>> {
         (0..self.program.units.len())
             .map(|i| self.scalar_facts(i))
             .collect()
@@ -223,7 +263,7 @@ impl PedSession {
 
     /// The unit's memoized scalar facts: a hash lookup when the unit's
     /// content is unchanged, a full scalar-pipeline run otherwise.
-    fn scalar_facts(&mut self, unit_idx: usize) -> Arc<ScalarFacts> {
+    fn scalar_facts(&self, unit_idx: usize) -> Arc<ScalarFacts> {
         let fp = ped_fortran::fingerprint::unit_fingerprint(&self.program.units[unit_idx]);
         if let Some(f) = self.cache.scalar_check(unit_idx, fp) {
             self.usage.record(Feature::ScalarCacheHit);
@@ -232,7 +272,7 @@ impl PedSession {
         self.usage.record(Feature::ScalarCacheMiss);
         let f = Arc::new(ScalarFacts::build(
             &self.program.units[unit_idx],
-            Some(&self.effects),
+            Some(self.effects.as_ref()),
         ));
         self.cache.scalar_store(unit_idx, f.clone());
         f
@@ -254,15 +294,17 @@ impl PedSession {
         self.usage.record(Feature::AnalysisCacheMiss);
         let all_facts = self.all_scalar_facts();
         let env = Self::env_from_facts(&self.program, &all_facts, self.unit_idx, &self.assertions);
+        let mut pairs = self.cache.pairs();
         let old = std::mem::replace(
             &mut self.ua,
             UnitAnalysis::build_from_facts(
                 &self.program.units[self.unit_idx],
                 &all_facts[self.unit_idx],
                 env,
-                Some(&mut self.cache.pairs),
+                Some(&mut pairs),
             ),
         );
+        drop(pairs);
         self.absorb_test_kinds();
         // Carry user marks across (same endpoints/var/level/kind).
         ped_transform::ctx::carry_user_marks(
@@ -296,6 +338,7 @@ impl PedSession {
         let (analysis_hits, analysis_misses, pair_hits, pair_misses) = self.cache.stats();
         let (lint_hits, lint_misses) = self.cache.lint_stats();
         let (scalar_hits, scalar_misses) = self.cache.scalar_stats();
+        let (snapshot_epoch, snapshot_reads, writer_publishes) = self.usage.publication_counters();
         SessionStats {
             analysis_hits,
             analysis_misses,
@@ -307,6 +350,9 @@ impl PedSession {
             lint_misses,
             scalar_hits,
             scalar_misses,
+            snapshot_epoch,
+            snapshot_reads,
+            writer_publishes,
             test_kinds: self
                 .test_kinds
                 .rows()
@@ -355,7 +401,7 @@ impl PedSession {
     }
 
     /// Dependence pane rows for the selected loop, optionally filtered.
-    pub fn dependence_rows(&mut self, filter: &DepFilter) -> Vec<DepRow> {
+    pub fn dependence_rows(&self, filter: &DepFilter) -> Vec<DepRow> {
         let Some(sel) = self.selected else {
             return Vec::new();
         };
@@ -407,7 +453,7 @@ impl PedSession {
     }
 
     /// Variable pane rows for the selected loop.
-    pub fn variable_rows(&mut self, filter: &VarFilter) -> Vec<VarRow> {
+    pub fn variable_rows(&self, filter: &VarFilter) -> Vec<VarRow> {
         let Some(sel) = self.selected else {
             return Vec::new();
         };
@@ -679,7 +725,7 @@ impl PedSession {
         }
         let target = self.ua.nest.get(l).stmt;
         ped_transform::util::with_do_mut(
-            &mut self.program.units[self.unit_idx].body,
+            &mut Arc::make_mut(&mut self.program).units[self.unit_idx].body,
             target,
             |s| {
                 if let StmtKind::Do { sched, .. } = &mut s.kind {
@@ -763,7 +809,7 @@ impl PedSession {
     /// assertions for the current unit. Per-unit results are memoized
     /// under a fingerprint of their inputs, so after an incremental edit
     /// only the dirty unit is re-linted.
-    pub fn lint(&mut self) -> Vec<ped_lint::Finding> {
+    pub fn lint(&self) -> Vec<ped_lint::Finding> {
         self.usage.record(Feature::AccessToAnalysis);
         let seeds = ped_interproc::propagate_constants(&self.program);
         let mut out: Vec<ped_lint::Finding> = Vec::new();
@@ -807,7 +853,7 @@ impl PedSession {
 
     /// Transformation guidance (§5.3): evaluate each catalog entry's
     /// advice for the loop and return only the safe ones.
-    pub fn suggest_transformations(&mut self, l: LoopId) -> Vec<(String, ped_transform::Advice)> {
+    pub fn suggest_transformations(&self, l: LoopId) -> Vec<(String, ped_transform::Advice)> {
         self.usage.record(Feature::AccessToAnalysis);
         let unit = &self.program.units[self.unit_idx];
         let mut out = Vec::new();
@@ -851,7 +897,7 @@ impl PedSession {
         &mut self,
         f: impl FnOnce(&mut Program, usize, &UnitAnalysis) -> Result<Applied, TransformError>,
     ) -> Result<Applied, TransformError> {
-        let r = f(&mut self.program, self.unit_idx, &self.ua)?;
+        let r = f(Arc::make_mut(&mut self.program), self.unit_idx, &self.ua)?;
         self.reanalyze();
         Ok(r)
     }
@@ -860,22 +906,19 @@ impl PedSession {
 
     /// Rank loops by estimated cost (optionally profile-weighted): the
     /// navigation assistance of §3.2.
-    pub fn navigate(
-        &mut self,
-        profile: Option<&HashMap<StmtId, u64>>,
-    ) -> Vec<ped_estimate::LoopRank> {
+    pub fn navigate(&self, profile: Option<&HashMap<StmtId, u64>>) -> Vec<ped_estimate::LoopRank> {
         self.usage.record(Feature::ProgramNavigation);
         ped_estimate::rank_loops(&self.program, &ped_estimate::CostModel::default(), profile)
     }
 
     /// Textual call graph (§3.2's requested "big picture").
-    pub fn call_graph(&mut self) -> String {
+    pub fn call_graph(&self) -> String {
         self.usage.record(Feature::ProgramNavigation);
         ped_interproc::CallGraph::build(&self.program).render_text()
     }
 
     /// Composition Editor checks (§3.2).
-    pub fn compose_check(&mut self) -> Vec<ped_interproc::ComposeIssue> {
+    pub fn compose_check(&self) -> Vec<ped_interproc::ComposeIssue> {
         self.usage.record(Feature::InterfaceErrorDetection);
         ped_interproc::compose_check(&self.program)
     }
@@ -891,7 +934,7 @@ impl PedSession {
 
     /// Interactive help (§3.2: "two users found the interactive help
     /// facility useful").
-    pub fn help(&mut self, topic: &str) -> String {
+    pub fn help(&self, topic: &str) -> String {
         self.usage.record(Feature::Help);
         crate::help_text(topic)
     }
@@ -899,7 +942,7 @@ impl PedSession {
     /// Dependence endpoint navigation (§3.2: "they needed to visit
     /// dependence endpoints quickly rather than having to scroll through
     /// the source"): the source lines of a dependence's endpoints.
-    pub fn endpoint_lines(&mut self, id: DepId) -> (u32, u32) {
+    pub fn endpoint_lines(&self, id: DepId) -> (u32, u32) {
         self.usage.record(Feature::DependenceNavigation);
         let d = self.ua.graph.get(id);
         let line = |stmt| {
@@ -914,7 +957,7 @@ impl PedSession {
     /// selected loop, derive (and validate) the assertion that would
     /// eliminate it.
     pub fn suggest_breaking_conditions(
-        &mut self,
+        &self,
         l: LoopId,
     ) -> Vec<(DepId, crate::breaking::BreakingCondition)> {
         self.usage.record(Feature::AccessToAnalysis);
@@ -946,9 +989,10 @@ impl PedSession {
     /// over where dependences survive).
     pub fn edit_statement(&mut self, target: StmtId, text: &str) -> Result<(), String> {
         let new_kind = Self::parse_simple_statement(text)?;
-        let id = self.program.fresh_stmt();
+        let program = Arc::make_mut(&mut self.program);
+        let id = program.fresh_stmt();
         let replaced = ped_transform::util::with_containing_block(
-            &mut self.program.units[self.unit_idx].body,
+            &mut program.units[self.unit_idx].body,
             target,
             |block, i| {
                 let label = block[i].label;
@@ -968,9 +1012,10 @@ impl PedSession {
     /// Insert a newly-typed statement after `anchor`.
     pub fn insert_statement_after(&mut self, anchor: StmtId, text: &str) -> Result<(), String> {
         let new_kind = Self::parse_simple_statement(text)?;
-        let id = self.program.fresh_stmt();
+        let program = Arc::make_mut(&mut self.program);
+        let id = program.fresh_stmt();
         let inserted = ped_transform::util::with_containing_block(
-            &mut self.program.units[self.unit_idx].body,
+            &mut program.units[self.unit_idx].body,
             anchor,
             |block, i| {
                 block.insert(i + 1, ped_fortran::ast::Stmt::new(id, new_kind));
@@ -1012,7 +1057,7 @@ impl PedSession {
     /// §3.2: "One user wanted the ability to print the program,
     /// dependences, and variable information" — a complete textual
     /// report of the session state for the selected loop.
-    pub fn print_report(&mut self) -> String {
+    pub fn print_report(&self) -> String {
         let mut out = String::new();
         out.push_str("=== program ===\n");
         out.push_str(&ped_fortran::pretty::print_program(&self.program));
@@ -1042,7 +1087,7 @@ impl PedSession {
     /// Run the program once to gather loop-level profiles and feed them
     /// into navigation — the dynamic variant of §3.2's request.
     pub fn navigate_with_profile(
-        &mut self,
+        &self,
         opts: ped_runtime::RunOptions,
     ) -> Result<Vec<ped_estimate::LoopRank>, ped_runtime::RuntimeError> {
         let out = self.run(opts)?;
@@ -1173,7 +1218,7 @@ mod tests {
 
     #[test]
     fn progressive_disclosure_requires_selection() {
-        let mut s = PedSession::open(parse_ok(RECURRENCE));
+        let s = PedSession::open(parse_ok(RECURRENCE));
         assert!(s.dependence_rows(&DepFilter::All).is_empty());
         assert!(s.variable_rows(&VarFilter::All).is_empty());
     }
@@ -1259,7 +1304,7 @@ mod tests {
     #[test]
     fn suggestions_only_safe() {
         let src = "      REAL A(100,100)\n      DO 10 I = 2, N\n      DO 10 J = 1, M - 1\n      A(I,J) = A(I-1,J+1)\n   10 CONTINUE\n      END\n";
-        let mut s = PedSession::open(parse_ok(src));
+        let s = PedSession::open(parse_ok(src));
         let sugg = s.suggest_transformations(LoopId(0));
         // Interchange is unsafe for the (<, >) dependence: not suggested.
         assert!(
@@ -1273,7 +1318,7 @@ mod tests {
     #[test]
     fn navigation_ranks_loops() {
         let src = "      REAL A(10), B(10000)\n      DO 10 I = 1, 10\n      A(I) = 0.0\n   10 CONTINUE\n      DO 20 I = 1, 10000\n      B(I) = 0.0\n   20 CONTINUE\n      END\n";
-        let mut s = PedSession::open(parse_ok(src));
+        let s = PedSession::open(parse_ok(src));
         let ranks = s.navigate(None);
         assert_eq!(ranks.len(), 2);
         assert!(ranks[0].weight > ranks[1].weight);
@@ -1291,7 +1336,7 @@ mod tests {
     #[test]
     fn lint_finds_race_in_marked_parallel_loop() {
         let src = "      REAL A(100)\nCDOALL\n      DO 10 I = 2, 100\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n";
-        let mut s = PedSession::open(parse_ok(src));
+        let s = PedSession::open(parse_ok(src));
         let f = s.lint();
         let race = f
             .iter()
@@ -1397,7 +1442,7 @@ mod tests {
     #[test]
     fn compose_check_and_callgraph_via_session() {
         let src = "      PROGRAM MAIN\n      CALL S(X)\n      END\n      SUBROUTINE S(A, B)\n      A = B\n      RETURN\n      END\n";
-        let mut s = PedSession::open(parse_ok(src));
+        let s = PedSession::open(parse_ok(src));
         let issues = s.compose_check();
         assert_eq!(issues.len(), 1);
         let cg = s.call_graph();
@@ -1442,7 +1487,7 @@ mod feature_tests {
         let src = "      REAL A(100), B(100)\n      N = 5000\n      DO 10 I = 1, N\n      A(MOD(I, 100) + 1) = 1.0\n   10 CONTINUE\n      DO 20 I = 1, 200\n      B(I - 100) = 2.0\n   20 CONTINUE\n      END\n";
         // (second loop bounds shrunk to fit B: use 101..200 -> 1..100)
         let src = src.replace("DO 20 I = 1, 200", "DO 20 I = 101, 200");
-        let mut s = PedSession::open(parse_ok(&src));
+        let s = PedSession::open(parse_ok(&src));
         let static_ranks = s.navigate(None);
         // Statically the 100-trip-assumed loops are comparable.
         let dynamic_ranks = s

@@ -1,0 +1,98 @@
+//! Epoch-published immutable session snapshots.
+//!
+//! The server answers read-only methods (`deps`/`vars`/`stmts`/`lint`/
+//! `stats`) from an `Arc<SessionSnapshot>` loaded with a single atomic
+//! pointer read — no session mutex, so a long edit on one connection
+//! never blocks queries from another (the paper's "dependence queries
+//! stay instant while the user edits"). Write methods rebuild state
+//! copy-on-write behind the writer lock and publish the next snapshot
+//! with one pointer swap.
+//!
+//! A snapshot is a [`PedSession::capture`]: the `Arc`-shared AST and
+//! analysis artifacts by reference bump, the owned user state (marks,
+//! classification, selection) by clone, and the usage log + analysis
+//! cache as *shared handles* — telemetry recorded on the read path is
+//! visible to every later `stats` call, which keeps concurrent replies
+//! byte-identical to a sequential oracle.
+//!
+//! Immutability is compiler-enforced: the snapshot only derefs to
+//! `&PedSession`, and every mutating session method takes `&mut self`.
+
+use crate::session::PedSession;
+use std::ops::Deref;
+
+/// One published version of a session, tagged with its epoch.
+pub struct SessionSnapshot {
+    epoch: u64,
+    state: PedSession,
+}
+
+impl SessionSnapshot {
+    /// Capture the current state of `session` as version `epoch`.
+    pub fn capture(session: &PedSession, epoch: u64) -> SessionSnapshot {
+        SessionSnapshot {
+            epoch,
+            state: session.capture(),
+        }
+    }
+
+    /// The version number this snapshot was published as.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Deref for SessionSnapshot {
+    type Target = PedSession;
+
+    fn deref(&self) -> &PedSession {
+        &self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::DepFilter;
+    use ped_analysis::loops::LoopId;
+    use ped_fortran::parser::parse_ok;
+
+    const RECURRENCE: &str = "      REAL A(100), B(100)\n      DO 10 I = 2, N\n      A(I) = A(I-1)\n      B(I) = 2.0\n   10 CONTINUE\n      END\n";
+
+    #[test]
+    fn snapshot_reads_see_captured_state_not_later_edits() {
+        let mut s = PedSession::open(parse_ok(RECURRENCE));
+        s.select_loop(LoopId(0)).unwrap();
+        let snap = SessionSnapshot::capture(&s, 1);
+        assert_eq!(snap.epoch(), 1);
+        let before = snap.dependence_rows(&DepFilter::All);
+        assert!(before.iter().any(|r| r.source.contains("A(I)")));
+        // Break the recurrence in the live session; the snapshot's AST
+        // and analyses are unaffected.
+        let body_stmt = s.ua.nest.get(LoopId(0)).body[0];
+        s.edit_statement(body_stmt, "A(I) = 0.0").unwrap();
+        let live = s.dependence_rows(&DepFilter::All);
+        assert!(!live.iter().any(|r| r.source.contains("A(I-1)")));
+        let after = snap.dependence_rows(&DepFilter::All);
+        assert_eq!(before.len(), after.len(), "snapshot must be immutable");
+    }
+
+    #[test]
+    fn snapshot_shares_telemetry_with_source() {
+        let mut s = PedSession::open(parse_ok(RECURRENCE));
+        s.select_loop(LoopId(0)).unwrap();
+        let snap = SessionSnapshot::capture(&s, 1);
+        let before = s.stats().features.len();
+        // Reads served from the snapshot record into the shared log.
+        let _ = snap.dependence_rows(&DepFilter::All);
+        let after = s.stats();
+        assert!(
+            after
+                .features
+                .iter()
+                .any(|(f, _)| *f == crate::usage::Feature::DependenceNavigation),
+            "snapshot read must be visible in the source session's stats"
+        );
+        let _ = before;
+    }
+}

@@ -4,8 +4,18 @@
 //! seven groups *used*. The reproduction measures that column directly:
 //! every session operation records the feature it exercises, and the
 //! table generator asks each persona's session for its log.
+//!
+//! The log is a shared handle (`Arc` of atomic counters): cloning a
+//! [`UsageLog`] yields a second view of the *same* counters. The server
+//! relies on this — a published [`crate::snapshot::SessionSnapshot`]
+//! shares its log with the authoritative session, so features recorded
+//! on the lock-free read path are visible to every later `stats` call,
+//! keeping concurrent replies byte-identical to a sequential oracle.
+//! The same handle carries the snapshot-publication telemetry
+//! (`epoch` / `reads` / `publishes`) surfaced through `SessionStats`.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// The features of Table 2 (rows), grouped as in the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -39,6 +49,32 @@ pub enum Feature {
     FastPathWeakZeroSiv,
     FastPathWeakCrossingSiv,
 }
+
+/// Every feature in declaration order — the index of a feature here is
+/// `feature as usize`, which doubles as its slot in the counter array.
+const ALL_FEATURES: [Feature; 19] = [
+    Feature::DependenceDeletion,
+    Feature::VariableClassification,
+    Feature::AccessToAnalysis,
+    Feature::ProgramNavigation,
+    Feature::DependenceNavigation,
+    Feature::ViewFiltering,
+    Feature::InterfaceErrorDetection,
+    Feature::Help,
+    Feature::TeachingTool,
+    Feature::AnalysisCacheHit,
+    Feature::AnalysisCacheMiss,
+    Feature::LintCacheHit,
+    Feature::LintCacheMiss,
+    Feature::ScalarCacheHit,
+    Feature::ScalarCacheMiss,
+    Feature::FastPathZiv,
+    Feature::FastPathStrongSiv,
+    Feature::FastPathWeakZeroSiv,
+    Feature::FastPathWeakCrossingSiv,
+];
+
+const FEATURE_COUNT: usize = ALL_FEATURES.len();
 
 impl Feature {
     pub fn all() -> [Feature; 9] {
@@ -94,28 +130,59 @@ impl Feature {
     }
 }
 
+/// The shared counter block behind a [`UsageLog`] handle.
+#[derive(Debug)]
+struct Counters {
+    /// One slot per [`Feature`], indexed by `feature as usize`.
+    counts: [AtomicUsize; FEATURE_COUNT],
+    /// Version of the currently published snapshot. `0` for sessions
+    /// that were never published (direct library use); the server's
+    /// initial publication at `open` sets it to 1, and every write
+    /// publication bumps it.
+    epoch: AtomicU64,
+    /// Read-method dispatches served from a published snapshot.
+    reads: AtomicU64,
+    /// Write publications (excludes the initial publish at `open`).
+    publishes: AtomicU64,
+}
+
+impl Default for Counters {
+    fn default() -> Counters {
+        Counters {
+            counts: std::array::from_fn(|_| AtomicUsize::new(0)),
+            epoch: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            publishes: AtomicU64::new(0),
+        }
+    }
+}
+
 /// Per-session feature counters.
+///
+/// Clone shares: both handles update the same counters. All methods are
+/// `&self`, so a snapshot-read path can record usage without holding any
+/// lock.
 #[derive(Clone, Debug, Default)]
 pub struct UsageLog {
-    counts: HashMap<Feature, usize>,
+    inner: Arc<Counters>,
 }
 
 impl UsageLog {
-    pub fn record(&mut self, f: Feature) {
-        *self.counts.entry(f).or_insert(0) += 1;
+    pub fn record(&self, f: Feature) {
+        self.inner.counts[f as usize].fetch_add(1, Ordering::SeqCst);
     }
 
     /// Record `n` occurrences at once (used for bulk tester-kind
     /// tallies after a graph build). `n == 0` records nothing, so the
     /// snapshot stays free of zero rows.
-    pub fn record_n(&mut self, f: Feature, n: usize) {
+    pub fn record_n(&self, f: Feature, n: usize) {
         if n > 0 {
-            *self.counts.entry(f).or_insert(0) += n;
+            self.inner.counts[f as usize].fetch_add(n, Ordering::SeqCst);
         }
     }
 
     pub fn count(&self, f: Feature) -> usize {
-        self.counts.get(&f).copied().unwrap_or(0)
+        self.inner.counts[f as usize].load(Ordering::SeqCst)
     }
 
     pub fn used(&self, f: Feature) -> bool {
@@ -124,16 +191,42 @@ impl UsageLog {
 
     /// Every recorded feature with its count, sorted by feature — a
     /// deterministic snapshot for serialization (the server's `stats`
-    /// method) and reporting.
+    /// method) and reporting. Declaration order equals `Ord` order, so
+    /// walking the slots in index order preserves the historical sort.
     pub fn snapshot(&self) -> Vec<(Feature, usize)> {
-        let mut v: Vec<(Feature, usize)> = self
-            .counts
+        ALL_FEATURES
             .iter()
-            .filter(|(_, n)| **n > 0)
-            .map(|(f, n)| (*f, *n))
-            .collect();
-        v.sort();
-        v
+            .filter_map(|&f| {
+                let n = self.count(f);
+                (n > 0).then_some((f, n))
+            })
+            .collect()
+    }
+
+    /// Mark the log as published for the first time (server `open`):
+    /// epoch moves 0 → 1 without counting as a write publication.
+    pub fn prime_epoch(&self) {
+        self.inner.epoch.store(1, Ordering::SeqCst);
+    }
+
+    /// Record a write publication and return the new epoch.
+    pub fn note_publish(&self) -> u64 {
+        self.inner.publishes.fetch_add(1, Ordering::SeqCst);
+        self.inner.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Record a read-method dispatch served from a published snapshot.
+    pub fn note_snapshot_read(&self) {
+        self.inner.reads.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// `(snapshot_epoch, snapshot_reads, writer_publishes)`.
+    pub fn publication_counters(&self) -> (u64, u64, u64) {
+        (
+            self.inner.epoch.load(Ordering::SeqCst),
+            self.inner.reads.load(Ordering::SeqCst),
+            self.inner.publishes.load(Ordering::SeqCst),
+        )
     }
 }
 
@@ -143,7 +236,7 @@ mod tests {
 
     #[test]
     fn counting_and_used() {
-        let mut l = UsageLog::default();
+        let l = UsageLog::default();
         assert!(!l.used(Feature::Help));
         l.record(Feature::Help);
         l.record(Feature::Help);
@@ -158,5 +251,43 @@ mod tests {
             assert!(!f.label().is_empty());
             assert!(["user interaction", "navigation", "other"].contains(&f.group()));
         }
+    }
+
+    #[test]
+    fn all_features_matches_discriminants() {
+        for (i, f) in ALL_FEATURES.iter().enumerate() {
+            assert_eq!(*f as usize, i);
+        }
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let a = UsageLog::default();
+        let b = a.clone();
+        a.record(Feature::Help);
+        b.record(Feature::Help);
+        assert_eq!(a.count(Feature::Help), 2);
+        let epoch = b.note_publish();
+        assert_eq!(epoch, 1);
+        a.note_snapshot_read();
+        assert_eq!(b.publication_counters(), (1, 1, 1));
+    }
+
+    #[test]
+    fn snapshot_sorted_by_declaration_order() {
+        let l = UsageLog::default();
+        l.record(Feature::ScalarCacheMiss);
+        l.record(Feature::Help);
+        l.record_n(Feature::ProgramNavigation, 3);
+        l.record_n(Feature::ViewFiltering, 0); // no zero rows
+        let snap = l.snapshot();
+        assert_eq!(
+            snap,
+            vec![
+                (Feature::ProgramNavigation, 3),
+                (Feature::Help, 1),
+                (Feature::ScalarCacheMiss, 1),
+            ]
+        );
     }
 }

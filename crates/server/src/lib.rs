@@ -5,8 +5,8 @@
 //! a `std::net::TcpListener`, speaks a newline-delimited JSON protocol
 //! (hand-rolled in [`json`] — the workspace is hermetic std-only), and
 //! multiplexes many concurrent [`ped::session::PedSession`]s through a
-//! sharded [`manager::SessionManager`] and a fixed-size
-//! [`pool::ThreadPool`].
+//! sharded [`manager::SessionManager`] and a set of nonblocking
+//! [`eventloop`] threads.
 //!
 //! Layers:
 //!
@@ -15,26 +15,40 @@
 //!   dispatcher ([`protocol::dispatch_line`]), shared by the TCP path
 //!   and in-process callers (which is how tests prove that concurrent
 //!   server output is byte-identical to a single-threaded session);
-//! * [`manager`] — the sharded session registry: per-session
-//!   serialization, cross-session parallelism, admission control and
-//!   idle eviction;
-//! * [`pool`] — the `std::thread` worker pool;
-//! * [`server`] — the accept loop, connection handling, request-size
-//!   limits and graceful shutdown;
+//! * [`manager`] — the sharded session registry: snapshot-isolated
+//!   lock-free reads ([`snap::SnapCell`] + epoch-published
+//!   [`ped::SessionSnapshot`]s), per-session write serialization,
+//!   admission control and idle eviction;
+//! * [`snap`] — the wait-free published-pointer cell behind the
+//!   read path;
+//! * [`poller`] — readiness backends: raw-syscall epoll on Linux,
+//!   `poll(2)` on other unix, a portable timed scan anywhere;
+//! * [`conn`] — per-connection read/write buffers, request framing and
+//!   partial-write bookkeeping;
+//! * [`wheel`] — the coarse deadline wheel driving connection idle
+//!   eviction;
+//! * [`eventloop`] — the nonblocking loops that multiplex connections,
+//!   dispatch inline, and drain gracefully on shutdown;
+//! * [`server`] — listener, acceptor thread, configuration, handle;
 //! * [`signal`] — SIGTERM/SIGINT → shutdown flag, without libc crates.
 //!
-//! See DESIGN.md §5b for the architecture discussion and the README for
-//! a quickstart transcript.
+//! See DESIGN.md §5b and §5f for the architecture discussion and the
+//! README for a quickstart transcript.
 
+pub mod conn;
+mod eventloop;
 pub mod json;
 pub mod lintio;
 pub mod manager;
-pub mod pool;
+pub mod poller;
 pub mod protocol;
 pub mod server;
 pub mod signal;
+pub mod snap;
+pub mod wheel;
 
 pub use manager::{ManagerConfig, SessionManager};
+pub use poller::Backend;
 pub use protocol::{dispatch_line, parse_request};
 pub use server::{spawn, ServerConfig, ServerHandle};
 

@@ -1,19 +1,34 @@
-//! The sharded session registry.
+//! The sharded session registry with snapshot-isolated reads.
 //!
 //! `ped-serve` holds many concurrent [`PedSession`]s. Each session is an
 //! exclusive interactive state machine (selection, marks, assertions),
-//! so requests *within* one session serialize on that session's mutex;
-//! requests against *different* sessions proceed in parallel. To keep
-//! registry bookkeeping off the hot path the id → session map is sharded
-//! by a hash of the session id: a lookup locks only its shard, clones
-//! the entry `Arc`, and releases the shard lock before the (possibly
-//! long) analysis work runs under the per-session lock.
+//! and its entry carries **two** faces of that state:
+//!
+//! * the authoritative session behind the **writer lock** — mutating
+//!   methods (`edit`/`mark`/`classify`/`assert`/`transform`/
+//!   `select_*`) serialize here, rebuild copy-on-write, and publish;
+//! * the currently published **snapshot** in a [`SnapCell`] — read
+//!   methods (`deps`/`vars`/`stmts`/`lint`/`stats`) load it with one
+//!   atomic pointer read and never touch the writer lock, so a long
+//!   edit on one connection cannot stall queries on another.
+//!
+//! To keep registry bookkeeping off the hot path the id → session map
+//! is sharded by a hash of the session id: a lookup locks only its
+//! shard, clones the entry `Arc`, and releases the shard lock before
+//! any analysis work runs.
+//!
+//! The cloned `Arc<Entry>` (plus the loaded `Arc<SessionSnapshot>`)
+//! also *pins* the session for the request lifetime: the janitor may
+//! evict the entry from the map mid-request, but the state a reader is
+//! rendering stays alive until its reply is encoded.
 //!
 //! The manager also enforces the service limits: a maximum live-session
 //! count (admission control) and an idle TTL (a janitor sweep evicts
 //! sessions nobody has touched, reclaiming their analysis state).
 
+use crate::snap::SnapCell;
 use ped::session::PedSession;
+use ped::snapshot::SessionSnapshot;
 use ped_fortran::ast::Program;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -42,7 +57,10 @@ impl Default for ManagerConfig {
 }
 
 struct Entry {
-    session: Mutex<PedSession>,
+    /// The authoritative session; write methods serialize here.
+    writer: Mutex<PedSession>,
+    /// The published snapshot; read methods load it wait-free.
+    snap: SnapCell<SessionSnapshot>,
     /// Milliseconds since manager start at last touch.
     last_used: AtomicU64,
 }
@@ -104,6 +122,8 @@ impl SessionManager {
 
     /// Open a session on `program` under `requested` (or an assigned
     /// `s<n>` id). Fails when the id is taken or the server is full.
+    /// The fresh session is published at epoch 1 immediately, so reads
+    /// racing the open either miss the id or see a complete snapshot.
     pub fn create(&self, requested: Option<String>, program: Program) -> Result<String, String> {
         // Admission control first: don't build state we'd throw away.
         // (Optimistic increment; undone on failure.)
@@ -117,8 +137,12 @@ impl SessionManager {
         }
         let id = requested
             .unwrap_or_else(|| format!("s{}", self.next_anon.fetch_add(1, Ordering::SeqCst)));
+        let session = PedSession::open(program);
+        session.usage.prime_epoch();
+        let snap = SnapCell::new(Arc::new(SessionSnapshot::capture(&session, 1)));
         let entry = Arc::new(Entry {
-            session: Mutex::new(PedSession::open(program)),
+            writer: Mutex::new(session),
+            snap,
             last_used: AtomicU64::new(self.now_ms()),
         });
         let mut shard = self.shard_of(&id).lock().unwrap();
@@ -133,24 +157,56 @@ impl SessionManager {
         Ok(id)
     }
 
-    /// Run `f` with exclusive access to session `id`. The shard lock is
-    /// held only for the lookup; `f` runs under the session's own lock,
-    /// so other sessions stay fully concurrent.
+    /// Clone the entry `Arc` out of its shard — the caller now pins the
+    /// session against eviction for as long as it holds the `Arc`.
+    fn lookup(&self, id: &str) -> Result<Arc<Entry>, String> {
+        let shard = self.shard_of(id).lock().unwrap();
+        shard
+            .get(id)
+            .cloned()
+            .ok_or_else(|| format!("unknown session '{id}'"))
+    }
+
+    /// Run `f` with exclusive access to session `id` (the write path).
+    /// The shard lock is held only for the lookup; `f` runs under the
+    /// session's writer lock, so other sessions stay fully concurrent —
+    /// and when `f` returns, the next snapshot is captured and
+    /// published, so subsequent reads observe the mutation.
     pub fn with_session<R>(
         &self,
         id: &str,
         f: impl FnOnce(&mut PedSession) -> R,
     ) -> Result<R, String> {
-        let entry = {
-            let shard = self.shard_of(id).lock().unwrap();
-            shard
-                .get(id)
-                .cloned()
-                .ok_or_else(|| format!("unknown session '{id}'"))?
-        };
+        let entry = self.lookup(id)?;
         entry.last_used.store(self.now_ms(), Ordering::SeqCst);
-        let mut session = entry.session.lock().unwrap();
-        Ok(f(&mut session))
+        let mut session = entry.writer.lock().unwrap();
+        let r = f(&mut session);
+        // Publish unconditionally (even when `f` reported an
+        // application-level error): the epoch/publish counters must
+        // advance identically under the server and the sequential
+        // oracle for replies to stay byte-identical.
+        let epoch = session.usage.note_publish();
+        entry
+            .snap
+            .store(Arc::new(SessionSnapshot::capture(&session, epoch)));
+        Ok(r)
+    }
+
+    /// Run `f` against the published snapshot of session `id` (the read
+    /// path). No lock is taken: the snapshot is loaded with one atomic
+    /// pointer read, and both the entry and the snapshot stay pinned
+    /// (alive) until `f` finishes encoding its reply — a concurrent
+    /// eviction or edit cannot pull the state out from under it.
+    pub fn with_read<R>(
+        &self,
+        id: &str,
+        f: impl FnOnce(&SessionSnapshot) -> R,
+    ) -> Result<R, String> {
+        let entry = self.lookup(id)?;
+        entry.last_used.store(self.now_ms(), Ordering::SeqCst);
+        let snap = entry.snap.load();
+        snap.usage.note_snapshot_read();
+        Ok(f(&snap))
     }
 
     /// Close (remove) session `id`.
@@ -167,8 +223,11 @@ impl SessionManager {
     }
 
     /// Evict every session idle longer than the TTL; returns how many.
-    /// Sessions currently executing a request are never evicted (their
-    /// lock is held), and their `last_used` was refreshed at dispatch.
+    /// Sessions currently executing a write are never evicted (their
+    /// writer lock is held), and their `last_used` was refreshed at
+    /// dispatch. In-flight readers are safe regardless: they pinned the
+    /// entry and its snapshot, so removal from the map only drops the
+    /// registry's reference.
     pub fn evict_idle(&self) -> usize {
         let ttl_ms = self.cfg.idle_ttl.as_millis() as u64;
         let now = self.now_ms();
@@ -177,7 +236,7 @@ impl SessionManager {
             let mut shard = shard.lock().unwrap();
             shard.retain(|_, e| {
                 let idle = now.saturating_sub(e.last_used.load(Ordering::SeqCst));
-                let busy = e.session.try_lock().is_err();
+                let busy = e.writer.try_lock().is_err();
                 let keep = busy || idle < ttl_ms;
                 if !keep {
                     evicted += 1;
@@ -282,5 +341,93 @@ mod tests {
             "a busy session must not block other sessions"
         );
         slow.join().unwrap();
+    }
+
+    #[test]
+    fn reads_do_not_block_on_a_held_writer_lock() {
+        let m = Arc::new(SessionManager::new(cfg(8, 60_000)));
+        m.create(Some("a".into()), parse_ok(SRC)).unwrap();
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let m2 = Arc::clone(&m);
+        let writer = std::thread::spawn(move || {
+            m2.with_session("a", |_| {
+                tx.send(()).unwrap();
+                std::thread::sleep(Duration::from_millis(150));
+            })
+            .unwrap();
+        });
+        rx.recv().unwrap(); // writer holds the lock now
+        let t = Instant::now();
+        let nloops = m.with_read("a", |s| s.ua.nest.len()).unwrap();
+        assert_eq!(nloops, 1);
+        assert!(
+            t.elapsed() < Duration::from_millis(100),
+            "snapshot read must not wait for the writer lock"
+        );
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn writes_publish_and_reads_observe_the_new_epoch() {
+        let m = SessionManager::new(cfg(8, 60_000));
+        m.create(Some("a".into()), parse_ok(SRC)).unwrap();
+        let epoch0 = m.with_read("a", |s| s.stats().snapshot_epoch).unwrap();
+        assert_eq!(epoch0, 1, "open publishes epoch 1");
+        m.with_session("a", |s| {
+            s.select_loop(ped_analysis::loops::LoopId(0)).unwrap()
+        })
+        .unwrap();
+        let st = m.with_read("a", |s| s.stats()).unwrap();
+        assert_eq!(st.snapshot_epoch, 2);
+        assert_eq!(st.writer_publishes, 1);
+        assert!(st.snapshot_reads >= 2);
+        let sel = m.with_read("a", |s| s.selected).unwrap();
+        assert_eq!(sel, Some(ped_analysis::loops::LoopId(0)));
+    }
+
+    #[test]
+    fn eviction_cannot_unpin_an_inflight_read() {
+        // Hammer eviction + close/reopen against concurrent snapshot
+        // reads: a read that found the entry must complete against
+        // coherent pinned state even when the janitor rips the session
+        // out of the registry mid-request.
+        let m = Arc::new(SessionManager::new(cfg(64, 0))); // ttl 0: everything idle
+        m.create(Some("hot".into()), parse_ok(SRC)).unwrap();
+        let stop = Arc::new(AtomicUsize::new(0));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut served = 0usize;
+                    while stop.load(Ordering::SeqCst) == 0 {
+                        // Either "unknown session" or a complete,
+                        // coherent snapshot — never a torn state.
+                        if let Ok(n) = m.with_read("hot", |s| {
+                            // Touch analysis state the way a reply
+                            // encoder would.
+                            let _ = s.ua.graph.deps.len();
+                            let _ = s.stats();
+                            s.ua.nest.len()
+                        }) {
+                            assert_eq!(n, 1);
+                            served += 1;
+                        }
+                    }
+                    served
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            m.evict_idle();
+            // Recreate so readers keep finding it sometimes.
+            let _ = m.create(Some("hot".into()), parse_ok(SRC));
+        }
+        stop.store(1, Ordering::SeqCst);
+        let mut served = 0;
+        for r in readers {
+            served += r.join().expect("reader panicked");
+        }
+        assert!(served > 0, "readers never overlapped a live session");
     }
 }

@@ -24,6 +24,12 @@
 //! connection handler *and* by in-process callers (the oracle in the
 //! concurrency tests), which is what makes "server output is
 //! byte-identical to a single-threaded session" a checkable property.
+//!
+//! Dispatch splits by access mode: read-only methods (`deps`, `vars`,
+//! `stmts`, `lint`, `stats`) go through the manager's lock-free
+//! snapshot path (`with_read`), so they never wait on a concurrent
+//! edit; mutating methods go through the writer lock (`with_session`)
+//! and publish the next snapshot on return.
 
 use crate::json::{parse, Value};
 use crate::manager::SessionManager;
@@ -179,7 +185,7 @@ pub fn dispatch(
                 Some(f) => DepFilter::parse(f)?,
                 None => DepFilter::All,
             };
-            mgr.with_session(session_id(p)?, |s| {
+            mgr.with_read(session_id(p)?, |s| {
                 let rows: Vec<Value> = s
                     .dependence_rows(&filter)
                     .into_iter()
@@ -205,7 +211,7 @@ pub fn dispatch(
                 Some(f) => parse_var_filter(f)?,
                 None => VarFilter::All,
             };
-            mgr.with_session(session_id(p)?, |s| {
+            mgr.with_read(session_id(p)?, |s| {
                 let rows: Vec<Value> = s
                     .variable_rows(&filter)
                     .into_iter()
@@ -292,7 +298,7 @@ pub fn dispatch(
                 })?
             }
         }
-        "stmts" => mgr.with_session(session_id(p)?, |s| {
+        "stmts" => mgr.with_read(session_id(p)?, |s| {
             let mut rows = Vec::new();
             walk_stmts(&s.current_unit().body, &mut |st| {
                 let text = match &st.kind {
@@ -331,10 +337,10 @@ pub fn dispatch(
                 other => Err(format!("unknown transform op '{other}'")),
             })?
         }
-        "lint" => mgr.with_session(session_id(p)?, |s| {
+        "lint" => mgr.with_read(session_id(p)?, |s| {
             Ok(crate::lintio::findings_value(&s.lint()))
         })?,
-        "stats" => mgr.with_session(session_id(p)?, |s| stats_value(&s.stats()))?,
+        "stats" => mgr.with_read(session_id(p)?, |s| stats_value(&s.stats()))?,
         "close" => {
             let id = session_id(p)?;
             mgr.close(id)?;
@@ -390,6 +396,9 @@ fn stats_value(st: &SessionStats) -> Result<Value, String> {
         ("lint_misses", Value::int(st.lint_misses as i64)),
         ("scalar_hits", Value::int(st.scalar_hits as i64)),
         ("scalar_misses", Value::int(st.scalar_misses as i64)),
+        ("snapshot_epoch", Value::int(st.snapshot_epoch as i64)),
+        ("snapshot_reads", Value::int(st.snapshot_reads as i64)),
+        ("writer_publishes", Value::int(st.writer_publishes as i64)),
         ("test_kinds", Value::Arr(test_kinds)),
         ("features", Value::Arr(features)),
     ]))

@@ -1,21 +1,26 @@
-//! The TCP front end: accept loop, connection handling, backpressure.
+//! The TCP front end: listener, acceptor thread, event-loop threads.
 //!
-//! Connections are handed to a fixed-size [`ThreadPool`]; a worker owns
-//! one connection at a time and answers its requests in order (pipelined
-//! requests are fine — each line gets exactly one response line, in
-//! request order). Oversized request lines are rejected with an error
-//! response and the connection is closed, bounding per-connection
-//! memory. The accept loop is non-blocking so it can observe the
-//! shutdown flag (set by a `shutdown` request or by SIGTERM) within
-//! `POLL_INTERVAL`; dropping the pool then joins the workers, letting
-//! in-flight requests complete before the process exits.
+//! `spawn` binds the listener and starts `workers` event-loop threads
+//! (see [`crate::eventloop`]) plus one acceptor. The acceptor is the
+//! only thread that touches the listener: it accepts nonblocking,
+//! deals new sockets round-robin into the loops' injector queues, and
+//! doubles as the janitor that sweeps idle *sessions* (connection idle
+//! eviction lives in the loops' deadline wheels). Each loop then
+//! multiplexes its share of connections — thousands of mostly-idle
+//! editor sessions cost one fd and a few hundred buffered bytes each,
+//! not a thread.
+//!
+//! Shutdown (a `shutdown` request or SIGTERM) closes the listener and
+//! drains: loops stop reading, serve already-received requests, and
+//! flush responses — partial-write aware — before closing, bounded by
+//! `drain_deadline`. `stop()` joins the acceptor, which joins the
+//! loops, so when it returns every socket is flushed and closed.
 
-use crate::json::Value;
+use crate::eventloop::{run_loop, Injector, LoopCfg};
 use crate::manager::{ManagerConfig, SessionManager};
-use crate::pool::ThreadPool;
-use crate::protocol::{dispatch_line, err_response};
-use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use crate::poller::Backend;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -28,7 +33,7 @@ const POLL_INTERVAL: Duration = Duration::from_millis(20);
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:7878` (port 0 = ephemeral).
     pub addr: String,
-    /// Worker threads handling connections.
+    /// Event-loop threads; connections are dealt round-robin.
     pub workers: usize,
     /// Longest accepted request line, in bytes.
     pub max_request_bytes: usize,
@@ -36,6 +41,18 @@ pub struct ServerConfig {
     pub eviction_interval: Duration,
     /// Registry limits.
     pub manager: ManagerConfig,
+    /// Per-connection queued-response cap; a client that lets this
+    /// much output pile up unread is disconnected.
+    pub write_buf_cap: usize,
+    /// Connections idle (no bytes either way) past this are closed.
+    pub conn_idle_ttl: Duration,
+    /// How long shutdown waits for response buffers to flush before
+    /// cutting stragglers off.
+    pub drain_deadline: Duration,
+    /// Readiness backend; `None` = `PED_SERVE_BACKEND` env override,
+    /// else the platform default (epoll on Linux, poll on unix, scan
+    /// elsewhere).
+    pub backend: Option<Backend>,
 }
 
 impl Default for ServerConfig {
@@ -45,10 +62,26 @@ impl Default for ServerConfig {
             workers: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4)
-                .max(4),
+                .min(4),
             max_request_bytes: 1 << 20,
             eviction_interval: Duration::from_secs(30),
             manager: ManagerConfig::default(),
+            write_buf_cap: 8 << 20,
+            conn_idle_ttl: Duration::from_secs(15 * 60),
+            drain_deadline: Duration::from_secs(5),
+            backend: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn resolve_backend(&self) -> Backend {
+        if let Some(b) = self.backend {
+            return b;
+        }
+        match std::env::var("PED_SERVE_BACKEND") {
+            Ok(name) => Backend::from_name(&name),
+            Err(_) => Backend::auto(),
         }
     }
 }
@@ -62,8 +95,8 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
-    /// Request shutdown and wait for the accept loop and all in-flight
-    /// connections to drain.
+    /// Request shutdown and wait for the acceptor and every event
+    /// loop to drain (in-flight responses flush before sockets close).
     pub fn stop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(t) = self.accept_thread.take() {
@@ -104,12 +137,38 @@ pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     let manager = Arc::new(SessionManager::new(cfg.manager.clone()));
     let shutdown = Arc::new(AtomicBool::new(false));
 
+    let loop_cfg = LoopCfg {
+        max_request_bytes: cfg.max_request_bytes,
+        write_buf_cap: cfg.write_buf_cap.max(1),
+        conn_idle_ttl_ms: cfg.conn_idle_ttl.as_millis().max(1) as u64,
+        drain_deadline_ms: cfg.drain_deadline.as_millis() as u64,
+        backend: cfg.resolve_backend(),
+    };
+    let nloops = cfg.workers.max(1);
+    let mut injectors: Vec<Arc<Injector>> = Vec::with_capacity(nloops);
+    let mut loop_threads: Vec<JoinHandle<()>> = Vec::with_capacity(nloops);
+    for i in 0..nloops {
+        let injector = Arc::new(Injector::new());
+        injectors.push(Arc::clone(&injector));
+        let cfg = loop_cfg.clone();
+        let mgr = Arc::clone(&manager);
+        let stop = Arc::clone(&shutdown);
+        loop_threads.push(
+            std::thread::Builder::new()
+                .name(format!("ped-serve-loop-{i}"))
+                .spawn(move || run_loop(cfg, injector, mgr, stop))?,
+        );
+    }
+
     let accept_mgr = Arc::clone(&manager);
     let accept_shutdown = Arc::clone(&shutdown);
     let accept_thread = std::thread::Builder::new()
         .name("ped-serve-accept".into())
         .spawn(move || {
-            accept_loop(listener, cfg, accept_mgr, accept_shutdown);
+            accept_loop(listener, cfg, injectors, accept_mgr, accept_shutdown);
+            for t in loop_threads {
+                let _ = t.join();
+            }
         })?;
 
     Ok(ServerHandle {
@@ -123,20 +182,17 @@ pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
 fn accept_loop(
     listener: TcpListener,
     cfg: ServerConfig,
+    injectors: Vec<Arc<Injector>>,
     manager: Arc<SessionManager>,
     shutdown: Arc<AtomicBool>,
 ) {
-    let pool = ThreadPool::new(cfg.workers);
     let mut last_sweep = std::time::Instant::now();
+    let mut next_loop = 0usize;
     while !shutdown.load(Ordering::SeqCst) && !crate::signal::termination_requested() {
         match listener.accept() {
             Ok((stream, _)) => {
-                let mgr = Arc::clone(&manager);
-                let stop = Arc::clone(&shutdown);
-                let max = cfg.max_request_bytes;
-                pool.execute(move || {
-                    let _ = handle_connection(stream, &mgr, &stop, max);
-                });
+                injectors[next_loop].queue.lock().unwrap().push(stream);
+                next_loop = (next_loop + 1) % injectors.len();
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL_INTERVAL);
@@ -148,93 +204,6 @@ fn accept_loop(
             last_sweep = std::time::Instant::now();
         }
     }
-    // Dropping the pool joins the workers: in-flight connections finish.
-    drop(pool);
-}
-
-/// Reads `\n`-terminated lines with a hard size cap, preserving partial
-/// data across read-timeout wakeups (used to poll the shutdown flag).
-struct LineReader {
-    stream: TcpStream,
-    buf: Vec<u8>,
-    max: usize,
-}
-
-enum ReadOutcome {
-    Line(String),
-    TooLong,
-    Closed,
-    Shutdown,
-}
-
-impl LineReader {
-    fn next_line(&mut self, shutdown: &AtomicBool) -> std::io::Result<ReadOutcome> {
-        loop {
-            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
-                if pos > self.max {
-                    return Ok(ReadOutcome::TooLong);
-                }
-                let line: Vec<u8> = self.buf.drain(..=pos).collect();
-                let text = String::from_utf8_lossy(&line[..line.len() - 1])
-                    .trim_end_matches('\r')
-                    .to_string();
-                return Ok(ReadOutcome::Line(text));
-            }
-            if self.buf.len() > self.max {
-                return Ok(ReadOutcome::TooLong);
-            }
-            // No complete line buffered: close idle connections on
-            // shutdown (a half-sent request still gets served).
-            if shutdown.load(Ordering::SeqCst) && self.buf.is_empty() {
-                return Ok(ReadOutcome::Shutdown);
-            }
-            let mut chunk = [0u8; 4096];
-            match self.stream.read(&mut chunk) {
-                Ok(0) => return Ok(ReadOutcome::Closed),
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
-                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                    continue; // timeout tick: re-check shutdown
-                }
-                Err(e) => return Err(e),
-            }
-        }
-    }
-}
-
-fn handle_connection(
-    stream: TcpStream,
-    manager: &SessionManager,
-    shutdown: &AtomicBool,
-    max_request_bytes: usize,
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    stream.set_nodelay(true)?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = LineReader {
-        stream,
-        buf: Vec::new(),
-        max: max_request_bytes,
-    };
-    loop {
-        match reader.next_line(shutdown)? {
-            ReadOutcome::Line(line) => {
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let mut response = dispatch_line(manager, shutdown, &line);
-                response.push('\n');
-                writer.write_all(response.as_bytes())?;
-            }
-            ReadOutcome::TooLong => {
-                let mut response = err_response(
-                    &Value::Null,
-                    &format!("request exceeds {max_request_bytes} bytes"),
-                );
-                response.push('\n');
-                let _ = writer.write_all(response.as_bytes());
-                return Ok(()); // drop the connection: framing is lost
-            }
-            ReadOutcome::Closed | ReadOutcome::Shutdown => return Ok(()),
-        }
-    }
+    // Listener closes here; the loops observe the flag and drain.
+    drop(listener);
 }

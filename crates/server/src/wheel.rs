@@ -1,0 +1,122 @@
+//! A coarse hashed timer wheel for connection idle deadlines.
+//!
+//! The event loop needs "close this connection if it stays idle past
+//! its TTL" for thousands of connections without sorting timers or
+//! scanning every connection per tick. The wheel hashes each deadline
+//! into a circular array of slots (`granularity` ms wide); advancing
+//! the wheel drains whole slots in O(expired).
+//!
+//! Entries are *lazy*: scheduling is done once at registration and
+//! whenever an entry fires early. An entry is `(token, gen)`; the loop
+//! revalidates it against the connection's authoritative
+//! `last_activity` when it pops — if the connection saw traffic since,
+//! the entry is simply rescheduled for `last_activity + ttl`. Activity
+//! therefore never touches the wheel (no per-request timer churn), and
+//! stale entries for recycled tokens are dropped by the generation
+//! check.
+
+/// One due entry: the connection token and the generation it was
+/// scheduled under.
+pub type Due = (usize, u64);
+
+pub struct Wheel {
+    slots: Vec<Vec<Due>>,
+    /// Width of one slot in ms.
+    granularity: u64,
+    /// Index of the next slot to drain.
+    cursor: usize,
+    /// Start time (ms) of the cursor slot.
+    cursor_time: u64,
+}
+
+impl Wheel {
+    /// A wheel spanning at least `horizon_ms` with roughly
+    /// `granularity_ms` resolution (both clamped to sane bounds).
+    pub fn new(granularity_ms: u64, horizon_ms: u64) -> Wheel {
+        let granularity = granularity_ms.max(1);
+        let nslots = (horizon_ms / granularity + 2).max(4) as usize;
+        Wheel {
+            slots: vec![Vec::new(); nslots],
+            granularity,
+            cursor: 0,
+            cursor_time: 0,
+        }
+    }
+
+    /// Schedule `(token, gen)` to pop at `deadline_ms` (or on the next
+    /// drain if the deadline already passed). Deadlines beyond the
+    /// wheel's horizon land in the farthest slot and are rescheduled
+    /// when they pop — lazy revalidation makes early pops harmless.
+    pub fn schedule(&mut self, token: usize, gen: u64, deadline_ms: u64) {
+        let n = self.slots.len() as u64;
+        let horizon = self.granularity * (n - 1);
+        let deadline = deadline_ms
+            .max(self.cursor_time)
+            .min(self.cursor_time + horizon);
+        let offset = (deadline - self.cursor_time) / self.granularity;
+        // Never schedule into the slot being drained right now unless
+        // it is genuinely due.
+        let offset = if deadline > self.cursor_time && offset == 0 {
+            1
+        } else {
+            offset
+        };
+        let idx = (self.cursor + offset as usize) % self.slots.len();
+        self.slots[idx].push((token, gen));
+    }
+
+    /// Drain every slot whose window ended at or before `now_ms`,
+    /// appending entries to `due`.
+    pub fn advance(&mut self, now_ms: u64, due: &mut Vec<Due>) {
+        while self.cursor_time + self.granularity <= now_ms {
+            due.append(&mut self.slots[self.cursor]);
+            self.cursor = (self.cursor + 1) % self.slots.len();
+            self.cursor_time += self.granularity;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_pop_after_their_deadline_not_before() {
+        let mut wheel = Wheel::new(10, 1000);
+        wheel.schedule(1, 0, 95);
+        let mut due = Vec::new();
+        wheel.advance(90, &mut due);
+        assert!(due.is_empty(), "deadline 95 must not pop at 90");
+        wheel.advance(110, &mut due);
+        assert_eq!(due, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn beyond_horizon_deadlines_pop_early_for_rescheduling() {
+        let mut wheel = Wheel::new(10, 100);
+        wheel.schedule(3, 2, 10_000);
+        let mut due = Vec::new();
+        wheel.advance(200, &mut due);
+        // Popped early (the loop reschedules after revalidating), but
+        // never lost.
+        assert_eq!(due, vec![(3, 2)]);
+    }
+
+    #[test]
+    fn many_deadlines_drain_in_window_batches() {
+        let mut wheel = Wheel::new(10, 1000);
+        for t in 0..100usize {
+            wheel.schedule(t, 0, (t as u64) * 7);
+        }
+        let mut due = Vec::new();
+        wheel.advance(350, &mut due);
+        let popped: std::collections::BTreeSet<usize> = due.iter().map(|&(t, _)| t).collect();
+        for t in 0..48 {
+            assert!(popped.contains(&t), "deadline {} was due", t * 7);
+        }
+        due.clear();
+        wheel.advance(1000, &mut due);
+        let rest: std::collections::BTreeSet<usize> = due.iter().map(|&(t, _)| t).collect();
+        assert_eq!(popped.len() + rest.len(), 100, "no entry lost");
+    }
+}

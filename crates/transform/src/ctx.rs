@@ -26,7 +26,10 @@ use std::sync::Arc;
 /// assembled from a memoized [`ped_analysis::ScalarFacts`] without
 /// copying (deref coercion keeps `&ua.symbols`-style call sites
 /// unchanged); the graph, marking and environment depend on user state
-/// and are owned.
+/// and are owned. `Clone` bumps the `Arc`s and copies only the owned
+/// user-state pieces — that is what makes session-snapshot publication
+/// (the server's copy-on-write read path) cheap.
+#[derive(Clone)]
 pub struct UnitAnalysis {
     pub symbols: Arc<SymbolTable>,
     pub refs: Arc<RefTable>,

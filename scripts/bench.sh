@@ -11,6 +11,12 @@
 #   BENCH_5.json — ped-bench scalar-facts store: serial vs auto-prewarm
 #                  open, warm vs cold facts rebuild, single-unit-edit
 #                  hit rates, String-vs-NameId lookup micro (or $5)
+#   BENCH_6.json — ped-serve-bench --bench6, the event-loop/snapshot
+#                  suite: paired-median 1-vs-8-client scaling (gated to
+#                  beat the thread-pool BENCH_2 reference), read-heavy
+#                  mix p50/p99 under a writer storm (gated: storm read
+#                  p99 <= 3x no-writer baseline), >=1k concurrent
+#                  sessions over 32 connections (or $6)
 set -e
 cd "$(dirname "$0")/.."
 OUT1="${1:-BENCH_1.json}"
@@ -18,8 +24,10 @@ OUT2="${2:-BENCH_2.json}"
 OUT3="${3:-BENCH_3.json}"
 OUT4="${4:-BENCH_4.json}"
 OUT5="${5:-BENCH_5.json}"
+OUT6="${6:-BENCH_6.json}"
 cargo build --release --offline -p ped-bench \
     --bin ped-bench --bin ped-serve-bench --bin ped-lint-bench
 ./target/release/ped-bench "$OUT1" "$OUT4" "$OUT5"
 ./target/release/ped-serve-bench "$OUT2"
+./target/release/ped-serve-bench --bench6 "$OUT6"
 ./target/release/ped-lint-bench "$OUT3"

@@ -34,3 +34,10 @@ echo "ci: dependence oracle + smoke passed"
 cargo test -q --offline -p ped --test interning_oracle
 cargo test -q --offline -p ped --test build_counts
 echo "ci: interning oracle + single-build gate passed"
+
+# Server smoke gate: 8 concurrent wire clients against the nonblocking
+# event loop, every response byte-identical to the single-threaded
+# in-process oracle.
+cargo build --release --offline -p ped-bench --bin ped-serve-bench
+./target/release/ped-serve-bench --smoke
+echo "ci: server oracle smoke passed"

@@ -156,7 +156,7 @@ fn variable_filters_narrow_the_pane() {
 
 #[test]
 fn help_covers_documented_topics() {
-    let mut s = PedSession::open(parse_ok("      X = 1\n      END\n"));
+    let s = PedSession::open(parse_ok("      X = 1\n      END\n"));
     for topic in ["dependence", "marking", "assertions", "transformations"] {
         let text = s.help(topic);
         assert!(text.len() > 40, "{topic}: {text}");
@@ -207,7 +207,7 @@ fn estimator_charges_calls_transitively() {
 
 #[test]
 fn navigation_points_at_the_heavy_unit() {
-    let mut s = PedSession::open(parascope::workloads::program("nxsns").unwrap().parse());
+    let s = PedSession::open(parascope::workloads::program("nxsns").unwrap().parse());
     let ranks = s.navigate(None);
     assert!(!ranks.is_empty());
     // The XSECT loop calling OVERLP per iteration dominates.

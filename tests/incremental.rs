@@ -74,7 +74,7 @@ fn reanalyze_after_edit_matches_cold_session() {
         pair_hits >= 1,
         "the untouched A recurrence must be cache-hot"
     );
-    let cold = PedSession::open(s.program.clone());
+    let cold = PedSession::open((*s.program).clone());
     assert_eq!(
         cold.ua.graph.deps, s.ua.graph.deps,
         "incremental reanalysis diverged from a cold build"
