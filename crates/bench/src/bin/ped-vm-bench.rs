@@ -1,0 +1,353 @@
+//! `ped-vm-bench` — the bytecode-VM benchmark and equivalence suite.
+//!
+//! Two modes:
+//!
+//! * `--smoke` — the CI gate: every workshop program (parallelized by
+//!   the PED work model) plus the synthetic 60-loop program must
+//!   compile for the VM and produce byte-identical [`RunOutput`]s from
+//!   the VM and the tree-walking interpreter — output lines, step and
+//!   loop counters, and race logs — serially, across 8 workers, and
+//!   under the deterministic race checker. Exits nonzero on the first
+//!   divergence.
+//! * `--bench7 [OUT]` (default; `OUT` defaults to `BENCH_7.json`) —
+//!   the performance suite behind `EXPERIMENTS.md`:
+//!   1. per-workload paired-median serial speedup of the VM over the
+//!      tree walk (runs strictly alternated, medians compared — the
+//!      1-core-container methodology every other bench here uses),
+//!      gated on >= 3x for at least half the workloads;
+//!   2. trace-mode overhead: traced vs untraced VM runs of the same
+//!      program, as a median ratio;
+//!   3. dynamic-validation end-to-end latency on the
+//!      subscripted-subscript + recurrence program, gated on
+//!      classifying >= 1 assumed edge as disproven and >= 1 real
+//!      dependence as confirmed.
+//!
+//! [`RunOutput`]: ped_runtime::RunOutput
+
+use ped_fortran::ast::Program;
+use ped_fortran::parser::parse_ok;
+use ped_runtime::{run_metered, run_tree, RunOptions, RunOutput};
+use std::time::Instant;
+
+/// Strictly-alternated timing pairs per workload.
+const PAIRS: usize = 5;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        (xs[mid - 1] + xs[mid]) / 2.0
+    }
+}
+
+/// Parallelize every unit the way the speedup benches do: the PED work
+/// model over each unit in turn.
+fn parallelized(prog: Program) -> Program {
+    let mut session = ped::session::PedSession::open(prog);
+    let n = session.program.units.len();
+    for u in 0..n {
+        let uname = session.program.units[u].name.clone();
+        session.select_unit(&uname).unwrap();
+        ped::workmodel::parallelize_unit(&mut session);
+    }
+    Program::clone(&session.program)
+}
+
+fn workload_cases() -> Vec<(String, Program)> {
+    ped_workloads::all_programs()
+        .into_iter()
+        .map(|p| (p.name.to_string(), parallelized(p.parse())))
+        .collect()
+}
+
+fn all_cases() -> Vec<(String, Program)> {
+    let mut v = workload_cases();
+    v.push((
+        "synth60".into(),
+        parallelized(parse_ok(&ped_workloads::synthetic_source(60))),
+    ));
+    v
+}
+
+/// The §4 validation program: an assumed output edge through an index
+/// array (dynamically a permutation — disprovable) plus a genuine
+/// recurrence (confirmable).
+const VALIDATE_SRC: &str = "      REAL A(100), B(100)\n      INTEGER IX(100)\n      DO 5 I = 1, 100\n      IX(I) = I\n      B(I) = I\n      A(I) = 0.0\n    5 CONTINUE\n      DO 10 I = 2, 100\n      A(IX(I)) = B(I) + 1.0\n   10 CONTINUE\n      DO 20 I = 2, 100\n      A(I) = A(I-1) + 2.0\n   20 CONTINUE\n      END\n";
+
+fn check_identical(name: &str, what: &str, vm: &RunOutput, tree: &RunOutput) -> Result<(), String> {
+    let fail = |field: &str| Err(format!("{name} [{what}]: {field} diverged"));
+    if vm.lines != tree.lines {
+        return fail("output lines");
+    }
+    if vm.races != tree.races {
+        return fail("race logs");
+    }
+    if vm.stats.steps != tree.stats.steps {
+        return fail("steps");
+    }
+    if vm.stats.parallel_loops != tree.stats.parallel_loops {
+        return fail("parallel_loops");
+    }
+    if vm.stats.parallel_iterations != tree.stats.parallel_iterations {
+        return fail("parallel_iterations");
+    }
+    if vm.stats.loop_iterations != tree.stats.loop_iterations {
+        return fail("loop_iterations");
+    }
+    Ok(())
+}
+
+/// The CI byte-identity gate. Returns the number of programs checked.
+fn smoke() -> Result<usize, String> {
+    let cases = all_cases();
+    for (name, prog) in &cases {
+        let (compiled, _) = ped_vm::compile_cached(prog);
+        compiled.map_err(|e| format!("{name}: VM compile rejected: {}", e.0))?;
+        for workers in [1usize, 8] {
+            let opts = RunOptions {
+                workers,
+                ..Default::default()
+            };
+            let (vm, m) = run_metered(prog, opts.clone()).map_err(|e| format!("{name}: {e}"))?;
+            if m.engine != "vm" {
+                return Err(format!("{name}: dispatcher fell back to the tree walk"));
+            }
+            let tree = run_tree(prog, opts).map_err(|e| format!("{name}: {e}"))?;
+            check_identical(name, &format!("workers={workers}"), &vm, &tree)?;
+        }
+        let opts = RunOptions {
+            validate_parallel: true,
+            ..Default::default()
+        };
+        let (vm, _) = run_metered(prog, opts.clone()).map_err(|e| format!("{name}: {e}"))?;
+        let tree = run_tree(prog, opts).map_err(|e| format!("{name}: {e}"))?;
+        check_identical(name, "validated", &vm, &tree)?;
+        println!("  {name:<10} ok (serial, 8 workers, validated)");
+    }
+    Ok(cases.len())
+}
+
+struct WorkloadRow {
+    name: String,
+    tree_median_us: f64,
+    vm_median_us: f64,
+    speedup: f64,
+    vm_instrs: u64,
+}
+
+/// Paired-median serial engine comparison: tree-walk and VM runs
+/// strictly alternated (order flipped each pair) so drift in a busy
+/// 1-core container cancels out of the ratio.
+fn bench_speedups() -> Vec<WorkloadRow> {
+    let opts = RunOptions::default();
+    let mut rows = Vec::new();
+    for (name, prog) in workload_cases() {
+        // Compile outside the timed region: the dispatcher's cache
+        // makes every measured run a cache hit, which is the steady
+        // state an interactive session sees.
+        let (compiled, _) = ped_vm::compile_cached(&prog);
+        compiled.unwrap_or_else(|e| panic!("{name}: VM compile rejected: {}", e.0));
+        let time_tree = || {
+            let t = Instant::now();
+            run_tree(&prog, opts.clone()).expect("tree run");
+            t.elapsed().as_secs_f64() * 1e6
+        };
+        let mut vm_instrs = 0u64;
+        let mut time_vm = || {
+            let t = Instant::now();
+            let (_, m) = run_metered(&prog, opts.clone()).expect("vm run");
+            vm_instrs = m.vm_instrs;
+            t.elapsed().as_secs_f64() * 1e6
+        };
+        let mut tree_us = Vec::with_capacity(PAIRS);
+        let mut vm_us = Vec::with_capacity(PAIRS);
+        for pair in 0..PAIRS {
+            if pair % 2 == 0 {
+                tree_us.push(time_tree());
+                vm_us.push(time_vm());
+            } else {
+                vm_us.push(time_vm());
+                tree_us.push(time_tree());
+            }
+        }
+        let tree_median_us = median(tree_us);
+        let vm_median_us = median(vm_us);
+        let speedup = tree_median_us / vm_median_us.max(1e-9);
+        let ns_per_instr = vm_median_us * 1e3 / (vm_instrs.max(1) as f64);
+        println!(
+            "  {name:<10} tree {tree_median_us:>10.1} µs   vm {vm_median_us:>10.1} µs   speedup {speedup:.2}x   ({vm_instrs} instrs, {ns_per_instr:.1} ns/instr)"
+        );
+        rows.push(WorkloadRow {
+            name,
+            tree_median_us,
+            vm_median_us,
+            speedup,
+            vm_instrs,
+        });
+    }
+    rows
+}
+
+/// Trace-mode overhead on slalom (the largest executing workload):
+/// untraced vs traced VM runs, every DO loop of the program
+/// instrumented. synth60 is unsuitable here — its loops are zero-trip
+/// at runtime (analysis fixture), so a traced run records nothing.
+fn bench_trace_overhead() -> (f64, f64, f64, u64) {
+    let p = ped_workloads::all_programs()
+        .into_iter()
+        .find(|p| p.name == "slalom")
+        .expect("slalom workload exists");
+    let prog = parallelized(p.parse());
+    let (compiled, _) = ped_vm::compile_cached(&prog);
+    let compiled = compiled.expect("slalom compiles");
+    let mut plan = ped_vm::TracePlan::default();
+    for u in &prog.units {
+        collect_do_stmts(&u.body, &mut plan.loops);
+    }
+    let opts = RunOptions::default();
+    let mut untraced_us = Vec::with_capacity(PAIRS);
+    let mut traced_us = Vec::with_capacity(PAIRS);
+    let mut events = 0u64;
+    for pair in 0..PAIRS {
+        let run_untraced = |samples: &mut Vec<f64>| {
+            let t = Instant::now();
+            ped_vm::run(&compiled, &opts).expect("untraced run");
+            samples.push(t.elapsed().as_secs_f64() * 1e6);
+        };
+        let mut run_traced = |samples: &mut Vec<f64>| {
+            let t = Instant::now();
+            let (_, trace) = ped_vm::run_traced(&compiled, &opts, &plan).expect("traced run");
+            samples.push(t.elapsed().as_secs_f64() * 1e6);
+            events = trace.events.len() as u64;
+        };
+        if pair % 2 == 0 {
+            run_untraced(&mut untraced_us);
+            run_traced(&mut traced_us);
+        } else {
+            run_traced(&mut traced_us);
+            run_untraced(&mut untraced_us);
+        }
+    }
+    let untraced = median(untraced_us);
+    let traced = median(traced_us);
+    let ratio = traced / untraced.max(1e-9);
+    println!(
+        "  trace overhead (slalom): untraced {untraced:.1} µs, traced {traced:.1} µs, ratio {ratio:.2}x ({events} events)"
+    );
+    (untraced, traced, ratio, events)
+}
+
+fn collect_do_stmts(body: &[ped_fortran::ast::Stmt], out: &mut std::collections::HashSet<u32>) {
+    for s in body {
+        if let ped_fortran::ast::StmtKind::Do { .. } = &s.kind {
+            out.insert(s.id.0);
+        }
+        for b in s.kind.blocks() {
+            collect_do_stmts(b, out);
+        }
+    }
+}
+
+/// End-to-end `validate` latency and verdict counts on the §4 program.
+fn bench_validate() -> (f64, u64, u64) {
+    let s = ped::session::PedSession::open(parse_ok(VALIDATE_SRC));
+    let mut latency_us = Vec::with_capacity(PAIRS);
+    let mut confirmed = 0u64;
+    let mut disproven = 0u64;
+    for _ in 0..PAIRS {
+        let t = Instant::now();
+        let results = s
+            .validate(RunOptions::default())
+            .expect("validate must run");
+        latency_us.push(t.elapsed().as_secs_f64() * 1e6);
+        confirmed = results
+            .iter()
+            .filter(|r| r.verdict == ped_vm::DynVerdict::Confirmed)
+            .count() as u64;
+        disproven = results
+            .iter()
+            .filter(|r| r.verdict == ped_vm::DynVerdict::Disproven)
+            .count() as u64;
+    }
+    let med = median(latency_us);
+    println!(
+        "  validate end-to-end: {med:.1} µs median ({confirmed} confirmed, {disproven} disproven)"
+    );
+    (med, confirmed, disproven)
+}
+
+fn bench7(out_path: &str) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("== VM vs tree-walk speedup (BENCH_7, {PAIRS} pairs) ==\n");
+    let rows = bench_speedups();
+    let over_3x = rows.iter().filter(|r| r.speedup >= 3.0).count();
+    let half = rows.len().div_ceil(2);
+    println!(
+        "\n  {over_3x}/{} workloads at >= 3x (gate: >= {half})",
+        rows.len()
+    );
+    assert!(
+        over_3x >= half,
+        "speedup gate failed: only {over_3x}/{} workloads reached 3x",
+        rows.len()
+    );
+
+    println!("\n== trace overhead ==\n");
+    let (untraced_us, traced_us, trace_ratio, trace_events) = bench_trace_overhead();
+
+    println!("\n== dynamic validation ==\n");
+    let (validate_us, confirmed, disproven) = bench_validate();
+    assert!(confirmed >= 1, "validate gate: no edge confirmed");
+    assert!(disproven >= 1, "validate gate: no assumed edge disproven");
+
+    let workload_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"tree_median_us\": {:.1}, \"vm_median_us\": {:.1}, \"speedup\": {:.2}, \"vm_instrs\": {}}}",
+                r.name, r.tree_median_us, r.vm_median_us, r.speedup, r.vm_instrs
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"generated_by\": \"ped-vm-bench --bench7\",\n  \"available_parallelism\": {cores},\n  \"pairs\": {PAIRS},\n  \"workloads\": [\n{}\n  ],\n  \"speedup_3x_count\": {over_3x},\n  \"gate_speedup_3x_on_half\": true,\n  \"trace\": {{\n    \"program\": \"slalom\",\n    \"untraced_median_us\": {untraced_us:.1},\n    \"traced_median_us\": {traced_us:.1},\n    \"overhead_ratio\": {trace_ratio:.2},\n    \"events\": {trace_events}\n  }},\n  \"validate\": {{\n    \"median_us\": {validate_us:.1},\n    \"confirmed\": {confirmed},\n    \"disproven\": {disproven},\n    \"gate_confirmed_ge1\": true,\n    \"gate_disproven_ge1\": true\n  }}\n}}\n",
+        workload_json.join(",\n")
+    );
+    std::fs::write(out_path, json).expect("write BENCH_7.json");
+    println!("\nwrote {out_path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--smoke") => {
+            println!("== VM byte-identity smoke ==\n");
+            match smoke() {
+                Ok(n) => println!("\nvm smoke: {n} programs byte-identical across engines"),
+                Err(e) => {
+                    eprintln!("vm smoke FAILED: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("--bench7") => {
+            let out = args
+                .get(1)
+                .cloned()
+                .unwrap_or_else(|| "BENCH_7.json".into());
+            bench7(&out);
+        }
+        Some(out) if !out.starts_with("--") => bench7(out),
+        None => bench7("BENCH_7.json"),
+        Some(other) => {
+            eprintln!("usage: ped-vm-bench [--smoke | --bench7 [OUT]]");
+            eprintln!("unknown flag: {other}");
+            std::process::exit(2);
+        }
+    }
+}

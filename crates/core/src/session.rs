@@ -26,6 +26,24 @@ use ped_transform::ctx::UnitAnalysis;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Dynamic classification of one dependence edge, from
+/// [`PedSession::validate`].
+#[derive(Clone, Debug)]
+pub struct DepValidation {
+    pub id: DepId,
+    pub var: String,
+    /// Carried level of the edge (1-based).
+    pub level: u32,
+    /// Whether the static test was inexact (the edge is *assumed*).
+    pub assumed: bool,
+    pub verdict: ped_vm::DynVerdict,
+    /// Carrier-iteration pair (src, sink) behind a Confirmed verdict.
+    pub witness: Option<(i64, i64)>,
+    /// Observed access events at each endpoint.
+    pub src_events: u64,
+    pub sink_events: u64,
+}
+
 /// User classification of a variable with respect to a loop.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum VarClass {
@@ -75,6 +93,20 @@ pub struct SessionStats {
     /// Copy-on-write publications performed by write methods (the
     /// initial publication at `open` is not counted).
     pub writer_publishes: u64,
+    /// Bytecode instructions dispatched by this session's `run` calls
+    /// that executed on the VM engine.
+    pub vm_instrs: u64,
+    /// Nanoseconds this session spent compiling programs to bytecode
+    /// (compile-cache hits contribute 0).
+    pub vm_compile_ns: u64,
+    /// Access events recorded by tracing (`validate`) runs.
+    pub trace_events: u64,
+    /// Dependence edges `validate` dynamically confirmed (a witness
+    /// iteration pair was observed).
+    pub validated_confirmed: u64,
+    /// Assumed edges `validate` dynamically disproven (no access pair
+    /// connected two iterations on the replayed inputs).
+    pub validated_disproven: u64,
     /// Lifetime per-tester-kind tallies of the dependence suite
     /// (`label → count`), accumulated over every graph build of the
     /// session's current unit. Zero rows are omitted.
@@ -339,6 +371,8 @@ impl PedSession {
         let (lint_hits, lint_misses) = self.cache.lint_stats();
         let (scalar_hits, scalar_misses) = self.cache.scalar_stats();
         let (snapshot_epoch, snapshot_reads, writer_publishes) = self.usage.publication_counters();
+        let (vm_instrs, vm_compile_ns, trace_events, validated_confirmed, validated_disproven) =
+            self.usage.vm_counters();
         SessionStats {
             analysis_hits,
             analysis_misses,
@@ -353,6 +387,11 @@ impl PedSession {
             snapshot_epoch,
             snapshot_reads,
             writer_publishes,
+            vm_instrs,
+            vm_compile_ns,
+            trace_events,
+            validated_confirmed,
+            validated_disproven,
             test_kinds: self
                 .test_kinds
                 .rows()
@@ -924,12 +963,95 @@ impl PedSession {
     }
 
     /// Run the program on the simulated parallel machine; loop profiles
-    /// feed back into navigation.
+    /// feed back into navigation. Dispatches to the bytecode VM when
+    /// the program compiles (the tree walk is the fallback) and folds
+    /// the engine meters into [`SessionStats`].
     pub fn run(
         &self,
         opts: ped_runtime::RunOptions,
     ) -> Result<ped_runtime::RunOutput, ped_runtime::RuntimeError> {
-        ped_runtime::run(&self.program, opts)
+        let (out, m) = ped_runtime::run_metered(&self.program, opts)?;
+        self.usage.note_vm_run(m.vm_instrs, m.vm_compile_ns);
+        Ok(out)
+    }
+
+    /// Dynamic dependence validation (§4's complement to dependence
+    /// deletion): replay the program under the tracing VM and classify
+    /// every active carried array dependence of the current unit
+    /// against the accesses that actually happened. Assumed edges with
+    /// no observed witness come back [`ped_vm::DynVerdict::Disproven`]
+    /// — candidates for user deletion, valid for these inputs; edges
+    /// with a witness iteration pair are confirmed real.
+    pub fn validate(&self, opts: ped_runtime::RunOptions) -> Result<Vec<DepValidation>, String> {
+        self.usage.record(Feature::AccessToAnalysis);
+        let mut targets = Vec::new();
+        for d in &self.ua.graph.deps {
+            let (src_write, sink_write) = match d.kind {
+                ped_dependence::DepKind::True => (true, false),
+                ped_dependence::DepKind::Anti => (false, true),
+                ped_dependence::DepKind::Output => (true, true),
+                _ => continue,
+            };
+            let Some(level) = d.level else { continue };
+            if !self.ua.marking.is_active(d.id) {
+                continue;
+            }
+            // The tracer records array element accesses; scalar edges
+            // have no dynamic address stream to test.
+            let is_array = self
+                .ua
+                .symbols
+                .get(&d.var)
+                .map(|s| !s.dims.is_empty())
+                .unwrap_or(false);
+            if !is_array || (level as usize) > d.common.len() {
+                continue;
+            }
+            let chain: Vec<u32> = d
+                .common
+                .iter()
+                .map(|&l| self.ua.nest.get(l).stmt.0)
+                .collect();
+            targets.push(ped_vm::DynTarget {
+                dep: d.id.0 as u64,
+                var: d.var.clone(),
+                src_stmt: d.src_stmt.0,
+                sink_stmt: d.sink_stmt.0,
+                src_write,
+                sink_write,
+                chain,
+                level: level as usize,
+                assumed: !d.exact,
+            });
+        }
+        let outcome =
+            ped_vm::validate(&self.program, &opts, &targets).map_err(|e| e.to_string())?;
+        let confirmed = outcome
+            .results
+            .iter()
+            .filter(|r| r.verdict == ped_vm::DynVerdict::Confirmed)
+            .count() as u64;
+        let disproven = outcome
+            .results
+            .iter()
+            .filter(|r| r.verdict == ped_vm::DynVerdict::Disproven)
+            .count() as u64;
+        self.usage
+            .note_validate(outcome.trace_events, confirmed, disproven);
+        Ok(targets
+            .iter()
+            .zip(outcome.results)
+            .map(|(t, r)| DepValidation {
+                id: DepId(t.dep as u32),
+                var: t.var.clone(),
+                level: t.level as u32,
+                assumed: t.assumed,
+                verdict: r.verdict,
+                witness: r.witness,
+                src_events: r.src_events,
+                sink_events: r.sink_events,
+            })
+            .collect())
     }
 
     /// Interactive help (§3.2: "two users found the interactive help

@@ -144,6 +144,16 @@ struct Counters {
     reads: AtomicU64,
     /// Write publications (excludes the initial publish at `open`).
     publishes: AtomicU64,
+    /// Bytecode instructions dispatched by `run` calls that took the VM.
+    vm_instrs: AtomicU64,
+    /// Nanoseconds spent compiling to bytecode (compile-cache hits add 0).
+    vm_compile_ns: AtomicU64,
+    /// Access events recorded by tracing (`validate`) runs.
+    trace_events: AtomicU64,
+    /// Dependence edges dynamically confirmed by `validate`.
+    validated_confirmed: AtomicU64,
+    /// Assumed edges dynamically disproven by `validate`.
+    validated_disproven: AtomicU64,
 }
 
 impl Default for Counters {
@@ -153,6 +163,11 @@ impl Default for Counters {
             epoch: AtomicU64::new(0),
             reads: AtomicU64::new(0),
             publishes: AtomicU64::new(0),
+            vm_instrs: AtomicU64::new(0),
+            vm_compile_ns: AtomicU64::new(0),
+            trace_events: AtomicU64::new(0),
+            validated_confirmed: AtomicU64::new(0),
+            validated_disproven: AtomicU64::new(0),
         }
     }
 }
@@ -218,6 +233,39 @@ impl UsageLog {
     /// Record a read-method dispatch served from a published snapshot.
     pub fn note_snapshot_read(&self) {
         self.inner.reads.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Record one VM-engine run's meters.
+    pub fn note_vm_run(&self, instrs: u64, compile_ns: u64) {
+        self.inner.vm_instrs.fetch_add(instrs, Ordering::SeqCst);
+        self.inner
+            .vm_compile_ns
+            .fetch_add(compile_ns, Ordering::SeqCst);
+    }
+
+    /// Record one dynamic-validation run's meters.
+    pub fn note_validate(&self, trace_events: u64, confirmed: u64, disproven: u64) {
+        self.inner
+            .trace_events
+            .fetch_add(trace_events, Ordering::SeqCst);
+        self.inner
+            .validated_confirmed
+            .fetch_add(confirmed, Ordering::SeqCst);
+        self.inner
+            .validated_disproven
+            .fetch_add(disproven, Ordering::SeqCst);
+    }
+
+    /// `(vm_instrs, vm_compile_ns, trace_events, validated_confirmed,
+    /// validated_disproven)`.
+    pub fn vm_counters(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.inner.vm_instrs.load(Ordering::SeqCst),
+            self.inner.vm_compile_ns.load(Ordering::SeqCst),
+            self.inner.trace_events.load(Ordering::SeqCst),
+            self.inner.validated_confirmed.load(Ordering::SeqCst),
+            self.inner.validated_disproven.load(Ordering::SeqCst),
+        )
     }
 
     /// `(snapshot_epoch, snapshot_reads, writer_publishes)`.

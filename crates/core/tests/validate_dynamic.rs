@@ -1,0 +1,61 @@
+//! Dynamic dependence validation end-to-end: a session replays its
+//! program under the tracing VM and classifies static edges against
+//! the observed access stream.
+//!
+//! The program pairs the two §4 situations: a subscripted-subscript
+//! loop (`A(IX(I)) = …` — the static tests must *assume* an output
+//! dependence) whose index array is dynamically a permutation, and a
+//! genuine recurrence (`A(I) = A(I-1) + …`). Validation must disprove
+//! the former (candidate for user deletion) and confirm the latter
+//! with a witness iteration pair.
+
+use ped::session::PedSession;
+use ped_fortran::parser::parse_ok;
+use ped_vm::DynVerdict;
+
+const SRC: &str = "      REAL A(100), B(100)\n      INTEGER IX(100)\n      DO 5 I = 1, 100\n      IX(I) = I\n      B(I) = I\n      A(I) = 0.0\n    5 CONTINUE\n      DO 10 I = 2, 100\n      A(IX(I)) = B(I) + 1.0\n   10 CONTINUE\n      DO 20 I = 2, 100\n      A(I) = A(I-1) + 2.0\n   20 CONTINUE\n      WRITE (*,*) A(100)\n      END\n";
+
+#[test]
+fn disproves_assumed_edge_and_confirms_recurrence() {
+    let s = PedSession::open(parse_ok(SRC));
+    let results = s
+        .validate(ped_runtime::RunOptions::default())
+        .expect("validate");
+    assert!(!results.is_empty(), "no carried array edges to test");
+
+    let disproven: Vec<_> = results
+        .iter()
+        .filter(|r| r.verdict == DynVerdict::Disproven)
+        .collect();
+    assert!(
+        disproven.iter().any(|r| r.assumed && r.var == "A"),
+        "the assumed A(IX(I)) edge must be dynamically disproven: {results:?}"
+    );
+    // Disproven verdicts are only ever issued for assumed edges.
+    assert!(disproven.iter().all(|r| r.assumed), "{results:?}");
+
+    let confirmed: Vec<_> = results
+        .iter()
+        .filter(|r| r.verdict == DynVerdict::Confirmed)
+        .collect();
+    assert!(
+        confirmed
+            .iter()
+            .any(|r| r.var == "A" && r.witness.is_some()),
+        "the A(I)=A(I-1) recurrence must be confirmed with a witness: {results:?}"
+    );
+
+    let stats = s.stats();
+    assert!(stats.validated_disproven >= 1, "{stats:?}");
+    assert!(stats.validated_confirmed >= 1, "{stats:?}");
+    assert!(stats.trace_events > 0, "{stats:?}");
+}
+
+#[test]
+fn run_records_vm_meters() {
+    let s = PedSession::open(parse_ok(SRC));
+    let out = s.run(ped_runtime::RunOptions::default()).expect("run");
+    assert_eq!(out.lines, ["198.0"]);
+    let stats = s.stats();
+    assert!(stats.vm_instrs > 0, "VM meters not recorded: {stats:?}");
+}

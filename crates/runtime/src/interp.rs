@@ -18,77 +18,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::{Mutex, RwLock};
 
-/// Execution options.
-#[derive(Clone, Debug)]
-pub struct RunOptions {
-    /// Worker threads for DOALL loops (1 = sequential even if marked).
-    pub workers: usize,
-    /// Values consumed by `READ` statements.
-    pub input: Vec<Value>,
-    /// Abort after this many executed statements (runaway guard).
-    pub max_steps: u64,
-    /// Old-dialect one-trip DO semantics (neoss/nxsns/dpmin, §5.3).
-    pub one_trip_do: bool,
-    /// Run DOALL loops sequentially with deterministic per-element
-    /// conflict tracking instead of actually parallel; conflicts appear
-    /// in [`RunOutput::races`]. This is the run-time verification of
-    /// §3.3.
-    pub validate_parallel: bool,
-}
+// The run surface (options, outputs, errors) and all scalar semantics
+// (arithmetic, intrinsics, reduction identities) are shared with the
+// bytecode VM through `ped_vm::rt` — one source of truth keeps the two
+// engines byte-identical.
+pub use ped_vm::rt::{RunOptions, RunOutput, RunStats, RuntimeError};
 
-impl Default for RunOptions {
-    fn default() -> Self {
-        RunOptions {
-            workers: 1,
-            input: Vec::new(),
-            max_steps: 200_000_000,
-            one_trip_do: false,
-            validate_parallel: false,
-        }
-    }
-}
+use ped_vm::rt::{
+    combine, err, eval_binop, eval_dims, eval_intrinsic, identity_of, proto_of, zero_of, RunResult,
+};
 
-/// Execution statistics.
-#[derive(Clone, Debug, Default)]
-pub struct RunStats {
-    pub steps: u64,
-    pub parallel_loops: u64,
-    pub parallel_iterations: u64,
-    /// Iterations executed per `DO` statement (loop-level profiling, the
-    /// Forge-style profile users asked for in §3.2).
-    pub loop_iterations: HashMap<StmtId, u64>,
-}
-
-/// Result of a run.
-#[derive(Clone, Debug, Default)]
-pub struct RunOutput {
-    /// Lines produced by WRITE/PRINT.
-    pub lines: Vec<String>,
-    pub stats: RunStats,
-    /// Conflicts found by the deterministic DOALL checker
-    /// (`validate_parallel`); empty means the certifications held.
-    pub races: Vec<String>,
-}
-
-/// Runtime errors.
-#[derive(Clone, Debug, PartialEq)]
-pub struct RuntimeError(pub String);
-
-impl std::fmt::Display for RuntimeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "runtime error: {}", self.0)
-    }
-}
-
-impl std::error::Error for RuntimeError {}
-
-fn err<T>(msg: impl Into<String>) -> Result<T, RuntimeError> {
-    Err(RuntimeError(msg.into()))
-}
-
-type RunResult<T> = Result<T, RuntimeError>;
-
-/// Run a program's main unit.
+/// Run a program's main unit with the tree-walking interpreter.
 pub fn run(program: &Program, opts: RunOptions) -> RunResult<RunOutput> {
     let machine = Machine::new(program, opts)?;
     let main = program
@@ -924,256 +864,6 @@ fn actuals_clone(actuals: &[Actual]) -> Vec<Actual> {
             Actual::Array(h) => Actual::Array(Arc::clone(h)),
         })
         .collect()
-}
-
-fn zero_of(ty: Type) -> Value {
-    match ty {
-        Type::Integer => Value::Int(0),
-        Type::Real | Type::DoublePrecision => Value::Real(0.0),
-        Type::Logical => Value::Logical(false),
-        Type::Character => Value::Str(String::new()),
-    }
-}
-
-fn proto_of(ty: Type) -> Cell {
-    match ty {
-        Type::Integer => Cell::I(0),
-        Type::Logical => Cell::L(false),
-        _ => Cell::R(0.0),
-    }
-}
-
-fn identity_of(op: ped_analysis::reductions::ReduceOp, current: Option<&Value>) -> Value {
-    use ped_analysis::reductions::ReduceOp::*;
-    let is_int = matches!(current, Some(Value::Int(_)));
-    match (op, is_int) {
-        (Sum, true) => Value::Int(0),
-        (Sum, false) => Value::Real(0.0),
-        (Product, true) => Value::Int(1),
-        (Product, false) => Value::Real(1.0),
-        (Max, true) => Value::Int(i64::MIN),
-        (Max, false) => Value::Real(f64::NEG_INFINITY),
-        (Min, true) => Value::Int(i64::MAX),
-        (Min, false) => Value::Real(f64::INFINITY),
-    }
-}
-
-fn combine(op: ped_analysis::reductions::ReduceOp, a: &Value, b: &Value) -> RunResult<Value> {
-    use ped_analysis::reductions::ReduceOp::*;
-    match op {
-        Sum => eval_binop(BinOp::Add, a.clone(), b.clone()),
-        Product => eval_binop(BinOp::Mul, a.clone(), b.clone()),
-        Max => eval_intrinsic("MAX", &[a.clone(), b.clone()]),
-        Min => eval_intrinsic("MIN", &[a.clone(), b.clone()]),
-    }
-}
-
-fn eval_binop(op: BinOp, a: Value, b: Value) -> RunResult<Value> {
-    use BinOp::*;
-    match op {
-        And | Or => {
-            let (x, y) = match (a.as_bool(), b.as_bool()) {
-                (Some(x), Some(y)) => (x, y),
-                _ => return err("logical operator on non-logical"),
-            };
-            Ok(Value::Logical(if op == And { x && y } else { x || y }))
-        }
-        Lt | Le | Gt | Ge | Eq | Ne => {
-            let (x, y) = match (a.as_f64(), b.as_f64()) {
-                (Some(x), Some(y)) => (x, y),
-                _ => match (&a, &b) {
-                    (Value::Logical(x), Value::Logical(y)) => {
-                        return Ok(Value::Logical(match op {
-                            Eq => x == y,
-                            Ne => x != y,
-                            _ => return err("ordering on logicals"),
-                        }))
-                    }
-                    _ => return err("comparison on non-numeric"),
-                },
-            };
-            Ok(Value::Logical(match op {
-                Lt => x < y,
-                Le => x <= y,
-                Gt => x > y,
-                Ge => x >= y,
-                Eq => x == y,
-                Ne => x != y,
-                _ => unreachable!(),
-            }))
-        }
-        Add | Sub | Mul | Div | Pow => match (a, b) {
-            (Value::Int(x), Value::Int(y)) => Ok(match op {
-                Add => Value::Int(x + y),
-                Sub => Value::Int(x - y),
-                Mul => Value::Int(x * y),
-                Div => {
-                    if y == 0 {
-                        return err("integer division by zero");
-                    }
-                    Value::Int(x / y)
-                }
-                Pow => {
-                    if (0..63).contains(&y) {
-                        Value::Int(x.pow(y as u32))
-                    } else {
-                        Value::Real((x as f64).powf(y as f64))
-                    }
-                }
-                _ => unreachable!(),
-            }),
-            (a, b) => {
-                let (x, y) = match (a.as_f64(), b.as_f64()) {
-                    (Some(x), Some(y)) => (x, y),
-                    _ => return err("arithmetic on non-numeric"),
-                };
-                Ok(Value::Real(match op {
-                    Add => x + y,
-                    Sub => x - y,
-                    Mul => x * y,
-                    Div => x / y,
-                    Pow => x.powf(y),
-                    _ => unreachable!(),
-                }))
-            }
-        },
-    }
-}
-
-fn eval_intrinsic(name: &str, args: &[Value]) -> RunResult<Value> {
-    let f1 = |f: fn(f64) -> f64| -> RunResult<Value> {
-        args.first()
-            .and_then(|v| v.as_f64())
-            .map(|x| Value::Real(f(x)))
-            .ok_or_else(|| RuntimeError(format!("{name}: bad argument")))
-    };
-    match name.to_ascii_uppercase().as_str() {
-        "ABS" | "DABS" => match args.first() {
-            Some(Value::Int(v)) => Ok(Value::Int(v.abs())),
-            Some(v) => v
-                .as_f64()
-                .map(|x| Value::Real(x.abs()))
-                .ok_or_else(|| RuntimeError("ABS: bad argument".into())),
-            None => err("ABS: missing argument"),
-        },
-        "IABS" => args
-            .first()
-            .and_then(|v| v.as_int())
-            .map(Value::Int)
-            .ok_or_else(|| RuntimeError("IABS: bad argument".into()))
-            .map(|v| match v {
-                Value::Int(x) => Value::Int(x.abs()),
-                v => v,
-            }),
-        "SQRT" | "DSQRT" => f1(f64::sqrt),
-        "EXP" | "DEXP" => f1(f64::exp),
-        "LOG" | "DLOG" => f1(f64::ln),
-        "SIN" => f1(f64::sin),
-        "COS" => f1(f64::cos),
-        "TAN" => f1(f64::tan),
-        "ATAN" => f1(f64::atan),
-        "INT" | "NINT" => args
-            .first()
-            .and_then(|v| v.as_f64())
-            .map(|x| {
-                Value::Int(if name.eq_ignore_ascii_case("NINT") {
-                    x.round() as i64
-                } else {
-                    x.trunc() as i64
-                })
-            })
-            .ok_or_else(|| RuntimeError("INT: bad argument".into())),
-        "REAL" | "FLOAT" | "DBLE" => args
-            .first()
-            .and_then(|v| v.as_f64())
-            .map(Value::Real)
-            .ok_or_else(|| RuntimeError("REAL: bad argument".into())),
-        "MAX" | "AMAX1" | "MAX0" | "DMAX1" => fold_minmax(args, true),
-        "MIN" | "AMIN1" | "MIN0" | "DMIN1" => fold_minmax(args, false),
-        "MOD" => match (args.first(), args.get(1)) {
-            (Some(Value::Int(a)), Some(Value::Int(b))) if *b != 0 => Ok(Value::Int(a % b)),
-            (Some(a), Some(b)) => match (a.as_f64(), b.as_f64()) {
-                (Some(x), Some(y)) if y != 0.0 => Ok(Value::Real(x % y)),
-                _ => err("MOD: bad arguments"),
-            },
-            _ => err("MOD: missing arguments"),
-        },
-        "SIGN" => match (
-            args.first().and_then(|v| v.as_f64()),
-            args.get(1).and_then(|v| v.as_f64()),
-        ) {
-            (Some(a), Some(b)) => Ok(Value::Real(a.abs() * if b < 0.0 { -1.0 } else { 1.0 })),
-            _ => err("SIGN: bad arguments"),
-        },
-        "DIM" => match (
-            args.first().and_then(|v| v.as_f64()),
-            args.get(1).and_then(|v| v.as_f64()),
-        ) {
-            (Some(a), Some(b)) => Ok(Value::Real((a - b).max(0.0))),
-            _ => err("DIM: bad arguments"),
-        },
-        other => err(format!("unimplemented intrinsic {other}")),
-    }
-}
-
-fn fold_minmax(args: &[Value], max: bool) -> RunResult<Value> {
-    if args.is_empty() {
-        return err("MAX/MIN: no arguments");
-    }
-    let all_int = args.iter().all(|v| matches!(v, Value::Int(_)));
-    if all_int {
-        let it = args.iter().filter_map(|v| v.as_int());
-        Ok(Value::Int(if max {
-            it.max().unwrap()
-        } else {
-            it.min().unwrap()
-        }))
-    } else {
-        let mut acc: Option<f64> = None;
-        for v in args {
-            let x = v
-                .as_f64()
-                .ok_or_else(|| RuntimeError("MAX/MIN: bad argument".into()))?;
-            acc = Some(match acc {
-                None => x,
-                Some(a) => {
-                    if max {
-                        a.max(x)
-                    } else {
-                        a.min(x)
-                    }
-                }
-            });
-        }
-        Ok(Value::Real(acc.unwrap()))
-    }
-}
-
-/// Evaluate dimension declarators that must be compile-time constant
-/// (COMMON arrays).
-fn eval_dims(dims: &[DimBound], st: &SymbolTable) -> RunResult<Vec<(i64, i64)>> {
-    dims.iter()
-        .map(|d| {
-            let lo = d
-                .lower
-                .as_int()
-                .or_else(|| const_int(&d.lower, st))
-                .ok_or_else(|| RuntimeError("COMMON array bound not constant".into()))?;
-            let hi = d
-                .upper
-                .as_int()
-                .or_else(|| const_int(&d.upper, st))
-                .ok_or_else(|| RuntimeError("COMMON array bound not constant".into()))?;
-            Ok((lo, hi))
-        })
-        .collect()
-}
-
-fn const_int(e: &Expr, st: &SymbolTable) -> Option<i64> {
-    match e {
-        Expr::Var(n) => st.const_int(n),
-        _ => e.as_int(),
-    }
 }
 
 #[cfg(test)]

@@ -1,215 +1,99 @@
 //! Runtime verification: deterministic DOALL race checking and
 //! user-assertion validation.
 //!
-//! §3.3 requires that "it should be possible for the system to verify the
-//! correctness of the assertions at run time". Two facilities deliver
-//! that:
-//!
-//! * [`Shadow`] — when `RunOptions::validate_parallel` is set, parallel
-//!   loops execute *sequentially* while every array access is tagged with
-//!   its iteration number; any pair of conflicting accesses from
-//!   different iterations (write/write or read/write) is reported. This
-//!   is deterministic, unlike observing actual thread interleavings, so a
-//!   mis-certified loop is always caught.
-//! * [`verify_index_fact`] — checks a user's index-array assertion
-//!   (permutation / stride / value range) against the actual array
-//!   contents.
+//! The implementation lives in `ped-vm` (`ped_vm::shadow`) so that both
+//! execution engines share one conflict tracker; this module preserves
+//! the historical `ped_runtime::verify` paths and carries the
+//! program-level tests for the checker: a mis-certified (racy) loop and
+//! a clean one, checked both through `validate_parallel` and by a
+//! serial-vs-parallel differential run.
 
-use ped_analysis::symbolic::IndexArrayFact;
-use std::collections::HashMap;
-
-/// Access kind recorded by the shadow tracker.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Acc {
-    Read,
-    Write,
-}
-
-/// Deterministic per-element conflict tracker for one certified loop.
-#[derive(Debug, Default)]
-pub struct Shadow {
-    /// (array identity, flat index) → (iteration, kind) of prior access.
-    /// Same-iteration accesses never conflict; cross-iteration pairs
-    /// conflict unless both are reads.
-    last: HashMap<(usize, usize), (i64, Acc)>,
-    pub races: Vec<String>,
-}
-
-impl Shadow {
-    pub fn new() -> Shadow {
-        Shadow::default()
-    }
-
-    /// Record an access from `iter`; appends a race description on
-    /// conflict. `array_id` is any stable identity for the array object
-    /// (e.g. its allocation address), `name` is used for messages.
-    pub fn record(&mut self, array_id: usize, name: &str, idx: usize, iter: i64, write: bool) {
-        let kind = if write { Acc::Write } else { Acc::Read };
-        match self.last.get(&(array_id, idx)) {
-            Some(&(prev_iter, prev_kind)) if prev_iter != iter => {
-                if prev_kind == Acc::Write || kind == Acc::Write {
-                    self.races.push(format!(
-                        "{name}[flat {idx}]: {} in iteration {prev_iter} conflicts with {} in iteration {iter}",
-                        verb(prev_kind),
-                        verb(kind)
-                    ));
-                }
-                // Keep the stronger access for later comparisons.
-                if kind == Acc::Write || prev_kind != Acc::Write {
-                    self.last.insert((array_id, idx), (iter, kind));
-                }
-            }
-            Some(&(_, _prev_kind)) => {
-                // Same-iteration access: upgrade the record to a write so
-                // later iterations compare against the stronger access.
-                if kind == Acc::Write {
-                    self.last.insert((array_id, idx), (iter, kind));
-                }
-            }
-            None => {
-                self.last.insert((array_id, idx), (iter, kind));
-            }
-        }
-    }
-
-    pub fn is_clean(&self) -> bool {
-        self.races.is_empty()
-    }
-}
-
-fn verb(a: Acc) -> &'static str {
-    match a {
-        Acc::Read => "read",
-        Acc::Write => "write",
-    }
-}
-
-/// Validate an index-array assertion against actual contents.
-pub fn verify_index_fact(values: &[i64], fact: &IndexArrayFact) -> Result<(), String> {
-    if fact.permutation {
-        let mut seen = std::collections::HashSet::with_capacity(values.len());
-        for (i, v) in values.iter().enumerate() {
-            if !seen.insert(*v) {
-                return Err(format!(
-                    "PERMUTATION violated: value {v} repeats (second occurrence at index {})",
-                    i + 1
-                ));
-            }
-        }
-    }
-    if let Some(k) = fact.min_stride {
-        for (i, w) in values.windows(2).enumerate() {
-            if w[1] - w[0] < k {
-                return Err(format!(
-                    "STRIDE {k} violated between indices {} and {}: {} then {}",
-                    i + 1,
-                    i + 2,
-                    w[0],
-                    w[1]
-                ));
-            }
-        }
-    }
-    // Value range facts are symbolic (LinExpr); numeric validation is
-    // possible only for constant bounds.
-    if let Some(lo) = fact.value_lo.as_ref().and_then(|l| l.as_const()) {
-        if let Some(bad) = values.iter().find(|v| **v < lo) {
-            return Err(format!(
-                "RANGE violated: value {bad} below lower bound {lo}"
-            ));
-        }
-    }
-    if let Some(hi) = fact.value_hi.as_ref().and_then(|l| l.as_const()) {
-        if let Some(bad) = values.iter().find(|v| **v > hi) {
-            return Err(format!(
-                "RANGE violated: value {bad} above upper bound {hi}"
-            ));
-        }
-    }
-    Ok(())
-}
+pub use ped_vm::shadow::*;
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use ped_analysis::symbolic::LinExpr;
+    use crate::interp::{run, RunOptions};
+    use ped_fortran::ast::{LoopSched, StmtKind};
+    use ped_fortran::parser::parse_ok;
 
-    #[test]
-    fn shadow_clean_for_disjoint_iterations() {
-        let mut s = Shadow::new();
-        for i in 0..10 {
-            s.record(1, "A", i as usize, i, true);
-            s.record(1, "A", i as usize, i, false);
+    /// A recurrence wrongly marked parallel: iteration I reads A(I-1)
+    /// written by iteration I-1.
+    const RACY: &str = "      REAL A(200)\n      A(1) = 1.0\n      DO 10 I = 2, 200\n      A(I) = A(I-1) + 1.0\n   10 CONTINUE\n      WRITE (*,*) A(200)\n      END\n";
+
+    /// An embarrassingly parallel loop: disjoint elements per iteration.
+    const CLEAN: &str = "      REAL A(200), B(200)\n      DO 5 I = 1, 200\n      B(I) = I\n    5 CONTINUE\n      DO 10 I = 1, 200\n      A(I) = B(I) * 2.0\n   10 CONTINUE\n      WRITE (*,*) A(200)\n      END\n";
+
+    fn mark_loop(src: &str, n: usize) -> ped_fortran::ast::Program {
+        let mut p = parse_ok(src);
+        let mut count = 0;
+        for s in p.units[0].body.iter_mut() {
+            if let StmtKind::Do { sched, .. } = &mut s.kind {
+                if count == n {
+                    *sched = LoopSched::Parallel;
+                    break;
+                }
+                count += 1;
+            }
         }
-        assert!(s.is_clean());
+        p
     }
 
     #[test]
-    fn shadow_flags_write_write() {
-        let mut s = Shadow::new();
-        s.record(1, "A", 3, 0, true);
-        s.record(1, "A", 3, 1, true);
-        assert_eq!(s.races.len(), 1);
-        assert!(
-            s.races[0].contains("write in iteration 0"),
-            "{}",
-            s.races[0]
-        );
+    fn checker_flags_racy_program() {
+        let p = mark_loop(RACY, 0);
+        let out = run(
+            &p,
+            RunOptions {
+                validate_parallel: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!out.races.is_empty(), "recurrence must be flagged");
+        assert!(out.races[0].contains("A[flat"), "{}", out.races[0]);
     }
 
     #[test]
-    fn shadow_flags_read_write_cross_iteration() {
-        let mut s = Shadow::new();
-        s.record(1, "A", 3, 0, false);
-        s.record(1, "A", 3, 2, true);
-        assert_eq!(s.races.len(), 1);
+    fn checker_passes_clean_program() {
+        let p = mark_loop(CLEAN, 1);
+        let out = run(
+            &p,
+            RunOptions {
+                validate_parallel: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(out.races.is_empty(), "{:?}", out.races);
     }
 
+    /// Differential check: a clean certified loop must produce the same
+    /// output serially and across 8 workers.
     #[test]
-    fn shadow_allows_read_read() {
-        let mut s = Shadow::new();
-        s.record(1, "A", 3, 0, false);
-        s.record(1, "A", 3, 5, false);
-        assert!(s.is_clean());
+    fn clean_program_serial_parallel_differential() {
+        let p = mark_loop(CLEAN, 1);
+        let serial = run(&p, RunOptions::default()).unwrap();
+        let parallel = run(
+            &p,
+            RunOptions {
+                workers: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.lines, parallel.lines);
+        assert_eq!(parallel.stats.parallel_loops, 1);
+        assert_eq!(parallel.stats.parallel_iterations, 200);
     }
 
+    /// The racy program's serial result is deterministic; the checker
+    /// (not thread-schedule luck) is what distinguishes it from the
+    /// clean one — both *run* under 8 workers, only validation tells
+    /// them apart deterministically.
     #[test]
-    fn shadow_distinguishes_arrays() {
-        let mut s = Shadow::new();
-        s.record(1, "A", 3, 0, true);
-        s.record(2, "B", 3, 1, true);
-        assert!(s.is_clean());
-    }
-
-    #[test]
-    fn permutation_check() {
-        let fact = IndexArrayFact {
-            permutation: true,
-            ..Default::default()
-        };
-        assert!(verify_index_fact(&[3, 1, 2], &fact).is_ok());
-        assert!(verify_index_fact(&[3, 1, 3], &fact).is_err());
-    }
-
-    #[test]
-    fn stride_check() {
-        let fact = IndexArrayFact {
-            min_stride: Some(3),
-            ..Default::default()
-        };
-        assert!(verify_index_fact(&[1, 4, 8], &fact).is_ok());
-        assert!(verify_index_fact(&[1, 3, 8], &fact).is_err());
-    }
-
-    #[test]
-    fn range_check() {
-        let fact = IndexArrayFact {
-            value_lo: Some(LinExpr::constant(1)),
-            value_hi: Some(LinExpr::constant(10)),
-            ..Default::default()
-        };
-        assert!(verify_index_fact(&[1, 5, 10], &fact).is_ok());
-        assert!(verify_index_fact(&[0, 5], &fact).is_err());
-        assert!(verify_index_fact(&[5, 11], &fact).is_err());
+    fn racy_program_serial_result_is_recurrence() {
+        let p = parse_ok(RACY);
+        let out = run(&p, RunOptions::default()).unwrap();
+        assert_eq!(out.lines, ["200.0"]);
     }
 }

@@ -1,0 +1,132 @@
+//! The engine-equivalence oracle: the bytecode VM must be
+//! byte-identical to the tree-walking interpreter on every workshop
+//! program (after the PED work model has parallelized it) and on the
+//! synthetic 60-loop program — output lines, step/loop/iteration
+//! counters, and race logs, serially and across 8 workers.
+//!
+//! This is the contract that lets `ped_runtime::run` put the VM in
+//! front of the tree walk: any divergence here is a VM bug by
+//! definition (the tree walk is the semantics).
+
+use ped_fortran::ast::Program;
+use ped_fortran::parser::parse_ok;
+use ped_runtime::{run_metered, run_tree, RunOptions, RunOutput};
+
+/// Parallelize every unit the way the bench harness does: the PED work
+/// model (analyze, break/accept, mark DOALL) over each unit in turn.
+fn parallelized(prog: Program) -> Program {
+    let mut session = ped::session::PedSession::open(prog);
+    let n = session.program.units.len();
+    for u in 0..n {
+        let uname = session.program.units[u].name.clone();
+        session.select_unit(&uname).unwrap();
+        ped::workmodel::parallelize_unit(&mut session);
+    }
+    Program::clone(&session.program)
+}
+
+fn cases() -> Vec<(String, Program)> {
+    let mut v: Vec<(String, Program)> = ped_workloads::all_programs()
+        .into_iter()
+        .map(|p| (p.name.to_string(), parallelized(p.parse())))
+        .collect();
+    v.push((
+        "synth60".into(),
+        parallelized(parse_ok(&ped_workloads::synthetic_source(60))),
+    ));
+    v
+}
+
+fn assert_identical(name: &str, what: &str, vm: &RunOutput, tree: &RunOutput) {
+    assert_eq!(vm.lines, tree.lines, "{name} [{what}]: output lines");
+    assert_eq!(vm.races, tree.races, "{name} [{what}]: race logs");
+    assert_eq!(vm.stats.steps, tree.stats.steps, "{name} [{what}]: steps");
+    assert_eq!(
+        vm.stats.parallel_loops, tree.stats.parallel_loops,
+        "{name} [{what}]: parallel loops"
+    );
+    assert_eq!(
+        vm.stats.parallel_iterations, tree.stats.parallel_iterations,
+        "{name} [{what}]: parallel iterations"
+    );
+    assert_eq!(
+        vm.stats.loop_iterations, tree.stats.loop_iterations,
+        "{name} [{what}]: loop profiles"
+    );
+}
+
+/// Every workload (and synth60) must take the VM path — the tree walk
+/// is a fallback for programs the compiler rejects, not for these.
+#[test]
+fn vm_compiles_every_workload() {
+    for (name, prog) in cases() {
+        let (compiled, _ns) = ped_vm::compile_cached(&prog);
+        assert!(
+            compiled.is_ok(),
+            "{name}: VM compile rejected: {:?}",
+            compiled.err()
+        );
+        let (_, m) = run_metered(&prog, RunOptions::default()).expect(&name);
+        assert_eq!(
+            m.engine, "vm",
+            "{name}: dispatcher fell back to the tree walk"
+        );
+        assert!(m.vm_instrs > 0, "{name}: VM dispatched no instructions");
+    }
+}
+
+#[test]
+fn vm_matches_tree_walk_serial_and_parallel() {
+    for (name, prog) in cases() {
+        for workers in [1usize, 8] {
+            let opts = RunOptions {
+                workers,
+                ..Default::default()
+            };
+            let (vm, m) = run_metered(&prog, opts.clone()).expect(&name);
+            assert_eq!(m.engine, "vm", "{name}");
+            let tree = run_tree(&prog, opts).expect(&name);
+            assert_identical(&name, &format!("workers={workers}"), &vm, &tree);
+        }
+    }
+}
+
+/// The deterministic race checker must log the same races (same
+/// strings, same order) from both engines.
+#[test]
+fn vm_matches_tree_walk_under_validation() {
+    for (name, prog) in cases() {
+        let opts = RunOptions {
+            validate_parallel: true,
+            ..Default::default()
+        };
+        let (vm, m) = run_metered(&prog, opts.clone()).expect(&name);
+        assert_eq!(m.engine, "vm", "{name}");
+        let tree = run_tree(&prog, opts).expect(&name);
+        assert_identical(&name, "validated", &vm, &tree);
+    }
+}
+
+/// The lint soundness witnesses (mis-certified recurrences) replay to
+/// the same shadow-tracker race lines through the VM as through the
+/// tree walk — the static-report soundness gate holds for both engines.
+#[test]
+fn lint_witnesses_replay_identically() {
+    const RACY: &[&str] = &[
+        "      REAL A(100)\n      DO 5 K = 1, 100\n      A(K) = 1.0\n    5 CONTINUE\nCDOALL\n      DO 10 I = 2, 100\n      A(I) = A(I-1) + 1.0\n   10 CONTINUE\n      END\n",
+        "      REAL A(100)\n      DO 5 K = 1, 100\n      A(K) = 1.0\n    5 CONTINUE\nCDOALL\n      DO 10 I = 3, 60\n      A(I) = A(I-2) * 2.0\n   10 CONTINUE\n      END\n",
+        "      REAL A(40,30)\n      DO 5 K = 1, 40\n      DO 6 L = 1, 30\n      A(K,L) = 1.0\n    6 CONTINUE\n    5 CONTINUE\nCDOALL\n      DO 10 I = 2, 40\n      DO 20 J = 1, 30\n      A(I,J) = A(I-1,J) + 1.0\n   20 CONTINUE\n   10 CONTINUE\n      END\n",
+    ];
+    for (i, src) in RACY.iter().enumerate() {
+        let prog = parse_ok(src);
+        let opts = RunOptions {
+            validate_parallel: true,
+            ..Default::default()
+        };
+        let (vm, m) = run_metered(&prog, opts.clone()).unwrap();
+        assert_eq!(m.engine, "vm", "witness {i}");
+        let tree = run_tree(&prog, opts).unwrap();
+        assert!(!tree.races.is_empty(), "witness {i}: no race observed");
+        assert_identical(&format!("witness {i}"), "shadow", &vm, &tree);
+    }
+}

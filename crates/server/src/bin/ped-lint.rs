@@ -2,7 +2,7 @@
 //! as a batch CLI.
 //!
 //! ```text
-//! ped-lint [--json] [--deny-warnings] [--threads N] FILE...
+//! ped-lint [--json] [--deny-warnings] [--dynamic] [--threads N] FILE...
 //! ```
 //!
 //! Each argument is a fixed-form Fortran file or a directory (searched
@@ -11,16 +11,26 @@
 //! `file:line: severity: [PED001] message`, or as one deterministic JSON
 //! document with `--json`.
 //!
+//! `--dynamic` additionally replays each program under the tracing
+//! bytecode VM and annotates its carried array dependences with dynamic
+//! verdicts: `confirmed` (a witness iteration pair was observed) or
+//! `disproven` (an assumed edge no access pair ever realized on this
+//! run — a candidate for user deletion, valid for these inputs).
+//! Dynamic annotations are informational and never affect the exit
+//! status.
+//!
 //! Exit status: 0 clean; 1 if any error-severity finding was reported
 //! (or any warning, under `--deny-warnings`); 2 on usage or I/O errors.
 
+use ped::session::{DepValidation, PedSession};
 use ped_lint::{lint_program, sort_findings, tally, Finding, LintOptions};
 use ped_server::json::Value;
 use ped_server::lintio::{finding_text, findings_value};
+use ped_vm::DynVerdict;
 use std::path::{Path, PathBuf};
 
 fn usage() -> ! {
-    eprintln!("usage: ped-lint [--json] [--deny-warnings] [--threads N] FILE...");
+    eprintln!("usage: ped-lint [--json] [--deny-warnings] [--dynamic] [--threads N] FILE...");
     std::process::exit(2);
 }
 
@@ -61,9 +71,12 @@ struct FileReport {
     file: String,
     findings: Vec<Finding>,
     parse_errors: Vec<String>,
+    /// `--dynamic` verdicts per unit, or the reason validation was
+    /// skipped for this file.
+    dynamic: Option<Result<Vec<(String, Vec<DepValidation>)>, String>>,
 }
 
-fn lint_file(path: &Path, opts: &LintOptions) -> Result<FileReport, String> {
+fn lint_file(path: &Path, opts: &LintOptions, dynamic: bool) -> Result<FileReport, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let (program, diags) = ped_fortran::parser::parse(&src);
     let parse_errors: Vec<String> = diags
@@ -76,16 +89,90 @@ fn lint_file(path: &Path, opts: &LintOptions) -> Result<FileReport, String> {
         Vec::new()
     };
     sort_findings(&mut findings);
+    let dynamic = (dynamic && parse_errors.is_empty()).then(|| validate_program(program));
     Ok(FileReport {
         file: path.display().to_string(),
         findings,
         parse_errors,
+        dynamic,
     })
+}
+
+/// Replay the program under the tracing VM once per unit and collect
+/// the dynamic verdicts for each unit's carried array dependences.
+fn validate_program(
+    program: ped_fortran::Program,
+) -> Result<Vec<(String, Vec<DepValidation>)>, String> {
+    let mut s = PedSession::open(program);
+    let names: Vec<String> = s.program.units.iter().map(|u| u.name.clone()).collect();
+    let mut out = Vec::new();
+    for name in names {
+        s.select_unit(&name)?;
+        let results = s.validate(ped_runtime::RunOptions::default())?;
+        out.push((name, results));
+    }
+    Ok(out)
+}
+
+fn verdict_str(v: DynVerdict) -> &'static str {
+    match v {
+        DynVerdict::Confirmed => "confirmed",
+        DynVerdict::Disproven => "disproven",
+        DynVerdict::Unobserved => "unobserved",
+    }
+}
+
+fn dynamic_text(file: &str, unit: &str, v: &DepValidation) -> String {
+    let tag = if v.assumed { ", assumed" } else { "" };
+    let detail = match v.verdict {
+        DynVerdict::Confirmed => match v.witness {
+            Some((a, b)) => format!("witness iterations ({a}, {b})"),
+            None => "witness observed".into(),
+        },
+        DynVerdict::Disproven => "no access pair connected two iterations; \
+             candidate for user deletion (valid for these inputs)"
+            .into(),
+        DynVerdict::Unobserved => "not enough dynamic evidence".into(),
+    };
+    format!(
+        "{file}:{unit}: note: [DYN] dep d{} on {} (level {}{tag}) {}: {detail}",
+        v.id.0,
+        v.var,
+        v.level,
+        verdict_str(v.verdict),
+    )
+}
+
+fn dynamic_value(annotations: &[(String, Vec<DepValidation>)]) -> Value {
+    let rows: Vec<Value> = annotations
+        .iter()
+        .flat_map(|(unit, vs)| {
+            vs.iter().map(|v| {
+                Value::Obj(vec![
+                    ("unit".into(), Value::str(unit.clone())),
+                    ("dep".into(), Value::int(v.id.0 as i64)),
+                    ("var".into(), Value::str(v.var.clone())),
+                    ("level".into(), Value::int(v.level as i64)),
+                    ("assumed".into(), Value::Bool(v.assumed)),
+                    ("verdict".into(), Value::str(verdict_str(v.verdict))),
+                    (
+                        "witness".into(),
+                        match v.witness {
+                            Some((a, b)) => Value::Arr(vec![Value::int(a), Value::int(b)]),
+                            None => Value::Null,
+                        },
+                    ),
+                ])
+            })
+        })
+        .collect();
+    Value::Arr(rows)
 }
 
 fn main() {
     let mut json = false;
     let mut deny_warnings = false;
+    let mut dynamic = false;
     let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -93,6 +180,7 @@ fn main() {
         match arg.as_str() {
             "--json" => json = true,
             "--deny-warnings" => deny_warnings = true,
+            "--dynamic" => dynamic = true,
             "--threads" => {
                 threads = args
                     .next()
@@ -124,7 +212,7 @@ fn main() {
     let opts = LintOptions { threads };
     let mut reports = Vec::new();
     for f in &files {
-        match lint_file(f, &opts) {
+        match lint_file(f, &opts, dynamic) {
             Ok(r) => reports.push(r),
             Err(e) => {
                 eprintln!("ped-lint: {e}");
@@ -148,14 +236,24 @@ fn main() {
         let file_values: Vec<Value> = reports
             .iter()
             .map(|r| {
-                Value::Obj(vec![
+                let mut fields = vec![
                     ("file".into(), Value::str(r.file.clone())),
                     (
                         "parse_errors".into(),
                         Value::Arr(r.parse_errors.iter().map(Value::str).collect()),
                     ),
                     ("report".into(), findings_value(&r.findings)),
-                ])
+                ];
+                match &r.dynamic {
+                    Some(Ok(annotations)) => {
+                        fields.push(("dynamic".into(), dynamic_value(annotations)));
+                    }
+                    Some(Err(e)) => {
+                        fields.push(("dynamic_error".into(), Value::str(e.clone())));
+                    }
+                    None => {}
+                }
+                Value::Obj(fields)
             })
             .collect();
         let doc = Value::Obj(vec![
@@ -172,6 +270,19 @@ fn main() {
             }
             for f in &r.findings {
                 println!("{}", finding_text(&r.file, f));
+            }
+            match &r.dynamic {
+                Some(Ok(annotations)) => {
+                    for (unit, vs) in annotations {
+                        for v in vs {
+                            println!("{}", dynamic_text(&r.file, unit, v));
+                        }
+                    }
+                }
+                Some(Err(e)) => {
+                    println!("{}: note: [DYN] dynamic validation skipped: {e}", r.file);
+                }
+                None => {}
             }
         }
         println!(

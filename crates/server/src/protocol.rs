@@ -16,9 +16,16 @@
 //!
 //! The methods mirror the paper's interactive loop (§3.1): `open`,
 //! `select_unit`, `select_loop`, `deps`, `vars`, `mark`, `classify`,
-//! `assert`, `edit`, `stmts`, `transform`, `lint`, `stats`, `close` —
-//! plus the
+//! `assert`, `edit`, `stmts`, `transform`, `lint`, `validate`,
+//! `stats`, `close` — plus the
 //! service controls `sessions`, `ping` and `shutdown`.
+//!
+//! `validate` replays the session's program under the tracing bytecode
+//! VM and classifies every active carried array dependence of the
+//! current unit against the observed access stream: `confirmed` (a
+//! witness iteration pair was seen), `disproven` (an assumed edge no
+//! access pair ever realized — a candidate for user deletion, valid
+//! for these inputs) or `unobserved`.
 //!
 //! [`dispatch_line`] is the single implementation used by the TCP
 //! connection handler *and* by in-process callers (the oracle in the
@@ -340,6 +347,61 @@ pub fn dispatch(
         "lint" => mgr.with_read(session_id(p)?, |s| {
             Ok(crate::lintio::findings_value(&s.lint()))
         })?,
+        "validate" => {
+            let workers = match p.get("workers") {
+                Some(v) => v
+                    .as_i64()
+                    .filter(|n| (1..=64).contains(n))
+                    .ok_or("bad 'workers' (1..=64)")? as usize,
+                None => 1,
+            };
+            mgr.with_read(session_id(p)?, |s| {
+                let opts = ped_runtime::RunOptions {
+                    workers,
+                    ..Default::default()
+                };
+                let results = s.validate(opts)?;
+                let mut confirmed = 0i64;
+                let mut disproven = 0i64;
+                let rows: Vec<Value> = results
+                    .iter()
+                    .map(|r| {
+                        let verdict = match r.verdict {
+                            ped_vm::DynVerdict::Confirmed => {
+                                confirmed += 1;
+                                "confirmed"
+                            }
+                            ped_vm::DynVerdict::Disproven => {
+                                disproven += 1;
+                                "disproven"
+                            }
+                            ped_vm::DynVerdict::Unobserved => "unobserved",
+                        };
+                        obj(vec![
+                            ("dep", Value::int(r.id.0 as i64)),
+                            ("var", Value::str(r.var.clone())),
+                            ("level", Value::int(r.level as i64)),
+                            ("assumed", Value::Bool(r.assumed)),
+                            ("verdict", Value::str(verdict)),
+                            (
+                                "witness",
+                                match r.witness {
+                                    Some((a, b)) => Value::Arr(vec![Value::int(a), Value::int(b)]),
+                                    None => Value::Null,
+                                },
+                            ),
+                            ("src_events", Value::int(r.src_events as i64)),
+                            ("sink_events", Value::int(r.sink_events as i64)),
+                        ])
+                    })
+                    .collect();
+                Ok(obj(vec![
+                    ("edges", Value::Arr(rows)),
+                    ("confirmed", Value::int(confirmed)),
+                    ("disproven", Value::int(disproven)),
+                ]))
+            })?
+        }
         "stats" => mgr.with_read(session_id(p)?, |s| stats_value(&s.stats()))?,
         "close" => {
             let id = session_id(p)?;
@@ -399,6 +461,17 @@ fn stats_value(st: &SessionStats) -> Result<Value, String> {
         ("snapshot_epoch", Value::int(st.snapshot_epoch as i64)),
         ("snapshot_reads", Value::int(st.snapshot_reads as i64)),
         ("writer_publishes", Value::int(st.writer_publishes as i64)),
+        ("vm_instrs", Value::int(st.vm_instrs as i64)),
+        ("vm_compile_ns", Value::int(st.vm_compile_ns as i64)),
+        ("trace_events", Value::int(st.trace_events as i64)),
+        (
+            "validated_confirmed",
+            Value::int(st.validated_confirmed as i64),
+        ),
+        (
+            "validated_disproven",
+            Value::int(st.validated_disproven as i64),
+        ),
         ("test_kinds", Value::Arr(test_kinds)),
         ("features", Value::Arr(features)),
     ]))
@@ -599,6 +672,39 @@ mod tests {
         // select_unit reanalyze was answered from the scalar memo.
         assert!(st.get("scalar_misses").unwrap().as_i64().unwrap() >= 1);
         assert!(st.get("scalar_hits").unwrap().as_i64().unwrap() >= 1);
+    }
+
+    #[test]
+    fn validate_classifies_edges_dynamically() {
+        let m = mgr();
+        run(
+            &m,
+            r#"{"id":1,"method":"open","params":{"session":"v","source":"      REAL A(100), B(100)\n      INTEGER IX(100)\n      DO 5 I = 1, 100\n      IX(I) = I\n      B(I) = I\n      A(I) = 0.0\n    5 CONTINUE\n      DO 10 I = 2, 100\n      A(IX(I)) = B(I) + 1.0\n   10 CONTINUE\n      DO 20 I = 2, 100\n      A(I) = A(I-1) + 2.0\n   20 CONTINUE\n      END\n"}}"#,
+        );
+        let r = run(
+            &m,
+            r#"{"id":2,"method":"validate","params":{"session":"v"}}"#,
+        );
+        let st = r.get("result").unwrap();
+        assert!(st.get("confirmed").unwrap().as_i64().unwrap() >= 1, "{r:?}");
+        assert!(st.get("disproven").unwrap().as_i64().unwrap() >= 1, "{r:?}");
+        let edges = st.get("edges").unwrap().as_array().unwrap();
+        // The A(IX(I)) output edge is assumed and dynamically disproven.
+        assert!(edges.iter().any(|e| {
+            e.get("verdict").unwrap().as_str() == Some("disproven")
+                && e.get("assumed").unwrap().as_bool() == Some(true)
+        }));
+        // The recurrence is confirmed and carries a witness pair.
+        assert!(edges.iter().any(|e| {
+            e.get("verdict").unwrap().as_str() == Some("confirmed")
+                && e.get("witness").unwrap().as_array().is_some()
+        }));
+        // The validation meters ride the stats wire.
+        let r = run(&m, r#"{"id":3,"method":"stats","params":{"session":"v"}}"#);
+        let st = r.get("result").unwrap();
+        assert!(st.get("trace_events").unwrap().as_i64().unwrap() > 0);
+        assert!(st.get("validated_confirmed").unwrap().as_i64().unwrap() >= 1);
+        assert!(st.get("validated_disproven").unwrap().as_i64().unwrap() >= 1);
     }
 
     #[test]

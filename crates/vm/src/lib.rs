@@ -1,0 +1,28 @@
+//! Register bytecode VM for the PED runtime.
+//!
+//! The typed Fortran AST is compiled once ([`compile`]) into a compact
+//! per-unit instruction stream with resolved variable slots, a constant
+//! pool, and DOALL-aware loop descriptors; the dispatch loop ([`exec`])
+//! then replaces the tree-walk as the execution engine, byte-identical
+//! on output, statistics, and race reports. Programs the compiler cannot
+//! prove it will execute identically are rejected with a
+//! [`compile::CompileError`] and the caller falls back to the tree-walk.
+//!
+//! Two diagnostic modes ride on the same loop: access *tracing*
+//! ([`exec::run_traced`]) records per-iteration address vectors in
+//! instrumented loops, and the dynamic dependence *validator*
+//! ([`validate`]) replays a workload's inputs and classifies static
+//! dependence edges as confirmed or dynamically disproven.
+
+pub mod compile;
+pub mod exec;
+pub mod rt;
+pub mod shadow;
+pub mod validate;
+pub mod value;
+
+pub use compile::{compile, compile_cached, CompileError, CompiledProgram};
+pub use exec::{run, run_metered, run_traced, Trace, TraceEvent, TracePlan};
+pub use rt::{RunOptions, RunOutput, RunStats, RuntimeError};
+pub use validate::{validate, DynTarget, DynVerdict, ValidateOutcome};
+pub use value::{ArrayObj, Cell, Value};

@@ -1,0 +1,210 @@
+//! Dynamic dependence validation: replay a program's inputs under the
+//! tracing VM and test static dependence edges against the accesses
+//! that actually happened.
+//!
+//! This is the hybrid-analysis answer to the paper's §4 complaint that
+//! users must "assume responsibility" for deleting dependences the
+//! static tests could not disprove: for an *assumed* edge, one traced
+//! run either produces a witness iteration pair (the dependence is
+//! real — keep it) or shows that the observed access pattern never
+//! connects two iterations (the edge is *dynamically disproven* — a
+//! candidate for user deletion, valid for these inputs). Exact edges
+//! can be confirmed the same way.
+//!
+//! The verdict for an assumed edge is input-relative by construction:
+//! "disproven" means *no conflict on this workload's data*, which is
+//! precisely the evidence the paper says users acted on when they
+//! deleted dependences by hand.
+
+use crate::compile::compile_cached;
+use crate::exec::{run_traced, TraceEvent, TracePlan};
+use crate::rt::{RunOptions, RunOutput};
+use ped_fortran::ast::Program;
+use std::collections::{HashMap, HashSet};
+
+/// One static dependence edge to test dynamically. Built by the caller
+/// (ped-core) from its dependence graph; this crate stays agnostic of
+/// the graph representation.
+#[derive(Clone, Debug)]
+pub struct DynTarget {
+    /// Opaque edge id, echoed back in the result (the caller's DepId).
+    pub dep: u64,
+    /// Array variable the edge is on (uppercase source spelling).
+    pub var: String,
+    pub src_stmt: u32,
+    pub sink_stmt: u32,
+    /// Access kind at each endpoint (true dep: write→read, anti:
+    /// read→write, output: write→write).
+    pub src_write: bool,
+    pub sink_write: bool,
+    /// Loop nest enclosing both endpoints, outermost first, as DO
+    /// statement ids. `chain[level-1]` is the carrier loop.
+    pub chain: Vec<u32>,
+    /// 1-based level of the carrier loop in `chain`.
+    pub level: usize,
+    /// Whether the static test was inexact (an *assumed* edge).
+    pub assumed: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DynVerdict {
+    /// A witness iteration pair was observed: the dependence is real.
+    Confirmed,
+    /// Both endpoints executed across multiple carrier iterations and
+    /// no access pair ever connected two iterations: candidate for
+    /// user deletion (valid for these inputs).
+    Disproven,
+    /// Not enough dynamic evidence either way (endpoints never ran,
+    /// loop made fewer than two observed trips, or the trace was
+    /// truncated).
+    Unobserved,
+}
+
+/// Dynamic classification of one edge.
+#[derive(Clone, Debug)]
+pub struct DynResult {
+    pub dep: u64,
+    pub verdict: DynVerdict,
+    /// Carrier-iteration pair (src, sink) proving a Confirmed verdict.
+    pub witness: Option<(i64, i64)>,
+    pub src_events: u64,
+    pub sink_events: u64,
+}
+
+/// Result of a validation run.
+#[derive(Clone, Debug)]
+pub struct ValidateOutcome {
+    pub results: Vec<DynResult>,
+    /// Total access events recorded by the traced run.
+    pub trace_events: u64,
+    pub truncated: bool,
+    /// Output of the replayed run (callers may sanity-check it).
+    pub output: RunOutput,
+}
+
+#[derive(Clone, Debug)]
+pub enum ValidateError {
+    /// The program cannot be compiled for the VM (validation requires
+    /// the tracing dispatch loop).
+    Unsupported(String),
+    Runtime(String),
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::Unsupported(m) => write!(f, "validate unsupported: {m}"),
+            ValidateError::Runtime(m) => write!(f, "validate runtime error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Replay `program` under the tracing VM and classify each target edge.
+pub fn validate(
+    program: &Program,
+    opts: &RunOptions,
+    targets: &[DynTarget],
+) -> Result<ValidateOutcome, ValidateError> {
+    let (compiled, _ns) = compile_cached(program);
+    let compiled = compiled.map_err(|e| ValidateError::Unsupported(e.0))?;
+    let mut plan = TracePlan::default();
+    for t in targets {
+        plan.loops.extend(t.chain.iter().copied());
+    }
+    let (output, trace) =
+        run_traced(&compiled, opts, &plan).map_err(|e| ValidateError::Runtime(e.0))?;
+
+    // Index events by accessing statement.
+    let mut by_stmt: HashMap<u32, Vec<&TraceEvent>> = HashMap::new();
+    for e in &trace.events {
+        by_stmt.entry(e.stmt).or_default().push(e);
+    }
+
+    let results = targets
+        .iter()
+        .map(|t| classify(t, &compiled.names, &by_stmt, trace.truncated))
+        .collect();
+    Ok(ValidateOutcome {
+        results,
+        trace_events: trace.events.len() as u64,
+        truncated: trace.truncated,
+        output,
+    })
+}
+
+/// Extract (outer-coordinate vector, carrier coordinate) for an event
+/// relative to a target's chain, or None if the access did not occur
+/// inside every loop of the chain up to the carrier.
+fn coords(e: &TraceEvent, chain: &[u32], level: usize) -> Option<(Vec<i64>, i64)> {
+    let mut outer = Vec::with_capacity(level - 1);
+    for (i, l) in chain.iter().take(level).enumerate() {
+        let k = e.iters.iter().find(|(s, _)| s == l).map(|(_, k)| *k)?;
+        if i + 1 == level {
+            return Some((outer, k));
+        }
+        outer.push(k);
+    }
+    None
+}
+
+fn classify(
+    t: &DynTarget,
+    names: &[String],
+    by_stmt: &HashMap<u32, Vec<&TraceEvent>>,
+    truncated: bool,
+) -> DynResult {
+    let empty = Vec::new();
+    let select = |stmt: u32, write: bool| -> Vec<(&TraceEvent, Vec<i64>, i64)> {
+        by_stmt
+            .get(&stmt)
+            .unwrap_or(&empty)
+            .iter()
+            .filter(|e| e.write == write && names[e.name as usize] == t.var)
+            .filter_map(|e| coords(e, &t.chain, t.level).map(|(o, k)| (*e, o, k)))
+            .collect()
+    };
+    let src = select(t.src_stmt, t.src_write);
+    let sink = select(t.sink_stmt, t.sink_write);
+
+    // Earliest source carrier iteration per (array, element, outer
+    // iteration vector).
+    let mut first_src: HashMap<(usize, usize, &[i64]), i64> = HashMap::new();
+    for (e, outer, k) in &src {
+        first_src
+            .entry((e.arr, e.flat, outer.as_slice()))
+            .and_modify(|m| *m = (*m).min(*k))
+            .or_insert(*k);
+    }
+    let mut witness = None;
+    for (e, outer, k) in &sink {
+        if let Some(&s) = first_src.get(&(e.arr, e.flat, outer.as_slice())) {
+            if s < *k {
+                witness = Some((s, *k));
+                break;
+            }
+        }
+    }
+
+    let carrier_iters: HashSet<i64> = src.iter().chain(sink.iter()).map(|(_, _, k)| *k).collect();
+    let verdict = if witness.is_some() {
+        DynVerdict::Confirmed
+    } else if t.assumed
+        && !truncated
+        && !src.is_empty()
+        && !sink.is_empty()
+        && carrier_iters.len() >= 2
+    {
+        DynVerdict::Disproven
+    } else {
+        DynVerdict::Unobserved
+    };
+    DynResult {
+        dep: t.dep,
+        verdict,
+        witness,
+        src_events: src.len() as u64,
+        sink_events: sink.len() as u64,
+    }
+}

@@ -1,0 +1,290 @@
+//! Runtime values and array objects.
+//!
+//! Arrays are the shared state of the simulated shared-memory machine:
+//! a parallel (DOALL) loop's iterations run on worker threads that read
+//! and write the same [`ArrayObj`]s. Element storage sits behind an
+//! `UnsafeCell`; see the safety note on [`ArrayObj`] for why this is
+//! sound under PED's certification discipline.
+
+use std::cell::UnsafeCell;
+
+/// A scalar runtime value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Real(f64),
+    Logical(bool),
+    Str(String),
+}
+
+impl Value {
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Real(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Real(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Logical(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn truthy(&self) -> bool {
+        matches!(self, Value::Logical(true))
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Real(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Logical(true) => write!(f, "T"),
+            Value::Logical(false) => write!(f, "F"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Compact element cell for array storage.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Cell {
+    I(i64),
+    R(f64),
+    L(bool),
+}
+
+impl Cell {
+    pub fn to_value(self) -> Value {
+        match self {
+            Cell::I(v) => Value::Int(v),
+            Cell::R(v) => Value::Real(v),
+            Cell::L(v) => Value::Logical(v),
+        }
+    }
+
+    pub fn from_value(v: &Value) -> Option<Cell> {
+        match v {
+            Value::Int(x) => Some(Cell::I(*x)),
+            Value::Real(x) => Some(Cell::R(*x)),
+            Value::Logical(x) => Some(Cell::L(*x)),
+            Value::Str(_) => None,
+        }
+    }
+}
+
+/// A Fortran array at run time: declared bounds per dimension and flat
+/// column-major storage.
+///
+/// # Safety
+///
+/// `data` is an `UnsafeCell` so that concurrently running DOALL
+/// iterations can write disjoint elements without locks, matching the
+/// shared-memory machines the paper targets. The runtime only executes a
+/// loop in parallel when the ParaScope analyses (or the user, by
+/// accepting responsibility through dependence rejection) certified that
+/// no two iterations conflict; the deterministic race checker
+/// ([`crate::shadow`]) validates that certification in tests. This mirrors
+/// the real-world contract: the dependence analysis *is* the data-race
+/// freedom proof.
+pub struct ArrayObj {
+    /// Inclusive (lower, upper) bounds per dimension.
+    pub dims: Vec<(i64, i64)>,
+    /// Element prototype: stores coerce to this variant (Fortran's typed
+    /// assignment semantics).
+    proto: Cell,
+    data: UnsafeCell<Vec<Cell>>,
+}
+
+unsafe impl Sync for ArrayObj {}
+
+impl ArrayObj {
+    /// Allocate with the given bounds, zero-initialized with `proto`.
+    pub fn new(dims: Vec<(i64, i64)>, proto: Cell) -> ArrayObj {
+        let len = dims
+            .iter()
+            .map(|(l, u)| ((u - l + 1).max(0)) as usize)
+            .product();
+        ArrayObj {
+            dims,
+            proto,
+            data: UnsafeCell::new(vec![proto; len]),
+        }
+    }
+
+    /// Coerce a cell to this array's element type.
+    fn coerce(&self, v: Cell) -> Cell {
+        match (self.proto, v) {
+            (Cell::R(_), Cell::I(x)) => Cell::R(x as f64),
+            (Cell::I(_), Cell::R(x)) => Cell::I(x.trunc() as i64),
+            _ => v,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        unsafe { (&raw const (*self.data.get())).as_ref().unwrap().len() }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat index for a subscript vector (column-major, Fortran order).
+    pub fn flat_index(&self, subs: &[i64]) -> Result<usize, String> {
+        if subs.len() != self.dims.len() {
+            return Err(format!(
+                "rank mismatch: {} subscript(s) for rank {}",
+                subs.len(),
+                self.dims.len()
+            ));
+        }
+        let mut idx: usize = 0;
+        let mut stride: usize = 1;
+        for (s, (l, u)) in subs.iter().zip(&self.dims) {
+            if s < l || s > u {
+                return Err(format!("subscript {s} outside bounds {l}:{u}"));
+            }
+            idx += ((s - l) as usize) * stride;
+            stride *= (u - l + 1) as usize;
+        }
+        Ok(idx)
+    }
+
+    /// Read one element.
+    pub fn get(&self, subs: &[i64]) -> Result<Cell, String> {
+        let i = self.flat_index(subs)?;
+        // SAFETY: index is bounds-checked; concurrent conflicting access
+        // is excluded by loop certification (see type-level doc).
+        unsafe {
+            let vec = self.data.get();
+            Ok(*(*vec).as_ptr().add(i))
+        }
+    }
+
+    /// Write one element.
+    pub fn set(&self, subs: &[i64], v: Cell) -> Result<(), String> {
+        let i = self.flat_index(subs)?;
+        let v = self.coerce(v);
+        // SAFETY: as for `get`.
+        unsafe {
+            let vec = self.data.get();
+            *(*vec).as_mut_ptr().add(i) = v;
+        }
+        Ok(())
+    }
+
+    /// Read one element by precomputed flat index (caller must have
+    /// obtained it from `flat_index`, which bounds-checks).
+    pub fn get_flat(&self, i: usize) -> Cell {
+        // SAFETY: as for `get`.
+        unsafe {
+            let vec = self.data.get();
+            *(*vec).as_ptr().add(i)
+        }
+    }
+
+    /// Write one element by precomputed flat index, coercing to the
+    /// element type exactly as `set` does.
+    pub fn set_flat(&self, i: usize, v: Cell) {
+        let v = self.coerce(v);
+        // SAFETY: as for `get`.
+        unsafe {
+            let vec = self.data.get();
+            *(*vec).as_mut_ptr().add(i) = v;
+        }
+    }
+
+    /// Snapshot the storage (single-threaded contexts only).
+    pub fn snapshot(&self) -> Vec<Cell> {
+        unsafe { (*self.data.get()).clone() }
+    }
+
+    /// Overwrite the full storage (single-threaded contexts only).
+    pub fn restore(&self, data: Vec<Cell>) {
+        unsafe {
+            *self.data.get() = data;
+        }
+    }
+}
+
+impl std::fmt::Debug for ArrayObj {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ArrayObj(dims={:?}, len={})", self.dims, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Real(2.5).as_int(), Some(2));
+        assert_eq!(Value::Logical(true).as_bool(), Some(true));
+        assert_eq!(Value::Str("x".into()).as_int(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Real(3.0).to_string(), "3.0");
+        assert_eq!(Value::Real(0.25).to_string(), "0.25");
+        assert_eq!(Value::Int(-7).to_string(), "-7");
+        assert_eq!(Value::Logical(true).to_string(), "T");
+    }
+
+    #[test]
+    fn column_major_indexing() {
+        // A(3, 2): A(i, j) at (i-1) + 3*(j-1).
+        let a = ArrayObj::new(vec![(1, 3), (1, 2)], Cell::R(0.0));
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.flat_index(&[1, 1]).unwrap(), 0);
+        assert_eq!(a.flat_index(&[2, 1]).unwrap(), 1);
+        assert_eq!(a.flat_index(&[1, 2]).unwrap(), 3);
+        assert_eq!(a.flat_index(&[3, 2]).unwrap(), 5);
+    }
+
+    #[test]
+    fn custom_lower_bounds() {
+        let a = ArrayObj::new(vec![(0, 4)], Cell::I(0));
+        assert_eq!(a.len(), 5);
+        a.set(&[0], Cell::I(42)).unwrap();
+        assert_eq!(a.get(&[0]).unwrap(), Cell::I(42));
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let a = ArrayObj::new(vec![(1, 3)], Cell::R(0.0));
+        assert!(a.get(&[0]).is_err());
+        assert!(a.get(&[4]).is_err());
+        assert!(a.get(&[1, 1]).is_err()); // rank mismatch
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let a = ArrayObj::new(vec![(1, 2)], Cell::I(0));
+        a.set(&[1], Cell::I(5)).unwrap();
+        let snap = a.snapshot();
+        a.set(&[1], Cell::I(9)).unwrap();
+        a.restore(snap);
+        assert_eq!(a.get(&[1]).unwrap(), Cell::I(5));
+    }
+}

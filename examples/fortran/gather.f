@@ -1,0 +1,15 @@
+      PROGRAM GATHER
+      REAL A(100), B(100)
+      INTEGER IX(100)
+      DO 5 I = 1, 100
+      IX(I) = I
+      B(I) = I
+      A(I) = 0.0
+    5 CONTINUE
+      DO 10 I = 2, 100
+      A(IX(I)) = B(I) + 1.0
+   10 CONTINUE
+      DO 20 I = 2, 100
+      A(I) = A(I-1) + 2.0
+   20 CONTINUE
+      END

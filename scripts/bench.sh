@@ -17,6 +17,11 @@
 #                  mix p50/p99 under a writer storm (gated: storm read
 #                  p99 <= 3x no-writer baseline), >=1k concurrent
 #                  sessions over 32 connections (or $6)
+#   BENCH_7.json — ped-vm-bench --bench7, the bytecode-VM suite:
+#                  paired-median tree-walk vs VM speedups per workload
+#                  (gated: >= 3x on at least half), trace-mode overhead
+#                  on slalom, and validate end-to-end latency with the
+#                  confirmed/disproven verdict gate (or $7)
 set -e
 cd "$(dirname "$0")/.."
 OUT1="${1:-BENCH_1.json}"
@@ -25,9 +30,12 @@ OUT3="${3:-BENCH_3.json}"
 OUT4="${4:-BENCH_4.json}"
 OUT5="${5:-BENCH_5.json}"
 OUT6="${6:-BENCH_6.json}"
+OUT7="${7:-BENCH_7.json}"
 cargo build --release --offline -p ped-bench \
-    --bin ped-bench --bin ped-serve-bench --bin ped-lint-bench
+    --bin ped-bench --bin ped-serve-bench --bin ped-lint-bench \
+    --bin ped-vm-bench
 ./target/release/ped-bench "$OUT1" "$OUT4" "$OUT5"
 ./target/release/ped-serve-bench "$OUT2"
 ./target/release/ped-serve-bench --bench6 "$OUT6"
 ./target/release/ped-lint-bench "$OUT3"
+./target/release/ped-vm-bench --bench7 "$OUT7"

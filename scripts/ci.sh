@@ -41,3 +41,23 @@ echo "ci: interning oracle + single-build gate passed"
 cargo build --release --offline -p ped-bench --bin ped-serve-bench
 ./target/release/ped-serve-bench --smoke
 echo "ci: server oracle smoke passed"
+
+# Bytecode-VM gate: every workload (plus synth60) must execute
+# byte-identically on the VM vs the tree-walk interpreter — output
+# lines, race reports, step counts, and parallel-loop stats — serially
+# and under 8 workers, and the tracing validate pass must classify the
+# known-spurious assumed edge as disproven.
+cargo build --release --offline -p ped-bench --bin ped-vm-bench
+./target/release/ped-vm-bench --smoke
+echo "ci: vm byte-identity smoke passed"
+
+# Benchmark-artifact gate: every BENCH_*.json that EXPERIMENTS.md
+# refers to must exist at the repo root (a missing artifact means a
+# bench run was skipped or its output was never committed).
+for b in $(grep -o 'BENCH_[0-9]*\.json' EXPERIMENTS.md | sort -u); do
+    if [ ! -f "$b" ]; then
+        echo "ci: EXPERIMENTS.md references $b but it does not exist" >&2
+        exit 1
+    fi
+done
+echo "ci: benchmark artifacts present"
