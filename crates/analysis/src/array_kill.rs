@@ -23,7 +23,7 @@
 use crate::loops::LoopInfo;
 use crate::section::{Section, SectionSet};
 use crate::symbolic::{LinExpr, SymbolicEnv};
-use ped_fortran::ast::{Expr, LValue, ProcUnit, Stmt, StmtKind};
+use ped_fortran::ast::{Expr, LValue, ProcUnit, Stmt, StmtId, StmtKind};
 use ped_fortran::intern::NameId;
 use ped_fortran::symbols::{Storage, SymbolTable};
 use std::collections::HashMap;
@@ -110,22 +110,37 @@ pub fn privatizable_arrays(
     v
 }
 
-/// Is the array referenced after the loop? Statement ids are assigned in
-/// source order with a `DO` numbered after its body, so "after the loop"
-/// is `id > l.stmt`.
+/// Is the array referenced after the loop? Determined structurally — a
+/// pre-order walk that flips "after" when it leaves the loop's subtree —
+/// rather than by comparing statement ids: restructuring transformations
+/// allocate fresh ids that break any source-order assumption.
 fn read_after_loop(unit: &ProcUnit, l: &LoopInfo, name: &str) -> bool {
+    let mut after = false;
     let mut found = false;
-    ped_fortran::ast::walk_stmts(&unit.body, &mut |s| {
-        if s.id <= l.stmt {
+    scan_after(&unit.body, l.stmt, name, &mut after, &mut found);
+    found
+}
+
+fn scan_after(stmts: &[Stmt], target: StmtId, name: &str, after: &mut bool, found: &mut bool) {
+    for s in stmts {
+        if *found {
             return;
         }
-        each_array_ref(&s.kind, &mut |n, _| {
-            if n == name {
-                found = true;
-            }
-        });
-    });
-    found
+        if s.id == target {
+            *after = true;
+            continue;
+        }
+        if *after {
+            each_array_ref(&s.kind, &mut |n, _| {
+                if n == name {
+                    *found = true;
+                }
+            });
+        }
+        for b in s.kind.blocks() {
+            scan_after(b, target, name, after, found);
+        }
+    }
 }
 
 struct Walk<'a> {

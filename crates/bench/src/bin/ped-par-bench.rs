@@ -1,0 +1,179 @@
+//! `ped-par-bench` — whole-program auto-parallelization timings,
+//! written as `BENCH_8.json`.
+//!
+//! Runs the `ped-par` pass over every workshop program plus the 60-loop
+//! synthetic, through a `PedSession` per program, in two regimes:
+//!
+//! * **cold** — first `parallelize()`: classification of every loop
+//!   nest, transform planning, directive emission, and the differential
+//!   gate (1 worker vs 8, byte-identical output, race-free shadow run);
+//! * **memoized** — second `parallelize()`, answered from the
+//!   fingerprint-keyed whole-program memo.
+//!
+//! Per workload the JSON records the nest census (parallel /
+//! after-transform / serial), the DOALLs found and verified, and any
+//! gate demotions; the summary reports classified loops per second in
+//! the cold regime and the memoized speedup. The memo is asserted to
+//! return the identical report object (`Arc` identity), so a cache
+//! regression fails the bench rather than skewing it.
+//!
+//! Usage: `ped-par-bench [OUTPUT.json] [--iters N]`
+
+use ped::session::PedSession;
+use ped_fortran::parser::parse_ok;
+use ped_par::VerifyStatus;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Row {
+    name: String,
+    nests: usize,
+    parallel: usize,
+    after_transform: usize,
+    serial: usize,
+    directives: usize,
+    verified: usize,
+    demoted: usize,
+    cold_secs: f64,
+    memo_secs: f64,
+}
+
+fn main() {
+    let mut out_path = "BENCH_8.json".to_string();
+    let mut iters = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--iters" => iters = args.next().and_then(|v| v.parse().ok()).unwrap_or(3),
+            other => out_path = other.to_string(),
+        }
+    }
+
+    let mut sources: Vec<(String, String)> = ped_workloads::all_programs()
+        .into_iter()
+        .map(|p| (p.name.to_string(), p.source.to_string()))
+        .collect();
+    sources.push(("synth60".into(), ped_workloads::synthetic_source(60)));
+    println!(
+        "ped-par-bench: {} programs, best of {iters} iters\n",
+        sources.len()
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut par_hits = 0u64;
+    let mut par_misses = 0u64;
+    for (name, src) in &sources {
+        let mut best_cold = f64::MAX;
+        let mut best_memo = f64::MAX;
+        let mut report = None;
+        for _ in 0..iters {
+            let s = PedSession::open(parse_ok(src));
+            let t = Instant::now();
+            let cold = s.parallelize();
+            best_cold = best_cold.min(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            let memo = s.parallelize();
+            best_memo = best_memo.min(t.elapsed().as_secs_f64());
+            assert!(
+                Arc::ptr_eq(&cold, &memo),
+                "{name}: second parallelize missed the memo"
+            );
+            let st = s.stats();
+            par_hits += st.par_hits;
+            par_misses += st.par_misses;
+            report = Some(cold);
+        }
+        let report = report.expect("at least one iteration");
+        let c = report.counts();
+        let (verified, demoted) = match &report.verify {
+            Some(v) => (
+                match v.status {
+                    VerifyStatus::Verified { .. } => v.directives,
+                    VerifyStatus::Skipped(_) => 0,
+                },
+                v.demoted.len(),
+            ),
+            None => (0, 0),
+        };
+        rows.push(Row {
+            name: name.clone(),
+            nests: c.nests,
+            parallel: c.parallel,
+            after_transform: c.after_transform,
+            serial: c.serial,
+            directives: report.directives.len(),
+            verified,
+            demoted,
+            cold_secs: best_cold,
+            memo_secs: best_memo,
+        });
+    }
+
+    let total_nests: usize = rows.iter().map(|r| r.nests).sum();
+    let total_directives: usize = rows.iter().map(|r| r.directives).sum();
+    let total_verified: usize = rows.iter().map(|r| r.verified).sum();
+    let cold_total: f64 = rows.iter().map(|r| r.cold_secs).sum();
+    let memo_total: f64 = rows.iter().map(|r| r.memo_secs).sum();
+    let loops_per_sec = total_nests as f64 / cold_total.max(1e-9);
+    let memo_speedup = cold_total / memo_total.max(1e-9);
+
+    println!(
+        "{:>10} {:>5} {:>4}/{:>3}/{:>3} {:>5} {:>4} {:>3}  {:>10} {:>10}",
+        "program", "nests", "par", "xf", "ser", "doall", "ok", "dem", "cold", "memoized"
+    );
+    for r in &rows {
+        println!(
+            "{:>10} {:>5} {:>4}/{:>3}/{:>3} {:>5} {:>4} {:>3}  {:>9.6}s {:>9.6}s",
+            r.name,
+            r.nests,
+            r.parallel,
+            r.after_transform,
+            r.serial,
+            r.directives,
+            r.verified,
+            r.demoted,
+            r.cold_secs,
+            r.memo_secs
+        );
+    }
+    println!(
+        "\ncold: {total_nests} nests in {cold_total:.3}s = {loops_per_sec:.0} loops/sec; \
+         {total_verified}/{total_directives} DOALLs verified; memoized speedup {memo_speedup:.0}x"
+    );
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"program\": \"{}\", \"nests\": {}, \"parallel\": {}, \
+                 \"after_transform\": {}, \"serial\": {}, \"directives\": {}, \
+                 \"verified\": {}, \"demoted\": {}, \"cold_secs\": {:.6}, \
+                 \"memoized_secs\": {:.6}}}",
+                r.name,
+                r.nests,
+                r.parallel,
+                r.after_transform,
+                r.serial,
+                r.directives,
+                r.verified,
+                r.demoted,
+                r.cold_secs,
+                r.memo_secs
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"generated_by\": \"ped-par-bench\",\n  \"programs\": {},\n  \"summary\": {{\n    \"nests\": {},\n    \"directives\": {},\n    \"verified\": {},\n    \"cold_loops_per_sec\": {:.0},\n    \"memoized_speedup\": {:.0},\n    \"par_hits\": {},\n    \"par_misses\": {}\n  }},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        sources.len(),
+        total_nests,
+        total_directives,
+        total_verified,
+        loops_per_sec,
+        memo_speedup,
+        par_hits,
+        par_misses,
+        json_rows.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_8.json");
+    println!("wrote {out_path}");
+}

@@ -54,6 +54,14 @@ struct CacheInner {
     lint_hits: AtomicU64,
     /// Per-unit lint requests that ran the engine.
     lint_misses: AtomicU64,
+    /// Whole-program parallelization memo: `(program fingerprint,
+    /// report)` for the most recent `PedSession::parallelize()` run —
+    /// the pass reads the whole program, so one slot suffices.
+    par: Mutex<Option<(u64, Arc<ped_par::ParReport>)>>,
+    /// `parallelize()` calls answered from the memo.
+    par_hits: AtomicU64,
+    /// `parallelize()` calls that ran the pass.
+    par_misses: AtomicU64,
     /// Per-unit scalar-facts memo: unit index → `Arc` bundle. Validity
     /// is the bundle's own content fingerprint, so an edit dirties only
     /// the edited unit's entry.
@@ -117,6 +125,7 @@ impl AnalysisCache {
     pub fn invalidate(&self) {
         *self.inner.key.lock().unwrap() = None;
         self.inner.lint.lock().unwrap().clear();
+        *self.inner.par.lock().unwrap() = None;
     }
 
     /// Discard the scalar-facts memo (benchmarking: forces the next
@@ -184,6 +193,35 @@ impl AnalysisCache {
             .insert(unit_idx, (key, findings));
     }
 
+    /// Cached whole-program parallelization report, if the program still
+    /// fingerprints to `key`. Counts a hit or miss.
+    pub fn par_check(&self, key: u64) -> Option<Arc<ped_par::ParReport>> {
+        match &*self.inner.par.lock().unwrap() {
+            Some((k, report)) if *k == key => {
+                self.inner.par_hits.fetch_add(1, Ordering::SeqCst);
+                Some(report.clone())
+            }
+            _ => {
+                self.inner.par_misses.fetch_add(1, Ordering::SeqCst);
+                None
+            }
+        }
+    }
+
+    /// Store a freshly computed parallelization report under the program
+    /// fingerprint it was built from.
+    pub fn par_store(&self, key: u64, report: Arc<ped_par::ParReport>) {
+        *self.inner.par.lock().unwrap() = Some((key, report));
+    }
+
+    /// (parallelize hits, parallelize misses) — lifetime counters.
+    pub fn par_stats(&self) -> (u64, u64) {
+        (
+            self.inner.par_hits.load(Ordering::SeqCst),
+            self.inner.par_misses.load(Ordering::SeqCst),
+        )
+    }
+
     /// (lint hits, lint misses) — lifetime counters.
     pub fn lint_stats(&self) -> (u64, u64) {
         (
@@ -246,6 +284,23 @@ mod tests {
         assert_eq!(c.lint_stats(), (1, 3));
         c.invalidate();
         assert!(c.lint_check(0, 11).is_none());
+    }
+
+    #[test]
+    fn par_memo_single_slot_keyed_on_fingerprint() {
+        let c = AnalysisCache::new();
+        assert!(c.par_check(9).is_none());
+        let r = Arc::new(ped_par::ParReport {
+            decisions: Vec::new(),
+            directives: Vec::new(),
+            verify: None,
+        });
+        c.par_store(9, r);
+        assert!(c.par_check(9).is_some());
+        assert!(c.par_check(10).is_none(), "stale fingerprint must miss");
+        assert_eq!(c.par_stats(), (1, 2));
+        c.invalidate();
+        assert!(c.par_check(9).is_none());
     }
 
     #[test]

@@ -84,6 +84,10 @@ pub struct SessionStats {
     /// Per-unit scalar-facts requests that ran the scalar pipeline
     /// (including the cold builds of `open`'s prewarm).
     pub scalar_misses: u64,
+    /// Whole-program `parallelize()` calls answered from the memo.
+    pub par_hits: u64,
+    /// Whole-program `parallelize()` calls that ran the ped-par pass.
+    pub par_misses: u64,
     /// Version of the server's currently published session snapshot
     /// (0 when the session was never published — direct library use).
     pub snapshot_epoch: u64,
@@ -370,6 +374,7 @@ impl PedSession {
         let (analysis_hits, analysis_misses, pair_hits, pair_misses) = self.cache.stats();
         let (lint_hits, lint_misses) = self.cache.lint_stats();
         let (scalar_hits, scalar_misses) = self.cache.scalar_stats();
+        let (par_hits, par_misses) = self.cache.par_stats();
         let (snapshot_epoch, snapshot_reads, writer_publishes) = self.usage.publication_counters();
         let (vm_instrs, vm_compile_ns, trace_events, validated_confirmed, validated_disproven) =
             self.usage.vm_counters();
@@ -384,6 +389,8 @@ impl PedSession {
             lint_misses,
             scalar_hits,
             scalar_misses,
+            par_hits,
+            par_misses,
             snapshot_epoch,
             snapshot_reads,
             writer_publishes,
@@ -751,7 +758,7 @@ impl PedSession {
     }
 
     /// Certify a loop parallel; fails with the impediment list otherwise.
-    pub fn parallelize(&mut self, l: LoopId) -> Result<Applied, TransformError> {
+    pub fn parallelize_loop(&mut self, l: LoopId) -> Result<Applied, TransformError> {
         let report = self.impediments(l);
         if !report.is_parallel() {
             let first = &report.impediments[0];
@@ -777,16 +784,44 @@ impl PedSession {
         Ok(Applied::note("loop certified parallel"))
     }
 
+    /// Whole-program auto-parallelization (the batch `ped-par` pass):
+    /// classify every loop nest of every unit, plan dependence-breaking
+    /// transformations, emit profitable `CDOALL` directives, and verify
+    /// each one differentially. The report is memoized under a
+    /// fingerprint of every unit's content, so repeated calls on an
+    /// unchanged program are answered from the memo (`par_hits` /
+    /// `par_misses` in [`SessionStats`]).
+    pub fn parallelize(&self) -> Arc<ped_par::ParReport> {
+        self.usage.record(Feature::AccessToAnalysis);
+        let key = ped_par::program_fingerprint(&self.program);
+        if let Some(report) = self.cache.par_check(key) {
+            self.usage.record(Feature::ParCacheHit);
+            return report;
+        }
+        self.usage.record(Feature::ParCacheMiss);
+        let (report, _) =
+            ped_par::parallelize_program(&self.program, &ped_par::ParOptions::default());
+        let report = Arc::new(report);
+        self.cache.par_store(key, report.clone());
+        report
+    }
+
     // -- lint ---------------------------------------------------------------
 
     /// Fingerprint of everything one unit's lint report depends on: the
-    /// unit's content, and — for the current unit, where user state
-    /// applies — the assertion set, the classification map, and the set
-    /// of rejected dependences.
+    /// unit's content, every unit's *interface* (name, kind, dummies,
+    /// declarations — PED009 checks call sites against callee
+    /// signatures, so a signature edit anywhere must dirty every unit,
+    /// while a body-only edit keeps other units' memo hits), and — for
+    /// the current unit, where user state applies — the assertion set,
+    /// the classification map, and the set of rejected dependences.
     fn lint_key(&self, idx: usize) -> u64 {
         let mut h = ped_fortran::fingerprint::Fnv::new().u64(idx as u64).u64(
             ped_fortran::fingerprint::unit_fingerprint(&self.program.units[idx]),
         );
+        for u in &self.program.units {
+            h = h.u64(ped_fortran::fingerprint::decls_fingerprint(u));
+        }
         if idx == self.unit_idx {
             for a in &self.assertions {
                 h = h.str(&a.to_string());
@@ -1375,18 +1410,49 @@ mod tests {
     }
 
     #[test]
+    fn whole_program_parallelize_is_memoized_until_an_edit() {
+        let src = "      REAL A(100), B(100)\n      DO 5 K = 1, 100\n      B(K) = 1.0\n    5 CONTINUE\n      DO 10 I = 1, 100\n      A(I) = B(I) * 2.0\n   10 CONTINUE\n      WRITE (*,*) A(3)\n      END\n";
+        let mut s = PedSession::open(parse_ok(src));
+        let r1 = s.parallelize();
+        assert!(r1.counts().parallel >= 2);
+        assert!(!r1.directives.is_empty());
+        let r2 = s.parallelize();
+        assert!(Arc::ptr_eq(&r1, &r2), "unchanged program must hit the memo");
+        let st = s.stats();
+        assert_eq!((st.par_hits, st.par_misses), (1, 1));
+        assert!(s.usage.used(Feature::ParCacheHit));
+        assert!(s.usage.used(Feature::ParCacheMiss));
+        // An edit changes the program fingerprint: the memo misses.
+        s.edit_statement(find_assign(&s.program), "      B(K) = 3.0")
+            .unwrap();
+        let r3 = s.parallelize();
+        assert!(!Arc::ptr_eq(&r1, &r3));
+        assert_eq!(s.stats().par_misses, 2);
+    }
+
+    fn find_assign(p: &Program) -> StmtId {
+        let mut id = None;
+        ped_fortran::ast::walk_stmts(&p.units[0].body, &mut |st| {
+            if id.is_none() && matches!(st.kind, StmtKind::Assign { .. }) {
+                id = Some(st.id);
+            }
+        });
+        id.unwrap()
+    }
+
+    #[test]
     fn parallelize_blocked_then_unblocked_by_marking() {
         let src = "      INTEGER IX(100)\n      REAL A(100), B(100)\n      DO 10 I = 1, N\n      A(IX(I)) = B(I) + A(IX(I) + 1)\n   10 CONTINUE\n      END\n";
         let mut s = PedSession::open(parse_ok(src));
         s.select_loop(LoopId(0)).unwrap();
-        assert!(s.parallelize(LoopId(0)).is_err());
+        assert!(s.parallelize_loop(LoopId(0)).is_err());
         let n = s.mark_dependences_where(
             &DepFilter::parse("mark=pending & var=A").unwrap(),
             Mark::Rejected,
             Some("IX values are distinct and non-adjacent"),
         );
         assert!(n > 0);
-        s.parallelize(LoopId(0)).unwrap();
+        s.parallelize_loop(LoopId(0)).unwrap();
         assert!(ped_fortran::pretty::print_program(&s.program).contains("CDOALL"));
         assert!(s.usage.count(Feature::DependenceDeletion) > 0);
     }
@@ -1404,7 +1470,7 @@ mod tests {
             "{:?}",
             s.impediments(LoopId(0)).impediments
         );
-        s.parallelize(LoopId(0)).unwrap();
+        s.parallelize_loop(LoopId(0)).unwrap();
     }
 
     #[test]
@@ -1507,7 +1573,7 @@ mod tests {
         s.select_loop(LoopId(0)).unwrap();
         s.classify_variable("T", VarClass::Private, Some("set before use".into()))
             .unwrap();
-        s.parallelize(LoopId(0)).unwrap();
+        s.parallelize_loop(LoopId(0)).unwrap();
         let f = s.lint();
         assert!(
             !f.iter()
@@ -1532,7 +1598,7 @@ mod tests {
             Mark::Rejected,
             Some("IX is a permutation"),
         );
-        s.parallelize(LoopId(0)).unwrap();
+        s.parallelize_loop(LoopId(0)).unwrap();
         let f = s.lint();
         let faith = f
             .iter()

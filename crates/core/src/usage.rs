@@ -41,6 +41,8 @@ pub enum Feature {
     LintCacheMiss,
     ScalarCacheHit,
     ScalarCacheMiss,
+    ParCacheHit,
+    ParCacheMiss,
     // dependence-test fast-path telemetry: which tester of the
     // hierarchical suite decided freshly tested subscript dimensions.
     // Also excluded from `all()`.
@@ -52,7 +54,7 @@ pub enum Feature {
 
 /// Every feature in declaration order — the index of a feature here is
 /// `feature as usize`, which doubles as its slot in the counter array.
-const ALL_FEATURES: [Feature; 19] = [
+const ALL_FEATURES: [Feature; 21] = [
     Feature::DependenceDeletion,
     Feature::VariableClassification,
     Feature::AccessToAnalysis,
@@ -68,6 +70,8 @@ const ALL_FEATURES: [Feature; 19] = [
     Feature::LintCacheMiss,
     Feature::ScalarCacheHit,
     Feature::ScalarCacheMiss,
+    Feature::ParCacheHit,
+    Feature::ParCacheMiss,
     Feature::FastPathZiv,
     Feature::FastPathStrongSiv,
     Feature::FastPathWeakZeroSiv,
@@ -109,6 +113,8 @@ impl Feature {
             Feature::LintCacheMiss => "lint cache miss",
             Feature::ScalarCacheHit => "scalar cache hit",
             Feature::ScalarCacheMiss => "scalar cache miss",
+            Feature::ParCacheHit => "parallelize cache hit",
+            Feature::ParCacheMiss => "parallelize cache miss",
             Feature::FastPathZiv => "fast path ziv",
             Feature::FastPathStrongSiv => "fast path strong-siv",
             Feature::FastPathWeakZeroSiv => "fast path weak-zero-siv",

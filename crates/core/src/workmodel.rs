@@ -76,7 +76,7 @@ pub fn parallelize_unit(session: &mut PedSession) -> WorkReport {
         }
         let r = session.impediments(l);
         if r.is_parallel() {
-            session.parallelize(l).expect("report said parallel");
+            session.parallelize_loop(l).expect("report said parallel");
             parallel_roots.push(l);
             report.outcomes.push((
                 l,

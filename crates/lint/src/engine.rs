@@ -356,6 +356,51 @@ pub fn lint_unit(
         }
     }
 
+    // PED009: calls whose argument lists disagree with the callee's
+    // declared dummies — the interprocedural summaries composed across
+    // such a call (MOD/REF, constant seeds) are unreliable.
+    for issue in ped_interproc::compose_check(program) {
+        match issue {
+            ped_interproc::ComposeIssue::ArgCountMismatch {
+                caller,
+                callee,
+                stmt,
+                got,
+                want,
+            } if caller == uname => push(
+                &mut out,
+                RuleCode::ArgMismatch,
+                span_of(unit, stmt),
+                &callee,
+                format!(
+                    "CALL {callee} passes {got} argument(s) but the declaration \
+                     has {want}; summaries composed across this call are unreliable",
+                ),
+                None,
+            ),
+            ped_interproc::ComposeIssue::ArgTypeMismatch {
+                caller,
+                callee,
+                stmt,
+                pos,
+                got,
+                want,
+            } if caller == uname => push(
+                &mut out,
+                RuleCode::ArgMismatch,
+                span_of(unit, stmt),
+                &callee,
+                format!(
+                    "CALL {callee}, argument {}: actual is {got} but the formal \
+                     is {want}",
+                    pos + 1
+                ),
+                None,
+            ),
+            _ => {}
+        }
+    }
+
     // PED002 / PED003: audit user-deleted dependences.
     for d in &ua.graph.deps {
         if ua.marking.mark_of(d.id) != Mark::Rejected {
@@ -655,6 +700,41 @@ mod tests {
             "      REAL A(100)\nCDOALL\n      DO 10 I = 1, 100\n      A(I) = T\n      T = A(I) + 1.0\n   10 CONTINUE\n      END\n",
         );
         assert!(codes(&f).contains(&"PED004"), "{f:?}");
+    }
+
+    #[test]
+    fn arg_count_mismatch_is_reported_in_the_caller() {
+        let f = lint_src(
+            "      REAL X(10)\n      CALL S(X)\n      END\n      SUBROUTINE S(A, N)\n      REAL A(N)\n      A(1) = 0.0\n      RETURN\n      END\n",
+        );
+        let hits: Vec<&Finding> = f
+            .iter()
+            .filter(|x| x.rule == RuleCode::ArgMismatch)
+            .collect();
+        assert_eq!(hits.len(), 1, "{f:?}");
+        assert_eq!(hits[0].var, "S");
+        assert_eq!(hits[0].unit_idx, 0, "finding belongs to the caller");
+        assert!(
+            hits[0].message.contains("passes 1 argument(s)"),
+            "{}",
+            hits[0].message
+        );
+    }
+
+    #[test]
+    fn arg_type_mismatch_is_reported_in_the_caller() {
+        // INTEGER literal passed where the (implicitly REAL) formal X is
+        // expected — the classic production-code bug.
+        let f = lint_src(
+            "      CALL S(5)\n      END\n      SUBROUTINE S(X)\n      Y = X\n      RETURN\n      END\n",
+        );
+        let hit = f
+            .iter()
+            .find(|x| x.rule == RuleCode::ArgMismatch)
+            .expect("PED009");
+        assert_eq!(hit.var, "S");
+        assert_eq!(hit.severity(), Severity::Warning);
+        assert!(hit.message.contains("argument 1"), "{}", hit.message);
     }
 
     #[test]

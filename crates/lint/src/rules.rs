@@ -36,6 +36,10 @@ pub enum RuleCode {
     /// An I/O statement inside a parallel loop: output order becomes
     /// nondeterministic across iterations.
     IoInParallel,
+    /// A CALL whose argument list disagrees with the callee's dummy
+    /// parameters (count or type) — the interprocedural summaries the
+    /// parallelizer composes across the call are unreliable.
+    ArgMismatch,
 }
 
 impl RuleCode {
@@ -50,6 +54,7 @@ impl RuleCode {
             RuleCode::AssertionContradicted => "PED006",
             RuleCode::MissedParallelism => "PED007",
             RuleCode::IoInParallel => "PED008",
+            RuleCode::ArgMismatch => "PED009",
         }
     }
 
@@ -64,6 +69,7 @@ impl RuleCode {
             RuleCode::AssertionContradicted => "assertion-contradicted",
             RuleCode::MissedParallelism => "missed-parallelism",
             RuleCode::IoInParallel => "io-in-parallel",
+            RuleCode::ArgMismatch => "arg-mismatch",
         }
     }
 
@@ -78,6 +84,7 @@ impl RuleCode {
             RuleCode::AssertionContradicted => Severity::Error,
             RuleCode::MissedParallelism => Severity::Note,
             RuleCode::IoInParallel => Severity::Warning,
+            RuleCode::ArgMismatch => Severity::Warning,
         }
     }
 
@@ -109,11 +116,15 @@ impl RuleCode {
                 "sequential loop has no surviving inhibitors (parallelizable)"
             }
             RuleCode::IoInParallel => "I/O inside a parallel loop runs in nondeterministic order",
+            RuleCode::ArgMismatch => {
+                "call's argument list disagrees with the callee's dummy \
+                 parameters (count or type)"
+            }
         }
     }
 
     /// All rules in code order.
-    pub fn all() -> [RuleCode; 8] {
+    pub fn all() -> [RuleCode; 9] {
         [
             RuleCode::ParallelLoopRace,
             RuleCode::FaithRejection,
@@ -123,6 +134,7 @@ impl RuleCode {
             RuleCode::AssertionContradicted,
             RuleCode::MissedParallelism,
             RuleCode::IoInParallel,
+            RuleCode::ArgMismatch,
         ]
     }
 }
@@ -142,7 +154,10 @@ mod tests {
         let codes: Vec<&str> = RuleCode::all().iter().map(|r| r.code()).collect();
         assert_eq!(
             codes,
-            ["PED001", "PED002", "PED003", "PED004", "PED005", "PED006", "PED007", "PED008"]
+            [
+                "PED001", "PED002", "PED003", "PED004", "PED005", "PED006", "PED007", "PED008",
+                "PED009"
+            ]
         );
         let mut sorted = codes.clone();
         sorted.dedup();

@@ -1,0 +1,144 @@
+//! Deterministic report rendering: the per-nest decision log and the
+//! Table-3/4-style per-workload summary. Nothing here depends on
+//! timing, thread count, or iteration order of any hash map — the
+//! rendered bytes are pinned by `tests/determinism.rs`.
+
+use crate::{ParReport, VerifyStatus};
+use std::fmt::Write as _;
+
+/// Render one program's full report: per-unit nest decisions with
+/// explanation records, the tallies, and the gate summary.
+pub fn render_report(name: &str, report: &ParReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== ped-par: {name} ==");
+    let mut cur_unit: Option<&str> = None;
+    for d in &report.decisions {
+        if cur_unit != Some(d.unit.as_str()) {
+            cur_unit = Some(d.unit.as_str());
+            let nests = report.decisions.iter().filter(|x| x.unit == d.unit).count();
+            let _ = writeln!(s, "unit {}: {} nest(s)", d.unit, nests);
+        }
+        let mut line = format!(
+            "  DO {} (line {}, level {}) [{}]",
+            d.var,
+            d.line,
+            d.level,
+            d.class.label()
+        );
+        if let Some(t) = &d.transform {
+            let _ = write!(line, " via {t}");
+        }
+        if !d.privatized.is_empty() {
+            let _ = write!(line, " private: {}", d.privatized.join(","));
+        }
+        if !d.privatized_arrays.is_empty() {
+            let _ = write!(line, " private-arrays: {}", d.privatized_arrays.join(","));
+        }
+        if !d.reductions.is_empty() {
+            let _ = write!(line, " reductions: {}", d.reductions.join(","));
+        }
+        if d.emitted {
+            let _ = write!(line, " — CDOALL emitted ({:.1}%)", d.percent);
+        } else if let Some(why) = &d.emit_skip {
+            let _ = write!(line, " — not emitted: {why}");
+        }
+        let _ = writeln!(s, "{line}");
+        for b in &d.blocking {
+            let _ = writeln!(s, "      blocking: {} on {} — {}", b.kind, b.var, b.detail);
+        }
+        for r in &d.rejections {
+            let _ = writeln!(
+                s,
+                "      rejected {}: {} ({})",
+                r.transform, r.rule, r.category
+            );
+        }
+    }
+    let c = report.counts();
+    let _ = writeln!(
+        s,
+        "summary: nests={} parallel={} after-transform={} serial={} directives={}",
+        c.nests, c.parallel, c.after_transform, c.serial, c.directives
+    );
+    let fired = report.transforms_fired();
+    if !fired.is_empty() {
+        let kinds: Vec<String> = fired.iter().map(|(t, n)| format!("{t}={n}")).collect();
+        let _ = writeln!(s, "transforms fired: {}", kinds.join(" "));
+    }
+    let rej = report.rejection_tally();
+    if !rej.is_empty() {
+        let kinds: Vec<String> = rej.iter().map(|(t, n)| format!("{t}={n}")).collect();
+        let _ = writeln!(s, "rejections: {}", kinds.join(" "));
+    }
+    for dir in &report.directives {
+        let _ = writeln!(
+            s,
+            "directive: {}:{} DO {} ({}; {:.1}%)",
+            dir.unit, dir.line, dir.var, dir.origin, dir.percent
+        );
+    }
+    if let Some(v) = &report.verify {
+        match &v.status {
+            VerifyStatus::Verified {
+                lines,
+                races,
+                parallel_loops,
+            } => {
+                let _ = writeln!(
+                    s,
+                    "verify: workers={} directives={} lines={} races={} parallel-loops={} demoted={}",
+                    v.workers,
+                    v.directives,
+                    lines,
+                    races,
+                    parallel_loops,
+                    v.demoted.len()
+                );
+            }
+            VerifyStatus::Skipped(why) => {
+                let _ = writeln!(s, "verify: skipped ({why})");
+            }
+        }
+        for d in &v.demoted {
+            let _ = writeln!(s, "demoted: {d}");
+        }
+    }
+    s
+}
+
+/// One fixed-width summary row (Table-3/4 shape): nests examined, DOALLs
+/// found by class, directives emitted/verified, transforms fired.
+pub fn summary_row(name: &str, report: &ParReport) -> String {
+    let c = report.counts();
+    let verified = match report.verify.as_ref().map(|v| &v.status) {
+        Some(VerifyStatus::Verified { .. }) => c.directives,
+        _ => 0,
+    };
+    let fired: usize = report.transforms_fired().iter().map(|(_, n)| n).sum();
+    format!(
+        "{name:<10} {:>5} {:>8} {:>6} {:>6} {:>10} {:>8} {:>7} {:>7}",
+        c.nests, c.parallel, c.after_transform, c.serial, c.directives, verified, fired, c.demoted
+    )
+}
+
+/// The multi-workload summary table.
+pub fn render_summary(rows: &[(String, &ParReport)]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<10} {:>5} {:>8} {:>6} {:>6} {:>10} {:>8} {:>7} {:>7}",
+        "workload",
+        "nests",
+        "parallel",
+        "xform",
+        "serial",
+        "directives",
+        "verified",
+        "fired",
+        "demoted"
+    );
+    for (name, report) in rows {
+        let _ = writeln!(s, "{}", summary_row(name, report));
+    }
+    s
+}

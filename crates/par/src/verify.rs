@@ -1,0 +1,175 @@
+//! The differential verification gate (the Hood–Jost protocol from
+//! "Support for Debugging Automatically Parallelized Programs"): the
+//! rewritten program must produce byte-identical output lines at 1
+//! worker and at N workers, and the deterministic shadow tracker must
+//! log zero races. A directive that fails the gate is demoted back to
+//! sequential and the demotion is reported — the emitted set is always
+//! gate-clean by construction.
+
+use crate::{Directive, NestClass, NestDecision, TransformRejection, VerifyStatus, VerifySummary};
+use ped_fortran::ast::{LoopSched, Program, StmtKind};
+use ped_runtime::RunOptions;
+
+fn run(
+    program: &Program,
+    workers: usize,
+    validate: bool,
+) -> Result<ped_runtime::RunOutput, String> {
+    ped_runtime::run(
+        program,
+        RunOptions {
+            workers,
+            validate_parallel: validate,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// Demote one directive: mark its loop sequential again and record why.
+fn demote(
+    rewritten: &mut Program,
+    directives: &mut Vec<Directive>,
+    decisions: &mut [NestDecision],
+    idx: usize,
+    reason: &str,
+    demoted: &mut Vec<String>,
+) {
+    let dir = directives.remove(idx);
+    ped_transform::util::with_do_mut(&mut rewritten.units[dir.unit_idx].body, dir.stmt, |s| {
+        if let StmtKind::Do { sched, .. } = &mut s.kind {
+            *sched = LoopSched::Sequential;
+        }
+    });
+    for d in decisions
+        .iter_mut()
+        .filter(|d| d.unit_idx == dir.unit_idx && d.stmt == dir.stmt)
+    {
+        d.emitted = false;
+        d.emit_skip = Some(format!("demoted by the differential gate: {reason}"));
+    }
+    demoted.push(format!("{}:{}: {reason}", dir.unit, dir.line));
+}
+
+/// Index of the least-profitable directive (the first demotion victim).
+fn least_profitable(directives: &[Directive]) -> usize {
+    let mut best = 0usize;
+    for (i, d) in directives.iter().enumerate() {
+        if d.weight < directives[best].weight {
+            best = i;
+        }
+    }
+    best
+}
+
+pub(crate) fn differential_gate(
+    original: &Program,
+    rewritten: &mut Program,
+    directives: &mut Vec<Directive>,
+    decisions: &mut [NestDecision],
+    workers: usize,
+) -> VerifySummary {
+    let mut demoted = Vec::new();
+    // The gate needs the program to execute on its own (workload-style
+    // fixtures embed their data). A program that cannot run is reported
+    // as skipped, with the directives left in statically-decided form.
+    let base = match run(original, 1, false) {
+        Ok(o) => o,
+        Err(e) => {
+            return VerifySummary {
+                workers,
+                directives: directives.len(),
+                status: VerifyStatus::Skipped(format!("program does not run: {e}")),
+                demoted,
+            }
+        }
+    };
+    // Transformation soundness: the rewritten program must be serially
+    // byte-identical to the original. If not, every fired transformation
+    // is rolled back and only the untransformed directives survive.
+    let serial_ok = match run(rewritten, 1, false) {
+        Ok(o) => o.lines == base.lines,
+        Err(_) => false,
+    };
+    if !serial_ok {
+        let mut plain = original.clone();
+        directives.retain(|dir| {
+            if dir.origin == "direct" {
+                ped_transform::util::with_do_mut(
+                    &mut plain.units[dir.unit_idx].body,
+                    dir.stmt,
+                    |s| {
+                        if let StmtKind::Do { sched, .. } = &mut s.kind {
+                            *sched = LoopSched::Parallel;
+                        }
+                    },
+                );
+                true
+            } else {
+                demoted.push(format!(
+                    "{}:{}: transformation changed serial output; rolled back",
+                    dir.unit, dir.line
+                ));
+                false
+            }
+        });
+        for d in decisions
+            .iter_mut()
+            .filter(|d| d.class == NestClass::ParallelAfterTransform)
+        {
+            let t = d.transform.take().unwrap_or_else(|| "transform".into());
+            d.class = NestClass::Serial;
+            d.emitted = false;
+            d.emit_skip = None;
+            d.rejections.push(TransformRejection {
+                transform: t,
+                category: "apply-failed",
+                rule: "differential gate: transformation changed serial output".into(),
+            });
+        }
+        *rewritten = plain;
+    }
+    // The gate proper: serial vs parallel vs shadow-tracked, demoting
+    // the least-profitable directive until the program is gate-clean.
+    loop {
+        let serial = run(rewritten, 1, false);
+        let parallel = run(rewritten, workers, false);
+        let shadow = run(rewritten, 1, true);
+        let failure = match (&serial, &parallel, &shadow) {
+            (Ok(s), Ok(p), Ok(v)) => {
+                if s.lines != p.lines {
+                    Some(format!("output diverged at {workers} workers"))
+                } else if !v.races.is_empty() {
+                    Some(format!("shadow tracker logged {} race(s)", v.races.len()))
+                } else {
+                    return VerifySummary {
+                        workers,
+                        directives: directives.len(),
+                        status: VerifyStatus::Verified {
+                            lines: s.lines.len(),
+                            races: 0,
+                            parallel_loops: p.stats.parallel_loops,
+                        },
+                        demoted,
+                    };
+                }
+            }
+            (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+                Some(format!("runtime error under the gate: {e}"))
+            }
+        };
+        let reason = failure.unwrap();
+        if directives.is_empty() {
+            return VerifySummary {
+                workers,
+                directives: 0,
+                status: VerifyStatus::Skipped(format!(
+                    "gate failed with no directives left: {reason}"
+                )),
+                demoted,
+            };
+        }
+        let idx = least_profitable(directives);
+        demote(rewritten, directives, decisions, idx, &reason, &mut demoted);
+    }
+}

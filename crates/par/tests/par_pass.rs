@@ -1,0 +1,184 @@
+//! Behavioral tests of the auto-parallelization pass: classification,
+//! explanation records, transformation planning, emission policy, and
+//! the differential gate.
+
+use ped_fortran::parser::parse_ok;
+use ped_fortran::pretty::print_program;
+use ped_par::{analyze, parallelize_program, NestClass, ParOptions, VerifyStatus};
+
+fn opts() -> ParOptions {
+    ParOptions::default()
+}
+
+#[test]
+fn clean_loop_is_emitted_and_verified() {
+    let src = "      REAL A(100), B(100)\n      DO 5 I = 1, 100\n      B(I) = 1.0\n\
+               \x20   5 CONTINUE\n      DO 10 I = 1, 100\n      A(I) = B(I) * 2.0\n\
+               \x20  10 CONTINUE\n      WRITE (*,*) A(7)\n      END\n";
+    let (report, rewritten) = parallelize_program(&parse_ok(src), &opts());
+    assert_eq!(report.decisions.len(), 2);
+    assert!(report
+        .decisions
+        .iter()
+        .all(|d| d.class == NestClass::Parallel));
+    assert_eq!(report.directives.len(), 2);
+    assert!(print_program(&rewritten).contains("CDOALL"));
+    let v = report.verify.expect("gate ran");
+    match v.status {
+        VerifyStatus::Verified { races, lines, .. } => {
+            assert_eq!(races, 0);
+            assert!(lines > 0);
+        }
+        VerifyStatus::Skipped(why) => panic!("gate skipped: {why}"),
+    }
+    assert!(v.demoted.is_empty());
+}
+
+#[test]
+fn recurrence_is_serial_with_explanation() {
+    let src = "      REAL A(100)\n      DO 5 K = 1, 100\n      A(K) = 1.0\n    5 CONTINUE\n\
+               \x20     DO 10 I = 2, 100\n      A(I) = A(I-1) + 1.0\n   10 CONTINUE\n\
+               \x20     WRITE (*,*) A(50)\n      END\n";
+    let (report, _) = parallelize_program(&parse_ok(src), &opts());
+    let d = report
+        .decisions
+        .iter()
+        .find(|d| d.class == NestClass::Serial)
+        .expect("recurrence stays serial");
+    assert!(!d.blocking.is_empty(), "explanation names blocking edges");
+    assert_eq!(d.blocking[0].var, "A");
+    assert!(
+        !d.rejections.is_empty(),
+        "explanation names the rule that rejected each candidate transform"
+    );
+    assert!(d
+        .rejections
+        .iter()
+        .any(|r| r.transform == "distribution" || r.transform == "reversal"));
+}
+
+#[test]
+fn distribution_exposes_parallel_loop() {
+    // One recurrence statement plus one independent statement: loop
+    // distribution splits them, and the independent half is a DOALL.
+    let src = "      REAL A(100), B(100), C(100)\n      DO 5 K = 1, 100\n      A(K) = 1.0\n\
+               \x20     C(K) = 2.0\n    5 CONTINUE\n      DO 10 I = 2, 100\n\
+               \x20     A(I) = A(I-1) + 1.0\n      B(I) = C(I) * 2.0\n   10 CONTINUE\n\
+               \x20     WRITE (*,*) A(50) + B(50)\n      END\n";
+    let (report, rewritten) = parallelize_program(&parse_ok(src), &opts());
+    let d = report
+        .decisions
+        .iter()
+        .find(|d| d.class == NestClass::ParallelAfterTransform)
+        .expect("distribution fires");
+    assert_eq!(d.transform.as_deref(), Some("distribution"));
+    assert!(report
+        .directives
+        .iter()
+        .any(|dir| dir.origin == "distribution"));
+    assert!(print_program(&rewritten).contains("CDOALL"));
+    match report.verify.expect("gate ran").status {
+        VerifyStatus::Verified { races, .. } => assert_eq!(races, 0),
+        VerifyStatus::Skipped(why) => panic!("gate skipped: {why}"),
+    }
+}
+
+#[test]
+fn io_loop_is_parallel_but_not_emitted() {
+    let src = "      REAL A(10)\n      DO 5 K = 1, 10\n      A(K) = 1.0\n    5 CONTINUE\n\
+               \x20     DO 10 I = 1, 10\n      A(I) = A(I) + 1.0\n      WRITE (*,*) A(I)\n\
+               \x20  10 CONTINUE\n      END\n";
+    let (report, rewritten) = parallelize_program(&parse_ok(src), &opts());
+    let d = report
+        .decisions
+        .iter()
+        .find(|d| d.line > 4)
+        .expect("io loop decided");
+    assert_eq!(d.class, NestClass::Parallel, "dependence-wise a DOALL");
+    assert!(!d.emitted);
+    assert!(d.emit_skip.as_deref().unwrap_or("").contains("I/O"));
+    // The init loop gets its directive; the I/O loop never does.
+    assert!(report.directives.iter().all(|dir| dir.line != d.line));
+    assert_eq!(print_program(&rewritten).matches("CDOALL").count(), 1);
+}
+
+#[test]
+fn reduction_nest_is_parallel() {
+    let src = "      REAL A(100)\n      S = 0.0\n      DO 5 K = 1, 100\n      A(K) = 0.5\n\
+               \x20   5 CONTINUE\n      DO 10 I = 1, 100\n      S = S + A(I)\n   10 CONTINUE\n\
+               \x20     WRITE (*,*) S\n      END\n";
+    let (report, _) = parallelize_program(&parse_ok(src), &opts());
+    let d = report
+        .decisions
+        .iter()
+        .find(|d| !d.reductions.is_empty())
+        .expect("reduction recognized");
+    assert_eq!(d.class, NestClass::Parallel);
+    assert_eq!(d.reductions, ["S"]);
+}
+
+#[test]
+fn callnest_fixture_parallelizes_through_the_callee_summary() {
+    // The shipped interprocedural fixture: the loop around CALL SCALE is
+    // a DOALL because the callee's MOD/REF summary proves the call only
+    // writes A(I) and reads B(I).
+    let src = include_str!("../../../examples/fortran/callnest.f");
+    let (report, rewritten) = parallelize_program(&parse_ok(src), &opts());
+    let call_loop = report
+        .decisions
+        .iter()
+        .find(|d| d.unit == "CALLNST" && d.line == 8)
+        .expect("call loop decided");
+    assert_eq!(
+        call_loop.class,
+        NestClass::Parallel,
+        "blocking: {:?}",
+        call_loop.blocking
+    );
+    assert!(call_loop.emitted, "skip: {:?}", call_loop.emit_skip);
+    assert!(print_program(&rewritten).contains("CDOALL"));
+    match report.verify.expect("gate ran").status {
+        VerifyStatus::Verified { races, .. } => assert_eq!(races, 0),
+        VerifyStatus::Skipped(why) => panic!("gate skipped: {why}"),
+    }
+}
+
+#[test]
+fn report_is_thread_count_invariant() {
+    for p in ped_workloads::all_programs() {
+        let prog = p.parse();
+        let serial = analyze(
+            &prog,
+            &ParOptions {
+                threads: 1,
+                ..opts()
+            },
+        );
+        let threaded = analyze(
+            &prog,
+            &ParOptions {
+                threads: 8,
+                ..opts()
+            },
+        );
+        assert_eq!(
+            ped_par::render_report(p.name, &serial),
+            ped_par::render_report(p.name, &threaded),
+            "{}: report depends on thread count",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn unrunnable_program_skips_the_gate_but_keeps_static_decisions() {
+    // READ with no input: the gate cannot run.
+    let src = "      REAL A(10)\n      READ (*,*) N\n      DO 10 I = 1, 10\n\
+               \x20     A(I) = 1.0\n   10 CONTINUE\n      WRITE (*,*) A(1)\n      END\n";
+    let (report, _) = parallelize_program(&parse_ok(src), &opts());
+    match report.verify.expect("verify attempted").status {
+        VerifyStatus::Skipped(why) => assert!(why.contains("does not run"), "{why}"),
+        VerifyStatus::Verified { .. } => panic!("gate cannot have run without input"),
+    }
+    assert!(!report.decisions.is_empty());
+}

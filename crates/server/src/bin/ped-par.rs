@@ -1,0 +1,233 @@
+//! `ped-par` — whole-program static auto-parallelization with
+//! differentially verified DOALL decisions, as a batch CLI.
+//!
+//! ```text
+//! ped-par [--json] [--threads N] [--workers N] [--no-verify]
+//!         [--no-transforms] [--min-percent P] FILE...
+//! ped-par --smoke
+//! ```
+//!
+//! Each argument is a fixed-form Fortran file or a directory (searched
+//! recursively for `.f`/`.for`/`.f77` files). Every file is analyzed as
+//! one program: each loop nest is classified `parallel`,
+//! `parallel-after-transform`, or `serial` (with the blocking dependence
+//! edges and the rule that rejected each candidate transformation), the
+//! profitable DOALLs are emitted as `CDOALL` directives, and every
+//! emitted directive is verified by differential execution (1 worker vs
+//! `--workers`, byte-identical output lines, race-free shadow tracker).
+//! The text report and the `--json` document are deterministic bytes.
+//!
+//! `--smoke` runs the pass over every built-in workload (plus the
+//! 60-loop synthetic program) and fails if any emitted directive fails
+//! its differential gate — the CI entry point.
+//!
+//! Exit status: 0 clean; 1 if any file fails to parse or `--smoke`
+//! finds a gate failure; 2 on usage or I/O errors.
+
+use ped_par::{parallelize_program, render_report, render_summary, ParOptions, VerifyStatus};
+use ped_server::json::Value;
+use ped_server::pario::report_value;
+use std::path::{Path, PathBuf};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ped-par [--json] [--threads N] [--workers N] [--no-verify] \
+         [--no-transforms] [--min-percent P] FILE...\n       ped-par --smoke"
+    );
+    std::process::exit(2);
+}
+
+fn is_fortran(path: &Path) -> bool {
+    matches!(
+        path.extension().and_then(|e| e.to_str()),
+        Some(e) if e.eq_ignore_ascii_case("f")
+            || e.eq_ignore_ascii_case("for")
+            || e.eq_ignore_ascii_case("f77")
+    )
+}
+
+fn collect(path: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let meta = std::fs::metadata(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if meta.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for entry in entries {
+            if entry.is_dir() {
+                collect(&entry, out)?;
+            } else if is_fortran(&entry) {
+                out.push(entry);
+            }
+        }
+        Ok(())
+    } else {
+        out.push(path.to_path_buf());
+        Ok(())
+    }
+}
+
+/// `--smoke`: the pass must be gate-clean on every built-in workload.
+fn smoke(opts: &ParOptions) -> i32 {
+    let mut programs: Vec<(String, ped_fortran::Program)> = ped_workloads::all_programs()
+        .into_iter()
+        .map(|p| (p.name.to_string(), p.parse()))
+        .collect();
+    programs.push((
+        "synth60".into(),
+        ped_fortran::parser::parse_ok(&ped_workloads::synthetic_source(60)),
+    ));
+    let mut failures = 0usize;
+    let mut reports = Vec::new();
+    for (name, program) in &programs {
+        let (report, _) = parallelize_program(program, opts);
+        match report.verify.as_ref().map(|v| &v.status) {
+            Some(VerifyStatus::Verified { races, .. }) => {
+                if *races > 0 {
+                    eprintln!("ped-par: {name}: shadow tracker logged {races} race(s)");
+                    failures += 1;
+                }
+            }
+            Some(VerifyStatus::Skipped(why)) => {
+                eprintln!("ped-par: {name}: gate skipped: {why}");
+                failures += 1;
+            }
+            None => {
+                eprintln!("ped-par: {name}: gate did not run");
+                failures += 1;
+            }
+        }
+        if let Some(v) = &report.verify {
+            for d in &v.demoted {
+                eprintln!("ped-par: {name}: demoted {d}");
+            }
+        }
+        reports.push((name.clone(), report));
+    }
+    let rows: Vec<(String, &ped_par::ParReport)> =
+        reports.iter().map(|(n, r)| (n.clone(), r)).collect();
+    print!("{}", render_summary(&rows));
+    if failures > 0 {
+        eprintln!("ped-par: smoke failed on {failures} workload(s)");
+        1
+    } else {
+        println!("ped-par: smoke clean on {} workload(s)", reports.len());
+        0
+    }
+}
+
+fn main() {
+    let mut json = false;
+    let mut smoke_mode = false;
+    let mut opts = ParOptions::default();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--smoke" => smoke_mode = true,
+            "--no-verify" => opts.verify = false,
+            "--no-transforms" => opts.plan_transforms = false,
+            "--threads" => {
+                opts.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--workers" => {
+                opts.verify_workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n >= 2)
+                    .unwrap_or_else(|| usage());
+            }
+            "--min-percent" => {
+                opts.min_percent = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|p| *p >= 0.0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            f if f.starts_with("--") => usage(),
+            f => paths.push(PathBuf::from(f)),
+        }
+    }
+    if smoke_mode {
+        std::process::exit(smoke(&opts));
+    }
+    if paths.is_empty() {
+        usage();
+    }
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for p in &paths {
+        if let Err(e) = collect(p, &mut files) {
+            eprintln!("ped-par: {e}");
+            std::process::exit(2);
+        }
+    }
+    if files.is_empty() {
+        eprintln!("ped-par: no Fortran files found");
+        std::process::exit(2);
+    }
+
+    let mut parse_failures = 0usize;
+    let mut file_values: Vec<Value> = Vec::new();
+    let mut reports: Vec<(String, ped_par::ParReport)> = Vec::new();
+    for f in &files {
+        let src = match std::fs::read_to_string(f) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ped-par: {}: {e}", f.display());
+                std::process::exit(2);
+            }
+        };
+        let (program, diags) = ped_fortran::parser::parse(&src);
+        let errors: Vec<String> = diags
+            .errors()
+            .map(|d| format!("{}:{}: error: {}", f.display(), d.span.start, d.message))
+            .collect();
+        if !errors.is_empty() {
+            parse_failures += 1;
+            if json {
+                file_values.push(Value::Obj(vec![
+                    ("file".into(), Value::str(f.display().to_string())),
+                    (
+                        "parse_errors".into(),
+                        Value::Arr(errors.iter().map(Value::str).collect()),
+                    ),
+                ]));
+            } else {
+                for e in &errors {
+                    println!("{e}");
+                }
+            }
+            continue;
+        }
+        let (report, _) = parallelize_program(&program, &opts);
+        if json {
+            let mut fields = vec![("file".into(), Value::str(f.display().to_string()))];
+            if let Value::Obj(inner) = report_value(&report) {
+                fields.extend(inner);
+            }
+            file_values.push(Value::Obj(fields));
+        } else {
+            print!("{}", render_report(&f.display().to_string(), &report));
+        }
+        reports.push((f.display().to_string(), report));
+    }
+
+    if json {
+        println!("{}", Value::Arr(file_values).encode());
+    } else if reports.len() > 1 {
+        let rows: Vec<(String, &ped_par::ParReport)> =
+            reports.iter().map(|(n, r)| (n.clone(), r)).collect();
+        print!("{}", render_summary(&rows));
+    }
+    if parse_failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -40,6 +40,7 @@ mod eventloop;
 pub mod json;
 pub mod lintio;
 pub mod manager;
+pub mod pario;
 pub mod poller;
 pub mod protocol;
 pub mod server;

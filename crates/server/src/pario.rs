@@ -1,0 +1,136 @@
+//! JSON rendering of `ped-par` parallelization reports — shared by the
+//! `ped-par` CLI and the server's `parallelize` method.
+//!
+//! Decisions arrive in unit order (then loop order) and the JSON value
+//! model encodes deterministically, so the same report always serializes
+//! to the same bytes regardless of thread count or run order — the same
+//! property `tests/determinism.rs` pins for lint reports.
+
+use crate::json::Value;
+use ped_par::{NestDecision, ParReport, VerifyStatus};
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn strs(v: &[String]) -> Value {
+    Value::Arr(v.iter().map(Value::str).collect())
+}
+
+fn decision_value(d: &NestDecision) -> Value {
+    let blocking: Vec<Value> = d
+        .blocking
+        .iter()
+        .map(|b| {
+            obj(vec![
+                ("var", Value::str(b.var.clone())),
+                ("kind", Value::str(b.kind.clone())),
+                ("detail", Value::str(b.detail.clone())),
+            ])
+        })
+        .collect();
+    let rejections: Vec<Value> = d
+        .rejections
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("transform", Value::str(r.transform.clone())),
+                ("category", Value::str(r.category)),
+                ("rule", Value::str(r.rule.clone())),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("unit", Value::str(d.unit.clone())),
+        ("line", Value::int(d.line as i64)),
+        ("var", Value::str(d.var.clone())),
+        ("level", Value::int(d.level as i64)),
+        ("class", Value::str(d.class.label())),
+        (
+            "transform",
+            match &d.transform {
+                Some(t) => Value::str(t.clone()),
+                None => Value::Null,
+            },
+        ),
+        ("blocking", Value::Arr(blocking)),
+        ("rejections", Value::Arr(rejections)),
+        ("private", strs(&d.privatized)),
+        ("private_arrays", strs(&d.privatized_arrays)),
+        ("reductions", strs(&d.reductions)),
+        ("percent", Value::Num(d.percent)),
+        ("emitted", Value::Bool(d.emitted)),
+        (
+            "emit_skip",
+            match &d.emit_skip {
+                Some(s) => Value::str(s.clone()),
+                None => Value::Null,
+            },
+        ),
+    ])
+}
+
+/// Encode a whole report as one deterministic JSON object.
+pub fn report_value(report: &ParReport) -> Value {
+    let decisions: Vec<Value> = report.decisions.iter().map(decision_value).collect();
+    let directives: Vec<Value> = report
+        .directives
+        .iter()
+        .map(|dir| {
+            obj(vec![
+                ("unit", Value::str(dir.unit.clone())),
+                ("line", Value::int(dir.line as i64)),
+                ("var", Value::str(dir.var.clone())),
+                ("origin", Value::str(dir.origin.clone())),
+                ("percent", Value::Num(dir.percent)),
+            ])
+        })
+        .collect();
+    let c = report.counts();
+    let summary = obj(vec![
+        ("nests", Value::int(c.nests as i64)),
+        ("parallel", Value::int(c.parallel as i64)),
+        ("after_transform", Value::int(c.after_transform as i64)),
+        ("serial", Value::int(c.serial as i64)),
+        ("directives", Value::int(c.directives as i64)),
+        ("demoted", Value::int(c.demoted as i64)),
+    ]);
+    let verify = match &report.verify {
+        Some(v) => {
+            let mut fields = vec![
+                ("workers", Value::int(v.workers as i64)),
+                ("directives", Value::int(v.directives as i64)),
+            ];
+            match &v.status {
+                VerifyStatus::Verified {
+                    lines,
+                    races,
+                    parallel_loops,
+                } => {
+                    fields.push(("status", Value::str("verified")));
+                    fields.push(("lines", Value::int(*lines as i64)));
+                    fields.push(("races", Value::int(*races as i64)));
+                    fields.push(("parallel_loops", Value::int(*parallel_loops as i64)));
+                }
+                VerifyStatus::Skipped(why) => {
+                    fields.push(("status", Value::str("skipped")));
+                    fields.push(("reason", Value::str(why.clone())));
+                }
+            }
+            fields.push(("demoted", strs(&v.demoted)));
+            obj(fields)
+        }
+        None => Value::Null,
+    };
+    obj(vec![
+        ("decisions", Value::Arr(decisions)),
+        ("directives", Value::Arr(directives)),
+        ("summary", summary),
+        ("verify", verify),
+    ])
+}

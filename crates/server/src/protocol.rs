@@ -337,7 +337,7 @@ pub fn dispatch(
                     Ok(obj(vec![("safe", Value::Arr(names))]))
                 }
                 "parallelize" => {
-                    let applied = s.parallelize(l).map_err(|e| e.to_string())?;
+                    let applied = s.parallelize_loop(l).map_err(|e| e.to_string())?;
                     let notes: Vec<Value> = applied.notes.into_iter().map(Value::str).collect();
                     Ok(obj(vec![("applied", Value::Arr(notes))]))
                 }
@@ -346,6 +346,9 @@ pub fn dispatch(
         }
         "lint" => mgr.with_read(session_id(p)?, |s| {
             Ok(crate::lintio::findings_value(&s.lint()))
+        })?,
+        "parallelize" => mgr.with_read(session_id(p)?, |s| {
+            Ok(crate::pario::report_value(&s.parallelize()))
         })?,
         "validate" => {
             let workers = match p.get("workers") {
@@ -458,6 +461,8 @@ fn stats_value(st: &SessionStats) -> Result<Value, String> {
         ("lint_misses", Value::int(st.lint_misses as i64)),
         ("scalar_hits", Value::int(st.scalar_hits as i64)),
         ("scalar_misses", Value::int(st.scalar_misses as i64)),
+        ("par_hits", Value::int(st.par_hits as i64)),
+        ("par_misses", Value::int(st.par_misses as i64)),
         ("snapshot_epoch", Value::int(st.snapshot_epoch as i64)),
         ("snapshot_reads", Value::int(st.snapshot_reads as i64)),
         ("writer_publishes", Value::int(st.writer_publishes as i64)),
@@ -738,6 +743,32 @@ mod tests {
         let st = r.get("result").unwrap();
         assert!(st.get("lint_hits").unwrap().as_i64().unwrap() >= 1);
         assert!(st.get("lint_misses").unwrap().as_i64().unwrap() >= 1);
+    }
+
+    #[test]
+    fn lint_method_reports_arg_mismatch() {
+        let m = mgr();
+        let src = "      REAL X(10)\\n      CALL S(X)\\n      END\\n      SUBROUTINE S(A, N)\\n      REAL A(N)\\n      A(1) = 0.0\\n      RETURN\\n      END\\n";
+        let r = run(
+            &m,
+            &format!(r#"{{"id":1,"method":"open","params":{{"session":"am","source":"{src}"}}}}"#),
+        );
+        assert_eq!(r.get("ok"), Some(&Value::Bool(true)), "{r:?}");
+        let r = run(&m, r#"{"id":2,"method":"lint","params":{"session":"am"}}"#);
+        let result = r.get("result").unwrap();
+        let findings = result.get("findings").unwrap().as_array().unwrap();
+        let hit = findings
+            .iter()
+            .find(|f| f.get("code").unwrap().as_str() == Some("PED009"))
+            .expect("PED009 finding");
+        assert_eq!(hit.get("severity").unwrap().as_str(), Some("warning"));
+        assert_eq!(hit.get("var").unwrap().as_str(), Some("S"));
+        assert!(hit
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("passes 1 argument(s)"));
     }
 
     #[test]

@@ -220,6 +220,8 @@ pub fn opinion_counts(f: Feature) -> (usize, usize, usize) {
         | Feature::LintCacheMiss
         | Feature::ScalarCacheHit
         | Feature::ScalarCacheMiss
+        | Feature::ParCacheHit
+        | Feature::ParCacheMiss
         | Feature::FastPathZiv
         | Feature::FastPathStrongSiv
         | Feature::FastPathWeakZeroSiv
@@ -246,6 +248,8 @@ pub fn expected_used(f: Feature) -> usize {
         | Feature::LintCacheMiss
         | Feature::ScalarCacheHit
         | Feature::ScalarCacheMiss
+        | Feature::ParCacheHit
+        | Feature::ParCacheMiss
         | Feature::FastPathZiv
         | Feature::FastPathStrongSiv
         | Feature::FastPathWeakZeroSiv

@@ -42,7 +42,7 @@ fn main() {
         "after ASSERT MCN .GT. IENDV(IR) - ISTRT(IR): parallel = {}",
         after.is_parallel()
     );
-    session.parallelize(LoopId(0)).unwrap();
+    session.parallelize_loop(LoopId(0)).unwrap();
 
     // Run-time verification: MCN = 128 really does exceed the zone
     // extent (IENDV - ISTRT = 127), so the DOALL validator finds no

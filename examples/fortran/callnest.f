@@ -1,0 +1,20 @@
+      PROGRAM CALLNST
+      REAL A(200), B(200)
+      REAL S
+      DO 5 I = 1, 200
+      A(I) = 0.0
+      B(I) = 1.5
+    5 CONTINUE
+      DO 10 I = 1, 200
+      CALL SCALE(A(I), B(I))
+   10 CONTINUE
+      S = 0.0
+      DO 20 I = 1, 200
+      S = S + A(I)
+   20 CONTINUE
+      WRITE (*,*) S
+      END
+      SUBROUTINE SCALE(X, Y)
+      REAL X, Y
+      X = 2.5 * Y + 1.0
+      END

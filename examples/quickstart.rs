@@ -48,7 +48,7 @@ fn main() {
         report.is_parallel(),
         report.privatized
     );
-    session.parallelize(LoopId(1)).unwrap();
+    session.parallelize_loop(LoopId(1)).unwrap();
 
     // Execute sequentially and with 4 workers; outputs must agree.
     let seq = session

@@ -22,6 +22,9 @@
 #                  (gated: >= 3x on at least half), trace-mode overhead
 #                  on slalom, and validate end-to-end latency with the
 #                  confirmed/disproven verdict gate (or $7)
+#   BENCH_8.json — ped-par-bench, the whole-program auto-parallelizer:
+#                  cold classification+gate vs memoized parallelize(),
+#                  loops/sec, DOALLs found/verified per workload (or $8)
 set -e
 cd "$(dirname "$0")/.."
 OUT1="${1:-BENCH_1.json}"
@@ -31,11 +34,13 @@ OUT4="${4:-BENCH_4.json}"
 OUT5="${5:-BENCH_5.json}"
 OUT6="${6:-BENCH_6.json}"
 OUT7="${7:-BENCH_7.json}"
+OUT8="${8:-BENCH_8.json}"
 cargo build --release --offline -p ped-bench \
     --bin ped-bench --bin ped-serve-bench --bin ped-lint-bench \
-    --bin ped-vm-bench
+    --bin ped-vm-bench --bin ped-par-bench
 ./target/release/ped-bench "$OUT1" "$OUT4" "$OUT5"
 ./target/release/ped-serve-bench "$OUT2"
 ./target/release/ped-serve-bench --bench6 "$OUT6"
 ./target/release/ped-lint-bench "$OUT3"
 ./target/release/ped-vm-bench --bench7 "$OUT7"
+./target/release/ped-par-bench "$OUT8"

@@ -51,6 +51,13 @@ cargo build --release --offline -p ped-bench --bin ped-vm-bench
 ./target/release/ped-vm-bench --smoke
 echo "ci: vm byte-identity smoke passed"
 
+# Auto-parallelizer gate: ped-par over every workload (plus synth60)
+# must classify all nests, and every emitted CDOALL must survive its
+# differential gate — 1 worker vs 8, byte-identical output lines, zero
+# shadow-tracker races, no demotions.
+./target/release/ped-par --smoke
+echo "ci: ped-par smoke passed"
+
 # Benchmark-artifact gate: every BENCH_*.json that EXPERIMENTS.md
 # refers to must exist at the repo root (a missing artifact means a
 # bench run was skipped or its output was never committed).

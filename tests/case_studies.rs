@@ -19,7 +19,7 @@ fn pueblo3d_mcn_assertion_enables_parallelization() {
     assert!(!s.impediments(LoopId(0)).is_parallel());
     s.assert_fact("MCN .GT. IENDV(IR) - ISTRT(IR)").unwrap();
     assert!(s.impediments(LoopId(0)).is_parallel());
-    s.parallelize(LoopId(0)).unwrap();
+    s.parallelize_loop(LoopId(0)).unwrap();
     // Certification holds under the deterministic race checker and the
     // actual 8-worker execution.
     let checked = s
@@ -66,7 +66,7 @@ fn arc3d_symbolic_relation_plus_array_kill() {
         report.impediments
     );
     assert!(report.privatized_arrays.contains(&"WR1".to_string()));
-    s.parallelize(outer).unwrap();
+    s.parallelize_loop(outer).unwrap();
     let checked = s
         .run(parascope::runtime::RunOptions {
             validate_parallel: true,

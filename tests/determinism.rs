@@ -115,6 +115,79 @@ fn server_lint_responses_are_deterministic() {
 }
 
 #[test]
+fn par_report_is_golden_across_thread_counts() {
+    // The whole-program parallelizer fans unit classification out across
+    // workers and then runs the differential gate; the rendered report
+    // and its JSON encoding must be byte-identical for any analysis
+    // thread count, on every workshop program plus the 60-loop synthetic.
+    use ped_par::{parallelize_program, render_report, ParOptions};
+    let mut programs: Vec<(String, ped_fortran::Program)> = ped_workloads::all_programs()
+        .into_iter()
+        .map(|p| (p.name.to_string(), parse_ok(p.source)))
+        .collect();
+    programs.push((
+        "synth60".into(),
+        parse_ok(&ped_workloads::synthetic_source(60)),
+    ));
+    assert!(programs.len() >= 9);
+    let mut directives = 0usize;
+    for (name, prog) in &programs {
+        let serial_opts = ParOptions {
+            threads: 1,
+            ..Default::default()
+        };
+        let (serial, _) = parallelize_program(prog, &serial_opts);
+        directives += serial.directives.len();
+        let text = render_report(name, &serial);
+        let bytes = ped_server::pario::report_value(&serial).encode();
+        for threads in [2, 8] {
+            let opts = ParOptions {
+                threads,
+                ..Default::default()
+            };
+            let (parallel, _) = parallelize_program(prog, &opts);
+            assert_eq!(
+                text,
+                render_report(name, &parallel),
+                "{name} report diverged at {threads} threads"
+            );
+            assert_eq!(
+                bytes,
+                ped_server::pario::report_value(&parallel).encode(),
+                "{name} encoding diverged at {threads} threads"
+            );
+        }
+    }
+    assert!(directives > 0, "no workload emitted a DOALL — vacuous test");
+}
+
+#[test]
+fn server_parallelize_responses_are_deterministic() {
+    // The `parallelize` method replayed against fresh registries must
+    // produce identical response bytes, and the memoized second call
+    // must serialize identically to the cold one.
+    let src = "      REAL A(100)\\n      DO 10 I = 1, 100\\n      A(I) = 2.0\\n   10 CONTINUE\\n      WRITE (*,*) A(1)\\n      END\\n";
+    let lines: Vec<String> = vec![
+        format!(r#"{{"id":1,"method":"open","params":{{"session":"p","source":"{src}"}}}}"#),
+        r#"{"id":2,"method":"parallelize","params":{"session":"p"}}"#.into(),
+        r#"{"id":2,"method":"parallelize","params":{"session":"p"}}"#.into(),
+    ];
+    let first = ped_server::oracle_replay(&lines);
+    assert!(
+        first[1].contains("\"class\":\"parallel\""),
+        "parallelize response missing the DOALL: {}",
+        first[1]
+    );
+    assert_eq!(
+        first[1], first[2],
+        "memoized parallelize must serialize identically to the cold one"
+    );
+    for _ in 0..3 {
+        assert_eq!(first, ped_server::oracle_replay(&lines));
+    }
+}
+
+#[test]
 fn repeated_builds_are_bit_identical() {
     // Same input, ten builds: byte-for-byte equal debug renderings —
     // catches nondeterministic ordering even in fields PartialEq might
