@@ -29,11 +29,27 @@
 //! Hit/miss counters at both levels are mirrored into the session's
 //! `UsageLog` and surfaced by `PedSession::cache_stats`.
 
+//!
+//! A session cache can additionally be backed by the *persistent* layer
+//! ([`crate::persist::DiskCache`]): when attached, lint and par memo
+//! misses consult the fingerprint-keyed on-disk store before
+//! recomputing, and fresh results are written back (atomic rename,
+//! checksummed) — which is what makes a restarted `ped-serve` or a
+//! second `ped-batch` process warm from disk. Disk payloads are decoded
+//! through the corruption-tolerant `ped_fortran::codec` readers; any
+//! validation failure is treated as a miss, never an error.
+
+use crate::persist::DiskCache;
 use ped_analysis::ScalarFacts;
 use ped_dependence::cache::PairCache;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Entry namespace of persisted lint findings.
+const KIND_LINT: &str = "lint";
+/// Entry namespace of persisted parallelization reports.
+const KIND_PAR: &str = "par";
 
 #[derive(Debug, Default)]
 struct CacheInner {
@@ -70,6 +86,8 @@ struct CacheInner {
     scalar_hits: AtomicU64,
     /// Scalar-facts requests that ran the scalar pipeline.
     scalar_misses: AtomicU64,
+    /// Optional persistent layer; `None` keeps the cache process-local.
+    disk: Mutex<Option<DiskCache>>,
 }
 
 /// Cache state carried by a `PedSession` across `reanalyze()` calls.
@@ -83,6 +101,23 @@ pub struct AnalysisCache {
 impl AnalysisCache {
     pub fn new() -> AnalysisCache {
         AnalysisCache::default()
+    }
+
+    /// Attach the persistent on-disk layer: subsequent lint/par memo
+    /// misses consult (and populate) the fingerprint-keyed store, so a
+    /// fresh process with the same cache directory starts warm.
+    pub fn attach_disk(&self, disk: DiskCache) {
+        *self.inner.disk.lock().unwrap() = Some(disk);
+    }
+
+    /// The attached persistent layer, if any (a cheap shared handle).
+    pub fn disk(&self) -> Option<DiskCache> {
+        self.inner.disk.lock().unwrap().clone()
+    }
+
+    /// Counters of the attached persistent layer (zeros when detached).
+    pub fn disk_stats(&self) -> crate::persist::DiskStats {
+        self.disk().map(|d| d.stats()).unwrap_or_default()
     }
 
     /// Exclusive access to the pair-test memo, threaded into dependence
@@ -170,22 +205,40 @@ impl AnalysisCache {
     }
 
     /// Cached lint findings for a unit, if its inputs still fingerprint
-    /// to `key`. Counts a hit or miss.
+    /// to `key`. Counts a hit or miss. On an in-memory miss the
+    /// persistent layer (when attached) is consulted: a validated disk
+    /// entry counts as a hit and re-seeds the memo, so only decode
+    /// failures and true absences fall through to the engine.
     pub fn lint_check(&self, unit_idx: usize, key: u64) -> Option<Vec<ped_lint::Finding>> {
-        match self.inner.lint.lock().unwrap().get(&unit_idx) {
-            Some((k, findings)) if *k == key => {
+        if let Some((k, findings)) = self.inner.lint.lock().unwrap().get(&unit_idx) {
+            if *k == key {
                 self.inner.lint_hits.fetch_add(1, Ordering::SeqCst);
-                Some(findings.clone())
-            }
-            _ => {
-                self.inner.lint_misses.fetch_add(1, Ordering::SeqCst);
-                None
+                return Some(findings.clone());
             }
         }
+        if let Some(disk) = self.disk() {
+            if let Some(bytes) = disk.load(KIND_LINT, key) {
+                if let Ok(findings) = ped_lint::decode_findings(&bytes) {
+                    self.inner.lint_hits.fetch_add(1, Ordering::SeqCst);
+                    self.inner
+                        .lint
+                        .lock()
+                        .unwrap()
+                        .insert(unit_idx, (key, findings.clone()));
+                    return Some(findings);
+                }
+            }
+        }
+        self.inner.lint_misses.fetch_add(1, Ordering::SeqCst);
+        None
     }
 
-    /// Store a unit's lint findings under its inputs fingerprint.
+    /// Store a unit's lint findings under its inputs fingerprint (and
+    /// through to the persistent layer, when attached).
     pub fn lint_store(&self, unit_idx: usize, key: u64, findings: Vec<ped_lint::Finding>) {
+        if let Some(disk) = self.disk() {
+            disk.store(KIND_LINT, key, &ped_lint::encode_findings(&findings));
+        }
         self.inner
             .lint
             .lock()
@@ -194,23 +247,36 @@ impl AnalysisCache {
     }
 
     /// Cached whole-program parallelization report, if the program still
-    /// fingerprints to `key`. Counts a hit or miss.
+    /// fingerprints to `key`. Counts a hit or miss; in-memory misses
+    /// fall back to the persistent layer like [`AnalysisCache::lint_check`].
     pub fn par_check(&self, key: u64) -> Option<Arc<ped_par::ParReport>> {
-        match &*self.inner.par.lock().unwrap() {
-            Some((k, report)) if *k == key => {
+        if let Some((k, report)) = &*self.inner.par.lock().unwrap() {
+            if *k == key {
                 self.inner.par_hits.fetch_add(1, Ordering::SeqCst);
-                Some(report.clone())
-            }
-            _ => {
-                self.inner.par_misses.fetch_add(1, Ordering::SeqCst);
-                None
+                return Some(report.clone());
             }
         }
+        if let Some(disk) = self.disk() {
+            if let Some(bytes) = disk.load(KIND_PAR, key) {
+                if let Ok(report) = ped_par::decode_report(&bytes) {
+                    let report = Arc::new(report);
+                    self.inner.par_hits.fetch_add(1, Ordering::SeqCst);
+                    *self.inner.par.lock().unwrap() = Some((key, report.clone()));
+                    return Some(report);
+                }
+            }
+        }
+        self.inner.par_misses.fetch_add(1, Ordering::SeqCst);
+        None
     }
 
     /// Store a freshly computed parallelization report under the program
-    /// fingerprint it was built from.
+    /// fingerprint it was built from (and through to the persistent
+    /// layer, when attached).
     pub fn par_store(&self, key: u64, report: Arc<ped_par::ParReport>) {
+        if let Some(disk) = self.disk() {
+            disk.store(KIND_PAR, key, &ped_par::encode_report(&report));
+        }
         *self.inner.par.lock().unwrap() = Some((key, report));
     }
 

@@ -36,6 +36,7 @@ pub mod breaking;
 pub mod cache;
 pub mod filter;
 pub mod panes;
+pub mod persist;
 pub mod render;
 pub mod session;
 pub mod snapshot;
@@ -46,6 +47,7 @@ pub use assertions::Assertion;
 pub use breaking::{condition_would_break, suggest_breaking_condition, BreakingCondition};
 pub use cache::AnalysisCache;
 pub use filter::{DepFilter, SourceFilter, VarFilter};
+pub use persist::{DiskCache, DiskStats, SCHEMA_VERSION};
 pub use session::{PedSession, VarClass};
 pub use snapshot::SessionSnapshot;
 pub use usage::{Feature, UsageLog};

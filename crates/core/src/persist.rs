@@ -1,0 +1,424 @@
+//! The persistent analysis cache: a fingerprint-keyed, on-disk store
+//! under `.ped-cache/` that survives process restarts.
+//!
+//! Every in-process memo (scalar facts, pair tests, lint, par) dies
+//! with the process; [`DiskCache`] is the durability layer that makes
+//! the *second process* warm. It is deliberately dumb: a directory of
+//! immutable entry files, one per `(kind, key)` pair, where the key is
+//! one of the existing content fingerprints (`ped_fortran::fingerprint`
+//! — FNV-1a with pinned constants, stable across processes and builds).
+//!
+//! ## Entry format
+//!
+//! ```text
+//! "PEDC" magic | u32 schema version | u64 key echo | u32 payload len
+//!   | payload bytes | u64 FNV-1a checksum of payload
+//! ```
+//!
+//! all little-endian. The payload is an opaque byte string produced by
+//! the `ped_fortran::codec` encoders of the owning crate
+//! (`ped_dependence::summary`, `ped_lint::serial`, `ped_par::serial`,
+//! or the batch driver's combined program summary).
+//!
+//! ## Invalidation
+//!
+//! Keys are content fingerprints, so an edited source file simply keys
+//! to a different entry — nothing is ever updated in place. Schema
+//! evolution is handled by [`SCHEMA_VERSION`]: entries live under a
+//! `v<N>/` directory *and* stamp the version in their header, so a
+//! bumped schema reads an empty cache (clean cold start) instead of
+//! misdecoding old bytes, even if files are copied around by hand.
+//!
+//! ## Atomicity
+//!
+//! Writers never write an entry file directly: the bytes go to a
+//! private temp file (`tmp/<pid>-<seq>`) in the same filesystem, then
+//! `rename(2)` moves it into place. Rename is atomic on POSIX, so a
+//! concurrent reader sees either no file or a complete file — never an
+//! interleaving of two writers — and because entries for one key are
+//! deterministic bytes, last-writer-wins is harmless. A reader that
+//! still finds a short/corrupt file (torn copy, disk-full write, bit
+//! rot) fails *closed*: the entry is counted corrupt, deleted
+//! best-effort, and the caller recomputes. No code path trusts cache
+//! bytes without the magic, version, key-echo, length, and checksum all
+//! agreeing.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Bump this whenever any persisted encoding *or* any fingerprint
+/// function changes meaning (see the pinned goldens in
+/// `ped_fortran::fingerprint::tests`). Old entries become unreachable —
+/// a cold rebuild, never a misread.
+pub const SCHEMA_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 4] = b"PEDC";
+
+/// Largest entry a reader will accept; anything bigger is corrupt by
+/// definition (the biggest legitimate payloads are whole-corpus batch
+/// summaries in the low megabytes).
+const MAX_ENTRY: u64 = 1 << 30;
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Lifetime counters of one [`DiskCache`] handle (shared by clones).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Loads answered with a validated payload.
+    pub hits: u64,
+    /// Loads that found no entry.
+    pub misses: u64,
+    /// Loads that found an entry but rejected it (bad magic/version/
+    /// key/length/checksum, unreadable file).
+    pub corrupt: u64,
+    /// Entries written (after a successful atomic rename).
+    pub writes: u64,
+    /// Payload bytes written over this handle's lifetime.
+    pub bytes_written: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    writes: AtomicU64,
+    bytes_written: AtomicU64,
+    tmp_seq: AtomicU64,
+}
+
+/// Handle to an on-disk cache directory. Clones share counters and the
+/// directory; the handle is `Send + Sync` and safe to use from many
+/// threads and many processes at once (atomic-rename discipline).
+#[derive(Clone, Debug)]
+pub struct DiskCache {
+    /// `<dir>/v<SCHEMA_VERSION>`.
+    root: PathBuf,
+    tmp: PathBuf,
+    counters: Arc<Counters>,
+}
+
+impl DiskCache {
+    /// Open (creating if needed) the cache under `dir` — conventionally
+    /// a directory named `.ped-cache`. Fails only if the directories
+    /// cannot be created.
+    pub fn open(dir: &Path) -> std::io::Result<DiskCache> {
+        let root = dir.join(format!("v{SCHEMA_VERSION}"));
+        let tmp = root.join("tmp");
+        fs::create_dir_all(&tmp)?;
+        Ok(DiskCache {
+            root,
+            tmp,
+            counters: Arc::new(Counters::default()),
+        })
+    }
+
+    /// The versioned root directory (`…/.ped-cache/v1`).
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_path(&self, kind: &str, key: u64) -> PathBuf {
+        // Shard by the low key byte so one directory never holds the
+        // whole corpus (500k-unit corpora → ~2k files per shard).
+        self.root
+            .join(kind)
+            .join(format!("{:02x}", key & 0xff))
+            .join(format!("{key:016x}.ped"))
+    }
+
+    /// Load and validate an entry. `None` means "not cached" for any
+    /// reason — absent, unreadable, torn, version-mismatched, or failing
+    /// its checksum; corrupt files are deleted best-effort so they are
+    /// rewritten rather than re-rejected forever.
+    pub fn load(&self, kind: &str, key: u64) -> Option<Vec<u8>> {
+        let path = self.entry_path(kind, key);
+        let mut f = match fs::File::open(&path) {
+            Ok(f) => f,
+            Err(_) => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match read_entry(&mut f, key) {
+            Some(payload) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload)
+            }
+            None => {
+                self.counters.corrupt.fetch_add(1, Ordering::Relaxed);
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Store an entry atomically: full bytes to a private temp file,
+    /// then rename into place. Concurrent writers of the same key race
+    /// benignly (identical deterministic bytes; rename is atomic).
+    /// Errors are swallowed into a `false` return — a cache that cannot
+    /// write degrades to cold, it never takes the analysis down.
+    pub fn store(&self, kind: &str, key: u64, payload: &[u8]) -> bool {
+        let path = self.entry_path(kind, key);
+        if let Some(parent) = path.parent() {
+            if fs::create_dir_all(parent).is_err() {
+                return false;
+            }
+        }
+        let tmp = self.tmp.join(format!(
+            "{}-{}.tmp",
+            std::process::id(),
+            self.counters.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let ok = (|| -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(MAGIC)?;
+            f.write_all(&SCHEMA_VERSION.to_le_bytes())?;
+            f.write_all(&key.to_le_bytes())?;
+            f.write_all(&(payload.len() as u32).to_le_bytes())?;
+            f.write_all(payload)?;
+            f.write_all(&fnv(payload).to_le_bytes())?;
+            f.sync_data()?;
+            drop(f);
+            fs::rename(&tmp, &path)
+        })()
+        .is_ok();
+        if ok {
+            self.counters.writes.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .bytes_written
+                .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        } else {
+            let _ = fs::remove_file(&tmp);
+        }
+        ok
+    }
+
+    /// Lifetime counters of this handle (shared across clones).
+    pub fn stats(&self) -> DiskStats {
+        DiskStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            corrupt: self.counters.corrupt.load(Ordering::Relaxed),
+            writes: self.counters.writes.load(Ordering::Relaxed),
+            bytes_written: self.counters.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total size (bytes, files) of the current schema's entries on
+    /// disk — the cache-size accounting BENCH_9 reports.
+    pub fn size_on_disk(&self) -> (u64, u64) {
+        fn walk(dir: &Path, bytes: &mut u64, files: &mut u64) {
+            let Ok(rd) = fs::read_dir(dir) else { return };
+            for e in rd.flatten() {
+                let p = e.path();
+                if p.is_dir() {
+                    walk(&p, bytes, files);
+                } else if let Ok(m) = e.metadata() {
+                    *bytes += m.len();
+                    *files += 1;
+                }
+            }
+        }
+        let (mut bytes, mut files) = (0u64, 0u64);
+        let Ok(rd) = fs::read_dir(&self.root) else {
+            return (0, 0);
+        };
+        for e in rd.flatten() {
+            let p = e.path();
+            if p.is_dir() && p != self.tmp {
+                walk(&p, &mut bytes, &mut files);
+            }
+        }
+        (bytes, files)
+    }
+
+    /// Delete every entry of the current schema (benchmarking: forces
+    /// the next run cold). Counters are kept.
+    pub fn clear(&self) {
+        let Ok(rd) = fs::read_dir(&self.root) else {
+            return;
+        };
+        for e in rd.flatten() {
+            let p = e.path();
+            if p.is_dir() && p != self.tmp {
+                let _ = fs::remove_dir_all(&p);
+            }
+        }
+    }
+}
+
+/// Parse one entry file; `None` on any validation failure.
+fn read_entry(f: &mut fs::File, key: u64) -> Option<Vec<u8>> {
+    let len = f.metadata().ok()?.len();
+    if len > MAX_ENTRY {
+        return None;
+    }
+    let mut buf = Vec::with_capacity(len as usize);
+    f.read_to_end(&mut buf).ok()?;
+    // magic(4) version(4) key(8) len(4) payload checksum(8)
+    if buf.len() < 28 || &buf[0..4] != MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    if version != SCHEMA_VERSION {
+        return None;
+    }
+    let stamped_key = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+    if stamped_key != key {
+        return None;
+    }
+    let plen = u32::from_le_bytes(buf[16..20].try_into().unwrap()) as usize;
+    if buf.len() != 28 + plen {
+        return None;
+    }
+    let payload = &buf[20..20 + plen];
+    let check = u64::from_le_bytes(buf[20 + plen..28 + plen].try_into().unwrap());
+    if fnv(payload) != check {
+        return None;
+    }
+    Some(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "ped-persist-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let dir = tmpdir("rt");
+        let c = DiskCache::open(&dir).unwrap();
+        assert!(c.load("lint", 7).is_none());
+        assert!(c.store("lint", 7, b"payload"));
+        assert_eq!(c.load("lint", 7).unwrap(), b"payload");
+        assert_eq!(c.load("par", 7), None, "kinds are separate namespaces");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.writes), (1, 2, 1));
+        let (bytes, files) = c.size_on_disk();
+        assert_eq!(files, 1);
+        assert!(bytes >= 7);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_handle_is_warm_from_disk() {
+        let dir = tmpdir("warm");
+        {
+            let c = DiskCache::open(&dir).unwrap();
+            c.store("par", 99, b"decisions");
+        }
+        let c2 = DiskCache::open(&dir).unwrap();
+        assert_eq!(c2.load("par", 99).unwrap(), b"decisions");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_fails_closed_and_self_heals() {
+        let dir = tmpdir("corrupt");
+        let c = DiskCache::open(&dir).unwrap();
+        c.store("k", 1, b"hello world");
+        let path = c.entry_path("k", 1);
+        // Flip a payload byte: checksum must reject it.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[21] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert!(c.load("k", 1).is_none());
+        assert_eq!(c.stats().corrupt, 1);
+        assert!(!path.exists(), "corrupt entry is deleted");
+        // Truncations at every prefix length must also fail closed.
+        c.store("k", 2, b"hello world");
+        let path2 = c.entry_path("k", 2);
+        let full = fs::read(&path2).unwrap();
+        for cut in 0..full.len() {
+            fs::write(&path2, &full[..cut]).unwrap();
+            assert!(c.load("k", 2).is_none(), "cut at {cut}");
+            assert!(c.store("k", 2, b"hello world"));
+        }
+        // Wrong key under the right filename (a mis-copied file).
+        let other = c.entry_path("k", 3);
+        fs::create_dir_all(other.parent().unwrap()).unwrap();
+        fs::copy(c.entry_path("k", 2), &other).unwrap();
+        assert!(c.load("k", 3).is_none(), "key echo mismatch");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn schema_version_bump_reads_empty() {
+        let dir = tmpdir("schema");
+        let c = DiskCache::open(&dir).unwrap();
+        c.store("k", 5, b"old world");
+        // Simulate a pre-bump process by planting the entry under a
+        // different version directory: the current schema must not see
+        // it even though the file itself is internally consistent.
+        let stale_root = dir.join(format!("v{}", SCHEMA_VERSION + 1));
+        fs::create_dir_all(stale_root.join("k/05")).unwrap();
+        fs::copy(
+            c.entry_path("k", 5),
+            stale_root.join("k/05/0000000000000005.ped"),
+        )
+        .unwrap();
+        // And a same-path file stamped with a foreign version inside.
+        let mut bytes = fs::read(c.entry_path("k", 5)).unwrap();
+        bytes[4] = bytes[4].wrapping_add(1);
+        // Checksum covers only the payload, so the version stamp is the
+        // sole guard here — exactly what this test pins.
+        fs::write(c.entry_path("k", 5), &bytes).unwrap();
+        assert!(c.load("k", 5).is_none(), "foreign version stamp rejected");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_never_see_torn_entries() {
+        let dir = tmpdir("race");
+        let c = DiskCache::open(&dir).unwrap();
+        let payload: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                let p = payload.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        assert!(c.store("race", 42, &p));
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let c = c.clone();
+                let p = payload.clone();
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        if let Some(got) = c.load("race", 42) {
+                            assert_eq!(got, p, "torn read");
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(c.stats().corrupt, 0);
+        assert_eq!(c.load("race", 42).unwrap(), payload);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

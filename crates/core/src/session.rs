@@ -88,6 +88,16 @@ pub struct SessionStats {
     pub par_hits: u64,
     /// Whole-program `parallelize()` calls that ran the ped-par pass.
     pub par_misses: u64,
+    /// Memo misses answered from the attached on-disk cache (0 when no
+    /// [`crate::DiskCache`] is attached).
+    pub disk_hits: u64,
+    /// Disk-cache lookups that found no usable entry.
+    pub disk_misses: u64,
+    /// Disk entries rejected as corrupt (bad magic/version/checksum or
+    /// undecodable payload) and recomputed; the bad file is removed.
+    pub disk_corrupt: u64,
+    /// Entries written through to the on-disk cache.
+    pub disk_writes: u64,
     /// Version of the server's currently published session snapshot
     /// (0 when the session was never published — direct library use).
     pub snapshot_epoch: u64,
@@ -375,6 +385,7 @@ impl PedSession {
         let (lint_hits, lint_misses) = self.cache.lint_stats();
         let (scalar_hits, scalar_misses) = self.cache.scalar_stats();
         let (par_hits, par_misses) = self.cache.par_stats();
+        let disk = self.cache.disk_stats();
         let (snapshot_epoch, snapshot_reads, writer_publishes) = self.usage.publication_counters();
         let (vm_instrs, vm_compile_ns, trace_events, validated_confirmed, validated_disproven) =
             self.usage.vm_counters();
@@ -391,6 +402,10 @@ impl PedSession {
             scalar_misses,
             par_hits,
             par_misses,
+            disk_hits: disk.hits,
+            disk_misses: disk.misses,
+            disk_corrupt: disk.corrupt,
+            disk_writes: disk.writes,
             snapshot_epoch,
             snapshot_reads,
             writer_publishes,

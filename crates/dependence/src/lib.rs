@@ -32,6 +32,7 @@ pub mod graph;
 pub mod marking;
 pub mod subscript;
 pub mod suite;
+pub mod summary;
 
 pub use cache::{PairCache, PairKey};
 pub use canon::CanonStore;
@@ -39,3 +40,4 @@ pub use dir::{Dir, DirSet, DirVector};
 pub use graph::{probe_cores, BuildOptions, DepId, DepKind, Dependence, DependenceGraph};
 pub use marking::{Mark, MarkError, Marking};
 pub use suite::{DepInfo, LoopCtx, TestKindCounts, TestResult};
+pub use summary::DepSummary;

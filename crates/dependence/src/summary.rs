@@ -1,0 +1,178 @@
+//! Serializable dependence-graph summaries for the persistent analysis
+//! cache.
+//!
+//! A [`DepSummary`] is the *result surface* of one unit's dependence
+//! analysis — the canonical per-edge text that every differential gate
+//! already compares, plus the aggregate counts the batch driver and the
+//! server report. It deliberately does not serialize the graph's
+//! internal indexes (per-loop tables, ref ids are embedded in the
+//! canonical text): a disk-warm consumer renders reports and tallies
+//! from the summary and is pinned byte-identical to a cold recompute,
+//! while anything that needs to *query* the graph rebuilds it.
+//!
+//! Encoding uses `ped_fortran::codec` (deterministic, bounds-checked);
+//! the framing, versioning, and checksumming around these bytes live in
+//! the cache layer (`ped::persist`).
+
+use crate::graph::DependenceGraph;
+use crate::suite::TestKindCounts;
+use ped_fortran::codec::{Dec, DecodeError, Enc};
+
+/// One unit's dependence-analysis result summary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DepSummary {
+    /// Unit name, uppercased (as in the symbol tables).
+    pub unit: String,
+    /// Total dependence edges.
+    pub deps: u32,
+    /// Edges carried by some loop (`level.is_some()`).
+    pub carried: u32,
+    /// Loop-independent edges.
+    pub independent: u32,
+    /// Edges proven by an exact test.
+    pub exact: u32,
+    /// Per-tester-kind tallies, in [`TestKindCounts::rows`] order.
+    pub test_kinds: [u64; 8],
+    /// The graph's deterministic one-line-per-edge rendering — two
+    /// builds are equivalent iff these bytes are identical, which is
+    /// what makes disk-warm output checkable against cold recompute.
+    pub canonical: String,
+}
+
+impl DepSummary {
+    /// Summarize a freshly built graph.
+    pub fn of(unit: &str, g: &DependenceGraph) -> DepSummary {
+        let carried = g.deps.iter().filter(|d| d.level.is_some()).count() as u32;
+        let exact = g.deps.iter().filter(|d| d.exact).count() as u32;
+        let mut kinds = [0u64; 8];
+        for (i, (_, n)) in g.test_kinds.rows().iter().enumerate() {
+            kinds[i] = *n;
+        }
+        DepSummary {
+            unit: unit.to_string(),
+            deps: g.deps.len() as u32,
+            carried,
+            independent: g.deps.len() as u32 - carried,
+            exact,
+            test_kinds: kinds,
+            canonical: g.canonical_text(),
+        }
+    }
+
+    /// Row labels matching [`DepSummary::test_kinds`].
+    pub fn kind_labels() -> [&'static str; 8] {
+        let rows = TestKindCounts::default().rows();
+        [
+            rows[0].0, rows[1].0, rows[2].0, rows[3].0, rows[4].0, rows[5].0, rows[6].0, rows[7].0,
+        ]
+    }
+
+    pub fn encode(&self, e: &mut Enc) {
+        e.str(&self.unit);
+        e.u32(self.deps);
+        e.u32(self.carried);
+        e.u32(self.independent);
+        e.u32(self.exact);
+        for k in self.test_kinds {
+            e.u64(k);
+        }
+        e.str(&self.canonical);
+    }
+
+    pub fn decode(d: &mut Dec) -> Result<DepSummary, DecodeError> {
+        let unit = d.str()?;
+        let deps = d.u32()?;
+        let carried = d.u32()?;
+        let independent = d.u32()?;
+        let exact = d.u32()?;
+        let mut test_kinds = [0u64; 8];
+        for k in &mut test_kinds {
+            *k = d.u64()?;
+        }
+        let canonical = d.str()?;
+        Ok(DepSummary {
+            unit,
+            deps,
+            carried,
+            independent,
+            exact,
+            test_kinds,
+            canonical,
+        })
+    }
+}
+
+/// Encode a per-unit summary list (one program's dependence surface).
+pub fn encode_summaries(v: &[DepSummary]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.seq(v.len());
+    for s in v {
+        s.encode(&mut e);
+    }
+    e.into_bytes()
+}
+
+/// Decode a per-unit summary list; trailing garbage is an error.
+pub fn decode_summaries(bytes: &[u8]) -> Result<Vec<DepSummary>, DecodeError> {
+    let mut d = Dec::new(bytes);
+    let n = d.seq()?;
+    let mut v = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        v.push(DepSummary::decode(&mut d)?);
+    }
+    if !d.done() {
+        return Err(DecodeError {
+            what: "trailing bytes after summaries",
+            offset: d.offset(),
+        });
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{BuildOptions, DependenceGraph};
+    use ped_analysis::{loops::LoopNest, refs::RefTable, symbolic::SymbolicEnv};
+    use ped_fortran::parser::parse_ok;
+    use ped_fortran::symbols::SymbolTable;
+
+    fn sample() -> DepSummary {
+        let p = parse_ok(
+            "      REAL A(100)\n      DO 10 I = 2, N\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n",
+        );
+        let unit = &p.units[0];
+        let sym = SymbolTable::build(unit);
+        let refs = RefTable::build(unit, &sym);
+        let nest = LoopNest::build(unit);
+        let g = DependenceGraph::build(
+            unit,
+            &sym,
+            &refs,
+            &nest,
+            &SymbolicEnv::new(),
+            &BuildOptions::default(),
+        );
+        DepSummary::of(&unit.name, &g)
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let s = sample();
+        assert!(s.deps > 0 && s.carried > 0);
+        let bytes = encode_summaries(std::slice::from_ref(&s));
+        let back = decode_summaries(&bytes).unwrap();
+        assert_eq!(back, vec![s]);
+    }
+
+    #[test]
+    fn truncated_bytes_error_cleanly() {
+        let bytes = encode_summaries(&[sample()]);
+        for cut in [0, 1, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_summaries(&bytes[..cut]).is_err());
+        }
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(decode_summaries(&extra).is_err(), "trailing byte");
+    }
+}

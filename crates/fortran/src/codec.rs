@@ -1,0 +1,326 @@
+//! Deterministic binary encoding for persisted analysis artifacts.
+//!
+//! The persistent analysis cache (`.ped-cache/`, see `ped::persist`)
+//! stores serialized dependence summaries, lint reports, and
+//! parallelization decisions across *processes*, so the encoding must be
+//! (a) byte-stable for equal values — no hash-map iteration order, no
+//! pointers, no platform-dependent widths — and (b) paranoid on the way
+//! back in: every read is bounds-checked and returns a [`DecodeError`]
+//! instead of panicking, because cache files can be truncated, torn, or
+//! written by a different schema version. Everything is little-endian
+//! and length-prefixed; floats travel as IEEE-754 bit patterns so the
+//! round trip is exact.
+//!
+//! This module is hand-rolled (no serde — the workspace is std-only) and
+//! lives at the bottom of the crate stack so `ped-dependence`,
+//! `ped-lint`, `ped-par`, and the cache layer can all share it.
+
+/// A decode failure: what was being read and where the input ended or
+/// went out of range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    pub what: &'static str,
+    pub offset: usize,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decode error: {} at byte {}", self.what, self.offset)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Append-only encoder over a byte buffer.
+#[derive(Clone, Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Exact bit pattern — `f64::to_bits`, so NaNs and signed zeros
+    /// survive the round trip unchanged.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed UTF-8.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    pub fn opt_str(&mut self, v: Option<&str>) {
+        match v {
+            Some(s) => {
+                self.bool(true);
+                self.str(s);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Element count prefix for a sequence the caller then encodes.
+    pub fn seq(&mut self, len: usize) {
+        self.u32(len as u32);
+    }
+
+    pub fn i64s(&mut self, v: &[i64]) {
+        self.seq(v.len());
+        for &x in v {
+            self.i64(x);
+        }
+    }
+
+    pub fn strs(&mut self, v: &[String]) {
+        self.seq(v.len());
+        for s in v {
+            self.str(s);
+        }
+    }
+}
+
+/// Upper bound on any single length prefix a decoder will honor, so a
+/// corrupt length cannot ask for a multi-gigabyte allocation.
+const MAX_LEN: u32 = 1 << 28;
+
+/// Bounds-checked cursor over an encoded buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// True when every byte has been consumed — decoders should check
+    /// this at the end so trailing garbage is detected, not ignored.
+    pub fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn err(&self, what: &'static str) -> DecodeError {
+        DecodeError {
+            what,
+            offset: self.pos,
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() - self.pos < n {
+            return Err(self.err(what));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError {
+                what: "bool",
+                offset: self.pos - 1,
+            }),
+        }
+    }
+
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    pub fn i64(&mut self) -> Result<i64, DecodeError> {
+        let b = self.take(8, "i64")?;
+        Ok(i64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let n = self.u32()?;
+        if n > MAX_LEN {
+            return Err(self.err("length out of range"));
+        }
+        self.take(n as usize, "bytes body")
+    }
+
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let b = self.bytes()?;
+        match std::str::from_utf8(b) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => Err(self.err("invalid utf-8")),
+        }
+    }
+
+    pub fn opt_str(&mut self) -> Result<Option<String>, DecodeError> {
+        if self.bool()? {
+            Ok(Some(self.str()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Sequence length prefix, range-checked.
+    pub fn seq(&mut self) -> Result<usize, DecodeError> {
+        let n = self.u32()?;
+        if n > MAX_LEN {
+            return Err(self.err("sequence length out of range"));
+        }
+        Ok(n as usize)
+    }
+
+    pub fn i64s(&mut self) -> Result<Vec<i64>, DecodeError> {
+        let n = self.seq()?;
+        let mut v = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            v.push(self.i64()?);
+        }
+        Ok(v)
+    }
+
+    pub fn strs(&mut self) -> Result<Vec<String>, DecodeError> {
+        let n = self.seq()?;
+        let mut v = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            v.push(self.str()?);
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars_and_strings() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.bool(true);
+        e.u32(0xdead_beef);
+        e.u64(u64::MAX);
+        e.i64(-42);
+        e.f64(-0.0);
+        e.f64(f64::NAN);
+        e.str("héllo");
+        e.opt_str(None);
+        e.opt_str(Some("x"));
+        e.i64s(&[1, -2, 3]);
+        e.strs(&["a".into(), "".into()]);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert!(d.bool().unwrap());
+        assert_eq!(d.u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.i64().unwrap(), -42);
+        assert_eq!(d.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(d.f64().unwrap().is_nan());
+        assert_eq!(d.str().unwrap(), "héllo");
+        assert_eq!(d.opt_str().unwrap(), None);
+        assert_eq!(d.opt_str().unwrap(), Some("x".into()));
+        assert_eq!(d.i64s().unwrap(), vec![1, -2, 3]);
+        assert_eq!(d.strs().unwrap(), vec!["a".to_string(), "".to_string()]);
+        assert!(d.done());
+    }
+
+    #[test]
+    fn equal_values_encode_identically() {
+        let enc = |s: &str| {
+            let mut e = Enc::new();
+            e.str(s);
+            e.u64(99);
+            e.into_bytes()
+        };
+        assert_eq!(enc("same"), enc("same"));
+        assert_ne!(enc("same"), enc("diff"));
+    }
+
+    #[test]
+    fn truncation_errors_instead_of_panicking() {
+        let mut e = Enc::new();
+        e.str("a long enough payload");
+        let bytes = e.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut d = Dec::new(&bytes[..cut]);
+            assert!(d.str().is_err(), "cut at {cut} must not decode");
+        }
+    }
+
+    #[test]
+    fn hostile_lengths_are_rejected() {
+        // A length prefix claiming 4 GiB must be refused outright.
+        let mut e = Enc::new();
+        e.u32(u32::MAX);
+        let bytes = e.into_bytes();
+        assert!(Dec::new(&bytes).bytes().is_err());
+        assert!(Dec::new(&bytes).seq().is_err());
+    }
+
+    #[test]
+    fn bad_bool_is_an_error() {
+        let bytes = [2u8];
+        assert!(Dec::new(&bytes).bool().is_err());
+    }
+}

@@ -154,6 +154,17 @@ pub fn stmt_fingerprint(s: &Stmt) -> u64 {
     h.done()
 }
 
+/// Fingerprint of raw source bytes, before parsing. The batch driver's
+/// persistent cache keys whole-file pipeline results on this, so a warm
+/// run can skip the parser entirely; like every fingerprint here it is
+/// FNV-1a with fixed constants and therefore stable across processes,
+/// builds, and machines (see the `stability` tests, which pin exact
+/// values — changing any fingerprint function is a cache-schema change
+/// and must bump `ped::persist::SCHEMA_VERSION`).
+pub fn source_fingerprint(source: &str) -> u64 {
+    Fnv::new().str(source).done()
+}
+
 /// Per-statement fingerprints of every statement in a unit (preorder).
 pub fn stmt_fingerprints(unit: &ProcUnit) -> HashMap<StmtId, u64> {
     let mut map = HashMap::new();
@@ -273,6 +284,22 @@ mod tests {
         let do_a = &a.units[0].body[0];
         let do_b = &b.units[0].body[0];
         assert_eq!(stmt_fingerprint(do_a), stmt_fingerprint(do_b));
+    }
+
+    /// Persisted-cache keys are these fingerprints, so their exact
+    /// values are part of the on-disk schema: if any of these goldens
+    /// moves, old cache entries silently stop matching — that is safe
+    /// (a cold rebuild), but it must be a *deliberate* schema change,
+    /// recorded by bumping `ped::persist::SCHEMA_VERSION`.
+    #[test]
+    fn fingerprints_are_pinned_cross_process_constants() {
+        assert_eq!(Fnv::new().done(), 0xcbf29ce484222325, "FNV offset basis");
+        assert_eq!(Fnv::new().str("ped").done(), 0xdff3fc0dd7389ba3);
+        assert_eq!(Fnv::new().u64(42).done(), 0xff3add6b3789daef);
+        assert_eq!(source_fingerprint(SRC), 0xec627bb416f9da15);
+        let p = parse_ok(SRC);
+        assert_eq!(unit_fingerprint(&p.units[0]), 0x9b89cf8c5fbcb47a);
+        assert_eq!(decls_fingerprint(&p.units[0]), 0xc7c1f36711846911);
     }
 
     #[test]

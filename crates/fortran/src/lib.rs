@@ -19,6 +19,7 @@
 //! ```
 
 pub mod ast;
+pub mod codec;
 pub mod diag;
 pub mod fingerprint;
 pub mod intern;

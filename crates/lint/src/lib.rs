@@ -18,6 +18,7 @@
 
 pub mod engine;
 pub mod rules;
+pub mod serial;
 pub mod witness;
 
 pub use engine::{
@@ -25,4 +26,5 @@ pub use engine::{
     LintOptions, UserContext,
 };
 pub use rules::RuleCode;
+pub use serial::{decode_findings, encode_findings};
 pub use witness::{witness_for, Witness};

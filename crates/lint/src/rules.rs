@@ -58,6 +58,24 @@ impl RuleCode {
         }
     }
 
+    /// Inverse of [`RuleCode::code`], for decoding persisted findings.
+    /// `None` for unknown codes (a cache written by a future rule set),
+    /// which the decoder treats as corruption — recompute, don't guess.
+    pub fn from_code(code: &str) -> Option<RuleCode> {
+        Some(match code {
+            "PED001" => RuleCode::ParallelLoopRace,
+            "PED002" => RuleCode::FaithRejection,
+            "PED003" => RuleCode::RedundantRejection,
+            "PED004" => RuleCode::UnclassifiedShared,
+            "PED005" => RuleCode::CommonAliasing,
+            "PED006" => RuleCode::AssertionContradicted,
+            "PED007" => RuleCode::MissedParallelism,
+            "PED008" => RuleCode::IoInParallel,
+            "PED009" => RuleCode::ArgMismatch,
+            _ => return None,
+        })
+    }
+
     /// Short kebab-case rule name.
     pub fn name(self) -> &'static str {
         match self {

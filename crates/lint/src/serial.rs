@@ -1,0 +1,163 @@
+//! Serializable lint-result summaries for the persistent analysis
+//! cache.
+//!
+//! Findings round-trip losslessly — rule, location, message, and the
+//! replayable witness iteration pair — so a disk-warm `lint` answer
+//! renders byte-identically to a cold engine run (pinned by the batch
+//! driver's smoke gate and `tests/determinism.rs`). Unknown rule codes
+//! decode as errors rather than guesses: a cache written by a newer
+//! rule registry must fall back to recompute.
+
+use crate::engine::Finding;
+use crate::rules::RuleCode;
+use crate::witness::Witness;
+use ped_fortran::codec::{Dec, DecodeError, Enc};
+use ped_fortran::span::Span;
+
+fn encode_witness(e: &mut Enc, w: &Witness) {
+    e.strs(&w.loop_vars);
+    e.i64s(&w.src_iter);
+    e.i64s(&w.sink_iter);
+    e.str(&w.src_ref);
+    e.str(&w.sink_ref);
+    match &w.element {
+        Some(el) => {
+            e.bool(true);
+            e.i64s(el);
+        }
+        None => e.bool(false),
+    }
+    e.bool(w.exact);
+}
+
+fn decode_witness(d: &mut Dec) -> Result<Witness, DecodeError> {
+    Ok(Witness {
+        loop_vars: d.strs()?,
+        src_iter: d.i64s()?,
+        sink_iter: d.i64s()?,
+        src_ref: d.str()?,
+        sink_ref: d.str()?,
+        element: if d.bool()? { Some(d.i64s()?) } else { None },
+        exact: d.bool()?,
+    })
+}
+
+fn encode_finding(e: &mut Enc, f: &Finding) {
+    e.str(f.rule.code());
+    e.str(&f.unit);
+    e.u32(f.unit_idx as u32);
+    e.u32(f.span.start);
+    e.u32(f.span.end);
+    e.str(&f.var);
+    e.str(&f.message);
+    match &f.witness {
+        Some(w) => {
+            e.bool(true);
+            encode_witness(e, w);
+        }
+        None => e.bool(false),
+    }
+}
+
+fn decode_finding(d: &mut Dec) -> Result<Finding, DecodeError> {
+    let code = d.str()?;
+    let rule = RuleCode::from_code(&code).ok_or(DecodeError {
+        what: "unknown rule code",
+        offset: d.offset(),
+    })?;
+    Ok(Finding {
+        rule,
+        unit: d.str()?,
+        unit_idx: d.u32()? as usize,
+        span: Span {
+            start: d.u32()?,
+            end: d.u32()?,
+        },
+        var: d.str()?,
+        message: d.str()?,
+        witness: if d.bool()? {
+            Some(decode_witness(d)?)
+        } else {
+            None
+        },
+    })
+}
+
+/// Encode a finding list in report order.
+pub fn encode_findings(findings: &[Finding]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.seq(findings.len());
+    for f in findings {
+        encode_finding(&mut e, f);
+    }
+    e.into_bytes()
+}
+
+/// Decode a finding list; trailing garbage is an error.
+pub fn decode_findings(bytes: &[u8]) -> Result<Vec<Finding>, DecodeError> {
+    let mut d = Dec::new(bytes);
+    let n = d.seq()?;
+    let mut v = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        v.push(decode_finding(&mut d)?);
+    }
+    if !d.done() {
+        return Err(DecodeError {
+            what: "trailing bytes after findings",
+            offset: d.offset(),
+        });
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{lint_program, LintOptions};
+    use ped_fortran::parser::parse_ok;
+
+    fn racy_findings() -> Vec<Finding> {
+        let p = parse_ok(
+            "      REAL A(100)\nCDOALL\n      DO 10 I = 2, 100\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n",
+        );
+        lint_program(&p, &LintOptions::default())
+    }
+
+    #[test]
+    fn round_trip_preserves_findings_and_witnesses() {
+        let f = racy_findings();
+        assert!(!f.is_empty());
+        assert!(f.iter().any(|x| x.witness.is_some()), "want a witness");
+        let back = decode_findings(&encode_findings(&f)).unwrap();
+        assert_eq!(back.len(), f.len());
+        for (a, b) in f.iter().zip(&back) {
+            assert_eq!(a.rule, b.rule);
+            assert_eq!(a.unit, b.unit);
+            assert_eq!(a.unit_idx, b.unit_idx);
+            assert_eq!(a.span, b.span);
+            assert_eq!(a.var, b.var);
+            assert_eq!(a.message, b.message);
+            assert_eq!(a.witness, b.witness);
+        }
+        // Byte-stability: encoding the decoded list is identical.
+        assert_eq!(encode_findings(&f), encode_findings(&back));
+    }
+
+    #[test]
+    fn corrupt_rule_code_is_an_error() {
+        let f = racy_findings();
+        let mut bytes = encode_findings(&f);
+        // The first finding's rule code starts right after the 4-byte
+        // count and 4-byte string length: clobber it.
+        bytes[8] = b'X';
+        assert!(decode_findings(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_is_an_error_never_a_panic() {
+        let bytes = encode_findings(&racy_findings());
+        for cut in 0..bytes.len() {
+            assert!(decode_findings(&bytes[..cut]).is_err());
+        }
+    }
+}

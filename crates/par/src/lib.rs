@@ -31,10 +31,12 @@
 mod classify;
 mod plan;
 mod report;
+mod serial;
 mod verify;
 
 pub use classify::has_io;
 pub use report::{render_report, render_summary, summary_row};
+pub use serial::{decode_report, encode_report};
 
 use ped_analysis::defuse::EffectsMap;
 use ped_fortran::ast::{LoopSched, Program, StmtId, StmtKind};

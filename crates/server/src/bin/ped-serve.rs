@@ -16,7 +16,7 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: ped-serve [--addr HOST:PORT] [--workers N] [--max-sessions N] \
-         [--idle-ttl-secs N] [--max-request-bytes N]"
+         [--idle-ttl-secs N] [--max-request-bytes N] [--cache-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -42,6 +42,7 @@ fn main() {
             "--max-request-bytes" => {
                 cfg.max_request_bytes = val().parse().unwrap_or_else(|_| usage())
             }
+            "--cache-dir" => cfg.manager.cache_dir = Some(val().into()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }

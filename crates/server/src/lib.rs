@@ -35,6 +35,7 @@
 //! See DESIGN.md §5b and §5f for the architecture discussion and the
 //! README for a quickstart transcript.
 
+pub mod batchio;
 pub mod conn;
 mod eventloop;
 pub mod json;

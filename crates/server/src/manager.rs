@@ -44,6 +44,12 @@ pub struct ManagerConfig {
     pub max_sessions: usize,
     /// Sessions untouched for this long are evicted by `evict_idle`.
     pub idle_ttl: Duration,
+    /// Persistent analysis cache directory. When set, every session's
+    /// `AnalysisCache` gets a [`ped::DiskCache`] attached at open (lint
+    /// and parallelize memo misses fall through to disk), and the
+    /// `batch` wire method runs against the same store. `None` keeps
+    /// the server fully in-memory.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ManagerConfig {
@@ -52,6 +58,7 @@ impl Default for ManagerConfig {
             shards: 16,
             max_sessions: 1024,
             idle_ttl: Duration::from_secs(15 * 60),
+            cache_dir: None,
         }
     }
 }
@@ -111,6 +118,11 @@ impl SessionManager {
         self.len() == 0
     }
 
+    /// The configured persistent-cache directory, if any.
+    pub fn cache_dir(&self) -> Option<&std::path::Path> {
+        self.cfg.cache_dir.as_deref()
+    }
+
     /// (opened, closed, evicted) lifetime counters.
     pub fn counters(&self) -> (u64, u64, u64) {
         (
@@ -139,6 +151,13 @@ impl SessionManager {
             .unwrap_or_else(|| format!("s{}", self.next_anon.fetch_add(1, Ordering::SeqCst)));
         let session = PedSession::open(program);
         session.usage.prime_epoch();
+        // Best-effort: a cache dir that cannot be opened (permissions,
+        // read-only fs) degrades to in-memory, it does not fail `open`.
+        if let Some(dir) = &self.cfg.cache_dir {
+            if let Ok(disk) = ped::persist::DiskCache::open(dir) {
+                session.cache.attach_disk(disk);
+            }
+        }
         let snap = SnapCell::new(Arc::new(SessionSnapshot::capture(&session, 1)));
         let entry = Arc::new(Entry {
             writer: Mutex::new(session),
@@ -265,6 +284,7 @@ mod tests {
             shards: 4,
             max_sessions: max,
             idle_ttl: Duration::from_millis(ttl_ms),
+            cache_dir: None,
         }
     }
 

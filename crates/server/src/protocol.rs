@@ -420,6 +420,33 @@ pub fn dispatch(
                 ("evicted", Value::int(evicted as i64)),
             ]))
         }
+        "batch" => {
+            // Whole-pipeline batch analysis over a directory of Fortran
+            // sources, warmed by the manager's persistent cache dir
+            // (when configured). Sessionless: touches no registry state.
+            let dir = param_str(p, "dir")?;
+            let threads = p
+                .get("threads")
+                .and_then(Value::as_i64)
+                .filter(|n| *n >= 0)
+                .unwrap_or(0) as usize;
+            let jobs = ped_batch::jobs_from_path(std::path::Path::new(dir))?;
+            if jobs.is_empty() {
+                return Err(format!("no Fortran files under '{dir}'"));
+            }
+            let cache = mgr
+                .cache_dir()
+                .and_then(|d| ped::persist::DiskCache::open(d).ok());
+            let report = ped_batch::run_batch(
+                &jobs,
+                &ped_batch::BatchOptions {
+                    threads,
+                    cache,
+                    verify: false,
+                },
+            );
+            Ok(crate::batchio::batch_value(&report))
+        }
         "ping" => Ok(obj(vec![("pong", Value::Bool(true))])),
         "shutdown" => {
             shutdown.store(true, Ordering::SeqCst);
@@ -463,6 +490,10 @@ fn stats_value(st: &SessionStats) -> Result<Value, String> {
         ("scalar_misses", Value::int(st.scalar_misses as i64)),
         ("par_hits", Value::int(st.par_hits as i64)),
         ("par_misses", Value::int(st.par_misses as i64)),
+        ("disk_hits", Value::int(st.disk_hits as i64)),
+        ("disk_misses", Value::int(st.disk_misses as i64)),
+        ("disk_corrupt", Value::int(st.disk_corrupt as i64)),
+        ("disk_writes", Value::int(st.disk_writes as i64)),
         ("snapshot_epoch", Value::int(st.snapshot_epoch as i64)),
         ("snapshot_reads", Value::int(st.snapshot_reads as i64)),
         ("writer_publishes", Value::int(st.writer_publishes as i64)),

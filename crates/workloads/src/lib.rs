@@ -17,4 +17,4 @@ pub mod tables;
 
 pub use meta::{Cell, Table3Row, Table4Row, WorkProgram};
 pub use programs::{all_programs, program};
-pub use synth::synthetic_source;
+pub use synth::{synth_corpus, synthetic_source, CorpusParams};

@@ -25,6 +25,11 @@
 #   BENCH_8.json — ped-par-bench, the whole-program auto-parallelizer:
 #                  cold classification+gate vs memoized parallelize(),
 #                  loops/sec, DOALLs found/verified per workload (or $8)
+#   BENCH_9.json — ped-batch-bench, the corpus-scale batch driver: cold
+#                  vs disk-warm over a 500-unit synthetic corpus (gated
+#                  >= 5x), 1-vs-8-thread work-stealing scaling (gate
+#                  adapts to the measured core count), cache size
+#                  accounting (or $9)
 set -e
 cd "$(dirname "$0")/.."
 OUT1="${1:-BENCH_1.json}"
@@ -35,12 +40,14 @@ OUT5="${5:-BENCH_5.json}"
 OUT6="${6:-BENCH_6.json}"
 OUT7="${7:-BENCH_7.json}"
 OUT8="${8:-BENCH_8.json}"
+OUT9="${9:-BENCH_9.json}"
 cargo build --release --offline -p ped-bench \
     --bin ped-bench --bin ped-serve-bench --bin ped-lint-bench \
-    --bin ped-vm-bench --bin ped-par-bench
+    --bin ped-vm-bench --bin ped-par-bench --bin ped-batch-bench
 ./target/release/ped-bench "$OUT1" "$OUT4" "$OUT5"
 ./target/release/ped-serve-bench "$OUT2"
 ./target/release/ped-serve-bench --bench6 "$OUT6"
 ./target/release/ped-lint-bench "$OUT3"
 ./target/release/ped-vm-bench --bench7 "$OUT7"
 ./target/release/ped-par-bench "$OUT8"
+./target/release/ped-batch-bench "$OUT9"

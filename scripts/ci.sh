@@ -58,6 +58,13 @@ echo "ci: vm byte-identity smoke passed"
 ./target/release/ped-par --smoke
 echo "ci: ped-par smoke passed"
 
+# Batch-driver gate: the persistent-cache smoke over a 30-program
+# synthetic corpus — disk-warm and corruption-recovery runs must render
+# byte-identical bodies to the cold run, warm runs must be answered
+# from disk, and vandalized cache entries must recompute and self-heal.
+./target/release/ped-batch --smoke
+echo "ci: ped-batch persistent-cache smoke passed"
+
 # Benchmark-artifact gate: every BENCH_*.json that EXPERIMENTS.md
 # refers to must exist at the repo root (a missing artifact means a
 # bench run was skipped or its output was never committed).

@@ -208,3 +208,98 @@ fn repeated_builds_are_bit_identical() {
         }
     }
 }
+
+#[test]
+fn disk_warm_batch_is_byte_identical_on_all_workloads() {
+    // The persistent-cache counterpart of the thread-invariance tests
+    // above: analyze the eight workshop programs plus synth60 cold,
+    // then again through a fresh DiskCache handle (a new process as far
+    // as the cache can tell). Dependence summaries, lint findings, and
+    // the parallelization report must render byte-identically from the
+    // disk-loaded summaries.
+    use ped::persist::DiskCache;
+    use ped_batch::{run_batch, BatchJob, BatchOptions};
+    let mut jobs: Vec<BatchJob> = ped_workloads::all_programs()
+        .into_iter()
+        .map(|p| BatchJob {
+            name: p.name.to_string(),
+            source: p.source.to_string(),
+        })
+        .collect();
+    jobs.push(BatchJob {
+        name: "synth60".into(),
+        source: ped_workloads::synthetic_source(60),
+    });
+    let dir = std::env::temp_dir().join(format!("ped-determinism-batch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cold = run_batch(
+        &jobs,
+        &BatchOptions {
+            threads: 1,
+            cache: Some(DiskCache::open(&dir).unwrap()),
+            verify: false,
+        },
+    );
+    assert_eq!(cold.stats.cache_misses, jobs.len());
+    assert!(cold.stats.findings > 0, "no findings — vacuous test");
+    assert!(cold.stats.parallel_nests > 0, "no DOALLs — vacuous test");
+    for threads in [1, 4] {
+        let warm = run_batch(
+            &jobs,
+            &BatchOptions {
+                threads,
+                cache: Some(DiskCache::open(&dir).unwrap()),
+                verify: false,
+            },
+        );
+        assert_eq!(warm.stats.cache_hits, jobs.len(), "threads={threads}");
+        assert_eq!(
+            cold.render(),
+            warm.render(),
+            "disk-warm output diverged from cold at {threads} threads"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sessions_sharing_a_cache_dir_answer_lint_and_par_from_disk() {
+    // Session-level persistence: a fresh PedSession with the same cache
+    // dir attached must answer lint and parallelize from disk (memo
+    // cold, disk warm) with byte-identical reports.
+    use ped::persist::DiskCache;
+    use ped::session::PedSession;
+    use ped_fortran::parser::parse_ok;
+    use ped_par::render_report;
+    let dir = std::env::temp_dir().join(format!("ped-determinism-sess-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let p = ped_workloads::program("slab2d").unwrap();
+    let (cold_lint, cold_par, cold_stats) = {
+        let s = PedSession::open(parse_ok(p.source));
+        s.cache.attach_disk(DiskCache::open(&dir).unwrap());
+        let lint = s.lint();
+        let par = s.parallelize();
+        (
+            ped_server::lintio::findings_value(&lint).encode(),
+            render_report(p.name, &par),
+            s.stats(),
+        )
+    };
+    assert_eq!(cold_stats.disk_hits, 0, "first session is cold");
+    assert!(
+        cold_stats.disk_writes > 0,
+        "cold session must write through"
+    );
+    let s2 = PedSession::open(parse_ok(p.source));
+    s2.cache.attach_disk(DiskCache::open(&dir).unwrap());
+    let warm_lint = ped_server::lintio::findings_value(&s2.lint()).encode();
+    let warm_par = render_report(p.name, &s2.parallelize());
+    let warm_stats = s2.stats();
+    assert!(
+        warm_stats.disk_hits > 0,
+        "second session must hit disk: {warm_stats:?}"
+    );
+    assert_eq!(cold_lint, warm_lint, "disk-warm lint diverged");
+    assert_eq!(cold_par, warm_par, "disk-warm parallelize diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+}
