@@ -38,8 +38,27 @@ use ped_transform::ctx::UnitAnalysis;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-/// Cache namespace for whole-program batch summaries.
+/// Cache namespace for whole-program batch summaries (static analysis,
+/// the default `verify: false` mode).
 pub const KIND_BATCH: &str = "batch";
+
+/// Cache namespace for `verify: true` summaries. The differential
+/// execution gate changes the result surface — `ParReport` gains its
+/// verify section and directives the verifier refutes are demoted — so
+/// verify and non-verify runs must never answer each other's lookups:
+/// a shared namespace would let a non-verify-populated cache silently
+/// skip verification (or leak verify output into non-verify runs,
+/// breaking cold==warm byte identity).
+pub const KIND_BATCH_VERIFY: &str = "batch-v";
+
+/// The cache namespace for a given options set.
+fn cache_kind(verify: bool) -> &'static str {
+    if verify {
+        KIND_BATCH_VERIFY
+    } else {
+        KIND_BATCH
+    }
+}
 
 /// One input program: a name (file path or corpus id) and its source.
 #[derive(Clone, Debug)]
@@ -287,8 +306,9 @@ pub fn analyze_source(name: &str, source: &str, verify: bool) -> ProgramSummary 
 /// but fails payload decoding is treated exactly like a miss.
 fn run_job(job: &BatchJob, opts: &BatchOptions) -> ProgramResult {
     let key = source_fingerprint(&job.source);
+    let kind = cache_kind(opts.verify);
     if let Some(cache) = &opts.cache {
-        if let Some(bytes) = cache.load(KIND_BATCH, key) {
+        if let Some(bytes) = cache.load(kind, key) {
             if let Ok(summary) = decode_summary(&bytes) {
                 return ProgramResult {
                     summary,
@@ -300,7 +320,7 @@ fn run_job(job: &BatchJob, opts: &BatchOptions) -> ProgramResult {
     }
     let summary = analyze_source(&job.name, &job.source, opts.verify);
     if let Some(cache) = &opts.cache {
-        cache.store(KIND_BATCH, key, &encode_summary(&summary));
+        cache.store(kind, key, &encode_summary(&summary));
     }
     ProgramResult {
         summary,
@@ -372,17 +392,23 @@ pub fn run_batch(jobs: &[BatchJob], opts: &BatchOptions) -> BatchReport {
     BatchReport { results, stats }
 }
 
+/// True for the Fortran source extensions the batch driver accepts.
+pub fn is_fortran_path(p: &Path) -> bool {
+    matches!(
+        p.extension().and_then(|e| e.to_str()),
+        Some(e) if e.eq_ignore_ascii_case("f")
+            || e.eq_ignore_ascii_case("for")
+            || e.eq_ignore_ascii_case("f77")
+    )
+}
+
 /// Collect `.f`/`.for`/`.f77` files under `path` (recursively, sorted)
-/// into jobs. A single file is one job.
+/// into jobs. A single file is one job, and must carry one of those
+/// extensions too. Symlinks inside the walk are skipped: a directory
+/// symlink can form a cycle (unbounded recursion) and symlinked
+/// duplicates would be analyzed twice. The explicitly named `path`
+/// itself may be a symlink.
 pub fn jobs_from_path(path: &Path) -> Result<Vec<BatchJob>, String> {
-    fn is_fortran(p: &Path) -> bool {
-        matches!(
-            p.extension().and_then(|e| e.to_str()),
-            Some(e) if e.eq_ignore_ascii_case("f")
-                || e.eq_ignore_ascii_case("for")
-                || e.eq_ignore_ascii_case("f77")
-        )
-    }
     fn collect(path: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
         let meta = std::fs::metadata(path).map_err(|e| format!("{}: {e}", path.display()))?;
         if meta.is_dir() {
@@ -392,14 +418,25 @@ pub fn jobs_from_path(path: &Path) -> Result<Vec<BatchJob>, String> {
                 .collect();
             entries.sort();
             for entry in entries {
-                if entry.is_dir() {
+                let Ok(emeta) = std::fs::symlink_metadata(&entry) else {
+                    continue;
+                };
+                if emeta.file_type().is_symlink() {
+                    continue;
+                }
+                if emeta.is_dir() {
                     collect(&entry, out)?;
-                } else if is_fortran(&entry) {
+                } else if is_fortran_path(&entry) {
                     out.push(entry);
                 }
             }
-        } else {
+        } else if is_fortran_path(path) {
             out.push(path.to_path_buf());
+        } else {
+            return Err(format!(
+                "{}: not a Fortran source (.f/.for/.f77)",
+                path.display()
+            ));
         }
         Ok(())
     }
@@ -566,6 +603,69 @@ mod tests {
             );
             assert_eq!(base.render(), r.render(), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn verify_runs_never_share_cache_entries_with_static_runs() {
+        let dir = tmpdir("verify-ns");
+        let jobs = corpus(2);
+        let mk = |verify: bool| BatchOptions {
+            cache: Some(DiskCache::open(&dir).unwrap()),
+            verify,
+            ..BatchOptions::default()
+        };
+        // Populate the cache without --verify...
+        let plain_cold = run_batch(&jobs, &mk(false));
+        assert_eq!(plain_cold.stats.cache_hits, 0);
+        // ...then a --verify run must NOT be answered from it: the
+        // differential gate has to actually run.
+        let verified_cold = run_batch(&jobs, &mk(true));
+        assert_eq!(
+            verified_cold.stats.cache_hits, 0,
+            "verify run answered from a non-verify cache"
+        );
+        // Each mode warms only from its own namespace, byte-identically.
+        let plain_warm = run_batch(&jobs, &mk(false));
+        assert_eq!(plain_warm.stats.cache_hits, jobs.len());
+        assert_eq!(plain_cold.render(), plain_warm.render());
+        let verified_warm = run_batch(&jobs, &mk(true));
+        assert_eq!(verified_warm.stats.cache_hits, jobs.len());
+        assert_eq!(verified_cold.render(), verified_warm.render());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn single_file_jobs_require_fortran_extension() {
+        let dir = tmpdir("ext");
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("prog.f");
+        std::fs::write(&f, "      END\n").unwrap();
+        let jobs = jobs_from_path(&f).unwrap();
+        assert_eq!(jobs.len(), 1);
+        let secret = dir.join("secret.txt");
+        std::fs::write(&secret, "not fortran").unwrap();
+        let err = jobs_from_path(&secret).unwrap_err();
+        assert!(err.contains("not a Fortran source"), "{err}");
+        // Directory walks only ever picked up Fortran extensions.
+        let jobs = jobs_from_path(&dir).unwrap();
+        assert_eq!(jobs.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn symlink_cycles_and_duplicates_are_skipped() {
+        let dir = tmpdir("symlink");
+        let sub = dir.join("sub");
+        std::fs::create_dir_all(&sub).unwrap();
+        std::fs::write(sub.join("a.f"), "      END\n").unwrap();
+        // A cycle back to the root and a duplicate link to the file:
+        // both must be ignored by the walk.
+        std::os::unix::fs::symlink(&dir, sub.join("loop")).unwrap();
+        std::os::unix::fs::symlink(sub.join("a.f"), sub.join("dup.f")).unwrap();
+        let jobs = jobs_from_path(&dir).unwrap();
+        assert_eq!(jobs.len(), 1, "cycle skipped, duplicate not re-analyzed");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -32,7 +32,9 @@
 //! ## Atomicity
 //!
 //! Writers never write an entry file directly: the bytes go to a
-//! private temp file (`tmp/<pid>-<seq>`) in the same filesystem, then
+//! private temp file (`tmp/<pid>-<seq>`, where the sequence is global
+//! to the process so distinct handles never collide) in the same
+//! filesystem, then
 //! `rename(2)` moves it into place. Rename is atomic on POSIX, so a
 //! concurrent reader sees either no file or a complete file — never an
 //! interleaving of two writers — and because entries for one key are
@@ -94,8 +96,14 @@ struct Counters {
     corrupt: AtomicU64,
     writes: AtomicU64,
     bytes_written: AtomicU64,
-    tmp_seq: AtomicU64,
 }
+
+/// Temp-file name sequence, global to the process. Handles are opened
+/// per session and per request in `ped-serve`, so a per-handle counter
+/// would let two handles pick the identical `<pid>-<seq>` temp name:
+/// `File::create` truncates the other writer's in-progress file and the
+/// rename can move a half-written entry into place.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Handle to an on-disk cache directory. Clones share counters and the
 /// directory; the handle is `Send + Sync` and safe to use from many
@@ -178,7 +186,7 @@ impl DiskCache {
         let tmp = self.tmp.join(format!(
             "{}-{}.tmp",
             std::process::id(),
-            self.counters.tmp_seq.fetch_add(1, Ordering::Relaxed)
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
         let ok = (|| -> std::io::Result<()> {
             let mut f = fs::File::create(&tmp)?;
@@ -387,6 +395,40 @@ mod tests {
         // sole guard here — exactly what this test pins.
         fs::write(c.entry_path("k", 5), &bytes).unwrap();
         assert!(c.load("k", 5).is_none(), "foreign version stamp rejected");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distinct_handles_in_one_process_never_collide_on_temp_names() {
+        // ped-serve opens a fresh DiskCache per session and per batch
+        // request; with a per-handle sequence two handles would reuse
+        // the same `<pid>-<seq>` temp path and truncate each other's
+        // in-progress writes. The sequence is process-global, so every
+        // store from every handle must land intact.
+        let dir = tmpdir("handles");
+        let payload: Vec<u8> = (0..8192).map(|i| (i % 241) as u8).collect();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let dir = dir.clone();
+                let p = payload.clone();
+                s.spawn(move || {
+                    // A fresh handle per thread — NOT clones.
+                    let c = DiskCache::open(&dir).unwrap();
+                    for i in 0..50u64 {
+                        assert!(c.store("h", t * 1000 + i, &p));
+                        assert!(c.store("h", 7, &p)); // shared hot key
+                    }
+                });
+            }
+        });
+        let c = DiskCache::open(&dir).unwrap();
+        for t in 0..4u64 {
+            for i in 0..50u64 {
+                assert_eq!(c.load("h", t * 1000 + i).as_deref(), Some(&payload[..]));
+            }
+        }
+        assert_eq!(c.load("h", 7).as_deref(), Some(&payload[..]));
+        assert_eq!(c.stats().corrupt, 0);
         let _ = fs::remove_dir_all(&dir);
     }
 

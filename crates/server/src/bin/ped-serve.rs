@@ -3,7 +3,12 @@
 //! ```text
 //! ped-serve [--addr 127.0.0.1:7878] [--workers N] [--max-sessions N]
 //!           [--idle-ttl-secs N] [--max-request-bytes N]
+//!           [--cache-dir DIR] [--batch-root DIR]
 //! ```
+//!
+//! The sessionless `batch` wire method reads Fortran sources from the
+//! server's filesystem; it is disabled unless `--batch-root DIR` names
+//! the directory clients may analyze (requests are confined to it).
 //!
 //! Speaks the newline-delimited JSON protocol of `ped_server::protocol`
 //! on every connection. Stops gracefully on SIGTERM/SIGINT or on a
@@ -16,7 +21,7 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: ped-serve [--addr HOST:PORT] [--workers N] [--max-sessions N] \
-         [--idle-ttl-secs N] [--max-request-bytes N] [--cache-dir DIR]"
+         [--idle-ttl-secs N] [--max-request-bytes N] [--cache-dir DIR] [--batch-root DIR]"
     );
     std::process::exit(2);
 }
@@ -43,6 +48,7 @@ fn main() {
                 cfg.max_request_bytes = val().parse().unwrap_or_else(|_| usage())
             }
             "--cache-dir" => cfg.manager.cache_dir = Some(val().into()),
+            "--batch-root" => cfg.manager.batch_root = Some(val().into()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }

@@ -50,6 +50,13 @@ pub struct ManagerConfig {
     /// `batch` wire method runs against the same store. `None` keeps
     /// the server fully in-memory.
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Root directory the sessionless `batch` wire method may read.
+    /// Client-supplied paths are resolved against it and must
+    /// canonicalize to somewhere inside it — a wire client can never
+    /// walk the server into arbitrary filesystem reads. `None` (the
+    /// default) disables the `batch` method entirely, the safe stance
+    /// for a server facing untrusted clients.
+    pub batch_root: Option<std::path::PathBuf>,
 }
 
 impl Default for ManagerConfig {
@@ -59,6 +66,7 @@ impl Default for ManagerConfig {
             max_sessions: 1024,
             idle_ttl: Duration::from_secs(15 * 60),
             cache_dir: None,
+            batch_root: None,
         }
     }
 }
@@ -121,6 +129,11 @@ impl SessionManager {
     /// The configured persistent-cache directory, if any.
     pub fn cache_dir(&self) -> Option<&std::path::Path> {
         self.cfg.cache_dir.as_deref()
+    }
+
+    /// The directory the `batch` wire method may read, if enabled.
+    pub fn batch_root(&self) -> Option<&std::path::Path> {
+        self.cfg.batch_root.as_deref()
     }
 
     /// (opened, closed, evicted) lifetime counters.
@@ -285,6 +298,7 @@ mod tests {
             max_sessions: max,
             idle_ttl: Duration::from_millis(ttl_ms),
             cache_dir: None,
+            batch_root: None,
         }
     }
 

@@ -116,6 +116,35 @@ fn param_u32(p: &Value, key: &str) -> Result<u32, String> {
         .ok_or_else(|| format!("missing integer param '{key}'"))
 }
 
+/// Confine a client-supplied `batch` path to the configured root.
+/// Relative paths resolve against the root; absolute paths are accepted
+/// only when they already point inside it. Canonicalization resolves
+/// `..` and symlinks before the containment check, so neither can
+/// escape.
+fn resolve_under_root(
+    root: &std::path::Path,
+    requested: &str,
+) -> Result<std::path::PathBuf, String> {
+    let canon_root = root
+        .canonicalize()
+        .map_err(|e| format!("batch root {}: {e}", root.display()))?;
+    let p = std::path::Path::new(requested);
+    let joined = if p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        canon_root.join(p)
+    };
+    let canon = joined
+        .canonicalize()
+        .map_err(|e| format!("{requested}: {e}"))?;
+    if !canon.starts_with(&canon_root) {
+        return Err(format!(
+            "'{requested}' is outside the configured batch root"
+        ));
+    }
+    Ok(canon)
+}
+
 fn session_id<'a>(p: &'a Value) -> Result<&'a str, String> {
     param_str(p, "session")
 }
@@ -424,13 +453,21 @@ pub fn dispatch(
             // Whole-pipeline batch analysis over a directory of Fortran
             // sources, warmed by the manager's persistent cache dir
             // (when configured). Sessionless: touches no registry state.
+            // The client's `dir` is confined to the configured batch
+            // root — without one the method is disabled, so a wire
+            // client can never walk the server into reading arbitrary
+            // server-readable paths.
+            let root = mgr
+                .batch_root()
+                .ok_or("batch is disabled (start ped-serve with --batch-root DIR)")?;
             let dir = param_str(p, "dir")?;
             let threads = p
                 .get("threads")
                 .and_then(Value::as_i64)
                 .filter(|n| *n >= 0)
                 .unwrap_or(0) as usize;
-            let jobs = ped_batch::jobs_from_path(std::path::Path::new(dir))?;
+            let target = resolve_under_root(root, dir)?;
+            let jobs = ped_batch::jobs_from_path(&target)?;
             if jobs.is_empty() {
                 return Err(format!("no Fortran files under '{dir}'"));
             }
@@ -830,5 +867,60 @@ mod tests {
         let r = run(&m, r#"{"id":6,"method":"close","params":{"session":"a"}}"#);
         assert_eq!(r.get("ok"), Some(&Value::Bool(true)));
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn batch_method_is_confined_to_the_configured_root() {
+        // No root configured → the method is off entirely.
+        let m = mgr();
+        let r = run(&m, r#"{"id":1,"method":"batch","params":{"dir":"."}}"#);
+        assert_eq!(r.get("ok"), Some(&Value::Bool(false)));
+        assert!(
+            r.get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("disabled"),
+            "{r:?}"
+        );
+
+        let root = std::env::temp_dir().join(format!("ped-proto-batch-{}", std::process::id()));
+        let sub = root.join("corpus");
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&sub).unwrap();
+        std::fs::write(
+            sub.join("a.f"),
+            "      REAL A(10)\n      DO 10 I = 2, 9\n      A(I) = A(I-1)\n   10 CONTINUE\n      END\n",
+        )
+        .unwrap();
+        let outside =
+            std::env::temp_dir().join(format!("ped-proto-secret-{}.f", std::process::id()));
+        std::fs::write(&outside, "      END\n").unwrap();
+
+        let m = SessionManager::new(ManagerConfig {
+            batch_root: Some(root.clone()),
+            ..Default::default()
+        });
+        // Relative paths resolve inside the root and work.
+        let r = run(&m, r#"{"id":2,"method":"batch","params":{"dir":"corpus"}}"#);
+        assert_eq!(r.get("ok"), Some(&Value::Bool(true)), "{r:?}");
+        // `..` escapes are canonicalized away and rejected.
+        let r = run(
+            &m,
+            r#"{"id":3,"method":"batch","params":{"dir":"corpus/../.."}}"#,
+        );
+        assert_eq!(r.get("ok"), Some(&Value::Bool(false)), "{r:?}");
+        // Absolute paths outside the root are rejected even when they
+        // name a perfectly readable Fortran file.
+        let r = run(
+            &m,
+            &format!(
+                r#"{{"id":4,"method":"batch","params":{{"dir":"{}"}}}}"#,
+                outside.display()
+            ),
+        );
+        assert_eq!(r.get("ok"), Some(&Value::Bool(false)), "{r:?}");
+        let _ = std::fs::remove_dir_all(&root);
+        let _ = std::fs::remove_file(&outside);
     }
 }
